@@ -1,0 +1,106 @@
+/**
+ * @file
+ * E1 -- The YALLL retargeting experiment (survey sec. 2.2.4): the
+ * same YALLL sources compiled for the clean machine (HM-1, the
+ * HP300 stand-in) and the baroque machine (VM-2, the VAX-11
+ * stand-in), against hand-written microcode on each. The paper's
+ * claim: "The HP implementation performed a lot better than the VAX
+ * implementation."
+ */
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+
+using namespace uhll;
+using namespace uhll::bench;
+
+namespace {
+
+void
+printTable()
+{
+    std::printf("E1: one YALLL source, two horizontal machines\n");
+    std::printf("%-14s %-6s | %8s %8s | %8s %8s | %6s\n", "kernel",
+                "mach", "cyc/cmp", "cyc/hand", "wrd/cmp", "wrd/hand",
+                "ratio");
+    double clean_sum = 0, baroque_sum = 0;
+    double ratio_log_sum = 0;
+    int n = 0;
+    for (const Workload &w : workloadSuite()) {
+        for (const char *mn : {"HM-1", "VM-2"}) {
+            MachineDescription m = machineByName(mn);
+            Outcome c = runCompiled(w, m);
+            Outcome h = runHand(w, m);
+            double ratio = double(c.cycles) / double(h.cycles);
+            std::printf("%-14s %-6s | %8llu %8llu | %8llu %8llu | "
+                        "%5.2fx\n",
+                        w.name.c_str(), mn,
+                        (unsigned long long)c.cycles,
+                        (unsigned long long)h.cycles,
+                        (unsigned long long)c.words,
+                        (unsigned long long)h.words, ratio);
+            if (std::string(mn) == "HM-1")
+                clean_sum += c.cycles;
+            else
+                baroque_sum += c.cycles;
+        }
+        MachineDescription hm = machineByName("HM-1");
+        MachineDescription vm = machineByName("VM-2");
+        ratio_log_sum += std::log(double(runCompiled(w, vm).cycles) /
+                                  double(runCompiled(w, hm).cycles));
+        ++n;
+    }
+    std::printf("\ncompiled cycles, baroque/clean: aggregate %.2fx, "
+                "per-kernel geomean %.2fx\n(paper: the clean "
+                "machine 'performed a lot better')\n\n",
+                baroque_sum / clean_sum,
+                std::exp(ratio_log_sum / n));
+}
+
+void
+BM_CompileSuiteHm1(benchmark::State &state)
+{
+    MachineDescription m = buildHm1();
+    const Workload &w = workloadSuite()[0];
+    for (auto _ : state) {
+        MirProgram prog = parseYalll(w.yalll, m);
+        Compiler comp(m);
+        benchmark::DoNotOptimize(comp.compile(prog, {}));
+    }
+}
+BENCHMARK(BM_CompileSuiteHm1);
+
+void
+BM_SimulateTransliterateHm1(benchmark::State &state)
+{
+    MachineDescription m = buildHm1();
+    const Workload &w = workloadSuite()[0];
+    MirProgram prog = parseYalll(w.yalll, m);
+    Compiler comp(m);
+    CompiledProgram cp = comp.compile(prog, {});
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        MainMemory mem(0x10000, 16);
+        w.setup(mem);
+        MicroSimulator sim(cp.store, mem);
+        for (auto &[n, v] : w.inputs)
+            setVar(prog, cp, sim, mem, n, v);
+        cycles = sim.run("main").cycles;
+    }
+    state.counters["sim_cycles"] = double(cycles);
+}
+BENCHMARK(BM_SimulateTransliterateHm1);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

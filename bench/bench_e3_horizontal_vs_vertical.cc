@@ -1,0 +1,77 @@
+/**
+ * @file
+ * E3 -- Horizontal vs vertical encoding (survey sec. 1, citing
+ * Dasgupta's store-organisation survey [5]): "Most of the
+ * parallelism is hidden from the microprogrammer when a vertical
+ * encoding scheme is employed, but this usually implies a loss of
+ * flexibility and speed." Same kernels, HM-1 (horizontal, wide
+ * words, intra-word parallelism) vs VS-3 (vertical, narrow words,
+ * one operation each).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+
+using namespace uhll;
+using namespace uhll::bench;
+
+namespace {
+
+void
+printTable()
+{
+    std::printf("E3: horizontal (HM-1) vs vertical (VS-3)\n");
+    std::printf("%-14s | %8s %8s %6s | %9s %9s\n", "kernel",
+                "cyc/hor", "cyc/ver", "speed", "bits/hor",
+                "bits/ver");
+    MachineDescription hm = buildHm1();
+    MachineDescription vs = buildVs3();
+    double cyc_h = 0, cyc_v = 0;
+    for (const Workload &w : workloadSuite()) {
+        Outcome h = runCompiled(w, hm);
+        Outcome v = runCompiled(w, vs);
+        std::printf("%-14s | %8llu %8llu %5.2fx | %9llu %9llu\n",
+                    w.name.c_str(), (unsigned long long)h.cycles,
+                    (unsigned long long)v.cycles,
+                    double(v.cycles) / double(h.cycles),
+                    (unsigned long long)h.bits,
+                    (unsigned long long)v.bits);
+        cyc_h += h.cycles;
+        cyc_v += v.cycles;
+    }
+    std::printf("\naggregate vertical slowdown: %.2fx "
+                "(paper: vertical costs speed; narrow words cost "
+                "less store per op but need more of them)\n\n",
+                cyc_v / cyc_h);
+}
+
+void
+BM_SimulateVertical(benchmark::State &state)
+{
+    MachineDescription m = buildVs3();
+    const Workload &w = workloadSuite()[2];
+    MirProgram prog = parseYalll(w.yalll, m);
+    Compiler comp(m);
+    CompiledProgram cp = comp.compile(prog, {});
+    for (auto _ : state) {
+        MainMemory mem(0x10000, 16);
+        w.setup(mem);
+        MicroSimulator sim(cp.store, mem);
+        for (auto &[n, v] : w.inputs)
+            setVar(prog, cp, sim, mem, n, v);
+        benchmark::DoNotOptimize(sim.run("main"));
+    }
+}
+BENCHMARK(BM_SimulateVertical);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

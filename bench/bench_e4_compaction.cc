@@ -1,0 +1,164 @@
+/**
+ * @file
+ * E4 -- The microinstruction composition problem (survey sec. 2.1.4,
+ * refs [18], [22], [3], [21]): how close do the heuristics come to
+ * the branch-and-bound optimum, and how much does the resource model
+ * matter? Measured over the lowered basic blocks of the workload
+ * suite plus random straight-line blocks, on both horizontal
+ * machines.
+ */
+
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "schedule/compact.hh"
+
+using namespace uhll;
+using namespace uhll::bench;
+
+namespace {
+
+/** Random register-form op blocks (same generator as the tests). */
+std::vector<std::vector<BoundOp>>
+randomBlocks(const MachineDescription &m, unsigned seed, int count,
+             size_t len)
+{
+    std::mt19937 rng(seed);
+    std::vector<uint16_t> cands;
+    for (uint16_t i = 0; i < m.numMicroOps(); ++i) {
+        const MicroOpSpec &s = m.uop(i);
+        if (s.kind == UKind::Nop || s.kind == UKind::IntAck)
+            continue;
+        cands.push_back(i);
+    }
+    auto randReg = [&](uint32_t classes) -> RegId {
+        std::vector<RegId> fit;
+        for (RegId r = 0; r < m.numRegisters(); ++r) {
+            if (m.reg(r).classes & classes)
+                fit.push_back(r);
+        }
+        return fit.empty() ? kNoReg : fit[rng() % fit.size()];
+    };
+
+    std::vector<std::vector<BoundOp>> blocks;
+    while (blocks.size() < size_t(count)) {
+        std::vector<BoundOp> ops;
+        while (ops.size() < len) {
+            uint16_t spec = cands[rng() % cands.size()];
+            const MicroOpSpec &s = m.uop(spec);
+            BoundOp o;
+            o.spec = spec;
+            if (uKindHasDst(s.kind)) {
+                o.dst = randReg(s.dstClasses ? s.dstClasses : ~0u);
+                if (o.dst == kNoReg)
+                    continue;
+            }
+            if (uKindHasSrcA(s.kind)) {
+                o.srcA = randReg(s.srcAClasses ? s.srcAClasses : ~0u);
+                if (o.srcA == kNoReg)
+                    continue;
+            }
+            if (uKindHasSrcB(s.kind)) {
+                if (s.srcBClasses == 0) {
+                    if (!s.allowImm)
+                        continue;
+                    o.useImm = true;
+                    o.imm = rng() & 0xF;
+                } else {
+                    o.srcB = randReg(s.srcBClasses);
+                    if (o.srcB == kNoReg)
+                        continue;
+                }
+            }
+            if (s.kind == UKind::Ldi)
+                o.imm = rng() & 0xFF;
+            if (!m.checkOperands(o))
+                continue;
+            ops.push_back(o);
+        }
+        blocks.push_back(std::move(ops));
+    }
+    return blocks;
+}
+
+void
+printTable()
+{
+    std::printf("E4: microinstruction composition, words per "
+                "algorithm (120 random 10-op blocks)\n");
+    std::printf("%-6s %-16s | %8s | %9s | %8s\n", "mach", "algorithm",
+                "words", "vs best", "optimal%");
+    for (const char *mn : {"HM-1", "VM-2"}) {
+        MachineDescription m = machineByName(mn);
+        auto blocks = randomBlocks(m, 42, 120, 10);
+
+        // Reference optimum per block.
+        OptimalCompactor optc;
+        std::vector<size_t> best;
+        for (auto &b : blocks)
+            best.push_back(optc.compact(m, b).numWords());
+        size_t best_total = 0;
+        for (size_t w : best)
+            best_total += w;
+
+        for (auto &c : allCompactors()) {
+            size_t total = 0, hit = 0;
+            for (size_t i = 0; i < blocks.size(); ++i) {
+                size_t w = c->compact(m, blocks[i]).numWords();
+                total += w;
+                hit += w == best[i];
+            }
+            std::printf("%-6s %-16s | %8zu | %8.2f%% | %7.1f%%\n",
+                        mn, c->name(), total,
+                        100.0 * (double(total) - double(best_total)) /
+                            double(best_total),
+                        100.0 * double(hit) / double(blocks.size()));
+        }
+    }
+    std::printf("\n(paper: heuristics produce 'minimal or near "
+                "minimal' sequences [18,22,3,21]; the phase-aware "
+                "model [21] buys the rest)\n\n");
+}
+
+void
+BM_TokoroCompact10(benchmark::State &state)
+{
+    MachineDescription m = buildHm1();
+    auto blocks = randomBlocks(m, 7, 16, 10);
+    TokoroCompactor c;
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            c.compact(m, blocks[i % blocks.size()]));
+        ++i;
+    }
+}
+BENCHMARK(BM_TokoroCompact10);
+
+void
+BM_OptimalCompact10(benchmark::State &state)
+{
+    MachineDescription m = buildHm1();
+    auto blocks = randomBlocks(m, 7, 16, 10);
+    OptimalCompactor c;
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            c.compact(m, blocks[i % blocks.size()]));
+        ++i;
+    }
+}
+BENCHMARK(BM_OptimalCompact10);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * E6 -- The survey's final-remark speedup claim (sec. 3): "A user
+ * may find it more attractive to speed up a heavily used procedure
+ * by a factor of five with comparatively little effort ... than to
+ * gain a factor of ten only after mastering a complicated
+ * microassembly language." The checksum procedure in three forms:
+ * (a) macrocode under the firmware interpreter, (b) compiled EMPL
+ * microcode, (c) expert hand microcode.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "isa/macro.hh"
+#include "lang/empl/empl.hh"
+
+using namespace uhll;
+using namespace uhll::bench;
+
+namespace {
+
+struct Row {
+    const char *label;
+    uint64_t cycles;
+    uint64_t result;
+};
+
+Row
+runMacroVersion(const MachineDescription &m)
+{
+    MainMemory mem(0x10000, 16);
+    speedupSetup(mem);
+    MacroProgram mp = assembleMacro(speedupMacroSource(), 0x100);
+    loadMacro(mp, mem, 0x100);
+    ControlStore fw = buildMacroInterpreter(m);
+    MicroSimulator sim(fw, mem);
+    sim.setReg("r10", 0x100);
+    SimResult res = sim.run("interp");
+    return {"macrocode (interpreted)", res.cycles, mem.peek(0x5F0)};
+}
+
+Row
+runEmplVersion(const MachineDescription &m)
+{
+    MainMemory mem(0x10000, 16);
+    speedupSetup(mem);
+    MirProgram prog = parseEmpl(speedupEmplSource(), m, {});
+    Compiler comp(m);
+    CompiledProgram cp = comp.compile(prog, {});
+    MicroSimulator sim(cp.store, mem);
+    setVar(prog, cp, sim, mem, "n", 64);
+    SimResult res = sim.run("main");
+    return {"EMPL (compiled microcode)", res.cycles, mem.peek(0x5F0)};
+}
+
+Row
+runHandVersion(const MachineDescription &m)
+{
+    MainMemory mem(0x10000, 16);
+    speedupSetup(mem);
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble(speedupMasmHm1());
+    MicroSimulator sim(cs, mem);
+    sim.setReg("r1", 0x400);
+    sim.setReg("r5", 64);
+    SimResult res = sim.run("main");
+    return {"hand microcode (expert)", res.cycles, mem.peek(0x5F0)};
+}
+
+void
+printTable()
+{
+    MachineDescription m = buildHm1();
+    Row rows[] = {runMacroVersion(m), runEmplVersion(m),
+                  runHandVersion(m)};
+    std::printf("E6: one procedure (checksum of 64 words), three "
+                "implementation levels on HM-1\n");
+    std::printf("%-28s %10s %10s %8s\n", "version", "cycles",
+                "result", "speedup");
+    for (const Row &r : rows) {
+        std::printf("%-28s %10llu %#10llx %7.2fx\n", r.label,
+                    (unsigned long long)r.cycles,
+                    (unsigned long long)r.result,
+                    double(rows[0].cycles) / double(r.cycles));
+    }
+    std::printf("\n(paper's shape: HLL microcode ~5x over "
+                "macrocode, expert hand microcode ~10x)\n\n");
+    if (rows[0].result != rows[1].result ||
+        rows[0].result != rows[2].result) {
+        std::printf("WARNING: versions disagree on the result!\n");
+    }
+}
+
+void
+BM_InterpretedChecksum(benchmark::State &state)
+{
+    MachineDescription m = buildHm1();
+    ControlStore fw = buildMacroInterpreter(m);
+    MacroProgram mp = assembleMacro(speedupMacroSource(), 0x100);
+    for (auto _ : state) {
+        MainMemory mem(0x10000, 16);
+        speedupSetup(mem);
+        loadMacro(mp, mem, 0x100);
+        MicroSimulator sim(fw, mem);
+        sim.setReg("r10", 0x100);
+        benchmark::DoNotOptimize(sim.run("interp"));
+    }
+}
+BENCHMARK(BM_InterpretedChecksum);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * E7 -- EMPL's textual operator expansion (survey sec. 2.2.2): "a
+ * call to an operator which is not hardware supported is textually
+ * replaced by the statements that form its body ... If the operator
+ * mechanism is heavily used, this will lead to an increase in the
+ * size of the produced code." Code size vs number of operator uses,
+ * for a software operator (always expanded) and a MICROOP-bound one
+ * (one hardware operation per use).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "lang/empl/empl.hh"
+
+using namespace uhll;
+using namespace uhll::bench;
+
+namespace {
+
+std::string
+programWithUses(int uses, bool hardware_op)
+{
+    std::string src = "DECLARE A FIXED;\nDECLARE SP FIXED;\n";
+    if (hardware_op) {
+        src += "PUSHA: OPERATION ACCEPTS (V);\n"
+               "    MICROOP: PUSH(SP, V);\n"
+               "    SP = SP + 1;\n"
+               "    MEM(SP) = V;\n"
+               "END;\n";
+    } else {
+        src += "MIX: OPERATION ACCEPTS (V) RETURNS (R);\n"
+               "    DECLARE T FIXED;\n"
+               "    T = V SHL 3;\n"
+               "    T = T XOR V;\n"
+               "    R = T + 1;\n"
+               "END;\n";
+    }
+    src += "MAIN: PROCEDURE;\n    SP = 0x6FF;\n";
+    for (int i = 0; i < uses; ++i) {
+        src += hardware_op ? "    PUSHA(A);\n"
+                           : "    A = MIX(A);\n";
+    }
+    src += "END;\n";
+    return src;
+}
+
+uint32_t
+wordsFor(const std::string &src, const MachineDescription &m)
+{
+    MirProgram prog = parseEmpl(src, m, {});
+    Compiler comp(m);
+    return comp.compile(prog, {}).stats.words;
+}
+
+void
+printTable()
+{
+    MachineDescription m = buildHm1();
+    std::printf("E7: EMPL operator uses vs control-store words "
+                "(HM-1)\n");
+    std::printf("%6s | %16s | %16s\n", "uses", "software (MIX)",
+                "MICROOP (PUSHA)");
+    uint32_t base_sw = 0, base_hw = 0;
+    for (int uses : {1, 2, 4, 8, 16, 32, 64}) {
+        uint32_t sw = wordsFor(programWithUses(uses, false), m);
+        uint32_t hw = wordsFor(programWithUses(uses, true), m);
+        if (uses == 1) {
+            base_sw = sw;
+            base_hw = hw;
+        }
+        std::printf("%6d | %8u (+%4u) | %8u (+%4u)\n", uses, sw,
+                    sw - base_sw, hw, hw - base_hw);
+    }
+    std::printf("\n(paper: expansion grows code linearly per use; a "
+                "MICROOP binding costs one word per use)\n\n");
+}
+
+void
+BM_Expand32Uses(benchmark::State &state)
+{
+    MachineDescription m = buildHm1();
+    std::string src = programWithUses(32, false);
+    for (auto _ : state) {
+        MirProgram prog = parseEmpl(src, m, {});
+        Compiler comp(m);
+        benchmark::DoNotOptimize(comp.compile(prog, {}));
+    }
+}
+BENCHMARK(BM_Expand32Uses);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

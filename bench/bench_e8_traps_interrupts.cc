@@ -1,0 +1,166 @@
+/**
+ * @file
+ * E8 -- Interrupts and microtraps (survey sec. 2.1.5): the cost of
+ * compiler-inserted interrupt polls on loop back edges, the
+ * interrupt service latency they buy, and the incread microtrap
+ * bug with and without the trap-safety transformation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "mir/interp.hh"
+
+using namespace uhll;
+using namespace uhll::bench;
+
+namespace {
+
+MirProgram
+longLoop(int iters)
+{
+    MirProgram p;
+    uint32_t fn = p.addFunction("main");
+    VReg i = p.newVReg("i"), acc = p.newVReg("acc");
+    p.markObservable(i);
+    p.markObservable(acc);
+    uint32_t entry = p.func(fn).newBlock();
+    uint32_t hdr = p.func(fn).newBlock();
+    uint32_t body = p.func(fn).newBlock();
+    uint32_t done = p.func(fn).newBlock();
+    (void)done;
+    p.func(fn).blocks[entry].insts = {mi::ldi(i, 0), mi::ldi(acc, 1)};
+    p.func(fn).blocks[entry].term = jumpTerm(hdr);
+    p.func(fn).blocks[hdr].insts = {
+        mi::cmpImm(i, static_cast<uint64_t>(iters))};
+    p.func(fn).blocks[hdr].term.kind = Terminator::Kind::Branch;
+    p.func(fn).blocks[hdr].term.cc = Cond::Z;
+    p.func(fn).blocks[hdr].term.target = done;
+    p.func(fn).blocks[hdr].term.fallthrough = body;
+    p.func(fn).blocks[body].insts = {
+        mi::binopImm(UKind::Xor, acc, acc, 0x35),
+        mi::binopImm(UKind::Rol, acc, acc, 1),
+        mi::binopImm(UKind::Add, i, i, 1),
+    };
+    p.func(fn).blocks[body].term = jumpTerm(hdr);
+    p.validate();
+    return p;
+}
+
+void
+printPollTable()
+{
+    MachineDescription m = buildHm1();
+    std::printf("E8a: interrupt polling on loop back edges "
+                "(4000-iteration kernel, interrupt every 700 "
+                "cycles)\n");
+    std::printf("%-10s | %8s %9s | %9s %12s\n", "polls", "cycles",
+                "overhead", "serviced", "avg latency");
+    uint64_t base_cycles = 0;
+    for (bool polls : {false, true}) {
+        MirProgram prog = longLoop(4000);
+        CompileOptions opts;
+        opts.insertInterruptPolls = polls;
+        Compiler comp(m);
+        CompiledProgram cp = comp.compile(prog, opts);
+        MainMemory mem(0x10000, 16);
+        MicroSimulator sim(cp.store, mem);
+        sim.interruptEvery(700, 350);
+        SimResult res = sim.run("main");
+        if (!polls)
+            base_cycles = res.cycles;
+        double latency =
+            res.interruptsServiced
+                ? double(res.interruptLatencyTotal) /
+                      double(res.interruptsServiced)
+                : 0.0;
+        std::printf("%-10s | %8llu %+8.2f%% | %9llu %9.1f cyc\n",
+                    polls ? "on" : "off",
+                    (unsigned long long)res.cycles,
+                    100.0 * (double(res.cycles) - double(base_cycles)) /
+                        double(base_cycles),
+                    (unsigned long long)res.interruptsServiced,
+                    latency);
+    }
+    std::printf("\n(without polls the loop never services "
+                "interrupts -- 'nothing will keep a microprogram "
+                "from blowing up the operating system')\n\n");
+}
+
+void
+printTrapTable()
+{
+    MachineDescription m = buildHm1();
+    LinearCompactor linear;
+    std::printf("E8b: the incread microtrap bug (paper's example), "
+                "faulting fetch through an architectural register\n");
+    std::printf("%-12s | %10s %10s | %s\n", "trap safety", "rn",
+                "fetched", "verdict");
+    for (bool safety : {false, true}) {
+        MirProgram p;
+        VReg rn = p.newVReg("rn"), out = p.newVReg("out");
+        p.markObservable(rn);
+        p.markObservable(out);
+        p.bind(rn, *m.findRegister("r8"));
+        uint32_t fn = p.addFunction("incread");
+        uint32_t b = p.func(fn).newBlock();
+        p.func(fn).blocks[b].insts = {
+            mi::binopImm(UKind::Add, rn, rn, 1),
+            mi::load(out, rn),
+        };
+        CompileOptions opts;
+        opts.trapSafety = safety;
+        opts.compactor = &linear;
+        Compiler comp(m);
+        CompiledProgram cp = comp.compile(p, opts);
+        MainMemory mem(0x10000, 16);
+        mem.enablePaging(0x100);
+        for (uint32_t a = m.scratchBase();
+             a < m.scratchBase() + m.scratchWords(); a += 0x100)
+            mem.servicePage(a);
+        mem.poke(0x420, 0x1234);
+        MicroSimulator sim(cp.store, mem);
+        setVar(p, cp, sim, mem, "rn", 0x41F);
+        sim.run("incread");
+        uint64_t rn_v = getVar(p, cp, sim, mem, "rn");
+        uint64_t out_v = getVar(p, cp, sim, mem, "out");
+        bool correct = rn_v == 0x420 && out_v == 0x1234;
+        std::printf("%-12s | %#10llx %#10llx | %s\n",
+                    safety ? "on" : "off",
+                    (unsigned long long)rn_v,
+                    (unsigned long long)out_v,
+                    correct ? "correct"
+                            : "DOUBLE INCREMENT (the paper's bug)");
+    }
+    std::printf("\n");
+}
+
+void
+BM_PolledLoop(benchmark::State &state)
+{
+    MachineDescription m = buildHm1();
+    MirProgram prog = longLoop(4000);
+    CompileOptions opts;
+    opts.insertInterruptPolls = true;
+    Compiler comp(m);
+    CompiledProgram cp = comp.compile(prog, opts);
+    for (auto _ : state) {
+        MainMemory mem(0x10000, 16);
+        MicroSimulator sim(cp.store, mem);
+        sim.interruptEvery(700, 350);
+        benchmark::DoNotOptimize(sim.run("main"));
+    }
+}
+BENCHMARK(BM_PolledLoop);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printPollTable();
+    printTrapTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

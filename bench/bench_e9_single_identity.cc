@@ -1,0 +1,119 @@
+/**
+ * @file
+ * E9 -- SIMPL's single-identity parallelism (survey sec. 2.2.1):
+ * sequential source, horizontal microcode. How many words and
+ * cycles does the dependence-driven composition save over strictly
+ * sequential emission? Measured on the paper's floating-point
+ * multiply and the workload suite, compiled from SIMPL/YALLL.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "lang/simpl/simpl.hh"
+
+using namespace uhll;
+using namespace uhll::bench;
+
+namespace {
+
+const char *kFpMul = R"(
+program fpmul;
+equiv acc = r4;
+equiv product = r5;
+const m3 = 0x7C00;
+const m4 = 0x03FF;
+begin
+    r1 & m3 -> acc;
+    r2 & m3 -> product;
+    product + acc -> product;
+    r1 & m4 -> r1;
+    r2 & m4 -> r2;
+    r0 -> acc;
+    while r2 != 0 do
+    begin
+        acc ^ -1 -> acc;
+        r2 ^ -1 -> r2;
+        if uf = 1 then r1 + acc -> acc;
+    end;
+    product | acc -> product;
+end
+)";
+
+void
+printTable()
+{
+    MachineDescription m = buildHm1();
+    std::printf("E9: composition on vs off (HM-1)\n");
+    std::printf("%-14s | %6s %6s %7s | %8s %8s %7s\n", "program",
+                "w/seq", "w/cmp", "saved", "cyc/seq", "cyc/cmp",
+                "saved");
+
+    auto measure = [&](const std::string &name, MirProgram &prog,
+                       std::vector<std::pair<std::string, uint64_t>>
+                           inputs,
+                       std::function<void(MainMemory &)> setup) {
+        uint64_t words[2], cycles[2];
+        for (int k = 0; k < 2; ++k) {
+            CompileOptions opts;
+            opts.compact = k == 1;
+            Compiler comp(m);
+            CompiledProgram cp = comp.compile(prog, opts);
+            MainMemory mem(0x10000, 16);
+            if (setup)
+                setup(mem);
+            MicroSimulator sim(cp.store, mem);
+            for (auto &[n, v] : inputs)
+                setVar(prog, cp, sim, mem, n, v);
+            SimResult res = sim.run(prog.func(0).name);
+            words[k] = cp.stats.words;
+            cycles[k] = res.cycles;
+        }
+        std::printf("%-14s | %6llu %6llu %6.1f%% | %8llu %8llu "
+                    "%6.1f%%\n",
+                    name.c_str(), (unsigned long long)words[0],
+                    (unsigned long long)words[1],
+                    100.0 * (1.0 - double(words[1]) / double(words[0])),
+                    (unsigned long long)cycles[0],
+                    (unsigned long long)cycles[1],
+                    100.0 *
+                        (1.0 - double(cycles[1]) / double(cycles[0])));
+    };
+
+    {
+        MirProgram prog = parseSimpl(kFpMul, m);
+        measure("fpmul (SIMPL)", prog,
+                {{"r0", 0},
+                 {"r1", (3u << 10) | 0x2AB},
+                 {"r2", (2u << 10) | 0x0F3}},
+                nullptr);
+    }
+    for (const Workload &w : workloadSuite()) {
+        MirProgram prog = parseYalll(w.yalll, m);
+        measure(w.name, prog, w.inputs, w.setup);
+    }
+    std::printf("\n(paper: SIMPL was the first compiler to extract "
+                "horizontal parallelism from sequential source)\n\n");
+}
+
+void
+BM_CompileFpMulCompact(benchmark::State &state)
+{
+    MachineDescription m = buildHm1();
+    MirProgram prog = parseSimpl(kFpMul, m);
+    Compiler comp(m);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(comp.compile(prog, {}));
+}
+BENCHMARK(BM_CompileFpMulCompact);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

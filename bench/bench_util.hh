@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared helpers for the experiment benchmarks (see DESIGN.md's
+ * per-experiment index and EXPERIMENTS.md for the results).
+ *
+ * Each bench binary prints its paper-style table on stdout, then
+ * runs its registered google-benchmark timers (compile and simulate
+ * throughput of the pieces it exercises).
+ */
+
+#ifndef UHLL_BENCH_BENCH_UTIL_HH
+#define UHLL_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "codegen/compiler.hh"
+#include "lang/yalll/yalll.hh"
+#include "machine/machines/machines.hh"
+#include "masm/masm.hh"
+#include "support/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace uhll::bench {
+
+inline MachineDescription
+machineByName(const std::string &n)
+{
+    if (n == "HM-1")
+        return buildHm1();
+    if (n == "VM-2")
+        return buildVm2();
+    if (n == "VS-3")
+        return buildVs3();
+    fatal("unknown machine '%s'", n.c_str());
+}
+
+/** Outcome of one measured run. */
+struct Outcome {
+    uint64_t cycles = 0;
+    uint64_t words = 0;
+    uint64_t bits = 0;
+    bool ok = false;
+};
+
+/** Compile a workload's YALLL source for @p m and run it. */
+inline Outcome
+runCompiled(const Workload &w, const MachineDescription &m,
+            const CompileOptions &opts = {})
+{
+    MirProgram prog = parseYalll(w.yalll, m);
+    Compiler comp(m);
+    CompiledProgram cp = comp.compile(prog, opts);
+    MainMemory mem(0x10000, 16);
+    w.setup(mem);
+    MicroSimulator sim(cp.store, mem);
+    for (auto &[n, v] : w.inputs)
+        setVar(prog, cp, sim, mem, n, v);
+    SimResult res = sim.run("main");
+    Outcome o;
+    o.cycles = res.cycles;
+    o.words = cp.store.size();
+    o.bits = cp.store.sizeBits();
+    std::string why;
+    o.ok = res.halted && w.check(mem, &why);
+    if (!o.ok)
+        std::fprintf(stderr, "FAILED %s on %s: %s\n", w.name.c_str(),
+                     m.name().c_str(), why.c_str());
+    return o;
+}
+
+/** Assemble a workload's hand microcode for @p m and run it. */
+inline Outcome
+runHand(const Workload &w, const MachineDescription &m)
+{
+    const std::string &src =
+        m.name() == "HM-1" ? w.masmHm1 : w.masmVm2;
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble(src);
+    MainMemory mem(0x10000, 16);
+    w.setup(mem);
+    MicroSimulator sim(cs, mem);
+    for (auto &[n, v] : w.inputs)
+        sim.setReg(n, v);
+    SimResult res = sim.run("main");
+    Outcome o;
+    o.cycles = res.cycles;
+    o.words = cs.size();
+    o.bits = cs.sizeBits();
+    std::string why;
+    o.ok = res.halted && w.check(mem, &why);
+    if (!o.ok)
+        std::fprintf(stderr, "FAILED hand %s on %s: %s\n",
+                     w.name.c_str(), m.name().c_str(), why.c_str());
+    return o;
+}
+
+} // namespace uhll::bench
+
+#endif // UHLL_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Firmware engineering in the Strum spirit: an S* routine with a
+ * full assertion chain, checked by the bounded verifier -- and a
+ * deliberately broken variant to show a violation report.
+ */
+
+#include <cstdio>
+
+#include "lang/sstar/sstar.hh"
+#include "machine/machines/machines.hh"
+#include "verify/verifier.hh"
+
+using namespace uhll;
+
+namespace {
+
+/** Count the set bits of x (destroys x). */
+const char *kGood = R"(
+program popcnt;
+var x : seq [15..0] bit bind r1;
+var count : seq [15..0] bit bind r2;
+var bit : seq [15..0] bit bind r3;
+begin
+    count := 0;
+    while x != 0 do
+        bit := x & 1;
+        count := count + bit;
+        x := x shr 1;
+        assert count <= 16;
+    od;
+end
+)";
+
+const char *kBad = R"(
+program popcnt;
+var x : seq [15..0] bit bind r1;
+var count : seq [15..0] bit bind r2;
+var bit : seq [15..0] bit bind r3;
+begin
+    count := 0;
+    while x != 0 do
+        bit := x & 1;
+        count := count + bit;
+        x := x shr 1;
+        assert count < 8;    # wrong: a word can have 16 set bits #
+    od;
+end
+)";
+
+} // namespace
+
+int
+main()
+{
+    MachineDescription m = buildHm1();
+    VerifyOptions vo;
+    vo.trials = 60;
+
+    std::printf("=== correct routine ===\n");
+    SstarProgram good = compileSstar(kGood, m);
+    VerifyResult rg = verifySstar(good, vo);
+    std::printf("%s\n", rg.report.c_str());
+
+    std::printf("=== deliberately broken assertion ===\n");
+    SstarProgram bad = compileSstar(kBad, m);
+    VerifyResult rb = verifySstar(bad, vo);
+    std::printf("%s\n", rb.report.c_str());
+
+    return rg.ok && !rb.ok ? 0 : 1;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The microcode compiler: MIR in, control store out.
+ *
+ * Pipeline (each optional pass maps to a survey design issue):
+ *
+ *   recognize   high-level microoperation recognition (sec. 2.1.2's
+ *               push/new-block discussion): adjacent MIR patterns
+ *               are folded into hardware stack operations when the
+ *               machine has them;
+ *   legalize    rewrite every instruction the machine lacks into
+ *               ones it has (missing inc/dec/neg/rotate/stack ops,
+ *               over-wide immediates, shift-by-register on machines
+ *               with immediate-only shift counts, case dispatch
+ *               without multiway hardware);
+ *   polls       insert interrupt poll points on loop back edges
+ *               (sec. 2.1.5: "the compiler must be able to determine
+ *               suitable program points at which to test for
+ *               interrupts");
+ *   trap safety transform writes of macro-architectural registers so
+ *               a page-fault restart cannot double-apply them (the
+ *               incread problem of sec. 2.1.5);
+ *   regalloc    bind symbolic variables to microregisters
+ *               (sec. 2.1.3), spilling to scratch memory;
+ *   lower       select microoperation specs, insert operand-class
+ *               fixup moves and spill reloads;
+ *   compact     compose microinstructions per basic block
+ *               (sec. 2.1.4);
+ *   emit        lay out blocks, attach sequencing, patch targets.
+ */
+
+#ifndef UHLL_CODEGEN_COMPILER_HH
+#define UHLL_CODEGEN_COMPILER_HH
+
+#include <memory>
+#include <string>
+
+#include "machine/control_store.hh"
+#include "machine/machine_desc.hh"
+#include "machine/memory.hh"
+#include "machine/simulator.hh"
+#include "mir/mir.hh"
+#include "regalloc/allocator.hh"
+#include "schedule/compact.hh"
+
+namespace uhll {
+
+/** Compiler configuration. */
+struct CompileOptions {
+    //! microinstruction composition algorithm (null = tokoro)
+    const Compactor *compactor = nullptr;
+    //! register allocator (null = graph colouring)
+    const RegisterAllocator *allocator = nullptr;
+    AllocOptions allocOpts;
+    //! compose words at all? false emits one op per word (the
+    //! "no compaction" baseline of the E9 benchmark)
+    bool compact = true;
+    //! insert interrupt polls on loop back edges
+    bool insertInterruptPolls = false;
+    //! apply the microtrap-safety transformation
+    bool trapSafety = false;
+    //! recognize hardware stack-op patterns
+    bool recognizeStackOps = false;
+    //! run copy propagation and dead-move elimination
+    bool optimize = true;
+};
+
+/** Aggregate code-generation statistics. */
+struct CompileStats {
+    uint32_t words = 0;         //!< control words emitted
+    uint32_t opsLowered = 0;    //!< bound microoperations produced
+    uint32_t fixupMovs = 0;     //!< operand-class fixup moves
+    uint32_t spillLoads = 0;
+    uint32_t spillStores = 0;
+    uint32_t spilledVRegs = 0;
+    uint32_t pollPoints = 0;
+    uint32_t optimized = 0;     //!< copies propagated + moves removed
+};
+
+/** The compiled artefact. */
+struct CompiledProgram {
+    ControlStore store;
+    Assignment assignment;
+    CompileStats stats;
+
+    explicit CompiledProgram(const MachineDescription &mach)
+        : store(mach)
+    {}
+};
+
+/** Compiles MirPrograms for one machine. */
+class Compiler
+{
+  public:
+    explicit Compiler(const MachineDescription &mach) : mach_(&mach) {}
+
+    /**
+     * Compile @p prog. The program is copied internally; passes may
+     * add vregs, so the assignment in the result may cover more
+     * vregs than @p prog has -- ids of existing vregs are stable.
+     */
+    CompiledProgram compile(const MirProgram &prog,
+                            const CompileOptions &opts = {}) const;
+
+  private:
+    const MachineDescription *mach_;
+};
+
+/** @name Individual passes (exposed for tests and benchmarks) */
+/// @{
+
+/** Rewrite unsupported operations; may add blocks and vregs. */
+void legalize(MirProgram &prog, const MachineDescription &mach);
+
+/** Fold add/store and load/sub pairs into Push/Pop. Returns folds. */
+uint32_t recognizeStackOps(MirProgram &prog,
+                           const MachineDescription &mach);
+
+/** Insert interrupt polls on back edges. Returns poll count. */
+uint32_t insertInterruptPolls(MirProgram &prog);
+
+/**
+ * Shadow writes of vregs bound to architectural registers and commit
+ * them only at program exits. Returns the number of shadowed vregs.
+ */
+uint32_t applyTrapSafety(MirProgram &prog,
+                         const MachineDescription &mach);
+
+/**
+ * Local copy propagation and dead-move elimination (flag-safe).
+ * Returns the number of changes made.
+ */
+uint32_t optimizeMir(MirProgram &prog);
+/// @}
+
+/** @name Variable access helpers for compiled programs */
+/// @{
+
+/**
+ * Set MIR variable @p name to @p value in the compiled program's
+ * state (register or spill slot).
+ */
+void setVar(const MirProgram &prog, const CompiledProgram &cp,
+            MicroSimulator &sim, MainMemory &mem,
+            const std::string &name, uint64_t value);
+
+/** Read MIR variable @p name from the compiled program's state. */
+uint64_t getVar(const MirProgram &prog, const CompiledProgram &cp,
+                const MicroSimulator &sim, const MainMemory &mem,
+                const std::string &name);
+/// @}
+
+} // namespace uhll
+
+#endif // UHLL_CODEGEN_COMPILER_HH

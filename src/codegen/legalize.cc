@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Legalisation: rewrite MIR so every instruction has at least one
+ * microoperation spec on the target machine and every immediate fits
+ * its field.
+ */
+
+#include "codegen/compiler.hh"
+
+#include <algorithm>
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+namespace {
+
+/** Capability queries against a machine's repertoire. */
+class Caps
+{
+  public:
+    explicit Caps(const MachineDescription &mach) : mach_(&mach) {}
+
+    bool
+    hasKind(UKind k) const
+    {
+        return !mach_->uopsOfKind(k).empty();
+    }
+
+    /** A register-operand spec for @p k exists. */
+    bool
+    hasRegForm(UKind k) const
+    {
+        for (uint16_t i : mach_->uopsOfKind(k)) {
+            if (!uKindHasSrcB(k) || mach_->uop(i).srcBClasses != 0)
+                return true;
+        }
+        return false;
+    }
+
+    /** An immediate spec for @p k exists that fits @p imm. */
+    bool
+    fitsImm(UKind k, uint64_t imm) const
+    {
+        for (uint16_t i : mach_->uopsOfKind(k)) {
+            const MicroOpSpec &s = mach_->uop(i);
+            if (!s.allowImm && k != UKind::Ldi)
+                continue;
+            if (s.immWidth >= 64 || imm <= bitMask(s.immWidth))
+                return true;
+        }
+        return false;
+    }
+
+    /** Widest immediate field over specs of @p k. */
+    unsigned
+    maxImmWidth(UKind k) const
+    {
+        unsigned w = 0;
+        for (uint16_t i : mach_->uopsOfKind(k)) {
+            const MicroOpSpec &s = mach_->uop(i);
+            if (s.allowImm || k == UKind::Ldi)
+                w = std::max(w, unsigned(s.immWidth));
+        }
+        return w;
+    }
+
+  private:
+    const MachineDescription *mach_;
+};
+
+/** Rewrites one function; appends helper blocks as needed. */
+class Legalizer
+{
+  public:
+    Legalizer(MirProgram &prog, MirFunction &func,
+              const MachineDescription &mach)
+        : prog_(prog), func_(func), mach_(mach), caps_(mach)
+    {}
+
+    /**
+     * Emit instructions materialising @p imm into @p dst using
+     * ldi/shl/add chunks sized to the machine's fields.
+     */
+    void
+    emitConst(std::vector<MInst> &out, VReg dst, uint64_t imm)
+    {
+        unsigned lw = caps_.maxImmWidth(UKind::Ldi);
+        UHLL_ASSERT(lw > 0);
+        if (imm <= bitMask(lw)) {
+            out.push_back(mi::ldi(dst, imm));
+            return;
+        }
+        // Chunked build, high chunk first.
+        unsigned aw = caps_.maxImmWidth(UKind::Add);
+        unsigned chunk = std::min(lw, aw);
+        UHLL_ASSERT(chunk >= 4);
+        unsigned width = mach_.dataWidth();
+        unsigned nchunks = (width + chunk - 1) / chunk;
+        bool first = true;
+        for (unsigned c = nchunks; c-- > 0;) {
+            uint64_t part = extractBits(imm, c * chunk, chunk);
+            if (first) {
+                out.push_back(mi::ldi(dst, part));
+                first = false;
+            } else {
+                out.push_back(
+                    mi::binopImm(UKind::Shl, dst, dst, chunk));
+                if (part)
+                    out.push_back(
+                        mi::binopImm(UKind::Add, dst, dst, part));
+            }
+        }
+    }
+
+    /** One legalised step of a shift/rotate by a single position. */
+    void
+    emitSingleStep(std::vector<MInst> &out, UKind k, VReg dst, VReg a)
+    {
+        if (caps_.hasKind(k)) {
+            out.push_back(mi::binopImm(k, dst, a, 1));
+            return;
+        }
+        UHLL_ASSERT(k == UKind::Rol || k == UKind::Ror);
+        // rol x,1 = (x shl 1) | (x shr w-1); likewise ror.
+        unsigned w = mach_.dataWidth();
+        VReg t1 = prog_.newVReg();
+        VReg t2 = prog_.newVReg();
+        unsigned left = k == UKind::Rol ? 1 : w - 1;
+        out.push_back(mi::binopImm(UKind::Shl, t1, a, left));
+        out.push_back(mi::binopImm(UKind::Shr, t2, a, w - left));
+        out.push_back(mi::binop(UKind::Or, dst, t1, t2));
+    }
+
+    /**
+     * Replace instruction @p idx of block @p b (a shift/rotate by a
+     * register amount on a machine with immediate-only counts) by a
+     * single-step loop. Splits the block.
+     */
+    void
+    lowerShiftLoop(uint32_t b, size_t idx)
+    {
+        MInst ins = func_.blocks[b].insts[idx];
+
+        // Tail block: everything after idx plus the old terminator.
+        uint32_t tail = func_.newBlock();
+        BasicBlock &bb = func_.blocks[b];    // revalidate reference
+        func_.blocks[tail].insts.assign(bb.insts.begin() + idx + 1,
+                                        bb.insts.end());
+        func_.blocks[tail].term = bb.term;
+        bb.insts.erase(bb.insts.begin() + idx, bb.insts.end());
+
+        VReg val = prog_.newVReg();
+        VReg cnt = prog_.newVReg();
+        bb.insts.push_back(mi::mov(val, ins.a));
+        bb.insts.push_back(mi::mov(cnt, ins.b));
+
+        uint32_t hdr = func_.newBlock();
+        uint32_t body = func_.newBlock();
+        uint32_t done = func_.newBlock();
+        func_.blocks[b].term =
+            jumpTerm(hdr);
+
+        func_.blocks[hdr].insts.push_back(mi::cmpImm(cnt, 0));
+        func_.blocks[hdr].term.kind = Terminator::Kind::Branch;
+        func_.blocks[hdr].term.cc = Cond::Z;
+        func_.blocks[hdr].term.target = done;
+        func_.blocks[hdr].term.fallthrough = body;
+
+        emitSingleStep(func_.blocks[body].insts, ins.op, val, val);
+        func_.blocks[body].insts.push_back(
+            mi::binopImm(UKind::Sub, cnt, cnt, 1));
+        func_.blocks[body].term =
+            jumpTerm(hdr);
+
+        func_.blocks[done].insts.push_back(mi::mov(ins.dst, val));
+        func_.blocks[done].term =
+            jumpTerm(tail);
+    }
+
+    /** Lower a Case terminator to a compare-and-branch chain. */
+    void
+    lowerCase(uint32_t b)
+    {
+        Terminator t = func_.blocks[b].term;
+        UHLL_ASSERT(!t.caseTargets.empty());
+
+        // Extract the dispatch index. Only contiguous masks occur in
+        // practice (front ends build them); reject others loudly.
+        unsigned lo = 0;
+        while (lo < 64 && !(t.caseMask & (1ULL << lo)))
+            ++lo;
+        uint64_t shifted = t.caseMask >> lo;
+        if ((shifted & (shifted + 1)) != 0)
+            fatal("legalize: non-contiguous case mask %#llx "
+                  "unsupported without multiway hardware",
+                  (unsigned long long)t.caseMask);
+
+        VReg idx = prog_.newVReg();
+        auto &insts = func_.blocks[b].insts;
+        insts.push_back(
+            mi::binopImm(UKind::And, idx, t.caseReg, t.caseMask));
+        if (lo)
+            insts.push_back(mi::binopImm(UKind::Shr, idx, idx, lo));
+
+        // Chain blocks: arm i tested in chain block i; the final
+        // test falls through to the last arm.
+        std::vector<uint32_t> chain;
+        for (size_t i = 0; i + 1 < t.caseTargets.size(); ++i)
+            chain.push_back(func_.newBlock());
+        for (size_t i = 0; i + 1 < t.caseTargets.size(); ++i) {
+            uint32_t cb = chain[i];
+            func_.blocks[cb].insts.push_back(
+                mi::cmpImm(idx, static_cast<uint64_t>(i)));
+            func_.blocks[cb].term.kind = Terminator::Kind::Branch;
+            func_.blocks[cb].term.cc = Cond::Z;
+            func_.blocks[cb].term.target = t.caseTargets[i];
+            func_.blocks[cb].term.fallthrough =
+                i + 1 < chain.size() ? chain[i + 1]
+                                     : t.caseTargets.back();
+        }
+        uint32_t first = chain.empty() ? t.caseTargets.back()
+                                       : chain[0];
+        func_.blocks[b].term =
+            jumpTerm(first);
+    }
+
+    /**
+     * Legalise one instruction into @p out. Returns false if the
+     * instruction needs a control-flow expansion (handled by the
+     * caller).
+     */
+    bool
+    legalizeInst(std::vector<MInst> &out, MInst ins)
+    {
+        switch (ins.op) {
+          case UKind::Nop:
+          case UKind::IntAck:
+          case UKind::Mov:
+          case UKind::MemRead:
+          case UKind::MemWrite:
+            out.push_back(ins);
+            return true;
+
+          case UKind::Ldi:
+            if (caps_.fitsImm(UKind::Ldi, ins.imm))
+                out.push_back(ins);
+            else
+                emitConst(out, ins.dst, ins.imm);
+            return true;
+
+          case UKind::Inc:
+          case UKind::Dec:
+            if (caps_.hasKind(ins.op)) {
+                out.push_back(ins);
+            } else {
+                out.push_back(mi::binopImm(
+                    ins.op == UKind::Inc ? UKind::Add : UKind::Sub,
+                    ins.dst, ins.a, 1));
+            }
+            return true;
+
+          case UKind::Neg:
+            if (caps_.hasKind(UKind::Neg)) {
+                out.push_back(ins);
+            } else {
+                out.push_back(mi::unop(UKind::Not, ins.dst, ins.a));
+                out.push_back(
+                    mi::binopImm(UKind::Add, ins.dst, ins.dst, 1));
+            }
+            return true;
+
+          case UKind::Not:
+            out.push_back(ins);
+            return true;
+
+          case UKind::Push:
+            if (caps_.hasKind(UKind::Push) && !ins.useImm) {
+                out.push_back(ins);
+            } else {
+                VReg value = ins.b;
+                if (ins.useImm) {
+                    value = prog_.newVReg();
+                    emitConst(out, value, ins.imm);
+                }
+                out.push_back(
+                    mi::binopImm(UKind::Add, ins.a, ins.a, 1));
+                out.push_back(mi::store(ins.a, value));
+            }
+            return true;
+
+          case UKind::Pop:
+            if (caps_.hasKind(UKind::Pop)) {
+                out.push_back(ins);
+            } else {
+                out.push_back(mi::load(ins.dst, ins.a));
+                out.push_back(
+                    mi::binopImm(UKind::Sub, ins.a, ins.a, 1));
+            }
+            return true;
+
+          case UKind::Add:
+          case UKind::Sub:
+          case UKind::And:
+          case UKind::Or:
+          case UKind::Xor:
+          case UKind::Cmp:
+            if (ins.useImm) {
+                if (caps_.fitsImm(ins.op, ins.imm)) {
+                    out.push_back(ins);
+                } else {
+                    VReg t = prog_.newVReg();
+                    emitConst(out, t, ins.imm);
+                    ins.useImm = false;
+                    ins.b = t;
+                    out.push_back(ins);
+                }
+            } else {
+                UHLL_ASSERT(caps_.hasRegForm(ins.op));
+                out.push_back(ins);
+            }
+            return true;
+
+          case UKind::Shl:
+          case UKind::Shr:
+          case UKind::Sar:
+          case UKind::Rol:
+          case UKind::Ror:
+            return legalizeShift(out, ins);
+
+          default:
+            panic("legalize: unexpected op %s", uKindName(ins.op));
+        }
+    }
+
+  private:
+    bool
+    legalizeShift(std::vector<MInst> &out, MInst ins)
+    {
+        unsigned w = mach_.dataWidth();
+        if (ins.useImm) {
+            uint64_t n = ins.imm % (w + 1);
+            ins.imm = n;
+            if (n == 0) {
+                out.push_back(mi::mov(ins.dst, ins.a));
+                return true;
+            }
+            if (caps_.hasKind(ins.op) &&
+                caps_.fitsImm(ins.op, ins.imm)) {
+                out.push_back(ins);
+                return true;
+            }
+            if (ins.op == UKind::Rol || ins.op == UKind::Ror) {
+                // rol x,n = (x shl n) | (x shr w-n)
+                VReg t1 = prog_.newVReg();
+                VReg t2 = prog_.newVReg();
+                unsigned left = ins.op == UKind::Rol
+                                    ? static_cast<unsigned>(n)
+                                    : w - static_cast<unsigned>(n);
+                if (left == 0 || left >= w) {
+                    out.push_back(mi::mov(ins.dst, ins.a));
+                    return true;
+                }
+                out.push_back(
+                    mi::binopImm(UKind::Shl, t1, ins.a, left));
+                out.push_back(
+                    mi::binopImm(UKind::Shr, t2, ins.a, w - left));
+                out.push_back(mi::binop(UKind::Or, ins.dst, t1, t2));
+                return true;
+            }
+            fatal("legalize: %s by %llu unsupported on %s",
+                  uKindName(ins.op), (unsigned long long)ins.imm,
+                  mach_.name().c_str());
+        }
+        // Register-count shifts.
+        if (caps_.hasRegForm(ins.op)) {
+            out.push_back(ins);
+            return true;
+        }
+        return false;   // caller splits the block into a loop
+    }
+
+    MirProgram &prog_;
+    MirFunction &func_;
+    const MachineDescription &mach_;
+    Caps caps_;
+};
+
+} // namespace
+
+void
+legalize(MirProgram &prog, const MachineDescription &mach)
+{
+    for (uint32_t fi = 0; fi < prog.numFunctions(); ++fi) {
+        MirFunction &f = prog.func(fi);
+        Legalizer lg(prog, f, mach);
+
+        // Case lowering first (adds plain blocks whose instructions
+        // then go through the normal path below).
+        if (!mach.hasMultiway()) {
+            size_t nb = f.blocks.size();
+            for (size_t b = 0; b < nb; ++b) {
+                if (f.blocks[b].term.kind == Terminator::Kind::Case)
+                    lg.lowerCase(static_cast<uint32_t>(b));
+            }
+        }
+
+        // Instruction legalisation with block splitting for
+        // register-count shifts on immediate-only machines.
+        for (size_t b = 0; b < f.blocks.size(); ++b) {
+            bool restart = true;
+            while (restart) {
+                restart = false;
+                std::vector<MInst> out;
+                auto &insts = f.blocks[b].insts;
+                for (size_t i = 0; i < insts.size(); ++i) {
+                    if (!lg.legalizeInst(out, insts[i])) {
+                        // Control-flow expansion: splice the already
+                        // legalised prefix back, then split at the
+                        // problem instruction.
+                        std::vector<MInst> tail(insts.begin() + i,
+                                                insts.end());
+                        size_t idx = out.size();
+                        insts = std::move(out);
+                        insts.insert(insts.end(), tail.begin(),
+                                     tail.end());
+                        lg.lowerShiftLoop(static_cast<uint32_t>(b),
+                                          idx);
+                        restart = true;
+                        break;
+                    }
+                }
+                if (!restart)
+                    f.blocks[b].insts = std::move(out);
+            }
+        }
+    }
+    prog.validate();
+}
+
+} // namespace uhll

@@ -1,0 +1,670 @@
+/**
+ * @file
+ * Instruction selection, operand fix-ups, spill code, block layout
+ * and sequencing: the back half of the compiler, plus the
+ * Compiler::compile driver.
+ */
+
+#include "codegen/compiler.hh"
+
+#include <algorithm>
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+namespace {
+
+/** Lowers the instructions of one program for one machine. */
+class Lowerer
+{
+  public:
+    Lowerer(const MachineDescription &mach, const MirProgram &prog,
+            const Assignment &asgn, CompileStats &stats)
+        : mach_(mach), prog_(prog), asgn_(asgn), stats_(stats)
+    {
+        movSpecs_ = mach.uopsOfKind(UKind::Mov);
+        UHLL_ASSERT(!movSpecs_.empty());
+        ldiSpecs_ = mach.uopsOfKind(UKind::Ldi);
+        UHLL_ASSERT(!ldiSpecs_.empty());
+    }
+
+    /** Lower one basic block to bound ops (appends to @p out). */
+    void
+    lowerBlock(const BasicBlock &bb, std::vector<BoundOp> &out)
+    {
+        for (const MInst &ins : bb.insts)
+            lowerInst(ins, out);
+        // A Case dispatch register must be physical at block end.
+        if (bb.term.kind == Terminator::Kind::Case)
+            caseReg_ = useReg(bb.term.caseReg, 0, out, {});
+    }
+
+    /** Physical register holding the last block's case dispatch. */
+    RegId caseReg() const { return caseReg_; }
+
+  private:
+    /** Emit a register-to-register move (round-robin over ports). */
+    void
+    emitMov(RegId dst, RegId src, std::vector<BoundOp> &out)
+    {
+        for (size_t k = 0; k < movSpecs_.size(); ++k) {
+            uint16_t idx =
+                movSpecs_[(movRR_ + k) % movSpecs_.size()];
+            const MicroOpSpec &s = mach_.uop(idx);
+            if ((s.dstClasses == 0 ||
+                 (mach_.reg(dst).classes & s.dstClasses)) &&
+                (s.srcAClasses == 0 ||
+                 (mach_.reg(src).classes & s.srcAClasses))) {
+                BoundOp op;
+                op.spec = idx;
+                op.dst = dst;
+                op.srcA = src;
+                out.push_back(op);
+                movRR_ = (movRR_ + k + 1) % movSpecs_.size();
+                return;
+            }
+        }
+        panic("lower: no mov path %s <- %s on %s",
+              mach_.reg(dst).name.c_str(), mach_.reg(src).name.c_str(),
+              mach_.name().c_str());
+    }
+
+    /** Emit ldi dst, #imm (imm must fit: legalisation guarantees). */
+    void
+    emitLdi(RegId dst, uint64_t imm, std::vector<BoundOp> &out)
+    {
+        for (uint16_t idx : ldiSpecs_) {
+            const MicroOpSpec &s = mach_.uop(idx);
+            if (s.immWidth < 64 && imm > bitMask(s.immWidth))
+                continue;
+            if (s.dstClasses &&
+                !(mach_.reg(dst).classes & s.dstClasses))
+                continue;
+            BoundOp op;
+            op.spec = idx;
+            op.dst = dst;
+            op.imm = imm;
+            out.push_back(op);
+            return;
+        }
+        panic("lower: cannot materialise %#llx into %s",
+              (unsigned long long)imm, mach_.reg(dst).name.c_str());
+    }
+
+    uint32_t
+    slotAddr(VReg v) const
+    {
+        return mach_.scratchBase() + asgn_.slotOf.at(v);
+    }
+
+    /** Reload spilled @p v into a register satisfying @p classes. */
+    RegId
+    emitReload(VReg v, uint32_t classes, std::vector<BoundOp> &out,
+               std::vector<RegId> avoid)
+    {
+        uint16_t rd_idx = mach_.uopsOfKind(UKind::MemRead).at(0);
+        const MicroOpSpec &rd = mach_.uop(rd_idx);
+
+        // The reload target is always a listed scratch register --
+        // never mar/mbr, which the reload sequence itself (and any
+        // sibling reload) uses transiently.
+        RegId into;
+        {
+            uint32_t want = classes ? classes : ~0u;
+            bool have = false;
+            for (RegId r : mach_.scratchRegs()) {
+                if ((mach_.reg(r).classes & want) &&
+                    std::find(avoid.begin(), avoid.end(), r) ==
+                        avoid.end()) {
+                    have = true;
+                    break;
+                }
+            }
+            into = mach_.scratchFor(have ? want : ~0u, avoid,
+                                    /*allow_dedicated=*/false);
+        }
+        avoid.push_back(into);
+
+        RegId addr =
+            (mach_.reg(into).classes & rd.srcAClasses)
+                ? into
+                : mach_.scratchFor(rd.srcAClasses, avoid);
+        emitLdi(addr, slotAddr(v), out);
+
+        RegId dest = (mach_.reg(into).classes & rd.dstClasses)
+                         ? into
+                         : mach_.scratchFor(rd.dstClasses, avoid);
+        BoundOp op;
+        op.spec = rd_idx;
+        op.dst = dest;
+        op.srcA = addr;
+        out.push_back(op);
+        if (dest != into)
+            emitMov(into, dest, out);
+        ++stats_.spillLoads;
+        return into;
+    }
+
+    /** Store register @p from into spilled @p v 's slot. */
+    void
+    emitSpillStore(VReg v, RegId from, std::vector<BoundOp> &out,
+                   std::vector<RegId> avoid)
+    {
+        uint16_t wr_idx = mach_.uopsOfKind(UKind::MemWrite).at(0);
+        const MicroOpSpec &wr = mach_.uop(wr_idx);
+        avoid.push_back(from);
+
+        RegId data = from;
+        if (wr.srcBClasses &&
+            !(mach_.reg(from).classes & wr.srcBClasses)) {
+            data = mach_.scratchFor(wr.srcBClasses, avoid);
+            emitMov(data, from, out);
+            avoid.push_back(data);
+        }
+        RegId addr = mach_.scratchFor(wr.srcAClasses, avoid);
+        emitLdi(addr, slotAddr(v), out);
+        BoundOp op;
+        op.spec = wr_idx;
+        op.srcA = addr;
+        op.srcB = data;
+        out.push_back(op);
+        ++stats_.spillStores;
+    }
+
+    /**
+     * A physical register holding @p v 's value satisfying
+     * @p classes, emitting reloads/fixup moves as needed.
+     *
+     * Reloads come before class fixups when both operands need
+     * attention (see lowerInst): a reload transiently uses the
+     * dedicated memory registers, which a fixup may already have
+     * claimed.
+     */
+    RegId
+    useReg(VReg v, uint32_t classes, std::vector<BoundOp> &out,
+           std::vector<RegId> avoid)
+    {
+        if (asgn_.slotOf.at(v) != kNoSlot)
+            return emitReload(v, classes, out, std::move(avoid));
+        RegId r = asgn_.regOf.at(v);
+        UHLL_ASSERT(r != kNoReg);
+        if (classes && !(mach_.reg(r).classes & classes)) {
+            RegId fx = mach_.scratchFor(classes, avoid);
+            emitMov(fx, r, out);
+            ++stats_.fixupMovs;
+            return fx;
+        }
+        return r;
+    }
+
+    /** Pick the spec of @p ins minimising fixups. */
+    uint16_t
+    chooseSpec(const MInst &ins)
+    {
+        auto cands = mach_.uopsOfKind(ins.op);
+        UHLL_ASSERT(!cands.empty());
+
+        auto regClassesOf = [&](VReg v) -> uint32_t {
+            if (v == kNoVReg || asgn_.slotOf.at(v) != kNoSlot)
+                return ~0u;     // reloads can target any class
+            return mach_.reg(asgn_.regOf.at(v)).classes;
+        };
+
+        uint16_t best = 0xffff;
+        int best_score = 1 << 20;
+        for (uint16_t idx : cands) {
+            const MicroOpSpec &s = mach_.uop(idx);
+            if (ins.useImm) {
+                if (!s.allowImm)
+                    continue;
+                if (s.immWidth < 64 && ins.imm > bitMask(s.immWidth))
+                    continue;
+            } else if (uKindHasSrcB(ins.op) && s.srcBClasses == 0) {
+                continue;   // immediate-only spec, register operand
+            }
+            int score = (idx == movSpecs_[movRR_ % movSpecs_.size()])
+                            ? -1
+                            : 0;
+            auto miss = [&](VReg v, uint32_t cls) {
+                if (v != kNoVReg && cls &&
+                    !(regClassesOf(v) & cls))
+                    ++score;
+            };
+            if (uKindHasDst(ins.op))
+                miss(ins.dst, s.dstClasses);
+            if (uKindHasSrcA(ins.op))
+                miss(ins.a, s.srcAClasses);
+            if (uKindHasSrcB(ins.op) && !ins.useImm)
+                miss(ins.b, s.srcBClasses);
+            if (score < best_score) {
+                best_score = score;
+                best = idx;
+            }
+        }
+        if (best == 0xffff)
+            panic("lower: no spec for %s (imm=%d) on %s -- "
+                  "legalisation hole", uKindName(ins.op),
+                  int(ins.useImm), mach_.name().c_str());
+        return best;
+    }
+
+    void
+    lowerInst(const MInst &ins, std::vector<BoundOp> &out)
+    {
+        if (ins.op == UKind::Nop)
+            return;
+        if (ins.op == UKind::Ldi) {
+            // Direct path with spill handling.
+            if (asgn_.slotOf.at(ins.dst) != kNoSlot) {
+                RegId sc = mach_.scratchFor(~0u, {});
+                emitLdi(sc, ins.imm, out);
+                emitSpillStore(ins.dst, sc, out, {});
+            } else {
+                emitLdi(asgn_.regOf.at(ins.dst), ins.imm, out);
+            }
+            ++stats_.opsLowered;
+            return;
+        }
+
+        uint16_t spec_idx = chooseSpec(ins);
+        const MicroOpSpec &s = mach_.uop(spec_idx);
+
+        BoundOp op;
+        op.spec = spec_idx;
+        std::vector<RegId> avoid;
+        bool writes_srcA = uKindModifiesSrcA(ins.op);
+
+        // Pass 1: reload spilled operands into listed scratch
+        // registers. Reloads transiently use the dedicated memory
+        // registers, so they must all finish before any class fixup
+        // claims one of those.
+        bool a_spilled = uKindHasSrcA(ins.op) &&
+                         asgn_.slotOf.at(ins.a) != kNoSlot;
+        bool b_spilled = uKindHasSrcB(ins.op) && !ins.useImm &&
+                         asgn_.slotOf.at(ins.b) != kNoSlot;
+        if (a_spilled) {
+            op.srcA = emitReload(ins.a, s.srcAClasses, out, avoid);
+            avoid.push_back(op.srcA);
+        }
+        if (b_spilled) {
+            op.srcB = emitReload(ins.b, s.srcBClasses, out, avoid);
+            avoid.push_back(op.srcB);
+        }
+
+        // Pass 2: pure register-to-register class fixups.
+        auto fixup = [&](VReg v, RegId cur, uint32_t classes) {
+            if (classes && !(mach_.reg(cur).classes & classes)) {
+                RegId fx = mach_.scratchFor(classes, avoid);
+                emitMov(fx, cur, out);
+                ++stats_.fixupMovs;
+                avoid.push_back(fx);
+                return fx;
+            }
+            (void)v;
+            return cur;
+        };
+        if (uKindHasSrcA(ins.op)) {
+            if (!a_spilled) {
+                op.srcA = fixup(ins.a, asgn_.regOf.at(ins.a),
+                                s.srcAClasses);
+                avoid.push_back(op.srcA);
+            } else {
+                op.srcA = fixup(ins.a, op.srcA, s.srcAClasses);
+            }
+        }
+        if (uKindHasSrcB(ins.op)) {
+            if (ins.useImm) {
+                op.useImm = true;
+                op.imm = truncBits(ins.imm, mach_.dataWidth());
+            } else if (!b_spilled) {
+                op.srcB = fixup(ins.b, asgn_.regOf.at(ins.b),
+                                s.srcBClasses);
+                avoid.push_back(op.srcB);
+            } else {
+                op.srcB = fixup(ins.b, op.srcB, s.srcBClasses);
+            }
+        }
+
+        RegId final_dst = kNoReg;
+        bool dst_spilled = false, dst_fixup = false;
+        if (uKindHasDst(ins.op)) {
+            // The destination may reuse a source fixup scratch: the
+            // operation reads its operands before writing. Only a
+            // modified srcA (push/pop stack pointer) must stay
+            // distinct.
+            std::vector<RegId> dst_avoid;
+            if (writes_srcA && op.srcA != kNoReg)
+                dst_avoid.push_back(op.srcA);
+            dst_spilled = asgn_.slotOf.at(ins.dst) != kNoSlot;
+            if (dst_spilled) {
+                op.dst = mach_.scratchFor(
+                    s.dstClasses ? s.dstClasses : ~0u, dst_avoid);
+            } else {
+                RegId rd = asgn_.regOf.at(ins.dst);
+                if (s.dstClasses &&
+                    !(mach_.reg(rd).classes & s.dstClasses)) {
+                    op.dst = mach_.scratchFor(s.dstClasses,
+                                              dst_avoid);
+                    final_dst = rd;
+                    dst_fixup = true;
+                } else {
+                    op.dst = rd;
+                }
+            }
+        }
+
+        out.push_back(op);
+        ++stats_.opsLowered;
+        if (ins.op == UKind::Mov)
+            ++movRR_;   // rotate move ports across MIR moves
+
+        // Operand registers are dead once the op has executed; the
+        // spill store only needs to protect the data register, plus
+        // a modified stack pointer awaiting write-back.
+        if (dst_spilled) {
+            std::vector<RegId> keep;
+            if (writes_srcA && op.srcA != kNoReg)
+                keep.push_back(op.srcA);
+            emitSpillStore(ins.dst, op.dst, out, keep);
+        }
+        if (dst_fixup) {
+            emitMov(final_dst, op.dst, out);
+            ++stats_.fixupMovs;
+        }
+
+        if (writes_srcA) {
+            // push/pop updated the stack pointer in op.srcA; write
+            // it back if that register was a reload or fixup copy.
+            if (asgn_.slotOf.at(ins.a) != kNoSlot) {
+                emitSpillStore(ins.a, op.srcA, out, {});
+            } else if (op.srcA != asgn_.regOf.at(ins.a)) {
+                emitMov(asgn_.regOf.at(ins.a), op.srcA, out);
+            }
+        }
+    }
+
+    const MachineDescription &mach_;
+    const MirProgram &prog_;
+    const Assignment &asgn_;
+    CompileStats &stats_;
+    std::vector<uint16_t> movSpecs_;
+    std::vector<uint16_t> ldiSpecs_;
+    size_t movRR_ = 0;
+    RegId caseReg_ = kNoReg;
+};
+
+} // namespace
+
+namespace {
+
+/**
+ * Block layout: greedy fallthrough chaining. Starting from the
+ * entry, each block is followed by its preferred successor (branch
+ * fallthrough, jump target, call continuation) when that block is
+ * still unplaced, eliminating the jump words a naive in-order layout
+ * needs. Remaining blocks are appended in id order.
+ */
+std::vector<uint32_t>
+layoutBlocks(const MirFunction &f)
+{
+    size_t nb = f.blocks.size();
+    std::vector<bool> placed(nb, false);
+    std::vector<uint32_t> order;
+    order.reserve(nb);
+
+    auto preferred = [&](uint32_t b) -> uint32_t {
+        const Terminator &t = f.blocks[b].term;
+        switch (t.kind) {
+          case Terminator::Kind::Jump:
+            return t.target;
+          case Terminator::Kind::Branch:
+            return t.fallthrough;
+          case Terminator::Kind::Call:
+            return t.target;    // the continuation
+          default:
+            return 0xffffffffu;
+        }
+    };
+
+    for (uint32_t seed = 0; seed < nb; ++seed) {
+        uint32_t b = seed == 0 ? 0 : seed;
+        while (b < nb && !placed[b]) {
+            placed[b] = true;
+            order.push_back(b);
+            uint32_t nxt = preferred(b);
+            if (nxt >= nb || placed[nxt])
+                break;
+            b = nxt;
+        }
+    }
+    return order;
+}
+
+} // namespace
+
+CompiledProgram
+Compiler::compile(const MirProgram &orig,
+                  const CompileOptions &opts) const
+{
+    const MachineDescription &mach = *mach_;
+    MirProgram prog = orig;     // passes mutate a copy
+    prog.validate();
+
+    // A variable bound to one of the compiler's scratch registers
+    // would be clobbered by fixup and spill code.
+    for (VReg v = 0; v < prog.numVRegs(); ++v) {
+        if (auto b = prog.binding(v)) {
+            for (RegId s : mach.scratchRegs()) {
+                if (*b == s)
+                    fatal("variable '%s' is bound to %s, a compiler "
+                          "scratch register of %s",
+                          prog.vregName(v).c_str(),
+                          mach.reg(s).name.c_str(),
+                          mach.name().c_str());
+            }
+        }
+    }
+
+    CompiledProgram cp(mach);
+
+    if (opts.recognizeStackOps)
+        recognizeStackOps(prog, mach);
+    legalize(prog, mach);
+    if (opts.optimize)
+        cp.stats.optimized = optimizeMir(prog);
+    if (opts.insertInterruptPolls)
+        cp.stats.pollPoints = insertInterruptPolls(prog);
+    if (opts.trapSafety)
+        applyTrapSafety(prog, mach);
+
+    static const GraphColoringAllocator default_alloc;
+    static const TokoroCompactor default_compactor;
+    const RegisterAllocator &alloc =
+        opts.allocator ? *opts.allocator : default_alloc;
+    const Compactor &compactor =
+        opts.compactor ? *opts.compactor : default_compactor;
+
+    cp.assignment = alloc.allocate(prog, mach, opts.allocOpts);
+    cp.stats.spilledVRegs = cp.assignment.numSpilled();
+
+    Lowerer lw(mach, prog, cp.assignment, cp.stats);
+
+    struct BlockPatch { uint32_t word; uint32_t block; };
+    struct FuncPatch { uint32_t word; uint32_t func; };
+    std::vector<FuncPatch> func_patches;
+    std::vector<uint32_t> func_entry(prog.numFunctions(), 0);
+
+    for (uint32_t fi = 0; fi < prog.numFunctions(); ++fi) {
+        const MirFunction &f = prog.func(fi);
+        func_entry[fi] = static_cast<uint32_t>(cp.store.size());
+
+        std::vector<uint32_t> block_addr(f.blocks.size(), 0);
+        std::vector<BlockPatch> patches;
+        std::vector<uint32_t> order = layoutBlocks(f);
+
+        for (size_t oi = 0; oi < order.size(); ++oi) {
+            uint32_t b = order[oi];
+            uint32_t next_block =
+                oi + 1 < order.size() ? order[oi + 1] : 0xffffffffu;
+            block_addr[b] = static_cast<uint32_t>(cp.store.size());
+            const BasicBlock &bb = f.blocks[b];
+
+            std::vector<BoundOp> ops;
+            lw.lowerBlock(bb, ops);
+
+            std::vector<MicroInstruction> words;
+            if (opts.compact && !ops.empty()) {
+                CompactionResult cr = compactor.compact(mach, ops);
+                for (const auto &widx : cr.words) {
+                    MicroInstruction mi;
+                    for (uint32_t i : widx)
+                        mi.ops.push_back(ops[i]);
+                    words.push_back(std::move(mi));
+                }
+            } else {
+                for (const BoundOp &op : ops) {
+                    MicroInstruction mi;
+                    mi.ops.push_back(op);
+                    words.push_back(std::move(mi));
+                }
+            }
+            if (words.empty())
+                words.emplace_back();   // carrier for the sequencing
+
+            // Attach the terminator to the last word.
+            const Terminator &t = bb.term;
+            MicroInstruction &last = words.back();
+            bool extra_jump = false;
+            uint32_t extra_target = 0;
+            switch (t.kind) {
+              case Terminator::Kind::Jump:
+                if (t.target != next_block) {
+                    last.seq = SeqKind::Jump;
+                    last.target = t.target;     // patched below
+                }
+                break;
+              case Terminator::Kind::Branch:
+                last.seq = SeqKind::CondJump;
+                last.cond = t.cc;
+                last.target = t.target;
+                if (t.fallthrough != next_block) {
+                    extra_jump = true;
+                    extra_target = t.fallthrough;
+                }
+                break;
+              case Terminator::Kind::Case:
+                last.seq = SeqKind::Multiway;
+                last.mwReg = lw.caseReg();
+                last.mwMask = t.caseMask;
+                break;
+              case Terminator::Kind::Call:
+                // Return resumes at the word after the call: no jump
+                // needed when the continuation block follows.
+                last.seq = SeqKind::Call;
+                if (t.target != next_block) {
+                    extra_jump = true;
+                    extra_target = t.target;
+                }
+                break;
+              case Terminator::Kind::Ret:
+                last.seq = SeqKind::Return;
+                break;
+              case Terminator::Kind::Halt:
+                last.seq = SeqKind::Halt;
+                break;
+            }
+
+            for (auto &w : words) {
+                uint32_t addr = cp.store.append(std::move(w));
+                (void)addr;
+            }
+            uint32_t last_addr =
+                static_cast<uint32_t>(cp.store.size()) - 1;
+
+            switch (t.kind) {
+              case Terminator::Kind::Jump:
+                if (cp.store.word(last_addr).seq == SeqKind::Jump)
+                    patches.push_back({last_addr, t.target});
+                break;
+              case Terminator::Kind::Branch:
+                patches.push_back({last_addr, t.target});
+                break;
+              case Terminator::Kind::Case: {
+                // Jump table immediately after the dispatch word.
+                cp.store.word(last_addr).target = last_addr + 1;
+                for (uint32_t arm : t.caseTargets) {
+                    MicroInstruction jw;
+                    jw.seq = SeqKind::Jump;
+                    uint32_t a = cp.store.append(std::move(jw));
+                    patches.push_back({a, arm});
+                }
+                break;
+              }
+              case Terminator::Kind::Call:
+                func_patches.push_back({last_addr, t.callee});
+                break;
+              default:
+                break;
+            }
+            if (extra_jump) {
+                MicroInstruction jw;
+                jw.seq = SeqKind::Jump;
+                uint32_t a = cp.store.append(std::move(jw));
+                patches.push_back({a, extra_target});
+            }
+        }
+
+        for (const BlockPatch &p : patches)
+            cp.store.word(p.word).target = block_addr[p.block];
+
+        cp.store.defineEntry(f.name, func_entry[fi]);
+    }
+
+    for (const FuncPatch &p : func_patches)
+        cp.store.word(p.word).target = func_entry[p.func];
+
+    cp.stats.words = static_cast<uint32_t>(cp.store.size());
+    return cp;
+}
+
+void
+setVar(const MirProgram &prog, const CompiledProgram &cp,
+       MicroSimulator &sim, MainMemory &mem, const std::string &name,
+       uint64_t value)
+{
+    auto v = prog.findVReg(name);
+    if (!v)
+        fatal("setVar: no variable '%s'", name.c_str());
+    if (cp.assignment.slotOf.at(*v) != kNoSlot) {
+        mem.poke(cp.store.machine().scratchBase() +
+                     cp.assignment.slotOf[*v],
+                 value);
+    } else if (cp.assignment.regOf.at(*v) != kNoReg) {
+        sim.setReg(cp.assignment.regOf[*v], value);
+    } else {
+        fatal("setVar: variable '%s' was not allocated (unused?)",
+              name.c_str());
+    }
+}
+
+uint64_t
+getVar(const MirProgram &prog, const CompiledProgram &cp,
+       const MicroSimulator &sim, const MainMemory &mem,
+       const std::string &name)
+{
+    auto v = prog.findVReg(name);
+    if (!v)
+        fatal("getVar: no variable '%s'", name.c_str());
+    if (cp.assignment.slotOf.at(*v) != kNoSlot) {
+        return mem.peek(cp.store.machine().scratchBase() +
+                        cp.assignment.slotOf[*v]);
+    }
+    if (cp.assignment.regOf.at(*v) != kNoReg)
+        return sim.getReg(cp.assignment.regOf[*v]);
+    fatal("getVar: variable '%s' was not allocated (unused?)",
+          name.c_str());
+}
+
+} // namespace uhll

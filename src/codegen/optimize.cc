@@ -1,0 +1,143 @@
+/**
+ * @file
+ * MIR optimisation: local copy propagation and dead-move
+ * elimination.
+ *
+ * The surveyed projects never finished an optimising compiler; this
+ * pass implements the safest useful core. It is deliberately
+ * conservative about the flag latch: only operations that cannot
+ * set flags (Mov, Ldi, MemRead) are ever deleted, so the condition
+ * a Branch terminator tests is never disturbed.
+ */
+
+#include "codegen/compiler.hh"
+
+#include "regalloc/liveness.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+namespace {
+
+/** Forward copy propagation within one block. */
+uint32_t
+propagateCopies(const MirProgram &prog, BasicBlock &bb)
+{
+    uint32_t changed = 0;
+    // copies[dst] = src for live `mov dst, src` facts
+    std::unordered_map<VReg, VReg> copies;
+
+    auto invalidate = [&](VReg v) {
+        copies.erase(v);
+        for (auto it = copies.begin(); it != copies.end();) {
+            if (it->second == v)
+                it = copies.erase(it);
+            else
+                ++it;
+        }
+    };
+    auto lookup = [&](VReg v) -> VReg {
+        auto it = copies.find(v);
+        return it == copies.end() ? v : it->second;
+    };
+
+    for (MInst &ins : bb.insts) {
+        // Replace source operands (never the modified srcA of
+        // push/pop: the write must land in the original register).
+        if (uKindHasSrcA(ins.op) && !uKindModifiesSrcA(ins.op) &&
+            ins.a != kNoVReg) {
+            VReg r = lookup(ins.a);
+            if (r != ins.a) {
+                ins.a = r;
+                ++changed;
+            }
+        }
+        if (uKindHasSrcB(ins.op) && !ins.useImm && ins.b != kNoVReg) {
+            VReg r = lookup(ins.b);
+            if (r != ins.b) {
+                ins.b = r;
+                ++changed;
+            }
+        }
+
+        UseDef ud = useDefOf(ins);
+        for (VReg d : ud.defs) {
+            if (d != kNoVReg)
+                invalidate(d);
+        }
+        if (ins.op == UKind::Mov && ins.dst != ins.a)
+            copies[ins.dst] = ins.a;
+    }
+
+    // The case dispatch register is read at block end.
+    if (bb.term.kind == Terminator::Kind::Case) {
+        VReg r = lookup(bb.term.caseReg);
+        if (r != bb.term.caseReg) {
+            bb.term.caseReg = r;
+            ++changed;
+        }
+    }
+    (void)prog;
+    return changed;
+}
+
+/**
+ * Remove flag-neutral instructions whose destination is dead.
+ * Returns the number of removed instructions.
+ */
+uint32_t
+removeDeadMoves(const MirProgram &prog, uint32_t fn)
+{
+    MirFunction &f = const_cast<MirProgram &>(prog).func(fn);
+    LivenessInfo live = computeLiveness(prog, fn);
+    uint32_t removed = 0;
+
+    for (size_t b = 0; b < f.blocks.size(); ++b) {
+        VRegSet cur = live.liveOut[b];
+        if (f.blocks[b].term.kind == Terminator::Kind::Case)
+            cur.set(f.blocks[b].term.caseReg);
+        auto &insts = f.blocks[b].insts;
+        for (size_t i = insts.size(); i-- > 0;) {
+            const MInst &ins = insts[i];
+            bool flag_neutral = ins.op == UKind::Mov ||
+                                ins.op == UKind::Ldi ||
+                                ins.op == UKind::MemRead;
+            bool removable =
+                flag_neutral && uKindHasDst(ins.op) &&
+                ins.dst != kNoVReg && !cur.test(ins.dst) &&
+                !uKindModifiesSrcA(ins.op);
+            if (removable) {
+                insts.erase(insts.begin() + i);
+                ++removed;
+                continue;
+            }
+            UseDef ud = useDefOf(ins);
+            for (VReg d : ud.defs) {
+                if (d != kNoVReg)
+                    cur.clear(d);
+            }
+            for (VReg u : ud.uses) {
+                if (u != kNoVReg)
+                    cur.set(u);
+            }
+        }
+    }
+    return removed;
+}
+
+} // namespace
+
+uint32_t
+optimizeMir(MirProgram &prog)
+{
+    uint32_t total = 0;
+    for (uint32_t fi = 0; fi < prog.numFunctions(); ++fi) {
+        for (auto &bb : prog.func(fi).blocks)
+            total += propagateCopies(prog, bb);
+        total += removeDeadMoves(prog, fi);
+    }
+    prog.validate();
+    return total;
+}
+
+} // namespace uhll

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Optional compiler passes: high-level microoperation recognition,
+ * interrupt poll insertion, and the microtrap-safety transformation.
+ */
+
+#include "codegen/compiler.hh"
+
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace uhll {
+
+uint32_t
+recognizeStackOps(MirProgram &prog, const MachineDescription &mach)
+{
+    bool has_push = !mach.uopsOfKind(UKind::Push).empty();
+    bool has_pop = !mach.uopsOfKind(UKind::Pop).empty();
+    if (!has_push && !has_pop)
+        return 0;
+
+    uint32_t folds = 0;
+    for (uint32_t fi = 0; fi < prog.numFunctions(); ++fi) {
+        for (auto &bb : prog.func(fi).blocks) {
+            auto &v = bb.insts;
+            for (size_t i = 0; i + 1 < v.size(); ++i) {
+                const MInst &x = v[i];
+                const MInst &y = v[i + 1];
+                // sp := sp + 1 ; mem[sp] := val   =>   push sp, val
+                if (has_push && x.op == UKind::Add && x.useImm &&
+                    x.imm == 1 && x.dst == x.a &&
+                    y.op == UKind::MemWrite && y.a == x.dst &&
+                    !y.useImm && y.b != x.dst) {
+                    MInst p;
+                    p.op = UKind::Push;
+                    p.a = x.dst;
+                    p.b = y.b;
+                    v[i] = p;
+                    v.erase(v.begin() + i + 1);
+                    ++folds;
+                    continue;
+                }
+                // val := mem[sp] ; sp := sp - 1   =>   pop val, sp
+                if (has_pop && x.op == UKind::MemRead &&
+                    y.op == UKind::Sub && y.useImm && y.imm == 1 &&
+                    y.dst == y.a && y.dst == x.a && x.dst != x.a) {
+                    MInst p;
+                    p.op = UKind::Pop;
+                    p.dst = x.dst;
+                    p.a = x.a;
+                    v[i] = p;
+                    v.erase(v.begin() + i + 1);
+                    ++folds;
+                    continue;
+                }
+            }
+        }
+    }
+    return folds;
+}
+
+uint32_t
+insertInterruptPolls(MirProgram &prog)
+{
+    uint32_t polls = 0;
+    for (uint32_t fi = 0; fi < prog.numFunctions(); ++fi) {
+        MirFunction &f = prog.func(fi);
+        size_t nb = f.blocks.size();
+
+        // Find back edges with an iterative DFS.
+        enum class Color { White, Grey, Black };
+        std::vector<Color> color(nb, Color::White);
+        std::vector<std::pair<uint32_t, uint32_t>> back_edges;
+
+        auto targetsOf = [&](uint32_t b) {
+            std::vector<uint32_t> out;
+            const Terminator &t = f.blocks[b].term;
+            switch (t.kind) {
+              case Terminator::Kind::Jump:
+                out.push_back(t.target);
+                break;
+              case Terminator::Kind::Branch:
+                out.push_back(t.target);
+                out.push_back(t.fallthrough);
+                break;
+              case Terminator::Kind::Case:
+                out = t.caseTargets;
+                break;
+              case Terminator::Kind::Call:
+                out.push_back(t.target);
+                break;
+              default:
+                break;
+            }
+            return out;
+        };
+
+        struct Frame { uint32_t block; size_t next; };
+        std::vector<Frame> stack{{0, 0}};
+        color[0] = Color::Grey;
+        while (!stack.empty()) {
+            Frame &fr = stack.back();
+            auto succ = targetsOf(fr.block);
+            if (fr.next >= succ.size()) {
+                color[fr.block] = Color::Black;
+                stack.pop_back();
+                continue;
+            }
+            uint32_t s = succ[fr.next++];
+            if (color[s] == Color::Grey)
+                back_edges.emplace_back(fr.block, s);
+            else if (color[s] == Color::White) {
+                color[s] = Color::Grey;
+                stack.push_back(Frame{s, 0});
+            }
+        }
+
+        // One poll block + handler per back edge.
+        for (auto [from, to] : back_edges) {
+            uint32_t poll = f.newBlock();
+            uint32_t handler = f.newBlock();
+
+            f.blocks[poll].term.kind = Terminator::Kind::Branch;
+            f.blocks[poll].term.cc = Cond::Int;
+            f.blocks[poll].term.target = handler;
+            f.blocks[poll].term.fallthrough = to;
+
+            MInst ack;
+            ack.op = UKind::IntAck;
+            f.blocks[handler].insts.push_back(ack);
+            f.blocks[handler].term =
+                jumpTerm(to);
+
+            Terminator &t = f.blocks[from].term;
+            auto redirect = [&](uint32_t &tgt) {
+                if (tgt == to)
+                    tgt = poll;
+            };
+            switch (t.kind) {
+              case Terminator::Kind::Jump:
+              case Terminator::Kind::Call:
+                redirect(t.target);
+                break;
+              case Terminator::Kind::Branch:
+                redirect(t.target);
+                redirect(t.fallthrough);
+                break;
+              case Terminator::Kind::Case:
+                for (uint32_t &ct : t.caseTargets)
+                    redirect(ct);
+                break;
+              default:
+                break;
+            }
+            ++polls;
+        }
+    }
+    prog.validate();
+    return polls;
+}
+
+uint32_t
+applyTrapSafety(MirProgram &prog, const MachineDescription &mach)
+{
+    // Find vregs bound to architectural registers that are written
+    // anywhere.
+    std::vector<VReg> targets;
+    for (VReg v = 0; v < prog.numVRegs(); ++v) {
+        auto b = prog.binding(v);
+        if (!b || !mach.reg(*b).architectural)
+            continue;
+        bool written = false;
+        for (uint32_t fi = 0; fi < prog.numFunctions() && !written;
+             ++fi) {
+            for (const auto &bb : prog.func(fi).blocks) {
+                for (const auto &ins : bb.insts) {
+                    if ((uKindHasDst(ins.op) && ins.dst == v) ||
+                        (uKindModifiesSrcA(ins.op) && ins.a == v)) {
+                        written = true;
+                        break;
+                    }
+                }
+                if (written)
+                    break;
+            }
+        }
+        if (written)
+            targets.push_back(v);
+    }
+    if (targets.empty())
+        return 0;
+
+    // One shadow per target; rewrite every reference.
+    std::vector<std::pair<VReg, VReg>> shadow;  // (orig, shadow)
+    for (VReg v : targets) {
+        VReg sh = prog.newVReg(prog.vregName(v) + ".shadow");
+        shadow.emplace_back(v, sh);
+    }
+    auto shadowOf = [&](VReg v) -> VReg {
+        for (auto &[orig, sh] : shadow) {
+            if (orig == v)
+                return sh;
+        }
+        return v;
+    };
+
+    for (uint32_t fi = 0; fi < prog.numFunctions(); ++fi) {
+        for (auto &bb : prog.func(fi).blocks) {
+            for (auto &ins : bb.insts) {
+                if (ins.dst != kNoVReg)
+                    ins.dst = shadowOf(ins.dst);
+                if (ins.a != kNoVReg)
+                    ins.a = shadowOf(ins.a);
+                if (!ins.useImm && ins.b != kNoVReg)
+                    ins.b = shadowOf(ins.b);
+            }
+            if (bb.term.kind == Terminator::Kind::Case)
+                bb.term.caseReg = shadowOf(bb.term.caseReg);
+        }
+    }
+
+    // Load shadows at the program entry...
+    MirFunction &entry = prog.func(0);
+    std::vector<MInst> prologue;
+    for (auto &[orig, sh] : shadow)
+        prologue.push_back(mi::mov(sh, orig));
+    entry.blocks[0].insts.insert(entry.blocks[0].insts.begin(),
+                                 prologue.begin(), prologue.end());
+
+    // ...and commit them at every Halt (the program's exits, after
+    // which no memory access can fault).
+    for (uint32_t fi = 0; fi < prog.numFunctions(); ++fi) {
+        for (auto &bb : prog.func(fi).blocks) {
+            if (bb.term.kind != Terminator::Kind::Halt)
+                continue;
+            for (auto &[orig, sh] : shadow)
+                bb.insts.push_back(mi::mov(orig, sh));
+        }
+    }
+    prog.validate();
+    return static_cast<uint32_t>(targets.size());
+}
+
+} // namespace uhll

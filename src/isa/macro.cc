@@ -1,0 +1,233 @@
+#include "isa/macro.hh"
+
+#include "masm/masm.hh"
+#include "support/logging.hh"
+
+#include "lang/common/lexer.hh"
+
+namespace uhll {
+
+namespace {
+
+struct OpInfo {
+    const char *name;
+    uint16_t opcode;
+    bool hasOperand;
+};
+
+const OpInfo kOps[] = {
+    {"halt", 0, false}, {"ldi", 1, true},  {"lda", 2, true},
+    {"sta", 3, true},   {"add", 4, true},  {"sub", 5, true},
+    {"and", 6, true},   {"or", 7, true},   {"xor", 8, true},
+    {"shl", 9, true},   {"jmp", 10, true}, {"jz", 11, true},
+    {"jnz", 12, true},  {"ldax", 13, true}, {"stax", 14, true},
+};
+
+const std::pair<const char *, uint16_t> kXops[] = {
+    {"tax", 0}, {"txa", 1}, {"inx", 2}, {"dex", 3},
+    {"shr1", 4}, {"not", 5},
+};
+
+} // namespace
+
+MacroProgram
+assembleMacro(const std::string &source, uint16_t origin)
+{
+    LexOptions lo;
+    lo.lineComment = ";";
+    lo.significantNewlines = true;
+    lo.foldCase = true;
+    TokenStream ts(lex(source, lo), "macro-asm");
+
+    MacroProgram prog;
+    struct Fixup {
+        size_t word;
+        std::string label;
+    };
+    std::vector<Fixup> fixups;
+
+    auto operand = [&](size_t at) -> uint16_t {
+        if (ts.peek().kind == Token::Kind::Int) {
+            uint64_t v = ts.next().value;
+            if (v > 0xFFF)
+                fatal("macro-asm: operand %llu exceeds 12 bits",
+                      (unsigned long long)v);
+            return static_cast<uint16_t>(v);
+        }
+        fixups.push_back({at, ts.expectIdent("operand")});
+        return 0;
+    };
+
+    while (!ts.atEnd()) {
+        if (ts.acceptNewline())
+            continue;
+        // label?
+        if (ts.peek().kind == Token::Kind::Ident &&
+            ts.peek(1).kind == Token::Kind::Punct &&
+            ts.peek(1).text == ":") {
+            std::string label = ts.next().text;
+            ts.next();
+            if (prog.labels.count(label))
+                fatal("macro-asm: duplicate label '%s'",
+                      label.c_str());
+            prog.labels[label] = static_cast<uint16_t>(
+                origin + prog.words.size());
+            continue;
+        }
+        if (ts.acceptPunct(".")) {
+            ts.expectKeyword("word");
+            uint64_t v = ts.expectInt("data word");
+            prog.words.push_back(static_cast<uint16_t>(v));
+            continue;
+        }
+        std::string mn = ts.expectIdent("instruction");
+        bool handled = false;
+        for (const OpInfo &op : kOps) {
+            if (mn != op.name)
+                continue;
+            uint16_t w = static_cast<uint16_t>(op.opcode << 12);
+            size_t at = prog.words.size();
+            prog.words.push_back(w);
+            if (op.hasOperand)
+                prog.words[at] |= operand(at);
+            handled = true;
+            break;
+        }
+        if (!handled) {
+            for (auto &[name, code] : kXops) {
+                if (mn == name) {
+                    prog.words.push_back(
+                        static_cast<uint16_t>((15 << 12) | code));
+                    handled = true;
+                    break;
+                }
+            }
+        }
+        if (!handled)
+            fatal("macro-asm: unknown instruction '%s'", mn.c_str());
+    }
+
+    for (const Fixup &f : fixups) {
+        auto it = prog.labels.find(f.label);
+        if (it == prog.labels.end())
+            fatal("macro-asm: undefined label '%s'", f.label.c_str());
+        prog.words[f.word] |= it->second & 0xFFF;
+    }
+    return prog;
+}
+
+void
+loadMacro(const MacroProgram &prog, MainMemory &mem, uint16_t base)
+{
+    for (size_t i = 0; i < prog.words.size(); ++i)
+        mem.poke(base + static_cast<uint32_t>(i), prog.words[i]);
+}
+
+ControlStore
+buildMacroInterpreter(const MachineDescription &hm1)
+{
+    if (hm1.name() != "HM-1")
+        fatal("macro interpreter firmware is written for HM-1");
+
+    // Macro state: ACC=r8, X=r9, PC=r10, IR=r11 (architectural).
+    // Micro temps: r0 opcode, r1 operand, r2 scratch.
+    // Each fetch is a restart point: a page fault mid-instruction
+    // re-runs the current macro instruction, as real firmware did.
+    const char *src = R"(
+.entry interp
+fetch:
+.restart
+    [ memrd r11, r10 ]
+    [ shr r0, r11, #12 | mova r1, r11 ]
+    [ andi r1, r1, #0x0FFF ] mbranch r0, #0xF, optable
+optable:
+    [ ] jump op_halt
+    [ ] jump op_ldi
+    [ ] jump op_lda
+    [ ] jump op_sta
+    [ ] jump op_add
+    [ ] jump op_sub
+    [ ] jump op_and
+    [ ] jump op_or
+    [ ] jump op_xor
+    [ ] jump op_shl
+    [ ] jump op_jmp
+    [ ] jump op_jz
+    [ ] jump op_jnz
+    [ ] jump op_ldax
+    [ ] jump op_stax
+    [ ] jump op_xop
+; The program counter commits only here, after every fault point of
+; the instruction: a page fault restarts the same macro instruction
+; (the trap-safe structure sec. 2.1.5 calls for).
+next:
+    [ addi r10, r10, #1 ] jump fetch
+op_halt:
+    [ ] halt
+op_ldi:
+    [ mova r8, r1 ] jump next
+op_lda:
+    [ memrd r8, r1 ] jump next
+op_sta:
+    [ memwr r1, r8 ] jump next
+op_add:
+    [ memrd r2, r1 ]
+    [ add r8, r8, r2 ] jump next
+op_sub:
+    [ memrd r2, r1 ]
+    [ sub r8, r8, r2 ] jump next
+op_and:
+    [ memrd r2, r1 ]
+    [ and r8, r8, r2 ] jump next
+op_or:
+    [ memrd r2, r1 ]
+    [ or r8, r8, r2 ] jump next
+op_xor:
+    [ memrd r2, r1 ]
+    [ xor r8, r8, r2 ] jump next
+op_shl:
+    [ andi r2, r1, #0xF ]
+    [ shl r8, r8, r2 ] jump next
+op_jmp:
+    [ mova r10, r1 ] jump fetch
+op_jz:
+    [ cmpi r8, #0 ] if nz jump next
+    [ mova r10, r1 ] jump fetch
+op_jnz:
+    [ cmpi r8, #0 ] if z jump next
+    [ mova r10, r1 ] jump fetch
+op_ldax:
+    [ add r2, r1, r9 ]
+    [ memrd r8, r2 ] jump next
+op_stax:
+    [ add r2, r1, r9 ]
+    [ memwr r2, r8 ] jump next
+op_xop:
+    [ ] mbranch r1, #0x7, xtable
+xtable:
+    [ ] jump x_tax
+    [ ] jump x_txa
+    [ ] jump x_inx
+    [ ] jump x_dex
+    [ ] jump x_shr1
+    [ ] jump x_not
+    [ ] jump next
+    [ ] jump next
+x_tax:
+    [ mova r9, r8 ] jump next
+x_txa:
+    [ mova r8, r9 ] jump next
+x_inx:
+    [ inc r9, r9 ] jump next
+x_dex:
+    [ dec r9, r9 ] jump next
+x_shr1:
+    [ shr r8, r8, #1 ] jump next
+x_not:
+    [ not r8, r8 ] jump next
+)";
+    MicroAssembler as(hm1);
+    return as.assemble(src);
+}
+
+} // namespace uhll

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * MacroISA: the conventional (macro) instruction set whose firmware
+ * interpreter is the "manufacturer supplied microprograms which
+ * interpret the basic instruction set" of the survey's sec. 2.1.5,
+ * and the baseline for the sec. 3 speedup claim ("speed up a heavily
+ * used procedure by a factor of five ... a factor of ten").
+ *
+ * A 16-bit single-accumulator machine:
+ *
+ *   word = opcode[15:12] | operand[11:0]
+ *
+ *   0 HALT         8 XOR  addr      ACC ^= mem[addr]
+ *   1 LDI  imm     9 SHL  imm       ACC <<= imm
+ *   2 LDA  addr   10 JMP  addr
+ *   3 STA  addr   11 JZ   addr      if ACC == 0
+ *   4 ADD  addr   12 JNZ  addr
+ *   5 SUB  addr   13 LDAX addr      ACC = mem[addr + X]
+ *   6 AND  addr   14 STAX addr      mem[addr + X] = ACC
+ *   7 OR   addr   15 XOP  n         0 TAX, 1 TXA, 2 INX, 3 DEX,
+ *                                   4 SHR1, 5 NOT
+ *
+ * Macro state lives in the architectural registers of HM-1:
+ * ACC = r8, X = r9, PC = r10, IR = r11 (saved/restored by the OS
+ * across microtraps, which is what makes the incread discussion
+ * concrete).
+ */
+
+#ifndef UHLL_ISA_MACRO_HH
+#define UHLL_ISA_MACRO_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "machine/control_store.hh"
+#include "machine/machine_desc.hh"
+#include "machine/memory.hh"
+
+namespace uhll {
+
+/** An assembled macro program. */
+struct MacroProgram {
+    std::vector<uint16_t> words;
+    std::unordered_map<std::string, uint16_t> labels;
+};
+
+/**
+ * Assemble macro source. One instruction or directive per line;
+ * ';' comments; 'label:' definitions; '.word n' data. Operands are
+ * integers or label names. @p origin is the load address: label
+ * operands resolve to absolute addresses.
+ */
+MacroProgram assembleMacro(const std::string &source,
+                           uint16_t origin = 0);
+
+/** Load @p prog into @p mem at @p base. */
+void loadMacro(const MacroProgram &prog, MainMemory &mem,
+               uint16_t base);
+
+/**
+ * Build the firmware interpreter for @p hm1 (must be an HM-1
+ * instance: the firmware is hand-written HM-1 microassembly).
+ * Entry point "interp"; set r10 (PC) before running; each macro
+ * instruction's interpretation is a restartable unit.
+ */
+ControlStore buildMacroInterpreter(const MachineDescription &hm1);
+
+} // namespace uhll
+
+#endif // UHLL_ISA_MACRO_HH

@@ -1,0 +1,285 @@
+#include "lang/common/lexer.hh"
+
+#include <cctype>
+#include <cstdarg>
+
+#include "support/logging.hh"
+
+namespace uhll {
+
+namespace {
+
+/** Multi-character punctuation, longest first. */
+const char *kPuncts[] = {
+    "->", ":=", "<=", ">=", "!=", "<>", "..", "^^", "==",
+};
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identCont(char c)
+{
+    return identStart(c) ||
+           std::isdigit(static_cast<unsigned char>(c));
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &src, const LexOptions &opts)
+{
+    std::vector<Token> out;
+    size_t pos = 0;
+    int line = 1, col = 1;
+
+    auto advance = [&](size_t n) {
+        for (size_t i = 0; i < n && pos < src.size(); ++i, ++pos) {
+            if (src[pos] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+    };
+    auto startsWith = [&](const std::string &s) {
+        return !s.empty() && src.compare(pos, s.size(), s) == 0;
+    };
+
+    while (pos < src.size()) {
+        char c = src[pos];
+
+        if (c == '\n') {
+            if (opts.significantNewlines &&
+                (out.empty() ||
+                 out.back().kind != Token::Kind::Newline)) {
+                Token t;
+                t.kind = Token::Kind::Newline;
+                t.line = line;
+                t.col = col;
+                out.push_back(t);
+            }
+            advance(1);
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance(1);
+            continue;
+        }
+        if (startsWith(opts.lineComment)) {
+            while (pos < src.size() && src[pos] != '\n')
+                advance(1);
+            continue;
+        }
+        if (startsWith(opts.blockCommentOpen)) {
+            int l = line, cl = col;
+            advance(opts.blockCommentOpen.size());
+            while (pos < src.size() &&
+                   !startsWith(opts.blockCommentClose)) {
+                advance(1);
+            }
+            if (pos >= src.size())
+                fatal("lex: unterminated comment at line %d col %d",
+                      l, cl);
+            advance(opts.blockCommentClose.size());
+            continue;
+        }
+        if (opts.hashComments && c == '#') {
+            int l = line, cl = col;
+            advance(1);
+            while (pos < src.size() && src[pos] != '#')
+                advance(1);
+            if (pos >= src.size())
+                fatal("lex: unterminated # remark at line %d col %d",
+                      l, cl);
+            advance(1);
+            continue;
+        }
+
+        Token t;
+        t.line = line;
+        t.col = col;
+
+        if (identStart(c)) {
+            size_t start = pos;
+            while (pos < src.size() && identCont(src[pos]))
+                advance(1);
+            t.kind = Token::Kind::Ident;
+            t.text = src.substr(start, pos - start);
+            if (opts.foldCase) {
+                for (char &ch : t.text)
+                    ch = static_cast<char>(
+                        std::tolower(static_cast<unsigned char>(ch)));
+            }
+            out.push_back(std::move(t));
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t tok_start = pos;
+            int base = 10;
+            if (c == '0' && pos + 1 < src.size()) {
+                char n = src[pos + 1];
+                if (n == 'x' || n == 'X') { base = 16; advance(2); }
+                else if (n == 'b' || n == 'B') { base = 2; advance(2); }
+                else if (n == 'o' || n == 'O') { base = 8; advance(2); }
+            }
+            uint64_t v = 0;
+            bool any = false;
+            while (pos < src.size()) {
+                char d = src[pos];
+                int dv;
+                if (d >= '0' && d <= '9')
+                    dv = d - '0';
+                else if (d >= 'a' && d <= 'f')
+                    dv = d - 'a' + 10;
+                else if (d >= 'A' && d <= 'F')
+                    dv = d - 'A' + 10;
+                else
+                    break;
+                if (dv >= base)
+                    break;
+                v = v * base + dv;
+                any = true;
+                advance(1);
+            }
+            if (!any)
+                fatal("lex: malformed number at line %d col %d",
+                      t.line, t.col);
+            t.kind = Token::Kind::Int;
+            t.value = v;
+            t.text = src.substr(tok_start, pos - tok_start);
+            out.push_back(std::move(t));
+            continue;
+        }
+
+        // Punctuation: longest known multi-char first.
+        t.kind = Token::Kind::Punct;
+        bool matched = false;
+        for (const char *p : kPuncts) {
+            if (startsWith(p)) {
+                t.text = p;
+                advance(t.text.size());
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            t.text = std::string(1, c);
+            advance(1);
+        }
+        out.push_back(std::move(t));
+    }
+
+    Token end;
+    end.kind = Token::Kind::End;
+    end.line = line;
+    end.col = col;
+    out.push_back(end);
+    return out;
+}
+
+const Token &
+TokenStream::peek(size_t ahead) const
+{
+    size_t i = pos_ + ahead;
+    if (i >= toks_.size())
+        i = toks_.size() - 1;
+    return toks_[i];
+}
+
+Token
+TokenStream::next()
+{
+    Token t = peek();
+    if (pos_ + 1 < toks_.size())
+        ++pos_;
+    return t;
+}
+
+bool
+TokenStream::acceptKeyword(const std::string &kw)
+{
+    if (peek().kind == Token::Kind::Ident && peek().text == kw) {
+        next();
+        return true;
+    }
+    return false;
+}
+
+bool
+TokenStream::acceptPunct(const std::string &p)
+{
+    if (peek().kind == Token::Kind::Punct && peek().text == p) {
+        next();
+        return true;
+    }
+    return false;
+}
+
+bool
+TokenStream::acceptNewline()
+{
+    if (peek().kind == Token::Kind::Newline) {
+        next();
+        return true;
+    }
+    return false;
+}
+
+void
+TokenStream::expectKeyword(const std::string &kw)
+{
+    if (!acceptKeyword(kw))
+        error("expected '%s'", kw.c_str());
+}
+
+void
+TokenStream::expectPunct(const std::string &p)
+{
+    if (!acceptPunct(p))
+        error("expected '%s'", p.c_str());
+}
+
+std::string
+TokenStream::expectIdent(const char *what)
+{
+    if (peek().kind != Token::Kind::Ident)
+        error("expected %s", what);
+    return next().text;
+}
+
+uint64_t
+TokenStream::expectInt(const char *what)
+{
+    if (peek().kind != Token::Kind::Int)
+        error("expected %s", what);
+    return next().value;
+}
+
+void
+TokenStream::error(const char *fmt, ...) const
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrfmt(fmt, ap);
+    va_end(ap);
+    const Token &t = peek();
+    std::string got;
+    switch (t.kind) {
+      case Token::Kind::End: got = "end of input"; break;
+      case Token::Kind::Newline: got = "end of line"; break;
+      case Token::Kind::Int: got = strfmt("number %llu",
+                                          (unsigned long long)t.value);
+        break;
+      default: got = "'" + t.text + "'"; break;
+    }
+    fatal("%s: line %d col %d: %s (got %s)", lang_.c_str(), t.line,
+          t.col, msg.c_str(), got.c_str());
+}
+
+} // namespace uhll

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared lexer for the four language front ends.
+ *
+ * The surveyed languages differ in comment style (SIMPL's
+ * "comment ...;" , EMPL's PL/I-style slash-star, S*'s hash-delimited
+ * remarks, YALLL's semicolon-to-end-of-line) and in whether line
+ * breaks matter (YALLL is line oriented); the lexer is configured per
+ * front end.
+ */
+
+#ifndef UHLL_LANG_COMMON_LEXER_HH
+#define UHLL_LANG_COMMON_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uhll {
+
+/** One lexical token. */
+struct Token {
+    enum class Kind : uint8_t {
+        End,        //!< end of input
+        Ident,      //!< identifier (possibly case-folded)
+        Int,        //!< integer literal; value holds it
+        Punct,      //!< punctuation; text holds the spelling
+        Newline,    //!< only when newlines are significant
+    };
+    Kind kind = Kind::End;
+    std::string text;
+    uint64_t value = 0;
+    int line = 1;
+    int col = 1;
+};
+
+/** Lexer configuration. */
+struct LexOptions {
+    std::string lineComment;        //!< e.g. ";" for YALLL
+    std::string blockCommentOpen;   //!< e.g. "/*" for EMPL
+    std::string blockCommentClose;  //!< e.g. "*/"
+    bool hashComments = false;      //!< S*: # ... # remarks
+    bool significantNewlines = false;
+    bool foldCase = false;          //!< identifiers lower-cased
+};
+
+/**
+ * Tokenise @p source completely (fatal() on malformed input).
+ * Integer literals accept decimal, 0x/0b/0o prefixes.
+ */
+std::vector<Token> lex(const std::string &source,
+                       const LexOptions &opts);
+
+/** Cursor over a token stream with the usual parser helpers. */
+class TokenStream
+{
+  public:
+    TokenStream(std::vector<Token> tokens, std::string lang)
+        : toks_(std::move(tokens)), lang_(std::move(lang))
+    {}
+
+    const Token &peek(size_t ahead = 0) const;
+    Token next();
+    bool atEnd() const { return peek().kind == Token::Kind::End; }
+
+    /** Consume an identifier equal to @p kw (exact match). */
+    bool acceptKeyword(const std::string &kw);
+    /** Consume punctuation @p p if present. */
+    bool acceptPunct(const std::string &p);
+    bool acceptNewline();
+
+    /** Require and consume; fatal() with location otherwise. */
+    void expectKeyword(const std::string &kw);
+    void expectPunct(const std::string &p);
+
+    /** Require and consume an identifier; returns its text. */
+    std::string expectIdent(const char *what);
+
+    /** Require and consume an integer literal. */
+    uint64_t expectInt(const char *what);
+
+    /** Report a parse error at the current token. */
+    [[noreturn]] void error(const char *fmt, ...) const
+        __attribute__((format(printf, 2, 3)));
+
+  private:
+    std::vector<Token> toks_;
+    std::string lang_;
+    size_t pos_ = 0;
+};
+
+} // namespace uhll
+
+#endif // UHLL_LANG_COMMON_LEXER_HH

@@ -1,0 +1,1121 @@
+#include "lang/empl/empl.hh"
+
+#include <optional>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+
+#include "lang/common/lexer.hh"
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+namespace {
+
+/** A restricted actual: a simple variable name or a constant. */
+struct Arg {
+    bool isConst = false;
+    uint64_t value = 0;
+    std::string name;
+};
+
+/** Right-hand sides (one operator at most, as in the paper). */
+struct Expr {
+    enum class Kind : uint8_t {
+        Simple,     //!< Arg
+        Bin,        //!< a op b
+        Un,         //!< op a  (NOT, unary -)
+        Apply,      //!< name(args): operator call or array read
+        Method,     //!< obj.name(args)
+        MemRead,    //!< MEM(a)
+    };
+    Kind kind = Kind::Simple;
+    Arg a, b;
+    UKind op = UKind::Nop;
+    std::string callee, obj;
+    std::vector<Arg> args;
+};
+
+struct Stmt;
+using StmtList = std::vector<Stmt>;
+
+struct Stmt {
+    enum class Kind : uint8_t {
+        Assign,         //!< name = expr
+        AssignIndex,    //!< array(a) = expr
+        MemWrite,       //!< MEM(a) = expr
+        If, While, Goto, Label, CallProc, Return, Error,
+        OpCall,         //!< name(args);  or  obj.name(args);
+        Block,          //!< DO; ... END
+    };
+    Kind kind;
+    std::string name;       //!< lhs / target / callee / label
+    std::string obj;        //!< method receiver
+    Arg index;              //!< AssignIndex / MemWrite address
+    Expr rhs;
+    Arg ca, cb;             //!< condition operands
+    std::string rel;        //!< condition relation
+    StmtList body, elseBody;
+    std::vector<Arg> args;
+};
+
+struct Operation {
+    std::string name;
+    std::vector<std::string> accepts;
+    std::string returns;            //!< empty: none
+    std::vector<std::string> locals;
+    std::string microop;            //!< mnemonic; empty: none
+    std::vector<std::string> microArgs;
+    StmtList body;
+};
+
+struct TypeDecl {
+    std::string name;
+    std::vector<std::string> scalarFields;
+    std::vector<std::pair<std::string, uint32_t>> arrayFields;
+    StmtList initially;
+    std::vector<Operation> ops;
+};
+
+struct ProcDecl {
+    std::string name;
+    StmtList body;
+};
+
+/** Built-in operations, written in EMPL itself. */
+const char *kPrelude = R"(
+mul: operation accepts (mul_a, mul_b) returns (mul_p);
+    declare mul_t fixed;
+    declare mul_c fixed;
+    declare mul_low fixed;
+    mul_p = 0;
+    mul_t = mul_a;
+    mul_c = mul_b;
+    while mul_c != 0 do;
+        mul_low = mul_c & 1;
+        if mul_low = 1 then mul_p = mul_p + mul_t;
+        mul_t = mul_t shl 1;
+        mul_c = mul_c shr 1;
+    end;
+end;
+div: operation accepts (div_n, div_d) returns (div_q);
+    declare div_r fixed;
+    if div_d = 0 then error;
+    div_q = 0;
+    div_r = div_n;
+    while div_r >= div_d do;
+        div_r = div_r - div_d;
+        div_q = div_q + 1;
+    end;
+end;
+)";
+
+/** What a name resolves to during emission. */
+struct Resolved {
+    enum class Kind : uint8_t { VRegVal, Const, Array };
+    Kind kind = Kind::VRegVal;
+    VReg v = kNoVReg;
+    uint64_t value = 0;
+    uint32_t base = 0;      //!< array base address
+    uint32_t size = 0;
+};
+
+class EmplParser
+{
+  public:
+    EmplParser(const std::string &source,
+               const MachineDescription &mach, const EmplOptions &opts)
+        : mach_(mach), opts_(opts),
+          ts_(lex(std::string(kPrelude) + source,
+                  [] {
+                      LexOptions o;
+                      o.blockCommentOpen = "/*";
+                      o.blockCommentClose = "*/";
+                      o.foldCase = true;
+                      return o;
+                  }()),
+              "empl")
+    {
+        nextData_ = opts_.dataBase;
+    }
+
+    MirProgram
+    run()
+    {
+        parseTopLevel();
+        emitProgram();
+        prog_.validate();
+        return std::move(prog_);
+    }
+
+  private:
+    // ================= Parsing =================
+
+    void
+    parseTopLevel()
+    {
+        while (!ts_.atEnd()) {
+            if (ts_.acceptKeyword("declare")) {
+                parseDeclare(nullptr);
+                continue;
+            }
+            if (ts_.acceptKeyword("type")) {
+                parseType();
+                continue;
+            }
+            // name ':' (operation | procedure)
+            std::string name = ts_.expectIdent("declaration");
+            ts_.expectPunct(":");
+            if (ts_.acceptKeyword("operation")) {
+                freeOps_.push_back(parseOperation(name));
+            } else if (ts_.acceptKeyword("procedure")) {
+                ts_.expectPunct(";");
+                ProcDecl p;
+                p.name = name;
+                p.body = parseStmtsUntilEnd();
+                procs_.push_back(std::move(p));
+            } else {
+                ts_.error("expected OPERATION or PROCEDURE");
+            }
+        }
+    }
+
+    /** DECLARE name [(size)] (FIXED | typename) [AT addr] ; */
+    void
+    parseDeclare(TypeDecl *ty)
+    {
+        std::string name = ts_.expectIdent("name");
+        std::optional<uint32_t> size;
+        if (ts_.acceptPunct("(")) {
+            size = static_cast<uint32_t>(ts_.expectInt("array size"));
+            ts_.expectPunct(")");
+        }
+        std::string kind = ts_.expectIdent("FIXED or a type name");
+        std::optional<uint32_t> at;
+        if (ts_.acceptKeyword("at"))
+            at = static_cast<uint32_t>(ts_.expectInt("address"));
+        ts_.expectPunct(";");
+
+        if (ty) {
+            if (kind != "fixed")
+                ts_.error("type fields must be FIXED");
+            if (at)
+                ts_.error("AT is not allowed inside TYPE");
+            if (size)
+                ty->arrayFields.emplace_back(name, *size);
+            else
+                ty->scalarFields.push_back(name);
+            return;
+        }
+
+        if (kind == "fixed") {
+            if (size)
+                declareArray(name, *size, at);
+            else
+                declareScalar(name);
+            return;
+        }
+        // Instance of a TYPE.
+        if (size || at)
+            ts_.error("type instances cannot be arrays or placed");
+        auto it = types_.find(kind);
+        if (it == types_.end())
+            ts_.error("unknown type '%s'", kind.c_str());
+        instantiate(name, it->second);
+    }
+
+    void
+    parseType()
+    {
+        TypeDecl ty;
+        ty.name = ts_.expectIdent("type name");
+        ts_.expectPunct(";");
+        while (!ts_.acceptKeyword("endtype")) {
+            if (ts_.acceptKeyword("declare")) {
+                parseDeclare(&ty);
+            } else if (ts_.acceptKeyword("initially")) {
+                ty.initially.push_back(parseStatement(false));
+            } else {
+                std::string oname = ts_.expectIdent("operation name");
+                ts_.expectPunct(":");
+                ts_.expectKeyword("operation");
+                ty.ops.push_back(parseOperation(oname));
+            }
+        }
+        acceptEndMark();
+        if (types_.count(ty.name))
+            fatal("empl: duplicate type '%s'", ty.name.c_str());
+        types_.emplace(ty.name, std::move(ty));
+    }
+
+    Operation
+    parseOperation(const std::string &name)
+    {
+        Operation op;
+        op.name = name;
+        if (ts_.acceptKeyword("accepts")) {
+            ts_.expectPunct("(");
+            do {
+                op.accepts.push_back(ts_.expectIdent("formal"));
+            } while (ts_.acceptPunct(","));
+            ts_.expectPunct(")");
+        }
+        if (ts_.acceptKeyword("returns")) {
+            ts_.expectPunct("(");
+            op.returns = ts_.expectIdent("result formal");
+            ts_.expectPunct(")");
+        }
+        ts_.expectPunct(";");
+        if (ts_.acceptKeyword("microop")) {
+            ts_.expectPunct(":");
+            op.microop = ts_.expectIdent("microop mnemonic");
+            if (ts_.acceptPunct("(")) {
+                do {
+                    op.microArgs.push_back(
+                        ts_.expectIdent("microop operand"));
+                } while (ts_.acceptPunct(","));
+                ts_.expectPunct(")");
+            }
+            ts_.expectPunct(";");
+        }
+        while (ts_.acceptKeyword("declare")) {
+            std::string lname = ts_.expectIdent("local");
+            ts_.expectKeyword("fixed");
+            ts_.expectPunct(";");
+            op.locals.push_back(lname);
+        }
+        op.body = parseStmtsUntilEndNoConsumeFirst();
+        return op;
+    }
+
+    StmtList
+    parseStmtsUntilEndNoConsumeFirst()
+    {
+        StmtList out;
+        while (!ts_.acceptKeyword("end"))
+            out.push_back(parseStatement(false));
+        acceptEndMark();
+        return out;
+    }
+
+    StmtList
+    parseStmtsUntilEnd()
+    {
+        StmtList out;
+        while (!ts_.acceptKeyword("end"))
+            out.push_back(parseStatement(true));
+        acceptEndMark();
+        return out;
+    }
+
+    void
+    acceptEndMark()
+    {
+        if (!ts_.acceptPunct(";"))
+            ts_.acceptPunct(".");
+    }
+
+    Arg
+    parseArg()
+    {
+        Arg a;
+        if (ts_.peek().kind == Token::Kind::Int) {
+            a.isConst = true;
+            a.value = ts_.next().value;
+            return a;
+        }
+        if (ts_.acceptPunct("-")) {
+            a.isConst = true;
+            a.value = truncBits(~ts_.expectInt("integer") + 1,
+                                mach_.dataWidth());
+            return a;
+        }
+        a.name = ts_.expectIdent("variable or constant");
+        return a;
+    }
+
+    /** relational condition: arg rel arg */
+    void
+    parseCondInto(Stmt &s)
+    {
+        s.ca = parseArg();
+        if (ts_.acceptPunct("="))
+            s.rel = "=";
+        else if (ts_.acceptPunct("!=") || ts_.acceptPunct("<>"))
+            s.rel = "!=";
+        else if (ts_.acceptPunct("<="))
+            s.rel = "<=";
+        else if (ts_.acceptPunct(">="))
+            s.rel = ">=";
+        else if (ts_.acceptPunct("<"))
+            s.rel = "<";
+        else if (ts_.acceptPunct(">"))
+            s.rel = ">";
+        else
+            ts_.error("expected relational operator");
+        s.cb = parseArg();
+    }
+
+    /** One operator's worth of RHS. */
+    Expr
+    parseExpr()
+    {
+        Expr e;
+        // Unary forms.
+        if (ts_.acceptKeyword("not")) {
+            e.kind = Expr::Kind::Un;
+            e.op = UKind::Not;
+            e.a = parseArg();
+            return e;
+        }
+        if (ts_.peek().kind == Token::Kind::Punct &&
+            ts_.peek().text == "-" &&
+            ts_.peek(1).kind == Token::Kind::Ident) {
+            ts_.next();
+            e.kind = Expr::Kind::Un;
+            e.op = UKind::Neg;
+            e.a = parseArg();
+            return e;
+        }
+
+        // name(...) forms.
+        if (ts_.peek().kind == Token::Kind::Ident &&
+            ts_.peek(1).kind == Token::Kind::Punct &&
+            (ts_.peek(1).text == "(" || ts_.peek(1).text == ".")) {
+            std::string name = ts_.next().text;
+            if (ts_.acceptPunct(".")) {
+                e.kind = Expr::Kind::Method;
+                e.obj = name;
+                e.callee = ts_.expectIdent("operation");
+                ts_.expectPunct("(");
+                if (!ts_.acceptPunct(")")) {
+                    do {
+                        e.args.push_back(parseArg());
+                    } while (ts_.acceptPunct(","));
+                    ts_.expectPunct(")");
+                }
+                return e;
+            }
+            ts_.expectPunct("(");
+            if (name == "mem") {
+                e.kind = Expr::Kind::MemRead;
+                e.a = parseArg();
+                ts_.expectPunct(")");
+                return e;
+            }
+            e.kind = Expr::Kind::Apply;
+            e.callee = name;
+            if (!ts_.acceptPunct(")")) {
+                do {
+                    e.args.push_back(parseArg());
+                } while (ts_.acceptPunct(","));
+                ts_.expectPunct(")");
+            }
+            return e;
+        }
+
+        e.a = parseArg();
+        struct BinTok { const char *p; UKind k; bool kw; };
+        static const BinTok bins[] = {
+            {"+", UKind::Add, false}, {"-", UKind::Sub, false},
+            {"&", UKind::And, false}, {"|", UKind::Or, false},
+            {"xor", UKind::Xor, true}, {"shl", UKind::Shl, true},
+            {"shr", UKind::Shr, true}, {"sar", UKind::Sar, true},
+            {"rol", UKind::Rol, true}, {"ror", UKind::Ror, true},
+        };
+        for (const BinTok &b : bins) {
+            bool hit = b.kw ? ts_.acceptKeyword(b.p)
+                            : ts_.acceptPunct(b.p);
+            if (hit) {
+                e.kind = Expr::Kind::Bin;
+                e.op = b.k;
+                e.b = parseArg();
+                return e;
+            }
+        }
+        // multiplication/division via the prelude operations
+        if (ts_.acceptPunct("*") || ts_.acceptPunct("/")) {
+            // the last consumed punct isn't retrievable; reparse:
+            ts_.error("write multiplication as MUL(a, b) and "
+                      "division as DIV(a, b)");
+        }
+        e.kind = Expr::Kind::Simple;
+        return e;
+    }
+
+    Stmt
+    parseStatement(bool allow_labels)
+    {
+        Stmt s;
+        if (ts_.acceptKeyword("do")) {
+            ts_.expectPunct(";");
+            s.kind = Stmt::Kind::Block;
+            while (!ts_.acceptKeyword("end"))
+                s.body.push_back(parseStatement(allow_labels));
+            acceptEndMark();
+            return s;
+        }
+        if (ts_.acceptKeyword("if")) {
+            s.kind = Stmt::Kind::If;
+            parseCondInto(s);
+            ts_.expectKeyword("then");
+            s.body.push_back(parseStatement(false));
+            if (ts_.acceptKeyword("else"))
+                s.elseBody.push_back(parseStatement(false));
+            return s;
+        }
+        if (ts_.acceptKeyword("while")) {
+            s.kind = Stmt::Kind::While;
+            parseCondInto(s);
+            ts_.expectKeyword("do");
+            ts_.expectPunct(";");
+            while (!ts_.acceptKeyword("end"))
+                s.body.push_back(parseStatement(false));
+            acceptEndMark();
+            return s;
+        }
+        if (ts_.acceptKeyword("goto")) {
+            s.kind = Stmt::Kind::Goto;
+            s.name = ts_.expectIdent("label");
+            ts_.expectPunct(";");
+            return s;
+        }
+        if (ts_.acceptKeyword("call")) {
+            s.kind = Stmt::Kind::CallProc;
+            s.name = ts_.expectIdent("procedure");
+            ts_.expectPunct(";");
+            return s;
+        }
+        if (ts_.acceptKeyword("return")) {
+            s.kind = Stmt::Kind::Return;
+            ts_.expectPunct(";");
+            return s;
+        }
+        if (ts_.acceptKeyword("error")) {
+            s.kind = Stmt::Kind::Error;
+            ts_.expectPunct(";");
+            return s;
+        }
+
+        std::string name = ts_.expectIdent("statement");
+        // Label?
+        if (ts_.peek().kind == Token::Kind::Punct &&
+            ts_.peek().text == ":") {
+            if (!allow_labels)
+                ts_.error("labels are only allowed in procedures");
+            ts_.next();
+            s.kind = Stmt::Kind::Label;
+            s.name = name;
+            return s;
+        }
+        // obj.op(args);  or  obj.op(args) as statement
+        if (ts_.acceptPunct(".")) {
+            s.kind = Stmt::Kind::OpCall;
+            s.obj = name;
+            s.name = ts_.expectIdent("operation");
+            ts_.expectPunct("(");
+            if (!ts_.acceptPunct(")")) {
+                do {
+                    s.args.push_back(parseArg());
+                } while (ts_.acceptPunct(","));
+                ts_.expectPunct(")");
+            }
+            ts_.expectPunct(";");
+            return s;
+        }
+        // name(...) = expr  |  name(args);  |  name = expr
+        if (ts_.acceptPunct("(")) {
+            std::vector<Arg> args;
+            if (!ts_.acceptPunct(")")) {
+                do {
+                    args.push_back(parseArg());
+                } while (ts_.acceptPunct(","));
+                ts_.expectPunct(")");
+            }
+            if (ts_.acceptPunct("=")) {
+                if (args.size() != 1)
+                    ts_.error("indexed assignment takes one index");
+                s.kind = name == "mem" ? Stmt::Kind::MemWrite
+                                       : Stmt::Kind::AssignIndex;
+                s.name = name;
+                s.index = args[0];
+                s.rhs = parseExpr();
+                ts_.expectPunct(";");
+                return s;
+            }
+            s.kind = Stmt::Kind::OpCall;
+            s.name = name;
+            s.args = std::move(args);
+            ts_.expectPunct(";");
+            return s;
+        }
+        ts_.expectPunct("=");
+        s.kind = Stmt::Kind::Assign;
+        s.name = name;
+        s.rhs = parseExpr();
+        ts_.expectPunct(";");
+        return s;
+    }
+
+    // ================= Declarations / storage =================
+
+    void
+    declareScalar(const std::string &name)
+    {
+        if (globals_.count(name))
+            fatal("empl: duplicate declaration '%s'", name.c_str());
+        Resolved r;
+        r.kind = Resolved::Kind::VRegVal;
+        r.v = prog_.newVReg(name);
+        prog_.markObservable(r.v);
+        globals_.emplace(name, r);
+    }
+
+    void
+    declareArray(const std::string &name, uint32_t size,
+                 std::optional<uint32_t> at)
+    {
+        if (globals_.count(name))
+            fatal("empl: duplicate declaration '%s'", name.c_str());
+        Resolved r;
+        r.kind = Resolved::Kind::Array;
+        r.base = at ? *at : nextData_;
+        r.size = size;
+        if (!at)
+            nextData_ += size;
+        globals_.emplace(name, r);
+    }
+
+    void
+    instantiate(const std::string &obj, const TypeDecl &ty)
+    {
+        for (const std::string &f : ty.scalarFields)
+            declareScalar(obj + "." + f);
+        for (auto &[f, size] : ty.arrayFields)
+            declareArray(obj + "." + f, size, std::nullopt);
+        instances_.emplace(obj, ty.name);
+        if (!ty.initially.empty())
+            initQueue_.emplace_back(obj, &ty);
+    }
+
+    // ================= Emission =================
+
+    BasicBlock &
+    cur()
+    {
+        return prog_.func(fn_).blocks[curBlock_];
+    }
+
+    uint32_t
+    newBlock()
+    {
+        return prog_.func(fn_).newBlock();
+    }
+
+    Resolved
+    resolve(const Arg &a)
+    {
+        if (a.isConst) {
+            Resolved r;
+            r.kind = Resolved::Kind::Const;
+            r.value = a.value;
+            return r;
+        }
+        for (auto it = env_.rbegin(); it != env_.rend(); ++it) {
+            auto f = it->find(a.name);
+            if (f != it->end())
+                return f->second;
+        }
+        auto g = globals_.find(a.name);
+        if (g == globals_.end())
+            fatal("empl: undeclared variable '%s'", a.name.c_str());
+        return g->second;
+    }
+
+    VReg
+    valueOf(const Arg &a)
+    {
+        Resolved r = resolve(a);
+        switch (r.kind) {
+          case Resolved::Kind::VRegVal:
+            return r.v;
+          case Resolved::Kind::Const: {
+            VReg t = prog_.newVReg();
+            cur().insts.push_back(mi::ldi(t, r.value));
+            return t;
+          }
+          case Resolved::Kind::Array:
+            fatal("empl: array '%s' used as a value", a.name.c_str());
+        }
+        return kNoVReg;
+    }
+
+    /** Destination vreg for an assignment target name. */
+    VReg
+    lvalue(const std::string &name)
+    {
+        Arg a;
+        a.name = name;
+        Resolved r = resolve(a);
+        if (r.kind == Resolved::Kind::Const)
+            fatal("empl: cannot assign to constant-bound formal '%s'",
+                  name.c_str());
+        if (r.kind == Resolved::Kind::Array)
+            fatal("empl: array '%s' needs an index", name.c_str());
+        return r.v;
+    }
+
+    /** Address vreg for array element @p arr ( @p idx ). */
+    VReg
+    elementAddr(const Resolved &arr, const Arg &idx)
+    {
+        Resolved ri = resolve(idx);
+        VReg t = prog_.newVReg();
+        if (ri.kind == Resolved::Kind::Const) {
+            cur().insts.push_back(mi::ldi(t, arr.base + ri.value));
+        } else if (ri.kind == Resolved::Kind::VRegVal) {
+            cur().insts.push_back(
+                mi::binopImm(UKind::Add, t, ri.v, arr.base));
+        } else {
+            fatal("empl: array index must be scalar");
+        }
+        return t;
+    }
+
+    void
+    emitExprInto(VReg dst, const Expr &e)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Simple: {
+            Resolved r = resolve(e.a);
+            if (r.kind == Resolved::Kind::Const)
+                cur().insts.push_back(mi::ldi(dst, r.value));
+            else if (r.kind == Resolved::Kind::VRegVal)
+                cur().insts.push_back(mi::mov(dst, r.v));
+            else
+                fatal("empl: array used as value");
+            break;
+          }
+          case Expr::Kind::Un:
+            cur().insts.push_back(mi::unop(e.op, dst, valueOf(e.a)));
+            break;
+          case Expr::Kind::Bin: {
+            VReg va = valueOf(e.a);
+            Resolved rb = resolve(e.b);
+            if (rb.kind == Resolved::Kind::Const)
+                cur().insts.push_back(
+                    mi::binopImm(e.op, dst, va, rb.value));
+            else
+                cur().insts.push_back(mi::binop(e.op, dst, va, rb.v));
+            break;
+          }
+          case Expr::Kind::MemRead:
+            cur().insts.push_back(mi::load(dst, valueOf(e.a)));
+            break;
+          case Expr::Kind::Apply: {
+            if (globals_.count(e.callee) &&
+                globals_[e.callee].kind == Resolved::Kind::Array) {
+                if (e.args.size() != 1)
+                    fatal("empl: array '%s' takes one index",
+                          e.callee.c_str());
+                VReg addr = elementAddr(globals_[e.callee],
+                                        e.args[0]);
+                cur().insts.push_back(mi::load(dst, addr));
+                break;
+            }
+            expandOperation(findFreeOp(e.callee), e.args, dst,
+                            nullptr, "");
+            break;
+          }
+          case Expr::Kind::Method: {
+            auto [op, obj] = findMethod(e.obj, e.callee);
+            expandOperation(*op, e.args, dst, obj.second, obj.first);
+            break;
+          }
+        }
+    }
+
+    const Operation &
+    findFreeOp(const std::string &name)
+    {
+        for (const Operation &op : freeOps_) {
+            if (op.name == name)
+                return op;
+        }
+        fatal("empl: unknown operation '%s'", name.c_str());
+    }
+
+    std::pair<const Operation *,
+              std::pair<std::string, const TypeDecl *>>
+    findMethod(const std::string &obj, const std::string &opname)
+    {
+        auto it = instances_.find(obj);
+        if (it == instances_.end())
+            fatal("empl: '%s' is not a type instance", obj.c_str());
+        const TypeDecl &ty = types_.at(it->second);
+        for (const Operation &op : ty.ops) {
+            if (op.name == opname)
+                return {&op, {obj, &ty}};
+        }
+        fatal("empl: type '%s' has no operation '%s'",
+              ty.name.c_str(), opname.c_str());
+    }
+
+    /**
+     * Inline-expand @p op with @p actuals. @p ret (if valid) takes
+     * the RETURNS value. @p ty / @p obj qualify field references for
+     * typed operations.
+     */
+    void
+    expandOperation(const Operation &op, const std::vector<Arg> &actuals,
+                    VReg ret, const TypeDecl *ty,
+                    const std::string &obj)
+    {
+        if (++inlineDepth_ > 32)
+            fatal("empl: operation expansion too deep (recursion?)");
+        if (actuals.size() != op.accepts.size())
+            fatal("empl: operation '%s' takes %zu arguments, got %zu",
+                  op.name.c_str(), op.accepts.size(), actuals.size());
+        if (ret != kNoVReg && op.returns.empty())
+            fatal("empl: operation '%s' returns nothing",
+                  op.name.c_str());
+
+        std::unordered_map<std::string, Resolved> frame;
+        // Fields first (formals may shadow them).
+        if (ty) {
+            for (const std::string &f : ty->scalarFields)
+                frame.emplace(f, globals_.at(obj + "." + f));
+            for (auto &[f, size] : ty->arrayFields) {
+                (void)size;
+                frame.emplace(f, globals_.at(obj + "." + f));
+            }
+        }
+        for (size_t i = 0; i < actuals.size(); ++i)
+            frame[op.accepts[i]] = resolve(actuals[i]);
+        if (!op.returns.empty()) {
+            Resolved r;
+            r.kind = Resolved::Kind::VRegVal;
+            r.v = ret != kNoVReg ? ret : prog_.newVReg();
+            frame[op.returns] = r;
+        }
+        for (const std::string &l : op.locals) {
+            Resolved r;
+            r.kind = Resolved::Kind::VRegVal;
+            r.v = prog_.newVReg();
+            frame[l] = r;
+        }
+
+        // MICROOP path: a single hardware microoperation.
+        if (opts_.useMicroOps && !op.microop.empty()) {
+            auto uidx = mach_.findUop(op.microop);
+            if (uidx) {
+                env_.push_back(frame);
+                emitMicroOpCall(op, *uidx);
+                env_.pop_back();
+                --inlineDepth_;
+                return;
+            }
+            // machine lacks it: fall through to the body
+        }
+
+        env_.push_back(std::move(frame));
+        for (const Stmt &s : op.body)
+            emitStmt(s);
+        env_.pop_back();
+        --inlineDepth_;
+    }
+
+    void
+    emitMicroOpCall(const Operation &op, uint16_t uidx)
+    {
+        const MicroOpSpec &spec = mach_.uop(uidx);
+        UKind k = spec.kind;
+        // Positional mapping: dst, then srcA, then srcB.
+        std::vector<VReg> slots;
+        for (const std::string &a : op.microArgs) {
+            Arg arg;
+            arg.name = a;
+            Resolved r = resolve(arg);
+            if (r.kind != Resolved::Kind::VRegVal)
+                fatal("empl: MICROOP operand '%s' must be scalar",
+                      a.c_str());
+            slots.push_back(r.v);
+        }
+        size_t need = (uKindHasDst(k) ? 1 : 0) +
+                      (uKindHasSrcA(k) ? 1 : 0) +
+                      (uKindHasSrcB(k) ? 1 : 0);
+        if (slots.size() != need)
+            fatal("empl: MICROOP %s needs %zu operands, got %zu",
+                  op.microop.c_str(), need, slots.size());
+        MInst ins;
+        ins.op = k;
+        size_t i = 0;
+        if (uKindHasDst(k))
+            ins.dst = slots[i++];
+        if (uKindHasSrcA(k))
+            ins.a = slots[i++];
+        if (uKindHasSrcB(k))
+            ins.b = slots[i++];
+        cur().insts.push_back(ins);
+    }
+
+    Cond
+    emitCond(const Stmt &s)
+    {
+        bool swap = s.rel == ">" || s.rel == "<=";
+        const Arg &first = swap ? s.cb : s.ca;
+        const Arg &second = swap ? s.ca : s.cb;
+        VReg va = valueOf(first);
+        Resolved rb = resolve(second);
+        MInst c;
+        c.op = UKind::Cmp;
+        c.a = va;
+        if (rb.kind == Resolved::Kind::Const) {
+            c.useImm = true;
+            c.imm = rb.value;
+        } else {
+            c.b = rb.v;
+        }
+        cur().insts.push_back(c);
+        if (s.rel == "=")
+            return Cond::Z;
+        if (s.rel == "!=")
+            return Cond::NZ;
+        if (s.rel == "<" || s.rel == ">")
+            return Cond::NC;
+        return Cond::C;     // >= and <=
+    }
+
+    void
+    emitStmt(const Stmt &s)
+    {
+        switch (s.kind) {
+          case Stmt::Kind::Block:
+            for (const Stmt &inner : s.body)
+                emitStmt(inner);
+            break;
+          case Stmt::Kind::Assign: {
+            // Expansion targets the lvalue directly unless the rhs
+            // also reads it through an operation (safe either way:
+            // one-operator rule means no aliasing hazards here).
+            VReg dst = lvalue(s.name);
+            emitExprInto(dst, s.rhs);
+            break;
+          }
+          case Stmt::Kind::AssignIndex: {
+            Arg n;
+            n.name = s.name;
+            Resolved arr = resolve(n);
+            if (arr.kind != Resolved::Kind::Array)
+                fatal("empl: '%s' is not an array", s.name.c_str());
+            VReg t = prog_.newVReg();
+            emitExprInto(t, s.rhs);
+            VReg addr = elementAddr(arr, s.index);
+            cur().insts.push_back(mi::store(addr, t));
+            break;
+          }
+          case Stmt::Kind::MemWrite: {
+            VReg t = prog_.newVReg();
+            emitExprInto(t, s.rhs);
+            cur().insts.push_back(mi::store(valueOf(s.index), t));
+            break;
+          }
+          case Stmt::Kind::If: {
+            Cond cc = emitCond(s);
+            uint32_t then_b = newBlock();
+            uint32_t join = newBlock();
+            uint32_t else_target = join;
+            uint32_t cond_b = curBlock_;
+            curBlock_ = then_b;
+            for (const Stmt &inner : s.body)
+                emitStmt(inner);
+            cur().term = jumpTerm(join);
+            if (!s.elseBody.empty()) {
+                uint32_t else_b = newBlock();
+                else_target = else_b;
+                curBlock_ = else_b;
+                for (const Stmt &inner : s.elseBody)
+                    emitStmt(inner);
+                cur().term = jumpTerm(join);
+            }
+            auto &t = prog_.func(fn_).blocks[cond_b].term;
+            t.kind = Terminator::Kind::Branch;
+            t.cc = cc;
+            t.target = then_b;
+            t.fallthrough = else_target;
+            curBlock_ = join;
+            break;
+          }
+          case Stmt::Kind::While: {
+            uint32_t hdr = newBlock();
+            uint32_t body = newBlock();
+            uint32_t exit = newBlock();
+            cur().term = jumpTerm(hdr);
+            curBlock_ = hdr;
+            Cond cc = emitCond(s);
+            cur().term.kind = Terminator::Kind::Branch;
+            cur().term.cc = cc;
+            cur().term.target = body;
+            cur().term.fallthrough = exit;
+            curBlock_ = body;
+            for (const Stmt &inner : s.body)
+                emitStmt(inner);
+            cur().term = jumpTerm(hdr);
+            curBlock_ = exit;
+            break;
+          }
+          case Stmt::Kind::Goto: {
+            uint32_t target = labelBlock(s.name);
+            cur().term = jumpTerm(target);
+            curBlock_ = newBlock();
+            break;
+          }
+          case Stmt::Kind::Label: {
+            uint32_t b = labelBlock(s.name);
+            if (definedLabels_.count(s.name))
+                fatal("empl: duplicate label '%s'", s.name.c_str());
+            definedLabels_.insert(s.name);
+            cur().term = jumpTerm(b);
+            curBlock_ = b;
+            break;
+          }
+          case Stmt::Kind::CallProc: {
+            uint32_t cont = newBlock();
+            cur().term.kind = Terminator::Kind::Call;
+            cur().term.target = cont;
+            callFixups_.emplace_back(fn_, curBlock_, s.name);
+            curBlock_ = cont;
+            break;
+          }
+          case Stmt::Kind::Return:
+            cur().term.kind = fn_ == 0 ? Terminator::Kind::Halt
+                                       : Terminator::Kind::Ret;
+            curBlock_ = newBlock();
+            break;
+          case Stmt::Kind::Error:
+            // A runtime error stops the micro engine.
+            cur().term.kind = Terminator::Kind::Halt;
+            curBlock_ = newBlock();
+            break;
+          case Stmt::Kind::OpCall: {
+            if (!s.obj.empty()) {
+                auto [op, obj] = findMethod(s.obj, s.name);
+                VReg ret = kNoVReg;
+                expandOperation(*op, s.args, ret, obj.second,
+                                obj.first);
+            } else {
+                expandOperation(findFreeOp(s.name), s.args, kNoVReg,
+                                nullptr, "");
+            }
+            break;
+          }
+        }
+    }
+
+    uint32_t
+    labelBlock(const std::string &label)
+    {
+        auto it = labelBlocks_.find(label);
+        if (it != labelBlocks_.end())
+            return it->second;
+        uint32_t b = newBlock();
+        labelBlocks_.emplace(label, b);
+        return b;
+    }
+
+    void
+    emitProgram()
+    {
+        // MAIN must exist and becomes function 0.
+        int main_idx = -1;
+        for (size_t i = 0; i < procs_.size(); ++i) {
+            if (procs_[i].name == "main")
+                main_idx = static_cast<int>(i);
+        }
+        if (main_idx < 0)
+            fatal("empl: no MAIN procedure");
+        std::swap(procs_[0], procs_[main_idx]);
+
+        for (const ProcDecl &p : procs_)
+            prog_.addFunction(p.name);
+
+        for (size_t i = 0; i < procs_.size(); ++i) {
+            fn_ = static_cast<uint32_t>(i);
+            curBlock_ = prog_.func(fn_).newBlock();
+            labelBlocks_.clear();
+            definedLabels_.clear();
+
+            if (i == 0) {
+                // INITIALLY bodies of all instances run first.
+                for (auto &[obj, ty] : initQueue_) {
+                    std::unordered_map<std::string, Resolved> frame;
+                    for (const std::string &f : ty->scalarFields)
+                        frame.emplace(f, globals_.at(obj + "." + f));
+                    for (auto &[f, size] : ty->arrayFields) {
+                        (void)size;
+                        frame.emplace(f, globals_.at(obj + "." + f));
+                    }
+                    env_.push_back(std::move(frame));
+                    for (const Stmt &s : ty->initially)
+                        emitStmt(s);
+                    env_.pop_back();
+                }
+            }
+
+            for (const Stmt &s : procs_[i].body)
+                emitStmt(s);
+            cur().term.kind = i == 0 ? Terminator::Kind::Halt
+                                     : Terminator::Kind::Ret;
+
+            for (auto &[label, blk] : labelBlocks_) {
+                (void)blk;
+                if (!definedLabels_.count(label))
+                    fatal("empl: undefined label '%s' in '%s'",
+                          label.c_str(), procs_[i].name.c_str());
+            }
+        }
+
+        for (auto &[fn, blk, callee] : callFixups_) {
+            auto f = prog_.findFunction(callee);
+            if (!f)
+                fatal("empl: CALL of undefined procedure '%s'",
+                      callee.c_str());
+            prog_.func(fn).blocks[blk].term.callee = *f;
+        }
+    }
+
+    const MachineDescription &mach_;
+    EmplOptions opts_;
+    TokenStream ts_;
+    MirProgram prog_;
+
+    std::unordered_map<std::string, Resolved> globals_;
+    std::unordered_map<std::string, TypeDecl> types_;
+    std::unordered_map<std::string, std::string> instances_;
+    std::vector<std::pair<std::string, const TypeDecl *>> initQueue_;
+    std::vector<Operation> freeOps_;
+    std::vector<ProcDecl> procs_;
+    uint32_t nextData_ = 0;
+
+    uint32_t fn_ = 0;
+    uint32_t curBlock_ = 0;
+    int inlineDepth_ = 0;
+    std::vector<std::unordered_map<std::string, Resolved>> env_;
+    std::unordered_map<std::string, uint32_t> labelBlocks_;
+    std::set<std::string> definedLabels_;
+    std::vector<std::tuple<uint32_t, uint32_t, std::string>>
+        callFixups_;
+};
+
+} // namespace
+
+MirProgram
+parseEmpl(const std::string &source, const MachineDescription &mach,
+          const EmplOptions &opts)
+{
+    EmplParser p(source, mach, opts);
+    return p.run();
+}
+
+} // namespace uhll

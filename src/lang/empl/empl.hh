@@ -1,0 +1,91 @@
+/**
+ * @file
+ * EMPL -- the "Extensible MicroProgramming Language" (DeWitt, 1976;
+ * survey sec. 2.2.2).
+ *
+ * Machine-independent, symbolic global variables (no registers in
+ * the language), a small operator set extended by user OPERATION
+ * declarations with optional MICROOP hardware bindings, SIMULA-class
+ * style TYPE extension statements, parameterless procedures, and
+ * one-operator expressions. Operator invocations are textually
+ * inlined, as in DeWitt's proposed implementation -- the code-growth
+ * consequence the survey points out is measured by benchmark E7.
+ *
+ * Syntax (PL/I flavoured, case-insensitive):
+ *
+ *     DECLARE X FIXED;
+ *     DECLARE BUF(16) FIXED;            /" array, memory allocated "/
+ *     DECLARE RAW(8) FIXED AT 0x3000;   /" uhll extension: fixed base "/
+ *
+ *     TYPE STACK;
+ *         DECLARE SP FIXED;
+ *         INITIALLY DO; SP = 0x3FF; END;
+ *         PUSH: OPERATION ACCEPTS (VALUE);
+ *             MICROOP: PUSH(SP, VALUE);
+ *             SP = SP + 1;
+ *             MEM(SP) = VALUE;
+ *         END;
+ *         POP: OPERATION RETURNS (VALUE);
+ *             MICROOP: POP(VALUE, SP);
+ *             VALUE = MEM(SP);
+ *             SP = SP - 1;
+ *         END;
+ *     ENDTYPE;
+ *     DECLARE S STACK;
+ *
+ *     DOUBLE: OPERATION ACCEPTS (A) RETURNS (R);
+ *         R = A + A;
+ *     END;
+ *
+ *     MAIN: PROCEDURE;
+ *         X = DOUBLE(X);
+ *         S.PUSH(X);
+ *         X = S.POP();
+ *         IF X < 10 THEN GOTO L;
+ *         WHILE X != 0 DO; X = X - 1; END;
+ *     L:  RETURN;
+ *     END;
+ *
+ * Notes and documented deviations:
+ *  - MEM(expr) is a uhll extension exposing main memory (the paper
+ *    itself criticises EMPL for having no memory access at all);
+ *  - MICROOP takes an explicit operand list (fields/formals) mapped
+ *    positionally onto the microoperation's dst/srcA/srcB slots;
+ *    whether body and microoperation agree is, as in DeWitt's
+ *    design, the programmer's claim;
+ *  - GOTO is not allowed inside OPERATION bodies;
+ *  - actual arguments must be simple variables or constants (as in
+ *    the paper);
+ *  - ERROR halts the micro engine.
+ */
+
+#ifndef UHLL_LANG_EMPL_EMPL_HH
+#define UHLL_LANG_EMPL_EMPL_HH
+
+#include <string>
+
+#include "machine/machine_desc.hh"
+#include "mir/mir.hh"
+
+namespace uhll {
+
+/** EMPL compilation options. */
+struct EmplOptions {
+    //! honour MICROOP bindings (false forces body expansion even
+    //! when hardware exists -- used by the E7 benchmark)
+    bool useMicroOps = true;
+    //! base address for memory-allocated arrays
+    uint32_t dataBase = 0x2000;
+};
+
+/**
+ * Parse an EMPL program into MIR. The entry procedure must be named
+ * MAIN. fatal() on any error.
+ */
+MirProgram parseEmpl(const std::string &source,
+                     const MachineDescription &mach,
+                     const EmplOptions &opts = {});
+
+} // namespace uhll
+
+#endif // UHLL_LANG_EMPL_EMPL_HH

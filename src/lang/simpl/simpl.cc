@@ -1,0 +1,478 @@
+#include "lang/simpl/simpl.hh"
+
+#include <unordered_map>
+
+#include "lang/common/lexer.hh"
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+namespace {
+
+/** An operand: a register-bound vreg or a constant. */
+struct Operand {
+    VReg reg = kNoVReg;
+    uint64_t imm = 0;
+    bool isImm = false;
+};
+
+class SimplParser
+{
+  public:
+    SimplParser(const std::string &source,
+                const MachineDescription &mach)
+        : mach_(mach),
+          ts_(lex(source,
+                  [] {
+                      LexOptions o;
+                      o.hashComments = true;
+                      o.foldCase = true;
+                      return o;
+                  }()),
+              "simpl")
+    {}
+
+    MirProgram
+    run()
+    {
+        ts_.expectKeyword("program");
+        std::string name = ts_.expectIdent("program name");
+        ts_.expectPunct(";");
+        fn_ = prog_.addFunction(name);
+
+        while (true) {
+            if (ts_.acceptKeyword("equiv")) {
+                std::string alias = ts_.expectIdent("alias");
+                ts_.expectPunct("=");
+                std::string phys =
+                    ts_.expectIdent("machine register");
+                auto r = mach_.findRegister(phys);
+                if (!r)
+                    ts_.error("machine %s has no register '%s'",
+                              mach_.name().c_str(), phys.c_str());
+                if (aliases_.count(alias) || consts_.count(alias))
+                    ts_.error("duplicate name '%s'", alias.c_str());
+                aliases_.emplace(alias, *r);
+                ts_.expectPunct(";");
+            } else if (ts_.acceptKeyword("const")) {
+                std::string cname = ts_.expectIdent("constant name");
+                ts_.expectPunct("=");
+                uint64_t v = parseSignedInt();
+                if (aliases_.count(cname) || consts_.count(cname))
+                    ts_.error("duplicate name '%s'", cname.c_str());
+                consts_.emplace(cname, v);
+                ts_.expectPunct(";");
+            } else {
+                break;
+            }
+        }
+
+        curBlock_ = prog_.func(fn_).newBlock();
+        parseBlock();
+        if (!ts_.atEnd())
+            ts_.error("unexpected trailing input");
+        cur().term.kind = Terminator::Kind::Halt;
+        prog_.validate();
+        return std::move(prog_);
+    }
+
+  private:
+    BasicBlock &
+    cur()
+    {
+        return prog_.func(fn_).blocks[curBlock_];
+    }
+
+    uint32_t
+    newBlock()
+    {
+        return prog_.func(fn_).newBlock();
+    }
+
+    /**
+     * Statement separator: a semicolon, optionally elided directly
+     * before 'else', 'end' or 'esac' (ALGOL style).
+     */
+    void
+    endStmt()
+    {
+        if (ts_.acceptPunct(";"))
+            return;
+        const Token &t = ts_.peek();
+        if (t.kind == Token::Kind::Ident &&
+            (t.text == "else" || t.text == "end" || t.text == "esac"))
+            return;
+        ts_.error("expected ';'");
+    }
+
+    uint64_t
+    parseSignedInt()
+    {
+        bool neg = ts_.acceptPunct("-");
+        uint64_t v = ts_.expectInt("integer");
+        if (neg)
+            v = truncBits(~v + 1, mach_.dataWidth());
+        return v;
+    }
+
+    /** The (lazily created) vreg bound to machine register @p r. */
+    VReg
+    vregForReg(RegId r)
+    {
+        auto it = regVRegs_.find(r);
+        if (it != regVRegs_.end())
+            return it->second;
+        VReg v = prog_.newVReg(mach_.reg(r).name);
+        prog_.bind(v, r);
+        prog_.markObservable(v);
+        regVRegs_.emplace(r, v);
+        return v;
+    }
+
+    Operand
+    parseOperand()
+    {
+        if (ts_.peek().kind == Token::Kind::Int ||
+            (ts_.peek().kind == Token::Kind::Punct &&
+             ts_.peek().text == "-")) {
+            Operand o;
+            o.isImm = true;
+            o.imm = parseSignedInt();
+            return o;
+        }
+        std::string name = ts_.expectIdent("operand");
+        if (auto it = consts_.find(name); it != consts_.end()) {
+            Operand o;
+            o.isImm = true;
+            o.imm = it->second;
+            return o;
+        }
+        Operand o;
+        o.reg = vregForName(name);
+        return o;
+    }
+
+    VReg
+    vregForName(const std::string &name)
+    {
+        if (auto it = aliases_.find(name); it != aliases_.end())
+            return vregForReg(it->second);
+        auto r = mach_.findRegister(name);
+        if (!r)
+            ts_.error("'%s' is neither a register, an alias nor a "
+                      "constant of %s", name.c_str(),
+                      mach_.name().c_str());
+        return vregForReg(*r);
+    }
+
+    /** Materialise an operand into a vreg (temp for constants). */
+    VReg
+    asVReg(const Operand &o)
+    {
+        if (!o.isImm)
+            return o.reg;
+        VReg t = prog_.newVReg();
+        cur().insts.push_back(mi::ldi(t, o.imm));
+        return t;
+    }
+
+    /** Parse "expr -> dest ;" with expr of at most one operator. */
+    void
+    parseAssignment()
+    {
+        Operand a = parseOperand();
+
+        UKind op = UKind::Nop;
+        bool have_op = false;
+        bool shift = false;
+        bool circular = false;
+        if (ts_.acceptPunct("+")) { op = UKind::Add; have_op = true; }
+        else if (ts_.acceptPunct("-")) { op = UKind::Sub; have_op = true; }
+        else if (ts_.acceptPunct("&")) { op = UKind::And; have_op = true; }
+        else if (ts_.acceptPunct("|")) { op = UKind::Or; have_op = true; }
+        else if (ts_.acceptKeyword("xor")) { op = UKind::Xor; have_op = true; }
+        else if (ts_.acceptPunct("^^")) { shift = circular = have_op = true; }
+        else if (ts_.acceptPunct("^")) { shift = have_op = true; }
+
+        Operand b;
+        if (have_op)
+            b = parseOperand();
+        ts_.expectPunct("->");
+        VReg dst = vregForName(ts_.expectIdent("destination"));
+        endStmt();
+
+        if (!have_op) {
+            if (a.isImm)
+                cur().insts.push_back(mi::ldi(dst, a.imm));
+            else
+                cur().insts.push_back(mi::mov(dst, a.reg));
+            return;
+        }
+
+        if (shift) {
+            // ^ n shifts left for positive n, right for negative;
+            // ^^ is the circular variant.
+            if (!b.isImm)
+                ts_.error("shift amounts must be constants in SIMPL");
+            unsigned w = mach_.dataWidth();
+            int64_t sn = signExtend(b.imm, w);
+            bool right = sn < 0;
+            uint64_t n = static_cast<uint64_t>(right ? -sn : sn);
+            UKind k = circular
+                          ? (right ? UKind::Ror : UKind::Rol)
+                          : (right ? UKind::Shr : UKind::Shl);
+            cur().insts.push_back(
+                mi::binopImm(k, dst, asVReg(a), n));
+            return;
+        }
+
+        VReg va = asVReg(a);
+        if (b.isImm)
+            cur().insts.push_back(mi::binopImm(op, dst, va, b.imm));
+        else
+            cur().insts.push_back(mi::binop(op, dst, va, b.reg));
+    }
+
+    /**
+     * Parse a condition; emits a compare when needed.
+     * @return the branch condition for the true path.
+     */
+    Cond
+    parseCond()
+    {
+        // Flag condition: uf = 0|1.
+        if (ts_.peek().kind == Token::Kind::Ident &&
+            ts_.peek().text == "uf") {
+            ts_.next();
+            ts_.expectPunct("=");
+            uint64_t v = ts_.expectInt("0 or 1");
+            if (v > 1)
+                ts_.error("uf compares against 0 or 1");
+            return v ? Cond::UF : Cond::NoUF;
+        }
+
+        Operand a = parseOperand();
+        std::string rel;
+        if (ts_.acceptPunct("=")) rel = "=";
+        else if (ts_.acceptPunct("!=") || ts_.acceptPunct("<>"))
+            rel = "!=";
+        else if (ts_.acceptPunct("<")) rel = "<";
+        else if (ts_.acceptPunct(">=")) rel = ">=";
+        else ts_.error("expected relational operator");
+        Operand b = parseOperand();
+
+        MInst c;
+        c.op = UKind::Cmp;
+        c.a = asVReg(a);
+        if (b.isImm) {
+            c.useImm = true;
+            c.imm = b.imm;
+        } else {
+            c.b = b.reg;
+        }
+        cur().insts.push_back(c);
+        if (rel == "=")
+            return Cond::Z;
+        if (rel == "!=")
+            return Cond::NZ;
+        if (rel == "<")
+            return Cond::NC;
+        return Cond::C;
+    }
+
+    void
+    parseStatement()
+    {
+        if (ts_.acceptKeyword("comment")) {
+            while (!ts_.acceptPunct(";")) {
+                if (ts_.atEnd())
+                    ts_.error("unterminated comment");
+                ts_.next();
+            }
+            return;
+        }
+        if (ts_.peek().kind == Token::Kind::Ident &&
+            ts_.peek().text == "begin") {
+            parseBlock();
+            ts_.acceptPunct(";");
+            return;
+        }
+        if (ts_.acceptKeyword("while")) {
+            uint32_t hdr = newBlock();
+            uint32_t body = newBlock();
+            uint32_t exit = newBlock();
+            cur().term = jumpTerm(hdr);
+            curBlock_ = hdr;
+            Cond cc = parseCond();
+            ts_.expectKeyword("do");
+            cur().term.kind = Terminator::Kind::Branch;
+            cur().term.cc = cc;
+            cur().term.target = body;
+            cur().term.fallthrough = exit;
+            curBlock_ = body;
+            parseStatement();
+            cur().term = jumpTerm(hdr);
+            curBlock_ = exit;
+            ts_.acceptPunct(";");
+            return;
+        }
+        if (ts_.acceptKeyword("if")) {
+            Cond cc = parseCond();
+            ts_.expectKeyword("then");
+            uint32_t then_b = newBlock();
+            uint32_t join = newBlock();
+            uint32_t cond_b = curBlock_;
+            curBlock_ = then_b;
+            parseStatement();
+            uint32_t then_end = curBlock_;
+            uint32_t else_target = join;
+            if (ts_.acceptKeyword("else")) {
+                uint32_t else_b = newBlock();
+                else_target = else_b;
+                curBlock_ = else_b;
+                parseStatement();
+                cur().term = jumpTerm(join);
+            }
+            prog_.func(fn_).blocks[cond_b].term.kind =
+                Terminator::Kind::Branch;
+            prog_.func(fn_).blocks[cond_b].term.cc = cc;
+            prog_.func(fn_).blocks[cond_b].term.target = then_b;
+            prog_.func(fn_).blocks[cond_b].term.fallthrough =
+                else_target;
+            prog_.func(fn_).blocks[then_end].term =
+                jumpTerm(join);
+            curBlock_ = join;
+            ts_.acceptPunct(";");
+            return;
+        }
+        if (ts_.acceptKeyword("for")) {
+            // for v = e1 to e2 do S  ==  v := e1; while v != e2+1 ...
+            // (the paper lists for-statements as "probably" present;
+            // upward-counting inclusive range)
+            VReg v = vregForName(ts_.expectIdent("loop variable"));
+            ts_.expectPunct("=");
+            Operand from = parseOperand();
+            ts_.expectKeyword("to");
+            Operand to = parseOperand();
+            ts_.expectKeyword("do");
+
+            if (from.isImm)
+                cur().insts.push_back(mi::ldi(v, from.imm));
+            else
+                cur().insts.push_back(mi::mov(v, from.reg));
+            VReg limit;
+            if (to.isImm) {
+                limit = prog_.newVReg();
+                cur().insts.push_back(mi::ldi(limit, to.imm));
+            } else {
+                limit = to.reg;
+            }
+
+            uint32_t hdr = newBlock();
+            uint32_t body = newBlock();
+            uint32_t exit = newBlock();
+            cur().term = jumpTerm(hdr);
+            curBlock_ = hdr;
+            // exit once v > limit (inclusive upper bound)
+            cur().insts.push_back(mi::cmp(limit, v));
+            cur().term.kind = Terminator::Kind::Branch;
+            cur().term.cc = Cond::NC;   // limit < v
+            cur().term.target = exit;
+            cur().term.fallthrough = body;
+            curBlock_ = body;
+            parseStatement();
+            cur().insts.push_back(mi::binopImm(UKind::Add, v, v, 1));
+            cur().term = jumpTerm(hdr);
+            curBlock_ = exit;
+            ts_.acceptPunct(";");
+            return;
+        }
+        if (ts_.acceptKeyword("case")) {
+            Operand sel = parseOperand();
+            if (sel.isImm)
+                ts_.error("case selector must be a register");
+            ts_.expectKeyword("of");
+            std::vector<uint32_t> arm_blocks;
+            uint32_t join = newBlock();
+            uint32_t case_b = curBlock_;
+            uint64_t expected = 0;
+            while (!ts_.acceptKeyword("esac")) {
+                uint64_t idx = ts_.expectInt("arm index");
+                if (idx != expected)
+                    ts_.error("case arms must be 0,1,2,... in order");
+                ++expected;
+                ts_.expectPunct(":");
+                uint32_t b = newBlock();
+                arm_blocks.push_back(b);
+                curBlock_ = b;
+                parseStatement();
+                cur().term = jumpTerm(join);
+            }
+            if (arm_blocks.empty())
+                ts_.error("case needs at least one arm");
+            unsigned bits = 1;
+            while ((1u << bits) < arm_blocks.size())
+                ++bits;
+            Terminator t;
+            t.kind = Terminator::Kind::Case;
+            t.caseReg = sel.reg;
+            t.caseMask = bitMask(bits);
+            for (size_t i = 0; i < (size_t(1) << bits); ++i) {
+                t.caseTargets.push_back(i < arm_blocks.size()
+                                            ? arm_blocks[i]
+                                            : join);
+            }
+            prog_.func(fn_).blocks[case_b].term = std::move(t);
+            curBlock_ = join;
+            ts_.acceptPunct(";");
+            return;
+        }
+        if (ts_.acceptKeyword("read")) {
+            VReg d = vregForName(ts_.expectIdent("destination"));
+            ts_.expectPunct(",");
+            Operand addr = parseOperand();
+            endStmt();
+            cur().insts.push_back(mi::load(d, asVReg(addr)));
+            return;
+        }
+        if (ts_.acceptKeyword("write")) {
+            Operand addr = parseOperand();
+            ts_.expectPunct(",");
+            Operand val = parseOperand();
+            endStmt();
+            cur().insts.push_back(
+                mi::store(asVReg(addr), asVReg(val)));
+            return;
+        }
+        parseAssignment();
+    }
+
+    void
+    parseBlock()
+    {
+        ts_.expectKeyword("begin");
+        while (!ts_.acceptKeyword("end"))
+            parseStatement();
+    }
+
+    const MachineDescription &mach_;
+    TokenStream ts_;
+    MirProgram prog_;
+    uint32_t fn_ = 0;
+    uint32_t curBlock_ = 0;
+    std::unordered_map<std::string, RegId> aliases_;
+    std::unordered_map<std::string, uint64_t> consts_;
+    std::unordered_map<RegId, VReg> regVRegs_;
+};
+
+} // namespace
+
+MirProgram
+parseSimpl(const std::string &source, const MachineDescription &mach)
+{
+    SimplParser p(source, mach);
+    return p.run();
+}
+
+} // namespace uhll

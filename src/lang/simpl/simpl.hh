@@ -1,0 +1,60 @@
+/**
+ * @file
+ * SIMPL -- "Single Identity Micro Programming Language"
+ * (Ramamoorthy & Tsuchiya, 1974; survey sec. 2.2.1).
+ *
+ * Sequential, procedural microprogramming with variables identified
+ * with machine registers, one-operator expressions, if/while/case
+ * control structure and no goto. The single-identity principle --
+ * source order distinguishes the values a register carries, data
+ * dependence alone orders execution -- is realised by the shared
+ * dependence analysis: compaction extracts exactly the parallelism
+ * single identity licenses.
+ *
+ * Syntax (after the paper's worked example):
+ *
+ *     program fpmul;
+ *     equiv acc = r4;            # alias for a machine register
+ *     const m3 = 0x7FFE;         # named constant
+ *     begin
+ *         r1 & m3 -> acc;
+ *         comment any text up to the semicolon;
+ *         while r2 != 0 do
+ *         begin
+ *             acc ^ -1 -> acc;   # linear shift, negative = right
+ *             r2 ^ -1 -> r2;
+ *             if uf = 1 then r1 + acc -> acc;
+ *         end;
+ *         case r5 of
+ *           0: r1 -> r6;
+ *           1: r2 -> r6;
+ *         esac;
+ *         read r7, r6;           # r7 := mem[r6]
+ *         write r6, r7;          # mem[r6] := r7
+ *     end
+ *
+ * Operators: + - & | xor, ^ (linear shift), ^^ (circular shift).
+ * Conditions: operand relop operand (= != < >=), uf = 0|1.
+ */
+
+#ifndef UHLL_LANG_SIMPL_SIMPL_HH
+#define UHLL_LANG_SIMPL_SIMPL_HH
+
+#include <string>
+
+#include "machine/machine_desc.hh"
+#include "mir/mir.hh"
+
+namespace uhll {
+
+/**
+ * Parse a SIMPL program into MIR. All variables are pre-bound to
+ * registers of @p mach (the SIMPL variable model). The function is
+ * named after the program. fatal() on any error.
+ */
+MirProgram parseSimpl(const std::string &source,
+                      const MachineDescription &mach);
+
+} // namespace uhll
+
+#endif // UHLL_LANG_SIMPL_SIMPL_HH

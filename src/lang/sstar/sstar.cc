@@ -1,0 +1,1202 @@
+#include "lang/sstar/sstar.hh"
+
+#include <optional>
+
+#include "lang/common/lexer.hh"
+#include "schedule/compact.hh"
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+namespace {
+
+/** Resolved storage behind a name. */
+struct SVar {
+    enum class Kind : uint8_t {
+        Reg,        //!< one register
+        RegArray,   //!< consecutive registers
+        MemArray,   //!< memory block
+        MemCell,    //!< one memory word (array synonym)
+        Field,      //!< bit field of a register
+        Stack,      //!< memory block + sp register
+        Const,
+    };
+    Kind kind = Kind::Reg;
+    RegId reg = kNoReg;         //!< Reg/Field base; Stack sp
+    unsigned hi = 0, lo = 0;    //!< Field bit range
+    uint32_t base = 0;          //!< Mem*/Stack base address
+    int loIdx = 0, hiIdx = 0;   //!< array index range
+    uint64_t value = 0;         //!< Const
+};
+
+/** An operand of an elementary statement. */
+struct ORef {
+    enum class Kind : uint8_t { Reg, Imm, MemCell, Field };
+    Kind kind = Kind::Reg;
+    RegId reg = kNoReg;
+    uint64_t imm = 0;
+    unsigned hi = 0, lo = 0;
+    uint32_t addr = 0;
+};
+
+/** One elementary statement lowered to operands + candidate specs. */
+struct Elem {
+    UKind kind = UKind::Nop;
+    RegId dst = kNoReg, a = kNoReg, b = kNoReg;
+    uint64_t imm = 0;
+    bool useImm = false;
+    std::vector<uint16_t> specs;    //!< candidate microops
+    int line = 0;
+};
+
+class SstarCompiler
+{
+  public:
+    SstarCompiler(const std::string &source,
+                  const MachineDescription &mach)
+        : mach_(mach), out_(mach),
+          ts_(lex(source,
+                  [] {
+                      LexOptions o;
+                      o.hashComments = true;
+                      o.foldCase = true;
+                      return o;
+                  }()),
+              "s*")
+    {}
+
+    SstarProgram
+    run()
+    {
+        ts_.expectKeyword("program");
+        progName_ = ts_.expectIdent("program name");
+        ts_.expectPunct(";");
+
+        while (true) {
+            if (ts_.acceptKeyword("var"))
+                parseVar();
+            else if (ts_.acceptKeyword("const"))
+                parseConst();
+            else if (ts_.acceptKeyword("syn"))
+                parseSyn();
+            else
+                break;
+        }
+        while (ts_.acceptKeyword("proc"))
+            parseProc();
+
+        out_.store.defineEntry("main",
+                               static_cast<uint32_t>(out_.store.size()));
+        ts_.expectKeyword("begin");
+        parseStatements({"end"});
+        ts_.expectKeyword("end");
+        emitSeqOnly(SeqKind::Halt);
+
+        if (!ts_.atEnd())
+            ts_.error("unexpected trailing input");
+
+        for (auto &[addr, name] : callFixups_) {
+            if (!out_.store.hasEntry(name))
+                fatal("s*: call of undefined proc '%s'", name.c_str());
+            out_.store.word(addr).target = out_.store.entry(name);
+        }
+        return std::move(out_);
+    }
+
+  private:
+    // ---------- declarations ----------
+
+    RegId
+    expectMachineReg()
+    {
+        std::string name = ts_.expectIdent("machine register");
+        auto r = mach_.findRegister(name);
+        if (!r)
+            ts_.error("S(%s) has no register '%s'",
+                      mach_.name().c_str(), name.c_str());
+        return *r;
+    }
+
+    void
+    define(const std::string &name, SVar v)
+    {
+        if (names_.count(name))
+            fatal("s*: duplicate name '%s'", name.c_str());
+        if (v.kind == SVar::Kind::Reg)
+            out_.vars[name] = v.reg;
+        names_.emplace(name, std::move(v));
+    }
+
+    /** seq [h..l] bit */
+    std::pair<unsigned, unsigned>
+    parseSeqType()
+    {
+        ts_.expectKeyword("seq");
+        ts_.expectPunct("[");
+        unsigned hi = static_cast<unsigned>(ts_.expectInt("high bit"));
+        ts_.expectPunct("..");
+        unsigned lo = static_cast<unsigned>(ts_.expectInt("low bit"));
+        ts_.expectPunct("]");
+        ts_.expectKeyword("bit");
+        if (hi < lo || hi >= mach_.dataWidth())
+            ts_.error("bit range out of order or machine width");
+        return {hi, lo};
+    }
+
+    void
+    parseVar()
+    {
+        std::string name = ts_.expectIdent("variable name");
+        ts_.expectPunct(":");
+
+        if (ts_.peek().kind == Token::Kind::Ident &&
+            ts_.peek().text == "seq") {
+            parseSeqType();
+            ts_.expectKeyword("bind");
+            SVar v;
+            v.kind = SVar::Kind::Reg;
+            v.reg = expectMachineReg();
+            ts_.expectPunct(";");
+            define(name, v);
+            return;
+        }
+        if (ts_.acceptKeyword("array")) {
+            ts_.expectPunct("[");
+            int lo = static_cast<int>(ts_.expectInt("low index"));
+            ts_.expectPunct("..");
+            int hi = static_cast<int>(ts_.expectInt("high index"));
+            ts_.expectPunct("]");
+            ts_.expectKeyword("of");
+            parseSeqType();
+            ts_.expectKeyword("bind");
+            SVar v;
+            v.loIdx = lo;
+            v.hiIdx = hi;
+            if (ts_.acceptKeyword("mem")) {
+                v.kind = SVar::Kind::MemArray;
+                v.base = static_cast<uint32_t>(
+                    ts_.expectInt("base address"));
+            } else {
+                v.kind = SVar::Kind::RegArray;
+                v.reg = expectMachineReg();
+                if (v.reg + (hi - lo) >= mach_.numRegisters())
+                    ts_.error("register array runs off the file");
+            }
+            ts_.expectPunct(";");
+            define(name, v);
+            return;
+        }
+        if (ts_.acceptKeyword("tuple")) {
+            // fields over one register
+            struct F { std::string name; unsigned hi, lo; };
+            std::vector<F> fields;
+            while (!ts_.acceptKeyword("end")) {
+                std::string fname = ts_.expectIdent("field name");
+                ts_.expectPunct(":");
+                auto [hi, lo] = parseSeqType();
+                ts_.expectPunct(";");
+                fields.push_back({fname, hi, lo});
+            }
+            ts_.expectKeyword("bind");
+            RegId reg = expectMachineReg();
+            ts_.expectPunct(";");
+            SVar whole;
+            whole.kind = SVar::Kind::Reg;
+            whole.reg = reg;
+            define(name, whole);
+            for (const F &f : fields) {
+                SVar v;
+                v.kind = SVar::Kind::Field;
+                v.reg = reg;
+                v.hi = f.hi;
+                v.lo = f.lo;
+                define(name + "." + f.name, v);
+            }
+            return;
+        }
+        if (ts_.acceptKeyword("stack")) {
+            ts_.expectPunct("[");
+            uint32_t depth =
+                static_cast<uint32_t>(ts_.expectInt("depth"));
+            ts_.expectPunct("]");
+            ts_.expectKeyword("of");
+            parseSeqType();
+            ts_.expectKeyword("bind");
+            ts_.expectKeyword("mem");
+            SVar v;
+            v.kind = SVar::Kind::Stack;
+            v.base = static_cast<uint32_t>(
+                ts_.expectInt("base address"));
+            v.hiIdx = static_cast<int>(depth);
+            ts_.expectKeyword("sp");
+            v.reg = expectMachineReg();
+            ts_.expectPunct(";");
+            define(name, v);
+            return;
+        }
+        ts_.error("expected seq, array, tuple or stack type");
+    }
+
+    void
+    parseConst()
+    {
+        std::string name = ts_.expectIdent("constant name");
+        ts_.expectPunct("=");
+        bool neg = ts_.acceptPunct("-");
+        uint64_t v = ts_.expectInt("value");
+        if (neg)
+            v = truncBits(~v + 1, mach_.dataWidth());
+        ts_.expectPunct(";");
+        SVar sv;
+        sv.kind = SVar::Kind::Const;
+        sv.value = v;
+        define(name, sv);
+    }
+
+    void
+    parseSyn()
+    {
+        std::string alias = ts_.expectIdent("synonym");
+        ts_.expectPunct("=");
+        std::string target = ts_.expectIdent("variable");
+        auto it = names_.find(target);
+        if (it == names_.end())
+            ts_.error("unknown variable '%s'", target.c_str());
+        SVar v = it->second;
+        if (ts_.acceptPunct("[")) {
+            int idx = static_cast<int>(ts_.expectInt("index"));
+            ts_.expectPunct("]");
+            v = arrayElement(it->second, idx);
+        }
+        ts_.expectPunct(";");
+        define(alias, v);
+    }
+
+    SVar
+    arrayElement(const SVar &arr, int idx)
+    {
+        if (idx < arr.loIdx || idx > arr.hiIdx)
+            ts_.error("index %d outside [%d..%d]", idx, arr.loIdx,
+                      arr.hiIdx);
+        SVar v;
+        if (arr.kind == SVar::Kind::RegArray) {
+            v.kind = SVar::Kind::Reg;
+            v.reg = static_cast<RegId>(arr.reg + (idx - arr.loIdx));
+        } else if (arr.kind == SVar::Kind::MemArray) {
+            v.kind = SVar::Kind::MemCell;
+            v.base = arr.base + static_cast<uint32_t>(idx - arr.loIdx);
+        } else {
+            ts_.error("'[...]' applies to arrays only");
+        }
+        return v;
+    }
+
+    void
+    parseProc()
+    {
+        std::string name = ts_.expectIdent("procedure name");
+        if (ts_.acceptPunct("(")) {
+            // the paper's used-variable list: validated, no semantics
+            do {
+                std::string used = ts_.expectIdent("variable");
+                if (!names_.count(used))
+                    ts_.error("unknown variable '%s' in proc header",
+                              used.c_str());
+            } while (ts_.acceptPunct(","));
+            ts_.expectPunct(")");
+        }
+        ts_.expectPunct(";");
+        out_.store.defineEntry(
+            name, static_cast<uint32_t>(out_.store.size()));
+        ts_.expectKeyword("begin");
+        parseStatements({"end"});
+        ts_.expectKeyword("end");
+        ts_.acceptPunct(";");
+        emitSeqOnly(SeqKind::Return);
+    }
+
+    // ---------- operand handling ----------
+
+    const SVar &
+    lookup(const std::string &name)
+    {
+        auto it = names_.find(name);
+        if (it == names_.end())
+            ts_.error("undeclared name '%s'", name.c_str());
+        return it->second;
+    }
+
+    /** Parse one operand reference (no mem[] -- handled separately). */
+    ORef
+    parseORef()
+    {
+        if (ts_.peek().kind == Token::Kind::Int ||
+            (ts_.peek().kind == Token::Kind::Punct &&
+             ts_.peek().text == "-")) {
+            bool neg = ts_.acceptPunct("-");
+            uint64_t v = ts_.expectInt("integer");
+            if (neg)
+                v = truncBits(~v + 1, mach_.dataWidth());
+            ORef o;
+            o.kind = ORef::Kind::Imm;
+            o.imm = v;
+            return o;
+        }
+        std::string name = ts_.expectIdent("operand");
+        SVar v = lookup(name);
+        if (ts_.acceptPunct("[")) {
+            int idx = static_cast<int>(ts_.expectInt("index"));
+            ts_.expectPunct("]");
+            v = arrayElement(v, idx);
+        } else if (ts_.acceptPunct(".")) {
+            std::string f = ts_.expectIdent("field");
+            v = lookup(name + "." + f);
+        }
+        ORef o;
+        switch (v.kind) {
+          case SVar::Kind::Reg:
+            o.kind = ORef::Kind::Reg;
+            o.reg = v.reg;
+            break;
+          case SVar::Kind::Const:
+            o.kind = ORef::Kind::Imm;
+            o.imm = v.value;
+            break;
+          case SVar::Kind::MemCell:
+            o.kind = ORef::Kind::MemCell;
+            o.addr = v.base;
+            break;
+          case SVar::Kind::Field:
+            o.kind = ORef::Kind::Field;
+            o.reg = v.reg;
+            o.hi = v.hi;
+            o.lo = v.lo;
+            break;
+          default:
+            ts_.error("'%s' cannot be used as an operand",
+                      name.c_str());
+        }
+        return o;
+    }
+
+    /** Candidate specs for an op shape; empty if S(M) has none. */
+    std::vector<uint16_t>
+    candidates(UKind k, RegId dst, RegId a, RegId b, bool use_imm,
+               uint64_t imm)
+    {
+        std::vector<uint16_t> out;
+        for (uint16_t idx : mach_.uopsOfKind(k)) {
+            BoundOp op;
+            op.spec = idx;
+            op.dst = dst;
+            op.srcA = a;
+            op.srcB = b;
+            op.useImm = use_imm;
+            op.imm = imm;
+            if (mach_.checkOperands(op))
+                out.push_back(idx);
+        }
+        return out;
+    }
+
+    Elem
+    makeElem(UKind k, RegId dst, RegId a, RegId b, bool use_imm,
+             uint64_t imm)
+    {
+        Elem e;
+        e.kind = k;
+        e.dst = dst;
+        e.a = a;
+        e.b = b;
+        e.useImm = use_imm;
+        e.imm = imm;
+        e.line = ts_.peek().line;
+        e.specs = candidates(k, dst, a, b, use_imm, imm);
+        if (e.specs.empty())
+            ts_.error("S(%s) has no microoperation for this %s "
+                      "statement (operand classes or immediate "
+                      "width)", mach_.name().c_str(), uKindName(k));
+        return e;
+    }
+
+    BoundOp
+    bind(const Elem &e, uint16_t spec)
+    {
+        BoundOp op;
+        op.spec = spec;
+        op.dst = e.dst;
+        op.srcA = e.a;
+        op.srcB = e.b;
+        op.useImm = e.useImm;
+        op.imm = e.imm;
+        return op;
+    }
+
+    // ---------- word emission ----------
+
+    uint32_t
+    emitOps(std::vector<BoundOp> ops)
+    {
+        MicroInstruction mi;
+        mi.ops = std::move(ops);
+        uint32_t addr = out_.store.append(std::move(mi));
+        lastAttachable_ = addr;
+        return addr;
+    }
+
+    uint32_t
+    emitSeqOnly(SeqKind seq, uint32_t target = 0)
+    {
+        MicroInstruction mi;
+        mi.seq = seq;
+        mi.target = target;
+        uint32_t addr = out_.store.append(std::move(mi));
+        lastAttachable_ = kNoAddr;
+        return addr;
+    }
+
+    static constexpr uint32_t kNoAddr = 0xffffffffu;
+
+    /** Attach a conditional jump, reusing the last plain word. */
+    uint32_t
+    emitCondJump(Cond cc, uint32_t target)
+    {
+        if (lastAttachable_ != kNoAddr &&
+            out_.store.word(lastAttachable_).seq == SeqKind::Next) {
+            MicroInstruction &w = out_.store.word(lastAttachable_);
+            w.seq = SeqKind::CondJump;
+            w.cond = cc;
+            w.target = target;
+            uint32_t a = lastAttachable_;
+            lastAttachable_ = kNoAddr;
+            return a;
+        }
+        MicroInstruction mi;
+        mi.seq = SeqKind::CondJump;
+        mi.cond = cc;
+        mi.target = target;
+        uint32_t addr = out_.store.append(std::move(mi));
+        lastAttachable_ = kNoAddr;
+        return addr;
+    }
+
+    void
+    emitElemsSequential(const std::vector<Elem> &elems)
+    {
+        for (const Elem &e : elems)
+            emitOps({bind(e, e.specs[0])});
+    }
+
+    // ---------- elementary statement parsing ----------
+
+    RegId
+    requireReg(const ORef &o, const char *what)
+    {
+        if (o.kind != ORef::Kind::Reg)
+            ts_.error("%s must be a register-bound variable", what);
+        return o.reg;
+    }
+
+    /**
+     * Parse an assignment-shaped statement into elementary ops.
+     * Compound shapes (fields, memory cells) expand to several; the
+     * caller rejects those inside parallel groups.
+     */
+    std::vector<Elem>
+    parseAssignLike()
+    {
+        std::vector<Elem> out;
+
+        // mem[x] := y
+        if (ts_.acceptKeyword("mem")) {
+            ts_.expectPunct("[");
+            ORef addr = parseORef();
+            ts_.expectPunct("]");
+            ts_.expectPunct(":=");
+            ORef val = parseORef();
+            RegId ra = requireReg(addr, "memory address");
+            RegId rv = requireReg(val, "stored value");
+            out.push_back(makeElem(UKind::MemWrite, kNoReg, ra, rv,
+                                   false, 0));
+            return out;
+        }
+
+        std::string name = ts_.expectIdent("destination");
+        SVar v = lookup(name);
+        if (ts_.acceptPunct("[")) {
+            int idx = static_cast<int>(ts_.expectInt("index"));
+            ts_.expectPunct("]");
+            v = arrayElement(v, idx);
+        } else if (ts_.acceptPunct(".")) {
+            std::string f = ts_.expectIdent("field");
+            v = lookup(name + "." + f);
+        }
+        ts_.expectPunct(":=");
+
+        // rhs: mem[x] | operand | operand op operand
+        if (ts_.acceptKeyword("mem")) {
+            ts_.expectPunct("[");
+            ORef addr = parseORef();
+            ts_.expectPunct("]");
+            RegId ra = requireReg(addr, "memory address");
+            if (v.kind != SVar::Kind::Reg)
+                ts_.error("memory reads target registers");
+            out.push_back(makeElem(UKind::MemRead, v.reg, ra, kNoReg,
+                                   false, 0));
+            return out;
+        }
+
+        ORef a = parseORef();
+        std::optional<UKind> op = parseBinOp();
+        std::optional<ORef> b;
+        if (op)
+            b = parseORef();
+
+        // Compound destinations.
+        if (v.kind == SVar::Kind::MemCell) {
+            if (op || a.kind != ORef::Kind::Reg)
+                ts_.error("stores to memory cells take a single "
+                          "register source");
+            emitMemCellWrite(v.base, a.reg, out);
+            return out;
+        }
+        if (v.kind == SVar::Kind::Field) {
+            if (op || a.kind != ORef::Kind::Reg)
+                ts_.error("field assignment takes a single register "
+                          "source");
+            emitFieldWrite(v, a.reg, out);
+            return out;
+        }
+        if (v.kind != SVar::Kind::Reg)
+            ts_.error("assignment destination must be storage");
+
+        RegId dst = v.reg;
+        if (!op) {
+            switch (a.kind) {
+              case ORef::Kind::Reg:
+                out.push_back(makeElem(UKind::Mov, dst, a.reg, kNoReg,
+                                       false, 0));
+                break;
+              case ORef::Kind::Imm:
+                out.push_back(makeElem(UKind::Ldi, dst, kNoReg,
+                                       kNoReg, false, a.imm));
+                break;
+              case ORef::Kind::MemCell:
+                emitMemCellRead(dst, a.addr, out);
+                break;
+              case ORef::Kind::Field:
+                emitFieldRead(dst, a, out);
+                break;
+            }
+            return out;
+        }
+
+        // Binary elementary statement.
+        if (a.kind == ORef::Kind::MemCell || a.kind == ORef::Kind::Field ||
+            (b && (b->kind == ORef::Kind::MemCell ||
+                   b->kind == ORef::Kind::Field))) {
+            ts_.error("operands of a binary statement must be "
+                      "registers or constants (load fields and "
+                      "memory cells first)");
+        }
+        if (a.kind == ORef::Kind::Imm)
+            ts_.error("the left operand must be a register");
+        if (b->kind == ORef::Kind::Imm) {
+            out.push_back(makeElem(*op, dst, a.reg, kNoReg, true,
+                                   b->imm));
+        } else {
+            out.push_back(makeElem(*op, dst, a.reg, b->reg, false,
+                                   0));
+        }
+        return out;
+    }
+
+    std::optional<UKind>
+    parseBinOp()
+    {
+        if (ts_.acceptPunct("+")) return UKind::Add;
+        if (ts_.acceptPunct("-")) return UKind::Sub;
+        if (ts_.acceptPunct("&")) return UKind::And;
+        if (ts_.acceptPunct("|")) return UKind::Or;
+        if (ts_.acceptKeyword("xor")) return UKind::Xor;
+        if (ts_.acceptKeyword("shl")) return UKind::Shl;
+        if (ts_.acceptKeyword("shr")) return UKind::Shr;
+        if (ts_.acceptKeyword("sar")) return UKind::Sar;
+        if (ts_.acceptKeyword("rol")) return UKind::Rol;
+        if (ts_.acceptKeyword("ror")) return UKind::Ror;
+        return std::nullopt;
+    }
+
+    // Compound expansions (the temporaries sec. 2.1.7 predicts).
+
+    RegId
+    scratch(uint32_t classes, std::vector<RegId> avoid = {})
+    {
+        return mach_.scratchFor(classes ? classes : ~0u, avoid);
+    }
+
+    void
+    emitMemCellRead(RegId dst, uint32_t addr, std::vector<Elem> &out)
+    {
+        const MicroOpSpec &rd =
+            mach_.uop(mach_.uopsOfKind(UKind::MemRead).at(0));
+        RegId a = (mach_.reg(dst).classes & rd.srcAClasses)
+                      ? dst
+                      : scratch(rd.srcAClasses);
+        out.push_back(makeElem(UKind::Ldi, a, kNoReg, kNoReg, false,
+                               addr));
+        RegId d = (mach_.reg(dst).classes & rd.dstClasses)
+                      ? dst
+                      : scratch(rd.dstClasses, {a});
+        out.push_back(makeElem(UKind::MemRead, d, a, kNoReg, false,
+                               0));
+        if (d != dst)
+            out.push_back(makeElem(UKind::Mov, dst, d, kNoReg, false,
+                                   0));
+    }
+
+    void
+    emitMemCellWrite(uint32_t addr, RegId src, std::vector<Elem> &out)
+    {
+        const MicroOpSpec &wr =
+            mach_.uop(mach_.uopsOfKind(UKind::MemWrite).at(0));
+        RegId data = src;
+        if (wr.srcBClasses &&
+            !(mach_.reg(src).classes & wr.srcBClasses)) {
+            data = scratch(wr.srcBClasses, {src});
+            out.push_back(makeElem(UKind::Mov, data, src, kNoReg,
+                                   false, 0));
+        }
+        RegId a = scratch(wr.srcAClasses, {data, src});
+        out.push_back(makeElem(UKind::Ldi, a, kNoReg, kNoReg, false,
+                               addr));
+        out.push_back(makeElem(UKind::MemWrite, kNoReg, a, data,
+                               false, 0));
+    }
+
+    void
+    emitFieldRead(RegId dst, const ORef &f, std::vector<Elem> &out)
+    {
+        unsigned len = f.hi - f.lo + 1;
+        if (f.lo) {
+            out.push_back(makeElem(UKind::Shr, dst, f.reg, kNoReg,
+                                   true, f.lo));
+            out.push_back(makeElem(UKind::And, dst, dst, kNoReg, true,
+                                   bitMask(len)));
+        } else {
+            out.push_back(makeElem(UKind::And, dst, f.reg, kNoReg,
+                                   true, bitMask(len)));
+        }
+    }
+
+    void
+    emitFieldWrite(const SVar &f, RegId src, std::vector<Elem> &out)
+    {
+        unsigned len = f.hi - f.lo + 1;
+        unsigned w = mach_.dataWidth();
+        uint64_t clear = truncBits(~(bitMask(len) << f.lo), w);
+        RegId t = scratch(0, {f.reg, src});
+        out.push_back(makeElem(UKind::And, f.reg, f.reg, kNoReg, true,
+                               clear));
+        if (f.lo)
+            out.push_back(makeElem(UKind::Shl, t, src, kNoReg, true,
+                                   f.lo));
+        else
+            out.push_back(makeElem(UKind::Mov, t, src, kNoReg, false,
+                                   0));
+        out.push_back(makeElem(UKind::And, t, t, kNoReg, true,
+                               truncBits(bitMask(len) << f.lo, w)));
+        out.push_back(makeElem(UKind::Or, f.reg, f.reg, t, false, 0));
+    }
+
+    // ---------- parallel composition ----------
+
+    /**
+     * Choose specs for @p groups (one word). Each inner vector is a
+     * cobegin group (single statements are singleton groups).
+     * Requirements: within a group all phases equal; across groups
+     * strictly increasing (when @p phased ); word legal; data
+     * dependences respect intra-word placement rules.
+     */
+    std::vector<BoundOp>
+    composeWord(const std::vector<std::vector<Elem>> &groups,
+                bool phased, int line)
+    {
+        std::vector<const Elem *> elems;
+        for (const auto &g : groups) {
+            for (const Elem &e : g)
+                elems.push_back(&e);
+        }
+        size_t n = elems.size();
+        std::vector<size_t> choice(n, 0);
+        std::string last_err = "no candidate assignment";
+
+        auto phaseOk = [&](const std::vector<BoundOp> &ops) {
+            size_t k = 0;
+            int prev_phase = 0;
+            for (const auto &g : groups) {
+                int ph = -1;
+                for (size_t i = 0; i < g.size(); ++i, ++k) {
+                    int p = mach_.uop(ops[k].spec).phase;
+                    if (ph < 0)
+                        ph = p;
+                    else if (p != ph)
+                        return false;   // cobegin: same phase
+                }
+                if (phased && ph <= prev_phase)
+                    return false;       // cocycle: increasing
+                if (!phased && prev_phase && ph != prev_phase)
+                    return false;       // plain cobegin: one phase
+                prev_phase = ph;
+            }
+            return true;
+        };
+
+        while (true) {
+            std::vector<BoundOp> ops;
+            for (size_t i = 0; i < n; ++i)
+                ops.push_back(bind(*elems[i], elems[i]->specs[choice[i]]));
+
+            // No sequential dependence check here: cobegin means
+            // parallel execution (reads precede writes within the
+            // phase) and cocycle ordering is enforced by the
+            // strictly increasing phase pattern. The word-legality
+            // check still rejects double writes and resource
+            // conflicts.
+            std::string why;
+            if (phaseOk(ops) && mach_.wordLegal(ops, true, &why))
+                return ops;
+            if (!why.empty())
+                last_err = why;
+
+            // next combination
+            size_t i = 0;
+            while (i < n && ++choice[i] >= elems[i]->specs.size()) {
+                choice[i] = 0;
+                ++i;
+            }
+            if (i >= n)
+                break;
+        }
+        fatal("s*: line %d: statements cannot share one "
+              "microinstruction on %s: %s", line,
+              mach_.name().c_str(), last_err.c_str());
+    }
+
+    /** cobegin ... coend (stand-alone or inside cocycle) */
+    std::vector<Elem>
+    parseCobeginGroup()
+    {
+        std::vector<Elem> group;
+        while (true) {
+            auto elems = parseAssignLike();
+            if (elems.size() != 1)
+                ts_.error("compound statements are not allowed in "
+                          "cobegin");
+            group.push_back(elems[0]);
+            if (!ts_.acceptPunct(";"))
+                break;
+            if (ts_.peek().kind == Token::Kind::Ident &&
+                ts_.peek().text == "coend")
+                break;
+        }
+        ts_.expectKeyword("coend");
+        return group;
+    }
+
+    void
+    parseCocycle()
+    {
+        int line = ts_.peek().line;
+        std::vector<std::vector<Elem>> groups;
+        while (true) {
+            if (ts_.acceptKeyword("cobegin")) {
+                groups.push_back(parseCobeginGroup());
+            } else {
+                auto elems = parseAssignLike();
+                if (elems.size() != 1)
+                    ts_.error("compound statements are not allowed "
+                              "in cocycle");
+                groups.push_back({elems[0]});
+            }
+            if (!ts_.acceptPunct(";"))
+                break;
+            if (ts_.peek().kind == Token::Kind::Ident &&
+                ts_.peek().text == "end")
+                break;
+        }
+        ts_.expectKeyword("end");
+        ts_.acceptPunct(";");
+        emitOps(composeWord(groups, /*phased=*/true, line));
+    }
+
+    void
+    parseDur()
+    {
+        int line = ts_.peek().line;
+        auto s0 = parseAssignLike();
+        if (s0.size() != 1 || (s0[0].kind != UKind::MemRead &&
+                               s0[0].kind != UKind::MemWrite)) {
+            ts_.error("dur takes a memory operation");
+        }
+        ts_.expectKeyword("do");
+
+        // Overlapped memory op in its own word.
+        BoundOp op = bind(s0[0], s0[0].specs[0]);
+        op.overlap = true;
+        emitOps({op});
+        uint32_t issued = static_cast<uint32_t>(out_.store.size());
+
+        parseStatements({"end"});
+        ts_.expectKeyword("end");
+        ts_.acceptPunct(";");
+
+        uint32_t span = static_cast<uint32_t>(out_.store.size()) -
+                        issued;
+        if (span + 1 < mach_.memLatency())
+            fatal("s*: line %d: dur body is %u words but the memory "
+                  "operation needs %u cycles", line, span,
+                  mach_.memLatency());
+        // Static hazard check: the overlapped destination must not
+        // be referenced before the operation completes.
+        if (s0[0].kind == UKind::MemRead) {
+            RegId d = s0[0].dst;
+            uint32_t unsafe_end = issued + mach_.memLatency() - 1;
+            for (uint32_t a = issued;
+                 a < unsafe_end && a < out_.store.size(); ++a) {
+                for (const BoundOp &o : out_.store.word(a).ops) {
+                    if (o.dst == d || o.srcA == d || o.srcB == d)
+                        fatal("s*: line %d: '%s' is referenced "
+                              "before the overlapped read completes",
+                              line, mach_.reg(d).name.c_str());
+                }
+            }
+        }
+    }
+
+    // ---------- conditions ----------
+
+    /** Parse a test; returns the condition that is TRUE when taken. */
+    Cond
+    parseTest()
+    {
+        static const std::pair<const char *, Cond> flags[] = {
+            {"uf", Cond::UF}, {"nouf", Cond::NoUF},
+            {"carry", Cond::C}, {"nocarry", Cond::NC},
+            {"negative", Cond::Neg}, {"nonneg", Cond::NonNeg},
+            {"overflow", Cond::Ovf}, {"zero", Cond::Z},
+            {"nonzero", Cond::NZ}, {"intp", Cond::Int},
+            {"nointp", Cond::NoInt},
+        };
+        for (auto &[kw, cc] : flags) {
+            if (ts_.acceptKeyword(kw))
+                return cc;
+        }
+
+        ORef a = parseORef();
+        std::string rel;
+        if (ts_.acceptPunct("=")) rel = "=";
+        else if (ts_.acceptPunct("!=")) rel = "!=";
+        else if (ts_.acceptPunct("<")) rel = "<";
+        else if (ts_.acceptPunct(">=")) rel = ">=";
+        else ts_.error("expected =, !=, <, >=");
+        ORef b = parseORef();
+
+        RegId ra = requireReg(a, "compared value");
+        Elem cmp = b.kind == ORef::Kind::Imm
+                       ? makeElem(UKind::Cmp, kNoReg, ra, kNoReg,
+                                  true, b.imm)
+                       : makeElem(UKind::Cmp, kNoReg, ra,
+                                  requireReg(b, "comparand"), false,
+                                  0);
+        emitOps({bind(cmp, cmp.specs[0])});
+        if (rel == "=")
+            return Cond::Z;
+        if (rel == "!=")
+            return Cond::NZ;
+        if (rel == "<")
+            return Cond::NC;
+        return Cond::C;
+    }
+
+    static Cond
+    negate(Cond c)
+    {
+        switch (c) {
+          case Cond::Z: return Cond::NZ;
+          case Cond::NZ: return Cond::Z;
+          case Cond::Neg: return Cond::NonNeg;
+          case Cond::NonNeg: return Cond::Neg;
+          case Cond::C: return Cond::NC;
+          case Cond::NC: return Cond::C;
+          case Cond::UF: return Cond::NoUF;
+          case Cond::NoUF: return Cond::UF;
+          case Cond::Int: return Cond::NoInt;
+          case Cond::NoInt: return Cond::Int;
+          default:
+            fatal("s*: condition cannot be negated");
+        }
+    }
+
+    // ---------- assertions ----------
+
+    VExpr
+    parseVOr()
+    {
+        VExpr e = parseVAnd();
+        while (ts_.acceptKeyword("or"))
+            e = VExpr::bin(VExpr::Op::LOr, std::move(e), parseVAnd());
+        return e;
+    }
+
+    VExpr
+    parseVAnd()
+    {
+        VExpr e = parseVRel();
+        while (ts_.acceptKeyword("and"))
+            e = VExpr::bin(VExpr::Op::LAnd, std::move(e),
+                           parseVRel());
+        return e;
+    }
+
+    VExpr
+    parseVRel()
+    {
+        VExpr e = parseVSum();
+        struct R { const char *p; VExpr::Op op; };
+        static const R rels[] = {
+            {"=", VExpr::Op::Eq}, {"!=", VExpr::Op::Ne},
+            {"<=", VExpr::Op::Le}, {">=", VExpr::Op::Ge},
+            {"<", VExpr::Op::Lt}, {">", VExpr::Op::Gt},
+        };
+        for (const R &r : rels) {
+            if (ts_.acceptPunct(r.p))
+                return VExpr::bin(r.op, std::move(e), parseVSum());
+        }
+        return e;
+    }
+
+    VExpr
+    parseVSum()
+    {
+        VExpr e = parseVPrimary();
+        while (true) {
+            VExpr::Op op;
+            if (ts_.acceptPunct("+")) op = VExpr::Op::Add;
+            else if (ts_.acceptPunct("-")) op = VExpr::Op::Sub;
+            else if (ts_.acceptPunct("&")) op = VExpr::Op::And;
+            else if (ts_.acceptPunct("|")) op = VExpr::Op::Or;
+            else if (ts_.acceptKeyword("xor")) op = VExpr::Op::Xor;
+            else if (ts_.acceptKeyword("shl")) op = VExpr::Op::Shl;
+            else if (ts_.acceptKeyword("shr")) op = VExpr::Op::Shr;
+            else break;
+            e = VExpr::bin(op, std::move(e), parseVPrimary());
+        }
+        return e;
+    }
+
+    VExpr
+    parseVPrimary()
+    {
+        if (ts_.acceptKeyword("not"))
+            return VExpr::negation(parseVPrimary());
+        if (ts_.acceptPunct("(")) {
+            VExpr e = parseVOr();
+            ts_.expectPunct(")");
+            return e;
+        }
+        if (ts_.peek().kind == Token::Kind::Int)
+            return VExpr::constant(ts_.next().value);
+        std::string name = ts_.expectIdent("variable or number");
+        const SVar &v = lookup(name);
+        if (v.kind == SVar::Kind::Const)
+            return VExpr::constant(v.value);
+        if (v.kind != SVar::Kind::Reg)
+            ts_.error("assertions range over register variables and "
+                      "constants");
+        return VExpr::variable(name);
+    }
+
+    // ---------- statements ----------
+
+    bool
+    peekIsOneOf(const std::vector<std::string> &kws)
+    {
+        if (ts_.peek().kind != Token::Kind::Ident)
+            return false;
+        for (const std::string &k : kws) {
+            if (ts_.peek().text == k)
+                return true;
+        }
+        return false;
+    }
+
+    void
+    parseStatements(const std::vector<std::string> &stop)
+    {
+        while (!peekIsOneOf(stop))
+            parseStatement();
+    }
+
+    void
+    parseStatement()
+    {
+        if (ts_.acceptKeyword("cocycle")) {
+            parseCocycle();
+            return;
+        }
+        if (ts_.acceptKeyword("cobegin")) {
+            int line = ts_.peek().line;
+            std::vector<Elem> g = parseCobeginGroup();
+            ts_.acceptPunct(";");
+            emitOps(composeWord({g}, /*phased=*/false, line));
+            return;
+        }
+        if (ts_.acceptKeyword("dur")) {
+            parseDur();
+            return;
+        }
+        if (ts_.acceptKeyword("region")) {
+            // S(M) never reorders, so region is already the default;
+            // the construct is accepted for schema fidelity.
+            parseStatements({"end"});
+            ts_.expectKeyword("end");
+            ts_.acceptPunct(";");
+            return;
+        }
+        if (ts_.acceptKeyword("if")) {
+            std::vector<uint32_t> to_end;
+            while (true) {
+                Cond cc = parseTest();
+                ts_.expectKeyword("then");
+                uint32_t skip = emitCondJump(negate(cc), 0);
+                parseStatements({"elif", "else", "fi"});
+                if (ts_.acceptKeyword("fi")) {
+                    out_.store.word(skip).target =
+                        static_cast<uint32_t>(out_.store.size());
+                    break;
+                }
+                to_end.push_back(emitSeqOnly(SeqKind::Jump));
+                out_.store.word(skip).target =
+                    static_cast<uint32_t>(out_.store.size());
+                if (ts_.acceptKeyword("elif"))
+                    continue;
+                ts_.expectKeyword("else");
+                parseStatements({"fi"});
+                ts_.expectKeyword("fi");
+                break;
+            }
+            ts_.acceptPunct(";");
+            uint32_t end = static_cast<uint32_t>(out_.store.size());
+            for (uint32_t a : to_end)
+                out_.store.word(a).target = end;
+            lastAttachable_ = kNoAddr;
+            return;
+        }
+        if (ts_.acceptKeyword("while")) {
+            uint32_t hdr = static_cast<uint32_t>(out_.store.size());
+            lastAttachable_ = kNoAddr;
+            Cond cc = parseTest();
+            ts_.expectKeyword("do");
+            uint32_t exit_jump = emitCondJump(negate(cc), 0);
+            parseStatements({"od"});
+            ts_.expectKeyword("od");
+            ts_.acceptPunct(";");
+            emitSeqOnly(SeqKind::Jump, hdr);
+            out_.store.word(exit_jump).target =
+                static_cast<uint32_t>(out_.store.size());
+            lastAttachable_ = kNoAddr;
+            return;
+        }
+        if (ts_.acceptKeyword("repeat")) {
+            uint32_t start = static_cast<uint32_t>(out_.store.size());
+            lastAttachable_ = kNoAddr;
+            parseStatements({"until"});
+            ts_.expectKeyword("until");
+            Cond cc = parseTest();
+            ts_.expectPunct(";");
+            emitCondJump(negate(cc), start);
+            return;
+        }
+        if (ts_.acceptKeyword("call")) {
+            std::string name = ts_.expectIdent("procedure");
+            endStmt();
+            uint32_t addr = emitSeqOnly(SeqKind::Call);
+            callFixups_.emplace_back(addr, name);
+            return;
+        }
+        if (ts_.acceptKeyword("assert")) {
+            SstarAssertion a;
+            a.line = ts_.peek().line;
+            a.expr = parseVOr();
+            a.addr = static_cast<uint32_t>(out_.store.size());
+            endStmt();
+            out_.assertions.push_back(std::move(a));
+            return;
+        }
+        if (ts_.acceptKeyword("push")) {
+            std::string sname = ts_.expectIdent("stack");
+            const SVar &s = lookup(sname);
+            if (s.kind != SVar::Kind::Stack)
+                ts_.error("'%s' is not a stack", sname.c_str());
+            ts_.expectPunct(",");
+            ORef v = parseORef();
+            Elem e = makeElem(UKind::Push, kNoReg, s.reg,
+                              requireReg(v, "pushed value"), false,
+                              0);
+            endStmt();
+            emitOps({bind(e, e.specs[0])});
+            return;
+        }
+        if (ts_.acceptKeyword("pop")) {
+            ORef d = parseORef();
+            ts_.expectPunct(",");
+            std::string sname = ts_.expectIdent("stack");
+            const SVar &s = lookup(sname);
+            if (s.kind != SVar::Kind::Stack)
+                ts_.error("'%s' is not a stack", sname.c_str());
+            Elem e = makeElem(UKind::Pop,
+                              requireReg(d, "pop destination"),
+                              s.reg, kNoReg, false, 0);
+            endStmt();
+            emitOps({bind(e, e.specs[0])});
+            return;
+        }
+
+        auto elems = parseAssignLike();
+        endStmt();
+        emitElemsSequential(elems);
+    }
+
+    /** ';' separator, elidable directly before a closing keyword. */
+    void
+    endStmt()
+    {
+        if (ts_.acceptPunct(";"))
+            return;
+        if (peekIsOneOf({"end", "od", "until", "elif", "else", "fi",
+                         "coend"}))
+            return;
+        ts_.error("expected ';'");
+    }
+
+    const MachineDescription &mach_;
+    SstarProgram out_;
+    TokenStream ts_;
+    std::string progName_;
+    std::unordered_map<std::string, SVar> names_;
+    std::vector<std::pair<uint32_t, std::string>> callFixups_;
+    uint32_t lastAttachable_ = kNoAddr;
+};
+
+} // namespace
+
+SstarProgram
+compileSstar(const std::string &source, const MachineDescription &mach)
+{
+    SstarCompiler c(source, mach);
+    return c.run();
+}
+
+} // namespace uhll

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * S* -- Dasgupta's microprogramming language schema (1978; survey
+ * sec. 2.2.3), instantiated for a machine M as S(M).
+ *
+ * The defining properties, realised here:
+ *  - every variable is declared and bound to machine storage
+ *    (registers, register ranges, memory) in its declaration;
+ *  - elementary statements correspond to single microoperations of
+ *    M; a statement with no matching microoperation is a compile
+ *    error, not something the compiler papers over;
+ *  - parallelism is explicit: cocycle composes one microinstruction
+ *    across the phases of the microcycle, cobegin composes within
+ *    one phase, dur overlaps a multicycle memory operation with a
+ *    statement sequence; the compiler checks resource and
+ *    dependence legality and never reorders anything;
+ *  - assert statements carry the program's correctness argument;
+ *    they are collected for the bounded verifier (see
+ *    verify/verifier.hh).
+ *
+ * Syntax sketch (hash-delimited remarks, case-insensitive):
+ *
+ *     program mpy;
+ *     var mpr : seq [15..0] bit bind r1;
+ *     var locals : array [0..3] of seq [15..0] bit bind r8;
+ *     var buf : array [0..15] of seq [15..0] bit bind mem 0x800;
+ *     var ir : tuple
+ *         opcode : seq [15..12] bit;
+ *         operand : seq [11..0] bit;
+ *     end bind r9;
+ *     var stk : stack [16] of seq [15..0] bit bind mem 0x900 sp r5;
+ *     const minus1 = 0xffff;
+ *     syn product = locals[2];
+ *
+ *     proc clear (product);
+ *     begin product := 0 end;
+ *
+ *     begin
+ *         call clear;
+ *         repeat
+ *             cocycle
+ *                 cobegin a := product; b := mpnd coend;
+ *                 s := a + b;
+ *                 product := s
+ *             end
+ *         until s = 0;
+ *         assert product = 42;
+ *     end
+ *
+ * Statements: elementary assignments (x := y op z, x := y, x := k,
+ * x := mem[a], mem[a] := x, push s, x / pop x, s), tuple field
+ * access (compound: expands to masked shifts, never inside
+ * cocycle/cobegin -- the temporary-variable consequence sec. 2.1.7
+ * predicts), cocycle/cobegin/dur/region groups, if/elif/else/fi,
+ * while/do/od, repeat/until, call, assert.
+ */
+
+#ifndef UHLL_LANG_SSTAR_SSTAR_HH
+#define UHLL_LANG_SSTAR_SSTAR_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "machine/control_store.hh"
+#include "machine/machine_desc.hh"
+#include "verify/expr.hh"
+
+namespace uhll {
+
+/** An assertion: @p expr must hold before the word at @p addr. */
+struct SstarAssertion {
+    uint32_t addr = 0;
+    VExpr expr;
+    int line = 0;
+};
+
+/** The result of compiling an S(M) program. */
+struct SstarProgram {
+    ControlStore store;
+    std::vector<SstarAssertion> assertions;
+    //! scalar variables (and synonyms) -> machine register
+    std::unordered_map<std::string, RegId> vars;
+
+    explicit SstarProgram(const MachineDescription &m) : store(m) {}
+};
+
+/**
+ * Compile an S(M) program for @p mach. The entry point is named
+ * "main"; procedures get their own entries. fatal() on any error,
+ * including statements with no corresponding microoperation and
+ * illegal parallel compositions.
+ */
+SstarProgram compileSstar(const std::string &source,
+                          const MachineDescription &mach);
+
+} // namespace uhll
+
+#endif // UHLL_LANG_SSTAR_SSTAR_HH

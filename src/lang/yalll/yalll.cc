@@ -1,0 +1,445 @@
+#include "lang/yalll/yalll.hh"
+
+#include <set>
+#include <tuple>
+#include <unordered_map>
+
+#include "lang/common/lexer.hh"
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+namespace {
+
+/** Parser/translator state for one YALLL compilation. */
+class YalllParser
+{
+  public:
+    YalllParser(const std::string &source,
+                const MachineDescription &mach)
+        : mach_(mach),
+          ts_(lex(source,
+                  [] {
+                      LexOptions o;
+                      o.lineComment = ";";
+                      o.significantNewlines = true;
+                      o.foldCase = true;
+                      return o;
+                  }()),
+              "yalll")
+    {}
+
+    MirProgram
+    run()
+    {
+        while (ts_.acceptNewline()) {}
+        // Register declarations.
+        while (ts_.acceptKeyword("reg")) {
+            std::string name = ts_.expectIdent("register name");
+            VReg v = prog_.newVReg(name);
+            prog_.markObservable(v);
+            if (ts_.acceptPunct("=")) {
+                std::string phys = ts_.expectIdent("machine register");
+                auto r = mach_.findRegister(phys);
+                if (!r)
+                    ts_.error("machine %s has no register '%s'",
+                              mach_.name().c_str(), phys.c_str());
+                prog_.bind(v, *r);
+            }
+            endLine();
+        }
+        // Procedures; the first is the entry point.
+        bool any = false;
+        while (ts_.acceptKeyword("proc")) {
+            parseProc();
+            any = true;
+        }
+        if (!any)
+            ts_.error("expected 'proc'");
+        if (!ts_.atEnd())
+            ts_.error("unexpected trailing input");
+
+        // Resolve forward procedure references.
+        for (auto &[fn, blk, callee] : callFixups_) {
+            auto f = prog_.findFunction(callee);
+            if (!f)
+                fatal("yalll: call to undefined proc '%s'",
+                      callee.c_str());
+            prog_.func(fn).blocks[blk].term.callee = *f;
+        }
+        prog_.validate();
+        return std::move(prog_);
+    }
+
+  private:
+    void
+    endLine()
+    {
+        if (!ts_.acceptNewline() && !ts_.atEnd())
+            ts_.error("expected end of line");
+        while (ts_.acceptNewline()) {}
+    }
+
+    VReg
+    regOperand()
+    {
+        std::string name = ts_.expectIdent("register operand");
+        auto v = prog_.findVReg(name);
+        if (!v)
+            ts_.error("undeclared register '%s'", name.c_str());
+        return *v;
+    }
+
+    /** b-operand: register or integer literal. */
+    std::pair<VReg, std::optional<uint64_t>>
+    regOrConst()
+    {
+        if (ts_.peek().kind == Token::Kind::Int)
+            return {kNoVReg, ts_.next().value};
+        return {regOperand(), std::nullopt};
+    }
+
+    VReg
+    tempVReg()
+    {
+        return prog_.newVReg();
+    }
+
+    // --- current function state -----------------------------------
+    uint32_t fn_ = 0;
+
+    BasicBlock &
+    cur()
+    {
+        return prog_.func(fn_).blocks[curBlock_];
+    }
+
+    uint32_t
+    blockForLabel(const std::string &label)
+    {
+        auto it = labelBlocks_.find(label);
+        if (it != labelBlocks_.end())
+            return it->second;
+        uint32_t b = prog_.func(fn_).newBlock();
+        labelBlocks_.emplace(label, b);
+        return b;
+    }
+
+    /** Seal the current block with @p t and open a fresh one. */
+    void
+    seal(Terminator t)
+    {
+        cur().term = std::move(t);
+        curBlock_ = prog_.func(fn_).newBlock();
+        terminated_ = true;
+    }
+
+    void
+    parseProc()
+    {
+        std::string name = ts_.expectIdent("procedure name");
+        if (prog_.findFunction(name))
+            ts_.error("duplicate proc '%s'", name.c_str());
+        fn_ = prog_.addFunction(name);
+        labelBlocks_.clear();
+        labelDefined_.clear();
+        curBlock_ = prog_.func(fn_).newBlock();
+        terminated_ = false;
+        endLine();
+
+        while (!ts_.atEnd()) {
+            if (ts_.peek().kind == Token::Kind::Ident &&
+                ts_.peek().text == "proc") {
+                break;
+            }
+            // Label definition?
+            if (ts_.peek().kind == Token::Kind::Ident &&
+                ts_.peek(1).kind == Token::Kind::Punct &&
+                ts_.peek(1).text == ":") {
+                std::string label = ts_.next().text;
+                ts_.next();     // ':'
+                if (labelDefined_.count(label))
+                    ts_.error("duplicate label '%s'", label.c_str());
+                labelDefined_.insert(label);
+                uint32_t b = blockForLabel(label);
+                if (!terminated_) {
+                    cur().term = jumpTerm(b);
+                }
+                curBlock_ = b;
+                terminated_ = false;
+                while (ts_.acceptNewline()) {}
+                continue;
+            }
+            parseInstruction();
+        }
+
+        // Implicit end of procedure.
+        if (!terminated_) {
+            cur().term.kind = fn_ == 0 ? Terminator::Kind::Halt
+                                       : Terminator::Kind::Ret;
+        }
+        // Every referenced label must be defined.
+        for (auto &[label, blk] : labelBlocks_) {
+            (void)blk;
+            if (!labelDefined_.count(label))
+                fatal("yalll: undefined label '%s' in proc '%s'",
+                      label.c_str(),
+                      prog_.func(fn_).name.c_str());
+        }
+    }
+
+    /** Emit cmp-and-branch for a parsed condition. */
+    void
+    condBranch(uint32_t target)
+    {
+        if (ts_.acceptKeyword("int")) {
+            Terminator t;
+            t.kind = Terminator::Kind::Branch;
+            t.cc = Cond::Int;
+            t.target = target;
+            uint32_t fresh = prog_.func(fn_).newBlock();
+            t.fallthrough = fresh;
+            cur().term = t;
+            curBlock_ = fresh;
+            terminated_ = false;
+            return;
+        }
+
+        VReg x = regOperand();
+        Cond cc;
+        if (ts_.acceptKeyword("match")) {
+            // Ternary mask: adjacent Int/Ident tokens of 0, 1, x.
+            std::string mask_text;
+            int end_col = -1;
+            while (true) {
+                const Token &t = ts_.peek();
+                if (t.kind != Token::Kind::Int &&
+                    t.kind != Token::Kind::Ident) {
+                    break;
+                }
+                if (end_col >= 0 && t.col != end_col)
+                    break;      // whitespace: mask ended
+                mask_text += t.text;
+                end_col = t.col + static_cast<int>(t.text.size());
+                ts_.next();
+            }
+            if (mask_text.empty())
+                ts_.error("expected mask after 'match'");
+            uint64_t care = 0, want = 0;
+            for (char c : mask_text) {
+                care <<= 1;
+                want <<= 1;
+                if (c == '1') {
+                    care |= 1;
+                    want |= 1;
+                } else if (c == '0') {
+                    care |= 1;
+                } else if (c != 'x') {
+                    ts_.error("mask may contain only 0, 1, x");
+                }
+            }
+            VReg t = tempVReg();
+            cur().insts.push_back(
+                mi::binopImm(UKind::And, t, x, care));
+            cur().insts.push_back(mi::cmpImm(t, want));
+            cc = Cond::Z;
+        } else {
+            std::string op;
+            if (ts_.acceptPunct("="))
+                op = "=";
+            else if (ts_.acceptPunct("!="))
+                op = "!=";
+            else if (ts_.acceptPunct("<"))
+                op = "<";
+            else if (ts_.acceptPunct(">="))
+                op = ">=";
+            else
+                ts_.error("expected =, !=, <, >= or 'match'");
+            auto [y, imm] = regOrConst();
+            MInst c;
+            c.op = UKind::Cmp;
+            c.a = x;
+            if (imm) {
+                c.useImm = true;
+                c.imm = *imm;
+            } else {
+                c.b = y;
+            }
+            cur().insts.push_back(c);
+            if (op == "=")
+                cc = Cond::Z;
+            else if (op == "!=")
+                cc = Cond::NZ;
+            else if (op == "<")
+                cc = Cond::NC;      // unsigned borrow
+            else
+                cc = Cond::C;
+        }
+
+        Terminator t;
+        t.kind = Terminator::Kind::Branch;
+        t.cc = cc;
+        t.target = target;
+        uint32_t fresh = prog_.func(fn_).newBlock();
+        t.fallthrough = fresh;
+        cur().term = t;
+        curBlock_ = fresh;
+        terminated_ = false;
+    }
+
+    void
+    parseInstruction()
+    {
+        std::string mn = ts_.expectIdent("instruction");
+        terminated_ = false;
+
+        auto threeOp = [&](UKind k) {
+            VReg d = regOperand();
+            ts_.expectPunct(",");
+            VReg a = regOperand();
+            ts_.expectPunct(",");
+            auto [b, imm] = regOrConst();
+            MInst i;
+            i.op = k;
+            i.dst = d;
+            i.a = a;
+            if (imm) {
+                i.useImm = true;
+                i.imm = *imm;
+            } else {
+                i.b = b;
+            }
+            cur().insts.push_back(i);
+        };
+        auto twoOp = [&](UKind k) {
+            VReg d = regOperand();
+            ts_.expectPunct(",");
+            VReg a = regOperand();
+            cur().insts.push_back(mi::unop(k, d, a));
+        };
+
+        if (mn == "add") threeOp(UKind::Add);
+        else if (mn == "sub") threeOp(UKind::Sub);
+        else if (mn == "and") threeOp(UKind::And);
+        else if (mn == "or") threeOp(UKind::Or);
+        else if (mn == "xor") threeOp(UKind::Xor);
+        else if (mn == "shl") threeOp(UKind::Shl);
+        else if (mn == "shr") threeOp(UKind::Shr);
+        else if (mn == "sar") threeOp(UKind::Sar);
+        else if (mn == "rol") threeOp(UKind::Rol);
+        else if (mn == "ror") threeOp(UKind::Ror);
+        else if (mn == "not") twoOp(UKind::Not);
+        else if (mn == "neg") twoOp(UKind::Neg);
+        else if (mn == "inc") twoOp(UKind::Inc);
+        else if (mn == "dec") twoOp(UKind::Dec);
+        else if (mn == "move") twoOp(UKind::Mov);
+        else if (mn == "put") {
+            VReg d = regOperand();
+            ts_.expectPunct(",");
+            uint64_t v = ts_.expectInt("constant");
+            cur().insts.push_back(mi::ldi(d, v));
+        } else if (mn == "load") {
+            VReg d = regOperand();
+            ts_.expectPunct(",");
+            VReg a = regOperand();
+            cur().insts.push_back(mi::load(d, a));
+        } else if (mn == "stor") {
+            VReg v = regOperand();
+            ts_.expectPunct(",");
+            VReg a = regOperand();
+            cur().insts.push_back(mi::store(a, v));
+        } else if (mn == "push") {
+            VReg sp = regOperand();
+            ts_.expectPunct(",");
+            VReg v = regOperand();
+            MInst i;
+            i.op = UKind::Push;
+            i.a = sp;
+            i.b = v;
+            cur().insts.push_back(i);
+        } else if (mn == "pop") {
+            VReg d = regOperand();
+            ts_.expectPunct(",");
+            VReg sp = regOperand();
+            MInst i;
+            i.op = UKind::Pop;
+            i.dst = d;
+            i.a = sp;
+            cur().insts.push_back(i);
+        } else if (mn == "intack") {
+            MInst i;
+            i.op = UKind::IntAck;
+            cur().insts.push_back(i);
+        } else if (mn == "jump") {
+            std::string label = ts_.expectIdent("label");
+            uint32_t target = blockForLabel(label);
+            if (ts_.acceptKeyword("if")) {
+                condBranch(target);
+            } else {
+                seal(jumpTerm(target));
+            }
+        } else if (mn == "case") {
+            VReg x = regOperand();
+            ts_.expectPunct(",");
+            uint64_t nbits = ts_.expectInt("bit count");
+            if (nbits == 0 || nbits > 8)
+                ts_.error("case bit count out of range");
+            ts_.expectPunct(":");
+            Terminator t;
+            t.kind = Terminator::Kind::Case;
+            t.caseReg = x;
+            t.caseMask = bitMask(static_cast<unsigned>(nbits));
+            size_t arms = size_t(1) << nbits;
+            for (size_t i = 0; i < arms; ++i) {
+                if (i)
+                    ts_.expectPunct(",");
+                t.caseTargets.push_back(
+                    blockForLabel(ts_.expectIdent("case label")));
+            }
+            cur().term = t;
+            curBlock_ = prog_.func(fn_).newBlock();
+            terminated_ = true;
+        } else if (mn == "call") {
+            std::string callee = ts_.expectIdent("procedure");
+            uint32_t fresh = prog_.func(fn_).newBlock();
+            Terminator t;
+            t.kind = Terminator::Kind::Call;
+            t.target = fresh;
+            cur().term = t;
+            callFixups_.push_back({fn_, curBlock_, callee});
+            curBlock_ = fresh;
+        } else if (mn == "ret") {
+            seal([]{ Terminator t; t.kind = Terminator::Kind::Ret; return t; }());
+        } else if (mn == "exit") {
+            // Optional value register is already wherever it lives.
+            if (ts_.peek().kind == Token::Kind::Ident)
+                regOperand();
+            seal([]{ Terminator t; t.kind = Terminator::Kind::Halt; return t; }());
+        } else {
+            ts_.error("unknown instruction '%s'", mn.c_str());
+        }
+        endLine();
+    }
+
+    const MachineDescription &mach_;
+    TokenStream ts_;
+    MirProgram prog_;
+    uint32_t curBlock_ = 0;
+    bool terminated_ = false;
+    std::unordered_map<std::string, uint32_t> labelBlocks_;
+    std::set<std::string> labelDefined_;
+    std::vector<std::tuple<uint32_t, uint32_t, std::string>>
+        callFixups_;
+};
+
+} // namespace
+
+MirProgram
+parseYalll(const std::string &source, const MachineDescription &mach)
+{
+    YalllParser p(source, mach);
+    return p.run();
+}
+
+} // namespace uhll

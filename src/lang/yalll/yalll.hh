@@ -1,0 +1,57 @@
+/**
+ * @file
+ * YALLL -- "Yet Another Low Level Language" (Patterson, Lew & Tuck,
+ * 1979; survey sec. 2.2.4).
+ *
+ * An assembly-structured language over a fixed set of primitives
+ * chosen to correspond to commonly available microoperations, with
+ * symbolic registers optionally bound to physical ones, a
+ * sophisticated mask-compare conditional branch, and a multiway
+ * dispatch. One source compiles for any bundled machine -- the
+ * property the YALLL authors demonstrated on the HP300 and VAX-11.
+ *
+ * Syntax (line oriented, ';' comments):
+ *
+ *     reg str = r8          ; bound to a physical register
+ *     reg tmp               ; symbolic, allocated by the compiler
+ *
+ *     proc main
+ *     loop:
+ *         load char, str    ; char := mem[str]
+ *         jump out if char = 0
+ *         add t, char, tbl
+ *         stor char, str    ; mem[str] := char
+ *         add str, str, 1
+ *         jump loop
+ *     out:
+ *         exit
+ *
+ * Instructions: load, stor, move, put, add, sub, and, or, xor, not,
+ * neg, inc, dec, shl, shr, sar, rol, ror, push, pop, jump [if],
+ * case, call, ret, exit, intack.
+ *
+ * Conditions: "x = k", "x != k", "x < y", "x >= y" (unsigned),
+ * "x match 1x0x" (YALLL's ternary mask compare), "int" (interrupt
+ * line pending).
+ */
+
+#ifndef UHLL_LANG_YALLL_YALLL_HH
+#define UHLL_LANG_YALLL_YALLL_HH
+
+#include <string>
+
+#include "machine/machine_desc.hh"
+#include "mir/mir.hh"
+
+namespace uhll {
+
+/**
+ * Parse a YALLL program into MIR. Physical register names in reg
+ * declarations are resolved against @p mach. fatal() on any error.
+ */
+MirProgram parseYalll(const std::string &source,
+                      const MachineDescription &mach);
+
+} // namespace uhll
+
+#endif // UHLL_LANG_YALLL_YALLL_HH

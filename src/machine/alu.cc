@@ -1,0 +1,133 @@
+#include "machine/alu.hh"
+
+#include <algorithm>
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+bool
+aluHandles(UKind k)
+{
+    switch (k) {
+      case UKind::Add: case UKind::Sub: case UKind::And:
+      case UKind::Or: case UKind::Xor: case UKind::Inc:
+      case UKind::Dec: case UKind::Neg: case UKind::Not:
+      case UKind::Shl: case UKind::Shr: case UKind::Sar:
+      case UKind::Rol: case UKind::Ror: case UKind::Mov:
+      case UKind::Ldi: case UKind::Cmp:
+        return true;
+      default:
+        return false;
+    }
+}
+
+AluOut
+aluEval(UKind k, uint64_t a, uint64_t b, unsigned width)
+{
+    const unsigned w = width;
+    const uint64_t msb = 1ULL << (w - 1);
+    a = truncBits(a, w);
+    b = truncBits(b, w);
+
+    AluOut out;
+    auto setZN = [&](uint64_t v) {
+        out.flags.z = truncBits(v, w) == 0;
+        out.flags.n = (v & msb) != 0;
+    };
+    // Full-width add with carry/overflow flags; sub is a + ~b + 1.
+    auto arith = [&](uint64_t va, uint64_t vb, bool sub) {
+        uint64_t full = sub ? va + truncBits(~vb, w) + 1 : va + vb;
+        uint64_t r = truncBits(full, w);
+        setZN(r);
+        out.flags.c = (full >> w) & 1;
+        bool sa = (va & msb) != 0, sb = (vb & msb) != 0;
+        bool sr = (r & msb) != 0;
+        out.flags.ovf = sub ? (sa != sb) && (sr != sa)
+                            : (sa == sb) && (sr != sa);
+        return r;
+    };
+
+    switch (k) {
+      case UKind::Add:
+        out.value = arith(a, b, false);
+        break;
+      case UKind::Sub:
+        out.value = arith(a, b, true);
+        break;
+      case UKind::And:
+        out.value = a & b;
+        setZN(out.value);
+        break;
+      case UKind::Or:
+        out.value = a | b;
+        setZN(out.value);
+        break;
+      case UKind::Xor:
+        out.value = a ^ b;
+        setZN(out.value);
+        break;
+      case UKind::Inc:
+        out.value = arith(a, 1, false);
+        break;
+      case UKind::Dec:
+        out.value = arith(a, 1, true);
+        break;
+      case UKind::Neg:
+        out.value = truncBits(truncBits(~a, w) + 1, w);
+        setZN(out.value);
+        break;
+      case UKind::Not:
+        out.value = truncBits(~a, w);
+        setZN(out.value);
+        break;
+      case UKind::Shl: {
+        unsigned n = static_cast<unsigned>(b % (w + 1));
+        out.value = n ? truncBits(a << n, w) : a;
+        setZN(out.value);
+        out.flags.uf = n ? ((a >> (w - n)) & 1) != 0 : false;
+        break;
+      }
+      case UKind::Shr: {
+        unsigned n = static_cast<unsigned>(b % (w + 1));
+        out.value = n >= w ? 0 : (a >> n);
+        setZN(out.value);
+        out.flags.uf = n ? ((a >> (n - 1)) & 1) != 0 : false;
+        break;
+      }
+      case UKind::Sar: {
+        unsigned n = static_cast<unsigned>(b % (w + 1));
+        int64_t sa = signExtend(a, w);
+        out.value =
+            truncBits(static_cast<uint64_t>(sa >> std::min(n, 63u)), w);
+        setZN(out.value);
+        out.flags.uf = n ? ((a >> (n - 1)) & 1) != 0 : false;
+        break;
+      }
+      case UKind::Rol:
+        out.value = rotateLeft(a, static_cast<unsigned>(b), w);
+        setZN(out.value);
+        break;
+      case UKind::Ror:
+        out.value = rotateRight(a, static_cast<unsigned>(b), w);
+        setZN(out.value);
+        break;
+      case UKind::Mov:
+        out.value = a;
+        setZN(out.value);
+        break;
+      case UKind::Ldi:
+        out.value = b;
+        break;
+      case UKind::Cmp:
+        arith(a, b, true);
+        out.wrote = false;
+        break;
+      default:
+        panic("aluEval: kind %s is not a compute kind", uKindName(k));
+    }
+    return out;
+}
+
+} // namespace uhll

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared evaluation of the pure compute microoperation kinds.
+ *
+ * Both the machine simulator and the MIR reference interpreter call
+ * this one function, so the two execution paths agree by construction
+ * -- the differential property tests rely on that.
+ */
+
+#ifndef UHLL_MACHINE_ALU_HH
+#define UHLL_MACHINE_ALU_HH
+
+#include <cstdint>
+
+#include "machine/types.hh"
+
+namespace uhll {
+
+/** Result of evaluating a compute kind. */
+struct AluOut {
+    uint64_t value = 0;     //!< truncated to width
+    Flags flags;            //!< flags the operation produces
+    bool wrote = true;      //!< false for Cmp (flags only)
+};
+
+/**
+ * Evaluate a pure compute kind (@c Add through @c Ldi plus @c Cmp).
+ *
+ * @param k the operation; must not be a memory/stack/control kind
+ * @param a first operand (Ldi ignores it)
+ * @param b second operand / immediate / shift count (unary ops
+ *          ignore it; Ldi takes the immediate here)
+ * @param width data path width in bits
+ */
+AluOut aluEval(UKind k, uint64_t a, uint64_t b, unsigned width);
+
+/** True if @p k is handled by aluEval(). */
+bool aluHandles(UKind k);
+
+} // namespace uhll
+
+#endif // UHLL_MACHINE_ALU_HH

@@ -1,0 +1,86 @@
+#include "machine/control_store.hh"
+
+#include "machine/machine_desc.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+uint32_t
+ControlStore::append(MicroInstruction mi)
+{
+    uint32_t addr = static_cast<uint32_t>(words_.size());
+    words_.push_back(std::move(mi));
+    return addr;
+}
+
+const MicroInstruction &
+ControlStore::word(uint32_t addr) const
+{
+    if (addr >= words_.size())
+        panic("control store: address %u out of range (size %zu)",
+              addr, words_.size());
+    return words_[addr];
+}
+
+MicroInstruction &
+ControlStore::word(uint32_t addr)
+{
+    if (addr >= words_.size())
+        panic("control store: address %u out of range (size %zu)",
+              addr, words_.size());
+    return words_[addr];
+}
+
+void
+ControlStore::defineEntry(const std::string &name, uint32_t addr)
+{
+    for (auto &e : entries_) {
+        if (e.first == name)
+            fatal("control store: duplicate entry point '%s'",
+                  name.c_str());
+    }
+    entries_.emplace_back(name, addr);
+}
+
+uint32_t
+ControlStore::entry(const std::string &name) const
+{
+    for (auto &e : entries_) {
+        if (e.first == name)
+            return e.second;
+    }
+    fatal("control store: no entry point '%s'", name.c_str());
+}
+
+bool
+ControlStore::hasEntry(const std::string &name) const
+{
+    for (auto &e : entries_) {
+        if (e.first == name)
+            return true;
+    }
+    return false;
+}
+
+uint64_t
+ControlStore::sizeBits() const
+{
+    return static_cast<uint64_t>(words_.size()) *
+           mach_->controlWordBits();
+}
+
+std::string
+ControlStore::listing() const
+{
+    std::string out;
+    for (uint32_t a = 0; a < words_.size(); ++a) {
+        for (auto &e : entries_) {
+            if (e.second == a)
+                out += e.first + ":\n";
+        }
+        out += strfmt("%4u  ", a) + mach_->renderWord(words_[a]) + "\n";
+    }
+    return out;
+}
+
+} // namespace uhll

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * ControlStore: the writable micro memory of a machine.
+ *
+ * Words are kept in decoded form (MicroInstruction); the encoded size
+ * in bits is derived from the machine's control-word width, which is
+ * the code-size metric used throughout the benchmarks.
+ */
+
+#ifndef UHLL_MACHINE_CONTROL_STORE_HH
+#define UHLL_MACHINE_CONTROL_STORE_HH
+
+#include <string>
+#include <vector>
+
+#include "machine/types.hh"
+
+namespace uhll {
+
+class MachineDescription;
+
+/** A sequence of microinstructions plus named entry points. */
+class ControlStore
+{
+  public:
+    explicit ControlStore(const MachineDescription &mach)
+        : mach_(&mach)
+    {}
+
+    const MachineDescription &machine() const { return *mach_; }
+
+    /** Append a word; returns its address. */
+    uint32_t append(MicroInstruction mi);
+
+    size_t size() const { return words_.size(); }
+    bool empty() const { return words_.empty(); }
+
+    const MicroInstruction &word(uint32_t addr) const;
+    MicroInstruction &word(uint32_t addr);
+
+    /** Define a named entry point at @p addr. */
+    void defineEntry(const std::string &name, uint32_t addr);
+
+    /** Look up a named entry point; fatal() if absent. */
+    uint32_t entry(const std::string &name) const;
+
+    bool hasEntry(const std::string &name) const;
+
+    /** Total encoded size in bits (words * control-word width). */
+    uint64_t sizeBits() const;
+
+    /** Disassembly listing for debugging and golden tests. */
+    std::string listing() const;
+
+  private:
+    const MachineDescription *mach_;
+    std::vector<MicroInstruction> words_;
+    std::vector<std::pair<std::string, uint32_t>> entries_;
+};
+
+} // namespace uhll
+
+#endif // UHLL_MACHINE_CONTROL_STORE_HH

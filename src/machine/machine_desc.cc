@@ -1,0 +1,388 @@
+#include "machine/machine_desc.hh"
+
+#include <algorithm>
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+MachineDescription::MachineDescription(std::string name,
+                                       unsigned data_width)
+    : name_(std::move(name)), dataWidth_(data_width)
+{
+    if (data_width == 0 || data_width > 64)
+        fatal("machine %s: data width %u out of range", name_.c_str(),
+              data_width);
+}
+
+void
+MachineDescription::setNumPhases(unsigned n)
+{
+    if (n == 0 || n > 4)
+        fatal("machine %s: %u phases unsupported", name_.c_str(), n);
+    numPhases_ = n;
+}
+
+void
+MachineDescription::setScratchArea(uint32_t base, uint32_t words)
+{
+    scratchBase_ = base;
+    scratchWords_ = words;
+}
+
+RegId
+MachineDescription::addRegister(const std::string &name, unsigned width,
+                                uint32_t classes, bool architectural,
+                                bool allocatable)
+{
+    if (regByName_.count(name))
+        fatal("machine %s: duplicate register '%s'", name_.c_str(),
+              name.c_str());
+    RegisterInfo info;
+    info.name = name;
+    info.width = width;
+    info.classes = classes;
+    info.architectural = architectural;
+    info.allocatable = allocatable;
+    RegId id = static_cast<RegId>(regs_.size());
+    regs_.push_back(std::move(info));
+    regByName_.emplace(name, id);
+    return id;
+}
+
+const RegisterInfo &
+MachineDescription::reg(RegId r) const
+{
+    if (r >= regs_.size())
+        panic("machine %s: bad register id %u", name_.c_str(), r);
+    return regs_[r];
+}
+
+std::optional<RegId>
+MachineDescription::findRegister(const std::string &name) const
+{
+    auto it = regByName_.find(name);
+    if (it == regByName_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::vector<RegId>
+MachineDescription::allocatableRegs() const
+{
+    std::vector<RegId> out;
+    for (RegId r = 0; r < regs_.size(); ++r) {
+        if (regs_[r].allocatable)
+            out.push_back(r);
+    }
+    return out;
+}
+
+void
+MachineDescription::addScratchReg(RegId r)
+{
+    if (reg(r).allocatable)
+        fatal("machine %s: scratch register '%s' must not be "
+              "allocatable", name_.c_str(), reg(r).name.c_str());
+    scratch_.push_back(r);
+}
+
+RegId
+MachineDescription::scratchFor(uint32_t classes,
+                               std::span<const RegId> avoid,
+                               bool allow_dedicated) const
+{
+    auto avoided = [&](RegId r) {
+        return std::find(avoid.begin(), avoid.end(), r) != avoid.end();
+    };
+    for (RegId r : scratch_) {
+        if ((reg(r).classes & classes) && !avoided(r))
+            return r;
+    }
+    // Fall back to dedicated non-allocatable registers (mar/mbr).
+    if (allow_dedicated) {
+        for (RegId r = 0; r < regs_.size(); ++r) {
+            if (!regs_[r].allocatable &&
+                (regs_[r].classes & classes) && !avoided(r)) {
+                return r;
+            }
+        }
+    }
+    fatal("machine %s: no scratch register for class mask %#x",
+          name_.c_str(), classes);
+}
+
+FieldId
+MachineDescription::addField(const std::string &name, unsigned width)
+{
+    FieldId id = static_cast<FieldId>(fields_.size());
+    fields_.push_back(FieldInfo{name, width});
+    return id;
+}
+
+UnitId
+MachineDescription::addUnit(const std::string &name)
+{
+    UnitId id = static_cast<UnitId>(units_.size());
+    units_.push_back(UnitInfo{name});
+    return id;
+}
+
+BusId
+MachineDescription::addBus(const std::string &name)
+{
+    BusId id = static_cast<BusId>(buses_.size());
+    buses_.push_back(BusInfo{name});
+    return id;
+}
+
+unsigned
+MachineDescription::controlWordBits() const
+{
+    unsigned bits = 0;
+    for (const auto &f : fields_)
+        bits += f.width;
+    return bits;
+}
+
+uint16_t
+MachineDescription::addMicroOp(MicroOpSpec spec)
+{
+    if (uopByName_.count(spec.mnemonic))
+        fatal("machine %s: duplicate microop '%s'", name_.c_str(),
+              spec.mnemonic.c_str());
+    if (spec.phase == 0 || spec.phase > numPhases_)
+        fatal("machine %s: microop '%s' in phase %u of %u",
+              name_.c_str(), spec.mnemonic.c_str(), spec.phase,
+              numPhases_);
+    uint16_t id = static_cast<uint16_t>(uops_.size());
+    uopByName_.emplace(spec.mnemonic, id);
+    uops_.push_back(std::move(spec));
+    return id;
+}
+
+std::optional<uint16_t>
+MachineDescription::findUop(const std::string &mnemonic) const
+{
+    auto it = uopByName_.find(mnemonic);
+    if (it == uopByName_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::vector<uint16_t>
+MachineDescription::uopsOfKind(UKind k) const
+{
+    std::vector<uint16_t> out;
+    for (uint16_t i = 0; i < uops_.size(); ++i) {
+        if (uops_[i].kind == k)
+            out.push_back(i);
+    }
+    return out;
+}
+
+namespace {
+
+/** True if vectors (sorted or not) share an element. */
+template <typename T>
+bool
+sharesElement(const std::vector<T> &a, const std::vector<T> &b)
+{
+    for (T x : a) {
+        if (std::find(b.begin(), b.end(), x) != b.end())
+            return true;
+    }
+    return false;
+}
+
+/** Registers written by a bound op (dst, plus srcA for push/pop). */
+void
+writtenRegs(const MicroOpSpec &spec, const BoundOp &op,
+            RegId out[2], int &n)
+{
+    n = 0;
+    if (uKindHasDst(spec.kind) && op.dst != kNoReg)
+        out[n++] = op.dst;
+    if (uKindModifiesSrcA(spec.kind) && op.srcA != kNoReg)
+        out[n++] = op.srcA;
+}
+
+} // namespace
+
+bool
+MachineDescription::conflict(const BoundOp &a, const BoundOp &b,
+                             bool phase_aware) const
+{
+    const MicroOpSpec &sa = uop(a.spec);
+    const MicroOpSpec &sb = uop(b.spec);
+
+    // Control-word fields exist once per word: always conflict.
+    if (sharesElement(sa.fields, sb.fields))
+        return true;
+
+    bool same_phase = sa.phase == sb.phase;
+    bool resources_clash = !phase_aware || same_phase;
+    if (resources_clash &&
+        (sharesElement(sa.units, sb.units) ||
+         sharesElement(sa.buses, sb.buses))) {
+        return true;
+    }
+
+    // Double write of one register in the same phase.
+    if (same_phase) {
+        RegId wa[2], wb[2];
+        int na, nb;
+        writtenRegs(sa, a, wa, na);
+        writtenRegs(sb, b, wb, nb);
+        for (int i = 0; i < na; ++i) {
+            for (int j = 0; j < nb; ++j) {
+                if (wa[i] == wb[j])
+                    return true;
+            }
+        }
+    }
+
+    // Only one op per word may set the flag latch in a given phase.
+    if (same_phase && sa.setsFlags && sb.setsFlags)
+        return true;
+
+    return false;
+}
+
+bool
+MachineDescription::checkOperands(const BoundOp &op,
+                                  std::string *why) const
+{
+    const MicroOpSpec &s = uop(op.spec);
+    auto complain = [&](const char *what) {
+        if (why)
+            *why = strfmt("%s: operand violation (%s)",
+                          s.mnemonic.c_str(), what);
+        return false;
+    };
+
+    if (uKindHasDst(s.kind)) {
+        if (op.dst == kNoReg)
+            return complain("missing dst");
+        if (s.dstClasses && !(reg(op.dst).classes & s.dstClasses))
+            return complain("dst class");
+    }
+    if (uKindHasSrcA(s.kind)) {
+        if (op.srcA == kNoReg)
+            return complain("missing srcA");
+        if (s.srcAClasses && !(reg(op.srcA).classes & s.srcAClasses))
+            return complain("srcA class");
+    }
+    if (uKindHasSrcB(s.kind)) {
+        if (op.useImm) {
+            if (!s.allowImm)
+                return complain("immediate not supported");
+            if (s.immWidth < 64 && op.imm > bitMask(s.immWidth))
+                return complain("immediate too wide");
+        } else {
+            if (op.srcB == kNoReg)
+                return complain("missing srcB");
+            if (s.srcBClasses &&
+                !(reg(op.srcB).classes & s.srcBClasses)) {
+                return complain("srcB class");
+            }
+        }
+    }
+    if (s.kind == UKind::Ldi || s.kind == UKind::NewBlock) {
+        if (s.immWidth < 64 && op.imm > bitMask(s.immWidth))
+            return complain("immediate too wide");
+    }
+    return true;
+}
+
+bool
+MachineDescription::wordLegal(std::span<const BoundOp> ops,
+                              bool phase_aware, std::string *why) const
+{
+    if (vertical_ && ops.size() > 1) {
+        if (why)
+            *why = "vertical machine: one microoperation per word";
+        return false;
+    }
+    for (size_t i = 0; i < ops.size(); ++i) {
+        if (!checkOperands(ops[i], why))
+            return false;
+        for (size_t j = i + 1; j < ops.size(); ++j) {
+            if (conflict(ops[i], ops[j], phase_aware)) {
+                if (why) {
+                    *why = strfmt("resource conflict between '%s' and "
+                                  "'%s'",
+                                  renderOp(ops[i]).c_str(),
+                                  renderOp(ops[j]).c_str());
+                }
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+std::string
+MachineDescription::renderOp(const BoundOp &op) const
+{
+    const MicroOpSpec &s = uop(op.spec);
+    std::string out = s.mnemonic;
+    auto rname = [&](RegId r) {
+        return r == kNoReg ? std::string("-") : reg(r).name;
+    };
+    if (uKindHasDst(s.kind))
+        out += " " + rname(op.dst);
+    if (uKindHasSrcA(s.kind))
+        out += (uKindHasDst(s.kind) ? "," : " ") + rname(op.srcA);
+    if (uKindHasSrcB(s.kind)) {
+        if (op.useImm)
+            out += "," + strfmt("#%llu", (unsigned long long)op.imm);
+        else
+            out += "," + rname(op.srcB);
+    }
+    if (s.kind == UKind::Ldi)
+        out += strfmt(" #%llu", (unsigned long long)op.imm);
+    if (s.kind == UKind::NewBlock)
+        out += strfmt(" #%llu", (unsigned long long)op.imm);
+    return out;
+}
+
+std::string
+MachineDescription::renderWord(const MicroInstruction &mi) const
+{
+    std::string out = "[";
+    for (size_t i = 0; i < mi.ops.size(); ++i) {
+        if (i)
+            out += " | ";
+        out += renderOp(mi.ops[i]);
+    }
+    out += "]";
+    switch (mi.seq) {
+      case SeqKind::Next:
+        break;
+      case SeqKind::Jump:
+        out += strfmt(" jump %u", mi.target);
+        break;
+      case SeqKind::CondJump:
+        out += strfmt(" if %s jump %u", condName(mi.cond), mi.target);
+        break;
+      case SeqKind::Call:
+        out += strfmt(" call %u", mi.target);
+        break;
+      case SeqKind::Return:
+        out += " return";
+        break;
+      case SeqKind::Multiway:
+        out += strfmt(" mbranch %s mask=%llx base=%u",
+                      mi.mwReg == kNoReg ? "-" : reg(mi.mwReg).name.c_str(),
+                      (unsigned long long)mi.mwMask, mi.target);
+        break;
+      case SeqKind::Halt:
+        out += " halt";
+        break;
+    }
+    return out;
+}
+
+} // namespace uhll

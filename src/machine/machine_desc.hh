@@ -1,0 +1,196 @@
+/**
+ * @file
+ * MachineDescription: the data-driven model of one micro engine.
+ *
+ * Everything downstream -- the microassembler, the simulator, the
+ * compaction conflict model and the code generator -- is parameterised
+ * by a MachineDescription. This realises the MPGL idea the survey
+ * highlights (sec. 2.2.5): the machine specification is an input to
+ * the toolchain, not baked into it.
+ */
+
+#ifndef UHLL_MACHINE_MACHINE_DESC_HH
+#define UHLL_MACHINE_MACHINE_DESC_HH
+
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "machine/types.hh"
+
+namespace uhll {
+
+/**
+ * Static description of one microprogrammable machine: registers and
+ * their classes, control-word fields, functional units, buses, the
+ * microoperation repertoire, and global properties (phases per cycle,
+ * memory latency, vertical vs horizontal encoding).
+ */
+class MachineDescription
+{
+  public:
+    /** @param name machine name; @param data_width register width. */
+    MachineDescription(std::string name, unsigned data_width);
+
+    const std::string &name() const { return name_; }
+    unsigned dataWidth() const { return dataWidth_; }
+
+    /** @name Global properties (set once while building) */
+    /// @{
+    void setNumPhases(unsigned n);
+    unsigned numPhases() const { return numPhases_; }
+
+    /** Vertical machines hold exactly one microoperation per word. */
+    void setVertical(bool v) { vertical_ = v; }
+    bool vertical() const { return vertical_; }
+
+    void setMemLatency(unsigned cycles) { memLatency_ = cycles; }
+    unsigned memLatency() const { return memLatency_; }
+
+    /** Reserved main-memory area for compiler spills. */
+    void setScratchArea(uint32_t base, uint32_t words);
+    uint32_t scratchBase() const { return scratchBase_; }
+    uint32_t scratchWords() const { return scratchWords_; }
+
+    /** Whether a hardware multiway branch exists. */
+    void setHasMultiway(bool v) { hasMultiway_ = v; }
+    bool hasMultiway() const { return hasMultiway_; }
+
+    /** Number of register blocks selectable via NewBlock (1 = none). */
+    void setNumRegBlocks(unsigned n) { numRegBlocks_ = n; }
+    unsigned numRegBlocks() const { return numRegBlocks_; }
+    /// @}
+
+    /** @name Registers */
+    /// @{
+    RegId addRegister(const std::string &name, unsigned width,
+                      uint32_t classes, bool architectural = false,
+                      bool allocatable = false);
+    const RegisterInfo &reg(RegId r) const;
+    size_t numRegisters() const { return regs_.size(); }
+    std::optional<RegId> findRegister(const std::string &name) const;
+
+    /** Registers available to the register allocator. */
+    std::vector<RegId> allocatableRegs() const;
+
+    void setMar(RegId r) { mar_ = r; }
+    void setMbr(RegId r) { mbr_ = r; }
+    RegId mar() const { return mar_; }
+    RegId mbr() const { return mbr_; }
+
+    /**
+     * Designate @p r as a compiler scratch register (operand-class
+     * fixups and spill reloads). Scratch registers must not be
+     * allocatable.
+     */
+    void addScratchReg(RegId r);
+    const std::vector<RegId> &scratchRegs() const { return scratch_; }
+
+    /**
+     * A scratch register whose classes intersect @p classes and that
+     * is not in @p avoid. Falls back to dedicated non-allocatable
+     * registers (mar/mbr) unless @p allow_dedicated is false.
+     * fatal() if none exists (machine description bug for the
+     * requested lowering).
+     */
+    RegId scratchFor(uint32_t classes,
+                     std::span<const RegId> avoid = {},
+                     bool allow_dedicated = true) const;
+    /// @}
+
+    /** @name Control-word structure */
+    /// @{
+    FieldId addField(const std::string &name, unsigned width);
+    UnitId addUnit(const std::string &name);
+    BusId addBus(const std::string &name);
+    const FieldInfo &field(FieldId f) const { return fields_.at(f); }
+    const UnitInfo &unit(UnitId u) const { return units_.at(u); }
+    const BusInfo &bus(BusId b) const { return buses_.at(b); }
+    size_t numFields() const { return fields_.size(); }
+    size_t numUnits() const { return units_.size(); }
+    size_t numBuses() const { return buses_.size(); }
+
+    /** Width in bits of one control word (sum of all field widths). */
+    unsigned controlWordBits() const;
+    /// @}
+
+    /** @name Microoperation repertoire */
+    /// @{
+    uint16_t addMicroOp(MicroOpSpec spec);
+    const MicroOpSpec &uop(uint16_t idx) const { return uops_.at(idx); }
+    size_t numMicroOps() const { return uops_.size(); }
+    std::optional<uint16_t> findUop(const std::string &mnemonic) const;
+
+    /**
+     * All repertoire entries with semantic kind @p k. Code generators
+     * iterate these to find one whose operand classes fit.
+     */
+    std::vector<uint16_t> uopsOfKind(UKind k) const;
+    /// @}
+
+    /** @name Conflict model (DeWitt control-word model) */
+    /// @{
+    /**
+     * Do two bound ops conflict when placed in the same control word?
+     *
+     * Field claims always conflict word-wide (the bits exist once).
+     * Unit and bus claims conflict per phase when @p phase_aware,
+     * word-wide otherwise. Two writes of the same register in the
+     * same phase conflict.
+     */
+    bool conflict(const BoundOp &a, const BoundOp &b,
+                  bool phase_aware) const;
+
+    /**
+     * Check that @p ops can legally share one control word. On
+     * failure returns false and, if @p why is non-null, stores a
+     * diagnostic.
+     *
+     * Besides pairwise resource conflicts this also enforces operand
+     * class constraints per op (see checkOperands()).
+     */
+    bool wordLegal(std::span<const BoundOp> ops, bool phase_aware,
+                   std::string *why = nullptr) const;
+
+    /**
+     * Check a single op's operands against its spec's class masks.
+     * Returns false and fills @p why on violation.
+     */
+    bool checkOperands(const BoundOp &op, std::string *why = nullptr)
+        const;
+    /// @}
+
+    /** Human-readable rendering of a bound op (diagnostics). */
+    std::string renderOp(const BoundOp &op) const;
+
+    /** Human-readable rendering of a whole microinstruction. */
+    std::string renderWord(const MicroInstruction &mi) const;
+
+  private:
+    std::string name_;
+    unsigned dataWidth_;
+    unsigned numPhases_ = 1;
+    bool vertical_ = false;
+    unsigned memLatency_ = 1;
+    uint32_t scratchBase_ = 0;
+    uint32_t scratchWords_ = 0;
+    bool hasMultiway_ = false;
+    unsigned numRegBlocks_ = 1;
+    RegId mar_ = kNoReg;
+    RegId mbr_ = kNoReg;
+
+    std::vector<RegisterInfo> regs_;
+    std::vector<RegId> scratch_;
+    std::unordered_map<std::string, RegId> regByName_;
+    std::vector<FieldInfo> fields_;
+    std::vector<UnitInfo> units_;
+    std::vector<BusInfo> buses_;
+    std::vector<MicroOpSpec> uops_;
+    std::unordered_map<std::string, uint16_t> uopByName_;
+};
+
+} // namespace uhll
+
+#endif // UHLL_MACHINE_MACHINE_DESC_HH

@@ -1,0 +1,278 @@
+#include "machine/machines/machines.hh"
+
+#include "support/logging.hh"
+
+namespace uhll {
+
+using namespace reg_class;
+
+/**
+ * HM-1: 16-bit data paths, 3-phase microcycle
+ * (phase 1: routing/constants, phase 2: compute, phase 3: writeback
+ * and memory), two independent input move ports and one output move
+ * port, orthogonal control word, memory latency 2, multiway branch.
+ */
+MachineDescription
+buildHm1(unsigned num_gprs)
+{
+    if (num_gprs < 8 || num_gprs % 4 != 0)
+        fatal("HM-1: register file size %u unsupported", num_gprs);
+    MachineDescription m("HM-1", 16);
+    m.setNumPhases(3);
+    m.setMemLatency(2);
+    m.setHasMultiway(true);
+    m.setScratchArea(0xF000, 256);
+
+    // General registers. The lower half are micro temporaries, the
+    // upper half macro-architectural (saved/restored by the OS on
+    // traps). The two highest micro temporaries are compiler
+    // scratch and stay out of the allocator's pool.
+    uint32_t gpr = kGpr | kMar | kMbr | kAluA | kAluB;
+    unsigned half = num_gprs / 2;
+    for (unsigned i = 0; i < num_gprs; ++i) {
+        bool scratch = i == half - 2 || i == half - 1;
+        m.addRegister("r" + std::to_string(i), 16, gpr,
+                      /*architectural=*/i >= half,
+                      /*allocatable=*/!scratch);
+    }
+    m.addScratchReg(static_cast<RegId>(half - 2));
+    m.addScratchReg(static_cast<RegId>(half - 1));
+    RegId mar = m.addRegister("mar", 16, kMar, false, false);
+    RegId mbr = m.addRegister("mbr", 16, kMbr | kAluA | kAluB,
+                              false, false);
+    m.setMar(mar);
+    m.setMbr(mbr);
+
+    // Control-word fields. Register selector width grows with the
+    // register file (the survey's Control Data 480 example has 256).
+    unsigned sel = 1;
+    while ((1u << sel) < num_gprs + 2)
+        ++sel;
+    FieldId f_aluop = m.addField("aluop", 4);
+    FieldId f_alua = m.addField("alua", sel);
+    FieldId f_alub = m.addField("alub", sel);
+    FieldId f_aludst = m.addField("aludst", sel);
+    FieldId f_shop = m.addField("shop", 3);
+    FieldId f_shsrc = m.addField("shsrc", sel);
+    FieldId f_shcnt = m.addField("shcnt", 4);
+    FieldId f_shdst = m.addField("shdst", sel);
+    FieldId f_mvasrc = m.addField("mvasrc", sel);
+    FieldId f_mvadst = m.addField("mvadst", sel);
+    FieldId f_mvbsrc = m.addField("mvbsrc", sel);
+    FieldId f_mvbdst = m.addField("mvbdst", sel);
+    FieldId f_mvcsrc = m.addField("mvcsrc", sel);
+    FieldId f_mvcdst = m.addField("mvcdst", sel);
+    FieldId f_imm = m.addField("imm", 16);
+    FieldId f_immdst = m.addField("immdst", sel);
+    FieldId f_mem = m.addField("mem", 2);
+    FieldId f_memr = m.addField("memr", 10);
+    m.addField("seq", 3);
+    m.addField("cond", 4);
+    m.addField("addr", 12);
+
+    // Functional units and buses.
+    UnitId u_alu = m.addUnit("ALU");
+    UnitId u_sh = m.addUnit("SHIFTER");
+    UnitId u_mova = m.addUnit("MOVA");
+    UnitId u_movb = m.addUnit("MOVB");
+    UnitId u_movc = m.addUnit("MOVC");
+    UnitId u_mem = m.addUnit("MEM");
+    BusId b_a = m.addBus("ABUS");
+    BusId b_b = m.addBus("BBUS");
+    BusId b_r = m.addBus("RBUS");
+    BusId b_s = m.addBus("SBUS");
+    BusId b_m = m.addBus("MBUS");
+
+    uint32_t alu_in = kGpr | kMbr;
+    uint32_t alu_out = kGpr | kMar | kMbr;
+    uint32_t any = kGpr | kMar | kMbr;
+
+    auto alu2 = [&](const char *mn, UKind k, bool imm) {
+        MicroOpSpec s;
+        s.mnemonic = mn;
+        s.kind = k;
+        s.phase = 2;
+        s.setsFlags = true;
+        s.allowImm = imm;
+        s.immWidth = 16;
+        s.dstClasses = alu_out;
+        s.srcAClasses = alu_in;
+        s.srcBClasses = imm ? 0 : alu_in;
+        s.fields = {f_aluop, f_alua, f_alub, f_aludst};
+        if (imm)
+            s.fields.push_back(f_imm);
+        s.units = {u_alu};
+        s.buses = imm ? std::vector<BusId>{b_a, b_r}
+                      : std::vector<BusId>{b_a, b_b, b_r};
+        m.addMicroOp(s);
+    };
+    alu2("add", UKind::Add, false);
+    alu2("addi", UKind::Add, true);
+    alu2("sub", UKind::Sub, false);
+    alu2("subi", UKind::Sub, true);
+    alu2("and", UKind::And, false);
+    alu2("andi", UKind::And, true);
+    alu2("or", UKind::Or, false);
+    alu2("ori", UKind::Or, true);
+    alu2("xor", UKind::Xor, false);
+    alu2("xori", UKind::Xor, true);
+
+    auto alu1 = [&](const char *mn, UKind k) {
+        MicroOpSpec s;
+        s.mnemonic = mn;
+        s.kind = k;
+        s.phase = 2;
+        s.setsFlags = true;
+        s.dstClasses = alu_out;
+        s.srcAClasses = alu_in;
+        s.fields = {f_aluop, f_alua, f_aludst};
+        s.units = {u_alu};
+        s.buses = {b_a, b_r};
+        m.addMicroOp(s);
+    };
+    alu1("inc", UKind::Inc);
+    alu1("dec", UKind::Dec);
+    alu1("neg", UKind::Neg);
+    alu1("not", UKind::Not);
+
+    auto cmp = [&](const char *mn, bool imm) {
+        MicroOpSpec s;
+        s.mnemonic = mn;
+        s.kind = UKind::Cmp;
+        s.phase = 2;
+        s.setsFlags = true;
+        s.allowImm = imm;
+        s.immWidth = 16;
+        s.srcAClasses = alu_in;
+        s.srcBClasses = imm ? 0 : alu_in;
+        s.fields = {f_aluop, f_alua, f_alub};
+        if (imm)
+            s.fields.push_back(f_imm);
+        s.units = {u_alu};
+        s.buses = {b_a, b_b};
+        m.addMicroOp(s);
+    };
+    cmp("cmp", false);
+    cmp("cmpi", true);
+
+    auto shift = [&](const char *mn, UKind k) {
+        MicroOpSpec s;
+        s.mnemonic = mn;
+        s.kind = k;
+        s.phase = 2;
+        s.setsFlags = true;
+        s.allowImm = true;
+        s.immWidth = 4;
+        s.dstClasses = alu_out;
+        s.srcAClasses = alu_in;
+        s.srcBClasses = alu_in;
+        s.fields = {f_shop, f_shsrc, f_shcnt, f_shdst};
+        s.units = {u_sh};
+        s.buses = {b_s};
+        m.addMicroOp(s);
+    };
+    shift("shl", UKind::Shl);
+    shift("shr", UKind::Shr);
+    shift("sar", UKind::Sar);
+    shift("rol", UKind::Rol);
+    shift("ror", UKind::Ror);
+
+    auto mover = [&](const char *mn, uint8_t phase, FieldId fs,
+                     FieldId fd, UnitId u) {
+        MicroOpSpec s;
+        s.mnemonic = mn;
+        s.kind = UKind::Mov;
+        s.phase = phase;
+        s.dstClasses = any;
+        s.srcAClasses = any;
+        s.fields = {fs, fd};
+        s.units = {u};
+        m.addMicroOp(s);
+    };
+    mover("mova", 1, f_mvasrc, f_mvadst, u_mova);
+    mover("movb", 1, f_mvbsrc, f_mvbdst, u_movb);
+    mover("movc", 3, f_mvcsrc, f_mvcdst, u_movc);
+
+    {
+        MicroOpSpec s;
+        s.mnemonic = "ldi";
+        s.kind = UKind::Ldi;
+        s.phase = 1;
+        s.immWidth = 16;
+        s.dstClasses = any;
+        s.fields = {f_imm, f_immdst};
+        m.addMicroOp(s);
+    }
+
+    {
+        MicroOpSpec s;
+        s.mnemonic = "memrd";
+        s.kind = UKind::MemRead;
+        s.phase = 3;
+        s.latency = 2;
+        s.dstClasses = kGpr | kMbr;
+        s.srcAClasses = kGpr | kMar;
+        s.fields = {f_mem, f_memr};
+        s.units = {u_mem};
+        s.buses = {b_m};
+        m.addMicroOp(s);
+    }
+    {
+        MicroOpSpec s;
+        s.mnemonic = "memwr";
+        s.kind = UKind::MemWrite;
+        s.phase = 3;
+        s.latency = 2;
+        s.srcAClasses = kGpr | kMar;
+        s.srcBClasses = kGpr | kMbr;
+        s.fields = {f_mem, f_memr};
+        s.units = {u_mem};
+        s.buses = {b_m};
+        m.addMicroOp(s);
+    }
+    {
+        MicroOpSpec s;
+        s.mnemonic = "push";
+        s.kind = UKind::Push;
+        s.phase = 3;
+        s.latency = 2;
+        s.srcAClasses = kGpr;
+        s.srcBClasses = kGpr | kMbr;
+        s.fields = {f_mem, f_memr};
+        s.units = {u_mem};
+        s.buses = {b_m};
+        m.addMicroOp(s);
+    }
+    {
+        MicroOpSpec s;
+        s.mnemonic = "pop";
+        s.kind = UKind::Pop;
+        s.phase = 3;
+        s.latency = 2;
+        s.dstClasses = kGpr | kMbr;
+        s.srcAClasses = kGpr;
+        s.fields = {f_mem, f_memr};
+        s.units = {u_mem};
+        s.buses = {b_m};
+        m.addMicroOp(s);
+    }
+    {
+        MicroOpSpec s;
+        s.mnemonic = "intack";
+        s.kind = UKind::IntAck;
+        s.phase = 1;
+        s.fields = {f_mem};
+        m.addMicroOp(s);
+    }
+    {
+        MicroOpSpec s;
+        s.mnemonic = "nop";
+        s.kind = UKind::Nop;
+        s.phase = 1;
+        m.addMicroOp(s);
+    }
+
+    return m;
+}
+
+} // namespace uhll

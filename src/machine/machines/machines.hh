@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The bundled machine descriptions.
+ *
+ * HM-1 -- a "clean" horizontal engine in the spirit of the HP300
+ *         micro machine the YALLL authors praised: regular register
+ *         file, orthogonal control word, independent move ports,
+ *         hardware stack ops and a multiway branch.
+ *
+ * VM-2 -- a "baroque" horizontal engine in the spirit of the VAX-11
+ *         micro machine the YALLL authors despaired of: partitioned
+ *         register banks with per-operand class restrictions, one
+ *         shared mover, overloaded control-word fields, a narrow
+ *         immediate field, slow memory, no multiway branch, and no
+ *         inc/dec/rotate/stack hardware.
+ *
+ * VS-3 -- a vertical engine in the spirit of the Burroughs B1700:
+ *         one microoperation per (narrow) control word. Flexible but
+ *         slow, exercising the survey's sec. 1 claim that vertical
+ *         encoding trades speed for simplicity.
+ *
+ * Register class bits are machine-local; the accessors below expose
+ * the classes the toolchain needs by role.
+ */
+
+#ifndef UHLL_MACHINE_MACHINES_MACHINES_HH
+#define UHLL_MACHINE_MACHINES_MACHINES_HH
+
+#include "machine/machine_desc.hh"
+
+namespace uhll {
+
+/** Register class bits shared by all bundled machines. */
+namespace reg_class {
+constexpr uint32_t kGpr = 1u << 0;   //!< general purpose
+constexpr uint32_t kMar = 1u << 1;   //!< usable as memory address reg
+constexpr uint32_t kMbr = 1u << 2;   //!< usable as memory buffer reg
+constexpr uint32_t kAluA = 1u << 3;  //!< usable as ALU left input
+constexpr uint32_t kAluB = 1u << 4;  //!< usable as ALU right input
+constexpr uint32_t kAddr = 1u << 5;  //!< address bank (VM-2)
+} // namespace reg_class
+
+/**
+ * Build the clean horizontal machine HM-1.
+ * @param num_gprs size of the general register file (default 16;
+ *        the E5 benchmark sweeps this up to 256, the Control Data
+ *        480 figure the survey quotes). Must be a multiple of 4 and
+ *        at least 8. The lower half are micro temporaries, the upper
+ *        half macro-architectural; the two highest micro
+ *        temporaries are compiler scratch.
+ */
+MachineDescription buildHm1(unsigned num_gprs = 16);
+
+/** Build the baroque horizontal machine VM-2. */
+MachineDescription buildVm2();
+
+/** Build the vertical machine VS-3. */
+MachineDescription buildVs3();
+
+} // namespace uhll
+
+#endif // UHLL_MACHINE_MACHINES_MACHINES_HH

@@ -1,0 +1,234 @@
+#include "machine/machines/machines.hh"
+
+namespace uhll {
+
+using namespace reg_class;
+
+/**
+ * VM-2: the baroque horizontal engine.
+ *
+ * Irregularities (each maps to a complaint in the survey or in the
+ * YALLL paper about the VAX-11 micro machine):
+ *  - partitioned register banks: r0-r3 feed only the ALU left input,
+ *    r4-r7 only the right input; a0-a3 are address registers that
+ *    cannot reach the ALU at all;
+ *  - memory only via the dedicated mar/mbr pair, latency 3;
+ *  - one shared mover, sharing its bus with the ALU result bus, so a
+ *    move never packs with an ALU operation;
+ *  - the shifter borrows the ALU's operand field, so shifts never
+ *    pack with ALU operations either, count is immediate-only;
+ *  - an 8-bit immediate field;
+ *  - no inc/dec/neg/rotate/stack hardware, no multiway branch.
+ */
+MachineDescription
+buildVm2()
+{
+    MachineDescription m("VM-2", 16);
+    m.setNumPhases(3);
+    m.setMemLatency(3);
+    m.setHasMultiway(false);
+    m.setScratchArea(0x80, 112);
+
+    for (int i = 0; i < 4; ++i) {
+        // r3 is reserved as the code generator's left-bank fixup temp.
+        m.addRegister("r" + std::to_string(i), 16, kGpr | kAluA,
+                      /*architectural=*/false, /*allocatable=*/i != 3);
+    }
+    for (int i = 4; i < 8; ++i) {
+        // r7 is reserved as the right-bank fixup temp.
+        m.addRegister("r" + std::to_string(i), 16, kGpr | kAluB,
+                      /*architectural=*/i >= 6, /*allocatable=*/i != 7);
+    }
+    for (int i = 0; i < 4; ++i) {
+        // a3 is reserved as the address-bank fixup temp.
+        m.addRegister("a" + std::to_string(i), 16, kGpr | kAddr,
+                      /*architectural=*/i >= 2, /*allocatable=*/i != 3);
+    }
+    RegId mar = m.addRegister("mar", 16, kMar, false, false);
+    RegId mbr = m.addRegister("mbr", 16, kMbr, false, false);
+    m.setMar(mar);
+    m.setMbr(mbr);
+    m.addScratchReg(*m.findRegister("r3"));
+    m.addScratchReg(*m.findRegister("r7"));
+    m.addScratchReg(*m.findRegister("a3"));
+
+    FieldId f_aluop = m.addField("aluop", 3);
+    FieldId f_opa = m.addField("opa", 4);   // shared: ALU-A / shifter
+    FieldId f_opb = m.addField("opb", 4);
+    FieldId f_dst = m.addField("dst", 4);   // shared: ALU / shifter dst
+    FieldId f_shcnt = m.addField("shcnt", 4);
+    FieldId f_mvsrc = m.addField("mvsrc", 5);
+    FieldId f_imm = m.addField("imm", 8);
+    FieldId f_mem = m.addField("mem", 2);
+    m.addField("seq", 3);
+    m.addField("cond", 4);
+    m.addField("addr", 11);
+
+    UnitId u_alu = m.addUnit("ALU");
+    UnitId u_sh = m.addUnit("SHIFTER");
+    UnitId u_mov = m.addUnit("MOVER");
+    UnitId u_mem = m.addUnit("MEM");
+    BusId b_a = m.addBus("ABUS");
+    BusId b_b = m.addBus("BBUS");
+    BusId b_r = m.addBus("RBUS");   // shared by ALU result and mover
+    BusId b_m = m.addBus("MBUS");
+
+    auto alu2 = [&](const char *mn, UKind k, bool imm) {
+        MicroOpSpec s;
+        s.mnemonic = mn;
+        s.kind = k;
+        s.phase = 2;
+        s.setsFlags = true;
+        s.allowImm = imm;
+        s.immWidth = 8;
+        s.dstClasses = kAluA | kAluB;
+        s.srcAClasses = kAluA;
+        s.srcBClasses = imm ? 0 : kAluB;
+        s.fields = {f_aluop, f_opa, f_opb, f_dst};
+        if (imm)
+            s.fields.push_back(f_imm);
+        s.units = {u_alu};
+        s.buses = imm ? std::vector<BusId>{b_a, b_r}
+                      : std::vector<BusId>{b_a, b_b, b_r};
+        m.addMicroOp(s);
+    };
+    alu2("add", UKind::Add, false);
+    alu2("addi", UKind::Add, true);
+    alu2("sub", UKind::Sub, false);
+    alu2("subi", UKind::Sub, true);
+    alu2("and", UKind::And, false);
+    alu2("andi", UKind::And, true);
+    alu2("or", UKind::Or, false);
+    alu2("ori", UKind::Or, true);
+    alu2("xor", UKind::Xor, false);
+    alu2("xori", UKind::Xor, true);
+
+    {
+        MicroOpSpec s;
+        s.mnemonic = "not";
+        s.kind = UKind::Not;
+        s.phase = 2;
+        s.setsFlags = true;
+        s.dstClasses = kAluA | kAluB;
+        s.srcAClasses = kAluA;
+        s.fields = {f_aluop, f_opa, f_dst};
+        s.units = {u_alu};
+        s.buses = {b_a, b_r};
+        m.addMicroOp(s);
+    }
+
+    auto cmp = [&](const char *mn, bool imm) {
+        MicroOpSpec s;
+        s.mnemonic = mn;
+        s.kind = UKind::Cmp;
+        s.phase = 2;
+        s.setsFlags = true;
+        s.allowImm = imm;
+        s.immWidth = 8;
+        s.srcAClasses = kAluA;
+        s.srcBClasses = imm ? 0 : kAluB;
+        s.fields = {f_aluop, f_opa, f_opb};
+        if (imm)
+            s.fields.push_back(f_imm);
+        s.units = {u_alu};
+        s.buses = {b_a, b_b};
+        m.addMicroOp(s);
+    };
+    cmp("cmp", false);
+    cmp("cmpi", true);
+
+    // Shifter: left bank only, immediate count only; borrows the
+    // ALU's operand and destination fields.
+    auto shift = [&](const char *mn, UKind k) {
+        MicroOpSpec s;
+        s.mnemonic = mn;
+        s.kind = k;
+        s.phase = 2;
+        s.setsFlags = true;
+        s.allowImm = true;
+        s.immWidth = 4;
+        s.dstClasses = kAluA;
+        s.srcAClasses = kAluA;
+        s.srcBClasses = 0;      // immediate only
+        s.fields = {f_opa, f_dst, f_shcnt};
+        s.units = {u_sh};
+        s.buses = {b_r};
+        m.addMicroOp(s);
+    };
+    shift("shl", UKind::Shl);
+    shift("shr", UKind::Shr);
+    shift("sar", UKind::Sar);
+
+    {
+        MicroOpSpec s;
+        s.mnemonic = "mov";
+        s.kind = UKind::Mov;
+        s.phase = 1;
+        s.dstClasses = kGpr | kAluA | kAluB | kAddr | kMar | kMbr;
+        s.srcAClasses = kGpr | kAluA | kAluB | kAddr | kMar | kMbr;
+        // The mover borrows the ALU's destination field: a move can
+        // never share a word with an ALU or shifter operation.
+        s.fields = {f_mvsrc, f_dst};
+        s.units = {u_mov};
+        s.buses = {b_r};    // shared with the ALU result bus
+        m.addMicroOp(s);
+    }
+    {
+        MicroOpSpec s;
+        s.mnemonic = "ldi";
+        s.kind = UKind::Ldi;
+        s.phase = 1;
+        s.immWidth = 8;
+        s.dstClasses = kGpr | kAluA | kAluB | kAddr | kMar | kMbr;
+        s.fields = {f_imm, f_dst};
+        s.units = {u_mov};
+        s.buses = {b_r};
+        m.addMicroOp(s);
+    }
+
+    {
+        MicroOpSpec s;
+        s.mnemonic = "memrd";
+        s.kind = UKind::MemRead;
+        s.phase = 3;
+        s.latency = 3;
+        s.dstClasses = kMbr;    // strictly mbr := mem[mar]
+        s.srcAClasses = kMar;
+        s.fields = {f_mem};
+        s.units = {u_mem};
+        s.buses = {b_m};
+        m.addMicroOp(s);
+    }
+    {
+        MicroOpSpec s;
+        s.mnemonic = "memwr";
+        s.kind = UKind::MemWrite;
+        s.phase = 3;
+        s.latency = 3;
+        s.srcAClasses = kMar;
+        s.srcBClasses = kMbr;   // strictly mem[mar] := mbr
+        s.fields = {f_mem};
+        s.units = {u_mem};
+        s.buses = {b_m};
+        m.addMicroOp(s);
+    }
+    {
+        MicroOpSpec s;
+        s.mnemonic = "intack";
+        s.kind = UKind::IntAck;
+        s.phase = 1;
+        s.fields = {f_mem};
+        m.addMicroOp(s);
+    }
+    {
+        MicroOpSpec s;
+        s.mnemonic = "nop";
+        s.kind = UKind::Nop;
+        s.phase = 1;
+        m.addMicroOp(s);
+    }
+
+    return m;
+}
+
+} // namespace uhll

@@ -1,0 +1,175 @@
+#include "machine/machines/machines.hh"
+
+namespace uhll {
+
+using namespace reg_class;
+
+/**
+ * VS-3: the vertical engine. One microoperation per 24-bit control
+ * word, single-phase microcycle, a regular register file (vertical
+ * machines could afford regularity -- the survey notes the Burroughs
+ * B1700 as the canonical user-microprogrammable vertical machine),
+ * but no intra-word parallelism at all.
+ */
+MachineDescription
+buildVs3()
+{
+    MachineDescription m("VS-3", 16);
+    m.setNumPhases(1);
+    m.setVertical(true);
+    m.setMemLatency(2);
+    m.setHasMultiway(false);
+    m.setScratchArea(0x180, 120);
+
+    uint32_t gpr = kGpr | kMar | kMbr | kAluA | kAluB;
+    for (int i = 0; i < 16; ++i) {
+        bool scratch = i == 6 || i == 7;
+        m.addRegister("r" + std::to_string(i), 16, gpr,
+                      /*architectural=*/i >= 8,
+                      /*allocatable=*/!scratch);
+    }
+    m.addScratchReg(*m.findRegister("r6"));
+    m.addScratchReg(*m.findRegister("r7"));
+    RegId mar = m.addRegister("mar", 16, kMar, false, false);
+    RegId mbr = m.addRegister("mbr", 16, kMbr | kAluA | kAluB,
+                              false, false);
+    m.setMar(mar);
+    m.setMbr(mbr);
+
+    // A vertical word is opcode + two operand selectors + immediate.
+    FieldId f_op = m.addField("op", 5);
+    FieldId f_a = m.addField("a", 5);
+    FieldId f_b = m.addField("b", 5);
+    FieldId f_imm = m.addField("imm", 9);
+
+    UnitId u_alu = m.addUnit("ALU");
+    UnitId u_mem = m.addUnit("MEM");
+
+    uint32_t any = gpr;
+    auto op2 = [&](const char *mn, UKind k, bool imm) {
+        MicroOpSpec s;
+        s.mnemonic = mn;
+        s.kind = k;
+        s.phase = 1;
+        s.setsFlags = true;
+        s.allowImm = imm;
+        s.immWidth = 9;
+        s.dstClasses = any | kMar | kMbr;
+        s.srcAClasses = any | kMar | kMbr;
+        s.srcBClasses = imm ? 0 : (any | kMbr);
+        s.fields = {f_op, f_a, f_b};
+        if (imm)
+            s.fields.push_back(f_imm);
+        s.units = {u_alu};
+        m.addMicroOp(s);
+    };
+    op2("add", UKind::Add, false);
+    op2("addi", UKind::Add, true);
+    op2("sub", UKind::Sub, false);
+    op2("subi", UKind::Sub, true);
+    op2("and", UKind::And, false);
+    op2("or", UKind::Or, false);
+    op2("xor", UKind::Xor, false);
+    op2("shl", UKind::Shl, true);
+    op2("shr", UKind::Shr, true);
+    op2("sar", UKind::Sar, true);
+    op2("rol", UKind::Rol, true);
+    op2("ror", UKind::Ror, true);
+
+    auto op1 = [&](const char *mn, UKind k, bool flags = true) {
+        MicroOpSpec s;
+        s.mnemonic = mn;
+        s.kind = k;
+        s.phase = 1;
+        s.setsFlags = flags;
+        s.dstClasses = any | kMar | kMbr;
+        s.srcAClasses = any | kMar | kMbr;
+        s.fields = {f_op, f_a};
+        s.units = {u_alu};
+        m.addMicroOp(s);
+    };
+    op1("inc", UKind::Inc);
+    op1("dec", UKind::Dec);
+    op1("neg", UKind::Neg);
+    op1("not", UKind::Not);
+    op1("mov", UKind::Mov, false);
+
+    {
+        MicroOpSpec s;
+        s.mnemonic = "cmp";
+        s.kind = UKind::Cmp;
+        s.phase = 1;
+        s.setsFlags = true;
+        s.srcAClasses = any | kMbr;
+        s.srcBClasses = any | kMbr;
+        s.fields = {f_op, f_a, f_b};
+        s.units = {u_alu};
+        m.addMicroOp(s);
+    }
+    {
+        MicroOpSpec s;
+        s.mnemonic = "cmpi";
+        s.kind = UKind::Cmp;
+        s.phase = 1;
+        s.setsFlags = true;
+        s.allowImm = true;
+        s.immWidth = 9;
+        s.srcAClasses = any | kMbr;
+        s.fields = {f_op, f_a, f_imm};
+        s.units = {u_alu};
+        m.addMicroOp(s);
+    }
+    {
+        MicroOpSpec s;
+        s.mnemonic = "ldi";
+        s.kind = UKind::Ldi;
+        s.phase = 1;
+        s.immWidth = 9;
+        s.dstClasses = any | kMar | kMbr;
+        s.fields = {f_op, f_a, f_imm};
+        m.addMicroOp(s);
+    }
+    {
+        MicroOpSpec s;
+        s.mnemonic = "memrd";
+        s.kind = UKind::MemRead;
+        s.phase = 1;
+        s.latency = 2;
+        s.dstClasses = any | kMbr;
+        s.srcAClasses = any | kMar;
+        s.fields = {f_op, f_a, f_b};
+        s.units = {u_mem};
+        m.addMicroOp(s);
+    }
+    {
+        MicroOpSpec s;
+        s.mnemonic = "memwr";
+        s.kind = UKind::MemWrite;
+        s.phase = 1;
+        s.latency = 2;
+        s.srcAClasses = any | kMar;
+        s.srcBClasses = any | kMbr;
+        s.fields = {f_op, f_a, f_b};
+        s.units = {u_mem};
+        m.addMicroOp(s);
+    }
+    {
+        MicroOpSpec s;
+        s.mnemonic = "intack";
+        s.kind = UKind::IntAck;
+        s.phase = 1;
+        s.fields = {f_op};
+        m.addMicroOp(s);
+    }
+    {
+        MicroOpSpec s;
+        s.mnemonic = "nop";
+        s.kind = UKind::Nop;
+        s.phase = 1;
+        m.addMicroOp(s);
+    }
+
+    return m;
+}
+
+} // namespace uhll

@@ -1,0 +1,91 @@
+#include "machine/memory.hh"
+
+#include "support/logging.hh"
+
+namespace uhll {
+
+MainMemory::MainMemory(uint32_t words, unsigned width)
+    : size_(words), width_(width), data_(words, 0)
+{
+    if (width == 0 || width > 64)
+        fatal("memory: word width %u out of range", width);
+}
+
+void
+MainMemory::enablePaging(uint32_t page_words)
+{
+    if (page_words == 0)
+        fatal("memory: page size must be non-zero");
+    pageWords_ = page_words;
+    present_.assign((size_ + page_words - 1) / page_words, false);
+}
+
+void
+MainMemory::servicePage(uint32_t addr)
+{
+    checkAddr(addr);
+    if (pageWords_)
+        present_[pageIndex(addr)] = true;
+}
+
+void
+MainMemory::evictPage(uint32_t addr)
+{
+    checkAddr(addr);
+    if (pageWords_)
+        present_[pageIndex(addr)] = false;
+}
+
+bool
+MainMemory::pagePresent(uint32_t addr) const
+{
+    if (!pageWords_)
+        return true;
+    if (addr >= size_)
+        return false;
+    return present_[pageIndex(addr)];
+}
+
+bool
+MainMemory::read(uint32_t addr, uint64_t &out) const
+{
+    checkAddr(addr);
+    if (!pagePresent(addr))
+        return false;
+    out = data_[addr];
+    return true;
+}
+
+bool
+MainMemory::write(uint32_t addr, uint64_t value)
+{
+    checkAddr(addr);
+    if (!pagePresent(addr))
+        return false;
+    data_[addr] = truncBits(value, width_);
+    return true;
+}
+
+uint64_t
+MainMemory::peek(uint32_t addr) const
+{
+    checkAddr(addr);
+    return data_[addr];
+}
+
+void
+MainMemory::poke(uint32_t addr, uint64_t value)
+{
+    checkAddr(addr);
+    data_[addr] = truncBits(value, width_);
+}
+
+void
+MainMemory::checkAddr(uint32_t addr) const
+{
+    if (addr >= size_)
+        fatal("memory: address %u out of range (size %u words)", addr,
+              size_);
+}
+
+} // namespace uhll

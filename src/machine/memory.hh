@@ -1,0 +1,81 @@
+/**
+ * @file
+ * MainMemory: word-addressed main memory with optional demand paging.
+ *
+ * Paging exists to reproduce the survey's microtrap discussion
+ * (sec. 2.1.5): a memory access to a non-present page raises a page
+ * fault, which the simulator turns into a restart of the executing
+ * microroutine.
+ */
+
+#ifndef UHLL_MACHINE_MEMORY_HH
+#define UHLL_MACHINE_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bits.hh"
+
+namespace uhll {
+
+/** Word-addressed memory; values are masked to the machine width. */
+class MainMemory
+{
+  public:
+    /**
+     * @param words memory size in words
+     * @param width bits per word (machine data width)
+     */
+    MainMemory(uint32_t words, unsigned width);
+
+    uint32_t sizeWords() const { return size_; }
+    unsigned width() const { return width_; }
+
+    /**
+     * Enable demand paging: all pages start non-present. An access to
+     * a non-present page fails (returns false) until the page is
+     * serviced with servicePage().
+     */
+    void enablePaging(uint32_t page_words);
+    bool pagingEnabled() const { return pageWords_ != 0; }
+
+    /** Mark the page containing @p addr present. */
+    void servicePage(uint32_t addr);
+
+    /** Mark the page containing @p addr non-present again. */
+    void evictPage(uint32_t addr);
+
+    bool pagePresent(uint32_t addr) const;
+
+    /**
+     * Read the word at @p addr into @p out.
+     * @return false on page fault (out untouched).
+     */
+    bool read(uint32_t addr, uint64_t &out) const;
+
+    /**
+     * Write @p value to @p addr.
+     * @return false on page fault (memory untouched).
+     */
+    bool write(uint32_t addr, uint64_t value);
+
+    /** Backdoor read, ignores paging (for loaders and tests). */
+    uint64_t peek(uint32_t addr) const;
+
+    /** Backdoor write, ignores paging (for loaders and tests). */
+    void poke(uint32_t addr, uint64_t value);
+
+  private:
+    uint32_t pageIndex(uint32_t addr) const { return addr / pageWords_; }
+    void checkAddr(uint32_t addr) const;
+
+    uint32_t size_;
+    unsigned width_;
+    uint32_t pageWords_ = 0;
+    std::vector<uint64_t> data_;
+    std::vector<bool> present_;
+};
+
+} // namespace uhll
+
+#endif // UHLL_MACHINE_MEMORY_HH

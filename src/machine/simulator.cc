@@ -1,0 +1,443 @@
+#include "machine/simulator.hh"
+
+#include <algorithm>
+
+#include "machine/alu.hh"
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+MicroSimulator::MicroSimulator(const ControlStore &store,
+                               MainMemory &mem, SimConfig cfg)
+    : store_(store), mach_(store.machine()), mem_(mem), cfg_(cfg),
+      regs_(store.machine().numRegisters(), 0)
+{
+    if (mem.width() != mach_.dataWidth())
+        fatal("simulator: memory width %u != machine data width %u",
+              mem.width(), mach_.dataWidth());
+}
+
+void
+MicroSimulator::setReg(RegId r, uint64_t v)
+{
+    regs_.at(r) = truncBits(v, mach_.reg(r).width);
+}
+
+uint64_t
+MicroSimulator::getReg(RegId r) const
+{
+    return regs_.at(r);
+}
+
+void
+MicroSimulator::setReg(const std::string &name, uint64_t v)
+{
+    auto r = mach_.findRegister(name);
+    if (!r)
+        fatal("simulator: no register '%s'", name.c_str());
+    setReg(*r, v);
+}
+
+uint64_t
+MicroSimulator::getReg(const std::string &name) const
+{
+    auto r = mach_.findRegister(name);
+    if (!r)
+        fatal("simulator: no register '%s'", name.c_str());
+    return getReg(*r);
+}
+
+void
+MicroSimulator::interruptEvery(uint64_t period, uint64_t first)
+{
+    intPeriod_ = period;
+    intNext_ = period ? first : ~0ULL;
+}
+
+uint64_t
+MicroSimulator::readReg(RegId r)
+{
+    if (hasPendingFor(r)) {
+        if (cfg_.strictHazards)
+            fatal("simulator: register '%s' read while an overlapped "
+                  "write is pending (cycle %llu)",
+                  mach_.reg(r).name.c_str(),
+                  (unsigned long long)res_.cycles);
+        // non-strict: hardware returns the stale value
+    }
+    return regs_.at(r);
+}
+
+bool
+MicroSimulator::hasPendingFor(RegId r) const
+{
+    for (const auto &p : pending_) {
+        if (!p.isMem && p.reg == r)
+            return true;
+    }
+    return false;
+}
+
+void
+MicroSimulator::commitPending()
+{
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->commitCycle <= res_.cycles) {
+            if (it->isMem) {
+                if (!mem_.write(it->addr, it->value))
+                    fatal("simulator: overlapped store faulted at "
+                          "commit (addr %u)", it->addr);
+            } else {
+                regs_[it->reg] =
+                    truncBits(it->value, mach_.reg(it->reg).width);
+            }
+            it = pending_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+MicroSimulator::noteInterruptArrival()
+{
+    if (intPeriod_ && !intPending_ && res_.cycles >= intNext_) {
+        intPending_ = true;
+        intArrivalCycle_ = res_.cycles;
+        intNext_ += intPeriod_;
+    }
+}
+
+void
+MicroSimulator::applyTrap()
+{
+    ++res_.pageFaults;
+    // The macro-level OS saves and restores architectural registers
+    // around fault service, so their current values survive. The
+    // micro temporaries do not: other firmware runs meanwhile.
+    if (cfg_.scrambleOnTrap) {
+        for (RegId r = 0; r < regs_.size(); ++r) {
+            if (!mach_.reg(r).architectural)
+                regs_[r] = truncBits(0xDEAD ^ (0x101ULL * r),
+                                     mach_.reg(r).width);
+        }
+    }
+    flags_ = Flags{};
+    microStack_.clear();
+    pending_.clear();
+    upc_ = restartPoint_;
+}
+
+bool
+MicroSimulator::evalCond(Cond c) const
+{
+    switch (c) {
+      case Cond::Always: return true;
+      case Cond::Z: return flags_.z;
+      case Cond::NZ: return !flags_.z;
+      case Cond::Neg: return flags_.n;
+      case Cond::NonNeg: return !flags_.n;
+      case Cond::C: return flags_.c;
+      case Cond::NC: return !flags_.c;
+      case Cond::UF: return flags_.uf;
+      case Cond::NoUF: return !flags_.uf;
+      case Cond::Ovf: return flags_.ovf;
+      case Cond::Int: return intPending_;
+      case Cond::NoInt: return !intPending_;
+    }
+    return false;
+}
+
+namespace {
+
+/** Buffered effect of one microoperation within a word. */
+struct Effect {
+    bool hasRegWrite = false;
+    RegId reg = kNoReg;
+    uint64_t regValue = 0;
+    bool hasReg2Write = false;      // push/pop second write
+    RegId reg2 = kNoReg;
+    uint64_t reg2Value = 0;
+    bool hasMemWrite = false;
+    uint32_t memAddr = 0;
+    uint64_t memValue = 0;
+    bool setsFlags = false;
+    Flags flags;
+    bool delayed = false;           // overlapped: commits later
+    bool intAck = false;
+};
+
+} // namespace
+
+bool
+MicroSimulator::execWord(const MicroInstruction &mi, uint32_t addr,
+                         uint32_t &next, uint32_t &fault_addr)
+{
+    auto faulted = [&](uint32_t a) {
+        fault_addr = a;
+        return false;
+    };
+    // Overlay of register values built up phase by phase; the real
+    // register file is only updated if the whole word succeeds.
+    std::vector<std::pair<RegId, uint64_t>> overlay;
+    auto ovRead = [&](RegId r) -> uint64_t {
+        for (auto it = overlay.rbegin(); it != overlay.rend(); ++it) {
+            if (it->first == r)
+                return it->second;
+        }
+        return readReg(r);
+    };
+
+    std::vector<std::pair<uint32_t, uint64_t>> mem_writes;
+    std::vector<PendingWrite> new_pending;
+    Flags new_flags = flags_;
+    bool flags_dirty = false;
+    unsigned stall = 0;
+    bool int_acked = false;
+
+    unsigned w = mach_.dataWidth();
+
+    for (unsigned phase = 1; phase <= mach_.numPhases(); ++phase) {
+        std::vector<Effect> effects;
+        for (const BoundOp &op : mi.ops) {
+            const MicroOpSpec &s = mach_.uop(op.spec);
+            if (s.phase != phase)
+                continue;
+
+            uint64_t a = uKindHasSrcA(s.kind) ? ovRead(op.srcA) : 0;
+            uint64_t b = 0;
+            if (uKindHasSrcB(s.kind))
+                b = op.useImm ? truncBits(op.imm, w) : ovRead(op.srcB);
+
+            Effect e;
+            e.setsFlags = s.setsFlags;
+            auto write = [&](RegId r, uint64_t v) {
+                e.hasRegWrite = true;
+                e.reg = r;
+                e.regValue = truncBits(v, mach_.reg(r).width);
+            };
+
+            if (aluHandles(s.kind)) {
+                AluOut r = aluEval(s.kind, a,
+                                   s.kind == UKind::Ldi ? op.imm : b,
+                                   w);
+                e.flags = r.flags;
+                if (r.wrote)
+                    write(op.dst, r.value);
+                effects.push_back(std::move(e));
+                continue;
+            }
+
+            switch (s.kind) {
+              default:
+                panic("simulator: unexpected kind %s",
+                      uKindName(s.kind));
+              case UKind::Nop:
+                break;
+              case UKind::MemRead: {
+                uint64_t v;
+                if (!mem_.read(static_cast<uint32_t>(a), v))
+                    return faulted(static_cast<uint32_t>(a));
+                ++res_.memReads;
+                if (op.overlap) {
+                    e.delayed = true;
+                    e.hasRegWrite = true;
+                    e.reg = op.dst;
+                    e.regValue = truncBits(v, mach_.reg(op.dst).width);
+                } else {
+                    write(op.dst, v);
+                    stall = std::max(stall, mach_.memLatency() - 1);
+                }
+                break;
+              }
+              case UKind::MemWrite: {
+                if (!mem_.pagePresent(static_cast<uint32_t>(a)))
+                    return faulted(static_cast<uint32_t>(a));
+                ++res_.memWrites;
+                e.hasMemWrite = true;
+                e.memAddr = static_cast<uint32_t>(a);
+                e.memValue = b;
+                if (op.overlap)
+                    e.delayed = true;
+                else
+                    stall = std::max(stall, mach_.memLatency() - 1);
+                break;
+              }
+              case UKind::Push: {
+                uint64_t sp = truncBits(a + 1, w);
+                if (!mem_.pagePresent(static_cast<uint32_t>(sp)))
+                    return faulted(static_cast<uint32_t>(sp));
+                ++res_.memWrites;
+                e.hasMemWrite = true;
+                e.memAddr = static_cast<uint32_t>(sp);
+                e.memValue = b;
+                e.hasRegWrite = true;
+                e.reg = op.srcA;
+                e.regValue = sp;
+                stall = std::max(stall, mach_.memLatency() - 1);
+                break;
+              }
+              case UKind::Pop: {
+                uint64_t v;
+                if (!mem_.read(static_cast<uint32_t>(a), v))
+                    return faulted(static_cast<uint32_t>(a));
+                ++res_.memReads;
+                write(op.dst, v);
+                e.hasReg2Write = true;
+                e.reg2 = op.srcA;
+                e.reg2Value = truncBits(a - 1, w);
+                stall = std::max(stall, mach_.memLatency() - 1);
+                break;
+              }
+              case UKind::NewBlock:
+                panic("simulator: NewBlock not supported by any "
+                      "bundled machine");
+              case UKind::IntAck:
+                e.intAck = true;
+                break;
+            }
+            effects.push_back(std::move(e));
+        }
+
+        // All reads of this phase happened; commit the phase's writes
+        // to the overlay so the next phase observes them.
+        for (const Effect &e : effects) {
+            if (e.delayed) {
+                PendingWrite p;
+                p.commitCycle = res_.cycles + mach_.memLatency();
+                if (e.hasMemWrite) {
+                    p.isMem = true;
+                    p.addr = e.memAddr;
+                    p.value = truncBits(e.memValue, w);
+                } else {
+                    p.isMem = false;
+                    p.reg = e.reg;
+                    p.value = e.regValue;
+                }
+                new_pending.push_back(p);
+                continue;
+            }
+            if (e.hasRegWrite)
+                overlay.emplace_back(e.reg, e.regValue);
+            if (e.hasReg2Write)
+                overlay.emplace_back(e.reg2, e.reg2Value);
+            if (e.hasMemWrite)
+                mem_writes.emplace_back(e.memAddr,
+                                        truncBits(e.memValue, w));
+            if (e.setsFlags) {
+                new_flags = e.flags;
+                flags_dirty = true;
+            }
+            if (e.intAck && intPending_) {
+                intPending_ = false;
+                int_acked = true;
+            }
+        }
+    }
+
+    // The word succeeded: commit everything.
+    for (auto &[r, v] : overlay)
+        regs_[r] = v;
+    for (auto &[a, v] : mem_writes) {
+        if (!mem_.write(a, v))
+            panic("simulator: committed store faulted (addr %u)", a);
+    }
+    for (auto &p : new_pending)
+        pending_.push_back(p);
+    if (flags_dirty)
+        flags_ = new_flags;
+    if (int_acked) {
+        ++res_.interruptsServiced;
+        res_.interruptLatencyTotal += res_.cycles - intArrivalCycle_;
+    }
+
+    res_.cycles += 1 + stall;
+
+    // Sequencing (conditions see the flags produced by this word).
+    switch (mi.seq) {
+      case SeqKind::Next:
+        next = addr + 1;
+        break;
+      case SeqKind::Jump:
+        next = mi.target;
+        break;
+      case SeqKind::CondJump:
+        next = evalCond(mi.cond) ? mi.target : addr + 1;
+        break;
+      case SeqKind::Call:
+        if (microStack_.size() >= 16)
+            fatal("simulator: micro return stack overflow");
+        microStack_.push_back(addr + 1);
+        next = mi.target;
+        break;
+      case SeqKind::Return:
+        if (microStack_.empty())
+            fatal("simulator: micro return stack underflow");
+        next = microStack_.back();
+        microStack_.pop_back();
+        break;
+      case SeqKind::Multiway: {
+        if (!mach_.hasMultiway())
+            fatal("simulator: machine %s has no multiway branch",
+                  mach_.name().c_str());
+        if (mi.mwReg == kNoReg)
+            fatal("simulator: multiway without dispatch register");
+        uint64_t v = ovRead(mi.mwReg);
+        next = mi.target +
+               static_cast<uint32_t>(compressBits(v, mi.mwMask));
+        break;
+      }
+      case SeqKind::Halt:
+        next = addr;
+        res_.halted = true;
+        break;
+    }
+    return true;
+}
+
+SimResult
+MicroSimulator::run(uint32_t entry)
+{
+    res_ = SimResult{};
+    upc_ = entry;
+    restartPoint_ = entry;
+    microStack_.clear();
+    pending_.clear();
+    flags_ = Flags{};
+    intPending_ = false;
+
+    while (!res_.halted && res_.cycles < cfg_.maxCycles) {
+        commitPending();
+        noteInterruptArrival();
+
+        const MicroInstruction &mi = store_.word(upc_);
+        if (cfg_.onWord)
+            cfg_.onWord(upc_);
+        if (mi.restart)
+            restartPoint_ = upc_;
+
+        uint32_t next = upc_ + 1;
+        uint32_t fault_addr = 0;
+        if (execWord(mi, upc_, next, fault_addr)) {
+            ++res_.wordsExecuted;
+            upc_ = next;
+        } else {
+            // Page fault: service it, restart the microroutine.
+            mem_.servicePage(fault_addr);
+            applyTrap();
+            // fault service costs time at macro level; charge a
+            // nominal constant so fault-heavy runs are visible
+            res_.cycles += 50;
+        }
+    }
+    return res_;
+}
+
+SimResult
+MicroSimulator::run(const std::string &entry_name)
+{
+    return run(store_.entry(entry_name));
+}
+
+} // namespace uhll

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * MicroSimulator: phase-accurate execution of a control store.
+ *
+ * Semantics implemented (matching the survey's machine model):
+ *  - A microinstruction executes all its microoperations in one
+ *    microcycle; operations are grouped by phase; within one phase all
+ *    reads happen before all writes (parallel, cobegin semantics);
+ *    writes of phase p are visible to reads of phase p+1 (cocycle
+ *    semantics).
+ *  - A word is transactional with respect to page faults: if any
+ *    memory access in the word faults, none of the word's register or
+ *    memory writes commit.
+ *  - Page-fault (microtrap) handling reproduces sec. 2.1.5: the
+ *    "operating system" saves and restores the architectural
+ *    registers (so their current -- possibly already modified --
+ *    values survive), scrambles the non-architectural
+ *    microregisters, services the page and restarts the
+ *    microroutine at its restart point.
+ *  - Interrupts are a pending line tested via Cond::Int and cleared
+ *    by the IntAck microoperation.
+ *  - Memory operations take memLatency() cycles: either stalling the
+ *    engine (default) or overlapped with later words when the bound
+ *    op is marked overlap (the S* "dur" construct / hand-tuned code).
+ */
+
+#ifndef UHLL_MACHINE_SIMULATOR_HH
+#define UHLL_MACHINE_SIMULATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "machine/control_store.hh"
+#include "machine/machine_desc.hh"
+#include "machine/memory.hh"
+#include "machine/types.hh"
+
+namespace uhll {
+
+/** Knobs for a simulation run. */
+struct SimConfig {
+    uint64_t maxCycles = 50'000'000;
+    //! fatal() when a register with a pending overlapped write is
+    //! read (catches illegal hand-written overlap); when false the
+    //! stale value is returned, as real hardware would.
+    bool strictHazards = true;
+    //! scramble non-architectural registers on a microtrap (models
+    //! the OS and other firmware clobbering the micro temporaries)
+    bool scrambleOnTrap = true;
+    //! called before each word executes (assertion checkers, traces)
+    std::function<void(uint32_t addr)> onWord;
+};
+
+/** Aggregate results of a run. */
+struct SimResult {
+    uint64_t cycles = 0;
+    uint64_t wordsExecuted = 0;
+    uint64_t pageFaults = 0;
+    uint64_t interruptsServiced = 0;
+    //! sum over serviced interrupts of (ack cycle - arrival cycle)
+    uint64_t interruptLatencyTotal = 0;
+    uint64_t memReads = 0;
+    uint64_t memWrites = 0;
+    bool halted = false;    //!< false: maxCycles exceeded
+};
+
+/** Executes microcode from a ControlStore against a MainMemory. */
+class MicroSimulator
+{
+  public:
+    MicroSimulator(const ControlStore &store, MainMemory &mem,
+                   SimConfig cfg = SimConfig{});
+
+    /** @name Architectural state access (tests & harnesses) */
+    /// @{
+    void setReg(RegId r, uint64_t v);
+    uint64_t getReg(RegId r) const;
+    void setReg(const std::string &name, uint64_t v);
+    uint64_t getReg(const std::string &name) const;
+    const Flags &flags() const { return flags_; }
+    /// @}
+
+    /**
+     * Deliver an interrupt every @p period cycles starting at
+     * @p first. 0 disables interrupt generation.
+     */
+    void interruptEvery(uint64_t period, uint64_t first = 0);
+
+    /** Run from @p entry until Halt or the cycle budget is exhausted. */
+    SimResult run(uint32_t entry);
+
+    /** Run from a named control-store entry point. */
+    SimResult run(const std::string &entry_name);
+
+  private:
+    struct PendingWrite {
+        uint64_t commitCycle;
+        bool isMem;
+        RegId reg;
+        uint32_t addr;
+        uint64_t value;
+    };
+
+    uint64_t readReg(RegId r);
+    void commitPending();
+    bool hasPendingFor(RegId r) const;
+    void applyTrap();
+    void noteInterruptArrival();
+
+    /**
+     * Execute one word. Returns false if the word page-faulted (the
+     * caller then traps), filling @p fault_addr with the faulting
+     * memory address. Fills @p next with the following uPC.
+     */
+    bool execWord(const MicroInstruction &mi, uint32_t addr,
+                  uint32_t &next, uint32_t &fault_addr);
+
+    bool evalCond(Cond c) const;
+
+    const ControlStore &store_;
+    const MachineDescription &mach_;
+    MainMemory &mem_;
+    SimConfig cfg_;
+
+    std::vector<uint64_t> regs_;
+    Flags flags_;
+    uint32_t upc_ = 0;
+    uint32_t restartPoint_ = 0;
+    std::vector<uint32_t> microStack_;
+    std::vector<PendingWrite> pending_;
+
+    bool intPending_ = false;
+    uint64_t intArrivalCycle_ = 0;
+    uint64_t intPeriod_ = 0;
+    uint64_t intNext_ = 0;
+
+    SimResult res_;
+};
+
+} // namespace uhll
+
+#endif // UHLL_MACHINE_SIMULATOR_HH

@@ -1,0 +1,132 @@
+#include "machine/types.hh"
+
+#include "support/logging.hh"
+
+namespace uhll {
+
+const char *
+uKindName(UKind k)
+{
+    switch (k) {
+      case UKind::Nop: return "nop";
+      case UKind::Add: return "add";
+      case UKind::Sub: return "sub";
+      case UKind::And: return "and";
+      case UKind::Or: return "or";
+      case UKind::Xor: return "xor";
+      case UKind::Inc: return "inc";
+      case UKind::Dec: return "dec";
+      case UKind::Neg: return "neg";
+      case UKind::Not: return "not";
+      case UKind::Shl: return "shl";
+      case UKind::Shr: return "shr";
+      case UKind::Sar: return "sar";
+      case UKind::Rol: return "rol";
+      case UKind::Ror: return "ror";
+      case UKind::Mov: return "mov";
+      case UKind::Ldi: return "ldi";
+      case UKind::MemRead: return "memread";
+      case UKind::MemWrite: return "memwrite";
+      case UKind::Cmp: return "cmp";
+      case UKind::Push: return "push";
+      case UKind::Pop: return "pop";
+      case UKind::NewBlock: return "newblock";
+      case UKind::IntAck: return "intack";
+    }
+    return "?";
+}
+
+bool
+uKindFaults(UKind k)
+{
+    switch (k) {
+      case UKind::MemRead:
+      case UKind::MemWrite:
+      case UKind::Push:
+      case UKind::Pop:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+uKindModifiesSrcA(UKind k)
+{
+    return k == UKind::Push || k == UKind::Pop;
+}
+
+bool
+uKindHasDst(UKind k)
+{
+    switch (k) {
+      case UKind::Nop:
+      case UKind::MemWrite:
+      case UKind::Cmp:
+      case UKind::Push:
+      case UKind::NewBlock:
+      case UKind::IntAck:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+uKindHasSrcA(UKind k)
+{
+    switch (k) {
+      case UKind::Nop:
+      case UKind::Ldi:
+      case UKind::NewBlock:
+      case UKind::IntAck:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+uKindHasSrcB(UKind k)
+{
+    switch (k) {
+      case UKind::Add:
+      case UKind::Sub:
+      case UKind::And:
+      case UKind::Or:
+      case UKind::Xor:
+      case UKind::Shl:
+      case UKind::Shr:
+      case UKind::Sar:
+      case UKind::Rol:
+      case UKind::Ror:
+      case UKind::MemWrite:
+      case UKind::Cmp:
+      case UKind::Push:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+condName(Cond c)
+{
+    switch (c) {
+      case Cond::Always: return "always";
+      case Cond::Z: return "z";
+      case Cond::NZ: return "nz";
+      case Cond::Neg: return "neg";
+      case Cond::NonNeg: return "nonneg";
+      case Cond::C: return "c";
+      case Cond::NC: return "nc";
+      case Cond::UF: return "uf";
+      case Cond::NoUF: return "nouf";
+      case Cond::Ovf: return "ovf";
+      case Cond::Int: return "int";
+      case Cond::NoInt: return "noint";
+    }
+    return "?";
+}
+
+} // namespace uhll

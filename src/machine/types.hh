@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Fundamental types of the microarchitecture model.
+ *
+ * The model follows the structure the survey attributes to horizontal
+ * micro engines: a control word is a bundle of fields; each
+ * microoperation claims control-word fields, functional units and
+ * buses in a specific phase of the microcycle; a microinstruction is a
+ * set of bound microoperations plus a sequencing part.
+ */
+
+#ifndef UHLL_MACHINE_TYPES_HH
+#define UHLL_MACHINE_TYPES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uhll {
+
+using RegId = uint16_t;
+using UnitId = uint8_t;
+using BusId = uint8_t;
+using FieldId = uint8_t;
+
+/** Sentinel "no register" value for unused operand slots. */
+constexpr RegId kNoReg = 0xffff;
+
+/**
+ * Semantic kind of a microoperation. The simulator executes these;
+ * machine descriptions choose which kinds they provide, with which
+ * operand-class constraints, phases and resource claims.
+ */
+enum class UKind : uint8_t {
+    Nop,
+    // ALU, two operands: dst := a OP b (b may be an immediate)
+    Add, Sub, And, Or, Xor,
+    // ALU, one operand: dst := OP a
+    Inc, Dec, Neg, Not,
+    // Shift unit: dst := a shifted by b (or immediate count)
+    Shl,        //!< logical left; UF flag = last bit shifted out
+    Shr,        //!< logical right; UF flag = last bit shifted out
+    Sar,        //!< arithmetic right
+    Rol, Ror,   //!< rotates
+    // Data movement
+    Mov,        //!< dst := a
+    Ldi,        //!< dst := immediate
+    // Memory unit
+    MemRead,    //!< dst := mem[a]
+    MemWrite,   //!< mem[a] := b
+    // Flag-setting compare: flags(a - b), no destination
+    Cmp,
+    // High-level operations some machines support in hardware
+    Push,       //!< a := a+1; mem[a] := b   (a is the stack pointer)
+    Pop,        //!< dst := mem[a]; a := a-1 (a is the stack pointer)
+    NewBlock,   //!< switch the active register block to immediate value
+    // Interrupt acknowledge: clears the pending-interrupt line
+    IntAck,
+};
+
+/** Printable mnemonic-ish name of a UKind (for diagnostics). */
+const char *uKindName(UKind k);
+
+/** True if the kind reads main memory and can therefore page-fault. */
+bool uKindFaults(UKind k);
+
+/** True if the kind writes its srcA operand as well as reading it. */
+bool uKindModifiesSrcA(UKind k);
+
+/** True if the kind has a dst operand. */
+bool uKindHasDst(UKind k);
+
+/** True if the kind has a srcA operand. */
+bool uKindHasSrcA(UKind k);
+
+/** True if the kind has a srcB operand (register or immediate). */
+bool uKindHasSrcB(UKind k);
+
+/** Sequencing action of a microinstruction. */
+enum class SeqKind : uint8_t {
+    Next,       //!< fall through to the next control word
+    Jump,       //!< unconditional transfer
+    CondJump,   //!< transfer if condition holds, else fall through
+    Call,       //!< push return address on the hardware microstack
+    Return,     //!< pop the hardware microstack
+    Multiway,   //!< uPC := target + compress(reg, mask)
+    Halt,       //!< stop the micro engine
+};
+
+/** Hardware-testable conditions (evaluated against the flag latch). */
+enum class Cond : uint8_t {
+    Always,
+    Z, NZ,          //!< zero / not zero
+    Neg, NonNeg,    //!< sign bit
+    C, NC,          //!< carry out
+    UF, NoUF,       //!< last bit shifted out of the shifter
+    Ovf,            //!< two's-complement overflow
+    Int, NoInt,     //!< interrupt line pending
+};
+
+/** Printable name of a condition. */
+const char *condName(Cond c);
+
+/** The flag latch updated by flag-setting microoperations. */
+struct Flags {
+    bool z = false;     //!< result was zero
+    bool n = false;     //!< result sign bit
+    bool c = false;     //!< carry out of the adder
+    bool uf = false;    //!< last bit shifted out of the shifter
+    bool ovf = false;   //!< signed overflow
+};
+
+/**
+ * A microoperation bound to concrete operands, as stored in a control
+ * word. The @c spec index refers into the machine's microoperation
+ * repertoire.
+ */
+struct BoundOp {
+    uint16_t spec = 0;
+    RegId dst = kNoReg;
+    RegId srcA = kNoReg;
+    RegId srcB = kNoReg;
+    uint64_t imm = 0;
+    bool useImm = false;    //!< srcB slot carries the immediate
+    bool overlap = false;   //!< multicycle op overlapped with later words
+};
+
+/**
+ * One horizontal microinstruction: a set of microoperations executing
+ * in the same microcycle (ordered internally by their specs' phases)
+ * plus the sequencing part of the word.
+ */
+struct MicroInstruction {
+    std::vector<BoundOp> ops;
+    SeqKind seq = SeqKind::Next;
+    Cond cond = Cond::Always;
+    uint32_t target = 0;
+    RegId mwReg = kNoReg;   //!< multiway dispatch register
+    uint64_t mwMask = 0;    //!< multiway bit-selection mask
+    //! executing this word moves the microtrap restart point here
+    //! (the boundary of a restartable microroutine, e.g. the start of
+    //! one macroinstruction's interpretation)
+    bool restart = false;
+    std::string label;      //!< debugging aid: source label if any
+};
+
+/** A register of the micro engine. */
+struct RegisterInfo {
+    std::string name;
+    unsigned width = 16;        //!< bits
+    uint32_t classes = 0;       //!< bitmask of machine register classes
+    bool architectural = false; //!< macro-visible: saved/restored on trap
+    bool allocatable = false;   //!< usable by the register allocator
+};
+
+/** A field of the control word. Field claims conflict word-wide. */
+struct FieldInfo {
+    std::string name;
+    unsigned width = 0; //!< bits contributed to the control word
+};
+
+/** A functional unit; unit claims conflict per phase (if phase-aware). */
+struct UnitInfo {
+    std::string name;
+};
+
+/** A data bus; bus claims conflict per phase (if phase-aware). */
+struct BusInfo {
+    std::string name;
+};
+
+/**
+ * A microoperation in a machine's repertoire: its semantics (kind),
+ * timing (phase, latency) and resource claims.
+ */
+struct MicroOpSpec {
+    std::string mnemonic;
+    UKind kind = UKind::Nop;
+    uint8_t phase = 1;      //!< 1-based phase of the microcycle
+    uint8_t latency = 1;    //!< cycles to complete (memory ops > 1)
+    bool setsFlags = false;
+    bool allowImm = false;  //!< srcB may be an immediate
+    uint8_t immWidth = 64;  //!< max immediate width in bits
+    //! Register-class masks for the operand slots; 0 = slot unused by
+    //! this machine even if the kind nominally has the operand.
+    uint32_t dstClasses = 0;
+    uint32_t srcAClasses = 0;
+    uint32_t srcBClasses = 0;
+    std::vector<FieldId> fields;
+    std::vector<UnitId> units;
+    std::vector<BusId> buses;
+};
+
+} // namespace uhll
+
+#endif // UHLL_MACHINE_TYPES_HH

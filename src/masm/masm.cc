@@ -1,0 +1,348 @@
+#include "masm/masm.hh"
+
+#include <cctype>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+namespace {
+
+/** A very small hand-rolled scanner over one source line. */
+class LineScanner
+{
+  public:
+    LineScanner(const std::string &text, int line)
+        : text_(text), line_(line)
+    {}
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return pos_ >= text_.size() || text_[pos_] == ';';
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expect(char c)
+    {
+        if (!consume(c))
+            fatal("masm line %d: expected '%c'", line_, c);
+    }
+
+    /** Identifier: [A-Za-z_.][A-Za-z0-9_.]* */
+    std::string
+    ident()
+    {
+        skipSpace();
+        size_t start = pos_;
+        auto ok = [](char ch, bool first) {
+            return std::isalpha(static_cast<unsigned char>(ch)) ||
+                   ch == '_' || ch == '.' ||
+                   (!first && std::isdigit(static_cast<unsigned char>(ch)));
+        };
+        while (pos_ < text_.size() && ok(text_[pos_], pos_ == start))
+            ++pos_;
+        if (pos_ == start)
+            fatal("masm line %d: expected identifier", line_);
+        return text_.substr(start, pos_ - start);
+    }
+
+    /** Immediate literal after '#': dec, 0x, 0b, 0o. */
+    uint64_t
+    number()
+    {
+        skipSpace();
+        size_t start = pos_;
+        int base = 10;
+        if (pos_ + 1 < text_.size() && text_[pos_] == '0') {
+            char c = text_[pos_ + 1];
+            if (c == 'x' || c == 'X') { base = 16; pos_ += 2; }
+            else if (c == 'b' || c == 'B') { base = 2; pos_ += 2; }
+            else if (c == 'o' || c == 'O') { base = 8; pos_ += 2; }
+        }
+        uint64_t v = 0;
+        bool any = false;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            int d;
+            if (c >= '0' && c <= '9')
+                d = c - '0';
+            else if (c >= 'a' && c <= 'f')
+                d = c - 'a' + 10;
+            else if (c >= 'A' && c <= 'F')
+                d = c - 'A' + 10;
+            else
+                break;
+            if (d >= base)
+                break;
+            v = v * base + d;
+            any = true;
+            ++pos_;
+        }
+        if (!any)
+            fatal("masm line %d: expected number at '%s'", line_,
+                  text_.substr(start).c_str());
+        return v;
+    }
+
+    int line() const { return line_; }
+
+  private:
+    const std::string &text_;
+    size_t pos_ = 0;
+    int line_;
+};
+
+/** One parsed word before label resolution. */
+struct ParsedWord {
+    MicroInstruction mi;
+    std::string targetLabel;    // non-empty: fix up mi.target
+    int line = 0;
+};
+
+Cond
+parseCond(const std::string &s, int line)
+{
+    if (s == "z") return Cond::Z;
+    if (s == "nz") return Cond::NZ;
+    if (s == "neg") return Cond::Neg;
+    if (s == "nonneg") return Cond::NonNeg;
+    if (s == "c") return Cond::C;
+    if (s == "nc") return Cond::NC;
+    if (s == "uf") return Cond::UF;
+    if (s == "nouf") return Cond::NoUF;
+    if (s == "ovf") return Cond::Ovf;
+    if (s == "int") return Cond::Int;
+    if (s == "noint") return Cond::NoInt;
+    fatal("masm line %d: unknown condition '%s'", line, s.c_str());
+}
+
+} // namespace
+
+ControlStore
+MicroAssembler::assemble(const std::string &source) const
+{
+    std::vector<ParsedWord> words;
+    std::unordered_map<std::string, uint32_t> labels;
+    std::vector<std::pair<std::string, uint32_t>> entries;
+    bool next_restart = false;
+
+    auto parseReg = [&](LineScanner &sc) -> RegId {
+        std::string name = sc.ident();
+        auto r = mach_->findRegister(name);
+        if (!r)
+            fatal("masm line %d: unknown register '%s'", sc.line(),
+                  name.c_str());
+        return *r;
+    };
+
+    // Pass 1: parse lines, collect labels.
+    size_t pos = 0;
+    int lineno = 0;
+    while (pos <= source.size()) {
+        size_t eol = source.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = source.size();
+        std::string line = source.substr(pos, eol - pos);
+        pos = eol + 1;
+        ++lineno;
+
+        LineScanner sc(line, lineno);
+        if (sc.atEnd())
+            continue;
+
+        if (sc.peek() == '.') {
+            std::string dir = sc.ident();
+            if (dir == ".entry") {
+                entries.emplace_back(
+                    sc.ident(), static_cast<uint32_t>(words.size()));
+            } else if (dir == ".restart") {
+                next_restart = true;
+            } else {
+                fatal("masm line %d: unknown directive '%s'", lineno,
+                      dir.c_str());
+            }
+            if (!sc.atEnd())
+                fatal("masm line %d: trailing text", lineno);
+            continue;
+        }
+
+        if (sc.peek() != '[') {
+            // label definition
+            std::string lbl = sc.ident();
+            sc.expect(':');
+            if (labels.count(lbl))
+                fatal("masm line %d: duplicate label '%s'", lineno,
+                      lbl.c_str());
+            labels.emplace(lbl, static_cast<uint32_t>(words.size()));
+            if (!sc.atEnd())
+                fatal("masm line %d: trailing text after label",
+                      lineno);
+            continue;
+        }
+
+        // A control word.
+        ParsedWord pw;
+        pw.line = lineno;
+        pw.mi.restart = next_restart;
+        next_restart = false;
+
+        sc.expect('[');
+        while (!sc.consume(']')) {
+            std::string mn = sc.ident();
+            bool overlap = false;
+            if (mn.size() > 3 && mn.ends_with(".ov")) {
+                overlap = true;
+                mn = mn.substr(0, mn.size() - 3);
+            }
+            auto spec_idx = mach_->findUop(mn);
+            if (!spec_idx)
+                fatal("masm line %d: machine %s has no microop '%s'",
+                      lineno, mach_->name().c_str(), mn.c_str());
+            const MicroOpSpec &spec = mach_->uop(*spec_idx);
+
+            BoundOp op;
+            op.spec = *spec_idx;
+            op.overlap = overlap;
+
+            std::vector<bool> slots; // order: dst, srcA, srcB
+            bool first = true;
+            auto sep = [&]() {
+                if (!first)
+                    sc.expect(',');
+                first = false;
+            };
+            if (uKindHasDst(spec.kind)) {
+                sep();
+                op.dst = parseReg(sc);
+            }
+            if (uKindHasSrcA(spec.kind)) {
+                sep();
+                op.srcA = parseReg(sc);
+            }
+            if (uKindHasSrcB(spec.kind)) {
+                sep();
+                if (sc.consume('#')) {
+                    op.useImm = true;
+                    op.imm = sc.number();
+                } else {
+                    op.srcB = parseReg(sc);
+                }
+            }
+            if (spec.kind == UKind::Ldi ||
+                spec.kind == UKind::NewBlock) {
+                sep();
+                sc.expect('#');
+                op.imm = sc.number();
+            }
+            (void)slots;
+            pw.mi.ops.push_back(op);
+
+            if (sc.peek() == '|')
+                sc.consume('|');
+            else if (sc.peek() != ']')
+                fatal("masm line %d: expected '|' or ']'", lineno);
+        }
+
+        // Optional sequencing part.
+        if (!sc.atEnd()) {
+            std::string kw = sc.ident();
+            if (kw == "jump") {
+                pw.mi.seq = SeqKind::Jump;
+                pw.targetLabel = sc.ident();
+            } else if (kw == "if") {
+                pw.mi.seq = SeqKind::CondJump;
+                pw.mi.cond = parseCond(sc.ident(), lineno);
+                std::string j = sc.ident();
+                if (j != "jump")
+                    fatal("masm line %d: expected 'jump'", lineno);
+                pw.targetLabel = sc.ident();
+            } else if (kw == "call") {
+                pw.mi.seq = SeqKind::Call;
+                pw.targetLabel = sc.ident();
+            } else if (kw == "return") {
+                pw.mi.seq = SeqKind::Return;
+            } else if (kw == "halt") {
+                pw.mi.seq = SeqKind::Halt;
+            } else if (kw == "mbranch") {
+                pw.mi.seq = SeqKind::Multiway;
+                pw.mi.mwReg = parseReg(sc);
+                sc.expect(',');
+                sc.expect('#');
+                pw.mi.mwMask = sc.number();
+                sc.expect(',');
+                pw.targetLabel = sc.ident();
+            } else {
+                fatal("masm line %d: unknown sequencing '%s'", lineno,
+                      kw.c_str());
+            }
+            if (!sc.atEnd())
+                fatal("masm line %d: trailing text", lineno);
+        }
+
+        // Validate the word against the machine model.
+        std::string why;
+        if (!mach_->wordLegal(pw.mi.ops, /*phase_aware=*/true, &why))
+            fatal("masm line %d: illegal word: %s", lineno,
+                  why.c_str());
+        if (pw.mi.seq == SeqKind::Multiway && !mach_->hasMultiway())
+            fatal("masm line %d: machine %s has no multiway branch",
+                  lineno, mach_->name().c_str());
+
+        words.push_back(std::move(pw));
+    }
+
+    // Pass 2: resolve labels, build the store.
+    ControlStore store(*mach_);
+    for (auto &pw : words) {
+        if (!pw.targetLabel.empty()) {
+            auto it = labels.find(pw.targetLabel);
+            if (it == labels.end())
+                fatal("masm line %d: undefined label '%s'", pw.line,
+                      pw.targetLabel.c_str());
+            pw.mi.target = it->second;
+        }
+        store.append(std::move(pw.mi));
+    }
+    for (auto &e : entries) {
+        if (e.second >= store.size())
+            fatal("masm: entry '%s' points past the end",
+                  e.first.c_str());
+        store.defineEntry(e.first, e.second);
+    }
+    return store;
+}
+
+} // namespace uhll

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * MicroAssembler: textual microassembly for any MachineDescription.
+ *
+ * This is the survey's status quo ante ("at best, support provided by
+ * the manufacturer consists of a good manual, an assembler and a
+ * loader"): the tool every hand-written baseline in the benchmarks is
+ * written in.
+ *
+ * Syntax (one control word per line):
+ *
+ *     ; comment
+ *     .entry main          ; name the address of the next word
+ *     .restart             ; next word is a microtrap restart point
+ *     label:
+ *         [ mova mar, r5 | memrd mbr, mar ]
+ *         [ addi r1, r1, #1 ] if z jump done
+ *         [ ldi r3, #0x10 ] jump label
+ *         [ memrd.ov mbr, mar ]        ; overlapped (no stall)
+ *         [ ] call sub
+ *         [ ] mbranch r4, #0x0f, table
+ *         [ ] halt
+ *
+ * Operands are written dst, srcA, srcB in the arity of the
+ * microoperation's kind; immediates are #n with decimal, 0x, 0b or
+ * 0o bases. The assembler verifies every word against the machine's
+ * conflict model (phase-aware) and operand class constraints.
+ */
+
+#ifndef UHLL_MASM_MASM_HH
+#define UHLL_MASM_MASM_HH
+
+#include <string>
+
+#include "machine/control_store.hh"
+#include "machine/machine_desc.hh"
+
+namespace uhll {
+
+/** Assembles microassembly text into a ControlStore. */
+class MicroAssembler
+{
+  public:
+    explicit MicroAssembler(const MachineDescription &mach)
+        : mach_(&mach)
+    {}
+
+    /**
+     * Assemble @p source. fatal() (FatalError) on any syntax error,
+     * unknown mnemonic/register/label, operand-class violation or
+     * intra-word resource conflict.
+     */
+    ControlStore assemble(const std::string &source) const;
+
+  private:
+    const MachineDescription *mach_;
+};
+
+} // namespace uhll
+
+#endif // UHLL_MASM_MASM_HH

@@ -1,0 +1,199 @@
+#include "mir/interp.hh"
+
+#include "machine/alu.hh"
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+MirInterpreter::MirInterpreter(const MirProgram &prog, MainMemory &mem,
+                               unsigned width)
+    : prog_(prog), mem_(mem), width_(width),
+      vregs_(prog.numVRegs(), 0)
+{
+    if (mem.width() != width)
+        fatal("mir interp: memory width %u != data width %u",
+              mem.width(), width);
+}
+
+void
+MirInterpreter::setVReg(VReg v, uint64_t value)
+{
+    vregs_.at(v) = truncBits(value, width_);
+}
+
+uint64_t
+MirInterpreter::getVReg(VReg v) const
+{
+    return vregs_.at(v);
+}
+
+void
+MirInterpreter::setVReg(const std::string &name, uint64_t value)
+{
+    auto v = prog_.findVReg(name);
+    if (!v)
+        fatal("mir interp: no variable '%s'", name.c_str());
+    setVReg(*v, value);
+}
+
+uint64_t
+MirInterpreter::getVReg(const std::string &name) const
+{
+    auto v = prog_.findVReg(name);
+    if (!v)
+        fatal("mir interp: no variable '%s'", name.c_str());
+    return getVReg(*v);
+}
+
+MirRunResult
+MirInterpreter::run(uint32_t func, uint64_t max_steps)
+{
+    MirRunResult res;
+    flags_ = Flags{};
+
+    struct Frame {
+        uint32_t func;
+        uint32_t block;
+    };
+    std::vector<Frame> stack;   // return continuations
+    uint32_t cur_func = func;
+    uint32_t cur_block = 0;
+
+    auto evalCond = [&](Cond c) -> bool {
+        switch (c) {
+          case Cond::Always: return true;
+          case Cond::Z: return flags_.z;
+          case Cond::NZ: return !flags_.z;
+          case Cond::Neg: return flags_.n;
+          case Cond::NonNeg: return !flags_.n;
+          case Cond::C: return flags_.c;
+          case Cond::NC: return !flags_.c;
+          case Cond::UF: return flags_.uf;
+          case Cond::NoUF: return !flags_.uf;
+          case Cond::Ovf: return flags_.ovf;
+          case Cond::Int: return false;     // no interrupts in MIR
+          case Cond::NoInt: return true;
+        }
+        return false;
+    };
+
+    while (res.instsExecuted < max_steps) {
+        const MirFunction &f = prog_.func(cur_func);
+        const BasicBlock &bb = f.blocks.at(cur_block);
+
+        bool budget_hit = false;
+        for (const MInst &ins : bb.insts) {
+            if (res.instsExecuted >= max_steps) {
+                budget_hit = true;
+                break;
+            }
+            ++res.instsExecuted;
+            uint64_t a = ins.a != kNoVReg ? vregs_[ins.a] : 0;
+            uint64_t b = ins.useImm
+                             ? truncBits(ins.imm, width_)
+                             : (ins.b != kNoVReg ? vregs_[ins.b] : 0);
+
+            if (aluHandles(ins.op)) {
+                AluOut r = aluEval(
+                    ins.op, a,
+                    ins.op == UKind::Ldi ? ins.imm : b, width_);
+                if (r.wrote)
+                    vregs_[ins.dst] = r.value;
+                // Flag-setting matches the machine repertoires: all
+                // compute ops except Mov and Ldi update the latch.
+                if (ins.op != UKind::Mov && ins.op != UKind::Ldi)
+                    flags_ = r.flags;
+                continue;
+            }
+
+            switch (ins.op) {
+              case UKind::Nop:
+              case UKind::IntAck:
+                break;
+              case UKind::MemRead: {
+                uint64_t v;
+                if (!mem_.read(static_cast<uint32_t>(a), v))
+                    fatal("mir interp: page fault at %u (MIR "
+                          "programs are fault-free)",
+                          static_cast<uint32_t>(a));
+                ++res.memReads;
+                vregs_[ins.dst] = v;
+                break;
+              }
+              case UKind::MemWrite:
+                if (!mem_.write(static_cast<uint32_t>(a), b))
+                    fatal("mir interp: page fault at %u",
+                          static_cast<uint32_t>(a));
+                ++res.memWrites;
+                break;
+              case UKind::Push: {
+                uint64_t sp = truncBits(a + 1, width_);
+                if (!mem_.write(static_cast<uint32_t>(sp), b))
+                    fatal("mir interp: page fault at %u",
+                          static_cast<uint32_t>(sp));
+                ++res.memWrites;
+                vregs_[ins.a] = sp;
+                break;
+              }
+              case UKind::Pop: {
+                uint64_t v;
+                if (!mem_.read(static_cast<uint32_t>(a), v))
+                    fatal("mir interp: page fault at %u",
+                          static_cast<uint32_t>(a));
+                ++res.memReads;
+                vregs_[ins.dst] = v;
+                vregs_[ins.a] = truncBits(a - 1, width_);
+                break;
+              }
+              default:
+                panic("mir interp: unexpected op %s",
+                      uKindName(ins.op));
+            }
+        }
+        if (budget_hit)
+            break;
+
+        const Terminator &t = bb.term;
+        ++res.instsExecuted;
+        switch (t.kind) {
+          case Terminator::Kind::Jump:
+            cur_block = t.target;
+            break;
+          case Terminator::Kind::Branch:
+            cur_block = evalCond(t.cc) ? t.target : t.fallthrough;
+            break;
+          case Terminator::Kind::Case: {
+            uint64_t idx = compressBits(vregs_.at(t.caseReg),
+                                        t.caseMask);
+            if (idx >= t.caseTargets.size())
+                fatal("mir interp: case index %llu out of range",
+                      (unsigned long long)idx);
+            cur_block = t.caseTargets[static_cast<size_t>(idx)];
+            break;
+          }
+          case Terminator::Kind::Call:
+            if (stack.size() >= 16)
+                fatal("mir interp: call stack overflow");
+            stack.push_back(Frame{cur_func, t.target});
+            cur_func = t.callee;
+            cur_block = 0;
+            break;
+          case Terminator::Kind::Ret:
+            if (stack.empty()) {
+                res.halted = true;
+                return res;
+            }
+            cur_func = stack.back().func;
+            cur_block = stack.back().block;
+            stack.pop_back();
+            break;
+          case Terminator::Kind::Halt:
+            res.halted = true;
+            return res;
+        }
+    }
+    return res;
+}
+
+} // namespace uhll

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * MirInterpreter: the reference semantics of MIR.
+ *
+ * The interpreter executes MIR with an unbounded virtual register
+ * file; it is the golden model every compilation pipeline is
+ * differentially tested against (compile the program, run both, and
+ * compare observable state). It shares aluEval() with the machine
+ * simulator, so the two cannot drift apart on arithmetic.
+ *
+ * Flag caveat (documented MIR rule): the condition tested by a
+ * Branch terminator must be produced by the last flag-setting
+ * instruction of the block, and legalisation guarantees to preserve
+ * that instruction's flag behaviour. Carry/overflow after Neg/Not
+ * are unspecified across machines and must not be branched on.
+ */
+
+#ifndef UHLL_MIR_INTERP_HH
+#define UHLL_MIR_INTERP_HH
+
+#include <string>
+#include <vector>
+
+#include "machine/memory.hh"
+#include "mir/mir.hh"
+
+namespace uhll {
+
+/** Aggregate results of an interpreter run. */
+struct MirRunResult {
+    uint64_t instsExecuted = 0;
+    uint64_t memReads = 0;
+    uint64_t memWrites = 0;
+    bool halted = false;    //!< false: step budget exceeded
+};
+
+/** Executes a MirProgram against a MainMemory. */
+class MirInterpreter
+{
+  public:
+    MirInterpreter(const MirProgram &prog, MainMemory &mem,
+                   unsigned width);
+
+    void setVReg(VReg v, uint64_t value);
+    uint64_t getVReg(VReg v) const;
+    void setVReg(const std::string &name, uint64_t value);
+    uint64_t getVReg(const std::string &name) const;
+    const Flags &flags() const { return flags_; }
+
+    /** Run function @p func until Halt/top-level Ret. */
+    MirRunResult run(uint32_t func = 0, uint64_t max_steps = 10'000'000);
+
+  private:
+    const MirProgram &prog_;
+    MainMemory &mem_;
+    unsigned width_;
+    std::vector<uint64_t> vregs_;
+    Flags flags_;
+};
+
+} // namespace uhll
+
+#endif // UHLL_MIR_INTERP_HH

@@ -1,0 +1,203 @@
+#include "mir/mir.hh"
+
+#include "support/logging.hh"
+
+namespace uhll {
+
+VReg
+MirProgram::newVReg(const std::string &name)
+{
+    VReg v = static_cast<VReg>(names_.size());
+    std::string n = name.empty() ? strfmt("v%u", v) : name;
+    if (byName_.count(n))
+        fatal("mir: duplicate variable '%s'", n.c_str());
+    names_.push_back(n);
+    byName_.emplace(std::move(n), v);
+    return v;
+}
+
+std::optional<VReg>
+MirProgram::findVReg(const std::string &name) const
+{
+    auto it = byName_.find(name);
+    if (it == byName_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+MirProgram::bind(VReg v, RegId r)
+{
+    if (v >= names_.size())
+        panic("mir: bind of unknown vreg %u", v);
+    bindings_[v] = r;
+}
+
+void
+MirProgram::markObservable(VReg v)
+{
+    if (v >= names_.size())
+        panic("mir: markObservable of unknown vreg %u", v);
+    if (observable_.size() < names_.size())
+        observable_.resize(names_.size(), false);
+    observable_[v] = true;
+}
+
+bool
+MirProgram::observable(VReg v) const
+{
+    return v < observable_.size() && observable_[v];
+}
+
+std::optional<RegId>
+MirProgram::binding(VReg v) const
+{
+    auto it = bindings_.find(v);
+    if (it == bindings_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+uint32_t
+MirProgram::addFunction(std::string name)
+{
+    uint32_t id = static_cast<uint32_t>(funcs_.size());
+    MirFunction f;
+    f.name = std::move(name);
+    funcs_.push_back(std::move(f));
+    return id;
+}
+
+std::optional<uint32_t>
+MirProgram::findFunction(const std::string &name) const
+{
+    for (uint32_t i = 0; i < funcs_.size(); ++i) {
+        if (funcs_[i].name == name)
+            return i;
+    }
+    return std::nullopt;
+}
+
+void
+MirProgram::validate() const
+{
+    auto checkVReg = [&](VReg v, const char *what, const char *fn) {
+        if (v != kNoVReg && v >= names_.size())
+            panic("mir %s: bad %s vreg %u", fn, what, v);
+    };
+    for (const auto &f : funcs_) {
+        const char *fn = f.name.c_str();
+        if (f.blocks.empty())
+            panic("mir %s: no blocks", fn);
+        auto checkBlock = [&](uint32_t b, const char *what) {
+            if (b >= f.blocks.size())
+                panic("mir %s: bad %s block %u", fn, what, b);
+        };
+        for (const auto &bb : f.blocks) {
+            for (const auto &ins : bb.insts) {
+                checkVReg(ins.dst, "dst", fn);
+                checkVReg(ins.a, "a", fn);
+                checkVReg(ins.b, "b", fn);
+                if (uKindHasDst(ins.op) && ins.dst == kNoVReg)
+                    panic("mir %s: %s lacks dst", fn,
+                          uKindName(ins.op));
+                if (uKindHasSrcA(ins.op) && ins.a == kNoVReg)
+                    panic("mir %s: %s lacks srcA", fn,
+                          uKindName(ins.op));
+                if (uKindHasSrcB(ins.op) && !ins.useImm &&
+                    ins.b == kNoVReg) {
+                    panic("mir %s: %s lacks srcB", fn,
+                          uKindName(ins.op));
+                }
+            }
+            const Terminator &t = bb.term;
+            switch (t.kind) {
+              case Terminator::Kind::Jump:
+                checkBlock(t.target, "jump");
+                break;
+              case Terminator::Kind::Branch:
+                checkBlock(t.target, "branch-then");
+                checkBlock(t.fallthrough, "branch-else");
+                break;
+              case Terminator::Kind::Case:
+                checkVReg(t.caseReg, "case", fn);
+                if (t.caseReg == kNoVReg)
+                    panic("mir %s: case lacks dispatch reg", fn);
+                for (uint32_t b : t.caseTargets)
+                    checkBlock(b, "case-arm");
+                break;
+              case Terminator::Kind::Call:
+                if (t.callee >= funcs_.size())
+                    panic("mir %s: bad callee %u", fn, t.callee);
+                checkBlock(t.target, "call-continuation");
+                break;
+              case Terminator::Kind::Ret:
+              case Terminator::Kind::Halt:
+                break;
+            }
+        }
+    }
+}
+
+std::string
+MirProgram::dump() const
+{
+    std::string out;
+    auto vname = [&](VReg v) {
+        return v == kNoVReg ? std::string("-") : names_.at(v);
+    };
+    for (const auto &f : funcs_) {
+        out += "func " + f.name + ":\n";
+        for (uint32_t b = 0; b < f.blocks.size(); ++b) {
+            out += strfmt(".b%u:\n", b);
+            for (const auto &ins : f.blocks[b].insts) {
+                out += strfmt("    %s", uKindName(ins.op));
+                if (ins.dst != kNoVReg)
+                    out += " " + vname(ins.dst);
+                if (ins.a != kNoVReg)
+                    out += (ins.dst != kNoVReg ? "," : " ") + vname(ins.a);
+                if (ins.useImm)
+                    out += strfmt(",#%llu", (unsigned long long)ins.imm);
+                else if (ins.b != kNoVReg)
+                    out += "," + vname(ins.b);
+                else if (ins.op == UKind::Ldi)
+                    out += strfmt(" #%llu", (unsigned long long)ins.imm);
+                out += "\n";
+            }
+            const Terminator &t = f.blocks[b].term;
+            switch (t.kind) {
+              case Terminator::Kind::Jump:
+                out += strfmt("    jump .b%u\n", t.target);
+                break;
+              case Terminator::Kind::Branch:
+                out += strfmt("    if %s .b%u else .b%u\n",
+                              condName(t.cc), t.target, t.fallthrough);
+                break;
+              case Terminator::Kind::Case: {
+                out += strfmt("    case %s mask=%llx [",
+                              vname(t.caseReg).c_str(),
+                              (unsigned long long)t.caseMask);
+                for (size_t i = 0; i < t.caseTargets.size(); ++i)
+                    out += strfmt("%s.b%u", i ? " " : "",
+                                  t.caseTargets[i]);
+                out += "]\n";
+                break;
+              }
+              case Terminator::Kind::Call:
+                out += strfmt("    call %s then .b%u\n",
+                              funcs_.at(t.callee).name.c_str(),
+                              t.target);
+                break;
+              case Terminator::Kind::Ret:
+                out += "    ret\n";
+                break;
+              case Terminator::Kind::Halt:
+                out += "    halt\n";
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace uhll

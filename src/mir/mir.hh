@@ -1,0 +1,247 @@
+/**
+ * @file
+ * MIR: the machine-independent microoperation IR.
+ *
+ * Every front end lowers to MIR; the middle end (legalisation,
+ * register allocation, compaction) and every back end consume it.
+ * MIR reuses the UKind operation vocabulary for its straight-line
+ * instructions -- MemRead/MemWrite double as symbolic load/store --
+ * and adds control flow as explicit basic-block terminators.
+ *
+ * Virtual registers live in one program-wide namespace (the surveyed
+ * languages have global variables and parameterless procedures, so a
+ * per-function namespace would buy nothing). A virtual register can
+ * be pre-bound to a physical machine register, which is how the
+ * register-oriented languages (SIMPL, S*, YALLL's reg declarations)
+ * express their variable = register view.
+ */
+
+#ifndef UHLL_MIR_MIR_HH
+#define UHLL_MIR_MIR_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "machine/types.hh"
+
+namespace uhll {
+
+/** Virtual register index; kNoVReg marks an unused operand slot. */
+using VReg = uint32_t;
+constexpr VReg kNoVReg = 0xffffffffu;
+
+/** One straight-line MIR instruction. */
+struct MInst {
+    UKind op = UKind::Nop;
+    VReg dst = kNoVReg;
+    VReg a = kNoVReg;
+    VReg b = kNoVReg;
+    uint64_t imm = 0;
+    bool useImm = false;    //!< the b slot carries the immediate
+};
+
+/** Terminator of a basic block. */
+struct Terminator {
+    enum class Kind : uint8_t {
+        Jump,       //!< goto target
+        Branch,     //!< if cc goto target else goto fallthrough
+        Case,       //!< goto caseTargets[compress(caseReg, caseMask)]
+        Call,       //!< call function callee, continue at target
+        Ret,        //!< return from function
+        Halt,       //!< stop the program
+    };
+    Kind kind = Kind::Halt;
+    Cond cc = Cond::Always;
+    uint32_t target = 0;        //!< block id (or continuation for Call)
+    uint32_t fallthrough = 0;   //!< block id (Branch only)
+    uint32_t callee = 0;        //!< function id (Call only)
+    VReg caseReg = kNoVReg;     //!< dispatch register (Case only)
+    uint64_t caseMask = 0;      //!< dispatch mask (Case only)
+    std::vector<uint32_t> caseTargets;
+};
+
+/** An unconditional-jump terminator (the common case). */
+inline Terminator
+jumpTerm(uint32_t target)
+{
+    Terminator t;
+    t.kind = Terminator::Kind::Jump;
+    t.target = target;
+    return t;
+}
+
+/** A basic block: straight-line instructions plus one terminator. */
+struct BasicBlock {
+    std::vector<MInst> insts;
+    Terminator term;
+};
+
+/** A function: blocks, entry at block 0. */
+struct MirFunction {
+    std::string name;
+    std::vector<BasicBlock> blocks;
+
+    /** Append an empty block; returns its id. */
+    uint32_t
+    newBlock()
+    {
+        blocks.emplace_back();
+        return static_cast<uint32_t>(blocks.size() - 1);
+    }
+};
+
+/**
+ * A whole program: functions (entry = function 0) over one shared
+ * virtual-register namespace.
+ */
+class MirProgram
+{
+  public:
+    /** Allocate a fresh virtual register, optionally named. */
+    VReg newVReg(const std::string &name = "");
+
+    uint32_t numVRegs() const { return static_cast<uint32_t>(names_.size()); }
+
+    const std::string &vregName(VReg v) const { return names_.at(v); }
+
+    /** Find a named virtual register. */
+    std::optional<VReg> findVReg(const std::string &name) const;
+
+    /** Pre-bind @p v to physical register @p r. */
+    void bind(VReg v, RegId r);
+
+    /** The physical register @p v is bound to, if any. */
+    std::optional<RegId> binding(VReg v) const;
+
+    /**
+     * Mark @p v observable: its value must survive to program exit
+     * (liveness keeps it alive at every Halt). Front ends mark every
+     * user-declared variable; compiler temporaries stay private.
+     */
+    void markObservable(VReg v);
+    bool observable(VReg v) const;
+
+    /** Append a function; returns its id. */
+    uint32_t addFunction(std::string name);
+
+    MirFunction &func(uint32_t id) { return funcs_.at(id); }
+    const MirFunction &func(uint32_t id) const { return funcs_.at(id); }
+    size_t numFunctions() const { return funcs_.size(); }
+
+    std::optional<uint32_t> findFunction(const std::string &name) const;
+
+    /** Structural sanity check; panics on malformed IR. */
+    void validate() const;
+
+    /** Human-readable dump (tests, debugging). */
+    std::string dump() const;
+
+  private:
+    std::vector<std::string> names_;
+    std::unordered_map<std::string, VReg> byName_;
+    std::unordered_map<VReg, RegId> bindings_;
+    std::vector<bool> observable_;
+    std::vector<MirFunction> funcs_;
+};
+
+/** Convenience builders for straight-line instructions. */
+namespace mi {
+
+inline MInst
+binop(UKind op, VReg dst, VReg a, VReg b)
+{
+    MInst i;
+    i.op = op;
+    i.dst = dst;
+    i.a = a;
+    i.b = b;
+    return i;
+}
+
+inline MInst
+binopImm(UKind op, VReg dst, VReg a, uint64_t imm)
+{
+    MInst i;
+    i.op = op;
+    i.dst = dst;
+    i.a = a;
+    i.imm = imm;
+    i.useImm = true;
+    return i;
+}
+
+inline MInst
+unop(UKind op, VReg dst, VReg a)
+{
+    MInst i;
+    i.op = op;
+    i.dst = dst;
+    i.a = a;
+    return i;
+}
+
+inline MInst
+mov(VReg dst, VReg a)
+{
+    return unop(UKind::Mov, dst, a);
+}
+
+inline MInst
+ldi(VReg dst, uint64_t imm)
+{
+    MInst i;
+    i.op = UKind::Ldi;
+    i.dst = dst;
+    i.imm = imm;
+    return i;
+}
+
+inline MInst
+load(VReg dst, VReg addr)
+{
+    MInst i;
+    i.op = UKind::MemRead;
+    i.dst = dst;
+    i.a = addr;
+    return i;
+}
+
+inline MInst
+store(VReg addr, VReg value)
+{
+    MInst i;
+    i.op = UKind::MemWrite;
+    i.a = addr;
+    i.b = value;
+    return i;
+}
+
+inline MInst
+cmp(VReg a, VReg b)
+{
+    MInst i;
+    i.op = UKind::Cmp;
+    i.a = a;
+    i.b = b;
+    return i;
+}
+
+inline MInst
+cmpImm(VReg a, uint64_t imm)
+{
+    MInst i;
+    i.op = UKind::Cmp;
+    i.a = a;
+    i.imm = imm;
+    i.useImm = true;
+    return i;
+}
+
+} // namespace mi
+
+} // namespace uhll
+
+#endif // UHLL_MIR_MIR_HH

@@ -1,0 +1,536 @@
+#include "regalloc/allocator.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "regalloc/liveness.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+namespace {
+
+/** Which vregs appear anywhere in the program. */
+std::vector<bool>
+usedVRegs(const MirProgram &prog)
+{
+    std::vector<bool> used(prog.numVRegs(), false);
+    auto mark = [&](VReg v) {
+        if (v != kNoVReg)
+            used[v] = true;
+    };
+    for (uint32_t fi = 0; fi < prog.numFunctions(); ++fi) {
+        for (const auto &bb : prog.func(fi).blocks) {
+            for (const auto &ins : bb.insts) {
+                mark(ins.dst);
+                mark(ins.a);
+                if (!ins.useImm)
+                    mark(ins.b);
+            }
+            if (bb.term.kind == Terminator::Kind::Case)
+                mark(bb.term.caseReg);
+        }
+    }
+    return used;
+}
+
+/** Pool of registers, non-architectural first, truncated to limit. */
+std::vector<RegId>
+buildPool(const MachineDescription &mach, const AllocOptions &opts)
+{
+    std::vector<RegId> pool = mach.allocatableRegs();
+    std::stable_sort(pool.begin(), pool.end(),
+                     [&](RegId a, RegId b) {
+                         return !mach.reg(a).architectural &&
+                                mach.reg(b).architectural;
+                     });
+    if (opts.maxPoolRegs && pool.size() > opts.maxPoolRegs)
+        pool.resize(opts.maxPoolRegs);
+    return pool;
+}
+
+/** Union of classes over allocatable registers. */
+uint32_t
+allocatableClasses(const MachineDescription &mach)
+{
+    uint32_t m = 0;
+    for (RegId r : mach.allocatableRegs())
+        m |= mach.reg(r).classes;
+    return m;
+}
+
+} // namespace
+
+std::vector<uint32_t>
+vregClassMasks(const MirProgram &prog, const MachineDescription &mach)
+{
+    uint32_t any = allocatableClasses(mach);
+    std::vector<uint32_t> mask(prog.numVRegs(), any);
+
+    // Per-kind slot masks: the union over the machine's specs of
+    // that kind (any of them could be selected by the lowerer).
+    auto slotMasks = [&](UKind k) {
+        struct Masks { uint32_t dst = 0, a = 0, b = 0; } m;
+        for (uint16_t idx : mach.uopsOfKind(k)) {
+            const MicroOpSpec &s = mach.uop(idx);
+            m.dst |= s.dstClasses;
+            m.a |= s.srcAClasses;
+            m.b |= s.srcBClasses;
+        }
+        return m;
+    };
+
+    auto narrow = [&](VReg v, uint32_t slot_mask) {
+        if (v == kNoVReg)
+            return;
+        uint32_t usable = slot_mask & any;
+        if (!usable)
+            return;     // no allocatable register can satisfy this
+                        // slot; the code generator will fix it up
+        if (mask[v] & usable)
+            mask[v] &= usable;
+        // else: contradictory requirements; keep the wider mask and
+        // let fixups handle the loser uses
+    };
+
+    for (uint32_t fi = 0; fi < prog.numFunctions(); ++fi) {
+        for (const auto &bb : prog.func(fi).blocks) {
+            for (const auto &ins : bb.insts) {
+                auto sm = slotMasks(ins.op);
+                if (uKindHasDst(ins.op))
+                    narrow(ins.dst, sm.dst);
+                if (uKindHasSrcA(ins.op))
+                    narrow(ins.a, sm.a);
+                if (uKindHasSrcB(ins.op) && !ins.useImm)
+                    narrow(ins.b, sm.b);
+            }
+        }
+    }
+    return mask;
+}
+
+// ---------------------------------------------------------------------
+// Linear scan
+// ---------------------------------------------------------------------
+
+Assignment
+LinearScanAllocator::allocate(const MirProgram &prog,
+                              const MachineDescription &mach,
+                              const AllocOptions &opts) const
+{
+    uint32_t nv = prog.numVRegs();
+    Assignment asgn;
+    asgn.regOf.assign(nv, kNoReg);
+    asgn.slotOf.assign(nv, kNoSlot);
+
+    std::vector<bool> used = usedVRegs(prog);
+    std::vector<uint32_t> mask = vregClassMasks(prog, mach);
+    std::vector<RegId> pool = buildPool(mach, opts);
+
+    // Build global live intervals over a linearisation of the
+    // program.
+    constexpr uint32_t kMax = std::numeric_limits<uint32_t>::max();
+    std::vector<uint32_t> ivStart(nv, kMax), ivEnd(nv, 0);
+    auto extend = [&](VReg v, uint32_t pos) {
+        if (v == kNoVReg)
+            return;
+        ivStart[v] = std::min(ivStart[v], pos);
+        ivEnd[v] = std::max(ivEnd[v], pos);
+    };
+
+    uint32_t pos = 0;
+    for (uint32_t fi = 0; fi < prog.numFunctions(); ++fi) {
+        const MirFunction &f = prog.func(fi);
+        LivenessInfo live = computeLiveness(prog, fi);
+        for (size_t b = 0; b < f.blocks.size(); ++b) {
+            uint32_t block_start = pos;
+            for (const auto &ins : f.blocks[b].insts) {
+                UseDef ud = useDefOf(ins);
+                for (VReg v : ud.uses)
+                    extend(v, pos);
+                for (VReg v : ud.defs)
+                    extend(v, pos);
+                ++pos;
+            }
+            if (f.blocks[b].term.kind == Terminator::Kind::Case)
+                extend(f.blocks[b].term.caseReg, pos);
+            uint32_t block_end = pos;
+            ++pos;
+            for (VReg v = 0; v < nv; ++v) {
+                if (live.liveIn[b].test(v))
+                    extend(v, block_start);
+                if (live.liveOut[b].test(v))
+                    extend(v, block_end);
+            }
+        }
+    }
+
+    // Pre-bound vregs own their register for their whole interval.
+    struct Busy { RegId reg; uint32_t start, end; };
+    std::vector<Busy> bound_busy;
+    std::vector<VReg> order;
+    for (VReg v = 0; v < nv; ++v) {
+        if (!used[v] || ivStart[v] == kMax)
+            continue;
+        if (auto b = prog.binding(v)) {
+            asgn.regOf[v] = *b;
+            bound_busy.push_back(Busy{*b, ivStart[v], ivEnd[v]});
+        } else {
+            order.push_back(v);
+        }
+    }
+    std::sort(order.begin(), order.end(), [&](VReg x, VReg y) {
+        return ivStart[x] < ivStart[y] ||
+               (ivStart[x] == ivStart[y] && x < y);
+    });
+
+    struct Active { VReg v; uint32_t end; RegId reg; };
+    std::vector<Active> active;
+
+    // Class-matching registers first, then the rest of the pool:
+    // a mismatched register costs fixup moves, a spill costs memory
+    // traffic -- prefer the former.
+    auto allowedRegs = [&](VReg v) {
+        std::vector<RegId> out;
+        for (RegId r : pool) {
+            if (mask[v] == 0 || (mach.reg(r).classes & mask[v]))
+                out.push_back(r);
+        }
+        for (RegId r : pool) {
+            if (std::find(out.begin(), out.end(), r) == out.end())
+                out.push_back(r);
+        }
+        return out;
+    };
+
+    for (VReg v : order) {
+        uint32_t start = ivStart[v], end = ivEnd[v];
+        std::erase_if(active,
+                      [&](const Active &a) { return a.end < start; });
+
+        auto regFree = [&](RegId r) {
+            for (const Active &a : active) {
+                if (a.reg == r)
+                    return false;
+            }
+            for (const Busy &b : bound_busy) {
+                if (b.reg == r && b.start <= end && start <= b.end)
+                    return false;
+            }
+            return true;
+        };
+
+        std::vector<RegId> allowed = allowedRegs(v);
+        RegId chosen = kNoReg;
+        for (RegId r : allowed) {
+            if (regFree(r)) {
+                chosen = r;
+                break;
+            }
+        }
+        if (chosen != kNoReg) {
+            asgn.regOf[v] = chosen;
+            active.push_back(Active{v, end, chosen});
+            continue;
+        }
+
+        // Spill: steal from the active interval ending last, if it
+        // ends after us and its register suits us.
+        Active *victim = nullptr;
+        for (Active &a : active) {
+            if (a.end > end &&
+                std::find(allowed.begin(), allowed.end(), a.reg) !=
+                    allowed.end() &&
+                (!victim || a.end > victim->end)) {
+                victim = &a;
+            }
+        }
+        if (victim) {
+            asgn.regOf[v] = victim->reg;
+            asgn.slotOf[victim->v] = asgn.numSlots++;
+            asgn.regOf[victim->v] = kNoReg;
+            victim->v = v;
+            victim->end = end;
+        } else {
+            asgn.slotOf[v] = asgn.numSlots++;
+        }
+    }
+
+    if (asgn.numSlots > mach.scratchWords())
+        fatal("register allocation: %u spill slots exceed the %u-word "
+              "scratch area of %s", asgn.numSlots, mach.scratchWords(),
+              mach.name().c_str());
+    return asgn;
+}
+
+// ---------------------------------------------------------------------
+// Graph colouring
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Dense symmetric interference matrix. */
+class InterferenceGraph
+{
+  public:
+    explicit InterferenceGraph(uint32_t n)
+        : n_(n), bits_(static_cast<size_t>(n) * n, false)
+    {}
+
+    void
+    addEdge(VReg a, VReg b)
+    {
+        if (a == b)
+            return;
+        bits_[static_cast<size_t>(a) * n_ + b] = true;
+        bits_[static_cast<size_t>(b) * n_ + a] = true;
+    }
+
+    bool
+    hasEdge(VReg a, VReg b) const
+    {
+        return bits_[static_cast<size_t>(a) * n_ + b];
+    }
+
+    uint32_t
+    degree(VReg a) const
+    {
+        uint32_t d = 0;
+        for (VReg b = 0; b < n_; ++b)
+            d += bits_[static_cast<size_t>(a) * n_ + b];
+        return d;
+    }
+
+  private:
+    uint32_t n_;
+    std::vector<bool> bits_;
+};
+
+InterferenceGraph
+buildInterference(const MirProgram &prog)
+{
+    uint32_t nv = prog.numVRegs();
+    InterferenceGraph g(nv);
+    for (uint32_t fi = 0; fi < prog.numFunctions(); ++fi) {
+        const MirFunction &f = prog.func(fi);
+        LivenessInfo live = computeLiveness(prog, fi);
+
+        // Values live into the entry hold distinct incoming values
+        // (program inputs / globals): they interfere pairwise even
+        // though no def witnesses it.
+        for (VReg x = 0; x < nv; ++x) {
+            if (!live.liveIn[0].test(x))
+                continue;
+            for (VReg y = x + 1; y < nv; ++y) {
+                if (live.liveIn[0].test(y))
+                    g.addEdge(x, y);
+            }
+        }
+
+        for (size_t b = 0; b < f.blocks.size(); ++b) {
+            VRegSet cur = live.liveOut[b];
+            if (f.blocks[b].term.kind == Terminator::Kind::Case)
+                cur.set(f.blocks[b].term.caseReg);
+            const auto &insts = f.blocks[b].insts;
+            for (size_t i = insts.size(); i-- > 0;) {
+                UseDef ud = useDefOf(insts[i]);
+                for (VReg d : ud.defs) {
+                    if (d == kNoVReg)
+                        continue;
+                    for (VReg v = 0; v < nv; ++v) {
+                        if (cur.test(v))
+                            g.addEdge(d, v);
+                    }
+                    // defs of the same instruction coexist
+                    for (VReg d2 : ud.defs) {
+                        if (d2 != kNoVReg)
+                            g.addEdge(d, d2);
+                    }
+                }
+                for (VReg d : ud.defs) {
+                    if (d != kNoVReg)
+                        cur.clear(d);
+                }
+                for (VReg u : ud.uses) {
+                    if (u != kNoVReg)
+                        cur.set(u);
+                }
+            }
+        }
+    }
+    return g;
+}
+
+} // namespace
+
+Assignment
+GraphColoringAllocator::allocate(const MirProgram &prog,
+                                 const MachineDescription &mach,
+                                 const AllocOptions &opts) const
+{
+    uint32_t nv = prog.numVRegs();
+    Assignment asgn;
+    asgn.regOf.assign(nv, kNoReg);
+    asgn.slotOf.assign(nv, kNoSlot);
+
+    std::vector<bool> used = usedVRegs(prog);
+    std::vector<uint32_t> mask = vregClassMasks(prog, mach);
+    std::vector<RegId> pool = buildPool(mach, opts);
+    InterferenceGraph g = buildInterference(prog);
+
+    // Pre-bound vregs are colored up front.
+    std::vector<VReg> nodes;
+    for (VReg v = 0; v < nv; ++v) {
+        if (!used[v])
+            continue;
+        if (auto b = prog.binding(v))
+            asgn.regOf[v] = *b;
+        else
+            nodes.push_back(v);
+    }
+
+    // Simplicial elimination order: repeatedly remove the node of
+    // minimal remaining degree.
+    std::vector<uint32_t> deg(nv, 0);
+    for (VReg v : nodes)
+        deg[v] = g.degree(v);
+    std::vector<bool> removed(nv, false);
+    std::vector<VReg> stack;
+    for (size_t step = 0; step < nodes.size(); ++step) {
+        VReg pick = kNoVReg;
+        for (VReg v : nodes) {
+            if (removed[v])
+                continue;
+            if (pick == kNoVReg || deg[v] < deg[pick])
+                pick = v;
+        }
+        removed[pick] = true;
+        stack.push_back(pick);
+        for (VReg v : nodes) {
+            if (!removed[v] && g.hasEdge(pick, v) && deg[v] > 0)
+                --deg[v];
+        }
+    }
+
+    // Color in reverse elimination order.
+    for (size_t i = stack.size(); i-- > 0;) {
+        VReg v = stack[i];
+        // Class-matching registers first, then any pool register
+        // (fixup moves beat spills).
+        std::vector<RegId> allowed;
+        for (RegId r : pool) {
+            if (mask[v] == 0 || (mach.reg(r).classes & mask[v]))
+                allowed.push_back(r);
+        }
+        for (RegId r : pool) {
+            if (std::find(allowed.begin(), allowed.end(), r) ==
+                allowed.end()) {
+                allowed.push_back(r);
+            }
+        }
+
+        RegId chosen = kNoReg;
+        for (RegId r : allowed) {
+            bool clash = false;
+            for (VReg u = 0; u < nv && !clash; ++u) {
+                if (g.hasEdge(v, u) && asgn.regOf[u] == r)
+                    clash = true;
+            }
+            if (!clash) {
+                chosen = r;
+                break;
+            }
+        }
+        if (chosen != kNoReg)
+            asgn.regOf[v] = chosen;
+        else
+            asgn.slotOf[v] = asgn.numSlots++;
+    }
+
+    if (asgn.numSlots > mach.scratchWords())
+        fatal("register allocation: %u spill slots exceed the %u-word "
+              "scratch area of %s", asgn.numSlots, mach.scratchWords(),
+              mach.name().c_str());
+    return asgn;
+}
+
+// ---------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------
+
+bool
+assignmentValid(const MirProgram &prog, const MachineDescription &mach,
+                const Assignment &asgn, std::string *why)
+{
+    (void)mach;
+    std::vector<bool> used = usedVRegs(prog);
+    for (VReg v = 0; v < prog.numVRegs(); ++v) {
+        if (!used[v])
+            continue;
+        if (asgn.regOf[v] == kNoReg && asgn.slotOf[v] == kNoSlot) {
+            if (why)
+                *why = strfmt("vreg %s has neither register nor slot",
+                              prog.vregName(v).c_str());
+            return false;
+        }
+        if (auto b = prog.binding(v)) {
+            if (asgn.regOf[v] != *b) {
+                if (why)
+                    *why = strfmt("binding of %s not honoured",
+                                  prog.vregName(v).c_str());
+                return false;
+            }
+        }
+    }
+
+    // No two simultaneously-live unbound vregs may share a register.
+    for (uint32_t fi = 0; fi < prog.numFunctions(); ++fi) {
+        const MirFunction &f = prog.func(fi);
+        LivenessInfo live = computeLiveness(prog, fi);
+        for (size_t b = 0; b < f.blocks.size(); ++b) {
+            VRegSet cur = live.liveOut[b];
+            auto checkSet = [&]() -> bool {
+                for (VReg x = 0; x < prog.numVRegs(); ++x) {
+                    if (!cur.test(x) || asgn.regOf[x] == kNoReg)
+                        continue;
+                    for (VReg y = x + 1; y < prog.numVRegs(); ++y) {
+                        if (!cur.test(y) || asgn.regOf[y] == kNoReg)
+                            continue;
+                        if (asgn.regOf[x] != asgn.regOf[y])
+                            continue;
+                        if (prog.binding(x) && prog.binding(y))
+                            continue;   // deliberate aliasing
+                        if (why)
+                            *why = strfmt(
+                                "%s and %s share register %s while "
+                                "both live",
+                                prog.vregName(x).c_str(),
+                                prog.vregName(y).c_str(),
+                                mach.reg(asgn.regOf[x]).name.c_str());
+                        return false;
+                    }
+                }
+                return true;
+            };
+            if (!checkSet())
+                return false;
+            const auto &insts = f.blocks[b].insts;
+            for (size_t i = insts.size(); i-- > 0;) {
+                UseDef ud = useDefOf(insts[i]);
+                for (VReg d : ud.defs) {
+                    if (d != kNoVReg)
+                        cur.clear(d);
+                }
+                for (VReg u : ud.uses) {
+                    if (u != kNoVReg)
+                        cur.set(u);
+                }
+                if (!checkSet())
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace uhll

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Register allocation: binding symbolic MIR variables to physical
+ * microregisters (sec. 2.1.3 of the survey -- the problem the survey
+ * argues "received far less attention" than composition despite being
+ * no less important).
+ *
+ * Two allocators are provided in the style of the era's literature
+ * (Kim & Tan's register assignment work for the IBM microcode
+ * compiler [12]):
+ *  - linear_scan      interval-based, fast, pessimistic;
+ *  - graph_coloring   interference-graph colouring, slower, tighter.
+ *
+ * Both respect
+ *  - pre-bound vregs (the variable = register view of SIMPL, S* and
+ *    YALLL reg declarations): a pre-bound vreg keeps its register;
+ *  - register classes (the non-homogeneous register sets the survey
+ *    highlights): each vreg's allowed class mask is derived from the
+ *    operand slots it appears in;
+ *  - a configurable pool limit, used by the E5 benchmark to model
+ *    machines with 16 vs 256 microregisters.
+ *
+ * Vregs that do not fit are spilled to the machine's scratch memory
+ * area; the code generator materialises reloads through the
+ * machine's designated scratch registers.
+ */
+
+#ifndef UHLL_REGALLOC_ALLOCATOR_HH
+#define UHLL_REGALLOC_ALLOCATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "machine/machine_desc.hh"
+#include "mir/mir.hh"
+
+namespace uhll {
+
+constexpr uint32_t kNoSlot = 0xffffffffu;
+
+/** The result of register allocation. */
+struct Assignment {
+    //! physical register per vreg; kNoReg = spilled or never used
+    std::vector<RegId> regOf;
+    //! spill slot per vreg (offset into the machine scratch area)
+    std::vector<uint32_t> slotOf;
+    uint32_t numSlots = 0;
+
+    bool
+    spilled(VReg v) const
+    {
+        return slotOf.at(v) != kNoSlot;
+    }
+
+    uint32_t
+    numSpilled() const
+    {
+        uint32_t n = 0;
+        for (uint32_t s : slotOf)
+            n += s != kNoSlot;
+        return n;
+    }
+};
+
+/** Options common to all allocators. */
+struct AllocOptions {
+    //! use at most this many pool registers (0 = no limit); models
+    //! smaller register files without rebuilding the machine
+    uint32_t maxPoolRegs = 0;
+};
+
+/** Interface of a register allocator. */
+class RegisterAllocator
+{
+  public:
+    virtual ~RegisterAllocator() = default;
+    virtual const char *name() const = 0;
+
+    /**
+     * Allocate registers for every vreg of @p prog on @p mach.
+     * @p prog must already be legalised for @p mach (every
+     * instruction kind has at least one spec).
+     */
+    virtual Assignment allocate(const MirProgram &prog,
+                                const MachineDescription &mach,
+                                const AllocOptions &opts = {})
+        const = 0;
+};
+
+/** Interval-based linear scan. */
+class LinearScanAllocator : public RegisterAllocator
+{
+  public:
+    const char *name() const override { return "linear_scan"; }
+    Assignment allocate(const MirProgram &prog,
+                        const MachineDescription &mach,
+                        const AllocOptions &opts = {}) const override;
+};
+
+/** Chaitin-style interference-graph colouring. */
+class GraphColoringAllocator : public RegisterAllocator
+{
+  public:
+    const char *name() const override { return "graph_coloring"; }
+    Assignment allocate(const MirProgram &prog,
+                        const MachineDescription &mach,
+                        const AllocOptions &opts = {}) const override;
+};
+
+/**
+ * The allowed-register-class mask of every vreg: the intersection of
+ * the operand-slot class masks it appears in, restricted to classes
+ * any allocatable register has. Slots no allocatable register can
+ * satisfy (e.g. a VM-2 load address, which must be mar) are skipped
+ * -- the code generator fixes those up with moves.
+ */
+std::vector<uint32_t> vregClassMasks(const MirProgram &prog,
+                                     const MachineDescription &mach);
+
+/**
+ * Verify an assignment: every used vreg has a register or a slot,
+ * bindings are honoured, and no two simultaneously-live vregs share
+ * a register (unless both were pre-bound to it). Used by tests.
+ */
+bool assignmentValid(const MirProgram &prog,
+                     const MachineDescription &mach,
+                     const Assignment &asgn, std::string *why = nullptr);
+
+} // namespace uhll
+
+#endif // UHLL_REGALLOC_ALLOCATOR_HH

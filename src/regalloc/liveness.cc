@@ -1,0 +1,219 @@
+#include "regalloc/liveness.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace uhll {
+
+UseDef
+useDefOf(const MInst &ins)
+{
+    UseDef ud;
+    int u = 0, d = 0;
+    if (uKindHasSrcA(ins.op) && ins.a != kNoVReg)
+        ud.uses[u++] = ins.a;
+    if (uKindHasSrcB(ins.op) && !ins.useImm && ins.b != kNoVReg)
+        ud.uses[u++] = ins.b;
+    if (uKindHasDst(ins.op) && ins.dst != kNoVReg)
+        ud.defs[d++] = ins.dst;
+    if (uKindModifiesSrcA(ins.op) && ins.a != kNoVReg)
+        ud.defs[d++] = ins.a;
+    return ud;
+}
+
+namespace {
+
+/** Vregs directly referenced by a function (no call closure). */
+VRegSet
+directRefs(const MirProgram &prog, uint32_t func_id)
+{
+    VRegSet s(prog.numVRegs());
+    const MirFunction &f = prog.func(func_id);
+    for (const auto &bb : f.blocks) {
+        for (const auto &ins : bb.insts) {
+            UseDef ud = useDefOf(ins);
+            for (VReg v : ud.uses) {
+                if (v != kNoVReg)
+                    s.set(v);
+            }
+            for (VReg v : ud.defs) {
+                if (v != kNoVReg)
+                    s.set(v);
+            }
+        }
+        if (bb.term.kind == Terminator::Kind::Case)
+            s.set(bb.term.caseReg);
+    }
+    return s;
+}
+
+} // namespace
+
+VRegSet
+transitiveRefs(const MirProgram &prog, uint32_t func_id)
+{
+    // Fixed point over the call graph starting from func_id.
+    std::vector<bool> visited(prog.numFunctions(), false);
+    VRegSet refs(prog.numVRegs());
+    std::vector<uint32_t> work{func_id};
+    while (!work.empty()) {
+        uint32_t f = work.back();
+        work.pop_back();
+        if (visited.at(f))
+            continue;
+        visited[f] = true;
+        refs.merge(directRefs(prog, f));
+        for (const auto &bb : prog.func(f).blocks) {
+            if (bb.term.kind == Terminator::Kind::Call)
+                work.push_back(bb.term.callee);
+        }
+    }
+    return refs;
+}
+
+LivenessInfo
+computeLiveness(const MirProgram &prog, uint32_t func_id)
+{
+    const MirFunction &f = prog.func(func_id);
+    uint32_t nv = prog.numVRegs();
+    size_t nb = f.blocks.size();
+
+    // Per-block use (upward exposed) and def sets, plus terminator
+    // effects. Calls use & def the callee's transitive refs.
+    std::vector<VRegSet> gen(nb, VRegSet(nv)), kill(nb, VRegSet(nv));
+    std::vector<VRegSet> callee_refs;
+
+    for (size_t b = 0; b < nb; ++b) {
+        const BasicBlock &bb = f.blocks[b];
+        auto use = [&](VReg v) {
+            if (v != kNoVReg && !kill[b].test(v))
+                gen[b].set(v);
+        };
+        auto def = [&](VReg v) {
+            if (v != kNoVReg)
+                kill[b].set(v);
+        };
+        for (const auto &ins : bb.insts) {
+            UseDef ud = useDefOf(ins);
+            for (VReg v : ud.uses)
+                use(v);
+            for (VReg v : ud.defs)
+                def(v);
+        }
+        const Terminator &t = bb.term;
+        if (t.kind == Terminator::Kind::Case)
+            use(t.caseReg);
+        if (t.kind == Terminator::Kind::Call) {
+            VRegSet refs = transitiveRefs(prog, t.callee);
+            for (VReg v = 0; v < nv; ++v) {
+                if (refs.test(v))
+                    use(v);     // the callee may read it
+                // the callee may also write it, but a may-def must
+                // not kill liveness, so no def() here
+            }
+        }
+    }
+
+    LivenessInfo info;
+    info.liveIn.assign(nb, VRegSet(nv));
+    info.liveOut.assign(nb, VRegSet(nv));
+
+    // Observable vregs survive to program exit, and vregs shared
+    // between functions carry values across returns that this
+    // function's local dataflow cannot see: both are live-out of
+    // every exit block (Halt and Ret).
+    VRegSet exit_live(nv);
+    {
+        std::vector<uint8_t> ref_count(nv, 0);
+        for (uint32_t fi = 0; fi < prog.numFunctions(); ++fi) {
+            VRegSet refs = directRefs(prog, fi);
+            for (VReg v = 0; v < nv; ++v) {
+                if (refs.test(v) && ref_count[v] < 2)
+                    ++ref_count[v];
+            }
+        }
+        for (VReg v = 0; v < nv; ++v) {
+            if (prog.observable(v) || ref_count[v] >= 2)
+                exit_live.set(v);
+        }
+    }
+    for (size_t b = 0; b < nb; ++b) {
+        auto k = f.blocks[b].term.kind;
+        if (k != Terminator::Kind::Halt && k != Terminator::Kind::Ret)
+            continue;
+        info.liveOut[b].merge(exit_live);
+    }
+
+    auto successors = [&](size_t b) {
+        std::vector<uint32_t> out;
+        const Terminator &t = f.blocks[b].term;
+        switch (t.kind) {
+          case Terminator::Kind::Jump:
+            out.push_back(t.target);
+            break;
+          case Terminator::Kind::Branch:
+            out.push_back(t.target);
+            out.push_back(t.fallthrough);
+            break;
+          case Terminator::Kind::Case:
+            out = t.caseTargets;
+            break;
+          case Terminator::Kind::Call:
+            out.push_back(t.target);
+            break;
+          case Terminator::Kind::Ret:
+          case Terminator::Kind::Halt:
+            break;
+        }
+        return out;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t b = nb; b-- > 0;) {
+            for (uint32_t s : successors(b))
+                changed |= info.liveOut[b].merge(info.liveIn[s]);
+            // liveIn = gen | (liveOut - kill)
+            VRegSet in = gen[b];
+            for (VReg v = 0; v < nv; ++v) {
+                if (info.liveOut[b].test(v) && !kill[b].test(v))
+                    in.set(v);
+            }
+            changed |= info.liveIn[b].merge(in);
+        }
+    }
+    return info;
+}
+
+uint32_t
+maxPressure(const MirProgram &prog)
+{
+    uint32_t best = 0;
+    for (uint32_t fi = 0; fi < prog.numFunctions(); ++fi) {
+        const MirFunction &f = prog.func(fi);
+        LivenessInfo live = computeLiveness(prog, fi);
+        for (size_t b = 0; b < f.blocks.size(); ++b) {
+            // Backward walk through the block tracking the live set.
+            VRegSet cur = live.liveOut[b];
+            best = std::max(best, cur.count());
+            const auto &insts = f.blocks[b].insts;
+            for (size_t i = insts.size(); i-- > 0;) {
+                UseDef ud = useDefOf(insts[i]);
+                for (VReg v : ud.defs) {
+                    if (v != kNoVReg)
+                        cur.clear(v);
+                }
+                for (VReg v : ud.uses) {
+                    if (v != kNoVReg)
+                        cur.set(v);
+                }
+                best = std::max(best, cur.count());
+            }
+        }
+    }
+    return best;
+}
+
+} // namespace uhll

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Liveness analysis over MIR.
+ *
+ * Classic backward dataflow per function. Call terminators are
+ * modelled conservatively: a call both uses and defines every
+ * virtual register the callee (transitively) references, which makes
+ * the shared-global-variable model of the surveyed languages safe
+ * without interprocedural analysis.
+ */
+
+#ifndef UHLL_REGALLOC_LIVENESS_HH
+#define UHLL_REGALLOC_LIVENESS_HH
+
+#include <vector>
+
+#include "mir/mir.hh"
+
+namespace uhll {
+
+/** Dense set of virtual registers. */
+class VRegSet
+{
+  public:
+    explicit VRegSet(uint32_t n = 0) : bits_(n, false) {}
+
+    void set(VReg v) { bits_.at(v) = true; }
+    void clear(VReg v) { bits_.at(v) = false; }
+    bool test(VReg v) const { return bits_.at(v); }
+    size_t size() const { return bits_.size(); }
+
+    /** this |= other; returns true if anything changed. */
+    bool
+    merge(const VRegSet &other)
+    {
+        bool changed = false;
+        for (size_t i = 0; i < bits_.size(); ++i) {
+            if (other.bits_[i] && !bits_[i]) {
+                bits_[i] = true;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    uint32_t
+    count() const
+    {
+        uint32_t n = 0;
+        for (bool b : bits_)
+            n += b;
+        return n;
+    }
+
+  private:
+    std::vector<bool> bits_;
+};
+
+/** Uses and defs of one MIR instruction. */
+struct UseDef {
+    VReg uses[2] = {kNoVReg, kNoVReg};
+    VReg defs[2] = {kNoVReg, kNoVReg};
+};
+
+/** Compute the uses/defs of a straight-line instruction. */
+UseDef useDefOf(const MInst &ins);
+
+/** Per-function liveness result. */
+struct LivenessInfo {
+    //! live-in / live-out per basic block
+    std::vector<VRegSet> liveIn;
+    std::vector<VRegSet> liveOut;
+};
+
+/**
+ * Compute liveness for function @p func_id of @p prog.
+ * Pre-computes transitive callee reference sets internally.
+ */
+LivenessInfo computeLiveness(const MirProgram &prog, uint32_t func_id);
+
+/**
+ * The set of vregs referenced by function @p func_id, transitively
+ * through calls.
+ */
+VRegSet transitiveRefs(const MirProgram &prog, uint32_t func_id);
+
+/**
+ * Maximum number of simultaneously live vregs anywhere in the
+ * program (register pressure, reported by the E5 benchmark).
+ */
+uint32_t maxPressure(const MirProgram &prog);
+
+} // namespace uhll
+
+#endif // UHLL_REGALLOC_LIVENESS_HH

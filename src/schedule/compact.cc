@@ -1,0 +1,462 @@
+#include "schedule/compact.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/logging.hh"
+
+namespace uhll {
+
+namespace {
+
+/** Shared placement machinery for the greedy compactors. */
+class Placer
+{
+  public:
+    Placer(const MachineDescription &mach, std::span<const BoundOp> ops,
+           const DepGraph &dg, bool phase_aware, bool chaining)
+        : mach_(mach), ops_(ops), dg_(dg), phaseAware_(phase_aware),
+          chaining_(chaining),
+          wordOf_(ops.size(), kUnplaced)
+    {}
+
+    static constexpr uint32_t kUnplaced = 0xffffffffu;
+
+    unsigned
+    phaseOf(uint32_t i) const
+    {
+        return mach_.uop(ops_[i].spec).phase;
+    }
+
+    bool
+    placed(uint32_t i) const
+    {
+        return wordOf_[i] != kUnplaced;
+    }
+
+    uint32_t wordOf(uint32_t i) const { return wordOf_[i]; }
+
+    /** All of @p i 's predecessors already placed? */
+    bool
+    predsPlaced(uint32_t i) const
+    {
+        for (uint32_t d : dg_.preds(i)) {
+            if (!placed(dg_.deps()[d].from))
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * Can op @p i go into word @p w (whose current members are
+     * @p members)? Checks dependences against every placed pred and
+     * resource conflicts against the word's members.
+     */
+    bool
+    canPlace(uint32_t i, uint32_t w,
+             const std::vector<uint32_t> &members) const
+    {
+        for (uint32_t d : dg_.preds(i)) {
+            const Dep &dep = dg_.deps()[d];
+            if (!placed(dep.from))
+                return false;
+            if (!DepGraph::placementLegal(dep.kind, wordOf_[dep.from],
+                                          phaseOf(dep.from), w,
+                                          phaseOf(i), chaining_)) {
+                return false;
+            }
+        }
+        for (uint32_t m : members) {
+            if (mach_.conflict(ops_[m], ops_[i], phaseAware_))
+                return false;
+        }
+        if (mach_.vertical() && !members.empty())
+            return false;
+        return true;
+    }
+
+    void
+    place(uint32_t i, uint32_t w, std::vector<uint32_t> &members)
+    {
+        wordOf_[i] = w;
+        members.push_back(i);
+    }
+
+  private:
+    const MachineDescription &mach_;
+    std::span<const BoundOp> ops_;
+    const DepGraph &dg_;
+    bool phaseAware_;
+    bool chaining_;
+    std::vector<uint32_t> wordOf_;
+};
+
+/** FCFS: scan existing words from the earliest dep-legal one. */
+CompactionResult
+fcfsCompact(const MachineDescription &mach, std::span<const BoundOp> ops,
+            bool phase_aware, bool chaining)
+{
+    DepGraph dg(mach, ops);
+    Placer pl(mach, ops, dg, phase_aware, chaining);
+    CompactionResult res;
+
+    for (uint32_t i = 0; i < ops.size(); ++i) {
+        bool done = false;
+        for (uint32_t w = 0; w < res.words.size() && !done; ++w) {
+            if (pl.canPlace(i, w, res.words[w])) {
+                pl.place(i, w, res.words[w]);
+                done = true;
+            }
+        }
+        if (!done) {
+            res.words.emplace_back();
+            uint32_t w = static_cast<uint32_t>(res.words.size() - 1);
+            if (!pl.canPlace(i, w, res.words[w]))
+                panic("compaction: op %u cannot be placed in a fresh "
+                      "word", i);
+            pl.place(i, w, res.words[w]);
+        }
+    }
+    return res;
+}
+
+/** Height-priority list scheduling, one word at a time. */
+CompactionResult
+listCompact(const MachineDescription &mach, std::span<const BoundOp> ops,
+            bool phase_aware, bool chaining)
+{
+    DepGraph dg(mach, ops);
+    Placer pl(mach, ops, dg, phase_aware, chaining);
+    CompactionResult res;
+
+    size_t remaining = ops.size();
+    while (remaining > 0) {
+        res.words.emplace_back();
+        uint32_t w = static_cast<uint32_t>(res.words.size() - 1);
+        auto &word = res.words.back();
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            // Highest dependence height first, program order as the
+            // tie breaker.
+            uint32_t pick = Placer::kUnplaced;
+            for (uint32_t i = 0; i < ops.size(); ++i) {
+                if (pl.placed(i) || !pl.predsPlaced(i))
+                    continue;
+                if (!pl.canPlace(i, w, word))
+                    continue;
+                if (pick == Placer::kUnplaced ||
+                    dg.heightOf(i) > dg.heightOf(pick)) {
+                    pick = i;
+                }
+            }
+            if (pick != Placer::kUnplaced) {
+                pl.place(pick, w, word);
+                --remaining;
+                progress = true;
+            }
+        }
+        if (word.empty())
+            panic("compaction: no schedulable op for a fresh word "
+                  "(%zu remaining)", remaining);
+    }
+    return res;
+}
+
+} // namespace
+
+CompactionResult
+LinearCompactor::compact(const MachineDescription &mach,
+                         std::span<const BoundOp> ops) const
+{
+    return fcfsCompact(mach, ops, /*phase_aware=*/false,
+                       /*chaining=*/false);
+}
+
+CompactionResult
+CriticalPathCompactor::compact(const MachineDescription &mach,
+                               std::span<const BoundOp> ops) const
+{
+    return listCompact(mach, ops, /*phase_aware=*/false,
+                       /*chaining=*/false);
+}
+
+CompactionResult
+TokoroCompactor::compact(const MachineDescription &mach,
+                         std::span<const BoundOp> ops) const
+{
+    return listCompact(mach, ops, /*phase_aware=*/true,
+                       /*chaining=*/true);
+}
+
+CompactionResult
+DasguptaTartarCompactor::compact(const MachineDescription &mach,
+                                 std::span<const BoundOp> ops) const
+{
+    DepGraph dg(mach, ops);
+    Placer pl(mach, ops, dg, /*phase_aware=*/false, /*chaining=*/false);
+    CompactionResult res;
+
+    // Step 1: levels by data dependence only (anti dependences do
+    // not advance the level -- reads precede writes).
+    std::vector<uint32_t> level(ops.size(), 1);
+    for (uint32_t i = 0; i < ops.size(); ++i) {
+        for (uint32_t d : dg.preds(i)) {
+            const Dep &dep = dg.deps()[d];
+            uint32_t need = level[dep.from] +
+                            (dep.kind == DepKind::Anti ? 0 : 1);
+            level[i] = std::max(level[i], need);
+        }
+    }
+    uint32_t max_level = 0;
+    for (uint32_t l : level)
+        max_level = std::max(max_level, l);
+
+    // Step 2: each level is split into words by resource conflicts,
+    // first-fit in program order.
+    for (uint32_t l = 1; l <= max_level; ++l) {
+        size_t level_first_word = res.words.size();
+        for (uint32_t i = 0; i < ops.size(); ++i) {
+            if (level[i] != l)
+                continue;
+            bool done = false;
+            for (size_t w = level_first_word;
+                 w < res.words.size() && !done; ++w) {
+                if (pl.canPlace(i, static_cast<uint32_t>(w),
+                                res.words[w])) {
+                    pl.place(i, static_cast<uint32_t>(w),
+                             res.words[w]);
+                    done = true;
+                }
+            }
+            if (!done) {
+                res.words.emplace_back();
+                uint32_t w = static_cast<uint32_t>(res.words.size() - 1);
+                if (!pl.canPlace(i, w, res.words[w]))
+                    panic("dasgupta_tartar: op %u unplaceable", i);
+                pl.place(i, w, res.words[w]);
+            }
+        }
+    }
+    return res;
+}
+
+namespace {
+
+/** Exhaustive search state for the optimal compactor. */
+class BnB
+{
+  public:
+    BnB(const MachineDescription &mach, std::span<const BoundOp> ops,
+        const DepGraph &dg, uint64_t max_nodes)
+        : mach_(mach), ops_(ops), dg_(dg), maxNodes_(max_nodes),
+          wordOf_(ops.size(), Placer::kUnplaced)
+    {}
+
+    CompactionResult
+    search(CompactionResult upper_bound)
+    {
+        best_ = std::move(upper_bound);
+        cur_.words.assign(1, {});   // one open, empty word
+        unplaced_ = ops_.size();
+        go(0);
+        return best_;
+    }
+
+    bool exhausted() const { return nodes_ >= maxNodes_; }
+
+  private:
+    unsigned
+    phaseOf(uint32_t i) const
+    {
+        return mach_.uop(ops_[i].spec).phase;
+    }
+
+    /** ceil(longest unplaced chain / phases): words still needed. */
+    uint32_t
+    lowerBound() const
+    {
+        uint32_t h = 0;
+        for (uint32_t i = 0; i < ops_.size(); ++i) {
+            if (wordOf_[i] == Placer::kUnplaced)
+                h = std::max(h, dg_.heightOf(i));
+        }
+        unsigned per_word = mach_.vertical() ? 1 : mach_.numPhases();
+        return (h + per_word - 1) / per_word;
+    }
+
+    bool
+    canPlace(uint32_t i, const std::vector<uint32_t> &word,
+             uint32_t w) const
+    {
+        for (uint32_t d : dg_.preds(i)) {
+            const Dep &dep = dg_.deps()[d];
+            if (wordOf_[dep.from] == Placer::kUnplaced)
+                return false;
+            if (!DepGraph::placementLegal(dep.kind, wordOf_[dep.from],
+                                          phaseOf(dep.from), w,
+                                          phaseOf(i), true)) {
+                return false;
+            }
+        }
+        for (uint32_t m : word) {
+            if (mach_.conflict(ops_[m], ops_[i], true))
+                return false;
+        }
+        if (mach_.vertical() && !word.empty())
+            return false;
+        return true;
+    }
+
+    /**
+     * Depth-first search. The last word of cur_ is "open": ops may
+     * still be added to it. Ops are added to the open word in
+     * increasing index order (@p min_index) so each word subset is
+     * enumerated exactly once.
+     */
+    void
+    go(uint32_t min_index)
+    {
+        if (nodes_++ >= maxNodes_)
+            return;
+        if (unplaced_ == 0) {
+            size_t size = cur_.words.size() -
+                          (cur_.words.back().empty() ? 1 : 0);
+            if (size < best_.words.size()) {
+                best_ = cur_;
+                if (best_.words.back().empty())
+                    best_.words.pop_back();
+            }
+            return;
+        }
+        size_t closed = cur_.words.size() - 1;
+        if (closed + lowerBound() >= best_.words.size())
+            return;     // cannot beat the incumbent
+
+        uint32_t w = static_cast<uint32_t>(cur_.words.size() - 1);
+        for (uint32_t i = min_index; i < ops_.size(); ++i) {
+            if (wordOf_[i] != Placer::kUnplaced)
+                continue;
+            if (!canPlace(i, cur_.words[w], w))
+                continue;
+            cur_.words[w].push_back(i);
+            wordOf_[i] = w;
+            --unplaced_;
+            go(i + 1);
+            ++unplaced_;
+            wordOf_[i] = Placer::kUnplaced;
+            cur_.words[w].pop_back();
+        }
+
+        if (!cur_.words.back().empty()) {
+            cur_.words.emplace_back();
+            go(0);
+            cur_.words.pop_back();
+        }
+    }
+
+    const MachineDescription &mach_;
+    std::span<const BoundOp> ops_;
+    const DepGraph &dg_;
+    uint64_t maxNodes_;
+    uint64_t nodes_ = 0;
+    std::vector<uint32_t> wordOf_;
+    size_t unplaced_ = 0;
+    CompactionResult cur_;
+    CompactionResult best_;
+};
+
+} // namespace
+
+CompactionResult
+OptimalCompactor::compact(const MachineDescription &mach,
+                          std::span<const BoundOp> ops) const
+{
+    TokoroCompactor fallback;
+    CompactionResult ub = fallback.compact(mach, ops);
+    if (ops.size() > maxOps_) {
+        warn("optimal compactor: block of %zu ops exceeds limit %zu; "
+             "returning tokoro schedule", ops.size(), maxOps_);
+        return ub;
+    }
+    if (ops.empty())
+        return ub;
+
+    DepGraph dg(mach, ops);
+    // The bound compares against "one more than ub" so that a
+    // schedule equal to the heuristic is still explored cheaply.
+    BnB bnb(mach, ops, dg, maxNodes_);
+    CompactionResult best = bnb.search(ub);
+    return best;
+}
+
+bool
+compactionLegal(const MachineDescription &mach,
+                std::span<const BoundOp> ops,
+                const CompactionResult &result, bool phase_chaining,
+                std::string *why)
+{
+    std::vector<uint32_t> word_of(ops.size(), 0xffffffffu);
+    size_t count = 0;
+    for (uint32_t w = 0; w < result.words.size(); ++w) {
+        for (uint32_t i : result.words[w]) {
+            if (i >= ops.size() || word_of[i] != 0xffffffffu) {
+                if (why)
+                    *why = strfmt("op %u duplicated or out of range",
+                                  i);
+                return false;
+            }
+            word_of[i] = w;
+            ++count;
+        }
+    }
+    if (count != ops.size()) {
+        if (why)
+            *why = strfmt("%zu of %zu ops scheduled", count,
+                          ops.size());
+        return false;
+    }
+
+    DepGraph dg(mach, ops);
+    for (const Dep &d : dg.deps()) {
+        unsigned pf = mach.uop(ops[d.from].spec).phase;
+        unsigned pt = mach.uop(ops[d.to].spec).phase;
+        if (!DepGraph::placementLegal(d.kind, word_of[d.from], pf,
+                                      word_of[d.to], pt,
+                                      phase_chaining)) {
+            if (why) {
+                *why = strfmt(
+                    "dependence %u->%u (%s) violated: words %u,%u",
+                    d.from, d.to,
+                    d.kind == DepKind::Flow
+                        ? "flow"
+                        : d.kind == DepKind::Anti ? "anti" : "output",
+                    word_of[d.from], word_of[d.to]);
+            }
+            return false;
+        }
+    }
+
+    for (const auto &word : result.words) {
+        std::vector<BoundOp> members;
+        for (uint32_t i : word)
+            members.push_back(ops[i]);
+        if (!mach.wordLegal(members, /*phase_aware=*/true, why))
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::unique_ptr<Compactor>>
+allCompactors()
+{
+    std::vector<std::unique_ptr<Compactor>> out;
+    out.push_back(std::make_unique<LinearCompactor>());
+    out.push_back(std::make_unique<CriticalPathCompactor>());
+    out.push_back(std::make_unique<DasguptaTartarCompactor>());
+    out.push_back(std::make_unique<TokoroCompactor>());
+    out.push_back(std::make_unique<OptimalCompactor>());
+    return out;
+}
+
+} // namespace uhll

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Microinstruction composition ("compaction"): turning a sequential
+ * list of bound microoperations into as few control words as
+ * possible -- the problem the survey identifies as the most-studied
+ * implementation problem of high level microprogramming languages
+ * (sec. 2.1.4, refs [18], [22], [3], [21]).
+ *
+ * Five algorithms are provided:
+ *  - linear          first-come-first-served placement with the
+ *                    coarse (word-level) resource model, after
+ *                    Ramamoorthy & Tsuchiya's SIMPL compiler [18];
+ *  - critical_path   list scheduling by dependence height with the
+ *                    coarse model, after Tsuchiya & Gonzalez [22];
+ *  - dasgupta_tartar two-step maximal-parallelism partition: levels
+ *                    by data dependence, then splitting levels by
+ *                    resource conflicts, after Dasgupta & Tartar [3];
+ *  - tokoro          list scheduling under the phase-aware resource
+ *                    model with intra-word (cocycle) chaining of
+ *                    flow-dependent operations, after Tokoro et
+ *                    al.'s format/occupancy model [21];
+ *  - optimal         branch-and-bound minimal schedule under the
+ *                    phase-aware model (small blocks only); the
+ *                    reference the heuristics are judged against.
+ */
+
+#ifndef UHLL_SCHEDULE_COMPACT_HH
+#define UHLL_SCHEDULE_COMPACT_HH
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "machine/machine_desc.hh"
+#include "schedule/depgraph.hh"
+
+namespace uhll {
+
+/** A compaction: op indices grouped into control words, in order. */
+struct CompactionResult {
+    std::vector<std::vector<uint32_t>> words;
+
+    size_t numWords() const { return words.size(); }
+};
+
+/** Interface of a compaction algorithm. */
+class Compactor
+{
+  public:
+    virtual ~Compactor() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Compact @p ops (one straight-line block). The result always
+     * satisfies the dependence rules of DepGraph::placementLegal and
+     * the machine's conflict model.
+     */
+    virtual CompactionResult compact(const MachineDescription &mach,
+                                     std::span<const BoundOp> ops)
+        const = 0;
+};
+
+/** FCFS compaction with the coarse resource model [18]. */
+class LinearCompactor : public Compactor
+{
+  public:
+    const char *name() const override { return "linear"; }
+    CompactionResult compact(const MachineDescription &mach,
+                             std::span<const BoundOp> ops)
+        const override;
+};
+
+/** Height-priority list scheduling, coarse resource model [22]. */
+class CriticalPathCompactor : public Compactor
+{
+  public:
+    const char *name() const override { return "critical_path"; }
+    CompactionResult compact(const MachineDescription &mach,
+                             std::span<const BoundOp> ops)
+        const override;
+};
+
+/** Level partition by data dependence, then resource splitting [3]. */
+class DasguptaTartarCompactor : public Compactor
+{
+  public:
+    const char *name() const override { return "dasgupta_tartar"; }
+    CompactionResult compact(const MachineDescription &mach,
+                             std::span<const BoundOp> ops)
+        const override;
+};
+
+/** Phase-aware list scheduling with cocycle chaining [21]. */
+class TokoroCompactor : public Compactor
+{
+  public:
+    const char *name() const override { return "tokoro"; }
+    CompactionResult compact(const MachineDescription &mach,
+                             std::span<const BoundOp> ops)
+        const override;
+};
+
+/**
+ * Branch-and-bound optimum under the phase-aware model. Exponential:
+ * refuses blocks larger than maxOps (falls back to tokoro with a
+ * warning).
+ */
+class OptimalCompactor : public Compactor
+{
+  public:
+    explicit OptimalCompactor(size_t max_ops = 16,
+                              uint64_t max_nodes = 2'000'000)
+        : maxOps_(max_ops), maxNodes_(max_nodes)
+    {}
+
+    const char *name() const override { return "optimal"; }
+    CompactionResult compact(const MachineDescription &mach,
+                             std::span<const BoundOp> ops)
+        const override;
+
+  private:
+    size_t maxOps_;
+    uint64_t maxNodes_;
+};
+
+/**
+ * Check that @p result is a legal compaction of @p ops: a
+ * permutation-free partition respecting dependences and the
+ * machine's conflict model. Returns false and fills @p why on
+ * violation. Shared by tests and by the S* front end (whose user
+ * composes words by hand and only gets them checked).
+ */
+bool compactionLegal(const MachineDescription &mach,
+                     std::span<const BoundOp> ops,
+                     const CompactionResult &result,
+                     bool phase_chaining, std::string *why = nullptr);
+
+/** All bundled compactors, for benchmark sweeps. */
+std::vector<std::unique_ptr<Compactor>> allCompactors();
+
+} // namespace uhll
+
+#endif // UHLL_SCHEDULE_COMPACT_HH

@@ -1,0 +1,144 @@
+#include "schedule/depgraph.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace uhll {
+
+namespace {
+
+/** Locations read / written by one bound op, for dependence purposes. */
+struct Access {
+    std::vector<RegId> reads;
+    std::vector<RegId> writes;
+    bool readsMem = false;
+    bool writesMem = false;
+    bool writesFlags = false;
+};
+
+Access
+accessOf(const MachineDescription &mach, const BoundOp &op)
+{
+    const MicroOpSpec &s = mach.uop(op.spec);
+    Access a;
+    if (uKindHasSrcA(s.kind) && op.srcA != kNoReg)
+        a.reads.push_back(op.srcA);
+    if (uKindHasSrcB(s.kind) && !op.useImm && op.srcB != kNoReg)
+        a.reads.push_back(op.srcB);
+    if (uKindHasDst(s.kind) && op.dst != kNoReg)
+        a.writes.push_back(op.dst);
+    if (uKindModifiesSrcA(s.kind) && op.srcA != kNoReg)
+        a.writes.push_back(op.srcA);
+    switch (s.kind) {
+      case UKind::MemRead:
+      case UKind::Pop:
+        a.readsMem = true;
+        break;
+      case UKind::MemWrite:
+      case UKind::Push:
+        a.writesMem = true;
+        break;
+      default:
+        break;
+    }
+    a.writesFlags = s.setsFlags;
+    return a;
+}
+
+bool
+intersects(const std::vector<RegId> &xs, const std::vector<RegId> &ys)
+{
+    for (RegId x : xs) {
+        if (std::find(ys.begin(), ys.end(), x) != ys.end())
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+DepGraph::DepGraph(const MachineDescription &mach,
+                   std::span<const BoundOp> ops)
+    : n_(ops.size()), succs_(ops.size()), preds_(ops.size()),
+      height_(ops.size(), 1)
+{
+    std::vector<Access> acc;
+    acc.reserve(n_);
+    for (const BoundOp &op : ops)
+        acc.push_back(accessOf(mach, op));
+
+    auto addDep = [&](uint32_t i, uint32_t j, DepKind k) {
+        uint32_t idx = static_cast<uint32_t>(deps_.size());
+        deps_.push_back(Dep{i, j, k});
+        succs_[i].push_back(idx);
+        preds_[j].push_back(idx);
+    };
+
+    for (uint32_t j = 1; j < n_; ++j) {
+        for (uint32_t i = 0; i < j; ++i) {
+            // Register dependences. Flow dominates if both apply
+            // (add the strongest applicable constraint; Flow and
+            // Output are equally strict, Anti is weaker).
+            if (intersects(acc[i].writes, acc[j].reads))
+                addDep(i, j, DepKind::Flow);
+            else if (intersects(acc[i].writes, acc[j].writes))
+                addDep(i, j, DepKind::Output);
+            else if (intersects(acc[i].reads, acc[j].writes))
+                addDep(i, j, DepKind::Anti);
+
+            // Memory: one location, conservatively ordered.
+            if (acc[i].writesMem && acc[j].readsMem)
+                addDep(i, j, DepKind::Flow);
+            else if (acc[i].writesMem && acc[j].writesMem)
+                addDep(i, j, DepKind::Output);
+            else if (acc[i].readsMem && acc[j].writesMem)
+                addDep(i, j, DepKind::Anti);
+
+            // Flag latch: order flag writers so the terminator sees
+            // the sequentially-final flags.
+            if (acc[i].writesFlags && acc[j].writesFlags)
+                addDep(i, j, DepKind::Output);
+        }
+    }
+
+    // Heights (longest chain to a sink), in reverse order; edges
+    // always point forward so one sweep suffices.
+    for (uint32_t i = static_cast<uint32_t>(n_); i-- > 0;) {
+        uint32_t h = 1;
+        for (uint32_t d : succs_[i])
+            h = std::max(h, 1 + height_[deps_[d].to]);
+        height_[i] = h;
+    }
+}
+
+uint32_t
+DepGraph::criticalPathLength() const
+{
+    uint32_t best = 0;
+    for (uint32_t h : height_)
+        best = std::max(best, h);
+    return best;
+}
+
+bool
+DepGraph::placementLegal(DepKind kind, uint32_t from_word,
+                         unsigned from_phase, uint32_t to_word,
+                         unsigned to_phase, bool phase_chaining)
+{
+    if (from_word < to_word)
+        return true;
+    if (from_word > to_word)
+        return false;
+    switch (kind) {
+      case DepKind::Flow:
+        return phase_chaining && from_phase < to_phase;
+      case DepKind::Anti:
+        return from_phase <= to_phase;
+      case DepKind::Output:
+        return from_phase < to_phase;
+    }
+    return false;
+}
+
+} // namespace uhll

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Dependence analysis over straight-line sequences of bound
+ * microoperations (sec. 2.1.4 of the survey: data dependence and
+ * resource dependence are the two inputs to microinstruction
+ * composition).
+ *
+ * Data dependence is computed here; resource dependence is delegated
+ * to MachineDescription::conflict() (the DeWitt control-word model).
+ *
+ * The flag latch is modelled as a pseudo-register written by every
+ * flag-setting operation: ordering flag writers preserves the final
+ * flag state the block terminator tests. Memory is modelled as a
+ * single location (no alias analysis -- faithful to 1980 practice).
+ */
+
+#ifndef UHLL_SCHEDULE_DEPGRAPH_HH
+#define UHLL_SCHEDULE_DEPGRAPH_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "machine/machine_desc.hh"
+
+namespace uhll {
+
+/** Kind of a data dependence edge. */
+enum class DepKind : uint8_t {
+    Flow,   //!< true dependence: to reads what from wrote
+    Anti,   //!< anti dependence: to overwrites what from read
+    Output, //!< output dependence: both write the same location
+};
+
+/** One dependence edge between op indices (from < to). */
+struct Dep {
+    uint32_t from;
+    uint32_t to;
+    DepKind kind;
+};
+
+/**
+ * The dependence DAG of one straight-line op sequence. Indices refer
+ * to positions in the sequence passed at construction.
+ */
+class DepGraph
+{
+  public:
+    DepGraph(const MachineDescription &mach,
+             std::span<const BoundOp> ops);
+
+    size_t numOps() const { return n_; }
+    const std::vector<Dep> &deps() const { return deps_; }
+
+    /** Edges leaving op @p i (as indices into deps()). */
+    const std::vector<uint32_t> &succs(uint32_t i) const
+    {
+        return succs_.at(i);
+    }
+
+    /** Edges entering op @p i (as indices into deps()). */
+    const std::vector<uint32_t> &preds(uint32_t i) const
+    {
+        return preds_.at(i);
+    }
+
+    /**
+     * Length (in ops) of the longest dependence chain starting at
+     * @p i, counting @p i itself: the list-scheduling priority.
+     */
+    uint32_t heightOf(uint32_t i) const { return height_.at(i); }
+
+    /** Longest chain in the whole DAG (a lower bound on words). */
+    uint32_t criticalPathLength() const;
+
+    /**
+     * Would placing @p from and @p to as given satisfy dependence
+     * @p kind? Phases are those of the ops' specs.
+     *
+     * Flow: strictly earlier word, or (when @p phase_chaining) the
+     * same word with a strictly earlier phase (cocycle chaining).
+     * Anti: earlier word, or same word with phase(from) <=
+     * phase(to) -- reads precede writes within a phase.
+     * Output: earlier word, or same word with a strictly earlier
+     * phase.
+     */
+    static bool placementLegal(DepKind kind, uint32_t from_word,
+                               unsigned from_phase, uint32_t to_word,
+                               unsigned to_phase, bool phase_chaining);
+
+  private:
+    size_t n_;
+    std::vector<Dep> deps_;
+    std::vector<std::vector<uint32_t>> succs_;
+    std::vector<std::vector<uint32_t>> preds_;
+    std::vector<uint32_t> height_;
+};
+
+} // namespace uhll
+
+#endif // UHLL_SCHEDULE_DEPGRAPH_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the simulator, the assembler and
+ * the verifier. All register arithmetic in uhll is done in uint64_t
+ * and masked down to the register width after every operation.
+ */
+
+#ifndef UHLL_SUPPORT_BITS_HH
+#define UHLL_SUPPORT_BITS_HH
+
+#include <cstdint>
+
+namespace uhll {
+
+/** All-ones mask of the low @p width bits (width in [0,64]). */
+constexpr uint64_t
+bitMask(unsigned width)
+{
+    return width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+}
+
+/** Truncate @p v to @p width bits. */
+constexpr uint64_t
+truncBits(uint64_t v, unsigned width)
+{
+    return v & bitMask(width);
+}
+
+/** Sign-extend the low @p width bits of @p v to 64 bits. */
+constexpr int64_t
+signExtend(uint64_t v, unsigned width)
+{
+    if (width == 0 || width >= 64)
+        return static_cast<int64_t>(v);
+    uint64_t sign = 1ULL << (width - 1);
+    v &= bitMask(width);
+    return static_cast<int64_t>((v ^ sign) - sign);
+}
+
+/** Rotate @p v left by @p n within a @p width -bit word. */
+constexpr uint64_t
+rotateLeft(uint64_t v, unsigned n, unsigned width)
+{
+    if (width == 0)
+        return 0;
+    n %= width;
+    v = truncBits(v, width);
+    if (n == 0)
+        return v;
+    return truncBits((v << n) | (v >> (width - n)), width);
+}
+
+/** Rotate @p v right by @p n within a @p width -bit word. */
+constexpr uint64_t
+rotateRight(uint64_t v, unsigned n, unsigned width)
+{
+    if (width == 0)
+        return 0;
+    n %= width;
+    return rotateLeft(v, width - n, width);
+}
+
+/** Extract the bit field [lo, lo+len) of @p v. */
+constexpr uint64_t
+extractBits(uint64_t v, unsigned lo, unsigned len)
+{
+    return (v >> lo) & bitMask(len);
+}
+
+/** Insert @p field into bits [lo, lo+len) of @p v. */
+constexpr uint64_t
+insertBits(uint64_t v, unsigned lo, unsigned len, uint64_t field)
+{
+    uint64_t m = bitMask(len) << lo;
+    return (v & ~m) | ((field << lo) & m);
+}
+
+/**
+ * Compress the bits of @p v selected by @p mask into a dense low-order
+ * value (the "extract under mask" used by multiway-branch hardware:
+ * the selected bits, from low to high, become the dispatch index).
+ */
+constexpr uint64_t
+compressBits(uint64_t v, uint64_t mask)
+{
+    uint64_t out = 0;
+    unsigned pos = 0;
+    for (unsigned i = 0; i < 64; ++i) {
+        if (mask & (1ULL << i)) {
+            if (v & (1ULL << i))
+                out |= 1ULL << pos;
+            ++pos;
+        }
+    }
+    return out;
+}
+
+/** Number of set bits. */
+constexpr unsigned
+popCount(uint64_t v)
+{
+    unsigned n = 0;
+    while (v) {
+        v &= v - 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace uhll
+
+#endif // UHLL_SUPPORT_BITS_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Error reporting helpers in the gem5 idiom.
+ *
+ * panic()  -- an internal invariant of the toolkit was violated (a bug
+ *             in uhll itself); aborts.
+ * fatal()  -- the user's input (source program, machine description,
+ *             configuration) cannot be processed; exits with an error.
+ * warn()   -- something is suspicious but processing can continue.
+ * inform() -- a status message.
+ */
+
+#ifndef UHLL_SUPPORT_LOGGING_HH
+#define UHLL_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace uhll {
+
+/** Exception carrying a fatal (user-error) diagnostic. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Exception carrying a panic (toolkit-bug) diagnostic. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+/** Printf-style formatting into a std::string. */
+std::string vstrfmt(const char *fmt, va_list ap);
+
+/** Printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a toolkit bug. Throws PanicError so tests can observe it;
+ * non-test drivers let it propagate and terminate.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user error. Throws FatalError. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious-but-survivable condition on stderr. */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a status message on stderr. */
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Assert an internal invariant; panics with location info on failure. */
+#define UHLL_ASSERT(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::uhll::panic("assertion '%s' failed at %s:%d",             \
+                          #cond, __FILE__, __LINE__);                   \
+        }                                                               \
+    } while (0)
+
+} // namespace uhll
+
+#endif // UHLL_SUPPORT_LOGGING_HH

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * uhllc: the command-line microcode compiler.
+ *
+ *   uhllc --lang yalll --machine hm1 prog.yll --listing --run
+ *
+ * Languages: yalll, simpl, empl, sstar, masm (hand microassembly).
+ * Machines: hm1, vm2, vs3.
+ *
+ * Options:
+ *   --listing           print the generated control store
+ *   --run               simulate from the entry point
+ *   --entry NAME        entry point for --run (default: main or the
+ *                       program name)
+ *   --set VAR=VALUE     set a variable/register before running
+ *   --compactor NAME    linear | critical_path | dasgupta_tartar |
+ *                       tokoro | optimal (default tokoro)
+ *   --allocator NAME    linear_scan | graph_coloring (default)
+ *   --no-compact        one microoperation per word
+ *   --polls             insert interrupt polls on loop back edges
+ *   --trap-safe         apply the microtrap safety transformation
+ *   --verify            (sstar) run the bounded assertion verifier
+ *   --stats             print compilation statistics
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "codegen/compiler.hh"
+#include "lang/empl/empl.hh"
+#include "lang/simpl/simpl.hh"
+#include "lang/sstar/sstar.hh"
+#include "lang/yalll/yalll.hh"
+#include "machine/machines/machines.hh"
+#include "masm/masm.hh"
+#include "support/logging.hh"
+#include "verify/verifier.hh"
+
+using namespace uhll;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: uhllc --lang yalll|simpl|empl|sstar|masm\n"
+        "             --machine hm1|vm2|vs3 FILE\n"
+        "             [--listing] [--run] [--entry NAME]\n"
+        "             [--set VAR=VALUE ...]\n"
+        "             [--compactor NAME] [--allocator NAME]\n"
+        "             [--no-compact] [--polls] [--trap-safe]\n"
+        "             [--verify] [--stats]\n");
+    std::exit(2);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal("cannot open '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string lang, machine_name, file, entry;
+    std::vector<std::pair<std::string, uint64_t>> sets;
+    std::string compactor_name = "tokoro";
+    std::string allocator_name = "graph_coloring";
+    bool listing = false, run = false, stats = false;
+    bool verify = false;
+    CompileOptions opts;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (a == "--lang") lang = next();
+        else if (a == "--machine") machine_name = next();
+        else if (a == "--entry") entry = next();
+        else if (a == "--compactor") compactor_name = next();
+        else if (a == "--allocator") allocator_name = next();
+        else if (a == "--listing") listing = true;
+        else if (a == "--run") run = true;
+        else if (a == "--stats") stats = true;
+        else if (a == "--verify") verify = true;
+        else if (a == "--no-compact") opts.compact = false;
+        else if (a == "--polls") opts.insertInterruptPolls = true;
+        else if (a == "--trap-safe") opts.trapSafety = true;
+        else if (a == "--set") {
+            std::string kv = next();
+            auto eq = kv.find('=');
+            if (eq == std::string::npos)
+                usage();
+            sets.emplace_back(kv.substr(0, eq),
+                              std::strtoull(kv.c_str() + eq + 1,
+                                            nullptr, 0));
+        } else if (a == "--help" || a == "-h") {
+            usage();
+        } else if (!a.empty() && a[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            usage();
+        } else if (file.empty()) {
+            file = a;
+        } else {
+            usage();
+        }
+    }
+    if (lang.empty() || machine_name.empty() || file.empty())
+        usage();
+
+    try {
+        MachineDescription mach =
+            machine_name == "hm1"   ? buildHm1()
+            : machine_name == "vm2" ? buildVm2()
+            : machine_name == "vs3" ? buildVs3()
+                                    : (usage(), buildHm1());
+        std::string source = readFile(file);
+
+        // Resolve pipeline knobs.
+        std::unique_ptr<Compactor> compactor;
+        for (auto &c : allCompactors()) {
+            if (compactor_name == c->name())
+                compactor = std::move(c);
+        }
+        if (!compactor)
+            fatal("unknown compactor '%s'", compactor_name.c_str());
+        opts.compactor = compactor.get();
+        LinearScanAllocator ls;
+        GraphColoringAllocator gc;
+        if (allocator_name == "linear_scan")
+            opts.allocator = &ls;
+        else if (allocator_name == "graph_coloring")
+            opts.allocator = &gc;
+        else
+            fatal("unknown allocator '%s'", allocator_name.c_str());
+
+        // S* and masm produce a control store directly.
+        if (lang == "sstar" || lang == "masm") {
+            ControlStore store(mach);
+            SstarProgram sp(mach);
+            if (lang == "sstar") {
+                sp = compileSstar(source, mach);
+                if (verify) {
+                    VerifyResult vr = verifySstar(sp);
+                    std::printf("%s", vr.report.c_str());
+                    if (!vr.ok)
+                        return 1;
+                }
+                store = std::move(sp.store);
+            } else {
+                MicroAssembler as(mach);
+                store = as.assemble(source);
+            }
+            if (listing || (!run && !verify))
+                std::printf("%s", store.listing().c_str());
+            if (stats) {
+                std::printf("words: %zu (%llu bits)\n", store.size(),
+                            (unsigned long long)store.sizeBits());
+            }
+            if (run) {
+                MainMemory mem(0x10000, mach.dataWidth());
+                MicroSimulator sim(store, mem);
+                for (auto &[n, v] : sets)
+                    sim.setReg(n, v);
+                std::string e = entry.empty() ? "main" : entry;
+                SimResult res = sim.run(e);
+                std::printf("halted=%d cycles=%llu words=%llu\n",
+                            int(res.halted),
+                            (unsigned long long)res.cycles,
+                            (unsigned long long)res.wordsExecuted);
+                for (auto &[n, v] : sets) {
+                    (void)v;
+                    std::printf("%s = %llu\n", n.c_str(),
+                                (unsigned long long)sim.getReg(n));
+                }
+            }
+            return 0;
+        }
+
+        // The MIR-compiled languages.
+        MirProgram prog = lang == "yalll" ? parseYalll(source, mach)
+                          : lang == "simpl"
+                              ? parseSimpl(source, mach)
+                          : lang == "empl"
+                              ? parseEmpl(source, mach, {})
+                              : (usage(), MirProgram());
+
+        Compiler comp(mach);
+        CompiledProgram cp = comp.compile(prog, opts);
+        if (listing || !run)
+            std::printf("%s", cp.store.listing().c_str());
+        if (stats) {
+            std::printf("words: %u (%llu bits), ops: %u, fixups: %u, "
+                        "spilled vregs: %u, spill loads/stores: "
+                        "%u/%u\n",
+                        cp.stats.words,
+                        (unsigned long long)cp.store.sizeBits(),
+                        cp.stats.opsLowered, cp.stats.fixupMovs,
+                        cp.stats.spilledVRegs, cp.stats.spillLoads,
+                        cp.stats.spillStores);
+        }
+        if (run) {
+            MainMemory mem(0x10000, mach.dataWidth());
+            MicroSimulator sim(cp.store, mem);
+            for (auto &[n, v] : sets)
+                setVar(prog, cp, sim, mem, n, v);
+            std::string e =
+                entry.empty() ? prog.func(0).name : entry;
+            SimResult res = sim.run(e);
+            std::printf("halted=%d cycles=%llu words=%llu\n",
+                        int(res.halted),
+                        (unsigned long long)res.cycles,
+                        (unsigned long long)res.wordsExecuted);
+            for (auto &[n, v] : sets) {
+                (void)v;
+                std::printf("%s = %llu\n", n.c_str(),
+                            (unsigned long long)getVar(prog, cp, sim,
+                                                       mem, n));
+            }
+        }
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,68 @@
+#include "verify/expr.hh"
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+uint64_t
+evalVExpr(const VExpr &e, const VEnv &env, unsigned width)
+{
+    switch (e.kind) {
+      case VExpr::Kind::Const:
+        return truncBits(e.value, width);
+      case VExpr::Kind::Var:
+        return truncBits(env(e.var), width);
+      case VExpr::Kind::Not:
+        return evalVExpr(e.kids[0], env, width) ? 0 : 1;
+      case VExpr::Kind::Bin: {
+        uint64_t a = evalVExpr(e.kids[0], env, width);
+        uint64_t b = evalVExpr(e.kids[1], env, width);
+        switch (e.op) {
+          case VExpr::Op::Add: return truncBits(a + b, width);
+          case VExpr::Op::Sub: return truncBits(a - b, width);
+          case VExpr::Op::And: return a & b;
+          case VExpr::Op::Or: return a | b;
+          case VExpr::Op::Xor: return a ^ b;
+          case VExpr::Op::Shl:
+            return truncBits(a << (b % width), width);
+          case VExpr::Op::Shr:
+            return a >> (b % width);
+          case VExpr::Op::Eq: return a == b;
+          case VExpr::Op::Ne: return a != b;
+          case VExpr::Op::Lt: return a < b;
+          case VExpr::Op::Le: return a <= b;
+          case VExpr::Op::Gt: return a > b;
+          case VExpr::Op::Ge: return a >= b;
+          case VExpr::Op::LAnd: return (a != 0 && b != 0) ? 1 : 0;
+          case VExpr::Op::LOr: return (a != 0 || b != 0) ? 1 : 0;
+        }
+        break;
+      }
+    }
+    panic("evalVExpr: malformed expression");
+}
+
+std::string
+renderVExpr(const VExpr &e)
+{
+    switch (e.kind) {
+      case VExpr::Kind::Const:
+        return strfmt("%llu", (unsigned long long)e.value);
+      case VExpr::Kind::Var:
+        return e.var;
+      case VExpr::Kind::Not:
+        return "not (" + renderVExpr(e.kids[0]) + ")";
+      case VExpr::Kind::Bin: {
+        const char *ops[] = {"+", "-", "&", "|", "xor", "shl", "shr",
+                             "=", "!=", "<", "<=", ">", ">=",
+                             "and", "or"};
+        return "(" + renderVExpr(e.kids[0]) + " " +
+               ops[static_cast<int>(e.op)] + " " +
+               renderVExpr(e.kids[1]) + ")";
+      }
+    }
+    return "?";
+}
+
+} // namespace uhll

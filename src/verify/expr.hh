@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Boolean/arithmetic expressions for S* assertions (the pre- and
+ * postcondition language of survey sec. 2.2.3, after Strum's
+ * assertion mechanism [17]).
+ */
+
+#ifndef UHLL_VERIFY_EXPR_HH
+#define UHLL_VERIFY_EXPR_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace uhll {
+
+/** An assertion expression tree. */
+struct VExpr {
+    enum class Kind : uint8_t { Const, Var, Bin, Not };
+    enum class Op : uint8_t {
+        Add, Sub, And, Or, Xor, Shl, Shr,
+        Eq, Ne, Lt, Le, Gt, Ge,     //!< unsigned comparisons -> 0/1
+        LAnd, LOr,                  //!< logical, short-circuit-free
+    };
+
+    Kind kind = Kind::Const;
+    uint64_t value = 0;         //!< Const
+    std::string var;            //!< Var
+    Op op = Op::Add;            //!< Bin
+    std::vector<VExpr> kids;    //!< Bin: 2, Not: 1
+
+    static VExpr
+    constant(uint64_t v)
+    {
+        VExpr e;
+        e.kind = Kind::Const;
+        e.value = v;
+        return e;
+    }
+
+    static VExpr
+    variable(std::string name)
+    {
+        VExpr e;
+        e.kind = Kind::Var;
+        e.var = std::move(name);
+        return e;
+    }
+
+    static VExpr
+    bin(Op op, VExpr a, VExpr b)
+    {
+        VExpr e;
+        e.kind = Kind::Bin;
+        e.op = op;
+        e.kids.push_back(std::move(a));
+        e.kids.push_back(std::move(b));
+        return e;
+    }
+
+    static VExpr
+    negation(VExpr a)
+    {
+        VExpr e;
+        e.kind = Kind::Not;
+        e.kids.push_back(std::move(a));
+        return e;
+    }
+};
+
+/** Environment: variable name -> value. */
+using VEnv = std::function<uint64_t(const std::string &)>;
+
+/**
+ * Evaluate @p e under @p env with @p width -bit arithmetic.
+ * Comparisons and logical operators yield 0/1.
+ */
+uint64_t evalVExpr(const VExpr &e, const VEnv &env, unsigned width);
+
+/** Render for diagnostics. */
+std::string renderVExpr(const VExpr &e);
+
+} // namespace uhll
+
+#endif // UHLL_VERIFY_EXPR_HH

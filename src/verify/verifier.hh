@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Bounded verification of S* assertion programs.
+ *
+ * The survey notes (sec. 2.2.3) that "an automatic verifier to check
+ * the validity of the program proof provided by the user, would fit
+ * very well in an S(M) implementation"; Strum [17] built exactly
+ * that for the Burroughs D-machine. This verifier is the bounded
+ * variant: it executes the compiled microprogram on the machine
+ * simulator from many randomly drawn initial states (rejection
+ * sampled against the program's entry assertions, which act as the
+ * precondition) and checks every assertion each time control passes
+ * its program point. It proves nothing beyond the tested bound --
+ * and says so in its report -- but it catches real assertion
+ * violations with machine-accurate semantics, because the checked
+ * object is the actual control store.
+ */
+
+#ifndef UHLL_VERIFY_VERIFIER_HH
+#define UHLL_VERIFY_VERIFIER_HH
+
+#include <string>
+
+#include "lang/sstar/sstar.hh"
+
+namespace uhll {
+
+/** Verification knobs. */
+struct VerifyOptions {
+    unsigned trials = 100;          //!< random initial states
+    uint64_t seed = 1;
+    uint64_t maxCyclesPerTrial = 100'000;
+    //! cap on rejection-sampling attempts per accepted state
+    unsigned maxRejects = 10'000;
+};
+
+/** Outcome of a verification run. */
+struct VerifyResult {
+    bool ok = true;
+    unsigned trialsRun = 0;
+    unsigned violations = 0;
+    //! assertions that no trial ever reached (possible dead code or
+    //! unsatisfiable precondition)
+    unsigned unreached = 0;
+    std::string report;
+};
+
+/**
+ * Check the assertions of @p prog by bounded execution.
+ * Assertions located at the program entry are treated as the
+ * precondition and constrain the sampled initial states.
+ */
+VerifyResult verifySstar(const SstarProgram &prog,
+                         const VerifyOptions &opts = {});
+
+} // namespace uhll
+
+#endif // UHLL_VERIFY_VERIFIER_HH

@@ -1,0 +1,569 @@
+#include "workloads/workloads.hh"
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+namespace {
+
+constexpr uint32_t kArr = 0x400;
+constexpr uint32_t kTbl = 0x500;
+constexpr uint32_t kRes = 0x5F0;
+constexpr uint32_t kN = 24;
+
+void
+fillArray(MainMemory &mem)
+{
+    for (uint32_t i = 0; i < kN; ++i)
+        mem.poke(kArr + i, (i * 2654u + 977u) & 0xFFFF);
+}
+
+// ----------------------------------------------------------------
+// transliterate: replace each nonzero word (4-bit values) through a
+// table; terminator 0.
+// ----------------------------------------------------------------
+
+Workload
+makeTransliterate()
+{
+    Workload w;
+    w.name = "transliterate";
+    w.inputs = {{"r1", kArr}, {"r4", kTbl}};
+
+    w.yalll = R"(
+reg r1
+reg r4
+reg char
+reg t
+proc main
+loop:
+    load char, r1
+    jump out if char = 0
+    add t, char, r4
+    load char, t
+    stor char, r1
+    add r1, r1, 1
+    jump loop
+out:
+    exit
+)";
+
+    w.masmHm1 = R"(
+.entry main
+loop:
+    [ memrd r3, r1 ]
+    [ cmpi r3, #0 ] if z jump out
+    [ add r2, r3, r4 | memrd r3, r2 ]
+    [ memwr r1, r3 ]
+    [ addi r1, r1, #1 ] jump loop
+out:
+    [ ] halt
+)";
+
+    w.masmVm2 = R"(
+.entry main
+loop:
+    [ mov mar, r1 | memrd mbr, mar ]
+    [ mov r0, mbr ]
+    [ cmpi r0, #0 ] if z jump out
+    [ add r2, r0, r4 ]
+    [ mov mar, r2 | memrd mbr, mar ]
+    [ mov mar, r1 | memwr mar, mbr ]
+    [ addi r1, r1, #1 ] jump loop
+out:
+    [ ] halt
+)";
+
+    w.setup = [](MainMemory &mem) {
+        for (uint32_t i = 0; i < 15; ++i)
+            mem.poke(kArr + i, 1 + (i * 5) % 15);
+        mem.poke(kArr + 15, 0);
+        for (uint32_t v = 0; v < 16; ++v)
+            mem.poke(kTbl + v, 0x20 + v);
+    };
+    w.check = [](const MainMemory &mem, std::string *why) {
+        for (uint32_t i = 0; i < 15; ++i) {
+            uint64_t orig = 1 + (i * 5) % 15;
+            if (mem.peek(kArr + i) != 0x20 + orig) {
+                if (why)
+                    *why = strfmt("element %u wrong", i);
+                return false;
+            }
+        }
+        return true;
+    };
+    return w;
+}
+
+// ----------------------------------------------------------------
+// memcpy: copy kN words from 0x400 to 0x480.
+// ----------------------------------------------------------------
+
+Workload
+makeMemcpy()
+{
+    Workload w;
+    w.name = "memcpy";
+    w.inputs = {{"r1", kArr}, {"r4", kArr + 0x80}, {"r5", kN}};
+
+    w.yalll = R"(
+reg r1
+reg r4
+reg r5
+reg t
+proc main
+loop:
+    jump out if r5 = 0
+    load t, r1
+    stor t, r4
+    add r1, r1, 1
+    add r4, r4, 1
+    sub r5, r5, 1
+    jump loop
+out:
+    exit
+)";
+
+    // The expert trick: keep dst-src in r4 and chain address adds
+    // into the store word.
+    w.masmHm1 = R"(
+.entry main
+    [ mova r0, r1 ]
+    [ sub r4, r4, r0 ]
+    [ cmpi r5, #0 ] if z jump out
+loop:
+    [ memrd r3, r1 ]
+    [ add r2, r1, r4 | memwr r2, r3 ]
+    [ addi r1, r1, #1 ]
+    [ subi r5, r5, #1 ] if nz jump loop
+out:
+    [ ] halt
+)";
+
+    // VM-2 cannot compare the AluB-bank count directly (cmp wants
+    // its left operand in the AluA bank): the expert recasts the
+    // loop around an end pointer instead.
+    w.masmVm2 = R"(
+.entry main
+    [ mov r0, r4 ]
+    [ mov r7, r1 ]
+    [ sub r4, r0, r7 ]
+    [ add r6, r1, r5 ]
+loop:
+    [ cmp r1, r6 ] if z jump out
+    [ mov mar, r1 | memrd mbr, mar ]
+    [ mov r0, r1 ]
+    [ add r2, r0, r4 ]
+    [ mov mar, r2 | memwr mar, mbr ]
+    [ addi r1, r1, #1 ] jump loop
+out:
+    [ ] halt
+)";
+
+    w.setup = fillArray;
+    w.check = [](const MainMemory &mem, std::string *why) {
+        for (uint32_t i = 0; i < kN; ++i) {
+            if (mem.peek(kArr + 0x80 + i) != mem.peek(kArr + i)) {
+                if (why)
+                    *why = strfmt("word %u not copied", i);
+                return false;
+            }
+        }
+        return true;
+    };
+    return w;
+}
+
+// ----------------------------------------------------------------
+// checksum: sum = rol(sum,1) xor a[i]; result -> 0x5F0.
+// ----------------------------------------------------------------
+
+uint64_t
+checksumExpected(const MainMemory &mem)
+{
+    uint64_t sum = 0;
+    for (uint32_t i = 0; i < kN; ++i)
+        sum = rotateLeft(sum, 1, 16) ^ mem.peek(kArr + i);
+    return sum;
+}
+
+Workload
+makeChecksum()
+{
+    Workload w;
+    w.name = "checksum";
+    w.inputs = {{"r1", kArr}, {"r5", kN}};
+
+    w.yalll = R"(
+reg r1
+reg r5
+reg sum
+reg t
+reg p
+proc main
+    put sum, 0
+loop:
+    jump out if r5 = 0
+    load t, r1
+    rol sum, sum, 1
+    xor sum, sum, t
+    add r1, r1, 1
+    sub r5, r5, 1
+    jump loop
+out:
+    put p, 0x5F0
+    stor sum, p
+    exit
+)";
+
+    // Expert tricks: overlapped read (no stall), do-while with the
+    // exit folded into the decrement's flags.
+    w.masmHm1 = R"(
+.entry main
+    [ ldi r2, #0 ]
+    [ cmpi r5, #0 ] if z jump out
+loop:
+    [ rol r2, r2, #1 | memrd.ov r3, r1 ]
+    [ addi r1, r1, #1 ]
+    [ xor r2, r2, r3 ]
+    [ subi r5, r5, #1 ] if nz jump loop
+out:
+    [ ldi r4, #0x5F0 ]
+    [ memwr r4, r2 ]
+    [ ] halt
+)";
+
+    w.masmVm2 = R"(
+.entry main
+    [ ldi r0, #0 ]
+    [ add r6, r1, r5 ]
+loop:
+    [ cmp r1, r6 ] if z jump out
+    [ mov mar, r1 | memrd mbr, mar ]
+    [ shl r2, r0, #1 ]
+    [ shr r3, r0, #15 ]
+    [ mov r7, r3 ]
+    [ or r0, r2, r7 ]
+    [ mov r7, mbr ]
+    [ xor r0, r0, r7 ]
+    [ addi r1, r1, #1 ] jump loop
+out:
+    [ mov mbr, r0 ]
+    [ ldi r2, #0xBE ]
+    [ shl r2, r2, #3 ]
+    [ mov mar, r2 | memwr mar, mbr ]
+    [ ] halt
+)";
+
+    w.setup = fillArray;
+    w.check = [](const MainMemory &mem, std::string *why) {
+        if (mem.peek(kRes) != checksumExpected(mem)) {
+            if (why)
+                *why = "checksum mismatch";
+            return false;
+        }
+        return true;
+    };
+    return w;
+}
+
+// ----------------------------------------------------------------
+// find: first index with a[i] == key (else 0xFFFF) -> 0x5F1.
+// ----------------------------------------------------------------
+
+Workload
+makeFind()
+{
+    Workload w;
+    w.name = "find";
+    w.inputs = {{"r1", kArr}, {"r4", /*key*/ 0}, {"r5", kN}};
+
+    w.yalll = R"(
+reg r1
+reg r4
+reg r5
+reg idx
+reg t
+reg p
+proc main
+    put idx, 0
+loop:
+    jump miss if idx = r5
+    load t, r1
+    jump hit if t = r4
+    add r1, r1, 1
+    add idx, idx, 1
+    jump loop
+miss:
+    put idx, 0xFFFF
+hit:
+    put p, 0x5F1
+    stor idx, p
+    exit
+)";
+
+    // Expert trick: no index counter in the loop -- recover the
+    // index from the pointer afterwards.
+    w.masmHm1 = R"(
+.entry main
+    [ mova r0, r1 ]
+    [ cmpi r5, #0 ] if z jump miss
+loop:
+    [ memrd r3, r1 ]
+    [ cmp r3, r4 ] if z jump hit
+    [ addi r1, r1, #1 ]
+    [ subi r5, r5, #1 ] if nz jump loop
+miss:
+    [ ldi r2, #0xFFFF ] jump store
+hit:
+    [ sub r2, r1, r0 ]
+store:
+    [ ldi r3, #0x5F1 ]
+    [ memwr r3, r2 ]
+    [ ] halt
+)";
+
+    w.masmVm2 = R"(
+.entry main
+    [ ldi r2, #0 ]
+loop:
+    [ cmp r2, r5 ] if z jump miss
+    [ mov mar, r1 | memrd mbr, mar ]
+    [ mov r0, mbr ]
+    [ cmp r0, r4 ] if z jump hit
+    [ addi r1, r1, #1 ]
+    [ addi r2, r2, #1 ] jump loop
+miss:
+    [ ldi r2, #0xFF ]
+    [ shl r2, r2, #8 ]
+    [ addi r2, r2, #0xFF ]
+hit:
+    [ mov mbr, r2 ]
+    [ ldi r3, #0xBE ]
+    [ shl r3, r3, #3 ]
+    [ addi r3, r3, #1 ]
+    [ mov mar, r3 | memwr mar, mbr ]
+    [ ] halt
+)";
+
+    w.setup = [](MainMemory &mem) {
+        fillArray(mem);
+        mem.poke(kArr + 17, 0xBEEF);
+    };
+    // key: search for 0xBEEF
+    w.inputs = {{"r1", kArr}, {"r4", 0xBEEF}, {"r5", kN}};
+    w.check = [](const MainMemory &mem, std::string *why) {
+        if (mem.peek(kRes + 1) != 17) {
+            if (why)
+                *why = strfmt("found %llu, expected 17",
+                              (unsigned long long)mem.peek(kRes + 1));
+            return false;
+        }
+        return true;
+    };
+    return w;
+}
+
+// ----------------------------------------------------------------
+// popcount: total set bits of the array -> 0x5F2. Uses the UF flag.
+// ----------------------------------------------------------------
+
+Workload
+makePopcount()
+{
+    Workload w;
+    w.name = "popcount";
+    w.inputs = {{"r1", kArr}, {"r5", kN}};
+
+    w.yalll = R"(
+reg r1
+reg r5
+reg total
+reg t
+reg low
+reg p
+proc main
+    put total, 0
+words:
+    jump out if r5 = 0
+    load t, r1
+bits:
+    jump nextw if t = 0
+    and low, t, 1
+    add total, total, low
+    shr t, t, 1
+    jump bits
+nextw:
+    add r1, r1, 1
+    sub r5, r5, 1
+    jump words
+out:
+    put p, 0x5F2
+    stor total, p
+    exit
+)";
+
+    // The hand versions exploit the UF flag the hardware provides.
+    w.masmHm1 = R"(
+.entry main
+    [ ldi r2, #0 ]
+words:
+    [ cmpi r5, #0 ] if z jump out
+    [ memrd r3, r1 ]
+bits:
+    [ cmpi r3, #0 ] if z jump nextw
+    [ shr r3, r3, #1 ] if nouf jump bits
+    [ addi r2, r2, #1 ] jump bits
+nextw:
+    [ addi r1, r1, #1 ]
+    [ subi r5, r5, #1 ] jump words
+out:
+    [ ldi r4, #0x5F2 ]
+    [ memwr r4, r2 ]
+    [ ] halt
+)";
+
+    w.masmVm2 = R"(
+.entry main
+    [ ldi r2, #0 ]
+    [ add r6, r1, r5 ]
+words:
+    [ cmp r1, r6 ] if z jump out
+    [ mov mar, r1 | memrd mbr, mar ]
+    [ mov r0, mbr ]
+bits:
+    [ cmpi r0, #0 ] if z jump nextw
+    [ shr r0, r0, #1 ] if nouf jump bits
+    [ addi r2, r2, #1 ] jump bits
+nextw:
+    [ addi r1, r1, #1 ] jump words
+out:
+    [ mov mbr, r2 ]
+    [ ldi r3, #0xBE ]
+    [ shl r3, r3, #3 ]
+    [ addi r3, r3, #2 ]
+    [ mov mar, r3 | memwr mar, mbr ]
+    [ ] halt
+)";
+
+    w.setup = fillArray;
+    w.check = [](const MainMemory &mem, std::string *why) {
+        uint64_t expect = 0;
+        for (uint32_t i = 0; i < kN; ++i)
+            expect += popCount(mem.peek(kArr + i));
+        if (mem.peek(kRes + 2) != expect) {
+            if (why)
+                *why = strfmt("popcount %llu, expected %llu",
+                              (unsigned long long)mem.peek(kRes + 2),
+                              (unsigned long long)expect);
+            return false;
+        }
+        return true;
+    };
+    return w;
+}
+
+} // namespace
+
+const std::vector<Workload> &
+workloadSuite()
+{
+    static const std::vector<Workload> suite = {
+        makeTransliterate(), makeMemcpy(), makeChecksum(), makeFind(),
+        makePopcount(),
+    };
+    return suite;
+}
+
+// ----------------------------------------------------------------
+// E6 speedup kernel: sum = (sum shl 1) xor a[i] over 64 words.
+// ----------------------------------------------------------------
+
+std::string
+speedupMacroSource()
+{
+    // Variables live in low memory (absolute macro addressing).
+    //   0x80 sum, 0x81 n, 0x82 one
+    return R"(
+      ldi 0
+      sta 0x80
+      ldi 0
+      tax
+loop: lda 0x81
+      jz done
+      sub 0x82
+      sta 0x81
+      lda 0x80
+      shl 1
+      sta 0x80
+      ldax 0x400
+      xor 0x80
+      sta 0x80
+      inx
+      jmp loop
+done: lda 0x80
+      sta 0x5F0
+      halt
+)";
+}
+
+std::string
+speedupEmplSource()
+{
+    return R"(
+DECLARE SUM FIXED;
+DECLARE I FIXED;
+DECLARE N FIXED;
+DECLARE T FIXED;
+DECLARE P FIXED;
+MAIN: PROCEDURE;
+    SUM = 0;
+    I = 0;
+    WHILE I != N DO;
+        P = 0x400 + I;
+        T = MEM(P);
+        SUM = SUM SHL 1;
+        SUM = SUM XOR T;
+        I = I + 1;
+    END;
+    MEM(0x5F0) = SUM;
+END;
+)";
+}
+
+std::string
+speedupMasmHm1()
+{
+    // Expert tricks: the read is overlapped with the next two words
+    // (no memory stall), and the loop is do-while with the compare
+    // folded into the decrement's flags. Four cycles per element.
+    return R"(
+.entry main
+    [ ldi r2, #0 ]
+loop:
+    [ shl r2, r2, #1 | memrd.ov r3, r1 ]
+    [ addi r1, r1, #1 ]
+    [ xor r2, r2, r3 ]
+    [ subi r5, r5, #1 ] if nz jump loop
+    [ ldi r4, #0x5F0 ]
+    [ memwr r4, r2 ]
+    [ ] halt
+)";
+}
+
+uint64_t
+speedupSetup(MainMemory &mem)
+{
+    uint64_t sum = 0;
+    for (uint32_t i = 0; i < 64; ++i) {
+        uint64_t v = (i * 1103u + 331u) & 0xFFFF;
+        mem.poke(0x400 + i, v);
+        sum = truncBits(sum << 1, 16) ^ v;
+    }
+    mem.poke(0x81, 64);     // n for the macro version
+    mem.poke(0x82, 1);      // one
+    return sum;
+}
+
+} // namespace uhll

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The workload suite shared by the benchmarks, examples and
+ * integration tests: five kernels in YALLL with hand-written
+ * microassembly baselines for HM-1 and VM-2 (the "expert
+ * microprogrammer" of the survey's sec. 3), plus the E6 speedup
+ * kernel in macro assembly, EMPL and hand microcode.
+ *
+ * Memory conventions: input arrays at 0x400, auxiliary table at
+ * 0x500, results at 0x5F0..0x5F7. Register conventions (same names
+ * on every machine): r1 = pointer, r2 = secondary pointer/work,
+ * r4 = value/table (right ALU bank on VM-2), r5 = count.
+ */
+
+#ifndef UHLL_WORKLOADS_WORKLOADS_HH
+#define UHLL_WORKLOADS_WORKLOADS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "machine/memory.hh"
+
+namespace uhll {
+
+/** One kernel of the suite. */
+struct Workload {
+    std::string name;
+    std::string yalll;          //!< YALLL source (retargetable)
+    std::string masmHm1;        //!< hand microassembly for HM-1
+    std::string masmVm2;        //!< hand microassembly for VM-2
+    //! initial register values (by name; same on every machine)
+    std::vector<std::pair<std::string, uint64_t>> inputs;
+    //! prepare input memory
+    std::function<void(MainMemory &)> setup;
+    //! verify output memory; fills @p why on mismatch
+    std::function<bool(const MainMemory &, std::string *why)> check;
+};
+
+/** The five-kernel suite (transliterate, memcpy, checksum, find,
+ * popcount). */
+const std::vector<Workload> &workloadSuite();
+
+/** @name E6 speedup kernel: checksum of 64 words */
+/// @{
+/** Macro-assembly version (interpreted by the HM-1 firmware). */
+std::string speedupMacroSource();
+/** EMPL version (compiled to microcode). */
+std::string speedupEmplSource();
+/** Hand microassembly for HM-1. */
+std::string speedupMasmHm1();
+/** Prepare the input array; returns the expected checksum. */
+uint64_t speedupSetup(MainMemory &mem);
+/// @}
+
+} // namespace uhll
+
+#endif // UHLL_WORKLOADS_WORKLOADS_HH

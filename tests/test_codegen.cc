@@ -1,0 +1,743 @@
+/**
+ * @file
+ * Compiler tests. The backbone is differential execution: every
+ * program runs in the MIR reference interpreter and as compiled
+ * microcode in the machine simulator, and observable state must
+ * match.
+ */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "codegen/compiler.hh"
+#include "machine/machines/machines.hh"
+#include "mir/interp.hh"
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+namespace {
+
+struct ProgBuilder {
+    MirProgram prog;
+    uint32_t fn;
+
+    ProgBuilder() { fn = prog.addFunction("main"); }
+
+    uint32_t
+    block()
+    {
+        return prog.func(fn).newBlock();
+    }
+
+    BasicBlock &
+    bb(uint32_t b)
+    {
+        return prog.func(fn).blocks[b];
+    }
+};
+
+MachineDescription
+machineByName(const std::string &name)
+{
+    if (name == "HM-1")
+        return buildHm1();
+    if (name == "VM-2")
+        return buildVm2();
+    return buildVs3();
+}
+
+/** Run a program both ways and compare observables. */
+class DiffRunner
+{
+  public:
+    DiffRunner() : memI_(0x10000, 16), memS_(0x10000, 16) {}
+
+    MainMemory &memI() { return memI_; }
+    MainMemory &memS() { return memS_; }
+
+    void
+    poke(uint32_t addr, uint64_t v)
+    {
+        memI_.poke(addr, v);
+        memS_.poke(addr, v);
+    }
+
+    /**
+     * @param outputs variables compared after the run
+     * @param mem_lo,mem_hi memory range compared (half-open; 0,0 =
+     *        none)
+     */
+    void
+    check(MirProgram &prog, const MachineDescription &mach,
+          const CompileOptions &opts,
+          const std::vector<std::pair<std::string, uint64_t>> &inputs,
+          const std::vector<std::string> &outputs,
+          uint32_t mem_lo = 0, uint32_t mem_hi = 0)
+    {
+        // Outputs are user variables: observable at program exit.
+        for (const std::string &o : outputs)
+            prog.markObservable(*prog.findVReg(o));
+        for (auto &[n, v] : inputs)
+            prog.markObservable(*prog.findVReg(n));
+        prog.validate();
+        MirInterpreter it(prog, memI_, 16);
+        for (auto &[n, v] : inputs)
+            it.setVReg(n, v);
+        auto ri = it.run();
+        ASSERT_TRUE(ri.halted) << "interpreter did not halt";
+
+        Compiler comp(mach);
+        CompiledProgram cp = comp.compile(prog, opts);
+        MicroSimulator sim(cp.store, memS_);
+        for (auto &[n, v] : inputs)
+            setVar(prog, cp, sim, memS_, n, v);
+        auto rs = sim.run(prog.func(0).name);
+        ASSERT_TRUE(rs.halted)
+            << "simulator did not halt on " << mach.name() << "\n"
+            << cp.store.listing();
+
+        for (const std::string &o : outputs) {
+            EXPECT_EQ(it.getVReg(o),
+                      getVar(prog, cp, sim, memS_, o))
+                << "variable " << o << " differs on " << mach.name()
+                << "\n" << cp.store.listing();
+        }
+        for (uint32_t a = mem_lo; a < mem_hi; ++a) {
+            ASSERT_EQ(memI_.peek(a), memS_.peek(a))
+                << "memory [" << a << "] differs on " << mach.name();
+        }
+        lastStats_ = cp.stats;
+        lastCycles_ = rs.cycles;
+    }
+
+    CompileStats lastStats_;
+    uint64_t lastCycles_ = 0;
+
+  private:
+    MainMemory memI_;
+    MainMemory memS_;
+};
+
+// ---------------------------------------------------------------
+// Per-machine differential tests
+// ---------------------------------------------------------------
+
+class MachineDiff : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    MachineDescription m = machineByName(GetParam());
+    DiffRunner dr;
+};
+
+TEST_P(MachineDiff, StraightLineArithmetic)
+{
+    ProgBuilder pb;
+    VReg a = pb.prog.newVReg("a"), b = pb.prog.newVReg("b");
+    VReg c = pb.prog.newVReg("c"), d = pb.prog.newVReg("d");
+    uint32_t blk = pb.block();
+    pb.bb(blk).insts = {
+        mi::binop(UKind::Add, c, a, b),
+        mi::binop(UKind::Xor, d, c, a),
+        mi::binopImm(UKind::Shl, d, d, 3),
+        mi::unop(UKind::Not, c, d),
+        mi::binop(UKind::Sub, c, c, b),
+    };
+    dr.check(pb.prog, m, {}, {{"a", 0x1234}, {"b", 0x00FF}},
+             {"c", "d"});
+}
+
+TEST_P(MachineDiff, IncDecNeg)
+{
+    ProgBuilder pb;
+    VReg a = pb.prog.newVReg("a"), b = pb.prog.newVReg("b");
+    VReg c = pb.prog.newVReg("c");
+    uint32_t blk = pb.block();
+    pb.bb(blk).insts = {
+        mi::unop(UKind::Inc, b, a),
+        mi::unop(UKind::Dec, c, b),
+        mi::unop(UKind::Neg, b, c),
+    };
+    dr.check(pb.prog, m, {}, {{"a", 77}}, {"b", "c"});
+}
+
+TEST_P(MachineDiff, WideImmediates)
+{
+    ProgBuilder pb;
+    VReg a = pb.prog.newVReg("a"), b = pb.prog.newVReg("b");
+    uint32_t blk = pb.block();
+    pb.bb(blk).insts = {
+        mi::ldi(a, 0xBEEF),
+        mi::binopImm(UKind::Add, b, a, 0x1234),
+        mi::binopImm(UKind::And, b, b, 0x0FF0),
+    };
+    dr.check(pb.prog, m, {}, {}, {"a", "b"});
+}
+
+TEST_P(MachineDiff, Rotates)
+{
+    ProgBuilder pb;
+    VReg a = pb.prog.newVReg("a"), b = pb.prog.newVReg("b");
+    VReg c = pb.prog.newVReg("c");
+    uint32_t blk = pb.block();
+    pb.bb(blk).insts = {
+        mi::binopImm(UKind::Rol, b, a, 5),
+        mi::binopImm(UKind::Ror, c, a, 3),
+    };
+    dr.check(pb.prog, m, {}, {{"a", 0x8421}}, {"b", "c"});
+}
+
+TEST_P(MachineDiff, ShiftByRegister)
+{
+    ProgBuilder pb;
+    VReg a = pb.prog.newVReg("a"), n = pb.prog.newVReg("n");
+    VReg b = pb.prog.newVReg("b");
+    uint32_t blk = pb.block();
+    pb.bb(blk).insts = {mi::binop(UKind::Shl, b, a, n)};
+    dr.check(pb.prog, m, {}, {{"a", 0x0101}, {"n", 4}}, {"b"});
+}
+
+TEST_P(MachineDiff, LoopSum)
+{
+    ProgBuilder pb;
+    VReg sum = pb.prog.newVReg("sum"), i = pb.prog.newVReg("i");
+    VReg lim = pb.prog.newVReg("lim");
+    uint32_t entry = pb.block(), hdr = pb.block(), body = pb.block(),
+             done = pb.block();
+    pb.bb(entry).insts = {mi::ldi(sum, 0), mi::ldi(i, 0)};
+    pb.bb(entry).term = jumpTerm(hdr);
+    pb.bb(hdr).insts = {mi::cmp(i, lim)};
+    pb.bb(hdr).term.kind = Terminator::Kind::Branch;
+    pb.bb(hdr).term.cc = Cond::Z;
+    pb.bb(hdr).term.target = done;
+    pb.bb(hdr).term.fallthrough = body;
+    pb.bb(body).insts = {mi::binop(UKind::Add, sum, sum, i),
+                         mi::binopImm(UKind::Add, i, i, 1)};
+    pb.bb(body).term = jumpTerm(hdr);
+    dr.check(pb.prog, m, {}, {{"lim", 25}}, {"sum", "i"});
+}
+
+TEST_P(MachineDiff, MemoryKernel)
+{
+    // dst[i] = src[i] + 1 for 8 words.
+    ProgBuilder pb;
+    VReg src = pb.prog.newVReg("src"), dst = pb.prog.newVReg("dst");
+    VReg i = pb.prog.newVReg("i"), t = pb.prog.newVReg("t");
+    VReg pa = pb.prog.newVReg("pa"), pb2 = pb.prog.newVReg("pb");
+    uint32_t entry = pb.block(), hdr = pb.block(), body = pb.block(),
+             done = pb.block();
+    (void)done;
+    pb.bb(entry).insts = {mi::ldi(i, 0)};
+    pb.bb(entry).term = jumpTerm(hdr);
+    pb.bb(hdr).insts = {mi::cmpImm(i, 8)};
+    pb.bb(hdr).term.kind = Terminator::Kind::Branch;
+    pb.bb(hdr).term.cc = Cond::Z;
+    pb.bb(hdr).term.target = 3;
+    pb.bb(hdr).term.fallthrough = body;
+    pb.bb(body).insts = {
+        mi::binop(UKind::Add, pa, src, i),
+        mi::load(t, pa),
+        mi::binopImm(UKind::Add, t, t, 1),
+        mi::binop(UKind::Add, pb2, dst, i),
+        mi::store(pb2, t),
+        mi::binopImm(UKind::Add, i, i, 1),
+    };
+    pb.bb(body).term = jumpTerm(hdr);
+
+    for (uint32_t k = 0; k < 8; ++k)
+        dr.poke(0x400 + k, 10 * k + 3);
+    dr.check(pb.prog, m, {}, {{"src", 0x400}, {"dst", 0x420}}, {"i"},
+             0x420, 0x428);
+}
+
+TEST_P(MachineDiff, PushPop)
+{
+    ProgBuilder pb;
+    VReg sp = pb.prog.newVReg("sp"), x = pb.prog.newVReg("x");
+    VReg y = pb.prog.newVReg("y"), z = pb.prog.newVReg("z");
+    uint32_t blk = pb.block();
+    MInst push1, push2, pop1, pop2;
+    push1.op = UKind::Push;
+    push1.a = sp;
+    push1.b = x;
+    push2 = push1;
+    push2.b = y;
+    pop1.op = UKind::Pop;
+    pop1.dst = z;
+    pop1.a = sp;
+    pop2 = pop1;
+    pop2.dst = x;
+    pb.bb(blk).insts = {push1, push2, pop1, pop2};
+    dr.check(pb.prog, m, {},
+             {{"sp", 0x700}, {"x", 11}, {"y", 22}, {"z", 0}},
+             {"sp", "x", "y", "z"}, 0x700, 0x703);
+}
+
+TEST_P(MachineDiff, CaseDispatch)
+{
+    for (uint64_t s = 0; s < 4; ++s) {
+        ProgBuilder pb;
+        VReg sel = pb.prog.newVReg("sel"), out = pb.prog.newVReg("out");
+        uint32_t entry = pb.block();
+        std::vector<uint32_t> arms;
+        for (int k = 0; k < 4; ++k)
+            arms.push_back(pb.block());
+        pb.bb(entry).term.kind = Terminator::Kind::Case;
+        pb.bb(entry).term.caseReg = sel;
+        pb.bb(entry).term.caseMask = 0x3;
+        pb.bb(entry).term.caseTargets = arms;
+        for (int k = 0; k < 4; ++k)
+            pb.bb(arms[k]).insts = {mi::ldi(out, 100 + k)};
+        DiffRunner d2;
+        d2.check(pb.prog, m, {}, {{"sel", s}}, {"out"});
+    }
+}
+
+TEST_P(MachineDiff, CallRet)
+{
+    MirProgram p;
+    VReg x = p.newVReg("x");
+    uint32_t mainf = p.addFunction("main");
+    uint32_t subf = p.addFunction("twice_plus3");
+    uint32_t m0 = p.func(mainf).newBlock();
+    uint32_t m1 = p.func(mainf).newBlock();
+    uint32_t m2 = p.func(mainf).newBlock();
+    p.func(mainf).blocks[m0].term.kind = Terminator::Kind::Call;
+    p.func(mainf).blocks[m0].term.callee = subf;
+    p.func(mainf).blocks[m0].term.target = m1;
+    p.func(mainf).blocks[m1].term.kind = Terminator::Kind::Call;
+    p.func(mainf).blocks[m1].term.callee = subf;
+    p.func(mainf).blocks[m1].term.target = m2;
+    uint32_t s0 = p.func(subf).newBlock();
+    p.func(subf).blocks[s0].insts = {
+        mi::binop(UKind::Add, x, x, x),
+        mi::binopImm(UKind::Add, x, x, 3),
+    };
+    p.func(subf).blocks[s0].term.kind = Terminator::Kind::Ret;
+    dr.check(p, m, {}, {{"x", 5}}, {"x"});
+}
+
+TEST_P(MachineDiff, SpillsStillCorrect)
+{
+    ProgBuilder pb;
+    constexpr int kVars = 12;
+    std::vector<VReg> vs;
+    for (int i = 0; i < kVars; ++i)
+        vs.push_back(pb.prog.newVReg("w" + std::to_string(i)));
+    uint32_t blk = pb.block();
+    auto &insts = pb.bb(blk).insts;
+    for (int i = 0; i < kVars; ++i)
+        insts.push_back(mi::ldi(vs[i], 7 * i + 1));
+    // Everyone stays live to the end.
+    for (int i = 0; i < kVars - 1; ++i)
+        insts.push_back(
+            mi::binop(UKind::Add, vs[i], vs[i], vs[i + 1]));
+
+    CompileOptions opts;
+    AllocOptions ao;
+    ao.maxPoolRegs = 4;
+    opts.allocOpts = ao;
+    std::vector<std::string> outs;
+    for (int i = 0; i < kVars; ++i)
+        outs.push_back("w" + std::to_string(i));
+    dr.check(pb.prog, m, opts, {}, outs);
+    EXPECT_GT(dr.lastStats_.spilledVRegs, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, MachineDiff,
+                         ::testing::Values("HM-1", "VM-2", "VS-3"),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (auto &c : n) {
+                                 if (c == '-')
+                                     c = '_';
+                             }
+                             return n;
+                         });
+
+// ---------------------------------------------------------------
+// Compactor differential sweep
+// ---------------------------------------------------------------
+
+class CompactorDiff : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CompactorDiff, LoopKernelAllMachines)
+{
+    auto compactors = allCompactors();
+    const Compactor &c = *compactors[GetParam()];
+    for (const char *mn : {"HM-1", "VM-2", "VS-3"}) {
+        MachineDescription m = machineByName(mn);
+        ProgBuilder pb;
+        VReg a = pb.prog.newVReg("a"), b = pb.prog.newVReg("b");
+        VReg x = pb.prog.newVReg("x"), y = pb.prog.newVReg("y");
+        VReg i = pb.prog.newVReg("i");
+        uint32_t entry = pb.block(), hdr = pb.block(),
+                 body = pb.block(), done = pb.block();
+        (void)done;
+        pb.bb(entry).insts = {mi::ldi(i, 0), mi::ldi(x, 1),
+                              mi::ldi(y, 2)};
+        pb.bb(entry).term = jumpTerm(hdr);
+        pb.bb(hdr).insts = {mi::cmpImm(i, 9)};
+        pb.bb(hdr).term.kind = Terminator::Kind::Branch;
+        pb.bb(hdr).term.cc = Cond::Z;
+        pb.bb(hdr).term.target = 3;
+        pb.bb(hdr).term.fallthrough = body;
+        pb.bb(body).insts = {
+            mi::binop(UKind::Add, x, x, a),
+            mi::binop(UKind::Xor, y, y, b),
+            mi::binopImm(UKind::Shl, a, a, 1),
+            mi::binop(UKind::Or, b, b, x),
+            mi::binopImm(UKind::Add, i, i, 1),
+        };
+        pb.bb(body).term = jumpTerm(hdr);
+
+        CompileOptions opts;
+        opts.compactor = &c;
+        DiffRunner dr;
+        dr.check(pb.prog, m, opts, {{"a", 3}, {"b", 5}},
+                 {"x", "y", "a", "b", "i"});
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCompactors, CompactorDiff,
+                         ::testing::Range(0, 5),
+                         [](const auto &info) {
+                             return std::string(
+                                 allCompactors()[info.param]->name());
+                         });
+
+// ---------------------------------------------------------------
+// Pass-specific tests
+// ---------------------------------------------------------------
+
+TEST(TrapSafety, IncreadFixedByPass)
+{
+    // The survey's sec. 2.1.5 program: reg[n] := reg[n]+1;
+    // mbr := mem[reg[n]], with reg[n] architectural.
+    for (bool safety : {false, true}) {
+        MachineDescription m = buildHm1();
+        MirProgram p;
+        VReg rn = p.newVReg("rn"), out = p.newVReg("out");
+        p.markObservable(rn);
+        p.markObservable(out);
+        p.bind(rn, *m.findRegister("r8"));      // architectural
+        uint32_t fn = p.addFunction("incread");
+        uint32_t b = p.func(fn).newBlock();
+        p.func(fn).blocks[b].insts = {
+            mi::binopImm(UKind::Add, rn, rn, 1),
+            mi::load(out, rn),
+        };
+
+        CompileOptions opts;
+        opts.trapSafety = safety;
+        // The linear compactor keeps the increment and the fetch in
+        // separate words, as in the survey's scenario. (Tokoro's
+        // phase chaining would put them in one word, whose
+        // transactional fault semantics mask the bug -- see
+        // ChainedWordMasksIncreadBug below.)
+        LinearCompactor linear;
+        opts.compactor = &linear;
+        Compiler comp(m);
+        CompiledProgram cp = comp.compile(p, opts);
+
+        MainMemory mem(0x10000, 16);
+        mem.enablePaging(0x100);
+        // Keep the scratch area present (spill slots must work).
+        for (uint32_t a = m.scratchBase();
+             a < m.scratchBase() + m.scratchWords(); a += 0x100)
+            mem.servicePage(a);
+        mem.poke(0x420, 0x1234);
+
+        MicroSimulator sim(cp.store, mem);
+        setVar(p, cp, sim, mem, "rn", 0x41F);
+        auto res = sim.run("incread");
+        ASSERT_TRUE(res.halted);
+        EXPECT_GE(res.pageFaults, 1u);
+        if (safety) {
+            EXPECT_EQ(getVar(p, cp, sim, mem, "rn"), 0x420u);
+            EXPECT_EQ(getVar(p, cp, sim, mem, "out"), 0x1234u);
+        } else {
+            // The double-increment bug is observable.
+            EXPECT_EQ(getVar(p, cp, sim, mem, "rn"), 0x421u);
+        }
+    }
+}
+
+TEST(TrapSafety, ChainedWordMasksIncreadBug)
+{
+    // With phase chaining, increment and fetch land in one word;
+    // word-level fault transactionality then discards the increment
+    // on the faulting attempt, so even the unsafe code survives.
+    MachineDescription m = buildHm1();
+    MirProgram p;
+    VReg rn = p.newVReg("rn"), out = p.newVReg("out");
+    p.markObservable(rn);
+    p.markObservable(out);
+    p.bind(rn, *m.findRegister("r8"));
+    uint32_t fn = p.addFunction("incread");
+    uint32_t b = p.func(fn).newBlock();
+    p.func(fn).blocks[b].insts = {
+        mi::binopImm(UKind::Add, rn, rn, 1),
+        mi::load(out, rn),
+    };
+    Compiler comp(m);
+    CompiledProgram cp = comp.compile(p, {});   // tokoro default
+
+    MainMemory mem(0x10000, 16);
+    mem.enablePaging(0x100);
+    for (uint32_t a = m.scratchBase();
+         a < m.scratchBase() + m.scratchWords(); a += 0x100)
+        mem.servicePage(a);
+    mem.poke(0x420, 0x1234);
+    MicroSimulator sim(cp.store, mem);
+    setVar(p, cp, sim, mem, "rn", 0x41F);
+    auto res = sim.run("incread");
+    ASSERT_TRUE(res.halted);
+    EXPECT_GE(res.pageFaults, 1u);
+    EXPECT_EQ(getVar(p, cp, sim, mem, "rn"), 0x420u);
+    EXPECT_EQ(getVar(p, cp, sim, mem, "out"), 0x1234u);
+}
+
+TEST(InterruptPolls, LoopAcksInterrupts)
+{
+    MachineDescription m = buildHm1();
+    ProgBuilder pb;
+    VReg i = pb.prog.newVReg("i");
+    uint32_t entry = pb.block(), hdr = pb.block(), body = pb.block(),
+             done = pb.block();
+    (void)done;
+    pb.bb(entry).insts = {mi::ldi(i, 0)};
+    pb.bb(entry).term = jumpTerm(hdr);
+    pb.bb(hdr).insts = {mi::cmpImm(i, 2000)};
+    pb.bb(hdr).term.kind = Terminator::Kind::Branch;
+    pb.bb(hdr).term.cc = Cond::Z;
+    pb.bb(hdr).term.target = 3;
+    pb.bb(hdr).term.fallthrough = body;
+    pb.bb(body).insts = {mi::binopImm(UKind::Add, i, i, 1)};
+    pb.bb(body).term = jumpTerm(hdr);
+
+    CompileOptions opts;
+    opts.insertInterruptPolls = true;
+    Compiler comp(m);
+    CompiledProgram cp = comp.compile(pb.prog, opts);
+    EXPECT_GT(cp.stats.pollPoints, 0u);
+
+    MainMemory mem(0x10000, 16);
+    MicroSimulator sim(cp.store, mem);
+    sim.interruptEvery(500, 100);
+    auto res = sim.run("main");
+    ASSERT_TRUE(res.halted);
+    EXPECT_GT(res.interruptsServiced, 3u);
+    EXPECT_EQ(getVar(pb.prog, cp, sim, mem, "i"), 2000u);
+    // Latency is bounded by the loop body length.
+    EXPECT_LT(res.interruptLatencyTotal / res.interruptsServiced,
+              30u);
+}
+
+TEST(Recognize, FoldsPushPopPatterns)
+{
+    MachineDescription m = buildHm1();
+    ProgBuilder pb;
+    VReg sp = pb.prog.newVReg("sp"), x = pb.prog.newVReg("x");
+    VReg y = pb.prog.newVReg("y");
+    uint32_t blk = pb.block();
+    pb.bb(blk).insts = {
+        mi::binopImm(UKind::Add, sp, sp, 1),    // push pattern
+        mi::store(sp, x),
+        mi::load(y, sp),                        // pop pattern
+        mi::binopImm(UKind::Sub, sp, sp, 1),
+    };
+    MirProgram copy = pb.prog;
+    uint32_t folds = recognizeStackOps(copy, m);
+    EXPECT_EQ(folds, 2u);
+    ASSERT_EQ(copy.func(0).blocks[0].insts.size(), 2u);
+    EXPECT_EQ(copy.func(0).blocks[0].insts[0].op, UKind::Push);
+    EXPECT_EQ(copy.func(0).blocks[0].insts[1].op, UKind::Pop);
+
+    // And the fold preserves semantics.
+    CompileOptions opts;
+    opts.recognizeStackOps = true;
+    DiffRunner dr;
+    dr.check(pb.prog, m, opts, {{"sp", 0x600}, {"x", 42}, {"y", 0}},
+             {"sp", "x", "y"});
+}
+
+TEST(Recognize, NoFoldOnVm2)
+{
+    MachineDescription m = buildVm2();
+    ProgBuilder pb;
+    VReg sp = pb.prog.newVReg("sp"), x = pb.prog.newVReg("x");
+    uint32_t blk = pb.block();
+    pb.bb(blk).insts = {mi::binopImm(UKind::Add, sp, sp, 1),
+                        mi::store(sp, x)};
+    EXPECT_EQ(recognizeStackOps(pb.prog, m), 0u);
+}
+
+TEST(Legalize, CaseChainOnVm2)
+{
+    MachineDescription m = buildVm2();
+    ProgBuilder pb;
+    VReg sel = pb.prog.newVReg("sel"), out = pb.prog.newVReg("out");
+    uint32_t entry = pb.block();
+    std::vector<uint32_t> arms;
+    for (int k = 0; k < 3; ++k)
+        arms.push_back(pb.block());
+    pb.bb(entry).term.kind = Terminator::Kind::Case;
+    pb.bb(entry).term.caseReg = sel;
+    pb.bb(entry).term.caseMask = 0x3;
+    pb.bb(entry).term.caseTargets = {arms[0], arms[1], arms[2]};
+    for (int k = 0; k < 3; ++k)
+        pb.bb(arms[k]).insts = {mi::ldi(out, 50 + k)};
+
+    MirProgram copy = pb.prog;
+    legalize(copy, m);
+    for (const auto &bb : copy.func(0).blocks)
+        EXPECT_NE(bb.term.kind, Terminator::Kind::Case);
+}
+
+TEST(Legalize, WideImmediateSplitsOnVm2)
+{
+    MachineDescription m = buildVm2();
+    ProgBuilder pb;
+    VReg a = pb.prog.newVReg("a");
+    uint32_t blk = pb.block();
+    pb.bb(blk).insts = {mi::ldi(a, 0xBEEF)};
+    MirProgram copy = pb.prog;
+    legalize(copy, m);
+    EXPECT_GT(copy.func(0).blocks[0].insts.size(), 1u);
+}
+
+TEST(Stats, CompactionReducesWords)
+{
+    MachineDescription m = buildHm1();
+    ProgBuilder pb;
+    VReg a = pb.prog.newVReg("a"), b = pb.prog.newVReg("b");
+    VReg c = pb.prog.newVReg("c"), d = pb.prog.newVReg("d");
+    for (VReg v : {a, b, c, d})
+        pb.prog.markObservable(v);
+    uint32_t blk = pb.block();
+    pb.bb(blk).insts = {
+        mi::mov(a, b), mi::mov(c, d),
+        mi::binop(UKind::Add, b, a, c),
+        mi::mov(d, b),
+    };
+    Compiler comp(m);
+    CompileOptions packed, unpacked;
+    unpacked.compact = false;
+    auto p1 = comp.compile(pb.prog, packed);
+    auto p2 = comp.compile(pb.prog, unpacked);
+    EXPECT_LT(p1.stats.words, p2.stats.words);
+}
+
+// ---------------------------------------------------------------
+// Random-program differential property test
+// ---------------------------------------------------------------
+
+struct RandParam {
+    const char *machine;
+    unsigned seed;
+};
+
+class RandomDiff : public ::testing::TestWithParam<RandParam>
+{
+};
+
+TEST_P(RandomDiff, StraightLinePrograms)
+{
+    std::mt19937 rng(GetParam().seed);
+    MachineDescription m = machineByName(GetParam().machine);
+
+    for (int trial = 0; trial < 10; ++trial) {
+        ProgBuilder pb;
+        constexpr int kVars = 6;
+        std::vector<VReg> vs;
+        std::vector<std::string> names;
+        for (int i = 0; i < kVars; ++i) {
+            names.push_back("g" + std::to_string(i));
+            vs.push_back(pb.prog.newVReg(names.back()));
+        }
+        VReg addr = pb.prog.newVReg("addr");
+        uint32_t blk = pb.block();
+        auto &insts = pb.bb(blk).insts;
+
+        auto rv = [&]() { return vs[rng() % kVars]; };
+        size_t len = 4 + rng() % 14;
+        for (size_t k = 0; k < len; ++k) {
+            switch (rng() % 10) {
+              case 0:
+                insts.push_back(mi::ldi(rv(), rng() & 0xffff));
+                break;
+              case 1:
+                insts.push_back(mi::mov(rv(), rv()));
+                break;
+              case 2:
+                insts.push_back(mi::binopImm(UKind::Shl, rv(), rv(),
+                                             rng() % 16));
+                break;
+              case 3:
+                insts.push_back(mi::binopImm(UKind::Shr, rv(), rv(),
+                                             rng() % 16));
+                break;
+              case 4: {
+                // Constrained memory write: addr in [0x400,0x43F].
+                insts.push_back(mi::binopImm(UKind::And, addr, rv(),
+                                             0x3F));
+                insts.push_back(mi::binopImm(UKind::Add, addr, addr,
+                                             0x400));
+                insts.push_back(mi::store(addr, rv()));
+                break;
+              }
+              case 5: {
+                insts.push_back(mi::binopImm(UKind::And, addr, rv(),
+                                             0x3F));
+                insts.push_back(mi::binopImm(UKind::Add, addr, addr,
+                                             0x400));
+                insts.push_back(mi::load(rv(), addr));
+                break;
+              }
+              default: {
+                static const UKind kinds[] = {UKind::Add, UKind::Sub,
+                                              UKind::And, UKind::Or,
+                                              UKind::Xor};
+                insts.push_back(mi::binop(kinds[rng() % 5], rv(),
+                                          rv(), rv()));
+                break;
+              }
+            }
+        }
+
+        // Ensure every variable is referenced so observation makes
+        // sense even when the random draw skipped one.
+        for (int i = 1; i < kVars; ++i)
+            insts.push_back(mi::binop(UKind::Xor, vs[0], vs[0],
+                                      vs[i]));
+
+        DiffRunner dr;
+        std::vector<std::pair<std::string, uint64_t>> inputs;
+        for (int i = 0; i < kVars; ++i)
+            inputs.emplace_back(names[i], rng() & 0xffff);
+        for (uint32_t a = 0x400; a < 0x440; ++a)
+            dr.poke(a, rng() & 0xffff);
+        dr.check(pb.prog, m, {}, inputs, names, 0x400, 0x440);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomDiff,
+    ::testing::Values(RandParam{"HM-1", 11}, RandParam{"HM-1", 12},
+                      RandParam{"VM-2", 21}, RandParam{"VM-2", 22},
+                      RandParam{"VS-3", 31}, RandParam{"VS-3", 32}),
+    [](const ::testing::TestParamInfo<RandParam> &info) {
+        std::string n = info.param.machine;
+        for (auto &c : n) {
+            if (c == '-')
+                c = '_';
+        }
+        return n + "_seed" + std::to_string(info.param.seed);
+    });
+
+} // namespace
+} // namespace uhll

@@ -1,0 +1,173 @@
+/** @file Edge-case coverage: hardware limits, store errors, large
+ * register files, failure injection. */
+
+#include <gtest/gtest.h>
+
+#include "codegen/compiler.hh"
+#include "lang/yalll/yalll.hh"
+#include "machine/machines/machines.hh"
+#include "masm/masm.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+namespace {
+
+TEST(Edge, MicroStackOverflow)
+{
+    // 17 nested calls exceed the 16-deep hardware return stack.
+    MachineDescription m = buildHm1();
+    std::string src;
+    for (int i = 0; i < 18; ++i) {
+        src += strfmt("s%d:\n", i);
+        if (i < 17)
+            src += strfmt("  [ ] call s%d\n", i + 1);
+        else
+            src += "  [ ] halt\n";
+        src += "  [ ] return\n";
+    }
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble(src);
+    MainMemory mem(0x1000, 16);
+    MicroSimulator sim(cs, mem);
+    EXPECT_THROW(sim.run(0u), FatalError);
+}
+
+TEST(Edge, ReturnWithoutCall)
+{
+    MachineDescription m = buildHm1();
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble("[ ] return\n");
+    MainMemory mem(0x1000, 16);
+    MicroSimulator sim(cs, mem);
+    EXPECT_THROW(sim.run(0u), FatalError);
+}
+
+TEST(Edge, MultiwayBeyondStorePanics)
+{
+    MachineDescription m = buildHm1();
+    MicroAssembler as(m);
+    // Dispatch table has 1 entry but the mask selects 2 bits.
+    ControlStore cs = as.assemble(
+        "[ ] mbranch r1, #0x3, table\n"
+        "table:\n"
+        "[ ] halt\n");
+    MainMemory mem(0x1000, 16);
+    MicroSimulator sim(cs, mem);
+    sim.setReg("r1", 3);    // index 3: past the end of the store
+    EXPECT_THROW(sim.run(0u), PanicError);
+}
+
+TEST(Edge, ControlStoreErrors)
+{
+    MachineDescription m = buildHm1();
+    ControlStore cs(m);
+    EXPECT_THROW(cs.word(0), PanicError);
+    cs.append(MicroInstruction{});
+    EXPECT_NO_THROW(cs.word(0));
+    cs.defineEntry("e", 0);
+    EXPECT_THROW(cs.defineEntry("e", 0), FatalError);
+    EXPECT_THROW(cs.entry("missing"), FatalError);
+    EXPECT_TRUE(cs.hasEntry("e"));
+}
+
+TEST(Edge, LargeRegisterFileMachine)
+{
+    // The Control Data 480 class machine: 256 GPRs.
+    MachineDescription m = buildHm1(256);
+    EXPECT_EQ(m.numRegisters(), 258u);  // + mar, mbr
+    EXPECT_EQ(m.allocatableRegs().size(), 254u);
+    // Wider register selectors widen the control word.
+    EXPECT_GT(m.controlWordBits(), buildHm1().controlWordBits());
+
+    // And it still runs programs.
+    const char *src = "reg a\nreg b\nproc main\n"
+                      "    put a, 21\n    add b, a, a\n    exit\n";
+    MirProgram prog = parseYalll(src, m);
+    Compiler comp(m);
+    CompiledProgram cp = comp.compile(prog, {});
+    MainMemory mem(0x10000, 16);
+    MicroSimulator sim(cp.store, mem);
+    auto res = sim.run("main");
+    ASSERT_TRUE(res.halted);
+    EXPECT_EQ(getVar(prog, cp, sim, mem, "b"), 42u);
+}
+
+TEST(Edge, BadRegisterFileSizeRejected)
+{
+    EXPECT_THROW(buildHm1(6), FatalError);
+    EXPECT_THROW(buildHm1(18), FatalError);
+}
+
+TEST(Edge, MemoryBoundsFatal)
+{
+    MainMemory mem(0x100, 16);
+    EXPECT_THROW(mem.peek(0x100), FatalError);
+    EXPECT_THROW(mem.poke(0x100, 1), FatalError);
+    uint64_t v;
+    EXPECT_THROW(mem.read(0xFFFF, v), FatalError);
+}
+
+TEST(Edge, PagingLifecycle)
+{
+    MainMemory mem(0x400, 16);
+    mem.enablePaging(0x100);
+    uint64_t v;
+    EXPECT_FALSE(mem.read(0x10, v));
+    mem.servicePage(0x10);
+    EXPECT_TRUE(mem.read(0x10, v));
+    mem.evictPage(0x10);
+    EXPECT_FALSE(mem.read(0x10, v));
+    EXPECT_FALSE(mem.write(0x10, 5));
+    // poke/peek bypass paging
+    mem.poke(0x10, 7);
+    EXPECT_EQ(mem.peek(0x10), 7u);
+}
+
+TEST(Edge, ScratchBindingRejected)
+{
+    // A user variable bound to a compiler scratch register is a
+    // compile-time error, not silent corruption.
+    MachineDescription m = buildHm1();     // r6/r7 are scratch
+    MirProgram prog =
+        parseYalll("reg x = r6\nproc main\n    exit\n", m);
+    Compiler comp(m);
+    EXPECT_THROW(comp.compile(prog, {}), FatalError);
+}
+
+TEST(Edge, CycleBudgetStopsRunawayFirmware)
+{
+    MachineDescription m = buildHm1();
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble("spin:\n[ addi r1, r1, #1 ] jump spin\n");
+    MainMemory mem(0x1000, 16);
+    SimConfig cfg;
+    cfg.maxCycles = 1234;
+    MicroSimulator sim(cs, mem, cfg);
+    auto res = sim.run(0u);
+    EXPECT_FALSE(res.halted);
+    EXPECT_GE(res.cycles, 1234u);
+    EXPECT_LE(res.cycles, 1240u);
+}
+
+TEST(Edge, SimulatorRegisterNameErrors)
+{
+    MachineDescription m = buildHm1();
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble("[ ] halt\n");
+    MainMemory mem(0x1000, 16);
+    MicroSimulator sim(cs, mem);
+    EXPECT_THROW(sim.setReg("bogus", 1), FatalError);
+    EXPECT_THROW(sim.getReg("bogus"), FatalError);
+}
+
+TEST(Edge, MemoryWidthMismatchFatal)
+{
+    MachineDescription m = buildHm1();
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble("[ ] halt\n");
+    MainMemory mem(0x1000, 8);      // wrong width
+    EXPECT_THROW(MicroSimulator(cs, mem), FatalError);
+}
+
+} // namespace
+} // namespace uhll

@@ -1,0 +1,328 @@
+/** @file Tests for the EMPL front end (survey sec. 2.2.2). */
+
+#include <gtest/gtest.h>
+
+#include "codegen/compiler.hh"
+#include "lang/empl/empl.hh"
+#include "machine/machines/machines.hh"
+#include "mir/interp.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+namespace {
+
+MachineDescription
+machineByName(const std::string &n)
+{
+    if (n == "HM-1")
+        return buildHm1();
+    if (n == "VM-2")
+        return buildVm2();
+    return buildVs3();
+}
+
+struct Outcome {
+    std::unordered_map<std::string, uint64_t> vars;
+    CompileStats stats;
+    uint64_t cycles = 0;
+};
+
+Outcome
+compileAndRun(const std::string &src, const MachineDescription &m,
+              const std::vector<std::pair<std::string, uint64_t>> &in,
+              const std::vector<std::string> &out,
+              const EmplOptions &eopts = {},
+              MainMemory *extmem = nullptr)
+{
+    MirProgram prog = parseEmpl(src, m, eopts);
+    Compiler comp(m);
+    CompiledProgram cp = comp.compile(prog, {});
+    MainMemory local(0x10000, 16);
+    MainMemory &mem = extmem ? *extmem : local;
+    MicroSimulator sim(cp.store, mem);
+    for (auto &[n, v] : in)
+        setVar(prog, cp, sim, mem, n, v);
+    auto res = sim.run("main");
+    EXPECT_TRUE(res.halted) << cp.store.listing();
+    Outcome o;
+    for (auto &n : out)
+        o.vars[n] = getVar(prog, cp, sim, mem, n);
+    o.stats = cp.stats;
+    o.cycles = res.cycles;
+    return o;
+}
+
+/** The paper's stack extension type, with hardware bindings. */
+const char *kStackProgram = R"(
+DECLARE X FIXED;
+DECLARE Y FIXED;
+DECLARE Z FIXED;
+
+TYPE STACK;
+    DECLARE SP FIXED;
+    INITIALLY DO; SP = 0x3FF; END;
+    PUSH: OPERATION ACCEPTS (VALUE);
+        MICROOP: PUSH(SP, VALUE);
+        SP = SP + 1;
+        MEM(SP) = VALUE;
+    END;
+    POP: OPERATION RETURNS (VALUE);
+        MICROOP: POP(VALUE, SP);
+        VALUE = MEM(SP);
+        SP = SP - 1;
+    END;
+ENDTYPE;
+
+DECLARE ADDRESS_STK STACK;
+
+MAIN: PROCEDURE;
+    ADDRESS_STK.PUSH(X);
+    ADDRESS_STK.PUSH(Y);
+    Z = ADDRESS_STK.POP();
+    X = ADDRESS_STK.POP();
+END;
+)";
+
+class EmplMachines : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(EmplMachines, StackTypeWorks)
+{
+    MachineDescription m = machineByName(GetParam());
+    auto o = compileAndRun(kStackProgram, m,
+                           {{"x", 11}, {"y", 22}},
+                           {"x", "y", "z", "address_stk.sp"});
+    // Push 11, push 22; pop -> z (22), pop -> x (11).
+    EXPECT_EQ(o.vars["z"], 22u);
+    EXPECT_EQ(o.vars["x"], 11u);
+    EXPECT_EQ(o.vars["address_stk.sp"], 0x3FFu);
+}
+
+TEST_P(EmplMachines, ArithmeticAndMulDiv)
+{
+    MachineDescription m = machineByName(GetParam());
+    const char *src = R"(
+DECLARE A FIXED;
+DECLARE B FIXED;
+DECLARE P FIXED;
+DECLARE Q FIXED;
+MAIN: PROCEDURE;
+    P = MUL(A, B);
+    Q = DIV(P, 7);
+END;
+)";
+    auto o = compileAndRun(src, m, {{"a", 123}, {"b", 45}},
+                           {"p", "q"});
+    EXPECT_EQ(o.vars["p"], 123u * 45u);
+    EXPECT_EQ(o.vars["q"], (123u * 45u) / 7u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, EmplMachines,
+                         ::testing::Values("HM-1", "VM-2", "VS-3"),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (auto &c : n) {
+                                 if (c == '-')
+                                     c = '_';
+                             }
+                             return n;
+                         });
+
+TEST(Empl, MicroOpVsBodyEquivalence)
+{
+    // On HM-1 the stack ops use the hardware push/pop; with
+    // useMicroOps disabled the bodies are expanded. Results agree,
+    // and the hardware path is faster.
+    MachineDescription m = buildHm1();
+    EmplOptions hw, sw;
+    sw.useMicroOps = false;
+    auto o1 = compileAndRun(kStackProgram, m, {{"x", 7}, {"y", 9}},
+                            {"x", "z"}, hw);
+    auto o2 = compileAndRun(kStackProgram, m, {{"x", 7}, {"y", 9}},
+                            {"x", "z"}, sw);
+    EXPECT_EQ(o1.vars["x"], o2.vars["x"]);
+    EXPECT_EQ(o1.vars["z"], o2.vars["z"]);
+    EXPECT_LT(o1.cycles, o2.cycles);
+}
+
+TEST(Empl, InlineExpansionGrowsCode)
+{
+    // Each additional textual use of an operation grows the code:
+    // the implementation concern the survey raises about EMPL.
+    MachineDescription m = buildHm1();
+    auto sizeWithUses = [&](int uses) {
+        std::string src = "DECLARE A FIXED;\n"
+                          "TRIPLE: OPERATION ACCEPTS (V) RETURNS (R);\n"
+                          "    DECLARE T FIXED;\n"
+                          "    T = V + V;\n"
+                          "    R = T + V;\n"
+                          "END;\n"
+                          "MAIN: PROCEDURE;\n";
+        for (int i = 0; i < uses; ++i)
+            src += "    A = TRIPLE(A);\n";
+        src += "END;\n";
+        MirProgram prog = parseEmpl(src, m, {});
+        Compiler comp(m);
+        return comp.compile(prog, {}).stats.words;
+    };
+    uint32_t w1 = sizeWithUses(1);
+    uint32_t w8 = sizeWithUses(8);
+    EXPECT_GT(w8, w1 + 6);  // grows roughly linearly with uses
+}
+
+TEST(Empl, ArraysAndWhile)
+{
+    MachineDescription m = buildHm1();
+    const char *src = R"(
+DECLARE V(8) FIXED;
+DECLARE I FIXED;
+DECLARE T FIXED;
+DECLARE SUM FIXED;
+MAIN: PROCEDURE;
+    I = 0;
+    WHILE I != 8 DO;
+        V(I) = I;
+        I = I + 1;
+    END;
+    SUM = 0;
+    I = 0;
+    WHILE I != 8 DO;
+        T = V(I);          /* one operator per statement */
+        SUM = SUM + T;
+        I = I + 1;
+    END;
+END;
+)";
+    auto o = compileAndRun(src, m, {}, {"sum"});
+    EXPECT_EQ(o.vars["sum"], 28u);
+}
+
+TEST(Empl, ArrayAtFixedAddress)
+{
+    MachineDescription m = buildHm1();
+    MainMemory mem(0x10000, 16);
+    const char *src = R"(
+DECLARE RAW(4) FIXED AT 0x3000;
+DECLARE X FIXED;
+MAIN: PROCEDURE;
+    RAW(2) = 77;
+    X = RAW(2);
+END;
+)";
+    auto o = compileAndRun(src, m, {}, {"x"}, {}, &mem);
+    EXPECT_EQ(o.vars["x"], 77u);
+    EXPECT_EQ(mem.peek(0x3002), 77u);
+}
+
+TEST(Empl, GotoAndLabels)
+{
+    MachineDescription m = buildHm1();
+    const char *src = R"(
+DECLARE X FIXED;
+MAIN: PROCEDURE;
+    X = 1;
+    GOTO SKIP;
+    X = 99;
+SKIP:
+    X = X + 1;
+END;
+)";
+    auto o = compileAndRun(src, m, {}, {"x"});
+    EXPECT_EQ(o.vars["x"], 2u);
+}
+
+TEST(Empl, ProceduresAndCall)
+{
+    MachineDescription m = buildHm1();
+    const char *src = R"(
+DECLARE X FIXED;
+MAIN: PROCEDURE;
+    X = 3;
+    CALL BUMP;
+    CALL BUMP;
+END;
+BUMP: PROCEDURE;
+    X = X + 10;
+    RETURN;
+END;
+)";
+    auto o = compileAndRun(src, m, {}, {"x"});
+    EXPECT_EQ(o.vars["x"], 23u);
+}
+
+TEST(Empl, ErrorStatementHalts)
+{
+    MachineDescription m = buildHm1();
+    const char *src = R"(
+DECLARE X FIXED;
+MAIN: PROCEDURE;
+    X = 1;
+    IF X = 1 THEN ERROR;
+    X = 2;
+END;
+)";
+    auto o = compileAndRun(src, m, {}, {"x"});
+    EXPECT_EQ(o.vars["x"], 1u);     // stopped before X = 2
+}
+
+TEST(Empl, DivByZeroHitsError)
+{
+    MachineDescription m = buildHm1();
+    const char *src = R"(
+DECLARE Q FIXED;
+DECLARE D FIXED;
+MAIN: PROCEDURE;
+    Q = 1;
+    Q = DIV(5, D);
+END;
+)";
+    auto o = compileAndRun(src, m, {{"d", 0}}, {"q"});
+    EXPECT_EQ(o.vars["q"], 1u);     // ERROR before Q was written
+}
+
+TEST(Empl, CallByNameAliasing)
+{
+    // Textual substitution is call by name: a formal aliased to the
+    // return target observes writes through it (DeWitt's textual
+    // replacement semantics, which the survey critiques).
+    MachineDescription m = buildHm1();
+    const char *src = R"(
+DECLARE X FIXED;
+WEIRD: OPERATION ACCEPTS (A) RETURNS (R);
+    R = 5;
+    R = R + A;
+END;
+MAIN: PROCEDURE;
+    X = 2;
+    X = WEIRD(X);
+END;
+)";
+    auto o = compileAndRun(src, m, {}, {"x"});
+    // R and A both alias X: R=5 clobbers A, then R = 5 + 5.
+    EXPECT_EQ(o.vars["x"], 10u);
+}
+
+TEST(Empl, Errors)
+{
+    MachineDescription m = buildHm1();
+    EXPECT_THROW(parseEmpl("MAIN: PROCEDURE; X = 1; END;", m, {}),
+                 FatalError);   // undeclared variable
+    EXPECT_THROW(parseEmpl("DECLARE X FIXED;", m, {}), FatalError);
+    // no MAIN
+    EXPECT_THROW(
+        parseEmpl("DECLARE X FIXED;\nMAIN: PROCEDURE;\n"
+                  "X = NOSUCH(X);\nEND;", m, {}),
+        FatalError);    // unknown operation
+    EXPECT_THROW(
+        parseEmpl("DECLARE X FIXED;\nMAIN: PROCEDURE;\n"
+                  "GOTO NOWHERE;\nEND;", m, {}),
+        FatalError);    // undefined label
+    EXPECT_THROW(
+        parseEmpl("DECLARE X FIXED;\nDECLARE X FIXED;\n"
+                  "MAIN: PROCEDURE; END;", m, {}),
+        FatalError);    // duplicate declaration
+}
+
+} // namespace
+} // namespace uhll

@@ -1,0 +1,305 @@
+/** @file Unit tests for MachineDescription and the conflict model. */
+
+#include <gtest/gtest.h>
+
+#include "machine/machines/machines.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+namespace {
+
+class Hm1Test : public ::testing::Test
+{
+  protected:
+    MachineDescription m = buildHm1();
+
+    BoundOp
+    makeOp(const std::string &mn, RegId d, RegId a, RegId b)
+    {
+        BoundOp op;
+        auto idx = m.findUop(mn);
+        EXPECT_TRUE(idx.has_value()) << mn;
+        op.spec = *idx;
+        op.dst = d;
+        op.srcA = a;
+        op.srcB = b;
+        return op;
+    }
+
+    RegId
+    r(const std::string &name)
+    {
+        auto id = m.findRegister(name);
+        EXPECT_TRUE(id.has_value()) << name;
+        return *id;
+    }
+};
+
+TEST_F(Hm1Test, BasicShape)
+{
+    EXPECT_EQ(m.name(), "HM-1");
+    EXPECT_EQ(m.dataWidth(), 16u);
+    EXPECT_EQ(m.numPhases(), 3u);
+    EXPECT_FALSE(m.vertical());
+    EXPECT_TRUE(m.hasMultiway());
+    EXPECT_EQ(m.numRegisters(), 18u);   // r0-r15, mar, mbr
+    // A horizontal control word is wide.
+    EXPECT_GT(m.controlWordBits(), 64u);
+}
+
+TEST_F(Hm1Test, RegisterLookup)
+{
+    EXPECT_TRUE(m.findRegister("r0").has_value());
+    EXPECT_TRUE(m.findRegister("mar").has_value());
+    EXPECT_FALSE(m.findRegister("nosuch").has_value());
+    EXPECT_EQ(m.reg(m.mar()).name, "mar");
+    EXPECT_EQ(m.reg(m.mbr()).name, "mbr");
+}
+
+TEST_F(Hm1Test, ArchitecturalSplit)
+{
+    // r0-r7 micro temporaries, r8-r15 macro-architectural.
+    EXPECT_FALSE(m.reg(r("r0")).architectural);
+    EXPECT_FALSE(m.reg(r("r7")).architectural);
+    EXPECT_TRUE(m.reg(r("r8")).architectural);
+    EXPECT_TRUE(m.reg(r("r15")).architectural);
+}
+
+TEST_F(Hm1Test, AllocatableRegs)
+{
+    auto regs = m.allocatableRegs();
+    EXPECT_EQ(regs.size(), 14u);    // GPRs minus scratch r6,r7
+}
+
+TEST_F(Hm1Test, TwoAluOpsConflict)
+{
+    BoundOp a = makeOp("add", r("r1"), r("r2"), r("r3"));
+    BoundOp b = makeOp("sub", r("r4"), r("r5"), r("r6"));
+    EXPECT_TRUE(m.conflict(a, b, true));    // shared ALU fields
+}
+
+TEST_F(Hm1Test, AluAndShiftCoexist)
+{
+    BoundOp a = makeOp("add", r("r1"), r("r2"), r("r3"));
+    BoundOp b = makeOp("shl", r("r4"), r("r5"), r("r6"));
+    // Independent units and fields, but both set the flag latch in
+    // phase 2 -> conflict on the flag latch.
+    EXPECT_TRUE(m.conflict(a, b, true));
+}
+
+TEST_F(Hm1Test, AluAndMoveCoexist)
+{
+    BoundOp a = makeOp("add", r("r1"), r("r2"), r("r3"));
+    BoundOp mv = makeOp("mova", r("r4"), r("r5"), kNoReg);
+    EXPECT_FALSE(m.conflict(a, mv, true));
+}
+
+TEST_F(Hm1Test, TwoMovePortsCoexist)
+{
+    BoundOp a = makeOp("mova", r("r4"), r("r5"), kNoReg);
+    BoundOp b = makeOp("movb", r("r6"), r("r7"), kNoReg);
+    EXPECT_FALSE(m.conflict(a, b, true));
+    // Same port twice conflicts.
+    BoundOp c = makeOp("mova", r("r6"), r("r7"), kNoReg);
+    EXPECT_TRUE(m.conflict(a, c, true));
+}
+
+TEST_F(Hm1Test, DoubleWriteSamePhaseConflicts)
+{
+    BoundOp a = makeOp("mova", r("r4"), r("r5"), kNoReg);
+    BoundOp b = makeOp("movb", r("r4"), r("r7"), kNoReg);
+    EXPECT_TRUE(m.conflict(a, b, true));
+}
+
+TEST_F(Hm1Test, ImmediateFieldShared)
+{
+    // addi and ldi both need the immediate field.
+    BoundOp a = makeOp("addi", r("r1"), r("r2"), kNoReg);
+    a.useImm = true;
+    a.imm = 5;
+    BoundOp b = makeOp("ldi", r("r4"), kNoReg, kNoReg);
+    b.imm = 9;
+    EXPECT_TRUE(m.conflict(a, b, true));
+}
+
+TEST_F(Hm1Test, PhaseAwareVsCoarse)
+{
+    // mova (phase 1) and movc (phase 3) share no field; under the
+    // coarse model they also share no unit, so both modes allow it.
+    BoundOp a = makeOp("mova", r("r4"), r("r5"), kNoReg);
+    BoundOp c = makeOp("movc", r("r6"), r("r7"), kNoReg);
+    EXPECT_FALSE(m.conflict(a, c, true));
+    EXPECT_FALSE(m.conflict(a, c, false));
+}
+
+TEST_F(Hm1Test, OperandClassChecking)
+{
+    // memrd destination must be a GPR or mbr; mar is not allowed.
+    BoundOp bad = makeOp("memrd", m.mar(), r("r1"), kNoReg);
+    std::string why;
+    EXPECT_FALSE(m.checkOperands(bad, &why));
+    EXPECT_NE(why.find("dst class"), std::string::npos);
+
+    BoundOp good = makeOp("memrd", m.mbr(), m.mar(), kNoReg);
+    EXPECT_TRUE(m.checkOperands(good, &why)) << why;
+}
+
+TEST_F(Hm1Test, MissingOperandRejected)
+{
+    BoundOp op = makeOp("add", r("r1"), r("r2"), kNoReg);
+    std::string why;
+    EXPECT_FALSE(m.checkOperands(op, &why));
+}
+
+TEST_F(Hm1Test, ImmediateOnNonImmOpRejected)
+{
+    BoundOp op = makeOp("add", r("r1"), r("r2"), kNoReg);
+    op.useImm = true;
+    op.imm = 1;
+    std::string why;
+    EXPECT_FALSE(m.checkOperands(op, &why));
+    EXPECT_NE(why.find("immediate"), std::string::npos);
+}
+
+TEST_F(Hm1Test, WordLegalDiagnostics)
+{
+    std::vector<BoundOp> ops = {
+        makeOp("add", r("r1"), r("r2"), r("r3")),
+        makeOp("sub", r("r4"), r("r5"), r("r6")),
+    };
+    std::string why;
+    EXPECT_FALSE(m.wordLegal(ops, true, &why));
+    EXPECT_NE(why.find("conflict"), std::string::npos);
+}
+
+TEST(Vm2, Shape)
+{
+    MachineDescription m = buildVm2();
+    EXPECT_EQ(m.name(), "VM-2");
+    EXPECT_FALSE(m.hasMultiway());
+    EXPECT_EQ(m.memLatency(), 3u);
+    // No inc/dec/neg/rotate hardware.
+    EXPECT_TRUE(m.uopsOfKind(UKind::Inc).empty());
+    EXPECT_TRUE(m.uopsOfKind(UKind::Dec).empty());
+    EXPECT_TRUE(m.uopsOfKind(UKind::Neg).empty());
+    EXPECT_TRUE(m.uopsOfKind(UKind::Rol).empty());
+    EXPECT_TRUE(m.uopsOfKind(UKind::Push).empty());
+}
+
+TEST(Vm2, BankRestrictions)
+{
+    MachineDescription m = buildVm2();
+    RegId r0 = *m.findRegister("r0");
+    RegId r4 = *m.findRegister("r4");
+    auto add = *m.findUop("add");
+
+    BoundOp ok;
+    ok.spec = add;
+    ok.dst = r0;
+    ok.srcA = r0;
+    ok.srcB = r4;
+    EXPECT_TRUE(m.checkOperands(ok));
+
+    // Left operand from the right bank is illegal.
+    BoundOp bad = ok;
+    bad.srcA = r4;
+    std::string why;
+    EXPECT_FALSE(m.checkOperands(bad, &why));
+}
+
+TEST(Vm2, MoverSharesResultBus)
+{
+    MachineDescription m = buildVm2();
+    BoundOp mv;
+    mv.spec = *m.findUop("mov");
+    mv.dst = *m.findRegister("a0");
+    mv.srcA = *m.findRegister("r0");
+    BoundOp add;
+    add.spec = *m.findUop("add");
+    add.dst = *m.findRegister("r1");
+    add.srcA = *m.findRegister("r0");
+    add.srcB = *m.findRegister("r4");
+    // The mover borrows the ALU destination field, so the two can
+    // never share a word regardless of phase awareness.
+    EXPECT_TRUE(m.conflict(mv, add, false));
+    EXPECT_TRUE(m.conflict(mv, add, true));
+}
+
+TEST(Vm2, NarrowImmediate)
+{
+    MachineDescription m = buildVm2();
+    BoundOp op;
+    op.spec = *m.findUop("addi");
+    op.dst = *m.findRegister("r0");
+    op.srcA = *m.findRegister("r0");
+    op.useImm = true;
+    op.imm = 0x1ff;     // 9 bits: too wide for the 8-bit field
+    std::string why;
+    EXPECT_FALSE(m.checkOperands(op, &why));
+    EXPECT_NE(why.find("wide"), std::string::npos);
+    op.imm = 0xff;
+    EXPECT_TRUE(m.checkOperands(op, &why)) << why;
+}
+
+TEST(Vs3, VerticalOneOpPerWord)
+{
+    MachineDescription m = buildVs3();
+    EXPECT_TRUE(m.vertical());
+    EXPECT_EQ(m.numPhases(), 1u);
+    EXPECT_EQ(m.controlWordBits(), 24u);
+
+    BoundOp a;
+    a.spec = *m.findUop("mov");
+    a.dst = *m.findRegister("r1");
+    a.srcA = *m.findRegister("r2");
+    BoundOp b = a;
+    b.dst = *m.findRegister("r3");
+    std::vector<BoundOp> two = {a, b};
+    std::string why;
+    EXPECT_FALSE(m.wordLegal(two, true, &why));
+    EXPECT_NE(why.find("vertical"), std::string::npos);
+    std::vector<BoundOp> one = {a};
+    EXPECT_TRUE(m.wordLegal(one, true, &why)) << why;
+}
+
+TEST(MachineDesc, DuplicateRegisterFatal)
+{
+    MachineDescription m("T", 16);
+    m.addRegister("x", 16, 1);
+    EXPECT_THROW(m.addRegister("x", 16, 1), FatalError);
+}
+
+TEST(MachineDesc, DuplicateUopFatal)
+{
+    MachineDescription m("T", 16);
+    MicroOpSpec s;
+    s.mnemonic = "foo";
+    m.addMicroOp(s);
+    MicroOpSpec t;
+    t.mnemonic = "foo";
+    EXPECT_THROW(m.addMicroOp(t), FatalError);
+}
+
+TEST(MachineDesc, PhaseRangeChecked)
+{
+    MachineDescription m("T", 16);
+    m.setNumPhases(2);
+    MicroOpSpec s;
+    s.mnemonic = "bad";
+    s.phase = 3;
+    EXPECT_THROW(m.addMicroOp(s), FatalError);
+}
+
+TEST(MachineDesc, RenderOp)
+{
+    MachineDescription m = buildHm1();
+    BoundOp op;
+    op.spec = *m.findUop("add");
+    op.dst = *m.findRegister("r1");
+    op.srcA = *m.findRegister("r2");
+    op.srcB = *m.findRegister("r3");
+    EXPECT_EQ(m.renderOp(op), "add r1,r2,r3");
+}
+
+} // namespace
+} // namespace uhll

@@ -1,0 +1,204 @@
+/** @file Unit tests for the microassembler. */
+
+#include <gtest/gtest.h>
+
+#include "masm/masm.hh"
+#include "machine/machines/machines.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+namespace {
+
+class MasmTest : public ::testing::Test
+{
+  protected:
+    MachineDescription m = buildHm1();
+    MicroAssembler as{m};
+};
+
+TEST_F(MasmTest, EmptyProgram)
+{
+    ControlStore cs = as.assemble("; nothing here\n\n");
+    EXPECT_TRUE(cs.empty());
+}
+
+TEST_F(MasmTest, SingleWord)
+{
+    ControlStore cs = as.assemble(
+        ".entry main\n"
+        "main_lbl:\n"
+        "  [ addi r1, r1, #1 ] halt\n");
+    ASSERT_EQ(cs.size(), 1u);
+    EXPECT_EQ(cs.entry("main"), 0u);
+    const MicroInstruction &mi = cs.word(0);
+    ASSERT_EQ(mi.ops.size(), 1u);
+    EXPECT_EQ(mi.seq, SeqKind::Halt);
+    EXPECT_TRUE(mi.ops[0].useImm);
+    EXPECT_EQ(mi.ops[0].imm, 1u);
+}
+
+TEST_F(MasmTest, ParallelOps)
+{
+    ControlStore cs = as.assemble(
+        "[ mova r1, r2 | movb r3, r4 | add r5, r6, r7 ]\n");
+    ASSERT_EQ(cs.size(), 1u);
+    EXPECT_EQ(cs.word(0).ops.size(), 3u);
+}
+
+TEST_F(MasmTest, LabelsAndJumps)
+{
+    ControlStore cs = as.assemble(
+        "start:\n"
+        "  [ ldi r1, #0 ]\n"
+        "loop:\n"
+        "  [ addi r1, r1, #1 ]\n"
+        "  [ cmpi r1, #10 ] if nz jump loop\n"
+        "  [ ] halt\n");
+    ASSERT_EQ(cs.size(), 4u);
+    EXPECT_EQ(cs.word(2).seq, SeqKind::CondJump);
+    EXPECT_EQ(cs.word(2).cond, Cond::NZ);
+    EXPECT_EQ(cs.word(2).target, 1u);
+}
+
+TEST_F(MasmTest, ForwardReference)
+{
+    ControlStore cs = as.assemble(
+        "  [ ] jump end\n"
+        "  [ ldi r1, #1 ]\n"
+        "end:\n"
+        "  [ ] halt\n");
+    EXPECT_EQ(cs.word(0).target, 2u);
+}
+
+TEST_F(MasmTest, CallReturn)
+{
+    ControlStore cs = as.assemble(
+        "  [ ] call sub\n"
+        "  [ ] halt\n"
+        "sub:\n"
+        "  [ ] return\n");
+    EXPECT_EQ(cs.word(0).seq, SeqKind::Call);
+    EXPECT_EQ(cs.word(0).target, 2u);
+    EXPECT_EQ(cs.word(2).seq, SeqKind::Return);
+}
+
+TEST_F(MasmTest, Multiway)
+{
+    ControlStore cs = as.assemble(
+        "  [ ] mbranch r4, #0x03, table\n"
+        "table:\n"
+        "  [ ] halt\n"
+        "  [ ] halt\n");
+    EXPECT_EQ(cs.word(0).seq, SeqKind::Multiway);
+    EXPECT_EQ(cs.word(0).mwMask, 3u);
+    EXPECT_EQ(cs.word(0).target, 1u);
+}
+
+TEST_F(MasmTest, OverlapSuffix)
+{
+    ControlStore cs = as.assemble("[ memrd.ov mbr, mar ]\n");
+    EXPECT_TRUE(cs.word(0).ops[0].overlap);
+}
+
+TEST_F(MasmTest, RestartDirective)
+{
+    ControlStore cs = as.assemble(
+        "[ ldi r1, #0 ]\n"
+        ".restart\n"
+        "[ addi r1, r1, #1 ] halt\n");
+    EXPECT_FALSE(cs.word(0).restart);
+    EXPECT_TRUE(cs.word(1).restart);
+}
+
+TEST_F(MasmTest, NumberBases)
+{
+    ControlStore cs = as.assemble(
+        "[ ldi r1, #0x10 ]\n"
+        "[ ldi r2, #0b101 ]\n"
+        "[ ldi r3, #0o17 ]\n"
+        "[ ldi r4, #42 ]\n");
+    EXPECT_EQ(cs.word(0).ops[0].imm, 16u);
+    EXPECT_EQ(cs.word(1).ops[0].imm, 5u);
+    EXPECT_EQ(cs.word(2).ops[0].imm, 15u);
+    EXPECT_EQ(cs.word(3).ops[0].imm, 42u);
+}
+
+TEST_F(MasmTest, RejectsConflictingWord)
+{
+    EXPECT_THROW(
+        as.assemble("[ add r1, r2, r3 | sub r4, r5, r6 ]\n"),
+        FatalError);
+}
+
+TEST_F(MasmTest, RejectsUnknownMnemonic)
+{
+    EXPECT_THROW(as.assemble("[ frobnicate r1 ]\n"), FatalError);
+}
+
+TEST_F(MasmTest, RejectsUnknownRegister)
+{
+    EXPECT_THROW(as.assemble("[ mova r1, r99 ]\n"), FatalError);
+}
+
+TEST_F(MasmTest, RejectsUndefinedLabel)
+{
+    EXPECT_THROW(as.assemble("[ ] jump nowhere\n"), FatalError);
+}
+
+TEST_F(MasmTest, RejectsDuplicateLabel)
+{
+    EXPECT_THROW(
+        as.assemble("a:\n[ ] halt\na:\n[ ] halt\n"), FatalError);
+}
+
+TEST_F(MasmTest, RejectsClassViolation)
+{
+    // memrd destination cannot be mar.
+    EXPECT_THROW(as.assemble("[ memrd mar, r1 ]\n"), FatalError);
+}
+
+TEST_F(MasmTest, RejectsWideImmediate)
+{
+    // shift count field is 4 bits on HM-1.
+    EXPECT_THROW(as.assemble("[ shl r1, r2, #99 ]\n"), FatalError);
+}
+
+TEST(MasmVm2, RejectsMultiwayOnVm2)
+{
+    MachineDescription m = buildVm2();
+    MicroAssembler as(m);
+    EXPECT_THROW(
+        as.assemble("[ ] mbranch r0, #1, t\nt:\n[ ] halt\n"),
+        FatalError);
+}
+
+TEST(MasmVm2, RejectsBankViolation)
+{
+    MachineDescription m = buildVm2();
+    MicroAssembler as(m);
+    // srcA must come from the left bank (r0-r3).
+    EXPECT_THROW(as.assemble("[ add r0, r4, r5 ]\n"), FatalError);
+}
+
+TEST(MasmVs3, RejectsTwoOpsPerWord)
+{
+    MachineDescription m = buildVs3();
+    MicroAssembler as(m);
+    EXPECT_THROW(as.assemble("[ mov r1, r2 | mov r3, r4 ]\n"),
+                 FatalError);
+}
+
+TEST_F(MasmTest, ListingRoundTrip)
+{
+    ControlStore cs = as.assemble(
+        ".entry main\n"
+        "main:\n"
+        "  [ addi r1, r1, #1 ] jump main\n");
+    std::string listing = cs.listing();
+    EXPECT_NE(listing.find("main:"), std::string::npos);
+    EXPECT_NE(listing.find("addi"), std::string::npos);
+    EXPECT_NE(listing.find("jump 0"), std::string::npos);
+}
+
+} // namespace
+} // namespace uhll

@@ -1,0 +1,269 @@
+/** @file Unit tests for MIR structure and the reference interpreter. */
+
+#include <gtest/gtest.h>
+
+#include "mir/interp.hh"
+#include "mir/mir.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+namespace {
+
+/** Tiny builder for single-function test programs. */
+struct ProgBuilder {
+    MirProgram prog;
+    uint32_t fn;
+
+    ProgBuilder() { fn = prog.addFunction("main"); }
+
+    uint32_t
+    block()
+    {
+        return prog.func(fn).newBlock();
+    }
+
+    BasicBlock &
+    bb(uint32_t b)
+    {
+        return prog.func(fn).blocks[b];
+    }
+};
+
+TEST(Mir, VRegNaming)
+{
+    MirProgram p;
+    VReg a = p.newVReg("alpha");
+    VReg b = p.newVReg();
+    EXPECT_EQ(p.vregName(a), "alpha");
+    EXPECT_EQ(p.vregName(b), "v1");
+    EXPECT_EQ(p.findVReg("alpha"), a);
+    EXPECT_FALSE(p.findVReg("beta").has_value());
+    EXPECT_THROW(p.newVReg("alpha"), FatalError);
+}
+
+TEST(Mir, Bindings)
+{
+    MirProgram p;
+    VReg a = p.newVReg("a");
+    EXPECT_FALSE(p.binding(a).has_value());
+    p.bind(a, 5);
+    EXPECT_EQ(p.binding(a), RegId(5));
+}
+
+TEST(Mir, ValidateCatchesBadBlock)
+{
+    ProgBuilder pb;
+    uint32_t b = pb.block();
+    pb.bb(b).term = jumpTerm(99);
+    EXPECT_THROW(pb.prog.validate(), PanicError);
+}
+
+TEST(Mir, ValidateCatchesMissingOperand)
+{
+    ProgBuilder pb;
+    uint32_t b = pb.block();
+    MInst bad;
+    bad.op = UKind::Add;    // no operands at all
+    pb.bb(b).insts.push_back(bad);
+    EXPECT_THROW(pb.prog.validate(), PanicError);
+}
+
+TEST(Mir, DumpMentionsEverything)
+{
+    ProgBuilder pb;
+    VReg x = pb.prog.newVReg("x");
+    uint32_t b = pb.block();
+    pb.bb(b).insts.push_back(mi::ldi(x, 7));
+    pb.bb(b).insts.push_back(mi::binopImm(UKind::Add, x, x, 1));
+    std::string d = pb.prog.dump();
+    EXPECT_NE(d.find("func main"), std::string::npos);
+    EXPECT_NE(d.find("ldi x"), std::string::npos);
+    EXPECT_NE(d.find("add x,x,#1"), std::string::npos);
+}
+
+class InterpTest : public ::testing::Test
+{
+  protected:
+    MainMemory mem{0x10000, 16};
+
+    uint64_t
+    runAndGet(MirProgram &p, const std::string &var)
+    {
+        p.validate();
+        MirInterpreter it(p, mem, 16);
+        auto res = it.run();
+        EXPECT_TRUE(res.halted);
+        return it.getVReg(var);
+    }
+};
+
+TEST_F(InterpTest, StraightLineArithmetic)
+{
+    ProgBuilder pb;
+    VReg a = pb.prog.newVReg("a"), b = pb.prog.newVReg("b");
+    VReg c = pb.prog.newVReg("c");
+    uint32_t blk = pb.block();
+    pb.bb(blk).insts = {
+        mi::ldi(a, 1000),
+        mi::ldi(b, 234),
+        mi::binop(UKind::Add, c, a, b),
+        mi::binopImm(UKind::Shl, c, c, 2),
+        mi::unop(UKind::Not, c, c),
+    };
+    EXPECT_EQ(runAndGet(pb.prog, "c"), uint64_t(~(1234u << 2)) & 0xffff);
+}
+
+TEST_F(InterpTest, LoopWithBranch)
+{
+    // sum = 0; i = 0; while (i != 10) { sum += i; i += 1 }
+    ProgBuilder pb;
+    VReg sum = pb.prog.newVReg("sum"), i = pb.prog.newVReg("i");
+    uint32_t entry = pb.block(), hdr = pb.block(), body = pb.block(),
+             done = pb.block();
+    pb.bb(entry).insts = {mi::ldi(sum, 0), mi::ldi(i, 0)};
+    pb.bb(entry).term = jumpTerm(hdr);
+    pb.bb(hdr).insts = {mi::cmpImm(i, 10)};
+    pb.bb(hdr).term.kind = Terminator::Kind::Branch;
+    pb.bb(hdr).term.cc = Cond::Z;
+    pb.bb(hdr).term.target = done;
+    pb.bb(hdr).term.fallthrough = body;
+    pb.bb(body).insts = {mi::binop(UKind::Add, sum, sum, i),
+                         mi::binopImm(UKind::Add, i, i, 1)};
+    pb.bb(body).term = jumpTerm(hdr);
+    EXPECT_EQ(runAndGet(pb.prog, "sum"), 45u);
+}
+
+TEST_F(InterpTest, MemoryOps)
+{
+    ProgBuilder pb;
+    VReg addr = pb.prog.newVReg("addr"), v = pb.prog.newVReg("v");
+    mem.poke(0x500, 42);
+    uint32_t blk = pb.block();
+    pb.bb(blk).insts = {
+        mi::ldi(addr, 0x500),
+        mi::load(v, addr),
+        mi::binopImm(UKind::Add, v, v, 1),
+        mi::binopImm(UKind::Add, addr, addr, 1),
+        mi::store(addr, v),
+    };
+    pb.prog.validate();
+    MirInterpreter it(pb.prog, mem, 16);
+    auto res = it.run();
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(mem.peek(0x501), 43u);
+    EXPECT_EQ(res.memReads, 1u);
+    EXPECT_EQ(res.memWrites, 1u);
+}
+
+TEST_F(InterpTest, PushPop)
+{
+    ProgBuilder pb;
+    VReg sp = pb.prog.newVReg("sp"), x = pb.prog.newVReg("x");
+    VReg y = pb.prog.newVReg("y");
+    uint32_t blk = pb.block();
+    MInst push;
+    push.op = UKind::Push;
+    push.a = sp;
+    push.b = x;
+    MInst pop;
+    pop.op = UKind::Pop;
+    pop.dst = y;
+    pop.a = sp;
+    pb.bb(blk).insts = {mi::ldi(sp, 0x600), mi::ldi(x, 99), push, pop};
+    pb.prog.validate();
+    MirInterpreter it(pb.prog, mem, 16);
+    auto res = it.run();
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(it.getVReg("y"), 99u);
+    EXPECT_EQ(it.getVReg("sp"), 0x600u);
+}
+
+TEST_F(InterpTest, CaseDispatch)
+{
+    ProgBuilder pb;
+    VReg sel = pb.prog.newVReg("sel"), out = pb.prog.newVReg("out");
+    uint32_t entry = pb.block();
+    std::vector<uint32_t> arms;
+    for (int i = 0; i < 4; ++i)
+        arms.push_back(pb.block());
+    pb.bb(entry).term.kind = Terminator::Kind::Case;
+    pb.bb(entry).term.caseReg = sel;
+    pb.bb(entry).term.caseMask = 0x3;
+    pb.bb(entry).term.caseTargets = arms;
+    for (int i = 0; i < 4; ++i)
+        pb.bb(arms[i]).insts = {mi::ldi(out, 100 + i)};
+    pb.prog.validate();
+    for (uint64_t s : {0u, 1u, 2u, 3u}) {
+        MirInterpreter it(pb.prog, mem, 16);
+        it.setVReg("sel", s);
+        auto res = it.run();
+        EXPECT_TRUE(res.halted);
+        EXPECT_EQ(it.getVReg("out"), 100 + s);
+    }
+}
+
+TEST_F(InterpTest, CallAndReturn)
+{
+    MirProgram p;
+    VReg x = p.newVReg("x");
+    uint32_t mainf = p.addFunction("main");
+    uint32_t subf = p.addFunction("sub");
+    uint32_t m0 = p.func(mainf).newBlock();
+    uint32_t m1 = p.func(mainf).newBlock();
+    p.func(mainf).blocks[m0].insts = {mi::ldi(x, 1)};
+    p.func(mainf).blocks[m0].term.kind = Terminator::Kind::Call;
+    p.func(mainf).blocks[m0].term.callee = subf;
+    p.func(mainf).blocks[m0].term.target = m1;
+    p.func(mainf).blocks[m1].insts = {
+        mi::binopImm(UKind::Add, x, x, 100)};
+    uint32_t s0 = p.func(subf).newBlock();
+    p.func(subf).blocks[s0].insts = {
+        mi::binopImm(UKind::Add, x, x, 10)};
+    p.func(subf).blocks[s0].term.kind = Terminator::Kind::Ret;
+    p.validate();
+    MirInterpreter it(p, mem, 16);
+    auto res = it.run();
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(it.getVReg("x"), 111u);
+}
+
+TEST_F(InterpTest, UfFlagAfterShift)
+{
+    ProgBuilder pb;
+    VReg a = pb.prog.newVReg("a"), out = pb.prog.newVReg("out");
+    uint32_t entry = pb.block(), took = pb.block(), not_took =
+        pb.block();
+    pb.bb(entry).insts = {mi::ldi(a, 1),
+                          mi::binopImm(UKind::Shr, a, a, 1)};
+    pb.bb(entry).term.kind = Terminator::Kind::Branch;
+    pb.bb(entry).term.cc = Cond::UF;
+    pb.bb(entry).term.target = took;
+    pb.bb(entry).term.fallthrough = not_took;
+    pb.bb(took).insts = {mi::ldi(out, 1)};
+    pb.bb(not_took).insts = {mi::ldi(out, 0)};
+    EXPECT_EQ(runAndGet(pb.prog, "out"), 1u);
+}
+
+TEST_F(InterpTest, StepBudget)
+{
+    ProgBuilder pb;
+    uint32_t b = pb.block();
+    pb.bb(b).term = jumpTerm(b);
+    pb.prog.validate();
+    MirInterpreter it(pb.prog, mem, 16);
+    auto res = it.run(0, 1000);
+    EXPECT_FALSE(res.halted);
+}
+
+TEST_F(InterpTest, SixteenBitWraparound)
+{
+    ProgBuilder pb;
+    VReg a = pb.prog.newVReg("a");
+    uint32_t b = pb.block();
+    pb.bb(b).insts = {mi::ldi(a, 0xFFFF),
+                      mi::binopImm(UKind::Add, a, a, 2)};
+    EXPECT_EQ(runAndGet(pb.prog, "a"), 1u);
+}
+
+} // namespace
+} // namespace uhll

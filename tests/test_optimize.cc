@@ -1,0 +1,192 @@
+/** @file Tests for the MIR optimiser (copy propagation + dead-move
+ * elimination). */
+
+#include <gtest/gtest.h>
+
+#include "codegen/compiler.hh"
+#include "lang/empl/empl.hh"
+#include "machine/machines/machines.hh"
+#include "mir/interp.hh"
+
+namespace uhll {
+namespace {
+
+struct ProgBuilder {
+    MirProgram prog;
+    uint32_t fn;
+
+    ProgBuilder() { fn = prog.addFunction("main"); }
+
+    uint32_t
+    block()
+    {
+        return prog.func(fn).newBlock();
+    }
+
+    BasicBlock &
+    bb(uint32_t b)
+    {
+        return prog.func(fn).blocks[b];
+    }
+};
+
+TEST(Optimize, PropagatesAndRemovesCopies)
+{
+    ProgBuilder pb;
+    VReg a = pb.prog.newVReg("a"), b = pb.prog.newVReg("b");
+    VReg c = pb.prog.newVReg("c");
+    pb.prog.markObservable(a);
+    pb.prog.markObservable(c);
+    uint32_t blk = pb.block();
+    pb.bb(blk).insts = {
+        mi::mov(b, a),                      // b is a mere alias
+        mi::binopImm(UKind::Add, c, b, 1),  // uses the alias
+    };
+    uint32_t changes = optimizeMir(pb.prog);
+    EXPECT_GE(changes, 2u);     // one propagation, one removal
+    ASSERT_EQ(pb.prog.func(0).blocks[0].insts.size(), 1u);
+    const MInst &ins = pb.prog.func(0).blocks[0].insts[0];
+    EXPECT_EQ(ins.op, UKind::Add);
+    EXPECT_EQ(ins.a, a);        // reads a directly now
+}
+
+TEST(Optimize, CopyInvalidatedByRedefinition)
+{
+    ProgBuilder pb;
+    VReg a = pb.prog.newVReg("a"), b = pb.prog.newVReg("b");
+    VReg c = pb.prog.newVReg("c");
+    pb.prog.markObservable(b);
+    pb.prog.markObservable(c);
+    uint32_t blk = pb.block();
+    pb.bb(blk).insts = {
+        mi::mov(b, a),
+        mi::binopImm(UKind::Add, a, a, 1),  // a changes!
+        mi::mov(c, b),                      // must keep the OLD a
+    };
+    optimizeMir(pb.prog);
+    // c := b must not have become c := a.
+    const auto &insts = pb.prog.func(0).blocks[0].insts;
+    bool reads_b = false;
+    for (const MInst &ins : insts) {
+        if (ins.dst == c)
+            reads_b = ins.a == b;
+    }
+    EXPECT_TRUE(reads_b);
+}
+
+TEST(Optimize, KeepsObservableMoves)
+{
+    ProgBuilder pb;
+    VReg a = pb.prog.newVReg("a"), b = pb.prog.newVReg("b");
+    pb.prog.markObservable(a);
+    pb.prog.markObservable(b);
+    uint32_t blk = pb.block();
+    pb.bb(blk).insts = {mi::mov(b, a)};
+    optimizeMir(pb.prog);
+    EXPECT_EQ(pb.prog.func(0).blocks[0].insts.size(), 1u);
+}
+
+TEST(Optimize, NeverReplacesModifiedStackPointer)
+{
+    // push modifies its srcA: the alias must not be substituted or
+    // the update would land in the wrong register.
+    ProgBuilder pb;
+    VReg sp0 = pb.prog.newVReg("sp0"), sp = pb.prog.newVReg("sp");
+    VReg x = pb.prog.newVReg("x");
+    pb.prog.markObservable(sp0);
+    pb.prog.markObservable(sp);
+    pb.prog.markObservable(x);
+    uint32_t blk = pb.block();
+    MInst push;
+    push.op = UKind::Push;
+    push.a = sp;
+    push.b = x;
+    pb.bb(blk).insts = {mi::mov(sp, sp0), push};
+    optimizeMir(pb.prog);
+    const auto &insts = pb.prog.func(0).blocks[0].insts;
+    ASSERT_EQ(insts.size(), 2u);
+    EXPECT_EQ(insts[1].a, sp);  // untouched
+}
+
+TEST(Optimize, FlagSettersSurvive)
+{
+    // A Cmp (or any flag setter) feeding a branch must never be
+    // removed even when it writes nothing.
+    ProgBuilder pb;
+    VReg a = pb.prog.newVReg("a"), out = pb.prog.newVReg("out");
+    pb.prog.markObservable(out);
+    uint32_t entry = pb.block(), t = pb.block(), e = pb.block();
+    pb.bb(entry).insts = {mi::cmpImm(a, 5)};
+    pb.bb(entry).term.kind = Terminator::Kind::Branch;
+    pb.bb(entry).term.cc = Cond::Z;
+    pb.bb(entry).term.target = t;
+    pb.bb(entry).term.fallthrough = e;
+    pb.bb(t).insts = {mi::ldi(out, 1)};
+    pb.bb(e).insts = {mi::ldi(out, 2)};
+    optimizeMir(pb.prog);
+    EXPECT_EQ(pb.prog.func(0).blocks[entry].insts.size(), 1u);
+}
+
+TEST(Optimize, EmplBenefits)
+{
+    // EMPL's temp-heavy emission leaves copies behind; the optimiser
+    // and the unoptimised pipeline must agree on results while the
+    // optimised code is no larger.
+    MachineDescription m = buildHm1();
+    const char *src = R"(
+DECLARE A FIXED;
+DECLARE B FIXED;
+DECLARE T FIXED;
+MAIN: PROCEDURE;
+    T = A;
+    B = T + 1;
+    T = B;
+    A = T SHL 2;
+END;
+)";
+    MirProgram prog = parseEmpl(src, m, {});
+    Compiler comp(m);
+    CompileOptions on, off;
+    off.optimize = false;
+    CompiledProgram cp_on = comp.compile(prog, on);
+    CompiledProgram cp_off = comp.compile(prog, off);
+    EXPECT_LE(cp_on.stats.words, cp_off.stats.words);
+
+    for (auto *cp : {&cp_on, &cp_off}) {
+        MainMemory mem(0x1000, 16);
+        MicroSimulator sim(cp->store, mem);
+        setVar(prog, *cp, sim, mem, "a", 10);
+        auto res = sim.run("main");
+        ASSERT_TRUE(res.halted);
+        EXPECT_EQ(getVar(prog, *cp, sim, mem, "a"), 44u);
+        EXPECT_EQ(getVar(prog, *cp, sim, mem, "b"), 11u);
+    }
+}
+
+TEST(Optimize, DeadLoadRemoved)
+{
+    ProgBuilder pb;
+    VReg a = pb.prog.newVReg("a"), d = pb.prog.newVReg("d");
+    pb.prog.markObservable(a);
+    uint32_t blk = pb.block();
+    pb.bb(blk).insts = {
+        mi::load(d, a),     // result never used
+        mi::binopImm(UKind::Add, a, a, 1),
+    };
+    optimizeMir(pb.prog);
+    EXPECT_EQ(pb.prog.func(0).blocks[0].insts.size(), 1u);
+}
+
+TEST(Optimize, StoreNeverRemoved)
+{
+    ProgBuilder pb;
+    VReg a = pb.prog.newVReg("a"), v = pb.prog.newVReg("v");
+    pb.prog.markObservable(a);
+    uint32_t blk = pb.block();
+    pb.bb(blk).insts = {mi::store(a, v)};
+    optimizeMir(pb.prog);
+    EXPECT_EQ(pb.prog.func(0).blocks[0].insts.size(), 1u);
+}
+
+} // namespace
+} // namespace uhll

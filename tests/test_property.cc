@@ -1,0 +1,431 @@
+/**
+ * @file
+ * Property tests over random *structured* programs: loops, branches
+ * and case dispatch generated from a seeded grammar, executed in the
+ * MIR reference interpreter and as compiled microcode on every
+ * machine under several compactors -- observable state must agree.
+ * This is the widest net in the suite.
+ */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "codegen/compiler.hh"
+#include "lang/common/lexer.hh"
+#include "lang/simpl/simpl.hh"
+#include "machine/machines/machines.hh"
+#include "mir/interp.hh"
+#include "schedule/compact.hh"
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+namespace {
+
+/**
+ * Generates random structured programs. Loops are always bounded: a
+ * dedicated counter vreg per loop counts down from a small constant.
+ */
+class ProgramGen
+{
+  public:
+    explicit ProgramGen(unsigned seed) : rng_(seed) {}
+
+    MirProgram
+    generate()
+    {
+        prog_ = MirProgram();
+        fn_ = prog_.addFunction("main");
+        vars_.clear();
+        for (int i = 0; i < 6; ++i) {
+            vars_.push_back(prog_.newVReg("g" + std::to_string(i)));
+            prog_.markObservable(vars_.back());
+        }
+        cur_ = prog_.func(fn_).newBlock();
+        emitStmts(3 + rng_() % 5, 2);
+        // Reference every variable at the end.
+        for (size_t i = 1; i < vars_.size(); ++i) {
+            block().insts.push_back(
+                mi::binop(UKind::Xor, vars_[0], vars_[0], vars_[i]));
+        }
+        prog_.validate();
+        return std::move(prog_);
+    }
+
+  private:
+    BasicBlock &
+    block()
+    {
+        return prog_.func(fn_).blocks[cur_];
+    }
+
+    VReg
+    rv()
+    {
+        return vars_[rng_() % vars_.size()];
+    }
+
+    void
+    emitSimple()
+    {
+        switch (rng_() % 8) {
+          case 0:
+            block().insts.push_back(mi::ldi(rv(), rng_() & 0xffff));
+            break;
+          case 1:
+            block().insts.push_back(mi::mov(rv(), rv()));
+            break;
+          case 2:
+            block().insts.push_back(
+                mi::binopImm(UKind::Shl, rv(), rv(), rng_() % 16));
+            break;
+          case 3:
+            block().insts.push_back(
+                mi::binopImm(UKind::Rol, rv(), rv(), rng_() % 16));
+            break;
+          case 4: {
+            // bounded memory access in [0x400, 0x43F]
+            VReg addr = prog_.newVReg();
+            block().insts.push_back(
+                mi::binopImm(UKind::And, addr, rv(), 0x3F));
+            block().insts.push_back(
+                mi::binopImm(UKind::Add, addr, addr, 0x400));
+            if (rng_() % 2)
+                block().insts.push_back(mi::store(addr, rv()));
+            else
+                block().insts.push_back(mi::load(rv(), addr));
+            break;
+          }
+          default: {
+            static const UKind kinds[] = {UKind::Add, UKind::Sub,
+                                          UKind::And, UKind::Or,
+                                          UKind::Xor};
+            block().insts.push_back(
+                mi::binop(kinds[rng_() % 5], rv(), rv(), rv()));
+            break;
+          }
+        }
+    }
+
+    void
+    emitIf(int depth)
+    {
+        block().insts.push_back(mi::cmpImm(rv(), rng_() & 0xFF));
+        uint32_t then_b = prog_.func(fn_).newBlock();
+        uint32_t else_b = prog_.func(fn_).newBlock();
+        uint32_t join = prog_.func(fn_).newBlock();
+        static const Cond ccs[] = {Cond::Z, Cond::NZ, Cond::C,
+                                   Cond::NC};
+        block().term.kind = Terminator::Kind::Branch;
+        block().term.cc = ccs[rng_() % 4];
+        block().term.target = then_b;
+        block().term.fallthrough = else_b;
+
+        cur_ = then_b;
+        emitStmts(1 + rng_() % 3, depth - 1);
+        block().term = jumpTerm(join);
+        cur_ = else_b;
+        emitStmts(rng_() % 3, depth - 1);
+        block().term = jumpTerm(join);
+        cur_ = join;
+    }
+
+    void
+    emitLoop(int depth)
+    {
+        VReg counter = prog_.newVReg();
+        block().insts.push_back(
+            mi::ldi(counter, 1 + rng_() % 6));
+        uint32_t hdr = prog_.func(fn_).newBlock();
+        uint32_t body = prog_.func(fn_).newBlock();
+        uint32_t exit = prog_.func(fn_).newBlock();
+        block().term = jumpTerm(hdr);
+        cur_ = hdr;
+        block().insts.push_back(mi::cmpImm(counter, 0));
+        block().term.kind = Terminator::Kind::Branch;
+        block().term.cc = Cond::Z;
+        block().term.target = exit;
+        block().term.fallthrough = body;
+        cur_ = body;
+        emitStmts(1 + rng_() % 3, depth - 1);
+        block().insts.push_back(
+            mi::binopImm(UKind::Sub, counter, counter, 1));
+        block().term = jumpTerm(hdr);
+        cur_ = exit;
+    }
+
+    void
+    emitCase(int depth)
+    {
+        VReg sel = rv();
+        uint32_t join = prog_.func(fn_).newBlock();
+        Terminator t;
+        t.kind = Terminator::Kind::Case;
+        t.caseReg = sel;
+        t.caseMask = 0x3;
+        std::vector<uint32_t> arms;
+        for (int i = 0; i < 4; ++i)
+            arms.push_back(prog_.func(fn_).newBlock());
+        t.caseTargets = arms;
+        block().term = std::move(t);
+        for (uint32_t arm : arms) {
+            cur_ = arm;
+            emitStmts(rng_() % 2 + 1, depth - 1);
+            block().term = jumpTerm(join);
+        }
+        cur_ = join;
+    }
+
+    void
+    emitStmts(size_t n, int depth)
+    {
+        for (size_t i = 0; i < n; ++i) {
+            unsigned pick = rng_() % 10;
+            if (depth > 0 && pick == 0)
+                emitIf(depth);
+            else if (depth > 0 && pick == 1)
+                emitLoop(depth);
+            else if (depth > 0 && pick == 2)
+                emitCase(depth);
+            else
+                emitSimple();
+        }
+    }
+
+    std::mt19937 rng_;
+    MirProgram prog_;
+    uint32_t fn_ = 0;
+    uint32_t cur_ = 0;
+    std::vector<VReg> vars_;
+};
+
+struct Param {
+    const char *machine;
+    const char *compactor;
+    unsigned seed;
+};
+
+class StructuredDiff : public ::testing::TestWithParam<Param>
+{
+};
+
+TEST_P(StructuredDiff, InterpreterAndMachineAgree)
+{
+    MachineDescription m = [&] {
+        std::string n = GetParam().machine;
+        if (n == "HM-1")
+            return buildHm1();
+        if (n == "VM-2")
+            return buildVm2();
+        return buildVs3();
+    }();
+    std::unique_ptr<Compactor> compactor;
+    {
+        std::string c = GetParam().compactor;
+        if (c == "linear")
+            compactor = std::make_unique<LinearCompactor>();
+        else if (c == "tokoro")
+            compactor = std::make_unique<TokoroCompactor>();
+        else
+            compactor = std::make_unique<DasguptaTartarCompactor>();
+    }
+
+    std::mt19937 seeder(GetParam().seed);
+    for (int trial = 0; trial < 8; ++trial) {
+        ProgramGen gen(seeder());
+        MirProgram prog = gen.generate();
+
+        MainMemory mem_i(0x10000, 16), mem_s(0x10000, 16);
+        std::mt19937 init(seeder());
+        std::vector<std::pair<std::string, uint64_t>> inputs;
+        for (int i = 0; i < 6; ++i)
+            inputs.emplace_back("g" + std::to_string(i),
+                                init() & 0xffff);
+        for (uint32_t a = 0x400; a < 0x440; ++a) {
+            uint64_t v = init() & 0xffff;
+            mem_i.poke(a, v);
+            mem_s.poke(a, v);
+        }
+
+        MirInterpreter it(prog, mem_i, 16);
+        for (auto &[n, v] : inputs)
+            it.setVReg(n, v);
+        auto ri = it.run();
+        ASSERT_TRUE(ri.halted);
+
+        CompileOptions opts;
+        opts.compactor = compactor.get();
+        Compiler comp(m);
+        CompiledProgram cp = comp.compile(prog, opts);
+        MicroSimulator sim(cp.store, mem_s);
+        for (auto &[n, v] : inputs)
+            setVar(prog, cp, sim, mem_s, n, v);
+        auto rs = sim.run("main");
+        ASSERT_TRUE(rs.halted)
+            << "trial " << trial << "\n" << prog.dump();
+
+        for (auto &[n, v] : inputs) {
+            (void)v;
+            ASSERT_EQ(it.getVReg(n),
+                      getVar(prog, cp, sim, mem_s, n))
+                << "trial " << trial << " var " << n << " on "
+                << m.name() << "/" << GetParam().compactor << "\n"
+                << prog.dump() << "\n" << cp.store.listing();
+        }
+        for (uint32_t a = 0x400; a < 0x440; ++a) {
+            ASSERT_EQ(mem_i.peek(a), mem_s.peek(a))
+                << "trial " << trial << " mem " << a;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StructuredDiff,
+    ::testing::Values(Param{"HM-1", "tokoro", 101},
+                      Param{"HM-1", "linear", 102},
+                      Param{"HM-1", "dasgupta_tartar", 103},
+                      Param{"VM-2", "tokoro", 104},
+                      Param{"VM-2", "linear", 105},
+                      Param{"VS-3", "tokoro", 106},
+                      Param{"HM-1", "tokoro", 107},
+                      Param{"VM-2", "tokoro", 108}),
+    [](const ::testing::TestParamInfo<Param> &info) {
+        std::string n = std::string(info.param.machine) + "_" +
+                        info.param.compactor + "_" +
+                        std::to_string(info.param.seed);
+        for (auto &c : n) {
+            if (c == '-')
+                c = '_';
+        }
+        return n;
+    });
+
+// ------------------- lexer unit coverage -------------------
+
+TEST(Lexer, Basics)
+{
+    LexOptions o;
+    auto toks = lex("foo 123 0x1F 0b101 -> := ..", o);
+    ASSERT_EQ(toks.size(), 8u);     // 7 tokens + End
+    EXPECT_EQ(toks[0].kind, Token::Kind::Ident);
+    EXPECT_EQ(toks[1].value, 123u);
+    EXPECT_EQ(toks[2].value, 31u);
+    EXPECT_EQ(toks[3].value, 5u);
+    EXPECT_EQ(toks[4].text, "->");
+    EXPECT_EQ(toks[5].text, ":=");
+    EXPECT_EQ(toks[6].text, "..");
+}
+
+TEST(Lexer, CaseFolding)
+{
+    LexOptions o;
+    o.foldCase = true;
+    auto toks = lex("HeLLo", o);
+    EXPECT_EQ(toks[0].text, "hello");
+}
+
+TEST(Lexer, CommentStyles)
+{
+    LexOptions line;
+    line.lineComment = ";";
+    EXPECT_EQ(lex("a ; b c\nd", line).size(), 3u);  // a d End
+
+    LexOptions block;
+    block.blockCommentOpen = "/*";
+    block.blockCommentClose = "*/";
+    EXPECT_EQ(lex("a /* b */ c", block).size(), 3u);
+    EXPECT_THROW(lex("a /* b", block), FatalError);
+
+    LexOptions hash;
+    hash.hashComments = true;
+    EXPECT_EQ(lex("a # b # c", hash).size(), 3u);
+    EXPECT_THROW(lex("a # b", hash), FatalError);
+}
+
+TEST(Lexer, SignificantNewlines)
+{
+    LexOptions o;
+    o.significantNewlines = true;
+    auto toks = lex("a\n\nb\n", o);
+    // a NL b NL End (consecutive newlines collapse)
+    ASSERT_EQ(toks.size(), 5u);
+    EXPECT_EQ(toks[1].kind, Token::Kind::Newline);
+    EXPECT_EQ(toks[3].kind, Token::Kind::Newline);
+}
+
+TEST(Lexer, TokenStreamHelpers)
+{
+    LexOptions o;
+    TokenStream ts(lex("alpha 7 ,", o), "test");
+    EXPECT_TRUE(ts.acceptKeyword("alpha"));
+    EXPECT_EQ(ts.expectInt("n"), 7u);
+    EXPECT_TRUE(ts.acceptPunct(","));
+    EXPECT_TRUE(ts.atEnd());
+    EXPECT_THROW(ts.expectIdent("more"), FatalError);
+}
+
+// ------------------- SIMPL for-statement -------------------
+
+TEST(SimplFor, InclusiveRange)
+{
+    MachineDescription m = buildHm1();
+    MirProgram prog = parseSimpl(
+        "program t;\n"
+        "begin\n"
+        "  0 -> r2;\n"
+        "  for r1 = 1 to 10 do r2 + r1 -> r2;\n"
+        "end\n",
+        m);
+    MainMemory mem(0x1000, 16);
+    Compiler comp(m);
+    CompiledProgram cp = comp.compile(prog, {});
+    MicroSimulator sim(cp.store, mem);
+    auto res = sim.run("t");
+    ASSERT_TRUE(res.halted);
+    EXPECT_EQ(getVar(prog, cp, sim, mem, "r2"), 55u);
+    EXPECT_EQ(getVar(prog, cp, sim, mem, "r1"), 11u);
+}
+
+TEST(SimplFor, RegisterBounds)
+{
+    MachineDescription m = buildHm1();
+    MirProgram prog = parseSimpl(
+        "program t;\n"
+        "begin\n"
+        "  0 -> r2;\n"
+        "  for r1 = r4 to r5 do r2 + 1 -> r2;\n"
+        "end\n",
+        m);
+    MainMemory mem(0x1000, 16);
+    Compiler comp(m);
+    CompiledProgram cp = comp.compile(prog, {});
+    MicroSimulator sim(cp.store, mem);
+    setVar(prog, cp, sim, mem, "r4", 3);
+    setVar(prog, cp, sim, mem, "r5", 7);
+    auto res = sim.run("t");
+    ASSERT_TRUE(res.halted);
+    EXPECT_EQ(getVar(prog, cp, sim, mem, "r2"), 5u);
+}
+
+TEST(SimplFor, EmptyRange)
+{
+    MachineDescription m = buildHm1();
+    MirProgram prog = parseSimpl(
+        "program t;\n"
+        "begin\n"
+        "  0 -> r2;\n"
+        "  for r1 = 5 to 4 do 99 -> r2;\n"
+        "end\n",
+        m);
+    MainMemory mem(0x1000, 16);
+    Compiler comp(m);
+    CompiledProgram cp = comp.compile(prog, {});
+    MicroSimulator sim(cp.store, mem);
+    auto res = sim.run("t");
+    ASSERT_TRUE(res.halted);
+    EXPECT_EQ(getVar(prog, cp, sim, mem, "r2"), 0u);
+}
+
+} // namespace
+} // namespace uhll

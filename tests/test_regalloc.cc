@@ -1,0 +1,249 @@
+/** @file Tests for liveness analysis and the register allocators. */
+
+#include <gtest/gtest.h>
+
+#include "machine/machines/machines.hh"
+#include "regalloc/allocator.hh"
+#include "regalloc/liveness.hh"
+
+namespace uhll {
+namespace {
+
+struct ProgBuilder {
+    MirProgram prog;
+    uint32_t fn;
+
+    ProgBuilder() { fn = prog.addFunction("main"); }
+
+    uint32_t
+    block()
+    {
+        return prog.func(fn).newBlock();
+    }
+
+    BasicBlock &
+    bb(uint32_t b)
+    {
+        return prog.func(fn).blocks[b];
+    }
+};
+
+TEST(Liveness, StraightLine)
+{
+    ProgBuilder pb;
+    VReg a = pb.prog.newVReg("a"), b = pb.prog.newVReg("b");
+    VReg c = pb.prog.newVReg("c");
+    uint32_t blk = pb.block();
+    pb.bb(blk).insts = {
+        mi::ldi(a, 1),
+        mi::ldi(b, 2),
+        mi::binop(UKind::Add, c, a, b),
+    };
+    LivenessInfo li = computeLiveness(pb.prog, 0);
+    EXPECT_FALSE(li.liveIn[0].test(a));     // defined before use
+    EXPECT_FALSE(li.liveOut[0].test(c));    // nothing follows
+}
+
+TEST(Liveness, LoopCarried)
+{
+    ProgBuilder pb;
+    VReg i = pb.prog.newVReg("i");
+    uint32_t entry = pb.block(), hdr = pb.block(), body = pb.block(),
+             done = pb.block();
+    pb.bb(entry).insts = {mi::ldi(i, 0)};
+    pb.bb(entry).term = jumpTerm(hdr);
+    pb.bb(hdr).insts = {mi::cmpImm(i, 10)};
+    pb.bb(hdr).term.kind = Terminator::Kind::Branch;
+    pb.bb(hdr).term.cc = Cond::Z;
+    pb.bb(hdr).term.target = done;
+    pb.bb(hdr).term.fallthrough = body;
+    pb.bb(body).insts = {mi::binopImm(UKind::Add, i, i, 1)};
+    pb.bb(body).term = jumpTerm(hdr);
+    LivenessInfo li = computeLiveness(pb.prog, 0);
+    EXPECT_TRUE(li.liveIn[hdr].test(i));
+    EXPECT_TRUE(li.liveOut[body].test(i));
+    EXPECT_TRUE(li.liveOut[entry].test(i));
+}
+
+TEST(Liveness, CallTreatsCalleeRefsAsLive)
+{
+    MirProgram p;
+    VReg g = p.newVReg("g");
+    uint32_t mainf = p.addFunction("main");
+    uint32_t subf = p.addFunction("sub");
+    uint32_t m0 = p.func(mainf).newBlock();
+    uint32_t m1 = p.func(mainf).newBlock();
+    p.func(mainf).blocks[m0].term.kind = Terminator::Kind::Call;
+    p.func(mainf).blocks[m0].term.callee = subf;
+    p.func(mainf).blocks[m0].term.target = m1;
+    uint32_t s0 = p.func(subf).newBlock();
+    p.func(subf).blocks[s0].insts = {mi::binopImm(UKind::Add, g, g,
+                                                  1)};
+    p.func(subf).blocks[s0].term.kind = Terminator::Kind::Ret;
+
+    VRegSet refs = transitiveRefs(p, subf);
+    EXPECT_TRUE(refs.test(g));
+    LivenessInfo li = computeLiveness(p, mainf);
+    EXPECT_TRUE(li.liveIn[m0].test(g));
+}
+
+TEST(Liveness, MaxPressureCounts)
+{
+    ProgBuilder pb;
+    std::vector<VReg> vs;
+    for (int i = 0; i < 6; ++i)
+        vs.push_back(pb.prog.newVReg());
+    uint32_t blk = pb.block();
+    auto &insts = pb.bb(blk).insts;
+    for (int i = 0; i < 6; ++i)
+        insts.push_back(mi::ldi(vs[i], i));
+    // Use all six at the end so they are simultaneously live.
+    for (int i = 0; i < 5; ++i)
+        insts.push_back(mi::binop(UKind::Add, vs[i], vs[i], vs[i + 1]));
+    EXPECT_GE(maxPressure(pb.prog), 6u);
+}
+
+class AllocTest : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    std::unique_ptr<RegisterAllocator>
+    make() const
+    {
+        if (std::string(GetParam()) == "linear_scan")
+            return std::make_unique<LinearScanAllocator>();
+        return std::make_unique<GraphColoringAllocator>();
+    }
+};
+
+TEST_P(AllocTest, SmallProgramNoSpills)
+{
+    MachineDescription m = buildHm1();
+    ProgBuilder pb;
+    VReg a = pb.prog.newVReg("a"), b = pb.prog.newVReg("b");
+    VReg c = pb.prog.newVReg("c");
+    uint32_t blk = pb.block();
+    pb.bb(blk).insts = {mi::ldi(a, 1), mi::ldi(b, 2),
+                        mi::binop(UKind::Add, c, a, b)};
+    Assignment asgn = make()->allocate(pb.prog, m);
+    std::string why;
+    EXPECT_TRUE(assignmentValid(pb.prog, m, asgn, &why)) << why;
+    EXPECT_EQ(asgn.numSpilled(), 0u);
+}
+
+TEST_P(AllocTest, BindingsHonoured)
+{
+    MachineDescription m = buildHm1();
+    ProgBuilder pb;
+    VReg a = pb.prog.newVReg("a"), b = pb.prog.newVReg("b");
+    RegId r9 = *m.findRegister("r9");
+    pb.prog.bind(a, r9);
+    uint32_t blk = pb.block();
+    pb.bb(blk).insts = {mi::ldi(a, 1), mi::mov(b, a)};
+    Assignment asgn = make()->allocate(pb.prog, m);
+    EXPECT_EQ(asgn.regOf[a], r9);
+    EXPECT_NE(asgn.regOf[b], r9);
+    std::string why;
+    EXPECT_TRUE(assignmentValid(pb.prog, m, asgn, &why)) << why;
+}
+
+TEST_P(AllocTest, PressureForcesSpills)
+{
+    MachineDescription m = buildHm1();
+    ProgBuilder pb;
+    constexpr int kVars = 8;
+    std::vector<VReg> vs;
+    for (int i = 0; i < kVars; ++i)
+        vs.push_back(pb.prog.newVReg());
+    uint32_t blk = pb.block();
+    auto &insts = pb.bb(blk).insts;
+    for (int i = 0; i < kVars; ++i)
+        insts.push_back(mi::ldi(vs[i], i));
+    for (int i = 0; i < kVars - 1; ++i)
+        insts.push_back(
+            mi::binop(UKind::Add, vs[i], vs[i], vs[i + 1]));
+
+    AllocOptions opts;
+    opts.maxPoolRegs = 4;
+    Assignment asgn = make()->allocate(pb.prog, m, opts);
+    std::string why;
+    EXPECT_TRUE(assignmentValid(pb.prog, m, asgn, &why)) << why;
+    EXPECT_GT(asgn.numSpilled(), 0u);
+    // With the full file there is room for everyone.
+    Assignment full = make()->allocate(pb.prog, m);
+    EXPECT_EQ(full.numSpilled(), 0u);
+}
+
+TEST_P(AllocTest, ClassConstraintsOnVm2)
+{
+    MachineDescription m = buildVm2();
+    ProgBuilder pb;
+    VReg a = pb.prog.newVReg("a"), b = pb.prog.newVReg("b");
+    VReg c = pb.prog.newVReg("c");
+    uint32_t blk = pb.block();
+    // a is always the left operand, b always the right.
+    pb.bb(blk).insts = {mi::ldi(a, 1), mi::ldi(b, 2),
+                        mi::binop(UKind::Add, c, a, b),
+                        mi::binop(UKind::Sub, c, a, b)};
+    Assignment asgn = make()->allocate(pb.prog, m);
+    std::string why;
+    EXPECT_TRUE(assignmentValid(pb.prog, m, asgn, &why)) << why;
+    using namespace reg_class;
+    EXPECT_TRUE(m.reg(asgn.regOf[a]).classes & kAluA);
+    EXPECT_TRUE(m.reg(asgn.regOf[b]).classes & kAluB);
+}
+
+TEST_P(AllocTest, PrefersMicroTemps)
+{
+    // Non-architectural registers come first in the pool, so small
+    // programs should not touch r8-r15 on HM-1.
+    MachineDescription m = buildHm1();
+    ProgBuilder pb;
+    VReg a = pb.prog.newVReg("a"), b = pb.prog.newVReg("b");
+    uint32_t blk = pb.block();
+    pb.bb(blk).insts = {mi::ldi(a, 1), mi::binopImm(UKind::Add, b, a,
+                                                    2)};
+    Assignment asgn = make()->allocate(pb.prog, m);
+    EXPECT_FALSE(m.reg(asgn.regOf[a]).architectural);
+    EXPECT_FALSE(m.reg(asgn.regOf[b]).architectural);
+}
+
+TEST_P(AllocTest, DisjointLifetimesShareRegisters)
+{
+    MachineDescription m = buildHm1();
+    ProgBuilder pb;
+    constexpr int kVars = 30;   // far more vars than registers
+    uint32_t blk = pb.block();
+    auto &insts = pb.bb(blk).insts;
+    std::vector<VReg> vs;
+    for (int i = 0; i < kVars; ++i) {
+        VReg v = pb.prog.newVReg();
+        vs.push_back(v);
+        insts.push_back(mi::ldi(v, i));
+        insts.push_back(mi::binopImm(UKind::Add, v, v, 1));
+    }
+    Assignment asgn = make()->allocate(pb.prog, m);
+    std::string why;
+    EXPECT_TRUE(assignmentValid(pb.prog, m, asgn, &why)) << why;
+    EXPECT_EQ(asgn.numSpilled(), 0u);   // lifetimes are disjoint
+}
+
+INSTANTIATE_TEST_SUITE_P(Allocators, AllocTest,
+                         ::testing::Values("linear_scan",
+                                           "graph_coloring"));
+
+TEST(ClassMasks, DerivedFromUses)
+{
+    MachineDescription m = buildVm2();
+    ProgBuilder pb;
+    VReg a = pb.prog.newVReg("a");
+    uint32_t blk = pb.block();
+    pb.bb(blk).insts = {mi::ldi(a, 1),
+                        mi::binopImm(UKind::Add, a, a, 1)};
+    auto masks = vregClassMasks(pb.prog, m);
+    using namespace reg_class;
+    EXPECT_TRUE(masks[a] & kAluA);      // used as ALU left input
+    EXPECT_FALSE(masks[a] & kAddr);     // narrowed away
+}
+
+} // namespace
+} // namespace uhll

@@ -1,0 +1,411 @@
+/** @file Tests for dependence analysis and compaction algorithms. */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "machine/machines/machines.hh"
+#include "schedule/compact.hh"
+#include "schedule/depgraph.hh"
+#include "support/bits.hh"
+
+namespace uhll {
+namespace {
+
+BoundOp
+op(const MachineDescription &m, const std::string &mn,
+   const std::string &d, const std::string &a, const std::string &b)
+{
+    BoundOp o;
+    o.spec = *m.findUop(mn);
+    if (!d.empty())
+        o.dst = *m.findRegister(d);
+    if (!a.empty())
+        o.srcA = *m.findRegister(a);
+    if (!b.empty())
+        o.srcB = *m.findRegister(b);
+    return o;
+}
+
+BoundOp
+ldi(const MachineDescription &m, const std::string &d, uint64_t imm)
+{
+    BoundOp o;
+    o.spec = *m.findUop("ldi");
+    o.dst = *m.findRegister(d);
+    o.imm = imm;
+    return o;
+}
+
+class DepTest : public ::testing::Test
+{
+  protected:
+    MachineDescription m = buildHm1();
+};
+
+TEST_F(DepTest, FlowDependence)
+{
+    std::vector<BoundOp> ops = {
+        op(m, "mova", "r1", "r2", ""),
+        op(m, "movb", "r3", "r1", ""),
+    };
+    DepGraph dg(m, ops);
+    ASSERT_EQ(dg.deps().size(), 1u);
+    EXPECT_EQ(dg.deps()[0].kind, DepKind::Flow);
+    EXPECT_EQ(dg.deps()[0].from, 0u);
+    EXPECT_EQ(dg.deps()[0].to, 1u);
+}
+
+TEST_F(DepTest, AntiDependence)
+{
+    std::vector<BoundOp> ops = {
+        op(m, "mova", "r1", "r2", ""),
+        op(m, "movb", "r2", "r3", ""),
+    };
+    DepGraph dg(m, ops);
+    ASSERT_EQ(dg.deps().size(), 1u);
+    EXPECT_EQ(dg.deps()[0].kind, DepKind::Anti);
+}
+
+TEST_F(DepTest, OutputDependence)
+{
+    std::vector<BoundOp> ops = {
+        op(m, "mova", "r1", "r2", ""),
+        op(m, "movb", "r1", "r3", ""),
+    };
+    DepGraph dg(m, ops);
+    ASSERT_EQ(dg.deps().size(), 1u);
+    EXPECT_EQ(dg.deps()[0].kind, DepKind::Output);
+}
+
+TEST_F(DepTest, FlagOutputDependence)
+{
+    std::vector<BoundOp> ops = {
+        op(m, "add", "r1", "r2", "r3"),
+        op(m, "sub", "r4", "r5", "r6"),
+    };
+    DepGraph dg(m, ops);
+    bool has_flag_dep = false;
+    for (const Dep &d : dg.deps())
+        has_flag_dep |= d.kind == DepKind::Output;
+    EXPECT_TRUE(has_flag_dep);
+}
+
+TEST_F(DepTest, MemoryOrdering)
+{
+    std::vector<BoundOp> ops = {
+        op(m, "memwr", "", "r1", "r2"),
+        op(m, "memrd", "r3", "r4", ""),
+    };
+    DepGraph dg(m, ops);
+    bool ordered = false;
+    for (const Dep &d : dg.deps())
+        ordered |= d.from == 0 && d.to == 1;
+    EXPECT_TRUE(ordered);
+}
+
+TEST_F(DepTest, IndependentLoadsUnordered)
+{
+    std::vector<BoundOp> ops = {
+        op(m, "memrd", "r3", "r1", ""),
+        op(m, "memrd", "r4", "r2", ""),
+    };
+    DepGraph dg(m, ops);
+    EXPECT_TRUE(dg.deps().empty());
+}
+
+TEST_F(DepTest, CriticalPath)
+{
+    // Chain of 3 plus one independent op.
+    std::vector<BoundOp> ops = {
+        op(m, "mova", "r1", "r2", ""),
+        op(m, "movb", "r3", "r1", ""),
+        op(m, "movc", "r4", "r3", ""),
+        ldi(m, "r5", 7),
+    };
+    DepGraph dg(m, ops);
+    EXPECT_EQ(dg.criticalPathLength(), 3u);
+    EXPECT_EQ(dg.heightOf(0), 3u);
+    EXPECT_EQ(dg.heightOf(3), 1u);
+}
+
+TEST(PlacementRules, FlowAntiOutput)
+{
+    // Flow: earlier word always fine; same word only with chaining
+    // and increasing phase.
+    EXPECT_TRUE(DepGraph::placementLegal(DepKind::Flow, 0, 1, 1, 1,
+                                         false));
+    EXPECT_FALSE(DepGraph::placementLegal(DepKind::Flow, 1, 1, 1, 2,
+                                          false));
+    EXPECT_TRUE(DepGraph::placementLegal(DepKind::Flow, 1, 1, 1, 2,
+                                         true));
+    EXPECT_FALSE(DepGraph::placementLegal(DepKind::Flow, 1, 2, 1, 2,
+                                          true));
+    // Anti: same word with equal phase is fine (read before write).
+    EXPECT_TRUE(DepGraph::placementLegal(DepKind::Anti, 1, 2, 1, 2,
+                                         false));
+    EXPECT_FALSE(DepGraph::placementLegal(DepKind::Anti, 1, 2, 1, 1,
+                                          false));
+    // Output: strictly increasing phase within a word.
+    EXPECT_TRUE(DepGraph::placementLegal(DepKind::Output, 1, 1, 1, 2,
+                                         false));
+    EXPECT_FALSE(DepGraph::placementLegal(DepKind::Output, 1, 2, 1, 2,
+                                          false));
+    // Never backwards.
+    EXPECT_FALSE(DepGraph::placementLegal(DepKind::Anti, 2, 1, 1, 3,
+                                          false));
+}
+
+// ---------------------------------------------------------------
+// Compactors
+// ---------------------------------------------------------------
+
+class CompactTest : public ::testing::Test
+{
+  protected:
+    MachineDescription m = buildHm1();
+
+    /** Independent moves + an ALU op: should pack tightly. */
+    std::vector<BoundOp>
+    independentOps()
+    {
+        return {
+            op(m, "mova", "r1", "r2", ""),
+            op(m, "movb", "r3", "r4", ""),
+            op(m, "add", "r5", "r6", "r0"),
+            op(m, "movc", "r8", "r9", ""),
+        };
+    }
+
+    /** A flow chain mova -> alu -> movc (the cocycle idiom). */
+    std::vector<BoundOp>
+    chainOps()
+    {
+        return {
+            op(m, "mova", "r1", "r2", ""),
+            op(m, "add", "r3", "r1", "r4"),
+            op(m, "movc", "r5", "r3", ""),
+        };
+    }
+};
+
+TEST_F(CompactTest, LinearPacksIndependentOps)
+{
+    LinearCompactor c;
+    auto ops = independentOps();
+    auto res = c.compact(m, ops);
+    std::string why;
+    EXPECT_TRUE(compactionLegal(m, ops, res, true, &why)) << why;
+    EXPECT_EQ(res.numWords(), 1u);
+}
+
+TEST_F(CompactTest, LinearKeepsFlowChainsApart)
+{
+    LinearCompactor c;
+    auto ops = chainOps();
+    auto res = c.compact(m, ops);
+    std::string why;
+    EXPECT_TRUE(compactionLegal(m, ops, res, true, &why)) << why;
+    EXPECT_EQ(res.numWords(), 3u);  // coarse model: no chaining
+}
+
+TEST_F(CompactTest, TokoroChainsThroughPhases)
+{
+    TokoroCompactor c;
+    auto ops = chainOps();
+    auto res = c.compact(m, ops);
+    std::string why;
+    EXPECT_TRUE(compactionLegal(m, ops, res, true, &why)) << why;
+    // mova (phase 1) -> add (phase 2) -> movc (phase 3): one word.
+    EXPECT_EQ(res.numWords(), 1u);
+}
+
+TEST_F(CompactTest, OptimalNeverWorseThanHeuristics)
+{
+    auto ops = independentOps();
+    auto chain = chainOps();
+    for (auto *ops_p : {&ops, &chain}) {
+        OptimalCompactor opt;
+        auto best = opt.compact(m, *ops_p);
+        std::string why;
+        ASSERT_TRUE(compactionLegal(m, *ops_p, best, true, &why))
+            << why;
+        for (auto &c : allCompactors()) {
+            auto r = c->compact(m, *ops_p);
+            EXPECT_GE(r.numWords(), best.numWords()) << c->name();
+        }
+    }
+}
+
+TEST_F(CompactTest, AntiDependentOpsShareWord)
+{
+    // r1 := r2 ; r2 := r3 -- anti dependence, same phase: legal in
+    // one word under every model.
+    std::vector<BoundOp> ops = {
+        op(m, "mova", "r1", "r2", ""),
+        op(m, "movb", "r2", "r3", ""),
+    };
+    LinearCompactor lin;
+    auto res = lin.compact(m, ops);
+    std::string why;
+    EXPECT_TRUE(compactionLegal(m, ops, res, true, &why)) << why;
+    EXPECT_EQ(res.numWords(), 1u);
+}
+
+TEST_F(CompactTest, VerticalMachineOneOpPerWord)
+{
+    MachineDescription vs = buildVs3();
+    std::vector<BoundOp> ops = {
+        op(vs, "mov", "r1", "r2", ""),
+        op(vs, "mov", "r3", "r4", ""),
+        op(vs, "add", "r5", "r1", "r3"),
+    };
+    for (auto &c : allCompactors()) {
+        auto res = c->compact(vs, ops);
+        std::string why;
+        EXPECT_TRUE(compactionLegal(vs, ops, res, true, &why))
+            << c->name() << ": " << why;
+        EXPECT_EQ(res.numWords(), 3u) << c->name();
+    }
+}
+
+TEST_F(CompactTest, CompactionLegalRejectsBadSchedules)
+{
+    auto ops = chainOps();
+    // A flow chain crammed into one word IS legal with chaining on
+    // HM-1 (phases 1,2,3), so build genuinely bad schedules instead.
+    CompactionResult rev;
+    rev.words = {{2}, {1}, {0}};
+    std::string why;
+    EXPECT_FALSE(compactionLegal(m, ops, rev, true, &why));
+    CompactionResult incomplete;
+    incomplete.words = {{0, 1}};
+    EXPECT_FALSE(compactionLegal(m, ops, incomplete, true, &why));
+    CompactionResult dup;
+    dup.words = {{0, 1, 2}, {0}};
+    EXPECT_FALSE(compactionLegal(m, ops, dup, true, &why));
+}
+
+TEST_F(CompactTest, DasguptaTartarLegal)
+{
+    DasguptaTartarCompactor c;
+    auto ops = independentOps();
+    auto res = c.compact(m, ops);
+    std::string why;
+    EXPECT_TRUE(compactionLegal(m, ops, res, true, &why)) << why;
+}
+
+// Property sweep: random op blocks stay legal under every compactor
+// on every machine.
+struct SweepParam {
+    const char *machine;
+    unsigned seed;
+};
+
+class CompactSweep : public ::testing::TestWithParam<SweepParam>
+{
+  protected:
+    static MachineDescription
+    build(const std::string &name)
+    {
+        if (name == "HM-1")
+            return buildHm1();
+        if (name == "VM-2")
+            return buildVm2();
+        return buildVs3();
+    }
+};
+
+TEST_P(CompactSweep, RandomBlocksLegal)
+{
+    MachineDescription m = build(GetParam().machine);
+    std::mt19937 rng(GetParam().seed);
+
+    // Candidate uops with register-operand forms only.
+    std::vector<uint16_t> cands;
+    for (uint16_t i = 0; i < m.numMicroOps(); ++i) {
+        const MicroOpSpec &s = m.uop(i);
+        if (s.kind == UKind::Nop || s.kind == UKind::IntAck ||
+            s.kind == UKind::NewBlock) {
+            continue;
+        }
+        cands.push_back(i);
+    }
+
+    auto randReg = [&](uint32_t classes) -> RegId {
+        std::vector<RegId> fit;
+        for (RegId r = 0; r < m.numRegisters(); ++r) {
+            if (m.reg(r).classes & classes)
+                fit.push_back(r);
+        }
+        if (fit.empty())
+            return kNoReg;
+        return fit[rng() % fit.size()];
+    };
+
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<BoundOp> ops;
+        size_t len = 2 + rng() % 10;
+        while (ops.size() < len) {
+            uint16_t spec = cands[rng() % cands.size()];
+            const MicroOpSpec &s = m.uop(spec);
+            BoundOp o;
+            o.spec = spec;
+            if (uKindHasDst(s.kind)) {
+                o.dst = randReg(s.dstClasses ? s.dstClasses : ~0u);
+                if (o.dst == kNoReg)
+                    continue;
+            }
+            if (uKindHasSrcA(s.kind)) {
+                o.srcA = randReg(s.srcAClasses ? s.srcAClasses : ~0u);
+                if (o.srcA == kNoReg)
+                    continue;
+            }
+            if (uKindHasSrcB(s.kind)) {
+                if (s.srcBClasses == 0 || (s.allowImm && rng() % 2)) {
+                    if (!s.allowImm)
+                        continue;
+                    o.useImm = true;
+                    o.imm = rng() & bitMask(std::min<unsigned>(
+                                        s.immWidth, 4));
+                } else {
+                    o.srcB = randReg(s.srcBClasses);
+                    if (o.srcB == kNoReg)
+                        continue;
+                }
+            }
+            if (s.kind == UKind::Ldi)
+                o.imm = rng() & bitMask(std::min<unsigned>(
+                                    s.immWidth, 8));
+            std::string why;
+            if (!m.checkOperands(o, &why))
+                continue;
+            ops.push_back(o);
+        }
+
+        for (auto &c : allCompactors()) {
+            auto res = c->compact(m, ops);
+            std::string why;
+            ASSERT_TRUE(compactionLegal(m, ops, res, true, &why))
+                << GetParam().machine << "/" << c->name()
+                << " trial " << trial << ": " << why;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, CompactSweep,
+    ::testing::Values(SweepParam{"HM-1", 1}, SweepParam{"HM-1", 2},
+                      SweepParam{"VM-2", 3}, SweepParam{"VM-2", 4},
+                      SweepParam{"VS-3", 5}),
+    [](const ::testing::TestParamInfo<SweepParam> &info) {
+        std::string n = info.param.machine;
+        for (auto &c : n) {
+            if (c == '-')
+                c = '_';
+        }
+        return n + "_seed" + std::to_string(info.param.seed);
+    });
+
+} // namespace
+} // namespace uhll

@@ -1,0 +1,405 @@
+/** @file Unit tests for the phase-accurate micro simulator. */
+
+#include <gtest/gtest.h>
+
+#include "machine/machines/machines.hh"
+#include "machine/memory.hh"
+#include "machine/simulator.hh"
+#include "masm/masm.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+namespace {
+
+class SimTest : public ::testing::Test
+{
+  protected:
+    MachineDescription m = buildHm1();
+    MainMemory mem{0x10000, 16};
+
+    SimResult
+    runProgram(const std::string &src,
+               std::vector<std::pair<std::string, uint64_t>> init = {},
+               MicroSimulator **out_sim = nullptr)
+    {
+        MicroAssembler as(m);
+        store_ = std::make_unique<ControlStore>(as.assemble(src));
+        sim_ = std::make_unique<MicroSimulator>(*store_, mem);
+        for (auto &[name, v] : init)
+            sim_->setReg(name, v);
+        if (out_sim)
+            *out_sim = sim_.get();
+        return sim_->run(0u);
+    }
+
+    std::unique_ptr<ControlStore> store_;
+    std::unique_ptr<MicroSimulator> sim_;
+};
+
+TEST_F(SimTest, LdiAndHalt)
+{
+    auto res = runProgram("[ ldi r1, #42 ]\n[ ] halt\n");
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(sim_->getReg("r1"), 42u);
+    EXPECT_EQ(res.wordsExecuted, 2u);
+    EXPECT_EQ(res.cycles, 2u);
+}
+
+TEST_F(SimTest, AluOps)
+{
+    auto res = runProgram(
+        "[ add r3, r1, r2 ]\n"
+        "[ sub r4, r1, r2 ]\n"
+        "[ and r5, r1, r2 ]\n"
+        "[ or r6, r1, r2 ]\n"
+        "[ xor r7, r1, r2 ]\n"
+        "[ ] halt\n",
+        {{"r1", 0xF0F0}, {"r2", 0x0FF0}});
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(sim_->getReg("r3"), 0x00E0u);    // 0xF0F0+0x0FF0=0x100E0
+    EXPECT_EQ(sim_->getReg("r4"), 0xE100u);
+    EXPECT_EQ(sim_->getReg("r5"), 0x00F0u);
+    EXPECT_EQ(sim_->getReg("r6"), 0xFFF0u);
+    EXPECT_EQ(sim_->getReg("r7"), 0xFF00u);
+}
+
+TEST_F(SimTest, ShiftFlagsUF)
+{
+    // Shifting 1 right once shifts a 1 out: UF set (the SIMPL
+    // example's multiplier bit test).
+    auto res = runProgram(
+        "[ shr r2, r1, #1 ] if uf jump took\n"
+        "[ ldi r3, #0 ] halt\n"
+        "took:\n"
+        "[ ldi r3, #1 ] halt\n",
+        {{"r1", 0x0001}});
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(sim_->getReg("r3"), 1u);
+    EXPECT_EQ(sim_->getReg("r2"), 0u);
+}
+
+TEST_F(SimTest, CocycleSemantics)
+{
+    // Phase 1 moves feed the phase 2 ALU inside one word (the S*
+    // cocycle idiom): r5 := r1 + r2 via input latches r3, r4.
+    auto res = runProgram(
+        "[ mova r3, r1 | movb r4, r2 | add r5, r3, r4 ]\n"
+        "[ ] halt\n",
+        {{"r1", 7}, {"r2", 5}, {"r3", 0}, {"r4", 0}});
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(sim_->getReg("r5"), 12u);
+}
+
+TEST_F(SimTest, CobeginSwapSemantics)
+{
+    // Two moves in the same phase read before writing: a register
+    // swap in one word works.
+    auto res = runProgram(
+        "[ mova r1, r2 | movb r2, r1 ]\n[ ] halt\n",
+        {{"r1", 111}, {"r2", 222}});
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(sim_->getReg("r1"), 222u);
+    EXPECT_EQ(sim_->getReg("r2"), 111u);
+}
+
+TEST_F(SimTest, LoopCounts)
+{
+    auto res = runProgram(
+        "[ ldi r1, #0 ]\n"
+        "loop:\n"
+        "[ addi r1, r1, #1 ]\n"
+        "[ cmpi r1, #10 ] if nz jump loop\n"
+        "[ ] halt\n",
+        {});
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(sim_->getReg("r1"), 10u);
+    // 1 + 10*2 + 1 words
+    EXPECT_EQ(res.wordsExecuted, 22u);
+}
+
+TEST_F(SimTest, MemoryReadWrite)
+{
+    mem.poke(0x100, 0xBEEF);
+    auto res = runProgram(
+        "[ ldi r1, #0x100 ]\n"
+        "[ memrd r2, r1 ]\n"
+        "[ addi r3, r2, #1 ]\n"
+        "[ ldi r4, #0x101 ]\n"
+        "[ memwr r4, r3 ]\n"
+        "[ ] halt\n");
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(sim_->getReg("r2"), 0xBEEFu);
+    EXPECT_EQ(mem.peek(0x101), 0xBEF0u);
+    EXPECT_EQ(res.memReads, 1u);
+    EXPECT_EQ(res.memWrites, 1u);
+    // Memory words stall one extra cycle on HM-1 (latency 2).
+    EXPECT_EQ(res.cycles, res.wordsExecuted + 2);
+}
+
+TEST_F(SimTest, PushPop)
+{
+    auto res = runProgram(
+        "[ ldi r1, #0x200 ]\n"     // stack pointer
+        "[ ldi r2, #77 ]\n"
+        "[ push r1, r2 ]\n"
+        "[ ldi r2, #0 ]\n"
+        "[ pop r3, r1 ]\n"
+        "[ ] halt\n");
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(sim_->getReg("r3"), 77u);
+    EXPECT_EQ(sim_->getReg("r1"), 0x200u);  // sp back where it began
+    EXPECT_EQ(mem.peek(0x201), 77u);
+}
+
+TEST_F(SimTest, CallReturn)
+{
+    auto res = runProgram(
+        "[ ldi r1, #1 ] call sub\n"
+        "[ addi r1, r1, #100 ] halt\n"
+        "sub:\n"
+        "[ addi r1, r1, #10 ] return\n");
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(sim_->getReg("r1"), 111u);
+}
+
+TEST_F(SimTest, MultiwayDispatch)
+{
+    auto res = runProgram(
+        "[ ] mbranch r1, #0x3, table\n"
+        "table:\n"
+        "[ ldi r2, #100 ] halt\n"
+        "[ ldi r2, #101 ] halt\n"
+        "[ ldi r2, #102 ] halt\n"
+        "[ ldi r2, #103 ] halt\n",
+        {{"r1", 2}});
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(sim_->getReg("r2"), 102u);
+}
+
+TEST_F(SimTest, MultiwayMaskedHighBits)
+{
+    // Only the masked bits select the arm: value 0xFE & mask 0x3 = 2.
+    auto res = runProgram(
+        "[ ] mbranch r1, #0x3, table\n"
+        "table:\n"
+        "[ ldi r2, #100 ] halt\n"
+        "[ ldi r2, #101 ] halt\n"
+        "[ ldi r2, #102 ] halt\n"
+        "[ ldi r2, #103 ] halt\n",
+        {{"r1", 0xFE}});
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(sim_->getReg("r2"), 102u);
+}
+
+TEST_F(SimTest, OverlappedReadCommitsLater)
+{
+    mem.poke(0x300, 0xAAAA);
+    SimConfig cfg;
+    cfg.strictHazards = false;
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble(
+        "[ ldi r1, #0x300 ]\n"
+        "[ memrd.ov r2, r1 ]\n"     // overlapped: no stall
+        "[ mova r3, r2 ]\n"         // too early: sees the stale value
+        "[ mova r4, r2 ]\n"         // after latency: sees the loaded value
+        "[ ] halt\n");
+    MicroSimulator sim(cs, mem, cfg);
+    sim.setReg("r2", 0x1111);
+    auto res = sim.run(0u);
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(sim.getReg("r3"), 0x1111u);   // stale
+    EXPECT_EQ(sim.getReg("r4"), 0xAAAAu);   // committed
+    // No stall cycles: every word took exactly one cycle.
+    EXPECT_EQ(res.cycles, res.wordsExecuted);
+}
+
+TEST_F(SimTest, StrictHazardFatal)
+{
+    mem.poke(0x300, 0xAAAA);
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble(
+        "[ ldi r1, #0x300 ]\n"
+        "[ memrd.ov r2, r1 ]\n"
+        "[ mova r3, r2 ]\n"
+        "[ ] halt\n");
+    MicroSimulator sim(cs, mem, SimConfig{});
+    EXPECT_THROW(sim.run(0u), FatalError);
+}
+
+TEST_F(SimTest, InterruptPendingAndAck)
+{
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble(
+        "loop:\n"
+        "[ addi r1, r1, #1 ] if noint jump loop\n"
+        "[ intack ]\n"
+        "[ ] halt\n");
+    MicroSimulator sim(cs, mem, SimConfig{});
+    sim.interruptEvery(100, 50);
+    auto res = sim.run(0u);
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(res.interruptsServiced, 1u);
+    // It spun until cycle ~50 before seeing the interrupt.
+    EXPECT_GE(sim.getReg("r1"), 45u);
+}
+
+TEST_F(SimTest, PageFaultRestartReproducesIncreadBug)
+{
+    // The survey's sec. 2.1.5 example: reg[n] := reg[n]+1 followed by
+    // a memory fetch through reg[n]. r8 is architectural (preserved
+    // across the trap), so the restart increments it a second time.
+    mem.enablePaging(0x100);
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble(
+        ".entry incread\n"
+        "[ addi r8, r8, #1 ]\n"
+        "[ memrd r1, r8 ]\n"
+        "[ mova r9, r1 ]\n"
+        "[ ] halt\n");
+    MicroSimulator sim(cs, mem, SimConfig{});
+    sim.setReg("r8", 0x41F);    // will fetch from 0x420
+    mem.poke(0x420, 0x1234);    // poke ignores paging
+    auto res = sim.run("incread");
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(res.pageFaults, 1u);
+    // The bug: r8 ends at 0x421, one past where it should be, and
+    // the fetch came from the wrong address.
+    EXPECT_EQ(sim.getReg("r8"), 0x421u);
+    EXPECT_NE(sim.getReg("r9"), 0x1234u);
+}
+
+TEST_F(SimTest, PageFaultRestartSafeVariant)
+{
+    // The compiler's fix: compute into a scratch register, commit to
+    // the architectural register only after the faulting access.
+    mem.enablePaging(0x100);
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble(
+        ".entry incread\n"
+        "[ addi r1, r8, #1 ]\n"     // r1 is a micro temp
+        "[ memrd r2, r1 ]\n"
+        "[ mova r9, r2 ]\n"
+        "[ mova r8, r1 ]\n"         // commit after last fault point
+        "[ ] halt\n");
+    MicroSimulator sim(cs, mem, SimConfig{});
+    sim.setReg("r8", 0x41F);
+    mem.poke(0x420, 0x1234);
+    auto res = sim.run("incread");
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(res.pageFaults, 1u);
+    EXPECT_EQ(sim.getReg("r8"), 0x420u);
+    EXPECT_EQ(sim.getReg("r9"), 0x1234u);
+}
+
+TEST_F(SimTest, TrapScramblesMicroTemps)
+{
+    mem.enablePaging(0x100);
+    MicroAssembler as(m);
+    // r1 is set before the faulting access but never recomputed
+    // after restart; the scramble makes the stale value visible.
+    ControlStore cs = as.assemble(
+        "[ ldi r1, #0x5555 ]\n"
+        ".restart\n"
+        "[ memrd r2, r8 ]\n"
+        "[ ] halt\n");
+    MicroSimulator sim(cs, mem, SimConfig{});
+    sim.setReg("r8", 0x100);
+    auto res = sim.run(0u);
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(res.pageFaults, 1u);
+    EXPECT_NE(sim.getReg("r1"), 0x5555u);
+}
+
+TEST_F(SimTest, RestartPointDirective)
+{
+    // With a restart point after the increment, the faulting word is
+    // re-executed without re-incrementing: the "one macroinstruction
+    // per restartable unit" structure of real firmware.
+    mem.enablePaging(0x100);
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble(
+        "[ addi r8, r8, #1 ]\n"
+        ".restart\n"
+        "[ memrd r9, r8 ]\n"
+        "[ ] halt\n");
+    MicroSimulator sim(cs, mem, SimConfig{});
+    sim.setReg("r8", 0x41F);
+    mem.poke(0x420, 0x1234);
+    auto res = sim.run(0u);
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(sim.getReg("r8"), 0x420u);
+    EXPECT_EQ(sim.getReg("r9"), 0x1234u);
+}
+
+TEST_F(SimTest, MaxCyclesBudget)
+{
+    SimConfig cfg;
+    cfg.maxCycles = 100;
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble("spin:\n[ ] jump spin\n");
+    MicroSimulator sim(cs, mem, cfg);
+    auto res = sim.run(0u);
+    EXPECT_FALSE(res.halted);
+    EXPECT_GE(res.cycles, 100u);
+}
+
+TEST_F(SimTest, WordIsTransactionalOnFault)
+{
+    // A word whose move would commit alongside a faulting read must
+    // not commit the move.
+    mem.enablePaging(0x100);
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble(
+        ".restart\n"
+        "[ mova r1, r2 | memrd r3, r8 ]\n"
+        "[ ] halt\n");
+    SimConfig cfg;
+    cfg.scrambleOnTrap = false;     // keep r2 observable
+    MicroSimulator sim(cs, mem, cfg);
+    sim.setReg("r2", 99);
+    sim.setReg("r8", 0x100);
+    auto res = sim.run(0u);
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(res.pageFaults, 1u);
+    EXPECT_EQ(sim.getReg("r1"), 99u);   // committed on the re-run only
+}
+
+TEST(SimVs3, VerticalExecution)
+{
+    MachineDescription m = buildVs3();
+    MainMemory mem(0x1000, 16);
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble(
+        "[ ldi r1, #7 ]\n"
+        "[ ldi r2, #5 ]\n"
+        "[ add r3, r1, r2 ]\n"
+        "[ inc r3, r3 ]\n"
+        "[ ] halt\n");
+    MicroSimulator sim(cs, mem, SimConfig{});
+    auto res = sim.run(0u);
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(sim.getReg("r3"), 13u);
+    EXPECT_EQ(res.wordsExecuted, 5u);
+}
+
+TEST(SimVm2, MarMbrDance)
+{
+    MachineDescription m = buildVm2();
+    MainMemory mem(0x1000, 16);
+    mem.poke(0x80, 0xCAFE);
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble(
+        "[ ldi mar, #0x80 ]\n"
+        "[ memrd mbr, mar ]\n"
+        "[ mov r0, mbr ]\n"
+        "[ ] halt\n");
+    MicroSimulator sim(cs, mem, SimConfig{});
+    auto res = sim.run(0u);
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(sim.getReg("r0"), 0xCAFEu);
+    // VM-2 memory latency is 3: two stall cycles.
+    EXPECT_EQ(res.cycles, res.wordsExecuted + 2);
+}
+
+} // namespace
+} // namespace uhll

@@ -1,0 +1,89 @@
+/** @file Unit tests for the support utilities. */
+
+#include <gtest/gtest.h>
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+namespace {
+
+TEST(Bits, BitMask)
+{
+    EXPECT_EQ(bitMask(0), 0u);
+    EXPECT_EQ(bitMask(1), 1u);
+    EXPECT_EQ(bitMask(16), 0xffffu);
+    EXPECT_EQ(bitMask(64), ~0ULL);
+}
+
+TEST(Bits, TruncBits)
+{
+    EXPECT_EQ(truncBits(0x12345, 16), 0x2345u);
+    EXPECT_EQ(truncBits(0xffff, 8), 0xffu);
+}
+
+TEST(Bits, SignExtend)
+{
+    EXPECT_EQ(signExtend(0x8000, 16), -32768);
+    EXPECT_EQ(signExtend(0x7fff, 16), 32767);
+    EXPECT_EQ(signExtend(0xff, 8), -1);
+    EXPECT_EQ(signExtend(0x7f, 8), 127);
+}
+
+TEST(Bits, Rotate)
+{
+    EXPECT_EQ(rotateLeft(0x8001, 1, 16), 0x0003u);
+    EXPECT_EQ(rotateRight(0x8001, 1, 16), 0xC000u);
+    EXPECT_EQ(rotateLeft(0x1234, 16, 16), 0x1234u);
+    EXPECT_EQ(rotateLeft(0x1234, 4, 16), 0x2341u);
+}
+
+TEST(Bits, ExtractInsert)
+{
+    EXPECT_EQ(extractBits(0xABCD, 4, 8), 0xBCu);
+    EXPECT_EQ(insertBits(0x0000, 4, 8, 0xFF), 0x0FF0u);
+}
+
+TEST(Bits, CompressBits)
+{
+    // Multiway dispatch: select bits under the mask, densely packed.
+    EXPECT_EQ(compressBits(0b1010, 0b1111), 0b1010u);
+    EXPECT_EQ(compressBits(0b1010, 0b1010), 0b11u);
+    EXPECT_EQ(compressBits(0b1010, 0b0101), 0b00u);
+    EXPECT_EQ(compressBits(0xF0, 0xF0), 0xFu);
+}
+
+TEST(Bits, PopCount)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(0xF0F0), 8u);
+    EXPECT_EQ(popCount(~0ULL), 64u);
+}
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(fatal("user error %d", 42), FatalError);
+}
+
+TEST(Logging, PanicThrows)
+{
+    EXPECT_THROW(panic("bug %s", "here"), PanicError);
+}
+
+TEST(Logging, StrFmt)
+{
+    EXPECT_EQ(strfmt("a=%d b=%s", 1, "x"), "a=1 b=x");
+}
+
+TEST(Logging, FatalMessage)
+{
+    try {
+        fatal("bad input: %u", 7u);
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "bad input: 7");
+    }
+}
+
+} // namespace
+} // namespace uhll

@@ -1,0 +1,314 @@
+/** @file Tests for the YALLL front end (survey sec. 2.2.4). */
+
+#include <gtest/gtest.h>
+
+#include "codegen/compiler.hh"
+#include "lang/yalll/yalll.hh"
+#include "machine/machines/machines.hh"
+#include "mir/interp.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+namespace {
+
+/** The paper's transliteration example, in uhll YALLL syntax. */
+const char *kTransliterate = R"(
+; Transliterate a zero-terminated string through a table.
+reg str
+reg tbl
+reg char
+reg t
+
+proc main
+loop:
+    load char, str      ; get addressed character
+    jump out if char = 0
+    add t, char, tbl    ; add to table base address
+    load char, t        ; fetch replacement from table
+    stor char, str      ; replace character in string
+    add str, str, 1     ; bump string address
+    jump loop
+out:
+    exit
+)";
+
+struct RunResult {
+    uint64_t cycles;
+    uint64_t words;
+};
+
+RunResult
+compileAndRun(const char *src, const MachineDescription &m,
+              MainMemory &mem,
+              const std::vector<std::pair<std::string, uint64_t>> &in)
+{
+    MirProgram prog = parseYalll(src, m);
+    Compiler comp(m);
+    CompiledProgram cp = comp.compile(prog, {});
+    MicroSimulator sim(cp.store, mem);
+    for (auto &[n, v] : in)
+        setVar(prog, cp, sim, mem, n, v);
+    auto res = sim.run("main");
+    EXPECT_TRUE(res.halted);
+    return {res.cycles, cp.stats.words};
+}
+
+class YalllMachines : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    MachineDescription
+    machine() const
+    {
+        std::string n = GetParam();
+        if (n == "HM-1")
+            return buildHm1();
+        if (n == "VM-2")
+            return buildVm2();
+        return buildVs3();
+    }
+};
+
+TEST_P(YalllMachines, TransliterateWorks)
+{
+    MachineDescription m = machine();
+    MainMemory mem(0x10000, 16);
+    // String "abca" as small integers, zero terminated, at 0x400;
+    // table at 0x500 maps v -> v + 32.
+    uint64_t s[] = {1, 2, 3, 1, 0};
+    for (int i = 0; i < 5; ++i)
+        mem.poke(0x400 + i, s[i]);
+    for (int v = 0; v < 16; ++v)
+        mem.poke(0x500 + v, v + 32);
+
+    compileAndRun(kTransliterate, m, mem,
+                  {{"str", 0x400}, {"tbl", 0x500}});
+    EXPECT_EQ(mem.peek(0x400), 33u);
+    EXPECT_EQ(mem.peek(0x401), 34u);
+    EXPECT_EQ(mem.peek(0x402), 35u);
+    EXPECT_EQ(mem.peek(0x403), 33u);
+    EXPECT_EQ(mem.peek(0x404), 0u);     // terminator untouched
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, YalllMachines,
+                         ::testing::Values("HM-1", "VM-2", "VS-3"),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (auto &c : n) {
+                                 if (c == '-')
+                                     c = '_';
+                             }
+                             return n;
+                         });
+
+TEST(Yalll, CleanMachineBeatsBaroqueMachine)
+{
+    // The YALLL paper's headline observation: the same source runs
+    // far better on the clean machine than on the baroque one.
+    MachineDescription hm = buildHm1();
+    MachineDescription vm = buildVm2();
+    auto setup = [](MainMemory &mem) {
+        for (int i = 0; i < 20; ++i)
+            mem.poke(0x400 + i, (i * 7 + 1) & 0xF);
+        mem.poke(0x414, 0);
+        for (int v = 0; v < 16; ++v)
+            mem.poke(0x500 + v, v + 1);
+    };
+    MainMemory m1(0x10000, 16), m2(0x10000, 16);
+    setup(m1);
+    setup(m2);
+    auto r1 = compileAndRun(kTransliterate, hm, m1,
+                            {{"str", 0x400}, {"tbl", 0x500}});
+    auto r2 = compileAndRun(kTransliterate, vm, m2,
+                            {{"str", 0x400}, {"tbl", 0x500}});
+    EXPECT_LT(r1.cycles, r2.cycles);
+    EXPECT_LT(r1.words, r2.words);
+}
+
+TEST(Yalll, BoundRegistersHonoured)
+{
+    MachineDescription m = buildHm1();
+    MirProgram prog = parseYalll(
+        "reg x = r9\nproc main\n    put x, 42\n    exit\n", m);
+    Compiler comp(m);
+    CompiledProgram cp = comp.compile(prog, {});
+    MainMemory mem(0x1000, 16);
+    MicroSimulator sim(cp.store, mem);
+    auto res = sim.run("main");
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(sim.getReg("r9"), 42u);
+}
+
+TEST(Yalll, MaskMatchBranch)
+{
+    MachineDescription m = buildHm1();
+    const char *src = R"(
+reg x
+reg out
+proc main
+    jump hit if x match 1x0
+    put out, 0
+    exit
+hit:
+    put out, 1
+    exit
+)";
+    for (auto [x, expect] : std::initializer_list<
+             std::pair<uint64_t, uint64_t>>{
+             {0b100, 1}, {0b110, 1}, {0b000, 0}, {0b101, 0},
+             // bits above the written mask are don't-care
+             {0b1100, 1}}) {
+        MirProgram prog = parseYalll(src, m);
+        Compiler comp(m);
+        CompiledProgram cp = comp.compile(prog, {});
+        MainMemory mem(0x1000, 16);
+        MicroSimulator sim(cp.store, mem);
+        setVar(prog, cp, sim, mem, "x", x);
+        auto res = sim.run("main");
+        EXPECT_TRUE(res.halted);
+        EXPECT_EQ(getVar(prog, cp, sim, mem, "out"), expect)
+            << "x=" << x;
+    }
+}
+
+TEST(Yalll, CaseDispatch)
+{
+    MachineDescription m = buildHm1();
+    const char *src = R"(
+reg x
+reg out
+proc main
+    case x, 2: a0, a1, a2, a3
+a0:
+    put out, 10
+    exit
+a1:
+    put out, 11
+    exit
+a2:
+    put out, 12
+    exit
+a3:
+    put out, 13
+    exit
+)";
+    for (uint64_t x = 0; x < 4; ++x) {
+        MirProgram prog = parseYalll(src, m);
+        Compiler comp(m);
+        CompiledProgram cp = comp.compile(prog, {});
+        MainMemory mem(0x1000, 16);
+        MicroSimulator sim(cp.store, mem);
+        setVar(prog, cp, sim, mem, "x", x);
+        auto res = sim.run("main");
+        EXPECT_TRUE(res.halted);
+        EXPECT_EQ(getVar(prog, cp, sim, mem, "out"), 10 + x);
+    }
+}
+
+TEST(Yalll, CallAndRet)
+{
+    MachineDescription m = buildHm1();
+    const char *src = R"(
+reg x
+proc main
+    put x, 5
+    call double_it
+    call double_it
+    exit
+
+proc double_it
+    add x, x, x
+    ret
+)";
+    MirProgram prog = parseYalll(src, m);
+    Compiler comp(m);
+    CompiledProgram cp = comp.compile(prog, {});
+    MainMemory mem(0x1000, 16);
+    MicroSimulator sim(cp.store, mem);
+    auto res = sim.run("main");
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(getVar(prog, cp, sim, mem, "x"), 20u);
+}
+
+TEST(Yalll, ComparisonConditions)
+{
+    MachineDescription m = buildHm1();
+    const char *src = R"(
+reg a
+reg b
+reg out
+proc main
+    put out, 0
+    jump yes if a < b
+    exit
+yes:
+    put out, 1
+    exit
+)";
+    for (auto [a, b, expect] : std::initializer_list<
+             std::tuple<uint64_t, uint64_t, uint64_t>>{
+             {1, 2, 1}, {2, 1, 0}, {5, 5, 0}, {0, 0xFFFF, 1}}) {
+        MirProgram prog = parseYalll(src, m);
+        Compiler comp(m);
+        CompiledProgram cp = comp.compile(prog, {});
+        MainMemory mem(0x1000, 16);
+        MicroSimulator sim(cp.store, mem);
+        setVar(prog, cp, sim, mem, "a", a);
+        setVar(prog, cp, sim, mem, "b", b);
+        auto res = sim.run("main");
+        EXPECT_TRUE(res.halted);
+        EXPECT_EQ(getVar(prog, cp, sim, mem, "out"), expect)
+            << a << " < " << b;
+    }
+}
+
+TEST(Yalll, Errors)
+{
+    MachineDescription m = buildHm1();
+    // Undefined label.
+    EXPECT_THROW(parseYalll("proc main\n jump nowhere\n", m),
+                 FatalError);
+    // Unknown machine register.
+    EXPECT_THROW(parseYalll("reg x = r99\nproc main\n exit\n", m),
+                 FatalError);
+    // Undeclared operand.
+    EXPECT_THROW(parseYalll("proc main\n put y, 1\n", m),
+                 FatalError);
+    // Unknown instruction.
+    EXPECT_THROW(parseYalll("proc main\n frob x\n", m), FatalError);
+    // Duplicate label.
+    EXPECT_THROW(
+        parseYalll("proc main\na:\n exit\na:\n exit\n", m),
+        FatalError);
+    // Call to missing proc.
+    EXPECT_THROW(parseYalll("proc main\n call nope\n", m),
+                 FatalError);
+}
+
+TEST(Yalll, PushPopInstructions)
+{
+    MachineDescription m = buildHm1();
+    const char *src = R"(
+reg sp
+reg x
+reg y
+proc main
+    put sp, 0x600
+    put x, 7
+    push sp, x
+    put x, 0
+    pop y, sp
+    exit
+)";
+    MirProgram prog = parseYalll(src, m);
+    Compiler comp(m);
+    CompiledProgram cp = comp.compile(prog, {});
+    MainMemory mem(0x1000, 16);
+    MicroSimulator sim(cp.store, mem);
+    auto res = sim.run("main");
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(getVar(prog, cp, sim, mem, "y"), 7u);
+    EXPECT_EQ(getVar(prog, cp, sim, mem, "sp"), 0x600u);
+}
+
+} // namespace
+} // namespace uhll
