@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_multiway_branch.dir/bench_e10_multiway_branch.cc.o"
+  "CMakeFiles/bench_e10_multiway_branch.dir/bench_e10_multiway_branch.cc.o.d"
+  "bench_e10_multiway_branch"
+  "bench_e10_multiway_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_multiway_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_compiler_size.dir/bench_e11_compiler_size.cc.o"
+  "CMakeFiles/bench_e11_compiler_size.dir/bench_e11_compiler_size.cc.o.d"
+  "bench_e11_compiler_size"
+  "bench_e11_compiler_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_compiler_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

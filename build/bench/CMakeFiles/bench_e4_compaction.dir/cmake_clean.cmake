@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_compaction.dir/bench_e4_compaction.cc.o"
+  "CMakeFiles/bench_e4_compaction.dir/bench_e4_compaction.cc.o.d"
+  "bench_e4_compaction"
+  "bench_e4_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_regalloc.dir/bench_e5_regalloc.cc.o"
+  "CMakeFiles/bench_e5_regalloc.dir/bench_e5_regalloc.cc.o.d"
+  "bench_e5_regalloc"
+  "bench_e5_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

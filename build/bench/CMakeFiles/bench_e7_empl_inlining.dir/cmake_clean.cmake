@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_empl_inlining.dir/bench_e7_empl_inlining.cc.o"
+  "CMakeFiles/bench_e7_empl_inlining.dir/bench_e7_empl_inlining.cc.o.d"
+  "bench_e7_empl_inlining"
+  "bench_e7_empl_inlining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_empl_inlining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

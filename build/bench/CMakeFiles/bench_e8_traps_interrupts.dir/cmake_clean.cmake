@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_traps_interrupts.dir/bench_e8_traps_interrupts.cc.o"
+  "CMakeFiles/bench_e8_traps_interrupts.dir/bench_e8_traps_interrupts.cc.o.d"
+  "bench_e8_traps_interrupts"
+  "bench_e8_traps_interrupts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_traps_interrupts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_single_identity.dir/bench_e9_single_identity.cc.o"
+  "CMakeFiles/bench_e9_single_identity.dir/bench_e9_single_identity.cc.o.d"
+  "bench_e9_single_identity"
+  "bench_e9_single_identity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_single_identity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

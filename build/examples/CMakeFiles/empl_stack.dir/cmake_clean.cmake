@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/empl_stack.dir/empl_stack.cpp.o"
+  "CMakeFiles/empl_stack.dir/empl_stack.cpp.o.d"
+  "empl_stack"
+  "empl_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/empl_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incread_trap.dir/incread_trap.cpp.o"
+  "CMakeFiles/incread_trap.dir/incread_trap.cpp.o.d"
+  "incread_trap"
+  "incread_trap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incread_trap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

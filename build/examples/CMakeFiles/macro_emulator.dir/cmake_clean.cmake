@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macro_emulator.dir/macro_emulator.cpp.o"
+  "CMakeFiles/macro_emulator.dir/macro_emulator.cpp.o.d"
+  "macro_emulator"
+  "macro_emulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macro_emulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

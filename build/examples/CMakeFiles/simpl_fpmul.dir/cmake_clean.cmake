@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simpl_fpmul.dir/simpl_fpmul.cpp.o"
+  "CMakeFiles/simpl_fpmul.dir/simpl_fpmul.cpp.o.d"
+  "simpl_fpmul"
+  "simpl_fpmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simpl_fpmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

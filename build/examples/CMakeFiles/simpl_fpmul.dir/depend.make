@@ -1,0 +1,2 @@
+# Empty dependencies file for simpl_fpmul.
+# This may be replaced when dependencies are built.

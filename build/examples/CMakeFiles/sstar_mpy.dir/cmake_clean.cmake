@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstar_mpy.dir/sstar_mpy.cpp.o"
+  "CMakeFiles/sstar_mpy.dir/sstar_mpy.cpp.o.d"
+  "sstar_mpy"
+  "sstar_mpy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstar_mpy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

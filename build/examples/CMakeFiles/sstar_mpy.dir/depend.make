@@ -1,0 +1,2 @@
+# Empty dependencies file for sstar_mpy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_firmware.dir/verify_firmware.cpp.o"
+  "CMakeFiles/verify_firmware.dir/verify_firmware.cpp.o.d"
+  "verify_firmware"
+  "verify_firmware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yalll_transliterate.dir/yalll_transliterate.cpp.o"
+  "CMakeFiles/yalll_transliterate.dir/yalll_transliterate.cpp.o.d"
+  "yalll_transliterate"
+  "yalll_transliterate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yalll_transliterate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for yalll_transliterate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for yalll_transliterate.
+# This may be replaced when dependencies are built.

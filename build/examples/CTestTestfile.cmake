@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_simpl_fpmul "/root/repo/build/examples/simpl_fpmul")
+set_tests_properties(example_simpl_fpmul PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_empl_stack "/root/repo/build/examples/empl_stack")
+set_tests_properties(example_empl_stack PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sstar_mpy "/root/repo/build/examples/sstar_mpy")
+set_tests_properties(example_sstar_mpy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_yalll_transliterate "/root/repo/build/examples/yalll_transliterate")
+set_tests_properties(example_yalll_transliterate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_incread_trap "/root/repo/build/examples/incread_trap")
+set_tests_properties(example_incread_trap PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_macro_emulator "/root/repo/build/examples/macro_emulator")
+set_tests_properties(example_macro_emulator PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_verify_firmware "/root/repo/build/examples/verify_firmware")
+set_tests_properties(example_verify_firmware PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(uhllc_smoke "/root/repo/build/src/uhllc" "--lang" "yalll" "--machine" "vm2" "/root/repo/build/uhllc_smoke.yll" "--run" "--set" "n=10")
+set_tests_properties(uhllc_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/legalize.cc" "src/CMakeFiles/uhll.dir/codegen/legalize.cc.o" "gcc" "src/CMakeFiles/uhll.dir/codegen/legalize.cc.o.d"
+  "/root/repo/src/codegen/lower.cc" "src/CMakeFiles/uhll.dir/codegen/lower.cc.o" "gcc" "src/CMakeFiles/uhll.dir/codegen/lower.cc.o.d"
+  "/root/repo/src/codegen/optimize.cc" "src/CMakeFiles/uhll.dir/codegen/optimize.cc.o" "gcc" "src/CMakeFiles/uhll.dir/codegen/optimize.cc.o.d"
+  "/root/repo/src/codegen/passes.cc" "src/CMakeFiles/uhll.dir/codegen/passes.cc.o" "gcc" "src/CMakeFiles/uhll.dir/codegen/passes.cc.o.d"
+  "/root/repo/src/isa/macro.cc" "src/CMakeFiles/uhll.dir/isa/macro.cc.o" "gcc" "src/CMakeFiles/uhll.dir/isa/macro.cc.o.d"
+  "/root/repo/src/lang/common/lexer.cc" "src/CMakeFiles/uhll.dir/lang/common/lexer.cc.o" "gcc" "src/CMakeFiles/uhll.dir/lang/common/lexer.cc.o.d"
+  "/root/repo/src/lang/empl/empl.cc" "src/CMakeFiles/uhll.dir/lang/empl/empl.cc.o" "gcc" "src/CMakeFiles/uhll.dir/lang/empl/empl.cc.o.d"
+  "/root/repo/src/lang/simpl/simpl.cc" "src/CMakeFiles/uhll.dir/lang/simpl/simpl.cc.o" "gcc" "src/CMakeFiles/uhll.dir/lang/simpl/simpl.cc.o.d"
+  "/root/repo/src/lang/sstar/sstar.cc" "src/CMakeFiles/uhll.dir/lang/sstar/sstar.cc.o" "gcc" "src/CMakeFiles/uhll.dir/lang/sstar/sstar.cc.o.d"
+  "/root/repo/src/lang/yalll/yalll.cc" "src/CMakeFiles/uhll.dir/lang/yalll/yalll.cc.o" "gcc" "src/CMakeFiles/uhll.dir/lang/yalll/yalll.cc.o.d"
+  "/root/repo/src/machine/alu.cc" "src/CMakeFiles/uhll.dir/machine/alu.cc.o" "gcc" "src/CMakeFiles/uhll.dir/machine/alu.cc.o.d"
+  "/root/repo/src/machine/control_store.cc" "src/CMakeFiles/uhll.dir/machine/control_store.cc.o" "gcc" "src/CMakeFiles/uhll.dir/machine/control_store.cc.o.d"
+  "/root/repo/src/machine/machine_desc.cc" "src/CMakeFiles/uhll.dir/machine/machine_desc.cc.o" "gcc" "src/CMakeFiles/uhll.dir/machine/machine_desc.cc.o.d"
+  "/root/repo/src/machine/machines/hm1.cc" "src/CMakeFiles/uhll.dir/machine/machines/hm1.cc.o" "gcc" "src/CMakeFiles/uhll.dir/machine/machines/hm1.cc.o.d"
+  "/root/repo/src/machine/machines/vm2.cc" "src/CMakeFiles/uhll.dir/machine/machines/vm2.cc.o" "gcc" "src/CMakeFiles/uhll.dir/machine/machines/vm2.cc.o.d"
+  "/root/repo/src/machine/machines/vs3.cc" "src/CMakeFiles/uhll.dir/machine/machines/vs3.cc.o" "gcc" "src/CMakeFiles/uhll.dir/machine/machines/vs3.cc.o.d"
+  "/root/repo/src/machine/memory.cc" "src/CMakeFiles/uhll.dir/machine/memory.cc.o" "gcc" "src/CMakeFiles/uhll.dir/machine/memory.cc.o.d"
+  "/root/repo/src/machine/simulator.cc" "src/CMakeFiles/uhll.dir/machine/simulator.cc.o" "gcc" "src/CMakeFiles/uhll.dir/machine/simulator.cc.o.d"
+  "/root/repo/src/machine/types.cc" "src/CMakeFiles/uhll.dir/machine/types.cc.o" "gcc" "src/CMakeFiles/uhll.dir/machine/types.cc.o.d"
+  "/root/repo/src/masm/masm.cc" "src/CMakeFiles/uhll.dir/masm/masm.cc.o" "gcc" "src/CMakeFiles/uhll.dir/masm/masm.cc.o.d"
+  "/root/repo/src/mir/interp.cc" "src/CMakeFiles/uhll.dir/mir/interp.cc.o" "gcc" "src/CMakeFiles/uhll.dir/mir/interp.cc.o.d"
+  "/root/repo/src/mir/mir.cc" "src/CMakeFiles/uhll.dir/mir/mir.cc.o" "gcc" "src/CMakeFiles/uhll.dir/mir/mir.cc.o.d"
+  "/root/repo/src/regalloc/allocator.cc" "src/CMakeFiles/uhll.dir/regalloc/allocator.cc.o" "gcc" "src/CMakeFiles/uhll.dir/regalloc/allocator.cc.o.d"
+  "/root/repo/src/regalloc/liveness.cc" "src/CMakeFiles/uhll.dir/regalloc/liveness.cc.o" "gcc" "src/CMakeFiles/uhll.dir/regalloc/liveness.cc.o.d"
+  "/root/repo/src/schedule/compact.cc" "src/CMakeFiles/uhll.dir/schedule/compact.cc.o" "gcc" "src/CMakeFiles/uhll.dir/schedule/compact.cc.o.d"
+  "/root/repo/src/schedule/depgraph.cc" "src/CMakeFiles/uhll.dir/schedule/depgraph.cc.o" "gcc" "src/CMakeFiles/uhll.dir/schedule/depgraph.cc.o.d"
+  "/root/repo/src/support/logging.cc" "src/CMakeFiles/uhll.dir/support/logging.cc.o" "gcc" "src/CMakeFiles/uhll.dir/support/logging.cc.o.d"
+  "/root/repo/src/verify/expr.cc" "src/CMakeFiles/uhll.dir/verify/expr.cc.o" "gcc" "src/CMakeFiles/uhll.dir/verify/expr.cc.o.d"
+  "/root/repo/src/verify/verifier.cc" "src/CMakeFiles/uhll.dir/verify/verifier.cc.o" "gcc" "src/CMakeFiles/uhll.dir/verify/verifier.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/CMakeFiles/uhll.dir/workloads/workloads.cc.o" "gcc" "src/CMakeFiles/uhll.dir/workloads/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for uhll.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uhllc.dir/tools/uhllc.cc.o"
+  "CMakeFiles/uhllc.dir/tools/uhllc.cc.o.d"
+  "uhllc"
+  "uhllc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uhllc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

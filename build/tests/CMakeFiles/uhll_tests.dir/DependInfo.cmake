@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_codegen.cc" "tests/CMakeFiles/uhll_tests.dir/test_codegen.cc.o" "gcc" "tests/CMakeFiles/uhll_tests.dir/test_codegen.cc.o.d"
+  "/root/repo/tests/test_edge.cc" "tests/CMakeFiles/uhll_tests.dir/test_edge.cc.o" "gcc" "tests/CMakeFiles/uhll_tests.dir/test_edge.cc.o.d"
+  "/root/repo/tests/test_empl.cc" "tests/CMakeFiles/uhll_tests.dir/test_empl.cc.o" "gcc" "tests/CMakeFiles/uhll_tests.dir/test_empl.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/uhll_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/uhll_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_machine.cc" "tests/CMakeFiles/uhll_tests.dir/test_machine.cc.o" "gcc" "tests/CMakeFiles/uhll_tests.dir/test_machine.cc.o.d"
+  "/root/repo/tests/test_masm.cc" "tests/CMakeFiles/uhll_tests.dir/test_masm.cc.o" "gcc" "tests/CMakeFiles/uhll_tests.dir/test_masm.cc.o.d"
+  "/root/repo/tests/test_mir.cc" "tests/CMakeFiles/uhll_tests.dir/test_mir.cc.o" "gcc" "tests/CMakeFiles/uhll_tests.dir/test_mir.cc.o.d"
+  "/root/repo/tests/test_optimize.cc" "tests/CMakeFiles/uhll_tests.dir/test_optimize.cc.o" "gcc" "tests/CMakeFiles/uhll_tests.dir/test_optimize.cc.o.d"
+  "/root/repo/tests/test_property.cc" "tests/CMakeFiles/uhll_tests.dir/test_property.cc.o" "gcc" "tests/CMakeFiles/uhll_tests.dir/test_property.cc.o.d"
+  "/root/repo/tests/test_regalloc.cc" "tests/CMakeFiles/uhll_tests.dir/test_regalloc.cc.o" "gcc" "tests/CMakeFiles/uhll_tests.dir/test_regalloc.cc.o.d"
+  "/root/repo/tests/test_schedule.cc" "tests/CMakeFiles/uhll_tests.dir/test_schedule.cc.o" "gcc" "tests/CMakeFiles/uhll_tests.dir/test_schedule.cc.o.d"
+  "/root/repo/tests/test_simpl.cc" "tests/CMakeFiles/uhll_tests.dir/test_simpl.cc.o" "gcc" "tests/CMakeFiles/uhll_tests.dir/test_simpl.cc.o.d"
+  "/root/repo/tests/test_simulator.cc" "tests/CMakeFiles/uhll_tests.dir/test_simulator.cc.o" "gcc" "tests/CMakeFiles/uhll_tests.dir/test_simulator.cc.o.d"
+  "/root/repo/tests/test_sstar.cc" "tests/CMakeFiles/uhll_tests.dir/test_sstar.cc.o" "gcc" "tests/CMakeFiles/uhll_tests.dir/test_sstar.cc.o.d"
+  "/root/repo/tests/test_support.cc" "tests/CMakeFiles/uhll_tests.dir/test_support.cc.o" "gcc" "tests/CMakeFiles/uhll_tests.dir/test_support.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/uhll_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/uhll_tests.dir/test_workloads.cc.o.d"
+  "/root/repo/tests/test_yalll.cc" "tests/CMakeFiles/uhll_tests.dir/test_yalll.cc.o" "gcc" "tests/CMakeFiles/uhll_tests.dir/test_yalll.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/uhll.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
