@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Simulator throughput benchmark: host-side words/sec and cycles/sec
+ * of MicroSimulator::run over the E1 YALLL workload suite, compiled
+ * for each bundled machine (HM-1, VM-2, VS-3).
+ *
+ * Every experiment funnels through the simulator, so this number
+ * bounds how large the survey's workloads can grow. The table and
+ * BENCH_sim.json record the perf trajectory PR over PR; see
+ * EXPERIMENTS.md ("Simulator throughput methodology").
+ *
+ * Output: a table on stdout plus BENCH_sim.json (path overridable
+ * via the UHLL_BENCH_JSON environment variable), then the registered
+ * google-benchmark timers.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+
+using namespace uhll;
+using namespace uhll::bench;
+
+namespace {
+
+/** One workload compiled for one machine, ready to simulate. */
+struct Prepped {
+    const Workload *w;
+    MirProgram prog;
+    CompiledProgram cp;
+};
+
+std::vector<Prepped>
+prepSuite(const MachineDescription &m)
+{
+    std::vector<Prepped> out;
+    for (const Workload &w : workloadSuite()) {
+        MirProgram prog = parseYalll(w.yalll, m);
+        Compiler comp(m);
+        CompiledProgram cp = comp.compile(prog, {});
+        out.push_back({&w, std::move(prog), std::move(cp)});
+    }
+    return out;
+}
+
+/** Aggregate measurement of one machine's suite. */
+struct Measurement {
+    uint64_t words = 0;         //!< microwords simulated
+    uint64_t cycles = 0;        //!< microcycles simulated
+    double seconds = 0;         //!< host seconds inside run()
+    uint64_t fastPathWords = 0;
+    uint64_t slowPathWords = 0;
+    uint64_t pendingHighWater = 0;
+
+    double wordsPerSec() const { return words / seconds; }
+    double cyclesPerSec() const { return cycles / seconds; }
+};
+
+/**
+ * Simulate the prepared suite repeatedly until at least
+ * @p min_seconds of host time was spent inside run(). Only run() is
+ * timed: compile time and memory setup are excluded.
+ */
+Measurement
+measureSuite(const std::vector<Prepped> &suite, double min_seconds,
+             bool force_slow = false)
+{
+    using clock = std::chrono::steady_clock;
+    Measurement ms;
+    SimConfig cfg;
+    cfg.forceSlowPath = force_slow;
+    while (ms.seconds < min_seconds) {
+        for (const Prepped &p : suite) {
+            MainMemory mem(0x10000, 16);
+            p.w->setup(mem);
+            MicroSimulator sim(p.cp.store, mem, cfg);
+            for (auto &[n, v] : p.w->inputs)
+                setVar(p.prog, p.cp, sim, mem, n, v);
+            auto t0 = clock::now();
+            SimResult res = sim.run("main");
+            auto t1 = clock::now();
+            if (!res.halted)
+                fatal("bench_sim_throughput: %s did not halt",
+                      p.w->name.c_str());
+            ms.words += res.wordsExecuted;
+            ms.cycles += res.cycles;
+            ms.seconds +=
+                std::chrono::duration<double>(t1 - t0).count();
+            ms.fastPathWords += res.fastPathWords;
+            ms.slowPathWords += res.slowPathWords;
+            if (res.pendingHighWater > ms.pendingHighWater)
+                ms.pendingHighWater = res.pendingHighWater;
+        }
+    }
+    return ms;
+}
+
+const char *const kMachines[] = {"HM-1", "VM-2", "VS-3"};
+
+void
+printTableAndJson()
+{
+    const char *json_path = std::getenv("UHLL_BENCH_JSON");
+    if (!json_path)
+        json_path = "BENCH_sim.json";
+
+    std::printf("Simulator throughput, E1 YALLL suite (compiled)\n");
+    std::printf("%-6s | %12s %12s | %10s %10s | %9s\n", "mach",
+                "words/sec", "cycles/sec", "fast wrds", "slow wrds",
+                "slowdown");
+
+    std::string json = "{\n  \"bench\": \"sim_throughput\",\n"
+                       "  \"suite\": \"E1 YALLL compiled\",\n"
+                       "  \"machines\": {\n";
+    bool first = true;
+    for (const char *mn : kMachines) {
+        MachineDescription m = machineByName(mn);
+        std::vector<Prepped> suite = prepSuite(m);
+        Measurement fast = measureSuite(suite, 0.25);
+        // Forced slow path: how much the fast path buys on the same
+        // binary (the cross-PR trajectory lives in EXPERIMENTS.md).
+        Measurement slow = measureSuite(suite, 0.25, true);
+        std::printf("%-6s | %12.0f %12.0f | %10llu %10llu | %8.2fx\n",
+                    mn, fast.wordsPerSec(), fast.cyclesPerSec(),
+                    (unsigned long long)fast.fastPathWords,
+                    (unsigned long long)fast.slowPathWords,
+                    fast.wordsPerSec() / slow.wordsPerSec());
+        json += strfmt("%s    \"%s\": {\"words_per_sec\": %.0f, "
+                       "\"cycles_per_sec\": %.0f, "
+                       "\"slow_path_words_per_sec\": %.0f, "
+                       "\"fast_path_words\": %llu, "
+                       "\"slow_path_words\": %llu, "
+                       "\"pending_high_water\": %llu}",
+                       first ? "" : ",\n", mn, fast.wordsPerSec(),
+                       fast.cyclesPerSec(), slow.wordsPerSec(),
+                       (unsigned long long)fast.fastPathWords,
+                       (unsigned long long)fast.slowPathWords,
+                       (unsigned long long)fast.pendingHighWater);
+        first = false;
+    }
+    json += "\n  }\n}\n";
+    if (FILE *f = std::fopen(json_path, "w")) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        std::printf("\nwrote %s\n\n", json_path);
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", json_path);
+    }
+}
+
+void
+BM_SimSuite(benchmark::State &state, const char *mn)
+{
+    MachineDescription m = machineByName(mn);
+    std::vector<Prepped> suite = prepSuite(m);
+    uint64_t words = 0, cycles = 0;
+    for (auto _ : state) {
+        for (const Prepped &p : suite) {
+            state.PauseTiming();
+            MainMemory mem(0x10000, 16);
+            p.w->setup(mem);
+            MicroSimulator sim(p.cp.store, mem);
+            for (auto &[n, v] : p.w->inputs)
+                setVar(p.prog, p.cp, sim, mem, n, v);
+            state.ResumeTiming();
+            SimResult res = sim.run("main");
+            words += res.wordsExecuted;
+            cycles += res.cycles;
+        }
+    }
+    state.counters["words/s"] = benchmark::Counter(
+        double(words), benchmark::Counter::kIsRate);
+    state.counters["cycles/s"] = benchmark::Counter(
+        double(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_SimSuite, hm1, "HM-1");
+BENCHMARK_CAPTURE(BM_SimSuite, vm2, "VM-2");
+BENCHMARK_CAPTURE(BM_SimSuite, vs3, "VS-3");
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTableAndJson();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

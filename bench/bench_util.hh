@@ -43,6 +43,29 @@ struct Outcome {
     bool ok = false;
 };
 
+/**
+ * Report a failed run, distinguishing cycle-budget exhaustion (the
+ * engine never halted) from a wrong result: a budget failure is a
+ * hang or a runaway loop, not a correctness bug, and used to be
+ * indistinguishable from one in the FAILED output.
+ */
+inline void
+reportFailure(const char *how, const Workload &w,
+              const MachineDescription &m, const SimResult &res,
+              const SimConfig &cfg, const std::string &why)
+{
+    if (!res.halted)
+        std::fprintf(stderr,
+                     "FAILED %s%s on %s: cycle budget exhausted "
+                     "(maxCycles=%llu, executed %llu words)\n",
+                     how, w.name.c_str(), m.name().c_str(),
+                     (unsigned long long)cfg.maxCycles,
+                     (unsigned long long)res.wordsExecuted);
+    else
+        std::fprintf(stderr, "FAILED %s%s on %s: %s\n", how,
+                     w.name.c_str(), m.name().c_str(), why.c_str());
+}
+
 /** Compile a workload's YALLL source for @p m and run it. */
 inline Outcome
 runCompiled(const Workload &w, const MachineDescription &m,
@@ -53,7 +76,8 @@ runCompiled(const Workload &w, const MachineDescription &m,
     CompiledProgram cp = comp.compile(prog, opts);
     MainMemory mem(0x10000, 16);
     w.setup(mem);
-    MicroSimulator sim(cp.store, mem);
+    SimConfig cfg;
+    MicroSimulator sim(cp.store, mem, cfg);
     for (auto &[n, v] : w.inputs)
         setVar(prog, cp, sim, mem, n, v);
     SimResult res = sim.run("main");
@@ -64,8 +88,7 @@ runCompiled(const Workload &w, const MachineDescription &m,
     std::string why;
     o.ok = res.halted && w.check(mem, &why);
     if (!o.ok)
-        std::fprintf(stderr, "FAILED %s on %s: %s\n", w.name.c_str(),
-                     m.name().c_str(), why.c_str());
+        reportFailure("", w, m, res, cfg, why);
     return o;
 }
 
@@ -79,7 +102,8 @@ runHand(const Workload &w, const MachineDescription &m)
     ControlStore cs = as.assemble(src);
     MainMemory mem(0x10000, 16);
     w.setup(mem);
-    MicroSimulator sim(cs, mem);
+    SimConfig cfg;
+    MicroSimulator sim(cs, mem, cfg);
     for (auto &[n, v] : w.inputs)
         sim.setReg(n, v);
     SimResult res = sim.run("main");
@@ -90,8 +114,7 @@ runHand(const Workload &w, const MachineDescription &m)
     std::string why;
     o.ok = res.halted && w.check(mem, &why);
     if (!o.ok)
-        std::fprintf(stderr, "FAILED hand %s on %s: %s\n",
-                     w.name.c_str(), m.name().c_str(), why.c_str());
+        reportFailure("hand ", w, m, res, cfg, why);
     return o;
 }
 

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification for this repo, plus the simulator-throughput
+# smoke bench. Run from anywhere; builds into ./build.
+#
+#   scripts/verify.sh            full tier-1 + bench smoke
+#   scripts/verify.sh --no-bench tier-1 only
+#
+# The bench smoke runs bench_sim_throughput with a short
+# --benchmark_min_time so a perf regression that breaks the harness
+# (or a simulator change that stops halting) fails the gate quickly;
+# it also refreshes build/BENCH_sim.json. The same smoke is wired as
+# the CTest test `bench_sim_throughput_smoke`.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_bench=1
+if [[ "${1:-}" == "--no-bench" ]]; then
+    run_bench=0
+fi
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+if [[ "$run_bench" == 1 ]]; then
+    (cd build && UHLL_BENCH_JSON=BENCH_sim.json \
+        ./bench/bench_sim_throughput --benchmark_min_time=0.1)
+fi
+
+echo "verify: OK"

@@ -10,6 +10,7 @@ ControlStore::append(MicroInstruction mi)
 {
     uint32_t addr = static_cast<uint32_t>(words_.size());
     words_.push_back(std::move(mi));
+    ++version_;
     return addr;
 }
 
@@ -28,6 +29,8 @@ ControlStore::word(uint32_t addr)
     if (addr >= words_.size())
         panic("control store: address %u out of range (size %zu)",
               addr, words_.size());
+    // Handing out a mutable reference may invalidate decoded caches.
+    ++version_;
     return words_[addr];
 }
 

@@ -38,6 +38,13 @@ class ControlStore
     const MicroInstruction &word(uint32_t addr) const;
     MicroInstruction &word(uint32_t addr);
 
+    /**
+     * Mutation counter: bumped by append() and by every mutable
+     * word() access. Decoded-word caches (DecodedStore) compare it to
+     * know when their pre-decoded state is stale.
+     */
+    uint64_t version() const { return version_; }
+
     /** Define a named entry point at @p addr. */
     void defineEntry(const std::string &name, uint32_t addr);
 
@@ -56,6 +63,7 @@ class ControlStore
     const MachineDescription *mach_;
     std::vector<MicroInstruction> words_;
     std::vector<std::pair<std::string, uint32_t>> entries_;
+    uint64_t version_ = 0;
 };
 
 } // namespace uhll

@@ -1,0 +1,115 @@
+#include "machine/decoded_store.hh"
+
+#include <algorithm>
+
+#include "machine/alu.hh"
+#include "machine/control_store.hh"
+#include "machine/machine_desc.hh"
+#include "support/bits.hh"
+
+namespace uhll {
+
+DecodedStore::DecodedStore(const ControlStore &store,
+                           const MachineDescription &mach)
+    : store_(store), mach_(mach)
+{
+    sync();
+}
+
+void
+DecodedStore::sync()
+{
+    if (version_ == store_.version() && slots_.size() == store_.size())
+        return;
+    slots_.clear();
+    slots_.resize(store_.size());
+    maxOps_ = 0;
+    for (uint32_t a = 0; a < store_.size(); ++a)
+        maxOps_ = std::max(maxOps_, store_.word(a).ops.size());
+    version_ = store_.version();
+}
+
+const DecodedWord &
+DecodedStore::decodeAt(uint32_t addr)
+{
+    // Out-of-range fetches go through the store's own bounds check
+    // (panics exactly like the un-cached fetch did).
+    const MicroInstruction &mi = store_.word(addr);
+    if (addr >= slots_.size())
+        slots_.resize(store_.size());
+    if (mi.seq == SeqKind::Multiway && mi.mwReg != kNoReg)
+        (void)mach_.reg(mi.mwReg);
+
+    const unsigned w = mach_.dataWidth();
+    DecodedWord dw;
+    dw.seq = mi.seq;
+    dw.cond = mi.cond;
+    dw.target = mi.target;
+    dw.mwReg = mi.mwReg;
+    dw.mwMask = mi.mwMask;
+    dw.restart = mi.restart;
+    dw.fastEligible = true;
+
+    dw.ops.reserve(mi.ops.size());
+    for (const BoundOp &op : mi.ops) {
+        const MicroOpSpec &s = mach_.uop(op.spec);
+        if (s.kind == UKind::Nop)
+            continue;
+        DecodedOp d;
+        d.kind = s.kind;
+        d.phase = s.phase;
+        d.setsFlags = s.setsFlags;
+        d.overlap = op.overlap;
+        d.hasSrcA = uKindHasSrcA(s.kind);
+        d.hasSrcB = uKindHasSrcB(s.kind);
+        // Ldi always takes its immediate; other kinds only when the
+        // bound op says so. aluEval() truncates its operands to the
+        // data width, so pre-truncating here is exact.
+        d.useImm = op.useImm || s.kind == UKind::Ldi;
+        d.imm = truncBits(op.imm, w);
+        d.dst = op.dst;
+        d.srcA = op.srcA;
+        d.srcB = op.srcB;
+        // Validate every register id the op will use, so the
+        // interpreter loop can index the register file unchecked.
+        // reg() panics on a bad id, at the word's first execution
+        // (lazy decode), like the un-cached interpreter did.
+        if (uKindHasDst(s.kind))
+            d.dstMask = mach_.regMask(op.dst);
+        if (d.hasSrcA)
+            (void)mach_.reg(op.srcA);
+        if (d.hasSrcB && !d.useImm)
+            (void)mach_.reg(op.srcB);
+
+        if (!aluHandles(s.kind)) {
+            dw.fastEligible = false;
+            if (uKindFaults(s.kind)) {
+                dw.touchesMem = true;
+                bool delayed = op.overlap &&
+                               (s.kind == UKind::MemRead ||
+                                s.kind == UKind::MemWrite);
+                if (delayed)
+                    dw.usesOverlap = true;
+                else if (mach_.memLatency() > 1)
+                    dw.stallCycles = mach_.memLatency() - 1;
+            }
+        }
+        if (s.setsFlags)
+            dw.writesFlags = true;
+        dw.ops.push_back(d);
+    }
+
+    // Bucket by phase; stable so same-phase ops keep program order
+    // (flag-latch updates and overlay commits depend on it).
+    std::stable_sort(dw.ops.begin(), dw.ops.end(),
+                     [](const DecodedOp &a, const DecodedOp &b) {
+                         return a.phase < b.phase;
+                     });
+
+    Slot &slot = slots_[addr];
+    slot.dw = std::move(dw);
+    slot.ready = true;
+    return slot.dw;
+}
+
+} // namespace uhll

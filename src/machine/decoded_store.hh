@@ -1,0 +1,123 @@
+/**
+ * @file
+ * DecodedStore: the simulator's per-ControlStore decoded-word cache.
+ *
+ * The interpreter loop used to re-scan every word's ops once per
+ * phase and chase MicroOpSpec / RegisterInfo pointers per op per
+ * execution. Everything derivable from the static machine
+ * description is instead resolved here once per word: ops are
+ * bucketed and ordered by phase with their semantic kind, operand
+ * presence, destination width mask and pre-truncated immediate
+ * inlined, and static word facts (touches memory, uses overlap,
+ * pure-ALU fast-path eligibility, memory stall cycles) are computed
+ * up front.
+ */
+
+#ifndef UHLL_MACHINE_DECODED_STORE_HH
+#define UHLL_MACHINE_DECODED_STORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/types.hh"
+
+namespace uhll {
+
+class ControlStore;
+class MachineDescription;
+
+/**
+ * One microoperation resolved against the machine description. All
+ * repertoire and register-file lookups happen at decode time; the
+ * interpreter loop reads only this struct.
+ */
+struct DecodedOp {
+    UKind kind = UKind::Nop;
+    uint8_t phase = 1;
+    bool setsFlags = false;
+    bool useImm = false;    //!< b operand is @c imm (always for Ldi)
+    bool overlap = false;   //!< memory op commits via the pending queue
+    bool hasSrcA = false;
+    bool hasSrcB = false;
+    RegId dst = kNoReg;
+    RegId srcA = kNoReg;
+    RegId srcB = kNoReg;
+    uint64_t imm = 0;       //!< pre-truncated to the data width
+    uint64_t dstMask = 0;   //!< bitMask(dst register width); 0 = no dst
+};
+
+/**
+ * A pre-decoded control word: ops sorted by phase (Nops dropped),
+ * sequencing copied out of the MicroInstruction, and the static word
+ * facts the simulator's dispatch needs.
+ */
+struct DecodedWord {
+    std::vector<DecodedOp> ops;
+    SeqKind seq = SeqKind::Next;
+    Cond cond = Cond::Always;
+    uint32_t target = 0;
+    RegId mwReg = kNoReg;   //!< multiway dispatch register
+    uint64_t mwMask = 0;
+    bool restart = false;
+    //! every op is pure compute: the word cannot fault, stall, ack an
+    //! interrupt or enqueue a pending write, so it is eligible for
+    //! the zero-allocation fast path
+    bool fastEligible = false;
+    bool touchesMem = false;    //!< some op can page-fault
+    bool usesOverlap = false;   //!< some op enqueues a pending write
+    bool writesFlags = false;
+    //! static stall: non-overlapped memory ops cost memLatency-1
+    //! extra cycles; a word's stall does not depend on dynamic state
+    uint32_t stallCycles = 0;
+};
+
+/**
+ * Decoded-word cache for one ControlStore, built by the simulator at
+ * construction. Words are decoded lazily on first execution so that
+ * malformed words which never run keep failing exactly when the
+ * un-cached interpreter would have failed. The cache watches the
+ * store's mutation version (ControlStore::version()) and re-syncs at
+ * every run() start, so patched words are re-decoded.
+ */
+class DecodedStore
+{
+  public:
+    DecodedStore(const ControlStore &store,
+                 const MachineDescription &mach);
+
+    /** Invalidate and resize if the store changed since last sync. */
+    void sync();
+
+    /** The decoded word at @p addr, decoding it on first use. */
+    const DecodedWord &word(uint32_t addr)
+    {
+        if (addr < slots_.size() && slots_[addr].ready)
+            return slots_[addr].dw;
+        return decodeAt(addr);
+    }
+
+    /**
+     * Upper bound on ops per word over the whole store (from the raw
+     * words, so it is valid before any word is decoded). Used to size
+     * the simulator's reusable scratch buffers.
+     */
+    size_t maxOpsPerWord() const { return maxOps_; }
+
+  private:
+    struct Slot {
+        DecodedWord dw;
+        bool ready = false;
+    };
+
+    const DecodedWord &decodeAt(uint32_t addr);
+
+    const ControlStore &store_;
+    const MachineDescription &mach_;
+    std::vector<Slot> slots_;
+    uint64_t version_ = ~0ULL;
+    size_t maxOps_ = 0;
+};
+
+} // namespace uhll
+
+#endif // UHLL_MACHINE_DECODED_STORE_HH

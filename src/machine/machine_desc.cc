@@ -59,6 +59,12 @@ MachineDescription::reg(RegId r) const
     return regs_[r];
 }
 
+uint64_t
+MachineDescription::regMask(RegId r) const
+{
+    return bitMask(reg(r).width);
+}
+
 std::optional<RegId>
 MachineDescription::findRegister(const std::string &name) const
 {

@@ -69,6 +69,8 @@ class MachineDescription
                       uint32_t classes, bool architectural = false,
                       bool allocatable = false);
     const RegisterInfo &reg(RegId r) const;
+    /** All-ones mask of register @p r 's width. */
+    uint64_t regMask(RegId r) const;
     size_t numRegisters() const { return regs_.size(); }
     std::optional<RegId> findRegister(const std::string &name) const;
 

@@ -10,8 +10,12 @@ namespace uhll {
 
 MicroSimulator::MicroSimulator(const ControlStore &store,
                                MainMemory &mem, SimConfig cfg)
-    : store_(store), mach_(store.machine()), mem_(mem), cfg_(cfg),
-      regs_(store.machine().numRegisters(), 0)
+    : store_(store), mach_(store.machine()), mem_(mem),
+      cfg_(std::move(cfg)),
+      regs_(store.machine().numRegisters(), 0),
+      pendingRegs_(store.machine().numRegisters(), 0),
+      decoded_(store, store.machine()),
+      dataWidth_(store.machine().dataWidth())
 {
     if (mem.width() != mach_.dataWidth())
         fatal("simulator: memory width %u != machine data width %u",
@@ -21,7 +25,7 @@ MicroSimulator::MicroSimulator(const ControlStore &store,
 void
 MicroSimulator::setReg(RegId r, uint64_t v)
 {
-    regs_.at(r) = truncBits(v, mach_.reg(r).width);
+    regs_.at(r) = v & mach_.regMask(r);
 }
 
 uint64_t
@@ -66,37 +70,47 @@ MicroSimulator::readReg(RegId r)
                   (unsigned long long)res_.cycles);
         // non-strict: hardware returns the stale value
     }
-    return regs_.at(r);
+    return regs_[r];
 }
 
-bool
-MicroSimulator::hasPendingFor(RegId r) const
+void
+MicroSimulator::enqueuePending(const PendingWrite &p)
 {
-    for (const auto &p : pending_) {
-        if (!p.isMem && p.reg == r)
-            return true;
-    }
-    return false;
+    pending_.push_back(p);
+    if (!p.isMem)
+        ++pendingRegs_[p.reg];
+    if (pending_.size() > res_.pendingHighWater)
+        res_.pendingHighWater = pending_.size();
 }
 
 void
 MicroSimulator::commitPending()
 {
-    for (auto it = pending_.begin(); it != pending_.end();) {
-        if (it->commitCycle <= res_.cycles) {
-            if (it->isMem) {
-                if (!mem_.write(it->addr, it->value))
+    // Stable single-pass compaction instead of erase-from-middle:
+    // O(pending) per call, and same-cycle commits to one register or
+    // address still apply in enqueue order (swap-and-pop would not
+    // preserve that).
+    size_t out = 0;
+    for (size_t i = 0; i < pending_.size(); ++i) {
+        PendingWrite &p = pending_[i];
+        if (p.commitCycle <= res_.cycles) {
+            if (p.isMem) {
+                if (!mem_.write(p.addr, p.value))
                     fatal("simulator: overlapped store faulted at "
-                          "commit (addr %u)", it->addr);
+                          "commit (addr %u)", p.addr);
             } else {
-                regs_[it->reg] =
-                    truncBits(it->value, mach_.reg(it->reg).width);
+                // value was truncated to the register width when the
+                // write was enqueued
+                regs_[p.reg] = p.value;
+                --pendingRegs_[p.reg];
             }
-            it = pending_.erase(it);
         } else {
-            ++it;
+            if (out != i)
+                pending_[out] = p;
+            ++out;
         }
     }
+    pending_.resize(out);
 }
 
 void
@@ -126,6 +140,7 @@ MicroSimulator::applyTrap()
     flags_ = Flags{};
     microStack_.clear();
     pending_.clear();
+    std::fill(pendingRegs_.begin(), pendingRegs_.end(), 0);
     upc_ = restartPoint_;
 }
 
@@ -149,92 +164,185 @@ MicroSimulator::evalCond(Cond c) const
     return false;
 }
 
-namespace {
+void
+MicroSimulator::checkMultiway(const DecodedWord &dw) const
+{
+    if (!mach_.hasMultiway())
+        fatal("simulator: machine %s has no multiway branch",
+              mach_.name().c_str());
+    if (dw.mwReg == kNoReg)
+        fatal("simulator: multiway without dispatch register");
+}
 
-/** Buffered effect of one microoperation within a word. */
-struct Effect {
-    bool hasRegWrite = false;
-    RegId reg = kNoReg;
-    uint64_t regValue = 0;
-    bool hasReg2Write = false;      // push/pop second write
-    RegId reg2 = kNoReg;
-    uint64_t reg2Value = 0;
-    bool hasMemWrite = false;
-    uint32_t memAddr = 0;
-    uint64_t memValue = 0;
-    bool setsFlags = false;
-    Flags flags;
-    bool delayed = false;           // overlapped: commits later
-    bool intAck = false;
-};
+void
+MicroSimulator::seqAdvance(const DecodedWord &dw, uint32_t addr,
+                           uint64_t mw_val, uint32_t &next)
+{
+    // Conditions see the flags produced by this word.
+    switch (dw.seq) {
+      case SeqKind::Next:
+        next = addr + 1;
+        break;
+      case SeqKind::Jump:
+        next = dw.target;
+        break;
+      case SeqKind::CondJump:
+        next = evalCond(dw.cond) ? dw.target : addr + 1;
+        break;
+      case SeqKind::Call:
+        if (microStack_.size() >= 16)
+            fatal("simulator: micro return stack overflow");
+        microStack_.push_back(addr + 1);
+        next = dw.target;
+        break;
+      case SeqKind::Return:
+        if (microStack_.empty())
+            fatal("simulator: micro return stack underflow");
+        next = microStack_.back();
+        microStack_.pop_back();
+        break;
+      case SeqKind::Multiway:
+        next = dw.target +
+               static_cast<uint32_t>(compressBits(mw_val, dw.mwMask));
+        break;
+      case SeqKind::Halt:
+        next = addr;
+        res_.halted = true;
+        break;
+    }
+}
 
-} // namespace
+void
+MicroSimulator::execWordFast(const DecodedWord &dw, uint32_t addr,
+                             uint32_t &next)
+{
+    // Precondition (checked by the dispatch in run()): every op is
+    // pure compute, the pending queue is empty and no interrupt
+    // source is configured. No fault, no stall, no hazard is
+    // possible, so phase writes go straight to the register file --
+    // buffered within a phase only to keep read-before-write
+    // (cobegin) semantics when a phase has several ops.
+    const unsigned w = dataWidth_;
+    Flags new_flags = flags_;
+    bool flags_dirty = false;
+
+    const size_t n = dw.ops.size();
+    size_t i = 0;
+    while (i < n) {
+        size_t j = i + 1;
+        while (j < n && dw.ops[j].phase == dw.ops[i].phase)
+            ++j;
+        if (j == i + 1) {
+            // Single op in this phase: no intra-phase ordering to
+            // respect, write through directly.
+            const DecodedOp &op = dw.ops[i];
+            AluOut r = aluEval(
+                op.kind, op.hasSrcA ? regs_[op.srcA] : 0,
+                op.useImm ? op.imm
+                          : (op.hasSrcB ? regs_[op.srcB] : 0),
+                w);
+            if (op.setsFlags) {
+                new_flags = r.flags;
+                flags_dirty = true;
+            }
+            if (r.wrote)
+                regs_[op.dst] = r.value & op.dstMask;
+        } else {
+            phaseWrites_.clear();
+            for (size_t k = i; k < j; ++k) {
+                const DecodedOp &op = dw.ops[k];
+                AluOut r = aluEval(
+                    op.kind, op.hasSrcA ? regs_[op.srcA] : 0,
+                    op.useImm ? op.imm
+                              : (op.hasSrcB ? regs_[op.srcB] : 0),
+                    w);
+                if (op.setsFlags) {
+                    new_flags = r.flags;
+                    flags_dirty = true;
+                }
+                if (r.wrote)
+                    phaseWrites_.emplace_back(op.dst,
+                                              r.value & op.dstMask);
+            }
+            for (const auto &[r, v] : phaseWrites_)
+                regs_[r] = v;
+        }
+        i = j;
+    }
+
+    if (flags_dirty)
+        flags_ = new_flags;
+    res_.cycles += 1;
+
+    uint64_t mw_val = 0;
+    if (dw.seq == SeqKind::Multiway) {
+        checkMultiway(dw);
+        mw_val = regs_[dw.mwReg];
+    }
+    seqAdvance(dw, addr, mw_val, next);
+}
 
 bool
-MicroSimulator::execWord(const MicroInstruction &mi, uint32_t addr,
-                         uint32_t &next, uint32_t &fault_addr)
+MicroSimulator::execWordSlow(const DecodedWord &dw, uint32_t addr,
+                             uint32_t &next, uint32_t &fault_addr)
 {
     auto faulted = [&](uint32_t a) {
         fault_addr = a;
         return false;
     };
     // Overlay of register values built up phase by phase; the real
-    // register file is only updated if the whole word succeeds.
-    std::vector<std::pair<RegId, uint64_t>> overlay;
+    // register file is only updated if the whole word succeeds. The
+    // buffers are members so steady-state execution allocates
+    // nothing.
+    overlay_.clear();
+    memWrites_.clear();
+    newPending_.clear();
     auto ovRead = [&](RegId r) -> uint64_t {
-        for (auto it = overlay.rbegin(); it != overlay.rend(); ++it) {
+        for (auto it = overlay_.rbegin(); it != overlay_.rend(); ++it) {
             if (it->first == r)
                 return it->second;
         }
         return readReg(r);
     };
 
-    std::vector<std::pair<uint32_t, uint64_t>> mem_writes;
-    std::vector<PendingWrite> new_pending;
     Flags new_flags = flags_;
     bool flags_dirty = false;
-    unsigned stall = 0;
     bool int_acked = false;
 
-    unsigned w = mach_.dataWidth();
+    const unsigned w = dataWidth_;
+    const size_t n = dw.ops.size();
+    size_t i = 0;
+    while (i < n) {
+        const uint8_t phase = dw.ops[i].phase;
+        effects_.clear();
+        for (; i < n && dw.ops[i].phase == phase; ++i) {
+            const DecodedOp &op = dw.ops[i];
+            uint64_t a = op.hasSrcA ? ovRead(op.srcA) : 0;
+            uint64_t b =
+                op.useImm ? op.imm
+                          : (op.hasSrcB ? ovRead(op.srcB) : 0);
 
-    for (unsigned phase = 1; phase <= mach_.numPhases(); ++phase) {
-        std::vector<Effect> effects;
-        for (const BoundOp &op : mi.ops) {
-            const MicroOpSpec &s = mach_.uop(op.spec);
-            if (s.phase != phase)
-                continue;
-
-            uint64_t a = uKindHasSrcA(s.kind) ? ovRead(op.srcA) : 0;
-            uint64_t b = 0;
-            if (uKindHasSrcB(s.kind))
-                b = op.useImm ? truncBits(op.imm, w) : ovRead(op.srcB);
-
-            Effect e;
-            e.setsFlags = s.setsFlags;
+            WordEffect e;
+            e.setsFlags = op.setsFlags;
             auto write = [&](RegId r, uint64_t v) {
                 e.hasRegWrite = true;
                 e.reg = r;
-                e.regValue = truncBits(v, mach_.reg(r).width);
+                e.regValue = v & op.dstMask;
             };
 
-            if (aluHandles(s.kind)) {
-                AluOut r = aluEval(s.kind, a,
-                                   s.kind == UKind::Ldi ? op.imm : b,
-                                   w);
+            if (aluHandles(op.kind)) {
+                AluOut r = aluEval(op.kind, a, b, w);
                 e.flags = r.flags;
                 if (r.wrote)
                     write(op.dst, r.value);
-                effects.push_back(std::move(e));
+                effects_.push_back(e);
                 continue;
             }
 
-            switch (s.kind) {
+            switch (op.kind) {
               default:
                 panic("simulator: unexpected kind %s",
-                      uKindName(s.kind));
-              case UKind::Nop:
-                break;
+                      uKindName(op.kind));
               case UKind::MemRead: {
                 uint64_t v;
                 if (!mem_.read(static_cast<uint32_t>(a), v))
@@ -244,10 +352,9 @@ MicroSimulator::execWord(const MicroInstruction &mi, uint32_t addr,
                     e.delayed = true;
                     e.hasRegWrite = true;
                     e.reg = op.dst;
-                    e.regValue = truncBits(v, mach_.reg(op.dst).width);
+                    e.regValue = v & op.dstMask;
                 } else {
                     write(op.dst, v);
-                    stall = std::max(stall, mach_.memLatency() - 1);
                 }
                 break;
               }
@@ -260,8 +367,6 @@ MicroSimulator::execWord(const MicroInstruction &mi, uint32_t addr,
                 e.memValue = b;
                 if (op.overlap)
                     e.delayed = true;
-                else
-                    stall = std::max(stall, mach_.memLatency() - 1);
                 break;
               }
               case UKind::Push: {
@@ -275,7 +380,6 @@ MicroSimulator::execWord(const MicroInstruction &mi, uint32_t addr,
                 e.hasRegWrite = true;
                 e.reg = op.srcA;
                 e.regValue = sp;
-                stall = std::max(stall, mach_.memLatency() - 1);
                 break;
               }
               case UKind::Pop: {
@@ -287,7 +391,6 @@ MicroSimulator::execWord(const MicroInstruction &mi, uint32_t addr,
                 e.hasReg2Write = true;
                 e.reg2 = op.srcA;
                 e.reg2Value = truncBits(a - 1, w);
-                stall = std::max(stall, mach_.memLatency() - 1);
                 break;
               }
               case UKind::NewBlock:
@@ -297,12 +400,12 @@ MicroSimulator::execWord(const MicroInstruction &mi, uint32_t addr,
                 e.intAck = true;
                 break;
             }
-            effects.push_back(std::move(e));
+            effects_.push_back(e);
         }
 
         // All reads of this phase happened; commit the phase's writes
         // to the overlay so the next phase observes them.
-        for (const Effect &e : effects) {
+        for (const WordEffect &e : effects_) {
             if (e.delayed) {
                 PendingWrite p;
                 p.commitCycle = res_.cycles + mach_.memLatency();
@@ -315,15 +418,15 @@ MicroSimulator::execWord(const MicroInstruction &mi, uint32_t addr,
                     p.reg = e.reg;
                     p.value = e.regValue;
                 }
-                new_pending.push_back(p);
+                newPending_.push_back(p);
                 continue;
             }
             if (e.hasRegWrite)
-                overlay.emplace_back(e.reg, e.regValue);
+                overlay_.emplace_back(e.reg, e.regValue);
             if (e.hasReg2Write)
-                overlay.emplace_back(e.reg2, e.reg2Value);
+                overlay_.emplace_back(e.reg2, e.reg2Value);
             if (e.hasMemWrite)
-                mem_writes.emplace_back(e.memAddr,
+                memWrites_.emplace_back(e.memAddr,
                                         truncBits(e.memValue, w));
             if (e.setsFlags) {
                 new_flags = e.flags;
@@ -337,14 +440,14 @@ MicroSimulator::execWord(const MicroInstruction &mi, uint32_t addr,
     }
 
     // The word succeeded: commit everything.
-    for (auto &[r, v] : overlay)
+    for (auto &[r, v] : overlay_)
         regs_[r] = v;
-    for (auto &[a, v] : mem_writes) {
+    for (auto &[a, v] : memWrites_) {
         if (!mem_.write(a, v))
             panic("simulator: committed store faulted (addr %u)", a);
     }
-    for (auto &p : new_pending)
-        pending_.push_back(p);
+    for (auto &p : newPending_)
+        enqueuePending(p);
     if (flags_dirty)
         flags_ = new_flags;
     if (int_acked) {
@@ -352,47 +455,14 @@ MicroSimulator::execWord(const MicroInstruction &mi, uint32_t addr,
         res_.interruptLatencyTotal += res_.cycles - intArrivalCycle_;
     }
 
-    res_.cycles += 1 + stall;
+    res_.cycles += 1 + dw.stallCycles;
 
-    // Sequencing (conditions see the flags produced by this word).
-    switch (mi.seq) {
-      case SeqKind::Next:
-        next = addr + 1;
-        break;
-      case SeqKind::Jump:
-        next = mi.target;
-        break;
-      case SeqKind::CondJump:
-        next = evalCond(mi.cond) ? mi.target : addr + 1;
-        break;
-      case SeqKind::Call:
-        if (microStack_.size() >= 16)
-            fatal("simulator: micro return stack overflow");
-        microStack_.push_back(addr + 1);
-        next = mi.target;
-        break;
-      case SeqKind::Return:
-        if (microStack_.empty())
-            fatal("simulator: micro return stack underflow");
-        next = microStack_.back();
-        microStack_.pop_back();
-        break;
-      case SeqKind::Multiway: {
-        if (!mach_.hasMultiway())
-            fatal("simulator: machine %s has no multiway branch",
-                  mach_.name().c_str());
-        if (mi.mwReg == kNoReg)
-            fatal("simulator: multiway without dispatch register");
-        uint64_t v = ovRead(mi.mwReg);
-        next = mi.target +
-               static_cast<uint32_t>(compressBits(v, mi.mwMask));
-        break;
-      }
-      case SeqKind::Halt:
-        next = addr;
-        res_.halted = true;
-        break;
+    uint64_t mw_val = 0;
+    if (dw.seq == SeqKind::Multiway) {
+        checkMultiway(dw);
+        mw_val = ovRead(dw.mwReg);
     }
+    seqAdvance(dw, addr, mw_val, next);
     return true;
 }
 
@@ -404,23 +474,48 @@ MicroSimulator::run(uint32_t entry)
     restartPoint_ = entry;
     microStack_.clear();
     pending_.clear();
+    std::fill(pendingRegs_.begin(), pendingRegs_.end(), 0);
     flags_ = Flags{};
     intPending_ = false;
+    decoded_.sync();
+
+    // One reservation up front; every per-word buffer is reused, so
+    // the interpreter loop itself never allocates.
+    const size_t max_ops = decoded_.maxOpsPerWord();
+    overlay_.reserve(2 * max_ops + 2);
+    memWrites_.reserve(max_ops + 2);
+    newPending_.reserve(max_ops + 2);
+    effects_.reserve(max_ops + 2);
+    phaseWrites_.reserve(max_ops + 2);
+
+    const bool force_slow = cfg_.forceSlowPath;
 
     while (!res_.halted && res_.cycles < cfg_.maxCycles) {
-        commitPending();
-        noteInterruptArrival();
+        if (!pending_.empty())
+            commitPending();
+        if (intPeriod_)
+            noteInterruptArrival();
 
-        const MicroInstruction &mi = store_.word(upc_);
+        const DecodedWord &dw = decoded_.word(upc_);
         if (cfg_.onWord)
             cfg_.onWord(upc_);
-        if (mi.restart)
+        if (dw.restart)
             restartPoint_ = upc_;
 
         uint32_t next = upc_ + 1;
-        uint32_t fault_addr = 0;
-        if (execWord(mi, upc_, next, fault_addr)) {
+        if (dw.fastEligible && !force_slow && pending_.empty() &&
+            !intPeriod_) {
+            execWordFast(dw, upc_, next);
             ++res_.wordsExecuted;
+            ++res_.fastPathWords;
+            upc_ = next;
+            continue;
+        }
+
+        uint32_t fault_addr = 0;
+        if (execWordSlow(dw, upc_, next, fault_addr)) {
+            ++res_.wordsExecuted;
+            ++res_.slowPathWords;
             upc_ = next;
         } else {
             // Page fault: service it, restart the microroutine.

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "machine/control_store.hh"
+#include "machine/decoded_store.hh"
 #include "machine/machine_desc.hh"
 #include "machine/memory.hh"
 #include "machine/types.hh"
@@ -48,6 +49,10 @@ struct SimConfig {
     //! scramble non-architectural registers on a microtrap (models
     //! the OS and other firmware clobbering the micro temporaries)
     bool scrambleOnTrap = true;
+    //! execute every word through the general (slow) path even when
+    //! it is fast-path eligible; architectural results must be
+    //! bit-identical either way (the differential tests assert it)
+    bool forceSlowPath = false;
     //! called before each word executes (assertion checkers, traces)
     std::function<void(uint32_t addr)> onWord;
 };
@@ -63,6 +68,13 @@ struct SimResult {
     uint64_t memReads = 0;
     uint64_t memWrites = 0;
     bool halted = false;    //!< false: maxCycles exceeded
+
+    /** @name Perf counters (host-side, no architectural meaning) */
+    /// @{
+    uint64_t fastPathWords = 0; //!< words run on the pure-ALU fast path
+    uint64_t slowPathWords = 0; //!< words run through the general path
+    uint64_t pendingHighWater = 0;  //!< max depth of the pending queue
+    /// @}
 };
 
 /** Executes microcode from a ControlStore against a MainMemory. */
@@ -102,19 +114,55 @@ class MicroSimulator
         uint64_t value;
     };
 
+    /** Buffered effect of one microoperation within a word. */
+    struct WordEffect {
+        bool hasRegWrite = false;
+        RegId reg = kNoReg;
+        uint64_t regValue = 0;
+        bool hasReg2Write = false;  //!< push/pop second write
+        RegId reg2 = kNoReg;
+        uint64_t reg2Value = 0;
+        bool hasMemWrite = false;
+        uint32_t memAddr = 0;
+        uint64_t memValue = 0;
+        bool setsFlags = false;
+        Flags flags;
+        bool delayed = false;       //!< overlapped: commits later
+        bool intAck = false;
+    };
+
     uint64_t readReg(RegId r);
     void commitPending();
-    bool hasPendingFor(RegId r) const;
+    bool hasPendingFor(RegId r) const { return pendingRegs_[r] != 0; }
+    void enqueuePending(const PendingWrite &p);
     void applyTrap();
     void noteInterruptArrival();
 
     /**
-     * Execute one word. Returns false if the word page-faulted (the
-     * caller then traps), filling @p fault_addr with the faulting
-     * memory address. Fills @p next with the following uPC.
+     * Execute one word through the general path. Returns false if
+     * the word page-faulted (the caller then traps), filling
+     * @p fault_addr with the faulting memory address. Fills @p next
+     * with the following uPC.
      */
-    bool execWord(const MicroInstruction &mi, uint32_t addr,
-                  uint32_t &next, uint32_t &fault_addr);
+    bool execWordSlow(const DecodedWord &dw, uint32_t addr,
+                      uint32_t &next, uint32_t &fault_addr);
+
+    /**
+     * Execute a fast-path-eligible word (pure compute, no pending
+     * writes outstanding, no interrupt generation): registers are
+     * written directly with per-phase buffering, no transactional
+     * overlay or pending bookkeeping is touched, and nothing is
+     * allocated. Cannot fault.
+     */
+    void execWordFast(const DecodedWord &dw, uint32_t addr,
+                      uint32_t &next);
+
+    /** Shared sequencing switch; @p mw_val is the multiway value. */
+    void seqAdvance(const DecodedWord &dw, uint32_t addr,
+                    uint64_t mw_val, uint32_t &next);
+
+    /** fatal() on a malformed multiway word (pre-dispatch checks). */
+    void checkMultiway(const DecodedWord &dw) const;
 
     bool evalCond(Cond c) const;
 
@@ -129,11 +177,27 @@ class MicroSimulator
     uint32_t restartPoint_ = 0;
     std::vector<uint32_t> microStack_;
     std::vector<PendingWrite> pending_;
+    //! per-register count of outstanding pending writes: makes the
+    //! hazard check in readReg() O(1)
+    std::vector<uint16_t> pendingRegs_;
 
     bool intPending_ = false;
     uint64_t intArrivalCycle_ = 0;
     uint64_t intPeriod_ = 0;
     uint64_t intNext_ = 0;
+
+    //! decoded-word cache (rebuilt when the store's version changes)
+    DecodedStore decoded_;
+    unsigned dataWidth_;
+
+    /** @name Reusable per-word scratch (no per-word allocation) */
+    /// @{
+    std::vector<std::pair<RegId, uint64_t>> overlay_;
+    std::vector<std::pair<uint32_t, uint64_t>> memWrites_;
+    std::vector<PendingWrite> newPending_;
+    std::vector<WordEffect> effects_;
+    std::vector<std::pair<RegId, uint64_t>> phaseWrites_;
+    /// @}
 
     SimResult res_;
 };

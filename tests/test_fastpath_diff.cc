@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Differential tests for the simulator's fast path: every covered
+ * scenario runs once through the normal dispatch (fast path enabled)
+ * and once with SimConfig::forceSlowPath, and the two runs must
+ * produce identical SimResult fields and identical final register
+ * and memory state. Coverage spans the E1 workload suite (compiled
+ * and hand microcode), the E6 three-level checksum, page-fault
+ * restarts and interrupt-heavy runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "codegen/compiler.hh"
+#include "isa/macro.hh"
+#include "lang/empl/empl.hh"
+#include "lang/yalll/yalll.hh"
+#include "machine/machines/machines.hh"
+#include "machine/memory.hh"
+#include "machine/simulator.hh"
+#include "masm/masm.hh"
+#include "workloads/workloads.hh"
+
+namespace uhll {
+namespace {
+
+/** Everything observable after a run. */
+struct Snapshot {
+    SimResult res;
+    std::vector<uint64_t> regs;
+    std::vector<uint64_t> mem;
+};
+
+Snapshot
+snapshot(const MicroSimulator &sim, const MachineDescription &m,
+         const MainMemory &mem, SimResult res)
+{
+    Snapshot s;
+    s.res = res;
+    for (RegId r = 0; r < m.numRegisters(); ++r)
+        s.regs.push_back(sim.getReg(r));
+    for (uint32_t a = 0; a < mem.sizeWords(); ++a)
+        s.mem.push_back(mem.peek(a));
+    return s;
+}
+
+/** A scenario builds fresh state and runs it once per invocation. */
+using Scenario = std::function<Snapshot(bool force_slow)>;
+
+void
+expectIdentical(const Scenario &sc, bool expect_fast_words = true)
+{
+    Snapshot fast = sc(false);
+    Snapshot slow = sc(true);
+
+    EXPECT_EQ(fast.res.cycles, slow.res.cycles);
+    EXPECT_EQ(fast.res.wordsExecuted, slow.res.wordsExecuted);
+    EXPECT_EQ(fast.res.pageFaults, slow.res.pageFaults);
+    EXPECT_EQ(fast.res.interruptsServiced,
+              slow.res.interruptsServiced);
+    EXPECT_EQ(fast.res.interruptLatencyTotal,
+              slow.res.interruptLatencyTotal);
+    EXPECT_EQ(fast.res.memReads, slow.res.memReads);
+    EXPECT_EQ(fast.res.memWrites, slow.res.memWrites);
+    EXPECT_EQ(fast.res.halted, slow.res.halted);
+    EXPECT_EQ(fast.regs, slow.regs);
+    EXPECT_EQ(fast.mem, slow.mem);
+
+    // The perf counters must account for every word, and the forced
+    // slow run must not have taken the fast path at all.
+    EXPECT_EQ(fast.res.fastPathWords + fast.res.slowPathWords,
+              fast.res.wordsExecuted);
+    EXPECT_EQ(slow.res.fastPathWords, 0u);
+    EXPECT_EQ(slow.res.slowPathWords, slow.res.wordsExecuted);
+    if (expect_fast_words)
+        EXPECT_GT(fast.res.fastPathWords, 0u)
+            << "scenario never exercised the fast path";
+}
+
+TEST(FastPathDiff, CompiledWorkloadSuite)
+{
+    for (const char *mn : {"HM-1", "VM-2", "VS-3"}) {
+        for (const Workload &w : workloadSuite()) {
+            SCOPED_TRACE(std::string(mn) + "/" + w.name);
+            expectIdentical([&](bool force_slow) {
+                MachineDescription m =
+                    mn == std::string("HM-1")   ? buildHm1()
+                    : mn == std::string("VM-2") ? buildVm2()
+                                                : buildVs3();
+                MirProgram prog = parseYalll(w.yalll, m);
+                Compiler comp(m);
+                CompiledProgram cp = comp.compile(prog, {});
+                MainMemory mem(0x10000, 16);
+                w.setup(mem);
+                SimConfig cfg;
+                cfg.forceSlowPath = force_slow;
+                MicroSimulator sim(cp.store, mem, cfg);
+                for (auto &[n, v] : w.inputs)
+                    setVar(prog, cp, sim, mem, n, v);
+                SimResult res = sim.run("main");
+                EXPECT_TRUE(res.halted);
+                return snapshot(sim, m, mem, res);
+            });
+        }
+    }
+}
+
+TEST(FastPathDiff, HandMicrocodeWorkloads)
+{
+    for (const char *mn : {"HM-1", "VM-2"}) {
+        for (const Workload &w : workloadSuite()) {
+            SCOPED_TRACE(std::string(mn) + "/" + w.name);
+            expectIdentical([&](bool force_slow) {
+                MachineDescription m = mn == std::string("HM-1")
+                                           ? buildHm1()
+                                           : buildVm2();
+                MicroAssembler as(m);
+                ControlStore cs = as.assemble(
+                    m.name() == "HM-1" ? w.masmHm1 : w.masmVm2);
+                MainMemory mem(0x10000, 16);
+                w.setup(mem);
+                SimConfig cfg;
+                cfg.forceSlowPath = force_slow;
+                // Some hand kernels use legal overlapped loads whose
+                // consumers are scheduled past the latency window;
+                // match runHand's defaults otherwise.
+                MicroSimulator sim(cs, mem, cfg);
+                for (auto &[n, v] : w.inputs)
+                    sim.setReg(n, v);
+                SimResult res = sim.run("main");
+                EXPECT_TRUE(res.halted);
+                return snapshot(sim, m, mem, res);
+            });
+        }
+    }
+}
+
+TEST(FastPathDiff, E6MacroInterpreter)
+{
+    expectIdentical([&](bool force_slow) {
+        MachineDescription m = buildHm1();
+        MainMemory mem(0x10000, 16);
+        speedupSetup(mem);
+        MacroProgram mp = assembleMacro(speedupMacroSource(), 0x100);
+        loadMacro(mp, mem, 0x100);
+        ControlStore fw = buildMacroInterpreter(m);
+        SimConfig cfg;
+        cfg.forceSlowPath = force_slow;
+        MicroSimulator sim(fw, mem, cfg);
+        sim.setReg("r10", 0x100);
+        SimResult res = sim.run("interp");
+        EXPECT_TRUE(res.halted);
+        return snapshot(sim, m, mem, res);
+    });
+}
+
+TEST(FastPathDiff, E6CompiledEmpl)
+{
+    expectIdentical([&](bool force_slow) {
+        MachineDescription m = buildHm1();
+        MainMemory mem(0x10000, 16);
+        speedupSetup(mem);
+        MirProgram prog = parseEmpl(speedupEmplSource(), m, {});
+        Compiler comp(m);
+        CompiledProgram cp = comp.compile(prog, {});
+        SimConfig cfg;
+        cfg.forceSlowPath = force_slow;
+        MicroSimulator sim(cp.store, mem, cfg);
+        setVar(prog, cp, sim, mem, "n", 64);
+        SimResult res = sim.run("main");
+        EXPECT_TRUE(res.halted);
+        return snapshot(sim, m, mem, res);
+    });
+}
+
+TEST(FastPathDiff, PageFaultRestart)
+{
+    // The survey's incread bug: fault-and-restart with register
+    // scrambling, in both the buggy and the trap-safe shape.
+    for (const char *variant : {"buggy", "safe"}) {
+        SCOPED_TRACE(variant);
+        bool safe = variant == std::string("safe");
+        expectIdentical([&](bool force_slow) {
+            MachineDescription m = buildHm1();
+            MainMemory mem(0x10000, 16);
+            mem.enablePaging(0x100);
+            MicroAssembler as(m);
+            ControlStore cs = as.assemble(
+                safe ? ".entry incread\n"
+                       "[ addi r1, r8, #1 ]\n"
+                       "[ memrd r2, r1 ]\n"
+                       "[ mova r9, r2 ]\n"
+                       "[ mova r8, r1 ]\n"
+                       "[ ] halt\n"
+                     : ".entry incread\n"
+                       "[ addi r8, r8, #1 ]\n"
+                       "[ memrd r1, r8 ]\n"
+                       "[ mova r9, r1 ]\n"
+                       "[ ] halt\n");
+            SimConfig cfg;
+            cfg.forceSlowPath = force_slow;
+            MicroSimulator sim(cs, mem, cfg);
+            sim.setReg("r8", 0x41F);
+            mem.poke(0x420, 0x1234);
+            SimResult res = sim.run("incread");
+            EXPECT_TRUE(res.halted);
+            EXPECT_EQ(res.pageFaults, 1u);
+            return snapshot(sim, m, mem, res);
+        });
+    }
+}
+
+TEST(FastPathDiff, InterruptHeavyLoop)
+{
+    // With interrupt generation on, the fast path must stand down
+    // (noteInterruptArrival bookkeeping runs every cycle), so no
+    // fast-path words are expected -- the point is identical results.
+    expectIdentical(
+        [&](bool force_slow) {
+            MachineDescription m = buildHm1();
+            MainMemory mem(0x1000, 16);
+            MicroAssembler as(m);
+            ControlStore cs = as.assemble(
+                "loop:\n"
+                "[ addi r1, r1, #1 ]\n"
+                "[ cmpi r1, #2000 ] if z jump done\n"
+                "[ ] if noint jump loop\n"
+                "[ intack ] jump loop\n"
+                "done:\n"
+                "[ ] halt\n");
+            SimConfig cfg;
+            cfg.forceSlowPath = force_slow;
+            MicroSimulator sim(cs, mem, cfg);
+            sim.interruptEvery(100, 50);
+            SimResult res = sim.run(0u);
+            EXPECT_TRUE(res.halted);
+            EXPECT_GT(res.interruptsServiced, 5u);
+            return snapshot(sim, m, mem, res);
+        },
+        /*expect_fast_words=*/false);
+}
+
+TEST(FastPathDiff, OverlappedWritesPendingQueue)
+{
+    // Overlapped load and store: the pending queue is busy, so words
+    // issued inside the latency window take the slow path while the
+    // trailing pure-ALU words go fast. Both runs must agree.
+    expectIdentical([&](bool force_slow) {
+        MachineDescription m = buildHm1();
+        MainMemory mem(0x1000, 16);
+        mem.poke(0x300, 0xAAAA);
+        MicroAssembler as(m);
+        ControlStore cs = as.assemble(
+            "[ ldi r1, #0x300 ]\n"
+            "[ ldi r5, #0x7777 ]\n"
+            "[ memrd.ov r2, r1 ]\n"
+            "[ mova r3, r2 ]\n"          // stale read (non-strict)
+            "[ mova r4, r2 ]\n"          // committed read
+            "[ ldi r6, #0x310 ]\n"
+            "[ memwr.ov r6, r5 ]\n"
+            "[ addi r7, r4, #1 ]\n"
+            "[ addi r7, r7, #2 ]\n"
+            "[ ] halt\n");
+        SimConfig cfg;
+        cfg.strictHazards = false;
+        cfg.forceSlowPath = force_slow;
+        MicroSimulator sim(cs, mem, cfg);
+        sim.setReg("r2", 0x1111);
+        SimResult res = sim.run(0u);
+        EXPECT_TRUE(res.halted);
+        EXPECT_GE(res.pendingHighWater, 1u);
+        return snapshot(sim, m, mem, res);
+    });
+}
+
+TEST(FastPathDiff, PathCountersSplitSensibly)
+{
+    // A mixed kernel: pure-ALU words go fast, memory words go slow.
+    MachineDescription m = buildHm1();
+    MainMemory mem(0x1000, 16);
+    mem.poke(0x100, 5);
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble(
+        "[ ldi r1, #0x100 ]\n"
+        "[ memrd r2, r1 ]\n"
+        "[ addi r3, r2, #1 ]\n"
+        "[ addi r3, r3, #2 ]\n"
+        "[ ] halt\n");
+    MicroSimulator sim(cs, mem, SimConfig{});
+    SimResult res = sim.run(0u);
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(res.fastPathWords + res.slowPathWords,
+              res.wordsExecuted);
+    EXPECT_EQ(res.slowPathWords, 1u);   // only the memrd word
+    EXPECT_EQ(res.fastPathWords, 4u);
+}
+
+} // namespace
+} // namespace uhll
