@@ -15,12 +15,14 @@
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hh"
+#include "obs/json.hh"
 
 using namespace uhll;
 using namespace uhll::bench;
@@ -52,13 +54,33 @@ struct Measurement {
     uint64_t words = 0;         //!< microwords simulated
     uint64_t cycles = 0;        //!< microcycles simulated
     double seconds = 0;         //!< host seconds inside run()
-    uint64_t fastPathWords = 0;
-    uint64_t slowPathWords = 0;
-    uint64_t pendingHighWater = 0;
+    SimResult agg;              //!< summed counters over every run
+    //! false: some workload exhausted its cycle budget -- surfaced
+    //! into the JSON so a no-longer-halting simulator is machine-
+    //! detectable, not just an stderr line
+    bool allHalted = true;
 
     double wordsPerSec() const { return words / seconds; }
     double cyclesPerSec() const { return cycles / seconds; }
 };
+
+/** Accumulate @p r into the summed counters of @p m. */
+void
+accumulate(Measurement &m, const SimResult &r)
+{
+    m.agg.cycles += r.cycles;
+    m.agg.wordsExecuted += r.wordsExecuted;
+    m.agg.pageFaults += r.pageFaults;
+    m.agg.interruptsServiced += r.interruptsServiced;
+    m.agg.interruptLatencyTotal += r.interruptLatencyTotal;
+    m.agg.memReads += r.memReads;
+    m.agg.memWrites += r.memWrites;
+    m.agg.fastPathWords += r.fastPathWords;
+    m.agg.slowPathWords += r.slowPathWords;
+    if (r.pendingHighWater > m.agg.pendingHighWater)
+        m.agg.pendingHighWater = r.pendingHighWater;
+    m.agg.halted = m.agg.halted && r.halted;
+}
 
 /**
  * Simulate the prepared suite repeatedly until at least
@@ -71,6 +93,7 @@ measureSuite(const std::vector<Prepped> &suite, double min_seconds,
 {
     using clock = std::chrono::steady_clock;
     Measurement ms;
+    ms.agg.halted = true;
     SimConfig cfg;
     cfg.forceSlowPath = force_slow;
     while (ms.seconds < min_seconds) {
@@ -83,17 +106,21 @@ measureSuite(const std::vector<Prepped> &suite, double min_seconds,
             auto t0 = clock::now();
             SimResult res = sim.run("main");
             auto t1 = clock::now();
-            if (!res.halted)
-                fatal("bench_sim_throughput: %s did not halt",
-                      p.w->name.c_str());
+            if (!res.halted) {
+                // Recorded, not fatal: the JSON carries halted=false
+                // so the regression is machine-detectable.
+                std::fprintf(stderr,
+                             "bench_sim_throughput: %s did not halt "
+                             "(budget %llu cycles)\n",
+                             p.w->name.c_str(),
+                             (unsigned long long)cfg.maxCycles);
+                ms.allHalted = false;
+            }
             ms.words += res.wordsExecuted;
             ms.cycles += res.cycles;
             ms.seconds +=
                 std::chrono::duration<double>(t1 - t0).count();
-            ms.fastPathWords += res.fastPathWords;
-            ms.slowPathWords += res.slowPathWords;
-            if (res.pendingHighWater > ms.pendingHighWater)
-                ms.pendingHighWater = res.pendingHighWater;
+            accumulate(ms, res);
         }
     }
     return ms;
@@ -113,10 +140,11 @@ printTableAndJson()
                 "words/sec", "cycles/sec", "fast wrds", "slow wrds",
                 "slowdown");
 
-    std::string json = "{\n  \"bench\": \"sim_throughput\",\n"
-                       "  \"suite\": \"E1 YALLL compiled\",\n"
-                       "  \"machines\": {\n";
-    bool first = true;
+    JsonWriter w;
+    w.beginObject();
+    w.value("bench", "sim_throughput");
+    w.value("suite", "E1 YALLL compiled");
+    w.beginObject("machines");
     for (const char *mn : kMachines) {
         MachineDescription m = machineByName(mn);
         std::vector<Prepped> suite = prepSuite(m);
@@ -126,23 +154,28 @@ printTableAndJson()
         Measurement slow = measureSuite(suite, 0.25, true);
         std::printf("%-6s | %12.0f %12.0f | %10llu %10llu | %8.2fx\n",
                     mn, fast.wordsPerSec(), fast.cyclesPerSec(),
-                    (unsigned long long)fast.fastPathWords,
-                    (unsigned long long)fast.slowPathWords,
+                    (unsigned long long)fast.agg.fastPathWords,
+                    (unsigned long long)fast.agg.slowPathWords,
                     fast.wordsPerSec() / slow.wordsPerSec());
-        json += strfmt("%s    \"%s\": {\"words_per_sec\": %.0f, "
-                       "\"cycles_per_sec\": %.0f, "
-                       "\"slow_path_words_per_sec\": %.0f, "
-                       "\"fast_path_words\": %llu, "
-                       "\"slow_path_words\": %llu, "
-                       "\"pending_high_water\": %llu}",
-                       first ? "" : ",\n", mn, fast.wordsPerSec(),
-                       fast.cyclesPerSec(), slow.wordsPerSec(),
-                       (unsigned long long)fast.fastPathWords,
-                       (unsigned long long)fast.slowPathWords,
-                       (unsigned long long)fast.pendingHighWater);
-        first = false;
+        w.beginObject(mn);
+        w.value("words_per_sec",
+                (uint64_t)std::llround(fast.wordsPerSec()));
+        w.value("cycles_per_sec",
+                (uint64_t)std::llround(fast.cyclesPerSec()));
+        w.value("slow_path_words_per_sec",
+                (uint64_t)std::llround(slow.wordsPerSec()));
+        w.value("fast_path_words", fast.agg.fastPathWords);
+        w.value("slow_path_words", fast.agg.slowPathWords);
+        w.value("pending_high_water", fast.agg.pendingHighWater);
+        w.value("halted", fast.allHalted && slow.allHalted);
+        // The full simulator counter set, summed over the suite
+        // (SimResult::toJson, same shape as uhllc --stats-json).
+        w.raw("counters", fast.agg.toJson(false));
+        w.endObject();
     }
-    json += "\n  }\n}\n";
+    w.endObject();
+    w.endObject();
+    std::string json = w.str() + "\n";
     if (FILE *f = std::fopen(json_path, "w")) {
         std::fputs(json.c_str(), f);
         std::fclose(f);

@@ -41,6 +41,11 @@ struct Outcome {
     uint64_t words = 0;
     uint64_t bits = 0;
     bool ok = false;
+    //! false: the cycle budget ran out before Halt. Kept distinct
+    //! from ok so JSON/stats consumers can tell a hang from a wrong
+    //! result without scraping stderr.
+    bool halted = false;
+    SimResult res;  //!< full simulator counters of the run
 };
 
 /**
@@ -85,6 +90,8 @@ runCompiled(const Workload &w, const MachineDescription &m,
     o.cycles = res.cycles;
     o.words = cp.store.size();
     o.bits = cp.store.sizeBits();
+    o.halted = res.halted;
+    o.res = res;
     std::string why;
     o.ok = res.halted && w.check(mem, &why);
     if (!o.ok)
@@ -111,6 +118,8 @@ runHand(const Workload &w, const MachineDescription &m)
     o.cycles = res.cycles;
     o.words = cs.size();
     o.bits = cs.sizeBits();
+    o.halted = res.halted;
+    o.res = res;
     std::string why;
     o.ok = res.halted && w.check(mem, &why);
     if (!o.ok)

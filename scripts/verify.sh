@@ -23,6 +23,28 @@ cmake -B build -S .
 cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
+# Observability smoke: profile + stats dump through the uhllc CLI must
+# produce non-empty, parseable JSON (python3's json module is the
+# independent referee; the in-tree validator is itself under test).
+(
+    cd build
+    printf '.entry main\nmain:\n[ ldi r1, #0 ]\nloop:\n[ addi r1, r1, #1 ]\n[ cmpi r1, #100 ] if nz jump loop\n[ ] halt\n' \
+        > obs_smoke.uasm
+    ./src/uhllc --lang masm --machine hm1 obs_smoke.uasm --run \
+        --profile --stats-json obs_smoke_stats.json \
+        --trace obs_smoke_trace.json > obs_smoke.out
+    grep -q "hot microwords" obs_smoke.out
+    python3 - <<'EOF'
+import json
+stats = json.load(open("obs_smoke_stats.json"))
+assert stats and "result" in stats and "stats" in stats, stats.keys()
+assert stats["result"]["halted"] is True
+trace = json.load(open("obs_smoke_trace.json"))
+assert trace.get("traceEvents"), "empty traceEvents"
+print("obs smoke: OK")
+EOF
+)
+
 if [[ "$run_bench" == 1 ]]; then
     (cd build && UHLL_BENCH_JSON=BENCH_sim.json \
         ./bench/bench_sim_throughput --benchmark_min_time=0.1)

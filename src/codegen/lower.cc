@@ -576,9 +576,20 @@ Compiler::compile(const MirProgram &orig,
                 break;
             }
 
+            // Each emitted word is annotated with its MIR origin
+            // (function, block, bound-op mnemonics) so the profiler
+            // can attribute cycles back to compiled source.
             for (auto &w : words) {
+                std::string origin =
+                    strfmt("%s#b%u:", f.name.c_str(), b);
+                for (size_t k = 0; k < w.ops.size(); ++k) {
+                    origin += k ? "|" : " ";
+                    origin += mach.uop(w.ops[k].spec).mnemonic;
+                }
+                if (w.ops.empty())
+                    origin += " (seq)";
                 uint32_t addr = cp.store.append(std::move(w));
-                (void)addr;
+                cp.store.annotate(addr, -1, std::move(origin));
             }
             uint32_t last_addr =
                 static_cast<uint32_t>(cp.store.size()) - 1;
@@ -598,6 +609,10 @@ Compiler::compile(const MirProgram &orig,
                     MicroInstruction jw;
                     jw.seq = SeqKind::Jump;
                     uint32_t a = cp.store.append(std::move(jw));
+                    cp.store.annotate(
+                        a, -1,
+                        strfmt("%s#b%u: (case arm)", f.name.c_str(),
+                               b));
                     patches.push_back({a, arm});
                 }
                 break;
@@ -612,6 +627,9 @@ Compiler::compile(const MirProgram &orig,
                 MicroInstruction jw;
                 jw.seq = SeqKind::Jump;
                 uint32_t a = cp.store.append(std::move(jw));
+                cp.store.annotate(
+                    a, -1,
+                    strfmt("%s#b%u: (goto)", f.name.c_str(), b));
                 patches.push_back({a, extra_target});
             }
         }

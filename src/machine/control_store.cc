@@ -35,6 +35,39 @@ ControlStore::word(uint32_t addr)
 }
 
 void
+ControlStore::annotate(uint32_t addr, int32_t line, std::string what)
+{
+    if (addr >= words_.size())
+        panic("control store: annotate %u out of range (size %zu)",
+              addr, words_.size());
+    if (notes_.size() < words_.size())
+        notes_.resize(words_.size());
+    notes_[addr].line = line;
+    notes_[addr].what = std::move(what);
+}
+
+const SourceNote *
+ControlStore::note(uint32_t addr) const
+{
+    if (addr >= notes_.size())
+        return nullptr;
+    const SourceNote &n = notes_[addr];
+    if (n.line < 0 && n.what.empty())
+        return nullptr;
+    return &n;
+}
+
+bool
+ControlStore::hasLineNumbers() const
+{
+    for (const SourceNote &n : notes_) {
+        if (n.line >= 0)
+            return true;
+    }
+    return false;
+}
+
+void
 ControlStore::defineEntry(const std::string &name, uint32_t addr)
 {
     for (auto &e : entries_) {

@@ -19,6 +19,18 @@ namespace uhll {
 
 class MachineDescription;
 
+/**
+ * Optional per-word provenance used by the observability layer: the
+ * source line (masm) or -1, and a short description (the source text
+ * for masm, the function/block and microop mnemonics for compiled
+ * code). Attached by the producers, consumed by the profiler's hot
+ * word / hot line reports and the trace dumpers.
+ */
+struct SourceNote {
+    int32_t line = -1;
+    std::string what;
+};
+
 /** A sequence of microinstructions plus named entry points. */
 class ControlStore
 {
@@ -53,6 +65,20 @@ class ControlStore
 
     bool hasEntry(const std::string &name) const;
 
+    /**
+     * Attach a source note to @p addr. Provenance only: does not
+     * invalidate decoded caches.
+     */
+    void annotate(uint32_t addr, int32_t line, std::string what);
+
+    /** The note for @p addr, or null when unannotated. */
+    const SourceNote *note(uint32_t addr) const;
+
+    bool hasNotes() const { return !notes_.empty(); }
+
+    /** True when some note carries a real source line (masm input). */
+    bool hasLineNumbers() const;
+
     /** Total encoded size in bits (words * control-word width). */
     uint64_t sizeBits() const;
 
@@ -63,6 +89,7 @@ class ControlStore
     const MachineDescription *mach_;
     std::vector<MicroInstruction> words_;
     std::vector<std::pair<std::string, uint32_t>> entries_;
+    std::vector<SourceNote> notes_;     //!< parallel to words_, lazy
     uint64_t version_ = 0;
 };
 

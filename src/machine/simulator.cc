@@ -3,10 +3,33 @@
 #include <algorithm>
 
 #include "machine/alu.hh"
+#include "obs/json.hh"
+#include "obs/profile.hh"
+#include "obs/trace.hh"
 #include "support/bits.hh"
 #include "support/logging.hh"
 
 namespace uhll {
+
+std::string
+SimResult::toJson(bool pretty) const
+{
+    JsonWriter w(pretty);
+    w.beginObject();
+    w.value("cycles", cycles);
+    w.value("words_executed", wordsExecuted);
+    w.value("page_faults", pageFaults);
+    w.value("interrupts_serviced", interruptsServiced);
+    w.value("interrupt_latency_total", interruptLatencyTotal);
+    w.value("mem_reads", memReads);
+    w.value("mem_writes", memWrites);
+    w.value("halted", halted);
+    w.value("fast_path_words", fastPathWords);
+    w.value("slow_path_words", slowPathWords);
+    w.value("pending_high_water", pendingHighWater);
+    w.endObject();
+    return w.str();
+}
 
 MicroSimulator::MicroSimulator(const ControlStore &store,
                                MainMemory &mem, SimConfig cfg)
@@ -20,6 +43,71 @@ MicroSimulator::MicroSimulator(const ControlStore &store,
     if (mem.width() != mach_.dataWidth())
         fatal("simulator: memory width %u != machine data width %u",
               mem.width(), mach_.dataWidth());
+    registerStats();
+}
+
+void
+MicroSimulator::registerStats()
+{
+    // Every counter is bound to res_, the same storage the
+    // interpreter loop already bumps: registration is free on the
+    // hot path, and the registry (hence --stats-json and the bench
+    // JSON) can never drift out of sync with SimResult.
+    stats_.bindScalar("sim.cycles", &res_.cycles,
+                      "microcycles simulated");
+    stats_.bindScalar("sim.wordsExecuted", &res_.wordsExecuted,
+                      "microwords retired");
+    stats_.bindScalar("sim.pageFaults", &res_.pageFaults,
+                      "page faults (microtraps) serviced");
+    stats_.bindScalar("sim.interruptsServiced",
+                      &res_.interruptsServiced,
+                      "interrupts acknowledged");
+    stats_.bindScalar("sim.interruptLatencyTotal",
+                      &res_.interruptLatencyTotal,
+                      "sum of arrival-to-ack latencies");
+    stats_.bindScalar("sim.memReads", &res_.memReads,
+                      "main memory reads");
+    stats_.bindScalar("sim.memWrites", &res_.memWrites,
+                      "main memory writes");
+    stats_.bindScalar("sim.fastPathWords", &res_.fastPathWords,
+                      "words retired on the pure-ALU fast path");
+    stats_.bindScalar("sim.slowPathWords", &res_.slowPathWords,
+                      "words retired through the general path");
+    stats_.bindScalar("sim.pendingHighWater", &res_.pendingHighWater,
+                      "max depth of the overlapped-write queue");
+    pendingDepth_ = &stats_.histogram(
+        "sim.pendingDepth", 1, 8,
+        "overlapped-write queue depth at enqueue");
+    stats_.formula(
+        "sim.fastPathFraction",
+        [this] {
+            return res_.wordsExecuted
+                       ? double(res_.fastPathWords) /
+                             double(res_.wordsExecuted)
+                       : 0.0;
+        },
+        "fraction of words on the fast path");
+    stats_.formula(
+        "sim.cyclesPerWord",
+        [this] {
+            return res_.wordsExecuted
+                       ? double(res_.cycles) /
+                             double(res_.wordsExecuted)
+                       : 0.0;
+        },
+        "average microcycles per retired word");
+    stats_.formula(
+        "sim.avgInterruptLatency",
+        [this] {
+            return res_.interruptsServiced
+                       ? double(res_.interruptLatencyTotal) /
+                             double(res_.interruptsServiced)
+                       : 0.0;
+        },
+        "average interrupt arrival-to-ack latency");
+    stats_.formula("sim.halted",
+                   [this] { return res_.halted ? 1.0 : 0.0; },
+                   "1 when the last run reached Halt");
 }
 
 void
@@ -81,6 +169,13 @@ MicroSimulator::enqueuePending(const PendingWrite &p)
         ++pendingRegs_[p.reg];
     if (pending_.size() > res_.pendingHighWater)
         res_.pendingHighWater = pending_.size();
+    // Slow path only: overlapped writes never come from the fast path.
+    pendingDepth_->sample(pending_.size());
+    if (trace_) {
+        trace_->record(TraceCat::Overlap, TraceSev::Info, res_.cycles,
+                       upc_, p.isMem,
+                       static_cast<uint32_t>(p.commitCycle));
+    }
 }
 
 void
@@ -120,6 +215,10 @@ MicroSimulator::noteInterruptArrival()
         intPending_ = true;
         intArrivalCycle_ = res_.cycles;
         intNext_ += intPeriod_;
+        if (trace_) {
+            trace_->record(TraceCat::Interrupt, TraceSev::Info,
+                           res_.cycles, upc_, 0);
+        }
     }
 }
 
@@ -142,6 +241,10 @@ MicroSimulator::applyTrap()
     pending_.clear();
     std::fill(pendingRegs_.begin(), pendingRegs_.end(), 0);
     upc_ = restartPoint_;
+    if (trace_) {
+        trace_->record(TraceCat::Control, TraceSev::Info, res_.cycles,
+                       restartPoint_, 1);
+    }
 }
 
 bool
@@ -453,6 +556,13 @@ MicroSimulator::execWordSlow(const DecodedWord &dw, uint32_t addr,
     if (int_acked) {
         ++res_.interruptsServiced;
         res_.interruptLatencyTotal += res_.cycles - intArrivalCycle_;
+        if (trace_) {
+            trace_->record(
+                TraceCat::Interrupt, TraceSev::Info, res_.cycles,
+                addr, 1,
+                static_cast<uint32_t>(res_.cycles -
+                                      intArrivalCycle_));
+        }
     }
 
     res_.cycles += 1 + dw.stallCycles;
@@ -466,10 +576,35 @@ MicroSimulator::execWordSlow(const DecodedWord &dw, uint32_t addr,
     return true;
 }
 
+void
+MicroSimulator::noteObsWord(uint32_t addr, uint64_t start_cycle,
+                            bool fast)
+{
+    const uint64_t dc = res_.cycles - start_cycle;
+    const uint64_t stall = dc > 1 ? dc - 1 : 0;
+    if (prof_)
+        prof_->record(addr, dc, stall, fast);
+    if (trace_) {
+        trace_->record(TraceCat::Word, TraceSev::Info, start_cycle,
+                       addr, static_cast<uint32_t>(dc), fast);
+        if (stall) {
+            trace_->record(TraceCat::Stall, TraceSev::Info,
+                           start_cycle, addr,
+                           static_cast<uint32_t>(stall));
+        }
+        if (res_.halted) {
+            trace_->record(TraceCat::Control, TraceSev::Info,
+                           res_.cycles, addr, 0);
+        }
+    }
+}
+
 SimResult
 MicroSimulator::run(uint32_t entry)
 {
     res_ = SimResult{};
+    stats_.reset();     // owned stats (histograms); bound scalars
+                        // were just cleared through res_
     upc_ = entry;
     restartPoint_ = entry;
     microStack_.clear();
@@ -478,6 +613,8 @@ MicroSimulator::run(uint32_t entry)
     flags_ = Flags{};
     intPending_ = false;
     decoded_.sync();
+    trace_ = cfg_.trace;
+    prof_ = cfg_.profiler;
 
     // One reservation up front; every per-word buffer is reused, so
     // the interpreter loop itself never allocates.
@@ -489,6 +626,9 @@ MicroSimulator::run(uint32_t entry)
     phaseWrites_.reserve(max_ops + 2);
 
     const bool force_slow = cfg_.forceSlowPath;
+    // One flag gates all per-word observability work, so disabled
+    // runs pay a single predicted-not-taken branch per word.
+    const bool obs = trace_ || prof_;
 
     while (!res_.halted && res_.cycles < cfg_.maxCycles) {
         if (!pending_.empty())
@@ -502,6 +642,8 @@ MicroSimulator::run(uint32_t entry)
         if (dw.restart)
             restartPoint_ = upc_;
 
+        const uint32_t addr = upc_;
+        const uint64_t c0 = obs ? res_.cycles : 0;
         uint32_t next = upc_ + 1;
         if (dw.fastEligible && !force_slow && pending_.empty() &&
             !intPeriod_) {
@@ -509,6 +651,8 @@ MicroSimulator::run(uint32_t entry)
             ++res_.wordsExecuted;
             ++res_.fastPathWords;
             upc_ = next;
+            if (obs)
+                noteObsWord(addr, c0, true);
             continue;
         }
 
@@ -517,13 +661,21 @@ MicroSimulator::run(uint32_t entry)
             ++res_.wordsExecuted;
             ++res_.slowPathWords;
             upc_ = next;
+            if (obs)
+                noteObsWord(addr, c0, false);
         } else {
             // Page fault: service it, restart the microroutine.
+            if (trace_) {
+                trace_->record(TraceCat::Fault, TraceSev::Warning,
+                               res_.cycles, addr, fault_addr);
+            }
             mem_.servicePage(fault_addr);
             applyTrap();
             // fault service costs time at macro level; charge a
             // nominal constant so fault-heavy runs are visible
             res_.cycles += 50;
+            if (prof_)
+                prof_->recordFault(addr, res_.cycles - c0);
         }
     }
     return res_;

@@ -36,8 +36,12 @@
 #include "machine/machine_desc.hh"
 #include "machine/memory.hh"
 #include "machine/types.hh"
+#include "obs/stats.hh"
 
 namespace uhll {
+
+class TraceBuffer;
+class CycleProfiler;
 
 /** Knobs for a simulation run. */
 struct SimConfig {
@@ -55,6 +59,12 @@ struct SimConfig {
     bool forceSlowPath = false;
     //! called before each word executes (assertion checkers, traces)
     std::function<void(uint32_t addr)> onWord;
+    /** @name Observability (null = off; both are zero-cost when off
+     *  and touch nothing architectural when on) */
+    /// @{
+    TraceBuffer *trace = nullptr;       //!< event ring to record into
+    CycleProfiler *profiler = nullptr;  //!< cycle-attribution sink
+    /// @}
 };
 
 /** Aggregate results of a run. */
@@ -75,6 +85,9 @@ struct SimResult {
     uint64_t slowPathWords = 0; //!< words run through the general path
     uint64_t pendingHighWater = 0;  //!< max depth of the pending queue
     /// @}
+
+    /** All fields as a JSON object (uhllc --stats-json, bench JSON). */
+    std::string toJson(bool pretty = true) const;
 };
 
 /** Executes microcode from a ControlStore against a MainMemory. */
@@ -105,6 +118,15 @@ class MicroSimulator
     /** Run from a named control-store entry point. */
     SimResult run(const std::string &entry_name);
 
+    /**
+     * The simulator's stats registry. Every SimResult counter is
+     * registered here (bound to the simulator's own storage, so
+     * recording costs nothing extra), plus derived formulas
+     * (sim.fastPathFraction, sim.cyclesPerWord, ...) and the
+     * sim.pendingDepth histogram. Values reflect the latest run.
+     */
+    const StatsRegistry &stats() const { return stats_; }
+
   private:
     struct PendingWrite {
         uint64_t commitCycle;
@@ -132,6 +154,9 @@ class MicroSimulator
     };
 
     uint64_t readReg(RegId r);
+    void registerStats();
+    /** Per-word observability epilogue (run only when obs is on). */
+    void noteObsWord(uint32_t addr, uint64_t start_cycle, bool fast);
     void commitPending();
     bool hasPendingFor(RegId r) const { return pendingRegs_[r] != 0; }
     void enqueuePending(const PendingWrite &p);
@@ -200,6 +225,16 @@ class MicroSimulator
     /// @}
 
     SimResult res_;
+
+    /** @name Observability (see src/obs/) */
+    /// @{
+    StatsRegistry stats_;
+    Histogram *pendingDepth_ = nullptr; //!< owned by stats_
+    //! cached cfg_.trace / cfg_.profiler; null = disabled, and the
+    //! hot loop pays one predictable branch to find out
+    TraceBuffer *trace_ = nullptr;
+    CycleProfiler *prof_ = nullptr;
+    /// @}
 };
 
 } // namespace uhll

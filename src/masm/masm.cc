@@ -130,7 +130,25 @@ struct ParsedWord {
     MicroInstruction mi;
     std::string targetLabel;    // non-empty: fix up mi.target
     int line = 0;
+    std::string text;           // trimmed source text (line table)
 };
+
+/** Trim whitespace and the trailing comment off a source line. */
+std::string
+trimLine(const std::string &line)
+{
+    size_t end = line.find(';');
+    if (end == std::string::npos)
+        end = line.size();
+    size_t start = 0;
+    while (start < end &&
+           std::isspace(static_cast<unsigned char>(line[start])))
+        ++start;
+    while (end > start &&
+           std::isspace(static_cast<unsigned char>(line[end - 1])))
+        --end;
+    return line.substr(start, end - start);
+}
 
 Cond
 parseCond(const std::string &s, int line)
@@ -216,6 +234,7 @@ MicroAssembler::assemble(const std::string &source) const
         // A control word.
         ParsedWord pw;
         pw.line = lineno;
+        pw.text = trimLine(line);
         pw.mi.restart = next_restart;
         next_restart = false;
 
@@ -334,7 +353,10 @@ MicroAssembler::assemble(const std::string &source) const
                       pw.targetLabel.c_str());
             pw.mi.target = it->second;
         }
-        store.append(std::move(pw.mi));
+        uint32_t addr = store.append(std::move(pw.mi));
+        // Line table for the profiler's hot-line report and trace
+        // dumps: each word remembers where it came from.
+        store.annotate(addr, pw.line, std::move(pw.text));
     }
     for (auto &e : entries) {
         if (e.second >= store.size())

@@ -1,0 +1,373 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace uhll {
+
+std::string
+JsonWriter::quote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+void
+JsonWriter::indent()
+{
+    if (!pretty_)
+        return;
+    out_ += '\n';
+    out_.append(2 * needComma_.size(), ' ');
+}
+
+void
+JsonWriter::prefix(const std::string &key)
+{
+    if (!needComma_.empty()) {
+        if (needComma_.back())
+            out_ += ',';
+        needComma_.back() = true;
+        indent();
+    }
+    if (!key.empty()) {
+        out_ += quote(key);
+        out_ += pretty_ ? ": " : ":";
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject(const std::string &key)
+{
+    prefix(key);
+    out_ += '{';
+    needComma_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    UHLL_ASSERT(!needComma_.empty());
+    bool any = needComma_.back();
+    needComma_.pop_back();
+    if (any)
+        indent();
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray(const std::string &key)
+{
+    prefix(key);
+    out_ += '[';
+    needComma_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    UHLL_ASSERT(!needComma_.empty());
+    bool any = needComma_.back();
+    needComma_.pop_back();
+    if (any)
+        indent();
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &key, const std::string &v)
+{
+    prefix(key);
+    out_ += quote(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &key, const char *v)
+{
+    return value(key, std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &key, uint64_t v)
+{
+    prefix(key);
+    out_ += strfmt("%llu", (unsigned long long)v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &key, int64_t v)
+{
+    prefix(key);
+    out_ += strfmt("%lld", (long long)v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &key, double v)
+{
+    prefix(key);
+    // JSON has no NaN/Inf; emit null as browsers' JSON.parse expects.
+    if (!std::isfinite(v))
+        out_ += "null";
+    else
+        out_ += strfmt("%.6g", v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &key, bool v)
+{
+    prefix(key);
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::raw(const std::string &key, const std::string &raw)
+{
+    prefix(key);
+    out_ += raw;
+    return *this;
+}
+
+std::string
+JsonWriter::str() const
+{
+    UHLL_ASSERT(needComma_.empty());
+    return out_;
+}
+
+// ----------------------------------------------------------------
+// Validation: a small recursive-descent parser that accepts exactly
+// the documents the writer can produce (plus arbitrary valid JSON).
+// ----------------------------------------------------------------
+
+namespace {
+
+struct JsonParser {
+    const std::string &s;
+    size_t pos = 0;
+    std::string err;
+    int depth = 0;
+
+    explicit JsonParser(const std::string &text) : s(text) {}
+
+    bool fail(const std::string &what)
+    {
+        if (err.empty())
+            err = strfmt("%s at offset %zu", what.c_str(), pos);
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    bool literal(const char *word)
+    {
+        size_t n = std::char_traits<char>::length(word);
+        if (s.compare(pos, n, word) != 0)
+            return fail("bad literal");
+        pos += n;
+        return true;
+    }
+
+    bool string()
+    {
+        if (pos >= s.size() || s[pos] != '"')
+            return fail("expected string");
+        ++pos;
+        while (pos < s.size()) {
+            unsigned char c = s[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos;
+                if (pos >= s.size())
+                    return fail("truncated escape");
+                char e = s[pos];
+                if (e == 'u') {
+                    for (int i = 1; i <= 4; ++i) {
+                        if (pos + i >= s.size() ||
+                            !std::isxdigit((unsigned char)s[pos + i]))
+                            return fail("bad \\u escape");
+                    }
+                    pos += 4;
+                } else if (!std::strchr("\"\\/bfnrt", e)) {
+                    return fail("bad escape");
+                }
+                ++pos;
+            } else if (c < 0x20) {
+                return fail("control char in string");
+            } else {
+                ++pos;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool number()
+    {
+        size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        size_t digits = pos;
+        while (pos < s.size() && std::isdigit((unsigned char)s[pos]))
+            ++pos;
+        if (pos == start || (s[start] == '-' && pos == start + 1))
+            return fail("expected number");
+        if (s[digits] == '0' && pos > digits + 1)
+            return fail("leading zero");
+        if (pos < s.size() && s[pos] == '.') {
+            ++pos;
+            if (pos >= s.size() || !std::isdigit((unsigned char)s[pos]))
+                return fail("bad fraction");
+            while (pos < s.size() && std::isdigit((unsigned char)s[pos]))
+                ++pos;
+        }
+        if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
+            ++pos;
+            if (pos < s.size() && (s[pos] == '+' || s[pos] == '-'))
+                ++pos;
+            if (pos >= s.size() || !std::isdigit((unsigned char)s[pos]))
+                return fail("bad exponent");
+            while (pos < s.size() && std::isdigit((unsigned char)s[pos]))
+                ++pos;
+        }
+        return true;
+    }
+
+    bool value()
+    {
+        if (++depth > 256)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos >= s.size())
+            return fail("expected value");
+        bool ok;
+        switch (s[pos]) {
+          case '{': ok = object(); break;
+          case '[': ok = array(); break;
+          case '"': ok = string(); break;
+          case 't': ok = literal("true"); break;
+          case 'f': ok = literal("false"); break;
+          case 'n': ok = literal("null"); break;
+          default: ok = number(); break;
+        }
+        --depth;
+        return ok;
+    }
+
+    bool object()
+    {
+        ++pos;  // '{'
+        skipWs();
+        if (pos < s.size() && s[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (pos >= s.size() || s[pos] != ':')
+                return fail("expected ':'");
+            ++pos;
+            if (!value())
+                return false;
+            skipWs();
+            if (pos < s.size() && s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (pos < s.size() && s[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool array()
+    {
+        ++pos;  // '['
+        skipWs();
+        if (pos < s.size() && s[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            if (!value())
+                return false;
+            skipWs();
+            if (pos < s.size() && s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (pos < s.size() && s[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+};
+
+} // namespace
+
+bool
+jsonValid(const std::string &text, std::string *err)
+{
+    JsonParser p(text);
+    bool ok = p.value();
+    if (ok) {
+        p.skipWs();
+        if (p.pos != text.size()) {
+            ok = false;
+            p.fail("trailing garbage");
+        }
+    }
+    if (!ok && err)
+        *err = p.err;
+    return ok;
+}
+
+} // namespace uhll

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Minimal JSON emission and validation for the observability layer.
+ *
+ * Every machine-readable artefact the toolkit writes (stats dumps,
+ * Chrome traces, BENCH_sim.json, SimResult::toJson) goes through
+ * JsonWriter instead of hand-rolled string concatenation, so the
+ * escaping and comma discipline live in exactly one place. The
+ * matching jsonValid() checker is what the tests (and any external
+ * harness) use to assert that emitted files actually parse.
+ */
+
+#ifndef UHLL_OBS_JSON_HH
+#define UHLL_OBS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uhll {
+
+/**
+ * A forward-only JSON builder. Objects and arrays are opened and
+ * closed explicitly; the writer inserts commas and (in pretty mode)
+ * indentation. Keys and string values are escaped per RFC 8259.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(bool pretty = true) : pretty_(pretty) {}
+
+    /** @name Structure */
+    /// @{
+    JsonWriter &beginObject(const std::string &key = "");
+    JsonWriter &endObject();
+    JsonWriter &beginArray(const std::string &key = "");
+    JsonWriter &endArray();
+    /// @}
+
+    /** @name Values (with @p key inside objects, "" inside arrays) */
+    /// @{
+    JsonWriter &value(const std::string &key, const std::string &v);
+    JsonWriter &value(const std::string &key, const char *v);
+    JsonWriter &value(const std::string &key, uint64_t v);
+    JsonWriter &value(const std::string &key, int64_t v);
+    JsonWriter &value(const std::string &key, double v);
+    JsonWriter &value(const std::string &key, bool v);
+    /** Splice @p raw (already-valid JSON) in as a value. */
+    JsonWriter &raw(const std::string &key, const std::string &raw);
+    /// @}
+
+    /** The finished document. Panics if containers are still open. */
+    std::string str() const;
+
+    /** Escape @p s as a quoted JSON string literal. */
+    static std::string quote(const std::string &s);
+
+  private:
+    void prefix(const std::string &key);
+    void indent();
+
+    std::string out_;
+    std::vector<bool> needComma_;   //!< per open container
+    bool pretty_;
+};
+
+/**
+ * Validate that @p text is one complete JSON value (RFC 8259 subset:
+ * objects, arrays, strings, numbers, true/false/null). On failure
+ * returns false and, when @p err is non-null, stores a diagnostic
+ * with the byte offset of the problem.
+ */
+bool jsonValid(const std::string &text, std::string *err = nullptr);
+
+} // namespace uhll
+
+#endif // UHLL_OBS_JSON_HH

@@ -1,0 +1,179 @@
+#include "obs/profile.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "obs/json.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+uint64_t
+CycleProfiler::totalCycles() const
+{
+    uint64_t t = 0;
+    for (const Counts &c : counts_)
+        t += c.cycles + c.faultCycles;
+    return t;
+}
+
+uint64_t
+CycleProfiler::totalWords() const
+{
+    uint64_t t = 0;
+    for (const Counts &c : counts_)
+        t += c.execs;
+    return t;
+}
+
+std::vector<ProfileSite>
+CycleProfiler::sites() const
+{
+    std::vector<ProfileSite> out;
+    for (uint32_t a = 0; a < counts_.size(); ++a) {
+        const Counts &c = counts_[a];
+        if (!c.execs && !c.faults)
+            continue;
+        ProfileSite s;
+        s.addr = a;
+        s.execs = c.execs;
+        s.fastExecs = c.fastExecs;
+        s.cycles = c.cycles;
+        s.stallCycles = c.stallCycles;
+        s.faults = c.faults;
+        s.faultCycles = c.faultCycles;
+        out.push_back(s);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ProfileSite &x, const ProfileSite &y) {
+                  uint64_t cx = x.cycles + x.faultCycles;
+                  uint64_t cy = y.cycles + y.faultCycles;
+                  if (cx != cy)
+                      return cx > cy;
+                  return x.addr < y.addr;
+              });
+    return out;
+}
+
+std::string
+CycleProfiler::report(size_t top_n, const DescribeFn &describe) const
+{
+    std::vector<ProfileSite> ss = sites();
+    const uint64_t total = totalCycles();
+    std::string out;
+    out += strfmt("hot microwords (%zu of %zu sites, %llu cycles "
+                  "total)\n",
+                  std::min(top_n, ss.size()), ss.size(),
+                  (unsigned long long)total);
+    out += strfmt("%6s %12s %12s %8s %8s %7s %7s\n", "addr", "cycles",
+                  "execs", "stalls", "faults", "%cyc", "cum%");
+    uint64_t cum = 0;
+    for (size_t i = 0; i < ss.size() && i < top_n; ++i) {
+        const ProfileSite &s = ss[i];
+        uint64_t cyc = s.cycles + s.faultCycles;
+        cum += cyc;
+        out += strfmt("%6u %12llu %12llu %8llu %8llu %6.2f%% %6.2f%%",
+                      s.addr, (unsigned long long)cyc,
+                      (unsigned long long)s.execs,
+                      (unsigned long long)s.stallCycles,
+                      (unsigned long long)s.faults,
+                      total ? 100.0 * cyc / total : 0.0,
+                      total ? 100.0 * cum / total : 0.0);
+        if (describe) {
+            std::string d = describe(s.addr);
+            if (!d.empty())
+                out += strfmt("  %s", d.c_str());
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+CycleProfiler::lineReport(size_t top_n, const LineOfFn &line_of,
+                          const DescribeFn &describe) const
+{
+    struct LineAgg {
+        uint64_t cycles = 0;
+        uint64_t execs = 0;
+        uint64_t stalls = 0;
+        uint32_t anAddr = 0;    //!< representative address
+    };
+    std::map<int32_t, LineAgg> byLine;
+    for (const ProfileSite &s : sites()) {
+        int32_t line = line_of ? line_of(s.addr) : -1;
+        LineAgg &a = byLine[line];
+        if (!a.execs && !a.cycles)
+            a.anAddr = s.addr;
+        a.cycles += s.cycles + s.faultCycles;
+        a.execs += s.execs;
+        a.stalls += s.stallCycles;
+    }
+    std::vector<std::pair<int32_t, LineAgg>> rows(byLine.begin(),
+                                                  byLine.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &x, const auto &y) {
+                  return x.second.cycles > y.second.cycles;
+              });
+    const uint64_t total = totalCycles();
+    std::string out;
+    out += strfmt("hot source lines (%zu of %zu lines)\n",
+                  std::min(top_n, rows.size()), rows.size());
+    out += strfmt("%8s %12s %12s %8s %7s\n", "line", "cycles",
+                  "execs", "stalls", "%cyc");
+    for (size_t i = 0; i < rows.size() && i < top_n; ++i) {
+        const auto &[line, a] = rows[i];
+        out += strfmt("%8s %12llu %12llu %8llu %6.2f%%",
+                      line < 0 ? "?" : strfmt("%d", line).c_str(),
+                      (unsigned long long)a.cycles,
+                      (unsigned long long)a.execs,
+                      (unsigned long long)a.stalls,
+                      total ? 100.0 * a.cycles / total : 0.0);
+        if (describe) {
+            std::string d = describe(a.anAddr);
+            if (!d.empty())
+                out += strfmt("  %s", d.c_str());
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+CycleProfiler::toJson(size_t top_n, const LineOfFn &line_of,
+                      const DescribeFn &describe) const
+{
+    std::vector<ProfileSite> ss = sites();
+    JsonWriter w;
+    w.beginObject();
+    w.value("total_cycles", totalCycles());
+    w.value("total_words", totalWords());
+    w.value("sites", uint64_t(ss.size()));
+    w.beginArray("hot_words");
+    for (size_t i = 0; i < ss.size() && i < top_n; ++i) {
+        const ProfileSite &s = ss[i];
+        w.beginObject();
+        w.value("addr", uint64_t(s.addr));
+        w.value("cycles", s.cycles + s.faultCycles);
+        w.value("execs", s.execs);
+        w.value("fast_execs", s.fastExecs);
+        w.value("stall_cycles", s.stallCycles);
+        w.value("faults", s.faults);
+        if (line_of) {
+            int32_t line = line_of(s.addr);
+            if (line >= 0)
+                w.value("line", int64_t(line));
+        }
+        if (describe) {
+            std::string d = describe(s.addr);
+            if (!d.empty())
+                w.value("where", d);
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace uhll

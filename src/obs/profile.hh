@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Cycle-attribution profiler for the micro simulator.
+ *
+ * Accumulates per-control-store-address execution, cycle, stall and
+ * fault-overhead counts. The recording side is two vector indexings
+ * per retired word, so profiled runs stay close to full speed and --
+ * because nothing architectural is touched -- are bit-identical to
+ * unprofiled ones on both the fast and the forced-slow path.
+ *
+ * Reports aggregate either per microword ("hot microword" table) or,
+ * through the ControlStore's source-note line table attached by masm
+ * and the codegen emitter, per source line / MIR location ("hot
+ * line" table). The address->annotation mapping is supplied as
+ * callbacks so this layer stays free of machine dependencies.
+ */
+
+#ifndef UHLL_OBS_PROFILE_HH
+#define UHLL_OBS_PROFILE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace uhll {
+
+/** Accumulated counts for one control-store address. */
+struct ProfileSite {
+    uint32_t addr = 0;
+    uint64_t execs = 0;         //!< words retired at this address
+    uint64_t fastExecs = 0;     //!< of which via the fast path
+    uint64_t cycles = 0;        //!< cycles attributed (incl. stalls)
+    uint64_t stallCycles = 0;
+    uint64_t faults = 0;        //!< page faults raised here
+    uint64_t faultCycles = 0;   //!< trap service overhead attributed
+};
+
+class CycleProfiler
+{
+  public:
+    /** Record one retired word at @p addr. */
+    void
+    record(uint32_t addr, uint64_t cycles, uint64_t stalls, bool fast)
+    {
+        Counts &c = at(addr);
+        ++c.execs;
+        c.fastExecs += fast;
+        c.cycles += cycles;
+        c.stallCycles += stalls;
+    }
+
+    /** Record a page fault at @p addr costing @p cycles overall. */
+    void
+    recordFault(uint32_t addr, uint64_t cycles)
+    {
+        Counts &c = at(addr);
+        ++c.faults;
+        c.faultCycles += cycles;
+    }
+
+    /** Total cycles attributed (word + fault overhead). */
+    uint64_t totalCycles() const;
+    uint64_t totalWords() const;
+
+    /** Every address with activity, hottest (most cycles) first. */
+    std::vector<ProfileSite> sites() const;
+
+    void clear() { counts_.clear(); }
+
+    /** Renders a control-store address for report rows. */
+    using DescribeFn = std::function<std::string(uint32_t)>;
+    /** Source line of an address, or -1 when unannotated. */
+    using LineOfFn = std::function<int32_t(uint32_t)>;
+
+    /**
+     * The "hot microword" table: top @p top_n addresses by attributed
+     * cycles with exec/stall/fault breakdown and cumulative share.
+     */
+    std::string report(size_t top_n,
+                       const DescribeFn &describe = {}) const;
+
+    /**
+     * The "hot source line" table: sites aggregated by
+     * @p line_of (addresses with no line fold into one "unmapped"
+     * row), top @p top_n lines by cycles. @p describe renders a
+     * representative address of each line.
+     */
+    std::string lineReport(size_t top_n, const LineOfFn &line_of,
+                           const DescribeFn &describe = {}) const;
+
+    /** Both tables' data as JSON (top @p top_n sites). */
+    std::string toJson(size_t top_n, const LineOfFn &line_of = {},
+                       const DescribeFn &describe = {}) const;
+
+  private:
+    struct Counts {
+        uint64_t execs = 0;
+        uint64_t fastExecs = 0;
+        uint64_t cycles = 0;
+        uint64_t stallCycles = 0;
+        uint64_t faults = 0;
+        uint64_t faultCycles = 0;
+    };
+
+    Counts &
+    at(uint32_t addr)
+    {
+        if (addr >= counts_.size())
+            counts_.resize(addr + 1);
+        return counts_[addr];
+    }
+
+    std::vector<Counts> counts_;    //!< indexed by address
+};
+
+} // namespace uhll
+
+#endif // UHLL_OBS_PROFILE_HH

@@ -1,0 +1,199 @@
+#include "obs/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+uint64_t &
+StatsRegistry::scalar(const std::string &name, const std::string &desc)
+{
+    auto [it, inserted] = scalars_.try_emplace(name);
+    if (inserted) {
+        it->second.desc = desc;
+    } else if (it->second.bound) {
+        fatal("stats: scalar '%s' is bound, cannot return owned "
+              "storage", name.c_str());
+    }
+    return it->second.own;
+}
+
+void
+StatsRegistry::bindScalar(const std::string &name,
+                          const uint64_t *storage,
+                          const std::string &desc)
+{
+    UHLL_ASSERT(storage != nullptr);
+    ScalarStat &s = scalars_[name];
+    s.desc = desc;
+    s.ptr = storage;
+    s.bound = true;
+}
+
+Histogram &
+StatsRegistry::histogram(const std::string &name,
+                         uint64_t bucket_width, size_t num_buckets,
+                         const std::string &desc)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_.emplace(name,
+                                 Histogram(bucket_width, num_buckets))
+                 .first;
+    }
+    (void)desc;
+    return it->second;
+}
+
+void
+StatsRegistry::formula(const std::string &name,
+                       std::function<double()> fn,
+                       const std::string &desc)
+{
+    formulas_[name] = FormulaStat{desc, std::move(fn)};
+}
+
+uint64_t
+StatsRegistry::value(const std::string &name) const
+{
+    auto it = scalars_.find(name);
+    if (it == scalars_.end())
+        fatal("stats: no scalar '%s'", name.c_str());
+    return it->second.get();
+}
+
+bool
+StatsRegistry::has(const std::string &name) const
+{
+    return scalars_.count(name) || histograms_.count(name) ||
+           formulas_.count(name);
+}
+
+void
+StatsRegistry::reset()
+{
+    for (auto &[n, s] : scalars_) {
+        if (!s.bound)
+            s.own = 0;
+    }
+    for (auto &[n, h] : histograms_)
+        h.reset();
+}
+
+std::string
+StatsRegistry::dumpText() const
+{
+    std::string out;
+    auto line = [&](const std::string &name, const std::string &val,
+                    const std::string &desc) {
+        out += strfmt("%-40s %20s", name.c_str(), val.c_str());
+        if (!desc.empty())
+            out += strfmt("  # %s", desc.c_str());
+        out += '\n';
+    };
+    for (const auto &[name, s] : scalars_)
+        line(name, strfmt("%llu", (unsigned long long)s.get()),
+             s.desc);
+    for (const auto &[name, h] : histograms_) {
+        line(name,
+             strfmt("n=%llu avg=%.2f", (unsigned long long)h.samples(),
+                    h.mean()),
+             strfmt("min=%llu max=%llu",
+                    (unsigned long long)h.min(),
+                    (unsigned long long)h.max()));
+        const auto &b = h.buckets();
+        for (size_t i = 0; i < b.size(); ++i) {
+            if (!b[i])
+                continue;
+            std::string bname =
+                i + 1 == b.size()
+                    ? strfmt("%s.bucket[%llu+]", name.c_str(),
+                             (unsigned long long)(i * h.bucketWidth()))
+                    : strfmt("%s.bucket[%llu-%llu]", name.c_str(),
+                             (unsigned long long)(i * h.bucketWidth()),
+                             (unsigned long long)((i + 1) * h.bucketWidth() - 1));
+            line(bname, strfmt("%llu", (unsigned long long)b[i]), "");
+        }
+    }
+    for (const auto &[name, f] : formulas_)
+        line(name, strfmt("%.4f", f.fn ? f.fn() : 0.0), f.desc);
+    return out;
+}
+
+std::string
+StatsRegistry::toJson(bool pretty) const
+{
+    // Merge the three sorted maps into one sorted (name, raw-json)
+    // list, then nest on the '.' separators.
+    std::vector<std::pair<std::string, std::string>> leaves;
+    for (const auto &[name, s] : scalars_)
+        leaves.emplace_back(
+            name, strfmt("%llu", (unsigned long long)s.get()));
+    for (const auto &[name, h] : histograms_) {
+        JsonWriter w(false);
+        w.beginObject();
+        w.value("samples", h.samples());
+        w.value("sum", h.sum());
+        w.value("min", h.min());
+        w.value("max", h.max());
+        w.value("mean", h.mean());
+        w.value("bucket_width", h.bucketWidth());
+        w.beginArray("buckets");
+        for (uint64_t b : h.buckets())
+            w.value("", b);
+        w.endArray();
+        w.endObject();
+        leaves.emplace_back(name, w.str());
+    }
+    for (const auto &[name, f] : formulas_) {
+        double v = f.fn ? f.fn() : 0.0;
+        leaves.emplace_back(name, std::isfinite(v)
+                                      ? strfmt("%.6g", v)
+                                      : std::string("null"));
+    }
+    std::sort(leaves.begin(), leaves.end());
+
+    JsonWriter w(pretty);
+    w.beginObject();
+    std::vector<std::string> open;  // current group path
+    auto split = [](const std::string &name) {
+        std::vector<std::string> parts;
+        size_t start = 0;
+        for (size_t dot; (dot = name.find('.', start)) !=
+                         std::string::npos;
+             start = dot + 1) {
+            parts.push_back(name.substr(start, dot - start));
+        }
+        parts.push_back(name.substr(start));
+        return parts;
+    };
+    for (const auto &[name, raw] : leaves) {
+        std::vector<std::string> parts = split(name);
+        // Close groups that no longer match, open the new ones.
+        size_t common = 0;
+        while (common < open.size() && common + 1 < parts.size() &&
+               open[common] == parts[common]) {
+            ++common;
+        }
+        while (open.size() > common) {
+            w.endObject();
+            open.pop_back();
+        }
+        for (size_t i = common; i + 1 < parts.size(); ++i) {
+            w.beginObject(parts[i]);
+            open.push_back(parts[i]);
+        }
+        w.raw(parts.back(), raw);
+    }
+    while (!open.empty()) {
+        w.endObject();
+        open.pop_back();
+    }
+    w.endObject();
+    return w.str();
+}
+
+} // namespace uhll

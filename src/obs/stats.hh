@@ -1,0 +1,156 @@
+/**
+ * @file
+ * A gem5-style statistics registry.
+ *
+ * Components register named statistics once, up front; the hot paths
+ * then update raw storage with no lookup, lock or branch on the
+ * recording side:
+ *
+ *  - a *scalar* is a named uint64_t counter. It can own its storage
+ *    (scalar()) or be bound to a counter the component already
+ *    maintains (bindScalar()), which is how MicroSimulator exposes
+ *    the SimResult fields without adding any cost to its interpreter
+ *    loop -- the registry reads the component's own variable at dump
+ *    time;
+ *  - a *histogram* buckets uint64_t samples with a fixed bucket
+ *    width plus an overflow bucket, tracking count/sum/min/max;
+ *  - a *formula* is a named function evaluated at dump time
+ *    (rates, fractions, averages over other stats).
+ *
+ * Names are hierarchical with '.' separators ("sim.fastPathWords");
+ * dumps sort by name so groups read contiguously, and toJson() nests
+ * the groups into JSON objects.
+ */
+
+#ifndef UHLL_OBS_STATS_HH
+#define UHLL_OBS_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace uhll {
+
+/** Fixed-width bucketed histogram of uint64_t samples. */
+class Histogram
+{
+  public:
+    Histogram(uint64_t bucket_width, size_t num_buckets)
+        : bucketWidth_(bucket_width ? bucket_width : 1),
+          buckets_(num_buckets + 1, 0)   // +1: overflow bucket
+    {}
+
+    void
+    sample(uint64_t v)
+    {
+        size_t b = v / bucketWidth_;
+        if (b >= buckets_.size())
+            b = buckets_.size() - 1;
+        ++buckets_[b];
+        ++samples_;
+        sum_ += v;
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    uint64_t samples() const { return samples_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t min() const { return samples_ ? min_ : 0; }
+    uint64_t max() const { return max_; }
+    double mean() const { return samples_ ? double(sum_) / double(samples_) : 0.0; }
+    uint64_t bucketWidth() const { return bucketWidth_; }
+    /** Bucket counts; the last entry is the overflow bucket. */
+    const std::vector<uint64_t> &buckets() const { return buckets_; }
+
+    void
+    reset()
+    {
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+        samples_ = sum_ = max_ = 0;
+        min_ = ~0ULL;
+    }
+
+  private:
+    uint64_t bucketWidth_;
+    std::vector<uint64_t> buckets_;
+    uint64_t samples_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = ~0ULL;
+    uint64_t max_ = 0;
+};
+
+/** The registry: a named, grouped collection of statistics. */
+class StatsRegistry
+{
+  public:
+    /**
+     * Register (or re-fetch) an owned scalar. The returned reference
+     * is stable for the registry's lifetime; hot code caches it and
+     * increments directly.
+     */
+    uint64_t &scalar(const std::string &name,
+                     const std::string &desc = "");
+
+    /**
+     * Register a scalar whose storage lives in the component
+     * (@p storage must outlive the registry's dumps). Re-binding an
+     * existing name repoints it.
+     */
+    void bindScalar(const std::string &name, const uint64_t *storage,
+                    const std::string &desc = "");
+
+    /** Register (or re-fetch) a histogram. */
+    Histogram &histogram(const std::string &name,
+                         uint64_t bucket_width, size_t num_buckets,
+                         const std::string &desc = "");
+
+    /** Register a formula evaluated at dump time. */
+    void formula(const std::string &name,
+                 std::function<double()> fn,
+                 const std::string &desc = "");
+
+    /** Current value of scalar @p name; fatal() if absent. */
+    uint64_t value(const std::string &name) const;
+
+    bool has(const std::string &name) const;
+
+    /** Zero every owned scalar and histogram (bound scalars are the
+     *  component's to reset). */
+    void reset();
+
+    /** gem5-style text dump: "name  value  # desc", sorted. */
+    std::string dumpText() const;
+
+    /**
+     * JSON dump. Dotted names nest ("sim.cycles" becomes
+     * {"sim": {"cycles": ...}}); histograms become objects with
+     * samples/sum/min/max/mean/buckets.
+     */
+    std::string toJson(bool pretty = true) const;
+
+  private:
+    struct ScalarStat {
+        std::string desc;
+        const uint64_t *ptr = nullptr;  //!< bound storage, if any
+        uint64_t own = 0;               //!< owned storage otherwise
+        bool bound = false;
+        uint64_t get() const { return bound ? *ptr : own; }
+    };
+    struct FormulaStat {
+        std::string desc;
+        std::function<double()> fn;
+    };
+
+    // std::map keeps dumps sorted and references stable.
+    std::map<std::string, ScalarStat> scalars_;
+    std::map<std::string, Histogram> histograms_;
+    std::map<std::string, FormulaStat> formulas_;
+};
+
+} // namespace uhll
+
+#endif // UHLL_OBS_STATS_HH

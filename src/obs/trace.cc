@@ -1,0 +1,160 @@
+#include "obs/trace.hh"
+
+#include "obs/json.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+const char *
+traceCatName(TraceCat c)
+{
+    switch (c) {
+      case TraceCat::Word: return "word";
+      case TraceCat::Stall: return "stall";
+      case TraceCat::Fault: return "fault";
+      case TraceCat::Interrupt: return "interrupt";
+      case TraceCat::Overlap: return "overlap";
+      case TraceCat::Control: return "control";
+    }
+    return "?";
+}
+
+TraceBuffer::TraceBuffer(size_t capacity, uint32_t cat_mask)
+    : ring_(capacity ? capacity : 1), mask_(cat_mask & kTraceAll)
+{}
+
+size_t
+TraceBuffer::size() const
+{
+    return recorded_ < ring_.size() ? static_cast<size_t>(recorded_)
+                                    : ring_.size();
+}
+
+const TraceRecord &
+TraceBuffer::at(size_t i) const
+{
+    UHLL_ASSERT(i < size());
+    if (recorded_ <= ring_.size())
+        return ring_[i];
+    return ring_[(head_ + i) % ring_.size()];
+}
+
+void
+TraceBuffer::clear()
+{
+    head_ = 0;
+    recorded_ = 0;
+}
+
+namespace {
+
+std::string
+payload(const TraceRecord &r)
+{
+    switch (r.cat) {
+      case TraceCat::Word:
+        return strfmt("%u cycle%s%s", r.a, r.a == 1 ? "" : "s",
+                      r.b ? " (fast)" : "");
+      case TraceCat::Stall:
+        return strfmt("%u stall cycle%s", r.a, r.a == 1 ? "" : "s");
+      case TraceCat::Fault:
+        return strfmt("mem addr 0x%x", r.a);
+      case TraceCat::Interrupt:
+        return r.a == 0 ? std::string("arrival")
+                        : strfmt("acknowledged, latency %u", r.b);
+      case TraceCat::Overlap:
+        return strfmt("%s commit at cycle %u",
+                      r.a ? "memory" : "register", r.b);
+      case TraceCat::Control:
+        return r.a == 0 ? std::string("halt")
+                        : std::string("trap restart");
+    }
+    return "";
+}
+
+} // namespace
+
+std::string
+TraceBuffer::dumpText(
+    const std::function<std::string(uint32_t)> &describe) const
+{
+    std::string out;
+    out += strfmt("microtrace: %zu/%zu records retained",
+                  size(), capacity());
+    if (dropped())
+        out += strfmt(" (%llu older records dropped)",
+                      (unsigned long long)dropped());
+    out += '\n';
+    for (size_t i = 0; i < size(); ++i) {
+        const TraceRecord &r = at(i);
+        out += strfmt("%12llu  %-9s %-7s upc=%04x  %s",
+                      (unsigned long long)r.cycle, traceCatName(r.cat),
+                      r.sev == TraceSev::Warning ? "warning" : "info",
+                      r.upc, payload(r).c_str());
+        if (describe) {
+            std::string d = describe(r.upc);
+            if (!d.empty())
+                out += strfmt("  ; %s", d.c_str());
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+TraceBuffer::toChromeJson(
+    const std::function<std::string(uint32_t)> &describe) const
+{
+    JsonWriter w(false);
+    w.beginObject();
+    w.value("displayTimeUnit", "ms");
+    w.beginArray("traceEvents");
+    // Process metadata so the track has a readable name.
+    w.beginObject();
+    w.value("name", "process_name");
+    w.value("ph", "M");
+    w.value("pid", uint64_t(0));
+    w.value("tid", uint64_t(0));
+    w.beginObject("args").value("name", "uhll microsimulator")
+        .endObject();
+    w.endObject();
+    for (size_t i = 0; i < size(); ++i) {
+        const TraceRecord &r = at(i);
+        std::string name = strfmt("upc 0x%04x", r.upc);
+        if (describe) {
+            std::string d = describe(r.upc);
+            if (!d.empty())
+                name = d;
+        }
+        w.beginObject();
+        if (r.cat == TraceCat::Word) {
+            w.value("name", name);
+            w.value("ph", "X");
+            w.value("dur", uint64_t(r.a ? r.a : 1));
+        } else {
+            w.value("name",
+                    strfmt("%s: %s", traceCatName(r.cat),
+                           payload(r).c_str()));
+            w.value("ph", "i");
+            w.value("s", "t");
+        }
+        w.value("cat", traceCatName(r.cat));
+        w.value("ts", r.cycle);
+        w.value("pid", uint64_t(0));
+        w.value("tid", uint64_t(0));
+        w.beginObject("args");
+        w.value("upc", uint64_t(r.upc));
+        w.value("cycle", r.cycle);
+        w.value("severity",
+                r.sev == TraceSev::Warning ? "warning" : "info");
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    if (dropped())
+        w.value("uhll_dropped_records", dropped());
+    w.endObject();
+    return w.str();
+}
+
+} // namespace uhll

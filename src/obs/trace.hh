@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Microtrace: a fixed-capacity ring buffer of structured simulator
+ * events.
+ *
+ * The simulator records one compact POD record per interesting event
+ * (word executed, stall, page fault, interrupt arrival/service,
+ * overlapped commit, control transfer of interest); the ring keeps
+ * the most recent `capacity` records, counting what it dropped, so
+ * tracing a billion-cycle run is bounded memory. Each record carries
+ * a category (filterable via a bitmask before recording, so filtered
+ * categories cost one predictable branch) and a severity.
+ *
+ * Two exporters: a human-readable text dump, and the Chrome
+ * trace_event JSON format (chrome://tracing, Perfetto, speedscope),
+ * mapping one microcycle to one microsecond of trace time.
+ */
+
+#ifndef UHLL_OBS_TRACE_HH
+#define UHLL_OBS_TRACE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace uhll {
+
+/** Event category; each has a bit in the filter mask. */
+enum class TraceCat : uint8_t {
+    Word,       //!< a microword executed (a = cycles taken, b = fast)
+    Stall,      //!< a word stalled (a = stall cycles)
+    Fault,      //!< page fault (a = faulting memory address)
+    Interrupt,  //!< a = 0 arrival, 1 = acknowledged (b = latency)
+    Overlap,    //!< pending write enqueued (a = isMem, b = commit cycle)
+    Control,    //!< halt / trap restart (a = 0 halt, 1 = restart)
+};
+constexpr size_t kNumTraceCats = 6;
+
+/** Bit for @p c in a category filter mask. */
+constexpr uint32_t
+traceBit(TraceCat c)
+{
+    return 1u << static_cast<unsigned>(c);
+}
+
+/** Mask accepting every category. */
+constexpr uint32_t kTraceAll = (1u << kNumTraceCats) - 1;
+
+enum class TraceSev : uint8_t { Info, Warning };
+
+const char *traceCatName(TraceCat c);
+
+/** One trace record. POD, 24 bytes: recording is a ring store. */
+struct TraceRecord {
+    uint64_t cycle = 0;
+    uint32_t upc = 0;
+    uint32_t a = 0;         //!< category-specific payload
+    uint32_t b = 0;         //!< category-specific payload
+    TraceCat cat = TraceCat::Word;
+    TraceSev sev = TraceSev::Info;
+};
+
+/** The fixed-capacity event ring. */
+class TraceBuffer
+{
+  public:
+    explicit TraceBuffer(size_t capacity = 4096,
+                         uint32_t cat_mask = kTraceAll);
+
+    /** Restrict recording to the categories in @p mask. */
+    void setFilter(uint32_t mask) { mask_ = mask & kTraceAll; }
+    uint32_t filter() const { return mask_; }
+
+    /** One predictable test the simulator makes before recording. */
+    bool wants(TraceCat c) const { return mask_ & traceBit(c); }
+
+    /** Record an event (dropped silently if filtered out). */
+    void
+    record(TraceCat cat, TraceSev sev, uint64_t cycle, uint32_t upc,
+           uint32_t a = 0, uint32_t b = 0)
+    {
+        if (!wants(cat))
+            return;
+        TraceRecord &r = ring_[head_];
+        r.cycle = cycle;
+        r.upc = upc;
+        r.a = a;
+        r.b = b;
+        r.cat = cat;
+        r.sev = sev;
+        head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+        ++recorded_;
+    }
+
+    size_t capacity() const { return ring_.size(); }
+    /** Records currently retained (== capacity once wrapped). */
+    size_t size() const;
+    /** Total records accepted, including those the ring dropped. */
+    uint64_t recorded() const { return recorded_; }
+    uint64_t dropped() const { return recorded_ - size(); }
+
+    /** Retained record @p i, oldest first. */
+    const TraceRecord &at(size_t i) const;
+
+    void clear();
+
+    /**
+     * Human-readable dump, oldest first. @p describe, when given,
+     * renders a control-store address (label/source annotation).
+     */
+    std::string dumpText(
+        const std::function<std::string(uint32_t)> &describe = {}) const;
+
+    /**
+     * Chrome trace_event JSON: Word records become complete ("X")
+     * slices with their cycle duration, everything else instant
+     * ("i") events; 1 microcycle = 1 us of trace time.
+     */
+    std::string toChromeJson(
+        const std::function<std::string(uint32_t)> &describe = {}) const;
+
+  private:
+    std::vector<TraceRecord> ring_;
+    size_t head_ = 0;           //!< next slot to write
+    uint64_t recorded_ = 0;
+    uint32_t mask_;
+};
+
+} // namespace uhll
+
+#endif // UHLL_OBS_TRACE_HH

@@ -50,9 +50,47 @@ fatal(const char *fmt, ...)
     throw FatalError(s);
 }
 
+namespace {
+
+LogLevel
+initialLogLevel()
+{
+    if (const char *env = std::getenv("UHLL_LOG")) {
+        std::string v = env;
+        if (v == "quiet")
+            return LogLevel::Quiet;
+        if (v == "verbose")
+            return LogLevel::Verbose;
+    }
+    return LogLevel::Normal;
+}
+
+LogLevel &
+levelSlot()
+{
+    static LogLevel lvl = initialLogLevel();
+    return lvl;
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel lvl)
+{
+    levelSlot() = lvl;
+}
+
+LogLevel
+logLevel()
+{
+    return levelSlot();
+}
+
 void
 warn(const char *fmt, ...)
 {
+    if (logLevel() == LogLevel::Quiet)
+        return;
     va_list ap;
     va_start(ap, fmt);
     std::string s = vstrfmt(fmt, ap);
@@ -63,11 +101,25 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
+    if (logLevel() == LogLevel::Quiet)
+        return;
     va_list ap;
     va_start(ap, fmt);
     std::string s = vstrfmt(fmt, ap);
     va_end(ap);
     std::fprintf(stderr, "info: %s\n", s.c_str());
+}
+
+void
+verbose(const char *fmt, ...)
+{
+    if (logLevel() != LogLevel::Verbose)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "debug: %s\n", s.c_str());
 }
 
 } // namespace uhll

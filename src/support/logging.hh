@@ -8,12 +8,20 @@
  *             configuration) cannot be processed; exits with an error.
  * warn()   -- something is suspicious but processing can continue.
  * inform() -- a status message.
+ * verbose() -- a debug-level message, off by default.
+ *
+ * A global verbosity level gates the non-throwing reporters: Quiet
+ * silences warn()/inform() (bench runs), Verbose additionally
+ * enables verbose() (debug runs). The level defaults from the
+ * UHLL_LOG environment variable ("quiet" or "verbose") and is
+ * routed through uhllc's --quiet/--verbose flags.
  */
 
 #ifndef UHLL_SUPPORT_LOGGING_HH
 #define UHLL_SUPPORT_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
@@ -56,12 +64,30 @@ std::string strfmt(const char *fmt, ...)
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Report a suspicious-but-survivable condition on stderr. */
+/** Global verbosity for warn()/inform()/verbose(). */
+enum class LogLevel : uint8_t {
+    Quiet = 0,      //!< errors only
+    Normal = 1,     //!< warn() + inform() (the default)
+    Verbose = 2,    //!< additionally verbose()
+};
+
+/** Set the global log level (overrides UHLL_LOG). */
+void setLogLevel(LogLevel lvl);
+
+/** The current log level (initialised from UHLL_LOG on first use). */
+LogLevel logLevel();
+
+/** Report a suspicious-but-survivable condition on stderr.
+ *  Suppressed at Quiet. */
 void warn(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Report a status message on stderr. */
+/** Report a status message on stderr. Suppressed at Quiet. */
 void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a debug-level message on stderr. Printed only at Verbose. */
+void verbose(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
 /** Assert an internal invariant; panics with location info on failure. */

@@ -21,11 +21,22 @@
  *   --trap-safe         apply the microtrap safety transformation
  *   --verify            (sstar) run the bounded assertion verifier
  *   --stats             print compilation statistics
+ *
+ * Observability (see src/obs/ and README "Observability"):
+ *   --stats-json FILE   write the run's stats registry + SimResult
+ *                       counters as JSON
+ *   --trace FILE        record a microtrace and write it as Chrome
+ *                       trace_event JSON (chrome://tracing, Perfetto)
+ *   --trace-limit N     trace ring capacity in records (default 4096)
+ *   --profile           print hot-microword and hot-source-line
+ *                       cycle attribution tables after the run
+ *   --quiet / --verbose set the log level (default from UHLL_LOG)
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "codegen/compiler.hh"
@@ -35,6 +46,9 @@
 #include "lang/yalll/yalll.hh"
 #include "machine/machines/machines.hh"
 #include "masm/masm.hh"
+#include "obs/json.hh"
+#include "obs/profile.hh"
+#include "obs/trace.hh"
 #include "support/logging.hh"
 #include "verify/verifier.hh"
 
@@ -53,7 +67,10 @@ usage()
         "             [--set VAR=VALUE ...]\n"
         "             [--compactor NAME] [--allocator NAME]\n"
         "             [--no-compact] [--polls] [--trap-safe]\n"
-        "             [--verify] [--stats]\n");
+        "             [--verify] [--stats]\n"
+        "             [--stats-json FILE] [--trace FILE]\n"
+        "             [--trace-limit N] [--profile]\n"
+        "             [--quiet] [--verbose]\n");
     std::exit(2);
 }
 
@@ -68,6 +85,109 @@ readFile(const std::string &path)
     return ss.str();
 }
 
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream f(path);
+    if (!f)
+        fatal("cannot write '%s'", path.c_str());
+    f << content;
+}
+
+/** Observability knobs shared by every run path. */
+struct ObsOptions {
+    std::string statsJsonPath;
+    std::string tracePath;
+    size_t traceLimit = 4096;
+    bool profile = false;
+};
+
+/**
+ * Simulate @p store from @p entry with the observability outputs
+ * wired up. Variable access is abstracted so the masm/S* path
+ * (registers) and the MIR path (allocated variables) share the whole
+ * run/report flow.
+ */
+void
+runSimulation(
+    const ControlStore &store, const std::string &entry,
+    const std::vector<std::pair<std::string, uint64_t>> &sets,
+    const ObsOptions &obs,
+    const std::function<void(MicroSimulator &, MainMemory &,
+                             const std::string &, uint64_t)> &setv,
+    const std::function<uint64_t(const MicroSimulator &,
+                                 const MainMemory &,
+                                 const std::string &)> &getv)
+{
+    MainMemory mem(0x10000, store.machine().dataWidth());
+
+    SimConfig cfg;
+    std::unique_ptr<TraceBuffer> trace;
+    std::unique_ptr<CycleProfiler> prof;
+    if (!obs.tracePath.empty()) {
+        trace = std::make_unique<TraceBuffer>(obs.traceLimit);
+        cfg.trace = trace.get();
+    }
+    if (obs.profile) {
+        prof = std::make_unique<CycleProfiler>();
+        cfg.profiler = prof.get();
+    }
+
+    MicroSimulator sim(store, mem, cfg);
+    for (auto &[n, v] : sets)
+        setv(sim, mem, n, v);
+    SimResult res = sim.run(entry);
+    std::printf("halted=%d cycles=%llu words=%llu\n", int(res.halted),
+                (unsigned long long)res.cycles,
+                (unsigned long long)res.wordsExecuted);
+    for (auto &[n, v] : sets) {
+        (void)v;
+        std::printf("%s = %llu\n", n.c_str(),
+                    (unsigned long long)getv(sim, mem, n));
+    }
+
+    // Renderers over the control store's line table.
+    auto describe = [&store](uint32_t addr) -> std::string {
+        const SourceNote *n = store.note(addr);
+        if (!n)
+            return "";
+        if (n->line >= 0)
+            return strfmt("line %d: %s", n->line, n->what.c_str());
+        return n->what;
+    };
+    auto lineOf = [&store](uint32_t addr) -> int32_t {
+        const SourceNote *n = store.note(addr);
+        return n ? n->line : -1;
+    };
+
+    if (obs.profile) {
+        std::printf("\n%s", prof->report(20, describe).c_str());
+        // A line table only exists for assembled (masm) input;
+        // compiled code is attributed via the MIR origin strings.
+        if (store.hasLineNumbers())
+            std::printf("\n%s",
+                        prof->lineReport(10, lineOf, describe)
+                            .c_str());
+    }
+    if (!obs.tracePath.empty()) {
+        writeFile(obs.tracePath, trace->toChromeJson(describe));
+        inform("wrote %zu trace records to %s (%llu dropped)",
+               trace->size(), obs.tracePath.c_str(),
+               (unsigned long long)trace->dropped());
+    }
+    if (!obs.statsJsonPath.empty()) {
+        JsonWriter w;
+        w.beginObject();
+        w.raw("result", res.toJson());
+        w.raw("stats", sim.stats().toJson());
+        if (prof)
+            w.raw("profile", prof->toJson(20, lineOf, describe));
+        w.endObject();
+        writeFile(obs.statsJsonPath, w.str() + "\n");
+        inform("wrote stats to %s", obs.statsJsonPath.c_str());
+    }
+}
+
 } // namespace
 
 int
@@ -80,6 +200,7 @@ main(int argc, char **argv)
     bool listing = false, run = false, stats = false;
     bool verify = false;
     CompileOptions opts;
+    ObsOptions obs;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -88,6 +209,21 @@ main(int argc, char **argv)
                 usage();
             return argv[i];
         };
+        // Value options accept both "--opt VALUE" and "--opt=VALUE".
+        auto valueOpt = [&](const char *name,
+                            std::string *out) -> bool {
+            if (a == name) {
+                *out = next();
+                return true;
+            }
+            std::string prefix = std::string(name) + "=";
+            if (a.rfind(prefix, 0) == 0) {
+                *out = a.substr(prefix.size());
+                return true;
+            }
+            return false;
+        };
+        std::string val;
         if (a == "--lang") lang = next();
         else if (a == "--machine") machine_name = next();
         else if (a == "--entry") entry = next();
@@ -100,6 +236,16 @@ main(int argc, char **argv)
         else if (a == "--no-compact") opts.compact = false;
         else if (a == "--polls") opts.insertInterruptPolls = true;
         else if (a == "--trap-safe") opts.trapSafety = true;
+        else if (valueOpt("--stats-json", &obs.statsJsonPath)) {}
+        else if (valueOpt("--trace", &obs.tracePath)) {}
+        else if (valueOpt("--trace-limit", &val)) {
+            obs.traceLimit = std::strtoull(val.c_str(), nullptr, 0);
+            if (!obs.traceLimit)
+                usage();
+        }
+        else if (a == "--profile") obs.profile = true;
+        else if (a == "--quiet") setLogLevel(LogLevel::Quiet);
+        else if (a == "--verbose") setLogLevel(LogLevel::Verbose);
         else if (a == "--set") {
             std::string kv = next();
             auto eq = kv.find('=');
@@ -172,21 +318,16 @@ main(int argc, char **argv)
                             (unsigned long long)store.sizeBits());
             }
             if (run) {
-                MainMemory mem(0x10000, mach.dataWidth());
-                MicroSimulator sim(store, mem);
-                for (auto &[n, v] : sets)
-                    sim.setReg(n, v);
-                std::string e = entry.empty() ? "main" : entry;
-                SimResult res = sim.run(e);
-                std::printf("halted=%d cycles=%llu words=%llu\n",
-                            int(res.halted),
-                            (unsigned long long)res.cycles,
-                            (unsigned long long)res.wordsExecuted);
-                for (auto &[n, v] : sets) {
-                    (void)v;
-                    std::printf("%s = %llu\n", n.c_str(),
-                                (unsigned long long)sim.getReg(n));
-                }
+                runSimulation(
+                    store, entry.empty() ? "main" : entry, sets, obs,
+                    [](MicroSimulator &sim, MainMemory &,
+                       const std::string &n, uint64_t v) {
+                        sim.setReg(n, v);
+                    },
+                    [](const MicroSimulator &sim, const MainMemory &,
+                       const std::string &n) {
+                        return sim.getReg(n);
+                    });
             }
             return 0;
         }
@@ -214,23 +355,17 @@ main(int argc, char **argv)
                         cp.stats.spillStores);
         }
         if (run) {
-            MainMemory mem(0x10000, mach.dataWidth());
-            MicroSimulator sim(cp.store, mem);
-            for (auto &[n, v] : sets)
-                setVar(prog, cp, sim, mem, n, v);
-            std::string e =
-                entry.empty() ? prog.func(0).name : entry;
-            SimResult res = sim.run(e);
-            std::printf("halted=%d cycles=%llu words=%llu\n",
-                        int(res.halted),
-                        (unsigned long long)res.cycles,
-                        (unsigned long long)res.wordsExecuted);
-            for (auto &[n, v] : sets) {
-                (void)v;
-                std::printf("%s = %llu\n", n.c_str(),
-                            (unsigned long long)getVar(prog, cp, sim,
-                                                       mem, n));
-            }
+            runSimulation(
+                cp.store, entry.empty() ? prog.func(0).name : entry,
+                sets, obs,
+                [&](MicroSimulator &sim, MainMemory &mem,
+                    const std::string &n, uint64_t v) {
+                    setVar(prog, cp, sim, mem, n, v);
+                },
+                [&](const MicroSimulator &sim, const MainMemory &mem,
+                    const std::string &n) {
+                    return getVar(prog, cp, sim, mem, n);
+                });
         }
         return 0;
     } catch (const FatalError &e) {

@@ -1,0 +1,490 @@
+/**
+ * @file
+ * Unit tests for the observability layer (src/obs): JSON writer and
+ * validator, stats registry, microtrace ring, cycle-attribution
+ * profiler, and their wiring into MicroSimulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/machines/machines.hh"
+#include "machine/memory.hh"
+#include "machine/simulator.hh"
+#include "masm/masm.hh"
+#include "obs/json.hh"
+#include "obs/profile.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+namespace {
+
+// ----------------------------------------------------------------
+// JsonWriter / jsonValid
+// ----------------------------------------------------------------
+
+TEST(JsonWriter, NestedDocumentIsValid)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.value("name", "uhll");
+    w.value("count", uint64_t(42));
+    w.value("neg", int64_t(-7));
+    w.value("frac", 0.5);
+    w.value("flag", true);
+    w.beginArray("list");
+    w.value("", uint64_t(1));
+    w.value("", uint64_t(2));
+    w.endArray();
+    w.beginObject("inner");
+    w.endObject();
+    w.endObject();
+    std::string doc = w.str();
+    std::string err;
+    EXPECT_TRUE(jsonValid(doc, &err)) << err << "\n" << doc;
+    EXPECT_NE(doc.find("\"count\": 42"), std::string::npos);
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters)
+{
+    JsonWriter w(false);
+    w.beginObject();
+    w.value("k", std::string("a\"b\\c\nd\te") + '\x01');
+    w.endObject();
+    std::string doc = w.str();
+    std::string err;
+    EXPECT_TRUE(jsonValid(doc, &err)) << err << "\n" << doc;
+    EXPECT_NE(doc.find("\\\""), std::string::npos);
+    EXPECT_NE(doc.find("\\n"), std::string::npos);
+    EXPECT_NE(doc.find("\\u0001"), std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    JsonWriter w(false);
+    w.beginObject();
+    w.value("nan", 0.0 / 0.0);
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"nan\":null}");
+}
+
+TEST(JsonValid, RejectsMalformedDocuments)
+{
+    EXPECT_TRUE(jsonValid("{}"));
+    EXPECT_TRUE(jsonValid("[1, 2.5, \"x\", null, true]"));
+    EXPECT_FALSE(jsonValid(""));
+    EXPECT_FALSE(jsonValid("{"));
+    EXPECT_FALSE(jsonValid("{\"a\": }"));
+    EXPECT_FALSE(jsonValid("{\"a\": 1,}"));
+    EXPECT_FALSE(jsonValid("[1 2]"));
+    EXPECT_FALSE(jsonValid("{} trailing"));
+    EXPECT_FALSE(jsonValid("\"unterminated"));
+    EXPECT_FALSE(jsonValid("01") || jsonValid("1."));
+}
+
+// ----------------------------------------------------------------
+// StatsRegistry
+// ----------------------------------------------------------------
+
+TEST(Stats, OwnedScalarAndValue)
+{
+    StatsRegistry reg;
+    uint64_t &c = reg.scalar("grp.counter", "a counter");
+    c += 3;
+    reg.scalar("grp.counter") += 1;     // re-fetch, same storage
+    EXPECT_EQ(reg.value("grp.counter"), 4u);
+    EXPECT_TRUE(reg.has("grp.counter"));
+    EXPECT_FALSE(reg.has("grp.other"));
+}
+
+TEST(Stats, BoundScalarTracksComponentStorage)
+{
+    StatsRegistry reg;
+    uint64_t storage = 0;
+    reg.bindScalar("sim.cycles", &storage, "bound");
+    storage = 123;
+    EXPECT_EQ(reg.value("sim.cycles"), 123u);
+    // reset() zeroes owned stats but leaves bound storage alone.
+    uint64_t &own = reg.scalar("sim.owned");
+    own = 9;
+    reg.reset();
+    EXPECT_EQ(reg.value("sim.owned"), 0u);
+    EXPECT_EQ(reg.value("sim.cycles"), 123u);
+}
+
+TEST(Stats, HistogramBucketsAndOverflow)
+{
+    Histogram h(10, 4);     // buckets [0,10) [10,20) [20,30) [30,40) +ovf
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(35);
+    h.sample(1000);         // overflow
+    EXPECT_EQ(h.samples(), 5u);
+    EXPECT_EQ(h.sum(), 0u + 9 + 10 + 35 + 1000);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 1000u);
+    ASSERT_EQ(h.buckets().size(), 5u);
+    EXPECT_EQ(h.buckets()[0], 2u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[3], 1u);
+    EXPECT_EQ(h.buckets()[4], 1u);  // overflow bucket
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+}
+
+TEST(Stats, FormulaEvaluatedAtDumpTime)
+{
+    StatsRegistry reg;
+    uint64_t &n = reg.scalar("f.num");
+    uint64_t &d = reg.scalar("f.den");
+    reg.formula("f.ratio", [&] { return d ? double(n) / d : 0.0; });
+    n = 3;
+    d = 4;
+    std::string text = reg.dumpText();
+    EXPECT_NE(text.find("f.ratio"), std::string::npos);
+    EXPECT_NE(text.find("0.75"), std::string::npos);
+}
+
+TEST(Stats, JsonNestsDottedNamesAndValidates)
+{
+    StatsRegistry reg;
+    reg.scalar("sim.cycles") = 7;
+    reg.scalar("sim.words") = 5;
+    reg.scalar("top") = 1;
+    reg.histogram("sim.depth", 1, 4).sample(2);
+    reg.formula("sim.cpw", [] { return 1.4; });
+    std::string doc = reg.toJson();
+    std::string err;
+    ASSERT_TRUE(jsonValid(doc, &err)) << err << "\n" << doc;
+    // "sim.cycles" must appear nested, not as a flat dotted key.
+    EXPECT_EQ(doc.find("\"sim.cycles\""), std::string::npos);
+    EXPECT_NE(doc.find("\"sim\""), std::string::npos);
+    EXPECT_NE(doc.find("\"cycles\": 7"), std::string::npos);
+    EXPECT_NE(doc.find("\"buckets\""), std::string::npos);
+}
+
+// ----------------------------------------------------------------
+// TraceBuffer
+// ----------------------------------------------------------------
+
+TEST(Trace, RingWrapsAtCapacityKeepingNewest)
+{
+    TraceBuffer tb(4);
+    for (uint32_t i = 0; i < 10; ++i)
+        tb.record(TraceCat::Word, TraceSev::Info, /*cycle=*/i,
+                  /*upc=*/100 + i);
+    EXPECT_EQ(tb.capacity(), 4u);
+    EXPECT_EQ(tb.size(), 4u);
+    EXPECT_EQ(tb.recorded(), 10u);
+    EXPECT_EQ(tb.dropped(), 6u);
+    // Oldest-first iteration over the retained tail: cycles 6..9.
+    for (size_t i = 0; i < tb.size(); ++i) {
+        EXPECT_EQ(tb.at(i).cycle, 6 + i);
+        EXPECT_EQ(tb.at(i).upc, 106 + i);
+    }
+    tb.clear();
+    EXPECT_EQ(tb.size(), 0u);
+    EXPECT_EQ(tb.recorded(), 0u);
+}
+
+TEST(Trace, PartialFillIteratesOldestFirst)
+{
+    TraceBuffer tb(8);
+    tb.record(TraceCat::Word, TraceSev::Info, 1, 0);
+    tb.record(TraceCat::Stall, TraceSev::Info, 2, 1, 3);
+    EXPECT_EQ(tb.size(), 2u);
+    EXPECT_EQ(tb.dropped(), 0u);
+    EXPECT_EQ(tb.at(0).cycle, 1u);
+    EXPECT_EQ(tb.at(1).cat, TraceCat::Stall);
+    EXPECT_EQ(tb.at(1).a, 3u);
+}
+
+TEST(Trace, CategoryFilterDropsBeforeRecording)
+{
+    TraceBuffer tb(8, traceBit(TraceCat::Fault));
+    EXPECT_TRUE(tb.wants(TraceCat::Fault));
+    EXPECT_FALSE(tb.wants(TraceCat::Word));
+    tb.record(TraceCat::Word, TraceSev::Info, 1, 0);
+    tb.record(TraceCat::Fault, TraceSev::Warning, 2, 0, 0x80);
+    tb.record(TraceCat::Interrupt, TraceSev::Info, 3, 0);
+    EXPECT_EQ(tb.recorded(), 1u);
+    EXPECT_EQ(tb.at(0).cat, TraceCat::Fault);
+    tb.setFilter(kTraceAll);
+    tb.record(TraceCat::Word, TraceSev::Info, 4, 0);
+    EXPECT_EQ(tb.recorded(), 2u);
+}
+
+TEST(Trace, ChromeExportValidatesAndCarriesEvents)
+{
+    TraceBuffer tb(8);
+    tb.record(TraceCat::Word, TraceSev::Info, 0, 3, /*cycles=*/2,
+              /*fast=*/1);
+    tb.record(TraceCat::Fault, TraceSev::Warning, 2, 3, 0x1234);
+    std::string doc =
+        tb.toChromeJson([](uint32_t a) { return strfmt("w%u", a); });
+    std::string err;
+    ASSERT_TRUE(jsonValid(doc, &err)) << err << "\n" << doc;
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);   // slice
+    EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);   // instant
+    EXPECT_NE(doc.find("w3"), std::string::npos);   // describe() used
+    std::string text = tb.dumpText();
+    EXPECT_NE(text.find("fault"), std::string::npos);
+}
+
+// ----------------------------------------------------------------
+// Simulator integration: trace + profiler + stats
+// ----------------------------------------------------------------
+
+/** A loop whose body should absorb nearly every cycle. */
+const char *kLoopProgram = ".entry main\n"
+                           "main:\n"
+                           "[ ldi r1, #0 ]\n"
+                           "loop:\n"
+                           "[ addi r1, r1, #1 ]\n"
+                           "[ cmpi r1, #500 ] if nz jump loop\n"
+                           "[ ] halt\n";
+
+struct ObsRun {
+    SimResult res;
+    uint64_t r1 = 0;
+};
+
+ObsRun
+runLoop(CycleProfiler *prof, TraceBuffer *trace, bool force_slow)
+{
+    MachineDescription m = buildHm1();
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble(kLoopProgram);
+    MainMemory mem(0x10000, 16);
+    SimConfig cfg;
+    cfg.profiler = prof;
+    cfg.trace = trace;
+    cfg.forceSlowPath = force_slow;
+    MicroSimulator sim(cs, mem, cfg);
+    ObsRun r;
+    r.res = sim.run("main");
+    r.r1 = sim.getReg("r1");
+    return r;
+}
+
+TEST(Profiler, LoopGetsOverNinetyPercentFastPath)
+{
+    CycleProfiler prof;
+    ObsRun r = runLoop(&prof, nullptr, false);
+    ASSERT_TRUE(r.res.halted);
+    EXPECT_EQ(r.r1, 500u);
+    EXPECT_GT(r.res.fastPathWords, 0u);
+    EXPECT_EQ(prof.totalWords(), r.res.wordsExecuted);
+    EXPECT_EQ(prof.totalCycles(), r.res.cycles);
+
+    // The two loop-body words (addrs 1 and 2) must own > 90% of all
+    // attributed cycles.
+    uint64_t loop_cycles = 0;
+    for (const ProfileSite &s : prof.sites()) {
+        if (s.addr == 1 || s.addr == 2)
+            loop_cycles += s.cycles;
+    }
+    EXPECT_GT(double(loop_cycles), 0.9 * double(prof.totalCycles()));
+
+    // Hottest-first ordering: the top two sites are the loop body.
+    auto sites = prof.sites();
+    ASSERT_GE(sites.size(), 2u);
+    EXPECT_TRUE((sites[0].addr == 1 && sites[1].addr == 2) ||
+                (sites[0].addr == 2 && sites[1].addr == 1));
+    EXPECT_GE(sites[0].cycles, sites[1].cycles);
+}
+
+TEST(Profiler, ForcedSlowPathAttributesIdentically)
+{
+    CycleProfiler fast_prof, slow_prof;
+    ObsRun fast = runLoop(&fast_prof, nullptr, false);
+    ObsRun slow = runLoop(&slow_prof, nullptr, true);
+    ASSERT_TRUE(fast.res.halted);
+    ASSERT_TRUE(slow.res.halted);
+    // Architectural results are bit-identical across paths.
+    EXPECT_EQ(fast.r1, slow.r1);
+    EXPECT_EQ(fast.res.cycles, slow.res.cycles);
+    EXPECT_EQ(fast.res.wordsExecuted, slow.res.wordsExecuted);
+    EXPECT_EQ(slow.res.fastPathWords, 0u);
+
+    // And the attribution agrees word for word.
+    auto fs = fast_prof.sites();
+    auto ss = slow_prof.sites();
+    ASSERT_EQ(fs.size(), ss.size());
+    for (size_t i = 0; i < fs.size(); ++i) {
+        EXPECT_EQ(fs[i].addr, ss[i].addr);
+        EXPECT_EQ(fs[i].execs, ss[i].execs);
+        EXPECT_EQ(fs[i].cycles, ss[i].cycles);
+    }
+    uint64_t loop_cycles = 0;
+    for (const ProfileSite &s : ss) {
+        if (s.addr == 1 || s.addr == 2)
+            loop_cycles += s.cycles;
+    }
+    EXPECT_GT(double(loop_cycles), 0.9 * double(slow_prof.totalCycles()));
+}
+
+TEST(Profiler, ReportsNameHotLineFromMasmNotes)
+{
+    CycleProfiler prof;
+    MachineDescription m = buildHm1();
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble(kLoopProgram);
+    {
+        MainMemory mem(0x10000, 16);
+        SimConfig cfg;
+        cfg.profiler = &prof;
+        MicroSimulator sim(cs, mem, cfg);
+        ASSERT_TRUE(sim.run("main").halted);
+    }
+    ASSERT_TRUE(cs.hasNotes());
+    ASSERT_TRUE(cs.hasLineNumbers());
+    auto describe = [&](uint32_t a) {
+        const SourceNote *n = cs.note(a);
+        return n ? n->what : std::string();
+    };
+    auto line_of = [&](uint32_t a) {
+        const SourceNote *n = cs.note(a);
+        return n ? n->line : -1;
+    };
+    std::string words = prof.report(10, describe);
+    EXPECT_NE(words.find("addi r1, r1, #1"), std::string::npos);
+    std::string lines = prof.lineReport(10, line_of, describe);
+    // The hottest line row renders the loop body's source text.
+    EXPECT_NE(lines.find("addi"), std::string::npos);
+    std::string doc = prof.toJson(10, line_of, describe);
+    std::string err;
+    EXPECT_TRUE(jsonValid(doc, &err)) << err << "\n" << doc;
+}
+
+TEST(SimObs, TraceRecordsWordsAndHalt)
+{
+    TraceBuffer tb(1u << 12);
+    ObsRun r = runLoop(nullptr, &tb, false);
+    ASSERT_TRUE(r.res.halted);
+    ASSERT_GT(tb.size(), 0u);
+    // Every retired word shows up (ring is large enough here).
+    uint64_t words = 0, halts = 0;
+    for (size_t i = 0; i < tb.size(); ++i) {
+        const TraceRecord &rec = tb.at(i);
+        words += rec.cat == TraceCat::Word;
+        halts += rec.cat == TraceCat::Control && rec.a == 0;
+    }
+    EXPECT_EQ(words, r.res.wordsExecuted);
+    EXPECT_EQ(halts, 1u);
+    std::string doc = tb.toChromeJson();
+    std::string err;
+    EXPECT_TRUE(jsonValid(doc, &err)) << err;
+}
+
+TEST(SimObs, DisabledObservabilityMatchesEnabled)
+{
+    ObsRun plain = runLoop(nullptr, nullptr, false);
+    CycleProfiler prof;
+    TraceBuffer tb(64);
+    ObsRun obs = runLoop(&prof, &tb, false);
+    EXPECT_EQ(plain.r1, obs.r1);
+    EXPECT_EQ(plain.res.cycles, obs.res.cycles);
+    EXPECT_EQ(plain.res.wordsExecuted, obs.res.wordsExecuted);
+    EXPECT_EQ(plain.res.fastPathWords, obs.res.fastPathWords);
+}
+
+TEST(SimObs, StatsRegistryMirrorsSimResult)
+{
+    MachineDescription m = buildHm1();
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble(kLoopProgram);
+    MainMemory mem(0x10000, 16);
+    MicroSimulator sim(cs, mem);
+    SimResult res = sim.run("main");
+    ASSERT_TRUE(res.halted);
+    const StatsRegistry &st = sim.stats();
+    EXPECT_EQ(st.value("sim.cycles"), res.cycles);
+    EXPECT_EQ(st.value("sim.wordsExecuted"), res.wordsExecuted);
+    EXPECT_EQ(st.value("sim.fastPathWords"), res.fastPathWords);
+    EXPECT_EQ(st.value("sim.slowPathWords"), res.slowPathWords);
+    EXPECT_EQ(st.value("sim.memReads"), res.memReads);
+    std::string doc = st.toJson();
+    std::string err;
+    ASSERT_TRUE(jsonValid(doc, &err)) << err << "\n" << doc;
+    EXPECT_NE(doc.find("fastPathFraction"), std::string::npos);
+    EXPECT_NE(doc.find("cyclesPerWord"), std::string::npos);
+}
+
+TEST(SimObs, SimResultToJsonCarriesEveryCounter)
+{
+    SimResult res;
+    res.cycles = 1;
+    res.wordsExecuted = 2;
+    res.pageFaults = 3;
+    res.interruptsServiced = 4;
+    res.interruptLatencyTotal = 5;
+    res.memReads = 6;
+    res.memWrites = 7;
+    res.halted = true;
+    res.fastPathWords = 8;
+    res.slowPathWords = 9;
+    res.pendingHighWater = 10;
+    std::string doc = res.toJson();
+    std::string err;
+    ASSERT_TRUE(jsonValid(doc, &err)) << err << "\n" << doc;
+    for (const char *key :
+         {"cycles", "words_executed", "page_faults",
+          "interrupts_serviced", "interrupt_latency_total",
+          "mem_reads", "mem_writes", "halted", "fast_path_words",
+          "slow_path_words", "pending_high_water"}) {
+        EXPECT_NE(doc.find(strfmt("\"%s\"", key)), std::string::npos)
+            << "missing key " << key;
+    }
+    EXPECT_NE(doc.find("\"pending_high_water\": 10"), std::string::npos);
+    EXPECT_NE(doc.find("\"halted\": true"), std::string::npos);
+}
+
+// ----------------------------------------------------------------
+// Logging verbosity knob
+// ----------------------------------------------------------------
+
+class LogLevelTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { saved_ = logLevel(); }
+    void TearDown() override { setLogLevel(saved_); }
+    LogLevel saved_ = LogLevel::Normal;
+};
+
+TEST_F(LogLevelTest, QuietSuppressesInformAndWarn)
+{
+    setLogLevel(LogLevel::Quiet);
+    ::testing::internal::CaptureStderr();
+    inform("should not appear");
+    warn("should not appear");
+    verbose("should not appear");
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LogLevelTest, NormalPrintsInformButNotVerbose)
+{
+    setLogLevel(LogLevel::Normal);
+    ::testing::internal::CaptureStderr();
+    inform("status %d", 1);
+    verbose("debug detail");
+    std::string out = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("status 1"), std::string::npos);
+    EXPECT_EQ(out.find("debug detail"), std::string::npos);
+}
+
+TEST_F(LogLevelTest, VerboseEnablesDebugMessages)
+{
+    setLogLevel(LogLevel::Verbose);
+    ::testing::internal::CaptureStderr();
+    verbose("debug detail %s", "x");
+    std::string out = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("debug detail x"), std::string::npos);
+}
+
+} // namespace
+} // namespace uhll
