@@ -17,11 +17,13 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <memory>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hh"
+#include "fault/fault.hh"
 #include "obs/json.hh"
 
 using namespace uhll;
@@ -80,6 +82,15 @@ accumulate(Measurement &m, const SimResult &r)
     if (r.pendingHighWater > m.agg.pendingHighWater)
         m.agg.pendingHighWater = r.pendingHighWater;
     m.agg.halted = m.agg.halted && r.halted;
+    m.agg.faultsInjected += r.faultsInjected;
+    m.agg.eccCorrected += r.eccCorrected;
+    m.agg.eccDoubleBit += r.eccDoubleBit;
+    m.agg.parityRefetches += r.parityRefetches;
+    m.agg.memRetries += r.memRetries;
+    m.agg.spuriousInterrupts += r.spuriousInterrupts;
+    m.agg.jitterCycles += r.jitterCycles;
+    m.agg.watchdogTrips += r.watchdogTrips;
+    m.agg.faultSeed = r.faultSeed;
 }
 
 /**
@@ -89,7 +100,7 @@ accumulate(Measurement &m, const SimResult &r)
  */
 Measurement
 measureSuite(const std::vector<Prepped> &suite, double min_seconds,
-             bool force_slow = false)
+             bool force_slow = false, const FaultPlan *plan = nullptr)
 {
     using clock = std::chrono::steady_clock;
     Measurement ms;
@@ -100,6 +111,13 @@ measureSuite(const std::vector<Prepped> &suite, double min_seconds,
         for (const Prepped &p : suite) {
             MainMemory mem(0x10000, 16);
             p.w->setup(mem);
+            // Fresh injector per run: every iteration replays the
+            // same deterministic fault schedule.
+            std::unique_ptr<FaultInjector> inj;
+            if (plan) {
+                inj = std::make_unique<FaultInjector>(*plan);
+                cfg.injector = inj.get();
+            }
             MicroSimulator sim(p.cp.store, mem, cfg);
             for (auto &[n, v] : p.w->inputs)
                 setVar(p.prog, p.cp, sim, mem, n, v);
@@ -152,11 +170,20 @@ printTableAndJson()
         // Forced slow path: how much the fast path buys on the same
         // binary (the cross-PR trajectory lives in EXPERIMENTS.md).
         Measurement slow = measureSuite(suite, 0.25, true);
+        // Chaos leg: the suite under the seeded recoverable fault
+        // mix. Tracks what injection costs when it IS on, and lands
+        // the fault counters in the JSON trajectory.
+        FaultPlan plan = FaultPlan::recoverable(1);
+        Measurement chaos = measureSuite(suite, 0.1, false, &plan);
         std::printf("%-6s | %12.0f %12.0f | %10llu %10llu | %8.2fx\n",
                     mn, fast.wordsPerSec(), fast.cyclesPerSec(),
                     (unsigned long long)fast.agg.fastPathWords,
                     (unsigned long long)fast.agg.slowPathWords,
                     fast.wordsPerSec() / slow.wordsPerSec());
+        std::printf("%6s | chaos seed=1: %.0f words/sec, "
+                    "%llu faults injected\n",
+                    "", chaos.wordsPerSec(),
+                    (unsigned long long)chaos.agg.faultsInjected);
         w.beginObject(mn);
         w.value("words_per_sec",
                 (uint64_t)std::llround(fast.wordsPerSec()));
@@ -171,6 +198,13 @@ printTableAndJson()
         // The full simulator counter set, summed over the suite
         // (SimResult::toJson, same shape as uhllc --stats-json).
         w.raw("counters", fast.agg.toJson(false));
+        w.beginObject("chaos");
+        w.value("seed", chaos.agg.faultSeed);
+        w.value("words_per_sec",
+                (uint64_t)std::llround(chaos.wordsPerSec()));
+        w.value("halted", chaos.allHalted);
+        w.raw("counters", chaos.agg.toJson(false));
+        w.endObject();
         w.endObject();
     }
     w.endObject();

@@ -2,8 +2,9 @@
 # Tier-1 verification for this repo, plus the simulator-throughput
 # smoke bench. Run from anywhere; builds into ./build.
 #
-#   scripts/verify.sh            full tier-1 + bench smoke
-#   scripts/verify.sh --no-bench tier-1 only
+#   scripts/verify.sh            full tier-1 + bench smoke + sanitizers
+#   scripts/verify.sh --no-bench tier-1 only (skips bench smoke)
+#   UHLL_NO_SANITIZE=1 ...       skip the ASan+UBSan leg
 #
 # The bench smoke runs bench_sim_throughput with a short
 # --benchmark_min_time so a perf regression that breaks the harness
@@ -48,6 +49,16 @@ EOF
 if [[ "$run_bench" == 1 ]]; then
     (cd build && UHLL_BENCH_JSON=BENCH_sim.json \
         ./bench/bench_sim_throughput --benchmark_min_time=0.1)
+fi
+
+# Sanitizer leg: the whole test suite again under ASan+UBSan (the
+# fault-injection and recovery paths exercise restart/retry corners
+# where lifetime bugs like to hide). Separate build tree; opt out
+# with UHLL_NO_SANITIZE=1 on constrained hosts.
+if [[ "${UHLL_NO_SANITIZE:-0}" != 1 ]]; then
+    cmake -B build-asan -S . -DUHLL_SANITIZE="address;undefined"
+    cmake --build build-asan -j"$(nproc)"
+    (cd build-asan && ctest --output-on-failure -j"$(nproc)")
 fi
 
 echo "verify: OK"

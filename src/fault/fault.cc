@@ -1,0 +1,409 @@
+#include "fault/fault.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace uhll {
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::MemSingleBit: return "mem1";
+      case FaultKind::MemDoubleBit: return "mem2";
+      case FaultKind::CsParity: return "parity";
+      case FaultKind::SpuriousInt: return "spurint";
+      case FaultKind::MemJitter: return "jitter";
+    }
+    return "?";
+}
+
+namespace {
+
+/** splitmix64: seeds the per-kind streams from one master seed. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+/** xorshift64*: the per-kind draw generator. */
+uint64_t
+xorshift64star(uint64_t &s)
+{
+    s ^= s >> 12;
+    s ^= s << 25;
+    s ^= s >> 27;
+    return s * 0x2545F4914F6CDD1DULL;
+}
+
+constexpr uint32_t kDrawBits = 24;
+constexpr uint32_t kDrawMax = 1u << kDrawBits;
+
+/** Tokenize one spec line (whitespace-separated). */
+std::vector<std::string>
+tokens(const std::string &line)
+{
+    std::vector<std::string> out;
+    size_t i = 0;
+    while (i < line.size()) {
+        while (i < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[i])))
+            ++i;
+        if (i >= line.size() || line[i] == '#')
+            break;
+        size_t start = i;
+        while (i < line.size() &&
+               !std::isspace(static_cast<unsigned char>(line[i])))
+            ++i;
+        out.push_back(line.substr(start, i - start));
+    }
+    return out;
+}
+
+uint64_t
+parseU64(const std::string &s, int line)
+{
+    char *end = nullptr;
+    uint64_t v = std::strtoull(s.c_str(), &end, 0);
+    if (end == s.c_str() || *end != '\0')
+        fatal("fault plan line %d: bad number '%s'", line, s.c_str());
+    return v;
+}
+
+/** "A..B" (either side in any strtoull base). */
+void
+parseRange(const std::string &s, int line, uint64_t &lo, uint64_t &hi)
+{
+    size_t dots = s.find("..");
+    if (dots == std::string::npos)
+        fatal("fault plan line %d: expected 'A..B', got '%s'", line,
+              s.c_str());
+    lo = parseU64(s.substr(0, dots), line);
+    hi = parseU64(s.substr(dots + 2), line);
+    if (lo > hi)
+        fatal("fault plan line %d: empty range '%s'", line, s.c_str());
+}
+
+/** "0.01" or "1/128" -> 24-bit firing threshold. */
+uint32_t
+parseRate(const std::string &s, int line)
+{
+    double p;
+    size_t slash = s.find('/');
+    if (slash != std::string::npos) {
+        double num = std::strtod(s.substr(0, slash).c_str(), nullptr);
+        double den = std::strtod(s.substr(slash + 1).c_str(), nullptr);
+        if (den <= 0)
+            fatal("fault plan line %d: bad rate '%s'", line, s.c_str());
+        p = num / den;
+    } else {
+        char *end = nullptr;
+        p = std::strtod(s.c_str(), &end);
+        if (end == s.c_str() || *end != '\0')
+            fatal("fault plan line %d: bad rate '%s'", line, s.c_str());
+    }
+    if (p < 0.0 || p > 1.0)
+        fatal("fault plan line %d: rate %g outside [0,1]", line, p);
+    double t = p * double(kDrawMax);
+    if (t >= double(kDrawMax))
+        return kDrawMax;        // rate 1.0: always fires
+    return static_cast<uint32_t>(t);
+}
+
+bool
+kindFromName(const std::string &s, FaultKind &out)
+{
+    for (size_t i = 0; i < kNumFaultKinds; ++i) {
+        FaultKind k = static_cast<FaultKind>(i);
+        if (s == faultKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::parse(const std::string &text)
+{
+    FaultPlan plan;
+    size_t pos = 0;
+    int lineno = 0;
+    while (pos <= text.size()) {
+        size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        ++lineno;
+
+        std::vector<std::string> tok = tokens(line);
+        if (tok.empty())
+            continue;
+
+        FaultKind kind;
+        if (tok[0] == "seed") {
+            if (tok.size() != 2)
+                fatal("fault plan line %d: 'seed N'", lineno);
+            plan.seed = parseU64(tok[1], lineno);
+        } else if (tok[0] == "retry-limit") {
+            if (tok.size() != 2)
+                fatal("fault plan line %d: 'retry-limit N'", lineno);
+            plan.retryLimit =
+                static_cast<uint32_t>(parseU64(tok[1], lineno));
+        } else if (tok[0] == "refetch-limit") {
+            if (tok.size() != 2)
+                fatal("fault plan line %d: 'refetch-limit N'", lineno);
+            plan.refetchLimit =
+                static_cast<uint32_t>(parseU64(tok[1], lineno));
+        } else if (tok[0] == "watchdog") {
+            if (tok.size() != 2)
+                fatal("fault plan line %d: 'watchdog N'", lineno);
+            plan.watchdogCycles = parseU64(tok[1], lineno);
+        } else if (tok[0] == "livelock") {
+            if (tok.size() != 2)
+                fatal("fault plan line %d: 'livelock N'", lineno);
+            plan.livelockLimit =
+                static_cast<uint32_t>(parseU64(tok[1], lineno));
+        } else if (kindFromName(tok[0], kind)) {
+            FaultRule r;
+            r.kind = kind;
+            bool have_rate = false;
+            for (size_t i = 1; i < tok.size(); i += 2) {
+                if (i + 1 >= tok.size())
+                    fatal("fault plan line %d: '%s' needs a value",
+                          lineno, tok[i].c_str());
+                const std::string &key = tok[i];
+                const std::string &val = tok[i + 1];
+                if (key == "rate") {
+                    r.threshold = parseRate(val, lineno);
+                    have_rate = true;
+                } else if (key == "cycles") {
+                    parseRange(val, lineno, r.cycleLo, r.cycleHi);
+                } else if (key == "addr") {
+                    uint64_t lo, hi;
+                    parseRange(val, lineno, lo, hi);
+                    r.addrLo = static_cast<uint32_t>(lo);
+                    r.addrHi = static_cast<uint32_t>(hi);
+                } else if (key == "count") {
+                    r.maxCount = parseU64(val, lineno);
+                } else if (key == "max") {
+                    if (kind != FaultKind::MemJitter)
+                        fatal("fault plan line %d: 'max' is only "
+                              "valid for jitter", lineno);
+                    r.maxJitter = static_cast<uint32_t>(
+                        parseU64(val, lineno));
+                    if (!r.maxJitter)
+                        fatal("fault plan line %d: 'max' must be > 0",
+                              lineno);
+                } else {
+                    fatal("fault plan line %d: unknown key '%s'",
+                          lineno, key.c_str());
+                }
+            }
+            if (!have_rate)
+                fatal("fault plan line %d: '%s' needs 'rate R'",
+                      lineno, tok[0].c_str());
+            plan.rules.push_back(r);
+        } else {
+            fatal("fault plan line %d: unknown directive '%s'",
+                  lineno, tok[0].c_str());
+        }
+    }
+    return plan;
+}
+
+FaultPlan
+FaultPlan::recoverable(uint64_t seed)
+{
+    FaultPlan p = parse(
+        "mem1 rate 1/48\n"
+        "parity rate 1/96\n"
+        "spurint rate 1/160\n"
+        "jitter rate 1/40 max 3\n");
+    p.seed = seed;
+    return p;
+}
+
+std::string
+FaultPlan::toString() const
+{
+    std::string out = strfmt("seed %llu\n", (unsigned long long)seed);
+    for (const FaultRule &r : rules) {
+        out += strfmt("%s rate %u/16777216", faultKindName(r.kind),
+                      r.threshold);
+        if (r.cycleLo != 0 || r.cycleHi != ~0ULL)
+            out += strfmt(" cycles %llu..%llu",
+                          (unsigned long long)r.cycleLo,
+                          (unsigned long long)r.cycleHi);
+        if (r.addrLo != 0 || r.addrHi != ~0u)
+            out += strfmt(" addr 0x%x..0x%x", r.addrLo, r.addrHi);
+        if (r.maxCount != ~0ULL)
+            out += strfmt(" count %llu",
+                          (unsigned long long)r.maxCount);
+        if (r.kind == FaultKind::MemJitter)
+            out += strfmt(" max %u", r.maxJitter);
+        out += '\n';
+    }
+    out += strfmt("retry-limit %u\nrefetch-limit %u\n", retryLimit,
+                  refetchLimit);
+    if (watchdogCycles)
+        out += strfmt("watchdog %llu\n",
+                      (unsigned long long)watchdogCycles);
+    if (livelockLimit)
+        out += strfmt("livelock %u\n", livelockLimit);
+    return out;
+}
+
+bool
+FaultPlan::hasKind(FaultKind k) const
+{
+    for (const FaultRule &r : rules) {
+        if (r.kind == k)
+            return true;
+    }
+    return false;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, uint64_t seed_override)
+    : plan_(std::move(plan)),
+      seed_(seed_override ? seed_override : plan_.seed)
+{
+    if (plan_.rules.size() > 0xFFFF)
+        fatal("fault plan: too many rules (%zu)", plan_.rules.size());
+    for (size_t i = 0; i < plan_.rules.size(); ++i) {
+        byKind_[static_cast<size_t>(plan_.rules[i].kind)].push_back(
+            static_cast<uint16_t>(i));
+    }
+    reset();
+}
+
+void
+FaultInjector::reset()
+{
+    uint64_t mix = seed_ ? seed_ : 1;
+    for (size_t k = 0; k < kNumFaultKinds; ++k) {
+        uint64_t s = splitmix64(mix);
+        state_[k] = s ? s : 0x9E3779B97F4A7C15ULL;
+    }
+    fired_.assign(plan_.rules.size(), 0);
+    counters_ = FaultCounters{};
+    now_ = 0;
+}
+
+uint32_t
+FaultInjector::draw24(FaultKind k)
+{
+    return static_cast<uint32_t>(
+        xorshift64star(state_[static_cast<size_t>(k)]) >>
+        (64 - kDrawBits));
+}
+
+uint32_t
+FaultInjector::draw1toN(FaultKind k, uint32_t n)
+{
+    if (n <= 1)
+        return 1;
+    return 1 + static_cast<uint32_t>(
+                   xorshift64star(state_[static_cast<size_t>(k)]) %
+                   n);
+}
+
+MemFault
+FaultInjector::onMemRead(uint32_t addr)
+{
+    // Double-bit first: an uncorrectable error dominates.
+    for (FaultKind k :
+         {FaultKind::MemDoubleBit, FaultKind::MemSingleBit}) {
+        for (uint16_t i : byKind_[static_cast<size_t>(k)]) {
+            const FaultRule &r = plan_.rules[i];
+            if (now_ < r.cycleLo || now_ > r.cycleHi ||
+                addr < r.addrLo || addr > r.addrHi ||
+                fired_[i] >= r.maxCount) {
+                continue;
+            }
+            if (draw24(k) < r.threshold) {
+                ++fired_[i];
+                if (k == FaultKind::MemDoubleBit) {
+                    ++counters_.injectedDoubleBit;
+                    return MemFault::DoubleBit;
+                }
+                ++counters_.injectedSingleBit;
+                return MemFault::SingleBit;
+            }
+        }
+    }
+    return MemFault::None;
+}
+
+bool
+FaultInjector::onWordFetch(uint32_t upc)
+{
+    for (uint16_t i :
+         byKind_[static_cast<size_t>(FaultKind::CsParity)]) {
+        const FaultRule &r = plan_.rules[i];
+        if (now_ < r.cycleLo || now_ > r.cycleHi ||
+            upc < r.addrLo || upc > r.addrHi ||
+            fired_[i] >= r.maxCount) {
+            continue;
+        }
+        if (draw24(FaultKind::CsParity) < r.threshold) {
+            ++fired_[i];
+            ++counters_.injectedParity;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+FaultInjector::onSpuriousInt()
+{
+    for (uint16_t i :
+         byKind_[static_cast<size_t>(FaultKind::SpuriousInt)]) {
+        const FaultRule &r = plan_.rules[i];
+        if (now_ < r.cycleLo || now_ > r.cycleHi ||
+            fired_[i] >= r.maxCount) {
+            continue;
+        }
+        if (draw24(FaultKind::SpuriousInt) < r.threshold) {
+            ++fired_[i];
+            ++counters_.injectedSpurious;
+            return true;
+        }
+    }
+    return false;
+}
+
+uint32_t
+FaultInjector::onBlockingMemOp()
+{
+    for (uint16_t i :
+         byKind_[static_cast<size_t>(FaultKind::MemJitter)]) {
+        const FaultRule &r = plan_.rules[i];
+        if (now_ < r.cycleLo || now_ > r.cycleHi ||
+            fired_[i] >= r.maxCount) {
+            continue;
+        }
+        if (draw24(FaultKind::MemJitter) < r.threshold) {
+            ++fired_[i];
+            ++counters_.injectedJitterEvents;
+            uint32_t extra =
+                draw1toN(FaultKind::MemJitter, r.maxJitter);
+            counters_.jitterCycles += extra;
+            return extra;
+        }
+    }
+    return 0;
+}
+
+} // namespace uhll

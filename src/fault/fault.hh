@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Deterministic fault injection for the micro engines.
+ *
+ * A FaultPlan is a small text spec (seed, per-kind rates, cycle and
+ * address windows, recovery knobs) compiled into rules; a
+ * FaultInjector evaluates those rules at the simulator's well-defined
+ * consult points with one seeded xorshift stream *per fault kind*, so
+ * the injection schedule is a pure function of (plan, seed,
+ * architectural execution) -- the same plan and seed replay the same
+ * faults cycle for cycle, on the fast and the forced-slow path alike.
+ *
+ * Fault kinds (survey sec. 2.1.5 made adversarial):
+ *   mem1    single-bit flip on a main-memory read. With ECC enabled
+ *           the flip is corrected and counted; without ECC the
+ *           corrupted value is delivered silently.
+ *   mem2    double-bit flip on a main-memory read: ECC detects but
+ *           cannot correct. The engine retries the read (transient
+ *           soft error), then microtraps if retries are exhausted.
+ *   parity  control-store word fetch fails its parity check; the
+ *           sequencer re-fetches, bounded by refetch-limit.
+ *   spurint a spurious interrupt arrival (glitched int line).
+ *   jitter  extra memory-latency cycles on a blocking memory access
+ *           (bus contention). Never applied to overlapped accesses,
+ *           so it is architecturally transparent by construction.
+ *
+ * Spec grammar, one directive per line ('#' comments):
+ *
+ *     seed N
+ *     mem1|mem2|parity|spurint|jitter rate R [cycles A..B]
+ *         [addr A..B] [count N] [max M]
+ *     retry-limit N        # mem2 in-word read retries before trapping
+ *     refetch-limit N      # parity re-fetches before a SimError
+ *     watchdog N           # no-retire watchdog timeout in cycles
+ *     livelock N           # consecutive faulting restarts -> SimError
+ *
+ * R is a probability: "0.01" or "1/128". `max` is the jitter cycle
+ * bound (each firing draws 1..max extra cycles).
+ */
+
+#ifndef UHLL_FAULT_FAULT_HH
+#define UHLL_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uhll {
+
+/** What the injector can break. */
+enum class FaultKind : uint8_t {
+    MemSingleBit,   //!< "mem1": correctable read flip
+    MemDoubleBit,   //!< "mem2": uncorrectable read flip
+    CsParity,       //!< "parity": control-store fetch parity error
+    SpuriousInt,    //!< "spurint": glitched interrupt arrival
+    MemJitter,      //!< "jitter": extra blocking-access latency
+};
+constexpr size_t kNumFaultKinds = 5;
+
+const char *faultKindName(FaultKind k);
+
+/** One compiled spec directive. */
+struct FaultRule {
+    FaultKind kind = FaultKind::MemSingleBit;
+    uint32_t threshold = 0;     //!< fires when draw24 < threshold
+    uint64_t cycleLo = 0;
+    uint64_t cycleHi = ~0ULL;
+    uint32_t addrLo = 0;        //!< memory kinds only
+    uint32_t addrHi = ~0u;
+    uint32_t maxJitter = 1;     //!< jitter only: 1..maxJitter cycles
+    uint64_t maxCount = ~0ULL;  //!< total fires allowed
+};
+
+/** A parsed, validated injection plan. */
+struct FaultPlan {
+    uint64_t seed = 1;
+    std::vector<FaultRule> rules;
+    uint32_t retryLimit = 4;        //!< mem2 read retries per access
+    uint32_t refetchLimit = 8;      //!< parity re-fetches per word
+    uint64_t watchdogCycles = 0;    //!< 0 = no-retire watchdog off
+    uint32_t livelockLimit = 0;     //!< 0 = restart-livelock check off
+
+    /**
+     * Parse a text spec. Throws FatalError with a line diagnostic on
+     * malformed input.
+     */
+    static FaultPlan parse(const std::string &text);
+
+    /**
+     * The standard recoverable chaos mix used by the differential
+     * tests and the bench chaos leg: correctable flips, parity
+     * re-fetches, spurious interrupts and latency jitter -- every
+     * kind whose recovery is architecturally transparent.
+     */
+    static FaultPlan recoverable(uint64_t seed);
+
+    /** Round-trippable spec text (diagnostics, JSON embedding). */
+    std::string toString() const;
+
+    bool hasKind(FaultKind k) const;
+};
+
+/** Injection + recovery counters, all owned by the injector. */
+struct FaultCounters {
+    uint64_t injectedSingleBit = 0;
+    uint64_t injectedDoubleBit = 0;
+    uint64_t injectedParity = 0;
+    uint64_t injectedSpurious = 0;
+    uint64_t injectedJitterEvents = 0;
+    uint64_t jitterCycles = 0;
+    uint64_t eccCorrected = 0;      //!< bumped by MainMemory
+    uint64_t silentFlips = 0;       //!< bumped by MainMemory (no ECC)
+
+    uint64_t
+    totalInjected() const
+    {
+        return injectedSingleBit + injectedDoubleBit + injectedParity +
+               injectedSpurious + injectedJitterEvents;
+    }
+};
+
+/** Outcome of consulting the injector on a memory read. */
+enum class MemFault : uint8_t { None, SingleBit, DoubleBit };
+
+/**
+ * Evaluates a FaultPlan deterministically. One xorshift64* stream per
+ * fault kind (seeded from the plan seed via splitmix64), so each
+ * kind's schedule is independent of which other kinds the plan
+ * enables. reset() rewinds every stream and counter, making each
+ * MicroSimulator::run() a reproducible episode.
+ */
+class FaultInjector
+{
+  public:
+    /** @p seed_override, when nonzero, replaces the plan's seed. */
+    explicit FaultInjector(FaultPlan plan, uint64_t seed_override = 0);
+
+    const FaultPlan &plan() const { return plan_; }
+    uint64_t seed() const { return seed_; }
+
+    /** Rewind every PRNG stream, rule budget and counter. */
+    void reset();
+
+    /**
+     * The simulator publishes the current cycle here once per word
+     * slot; every consult point evaluates its cycle windows against
+     * it (MainMemory's read path has no cycle of its own).
+     */
+    void setNow(uint64_t cycle) { now_ = cycle; }
+    uint64_t now() const { return now_; }
+
+    /** @name Consult points (the simulator's injection surface) */
+    /// @{
+    /** A main-memory data read at @p addr. */
+    MemFault onMemRead(uint32_t addr);
+    /** A control-store fetch of @p upc: true = parity error. */
+    bool onWordFetch(uint32_t upc);
+    /** Once per retired-word slot: true = spurious int arrival. */
+    bool onSpuriousInt();
+    /** A blocking memory access: extra latency cycles (0 = none). */
+    uint32_t onBlockingMemOp();
+    /// @}
+
+    FaultCounters &counters() { return counters_; }
+    const FaultCounters &counters() const { return counters_; }
+
+  private:
+    /** 24-bit draw from kind @p k's stream. */
+    uint32_t draw24(FaultKind k);
+    /** Uniform 1..n from kind @p k's stream. */
+    uint32_t draw1toN(FaultKind k, uint32_t n);
+
+    FaultPlan plan_;
+    uint64_t seed_;
+    uint64_t now_ = 0;
+    uint64_t state_[kNumFaultKinds];    //!< per-kind xorshift state
+    std::vector<uint64_t> fired_;       //!< per-rule fire counts
+    //! per-kind rule index lists, so consult points skip kinds the
+    //! plan does not mention without scanning every rule
+    std::vector<uint16_t> byKind_[kNumFaultKinds];
+    FaultCounters counters_;
+};
+
+} // namespace uhll
+
+#endif // UHLL_FAULT_FAULT_HH

@@ -1,5 +1,6 @@
 #include "machine/memory.hh"
 
+#include "fault/fault.hh"
 #include "support/logging.hh"
 
 namespace uhll {
@@ -46,14 +47,43 @@ MainMemory::pagePresent(uint32_t addr) const
     return present_[pageIndex(addr)];
 }
 
-bool
-MainMemory::read(uint32_t addr, uint64_t &out) const
+MemAccess
+MainMemory::readWord(uint32_t addr, uint64_t &out) const
 {
     checkAddr(addr);
     if (!pagePresent(addr))
-        return false;
-    out = data_[addr];
-    return true;
+        return MemAccess::PageFault;
+    uint64_t v = data_[addr];
+    if (inj_) {
+        switch (inj_->onMemRead(addr)) {
+          case MemFault::None:
+            break;
+          case MemFault::SingleBit:
+            if (ecc_) {
+                // Corrected in flight: correct data delivered.
+                ++inj_->counters().eccCorrected;
+            } else {
+                // No ECC: the flip goes through silently. The bit
+                // position is a hash of (addr, cycle) rather than a
+                // PRNG draw so that toggling ECC does not shift the
+                // injection schedule.
+                ++inj_->counters().silentFlips;
+                v ^= 1ULL << ((addr * 0x9E37u + inj_->now()) % width_);
+            }
+            break;
+          case MemFault::DoubleBit: {
+            if (ecc_)
+                return MemAccess::EccError;
+            ++inj_->counters().silentFlips;
+            unsigned b = (addr * 0x9E37u + inj_->now()) % width_;
+            v ^= 1ULL << b;
+            v ^= 1ULL << ((b + 1) % width_);
+            break;
+          }
+        }
+    }
+    out = v;
+    return MemAccess::Ok;
 }
 
 bool

@@ -1,11 +1,22 @@
 /**
  * @file
- * MainMemory: word-addressed main memory with optional demand paging.
+ * MainMemory: word-addressed main memory with optional demand paging
+ * and an ECC model on the read path.
  *
  * Paging exists to reproduce the survey's microtrap discussion
  * (sec. 2.1.5): a memory access to a non-present page raises a page
  * fault, which the simulator turns into a restart of the executing
  * microroutine.
+ *
+ * The ECC model activates when a FaultInjector is attached
+ * (attachFaults): the injector decides per read whether a bit flip
+ * occurred in the array. With ECC enabled a single-bit error is
+ * corrected in flight (counted, correct data delivered) and a
+ * double-bit error is detected but uncorrectable
+ * (MemAccess::EccError, no data delivered -- the engine retries or
+ * microtraps). With ECC disabled the flipped value is delivered
+ * silently, which is what makes the corrected/uncorrected counters
+ * worth having.
  */
 
 #ifndef UHLL_MACHINE_MEMORY_HH
@@ -17,6 +28,15 @@
 #include "support/bits.hh"
 
 namespace uhll {
+
+class FaultInjector;
+
+/** Result of a full-status memory read. */
+enum class MemAccess : uint8_t {
+    Ok,         //!< data delivered
+    PageFault,  //!< page not present (out untouched)
+    EccError,   //!< uncorrectable ECC error (out untouched)
+};
 
 /** Word-addressed memory; values are masked to the machine width. */
 class MainMemory
@@ -48,10 +68,36 @@ class MainMemory
     bool pagePresent(uint32_t addr) const;
 
     /**
-     * Read the word at @p addr into @p out.
-     * @return false on page fault (out untouched).
+     * Attach a fault injector to the read path. @p ecc chooses
+     * whether the array has ECC: corrected single-bit errors vs
+     * silent corruption. Null detaches.
      */
-    bool read(uint32_t addr, uint64_t &out) const;
+    void
+    attachFaults(FaultInjector *inj, bool ecc = true)
+    {
+        inj_ = inj;
+        ecc_ = ecc;
+    }
+    bool eccEnabled() const { return inj_ && ecc_; }
+
+    /**
+     * Read the word at @p addr into @p out, with full fault status.
+     * Every status other than Ok leaves @p out untouched. EccError
+     * models a transient soft error: simply retrying the read
+     * re-consults the injector.
+     */
+    MemAccess readWord(uint32_t addr, uint64_t &out) const;
+
+    /**
+     * Read the word at @p addr into @p out.
+     * @return false on page fault or uncorrectable ECC error
+     *         (out untouched).
+     */
+    bool
+    read(uint32_t addr, uint64_t &out) const
+    {
+        return readWord(addr, out) == MemAccess::Ok;
+    }
 
     /**
      * Write @p value to @p addr.
@@ -74,6 +120,8 @@ class MainMemory
     uint32_t pageWords_ = 0;
     std::vector<uint64_t> data_;
     std::vector<bool> present_;
+    FaultInjector *inj_ = nullptr;  //!< read-path fault source
+    bool ecc_ = true;               //!< the array has ECC
 };
 
 } // namespace uhll

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault.hh"
 #include "machine/alu.hh"
 #include "obs/json.hh"
 #include "obs/profile.hh"
@@ -10,6 +11,19 @@
 #include "support/logging.hh"
 
 namespace uhll {
+
+const char *
+simErrorKindName(SimErrorKind k)
+{
+    switch (k) {
+      case SimErrorKind::None: return "none";
+      case SimErrorKind::WatchdogStall: return "watchdog-stall";
+      case SimErrorKind::RestartLivelock: return "restart-livelock";
+      case SimErrorKind::ParityUnrecoverable:
+        return "parity-unrecoverable";
+    }
+    return "?";
+}
 
 std::string
 SimResult::toJson(bool pretty) const
@@ -27,6 +41,29 @@ SimResult::toJson(bool pretty) const
     w.value("fast_path_words", fastPathWords);
     w.value("slow_path_words", slowPathWords);
     w.value("pending_high_water", pendingHighWater);
+    w.value("faults_injected", faultsInjected);
+    w.value("ecc_corrected", eccCorrected);
+    w.value("ecc_double_bit", eccDoubleBit);
+    w.value("parity_refetches", parityRefetches);
+    w.value("mem_retries", memRetries);
+    w.value("spurious_interrupts", spuriousInterrupts);
+    w.value("jitter_cycles", jitterCycles);
+    w.value("watchdog_trips", watchdogTrips);
+    w.value("fault_seed", faultSeed);
+    w.value("ok", ok());
+    if (error) {
+        w.beginObject("error");
+        w.value("kind", simErrorKindName(error.kind));
+        w.value("message", error.message);
+        w.value("cycle", error.cycle);
+        w.value("upc", uint64_t(error.upc));
+        w.value("restart_point", uint64_t(error.restartPoint));
+        w.beginObject("regs");
+        for (const auto &[name, val] : error.regs)
+            w.value(name, val);
+        w.endObject();
+        w.endObject();
+    }
     w.endObject();
     return w.str();
 }
@@ -75,6 +112,23 @@ MicroSimulator::registerStats()
                       "words retired through the general path");
     stats_.bindScalar("sim.pendingHighWater", &res_.pendingHighWater,
                       "max depth of the overlapped-write queue");
+    stats_.bindScalar("sim.faultsInjected", &res_.faultsInjected,
+                      "fault events injected");
+    stats_.bindScalar("sim.eccCorrected", &res_.eccCorrected,
+                      "single-bit read errors corrected by ECC");
+    stats_.bindScalar("sim.eccDoubleBit", &res_.eccDoubleBit,
+                      "uncorrectable (double-bit) read errors");
+    stats_.bindScalar("sim.parityRefetches", &res_.parityRefetches,
+                      "control-store words re-fetched on bad parity");
+    stats_.bindScalar("sim.memRetries", &res_.memRetries,
+                      "memory reads retried after an ECC error");
+    stats_.bindScalar("sim.spuriousInterrupts",
+                      &res_.spuriousInterrupts,
+                      "injected spurious interrupt arrivals");
+    stats_.bindScalar("sim.jitterCycles", &res_.jitterCycles,
+                      "extra memory-latency cycles injected");
+    stats_.bindScalar("sim.watchdogTrips", &res_.watchdogTrips,
+                      "runaway runs converted to structured errors");
     pendingDepth_ = &stats_.histogram(
         "sim.pendingDepth", 1, 8,
         "overlapped-write queue depth at enqueue");
@@ -108,6 +162,23 @@ MicroSimulator::registerStats()
     stats_.formula("sim.halted",
                    [this] { return res_.halted ? 1.0 : 0.0; },
                    "1 when the last run reached Halt");
+    stats_.formula(
+        "sim.faultsPerKiloWord",
+        [this] {
+            return res_.wordsExecuted
+                       ? 1000.0 * double(res_.faultsInjected) /
+                             double(res_.wordsExecuted)
+                       : 0.0;
+        },
+        "injected faults per thousand retired words");
+    stats_.formula(
+        "sim.memRetryRate",
+        [this] {
+            return res_.memReads ? double(res_.memRetries) /
+                                       double(res_.memReads)
+                                 : 0.0;
+        },
+        "memory-read retries per architectural read");
 }
 
 void
@@ -178,8 +249,8 @@ MicroSimulator::enqueuePending(const PendingWrite &p)
     }
 }
 
-void
-MicroSimulator::commitPending()
+bool
+MicroSimulator::commitPending(uint32_t *fault_addr)
 {
     // Stable single-pass compaction instead of erase-from-middle:
     // O(pending) per call, and same-cycle commits to one register or
@@ -190,9 +261,14 @@ MicroSimulator::commitPending()
         PendingWrite &p = pending_[i];
         if (p.commitCycle <= res_.cycles) {
             if (p.isMem) {
-                if (!mem_.write(p.addr, p.value))
-                    fatal("simulator: overlapped store faulted at "
-                          "commit (addr %u)", p.addr);
+                if (!mem_.write(p.addr, p.value)) {
+                    // The page was evicted between issue and commit:
+                    // a microtrap like any other page fault. The
+                    // queue is left as-is -- applyTrap() clears it
+                    // (the restarted routine re-issues the store).
+                    *fault_addr = p.addr;
+                    return false;
+                }
             } else {
                 // value was truncated to the register width when the
                 // write was enqueued
@@ -206,6 +282,73 @@ MicroSimulator::commitPending()
         }
     }
     pending_.resize(out);
+    return true;
+}
+
+MemAccess
+MicroSimulator::readMemChecked(uint32_t addr, uint64_t &out)
+{
+    MemAccess st = mem_.readWord(addr, out);
+    if (st != MemAccess::EccError)
+        return st;
+    // An uncorrectable ECC error is a transient soft error: re-read
+    // the array. Each retry costs a full memory latency and
+    // re-consults the injector, so a persistent fault site still
+    // exhausts the budget and microtraps.
+    for (uint32_t i = 0; i < retryLimit_; ++i) {
+        ++res_.memRetries;
+        res_.cycles += mach_.memLatency();
+        if (trace_) {
+            trace_->record(TraceCat::Recover, TraceSev::Warning,
+                           res_.cycles, upc_,
+                           uint32_t(RecoverAction::MemRetry), addr);
+        }
+        st = mem_.readWord(addr, out);
+        if (st != MemAccess::EccError)
+            return st;
+    }
+    return MemAccess::EccError;
+}
+
+void
+MicroSimulator::noteFaultRestart()
+{
+    if (restartPoint_ == lastFaultRestart_) {
+        ++consecFaults_;
+    } else {
+        lastFaultRestart_ = restartPoint_;
+        consecFaults_ = 1;
+    }
+    if (livelockLimit_ && consecFaults_ >= livelockLimit_) {
+        raiseError(SimErrorKind::RestartLivelock, consecFaults_,
+                   strfmt("restart point 0x%04x faulted %u times in "
+                          "a row", restartPoint_, consecFaults_));
+    }
+}
+
+void
+MicroSimulator::raiseError(SimErrorKind kind, uint32_t detail,
+                           std::string message)
+{
+    res_.error.kind = kind;
+    res_.error.message = std::move(message);
+    res_.error.cycle = res_.cycles;
+    res_.error.upc = upc_;
+    res_.error.restartPoint = restartPoint_;
+    res_.error.regs.clear();
+    for (RegId r = 0; r < regs_.size(); ++r)
+        res_.error.regs.emplace_back(mach_.reg(r).name, regs_[r]);
+    ++res_.watchdogTrips;
+    if (trace_) {
+        RecoverAction act =
+            kind == SimErrorKind::WatchdogStall
+                ? RecoverAction::WatchdogTrip
+            : kind == SimErrorKind::RestartLivelock
+                ? RecoverAction::Livelock
+                : RecoverAction::ParityRefetch;
+        trace_->record(TraceCat::Recover, TraceSev::Warning,
+                       res_.cycles, upc_, uint32_t(act), detail);
+    }
 }
 
 void
@@ -385,13 +528,14 @@ MicroSimulator::execWordFast(const DecodedWord &dw, uint32_t addr,
     seqAdvance(dw, addr, mw_val, next);
 }
 
-bool
+MicroSimulator::WordStatus
 MicroSimulator::execWordSlow(const DecodedWord &dw, uint32_t addr,
                              uint32_t &next, uint32_t &fault_addr)
 {
-    auto faulted = [&](uint32_t a) {
+    auto faulted = [&](uint32_t a,
+                       WordStatus st = WordStatus::PageFault) {
         fault_addr = a;
-        return false;
+        return st;
     };
     // Overlay of register values built up phase by phase; the real
     // register file is only updated if the whole word succeeds. The
@@ -448,8 +592,14 @@ MicroSimulator::execWordSlow(const DecodedWord &dw, uint32_t addr,
                       uKindName(op.kind));
               case UKind::MemRead: {
                 uint64_t v;
-                if (!mem_.read(static_cast<uint32_t>(a), v))
+                switch (readMemChecked(static_cast<uint32_t>(a), v)) {
+                  case MemAccess::Ok: break;
+                  case MemAccess::PageFault:
                     return faulted(static_cast<uint32_t>(a));
+                  case MemAccess::EccError:
+                    return faulted(static_cast<uint32_t>(a),
+                                   WordStatus::EccFault);
+                }
                 ++res_.memReads;
                 if (op.overlap) {
                     e.delayed = true;
@@ -487,8 +637,14 @@ MicroSimulator::execWordSlow(const DecodedWord &dw, uint32_t addr,
               }
               case UKind::Pop: {
                 uint64_t v;
-                if (!mem_.read(static_cast<uint32_t>(a), v))
+                switch (readMemChecked(static_cast<uint32_t>(a), v)) {
+                  case MemAccess::Ok: break;
+                  case MemAccess::PageFault:
                     return faulted(static_cast<uint32_t>(a));
+                  case MemAccess::EccError:
+                    return faulted(static_cast<uint32_t>(a),
+                                   WordStatus::EccFault);
+                }
                 ++res_.memReads;
                 write(op.dst, v);
                 e.hasReg2Write = true;
@@ -566,6 +722,20 @@ MicroSimulator::execWordSlow(const DecodedWord &dw, uint32_t addr,
     }
 
     res_.cycles += 1 + dw.stallCycles;
+    if (inj_ && dw.stallCycles) {
+        // Memory-latency jitter on blocking (stalling) memory ops
+        // only: overlapped ops keep their static commit timing, so
+        // stale-read visibility never depends on the injector.
+        uint32_t j = inj_->onBlockingMemOp();
+        if (j) {
+            res_.cycles += j;
+            if (trace_) {
+                trace_->record(TraceCat::Inject, TraceSev::Info,
+                               res_.cycles, addr,
+                               uint32_t(FaultKind::MemJitter), j);
+            }
+        }
+    }
 
     uint64_t mw_val = 0;
     if (dw.seq == SeqKind::Multiway) {
@@ -573,7 +743,7 @@ MicroSimulator::execWordSlow(const DecodedWord &dw, uint32_t addr,
         mw_val = ovRead(dw.mwReg);
     }
     seqAdvance(dw, addr, mw_val, next);
-    return true;
+    return WordStatus::Ok;
 }
 
 void
@@ -616,6 +786,30 @@ MicroSimulator::run(uint32_t entry)
     trace_ = cfg_.trace;
     prof_ = cfg_.profiler;
 
+    // Fault injection: reset the injector so every run() replays the
+    // same schedule, attach it to the memory read path (ECC model)
+    // for the duration of the run, and resolve the effective
+    // recovery limits (explicit config wins over the plan).
+    inj_ = cfg_.injector;
+    lastRetire_ = 0;
+    consecFaults_ = 0;
+    lastFaultRestart_ = 0;
+    watchdogCycles_ = cfg_.watchdogCycles;
+    livelockLimit_ = cfg_.maxRestarts;
+    retryLimit_ = 0;
+    refetchLimit_ = 0;
+    if (inj_) {
+        inj_->reset();
+        mem_.attachFaults(inj_, cfg_.ecc);
+        const FaultPlan &plan = inj_->plan();
+        if (!watchdogCycles_)
+            watchdogCycles_ = plan.watchdogCycles;
+        if (!livelockLimit_)
+            livelockLimit_ = plan.livelockLimit;
+        retryLimit_ = plan.retryLimit;
+        refetchLimit_ = plan.refetchLimit;
+    }
+
     // One reservation up front; every per-word buffer is reused, so
     // the interpreter loop itself never allocates.
     const size_t max_ops = decoded_.maxOpsPerWord();
@@ -630,11 +824,85 @@ MicroSimulator::run(uint32_t entry)
     // runs pay a single predicted-not-taken branch per word.
     const bool obs = trace_ || prof_;
 
-    while (!res_.halted && res_.cycles < cfg_.maxCycles) {
-        if (!pending_.empty())
-            commitPending();
+    while (!res_.halted && res_.cycles < cfg_.maxCycles &&
+           res_.ok()) {
+        if (!pending_.empty()) {
+            uint32_t fault_addr = 0;
+            if (!commitPending(&fault_addr)) {
+                // An overlapped store's page was evicted between
+                // issue and commit: a microtrap like any other page
+                // fault (the restarted routine re-issues the store).
+                if (trace_) {
+                    trace_->record(TraceCat::Fault, TraceSev::Warning,
+                                   res_.cycles, upc_, fault_addr);
+                }
+                mem_.servicePage(fault_addr);
+                applyTrap();
+                res_.cycles += 50;
+                noteFaultRestart();
+                continue;
+            }
+        }
         if (intPeriod_)
             noteInterruptArrival();
+
+        if (watchdogCycles_ &&
+            res_.cycles - lastRetire_ > watchdogCycles_) {
+            raiseError(
+                SimErrorKind::WatchdogStall,
+                static_cast<uint32_t>(res_.cycles - lastRetire_),
+                strfmt("no word retired for %llu cycles",
+                       (unsigned long long)(res_.cycles -
+                                            lastRetire_)));
+            break;
+        }
+
+        if (inj_) {
+            inj_->setNow(res_.cycles);
+            if (inj_->onSpuriousInt()) {
+                // A spurious arrival raises the same pending line a
+                // real interrupt would; firmware that never polls or
+                // acks it is architecturally unaffected.
+                if (trace_) {
+                    trace_->record(TraceCat::Interrupt,
+                                   TraceSev::Warning, res_.cycles,
+                                   upc_, 2);
+                }
+                if (!intPending_) {
+                    intPending_ = true;
+                    intArrivalCycle_ = res_.cycles;
+                }
+            }
+            // Control-store parity: a corrupted fetch is detected by
+            // the parity check and re-fetched (bounded).
+            uint32_t refetch = 0;
+            while (inj_->onWordFetch(upc_)) {
+                ++res_.parityRefetches;
+                ++refetch;
+                res_.cycles += 1;
+                inj_->setNow(res_.cycles);
+                if (trace_) {
+                    trace_->record(TraceCat::Inject, TraceSev::Warning,
+                                   res_.cycles, upc_,
+                                   uint32_t(FaultKind::CsParity),
+                                   upc_);
+                    trace_->record(
+                        TraceCat::Recover, TraceSev::Info, res_.cycles,
+                        upc_, uint32_t(RecoverAction::ParityRefetch),
+                        refetch);
+                }
+                if (refetch >= refetchLimit_) {
+                    raiseError(SimErrorKind::ParityUnrecoverable,
+                               refetch,
+                               strfmt("control word 0x%04x failed "
+                                      "parity %u times",
+                                      upc_, refetch));
+                    break;
+                }
+            }
+            if (!res_.ok())
+                break;
+        }
 
         const DecodedWord &dw = decoded_.word(upc_);
         if (cfg_.onWord)
@@ -650,6 +918,7 @@ MicroSimulator::run(uint32_t entry)
             execWordFast(dw, upc_, next);
             ++res_.wordsExecuted;
             ++res_.fastPathWords;
+            lastRetire_ = res_.cycles;
             upc_ = next;
             if (obs)
                 noteObsWord(addr, c0, true);
@@ -657,26 +926,49 @@ MicroSimulator::run(uint32_t entry)
         }
 
         uint32_t fault_addr = 0;
-        if (execWordSlow(dw, upc_, next, fault_addr)) {
+        WordStatus st = execWordSlow(dw, upc_, next, fault_addr);
+        if (st == WordStatus::Ok) {
             ++res_.wordsExecuted;
             ++res_.slowPathWords;
+            lastRetire_ = res_.cycles;
             upc_ = next;
             if (obs)
                 noteObsWord(addr, c0, false);
         } else {
-            // Page fault: service it, restart the microroutine.
+            // Page fault (service the page) or unrecoverable ECC
+            // error (transient -- nothing to service): either way,
+            // restart the microroutine.
             if (trace_) {
                 trace_->record(TraceCat::Fault, TraceSev::Warning,
                                res_.cycles, addr, fault_addr);
             }
-            mem_.servicePage(fault_addr);
+            if (st == WordStatus::PageFault) {
+                mem_.servicePage(fault_addr);
+            } else if (trace_) {
+                trace_->record(TraceCat::Recover, TraceSev::Warning,
+                               res_.cycles, addr,
+                               uint32_t(RecoverAction::EccTrap),
+                               fault_addr);
+            }
             applyTrap();
             // fault service costs time at macro level; charge a
             // nominal constant so fault-heavy runs are visible
             res_.cycles += 50;
+            noteFaultRestart();
             if (prof_)
                 prof_->recordFault(addr, res_.cycles - c0);
         }
+    }
+
+    if (inj_) {
+        const FaultCounters &fc = inj_->counters();
+        res_.faultsInjected = fc.totalInjected();
+        res_.eccCorrected = fc.eccCorrected;
+        res_.eccDoubleBit = fc.injectedDoubleBit;
+        res_.spuriousInterrupts = fc.injectedSpurious;
+        res_.jitterCycles = fc.jitterCycles;
+        res_.faultSeed = inj_->seed();
+        mem_.attachFaults(nullptr);
     }
     return res_;
 }

@@ -42,6 +42,7 @@ namespace uhll {
 
 class TraceBuffer;
 class CycleProfiler;
+class FaultInjector;
 
 /** Knobs for a simulation run. */
 struct SimConfig {
@@ -65,6 +66,56 @@ struct SimConfig {
     TraceBuffer *trace = nullptr;       //!< event ring to record into
     CycleProfiler *profiler = nullptr;  //!< cycle-attribution sink
     /// @}
+
+    /** @name Fault injection & recovery (see src/fault/) */
+    /// @{
+    //! fault source consulted at the defined injection points; the
+    //! simulator resets it at every run() start so each run replays
+    //! the same schedule. run() also attaches it to the memory's
+    //! read path (ECC model) for the duration of the run.
+    FaultInjector *injector = nullptr;
+    //! the memory array has ECC: injected single-bit errors are
+    //! corrected in flight, double-bit errors are detected (and
+    //! retried / microtrapped); false = silent corruption
+    bool ecc = true;
+    //! trip a watchdog when no word retired for this many cycles
+    //! (0 = off; an attached injector's plan value is the default)
+    uint64_t watchdogCycles = 0;
+    //! declare restart livelock after this many consecutive faulting
+    //! restarts of the same restart point (0 = off; an attached
+    //! injector's plan value is the default)
+    uint32_t maxRestarts = 0;
+    /// @}
+};
+
+/** Why a run ended in a structured error instead of halting. */
+enum class SimErrorKind : uint8_t {
+    None,
+    WatchdogStall,          //!< no word retired for watchdogCycles
+    RestartLivelock,        //!< same restart point kept faulting
+    ParityUnrecoverable,    //!< control-store re-fetch limit exceeded
+};
+
+const char *simErrorKindName(SimErrorKind k);
+
+/**
+ * A structured run failure: instead of abort()ing, runaway microcode
+ * is converted into this diagnostic -- the uPC, restart point and a
+ * full register snapshot at the moment the watchdog gave up.
+ */
+struct SimError {
+    SimErrorKind kind = SimErrorKind::None;
+    std::string message;
+    uint64_t cycle = 0;
+    uint32_t upc = 0;
+    uint32_t restartPoint = 0;
+    //! (register name, value) at trip time, register-file order
+    std::vector<std::pair<std::string, uint64_t>> regs;
+
+    explicit operator bool() const
+    {
+        return kind != SimErrorKind::None;
+    }
 };
 
 /** Aggregate results of a run. */
@@ -85,6 +136,25 @@ struct SimResult {
     uint64_t slowPathWords = 0; //!< words run through the general path
     uint64_t pendingHighWater = 0;  //!< max depth of the pending queue
     /// @}
+
+    /** @name Fault injection & recovery (zero without an injector) */
+    /// @{
+    uint64_t faultsInjected = 0;    //!< total injected events
+    uint64_t eccCorrected = 0;      //!< single-bit reads corrected
+    uint64_t eccDoubleBit = 0;      //!< uncorrectable read errors
+    uint64_t parityRefetches = 0;   //!< control-store re-fetches
+    uint64_t memRetries = 0;        //!< uncorrectable-read retries
+    uint64_t spuriousInterrupts = 0;    //!< injected int arrivals
+    uint64_t jitterCycles = 0;      //!< extra memory-latency cycles
+    uint64_t watchdogTrips = 0;     //!< watchdog/livelock conversions
+    uint64_t faultSeed = 0;         //!< injector seed (0 = no injector)
+    /// @}
+
+    //! structured failure diagnostic; kind == None on a clean run
+    SimError error;
+
+    /** True when the run did not end in a structured error. */
+    bool ok() const { return error.kind == SimErrorKind::None; }
 
     /** All fields as a JSON object (uhllc --stats-json, bench JSON). */
     std::string toJson(bool pretty = true) const;
@@ -153,24 +223,45 @@ class MicroSimulator
         bool intAck = false;
     };
 
+    /** How one slow-path word ended. */
+    enum class WordStatus : uint8_t { Ok, PageFault, EccFault };
+
     uint64_t readReg(RegId r);
     void registerStats();
     /** Per-word observability epilogue (run only when obs is on). */
     void noteObsWord(uint32_t addr, uint64_t start_cycle, bool fast);
-    void commitPending();
+    /**
+     * Commit due pending writes. Returns false when an overlapped
+     * store page-faulted at commit time (a microtrap: the caller
+     * services the page and restarts), filling @p fault_addr.
+     */
+    bool commitPending(uint32_t *fault_addr);
     bool hasPendingFor(RegId r) const { return pendingRegs_[r] != 0; }
     void enqueuePending(const PendingWrite &p);
     void applyTrap();
     void noteInterruptArrival();
 
     /**
-     * Execute one word through the general path. Returns false if
-     * the word page-faulted (the caller then traps), filling
-     * @p fault_addr with the faulting memory address. Fills @p next
-     * with the following uPC.
+     * Read main memory with ECC-retry recovery: an uncorrectable
+     * error is retried up to the plan's retry-limit (each retry
+     * costs a full memory latency and re-consults the injector).
      */
-    bool execWordSlow(const DecodedWord &dw, uint32_t addr,
-                      uint32_t &next, uint32_t &fault_addr);
+    MemAccess readMemChecked(uint32_t addr, uint64_t &out);
+
+    /** Track a faulting restart; trips the livelock watchdog. */
+    void noteFaultRestart();
+
+    /** Fill res_.error with a snapshot and stop the run. */
+    void raiseError(SimErrorKind kind, uint32_t detail,
+                    std::string message);
+
+    /**
+     * Execute one word through the general path. On PageFault or
+     * EccFault (the caller then traps) @p fault_addr holds the
+     * faulting memory address. Fills @p next with the following uPC.
+     */
+    WordStatus execWordSlow(const DecodedWord &dw, uint32_t addr,
+                            uint32_t &next, uint32_t &fault_addr);
 
     /**
      * Execute a fast-path-eligible word (pure compute, no pending
@@ -234,6 +325,19 @@ class MicroSimulator
     //! hot loop pays one predictable branch to find out
     TraceBuffer *trace_ = nullptr;
     CycleProfiler *prof_ = nullptr;
+    /// @}
+
+    /** @name Fault injection & recovery (see src/fault/) */
+    /// @{
+    FaultInjector *inj_ = nullptr;  //!< cached cfg_.injector
+    uint64_t lastRetire_ = 0;       //!< cycle of the last retired word
+    uint32_t consecFaults_ = 0;     //!< faulting restarts in a row
+    uint32_t lastFaultRestart_ = 0; //!< restart point of the last fault
+    //! effective limits: cfg_ value, else the attached plan's value
+    uint64_t watchdogCycles_ = 0;
+    uint32_t livelockLimit_ = 0;
+    uint32_t retryLimit_ = 0;
+    uint32_t refetchLimit_ = 0;
     /// @}
 };
 

@@ -12,6 +12,17 @@ namespace uhll {
 
 namespace {
 
+/**
+ * Internal per-line parse failure. Thrown by the scanner and the
+ * word parser, caught at line granularity so assembly continues and
+ * every malformed line in the program gets its own diagnostic.
+ */
+struct LineError {
+    int line;
+    int col;
+    std::string msg;
+};
+
 /** A very small hand-rolled scanner over one source line. */
 class LineScanner
 {
@@ -58,7 +69,8 @@ class LineScanner
     expect(char c)
     {
         if (!consume(c))
-            fatal("masm line %d: expected '%c'", line_, c);
+            throw LineError{line_, col(),
+                            strfmt("expected '%c'", c)};
     }
 
     /** Identifier: [A-Za-z_.][A-Za-z0-9_.]* */
@@ -75,7 +87,7 @@ class LineScanner
         while (pos_ < text_.size() && ok(text_[pos_], pos_ == start))
             ++pos_;
         if (pos_ == start)
-            fatal("masm line %d: expected identifier", line_);
+            throw LineError{line_, col(), "expected identifier"};
         return text_.substr(start, pos_ - start);
     }
 
@@ -112,12 +124,16 @@ class LineScanner
             ++pos_;
         }
         if (!any)
-            fatal("masm line %d: expected number at '%s'", line_,
-                  text_.substr(start).c_str());
+            throw LineError{
+                line_, col(),
+                strfmt("expected number at '%s'",
+                       text_.substr(start).c_str())};
         return v;
     }
 
     int line() const { return line_; }
+    /** 1-based column of the next unconsumed character. */
+    int col() const { return static_cast<int>(pos_) + 1; }
 
   private:
     const std::string &text_;
@@ -151,7 +167,7 @@ trimLine(const std::string &line)
 }
 
 Cond
-parseCond(const std::string &s, int line)
+parseCond(const std::string &s, int line, int col)
 {
     if (s == "z") return Cond::Z;
     if (s == "nz") return Cond::NZ;
@@ -164,13 +180,15 @@ parseCond(const std::string &s, int line)
     if (s == "ovf") return Cond::Ovf;
     if (s == "int") return Cond::Int;
     if (s == "noint") return Cond::NoInt;
-    fatal("masm line %d: unknown condition '%s'", line, s.c_str());
+    throw LineError{line, col,
+                    strfmt("unknown condition '%s'", s.c_str())};
 }
 
 } // namespace
 
-ControlStore
-MicroAssembler::assemble(const std::string &source) const
+std::optional<ControlStore>
+MicroAssembler::assemble(const std::string &source,
+                         std::vector<MasmDiagnostic> &diags) const
 {
     std::vector<ParsedWord> words;
     std::unordered_map<std::string, uint32_t> labels;
@@ -178,15 +196,19 @@ MicroAssembler::assemble(const std::string &source) const
     bool next_restart = false;
 
     auto parseReg = [&](LineScanner &sc) -> RegId {
+        int col = sc.col();
         std::string name = sc.ident();
         auto r = mach_->findRegister(name);
         if (!r)
-            fatal("masm line %d: unknown register '%s'", sc.line(),
-                  name.c_str());
+            throw LineError{sc.line(), col,
+                            strfmt("unknown register '%s'",
+                                   name.c_str())};
         return *r;
     };
 
-    // Pass 1: parse lines, collect labels.
+    // Pass 1: parse lines, collect labels. A malformed line is
+    // recorded and skipped so every error in the program surfaces in
+    // one assembly run.
     size_t pos = 0;
     int lineno = 0;
     while (pos <= source.size()) {
@@ -198,6 +220,7 @@ MicroAssembler::assemble(const std::string &source) const
         ++lineno;
 
         LineScanner sc(line, lineno);
+        try {
         if (sc.atEnd())
             continue;
 
@@ -209,25 +232,28 @@ MicroAssembler::assemble(const std::string &source) const
             } else if (dir == ".restart") {
                 next_restart = true;
             } else {
-                fatal("masm line %d: unknown directive '%s'", lineno,
-                      dir.c_str());
+                throw LineError{lineno, 1,
+                                strfmt("unknown directive '%s'",
+                                       dir.c_str())};
             }
             if (!sc.atEnd())
-                fatal("masm line %d: trailing text", lineno);
+                throw LineError{lineno, sc.col(), "trailing text"};
             continue;
         }
 
         if (sc.peek() != '[') {
             // label definition
+            int col = sc.col();
             std::string lbl = sc.ident();
             sc.expect(':');
             if (labels.count(lbl))
-                fatal("masm line %d: duplicate label '%s'", lineno,
-                      lbl.c_str());
+                throw LineError{lineno, col,
+                                strfmt("duplicate label '%s'",
+                                       lbl.c_str())};
             labels.emplace(lbl, static_cast<uint32_t>(words.size()));
             if (!sc.atEnd())
-                fatal("masm line %d: trailing text after label",
-                      lineno);
+                throw LineError{lineno, sc.col(),
+                                "trailing text after label"};
             continue;
         }
 
@@ -240,6 +266,7 @@ MicroAssembler::assemble(const std::string &source) const
 
         sc.expect('[');
         while (!sc.consume(']')) {
+            int mn_col = sc.col();
             std::string mn = sc.ident();
             bool overlap = false;
             if (mn.size() > 3 && mn.ends_with(".ov")) {
@@ -248,8 +275,11 @@ MicroAssembler::assemble(const std::string &source) const
             }
             auto spec_idx = mach_->findUop(mn);
             if (!spec_idx)
-                fatal("masm line %d: machine %s has no microop '%s'",
-                      lineno, mach_->name().c_str(), mn.c_str());
+                throw LineError{lineno, mn_col,
+                                strfmt("machine %s has no microop "
+                                       "'%s'",
+                                       mach_->name().c_str(),
+                                       mn.c_str())};
             const MicroOpSpec &spec = mach_->uop(*spec_idx);
 
             BoundOp op;
@@ -292,21 +322,26 @@ MicroAssembler::assemble(const std::string &source) const
             if (sc.peek() == '|')
                 sc.consume('|');
             else if (sc.peek() != ']')
-                fatal("masm line %d: expected '|' or ']'", lineno);
+                throw LineError{lineno, sc.col(),
+                                "expected '|' or ']'"};
         }
 
         // Optional sequencing part.
         if (!sc.atEnd()) {
+            int kw_col = sc.col();
             std::string kw = sc.ident();
             if (kw == "jump") {
                 pw.mi.seq = SeqKind::Jump;
                 pw.targetLabel = sc.ident();
             } else if (kw == "if") {
                 pw.mi.seq = SeqKind::CondJump;
-                pw.mi.cond = parseCond(sc.ident(), lineno);
+                int c_col = sc.col();
+                pw.mi.cond = parseCond(sc.ident(), lineno, c_col);
+                int j_col = sc.col();
                 std::string j = sc.ident();
                 if (j != "jump")
-                    fatal("masm line %d: expected 'jump'", lineno);
+                    throw LineError{lineno, j_col,
+                                    "expected 'jump'"};
                 pw.targetLabel = sc.ident();
             } else if (kw == "call") {
                 pw.mi.seq = SeqKind::Call;
@@ -324,33 +359,45 @@ MicroAssembler::assemble(const std::string &source) const
                 sc.expect(',');
                 pw.targetLabel = sc.ident();
             } else {
-                fatal("masm line %d: unknown sequencing '%s'", lineno,
-                      kw.c_str());
+                throw LineError{lineno, kw_col,
+                                strfmt("unknown sequencing '%s'",
+                                       kw.c_str())};
             }
             if (!sc.atEnd())
-                fatal("masm line %d: trailing text", lineno);
+                throw LineError{lineno, sc.col(), "trailing text"};
         }
 
         // Validate the word against the machine model.
         std::string why;
         if (!mach_->wordLegal(pw.mi.ops, /*phase_aware=*/true, &why))
-            fatal("masm line %d: illegal word: %s", lineno,
-                  why.c_str());
+            throw LineError{lineno, 1,
+                            strfmt("illegal word: %s", why.c_str())};
         if (pw.mi.seq == SeqKind::Multiway && !mach_->hasMultiway())
-            fatal("masm line %d: machine %s has no multiway branch",
-                  lineno, mach_->name().c_str());
+            throw LineError{lineno, 1,
+                            strfmt("machine %s has no multiway "
+                                   "branch",
+                                   mach_->name().c_str())};
 
         words.push_back(std::move(pw));
+        } catch (const LineError &e) {
+            diags.push_back(MasmDiagnostic{e.line, e.col, e.msg});
+        }
     }
 
-    // Pass 2: resolve labels, build the store.
+    // Pass 2: resolve labels, build the store. Undefined labels are
+    // reported even when pass 1 already failed, so a single run
+    // shows the whole picture.
     ControlStore store(*mach_);
     for (auto &pw : words) {
         if (!pw.targetLabel.empty()) {
             auto it = labels.find(pw.targetLabel);
-            if (it == labels.end())
-                fatal("masm line %d: undefined label '%s'", pw.line,
-                      pw.targetLabel.c_str());
+            if (it == labels.end()) {
+                diags.push_back(MasmDiagnostic{
+                    pw.line, 0,
+                    strfmt("undefined label '%s'",
+                           pw.targetLabel.c_str())});
+                continue;
+            }
             pw.mi.target = it->second;
         }
         uint32_t addr = store.append(std::move(pw.mi));
@@ -359,12 +406,40 @@ MicroAssembler::assemble(const std::string &source) const
         store.annotate(addr, pw.line, std::move(pw.text));
     }
     for (auto &e : entries) {
-        if (e.second >= store.size())
-            fatal("masm: entry '%s' points past the end",
-                  e.first.c_str());
+        if (e.second >= store.size()) {
+            diags.push_back(MasmDiagnostic{
+                0, 0,
+                strfmt("entry '%s' points past the end",
+                       e.first.c_str())});
+            continue;
+        }
         store.defineEntry(e.first, e.second);
     }
+    if (!diags.empty())
+        return std::nullopt;
     return store;
+}
+
+ControlStore
+MicroAssembler::assemble(const std::string &source) const
+{
+    std::vector<MasmDiagnostic> diags;
+    auto store = assemble(source, diags);
+    if (store)
+        return std::move(*store);
+    std::string msg = strfmt("masm: %zu error%s", diags.size(),
+                             diags.size() == 1 ? "" : "s");
+    for (const MasmDiagnostic &d : diags) {
+        if (d.line && d.col)
+            msg += strfmt("\n  line %d:%d: %s", d.line, d.col,
+                          d.message.c_str());
+        else if (d.line)
+            msg += strfmt("\n  line %d: %s", d.line,
+                          d.message.c_str());
+        else
+            msg += strfmt("\n  %s", d.message.c_str());
+    }
+    throw FatalError(msg);
 }
 
 } // namespace uhll

@@ -30,12 +30,21 @@
 #ifndef UHLL_MASM_MASM_HH
 #define UHLL_MASM_MASM_HH
 
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "machine/control_store.hh"
 #include "machine/machine_desc.hh"
 
 namespace uhll {
+
+/** One collected assembly diagnostic. */
+struct MasmDiagnostic {
+    int line = 0;       //!< 1-based source line (0 = whole program)
+    int col = 0;        //!< 1-based column (0 = whole line)
+    std::string message;
+};
 
 /** Assembles microassembly text into a ControlStore. */
 class MicroAssembler
@@ -46,11 +55,23 @@ class MicroAssembler
     {}
 
     /**
-     * Assemble @p source. fatal() (FatalError) on any syntax error,
-     * unknown mnemonic/register/label, operand-class violation or
-     * intra-word resource conflict.
+     * Assemble @p source. FatalError on any syntax error, unknown
+     * mnemonic/register/label, operand-class violation or intra-word
+     * resource conflict; the message lists *every* diagnostic, not
+     * just the first one.
      */
     ControlStore assemble(const std::string &source) const;
+
+    /**
+     * Assemble @p source, collecting diagnostics instead of
+     * throwing: a malformed line is recorded in @p diags (with line
+     * and column) and skipped, and parsing continues so one pass
+     * reports every error in the program. Returns the store on
+     * success, std::nullopt when @p diags is non-empty.
+     */
+    std::optional<ControlStore>
+    assemble(const std::string &source,
+             std::vector<MasmDiagnostic> &diags) const;
 
   private:
     const MachineDescription *mach_;

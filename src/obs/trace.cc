@@ -1,5 +1,6 @@
 #include "obs/trace.hh"
 
+#include "fault/fault.hh"
 #include "obs/json.hh"
 #include "support/logging.hh"
 
@@ -15,6 +16,8 @@ traceCatName(TraceCat c)
       case TraceCat::Interrupt: return "interrupt";
       case TraceCat::Overlap: return "overlap";
       case TraceCat::Control: return "control";
+      case TraceCat::Inject: return "inject";
+      case TraceCat::Recover: return "recover";
     }
     return "?";
 }
@@ -60,14 +63,33 @@ payload(const TraceRecord &r)
       case TraceCat::Fault:
         return strfmt("mem addr 0x%x", r.a);
       case TraceCat::Interrupt:
-        return r.a == 0 ? std::string("arrival")
-                        : strfmt("acknowledged, latency %u", r.b);
+        return r.a == 0   ? std::string("arrival")
+               : r.a == 1 ? strfmt("acknowledged, latency %u", r.b)
+                          : std::string("spurious arrival");
       case TraceCat::Overlap:
         return strfmt("%s commit at cycle %u",
                       r.a ? "memory" : "register", r.b);
       case TraceCat::Control:
         return r.a == 0 ? std::string("halt")
                         : std::string("trap restart");
+      case TraceCat::Inject:
+        return strfmt("%s at 0x%x",
+                      faultKindName(static_cast<FaultKind>(r.a)),
+                      r.b);
+      case TraceCat::Recover:
+        switch (static_cast<RecoverAction>(r.a)) {
+          case RecoverAction::ParityRefetch:
+            return strfmt("parity re-fetch #%u", r.b);
+          case RecoverAction::MemRetry:
+            return strfmt("read retry at 0x%x", r.b);
+          case RecoverAction::EccTrap:
+            return strfmt("ecc microtrap at 0x%x", r.b);
+          case RecoverAction::WatchdogTrip:
+            return strfmt("watchdog trip after %u idle cycles", r.b);
+          case RecoverAction::Livelock:
+            return strfmt("restart livelock after %u faults", r.b);
+        }
+        return "";
     }
     return "";
 }

@@ -31,11 +31,23 @@ enum class TraceCat : uint8_t {
     Word,       //!< a microword executed (a = cycles taken, b = fast)
     Stall,      //!< a word stalled (a = stall cycles)
     Fault,      //!< page fault (a = faulting memory address)
-    Interrupt,  //!< a = 0 arrival, 1 = acknowledged (b = latency)
+    Interrupt,  //!< a = 0 arrival, 1 = acknowledged (b = latency),
+                //!< 2 = spurious arrival (injected)
     Overlap,    //!< pending write enqueued (a = isMem, b = commit cycle)
     Control,    //!< halt / trap restart (a = 0 halt, 1 = restart)
+    Inject,     //!< fault injected (a = FaultKind, b = addr/detail)
+    Recover,    //!< recovery action (a = RecoverAction, b = detail)
 };
-constexpr size_t kNumTraceCats = 6;
+constexpr size_t kNumTraceCats = 8;
+
+/** Payload `a` of a TraceCat::Recover record. */
+enum class RecoverAction : uint8_t {
+    ParityRefetch,  //!< control-store re-fetch (b = refetch number)
+    MemRetry,       //!< uncorrectable-read retry (b = address)
+    EccTrap,        //!< retries exhausted, microtrap (b = address)
+    WatchdogTrip,   //!< no-retire watchdog fired (b = idle cycles)
+    Livelock,       //!< consecutive faulting restarts (b = count)
+};
 
 /** Bit for @p c in a category filter mask. */
 constexpr uint32_t

@@ -31,6 +31,13 @@
  *   --profile           print hot-microword and hot-source-line
  *                       cycle attribution tables after the run
  *   --quiet / --verbose set the log level (default from UHLL_LOG)
+ *
+ * Fault injection (see src/fault/ and README "Fault injection"):
+ *   --inject FILE       run under the fault plan in FILE ("-" for
+ *                       the built-in recoverable chaos mix)
+ *   --seed N            override the plan's PRNG seed
+ *   --max-restarts K    declare restart livelock after K consecutive
+ *                       faulting restarts of one restart point
  */
 
 #include <cstdio>
@@ -40,6 +47,7 @@
 #include <sstream>
 
 #include "codegen/compiler.hh"
+#include "fault/fault.hh"
 #include "lang/empl/empl.hh"
 #include "lang/simpl/simpl.hh"
 #include "lang/sstar/sstar.hh"
@@ -70,6 +78,8 @@ usage()
         "             [--verify] [--stats]\n"
         "             [--stats-json FILE] [--trace FILE]\n"
         "             [--trace-limit N] [--profile]\n"
+        "             [--inject FILE|-] [--seed N]\n"
+        "             [--max-restarts K]\n"
         "             [--quiet] [--verbose]\n");
     std::exit(2);
 }
@@ -100,6 +110,10 @@ struct ObsOptions {
     std::string tracePath;
     size_t traceLimit = 4096;
     bool profile = false;
+    //! fault plan path ("-" = built-in recoverable mix, "" = off)
+    std::string injectPath;
+    uint64_t faultSeed = 0;     //!< nonzero: override the plan seed
+    uint32_t maxRestarts = 0;   //!< nonzero: livelock limit override
 };
 
 /**
@@ -108,7 +122,7 @@ struct ObsOptions {
  * (registers) and the MIR path (allocated variables) share the whole
  * run/report flow.
  */
-void
+int
 runSimulation(
     const ControlStore &store, const std::string &entry,
     const std::vector<std::pair<std::string, uint64_t>> &sets,
@@ -124,6 +138,7 @@ runSimulation(
     SimConfig cfg;
     std::unique_ptr<TraceBuffer> trace;
     std::unique_ptr<CycleProfiler> prof;
+    std::unique_ptr<FaultInjector> inj;
     if (!obs.tracePath.empty()) {
         trace = std::make_unique<TraceBuffer>(obs.traceLimit);
         cfg.trace = trace.get();
@@ -131,6 +146,17 @@ runSimulation(
     if (obs.profile) {
         prof = std::make_unique<CycleProfiler>();
         cfg.profiler = prof.get();
+    }
+    if (!obs.injectPath.empty()) {
+        FaultPlan plan =
+            obs.injectPath == "-"
+                ? FaultPlan::recoverable(obs.faultSeed ? obs.faultSeed
+                                                       : 1)
+                : FaultPlan::parse(readFile(obs.injectPath));
+        inj = std::make_unique<FaultInjector>(std::move(plan),
+                                              obs.faultSeed);
+        cfg.injector = inj.get();
+        cfg.maxRestarts = obs.maxRestarts;
     }
 
     MicroSimulator sim(store, mem, cfg);
@@ -140,6 +166,20 @@ runSimulation(
     std::printf("halted=%d cycles=%llu words=%llu\n", int(res.halted),
                 (unsigned long long)res.cycles,
                 (unsigned long long)res.wordsExecuted);
+    if (inj) {
+        std::printf(
+            "faults: seed=%llu injected=%llu ecc_corrected=%llu "
+            "ecc_double_bit=%llu parity_refetches=%llu "
+            "mem_retries=%llu spurious=%llu jitter_cycles=%llu\n",
+            (unsigned long long)res.faultSeed,
+            (unsigned long long)res.faultsInjected,
+            (unsigned long long)res.eccCorrected,
+            (unsigned long long)res.eccDoubleBit,
+            (unsigned long long)res.parityRefetches,
+            (unsigned long long)res.memRetries,
+            (unsigned long long)res.spuriousInterrupts,
+            (unsigned long long)res.jitterCycles);
+    }
     for (auto &[n, v] : sets) {
         (void)v;
         std::printf("%s = %llu\n", n.c_str(),
@@ -186,6 +226,27 @@ runSimulation(
         writeFile(obs.statsJsonPath, w.str() + "\n");
         inform("wrote stats to %s", obs.statsJsonPath.c_str());
     }
+
+    if (!res.ok()) {
+        std::fprintf(
+            stderr,
+            "sim error: %s: %s\n"
+            "  at cycle %llu, upc 0x%04x, restart point 0x%04x\n",
+            simErrorKindName(res.error.kind),
+            res.error.message.c_str(),
+            (unsigned long long)res.error.cycle, res.error.upc,
+            res.error.restartPoint);
+        std::fprintf(stderr, "  registers:");
+        for (size_t i = 0; i < res.error.regs.size(); ++i) {
+            std::fprintf(stderr, "%s%s=0x%llx",
+                         i % 4 == 0 ? "\n    " : "  ",
+                         res.error.regs[i].first.c_str(),
+                         (unsigned long long)res.error.regs[i].second);
+        }
+        std::fprintf(stderr, "\n");
+        return 3;
+    }
+    return 0;
 }
 
 } // namespace
@@ -244,6 +305,18 @@ main(int argc, char **argv)
                 usage();
         }
         else if (a == "--profile") obs.profile = true;
+        else if (valueOpt("--inject", &obs.injectPath)) {}
+        else if (valueOpt("--seed", &val)) {
+            obs.faultSeed = std::strtoull(val.c_str(), nullptr, 0);
+            if (!obs.faultSeed)
+                usage();
+        }
+        else if (valueOpt("--max-restarts", &val)) {
+            obs.maxRestarts = static_cast<uint32_t>(
+                std::strtoull(val.c_str(), nullptr, 0));
+            if (!obs.maxRestarts)
+                usage();
+        }
         else if (a == "--quiet") setLogLevel(LogLevel::Quiet);
         else if (a == "--verbose") setLogLevel(LogLevel::Verbose);
         else if (a == "--set") {
@@ -318,7 +391,7 @@ main(int argc, char **argv)
                             (unsigned long long)store.sizeBits());
             }
             if (run) {
-                runSimulation(
+                return runSimulation(
                     store, entry.empty() ? "main" : entry, sets, obs,
                     [](MicroSimulator &sim, MainMemory &,
                        const std::string &n, uint64_t v) {
@@ -355,7 +428,7 @@ main(int argc, char **argv)
                         cp.stats.spillStores);
         }
         if (run) {
-            runSimulation(
+            return runSimulation(
                 cp.store, entry.empty() ? prog.func(0).name : entry,
                 sets, obs,
                 [&](MicroSimulator &sim, MainMemory &mem,

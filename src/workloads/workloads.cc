@@ -552,6 +552,25 @@ loop:
 )";
 }
 
+std::string
+livelockMasmHm1()
+{
+    // The restart point is the reading word itself: when the read
+    // keeps failing (persistent mem2), every microtrap restarts
+    // straight back into the fault with no word ever retiring. The
+    // pointer and counter live in architectural registers (r8, r9)
+    // so trap scrambling does not move the fault site.
+    return R"(
+.entry main
+.restart
+main:
+    [ memrd r3, r8 ]
+    [ addi r9, r9, #1 ]
+    [ cmpi r9, #16 ] if nz jump main
+    [ ] halt
+)";
+}
+
 uint64_t
 speedupSetup(MainMemory &mem)
 {

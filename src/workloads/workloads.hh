@@ -41,6 +41,19 @@ struct Workload {
  * popcount). */
 const std::vector<Workload> &workloadSuite();
 
+/** @name Fault-recovery fixtures (chaos tests, EXPERIMENTS.md) */
+/// @{
+/**
+ * HM-1 microassembly that loops a blocking read of the address in r8
+ * from a restart point. Under a persistent uncorrectable-fault plan
+ * (mem2 at rate 1 on that address) every read exhausts its retries
+ * and microtraps back to the same restart point -- the scenario the
+ * restart-livelock and no-retire watchdogs exist to convert into a
+ * structured SimError.
+ */
+std::string livelockMasmHm1();
+/// @}
+
 /** @name E6 speedup kernel: checksum of 64 words */
 /// @{
 /** Macro-assembly version (interpreted by the HM-1 firmware). */

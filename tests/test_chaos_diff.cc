@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Chaos-differential tests: every workload runs fault-free and under
+ * the seeded recoverable fault mix (corrected ECC flips, parity
+ * re-fetches, spurious interrupts, latency jitter), and the final
+ * architectural state must be bit-identical -- injected-but-recovered
+ * faults may cost cycles but must never change results. Each chaos
+ * run is also executed on the fast and the forced-slow path, which
+ * must agree on the *entire* SimResult including the injection
+ * counters (the schedule is a pure function of plan + seed +
+ * architectural execution, not of dispatch strategy).
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "codegen/compiler.hh"
+#include "fault/fault.hh"
+#include "isa/macro.hh"
+#include "lang/yalll/yalll.hh"
+#include "machine/machines/machines.hh"
+#include "machine/memory.hh"
+#include "machine/simulator.hh"
+#include "masm/masm.hh"
+#include "workloads/workloads.hh"
+
+namespace uhll {
+namespace {
+
+constexpr uint64_t kSeeds[] = {1, 42, 0xC0FFEE};
+
+/** Final state of one run. */
+struct Snapshot {
+    SimResult res;
+    std::vector<uint64_t> regs;
+    std::vector<uint64_t> mem;
+};
+
+/** A scenario runs fresh state once per call. */
+using Scenario =
+    std::function<Snapshot(const FaultPlan *plan, bool force_slow)>;
+
+void
+expectArchIdentical(const Snapshot &clean, const Snapshot &chaos)
+{
+    // The recoverable mix never traps (no scramble), so the whole
+    // register file -- not just the architectural half -- and all of
+    // memory must match the fault-free run.
+    EXPECT_EQ(clean.regs, chaos.regs);
+    EXPECT_EQ(clean.mem, chaos.mem);
+    EXPECT_EQ(clean.res.halted, chaos.res.halted);
+    EXPECT_EQ(clean.res.wordsExecuted, chaos.res.wordsExecuted);
+    EXPECT_TRUE(chaos.res.ok());
+}
+
+void
+expectFullyIdentical(const Snapshot &a, const Snapshot &b)
+{
+    EXPECT_EQ(a.res.cycles, b.res.cycles);
+    EXPECT_EQ(a.res.wordsExecuted, b.res.wordsExecuted);
+    EXPECT_EQ(a.res.memReads, b.res.memReads);
+    EXPECT_EQ(a.res.memWrites, b.res.memWrites);
+    EXPECT_EQ(a.res.halted, b.res.halted);
+    EXPECT_EQ(a.res.faultsInjected, b.res.faultsInjected);
+    EXPECT_EQ(a.res.eccCorrected, b.res.eccCorrected);
+    EXPECT_EQ(a.res.parityRefetches, b.res.parityRefetches);
+    EXPECT_EQ(a.res.spuriousInterrupts, b.res.spuriousInterrupts);
+    EXPECT_EQ(a.res.jitterCycles, b.res.jitterCycles);
+    EXPECT_EQ(a.res.faultSeed, b.res.faultSeed);
+    EXPECT_EQ(a.regs, b.regs);
+    EXPECT_EQ(a.mem, b.mem);
+}
+
+/**
+ * The full matrix for one scenario: fault-free baseline, chaos at
+ * several seeds (architecturally identical to the baseline), chaos
+ * fast vs forced-slow (identical in every counter), and chaos
+ * repeated at one seed (deterministic replay).
+ */
+void
+chaosMatrix(const Scenario &sc)
+{
+    Snapshot clean = sc(nullptr, false);
+    ASSERT_TRUE(clean.res.halted);
+
+    uint64_t distinct_cycles = 0;
+    for (uint64_t seed : kSeeds) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        FaultPlan plan = FaultPlan::recoverable(seed);
+        Snapshot fast = sc(&plan, false);
+        expectArchIdentical(clean, fast);
+        EXPECT_GT(fast.res.faultsInjected, 0u)
+            << "chaos run injected nothing -- the mix is too mild "
+               "for this scenario";
+
+        Snapshot slow = sc(&plan, true);
+        expectFullyIdentical(fast, slow);
+
+        Snapshot again = sc(&plan, false);
+        expectFullyIdentical(fast, again);
+
+        if (fast.res.cycles != clean.res.cycles)
+            ++distinct_cycles;
+    }
+    // At least one seed must actually have perturbed the timing,
+    // otherwise the injection points are not being consulted.
+    EXPECT_GT(distinct_cycles, 0u);
+}
+
+Snapshot
+takeSnapshot(const MicroSimulator &sim, const MachineDescription &m,
+             const MainMemory &mem, SimResult res)
+{
+    Snapshot s;
+    s.res = res;
+    for (RegId r = 0; r < m.numRegisters(); ++r)
+        s.regs.push_back(sim.getReg(r));
+    for (uint32_t a = 0; a < mem.sizeWords(); ++a)
+        s.mem.push_back(mem.peek(a));
+    return s;
+}
+
+TEST(ChaosDiff, CompiledWorkloadSuite)
+{
+    for (const char *mn : {"HM-1", "VM-2", "VS-3"}) {
+        for (const Workload &w : workloadSuite()) {
+            SCOPED_TRACE(std::string(mn) + "/" + w.name);
+            chaosMatrix([&](const FaultPlan *plan, bool force_slow) {
+                MachineDescription m =
+                    mn == std::string("HM-1")   ? buildHm1()
+                    : mn == std::string("VM-2") ? buildVm2()
+                                                : buildVs3();
+                MirProgram prog = parseYalll(w.yalll, m);
+                Compiler comp(m);
+                CompiledProgram cp = comp.compile(prog, {});
+                MainMemory mem(0x10000, 16);
+                w.setup(mem);
+                SimConfig cfg;
+                cfg.forceSlowPath = force_slow;
+                std::unique_ptr<FaultInjector> inj;
+                if (plan) {
+                    inj = std::make_unique<FaultInjector>(*plan);
+                    cfg.injector = inj.get();
+                }
+                MicroSimulator sim(cp.store, mem, cfg);
+                for (auto &[n, v] : w.inputs)
+                    setVar(prog, cp, sim, mem, n, v);
+                SimResult res = sim.run("main");
+                std::string why;
+                EXPECT_TRUE(w.check(mem, &why)) << why;
+                return takeSnapshot(sim, m, mem, res);
+            });
+        }
+    }
+}
+
+TEST(ChaosDiff, HandMicrocodeWorkloads)
+{
+    for (const char *mn : {"HM-1", "VM-2"}) {
+        for (const Workload &w : workloadSuite()) {
+            SCOPED_TRACE(std::string(mn) + "/" + w.name);
+            chaosMatrix([&](const FaultPlan *plan, bool force_slow) {
+                MachineDescription m = mn == std::string("HM-1")
+                                           ? buildHm1()
+                                           : buildVm2();
+                MicroAssembler as(m);
+                ControlStore cs = as.assemble(
+                    m.name() == "HM-1" ? w.masmHm1 : w.masmVm2);
+                MainMemory mem(0x10000, 16);
+                w.setup(mem);
+                SimConfig cfg;
+                cfg.forceSlowPath = force_slow;
+                std::unique_ptr<FaultInjector> inj;
+                if (plan) {
+                    inj = std::make_unique<FaultInjector>(*plan);
+                    cfg.injector = inj.get();
+                }
+                MicroSimulator sim(cs, mem, cfg);
+                for (auto &[n, v] : w.inputs)
+                    sim.setReg(n, v);
+                SimResult res = sim.run("main");
+                std::string why;
+                EXPECT_TRUE(w.check(mem, &why)) << why;
+                return takeSnapshot(sim, m, mem, res);
+            });
+        }
+    }
+}
+
+TEST(ChaosDiff, E6MacroInterpreter)
+{
+    // Three-level tower: macrocode interpreted by HM-1 firmware,
+    // with faults injected underneath both levels.
+    chaosMatrix([&](const FaultPlan *plan, bool force_slow) {
+        MachineDescription m = buildHm1();
+        MainMemory mem(0x10000, 16);
+        uint64_t expect = speedupSetup(mem);
+        MacroProgram mp = assembleMacro(speedupMacroSource(), 0x100);
+        loadMacro(mp, mem, 0x100);
+        ControlStore fw = buildMacroInterpreter(m);
+        SimConfig cfg;
+        cfg.forceSlowPath = force_slow;
+        std::unique_ptr<FaultInjector> inj;
+        if (plan) {
+            inj = std::make_unique<FaultInjector>(*plan);
+            cfg.injector = inj.get();
+        }
+        MicroSimulator sim(fw, mem, cfg);
+        sim.setReg("r10", 0x100);
+        SimResult res = sim.run("interp");
+        EXPECT_EQ(mem.peek(0x5F0), expect);
+        return takeSnapshot(sim, m, mem, res);
+    });
+}
+
+TEST(ChaosDiff, ThroughputPathUnchangedWithoutInjector)
+{
+    // No injector: the fast path must still be taken and the fault
+    // counters stay zero -- injection support must cost nothing when
+    // off (the acceptance criterion behind the hot-loop layout).
+    const Workload &w = workloadSuite()[2];     // checksum
+    MachineDescription m = buildHm1();
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble(w.masmHm1);
+    MainMemory mem(0x10000, 16);
+    w.setup(mem);
+    MicroSimulator sim(cs, mem, SimConfig{});
+    for (auto &[n, v] : w.inputs)
+        sim.setReg(n, v);
+    SimResult res = sim.run("main");
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(res.faultsInjected, 0u);
+    EXPECT_EQ(res.faultSeed, 0u);
+    EXPECT_GT(res.fastPathWords, 0u);
+}
+
+} // namespace
+} // namespace uhll

@@ -188,6 +188,54 @@ TEST(MasmVs3, RejectsTwoOpsPerWord)
                  FatalError);
 }
 
+TEST_F(MasmTest, CollectsMultipleDiagnostics)
+{
+    // One bad line must not hide the next: the collecting overload
+    // keeps scanning and reports every error with its position.
+    std::vector<MasmDiagnostic> diags;
+    auto cs = as.assemble(
+        "[ frobnicate r1 ]\n"           // line 1: unknown mnemonic
+        "[ mova r1, r99 ]\n"            // line 2: unknown register
+        "[ addi r1, r1, #1 ]\n"         // fine
+        "[ shl r1, r2, #99 ]\n"         // line 4: immediate too wide
+        "[ ] jump nowhere\n",           // line 5: undefined label
+        diags);
+    EXPECT_FALSE(cs.has_value());
+    ASSERT_EQ(diags.size(), 4u);
+    EXPECT_EQ(diags[0].line, 1);
+    EXPECT_GT(diags[0].col, 0);
+    EXPECT_NE(diags[0].message.find("frobnicate"), std::string::npos);
+    EXPECT_EQ(diags[1].line, 2);
+    EXPECT_NE(diags[1].message.find("r99"), std::string::npos);
+    EXPECT_EQ(diags[2].line, 4);
+    EXPECT_EQ(diags[3].line, 5);
+    EXPECT_NE(diags[3].message.find("nowhere"), std::string::npos);
+}
+
+TEST_F(MasmTest, CollectingOverloadSucceedsCleanly)
+{
+    std::vector<MasmDiagnostic> diags;
+    auto cs = as.assemble("[ ldi r1, #1 ]\n[ ] halt\n", diags);
+    ASSERT_TRUE(cs.has_value());
+    EXPECT_TRUE(diags.empty());
+    EXPECT_EQ(cs->size(), 2u);
+}
+
+TEST_F(MasmTest, ThrowingOverloadListsEveryDiagnostic)
+{
+    // The classic interface still throws, but the message now carries
+    // the whole batch, line:col included.
+    try {
+        as.assemble("[ frobnicate r1 ]\n[ mova r1, r99 ]\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("2 errors"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("line 1:"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("line 2:"), std::string::npos) << msg;
+    }
+}
+
 TEST_F(MasmTest, ListingRoundTrip)
 {
     ControlStore cs = as.assemble(

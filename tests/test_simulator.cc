@@ -364,6 +364,103 @@ TEST_F(SimTest, WordIsTransactionalOnFault)
     EXPECT_EQ(sim.getReg("r1"), 99u);   // committed on the re-run only
 }
 
+TEST_F(SimTest, OverlappedStoreCommitFaultMicrotraps)
+{
+    // Regression: an overlapped store whose page is non-present at
+    // commit time used to bring the whole simulation down with
+    // fatal(). It is a page fault like any other -- service the page,
+    // microtrap, restart, and the re-issued store commits.
+    mem.enablePaging(0x100);
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble(
+        ".restart\n"
+        "[ memwr.ov r8, r9 ]\n"
+        "[ addi r10, r10, #1 ]\n"
+        "[ addi r10, r10, #1 ]\n"
+        "[ addi r10, r10, #1 ]\n"
+        "[ ] halt\n");
+    MicroSimulator sim(cs, mem, SimConfig{});
+    sim.setReg("r8", 0x300);    // page never serviced before commit
+    sim.setReg("r9", 0x77);
+    auto res = sim.run(0u);
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(res.pageFaults, 1u);
+    EXPECT_EQ(mem.peek(0x300), 0x77u);
+}
+
+TEST_F(SimTest, MicrotrapWithNonEmptyMicroStack)
+{
+    // Fault inside a microsubroutine: the trap clears the micro stack
+    // along with the pending queue, and the restarted routine calls
+    // back in and completes. r10 counts trips through the restart
+    // point, so exactly one restart is visible.
+    mem.enablePaging(0x100);
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble(
+        ".restart\n"
+        "[ addi r10, r10, #1 ] call sub\n"
+        "[ ] halt\n"
+        "sub:\n"
+        "[ memrd r1, r8 ]\n"
+        "[ mova r9, r1 ] return\n");
+    MicroSimulator sim(cs, mem, SimConfig{});
+    sim.setReg("r8", 0x41F);
+    mem.poke(0x41F, 0xBEEF);
+    auto res = sim.run(0u);
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(res.pageFaults, 1u);
+    EXPECT_EQ(sim.getReg("r10"), 2u);       // one restart
+    EXPECT_EQ(sim.getReg("r9"), 0xBEEFu);
+}
+
+TEST_F(SimTest, NoScrambleKeepsMicroTempsAcrossTrap)
+{
+    // The inverse of TrapScramblesMicroTemps: with scrambling off a
+    // stale micro temp survives the restart -- the configuration the
+    // differential tests use to observe transactional word commit.
+    mem.enablePaging(0x100);
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble(
+        "[ ldi r1, #0x5555 ]\n"
+        ".restart\n"
+        "[ memrd r2, r8 ]\n"
+        "[ ] halt\n");
+    SimConfig cfg;
+    cfg.scrambleOnTrap = false;
+    MicroSimulator sim(cs, mem, cfg);
+    sim.setReg("r8", 0x100);
+    auto res = sim.run(0u);
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(res.pageFaults, 1u);
+    EXPECT_EQ(sim.getReg("r1"), 0x5555u);
+}
+
+TEST_F(SimTest, InterruptLatencyAccruesAcrossFaultService)
+{
+    // An interrupt pending before a page fault keeps waiting through
+    // the 50-cycle service window; the latency accounting must charge
+    // that whole window, not just the polling distance.
+    mem.enablePaging(0x100);
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble(
+        ".restart\n"
+        "[ memrd r9, r8 ]\n"
+        "poll:\n"
+        "[ ] if noint jump poll\n"
+        "[ intack ]\n"
+        "[ ] halt\n");
+    MicroSimulator sim(cs, mem, SimConfig{});
+    sim.interruptEvery(100000, 0);  // pending from cycle 0
+    sim.setReg("r8", 0x41F);
+    mem.poke(0x41F, 0xBEEF);
+    auto res = sim.run(0u);
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(res.pageFaults, 1u);
+    EXPECT_EQ(res.interruptsServiced, 1u);
+    EXPECT_GE(res.interruptLatencyTotal, 50u);
+    EXPECT_EQ(sim.getReg("r9"), 0xBEEFu);
+}
+
 TEST(SimVs3, VerticalExecution)
 {
     MachineDescription m = buildVs3();
