@@ -12,9 +12,8 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hh"
+#include "driver/frontend.hh"
 #include "support/logging.hh"
-#include "lang/empl/empl.hh"
-#include "lang/simpl/simpl.hh"
 
 using namespace uhll;
 using namespace uhll::bench;
@@ -55,7 +54,7 @@ printTable()
         for (const char *mn : {"HM-1", "VM-2"}) {
             MachineDescription m = machineByName(mn);
             std::string src = simplDispatch(bits);
-            MirProgram prog = parseSimpl(src, m);
+            MirProgram prog = translateToMir("simpl", src, m);
             Compiler comp(m);
             CompiledProgram cp = comp.compile(prog, {});
             MainMemory mem(0x10000, 16);
@@ -83,7 +82,7 @@ void
 BM_Dispatch16ArmsHm1(benchmark::State &state)
 {
     MachineDescription m = buildHm1();
-    MirProgram prog = parseSimpl(simplDispatch(4), m);
+    MirProgram prog = translateToMir("simpl", simplDispatch(4), m);
     Compiler comp(m);
     CompiledProgram cp = comp.compile(prog, {});
     for (auto _ : state) {

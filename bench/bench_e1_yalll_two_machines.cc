@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hh"
+#include "driver/frontend.hh"
 
 using namespace uhll;
 using namespace uhll::bench;
@@ -66,7 +67,7 @@ BM_CompileSuiteHm1(benchmark::State &state)
     MachineDescription m = buildHm1();
     const Workload &w = workloadSuite()[0];
     for (auto _ : state) {
-        MirProgram prog = parseYalll(w.yalll, m);
+        MirProgram prog = translateToMir("yalll", w.yalll, m);
         Compiler comp(m);
         benchmark::DoNotOptimize(comp.compile(prog, {}));
     }
@@ -78,7 +79,7 @@ BM_SimulateTransliterateHm1(benchmark::State &state)
 {
     MachineDescription m = buildHm1();
     const Workload &w = workloadSuite()[0];
-    MirProgram prog = parseYalll(w.yalll, m);
+    MirProgram prog = translateToMir("yalll", w.yalll, m);
     Compiler comp(m);
     CompiledProgram cp = comp.compile(prog, {});
     uint64_t cycles = 0;

@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hh"
+#include "driver/frontend.hh"
 #include "schedule/compact.hh"
 
 using namespace uhll;
@@ -29,8 +30,8 @@ printTable()
         for (const Workload &w : workloadSuite()) {
             Outcome h = runHand(w, m);
             for (auto &c : compactors) {
-                CompileOptions opts;
-                opts.compactor = c.get();
+                PipelineOptions opts;
+                opts.compactor = c->name();
                 Outcome o = runCompiled(w, m, opts);
                 double growth =
                     100.0 * (double(o.words) - double(h.words)) /
@@ -53,7 +54,7 @@ BM_CompactChecksumTokoro(benchmark::State &state)
 {
     MachineDescription m = buildHm1();
     const Workload &w = workloadSuite()[2];
-    MirProgram prog = parseYalll(w.yalll, m);
+    MirProgram prog = translateToMir("yalll", w.yalll, m);
     Compiler comp(m);
     for (auto _ : state)
         benchmark::DoNotOptimize(comp.compile(prog, {}));

@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hh"
+#include "driver/frontend.hh"
 
 using namespace uhll;
 using namespace uhll::bench;
@@ -51,7 +52,7 @@ BM_SimulateVertical(benchmark::State &state)
 {
     MachineDescription m = buildVs3();
     const Workload &w = workloadSuite()[2];
-    MirProgram prog = parseYalll(w.yalll, m);
+    MirProgram prog = translateToMir("yalll", w.yalll, m);
     Compiler comp(m);
     CompiledProgram cp = comp.compile(prog, {});
     for (auto _ : state) {

@@ -12,8 +12,8 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hh"
+#include "driver/frontend.hh"
 #include "isa/macro.hh"
-#include "lang/empl/empl.hh"
 
 using namespace uhll;
 using namespace uhll::bench;
@@ -45,7 +45,7 @@ runEmplVersion(const MachineDescription &m)
 {
     MainMemory mem(0x10000, 16);
     speedupSetup(mem);
-    MirProgram prog = parseEmpl(speedupEmplSource(), m, {});
+    MirProgram prog = translateToMir("empl", speedupEmplSource(), m);
     Compiler comp(m);
     CompiledProgram cp = comp.compile(prog, {});
     MicroSimulator sim(cp.store, mem);
@@ -59,8 +59,9 @@ runHandVersion(const MachineDescription &m)
 {
     MainMemory mem(0x10000, 16);
     speedupSetup(mem);
-    MicroAssembler as(m);
-    ControlStore cs = as.assemble(speedupMasmHm1());
+    Translation t = FrontendRegistry::get("masm").translate(
+        speedupMasmHm1(), m, {});
+    ControlStore cs = std::move(t.direct->store);
     MicroSimulator sim(cs, mem);
     sim.setReg("r1", 0x400);
     sim.setReg("r5", 64);

@@ -12,7 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hh"
-#include "lang/empl/empl.hh"
+#include "driver/frontend.hh"
 
 using namespace uhll;
 using namespace uhll::bench;
@@ -49,7 +49,7 @@ programWithUses(int uses, bool hardware_op)
 uint32_t
 wordsFor(const std::string &src, const MachineDescription &m)
 {
-    MirProgram prog = parseEmpl(src, m, {});
+    MirProgram prog = translateToMir("empl", src, m);
     Compiler comp(m);
     return comp.compile(prog, {}).stats.words;
 }
@@ -83,7 +83,7 @@ BM_Expand32Uses(benchmark::State &state)
     MachineDescription m = buildHm1();
     std::string src = programWithUses(32, false);
     for (auto _ : state) {
-        MirProgram prog = parseEmpl(src, m, {});
+        MirProgram prog = translateToMir("empl", src, m);
         Compiler comp(m);
         benchmark::DoNotOptimize(comp.compile(prog, {}));
     }

@@ -10,7 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hh"
-#include "lang/simpl/simpl.hh"
+#include "driver/frontend.hh"
 
 using namespace uhll;
 using namespace uhll::bench;
@@ -81,7 +81,7 @@ printTable()
     };
 
     {
-        MirProgram prog = parseSimpl(kFpMul, m);
+        MirProgram prog = translateToMir("simpl", kFpMul, m);
         measure("fpmul (SIMPL)", prog,
                 {{"r0", 0},
                  {"r1", (3u << 10) | 0x2AB},
@@ -89,7 +89,7 @@ printTable()
                 nullptr);
     }
     for (const Workload &w : workloadSuite()) {
-        MirProgram prog = parseYalll(w.yalll, m);
+        MirProgram prog = translateToMir("yalll", w.yalll, m);
         measure(w.name, prog, w.inputs, w.setup);
     }
     std::printf("\n(paper: SIMPL was the first compiler to extract "
@@ -100,7 +100,7 @@ void
 BM_CompileFpMulCompact(benchmark::State &state)
 {
     MachineDescription m = buildHm1();
-    MirProgram prog = parseSimpl(kFpMul, m);
+    MirProgram prog = translateToMir("simpl", kFpMul, m);
     Compiler comp(m);
     for (auto _ : state)
         benchmark::DoNotOptimize(comp.compile(prog, {}));

@@ -34,19 +34,18 @@ namespace {
 /** One workload compiled for one machine, ready to simulate. */
 struct Prepped {
     const Workload *w;
-    MirProgram prog;
-    CompiledProgram cp;
+    //! shared compiled artefact: control store + pre-decoded word
+    //! cache + variable bindings, via the process-wide Toolchain
+    std::shared_ptr<const Artefact> art;
 };
 
 std::vector<Prepped>
-prepSuite(const MachineDescription &m)
+prepSuite(const std::string &machine_name)
 {
     std::vector<Prepped> out;
     for (const Workload &w : workloadSuite()) {
-        MirProgram prog = parseYalll(w.yalll, m);
-        Compiler comp(m);
-        CompiledProgram cp = comp.compile(prog, {});
-        out.push_back({&w, std::move(prog), std::move(cp)});
+        out.push_back({&w, toolchain().compile(
+                               workloadJob(w, machine_name, false))});
     }
     return out;
 }
@@ -118,9 +117,12 @@ measureSuite(const std::vector<Prepped> &suite, double min_seconds,
                 inj = std::make_unique<FaultInjector>(*plan);
                 cfg.injector = inj.get();
             }
-            MicroSimulator sim(p.cp.store, mem, cfg);
+            // Every simulator of one artefact shares its
+            // pre-decoded word cache (SimConfig::decoded).
+            cfg.decoded = p.art->decoded.get();
+            MicroSimulator sim(p.art->store(), mem, cfg);
             for (auto &[n, v] : p.w->inputs)
-                setVar(p.prog, p.cp, sim, mem, n, v);
+                p.art->setVariable(sim, mem, n, v);
             auto t0 = clock::now();
             SimResult res = sim.run("main");
             auto t1 = clock::now();
@@ -164,8 +166,7 @@ printTableAndJson()
     w.value("suite", "E1 YALLL compiled");
     w.beginObject("machines");
     for (const char *mn : kMachines) {
-        MachineDescription m = machineByName(mn);
-        std::vector<Prepped> suite = prepSuite(m);
+        std::vector<Prepped> suite = prepSuite(mn);
         Measurement fast = measureSuite(suite, 0.25);
         // Forced slow path: how much the fast path buys on the same
         // binary (the cross-PR trajectory lives in EXPERIMENTS.md).
@@ -222,17 +223,18 @@ printTableAndJson()
 void
 BM_SimSuite(benchmark::State &state, const char *mn)
 {
-    MachineDescription m = machineByName(mn);
-    std::vector<Prepped> suite = prepSuite(m);
+    std::vector<Prepped> suite = prepSuite(mn);
     uint64_t words = 0, cycles = 0;
     for (auto _ : state) {
         for (const Prepped &p : suite) {
             state.PauseTiming();
             MainMemory mem(0x10000, 16);
             p.w->setup(mem);
-            MicroSimulator sim(p.cp.store, mem);
+            SimConfig cfg;
+            cfg.decoded = p.art->decoded.get();
+            MicroSimulator sim(p.art->store(), mem, cfg);
             for (auto &[n, v] : p.w->inputs)
-                setVar(p.prog, p.cp, sim, mem, n, v);
+                p.art->setVariable(sim, mem, n, v);
             state.ResumeTiming();
             SimResult res = sim.run("main");
             words += res.wordsExecuted;

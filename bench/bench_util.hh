@@ -6,6 +6,12 @@
  * Each bench binary prints its paper-style table on stdout, then
  * runs its registered google-benchmark timers (compile and simulate
  * throughput of the pieces it exercises).
+ *
+ * Workload runs go through the shared Toolchain facade (one
+ * process-wide instance, so repeated runs of one (machine, program)
+ * pair reuse the compiled artefact and its decoded-word cache);
+ * benchmarks that time individual pipeline stages keep driving
+ * Compiler and the pass functions directly.
  */
 
 #ifndef UHLL_BENCH_BENCH_UTIL_HH
@@ -14,10 +20,8 @@
 #include <cstdio>
 #include <string>
 
-#include "codegen/compiler.hh"
-#include "lang/yalll/yalll.hh"
+#include "driver/toolchain.hh"
 #include "machine/machines/machines.hh"
-#include "masm/masm.hh"
 #include "support/logging.hh"
 #include "workloads/workloads.hh"
 
@@ -33,6 +37,14 @@ machineByName(const std::string &n)
     if (n == "VS-3")
         return buildVs3();
     fatal("unknown machine '%s'", n.c_str());
+}
+
+/** The process-wide facade every workload run goes through. */
+inline const Toolchain &
+toolchain()
+{
+    static Toolchain tc;
+    return tc;
 }
 
 /** Outcome of one measured run. */
@@ -56,75 +68,60 @@ struct Outcome {
  */
 inline void
 reportFailure(const char *how, const Workload &w,
-              const MachineDescription &m, const SimResult &res,
-              const SimConfig &cfg, const std::string &why)
+              const MachineDescription &m, const JobResult &r)
 {
-    if (!res.halted)
+    if (r.ran && !r.sim.halted) {
         std::fprintf(stderr,
                      "FAILED %s%s on %s: cycle budget exhausted "
                      "(maxCycles=%llu, executed %llu words)\n",
                      how, w.name.c_str(), m.name().c_str(),
-                     (unsigned long long)cfg.maxCycles,
-                     (unsigned long long)res.wordsExecuted);
-    else
-        std::fprintf(stderr, "FAILED %s%s on %s: %s\n", how,
-                     w.name.c_str(), m.name().c_str(), why.c_str());
+                     (unsigned long long)SimConfig{}.maxCycles,
+                     (unsigned long long)r.sim.wordsExecuted);
+        return;
+    }
+    std::string why;
+    for (const std::string &d : r.diagnostics)
+        why += (why.empty() ? "" : "; ") + d;
+    std::fprintf(stderr, "FAILED %s%s on %s: %s\n", how,
+                 w.name.c_str(), m.name().c_str(), why.c_str());
+}
+
+inline Outcome
+runWorkloadJob(const Workload &w, const MachineDescription &m,
+               bool hand, const PipelineOptions &opts,
+               const char *how)
+{
+    JobResult r = toolchain().run(workloadJob(w, m.name(), hand,
+                                              opts));
+    Outcome o;
+    o.ok = r.ok;
+    if (r.artefact) {
+        o.words = r.artefact->store().size();
+        o.bits = r.artefact->store().sizeBits();
+    }
+    if (r.ran) {
+        o.cycles = r.sim.cycles;
+        o.halted = r.sim.halted;
+        o.res = r.sim;
+    }
+    if (!o.ok)
+        reportFailure(how, w, m, r);
+    return o;
 }
 
 /** Compile a workload's YALLL source for @p m and run it. */
 inline Outcome
 runCompiled(const Workload &w, const MachineDescription &m,
-            const CompileOptions &opts = {})
+            const PipelineOptions &opts = {})
 {
-    MirProgram prog = parseYalll(w.yalll, m);
-    Compiler comp(m);
-    CompiledProgram cp = comp.compile(prog, opts);
-    MainMemory mem(0x10000, 16);
-    w.setup(mem);
-    SimConfig cfg;
-    MicroSimulator sim(cp.store, mem, cfg);
-    for (auto &[n, v] : w.inputs)
-        setVar(prog, cp, sim, mem, n, v);
-    SimResult res = sim.run("main");
-    Outcome o;
-    o.cycles = res.cycles;
-    o.words = cp.store.size();
-    o.bits = cp.store.sizeBits();
-    o.halted = res.halted;
-    o.res = res;
-    std::string why;
-    o.ok = res.halted && w.check(mem, &why);
-    if (!o.ok)
-        reportFailure("", w, m, res, cfg, why);
-    return o;
+    return runWorkloadJob(w, m, false, opts, "");
 }
 
 /** Assemble a workload's hand microcode for @p m and run it. */
 inline Outcome
 runHand(const Workload &w, const MachineDescription &m)
 {
-    const std::string &src =
-        m.name() == "HM-1" ? w.masmHm1 : w.masmVm2;
-    MicroAssembler as(m);
-    ControlStore cs = as.assemble(src);
-    MainMemory mem(0x10000, 16);
-    w.setup(mem);
-    SimConfig cfg;
-    MicroSimulator sim(cs, mem, cfg);
-    for (auto &[n, v] : w.inputs)
-        sim.setReg(n, v);
-    SimResult res = sim.run("main");
-    Outcome o;
-    o.cycles = res.cycles;
-    o.words = cs.size();
-    o.bits = cs.sizeBits();
-    o.halted = res.halted;
-    o.res = res;
-    std::string why;
-    o.ok = res.halted && w.check(mem, &why);
-    if (!o.ok)
-        reportFailure("hand ", w, m, res, cfg, why);
-    return o;
+    return runWorkloadJob(w, m, true, {}, "hand ");
 }
 
 } // namespace uhll::bench

@@ -9,9 +9,7 @@
 #include <cstdio>
 #include <cstring>
 
-#include "codegen/compiler.hh"
-#include "lang/empl/empl.hh"
-#include "machine/machines/machines.hh"
+#include "driver/toolchain.hh"
 
 using namespace uhll;
 
@@ -58,29 +56,31 @@ main(int argc, char **argv)
             use_microops = false;
     }
 
-    MachineDescription m = buildHm1();
-    EmplOptions eo;
-    eo.useMicroOps = use_microops;
-    MirProgram prog = parseEmpl(kProgram, m, eo);
-    Compiler comp(m);
-    CompiledProgram cp = comp.compile(prog, {});
+    Toolchain tc;
+    Job job;
+    job.lang = "empl";
+    job.machine = "hm1";
+    job.source = kProgram;
+    job.options.frontend.emplUseMicroOps = use_microops;
+    job.sets = {{"a", 111}, {"b", 222}, {"c", 0}};
 
     std::printf("mode: %s\n",
                 use_microops ? "hardware MICROOP bindings"
                              : "body expansion (--no-microops)");
-    std::printf("%s\n", cp.store.listing().c_str());
+    std::printf("%s\n",
+                tc.compile(job)->store().listing().c_str());
 
-    MainMemory mem(0x10000, 16);
-    MicroSimulator sim(cp.store, mem);
-    setVar(prog, cp, sim, mem, "a", 111);
-    setVar(prog, cp, sim, mem, "b", 222);
-    SimResult res = sim.run("main");
-
+    JobResult res = tc.run(job);
+    if (!res.ok) {
+        for (const std::string &d : res.diagnostics)
+            std::printf("failed: %s\n", d.c_str());
+        return 1;
+    }
     std::printf("a=%llu b=%llu c=%llu (expect a=111, c=222)\n",
-                (unsigned long long)getVar(prog, cp, sim, mem, "a"),
-                (unsigned long long)getVar(prog, cp, sim, mem, "b"),
-                (unsigned long long)getVar(prog, cp, sim, mem, "c"));
-    std::printf("words=%u cycles=%llu\n", cp.stats.words,
-                (unsigned long long)res.cycles);
-    return res.halted ? 0 : 1;
+                (unsigned long long)res.vars[0].second,
+                (unsigned long long)res.vars[1].second,
+                (unsigned long long)res.vars[2].second);
+    std::printf("words=%u cycles=%llu\n", res.artefact->stats().words,
+                (unsigned long long)res.sim.cycles);
+    return 0;
 }

@@ -2,16 +2,15 @@
  * @file
  * Quickstart: compile a small YALLL program for the clean horizontal
  * machine HM-1, run it on the micro simulator, and look at the
- * generated microcode.
+ * generated microcode -- all through the uhll::Toolchain facade
+ * (this file is the README's "Library API" example).
  *
  * Build & run:  ./build/examples/quickstart
  */
 
 #include <cstdio>
 
-#include "codegen/compiler.hh"
-#include "lang/yalll/yalll.hh"
-#include "machine/machines/machines.hh"
+#include "driver/toolchain.hh"
 
 using namespace uhll;
 
@@ -36,33 +35,32 @@ done:
     exit
 )";
 
-    // 1. Pick a machine and parse the program into the compiler IR.
-    MachineDescription hm1 = buildHm1();
-    MirProgram prog = parseYalll(src, hm1);
+    // 1. Describe the work: language, machine, source, inputs.
+    //    Names in `sets` are applied before the run and read back
+    //    into JobResult::vars afterwards.
+    Toolchain tc;
+    Job job;
+    job.lang = "yalll";
+    job.machine = "hm1";
+    job.source = src;
+    job.sets = {{"n", 100}, {"sum", 0}};
 
-    // 2. Compile: legalise, allocate registers, compose
-    //    microinstructions, emit a control store.
-    Compiler compiler(hm1);
-    CompiledProgram cp = compiler.compile(prog, {});
+    // 2. Compile only, to look at the microcode. The artefact is
+    //    cached: run() below reuses it rather than recompiling.
+    std::shared_ptr<const Artefact> art = tc.compile(job);
+    std::printf("=== generated microcode (%zu words, %u-bit each) ===\n",
+                art->store().size(),
+                art->machine->controlWordBits());
+    std::printf("%s\n", art->store().listing().c_str());
 
-    std::printf("=== generated microcode (%u words, %u-bit each) ===\n",
-                cp.stats.words, hm1.controlWordBits());
-    std::printf("%s\n", cp.store.listing().c_str());
+    // 3. The full pipeline: compile (cache hit), simulate, read back.
+    JobResult res = tc.run(job);
 
-    // 3. Run it.
-    MainMemory mem(0x10000, 16);
-    MicroSimulator sim(cp.store, mem);
-    setVar(prog, cp, sim, mem, "n", 100);
-    SimResult res = sim.run("main");
-
-    std::printf("halted: %s\n", res.halted ? "yes" : "no");
+    std::printf("halted: %s\n", res.sim.halted ? "yes" : "no");
     std::printf("sum(1..100) = %llu (expected 5050)\n",
-                (unsigned long long)getVar(prog, cp, sim, mem, "sum"));
+                (unsigned long long)res.vars[1].second);
     std::printf("cycles: %llu, words executed: %llu\n",
-                (unsigned long long)res.cycles,
-                (unsigned long long)res.wordsExecuted);
-    return res.halted &&
-                   getVar(prog, cp, sim, mem, "sum") == 5050
-               ? 0
-               : 1;
+                (unsigned long long)res.sim.cycles,
+                (unsigned long long)res.sim.wordsExecuted);
+    return res.ok && res.vars[1].second == 5050 ? 0 : 1;
 }

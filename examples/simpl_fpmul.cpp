@@ -8,9 +8,7 @@
 
 #include <cstdio>
 
-#include "codegen/compiler.hh"
-#include "lang/simpl/simpl.hh"
-#include "machine/machines/machines.hh"
+#include "driver/toolchain.hh"
 
 using namespace uhll;
 
@@ -52,29 +50,28 @@ main()
     uint64_t a = (3u << 10) | 0x155;    // exp 3
     uint64_t b = (2u << 10) | 0x001;    // exp 2, mantissa 1
 
-    std::vector<MachineDescription> machines;
-    machines.push_back(buildHm1());
-    machines.push_back(buildVm2());
-    machines.push_back(buildVs3());
-    for (MachineDescription &m : machines) {
-        MirProgram prog = parseSimpl(kFpMul, m);
-        Compiler comp(m);
-        CompiledProgram cp = comp.compile(prog, {});
-
-        MainMemory mem(0x1000, 16);
-        MicroSimulator sim(cp.store, mem);
-        setVar(prog, cp, sim, mem, "r0", 0);
-        setVar(prog, cp, sim, mem, "r1", a);
-        setVar(prog, cp, sim, mem, "r2", b);
-        SimResult res = sim.run("fpmul");
-
+    Toolchain tc;
+    for (const std::string &mn : machineNames()) {
+        Job job;
+        job.lang = "simpl";
+        job.machine = mn;
+        job.source = kFpMul;
+        job.entry = "fpmul";
+        job.sets = {{"r0", 0}, {"r1", a}, {"r2", b}, {"r5", 0}};
+        JobResult res = tc.run(job);
+        if (!res.ok) {
+            for (const std::string &d : res.diagnostics)
+                std::printf("fpmul failed on %s: %s\n", mn.c_str(),
+                            d.c_str());
+            return 1;
+        }
         std::printf("%-5s  words=%-3u cycles=%-5llu  "
                     "%04llx * %04llx -> %04llx\n",
-                    m.name().c_str(), cp.stats.words,
-                    (unsigned long long)res.cycles,
+                    res.artefact->machine->name().c_str(),
+                    res.artefact->stats().words,
+                    (unsigned long long)res.sim.cycles,
                     (unsigned long long)a, (unsigned long long)b,
-                    (unsigned long long)getVar(prog, cp, sim, mem,
-                                               "r5"));
+                    (unsigned long long)res.vars[3].second);
     }
     return 0;
 }

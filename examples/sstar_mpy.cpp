@@ -9,10 +9,7 @@
 
 #include <cstdio>
 
-#include "lang/sstar/sstar.hh"
-#include "machine/machines/machines.hh"
-#include "machine/simulator.hh"
-#include "verify/verifier.hh"
+#include "driver/toolchain.hh"
 
 using namespace uhll;
 
@@ -56,28 +53,23 @@ end
 int
 main()
 {
-    MachineDescription m = buildHm1();
-    SstarProgram p = compileSstar(kMpy, m);
+    Toolchain tc;
+    Job job;
+    job.lang = "sstar";
+    job.machine = "hm1";
+    job.source = kMpy;
+    job.sets = {{"mpr", 23}, {"mpnd", 19}, {"product", 0}};
+    job.verify = true;      // bounded check of the assertions
 
     std::printf("=== S(HM-1) microcode (%zu words) ===\n",
-                p.store.size());
-    std::printf("%s\n", p.store.listing().c_str());
+                tc.compile(job)->store().size());
+    std::printf("%s\n", tc.compile(job)->store().listing().c_str());
 
-    // Run one multiplication.
-    MainMemory mem(0x1000, 16);
-    MicroSimulator sim(p.store, mem);
-    sim.setReg(p.vars.at("mpr"), 23);
-    sim.setReg(p.vars.at("mpnd"), 19);
-    sim.setReg(p.vars.at("product"), 0);
-    SimResult res = sim.run("main");
+    JobResult res = tc.run(job);
     std::printf("23 * 19 = %llu (cycles: %llu)\n",
-                (unsigned long long)sim.getReg(p.vars.at("product")),
-                (unsigned long long)res.cycles);
+                (unsigned long long)res.vars[2].second,
+                (unsigned long long)res.sim.cycles);
 
-    // Bounded verification of the program's assertions.
-    VerifyOptions vo;
-    vo.trials = 50;
-    VerifyResult vr = verifySstar(p, vo);
-    std::printf("\n=== verifier ===\n%s", vr.report.c_str());
-    return vr.ok && res.halted ? 0 : 1;
+    std::printf("\n=== verifier ===\n%s", res.verifyReport.c_str());
+    return res.ok ? 0 : 1;
 }

@@ -7,9 +7,7 @@
 
 #include <cstdio>
 
-#include "lang/sstar/sstar.hh"
-#include "machine/machines/machines.hh"
-#include "verify/verifier.hh"
+#include "driver/toolchain.hh"
 
 using namespace uhll;
 
@@ -53,19 +51,22 @@ end
 int
 main()
 {
-    MachineDescription m = buildHm1();
-    VerifyOptions vo;
-    vo.trials = 60;
+    Toolchain tc;
+    Job job;
+    job.lang = "sstar";
+    job.machine = "hm1";
+    job.verify = true;
+    job.run = false;        // verification only
 
     std::printf("=== correct routine ===\n");
-    SstarProgram good = compileSstar(kGood, m);
-    VerifyResult rg = verifySstar(good, vo);
-    std::printf("%s\n", rg.report.c_str());
+    job.source = kGood;
+    JobResult good = tc.run(job);
+    std::printf("%s\n", good.verifyReport.c_str());
 
     std::printf("=== deliberately broken assertion ===\n");
-    SstarProgram bad = compileSstar(kBad, m);
-    VerifyResult rb = verifySstar(bad, vo);
-    std::printf("%s\n", rb.report.c_str());
+    job.source = kBad;
+    JobResult bad = tc.run(job);
+    std::printf("%s\n", bad.verifyReport.c_str());
 
-    return rg.ok && !rb.ok ? 0 : 1;
+    return good.ok && bad.verified && !bad.verifyOk ? 0 : 1;
 }

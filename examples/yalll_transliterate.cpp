@@ -9,10 +9,7 @@
 
 #include <cstdio>
 
-#include "codegen/compiler.hh"
-#include "lang/yalll/yalll.hh"
-#include "machine/machines/machines.hh"
-#include "masm/masm.hh"
+#include "driver/toolchain.hh"
 #include "workloads/workloads.hh"
 
 using namespace uhll;
@@ -21,60 +18,30 @@ int
 main()
 {
     const Workload &w = workloadSuite()[0];     // transliterate
+    Toolchain tc;
 
     std::printf("%-6s %-10s %8s %8s %10s\n", "mach", "version",
                 "words", "cycles", "bits");
 
-    std::vector<MachineDescription> machines;
-    machines.push_back(buildHm1());
-    machines.push_back(buildVm2());
-    machines.push_back(buildVs3());
-
-    for (MachineDescription &m : machines) {
-        // Compiled from the single YALLL source.
-        MirProgram prog = parseYalll(w.yalll, m);
-        Compiler comp(m);
-        CompiledProgram cp = comp.compile(prog, {});
-        MainMemory mem(0x10000, 16);
-        w.setup(mem);
-        MicroSimulator sim(cp.store, mem);
-        for (auto &[n, v] : w.inputs)
-            setVar(prog, cp, sim, mem, n, v);
-        SimResult res = sim.run("main");
-        std::string why;
-        if (!res.halted || !w.check(mem, &why)) {
-            std::printf("compiled run failed on %s: %s\n",
-                        m.name().c_str(), why.c_str());
-            return 1;
+    for (const std::string &mn : machineNames()) {
+        for (bool hand : {false, true}) {
+            if (hand && mn == "vs3")
+                continue;       // no hand baseline for the vertical
+            JobResult r = tc.run(workloadJob(w, mn, hand));
+            if (!r.ok) {
+                for (const std::string &d : r.diagnostics)
+                    std::printf("%s run failed on %s: %s\n",
+                                hand ? "hand" : "compiled",
+                                mn.c_str(), d.c_str());
+                return 1;
+            }
+            std::printf("%-6s %-10s %8zu %8llu %10llu\n", mn.c_str(),
+                        hand ? "hand" : "compiled",
+                        r.artefact->store().size(),
+                        (unsigned long long)r.sim.cycles,
+                        (unsigned long long)r.artefact->store()
+                            .sizeBits());
         }
-        std::printf("%-6s %-10s %8zu %8llu %10llu\n",
-                    m.name().c_str(), "compiled", cp.store.size(),
-                    (unsigned long long)res.cycles,
-                    (unsigned long long)cp.store.sizeBits());
-
-        // Hand-written baseline (horizontal machines only).
-        const std::string &hand =
-            m.name() == "HM-1" ? w.masmHm1
-            : m.name() == "VM-2" ? w.masmVm2 : std::string();
-        if (hand.empty())
-            continue;
-        MicroAssembler as(m);
-        ControlStore cs = as.assemble(hand);
-        MainMemory mem2(0x10000, 16);
-        w.setup(mem2);
-        MicroSimulator sim2(cs, mem2);
-        for (auto &[n, v] : w.inputs)
-            sim2.setReg(n, v);
-        SimResult res2 = sim2.run("main");
-        if (!res2.halted || !w.check(mem2, &why)) {
-            std::printf("hand run failed on %s: %s\n",
-                        m.name().c_str(), why.c_str());
-            return 1;
-        }
-        std::printf("%-6s %-10s %8zu %8llu %10llu\n",
-                    m.name().c_str(), "hand", cs.size(),
-                    (unsigned long long)res2.cycles,
-                    (unsigned long long)cs.sizeBits());
     }
     return 0;
 }

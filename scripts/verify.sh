@@ -46,6 +46,20 @@ print("obs smoke: OK")
 EOF
 )
 
+# Batch-driver determinism smoke: the same manifest serially and at
+# -j8 must produce byte-identical reports once timing fields are
+# suppressed. cmp (not a JSON-aware diff) is the point: the guarantee
+# is bit-identical output, not merely equivalent output.
+(
+    cd build
+    ./src/uhllc --batch ../tests/data/batch_smoke.json -j1 \
+        --no-timings --report batch_j1.json >/dev/null
+    ./src/uhllc --batch ../tests/data/batch_smoke.json -j8 \
+        --no-timings --report batch_j8.json >/dev/null
+    cmp batch_j1.json batch_j8.json
+    echo "batch determinism smoke: OK"
+)
+
 if [[ "$run_bench" == 1 ]]; then
     (cd build && UHLL_BENCH_JSON=BENCH_sim.json \
         ./bench/bench_sim_throughput --benchmark_min_time=0.1)
@@ -59,6 +73,15 @@ if [[ "${UHLL_NO_SANITIZE:-0}" != 1 ]]; then
     cmake -B build-asan -S . -DUHLL_SANITIZE="address;undefined"
     cmake --build build-asan -j"$(nproc)"
     (cd build-asan && ctest --output-on-failure -j"$(nproc)")
+
+    # TSan leg: the BatchRunner shares machines, artefacts and
+    # decoded-word caches across worker threads; ThreadSanitizer
+    # (incompatible with ASan, hence its own tree) watches the batch
+    # determinism stress tests and the CLI smoke for data races.
+    cmake -B build-tsan -S . -DUHLL_SANITIZE=thread
+    cmake --build build-tsan -j"$(nproc)"
+    (cd build-tsan &&
+        ctest --output-on-failure -R 'Batch|Toolchain|uhllc_batch')
 fi
 
 echo "verify: OK"

@@ -1,0 +1,280 @@
+#include "driver/batch.hh"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "obs/json.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+namespace {
+
+std::string
+readTextFile(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal("cannot open '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+std::string
+joinPath(const std::string &dir, const std::string &rel)
+{
+    if (dir.empty() || (!rel.empty() && rel[0] == '/'))
+        return rel;
+    return dir + "/" + rel;
+}
+
+} // namespace
+
+// ----------------------------------------------------------------
+// BatchReport
+// ----------------------------------------------------------------
+
+size_t
+BatchReport::okCount() const
+{
+    size_t n = 0;
+    for (const JobResult &r : results)
+        n += r.ok ? 1 : 0;
+    return n;
+}
+
+std::string
+BatchReport::toJson(bool pretty, bool timings) const
+{
+    JsonWriter w(pretty);
+    w.beginObject();
+    w.beginObject("batch");
+    w.value("jobs", static_cast<uint64_t>(results.size()));
+    w.value("ok", static_cast<uint64_t>(okCount()));
+    w.value("failed",
+            static_cast<uint64_t>(results.size() - okCount()));
+    if (timings) {
+        w.value("threads", static_cast<uint64_t>(threads));
+        w.value("wall_seconds", wallSeconds);
+        w.value("cpu_seconds", cpuSeconds);
+        if (wallSeconds > 0)
+            w.value("speedup", cpuSeconds / wallSeconds);
+    }
+    w.endObject();
+    w.beginArray("results");
+    for (const JobResult &r : results)
+        w.raw("", r.toJson(pretty, timings));
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+// ----------------------------------------------------------------
+// BatchRunner
+// ----------------------------------------------------------------
+
+BatchReport
+BatchRunner::run(const std::vector<Job> &jobs) const
+{
+    BatchReport report;
+    report.results.resize(jobs.size());
+
+    unsigned threads = threads_;
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    if (threads > jobs.size())
+        threads = static_cast<unsigned>(jobs.size());
+    if (threads == 0)
+        threads = 1;
+    report.threads = threads;
+
+    auto t0 = std::chrono::steady_clock::now();
+    if (threads == 1) {
+        for (size_t i = 0; i < jobs.size(); ++i)
+            report.results[i] = tc_->run(jobs[i]);
+    } else {
+        // Work stealing off one shared counter: a worker that draws
+        // a short job simply draws again, so long jobs never gate
+        // the queue. Results land at their job's index; nothing else
+        // is shared mutably (the Toolchain handles its own locking).
+        std::atomic<size_t> next{0};
+        auto worker = [&]() {
+            for (;;) {
+                const size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= jobs.size())
+                    return;
+                report.results[i] = tc_->run(jobs[i]);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+    report.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - t0)
+            .count();
+    for (const JobResult &r : report.results)
+        report.cpuSeconds += r.compileSeconds + r.runSeconds;
+    return report;
+}
+
+// ----------------------------------------------------------------
+// Manifest loading
+// ----------------------------------------------------------------
+
+namespace {
+
+PipelineOptions
+parseOptions(const JsonValue *o)
+{
+    PipelineOptions opts;
+    if (!o)
+        return opts;
+    opts.compactor = o->get("compactor")
+                         ? o->get("compactor")->asString()
+                         : "";
+    opts.allocator = o->get("allocator")
+                         ? o->get("allocator")->asString()
+                         : "";
+    if (const JsonValue *v = o->get("compact"))
+        opts.compact = v->asBool(true);
+    if (const JsonValue *v = o->get("polls"))
+        opts.insertInterruptPolls = v->asBool();
+    if (const JsonValue *v = o->get("trap_safe"))
+        opts.trapSafety = v->asBool();
+    if (const JsonValue *v = o->get("stack_ops"))
+        opts.recognizeStackOps = v->asBool();
+    if (const JsonValue *v = o->get("optimize"))
+        opts.optimize = v->asBool(true);
+    if (const JsonValue *v = o->get("empl_microops"))
+        opts.frontend.emplUseMicroOps = v->asBool(true);
+    if (const JsonValue *v = o->get("empl_data_base"))
+        opts.frontend.emplDataBase =
+            static_cast<uint32_t>(v->asU64(0x2000));
+    return opts;
+}
+
+Job
+parseJob(const JsonValue &j, const std::string &base_dir, size_t idx)
+{
+    if (!j.isObject())
+        fatal("manifest: jobs[%zu] is not an object", idx);
+
+    const bool has_file = j.has("file");
+    const bool has_source = j.has("source");
+    const bool has_workload = j.has("workload");
+    if (int(has_file) + int(has_source) + int(has_workload) != 1) {
+        fatal("manifest: jobs[%zu] needs exactly one of "
+              "'file' / 'source' / 'workload'",
+              idx);
+    }
+
+    const std::string machine = j.require("machine").asString();
+    Job job;
+    if (has_workload) {
+        const std::string wname = j.require("workload").asString();
+        const Workload *w = nullptr;
+        for (const Workload &cand : workloadSuite()) {
+            if (cand.name == wname)
+                w = &cand;
+        }
+        if (!w) {
+            std::string known;
+            for (const Workload &cand : workloadSuite())
+                known += (known.empty() ? "" : "|") + cand.name;
+            fatal("manifest: jobs[%zu]: unknown workload '%s' "
+                  "(known: %s)",
+                  idx, wname.c_str(), known.c_str());
+        }
+        const bool hand =
+            j.get("hand") && j.get("hand")->asBool(false);
+        job = workloadJob(*w, machine, hand,
+                          parseOptions(j.get("options")));
+    } else {
+        job.machine = machine;
+        job.lang = j.require("lang").asString();
+        job.source = has_file
+                         ? readTextFile(joinPath(
+                               base_dir,
+                               j.require("file").asString()))
+                         : j.require("source").asString();
+        job.options = parseOptions(j.get("options"));
+    }
+
+    if (const JsonValue *v = j.get("name"))
+        job.name = v->asString(job.name);
+    if (job.name.empty()) {
+        job.name = strfmt("job%zu:%s:%s", idx, job.lang.c_str(),
+                          job.machine.c_str());
+    }
+    if (const JsonValue *v = j.get("entry"))
+        job.entry = v->asString();
+    if (const JsonValue *v = j.get("run"))
+        job.run = v->asBool(true);
+    if (const JsonValue *v = j.get("verify"))
+        job.verify = v->asBool();
+    if (const JsonValue *sets = j.get("sets")) {
+        if (!sets->isObject())
+            fatal("manifest: jobs[%zu]: 'sets' must be an object",
+                  idx);
+        for (const auto &[k, v] : sets->fields)
+            job.sets.emplace_back(k, v.asU64());
+    }
+    if (const JsonValue *v = j.get("inject")) {
+        const std::string spec = v->asString();
+        job.faultPlan =
+            spec == "-" ? spec
+                        : readTextFile(joinPath(base_dir, spec));
+    }
+    if (const JsonValue *v = j.get("seed"))
+        job.faultSeed = v->asU64();
+    if (const JsonValue *v = j.get("max_restarts"))
+        job.maxRestarts = static_cast<uint32_t>(v->asU64());
+    if (const JsonValue *v = j.get("max_cycles"))
+        job.maxCycles = v->asU64();
+    if (const JsonValue *v = j.get("force_slow"))
+        job.forceSlowPath = v->asBool();
+    return job;
+}
+
+} // namespace
+
+std::vector<Job>
+parseManifest(const JsonValue &root, const std::string &base_dir)
+{
+    if (!root.isObject())
+        fatal("manifest: top level must be an object");
+    const JsonValue &jobs = root.require("jobs");
+    if (!jobs.isArray())
+        fatal("manifest: 'jobs' must be an array");
+    if (jobs.items.empty())
+        fatal("manifest: 'jobs' is empty");
+    std::vector<Job> out;
+    out.reserve(jobs.items.size());
+    for (size_t i = 0; i < jobs.items.size(); ++i)
+        out.push_back(parseJob(jobs.items[i], base_dir, i));
+    return out;
+}
+
+std::vector<Job>
+loadManifest(const std::string &path)
+{
+    const auto slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    return parseManifest(JsonValue::parse(readTextFile(path)), dir);
+}
+
+} // namespace uhll

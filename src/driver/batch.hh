@@ -1,0 +1,118 @@
+/**
+ * @file
+ * BatchRunner: N Toolchain jobs over a fixed thread pool, plus the
+ * JSON manifest loader behind `uhllc --batch`.
+ *
+ * The design leans on what the Toolchain already guarantees: machine
+ * descriptions and compiled artefacts are shared immutable state
+ * (one decode per (machine, program) pair, see SimConfig::decoded),
+ * and JobResult::toJson(pretty, timings=false) is a pure
+ * function of the job. So a batch at -j8 must be bit-identical to
+ * the same batch at -j1 -- the determinism tests and the
+ * uhllc_batch_smoke CTest hold it to that.
+ *
+ * Manifest format (JSON):
+ *
+ *     {
+ *       "jobs": [
+ *         {
+ *           "name":     "label",            // optional
+ *           "lang":     "yalll",            // required unless workload
+ *           "machine":  "hm1",              // required
+ *           // exactly one program source:
+ *           "file":     "prog.yll",         // relative to manifest
+ *           "source":   "program text",
+ *           "workload": "checksum",         // suite kernel by name
+ *           "hand":     false,              // workload: masm baseline
+ *           "entry":    "main",             // optional
+ *           "run":      true,               // default true
+ *           "verify":   false,              // sstar only
+ *           "sets":     {"r1": 1024, "r5": "0x10"},
+ *           "options": {
+ *             "compactor": "tokoro", "allocator": "graph_coloring",
+ *             "compact": true, "polls": false, "trap_safe": false,
+ *             "stack_ops": false, "optimize": true,
+ *             "empl_microops": true, "empl_data_base": 8192
+ *           },
+ *           "inject":       "plan.fp",      // or "-" for chaos mix
+ *           "seed":         7,
+ *           "max_restarts": 4,
+ *           "max_cycles":   1000000,
+ *           "force_slow":   false
+ *         }
+ *       ]
+ *     }
+ */
+
+#ifndef UHLL_DRIVER_BATCH_HH
+#define UHLL_DRIVER_BATCH_HH
+
+#include <string>
+#include <vector>
+
+#include "driver/toolchain.hh"
+
+namespace uhll {
+
+struct JsonValue;
+
+/** The aggregate outcome of one batch. */
+struct BatchReport {
+    std::vector<JobResult> results;     //!< in job order
+    unsigned threads = 1;               //!< pool size actually used
+    double wallSeconds = 0;
+    //! sum of per-job compile+run wall time: what a serial run would
+    //! roughly cost, so wallSeconds vs cpuSeconds shows the speedup
+    double cpuSeconds = 0;
+
+    size_t okCount() const;
+    bool allOk() const { return okCount() == results.size(); }
+
+    /**
+     * The aggregate report: a "batch" summary object plus the
+     * per-job results. With @p timings false every timing field
+     * (and the thread count) is omitted -- the remainder is
+     * byte-identical across -j values.
+     */
+    std::string toJson(bool pretty = true, bool timings = true) const;
+};
+
+/**
+ * Runs jobs over a fixed pool of @p threads worker threads
+ * (0 = std::thread::hardware_concurrency), pulling from a shared
+ * queue. Results land at their job's index regardless of completion
+ * order. threads=1 executes inline on the calling thread.
+ */
+class BatchRunner
+{
+  public:
+    explicit BatchRunner(const Toolchain &tc, unsigned threads = 0)
+        : tc_(&tc), threads_(threads)
+    {}
+
+    BatchReport run(const std::vector<Job> &jobs) const;
+
+  private:
+    const Toolchain *tc_;
+    unsigned threads_;
+};
+
+/** @name Manifest loading */
+/// @{
+/**
+ * Build the job list from a parsed manifest. File references are
+ * resolved relative to @p base_dir. fatal() on structural problems
+ * (missing keys, unknown workloads, conflicting source fields);
+ * per-job semantic problems (unknown language, bad options) surface
+ * later as that job's diagnostics.
+ */
+std::vector<Job> parseManifest(const JsonValue &root,
+                               const std::string &base_dir);
+
+/** Read, parse and convert the manifest at @p path. */
+std::vector<Job> loadManifest(const std::string &path);
+/// @}
+
+} // namespace uhll
+
+#endif // UHLL_DRIVER_BATCH_HH

@@ -1,0 +1,99 @@
+#include "driver/frontend.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace uhll {
+
+namespace {
+
+std::vector<const Frontend *> &
+table()
+{
+    static std::vector<const Frontend *> t;
+    return t;
+}
+
+} // namespace
+
+FrontendRegistry::Registrar::Registrar(const Frontend *fe)
+{
+    table().push_back(fe);
+}
+
+const Frontend *
+FrontendRegistry::find(const std::string &name)
+{
+    for (const Frontend *fe : table()) {
+        if (name == fe->name())
+            return fe;
+    }
+    return nullptr;
+}
+
+const Frontend &
+FrontendRegistry::get(const std::string &name)
+{
+    if (const Frontend *fe = find(name))
+        return *fe;
+    std::string known;
+    for (const std::string &n : names())
+        known += (known.empty() ? "" : "|") + n;
+    fatal("unknown language '%s' (known: %s)", name.c_str(),
+          known.c_str());
+}
+
+std::vector<std::string>
+FrontendRegistry::names()
+{
+    std::vector<std::string> out;
+    for (const Frontend *fe : table())
+        out.push_back(fe->name());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+MirProgram
+translateToMir(const std::string &lang, const std::string &source,
+               const MachineDescription &mach,
+               const FrontendOptions &opts)
+{
+    Translation t = FrontendRegistry::get(lang).translate(source,
+                                                          mach, opts);
+    if (!t.mir) {
+        fatal("language '%s' produces a control store directly, "
+              "not MIR",
+              lang.c_str());
+    }
+    return std::move(*t.mir);
+}
+
+// ----------------------------------------------------------------
+// Static-archive anchors. Each frontend lives in its language's own
+// translation unit; when a binary only ever names languages through
+// the registry, nothing references those TUs and a static-library
+// link would drop them -- self-registration and all. Referencing one
+// symbol per frontend TU from here (this TU is always linked: the
+// registry itself lives in it) keeps them in the image. A new
+// frontend adds one extern + one array entry.
+// ----------------------------------------------------------------
+
+namespace frontend_anchor {
+extern const char yalll;
+extern const char simpl;
+extern const char empl;
+extern const char sstar;
+extern const char masm;
+} // namespace frontend_anchor
+
+// External linkage so the array (and with it the references into
+// each frontend TU) cannot be discarded as unused.
+extern const char *const kFrontendAnchors[5];
+const char *const kFrontendAnchors[5] = {
+    &frontend_anchor::yalll, &frontend_anchor::simpl,
+    &frontend_anchor::empl,  &frontend_anchor::sstar,
+    &frontend_anchor::masm,
+};
+
+} // namespace uhll

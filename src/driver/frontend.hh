@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The frontend registry: one uniform entry point per source
+ * language.
+ *
+ * The survey's core observation (sec. 2.1) is that every high-level
+ * microprogramming language feeds the same pipeline -- frontend,
+ * machine-independent representation, machine-specific compaction
+ * and allocation, control store. This header makes the first stage
+ * pluggable: each language registers a Frontend in its own
+ * translation unit (yalll.cc, simpl.cc, empl.cc, sstar.cc, masm.cc)
+ * and every driver -- uhllc, the Toolchain facade, benchmarks --
+ * resolves languages by name through FrontendRegistry instead of
+ * hard-coded `lang ==` chains. Adding a language means adding one
+ * frontend TU; nothing else changes.
+ */
+
+#ifndef UHLL_DRIVER_FRONTEND_HH
+#define UHLL_DRIVER_FRONTEND_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/sstar/sstar.hh"
+#include "machine/machine_desc.hh"
+#include "mir/mir.hh"
+
+namespace uhll {
+
+/** Per-frontend knobs a driver may pass through. */
+struct FrontendOptions {
+    //! EMPL: honour MICROOP bindings (false forces body expansion,
+    //! the E7 benchmark's knob)
+    bool emplUseMicroOps = true;
+    //! EMPL: base address for memory-allocated arrays
+    uint32_t emplDataBase = 0x2000;
+};
+
+/**
+ * What one frontend produced from one source text: either a
+ * machine-independent MIR program (YALLL, SIMPL, EMPL -- the
+ * Compiler finishes the pipeline) or a finished control store
+ * (S*, masm -- `direct`, reusing SstarProgram as the carrier of
+ * store + assertions + variable bindings; masm leaves the latter
+ * two empty).
+ */
+struct Translation {
+    std::optional<MirProgram> mir;
+    std::optional<SstarProgram> direct;
+
+    bool isMir() const { return mir.has_value(); }
+};
+
+/** One source language's entry into the pipeline. */
+class Frontend
+{
+  public:
+    virtual ~Frontend() = default;
+
+    /** The language name drivers select by ("yalll", "masm", ...). */
+    virtual const char *name() const = 0;
+
+    /** One-line description for `uhllc --list`. */
+    virtual const char *describe() const = 0;
+
+    /** False: translate() yields a finished control store. */
+    virtual bool producesMir() const = 0;
+
+    /**
+     * Translate @p source for @p mach. Throws FatalError with the
+     * frontend's own diagnostics on any error.
+     */
+    virtual Translation translate(const std::string &source,
+                                  const MachineDescription &mach,
+                                  const FrontendOptions &opts) const
+        = 0;
+};
+
+/**
+ * The process-wide frontend table. Frontends self-register from
+ * their own translation units via a static Registrar, during static
+ * initialisation (single-threaded); lookups after main() starts are
+ * lock-free reads.
+ */
+class FrontendRegistry
+{
+  public:
+    /** Self-registration handle: define one per frontend TU. */
+    struct Registrar {
+        explicit Registrar(const Frontend *fe);
+    };
+
+    /** The frontend named @p name, or null when unknown. */
+    static const Frontend *find(const std::string &name);
+
+    /** The frontend named @p name; fatal() listing the known names
+     *  when unknown. */
+    static const Frontend &get(const std::string &name);
+
+    /** All registered language names, sorted. */
+    static std::vector<std::string> names();
+};
+
+/**
+ * Translate @p source with the frontend named @p lang and return the
+ * MIR program; fatal() when the language is unknown or produces a
+ * control store directly (sstar, masm). The convenience entry for
+ * call sites that drive individual compiler passes themselves --
+ * full pipelines should build a Toolchain Job instead.
+ */
+MirProgram translateToMir(const std::string &lang,
+                          const std::string &source,
+                          const MachineDescription &mach,
+                          const FrontendOptions &opts = {});
+
+} // namespace uhll
+
+#endif // UHLL_DRIVER_FRONTEND_HH

@@ -1,0 +1,596 @@
+#include "driver/toolchain.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+
+#include "fault/fault.hh"
+#include "machine/machines/machines.hh"
+#include "obs/json.hh"
+#include "obs/profile.hh"
+#include "obs/trace.hh"
+#include "support/logging.hh"
+#include "verify/verifier.hh"
+
+namespace uhll {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** "HM-1" / "hm_1" / "Hm1" -> "hm1". */
+std::string
+canonMachine(const std::string &name)
+{
+    std::string out;
+    for (char c : name) {
+        if (c == '-' || c == '_')
+            continue;
+        out += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    }
+    return out;
+}
+
+std::string
+joined(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const std::string &n : names)
+        out += (out.empty() ? "" : "|") + n;
+    return out;
+}
+
+std::vector<std::string>
+compactorNames()
+{
+    std::vector<std::string> out;
+    for (const auto &c : allCompactors())
+        out.push_back(c->name());
+    return out;
+}
+
+const std::vector<std::string> &
+allocatorNames()
+{
+    static const std::vector<std::string> names = {
+        "graph_coloring", "linear_scan"};
+    return names;
+}
+
+} // namespace
+
+// ----------------------------------------------------------------
+// PipelineOptions
+// ----------------------------------------------------------------
+
+std::string
+PipelineOptions::validate() const
+{
+    std::vector<std::string> problems;
+    if (!compact && !compactor.empty()) {
+        problems.push_back(strfmt(
+            "contradictory options: no-compact disables composition "
+            "but compactor '%s' was named",
+            compactor.c_str()));
+    }
+    if (!compactor.empty()) {
+        auto names = compactorNames();
+        if (std::find(names.begin(), names.end(), compactor)
+            == names.end()) {
+            problems.push_back(strfmt(
+                "unknown compactor '%s' (known: %s)",
+                compactor.c_str(), joined(names).c_str()));
+        }
+    }
+    if (!allocator.empty()) {
+        const auto &names = allocatorNames();
+        if (std::find(names.begin(), names.end(), allocator)
+            == names.end()) {
+            problems.push_back(strfmt(
+                "unknown allocator '%s' (known: %s)",
+                allocator.c_str(), joined(names).c_str()));
+        }
+    }
+    std::string all;
+    for (const std::string &p : problems)
+        all += (all.empty() ? "" : "; ") + p;
+    return all;
+}
+
+std::string
+PipelineOptions::cacheKey() const
+{
+    return strfmt("c=%s;a=%s;k=%d%d%d%d%d;eu=%d;eb=%u",
+                  compactor.c_str(), allocator.c_str(), int(compact),
+                  int(insertInterruptPolls), int(trapSafety),
+                  int(recognizeStackOps), int(optimize),
+                  int(frontend.emplUseMicroOps),
+                  frontend.emplDataBase);
+}
+
+// ----------------------------------------------------------------
+// Artefact
+// ----------------------------------------------------------------
+
+const ControlStore &
+Artefact::store() const
+{
+    if (compiled)
+        return compiled->store;
+    if (direct)
+        return direct->store;
+    panic("empty artefact");
+}
+
+const CompileStats &
+Artefact::stats() const
+{
+    static const CompileStats kEmpty;
+    return compiled ? compiled->stats : kEmpty;
+}
+
+std::string
+Artefact::defaultEntry() const
+{
+    if (mir && mir->numFunctions() > 0)
+        return mir->func(0).name;
+    return "main";
+}
+
+void
+Artefact::setVariable(MicroSimulator &sim, MainMemory &mem,
+                      const std::string &name, uint64_t value) const
+{
+    if (compiled) {
+        setVar(*mir, *compiled, sim, mem, name, value);
+        return;
+    }
+    // Direct programs: S* variable bindings first, then plain
+    // register names (the masm path has only the latter).
+    if (direct) {
+        auto it = direct->vars.find(name);
+        if (it != direct->vars.end()) {
+            sim.setReg(it->second, value);
+            return;
+        }
+    }
+    sim.setReg(name, value);
+}
+
+uint64_t
+Artefact::readVariable(const MicroSimulator &sim,
+                       const MainMemory &mem,
+                       const std::string &name) const
+{
+    if (compiled)
+        return getVar(*mir, *compiled, sim, mem, name);
+    if (direct) {
+        auto it = direct->vars.find(name);
+        if (it != direct->vars.end())
+            return sim.getReg(it->second);
+    }
+    return sim.getReg(name);
+}
+
+// ----------------------------------------------------------------
+// JobResult
+// ----------------------------------------------------------------
+
+std::string
+JobResult::toJson(bool pretty, bool timings) const
+{
+    JsonWriter w(pretty);
+    w.beginObject();
+    w.value("name", name);
+    w.value("lang", lang);
+    w.value("machine", machine);
+    w.value("ok", ok);
+    w.beginArray("diagnostics");
+    for (const std::string &d : diagnostics)
+        w.value("", d);
+    w.endArray();
+    if (artefact) {
+        const ControlStore &cs = artefact->store();
+        w.beginObject("compile");
+        w.value("words", static_cast<uint64_t>(cs.size()));
+        w.value("size_bits", static_cast<uint64_t>(cs.sizeBits()));
+        if (artefact->isMir()) {
+            const CompileStats &s = artefact->stats();
+            w.value("ops_lowered", static_cast<uint64_t>(s.opsLowered));
+            w.value("fixup_movs", static_cast<uint64_t>(s.fixupMovs));
+            w.value("spill_loads",
+                    static_cast<uint64_t>(s.spillLoads));
+            w.value("spill_stores",
+                    static_cast<uint64_t>(s.spillStores));
+            w.value("spilled_vregs",
+                    static_cast<uint64_t>(s.spilledVRegs));
+            w.value("poll_points",
+                    static_cast<uint64_t>(s.pollPoints));
+            w.value("optimized", static_cast<uint64_t>(s.optimized));
+        }
+        w.endObject();
+    }
+    if (verified) {
+        w.beginObject("verify");
+        w.value("ok", verifyOk);
+        w.value("report", verifyReport);
+        w.endObject();
+    }
+    if (ran)
+        w.raw("sim", sim.toJson(pretty));
+    if (!vars.empty()) {
+        w.beginObject("vars");
+        for (const auto &[n, v] : vars)
+            w.value(n, v);
+        w.endObject();
+    }
+    if (!statsJson.empty())
+        w.raw("stats", statsJson);
+    if (timings) {
+        w.beginObject("timing");
+        w.value("compile_seconds", compileSeconds);
+        w.value("run_seconds", runSeconds);
+        w.endObject();
+    }
+    w.endObject();
+    return w.str();
+}
+
+// ----------------------------------------------------------------
+// Machine registry
+// ----------------------------------------------------------------
+
+std::vector<std::string>
+machineNames()
+{
+    return {"hm1", "vm2", "vs3"};
+}
+
+std::string
+machineDescribe(const std::string &name)
+{
+    const std::string c = canonMachine(name);
+    if (c == "hm1")
+        return "clean horizontal engine (HP300-like): orthogonal "
+               "word, stack ops, multiway branch";
+    if (c == "vm2")
+        return "baroque horizontal engine (VAX-11-like): register "
+               "banks, one mover, narrow immediates, slow memory";
+    if (c == "vs3")
+        return "vertical engine (B1700-like): one microoperation "
+               "per narrow word";
+    return "";
+}
+
+bool
+knownMachine(const std::string &name)
+{
+    const std::string c = canonMachine(name);
+    auto names = machineNames();
+    return std::find(names.begin(), names.end(), c) != names.end();
+}
+
+// ----------------------------------------------------------------
+// Toolchain
+// ----------------------------------------------------------------
+
+struct Toolchain::CacheEntry {
+    std::mutex m;
+    bool done = false;
+    std::shared_ptr<const Artefact> art;
+    std::string error;  //!< nonempty: the compile failed
+};
+
+std::shared_ptr<const MachineDescription>
+Toolchain::machine(const std::string &name) const
+{
+    const std::string c = canonMachine(name);
+    if (!knownMachine(c)) {
+        fatal("unknown machine '%s' (known: %s)", name.c_str(),
+              joined(machineNames()).c_str());
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = machines_.find(c);
+    if (it != machines_.end())
+        return it->second;
+    std::shared_ptr<const MachineDescription> m;
+    if (c == "hm1")
+        m = std::make_shared<const MachineDescription>(buildHm1());
+    else if (c == "vm2")
+        m = std::make_shared<const MachineDescription>(buildVm2());
+    else
+        m = std::make_shared<const MachineDescription>(buildVs3());
+    machines_[c] = m;
+    return m;
+}
+
+std::shared_ptr<Artefact>
+Toolchain::compileUncached(const Job &job,
+                           const MachineDescription &mach) const
+{
+    const Frontend &fe = FrontendRegistry::get(job.lang);
+    Translation tr =
+        fe.translate(job.source, mach, job.options.frontend);
+
+    auto art = std::make_shared<Artefact>();
+    if (tr.isMir()) {
+        // Resolve the by-name knobs to instances; their lifetime
+        // only needs to span the compile() call.
+        const std::string wanted = job.options.compactor.empty()
+                                       ? "tokoro"
+                                       : job.options.compactor;
+        std::unique_ptr<Compactor> compactor;
+        for (auto &c : allCompactors()) {
+            if (wanted == c->name())
+                compactor = std::move(c);
+        }
+        if (!compactor) {
+            fatal("unknown compactor '%s'",
+                  job.options.compactor.c_str());
+        }
+        LinearScanAllocator ls;
+        GraphColoringAllocator gc;
+        const RegisterAllocator *alloc = &gc;
+        if (job.options.allocator == "linear_scan")
+            alloc = &ls;
+        else if (!job.options.allocator.empty()
+                 && job.options.allocator != "graph_coloring") {
+            fatal("unknown allocator '%s'",
+                  job.options.allocator.c_str());
+        }
+
+        CompileOptions copts;
+        copts.compactor = compactor.get();
+        copts.allocator = alloc;
+        copts.compact = job.options.compact;
+        copts.insertInterruptPolls = job.options.insertInterruptPolls;
+        copts.trapSafety = job.options.trapSafety;
+        copts.recognizeStackOps = job.options.recognizeStackOps;
+        copts.optimize = job.options.optimize;
+
+        art->mir = std::move(tr.mir);
+        Compiler comp(mach);
+        art->compiled = comp.compile(*art->mir, copts);
+    } else {
+        art->direct = std::move(tr.direct);
+    }
+    // Pre-decode every word so concurrent simulators can share the
+    // cache read-only (SimConfig::decoded).
+    art->decoded = std::make_unique<DecodedStore>(art->store(), mach);
+    art->decoded->decodeAll();
+    return art;
+}
+
+std::shared_ptr<const Artefact>
+Toolchain::compile(const Job &job) const
+{
+    const std::string err = job.options.validate();
+    if (!err.empty())
+        fatal("%s", err.c_str());
+
+    auto mach = machine(job.machine);
+
+    const std::string key = canonMachine(job.machine) + "\x1f"
+                            + job.lang + "\x1f"
+                            + job.options.cacheKey() + "\x1f"
+                            + job.source;
+    std::shared_ptr<CacheEntry> entry;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto &slot = artefacts_[key];
+        if (!slot)
+            slot = std::make_shared<CacheEntry>();
+        entry = slot;
+    }
+
+    std::lock_guard<std::mutex> lock(entry->m);
+    if (!entry->done) {
+        try {
+            auto art = compileUncached(job, *mach);
+            // The artefact's store holds a raw pointer to the
+            // machine; keep the shared description alive with it.
+            art->machine = mach;
+            entry->art = std::move(art);
+        } catch (const FatalError &e) {
+            entry->error = e.what();
+        }
+        entry->done = true;
+    }
+    if (!entry->error.empty())
+        fatal("%s", entry->error.c_str());
+    return entry->art;
+}
+
+JobResult
+Toolchain::run(const Job &job) const
+{
+    JobResult r;
+    r.name = job.name.empty()
+                 ? job.lang + ":" + canonMachine(job.machine)
+                 : job.name;
+    r.lang = job.lang;
+    r.machine = canonMachine(job.machine);
+
+    const std::string verr = job.options.validate();
+    if (!verr.empty()) {
+        r.diagnostics.push_back(verr);
+        return r;
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    try {
+        r.artefact = compile(job);
+    } catch (const FatalError &e) {
+        r.diagnostics.push_back(std::string("compile: ") + e.what());
+        return r;
+    }
+    r.compileSeconds = secondsSince(t0);
+
+    bool failed = false;
+    if (job.verify) {
+        if (r.artefact->direct) {
+            VerifyResult vr = verifySstar(*r.artefact->direct);
+            r.verified = true;
+            r.verifyOk = vr.ok;
+            r.verifyReport = vr.report;
+            if (!vr.ok) {
+                failed = true;
+                r.diagnostics.push_back(
+                    strfmt("verify: %u violation(s), %u unreached",
+                           vr.violations, vr.unreached));
+            }
+        } else {
+            failed = true;
+            r.diagnostics.push_back(
+                "verify: only direct (sstar) programs carry "
+                "assertions");
+        }
+    }
+
+    if (job.run && !failed) {
+        try {
+            const MachineDescription &mach = *r.artefact->machine;
+            MainMemory mem(0x10000, mach.dataWidth());
+            if (job.setupMemory)
+                job.setupMemory(mem);
+
+            SimConfig cfg;
+            if (job.maxCycles)
+                cfg.maxCycles = job.maxCycles;
+            cfg.forceSlowPath = job.forceSlowPath;
+            cfg.decoded = r.artefact->decoded.get();
+            cfg.trace = job.trace;
+            cfg.profiler = job.profiler;
+            std::unique_ptr<FaultInjector> inj;
+            if (!job.faultPlan.empty()) {
+                FaultPlan plan =
+                    job.faultPlan == "-"
+                        ? FaultPlan::recoverable(
+                              job.faultSeed ? job.faultSeed : 1)
+                        : FaultPlan::parse(job.faultPlan);
+                inj = std::make_unique<FaultInjector>(
+                    std::move(plan), job.faultSeed);
+                cfg.injector = inj.get();
+                cfg.maxRestarts = job.maxRestarts;
+            }
+
+            MicroSimulator sim(r.artefact->store(), mem, cfg);
+            for (const auto &[n, v] : job.sets)
+                r.artefact->setVariable(sim, mem, n, v);
+
+            auto trun = std::chrono::steady_clock::now();
+            r.sim = sim.run(job.entry.empty()
+                                ? r.artefact->defaultEntry()
+                                : job.entry);
+            r.runSeconds = secondsSince(trun);
+            r.ran = true;
+
+            for (const auto &[n, v] : job.sets) {
+                (void)v;
+                r.vars.emplace_back(
+                    n, r.artefact->readVariable(sim, mem, n));
+            }
+            if (job.onFinish)
+                job.onFinish(sim, mem);
+            if (job.captureStats)
+                r.statsJson = sim.stats().toJson();
+
+            if (!r.sim.ok()) {
+                failed = true;
+                r.diagnostics.push_back(strfmt(
+                    "sim error: %s: %s (cycle %llu, upc 0x%04x)",
+                    simErrorKindName(r.sim.error.kind),
+                    r.sim.error.message.c_str(),
+                    (unsigned long long)r.sim.error.cycle,
+                    r.sim.error.upc));
+            } else if (!r.sim.halted) {
+                failed = true;
+                r.diagnostics.push_back(strfmt(
+                    "sim: cycle budget (%llu) exhausted",
+                    (unsigned long long)cfg.maxCycles));
+            }
+            if (job.checkMemory && r.sim.ok() && r.sim.halted) {
+                std::string why;
+                if (!job.checkMemory(mem, &why)) {
+                    failed = true;
+                    r.diagnostics.push_back("check: " + why);
+                }
+            }
+        } catch (const FatalError &e) {
+            failed = true;
+            r.diagnostics.push_back(std::string("run: ") + e.what());
+        }
+    }
+
+    r.ok = !failed;
+    return r;
+}
+
+std::vector<std::string>
+Toolchain::frontendNames()
+{
+    return FrontendRegistry::names();
+}
+
+std::vector<std::string>
+Toolchain::machines()
+{
+    return machineNames();
+}
+
+// ----------------------------------------------------------------
+// Workload job builders
+// ----------------------------------------------------------------
+
+Job
+workloadJob(const Workload &w, const std::string &machine_name,
+            bool hand, const PipelineOptions &opts)
+{
+    const std::string c = canonMachine(machine_name);
+    Job job;
+    job.machine = c;
+    job.entry = "main";
+    job.options = opts;
+    job.sets = w.inputs;
+    job.setupMemory = w.setup;
+    job.checkMemory = w.check;
+    if (hand) {
+        if (c == "hm1")
+            job.source = w.masmHm1;
+        else if (c == "vm2")
+            job.source = w.masmVm2;
+        else {
+            fatal("workload '%s': no hand baseline for machine '%s'",
+                  w.name.c_str(), machine_name.c_str());
+        }
+        job.lang = "masm";
+        job.name = w.name + "/" + c + "/hand";
+    } else {
+        job.lang = "yalll";
+        job.source = w.yalll;
+        job.name = w.name + "/" + c;
+    }
+    return job;
+}
+
+std::vector<Job>
+workloadMatrixJobs()
+{
+    std::vector<Job> jobs;
+    for (const Workload &w : workloadSuite()) {
+        for (const std::string &m : machineNames())
+            jobs.push_back(workloadJob(w, m, false));
+        jobs.push_back(workloadJob(w, "hm1", true));
+        jobs.push_back(workloadJob(w, "vm2", true));
+    }
+    return jobs;
+}
+
+} // namespace uhll

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * uhll::Toolchain -- the unified entry point to the whole pipeline.
+ *
+ * The survey's thesis is that every high-level microprogramming
+ * language decomposes into the same stages: frontend,
+ * machine-independent MIR, machine-specific compaction/allocation,
+ * control store (sec. 2.1). The Toolchain realises that as one
+ * facade: a Job names a (language, machine, source) triple plus
+ * pipeline knobs, and run() takes it through translate -> compile ->
+ * simulate, returning a JobResult with the artefact, statistics,
+ * simulation counters and diagnostics.
+ *
+ * The facade is thread-safe and shares the expensive immutable
+ * state: one MachineDescription per machine name, and one compiled
+ * Artefact -- control store plus a fully pre-decoded word cache --
+ * per (machine, language, options, source) key. N concurrent
+ * simulations of the same program touch one decode (see
+ * SimConfig::decoded and driver/batch.hh's BatchRunner).
+ */
+
+#ifndef UHLL_DRIVER_TOOLCHAIN_HH
+#define UHLL_DRIVER_TOOLCHAIN_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "codegen/compiler.hh"
+#include "driver/frontend.hh"
+#include "machine/memory.hh"
+#include "machine/simulator.hh"
+#include "workloads/workloads.hh"
+
+namespace uhll {
+
+class TraceBuffer;
+class CycleProfiler;
+
+/**
+ * Pipeline knobs by name: the manifest/CLI-facing mirror of
+ * CompileOptions. Resolution to Compactor/RegisterAllocator
+ * instances happens inside the Toolchain; validate() rejects
+ * contradictory or unknown combinations up front instead of
+ * silently ignoring one side.
+ */
+struct PipelineOptions {
+    std::string compactor;  //!< "" = default (tokoro)
+    std::string allocator;  //!< "" = default (graph_coloring)
+    bool compact = true;    //!< false = one microoperation per word
+    bool insertInterruptPolls = false;
+    bool trapSafety = false;
+    bool recognizeStackOps = false;
+    bool optimize = true;
+    FrontendOptions frontend;
+
+    /**
+     * All problems with this combination, or "" when it is valid.
+     * Catches: --no-compact together with a named --compactor (the
+     * compactor would never run), and unknown compactor or
+     * allocator names.
+     */
+    std::string validate() const;
+
+    /** Canonical encoding for artefact-cache keying. */
+    std::string cacheKey() const;
+};
+
+/** One unit of work for the Toolchain. */
+struct Job {
+    std::string name;       //!< report label ("" = derived)
+    std::string lang;       //!< frontend name (FrontendRegistry)
+    std::string machine;    //!< machine name (machineNames())
+    std::string source;     //!< program text
+    std::string entry;      //!< "" = "main" / first MIR function
+    //! (variable, value) pairs applied before the run and read back
+    //! into JobResult::vars afterwards
+    std::vector<std::pair<std::string, uint64_t>> sets;
+    PipelineOptions options;
+    bool run = true;        //!< simulate after compiling
+    bool verify = false;    //!< run the bounded verifier (sstar only)
+
+    /** @name Fault injection (see src/fault/) */
+    /// @{
+    //! FaultPlan spec text; "-" = the built-in recoverable mix,
+    //! "" = no injection
+    std::string faultPlan;
+    uint64_t faultSeed = 0;     //!< nonzero: override the plan seed
+    uint32_t maxRestarts = 0;   //!< nonzero: livelock limit override
+    /// @}
+
+    /** @name Simulation knobs */
+    /// @{
+    uint64_t maxCycles = 0;     //!< 0 = SimConfig default
+    bool forceSlowPath = false;
+    //! capture the stats registry as JSON into JobResult::statsJson
+    bool captureStats = false;
+    TraceBuffer *trace = nullptr;       //!< caller-owned sink
+    CycleProfiler *profiler = nullptr;  //!< caller-owned sink
+    /// @}
+
+    /** @name Programmatic hooks (not expressible in a manifest) */
+    /// @{
+    //! prepare input memory before the run (workload setup)
+    std::function<void(MainMemory &)> setupMemory;
+    //! verify output memory; a false return fails the job and the
+    //! filled `why` lands in JobResult::diagnostics
+    std::function<bool(const MainMemory &, std::string *)>
+        checkMemory;
+    //! inspect final simulator state before teardown (snapshots)
+    std::function<void(const MicroSimulator &, const MainMemory &)>
+        onFinish;
+    /// @}
+};
+
+/**
+ * A compiled, immutable, shareable artefact: the control store with
+ * everything needed to run it and to resolve variables, plus the
+ * pre-decoded word cache concurrent simulators share. Always held
+ * by shared_ptr<const Artefact>; the Toolchain caches and reuses
+ * artefacts across jobs with equal (machine, lang, options, source).
+ */
+class Artefact
+{
+  public:
+    std::shared_ptr<const MachineDescription> machine;
+    //! MIR pipeline: the parsed program + the compiled result
+    std::optional<MirProgram> mir;
+    std::optional<CompiledProgram> compiled;
+    //! direct pipeline (sstar/masm): store + assertions + bindings
+    std::optional<SstarProgram> direct;
+    //! pre-decoded word cache (DecodedStore::decodeAll has run);
+    //! references store() and *machine, hence the fixed address
+    std::unique_ptr<DecodedStore> decoded;
+
+    Artefact() = default;
+    Artefact(const Artefact &) = delete;
+    Artefact &operator=(const Artefact &) = delete;
+
+    const ControlStore &store() const;
+    bool isMir() const { return compiled.has_value(); }
+    const CompileStats &stats() const;
+    std::string defaultEntry() const;
+
+    /** Set variable/register @p name in a simulator over this
+     *  artefact (MIR variables, S* bindings, or register names). */
+    void setVariable(MicroSimulator &sim, MainMemory &mem,
+                     const std::string &name, uint64_t value) const;
+
+    /** Read variable/register @p name back. */
+    uint64_t readVariable(const MicroSimulator &sim,
+                          const MainMemory &mem,
+                          const std::string &name) const;
+};
+
+/** The outcome of one Job. */
+struct JobResult {
+    std::string name;
+    std::string lang;
+    std::string machine;
+    bool ok = false;
+    //! compile errors, validation failures, check mismatches
+    std::vector<std::string> diagnostics;
+    //! null when compilation failed
+    std::shared_ptr<const Artefact> artefact;
+
+    bool ran = false;
+    SimResult sim;          //!< valid when ran
+    //! final values of the names in Job::sets, in order
+    std::vector<std::pair<std::string, uint64_t>> vars;
+
+    bool verified = false;  //!< the verifier ran
+    bool verifyOk = false;
+    std::string verifyReport;
+
+    //! stats registry dump (Job::captureStats)
+    std::string statsJson;
+
+    double compileSeconds = 0;  //!< wall time in compile (0 on cache hit)
+    double runSeconds = 0;      //!< wall time in the simulator
+
+    /**
+     * The result as a JSON object. With @p timings false the output
+     * is a pure function of the job -- byte-identical between serial
+     * and parallel batch runs (the determinism tests compare it).
+     */
+    std::string toJson(bool pretty = true, bool timings = true) const;
+};
+
+/** @name Machine registry */
+/// @{
+/** Canonical machine names, sorted ("hm1", "vm2", "vs3"). */
+std::vector<std::string> machineNames();
+
+/** One-line description of machine @p name (uhllc --list). */
+std::string machineDescribe(const std::string &name);
+
+/** True when @p name (any case, with or without '-') is bundled. */
+bool knownMachine(const std::string &name);
+/// @}
+
+/** The facade. One instance per process is typical; all methods are
+ *  thread-safe. */
+class Toolchain
+{
+  public:
+    Toolchain() = default;
+    Toolchain(const Toolchain &) = delete;
+    Toolchain &operator=(const Toolchain &) = delete;
+
+    /**
+     * The shared immutable MachineDescription for @p name
+     * ("hm1"/"HM-1"/...), built on first use. fatal() on unknown
+     * names.
+     */
+    std::shared_ptr<const MachineDescription>
+    machine(const std::string &name) const;
+
+    /**
+     * Translate + compile @p job (no simulation), sharing one
+     * Artefact across equal (machine, lang, options, source) keys.
+     * Throws FatalError on frontend/compiler diagnostics and invalid
+     * option combinations.
+     */
+    std::shared_ptr<const Artefact> compile(const Job &job) const;
+
+    /**
+     * The full pipeline: validate, compile, optionally verify and
+     * simulate. Never throws for job-level failures -- they land in
+     * JobResult::diagnostics with ok=false (so batch runs report
+     * per-job status instead of dying).
+     */
+    JobResult run(const Job &job) const;
+
+    /** Registered language names (FrontendRegistry::names()). */
+    static std::vector<std::string> frontendNames();
+
+    /** Bundled machine names (machineNames()). */
+    static std::vector<std::string> machines();
+
+  private:
+    struct CacheEntry;
+
+    std::shared_ptr<Artefact>
+    compileUncached(const Job &job,
+                    const MachineDescription &mach) const;
+
+    mutable std::mutex mu_;
+    mutable std::map<std::string,
+                     std::shared_ptr<const MachineDescription>>
+        machines_;
+    mutable std::map<std::string, std::shared_ptr<CacheEntry>>
+        artefacts_;
+};
+
+/** @name Workload job builders (bench, tests, manifests) */
+/// @{
+/**
+ * A Job for one workload-suite kernel on @p machine_name: YALLL
+ * compiled (@p hand false) or the hand microassembly baseline
+ * (@p hand true; HM-1 and VM-2 only -- fatal otherwise). Inputs,
+ * memory setup and the output check are wired into the job hooks.
+ */
+Job workloadJob(const Workload &w, const std::string &machine_name,
+                bool hand, const PipelineOptions &opts = {});
+
+/**
+ * The full workload x machine matrix: every kernel compiled for
+ * every bundled machine plus the hand baselines on HM-1 and VM-2
+ * (the batch stress corpus; 25 jobs).
+ */
+std::vector<Job> workloadMatrixJobs();
+/// @}
+
+} // namespace uhll
+
+#endif // UHLL_DRIVER_TOOLCHAIN_HH

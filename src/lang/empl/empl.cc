@@ -5,6 +5,7 @@
 #include <tuple>
 #include <unordered_map>
 
+#include "driver/frontend.hh"
 #include "lang/common/lexer.hh"
 #include "support/bits.hh"
 #include "support/logging.hh"
@@ -1117,5 +1118,44 @@ parseEmpl(const std::string &source, const MachineDescription &mach,
     EmplParser p(source, mach, opts);
     return p.run();
 }
+
+// ----------------------------------------------------------------
+// Frontend registration (see driver/frontend.hh).
+// ----------------------------------------------------------------
+
+namespace frontend_anchor {
+extern const char empl = 0;
+} // namespace frontend_anchor
+
+namespace {
+
+class EmplFrontend final : public Frontend
+{
+  public:
+    const char *name() const override { return "empl"; }
+    const char *describe() const override
+    {
+        return "EMPL: extensible machine-independent language "
+               "(DeWitt 1976)";
+    }
+    bool producesMir() const override { return true; }
+    Translation
+    translate(const std::string &source,
+              const MachineDescription &mach,
+              const FrontendOptions &opts) const override
+    {
+        EmplOptions eo;
+        eo.useMicroOps = opts.emplUseMicroOps;
+        eo.dataBase = opts.emplDataBase;
+        Translation t;
+        t.mir = parseEmpl(source, mach, eo);
+        return t;
+    }
+};
+
+const EmplFrontend emplFrontend;
+const FrontendRegistry::Registrar reg(&emplFrontend);
+
+} // namespace
 
 } // namespace uhll

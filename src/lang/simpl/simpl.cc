@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "driver/frontend.hh"
 #include "lang/common/lexer.hh"
 #include "support/bits.hh"
 #include "support/logging.hh"
@@ -474,5 +475,43 @@ parseSimpl(const std::string &source, const MachineDescription &mach)
     SimplParser p(source, mach);
     return p.run();
 }
+
+// ----------------------------------------------------------------
+// Frontend registration (see driver/frontend.hh). The anchor symbol
+// keeps this TU in static-library links that only name the language
+// through the registry.
+// ----------------------------------------------------------------
+
+namespace frontend_anchor {
+extern const char simpl = 0;
+} // namespace frontend_anchor
+
+namespace {
+
+class SimplFrontend final : public Frontend
+{
+  public:
+    const char *name() const override { return "simpl"; }
+    const char *describe() const override
+    {
+        return "SIMPL: single-identity procedural language "
+               "(Ramamoorthy/Tsuchiya 1974)";
+    }
+    bool producesMir() const override { return true; }
+    Translation
+    translate(const std::string &source,
+              const MachineDescription &mach,
+              const FrontendOptions &) const override
+    {
+        Translation t;
+        t.mir = parseSimpl(source, mach);
+        return t;
+    }
+};
+
+const SimplFrontend simplFrontend;
+const FrontendRegistry::Registrar reg(&simplFrontend);
+
+} // namespace
 
 } // namespace uhll

@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "driver/frontend.hh"
 #include "lang/common/lexer.hh"
 #include "schedule/compact.hh"
 #include "support/bits.hh"
@@ -1198,5 +1199,41 @@ compileSstar(const std::string &source, const MachineDescription &mach)
     SstarCompiler c(source, mach);
     return c.run();
 }
+
+// ----------------------------------------------------------------
+// Frontend registration (see driver/frontend.hh).
+// ----------------------------------------------------------------
+
+namespace frontend_anchor {
+extern const char sstar = 0;
+} // namespace frontend_anchor
+
+namespace {
+
+class SstarFrontend final : public Frontend
+{
+  public:
+    const char *name() const override { return "sstar"; }
+    const char *describe() const override
+    {
+        return "S*: machine-bound schema with explicit parallelism "
+               "and assertions (Dasgupta 1978)";
+    }
+    bool producesMir() const override { return false; }
+    Translation
+    translate(const std::string &source,
+              const MachineDescription &mach,
+              const FrontendOptions &) const override
+    {
+        Translation t;
+        t.direct = compileSstar(source, mach);
+        return t;
+    }
+};
+
+const SstarFrontend sstarFrontend;
+const FrontendRegistry::Registrar reg(&sstarFrontend);
+
+} // namespace
 
 } // namespace uhll

@@ -4,6 +4,7 @@
 #include <tuple>
 #include <unordered_map>
 
+#include "driver/frontend.hh"
 #include "lang/common/lexer.hh"
 #include "support/bits.hh"
 #include "support/logging.hh"
@@ -441,5 +442,43 @@ parseYalll(const std::string &source, const MachineDescription &mach)
     YalllParser p(source, mach);
     return p.run();
 }
+
+// ----------------------------------------------------------------
+// Frontend registration (see driver/frontend.hh). The anchor symbol
+// keeps this TU in static-library links that only name the language
+// through the registry.
+// ----------------------------------------------------------------
+
+namespace frontend_anchor {
+extern const char yalll = 0;
+} // namespace frontend_anchor
+
+namespace {
+
+class YalllFrontend final : public Frontend
+{
+  public:
+    const char *name() const override { return "yalll"; }
+    const char *describe() const override
+    {
+        return "YALLL: retargetable register-transfer language "
+               "(Patterson/Lew/Tuck 1979)";
+    }
+    bool producesMir() const override { return true; }
+    Translation
+    translate(const std::string &source,
+              const MachineDescription &mach,
+              const FrontendOptions &) const override
+    {
+        Translation t;
+        t.mir = parseYalll(source, mach);
+        return t;
+    }
+};
+
+const YalllFrontend yalllFrontend;
+const FrontendRegistry::Registrar reg(&yalllFrontend);
+
+} // namespace
 
 } // namespace uhll

@@ -6,6 +6,7 @@
 #include "machine/control_store.hh"
 #include "machine/machine_desc.hh"
 #include "support/bits.hh"
+#include "support/logging.hh"
 
 namespace uhll {
 
@@ -24,6 +25,7 @@ DecodedStore::sync()
     slots_.clear();
     slots_.resize(store_.size());
     maxOps_ = 0;
+    decoded_ = 0;
     for (uint32_t a = 0; a < store_.size(); ++a)
         maxOps_ = std::max(maxOps_, store_.word(a).ops.size());
     version_ = store_.version();
@@ -108,8 +110,30 @@ DecodedStore::decodeAt(uint32_t addr)
 
     Slot &slot = slots_[addr];
     slot.dw = std::move(dw);
+    if (!slot.ready)
+        ++decoded_;
     slot.ready = true;
     return slot.dw;
+}
+
+void
+DecodedStore::decodeAll()
+{
+    sync();
+    for (uint32_t a = 0; a < slots_.size(); ++a) {
+        if (!slots_[a].ready)
+            (void)decodeAt(a);
+    }
+}
+
+const DecodedWord &
+DecodedStore::wordAt(uint32_t addr) const
+{
+    if (addr >= slots_.size() || !slots_[addr].ready) {
+        panic("shared decoded cache: word 0x%04x not pre-decoded",
+              addr);
+    }
+    return slots_[addr].dw;
 }
 
 } // namespace uhll

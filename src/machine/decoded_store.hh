@@ -97,6 +97,29 @@ class DecodedStore
     }
 
     /**
+     * Eagerly decode every word so the cache can be shared read-only
+     * between concurrently running simulators (SimConfig::decoded).
+     * After this, wordAt() serves any in-range fetch without
+     * mutation. Unlike the lazy path, malformed words fail here --
+     * callers share only stores produced by the in-tree compiler and
+     * assembler, whose words are well-formed by construction.
+     */
+    void decodeAll();
+
+    /**
+     * Const fetch for a fully pre-decoded cache; panics if @p addr
+     * was never decoded (i.e. decodeAll() was not run or the store
+     * grew since).
+     */
+    const DecodedWord &wordAt(uint32_t addr) const;
+
+    /** True when every current word has been decoded. */
+    bool fullyDecoded() const { return decoded_ == slots_.size(); }
+
+    /** The store version this cache was last synced against. */
+    uint64_t syncedVersion() const { return version_; }
+
+    /**
      * Upper bound on ops per word over the whole store (from the raw
      * words, so it is valid before any word is decoded). Used to size
      * the simulator's reusable scratch buffers.
@@ -116,6 +139,7 @@ class DecodedStore
     std::vector<Slot> slots_;
     uint64_t version_ = ~0ULL;
     size_t maxOps_ = 0;
+    size_t decoded_ = 0;    //!< slots currently ready
 };
 
 } // namespace uhll

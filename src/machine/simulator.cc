@@ -782,7 +782,21 @@ MicroSimulator::run(uint32_t entry)
     std::fill(pendingRegs_.begin(), pendingRegs_.end(), 0);
     flags_ = Flags{};
     intPending_ = false;
-    decoded_.sync();
+    // A shared pre-decoded cache (batch runs) must cover this exact
+    // store snapshot; otherwise fall back to the private cache.
+    sharedDecoded_ = cfg_.decoded;
+    if (sharedDecoded_) {
+        if (!sharedDecoded_->fullyDecoded() ||
+            sharedDecoded_->syncedVersion() != store_.version()) {
+            fatal("shared decoded cache is stale or incomplete "
+                  "(store version %llu, cache version %llu)",
+                  (unsigned long long)store_.version(),
+                  (unsigned long long)
+                      sharedDecoded_->syncedVersion());
+        }
+    } else {
+        decoded_.sync();
+    }
     trace_ = cfg_.trace;
     prof_ = cfg_.profiler;
 
@@ -812,7 +826,9 @@ MicroSimulator::run(uint32_t entry)
 
     // One reservation up front; every per-word buffer is reused, so
     // the interpreter loop itself never allocates.
-    const size_t max_ops = decoded_.maxOpsPerWord();
+    const size_t max_ops = sharedDecoded_
+                               ? sharedDecoded_->maxOpsPerWord()
+                               : decoded_.maxOpsPerWord();
     overlay_.reserve(2 * max_ops + 2);
     memWrites_.reserve(max_ops + 2);
     newPending_.reserve(max_ops + 2);
@@ -904,7 +920,9 @@ MicroSimulator::run(uint32_t entry)
                 break;
         }
 
-        const DecodedWord &dw = decoded_.word(upc_);
+        const DecodedWord &dw = sharedDecoded_
+                                    ? sharedDecoded_->wordAt(upc_)
+                                    : decoded_.word(upc_);
         if (cfg_.onWord)
             cfg_.onWord(upc_);
         if (dw.restart)

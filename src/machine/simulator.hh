@@ -60,6 +60,15 @@ struct SimConfig {
     bool forceSlowPath = false;
     //! called before each word executes (assertion checkers, traces)
     std::function<void(uint32_t addr)> onWord;
+    /**
+     * Shared read-only decoded-word cache (null = the simulator
+     * decodes privately). Must be fully pre-decoded
+     * (DecodedStore::decodeAll) against the same, no longer mutated,
+     * ControlStore; run() checks both and fatal()s on a mismatch.
+     * This lets N concurrent simulators of one (machine, program)
+     * pair share a single decode (BatchRunner's per-artefact cache).
+     */
+    const DecodedStore *decoded = nullptr;
     /** @name Observability (null = off; both are zero-cost when off
      *  and touch nothing architectural when on) */
     /// @{
@@ -304,6 +313,9 @@ class MicroSimulator
 
     //! decoded-word cache (rebuilt when the store's version changes)
     DecodedStore decoded_;
+    //! cfg_.decoded: pre-decoded cache shared across simulators
+    //! (null = use the private decoded_)
+    const DecodedStore *sharedDecoded_ = nullptr;
     unsigned dataWidth_;
 
     /** @name Reusable per-word scratch (no per-word allocation) */

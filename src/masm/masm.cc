@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "driver/frontend.hh"
 #include "support/bits.hh"
 #include "support/logging.hh"
 
@@ -441,5 +442,45 @@ MicroAssembler::assemble(const std::string &source) const
     }
     throw FatalError(msg);
 }
+
+// ----------------------------------------------------------------
+// Frontend registration (see driver/frontend.hh): hand microassembly
+// enters the pipeline at the very bottom, producing a finished
+// control store with no assertions or variable bindings.
+// ----------------------------------------------------------------
+
+namespace frontend_anchor {
+extern const char masm = 0;
+} // namespace frontend_anchor
+
+namespace {
+
+class MasmFrontend final : public Frontend
+{
+  public:
+    const char *name() const override { return "masm"; }
+    const char *describe() const override
+    {
+        return "masm: hand microassembly for any machine "
+               "description";
+    }
+    bool producesMir() const override { return false; }
+    Translation
+    translate(const std::string &source,
+              const MachineDescription &mach,
+              const FrontendOptions &) const override
+    {
+        MicroAssembler as(mach);
+        Translation t;
+        t.direct.emplace(mach);
+        t.direct->store = as.assemble(source);
+        return t;
+    }
+};
+
+const MasmFrontend masmFrontend;
+const FrontendRegistry::Registrar reg(&masmFrontend);
+
+} // namespace
 
 } // namespace uhll

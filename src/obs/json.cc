@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "support/logging.hh"
@@ -368,6 +369,288 @@ jsonValid(const std::string &text, std::string *err)
     if (!ok && err)
         *err = p.err;
     return ok;
+}
+
+// ----------------------------------------------------------------
+// Reader: the same grammar as the validator, building a JsonValue
+// tree. Kept separate so the hot validator stays allocation-free.
+// ----------------------------------------------------------------
+
+namespace {
+
+struct JsonReader {
+    const std::string &s;
+    size_t pos = 0;
+    int depth = 0;
+
+    explicit JsonReader(const std::string &text) : s(text) {}
+
+    [[noreturn]] void fail(const char *what)
+    {
+        fatal("json: %s at offset %zu", what, pos);
+    }
+
+    void skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    void literal(const char *word)
+    {
+        size_t n = std::char_traits<char>::length(word);
+        if (s.compare(pos, n, word) != 0)
+            fail("bad literal");
+        pos += n;
+    }
+
+    std::string string()
+    {
+        if (pos >= s.size() || s[pos] != '"')
+            fail("expected string");
+        ++pos;
+        std::string out;
+        while (pos < s.size()) {
+            unsigned char c = s[pos];
+            if (c == '"') {
+                ++pos;
+                return out;
+            }
+            if (c == '\\') {
+                ++pos;
+                if (pos >= s.size())
+                    fail("truncated escape");
+                char e = s[pos];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    unsigned v = 0;
+                    for (int i = 1; i <= 4; ++i) {
+                        if (pos + i >= s.size() ||
+                            !std::isxdigit((unsigned char)s[pos + i]))
+                            fail("bad \\u escape");
+                        char h = s[pos + i];
+                        v = v * 16 +
+                            (std::isdigit((unsigned char)h)
+                                 ? unsigned(h - '0')
+                                 : unsigned(std::tolower(h) - 'a') +
+                                       10);
+                    }
+                    pos += 4;
+                    // UTF-8 encode the BMP code point (surrogate
+                    // pairs are passed through as two units; the
+                    // manifests this reader serves are ASCII).
+                    if (v < 0x80) {
+                        out += char(v);
+                    } else if (v < 0x800) {
+                        out += char(0xC0 | (v >> 6));
+                        out += char(0x80 | (v & 0x3F));
+                    } else {
+                        out += char(0xE0 | (v >> 12));
+                        out += char(0x80 | ((v >> 6) & 0x3F));
+                        out += char(0x80 | (v & 0x3F));
+                    }
+                    break;
+                  }
+                  default: fail("bad escape");
+                }
+                ++pos;
+            } else if (c < 0x20) {
+                fail("control char in string");
+            } else {
+                out += char(c);
+                ++pos;
+            }
+        }
+        fail("unterminated string");
+    }
+
+    double number()
+    {
+        size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        while (pos < s.size() &&
+               (std::isdigit((unsigned char)s[pos]) || s[pos] == '.' ||
+                s[pos] == 'e' || s[pos] == 'E' || s[pos] == '+' ||
+                s[pos] == '-')) {
+            ++pos;
+        }
+        if (pos == start)
+            fail("expected number");
+        std::string tok = s.substr(start, pos - start);
+        char *end = nullptr;
+        double v = std::strtod(tok.c_str(), &end);
+        if (!end || *end)
+            fail("bad number");
+        return v;
+    }
+
+    JsonValue value()
+    {
+        if (++depth > 256)
+            fail("nesting too deep");
+        skipWs();
+        if (pos >= s.size())
+            fail("expected value");
+        JsonValue v;
+        switch (s[pos]) {
+          case '{': v = object(); break;
+          case '[': v = array(); break;
+          case '"':
+            v.kind = JsonValue::Kind::String;
+            v.str = string();
+            break;
+          case 't':
+            literal("true");
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+            break;
+          case 'f':
+            literal("false");
+            v.kind = JsonValue::Kind::Bool;
+            break;
+          case 'n':
+            literal("null");
+            break;
+          default:
+            v.kind = JsonValue::Kind::Number;
+            v.number = number();
+            break;
+        }
+        --depth;
+        return v;
+    }
+
+    JsonValue object()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        ++pos;  // '{'
+        skipWs();
+        if (pos < s.size() && s[pos] == '}') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            std::string key = string();
+            skipWs();
+            if (pos >= s.size() || s[pos] != ':')
+                fail("expected ':'");
+            ++pos;
+            v.fields.emplace_back(std::move(key), value());
+            skipWs();
+            if (pos < s.size() && s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (pos < s.size() && s[pos] == '}') {
+                ++pos;
+                return v;
+            }
+            fail("expected ',' or '}'");
+        }
+    }
+
+    JsonValue array()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        ++pos;  // '['
+        skipWs();
+        if (pos < s.size() && s[pos] == ']') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            v.items.push_back(value());
+            skipWs();
+            if (pos < s.size() && s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (pos < s.size() && s[pos] == ']') {
+                ++pos;
+                return v;
+            }
+            fail("expected ',' or ']'");
+        }
+    }
+};
+
+} // namespace
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    JsonReader r(text);
+    JsonValue v = r.value();
+    r.skipWs();
+    if (r.pos != text.size())
+        r.fail("trailing garbage");
+    return v;
+}
+
+const JsonValue *
+JsonValue::get(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : fields) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::require(const std::string &key) const
+{
+    const JsonValue *v = get(key);
+    if (!v)
+        fatal("json: missing required key '%s'", key.c_str());
+    return *v;
+}
+
+std::string
+JsonValue::asString(const std::string &dflt) const
+{
+    return kind == Kind::String ? str : dflt;
+}
+
+bool
+JsonValue::asBool(bool dflt) const
+{
+    return kind == Kind::Bool ? boolean : dflt;
+}
+
+double
+JsonValue::asNumber(double dflt) const
+{
+    return kind == Kind::Number ? number : dflt;
+}
+
+uint64_t
+JsonValue::asU64(uint64_t dflt) const
+{
+    if (kind == Kind::Number)
+        return static_cast<uint64_t>(number);
+    // Large 64-bit counters round-trip through strings exactly; the
+    // writer emits them as numbers, but accept both.
+    if (kind == Kind::String)
+        return std::strtoull(str.c_str(), nullptr, 0);
+    return dflt;
 }
 
 } // namespace uhll

@@ -72,6 +72,57 @@ class JsonWriter
  */
 bool jsonValid(const std::string &text, std::string *err = nullptr);
 
+/**
+ * A parsed JSON document (the reader half of this module, used by
+ * the batch-manifest loader in src/driver/). The tree is a plain
+ * value type; object fields keep their source order. Accessors are
+ * forgiving -- a missing key or a kind mismatch yields the caller's
+ * default -- so manifest code reads as a sequence of lookups, with
+ * require() for the fields that must exist.
+ */
+struct JsonValue {
+    enum class Kind : uint8_t {
+        Null, Bool, Number, String, Array, Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string str;
+    std::vector<JsonValue> items;                           //!< Array
+    std::vector<std::pair<std::string, JsonValue>> fields;  //!< Object
+
+    /**
+     * Parse one complete JSON value. Throws FatalError with an
+     * offset diagnostic on malformed input (same grammar as
+     * jsonValid()).
+     */
+    static JsonValue parse(const std::string &text);
+
+    /** @name Object / array access */
+    /// @{
+    /** Field @p key of an object, or null when absent / not an
+     * object. */
+    const JsonValue *get(const std::string &key) const;
+
+    /** Field @p key; fatal() naming @p key when absent. */
+    const JsonValue &require(const std::string &key) const;
+
+    bool has(const std::string &key) const { return get(key); }
+    /// @}
+
+    /** @name Typed reads (return @p dflt on kind mismatch) */
+    /// @{
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isString() const { return kind == Kind::String; }
+    std::string asString(const std::string &dflt = "") const;
+    bool asBool(bool dflt = false) const;
+    double asNumber(double dflt = 0) const;
+    uint64_t asU64(uint64_t dflt = 0) const;
+    /// @}
+};
+
 } // namespace uhll
 
 #endif // UHLL_OBS_JSON_HH

@@ -1,13 +1,12 @@
 /**
  * @file
- * uhllc: the command-line microcode compiler.
+ * uhllc: the command-line driver over the uhll::Toolchain facade.
  *
  *   uhllc --lang yalll --machine hm1 prog.yll --listing --run
+ *   uhllc --batch manifest.json -j8 --report report.json
+ *   uhllc --list
  *
- * Languages: yalll, simpl, empl, sstar, masm (hand microassembly).
- * Machines: hm1, vm2, vs3.
- *
- * Options:
+ * Single-file mode options:
  *   --listing           print the generated control store
  *   --run               simulate from the entry point
  *   --entry NAME        entry point for --run (default: main or the
@@ -21,6 +20,17 @@
  *   --trap-safe         apply the microtrap safety transformation
  *   --verify            (sstar) run the bounded assertion verifier
  *   --stats             print compilation statistics
+ *
+ * Batch mode (see src/driver/batch.hh for the manifest format):
+ *   --batch FILE        run the jobs in the JSON manifest
+ *   -jN | --jobs N      worker threads (default: all hardware)
+ *   --report FILE       write the aggregate JSON report (default:
+ *                       stdout)
+ *   --no-timings        omit timing fields from the report (the
+ *                       result is then identical across -j values)
+ *
+ * Discovery:
+ *   --list              print the registered languages and machines
  *
  * Observability (see src/obs/ and README "Observability"):
  *   --stats-json FILE   write the run's stats registry + SimResult
@@ -38,39 +48,47 @@
  *   --seed N            override the plan's PRNG seed
  *   --max-restarts K    declare restart livelock after K consecutive
  *                       faulting restarts of one restart point
+ *
+ * Exit codes: 0 success, 1 compile/verify/job failure, 2 usage,
+ * 3 structured simulation error.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
 
-#include "codegen/compiler.hh"
-#include "fault/fault.hh"
-#include "lang/empl/empl.hh"
-#include "lang/simpl/simpl.hh"
-#include "lang/sstar/sstar.hh"
-#include "lang/yalll/yalll.hh"
-#include "machine/machines/machines.hh"
-#include "masm/masm.hh"
+#include "driver/batch.hh"
+#include "driver/toolchain.hh"
 #include "obs/json.hh"
 #include "obs/profile.hh"
 #include "obs/trace.hh"
 #include "support/logging.hh"
-#include "verify/verifier.hh"
 
 using namespace uhll;
 
 namespace {
 
+std::string
+joined(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const std::string &n : names)
+        out += (out.empty() ? "" : "|") + n;
+    return out;
+}
+
 [[noreturn]] void
 usage()
 {
+    // The language and machine lists come from the registries, so a
+    // newly registered frontend shows up here with no edit.
     std::fprintf(
         stderr,
-        "usage: uhllc --lang yalll|simpl|empl|sstar|masm\n"
-        "             --machine hm1|vm2|vs3 FILE\n"
+        "usage: uhllc --lang %s\n"
+        "             --machine %s FILE\n"
         "             [--listing] [--run] [--entry NAME]\n"
         "             [--set VAR=VALUE ...]\n"
         "             [--compactor NAME] [--allocator NAME]\n"
@@ -80,7 +98,12 @@ usage()
         "             [--trace-limit N] [--profile]\n"
         "             [--inject FILE|-] [--seed N]\n"
         "             [--max-restarts K]\n"
-        "             [--quiet] [--verbose]\n");
+        "             [--quiet] [--verbose]\n"
+        "       uhllc --batch MANIFEST [-jN] [--report FILE]\n"
+        "             [--no-timings]\n"
+        "       uhllc --list\n",
+        joined(FrontendRegistry::names()).c_str(),
+        joined(machineNames()).c_str());
     std::exit(2);
 }
 
@@ -104,149 +127,72 @@ writeFile(const std::string &path, const std::string &content)
     f << content;
 }
 
-/** Observability knobs shared by every run path. */
-struct ObsOptions {
-    std::string statsJsonPath;
-    std::string tracePath;
-    size_t traceLimit = 4096;
-    bool profile = false;
-    //! fault plan path ("-" = built-in recoverable mix, "" = off)
-    std::string injectPath;
-    uint64_t faultSeed = 0;     //!< nonzero: override the plan seed
-    uint32_t maxRestarts = 0;   //!< nonzero: livelock limit override
-};
-
-/**
- * Simulate @p store from @p entry with the observability outputs
- * wired up. Variable access is abstracted so the masm/S* path
- * (registers) and the MIR path (allocated variables) share the whole
- * run/report flow.
- */
 int
-runSimulation(
-    const ControlStore &store, const std::string &entry,
-    const std::vector<std::pair<std::string, uint64_t>> &sets,
-    const ObsOptions &obs,
-    const std::function<void(MicroSimulator &, MainMemory &,
-                             const std::string &, uint64_t)> &setv,
-    const std::function<uint64_t(const MicroSimulator &,
-                                 const MainMemory &,
-                                 const std::string &)> &getv)
+listMode()
 {
-    MainMemory mem(0x10000, store.machine().dataWidth());
-
-    SimConfig cfg;
-    std::unique_ptr<TraceBuffer> trace;
-    std::unique_ptr<CycleProfiler> prof;
-    std::unique_ptr<FaultInjector> inj;
-    if (!obs.tracePath.empty()) {
-        trace = std::make_unique<TraceBuffer>(obs.traceLimit);
-        cfg.trace = trace.get();
+    std::printf("languages:\n");
+    for (const std::string &n : FrontendRegistry::names()) {
+        const Frontend &fe = FrontendRegistry::get(n);
+        std::printf("  %-8s %s%s\n", fe.name(), fe.describe(),
+                    fe.producesMir() ? "" : " [direct]");
     }
-    if (obs.profile) {
-        prof = std::make_unique<CycleProfiler>();
-        cfg.profiler = prof.get();
-    }
-    if (!obs.injectPath.empty()) {
-        FaultPlan plan =
-            obs.injectPath == "-"
-                ? FaultPlan::recoverable(obs.faultSeed ? obs.faultSeed
-                                                       : 1)
-                : FaultPlan::parse(readFile(obs.injectPath));
-        inj = std::make_unique<FaultInjector>(std::move(plan),
-                                              obs.faultSeed);
-        cfg.injector = inj.get();
-        cfg.maxRestarts = obs.maxRestarts;
-    }
-
-    MicroSimulator sim(store, mem, cfg);
-    for (auto &[n, v] : sets)
-        setv(sim, mem, n, v);
-    SimResult res = sim.run(entry);
-    std::printf("halted=%d cycles=%llu words=%llu\n", int(res.halted),
-                (unsigned long long)res.cycles,
-                (unsigned long long)res.wordsExecuted);
-    if (inj) {
-        std::printf(
-            "faults: seed=%llu injected=%llu ecc_corrected=%llu "
-            "ecc_double_bit=%llu parity_refetches=%llu "
-            "mem_retries=%llu spurious=%llu jitter_cycles=%llu\n",
-            (unsigned long long)res.faultSeed,
-            (unsigned long long)res.faultsInjected,
-            (unsigned long long)res.eccCorrected,
-            (unsigned long long)res.eccDoubleBit,
-            (unsigned long long)res.parityRefetches,
-            (unsigned long long)res.memRetries,
-            (unsigned long long)res.spuriousInterrupts,
-            (unsigned long long)res.jitterCycles);
-    }
-    for (auto &[n, v] : sets) {
-        (void)v;
-        std::printf("%s = %llu\n", n.c_str(),
-                    (unsigned long long)getv(sim, mem, n));
-    }
-
-    // Renderers over the control store's line table.
-    auto describe = [&store](uint32_t addr) -> std::string {
-        const SourceNote *n = store.note(addr);
-        if (!n)
-            return "";
-        if (n->line >= 0)
-            return strfmt("line %d: %s", n->line, n->what.c_str());
-        return n->what;
-    };
-    auto lineOf = [&store](uint32_t addr) -> int32_t {
-        const SourceNote *n = store.note(addr);
-        return n ? n->line : -1;
-    };
-
-    if (obs.profile) {
-        std::printf("\n%s", prof->report(20, describe).c_str());
-        // A line table only exists for assembled (masm) input;
-        // compiled code is attributed via the MIR origin strings.
-        if (store.hasLineNumbers())
-            std::printf("\n%s",
-                        prof->lineReport(10, lineOf, describe)
-                            .c_str());
-    }
-    if (!obs.tracePath.empty()) {
-        writeFile(obs.tracePath, trace->toChromeJson(describe));
-        inform("wrote %zu trace records to %s (%llu dropped)",
-               trace->size(), obs.tracePath.c_str(),
-               (unsigned long long)trace->dropped());
-    }
-    if (!obs.statsJsonPath.empty()) {
-        JsonWriter w;
-        w.beginObject();
-        w.raw("result", res.toJson());
-        w.raw("stats", sim.stats().toJson());
-        if (prof)
-            w.raw("profile", prof->toJson(20, lineOf, describe));
-        w.endObject();
-        writeFile(obs.statsJsonPath, w.str() + "\n");
-        inform("wrote stats to %s", obs.statsJsonPath.c_str());
-    }
-
-    if (!res.ok()) {
-        std::fprintf(
-            stderr,
-            "sim error: %s: %s\n"
-            "  at cycle %llu, upc 0x%04x, restart point 0x%04x\n",
-            simErrorKindName(res.error.kind),
-            res.error.message.c_str(),
-            (unsigned long long)res.error.cycle, res.error.upc,
-            res.error.restartPoint);
-        std::fprintf(stderr, "  registers:");
-        for (size_t i = 0; i < res.error.regs.size(); ++i) {
-            std::fprintf(stderr, "%s%s=0x%llx",
-                         i % 4 == 0 ? "\n    " : "  ",
-                         res.error.regs[i].first.c_str(),
-                         (unsigned long long)res.error.regs[i].second);
-        }
-        std::fprintf(stderr, "\n");
-        return 3;
-    }
+    std::printf("machines:\n");
+    for (const std::string &n : machineNames())
+        std::printf("  %-8s %s\n", n.c_str(),
+                    machineDescribe(n).c_str());
     return 0;
+}
+
+int
+batchMode(const std::string &manifest_path, unsigned threads,
+          const std::string &report_path, bool timings)
+{
+    Toolchain tc;
+    std::vector<Job> jobs = loadManifest(manifest_path);
+    BatchRunner runner(tc, threads);
+    BatchReport report = runner.run(jobs);
+
+    const std::string json = report.toJson(true, timings) + "\n";
+    if (report_path.empty())
+        std::fputs(json.c_str(), stdout);
+    else
+        writeFile(report_path, json);
+
+    for (const JobResult &r : report.results) {
+        if (r.ok)
+            continue;
+        std::fprintf(stderr, "FAILED %s:\n", r.name.c_str());
+        for (const std::string &d : r.diagnostics)
+            std::fprintf(stderr, "  %s\n", d.c_str());
+    }
+    std::fprintf(stderr,
+                 "batch: %zu/%zu jobs ok, %u thread(s), "
+                 "%.3fs wall, %.3fs cpu\n",
+                 report.okCount(), report.results.size(),
+                 report.threads, report.wallSeconds,
+                 report.cpuSeconds);
+    return report.allOk() ? 0 : 1;
+}
+
+/** Print the structured SimError diagnostic uhllc always printed. */
+void
+printSimError(const SimResult &res)
+{
+    std::fprintf(stderr,
+                 "sim error: %s: %s\n"
+                 "  at cycle %llu, upc 0x%04x, restart point 0x%04x\n",
+                 simErrorKindName(res.error.kind),
+                 res.error.message.c_str(),
+                 (unsigned long long)res.error.cycle, res.error.upc,
+                 res.error.restartPoint);
+    std::fprintf(stderr, "  registers:");
+    for (size_t i = 0; i < res.error.regs.size(); ++i) {
+        std::fprintf(stderr, "%s%s=0x%llx",
+                     i % 4 == 0 ? "\n    " : "  ",
+                     res.error.regs[i].first.c_str(),
+                     (unsigned long long)res.error.regs[i].second);
+    }
+    std::fprintf(stderr, "\n");
 }
 
 } // namespace
@@ -254,27 +200,38 @@ runSimulation(
 int
 main(int argc, char **argv)
 {
-    std::string lang, machine_name, file, entry;
-    std::vector<std::pair<std::string, uint64_t>> sets;
-    std::string compactor_name = "tokoro";
-    std::string allocator_name = "graph_coloring";
-    bool listing = false, run = false, stats = false;
-    bool verify = false;
-    CompileOptions opts;
-    ObsOptions obs;
+    Job job;
+    std::string file;
+    bool listing = false, stats = false, list = false;
+    bool compactor_given = false;
+    job.run = false;
+
+    std::string batch_manifest, report_path;
+    unsigned batch_threads = 0;
+    bool batch_timings = true;
+
+    std::string trace_path, stats_json_path;
+    size_t trace_limit = 4096;
+    bool profile = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
-        auto next = [&]() -> std::string {
-            if (++i >= argc)
-                usage();
+        // A value option missing its value names itself in the
+        // diagnostic instead of dumping the whole usage text.
+        auto next = [&](const std::string &flag) -> std::string {
+            if (++i >= argc) {
+                std::fprintf(stderr,
+                             "option '%s' requires a value\n",
+                             flag.c_str());
+                std::exit(2);
+            }
             return argv[i];
         };
         // Value options accept both "--opt VALUE" and "--opt=VALUE".
         auto valueOpt = [&](const char *name,
                             std::string *out) -> bool {
             if (a == name) {
-                *out = next();
+                *out = next(name);
                 return true;
             }
             std::string prefix = std::string(name) + "=";
@@ -285,48 +242,83 @@ main(int argc, char **argv)
             return false;
         };
         std::string val;
-        if (a == "--lang") lang = next();
-        else if (a == "--machine") machine_name = next();
-        else if (a == "--entry") entry = next();
-        else if (a == "--compactor") compactor_name = next();
-        else if (a == "--allocator") allocator_name = next();
+        if (valueOpt("--lang", &job.lang)) {}
+        else if (valueOpt("--machine", &job.machine)) {}
+        else if (valueOpt("--entry", &job.entry)) {}
+        else if (valueOpt("--compactor", &job.options.compactor)) {
+            compactor_given = true;
+        }
+        else if (valueOpt("--allocator", &job.options.allocator)) {}
         else if (a == "--listing") listing = true;
-        else if (a == "--run") run = true;
+        else if (a == "--run") job.run = true;
         else if (a == "--stats") stats = true;
-        else if (a == "--verify") verify = true;
-        else if (a == "--no-compact") opts.compact = false;
-        else if (a == "--polls") opts.insertInterruptPolls = true;
-        else if (a == "--trap-safe") opts.trapSafety = true;
-        else if (valueOpt("--stats-json", &obs.statsJsonPath)) {}
-        else if (valueOpt("--trace", &obs.tracePath)) {}
+        else if (a == "--verify") job.verify = true;
+        else if (a == "--no-compact") job.options.compact = false;
+        else if (a == "--polls")
+            job.options.insertInterruptPolls = true;
+        else if (a == "--trap-safe") job.options.trapSafety = true;
+        else if (a == "--list") list = true;
+        else if (valueOpt("--batch", &batch_manifest)) {}
+        else if (valueOpt("--report", &report_path)) {}
+        else if (a == "--no-timings") batch_timings = false;
+        else if (valueOpt("--jobs", &val)
+                 || (a.rfind("-j", 0) == 0 && a.size() > 2
+                     && (val = a.substr(2), true))) {
+            batch_threads = static_cast<unsigned>(
+                std::strtoul(val.c_str(), nullptr, 0));
+            if (!batch_threads) {
+                std::fprintf(stderr, "bad thread count '%s'\n",
+                             val.c_str());
+                return 2;
+            }
+        }
+        else if (a == "-j") {
+            val = next("-j");
+            batch_threads = static_cast<unsigned>(
+                std::strtoul(val.c_str(), nullptr, 0));
+            if (!batch_threads) {
+                std::fprintf(stderr, "bad thread count '%s'\n",
+                             val.c_str());
+                return 2;
+            }
+        }
+        else if (valueOpt("--stats-json", &stats_json_path)) {}
+        else if (valueOpt("--trace", &trace_path)) {}
         else if (valueOpt("--trace-limit", &val)) {
-            obs.traceLimit = std::strtoull(val.c_str(), nullptr, 0);
-            if (!obs.traceLimit)
+            trace_limit = std::strtoull(val.c_str(), nullptr, 0);
+            if (!trace_limit)
                 usage();
         }
-        else if (a == "--profile") obs.profile = true;
-        else if (valueOpt("--inject", &obs.injectPath)) {}
+        else if (a == "--profile") profile = true;
+        else if (valueOpt("--inject", &job.faultPlan)) {
+            if (job.faultPlan != "-")
+                job.faultPlan = readFile(job.faultPlan);
+        }
         else if (valueOpt("--seed", &val)) {
-            obs.faultSeed = std::strtoull(val.c_str(), nullptr, 0);
-            if (!obs.faultSeed)
+            job.faultSeed = std::strtoull(val.c_str(), nullptr, 0);
+            if (!job.faultSeed)
                 usage();
         }
         else if (valueOpt("--max-restarts", &val)) {
-            obs.maxRestarts = static_cast<uint32_t>(
+            job.maxRestarts = static_cast<uint32_t>(
                 std::strtoull(val.c_str(), nullptr, 0));
-            if (!obs.maxRestarts)
+            if (!job.maxRestarts)
                 usage();
         }
         else if (a == "--quiet") setLogLevel(LogLevel::Quiet);
         else if (a == "--verbose") setLogLevel(LogLevel::Verbose);
         else if (a == "--set") {
-            std::string kv = next();
+            std::string kv = next("--set");
             auto eq = kv.find('=');
-            if (eq == std::string::npos)
-                usage();
-            sets.emplace_back(kv.substr(0, eq),
-                              std::strtoull(kv.c_str() + eq + 1,
-                                            nullptr, 0));
+            if (eq == std::string::npos) {
+                std::fprintf(stderr,
+                             "--set expects VAR=VALUE, got '%s'\n",
+                             kv.c_str());
+                return 2;
+            }
+            job.sets.emplace_back(kv.substr(0, eq),
+                                  std::strtoull(kv.c_str() + eq + 1,
+                                                nullptr, 0));
         } else if (a == "--help" || a == "-h") {
             usage();
         } else if (!a.empty() && a[0] == '-') {
@@ -338,109 +330,178 @@ main(int argc, char **argv)
             usage();
         }
     }
-    if (lang.empty() || machine_name.empty() || file.empty())
-        usage();
+
+    if (list)
+        return listMode();
 
     try {
-        MachineDescription mach =
-            machine_name == "hm1"   ? buildHm1()
-            : machine_name == "vm2" ? buildVm2()
-            : machine_name == "vs3" ? buildVs3()
-                                    : (usage(), buildHm1());
-        std::string source = readFile(file);
-
-        // Resolve pipeline knobs.
-        std::unique_ptr<Compactor> compactor;
-        for (auto &c : allCompactors()) {
-            if (compactor_name == c->name())
-                compactor = std::move(c);
+        if (!batch_manifest.empty()) {
+            return batchMode(batch_manifest, batch_threads,
+                             report_path, batch_timings);
         }
-        if (!compactor)
-            fatal("unknown compactor '%s'", compactor_name.c_str());
-        opts.compactor = compactor.get();
-        LinearScanAllocator ls;
-        GraphColoringAllocator gc;
-        if (allocator_name == "linear_scan")
-            opts.allocator = &ls;
-        else if (allocator_name == "graph_coloring")
-            opts.allocator = &gc;
-        else
-            fatal("unknown allocator '%s'", allocator_name.c_str());
 
-        // S* and masm produce a control store directly.
-        if (lang == "sstar" || lang == "masm") {
-            ControlStore store(mach);
-            SstarProgram sp(mach);
-            if (lang == "sstar") {
-                sp = compileSstar(source, mach);
-                if (verify) {
-                    VerifyResult vr = verifySstar(sp);
-                    std::printf("%s", vr.report.c_str());
-                    if (!vr.ok)
-                        return 1;
-                }
-                store = std::move(sp.store);
-            } else {
-                MicroAssembler as(mach);
-                store = as.assemble(source);
-            }
-            if (listing || (!run && !verify))
-                std::printf("%s", store.listing().c_str());
+        if (job.lang.empty() || job.machine.empty() || file.empty())
+            usage();
+        job.source = readFile(file);
+        job.name = file;
+
+        // Reject contradictory/unknown option combinations before
+        // doing any work. (A named compactor that the default would
+        // shadow, e.g. --no-compact --compactor tokoro, is an error
+        // even though tokoro is the default name.)
+        if (!compactor_given)
+            job.options.compactor.clear();
+        const std::string verr = job.options.validate();
+        if (!verr.empty()) {
+            std::fprintf(stderr, "error: %s\n", verr.c_str());
+            return 2;
+        }
+
+        // Observability sinks are owned here; the Toolchain wires
+        // them into the simulator.
+        std::unique_ptr<TraceBuffer> trace;
+        std::unique_ptr<CycleProfiler> prof;
+        if (!trace_path.empty()) {
+            trace = std::make_unique<TraceBuffer>(trace_limit);
+            job.trace = trace.get();
+        }
+        if (profile) {
+            prof = std::make_unique<CycleProfiler>();
+            job.profiler = prof.get();
+        }
+        job.captureStats = !stats_json_path.empty() || profile;
+
+        Toolchain tc;
+        if (!job.run && !job.verify) {
+            // Pure compile: listing/stats only. Let compile errors
+            // surface as FatalError (exit 1), as they always have.
+            auto art = tc.compile(job);
+            std::printf("%s", art->store().listing().c_str());
             if (stats) {
-                std::printf("words: %zu (%llu bits)\n", store.size(),
-                            (unsigned long long)store.sizeBits());
-            }
-            if (run) {
-                return runSimulation(
-                    store, entry.empty() ? "main" : entry, sets, obs,
-                    [](MicroSimulator &sim, MainMemory &,
-                       const std::string &n, uint64_t v) {
-                        sim.setReg(n, v);
-                    },
-                    [](const MicroSimulator &sim, const MainMemory &,
-                       const std::string &n) {
-                        return sim.getReg(n);
-                    });
+                if (art->isMir()) {
+                    const CompileStats &s = art->stats();
+                    std::printf(
+                        "words: %u (%llu bits), ops: %u, fixups: "
+                        "%u, spilled vregs: %u, spill loads/stores: "
+                        "%u/%u\n",
+                        s.words,
+                        (unsigned long long)art->store().sizeBits(),
+                        s.opsLowered, s.fixupMovs, s.spilledVRegs,
+                        s.spillLoads, s.spillStores);
+                } else {
+                    std::printf(
+                        "words: %zu (%llu bits)\n",
+                        art->store().size(),
+                        (unsigned long long)art->store().sizeBits());
+                }
             }
             return 0;
         }
 
-        // The MIR-compiled languages.
-        MirProgram prog = lang == "yalll" ? parseYalll(source, mach)
-                          : lang == "simpl"
-                              ? parseSimpl(source, mach)
-                          : lang == "empl"
-                              ? parseEmpl(source, mach, {})
-                              : (usage(), MirProgram());
+        JobResult r = tc.run(job);
+        if (!r.artefact) {
+            for (const std::string &d : r.diagnostics)
+                std::fprintf(stderr, "error: %s\n", d.c_str());
+            return 1;
+        }
+        const ControlStore &store = r.artefact->store();
 
-        Compiler comp(mach);
-        CompiledProgram cp = comp.compile(prog, opts);
-        if (listing || !run)
-            std::printf("%s", cp.store.listing().c_str());
+        if (r.verified)
+            std::printf("%s", r.verifyReport.c_str());
+        if (r.verified && !r.verifyOk)
+            return 1;
+        if (listing)
+            std::printf("%s", store.listing().c_str());
         if (stats) {
-            std::printf("words: %u (%llu bits), ops: %u, fixups: %u, "
-                        "spilled vregs: %u, spill loads/stores: "
-                        "%u/%u\n",
-                        cp.stats.words,
-                        (unsigned long long)cp.store.sizeBits(),
-                        cp.stats.opsLowered, cp.stats.fixupMovs,
-                        cp.stats.spilledVRegs, cp.stats.spillLoads,
-                        cp.stats.spillStores);
+            if (r.artefact->isMir()) {
+                const CompileStats &s = r.artefact->stats();
+                std::printf(
+                    "words: %u (%llu bits), ops: %u, fixups: %u, "
+                    "spilled vregs: %u, spill loads/stores: %u/%u\n",
+                    s.words, (unsigned long long)store.sizeBits(),
+                    s.opsLowered, s.fixupMovs, s.spilledVRegs,
+                    s.spillLoads, s.spillStores);
+            } else {
+                std::printf("words: %zu (%llu bits)\n", store.size(),
+                            (unsigned long long)store.sizeBits());
+            }
         }
-        if (run) {
-            return runSimulation(
-                cp.store, entry.empty() ? prog.func(0).name : entry,
-                sets, obs,
-                [&](MicroSimulator &sim, MainMemory &mem,
-                    const std::string &n, uint64_t v) {
-                    setVar(prog, cp, sim, mem, n, v);
-                },
-                [&](const MicroSimulator &sim, const MainMemory &mem,
-                    const std::string &n) {
-                    return getVar(prog, cp, sim, mem, n);
-                });
+
+        if (!r.ran) {
+            for (const std::string &d : r.diagnostics)
+                std::fprintf(stderr, "error: %s\n", d.c_str());
+            return r.ok ? 0 : 1;
         }
-        return 0;
+
+        const SimResult &res = r.sim;
+        std::printf("halted=%d cycles=%llu words=%llu\n",
+                    int(res.halted), (unsigned long long)res.cycles,
+                    (unsigned long long)res.wordsExecuted);
+        if (!job.faultPlan.empty()) {
+            std::printf(
+                "faults: seed=%llu injected=%llu ecc_corrected=%llu "
+                "ecc_double_bit=%llu parity_refetches=%llu "
+                "mem_retries=%llu spurious=%llu jitter_cycles=%llu\n",
+                (unsigned long long)res.faultSeed,
+                (unsigned long long)res.faultsInjected,
+                (unsigned long long)res.eccCorrected,
+                (unsigned long long)res.eccDoubleBit,
+                (unsigned long long)res.parityRefetches,
+                (unsigned long long)res.memRetries,
+                (unsigned long long)res.spuriousInterrupts,
+                (unsigned long long)res.jitterCycles);
+        }
+        for (const auto &[n, v] : r.vars)
+            std::printf("%s = %llu\n", n.c_str(),
+                        (unsigned long long)v);
+
+        // Renderers over the control store's line table.
+        auto describe = [&store](uint32_t addr) -> std::string {
+            const SourceNote *n = store.note(addr);
+            if (!n)
+                return "";
+            if (n->line >= 0)
+                return strfmt("line %d: %s", n->line,
+                              n->what.c_str());
+            return n->what;
+        };
+        auto lineOf = [&store](uint32_t addr) -> int32_t {
+            const SourceNote *n = store.note(addr);
+            return n ? n->line : -1;
+        };
+
+        if (profile) {
+            std::printf("\n%s", prof->report(20, describe).c_str());
+            // A line table only exists for assembled (masm) input;
+            // compiled code is attributed via MIR origin strings.
+            if (store.hasLineNumbers())
+                std::printf("\n%s",
+                            prof->lineReport(10, lineOf, describe)
+                                .c_str());
+        }
+        if (!trace_path.empty()) {
+            writeFile(trace_path, trace->toChromeJson(describe));
+            inform("wrote %zu trace records to %s (%llu dropped)",
+                   trace->size(), trace_path.c_str(),
+                   (unsigned long long)trace->dropped());
+        }
+        if (!stats_json_path.empty()) {
+            JsonWriter w;
+            w.beginObject();
+            w.raw("result", res.toJson());
+            w.raw("stats", r.statsJson);
+            if (prof)
+                w.raw("profile", prof->toJson(20, lineOf, describe));
+            w.endObject();
+            writeFile(stats_json_path, w.str() + "\n");
+            inform("wrote stats to %s", stats_json_path.c_str());
+        }
+
+        if (!res.ok()) {
+            printSimError(res);
+            return 3;
+        }
+        return r.ok ? 0 : 1;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * BatchRunner tests: the manifest loader, the aggregate report, and
+ * the tentpole guarantee -- a batch at -j8 is bit-identical to the
+ * same batch at -j1 (modulo timing fields), with and without fault
+ * injection, over the full workload x machine matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/batch.hh"
+#include "obs/json.hh"
+#include "support/logging.hh"
+
+using namespace uhll;
+
+namespace {
+
+/** Per-job JSON with timing fields stripped: the determinism key. */
+std::vector<std::string>
+resultKeys(const BatchReport &report)
+{
+    std::vector<std::string> keys;
+    for (const JobResult &r : report.results)
+        keys.push_back(r.toJson(true, false));
+    return keys;
+}
+
+void
+expectIdenticalResults(const BatchReport &serial,
+                       const BatchReport &parallel)
+{
+    ASSERT_EQ(serial.results.size(), parallel.results.size());
+    std::vector<std::string> a = resultKeys(serial);
+    std::vector<std::string> b = resultKeys(parallel);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]) << serial.results[i].name;
+    EXPECT_EQ(serial.toJson(true, false), parallel.toJson(true, false));
+}
+
+// The tentpole stress test: the full workload x machine matrix (25
+// jobs: 5 kernels x 3 machines compiled + 2 x 5 hand baselines),
+// serial vs 8 worker threads sharing machines, artefacts and
+// decoded-word caches through one Toolchain.
+TEST(BatchDeterminism, WorkloadMatrixJ1vsJ8)
+{
+    std::vector<Job> jobs = workloadMatrixJobs();
+    Toolchain tc;
+    BatchReport serial = BatchRunner(tc, 1).run(jobs);
+    BatchReport parallel = BatchRunner(tc, 8).run(jobs);
+    EXPECT_EQ(serial.okCount(), jobs.size());
+    expectIdenticalResults(serial, parallel);
+}
+
+// Same matrix under the seeded recoverable chaos mix: deterministic
+// per-run fault schedules must survive concurrency too (each run
+// owns its injector; only immutable state is shared).
+TEST(BatchDeterminism, WorkloadMatrixWithFaultPlanJ1vsJ8)
+{
+    std::vector<Job> jobs = workloadMatrixJobs();
+    for (Job &j : jobs) {
+        j.faultPlan = "-";
+        j.faultSeed = 7;
+        // Chaos runs may legitimately end in a structured error;
+        // determinism, not success, is what this test asserts.
+        j.checkMemory = nullptr;
+    }
+    Toolchain tc;
+    BatchReport serial = BatchRunner(tc, 1).run(jobs);
+    BatchReport parallel = BatchRunner(tc, 8).run(jobs);
+    expectIdenticalResults(serial, parallel);
+}
+
+// Two fresh Toolchains must agree as well (no hidden global state).
+TEST(BatchDeterminism, IndependentToolchainsAgree)
+{
+    std::vector<Job> jobs = workloadMatrixJobs();
+    Toolchain tc1, tc2;
+    BatchReport a = BatchRunner(tc1, 4).run(jobs);
+    BatchReport b = BatchRunner(tc2, 2).run(jobs);
+    expectIdenticalResults(a, b);
+}
+
+TEST(BatchRunner, FailingJobDoesNotPoisonTheBatch)
+{
+    Job good;
+    good.lang = "yalll";
+    good.machine = "hm1";
+    good.source = "reg a\nproc main\n    put a, 1\n    exit\n";
+    Job bad = good;
+    bad.source = "syntax error here";
+    Toolchain tc;
+    BatchReport report = BatchRunner(tc, 2).run({good, bad, good});
+    ASSERT_EQ(report.results.size(), 3u);
+    EXPECT_TRUE(report.results[0].ok);
+    EXPECT_FALSE(report.results[1].ok);
+    EXPECT_TRUE(report.results[2].ok);
+    EXPECT_EQ(report.okCount(), 2u);
+    EXPECT_FALSE(report.allOk());
+}
+
+TEST(BatchReport, JsonIsValidAndTimingsAreOptional)
+{
+    Toolchain tc;
+    BatchReport report = BatchRunner(tc, 2).run(
+        workloadMatrixJobs());
+    std::string with = report.toJson(true, true);
+    std::string without = report.toJson(true, false);
+    std::string err;
+    EXPECT_TRUE(jsonValid(with, &err)) << err;
+    EXPECT_TRUE(jsonValid(without, &err)) << err;
+    EXPECT_NE(with.find("\"wall_seconds\""), std::string::npos);
+    EXPECT_EQ(without.find("\"wall_seconds\""), std::string::npos);
+    EXPECT_EQ(without.find("\"threads\""), std::string::npos);
+}
+
+TEST(Manifest, ParsesSourceWorkloadAndOptions)
+{
+    const std::string text = R"({
+      "jobs": [
+        {"name": "inline", "lang": "yalll", "machine": "hm1",
+         "source": "reg a\nproc main\n    put a, 2\n    exit\n",
+         "sets": {"a": 0}},
+        {"workload": "checksum", "machine": "VM-2",
+         "options": {"compactor": "linear", "optimize": false}},
+        {"workload": "memcpy", "machine": "hm1", "hand": true,
+         "inject": "-", "seed": "0x2a", "max_cycles": 123456}
+      ]
+    })";
+    std::vector<Job> jobs =
+        parseManifest(JsonValue::parse(text), ".");
+    ASSERT_EQ(jobs.size(), 3u);
+    EXPECT_EQ(jobs[0].name, "inline");
+    ASSERT_EQ(jobs[0].sets.size(), 1u);
+    EXPECT_EQ(jobs[0].sets[0].first, "a");
+    EXPECT_EQ(jobs[1].machine, "vm2");
+    EXPECT_EQ(jobs[1].options.compactor, "linear");
+    EXPECT_FALSE(jobs[1].options.optimize);
+    EXPECT_EQ(jobs[2].lang, "masm");
+    EXPECT_EQ(jobs[2].faultPlan, "-");
+    EXPECT_EQ(jobs[2].faultSeed, 0x2au);
+    EXPECT_EQ(jobs[2].maxCycles, 123456u);
+
+    Toolchain tc;
+    BatchReport report = BatchRunner(tc, 2).run(jobs);
+    EXPECT_TRUE(report.allOk()) << report.toJson();
+}
+
+TEST(Manifest, StructuralErrorsAreFatal)
+{
+    auto parse = [](const std::string &text) {
+        return parseManifest(JsonValue::parse(text), ".");
+    };
+    // Not an object / missing jobs / empty jobs.
+    EXPECT_THROW(parse("[]"), FatalError);
+    EXPECT_THROW(parse("{}"), FatalError);
+    EXPECT_THROW(parse("{\"jobs\": []}"), FatalError);
+    // No source at all, and two sources at once.
+    EXPECT_THROW(
+        parse(R"({"jobs":[{"lang":"yalll","machine":"hm1"}]})"),
+        FatalError);
+    EXPECT_THROW(
+        parse(R"({"jobs":[{"lang":"yalll","machine":"hm1",
+                           "source":"x","workload":"find"}]})"),
+        FatalError);
+    // Unknown workload; missing machine.
+    EXPECT_THROW(
+        parse(R"({"jobs":[{"workload":"sort","machine":"hm1"}]})"),
+        FatalError);
+    EXPECT_THROW(parse(R"({"jobs":[{"workload":"find"}]})"),
+                 FatalError);
+    // Malformed JSON is a parse-time FatalError too.
+    EXPECT_THROW(JsonValue::parse("{\"jobs\": ["), FatalError);
+}
+
+TEST(Manifest, UnknownLanguageSurfacesAsJobDiagnostic)
+{
+    const std::string text = R"({
+      "jobs": [{"lang": "cobol", "machine": "hm1", "source": "x"}]
+    })";
+    std::vector<Job> jobs =
+        parseManifest(JsonValue::parse(text), ".");
+    Toolchain tc;
+    BatchReport report = BatchRunner(tc, 1).run(jobs);
+    ASSERT_EQ(report.results.size(), 1u);
+    EXPECT_FALSE(report.results[0].ok);
+    ASSERT_FALSE(report.results[0].diagnostics.empty());
+    EXPECT_NE(report.results[0].diagnostics[0].find("cobol"),
+              std::string::npos);
+}
+
+} // namespace

@@ -17,9 +17,9 @@
 #include <vector>
 
 #include "codegen/compiler.hh"
+#include "driver/frontend.hh"
 #include "fault/fault.hh"
 #include "isa/macro.hh"
-#include "lang/yalll/yalll.hh"
 #include "machine/machines/machines.hh"
 #include "machine/memory.hh"
 #include "machine/simulator.hh"
@@ -132,7 +132,7 @@ TEST(ChaosDiff, CompiledWorkloadSuite)
                     mn == std::string("HM-1")   ? buildHm1()
                     : mn == std::string("VM-2") ? buildVm2()
                                                 : buildVs3();
-                MirProgram prog = parseYalll(w.yalll, m);
+                MirProgram prog = translateToMir("yalll", w.yalll, m);
                 Compiler comp(m);
                 CompiledProgram cp = comp.compile(prog, {});
                 MainMemory mem(0x10000, 16);

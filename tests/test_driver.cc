@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Unit tests for the driver layer: FrontendRegistry, PipelineOptions
+ * validation, the Toolchain facade and its artefact cache.
+ * Concurrency and batch determinism live in test_batch.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/toolchain.hh"
+#include "machine/machines/machines.hh"
+#include "obs/json.hh"
+#include "support/logging.hh"
+
+using namespace uhll;
+
+namespace {
+
+const char *kAddSrc = "reg a\nreg b\nproc main\n"
+                      "    put a, 21\n    add b, a, a\n    exit\n";
+
+Job
+addJob(const std::string &machine = "hm1")
+{
+    Job job;
+    job.lang = "yalll";
+    job.machine = machine;
+    job.source = kAddSrc;
+    job.sets = {{"b", 0}};
+    return job;
+}
+
+TEST(FrontendRegistry, AllFiveLanguagesRegistered)
+{
+    std::vector<std::string> names = FrontendRegistry::names();
+    EXPECT_EQ(names, (std::vector<std::string>{
+                         "empl", "masm", "simpl", "sstar", "yalll"}));
+}
+
+TEST(FrontendRegistry, FindAndGet)
+{
+    EXPECT_NE(FrontendRegistry::find("yalll"), nullptr);
+    EXPECT_EQ(FrontendRegistry::find("cobol"), nullptr);
+    EXPECT_THROW(FrontendRegistry::get("cobol"), FatalError);
+    EXPECT_TRUE(FrontendRegistry::get("yalll").producesMir());
+    EXPECT_FALSE(FrontendRegistry::get("masm").producesMir());
+}
+
+TEST(FrontendRegistry, DescribeIsNonEmpty)
+{
+    for (const std::string &n : FrontendRegistry::names()) {
+        EXPECT_STRNE(FrontendRegistry::get(n).describe(), "")
+            << n;
+    }
+}
+
+TEST(FrontendRegistry, TranslateToMirRejectsDirectLanguages)
+{
+    MachineDescription m = buildHm1();
+    EXPECT_THROW(translateToMir("masm", "[ nop ]\n", m), FatalError);
+}
+
+TEST(MachineRegistry, NamesAndAliases)
+{
+    EXPECT_EQ(machineNames(),
+              (std::vector<std::string>{"hm1", "vm2", "vs3"}));
+    EXPECT_TRUE(knownMachine("hm1"));
+    EXPECT_TRUE(knownMachine("HM-1"));
+    EXPECT_TRUE(knownMachine("Vm_2"));
+    EXPECT_FALSE(knownMachine("pdp11"));
+    for (const std::string &n : machineNames())
+        EXPECT_FALSE(machineDescribe(n).empty()) << n;
+}
+
+TEST(PipelineOptions, DefaultIsValid)
+{
+    EXPECT_EQ(PipelineOptions{}.validate(), "");
+}
+
+// Regression test for the satellite: --no-compact with a named
+// --compactor used to silently ignore the compactor.
+TEST(PipelineOptions, NoCompactWithNamedCompactorRejected)
+{
+    PipelineOptions opts;
+    opts.compact = false;
+    opts.compactor = "optimal";
+    std::string err = opts.validate();
+    EXPECT_NE(err.find("contradictory"), std::string::npos) << err;
+    EXPECT_NE(err.find("optimal"), std::string::npos) << err;
+}
+
+TEST(PipelineOptions, UnknownNamesRejected)
+{
+    PipelineOptions opts;
+    opts.compactor = "magic";
+    EXPECT_NE(opts.validate().find("unknown compactor"),
+              std::string::npos);
+    opts.compactor = "tokoro";
+    EXPECT_EQ(opts.validate(), "");
+    opts.allocator = "stack_machine";
+    EXPECT_NE(opts.validate().find("unknown allocator"),
+              std::string::npos);
+}
+
+TEST(PipelineOptions, MultipleProblemsAllReported)
+{
+    PipelineOptions opts;
+    opts.compact = false;
+    opts.compactor = "magic";
+    std::string err = opts.validate();
+    EXPECT_NE(err.find("contradictory"), std::string::npos);
+    EXPECT_NE(err.find("unknown compactor"), std::string::npos);
+}
+
+TEST(Toolchain, MachineIsSharedAndCached)
+{
+    Toolchain tc;
+    auto a = tc.machine("hm1");
+    auto b = tc.machine("HM-1");
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(a->name(), "HM-1");
+    EXPECT_THROW(tc.machine("pdp11"), FatalError);
+}
+
+TEST(Toolchain, CompileProducesPredecodedArtefact)
+{
+    Toolchain tc;
+    auto art = tc.compile(addJob());
+    ASSERT_TRUE(art);
+    EXPECT_TRUE(art->isMir());
+    EXPECT_GT(art->store().size(), 0u);
+    ASSERT_TRUE(art->decoded);
+    EXPECT_TRUE(art->decoded->fullyDecoded());
+    EXPECT_EQ(art->decoded->syncedVersion(),
+              art->store().version());
+}
+
+TEST(Toolchain, ArtefactCacheHitsOnEqualJobs)
+{
+    Toolchain tc;
+    auto a = tc.compile(addJob());
+    auto b = tc.compile(addJob());
+    EXPECT_EQ(a.get(), b.get());
+
+    Job other = addJob();
+    other.options.compact = false;
+    auto c = tc.compile(other);
+    EXPECT_NE(a.get(), c.get());
+
+    auto d = tc.compile(addJob("vm2"));
+    EXPECT_NE(a.get(), d.get());
+}
+
+TEST(Toolchain, RunComputesAndReadsBackVariables)
+{
+    Toolchain tc;
+    JobResult r = tc.run(addJob());
+    EXPECT_TRUE(r.ok) << r.toJson();
+    ASSERT_TRUE(r.ran);
+    EXPECT_TRUE(r.sim.halted);
+    ASSERT_EQ(r.vars.size(), 1u);
+    EXPECT_EQ(r.vars[0].first, "b");
+    EXPECT_EQ(r.vars[0].second, 42u);
+}
+
+TEST(Toolchain, CompileErrorBecomesDiagnosticNotThrow)
+{
+    Toolchain tc;
+    Job job = addJob();
+    job.source = "proc main\n    frobnicate a\n";
+    JobResult r = tc.run(job);
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.artefact);
+    ASSERT_FALSE(r.diagnostics.empty());
+    EXPECT_NE(r.diagnostics[0].find("compile:"), std::string::npos);
+}
+
+TEST(Toolchain, InvalidOptionsBecomeDiagnostics)
+{
+    Toolchain tc;
+    Job job = addJob();
+    job.options.compact = false;
+    job.options.compactor = "tokoro";
+    JobResult r = tc.run(job);
+    EXPECT_FALSE(r.ok);
+    ASSERT_FALSE(r.diagnostics.empty());
+    EXPECT_NE(r.diagnostics[0].find("contradictory"),
+              std::string::npos);
+}
+
+TEST(Toolchain, VerifyRunsOnSstar)
+{
+    Toolchain tc;
+    Job job;
+    job.lang = "sstar";
+    job.machine = "hm1";
+    job.source = "program t;\n"
+                 "var x : seq [15..0] bit bind r1;\n"
+                 "begin\n x := 7;\n assert x = 7;\nend\n";
+    job.verify = true;
+    JobResult r = tc.run(job);
+    EXPECT_TRUE(r.ok) << r.toJson();
+    EXPECT_TRUE(r.verified);
+    EXPECT_TRUE(r.verifyOk);
+    EXPECT_FALSE(r.verifyReport.empty());
+}
+
+TEST(Toolchain, VerifyOnMirLanguageFails)
+{
+    Toolchain tc;
+    Job job = addJob();
+    job.verify = true;
+    JobResult r = tc.run(job);
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(Toolchain, MasmJobRunsViaRegisterNames)
+{
+    Toolchain tc;
+    Job job;
+    job.lang = "masm";
+    job.machine = "hm1";
+    job.source = ".entry main\nmain:\n  [ addi r1, r1, #5 ] halt\n";
+    job.sets = {{"r1", 37}};
+    JobResult r = tc.run(job);
+    EXPECT_TRUE(r.ok) << r.toJson();
+    ASSERT_EQ(r.vars.size(), 1u);
+    EXPECT_EQ(r.vars[0].second, 42u);
+}
+
+TEST(Toolchain, CheckMemoryFailureFailsJob)
+{
+    Toolchain tc;
+    Job job = addJob();
+    job.checkMemory = [](const MainMemory &, std::string *why) {
+        *why = "expected nothing, got something";
+        return false;
+    };
+    JobResult r = tc.run(job);
+    EXPECT_FALSE(r.ok);
+    ASSERT_FALSE(r.diagnostics.empty());
+    EXPECT_NE(r.diagnostics[0].find("check:"), std::string::npos);
+}
+
+TEST(Toolchain, OnFinishSeesFinalState)
+{
+    Toolchain tc;
+    Job job = addJob();
+    uint64_t seen = 0;
+    job.onFinish = [&](const MicroSimulator &sim,
+                       const MainMemory &) {
+        seen = 1;
+        (void)sim;
+    };
+    JobResult r = tc.run(job);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(seen, 1u);
+}
+
+TEST(JobResult, JsonIsValidAndTimingsAreOptional)
+{
+    Toolchain tc;
+    JobResult r = tc.run(addJob());
+    std::string with = r.toJson(true, true);
+    std::string without = r.toJson(true, false);
+    std::string err;
+    EXPECT_TRUE(jsonValid(with, &err)) << err;
+    EXPECT_TRUE(jsonValid(without, &err)) << err;
+    EXPECT_NE(with.find("\"timing\""), std::string::npos);
+    EXPECT_EQ(without.find("\"timing\""), std::string::npos);
+}
+
+TEST(WorkloadJobs, HandBaselineOnlyOnHorizontalMachines)
+{
+    const Workload &w = workloadSuite()[0];
+    Job hm = workloadJob(w, "HM-1", true);
+    EXPECT_EQ(hm.lang, "masm");
+    EXPECT_EQ(hm.machine, "hm1");
+    EXPECT_THROW(workloadJob(w, "vs3", true), FatalError);
+}
+
+TEST(WorkloadJobs, MatrixCoversSuiteTimesMachinesPlusHand)
+{
+    std::vector<Job> jobs = workloadMatrixJobs();
+    EXPECT_EQ(jobs.size(),
+              workloadSuite().size() * (machineNames().size() + 2));
+    Toolchain tc;
+    // Spot-check one compiled and one hand job end to end.
+    EXPECT_TRUE(tc.run(jobs.front()).ok);
+    EXPECT_TRUE(tc.run(jobs.back()).ok);
+}
+
+} // namespace

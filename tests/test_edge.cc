@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "codegen/compiler.hh"
-#include "lang/yalll/yalll.hh"
+#include "driver/frontend.hh"
 #include "machine/machines/machines.hh"
 #include "masm/masm.hh"
 #include "support/logging.hh"
@@ -82,7 +82,7 @@ TEST(Edge, LargeRegisterFileMachine)
     // And it still runs programs.
     const char *src = "reg a\nreg b\nproc main\n"
                       "    put a, 21\n    add b, a, a\n    exit\n";
-    MirProgram prog = parseYalll(src, m);
+    MirProgram prog = translateToMir("yalll", src, m);
     Compiler comp(m);
     CompiledProgram cp = comp.compile(prog, {});
     MainMemory mem(0x10000, 16);
@@ -129,7 +129,7 @@ TEST(Edge, ScratchBindingRejected)
     // compile-time error, not silent corruption.
     MachineDescription m = buildHm1();     // r6/r7 are scratch
     MirProgram prog =
-        parseYalll("reg x = r6\nproc main\n    exit\n", m);
+        translateToMir("yalll", "reg x = r6\nproc main\n    exit\n", m);
     Compiler comp(m);
     EXPECT_THROW(comp.compile(prog, {}), FatalError);
 }

@@ -15,9 +15,8 @@
 #include <vector>
 
 #include "codegen/compiler.hh"
+#include "driver/frontend.hh"
 #include "isa/macro.hh"
-#include "lang/empl/empl.hh"
-#include "lang/yalll/yalll.hh"
 #include "machine/machines/machines.hh"
 #include "machine/memory.hh"
 #include "machine/simulator.hh"
@@ -90,7 +89,7 @@ TEST(FastPathDiff, CompiledWorkloadSuite)
                     mn == std::string("HM-1")   ? buildHm1()
                     : mn == std::string("VM-2") ? buildVm2()
                                                 : buildVs3();
-                MirProgram prog = parseYalll(w.yalll, m);
+                MirProgram prog = translateToMir("yalll", w.yalll, m);
                 Compiler comp(m);
                 CompiledProgram cp = comp.compile(prog, {});
                 MainMemory mem(0x10000, 16);
@@ -163,7 +162,7 @@ TEST(FastPathDiff, E6CompiledEmpl)
         MachineDescription m = buildHm1();
         MainMemory mem(0x10000, 16);
         speedupSetup(mem);
-        MirProgram prog = parseEmpl(speedupEmplSource(), m, {});
+        MirProgram prog = translateToMir("empl", speedupEmplSource(), m);
         Compiler comp(m);
         CompiledProgram cp = comp.compile(prog, {});
         SimConfig cfg;

@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "codegen/compiler.hh"
-#include "lang/empl/empl.hh"
+#include "driver/frontend.hh"
 #include "machine/machines/machines.hh"
 #include "mir/interp.hh"
 
@@ -144,7 +144,7 @@ MAIN: PROCEDURE;
     A = T SHL 2;
 END;
 )";
-    MirProgram prog = parseEmpl(src, m, {});
+    MirProgram prog = translateToMir("empl", src, m);
     Compiler comp(m);
     CompileOptions on, off;
     off.optimize = false;

@@ -12,8 +12,8 @@
 #include <gtest/gtest.h>
 
 #include "codegen/compiler.hh"
+#include "driver/frontend.hh"
 #include "lang/common/lexer.hh"
-#include "lang/simpl/simpl.hh"
 #include "machine/machines/machines.hh"
 #include "mir/interp.hh"
 #include "schedule/compact.hh"
@@ -370,7 +370,7 @@ TEST(Lexer, TokenStreamHelpers)
 TEST(SimplFor, InclusiveRange)
 {
     MachineDescription m = buildHm1();
-    MirProgram prog = parseSimpl(
+    MirProgram prog = translateToMir("simpl", 
         "program t;\n"
         "begin\n"
         "  0 -> r2;\n"
@@ -390,7 +390,7 @@ TEST(SimplFor, InclusiveRange)
 TEST(SimplFor, RegisterBounds)
 {
     MachineDescription m = buildHm1();
-    MirProgram prog = parseSimpl(
+    MirProgram prog = translateToMir("simpl", 
         "program t;\n"
         "begin\n"
         "  0 -> r2;\n"
@@ -411,7 +411,7 @@ TEST(SimplFor, RegisterBounds)
 TEST(SimplFor, EmptyRange)
 {
     MachineDescription m = buildHm1();
-    MirProgram prog = parseSimpl(
+    MirProgram prog = translateToMir("simpl", 
         "program t;\n"
         "begin\n"
         "  0 -> r2;\n"

@@ -8,9 +8,8 @@
 #include <gtest/gtest.h>
 
 #include "codegen/compiler.hh"
+#include "driver/frontend.hh"
 #include "isa/macro.hh"
-#include "lang/empl/empl.hh"
-#include "lang/yalll/yalll.hh"
 #include "machine/machines/machines.hh"
 #include "masm/masm.hh"
 #include "workloads/workloads.hh"
@@ -42,7 +41,7 @@ TEST_P(WorkloadRun, CompiledYalllPassesCheck)
     const Workload &w = workloadSuite()[GetParam().workload];
     MachineDescription m = machineByName(GetParam().machine);
 
-    MirProgram prog = parseYalll(w.yalll, m);
+    MirProgram prog = translateToMir("yalll", w.yalll, m);
     Compiler comp(m);
     CompiledProgram cp = comp.compile(prog, {});
     MainMemory mem(0x10000, 16);
@@ -89,7 +88,7 @@ TEST_P(WorkloadRun, HandNoSlowerThanCompiled)
         GTEST_SKIP();
     MachineDescription m = machineByName(mn);
 
-    MirProgram prog = parseYalll(w.yalll, m);
+    MirProgram prog = translateToMir("yalll", w.yalll, m);
     Compiler comp(m);
     CompiledProgram cp = comp.compile(prog, {});
     MainMemory mem1(0x10000, 16);
@@ -156,7 +155,7 @@ TEST(Speedup, AllThreeVersionsAgree)
     // (b) EMPL, compiled
     MainMemory mem_b(0x10000, 16);
     speedupSetup(mem_b);
-    MirProgram eprog = parseEmpl(speedupEmplSource(), m, {});
+    MirProgram eprog = translateToMir("empl", speedupEmplSource(), m);
     Compiler comp(m);
     CompiledProgram cp = comp.compile(eprog, {});
     MicroSimulator sim_b(cp.store, mem_b);
