@@ -60,6 +60,51 @@ EOF
     echo "batch determinism smoke: OK"
 )
 
+# Exit-code smoke: a structured simulation error inside a batch must
+# surface as exit code 3, a manifest problem as 2.
+(
+    cd build
+    rc=0
+    ./src/uhllc --batch ../tests/data/failing_smoke.json \
+        --no-timings >/dev/null || rc=$?
+    [[ "$rc" == 3 ]] || { echo "expected exit 3, got $rc"; exit 1; }
+    rc=0
+    ./src/uhllc --batch no_such_manifest.json >/dev/null 2>&1 || rc=$?
+    [[ "$rc" == 2 ]] || { echo "expected exit 2, got $rc"; exit 1; }
+    echo "batch exit-code smoke: OK"
+)
+
+# Kill-and-resume smoke: SIGKILL a batch mid-run (active fault plans,
+# periodic checkpoints), resume it, and demand the merged report be
+# byte-identical to an uninterrupted run -- completed jobs spliced
+# from the journal, the interrupted one resumed from its checkpoint
+# with the same remaining faults.
+(
+    cd build
+    ./src/uhllc --batch ../tests/data/resume_smoke.json -j1 \
+        --no-timings --report resume_clean.json >/dev/null
+
+    rm -f resume_kill.json resume_kill.json.journal \
+        resume_kill.json.journal.ckpt.*
+    ./src/uhllc --batch ../tests/data/resume_smoke.json -j1 \
+        --no-timings --report resume_kill.json >/dev/null &
+    pid=$!
+    sleep 1
+    if kill -9 "$pid" 2>/dev/null; then
+        wait "$pid" 2>/dev/null || true
+        [[ -s resume_kill.json.journal ]] ||
+            echo "warning: batch died before journaling anything"
+    else
+        # The batch beat the kill; the resume below still must be a
+        # no-op merge that reproduces the clean report.
+        wait "$pid" || true
+    fi
+    ./src/uhllc --batch ../tests/data/resume_smoke.json -j1 \
+        --no-timings --resume resume_kill.json >/dev/null
+    cmp resume_clean.json resume_kill.json
+    echo "kill-and-resume smoke: OK"
+)
+
 if [[ "$run_bench" == 1 ]]; then
     (cd build && UHLL_BENCH_JSON=BENCH_sim.json \
         ./bench/bench_sim_throughput --benchmark_min_time=0.1)
@@ -77,11 +122,14 @@ if [[ "${UHLL_NO_SANITIZE:-0}" != 1 ]]; then
     # TSan leg: the BatchRunner shares machines, artefacts and
     # decoded-word caches across worker threads; ThreadSanitizer
     # (incompatible with ASan, hence its own tree) watches the batch
-    # determinism stress tests and the CLI smoke for data races.
+    # determinism stress tests, the supervision/checkpoint layer
+    # (journal writes race-prone by construction) and the CLI smokes
+    # for data races.
     cmake -B build-tsan -S . -DUHLL_SANITIZE=thread
     cmake --build build-tsan -j"$(nproc)"
     (cd build-tsan &&
-        ctest --output-on-failure -R 'Batch|Toolchain|uhllc_batch')
+        ctest --output-on-failure \
+            -R 'Batch|Toolchain|Supervisor|Checkpoint|uhllc_batch|uhllc_supervised')
 fi
 
 echo "verify: OK"

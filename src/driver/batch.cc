@@ -3,9 +3,13 @@
 #include <atomic>
 #include <chrono>
 #include <fstream>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
 
+#include "machine/checkpoint.hh"
 #include "obs/json.hh"
 #include "support/logging.hh"
 
@@ -57,6 +61,14 @@ BatchReport::toJson(bool pretty, bool timings) const
     w.value("ok", static_cast<uint64_t>(okCount()));
     w.value("failed",
             static_cast<uint64_t>(results.size() - okCount()));
+    if (results.size() != okCount()) {
+        w.beginArray("failed_jobs");
+        for (const JobResult &r : results) {
+            if (!r.ok)
+                w.value("", r.name);
+        }
+        w.endArray();
+    }
     if (timings) {
         w.value("threads", static_cast<uint64_t>(threads));
         w.value("wall_seconds", wallSeconds);
@@ -77,11 +89,127 @@ BatchReport::toJson(bool pretty, bool timings) const
 // BatchRunner
 // ----------------------------------------------------------------
 
+namespace {
+
+/** One journaled job outcome (the fields --resume needs). */
+struct JournalEntry {
+    std::string name;
+    bool ok = false;
+    //! the job's exact toJson(pretty=true, timings=false) string,
+    //! spliced verbatim into a resumed report so reusing a result
+    //! is byte-identical to having just computed it
+    std::string json;
+};
+
+/**
+ * Load a journal, tolerating what a SIGKILL leaves behind: a torn
+ * trailing line, blank lines, duplicate entries (last one wins). A
+ * missing file is an empty journal.
+ */
+std::map<size_t, JournalEntry>
+loadJournal(const std::string &path)
+{
+    std::map<size_t, JournalEntry> out;
+    std::ifstream f(path);
+    if (!f)
+        return out;
+    std::string line;
+    while (std::getline(f, line)) {
+        if (line.empty())
+            continue;
+        try {
+            JsonValue v = JsonValue::parse(line);
+            if (!v.isObject())
+                continue;
+            const JsonValue *idx = v.get("index");
+            const JsonValue *json = v.get("json");
+            if (!idx || !json)
+                continue;
+            JournalEntry e;
+            if (const JsonValue *n = v.get("name"))
+                e.name = n->asString();
+            if (const JsonValue *ok = v.get("ok"))
+                e.ok = ok->asBool();
+            e.json = json->asString();
+            out[static_cast<size_t>(idx->asU64())] = std::move(e);
+        } catch (const FatalError &) {
+            // a torn line from a killed writer: skip it
+        }
+    }
+    return out;
+}
+
+} // namespace
+
 BatchReport
 BatchRunner::run(const std::vector<Job> &jobs) const
 {
     BatchReport report;
     report.results.resize(jobs.size());
+
+    // Resume: adopt every journaled ok result up front; only the
+    // rest (failed, incomplete, never-started) run below.
+    std::map<size_t, JournalEntry> journaled;
+    if (resume_ && !journal_.empty())
+        journaled = loadJournal(journal_);
+    std::vector<bool> reuse(jobs.size(), false);
+    size_t to_run = jobs.size();
+    for (auto &[i, e] : journaled) {
+        if (i >= jobs.size() || !e.ok)
+            continue;
+        JobResult &r = report.results[i];
+        r.name = e.name.empty() ? jobs[i].name : e.name;
+        r.lang = jobs[i].lang;
+        r.machine = jobs[i].machine;
+        r.ok = true;
+        r.prerendered = std::move(e.json);
+        reuse[i] = true;
+        --to_run;
+    }
+
+    std::ofstream jf;
+    std::mutex jmu;
+    if (!journal_.empty()) {
+        jf.open(journal_, resume_ ? std::ios::app : std::ios::trunc);
+        if (!jf)
+            fatal("cannot write journal '%s'", journal_.c_str());
+        // A killed writer may have left a torn, unterminated final
+        // line; a fresh newline fences our appends off from it.
+        if (resume_)
+            jf << "\n";
+    }
+
+    auto runOne = [&](size_t i) {
+        SuperviseContext ctx;
+        ctx.policy = policy_;
+        std::optional<Checkpoint> ck;
+        if (!journal_.empty()) {
+            const std::string ckpath =
+                journal_ + ".ckpt." + std::to_string(i);
+            if (policy_.checkpointEveryCycles)
+                ctx.checkpointFile = ckpath;
+            if (resume_) {
+                ck = Checkpoint::readFile(ckpath);
+                if (ck)
+                    ctx.resumeFrom = &*ck;
+            }
+        }
+        report.results[i] = tc_->run(jobs[i], ctx);
+        if (jf.is_open()) {
+            const JobResult &r = report.results[i];
+            JsonWriter w(false);
+            w.beginObject();
+            w.value("index", static_cast<uint64_t>(i));
+            w.value("name", r.name);
+            w.value("ok", r.ok);
+            w.value("sim_error", r.ran && !r.sim.ok());
+            w.value("json", r.toJson(true, false));
+            w.endObject();
+            std::lock_guard<std::mutex> lock(jmu);
+            jf << w.str() << "\n";
+            jf.flush();
+        }
+    };
 
     unsigned threads = threads_;
     if (threads == 0) {
@@ -89,16 +217,18 @@ BatchRunner::run(const std::vector<Job> &jobs) const
         if (threads == 0)
             threads = 1;
     }
-    if (threads > jobs.size())
-        threads = static_cast<unsigned>(jobs.size());
+    if (threads > to_run)
+        threads = static_cast<unsigned>(to_run);
     if (threads == 0)
         threads = 1;
     report.threads = threads;
 
     auto t0 = std::chrono::steady_clock::now();
     if (threads == 1) {
-        for (size_t i = 0; i < jobs.size(); ++i)
-            report.results[i] = tc_->run(jobs[i]);
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            if (!reuse[i])
+                runOne(i);
+        }
     } else {
         // Work stealing off one shared counter: a worker that draws
         // a short job simply draws again, so long jobs never gate
@@ -111,7 +241,8 @@ BatchRunner::run(const std::vector<Job> &jobs) const
                     next.fetch_add(1, std::memory_order_relaxed);
                 if (i >= jobs.size())
                     return;
-                report.results[i] = tc_->run(jobs[i]);
+                if (!reuse[i])
+                    runOne(i);
             }
         };
         std::vector<std::thread> pool;
@@ -246,6 +377,14 @@ parseJob(const JsonValue &j, const std::string &base_dir, size_t idx)
         job.maxCycles = v->asU64();
     if (const JsonValue *v = j.get("force_slow"))
         job.forceSlowPath = v->asBool();
+    if (const JsonValue *v = j.get("deadline_seconds"))
+        job.deadlineSeconds = v->asNumber();
+    if (const JsonValue *v = j.get("dmr"))
+        job.dmr = v->asBool();
+    if (const JsonValue *v = j.get("dmr_seed_b"))
+        job.dmrSeedB = v->asU64();
+    if (const JsonValue *v = j.get("ecc"))
+        job.ecc = v->asBool(true);
     return job;
 }
 
@@ -271,10 +410,48 @@ parseManifest(const JsonValue &root, const std::string &base_dir)
 std::vector<Job>
 loadManifest(const std::string &path)
 {
+    return loadBatchSpec(path).jobs;
+}
+
+SupervisePolicy
+parseSupervisePolicy(const JsonValue *s)
+{
+    SupervisePolicy pol;
+    if (!s)
+        return pol;
+    if (!s->isObject())
+        fatal("manifest: 'supervise' must be an object");
+    if (const JsonValue *v = s->get("retries"))
+        pol.maxRetries = static_cast<uint32_t>(v->asU64());
+    if (const JsonValue *v = s->get("backoff_base_ms"))
+        pol.backoffBaseMs = static_cast<uint32_t>(v->asU64(5));
+    if (const JsonValue *v = s->get("backoff_max_ms"))
+        pol.backoffMaxMs = static_cast<uint32_t>(v->asU64(250));
+    if (const JsonValue *v = s->get("deadline_seconds"))
+        pol.deadlineSeconds = v->asNumber();
+    if (const JsonValue *v = s->get("checkpoint_every_cycles"))
+        pol.checkpointEveryCycles = v->asU64();
+    if (const JsonValue *v = s->get("dmr"))
+        pol.dmr = v->asBool();
+    if (const JsonValue *v = s->get("dmr_interval_words"))
+        pol.dmrIntervalWords = v->asU64(4096);
+    if (const JsonValue *v = s->get("dmr_seed_b"))
+        pol.dmrSeedB = v->asU64();
+    return pol;
+}
+
+BatchSpec
+loadBatchSpec(const std::string &path)
+{
     const auto slash = path.find_last_of('/');
     const std::string dir =
         slash == std::string::npos ? "." : path.substr(0, slash);
-    return parseManifest(JsonValue::parse(readTextFile(path)), dir);
+    const JsonValue root = JsonValue::parse(readTextFile(path));
+    BatchSpec spec;
+    spec.jobs = parseManifest(root, dir);
+    if (root.isObject())
+        spec.policy = parseSupervisePolicy(root.get("supervise"));
+    return spec;
 }
 
 } // namespace uhll

@@ -38,10 +38,29 @@
  *           "seed":         7,
  *           "max_restarts": 4,
  *           "max_cycles":   1000000,
- *           "force_slow":   false
+ *           "force_slow":   false,
+ *           // supervision (per-job overrides, see supervisor.hh):
+ *           "deadline_seconds": 2.5,
+ *           "dmr":          false,
+ *           "dmr_seed_b":   0,
+ *           "ecc":          true
  *         }
- *       ]
+ *       ],
+ *       "supervise": {                      // batch-wide policy
+ *         "retries": 2, "backoff_base_ms": 5, "backoff_max_ms": 250,
+ *         "deadline_seconds": 0, "checkpoint_every_cycles": 100000,
+ *         "dmr": false, "dmr_interval_words": 4096, "dmr_seed_b": 0
+ *       }
  *     }
+ *
+ * Journal & resume: setJournal(path) makes the runner append one
+ * JSON line per completed job to `path` (flushed immediately) and
+ * write each job's periodic checkpoint next to it
+ * (`path.ckpt.<index>`). setResume(true) then lets a re-run reuse
+ * every journaled ok result verbatim (byte-identical splice into the
+ * merged report) and restart incomplete jobs from their last
+ * checkpoint -- which is how `uhllc --batch ... --resume` survives a
+ * SIGKILL mid-batch.
  */
 
 #ifndef UHLL_DRIVER_BATCH_HH
@@ -50,6 +69,7 @@
 #include <string>
 #include <vector>
 
+#include "driver/supervisor.hh"
 #include "driver/toolchain.hh"
 
 namespace uhll {
@@ -69,10 +89,10 @@ struct BatchReport {
     bool allOk() const { return okCount() == results.size(); }
 
     /**
-     * The aggregate report: a "batch" summary object plus the
-     * per-job results. With @p timings false every timing field
-     * (and the thread count) is omitted -- the remainder is
-     * byte-identical across -j values.
+     * The aggregate report: a "batch" summary object (including the
+     * names of failed jobs, when any) plus the per-job results. With
+     * @p timings false every timing field (and the thread count) is
+     * omitted -- the remainder is byte-identical across -j values.
      */
     std::string toJson(bool pretty = true, bool timings = true) const;
 };
@@ -90,11 +110,29 @@ class BatchRunner
         : tc_(&tc), threads_(threads)
     {}
 
+    /** Batch-wide supervision policy applied to every job. */
+    void setPolicy(const SupervisePolicy &p) { policy_ = p; }
+    /**
+     * Journal completed jobs (one JSON line each, flushed) to
+     * @p path, and write periodic job checkpoints to
+     * `path.ckpt.<index>`.
+     */
+    void setJournal(const std::string &path) { journal_ = path; }
+    /**
+     * Reuse journaled ok results instead of re-running their jobs,
+     * and resume incomplete jobs from their checkpoint files.
+     * Requires setJournal().
+     */
+    void setResume(bool on) { resume_ = on; }
+
     BatchReport run(const std::vector<Job> &jobs) const;
 
   private:
     const Toolchain *tc_;
     unsigned threads_;
+    SupervisePolicy policy_;
+    std::string journal_;
+    bool resume_ = false;
 };
 
 /** @name Manifest loading */
@@ -111,6 +149,21 @@ std::vector<Job> parseManifest(const JsonValue &root,
 
 /** Read, parse and convert the manifest at @p path. */
 std::vector<Job> loadManifest(const std::string &path);
+
+/**
+ * The manifest's batch-wide "supervise" object (defaults when @p s
+ * is null or a key is absent). fatal() on a non-object.
+ */
+SupervisePolicy parseSupervisePolicy(const JsonValue *s);
+
+/** Everything a manifest specifies: the jobs plus the policy. */
+struct BatchSpec {
+    std::vector<Job> jobs;
+    SupervisePolicy policy;
+};
+
+/** Read the manifest at @p path including its supervise policy. */
+BatchSpec loadBatchSpec(const std::string &path);
 /// @}
 
 } // namespace uhll

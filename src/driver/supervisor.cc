@@ -1,0 +1,495 @@
+#include "driver/supervisor.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "driver/toolchain.hh"
+#include "fault/fault.hh"
+#include "obs/json.hh"
+#include "obs/trace.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+std::unique_ptr<FaultInjector>
+makeInjector(const Job &job, uint64_t seed)
+{
+    if (job.faultPlan.empty())
+        return nullptr;
+    FaultPlan plan = job.faultPlan == "-"
+                         ? FaultPlan::recoverable(seed ? seed : 1)
+                         : FaultPlan::parse(job.faultPlan);
+    return std::make_unique<FaultInjector>(std::move(plan), seed);
+}
+
+/**
+ * Deterministic backoff jitter in [0, 16) ms, a pure function of the
+ * job name and attempt number: retried batch runs stay reproducible
+ * while jobs sharing a failure cause still decorrelate.
+ */
+uint32_t
+backoffJitterMs(const std::string &name, uint32_t attempt)
+{
+    uint64_t h = 0xCBF29CE484222325ULL;
+    for (char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001B3ULL;
+    }
+    h ^= attempt;
+    h *= 0x9E3779B97F4A7C15ULL;
+    h ^= h >> 33;
+    return static_cast<uint32_t>(h & 15);
+}
+
+uint32_t
+backoffMs(const SupervisePolicy &pol, const std::string &name,
+          uint32_t attempt)
+{
+    const unsigned shift = std::min<uint32_t>(attempt - 1, 31);
+    const uint64_t base =
+        static_cast<uint64_t>(pol.backoffBaseMs) << shift;
+    return static_cast<uint32_t>(
+               std::min<uint64_t>(base, pol.backoffMaxMs)) +
+           backoffJitterMs(name, attempt);
+}
+
+void
+note(TraceBuffer *t, const MicroSimulator &sim, SuperviseAction a,
+     uint32_t b)
+{
+    if (t) {
+        t->record(TraceCat::Supervise, TraceSev::Info,
+                  sim.result().cycles, 0, static_cast<uint32_t>(a),
+                  b);
+    }
+}
+
+/** Cancel/deadline verdicts end the job; they are never divergence. */
+bool
+supervisionStop(const SimResult &res)
+{
+    return res.error.kind == SimErrorKind::Cancelled ||
+           res.error.kind == SimErrorKind::DeadlineExceeded;
+}
+
+/**
+ * One redundant execution lane: private memory image, private fault
+ * injector (its own seed), one simulator. Mirrors the plain
+ * Toolchain::run simulate setup; `obs` gates the caller-owned
+ * trace/profiler sinks so only the primary lane reports.
+ */
+struct Lane {
+    MainMemory mem;
+    std::unique_ptr<FaultInjector> inj;
+    std::unique_ptr<MicroSimulator> sim;
+    //! memory contents right after job setup: the checkpoint
+    //! delta-compression baseline
+    std::vector<uint64_t> baseline;
+
+    Lane(const Job &job, const Artefact &art, uint64_t seed, bool obs,
+         const std::atomic<bool> *cancel,
+         std::chrono::steady_clock::time_point deadline)
+        : mem(0x10000, art.machine->dataWidth())
+    {
+        if (job.setupMemory)
+            job.setupMemory(mem);
+
+        SimConfig cfg;
+        if (job.maxCycles)
+            cfg.maxCycles = job.maxCycles;
+        cfg.forceSlowPath = job.forceSlowPath;
+        cfg.decoded = art.decoded.get();
+        cfg.ecc = job.ecc;
+        if (obs) {
+            cfg.trace = job.trace;
+            cfg.profiler = job.profiler;
+        }
+        inj = makeInjector(job, seed);
+        if (inj) {
+            cfg.injector = inj.get();
+            cfg.maxRestarts = job.maxRestarts;
+        }
+        cfg.cancel = cancel;
+        cfg.deadline = deadline;
+
+        sim = std::make_unique<MicroSimulator>(art.store(), mem, cfg);
+        // Inputs go in before the baseline is captured: variables may
+        // live in memory, and a restored run must not lose them.
+        for (const auto &[n, v] : job.sets)
+            art.setVariable(*sim, mem, n, v);
+        baseline = mem.words();
+    }
+};
+
+/**
+ * Capture a fresh rollback target for @p lane: architectural state
+ * *and* the current fault-stream cursors, so applying it replays
+ * exactly the execution that follows it.
+ */
+Checkpoint
+captureLane(const Lane &lane)
+{
+    return Checkpoint::capture(*lane.sim, lane.baseline);
+}
+
+/**
+ * Roll @p lane back to @p ck, *keeping* the fault streams where they
+ * are now instead of rewinding them to the checkpoint's cursors.
+ *
+ * This is the retry model: injected faults are environmental, and a
+ * re-execution happens later in "wall-clock" fault time, so the
+ * transient pile-up that stalled the first attempt is not replayed
+ * verbatim -- which is what makes retrying recoverable errors able to
+ * succeed at all in a deterministic simulator. (Resume-from-file
+ * goes through Checkpoint::apply directly and *does* rewind the
+ * cursors: a resumed run injects the same remaining faults.)
+ */
+void
+rollbackEnvironmental(Lane &lane, const Checkpoint &ck)
+{
+    if (lane.inj) {
+        FaultStreamState env = lane.inj->cursor();
+        ck.apply(*lane.sim, lane.baseline);
+        lane.inj->restoreCursor(env);
+    } else {
+        ck.apply(*lane.sim, lane.baseline);
+    }
+}
+
+/** Differing-register report rows for the divergence JSON. */
+std::string
+divergenceReport(const MicroSimulator &a, const MicroSimulator &b,
+                 uint64_t word, uint32_t rollbacks)
+{
+    const SimSnapshot sa = a.snapshot();
+    const SimSnapshot sb = b.snapshot();
+
+    JsonWriter w(false);
+    w.beginObject();
+    w.value("word", word);
+    w.value("first_diff_cycle",
+            std::min(sa.res.cycles, sb.res.cycles));
+    w.value("cycle_a", sa.res.cycles);
+    w.value("cycle_b", sb.res.cycles);
+    w.value("upc_a", static_cast<uint64_t>(sa.upc));
+    w.value("upc_b", static_cast<uint64_t>(sb.upc));
+    w.value("halted_a", sa.res.halted);
+    w.value("halted_b", sb.res.halted);
+    w.value("rollbacks", static_cast<uint64_t>(rollbacks));
+    w.value("digest_a", a.archDigest());
+    w.value("digest_b", b.archDigest());
+    w.beginArray("regs");
+    const size_t nregs = std::min(sa.regs.size(), sb.regs.size());
+    for (size_t i = 0; i < nregs; ++i) {
+        if (sa.regs[i] == sb.regs[i])
+            continue;
+        w.beginObject();
+        w.value("name",
+                a.machine().reg(static_cast<RegId>(i)).name);
+        w.value("a", sa.regs[i]);
+        w.value("b", sb.regs[i]);
+        w.endObject();
+    }
+    w.endArray();
+    uint64_t mem_diffs = 0;
+    const auto &ma = a.memory().words();
+    const auto &mb = b.memory().words();
+    const size_t nwords = std::min(ma.size(), mb.size());
+    uint32_t first_addr = 0;
+    bool have_addr = false;
+    for (size_t i = 0; i < nwords; ++i) {
+        if (ma[i] != mb[i]) {
+            if (!have_addr) {
+                first_addr = static_cast<uint32_t>(i);
+                have_addr = true;
+            }
+            ++mem_diffs;
+        }
+    }
+    w.value("mem_diff_words", mem_diffs);
+    if (have_addr)
+        w.value("mem_first_diff_addr",
+                static_cast<uint64_t>(first_addr));
+    w.endObject();
+    return w.str();
+}
+
+/**
+ * Run both lanes forward in lockstep and compare at retired-word
+ * boundaries. Returns true when the lanes agreed to completion;
+ * false on a confirmed divergence (r.divergenceJson filled).
+ */
+bool
+runDmr(const Job &job, const SuperviseContext &ctx, JobResult &r,
+       Lane &a, Lane &b, uint32_t entry)
+{
+    const SupervisePolicy &pol = ctx.policy;
+    const uint64_t interval =
+        pol.dmrIntervalWords ? pol.dmrIntervalWords : 4096;
+
+    MicroSimulator &sa = *a.sim;
+    MicroSimulator &sb = *b.sim;
+    sa.begin(entry);
+    sb.begin(entry);
+
+    Checkpoint cka = captureLane(a);
+    Checkpoint ckb = captureLane(b);
+    uint64_t agreed_words = 0;
+    uint32_t ckpt_ord = 0;
+    bool rolled_back = false;
+
+    for (;;) {
+        const uint64_t target = sa.result().wordsExecuted + interval;
+        sa.runUntilWords(target);
+        if (supervisionStop(sa.result()))
+            return true;    // a verdict, not a divergence
+        sb.runUntilWords(target);
+
+        const bool agree =
+            sa.archDigest() == sb.archDigest() &&
+            sa.result().wordsExecuted == sb.result().wordsExecuted &&
+            sa.finished() == sb.finished();
+        if (agree) {
+            if (sa.finished())
+                return true;
+            cka = captureLane(a);
+            ckb = captureLane(b);
+            agreed_words = sa.result().wordsExecuted;
+            ++ckpt_ord;
+            ++r.checkpoints;
+            note(job.trace, sa, SuperviseAction::Checkpoint,
+                 ckpt_ord);
+            continue;
+        }
+
+        note(job.trace, sa, SuperviseAction::Divergence,
+             static_cast<uint32_t>(sa.result().wordsExecuted));
+        if (!rolled_back) {
+            // One benefit-of-the-doubt re-execution from the last
+            // agreeing checkpoint, with the fault environment moved
+            // on (a transient upset is not replayed). Re-capture the
+            // rollback targets afterwards so a second divergence can
+            // be replayed exactly for pinpointing.
+            rolled_back = true;
+            ++r.rollbacks;
+            rollbackEnvironmental(a, cka);
+            rollbackEnvironmental(b, ckb);
+            cka = captureLane(a);
+            ckb = captureLane(b);
+            note(job.trace, sa, SuperviseAction::Rollback,
+                 static_cast<uint32_t>(agreed_words));
+            continue;
+        }
+
+        // Confirmed. Replay the diverging stretch word by word to
+        // pinpoint the first retired word where the lanes disagree.
+        const uint64_t diverged_at = sa.result().wordsExecuted;
+        cka.apply(sa, a.baseline);
+        ckb.apply(sb, b.baseline);
+        uint64_t w = sa.result().wordsExecuted;
+        while (!sa.finished() && !sb.finished() &&
+               w < diverged_at + interval) {
+            ++w;
+            sa.runUntilWords(w);
+            sb.runUntilWords(w);
+            if (sa.archDigest() != sb.archDigest() ||
+                sa.finished() != sb.finished()) {
+                break;
+            }
+        }
+        r.divergenceJson =
+            divergenceReport(sa, sb, w, r.rollbacks);
+        r.diagnostics.push_back(strfmt(
+            "dmr: lanes diverged at word %llu (first differing "
+            "cycle %llu) after %u rollback(s)",
+            (unsigned long long)w,
+            (unsigned long long)std::min(sa.result().cycles,
+                                         sb.result().cycles),
+            r.rollbacks));
+        return false;
+    }
+}
+
+} // namespace
+
+bool
+superviseSimulation(const Job &job, const SuperviseContext &ctx,
+                    JobResult &r)
+{
+    const SupervisePolicy &pol = ctx.policy;
+    const Artefact &art = *r.artefact;
+    const uint32_t entry = art.store().entry(
+        job.entry.empty() ? art.defaultEntry() : job.entry);
+    const uint64_t max_cycles =
+        job.maxCycles ? job.maxCycles : SimConfig{}.maxCycles;
+
+    const double deadline_s = job.deadlineSeconds > 0
+                                  ? job.deadlineSeconds
+                                  : pol.deadlineSeconds;
+    std::chrono::steady_clock::time_point deadline{};
+    if (deadline_s > 0) {
+        deadline = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(deadline_s));
+    }
+
+    const bool dmr = pol.dmr || job.dmr;
+    const auto trun = std::chrono::steady_clock::now();
+
+    Lane a(job, art, job.faultSeed, true, ctx.cancel, deadline);
+    MicroSimulator &sim = *a.sim;
+
+    bool diverged = false;
+    if (dmr) {
+        // The secondary lane: its own memory and its own fault seed
+        // (so two noisy executions cross-check each other), no
+        // caller-visible observability, no cancel/deadline -- the
+        // primary lane's verdicts end the job for both.
+        uint64_t seed_b = job.dmrSeedB ? job.dmrSeedB : pol.dmrSeedB;
+        if (!seed_b)
+            seed_b = job.faultSeed;
+        Lane b(job, art, seed_b, false, nullptr,
+               std::chrono::steady_clock::time_point{});
+        if (ctx.resumeFrom) {
+            warn("job '%s': checkpoints resume a single lane only; "
+                 "dmr job restarts from cycle 0",
+                 r.name.c_str());
+        }
+        diverged = !runDmr(job, ctx, r, a, b, entry);
+    } else {
+        sim.begin(entry);
+        Checkpoint last = captureLane(a);
+        uint32_t ckpt_ord = 0;
+
+        if (ctx.resumeFrom) {
+            const std::string why = ctx.resumeFrom->compatible(sim);
+            if (why.empty()) {
+                ctx.resumeFrom->apply(sim, a.baseline);
+                last = *ctx.resumeFrom;
+                r.resumedFromCycle = sim.result().cycles;
+                note(job.trace, sim, SuperviseAction::Restore,
+                     ckpt_ord);
+            } else {
+                warn("job '%s': ignoring incompatible checkpoint "
+                     "(%s); running from cycle 0",
+                     r.name.c_str(), why.c_str());
+            }
+        }
+
+        uint32_t attempt = 0;
+        for (;;) {
+            while (!sim.finished()) {
+                if (!pol.checkpointEveryCycles) {
+                    sim.runUntilCycle(~0ULL);
+                    break;
+                }
+                sim.runUntilCycle(sim.result().cycles +
+                                  pol.checkpointEveryCycles);
+                if (sim.finished())
+                    break;
+                last = captureLane(a);
+                ++ckpt_ord;
+                ++r.checkpoints;
+                note(job.trace, sim, SuperviseAction::Checkpoint,
+                     ckpt_ord);
+                if (!ctx.checkpointFile.empty())
+                    last.writeFile(ctx.checkpointFile);
+            }
+            const SimResult &res = sim.result();
+            if (res.ok() || !simErrorRecoverable(res.error.kind) ||
+                attempt >= pol.maxRetries) {
+                break;
+            }
+            ++attempt;
+            ++r.retries;
+            const uint32_t delay = backoffMs(pol, r.name, attempt);
+            r.backoffMsTotal += delay;
+            note(job.trace, sim, SuperviseAction::Backoff, delay);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+            rollbackEnvironmental(a, last);
+            note(job.trace, sim, SuperviseAction::Retry, attempt);
+        }
+    }
+
+    r.sim = sim.result();
+    r.runSeconds = secondsSince(trun);
+    r.ran = true;
+
+    for (const auto &[n, v] : job.sets) {
+        (void)v;
+        r.vars.emplace_back(n, art.readVariable(sim, a.mem, n));
+    }
+    if (job.onFinish)
+        job.onFinish(sim, a.mem);
+    if (job.captureStats) {
+        // Supervision counters join the registry only under an
+        // active policy, so plain jobs' stats dumps are unchanged.
+        // A resumed job reports its post-resume counts.
+        if (pol.active() || job.dmr || job.deadlineSeconds > 0) {
+            StatsRegistry &st = sim.stats();
+            st.scalar("sup.retries",
+                      "supervision: retry attempts") = r.retries;
+            st.scalar("sup.checkpoints",
+                      "supervision: checkpoints captured") =
+                r.checkpoints;
+            st.scalar("sup.rollbacks",
+                      "supervision: dmr rollbacks") = r.rollbacks;
+            st.scalar("sup.backoffMs",
+                      "supervision: total backoff delay (ms)") =
+                r.backoffMsTotal;
+        }
+        r.statsJson = sim.stats().toJson();
+    }
+
+    bool failed = false;
+    if (diverged) {
+        failed = true;   // runDmr pushed the divergence diagnostic
+    } else if (!r.sim.ok()) {
+        failed = true;
+        r.diagnostics.push_back(strfmt(
+            "sim error: %s: %s (cycle %llu, upc 0x%04x)%s",
+            simErrorKindName(r.sim.error.kind),
+            r.sim.error.message.c_str(),
+            (unsigned long long)r.sim.error.cycle, r.sim.error.upc,
+            r.retries ? strfmt(" after %u retries", r.retries)
+                            .c_str()
+                      : ""));
+    } else if (!r.sim.halted) {
+        failed = true;
+        r.diagnostics.push_back(
+            strfmt("sim: cycle budget (%llu) exhausted",
+                   (unsigned long long)max_cycles));
+    }
+    if (job.checkMemory && !failed && r.sim.ok() && r.sim.halted) {
+        std::string why;
+        if (!job.checkMemory(a.mem, &why)) {
+            failed = true;
+            r.diagnostics.push_back("check: " + why);
+        }
+    }
+
+    // The job reached a verdict: its on-disk checkpoint is obsolete
+    // (--resume re-runs failed jobs from scratch). Only a killed
+    // process leaves the file behind.
+    if (!ctx.checkpointFile.empty())
+        std::remove(ctx.checkpointFile.c_str());
+
+    return !failed;
+}
+
+} // namespace uhll

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Job supervision: the policy layer between Toolchain::run and the
+ * simulator.
+ *
+ * A supervised simulation is sliced (MicroSimulator::runUntilCycle)
+ * so the supervisor can interleave policy between slices:
+ *
+ *  - *auto-checkpointing*: every checkpointEveryCycles cycles the
+ *    full state is captured (and optionally written to disk), so a
+ *    retried or killed job resumes from its last checkpoint instead
+ *    of cycle 0;
+ *  - *deadlines and cancellation*: a per-job wall-clock budget and a
+ *    caller-owned cancellation token, polled inside the sim loop,
+ *    stop runaway jobs with structured SimErrors instead of hanging
+ *    a batch worker;
+ *  - *bounded retries with backoff*: jobs failing with *recoverable*
+ *    error kinds (watchdog stall, ECC-driven restart livelock) are
+ *    re-executed from their last checkpoint up to maxRetries times,
+ *    with exponential backoff plus deterministic jitter between
+ *    attempts;
+ *  - *lockstep DMR*: dual modular redundancy runs two simulator
+ *    instances of the same artefact in lockstep, comparing
+ *    architectural digests every dmrIntervalWords retired words. On
+ *    divergence both lanes roll back to the last agreeing checkpoint
+ *    for one re-execution; a second divergence is pinpointed to the
+ *    first differing word and reported (JobResult::divergenceJson).
+ *
+ * All supervision events flow into the job's TraceBuffer under
+ * TraceCat::Supervise and, when Job::captureStats is set, into the
+ * stats registry as sup.* counters.
+ */
+
+#ifndef UHLL_DRIVER_SUPERVISOR_HH
+#define UHLL_DRIVER_SUPERVISOR_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "machine/checkpoint.hh"
+
+namespace uhll {
+
+struct Job;
+struct JobResult;
+class Toolchain;
+
+/** Supervision knobs, batch-wide (a manifest's "supervise" object). */
+struct SupervisePolicy {
+    //! re-executions allowed for recoverable SimError kinds
+    uint32_t maxRetries = 0;
+    //! backoff before retry attempt n: min(base << (n-1), max) plus
+    //! deterministic jitter derived from (job name, attempt)
+    uint32_t backoffBaseMs = 5;
+    uint32_t backoffMaxMs = 250;
+    //! per-job wall-clock budget in seconds (0 = none; a job's own
+    //! deadlineSeconds overrides)
+    double deadlineSeconds = 0;
+    //! auto-checkpoint period in simulated cycles (0 = off)
+    uint64_t checkpointEveryCycles = 0;
+    //! run every job in lockstep dual modular redundancy
+    bool dmr = false;
+    //! retired words between DMR digest comparisons
+    uint64_t dmrIntervalWords = 4096;
+    //! lane-B fault seed (0 = same as lane A; a job's own dmrSeedB
+    //! overrides)
+    uint64_t dmrSeedB = 0;
+
+    /** True when any knob departs from "plain run". */
+    bool
+    active() const
+    {
+        return maxRetries != 0 || deadlineSeconds > 0 ||
+               checkpointEveryCycles != 0 || dmr;
+    }
+};
+
+/** Per-invocation supervision inputs (policy + caller plumbing). */
+struct SuperviseContext {
+    SupervisePolicy policy;
+    //! cooperative cancellation token (null = none); setting it stops
+    //! the job with SimErrorKind::Cancelled at the next poll
+    const std::atomic<bool> *cancel = nullptr;
+    //! when non-empty, auto-checkpoints are also written here
+    //! (atomically), and the file is removed once the job completes;
+    //! a killed process leaves it behind for --resume
+    std::string checkpointFile;
+    //! resume from this checkpoint instead of cycle 0 (identity is
+    //! checked; an incompatible checkpoint falls back to a fresh run)
+    const Checkpoint *resumeFrom = nullptr;
+};
+
+/**
+ * The supervised counterpart of Toolchain::run's simulate stage:
+ * runs @p job's already-compiled artefact (r.artefact) under
+ * @p ctx's policy, filling r.sim/r.ran/r.vars/r.statsJson, the
+ * supervision counters and any failure diagnostics.
+ *
+ * @return false when the job failed (diagnostics say why).
+ */
+bool superviseSimulation(const Job &job, const SuperviseContext &ctx,
+                         JobResult &r);
+
+} // namespace uhll
+
+#endif // UHLL_DRIVER_SUPERVISOR_HH

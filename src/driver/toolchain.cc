@@ -4,6 +4,7 @@
 #include <cctype>
 #include <chrono>
 
+#include "driver/supervisor.hh"
 #include "fault/fault.hh"
 #include "machine/machines/machines.hh"
 #include "obs/json.hh"
@@ -186,6 +187,8 @@ Artefact::readVariable(const MicroSimulator &sim,
 std::string
 JobResult::toJson(bool pretty, bool timings) const
 {
+    if (!prerendered.empty())
+        return prerendered;
     JsonWriter w(pretty);
     w.beginObject();
     w.value("name", name);
@@ -233,6 +236,21 @@ JobResult::toJson(bool pretty, bool timings) const
     }
     if (!statsJson.empty())
         w.raw("stats", statsJson);
+    if (!divergenceJson.empty())
+        w.raw("divergence", divergenceJson);
+    // Supervision counters count what happened to *this* execution
+    // (a resumed run reports post-resume counts), so like timings
+    // they are excluded from the deterministic form.
+    if (timings && (retries || checkpoints || rollbacks ||
+                    backoffMsTotal || resumedFromCycle)) {
+        w.beginObject("supervision");
+        w.value("retries", static_cast<uint64_t>(retries));
+        w.value("checkpoints", static_cast<uint64_t>(checkpoints));
+        w.value("rollbacks", static_cast<uint64_t>(rollbacks));
+        w.value("backoff_ms", backoffMsTotal);
+        w.value("resumed_from_cycle", resumedFromCycle);
+        w.endObject();
+    }
     if (timings) {
         w.beginObject("timing");
         w.value("compile_seconds", compileSeconds);
@@ -411,6 +429,12 @@ Toolchain::compile(const Job &job) const
 JobResult
 Toolchain::run(const Job &job) const
 {
+    return run(job, SuperviseContext{});
+}
+
+JobResult
+Toolchain::run(const Job &job, const SuperviseContext &ctx) const
+{
     JobResult r;
     r.name = job.name.empty()
                  ? job.lang + ":" + canonMachine(job.machine)
@@ -456,73 +480,7 @@ Toolchain::run(const Job &job) const
 
     if (job.run && !failed) {
         try {
-            const MachineDescription &mach = *r.artefact->machine;
-            MainMemory mem(0x10000, mach.dataWidth());
-            if (job.setupMemory)
-                job.setupMemory(mem);
-
-            SimConfig cfg;
-            if (job.maxCycles)
-                cfg.maxCycles = job.maxCycles;
-            cfg.forceSlowPath = job.forceSlowPath;
-            cfg.decoded = r.artefact->decoded.get();
-            cfg.trace = job.trace;
-            cfg.profiler = job.profiler;
-            std::unique_ptr<FaultInjector> inj;
-            if (!job.faultPlan.empty()) {
-                FaultPlan plan =
-                    job.faultPlan == "-"
-                        ? FaultPlan::recoverable(
-                              job.faultSeed ? job.faultSeed : 1)
-                        : FaultPlan::parse(job.faultPlan);
-                inj = std::make_unique<FaultInjector>(
-                    std::move(plan), job.faultSeed);
-                cfg.injector = inj.get();
-                cfg.maxRestarts = job.maxRestarts;
-            }
-
-            MicroSimulator sim(r.artefact->store(), mem, cfg);
-            for (const auto &[n, v] : job.sets)
-                r.artefact->setVariable(sim, mem, n, v);
-
-            auto trun = std::chrono::steady_clock::now();
-            r.sim = sim.run(job.entry.empty()
-                                ? r.artefact->defaultEntry()
-                                : job.entry);
-            r.runSeconds = secondsSince(trun);
-            r.ran = true;
-
-            for (const auto &[n, v] : job.sets) {
-                (void)v;
-                r.vars.emplace_back(
-                    n, r.artefact->readVariable(sim, mem, n));
-            }
-            if (job.onFinish)
-                job.onFinish(sim, mem);
-            if (job.captureStats)
-                r.statsJson = sim.stats().toJson();
-
-            if (!r.sim.ok()) {
-                failed = true;
-                r.diagnostics.push_back(strfmt(
-                    "sim error: %s: %s (cycle %llu, upc 0x%04x)",
-                    simErrorKindName(r.sim.error.kind),
-                    r.sim.error.message.c_str(),
-                    (unsigned long long)r.sim.error.cycle,
-                    r.sim.error.upc));
-            } else if (!r.sim.halted) {
-                failed = true;
-                r.diagnostics.push_back(strfmt(
-                    "sim: cycle budget (%llu) exhausted",
-                    (unsigned long long)cfg.maxCycles));
-            }
-            if (job.checkMemory && r.sim.ok() && r.sim.halted) {
-                std::string why;
-                if (!job.checkMemory(mem, &why)) {
-                    failed = true;
-                    r.diagnostics.push_back("check: " + why);
-                }
-            }
+            failed = !superviseSimulation(job, ctx, r);
         } catch (const FatalError &e) {
             failed = true;
             r.diagnostics.push_back(std::string("run: ") + e.what());

@@ -40,6 +40,7 @@ namespace uhll {
 
 class TraceBuffer;
 class CycleProfiler;
+struct SuperviseContext;
 
 /**
  * Pipeline knobs by name: the manifest/CLI-facing mirror of
@@ -91,6 +92,20 @@ struct Job {
     std::string faultPlan;
     uint64_t faultSeed = 0;     //!< nonzero: override the plan seed
     uint32_t maxRestarts = 0;   //!< nonzero: livelock limit override
+    /// @}
+
+    /** @name Supervision (see src/driver/supervisor.hh) */
+    /// @{
+    //! wall-clock budget for this job (0 = the batch policy's)
+    double deadlineSeconds = 0;
+    //! run in lockstep dual modular redundancy
+    bool dmr = false;
+    //! DMR secondary-lane fault seed (0 = the batch policy's, then
+    //! the primary seed)
+    uint64_t dmrSeedB = 0;
+    //! memory ECC (false = injected flips corrupt silently -- the
+    //! deliberate-divergence knob for DMR tests)
+    bool ecc = true;
     /// @}
 
     /** @name Simulation knobs */
@@ -180,6 +195,24 @@ struct JobResult {
     //! stats registry dump (Job::captureStats)
     std::string statsJson;
 
+    /** @name Supervision outcome (see src/driver/supervisor.hh) */
+    /// @{
+    uint32_t retries = 0;       //!< recoverable-error re-executions
+    uint32_t checkpoints = 0;   //!< auto-checkpoints captured
+    uint32_t rollbacks = 0;     //!< DMR rollback re-executions
+    uint64_t backoffMsTotal = 0;    //!< summed retry delays
+    //! cycle count the run resumed at (0 = ran from the start)
+    uint64_t resumedFromCycle = 0;
+    //! structured DMR divergence report ("" = no divergence):
+    //! first differing word/cycle, per-register diff, memory diff
+    std::string divergenceJson;
+    /// @}
+
+    //! when nonempty, toJson() returns this verbatim -- how a batch
+    //! --resume splices journaled results into the merged report
+    //! byte-identically
+    std::string prerendered;
+
     double compileSeconds = 0;  //!< wall time in compile (0 on cache hit)
     double runSeconds = 0;      //!< wall time in the simulator
 
@@ -187,6 +220,9 @@ struct JobResult {
      * The result as a JSON object. With @p timings false the output
      * is a pure function of the job -- byte-identical between serial
      * and parallel batch runs (the determinism tests compare it).
+     * The supervision counters depend on where a run was resumed or
+     * killed, so they are emitted only with @p timings true; the
+     * divergence report is deterministic and always emitted.
      */
     std::string toJson(bool pretty = true, bool timings = true) const;
 };
@@ -235,6 +271,14 @@ class Toolchain
      * per-job status instead of dying).
      */
     JobResult run(const Job &job) const;
+
+    /**
+     * run() under a supervision context: deadlines, cancellation,
+     * retry with backoff, auto-checkpointing, resume-from-checkpoint
+     * and lockstep DMR (see driver/supervisor.hh). run(job) is
+     * run(job, default-constructed context).
+     */
+    JobResult run(const Job &job, const SuperviseContext &ctx) const;
 
     /** Registered language names (FrontendRegistry::names()). */
     static std::vector<std::string> frontendNames();

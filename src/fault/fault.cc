@@ -300,6 +300,31 @@ FaultInjector::reset()
     now_ = 0;
 }
 
+FaultStreamState
+FaultInjector::cursor() const
+{
+    FaultStreamState s;
+    for (size_t k = 0; k < kNumFaultKinds; ++k)
+        s.state[k] = state_[k];
+    s.fired = fired_;
+    s.counters = counters_;
+    s.now = now_;
+    return s;
+}
+
+void
+FaultInjector::restoreCursor(const FaultStreamState &s)
+{
+    if (s.fired.size() != plan_.rules.size())
+        fatal("fault cursor: %zu rule counts for a %zu-rule plan",
+              s.fired.size(), plan_.rules.size());
+    for (size_t k = 0; k < kNumFaultKinds; ++k)
+        state_[k] = s.state[k];
+    fired_ = s.fired;
+    counters_ = s.counters;
+    now_ = s.now;
+}
+
 uint32_t
 FaultInjector::draw24(FaultKind k)
 {

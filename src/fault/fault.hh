@@ -123,6 +123,21 @@ struct FaultCounters {
 enum class MemFault : uint8_t { None, SingleBit, DoubleBit };
 
 /**
+ * The complete mutable position of an injector: PRNG stream states,
+ * per-rule fire counts, counters and the published cycle. Saving and
+ * later restoring a cursor resumes the fault schedule exactly where
+ * it left off -- a resumed run injects the same *remaining* faults
+ * instead of replaying the streams from their heads (the
+ * checkpoint/restore path depends on this).
+ */
+struct FaultStreamState {
+    uint64_t state[kNumFaultKinds] = {};
+    std::vector<uint64_t> fired;
+    FaultCounters counters;
+    uint64_t now = 0;
+};
+
+/**
  * Evaluates a FaultPlan deterministically. One xorshift64* stream per
  * fault kind (seeded from the plan seed via splitmix64), so each
  * kind's schedule is independent of which other kinds the plan
@@ -140,6 +155,17 @@ class FaultInjector
 
     /** Rewind every PRNG stream, rule budget and counter. */
     void reset();
+
+    /** @name Stream cursors (checkpoint/restore) */
+    /// @{
+    /** Capture the injector's position mid-run. */
+    FaultStreamState cursor() const;
+    /**
+     * Resume from a captured position. The cursor must come from an
+     * injector built over the same plan (rule count is checked).
+     */
+    void restoreCursor(const FaultStreamState &s);
+    /// @}
 
     /**
      * The simulator publishes the current cycle here once per word

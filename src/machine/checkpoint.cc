@@ -1,0 +1,458 @@
+#include "machine/checkpoint.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace uhll {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x55434B50;     // "UCKP"
+
+/** @name Little-endian fixed-width primitives */
+/// @{
+void
+putU8(std::string &out, uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+void
+putU32(std::string &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void
+putU64(std::string &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+/** Bounds-checked reader over a byte string. */
+struct Reader {
+    const std::string &buf;
+    size_t off = 0;
+
+    void
+    need(size_t n) const
+    {
+        if (off + n > buf.size())
+            fatal("checkpoint: truncated at byte %zu (need %zu more, "
+                  "have %zu)", off, n, buf.size() - off);
+    }
+
+    uint8_t
+    u8()
+    {
+        need(1);
+        return static_cast<uint8_t>(buf[off++]);
+    }
+
+    uint32_t
+    u32()
+    {
+        need(4);
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= uint32_t(static_cast<uint8_t>(buf[off + i])) << (8 * i);
+        off += 4;
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        need(8);
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= uint64_t(static_cast<uint8_t>(buf[off + i])) << (8 * i);
+        off += 8;
+        return v;
+    }
+};
+/// @}
+
+uint64_t
+fnv1a(const char *data, size_t n)
+{
+    uint64_t h = 0xCBF29CE484222325ULL;
+    for (size_t i = 0; i < n; ++i)
+        h = (h ^ static_cast<uint8_t>(data[i])) * 0x100000001B3ULL;
+    return h;
+}
+
+uint8_t
+packFlags(const Flags &f)
+{
+    return uint8_t(f.z) | uint8_t(f.n) << 1 | uint8_t(f.c) << 2 |
+           uint8_t(f.uf) << 3 | uint8_t(f.ovf) << 4;
+}
+
+Flags
+unpackFlags(uint8_t v)
+{
+    Flags f;
+    f.z = v & 1;
+    f.n = v & 2;
+    f.c = v & 4;
+    f.uf = v & 8;
+    f.ovf = v & 16;
+    return f;
+}
+
+void
+putResult(std::string &out, const SimResult &r)
+{
+    putU64(out, r.cycles);
+    putU64(out, r.wordsExecuted);
+    putU64(out, r.pageFaults);
+    putU64(out, r.interruptsServiced);
+    putU64(out, r.interruptLatencyTotal);
+    putU64(out, r.memReads);
+    putU64(out, r.memWrites);
+    putU8(out, r.halted);
+    putU64(out, r.fastPathWords);
+    putU64(out, r.slowPathWords);
+    putU64(out, r.pendingHighWater);
+    putU64(out, r.faultsInjected);
+    putU64(out, r.eccCorrected);
+    putU64(out, r.eccDoubleBit);
+    putU64(out, r.parityRefetches);
+    putU64(out, r.memRetries);
+    putU64(out, r.spuriousInterrupts);
+    putU64(out, r.jitterCycles);
+    putU64(out, r.watchdogTrips);
+    putU64(out, r.faultSeed);
+}
+
+SimResult
+getResult(Reader &in)
+{
+    SimResult r;
+    r.cycles = in.u64();
+    r.wordsExecuted = in.u64();
+    r.pageFaults = in.u64();
+    r.interruptsServiced = in.u64();
+    r.interruptLatencyTotal = in.u64();
+    r.memReads = in.u64();
+    r.memWrites = in.u64();
+    r.halted = in.u8();
+    r.fastPathWords = in.u64();
+    r.slowPathWords = in.u64();
+    r.pendingHighWater = in.u64();
+    r.faultsInjected = in.u64();
+    r.eccCorrected = in.u64();
+    r.eccDoubleBit = in.u64();
+    r.parityRefetches = in.u64();
+    r.memRetries = in.u64();
+    r.spuriousInterrupts = in.u64();
+    r.jitterCycles = in.u64();
+    r.watchdogTrips = in.u64();
+    r.faultSeed = in.u64();
+    return r;
+}
+
+} // namespace
+
+Checkpoint
+Checkpoint::capture(const MicroSimulator &sim,
+                    const std::vector<uint64_t> &baseline)
+{
+    const MainMemory &mem = sim.memory();
+    const std::vector<uint64_t> &words = mem.words();
+    if (baseline.size() != words.size())
+        fatal("checkpoint: baseline is %zu words, memory is %zu",
+              baseline.size(), words.size());
+
+    Checkpoint c;
+    c.machineName = sim.machine().name();
+    c.storeWords = sim.store().size();
+    c.memWords = mem.sizeWords();
+    c.memWidth = mem.width();
+    c.pageWords = mem.pageWords();
+    c.presentPages = mem.presentBitmap();
+    for (uint32_t a = 0; a < words.size(); ++a) {
+        if (words[a] != baseline[a])
+            c.memDelta.emplace_back(a, words[a]);
+    }
+    c.sim = sim.snapshot();
+    return c;
+}
+
+std::string
+Checkpoint::compatible(const MicroSimulator &sim) const
+{
+    if (machineName != sim.machine().name())
+        return strfmt("machine '%s' != '%s'", machineName.c_str(),
+                      sim.machine().name().c_str());
+    if (storeWords != sim.store().size())
+        return strfmt("control store has %zu words, checkpoint "
+                      "expects %llu", sim.store().size(),
+                      (unsigned long long)storeWords);
+    const MainMemory &mem = sim.memory();
+    if (memWords != mem.sizeWords() || memWidth != mem.width())
+        return strfmt("memory %ux%u != checkpoint %ux%u",
+                      mem.sizeWords(), mem.width(), memWords,
+                      memWidth);
+    if (sim.snapshot().regs.size() != this->sim.regs.size())
+        return "register file size mismatch";
+    return "";
+}
+
+void
+Checkpoint::apply(MicroSimulator &target,
+                  const std::vector<uint64_t> &baseline) const
+{
+    std::string why = compatible(target);
+    if (!why.empty())
+        fatal("checkpoint: incompatible with target: %s", why.c_str());
+    MainMemory &mem = target.memory();
+    std::vector<uint64_t> words = baseline;
+    for (const auto &[addr, value] : memDelta) {
+        if (addr >= words.size())
+            fatal("checkpoint: delta address %u out of range", addr);
+        words[addr] = value;
+    }
+    mem.loadWords(words);
+    mem.restorePaging(pageWords, presentPages);
+    target.restore(sim);
+}
+
+std::string
+Checkpoint::serialize() const
+{
+    std::string p;
+    putU32(p, static_cast<uint32_t>(machineName.size()));
+    p.append(machineName);
+    putU64(p, storeWords);
+    putU32(p, memWords);
+    putU32(p, memWidth);
+    putU32(p, pageWords);
+    putU32(p, static_cast<uint32_t>(presentPages.size()));
+    {
+        uint8_t byte = 0;
+        for (size_t i = 0; i < presentPages.size(); ++i) {
+            if (presentPages[i])
+                byte |= uint8_t(1u << (i % 8));
+            if (i % 8 == 7 || i + 1 == presentPages.size()) {
+                putU8(p, byte);
+                byte = 0;
+            }
+        }
+    }
+    putU32(p, static_cast<uint32_t>(memDelta.size()));
+    for (const auto &[addr, value] : memDelta) {
+        putU32(p, addr);
+        putU64(p, value);
+    }
+
+    putU32(p, sim.entry);
+    putU32(p, sim.upc);
+    putU32(p, sim.restartPoint);
+    putU32(p, static_cast<uint32_t>(sim.regs.size()));
+    for (uint64_t v : sim.regs)
+        putU64(p, v);
+    putU8(p, packFlags(sim.flags));
+    putU32(p, static_cast<uint32_t>(sim.microStack.size()));
+    for (uint32_t v : sim.microStack)
+        putU32(p, v);
+    putU32(p, static_cast<uint32_t>(sim.pending.size()));
+    for (const SimSnapshot::Pending &q : sim.pending) {
+        putU64(p, q.commitCycle);
+        putU8(p, q.isMem);
+        putU32(p, q.reg);
+        putU32(p, q.addr);
+        putU64(p, q.value);
+    }
+    putU8(p, sim.intPending);
+    putU64(p, sim.intArrivalCycle);
+    putU64(p, sim.intPeriod);
+    putU64(p, sim.intNext);
+    putU64(p, sim.lastRetire);
+    putU32(p, sim.consecFaults);
+    putU32(p, sim.lastFaultRestart);
+    putResult(p, sim.res);
+    putU32(p, static_cast<uint32_t>(sim.pendingDepth.buckets.size()));
+    for (uint64_t v : sim.pendingDepth.buckets)
+        putU64(p, v);
+    putU64(p, sim.pendingDepth.samples);
+    putU64(p, sim.pendingDepth.sum);
+    putU64(p, sim.pendingDepth.min);
+    putU64(p, sim.pendingDepth.max);
+
+    putU8(p, sim.haveInjector);
+    if (sim.haveInjector) {
+        for (size_t k = 0; k < kNumFaultKinds; ++k)
+            putU64(p, sim.faults.state[k]);
+        putU32(p, static_cast<uint32_t>(sim.faults.fired.size()));
+        for (uint64_t v : sim.faults.fired)
+            putU64(p, v);
+        const FaultCounters &fc = sim.faults.counters;
+        putU64(p, fc.injectedSingleBit);
+        putU64(p, fc.injectedDoubleBit);
+        putU64(p, fc.injectedParity);
+        putU64(p, fc.injectedSpurious);
+        putU64(p, fc.injectedJitterEvents);
+        putU64(p, fc.jitterCycles);
+        putU64(p, fc.eccCorrected);
+        putU64(p, fc.silentFlips);
+        putU64(p, sim.faults.now);
+    }
+
+    std::string out;
+    out.reserve(p.size() + 24);
+    putU32(out, kMagic);
+    putU32(out, kFormatVersion);
+    putU64(out, p.size());
+    putU64(out, fnv1a(p.data(), p.size()));
+    out.append(p);
+    return out;
+}
+
+Checkpoint
+Checkpoint::deserialize(const std::string &bytes)
+{
+    Reader in{bytes};
+    if (in.u32() != kMagic)
+        fatal("checkpoint: bad magic (not a checkpoint file)");
+    uint32_t version = in.u32();
+    if (version != kFormatVersion)
+        fatal("checkpoint: format version %u, this build reads %u",
+              version, kFormatVersion);
+    uint64_t len = in.u64();
+    uint64_t sum = in.u64();
+    if (bytes.size() - in.off != len)
+        fatal("checkpoint: payload is %zu bytes, header says %llu",
+              bytes.size() - in.off, (unsigned long long)len);
+    if (fnv1a(bytes.data() + in.off, len) != sum)
+        fatal("checkpoint: payload checksum mismatch (torn or "
+              "corrupted file)");
+
+    Checkpoint c;
+    uint32_t nameLen = in.u32();
+    in.need(nameLen);
+    c.machineName = bytes.substr(in.off, nameLen);
+    in.off += nameLen;
+    c.storeWords = in.u64();
+    c.memWords = in.u32();
+    c.memWidth = in.u32();
+    c.pageWords = in.u32();
+    uint32_t nPages = in.u32();
+    c.presentPages.resize(nPages);
+    for (uint32_t i = 0; i < nPages; i += 8) {
+        uint8_t byte = in.u8();
+        for (uint32_t b = 0; b < 8 && i + b < nPages; ++b)
+            c.presentPages[i + b] = (byte >> b) & 1;
+    }
+    uint32_t nDelta = in.u32();
+    c.memDelta.reserve(nDelta);
+    for (uint32_t i = 0; i < nDelta; ++i) {
+        uint32_t addr = in.u32();
+        uint64_t value = in.u64();
+        c.memDelta.emplace_back(addr, value);
+    }
+
+    SimSnapshot &s = c.sim;
+    s.entry = in.u32();
+    s.upc = in.u32();
+    s.restartPoint = in.u32();
+    s.regs.resize(in.u32());
+    for (uint64_t &v : s.regs)
+        v = in.u64();
+    s.flags = unpackFlags(in.u8());
+    s.microStack.resize(in.u32());
+    for (uint32_t &v : s.microStack)
+        v = in.u32();
+    s.pending.resize(in.u32());
+    for (SimSnapshot::Pending &q : s.pending) {
+        q.commitCycle = in.u64();
+        q.isMem = in.u8();
+        q.reg = static_cast<RegId>(in.u32());
+        q.addr = in.u32();
+        q.value = in.u64();
+    }
+    s.intPending = in.u8();
+    s.intArrivalCycle = in.u64();
+    s.intPeriod = in.u64();
+    s.intNext = in.u64();
+    s.lastRetire = in.u64();
+    s.consecFaults = in.u32();
+    s.lastFaultRestart = in.u32();
+    s.res = getResult(in);
+    s.pendingDepth.buckets.resize(in.u32());
+    for (uint64_t &v : s.pendingDepth.buckets)
+        v = in.u64();
+    s.pendingDepth.samples = in.u64();
+    s.pendingDepth.sum = in.u64();
+    s.pendingDepth.min = in.u64();
+    s.pendingDepth.max = in.u64();
+
+    s.haveInjector = in.u8();
+    if (s.haveInjector) {
+        for (size_t k = 0; k < kNumFaultKinds; ++k)
+            s.faults.state[k] = in.u64();
+        s.faults.fired.resize(in.u32());
+        for (uint64_t &v : s.faults.fired)
+            v = in.u64();
+        FaultCounters &fc = s.faults.counters;
+        fc.injectedSingleBit = in.u64();
+        fc.injectedDoubleBit = in.u64();
+        fc.injectedParity = in.u64();
+        fc.injectedSpurious = in.u64();
+        fc.injectedJitterEvents = in.u64();
+        fc.jitterCycles = in.u64();
+        fc.eccCorrected = in.u64();
+        fc.silentFlips = in.u64();
+        s.faults.now = in.u64();
+    }
+    if (in.off != bytes.size())
+        fatal("checkpoint: %zu trailing bytes after payload",
+              bytes.size() - in.off);
+    return c;
+}
+
+void
+Checkpoint::writeFile(const std::string &path) const
+{
+    std::string bytes = serialize();
+    std::string tmp = path + ".tmp";
+    FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        fatal("checkpoint: cannot write '%s'", tmp.c_str());
+    size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    if (std::fclose(f) != 0 || n != bytes.size()) {
+        std::remove(tmp.c_str());
+        fatal("checkpoint: short write to '%s'", tmp.c_str());
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        fatal("checkpoint: cannot rename '%s' into place",
+              tmp.c_str());
+    }
+}
+
+std::optional<Checkpoint>
+Checkpoint::readFile(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return std::nullopt;
+    std::string bytes;
+    char buf[65536];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.append(buf, n);
+    std::fclose(f);
+    try {
+        return Checkpoint::deserialize(bytes);
+    } catch (const FatalError &) {
+        return std::nullopt;
+    }
+}
+
+} // namespace uhll

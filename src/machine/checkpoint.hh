@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Checkpoint: a serializable pairing of a SimSnapshot with the main
+ * memory state, delta-compressed against a baseline image.
+ *
+ * A checkpoint captures everything a paused simulation needs to
+ * resume bit-identically in another simulator instance -- or another
+ * process: registers, memory (as (addr, word) deltas against the
+ * image the job loaded), microstack, pending overlapped writes,
+ * fault-stream cursors and every cycle/stat counter. The binary
+ * serialization is versioned and checksummed (FNV-1a over the
+ * payload) so a torn or stale file is rejected instead of resuming
+ * garbage; readers should treat a rejected checkpoint as "start from
+ * cycle 0", which is always safe.
+ *
+ * The baseline image is *not* stored: both sides reconstruct it
+ * deterministically (the job's setupMemory hook / workload loader),
+ * which keeps checkpoints small -- a long-running job's delta is the
+ * set of words it has written, not the whole array.
+ */
+
+#ifndef UHLL_MACHINE_CHECKPOINT_HH
+#define UHLL_MACHINE_CHECKPOINT_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "machine/simulator.hh"
+
+namespace uhll {
+
+struct Checkpoint {
+    //! bump when the serialized layout changes; readers reject
+    //! other versions (no migration: a checkpoint is ephemeral)
+    static constexpr uint32_t kFormatVersion = 1;
+
+    /** @name Identity (checked before a restore is attempted) */
+    /// @{
+    std::string machineName;
+    uint64_t storeWords = 0;    //!< control-store size at capture
+    uint32_t memWords = 0;
+    uint32_t memWidth = 0;
+    /// @}
+
+    /** @name Memory state */
+    /// @{
+    uint32_t pageWords = 0;     //!< 0 = paging off
+    std::vector<bool> presentPages;
+    //! (addr, word) where memory differs from the baseline image
+    std::vector<std::pair<uint32_t, uint64_t>> memDelta;
+    /// @}
+
+    SimSnapshot sim;
+
+    /**
+     * Capture @p sim (paused at a slice boundary) and its memory,
+     * delta-compressed against @p baseline (the memory contents
+     * right after job setup; pass the full array).
+     */
+    static Checkpoint capture(const MicroSimulator &sim,
+                              const std::vector<uint64_t> &baseline);
+
+    /**
+     * Restore into @p sim: memory := @p baseline + delta, paging
+     * state, then MicroSimulator::restore(). fatal()s when the
+     * checkpoint does not match the simulator (see compatible()).
+     */
+    void apply(MicroSimulator &sim,
+               const std::vector<uint64_t> &baseline) const;
+
+    /**
+     * Identity check against a target simulator. Returns an empty
+     * string when the checkpoint can be applied, else the reason.
+     */
+    std::string compatible(const MicroSimulator &sim) const;
+
+    /** @name Versioned, checksummed binary serialization */
+    /// @{
+    std::string serialize() const;
+    /** Throws FatalError on bad magic/version/checksum/truncation. */
+    static Checkpoint deserialize(const std::string &bytes);
+    /// @}
+
+    /** @name Checkpoint files (batch --resume) */
+    /// @{
+    /**
+     * Write atomically (temp file + rename), so a process killed
+     * mid-write leaves either the previous checkpoint or none --
+     * never a torn one.
+     */
+    void writeFile(const std::string &path) const;
+    /**
+     * Read and deserialize; nullopt when the file is missing,
+     * truncated or fails its checks (callers fall back to a fresh
+     * run).
+     */
+    static std::optional<Checkpoint> readFile(const std::string &path);
+    /// @}
+};
+
+} // namespace uhll
+
+#endif // UHLL_MACHINE_CHECKPOINT_HH

@@ -111,6 +111,29 @@ MainMemory::poke(uint32_t addr, uint64_t value)
 }
 
 void
+MainMemory::loadWords(const std::vector<uint64_t> &words)
+{
+    if (words.size() != data_.size())
+        fatal("memory: restore image is %zu words, array is %zu",
+              words.size(), data_.size());
+    data_ = words;
+}
+
+void
+MainMemory::restorePaging(uint32_t page_words,
+                          std::vector<bool> present)
+{
+    pageWords_ = page_words;
+    if (page_words) {
+        size_t pages = (size_ + page_words - 1) / page_words;
+        if (present.size() != pages)
+            fatal("memory: restore bitmap has %zu pages, expected %zu",
+                  present.size(), pages);
+    }
+    present_ = std::move(present);
+}
+
+void
 MainMemory::checkAddr(uint32_t addr) const
 {
     if (addr >= size_)

@@ -111,6 +111,20 @@ class MainMemory
     /** Backdoor write, ignores paging (for loaders and tests). */
     void poke(uint32_t addr, uint64_t value);
 
+    /** @name Raw state access (checkpoint/restore; see
+     *  machine/checkpoint.hh). None of these touch the fault path. */
+    /// @{
+    //! the whole array, paging ignored
+    const std::vector<uint64_t> &words() const { return data_; }
+    uint32_t pageWords() const { return pageWords_; }
+    //! present-page bitmap (empty when paging is off)
+    const std::vector<bool> &presentBitmap() const { return present_; }
+    /** Overwrite the whole array (sizes must match). */
+    void loadWords(const std::vector<uint64_t> &words);
+    /** Restore the paging configuration and present bitmap. */
+    void restorePaging(uint32_t page_words, std::vector<bool> present);
+    /// @}
+
   private:
     uint32_t pageIndex(uint32_t addr) const { return addr / pageWords_; }
     void checkAddr(uint32_t addr) const;

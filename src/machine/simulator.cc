@@ -21,8 +21,17 @@ simErrorKindName(SimErrorKind k)
       case SimErrorKind::RestartLivelock: return "restart-livelock";
       case SimErrorKind::ParityUnrecoverable:
         return "parity-unrecoverable";
+      case SimErrorKind::Cancelled: return "cancelled";
+      case SimErrorKind::DeadlineExceeded: return "deadline-exceeded";
     }
     return "?";
+}
+
+bool
+simErrorRecoverable(SimErrorKind k)
+{
+    return k == SimErrorKind::WatchdogStall ||
+           k == SimErrorKind::RestartLivelock;
 }
 
 std::string
@@ -338,6 +347,20 @@ MicroSimulator::raiseError(SimErrorKind kind, uint32_t detail,
     res_.error.regs.clear();
     for (RegId r = 0; r < regs_.size(); ++r)
         res_.error.regs.emplace_back(mach_.reg(r).name, regs_[r]);
+    // Supervision verdicts (cancel, deadline) are external stop
+    // requests, not fault conversions: they neither count as
+    // watchdog trips nor trace as recovery events.
+    if (kind == SimErrorKind::Cancelled ||
+        kind == SimErrorKind::DeadlineExceeded) {
+        if (trace_) {
+            SuperviseAction act = kind == SimErrorKind::Cancelled
+                                      ? SuperviseAction::Cancel
+                                      : SuperviseAction::Deadline;
+            trace_->record(TraceCat::Supervise, TraceSev::Warning,
+                           res_.cycles, upc_, uint32_t(act), detail);
+        }
+        return;
+    }
     ++res_.watchdogTrips;
     if (trace_) {
         RecoverAction act =
@@ -769,12 +792,13 @@ MicroSimulator::noteObsWord(uint32_t addr, uint64_t start_cycle,
     }
 }
 
-SimResult
-MicroSimulator::run(uint32_t entry)
+void
+MicroSimulator::begin(uint32_t entry)
 {
     res_ = SimResult{};
     stats_.reset();     // owned stats (histograms); bound scalars
                         // were just cleared through res_
+    entry_ = entry;
     upc_ = entry;
     restartPoint_ = entry;
     microStack_.clear();
@@ -808,6 +832,7 @@ MicroSimulator::run(uint32_t entry)
     lastRetire_ = 0;
     consecFaults_ = 0;
     lastFaultRestart_ = 0;
+    pollCountdown_ = 0;
     watchdogCycles_ = cfg_.watchdogCycles;
     livelockLimit_ = cfg_.maxRestarts;
     retryLimit_ = 0;
@@ -834,14 +859,61 @@ MicroSimulator::run(uint32_t entry)
     newPending_.reserve(max_ops + 2);
     effects_.reserve(max_ops + 2);
     phaseWrites_.reserve(max_ops + 2);
+}
 
+void
+MicroSimulator::begin(const std::string &entry_name)
+{
+    begin(store_.entry(entry_name));
+}
+
+void
+MicroSimulator::pollSupervision()
+{
+    if (cfg_.cancel &&
+        cfg_.cancel->load(std::memory_order_relaxed)) {
+        raiseError(SimErrorKind::Cancelled, 0,
+                   "cooperative cancellation token read true");
+        return;
+    }
+    if (cfg_.deadline.time_since_epoch().count() != 0 &&
+        std::chrono::steady_clock::now() >= cfg_.deadline) {
+        raiseError(SimErrorKind::DeadlineExceeded, 0,
+                   strfmt("wall-clock deadline passed at cycle %llu",
+                          (unsigned long long)res_.cycles));
+    }
+}
+
+void
+MicroSimulator::runUntil(uint64_t stop_cycle, uint64_t stop_words)
+{
+    // Slices re-attach the injector each entry: snapshot()/restore()
+    // and the end-of-slice counter fold detach it, and a fresh
+    // simulator resuming a checkpoint never ran begin()'s attach
+    // against this memory.
+    if (inj_)
+        mem_.attachFaults(inj_, cfg_.ecc);
+
+    const uint64_t cycle_bound = std::min(stop_cycle, cfg_.maxCycles);
     const bool force_slow = cfg_.forceSlowPath;
     // One flag gates all per-word observability work, so disabled
     // runs pay a single predicted-not-taken branch per word.
     const bool obs = trace_ || prof_;
+    // Cancel/deadline polling is amortized: a steady_clock read per
+    // word would dominate the loop.
+    const bool supervised =
+        cfg_.cancel != nullptr ||
+        cfg_.deadline.time_since_epoch().count() != 0;
+    constexpr uint32_t kPollInterval = 2048;
 
-    while (!res_.halted && res_.cycles < cfg_.maxCycles &&
-           res_.ok()) {
+    while (!res_.halted && res_.cycles < cycle_bound &&
+           res_.wordsExecuted < stop_words && res_.ok()) {
+        if (supervised && pollCountdown_-- == 0) {
+            pollCountdown_ = kPollInterval;
+            pollSupervision();
+            if (!res_.ok())
+                break;
+        }
         if (!pending_.empty()) {
             uint32_t fault_addr = 0;
             if (!commitPending(&fault_addr)) {
@@ -988,6 +1060,27 @@ MicroSimulator::run(uint32_t entry)
         res_.faultSeed = inj_->seed();
         mem_.attachFaults(nullptr);
     }
+}
+
+const SimResult &
+MicroSimulator::runUntilCycle(uint64_t stop_cycle)
+{
+    runUntil(stop_cycle, ~0ULL);
+    return res_;
+}
+
+const SimResult &
+MicroSimulator::runUntilWords(uint64_t stop_words)
+{
+    runUntil(~0ULL, stop_words);
+    return res_;
+}
+
+SimResult
+MicroSimulator::run(uint32_t entry)
+{
+    begin(entry);
+    runUntil(~0ULL, ~0ULL);
     return res_;
 }
 
@@ -995,6 +1088,135 @@ SimResult
 MicroSimulator::run(const std::string &entry_name)
 {
     return run(store_.entry(entry_name));
+}
+
+SimSnapshot
+MicroSimulator::snapshot() const
+{
+    SimSnapshot s;
+    s.entry = entry_;
+    s.upc = upc_;
+    s.restartPoint = restartPoint_;
+    s.regs = regs_;
+    s.flags = flags_;
+    s.microStack = microStack_;
+    s.pending.reserve(pending_.size());
+    for (const PendingWrite &p : pending_) {
+        s.pending.push_back(
+            {p.commitCycle, p.isMem, p.reg, p.addr, p.value});
+    }
+    s.intPending = intPending_;
+    s.intArrivalCycle = intArrivalCycle_;
+    s.intPeriod = intPeriod_;
+    s.intNext = intNext_;
+    s.lastRetire = lastRetire_;
+    s.consecFaults = consecFaults_;
+    s.lastFaultRestart = lastFaultRestart_;
+    s.res = res_;
+    s.pendingDepth = pendingDepth_->state();
+    if (inj_) {
+        s.haveInjector = true;
+        s.faults = inj_->cursor();
+    }
+    return s;
+}
+
+void
+MicroSimulator::restore(const SimSnapshot &s)
+{
+    // begin() performs the full prepare (decode sync, injector reset
+    // and attach, scratch reservation); everything mutable is then
+    // overwritten with the snapshot -- including the injector's
+    // stream cursors, which begin()'s reset() just rewound.
+    begin(s.entry);
+    if (s.regs.size() != regs_.size()) {
+        fatal("restore: snapshot has %zu registers, machine %s has "
+              "%zu", s.regs.size(), mach_.name().c_str(),
+              regs_.size());
+    }
+    regs_ = s.regs;
+    flags_ = s.flags;
+    upc_ = s.upc;
+    restartPoint_ = s.restartPoint;
+    microStack_ = s.microStack;
+    pending_.clear();
+    std::fill(pendingRegs_.begin(), pendingRegs_.end(), 0);
+    for (const SimSnapshot::Pending &p : s.pending) {
+        PendingWrite pw;
+        pw.commitCycle = p.commitCycle;
+        pw.isMem = p.isMem;
+        pw.reg = p.reg;
+        pw.addr = p.addr;
+        pw.value = p.value;
+        pending_.push_back(pw);
+        if (!pw.isMem)
+            ++pendingRegs_[pw.reg];
+    }
+    intPending_ = s.intPending;
+    intArrivalCycle_ = s.intArrivalCycle;
+    intPeriod_ = s.intPeriod;
+    intNext_ = s.intNext;
+    lastRetire_ = s.lastRetire;
+    consecFaults_ = s.consecFaults;
+    lastFaultRestart_ = s.lastFaultRestart;
+    res_ = s.res;
+    pendingDepth_->restore(s.pendingDepth);
+    if (s.haveInjector) {
+        if (!inj_) {
+            fatal("restore: snapshot carries fault-stream cursors "
+                  "but no injector is configured");
+        }
+        inj_->restoreCursor(s.faults);
+    }
+}
+
+uint64_t
+MicroSimulator::archDigest() const
+{
+    constexpr uint64_t kFnvPrime = 0x100000001B3ULL;
+    uint64_t h = 0xCBF29CE484222325ULL;
+    auto mix = [&](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h = (h ^ (v & 0xFF)) * kFnvPrime;
+            v >>= 8;
+        }
+    };
+
+    // Registers and memory with queued overlapped writes applied in
+    // commit order: two lanes paused at the same retired word may
+    // hold the same architectural future in differently-timed
+    // pending queues (latency jitter shifts commit cycles), so the
+    // digest compares the settled state, not the queue.
+    std::vector<uint64_t> regs = regs_;
+    std::vector<std::pair<uint32_t, uint64_t>> memOverlay;
+    for (const PendingWrite &p : pending_) {
+        if (p.isMem)
+            memOverlay.emplace_back(p.addr, p.value);
+        else
+            regs[p.reg] = p.value;
+    }
+
+    mix(res_.wordsExecuted);
+    mix(upc_);
+    mix((uint64_t(flags_.z) << 0) | (uint64_t(flags_.n) << 1) |
+        (uint64_t(flags_.c) << 2) | (uint64_t(flags_.uf) << 3) |
+        (uint64_t(flags_.ovf) << 4));
+    for (uint64_t v : regs)
+        mix(v);
+    mix(microStack_.size());
+    for (uint32_t v : microStack_)
+        mix(v);
+
+    const std::vector<uint64_t> &words = mem_.words();
+    for (uint32_t a = 0; a < words.size(); ++a) {
+        uint64_t v = words[a];
+        for (const auto &[addr, val] : memOverlay) {
+            if (addr == a)
+                v = val;
+        }
+        mix(v);
+    }
+    return h;
 }
 
 } // namespace uhll

@@ -27,10 +27,13 @@
 #ifndef UHLL_MACHINE_SIMULATOR_HH
 #define UHLL_MACHINE_SIMULATOR_HH
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "machine/control_store.hh"
 #include "machine/decoded_store.hh"
 #include "machine/machine_desc.hh"
@@ -95,6 +98,18 @@ struct SimConfig {
     //! injector's plan value is the default)
     uint32_t maxRestarts = 0;
     /// @}
+
+    /** @name Supervision (see src/driver/supervisor.hh) */
+    /// @{
+    //! cooperative cancellation token, polled every few thousand
+    //! words; when it reads true the run stops with a structured
+    //! SimErrorKind::Cancelled (null = no cancellation source)
+    const std::atomic<bool> *cancel = nullptr;
+    //! wall-clock deadline, polled with the cancellation token;
+    //! past it the run stops with SimErrorKind::DeadlineExceeded
+    //! (default-constructed = no deadline)
+    std::chrono::steady_clock::time_point deadline{};
+    /// @}
 };
 
 /** Why a run ended in a structured error instead of halting. */
@@ -103,9 +118,19 @@ enum class SimErrorKind : uint8_t {
     WatchdogStall,          //!< no word retired for watchdogCycles
     RestartLivelock,        //!< same restart point kept faulting
     ParityUnrecoverable,    //!< control-store re-fetch limit exceeded
+    Cancelled,              //!< cooperative cancellation token read true
+    DeadlineExceeded,       //!< wall-clock deadline passed mid-run
 };
 
 const char *simErrorKindName(SimErrorKind k);
+
+/**
+ * True for error kinds worth retrying: transient fault pile-ups
+ * (watchdog stalls, ECC-driven restart livelock) that a re-execution
+ * from the last checkpoint may ride out. Supervision verdicts
+ * (cancel, deadline) and hard parity failures are not retryable.
+ */
+bool simErrorRecoverable(SimErrorKind k);
 
 /**
  * A structured run failure: instead of abort()ing, runaway microcode
@@ -169,6 +194,53 @@ struct SimResult {
     std::string toJson(bool pretty = true) const;
 };
 
+/**
+ * The complete mutable state of a paused MicroSimulator, captured at
+ * a word boundary between run slices. A snapshot restored into a
+ * fresh simulator over the same control store and memory image
+ * resumes bit-identically to the uninterrupted run -- including the
+ * fault-stream cursors, so a resumed run injects the same remaining
+ * faults. Main memory itself is *not* part of the snapshot (it is a
+ * separate object); machine/checkpoint.hh pairs the two into a
+ * serializable checkpoint.
+ */
+struct SimSnapshot {
+    uint32_t entry = 0;             //!< uPC the run began at
+    uint32_t upc = 0;
+    uint32_t restartPoint = 0;
+    std::vector<uint64_t> regs;
+    Flags flags;
+    std::vector<uint32_t> microStack;
+
+    /** One queued overlapped write (mirrors the private queue). */
+    struct Pending {
+        uint64_t commitCycle = 0;
+        bool isMem = false;
+        RegId reg = kNoReg;
+        uint32_t addr = 0;
+        uint64_t value = 0;
+    };
+    std::vector<Pending> pending;
+
+    bool intPending = false;
+    uint64_t intArrivalCycle = 0;
+    uint64_t intPeriod = 0;
+    uint64_t intNext = 0;
+
+    uint64_t lastRetire = 0;
+    uint32_t consecFaults = 0;
+    uint32_t lastFaultRestart = 0;
+
+    //! every counter at snapshot time (error kind is always None:
+    //! snapshots are only taken at clean word boundaries)
+    SimResult res;
+    //! sim.pendingDepth histogram contents at snapshot time
+    Histogram::State pendingDepth;
+
+    bool haveInjector = false;
+    FaultStreamState faults;        //!< valid when haveInjector
+};
+
 /** Executes microcode from a ControlStore against a MainMemory. */
 class MicroSimulator
 {
@@ -198,6 +270,59 @@ class MicroSimulator
     SimResult run(const std::string &entry_name);
 
     /**
+     * @name Sliced execution (checkpointing, lockstep, supervision)
+     *
+     * begin() performs everything run() does up to the interpreter
+     * loop; runUntilCycle()/runUntilWords() then execute bounded
+     * slices. A sequence of slices is bit-identical to one
+     * uninterrupted run() -- slicing only decides where control
+     * returns to the caller. finished() reports whether the program
+     * halted, errored or exhausted its cycle budget (false after a
+     * slice that merely hit its bound).
+     */
+    /// @{
+    void begin(uint32_t entry);
+    void begin(const std::string &entry_name);
+    /** Execute until cycles >= @p stop_cycle or the run finishes. */
+    const SimResult &runUntilCycle(uint64_t stop_cycle);
+    /** Execute until wordsExecuted >= @p stop_words or finished. */
+    const SimResult &runUntilWords(uint64_t stop_words);
+    bool
+    finished() const
+    {
+        return res_.halted || !res_.ok() ||
+               res_.cycles >= cfg_.maxCycles;
+    }
+    const SimResult &result() const { return res_; }
+    /// @}
+
+    /**
+     * @name Checkpoint/restore
+     *
+     * snapshot() captures the complete mutable state at a slice
+     * boundary; restore() resumes from it, in this simulator or a
+     * fresh one constructed over the same control store (and a
+     * memory holding the same contents -- memory is restored
+     * separately, see machine/checkpoint.hh). A restored run is
+     * bit-identical to an uninterrupted one.
+     */
+    /// @{
+    SimSnapshot snapshot() const;
+    void restore(const SimSnapshot &s);
+    /// @}
+
+    /**
+     * FNV-1a digest of the architectural state: retired-word count,
+     * uPC, registers and flags (with queued overlapped writes
+     * applied), microstack, and main memory (with queued overlapped
+     * stores applied). Excludes cycle counts and transient interrupt
+     * state, so lanes that differ only in timing-transparent faults
+     * (latency jitter, corrected flips) digest equal -- the lockstep
+     * DMR comparison key.
+     */
+    uint64_t archDigest() const;
+
+    /**
      * The simulator's stats registry. Every SimResult counter is
      * registered here (bound to the simulator's own storage, so
      * recording costs nothing extra), plus derived formulas
@@ -205,6 +330,13 @@ class MicroSimulator
      * sim.pendingDepth histogram. Values reflect the latest run.
      */
     const StatsRegistry &stats() const { return stats_; }
+    //! mutable access (the supervisor adds its own sup.* counters)
+    StatsRegistry &stats() { return stats_; }
+
+    const ControlStore &store() const { return store_; }
+    const MachineDescription &machine() const { return mach_; }
+    MainMemory &memory() { return mem_; }
+    const MainMemory &memory() const { return mem_; }
 
   private:
     struct PendingWrite {
@@ -237,6 +369,14 @@ class MicroSimulator
 
     uint64_t readReg(RegId r);
     void registerStats();
+    /**
+     * The interpreter loop, bounded by @p stop_cycle / @p stop_words
+     * on top of the configured budget. Attaches the injector for the
+     * slice and folds its counters into res_ at slice end.
+     */
+    void runUntil(uint64_t stop_cycle, uint64_t stop_words);
+    /** Poll the cancellation token and wall-clock deadline. */
+    void pollSupervision();
     /** Per-word observability epilogue (run only when obs is on). */
     void noteObsWord(uint32_t addr, uint64_t start_cycle, bool fast);
     /**
@@ -310,6 +450,11 @@ class MicroSimulator
     uint64_t intArrivalCycle_ = 0;
     uint64_t intPeriod_ = 0;
     uint64_t intNext_ = 0;
+
+    uint32_t entry_ = 0;        //!< begin() entry (snapshot identity)
+    //! iterations until the next cancel/deadline poll (supervised
+    //! runs only; steady_clock reads are too slow for every word)
+    uint32_t pollCountdown_ = 0;
 
     //! decoded-word cache (rebuilt when the store's version changes)
     DecodedStore decoded_;

@@ -74,6 +74,32 @@ class Histogram
         min_ = ~0ULL;
     }
 
+    /** Raw contents, for checkpoint/restore (machine/checkpoint.hh). */
+    struct State {
+        std::vector<uint64_t> buckets;
+        uint64_t samples = 0;
+        uint64_t sum = 0;
+        uint64_t min = ~0ULL;
+        uint64_t max = 0;
+    };
+
+    State
+    state() const
+    {
+        return State{buckets_, samples_, sum_, min_, max_};
+    }
+
+    void
+    restore(const State &s)
+    {
+        if (s.buckets.size() == buckets_.size())
+            buckets_ = s.buckets;
+        samples_ = s.samples;
+        sum_ = s.sum;
+        min_ = s.min;
+        max_ = s.max;
+    }
+
   private:
     uint64_t bucketWidth_;
     std::vector<uint64_t> buckets_;

@@ -18,6 +18,7 @@ traceCatName(TraceCat c)
       case TraceCat::Control: return "control";
       case TraceCat::Inject: return "inject";
       case TraceCat::Recover: return "recover";
+      case TraceCat::Supervise: return "supervise";
     }
     return "?";
 }
@@ -88,6 +89,26 @@ payload(const TraceRecord &r)
             return strfmt("watchdog trip after %u idle cycles", r.b);
           case RecoverAction::Livelock:
             return strfmt("restart livelock after %u faults", r.b);
+        }
+        return "";
+      case TraceCat::Supervise:
+        switch (static_cast<SuperviseAction>(r.a)) {
+          case SuperviseAction::Checkpoint:
+            return strfmt("checkpoint #%u", r.b);
+          case SuperviseAction::Restore:
+            return strfmt("restored checkpoint #%u", r.b);
+          case SuperviseAction::Retry:
+            return strfmt("retry attempt %u", r.b);
+          case SuperviseAction::Backoff:
+            return strfmt("backoff %u ms", r.b);
+          case SuperviseAction::Divergence:
+            return strfmt("dmr divergence at word %u", r.b);
+          case SuperviseAction::Rollback:
+            return strfmt("dmr rollback to word %u", r.b);
+          case SuperviseAction::Cancel:
+            return "cancellation observed";
+          case SuperviseAction::Deadline:
+            return "deadline exceeded";
         }
         return "";
     }

@@ -37,8 +37,9 @@ enum class TraceCat : uint8_t {
     Control,    //!< halt / trap restart (a = 0 halt, 1 = restart)
     Inject,     //!< fault injected (a = FaultKind, b = addr/detail)
     Recover,    //!< recovery action (a = RecoverAction, b = detail)
+    Supervise,  //!< supervision event (a = SuperviseAction, b = detail)
 };
-constexpr size_t kNumTraceCats = 8;
+constexpr size_t kNumTraceCats = 9;
 
 /** Payload `a` of a TraceCat::Recover record. */
 enum class RecoverAction : uint8_t {
@@ -47,6 +48,19 @@ enum class RecoverAction : uint8_t {
     EccTrap,        //!< retries exhausted, microtrap (b = address)
     WatchdogTrip,   //!< no-retire watchdog fired (b = idle cycles)
     Livelock,       //!< consecutive faulting restarts (b = count)
+};
+
+/** Payload `a` of a TraceCat::Supervise record. */
+enum class SuperviseAction : uint8_t {
+    Checkpoint,     //!< state captured (b = checkpoint ordinal)
+    Restore,        //!< resumed from a checkpoint (b = ordinal)
+    Retry,          //!< recoverable error, re-executing (b = attempt)
+    Backoff,        //!< retry delayed (b = delay in milliseconds)
+    Divergence,     //!< DMR lanes disagreed (b = retired words)
+    Rollback,       //!< lanes rolled back to the last agreeing
+                    //!< checkpoint (b = retired words there)
+    Cancel,         //!< cancellation token observed
+    Deadline,       //!< wall-clock deadline passed
 };
 
 /** Bit for @p c in a category filter mask. */

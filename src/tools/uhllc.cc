@@ -25,9 +25,27 @@
  *   --batch FILE        run the jobs in the JSON manifest
  *   -jN | --jobs N      worker threads (default: all hardware)
  *   --report FILE       write the aggregate JSON report (default:
- *                       stdout)
+ *                       stdout); also enables the side journal
+ *                       FILE.journal that --resume reads
  *   --no-timings        omit timing fields from the report (the
  *                       result is then identical across -j values)
+ *   --resume REPORT     re-run only the jobs REPORT's journal does
+ *                       not record as ok, resuming interrupted jobs
+ *                       from their last checkpoint; completed
+ *                       results are reused byte-identically
+ *
+ * Supervision (see src/driver/supervisor.hh; batch flags override
+ * the manifest's "supervise" object, and all but --no-ecc also
+ * apply to single-file --run):
+ *   --deadline S        per-job wall-clock budget in seconds
+ *   --retries N         retry recoverable sim errors up to N times
+ *                       (exponential backoff with jitter)
+ *   --checkpoint-every N  auto-checkpoint every N simulated cycles
+ *   --dmr               run jobs in lockstep dual modular redundancy
+ *   --dmr-interval N    retired words between DMR comparisons
+ *   --dmr-seed-b N      secondary-lane fault seed
+ *   --no-ecc            disable memory ECC (injected bit flips
+ *                       corrupt silently)
  *
  * Discovery:
  *   --list              print the registered languages and machines
@@ -49,8 +67,9 @@
  *   --max-restarts K    declare restart livelock after K consecutive
  *                       faulting restarts of one restart point
  *
- * Exit codes: 0 success, 1 compile/verify/job failure, 2 usage,
- * 3 structured simulation error.
+ * Exit codes: 0 success, 1 compile/verify/job failure, 2 usage or
+ * configuration error (bad manifest, bad option combination),
+ * 3 structured simulation error (in batch mode: any job's).
  */
 
 #include <cstdio>
@@ -100,7 +119,10 @@ usage()
         "             [--max-restarts K]\n"
         "             [--quiet] [--verbose]\n"
         "       uhllc --batch MANIFEST [-jN] [--report FILE]\n"
-        "             [--no-timings]\n"
+        "             [--no-timings] [--resume REPORT]\n"
+        "             [--deadline S] [--retries N]\n"
+        "             [--checkpoint-every N] [--dmr]\n"
+        "             [--dmr-interval N] [--dmr-seed-b N]\n"
         "       uhllc --list\n",
         joined(FrontendRegistry::names()).c_str(),
         joined(machineNames()).c_str());
@@ -145,12 +167,50 @@ listMode()
 
 int
 batchMode(const std::string &manifest_path, unsigned threads,
-          const std::string &report_path, bool timings)
+          std::string report_path, bool timings,
+          const SupervisePolicy &cli, const std::string &resume_path)
 {
     Toolchain tc;
-    std::vector<Job> jobs = loadManifest(manifest_path);
+    BatchSpec spec;
+    try {
+        spec = loadBatchSpec(manifest_path);
+    } catch (const FatalError &e) {
+        // A bad manifest is a configuration error, not a job
+        // failure: exit 2, like a bad command line.
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+
+    // The manifest's "supervise" object is the base; command-line
+    // flags override whatever they explicitly set.
+    SupervisePolicy pol = spec.policy;
+    if (cli.maxRetries)
+        pol.maxRetries = cli.maxRetries;
+    if (cli.backoffBaseMs != SupervisePolicy{}.backoffBaseMs)
+        pol.backoffBaseMs = cli.backoffBaseMs;
+    if (cli.backoffMaxMs != SupervisePolicy{}.backoffMaxMs)
+        pol.backoffMaxMs = cli.backoffMaxMs;
+    if (cli.deadlineSeconds > 0)
+        pol.deadlineSeconds = cli.deadlineSeconds;
+    if (cli.checkpointEveryCycles)
+        pol.checkpointEveryCycles = cli.checkpointEveryCycles;
+    if (cli.dmr)
+        pol.dmr = true;
+    if (cli.dmrIntervalWords != SupervisePolicy{}.dmrIntervalWords)
+        pol.dmrIntervalWords = cli.dmrIntervalWords;
+    if (cli.dmrSeedB)
+        pol.dmrSeedB = cli.dmrSeedB;
+
+    const bool resume = !resume_path.empty();
+    if (resume && report_path.empty())
+        report_path = resume_path;
+
     BatchRunner runner(tc, threads);
-    BatchReport report = runner.run(jobs);
+    runner.setPolicy(pol);
+    if (!report_path.empty())
+        runner.setJournal(report_path + ".journal");
+    runner.setResume(resume);
+    BatchReport report = runner.run(spec.jobs);
 
     const std::string json = report.toJson(true, timings) + "\n";
     if (report_path.empty())
@@ -171,7 +231,14 @@ batchMode(const std::string &manifest_path, unsigned threads,
                  report.okCount(), report.results.size(),
                  report.threads, report.wallSeconds,
                  report.cpuSeconds);
-    return report.allOk() ? 0 : 1;
+    if (report.allOk())
+        return 0;
+    // Any structured simulation error outranks plain job failure.
+    for (const JobResult &r : report.results) {
+        if (r.ran && !r.sim.ok())
+            return 3;
+    }
+    return 1;
 }
 
 /** Print the structured SimError diagnostic uhllc always printed. */
@@ -206,9 +273,10 @@ main(int argc, char **argv)
     bool compactor_given = false;
     job.run = false;
 
-    std::string batch_manifest, report_path;
+    std::string batch_manifest, report_path, resume_path;
     unsigned batch_threads = 0;
     bool batch_timings = true;
+    SupervisePolicy cli_pol;
 
     std::string trace_path, stats_json_path;
     size_t trace_limit = 4096;
@@ -261,6 +329,44 @@ main(int argc, char **argv)
         else if (valueOpt("--batch", &batch_manifest)) {}
         else if (valueOpt("--report", &report_path)) {}
         else if (a == "--no-timings") batch_timings = false;
+        else if (valueOpt("--resume", &resume_path)) {}
+        else if (valueOpt("--deadline", &val)) {
+            cli_pol.deadlineSeconds =
+                std::strtod(val.c_str(), nullptr);
+            job.deadlineSeconds = cli_pol.deadlineSeconds;
+            if (cli_pol.deadlineSeconds <= 0)
+                usage();
+        }
+        else if (valueOpt("--retries", &val)) {
+            cli_pol.maxRetries = static_cast<uint32_t>(
+                std::strtoul(val.c_str(), nullptr, 0));
+            if (!cli_pol.maxRetries)
+                usage();
+        }
+        else if (valueOpt("--checkpoint-every", &val)) {
+            cli_pol.checkpointEveryCycles =
+                std::strtoull(val.c_str(), nullptr, 0);
+            if (!cli_pol.checkpointEveryCycles)
+                usage();
+        }
+        else if (a == "--dmr") {
+            cli_pol.dmr = true;
+            job.dmr = true;
+        }
+        else if (valueOpt("--dmr-interval", &val)) {
+            cli_pol.dmrIntervalWords =
+                std::strtoull(val.c_str(), nullptr, 0);
+            if (!cli_pol.dmrIntervalWords)
+                usage();
+        }
+        else if (valueOpt("--dmr-seed-b", &val)) {
+            cli_pol.dmrSeedB =
+                std::strtoull(val.c_str(), nullptr, 0);
+            job.dmrSeedB = cli_pol.dmrSeedB;
+            if (!cli_pol.dmrSeedB)
+                usage();
+        }
+        else if (a == "--no-ecc") job.ecc = false;
         else if (valueOpt("--jobs", &val)
                  || (a.rfind("-j", 0) == 0 && a.size() > 2
                      && (val = a.substr(2), true))) {
@@ -337,7 +443,8 @@ main(int argc, char **argv)
     try {
         if (!batch_manifest.empty()) {
             return batchMode(batch_manifest, batch_threads,
-                             report_path, batch_timings);
+                             report_path, batch_timings, cli_pol,
+                             resume_path);
         }
 
         if (job.lang.empty() || job.machine.empty() || file.empty())
@@ -398,7 +505,9 @@ main(int argc, char **argv)
             return 0;
         }
 
-        JobResult r = tc.run(job);
+        SuperviseContext sctx;
+        sctx.policy = cli_pol;
+        JobResult r = tc.run(job, sctx);
         if (!r.artefact) {
             for (const std::string &d : r.diagnostics)
                 std::fprintf(stderr, "error: %s\n", d.c_str());
@@ -500,6 +609,10 @@ main(int argc, char **argv)
         if (!res.ok()) {
             printSimError(res);
             return 3;
+        }
+        if (!r.ok) {
+            for (const std::string &d : r.diagnostics)
+                std::fprintf(stderr, "error: %s\n", d.c_str());
         }
         return r.ok ? 0 : 1;
     } catch (const FatalError &e) {

@@ -1,0 +1,8 @@
+# Every main-memory read takes an uncorrectable double-bit hit and
+# the single retry faults too: the restart path livelocks immediately.
+# Used by the exit-code smoke (a structured sim error must surface as
+# batch exit code 3).
+seed 1
+mem2 rate 1
+retry-limit 1
+livelock 3

@@ -13,13 +13,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "codegen/compiler.hh"
 #include "driver/frontend.hh"
 #include "fault/fault.hh"
 #include "isa/macro.hh"
+#include "machine/checkpoint.hh"
 #include "machine/machines/machines.hh"
 #include "machine/memory.hh"
 #include "machine/simulator.hh"
@@ -213,6 +216,83 @@ TEST(ChaosDiff, E6MacroInterpreter)
         EXPECT_EQ(mem.peek(0x5F0), expect);
         return takeSnapshot(sim, m, mem, res);
     });
+}
+
+TEST(ChaosDiff, CheckpointHopResumeIsInvisible)
+{
+    // The chaos-differential property extended to checkpoint/resume:
+    // a run that hops to a *fresh* simulator at every slice boundary
+    // -- through full binary checkpoint serialization, fault-stream
+    // cursors included -- must be indistinguishable from the
+    // uninterrupted run in every counter, register and memory word.
+    const Workload &w = workloadSuite()[2];     // checksum
+    MachineDescription m = buildHm1();
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble(w.masmHm1);
+
+    for (uint64_t seed : kSeeds) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        FaultPlan plan = FaultPlan::recoverable(seed);
+
+        auto build = [&](MainMemory &mem,
+                         std::unique_ptr<FaultInjector> &inj,
+                         bool force_slow) {
+            w.setup(mem);
+            SimConfig cfg;
+            cfg.forceSlowPath = force_slow;
+            inj = std::make_unique<FaultInjector>(plan);
+            cfg.injector = inj.get();
+            auto sim =
+                std::make_unique<MicroSimulator>(cs, mem, cfg);
+            for (auto &[n, v] : w.inputs)
+                sim->setReg(n, v);
+            return sim;
+        };
+
+        for (bool force_slow : {false, true}) {
+            SCOPED_TRACE(force_slow ? "slow" : "fast");
+            // Uninterrupted reference.
+            auto mem0 = std::make_unique<MainMemory>(0x10000, 16);
+            std::unique_ptr<FaultInjector> inj0;
+            auto ref = build(*mem0, inj0, force_slow);
+            SimResult res0 = ref->run("main");
+            ASSERT_TRUE(res0.halted);
+            ASSERT_GT(res0.faultsInjected, 0u);
+            Snapshot want = takeSnapshot(*ref, m, *mem0, res0);
+
+            // Hop across fresh simulators every `step` cycles.
+            auto mem = std::make_unique<MainMemory>(0x10000, 16);
+            std::unique_ptr<FaultInjector> inj;
+            auto sim = build(*mem, inj, force_slow);
+            std::vector<uint64_t> baseline = mem->words();
+            sim->begin("main");
+            const uint64_t step =
+                std::max<uint64_t>(res0.cycles / 7, 1);
+            int hops = 0;
+            while (!sim->finished()) {
+                sim->runUntilCycle(sim->result().cycles + step);
+                if (sim->finished())
+                    break;
+                const std::string bytes =
+                    Checkpoint::capture(*sim, baseline).serialize();
+                auto mem2 = std::make_unique<MainMemory>(0x10000, 16);
+                std::unique_ptr<FaultInjector> inj2;
+                auto sim2 = build(*mem2, inj2, force_slow);
+                Checkpoint::deserialize(bytes).apply(*sim2, baseline);
+                sim = std::move(sim2);
+                inj = std::move(inj2);
+                mem = std::move(mem2);
+                ++hops;
+            }
+            EXPECT_GT(hops, 1) << "slice step too coarse to test "
+                                  "anything";
+            std::string why;
+            EXPECT_TRUE(w.check(*mem, &why)) << why;
+            Snapshot got =
+                takeSnapshot(*sim, m, *mem, sim->result());
+            expectFullyIdentical(want, got);
+        }
+    }
 }
 
 TEST(ChaosDiff, ThroughputPathUnchangedWithoutInjector)

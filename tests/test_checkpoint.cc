@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Checkpoint/restore tests: a run sliced at an arbitrary cycle,
+ * captured, serialized and restored into a *fresh* simulator (built
+ * by a fresh Toolchain) must finish bit-identical to the
+ * uninterrupted run -- architectural state, every SimResult counter,
+ * and the stats registry dump. Under an active fault plan the
+ * restored run must inject exactly the remaining faults (the
+ * stream-cursor serialization), so the injection counters match too.
+ *
+ * The serialization is versioned and checksummed: every corruption --
+ * a flipped byte anywhere, truncation, an empty blob -- must be
+ * rejected with a FatalError, and readFile() must degrade to nullopt
+ * (callers fall back to a fresh run) instead of resuming garbage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <random>
+
+#include "driver/toolchain.hh"
+#include "fault/fault.hh"
+#include "machine/checkpoint.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+namespace {
+
+/**
+ * A simulation environment built exactly the way the supervisor's
+ * execution lane builds one: private memory, private injector, the
+ * job's inputs applied, and the post-setup memory image kept as the
+ * checkpoint delta baseline.
+ */
+struct Env {
+    std::shared_ptr<const Artefact> art;
+    std::unique_ptr<MainMemory> mem;
+    std::unique_ptr<FaultInjector> inj;
+    std::unique_ptr<MicroSimulator> sim;
+    std::vector<uint64_t> baseline;
+
+    Env(const Toolchain &tc, const Job &job)
+        : art(tc.compile(job)),
+          mem(std::make_unique<MainMemory>(
+              0x10000, art->machine->dataWidth()))
+    {
+        if (job.setupMemory)
+            job.setupMemory(*mem);
+        SimConfig cfg;
+        if (job.maxCycles)
+            cfg.maxCycles = job.maxCycles;
+        cfg.forceSlowPath = job.forceSlowPath;
+        cfg.decoded = art->decoded.get();
+        cfg.ecc = job.ecc;
+        if (!job.faultPlan.empty()) {
+            FaultPlan plan =
+                job.faultPlan == "-"
+                    ? FaultPlan::recoverable(job.faultSeed
+                                                 ? job.faultSeed
+                                                 : 1)
+                    : FaultPlan::parse(job.faultPlan);
+            inj = std::make_unique<FaultInjector>(std::move(plan),
+                                                  job.faultSeed);
+            cfg.injector = inj.get();
+            cfg.maxRestarts = job.maxRestarts;
+        }
+        sim = std::make_unique<MicroSimulator>(art->store(), *mem,
+                                               cfg);
+        for (const auto &[n, v] : job.sets)
+            art->setVariable(*sim, *mem, n, v);
+        baseline = mem->words();
+    }
+
+    std::string
+    entry(const Job &job) const
+    {
+        return job.entry.empty() ? art->defaultEntry() : job.entry;
+    }
+
+    /** Run to completion (halt, error or cycle budget). */
+    void
+    finish()
+    {
+        sim->runUntilCycle(~0ULL);
+    }
+};
+
+/** Everything a final state is compared on. */
+struct Final {
+    uint64_t digest;
+    std::string resJson;
+    std::string statsJson;
+    std::vector<uint64_t> mem;
+};
+
+Final
+finalState(const Env &e)
+{
+    Final f;
+    f.digest = e.sim->archDigest();
+    f.resJson = e.sim->result().toJson(false);
+    f.statsJson = e.sim->stats().toJson(false);
+    f.mem = e.mem->words();
+    return f;
+}
+
+void
+expectSameFinal(const Final &want, const Final &got)
+{
+    EXPECT_EQ(want.digest, got.digest);
+    EXPECT_EQ(want.resJson, got.resJson);
+    EXPECT_EQ(want.statsJson, got.statsJson);
+    EXPECT_EQ(want.mem, got.mem);
+}
+
+/** A small job that produces a mid-sized checkpoint quickly. */
+Job
+checksumJob(const std::string &machine, bool chaos)
+{
+    Job job = workloadJob(workloadSuite()[2], machine, false);
+    if (chaos) {
+        job.faultPlan = "-";
+        job.faultSeed = 7;
+    }
+    return job;
+}
+
+TEST(Checkpoint, ResumeIsBitIdenticalAcrossWorkloadMatrix)
+{
+    // One randomized (fixed-seed) cut per configuration, across the
+    // whole workload x machine matrix, fast and forced-slow, clean
+    // and under the recoverable chaos mix.
+    std::mt19937_64 rng(20260806);
+    Toolchain tc;
+    for (const Job &base : workloadMatrixJobs()) {
+        for (bool slow : {false, true}) {
+            for (bool chaos : {false, true}) {
+                Job job = base;
+                job.forceSlowPath = slow;
+                if (chaos) {
+                    job.faultPlan = "-";
+                    job.faultSeed = 7;
+                }
+                SCOPED_TRACE(job.name +
+                             (slow ? "/slow" : "/fast") +
+                             (chaos ? "/chaos" : "/clean"));
+
+                Env ref(tc, job);
+                ref.sim->begin(ref.entry(job));
+                ref.finish();
+                ASSERT_TRUE(ref.sim->finished());
+                const Final want = finalState(ref);
+
+                const uint64_t total = ref.sim->result().cycles;
+                if (total < 3)
+                    continue;
+                const uint64_t cut = 1 + rng() % (total - 1);
+
+                Env first(tc, job);
+                first.sim->begin(first.entry(job));
+                first.sim->runUntilCycle(cut);
+                if (first.sim->finished())
+                    continue;   // the cut overshot into completion
+                const std::string bytes =
+                    Checkpoint::capture(*first.sim, first.baseline)
+                        .serialize();
+
+                // A fresh Toolchain: nothing shared with the run
+                // that produced the checkpoint.
+                Toolchain tc2;
+                Env resumed(tc2, job);
+                ASSERT_EQ(first.baseline, resumed.baseline);
+                Checkpoint::deserialize(bytes).apply(
+                    *resumed.sim, resumed.baseline);
+                EXPECT_EQ(resumed.sim->result().cycles,
+                          first.sim->result().cycles);
+                resumed.finish();
+                ASSERT_TRUE(resumed.sim->finished());
+                expectSameFinal(want, finalState(resumed));
+            }
+        }
+    }
+}
+
+TEST(Checkpoint, FileRoundTripAtManyCutPoints)
+{
+    // One workload, many cut points, through the on-disk file path
+    // (atomic write + checksum verify on read). The chaos plan stays
+    // active across the cut: equal injection counters in the final
+    // SimResult prove the resumed run injected exactly the remaining
+    // faults.
+    const std::string path = "ckpt_roundtrip.tmp";
+    Toolchain tc;
+    Job job = checksumJob("hm1", true);
+    job.forceSlowPath = true;
+
+    Env ref(tc, job);
+    ref.sim->begin(ref.entry(job));
+    ref.finish();
+    ASSERT_TRUE(ref.sim->finished());
+    ASSERT_GT(ref.sim->result().faultsInjected, 0u);
+    const Final want = finalState(ref);
+    const uint64_t total = ref.sim->result().cycles;
+    ASSERT_GT(total, 16u);
+
+    for (uint64_t cut : {uint64_t(1), total / 7, total / 3,
+                         total / 2, total - 2}) {
+        SCOPED_TRACE("cut at cycle " + std::to_string(cut));
+        Env first(tc, job);
+        first.sim->begin(first.entry(job));
+        first.sim->runUntilCycle(cut);
+        if (first.sim->finished())
+            continue;
+        Checkpoint::capture(*first.sim, first.baseline)
+            .writeFile(path);
+
+        std::optional<Checkpoint> ck = Checkpoint::readFile(path);
+        ASSERT_TRUE(ck.has_value());
+        Env resumed(tc, job);
+        EXPECT_EQ(ck->compatible(*resumed.sim), "");
+        ck->apply(*resumed.sim, resumed.baseline);
+        resumed.finish();
+        expectSameFinal(want, finalState(resumed));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, SerializeIsDeterministic)
+{
+    Toolchain tc;
+    Job job = checksumJob("vm2", true);
+    Env e(tc, job);
+    e.sim->begin(e.entry(job));
+    e.sim->runUntilCycle(64);
+    ASSERT_FALSE(e.sim->finished());
+
+    Checkpoint ck = Checkpoint::capture(*e.sim, e.baseline);
+    const std::string bytes = ck.serialize();
+    EXPECT_EQ(bytes, ck.serialize());
+    // deserialize . serialize is the identity on the byte level.
+    EXPECT_EQ(bytes, Checkpoint::deserialize(bytes).serialize());
+}
+
+TEST(Checkpoint, EveryCorruptionIsRejected)
+{
+    Toolchain tc;
+    Job job = checksumJob("hm1", true);
+    Env e(tc, job);
+    e.sim->begin(e.entry(job));
+    e.sim->runUntilCycle(64);
+    ASSERT_FALSE(e.sim->finished());
+    const std::string bytes =
+        Checkpoint::capture(*e.sim, e.baseline).serialize();
+
+    EXPECT_THROW(Checkpoint::deserialize(""), FatalError);
+    EXPECT_THROW(
+        Checkpoint::deserialize(bytes.substr(0, bytes.size() - 3)),
+        FatalError);
+    EXPECT_THROW(Checkpoint::deserialize(bytes.substr(0, 7)),
+                 FatalError);
+
+    // A single flipped byte anywhere -- magic, version, length,
+    // checksum or payload -- must be caught.
+    for (size_t pos = 0; pos < bytes.size();
+         pos += 1 + pos / 3) {
+        std::string bad = bytes;
+        bad[pos] = static_cast<char>(bad[pos] ^ 0x41);
+        EXPECT_THROW(Checkpoint::deserialize(bad), FatalError)
+            << "flipped byte at offset " << pos;
+    }
+}
+
+TEST(Checkpoint, ReadFileDegradesToFreshRun)
+{
+    EXPECT_FALSE(
+        Checkpoint::readFile("no/such/checkpoint.ckpt").has_value());
+
+    const std::string path = "ckpt_garbage.tmp";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is not a checkpoint";
+    }
+    EXPECT_FALSE(Checkpoint::readFile(path).has_value());
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, IncompatibleTargetsAreRejected)
+{
+    Toolchain tc;
+    Job hm1 = checksumJob("hm1", false);
+    Env a(tc, hm1);
+    a.sim->begin(a.entry(hm1));
+    a.sim->runUntilCycle(32);
+    ASSERT_FALSE(a.sim->finished());
+    Checkpoint ck = Checkpoint::capture(*a.sim, a.baseline);
+
+    // Wrong machine: identity check names the mismatch, apply dies.
+    Job vm2 = checksumJob("vm2", false);
+    Env b(tc, vm2);
+    EXPECT_NE(ck.compatible(*b.sim), "");
+    EXPECT_THROW(ck.apply(*b.sim, b.baseline), FatalError);
+
+    // Snapshot carries fault-stream cursors, target has no injector.
+    Job chaos = checksumJob("hm1", true);
+    Env c(tc, chaos);
+    c.sim->begin(c.entry(chaos));
+    c.sim->runUntilCycle(32);
+    ASSERT_FALSE(c.sim->finished());
+    Checkpoint faulted = Checkpoint::capture(*c.sim, c.baseline);
+    Env plain(tc, hm1);
+    EXPECT_EQ(faulted.compatible(*plain.sim), "");
+    EXPECT_THROW(faulted.apply(*plain.sim, plain.baseline),
+                 FatalError);
+}
+
+} // namespace
+} // namespace uhll
