@@ -61,6 +61,18 @@ struct Measurement {
     //! detectable, not just an stderr line
     bool allHalted = true;
 
+    /** @name JIT tier counters, summed over every run (zero on the
+     *  interpreter legs) */
+    /// @{
+    uint64_t jitNativeWords = 0;
+    uint64_t jitEntries = 0;
+    uint64_t jitRegions = 0;
+    uint64_t jitDeoptBudget = 0;
+    uint64_t jitDeoptOffRegion = 0;
+    uint64_t jitDeoptHalt = 0;
+    uint64_t jitCompileMicros = 0;
+    /// @}
+
     double wordsPerSec() const { return words / seconds; }
     double cyclesPerSec() const { return cycles / seconds; }
 };
@@ -99,13 +111,20 @@ accumulate(Measurement &m, const SimResult &r)
  */
 Measurement
 measureSuite(const std::vector<Prepped> &suite, double min_seconds,
-             bool force_slow = false, const FaultPlan *plan = nullptr)
+             bool force_slow = false, const FaultPlan *plan = nullptr,
+             bool jit = false)
 {
     using clock = std::chrono::steady_clock;
     Measurement ms;
     ms.agg.halted = true;
     SimConfig cfg;
     cfg.forceSlowPath = force_slow;
+    // The interpreter legs pin the tier off so the cross-PR
+    // words_per_sec trajectory keeps measuring the interpreter; the
+    // jit leg compiles on first execution (threshold 1) so every
+    // iteration runs hot.
+    cfg.jit = jit;
+    cfg.jitThreshold = jit ? 1 : 0;
     while (ms.seconds < min_seconds) {
         for (const Prepped &p : suite) {
             MainMemory mem(0x10000, 16);
@@ -118,8 +137,10 @@ measureSuite(const std::vector<Prepped> &suite, double min_seconds,
                 cfg.injector = inj.get();
             }
             // Every simulator of one artefact shares its
-            // pre-decoded word cache (SimConfig::decoded).
+            // pre-decoded word cache (SimConfig::decoded) and, on
+            // the jit leg, its compiled-region cache.
             cfg.decoded = p.art->decoded.get();
+            cfg.jitCache = jit ? p.art->jitCache.get() : nullptr;
             MicroSimulator sim(p.art->store(), mem, cfg);
             for (auto &[n, v] : p.w->inputs)
                 p.art->setVariable(sim, mem, n, v);
@@ -141,6 +162,17 @@ measureSuite(const std::vector<Prepped> &suite, double min_seconds,
             ms.seconds +=
                 std::chrono::duration<double>(t1 - t0).count();
             accumulate(ms, res);
+            if (jit && sim.stats().has("jit.nativeWords")) {
+                const StatsRegistry &st = sim.stats();
+                ms.jitNativeWords += st.value("jit.nativeWords");
+                ms.jitEntries += st.value("jit.entries");
+                ms.jitRegions += st.value("jit.regionsCompiled");
+                ms.jitDeoptBudget += st.value("jit.deoptBudget");
+                ms.jitDeoptOffRegion +=
+                    st.value("jit.deoptOffRegion");
+                ms.jitDeoptHalt += st.value("jit.deoptHalt");
+                ms.jitCompileMicros += st.value("jit.compileMicros");
+            }
         }
     }
     return ms;
@@ -176,6 +208,11 @@ printTableAndJson()
         // the fault counters in the JSON trajectory.
         FaultPlan plan = FaultPlan::recoverable(1);
         Measurement chaos = measureSuite(suite, 0.1, false, &plan);
+        // JIT leg: the native tier forced hot (threshold 1) on the
+        // same binaries. jit_words_per_sec vs words_per_sec is the
+        // tier's speedup; deopt counts prove the guards fire.
+        Measurement jit =
+            measureSuite(suite, 0.25, false, nullptr, true);
         std::printf("%-6s | %12.0f %12.0f | %10llu %10llu | %8.2fx\n",
                     mn, fast.wordsPerSec(), fast.cyclesPerSec(),
                     (unsigned long long)fast.agg.fastPathWords,
@@ -185,6 +222,15 @@ printTableAndJson()
                     "%llu faults injected\n",
                     "", chaos.wordsPerSec(),
                     (unsigned long long)chaos.agg.faultsInjected);
+        std::printf(
+            "%6s | jit: %.0f words/sec (%.2fx interp), "
+            "%llu native words, deopts b/o/h=%llu/%llu/%llu\n",
+            "", jit.wordsPerSec(),
+            jit.wordsPerSec() / fast.wordsPerSec(),
+            (unsigned long long)jit.jitNativeWords,
+            (unsigned long long)jit.jitDeoptBudget,
+            (unsigned long long)jit.jitDeoptOffRegion,
+            (unsigned long long)jit.jitDeoptHalt);
         w.beginObject(mn);
         w.value("words_per_sec",
                 (uint64_t)std::llround(fast.wordsPerSec()));
@@ -205,6 +251,22 @@ printTableAndJson()
                 (uint64_t)std::llround(chaos.wordsPerSec()));
         w.value("halted", chaos.allHalted);
         w.raw("counters", chaos.agg.toJson(false));
+        w.endObject();
+        // The native-tier leg, alongside the interpreter baseline:
+        // jit_words_per_sec / words_per_sec is the speedup the
+        // acceptance bar reads.
+        w.value("jit_words_per_sec",
+                (uint64_t)std::llround(jit.wordsPerSec()));
+        w.value("jit_fast_path_words", jit.agg.fastPathWords);
+        w.beginObject("jit");
+        w.value("native_words", jit.jitNativeWords);
+        w.value("entries", jit.jitEntries);
+        w.value("regions_compiled", jit.jitRegions);
+        w.value("deopt_budget", jit.jitDeoptBudget);
+        w.value("deopt_off_region", jit.jitDeoptOffRegion);
+        w.value("deopt_halt", jit.jitDeoptHalt);
+        w.value("compile_micros", jit.jitCompileMicros);
+        w.value("halted", jit.allHalted);
         w.endObject();
         w.endObject();
     }

@@ -74,6 +74,25 @@ EOF
     echo "batch exit-code smoke: OK"
 )
 
+# JIT differential smoke: the same manifest with the native tier
+# forced hot (threshold 1) and disabled must produce byte-identical
+# deterministic reports -- the tier may never be observable. Also
+# checks the contradictory-flag diagnostic exits 2.
+(
+    cd build
+    ./src/uhllc --batch ../tests/data/batch_smoke.json -j8 \
+        --jit --jit-threshold 1 \
+        --no-timings --report batch_jit.json >/dev/null
+    ./src/uhllc --batch ../tests/data/batch_smoke.json -j8 \
+        --no-jit \
+        --no-timings --report batch_nojit.json >/dev/null
+    cmp batch_jit.json batch_nojit.json
+    rc=0
+    ./src/uhllc --jit --no-jit --list >/dev/null 2>&1 || rc=$?
+    [[ "$rc" == 2 ]] || { echo "expected exit 2, got $rc"; exit 1; }
+    echo "jit differential smoke: OK"
+)
+
 # Kill-and-resume smoke: SIGKILL a batch mid-run (active fault plans,
 # periodic checkpoints), resume it, and demand the merged report be
 # byte-identical to an uninterrupted run -- completed jobs spliced
@@ -119,17 +138,18 @@ if [[ "${UHLL_NO_SANITIZE:-0}" != 1 ]]; then
     cmake --build build-asan -j"$(nproc)"
     (cd build-asan && ctest --output-on-failure -j"$(nproc)")
 
-    # TSan leg: the BatchRunner shares machines, artefacts and
-    # decoded-word caches across worker threads; ThreadSanitizer
-    # (incompatible with ASan, hence its own tree) watches the batch
-    # determinism stress tests, the supervision/checkpoint layer
-    # (journal writes race-prone by construction) and the CLI smokes
+    # TSan leg: the BatchRunner shares machines, artefacts,
+    # decoded-word caches and now the mutex-guarded JitRegionCache
+    # across worker threads; ThreadSanitizer (incompatible with ASan,
+    # hence its own tree) watches the batch determinism stress tests,
+    # the supervision/checkpoint layer (journal writes race-prone by
+    # construction), the JIT differential suite and the CLI smokes
     # for data races.
     cmake -B build-tsan -S . -DUHLL_SANITIZE=thread
     cmake --build build-tsan -j"$(nproc)"
     (cd build-tsan &&
         ctest --output-on-failure \
-            -R 'Batch|Toolchain|Supervisor|Checkpoint|uhllc_batch|uhllc_supervised')
+            -R 'Batch|Toolchain|Supervisor|Checkpoint|JitDiff|uhllc_batch|uhllc_supervised')
 fi
 
 echo "verify: OK"

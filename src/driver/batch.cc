@@ -289,6 +289,10 @@ parseOptions(const JsonValue *o)
         opts.recognizeStackOps = v->asBool();
     if (const JsonValue *v = o->get("optimize"))
         opts.optimize = v->asBool(true);
+    if (const JsonValue *v = o->get("jit"))
+        opts.jit = v->asBool(true);
+    if (const JsonValue *v = o->get("jit_threshold"))
+        opts.jitThreshold = static_cast<uint32_t>(v->asU64());
     if (const JsonValue *v = o->get("empl_microops"))
         opts.frontend.emplUseMicroOps = v->asBool(true);
     if (const JsonValue *v = o->get("empl_data_base"))

@@ -32,6 +32,8 @@
  *             "compactor": "tokoro", "allocator": "graph_coloring",
  *             "compact": true, "polls": false, "trap_safe": false,
  *             "stack_ops": false, "optimize": true,
+ *             "jit": true,          // native execution tier
+ *             "jit_threshold": 0,   // 0 = default, 1 = always compile
  *             "empl_microops": true, "empl_data_base": 8192
  *           },
  *           "inject":       "plan.fp",      // or "-" for chaos mix

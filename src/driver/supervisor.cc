@@ -111,6 +111,9 @@ struct Lane {
         if (job.maxCycles)
             cfg.maxCycles = job.maxCycles;
         cfg.forceSlowPath = job.forceSlowPath;
+        cfg.jit = job.options.jit;
+        cfg.jitThreshold = job.options.jitThreshold;
+        cfg.jitCache = art.jitCache.get();
         cfg.decoded = art.decoded.get();
         cfg.ecc = job.ecc;
         if (obs) {
@@ -452,8 +455,17 @@ superviseSimulation(const Job &job, const SuperviseContext &ctx,
             st.scalar("sup.backoffMs",
                       "supervision: total backoff delay (ms)") =
                 r.backoffMsTotal;
+            // Retry/backoff counts depend on wall-clock scheduling;
+            // keep them out of the deterministic dump like the JIT
+            // tier counters.
+            for (const char *n : {"sup.retries", "sup.checkpoints",
+                                  "sup.rollbacks", "sup.backoffMs"}) {
+                st.markVolatile(n);
+            }
         }
         r.statsJson = sim.stats().toJson();
+        r.statsJsonClean =
+            sim.stats().toJson(true, /*include_volatile=*/false);
     }
 
     bool failed = false;

@@ -6,6 +6,7 @@
 
 #include "driver/supervisor.hh"
 #include "fault/fault.hh"
+#include "jit/jit.hh"
 #include "machine/machines/machines.hh"
 #include "obs/json.hh"
 #include "obs/profile.hh"
@@ -81,6 +82,12 @@ PipelineOptions::validate() const
             "but compactor '%s' was named",
             compactor.c_str()));
     }
+    if (!jit && jitThreshold != 0) {
+        problems.push_back(strfmt(
+            "contradictory options: no-jit disables the native tier "
+            "but jit-threshold %u was named",
+            jitThreshold));
+    }
     if (!compactor.empty()) {
         auto names = compactorNames();
         if (std::find(names.begin(), names.end(), compactor)
@@ -108,12 +115,12 @@ PipelineOptions::validate() const
 std::string
 PipelineOptions::cacheKey() const
 {
-    return strfmt("c=%s;a=%s;k=%d%d%d%d%d;eu=%d;eb=%u",
+    return strfmt("c=%s;a=%s;k=%d%d%d%d%d;eu=%d;eb=%u;j=%d;jt=%u",
                   compactor.c_str(), allocator.c_str(), int(compact),
                   int(insertInterruptPolls), int(trapSafety),
                   int(recognizeStackOps), int(optimize),
                   int(frontend.emplUseMicroOps),
-                  frontend.emplDataBase);
+                  frontend.emplDataBase, int(jit), jitThreshold);
 }
 
 // ----------------------------------------------------------------
@@ -234,8 +241,12 @@ JobResult::toJson(bool pretty, bool timings) const
             w.value(n, v);
         w.endObject();
     }
-    if (!statsJson.empty())
-        w.raw("stats", statsJson);
+    // The deterministic form embeds the scrubbed dump: volatile
+    // stats (wall-clock scalars, JIT tier counters) would break
+    // byte-identity between runs and hosts.
+    const std::string &stats = timings ? statsJson : statsJsonClean;
+    if (!stats.empty())
+        w.raw("stats", stats);
     if (!divergenceJson.empty())
         w.raw("divergence", divergenceJson);
     // Supervision counters count what happened to *this* execution
@@ -383,6 +394,11 @@ Toolchain::compileUncached(const Job &job,
     // cache read-only (SimConfig::decoded).
     art->decoded = std::make_unique<DecodedStore>(art->store(), mach);
     art->decoded->decodeAll();
+    // And the native-code analogue: one shared compiled-region cache
+    // per artefact (SimConfig::jitCache), so N simulators of one
+    // program compile every hot region once.
+    if (job.options.jit && JitTier::available())
+        art->jitCache = std::make_unique<JitRegionCache>(mach);
     return art;
 }
 

@@ -32,6 +32,7 @@
 
 #include "codegen/compiler.hh"
 #include "driver/frontend.hh"
+#include "jit/jit.hh"
 #include "machine/memory.hh"
 #include "machine/simulator.hh"
 #include "workloads/workloads.hh"
@@ -57,13 +58,21 @@ struct PipelineOptions {
     bool trapSafety = false;
     bool recognizeStackOps = false;
     bool optimize = true;
+    //! enable the native execution tier (JitTier); ignored -- with a
+    //! transparent interpreter fallback -- on hosts where
+    //! JitTier::available() is false
+    bool jit = true;
+    //! region-entry hotness threshold (0 = the simulator default,
+    //! 1 = compile on first execution; forced-tier tests)
+    uint32_t jitThreshold = 0;
     FrontendOptions frontend;
 
     /**
      * All problems with this combination, or "" when it is valid.
      * Catches: --no-compact together with a named --compactor (the
-     * compactor would never run), and unknown compactor or
-     * allocator names.
+     * compactor would never run), --no-jit together with a named
+     * --jit-threshold (the threshold would never trigger), and
+     * unknown compactor or allocator names.
      */
     std::string validate() const;
 
@@ -151,6 +160,9 @@ class Artefact
     //! pre-decoded word cache (DecodedStore::decodeAll has run);
     //! references store() and *machine, hence the fixed address
     std::unique_ptr<DecodedStore> decoded;
+    //! shared native-region cache (SimConfig::jitCache); null when
+    //! the job disables the tier or the host cannot run it
+    std::unique_ptr<JitRegionCache> jitCache;
 
     Artefact() = default;
     Artefact(const Artefact &) = delete;
@@ -194,6 +206,10 @@ struct JobResult {
 
     //! stats registry dump (Job::captureStats)
     std::string statsJson;
+    //! the same dump without volatile stats (wall-clock scalars, JIT
+    //! tier counters) -- what toJson(timings=false) embeds so batch
+    //! byte-identity cannot regress on host-side measurements
+    std::string statsJsonClean;
 
     /** @name Supervision outcome (see src/driver/supervisor.hh) */
     /// @{

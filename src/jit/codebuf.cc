@@ -1,0 +1,52 @@
+#include "jit/codebuf.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define UHLL_JIT_HAVE_MMAP 1
+#endif
+
+namespace uhll {
+
+std::unique_ptr<ExecMemory>
+ExecMemory::allocate(size_t size)
+{
+#if UHLL_JIT_HAVE_MMAP
+    if (size == 0)
+        size = 1;
+    // Round up to whole pages so the W^X flip covers exactly the
+    // mapping.
+    const size_t page =
+        static_cast<size_t>(sysconf(_SC_PAGESIZE));
+    size = (size + page - 1) / page * page;
+    void *p = mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p == MAP_FAILED)
+        return nullptr;
+    return std::unique_ptr<ExecMemory>(
+        new ExecMemory(static_cast<uint8_t *>(p), size));
+#else
+    (void)size;
+    return nullptr;
+#endif
+}
+
+ExecMemory::~ExecMemory()
+{
+#if UHLL_JIT_HAVE_MMAP
+    if (base_)
+        munmap(base_, size_);
+#endif
+}
+
+bool
+ExecMemory::finalize()
+{
+#if UHLL_JIT_HAVE_MMAP
+    return mprotect(base_, size_, PROT_READ | PROT_EXEC) == 0;
+#else
+    return false;
+#endif
+}
+
+} // namespace uhll

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ExecMemory: a W^X executable code page for the JIT tier.
+ *
+ * Pages are mmap'd read+write, filled with emitted machine code, then
+ * flipped to read+execute with mprotect (finalize()). The mapping is
+ * never writable and executable at the same time. Allocation failure
+ * is not fatal: the JIT tier degrades to the interpreter, so hosts
+ * with noexec-restricted mappings (or sanitizer runtimes that reserve
+ * the address space) simply never execute native regions.
+ *
+ * Sanitizer awareness: under UHLL_SANITIZE_BUILD (set by CMake when
+ * UHLL_SANITIZE is configured) the allocator behaves identically --
+ * ASan/TSan/UBSan do not instrument anonymous executable mappings --
+ * but the probe in JitTier::available() exercises a full
+ * allocate/finalize/execute round trip first, so a sanitizer runtime
+ * that forbids it turns the tier off instead of crashing mid-run.
+ */
+
+#ifndef UHLL_JIT_CODEBUF_HH
+#define UHLL_JIT_CODEBUF_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace uhll {
+
+/** One read-only-executable code mapping (W^X discipline). */
+class ExecMemory
+{
+  public:
+    /** Map @p size bytes read+write; null on failure. */
+    static std::unique_ptr<ExecMemory> allocate(size_t size);
+
+    ~ExecMemory();
+    ExecMemory(const ExecMemory &) = delete;
+    ExecMemory &operator=(const ExecMemory &) = delete;
+
+    uint8_t *base() { return base_; }
+    const uint8_t *base() const { return base_; }
+    size_t size() const { return size_; }
+
+    /** Flip the mapping from RW to RX. False on failure (the caller
+     *  must then discard the region, never execute it). */
+    bool finalize();
+
+  private:
+    ExecMemory(uint8_t *base, size_t size)
+        : base_(base), size_(size)
+    {}
+
+    uint8_t *base_ = nullptr;
+    size_t size_ = 0;
+};
+
+} // namespace uhll
+
+#endif // UHLL_JIT_CODEBUF_HH

@@ -1,0 +1,682 @@
+/**
+ * @file
+ * Superblock builder and x86-64 lowering for the JIT tier.
+ *
+ * A region is the set of fast-path-eligible words reachable from a
+ * hot head through Next/Jump/CondJump flow; every other successor
+ * becomes an exit stub that records the resume uPC and deopt reason
+ * and returns to the interpreter. Lowering mirrors execWordFast /
+ * aluEval bit for bit: operands are truncated to the data width
+ * before evaluation, multi-op phases buffer their writes (cobegin
+ * read-before-write), flag-setting ops replace the whole flag latch,
+ * and every word costs exactly one budget unit (= one cycle).
+ *
+ * Host register plan (SysV, JitEnterState* arrives in rdi):
+ *   rbx  JitEnterState pointer
+ *   r12  register-file base
+ *   r13  packed flag latch (z|n<<1|c<<2|uf<<3|ovf<<4)
+ *   r15  remaining word budget
+ *   rax  operand a     rsi  operand b     rdx  result / full sum
+ *   rcx  shift counts, then the new packed flags
+ *   r8   unmasked full result   r9-r11  temporaries
+ */
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "jit/emitter.hh"
+#include "jit/jit.hh"
+#include "machine/alu.hh"
+#include "machine/decoded_store.hh"
+#include "machine/machine_desc.hh"
+#include "support/bits.hh"
+
+namespace uhll {
+namespace {
+
+using jit::AluExt;
+using jit::CC;
+using jit::Emitter;
+using jit::Reg;
+using jit::ShiftExt;
+
+constexpr uint32_t kMaxRegionWords = 256;
+constexpr size_t kMaxPhaseOps = 16;
+constexpr int32_t kFrameBytes = 8 * kMaxPhaseOps;
+
+// JitEnterState field offsets (asserted against offsetof in jit.cc).
+constexpr int32_t kOffFlags = 8;
+constexpr int32_t kOffBudget = 16;
+constexpr int32_t kOffExitUpc = 24;
+constexpr int32_t kOffExitReason = 28;
+constexpr int32_t kOffRestart = 32;
+
+/** Packed-flag bit index of a branch condition; false for Always /
+ *  Int / NoInt. @p want_set receives the polarity. */
+bool
+condFlagBit(Cond c, unsigned *bit, bool *want_set)
+{
+    switch (c) {
+      case Cond::Z:      *bit = 0; *want_set = true;  return true;
+      case Cond::NZ:     *bit = 0; *want_set = false; return true;
+      case Cond::Neg:    *bit = 1; *want_set = true;  return true;
+      case Cond::NonNeg: *bit = 1; *want_set = false; return true;
+      case Cond::C:      *bit = 2; *want_set = true;  return true;
+      case Cond::NC:     *bit = 2; *want_set = false; return true;
+      case Cond::UF:     *bit = 3; *want_set = true;  return true;
+      case Cond::NoUF:   *bit = 3; *want_set = false; return true;
+      case Cond::Ovf:    *bit = 4; *want_set = true;  return true;
+      default:           return false;
+    }
+}
+
+/**
+ * Can this decoded word live inside a native region? Everything the
+ * fast path admits except interrupt-line conditions (the line is
+ * simulator state the region does not model) and micro-stack /
+ * multiway sequencing (region-ending by design).
+ */
+bool
+wordEligible(const DecodedWord *dw)
+{
+    if (!dw || !dw->fastEligible)
+        return false;
+    switch (dw->seq) {
+      case SeqKind::Next:
+      case SeqKind::Jump:
+      case SeqKind::Halt:
+        break;
+      case SeqKind::CondJump: {
+        unsigned bit;
+        bool pol;
+        if (dw->cond != Cond::Always &&
+            !condFlagBit(dw->cond, &bit, &pol))
+            return false;
+        break;
+      }
+      default:
+        return false;
+    }
+    size_t i = 0;
+    const size_t n = dw->ops.size();
+    while (i < n) {
+        size_t j = i + 1;
+        while (j < n && dw->ops[j].phase == dw->ops[i].phase)
+            ++j;
+        if (j - i > kMaxPhaseOps)
+            return false;
+        i = j;
+    }
+    for (const DecodedOp &op : dw->ops) {
+        if (!aluHandles(op.kind))
+            return false;
+        // imm32-encodable operands only; pre-truncated immediates
+        // always fit for dataWidth <= 31, this is belt and braces.
+        if (op.imm > 0x7FFFFFFFull)
+            return false;
+        if (op.kind != UKind::Cmp &&
+            (op.dst == kNoReg || op.dstMask == 0))
+            return false;
+    }
+    return true;
+}
+
+/** Emit z|n (bits 0-1) of the masked value in rdx into rcx. */
+void
+emitZN(Emitter &e, unsigned w)
+{
+    e.xorR32(Reg::RCX, Reg::RCX);
+    e.testRR(Reg::RDX, Reg::RDX);
+    e.setccR(CC::E, Reg::RCX);
+    e.movRR(Reg::R9, Reg::RDX);
+    e.shiftRI(ShiftExt::SH_SHR, Reg::R9, uint8_t(w - 1));
+    e.shiftRI(ShiftExt::SH_SHL, Reg::R9, 1);
+    e.aluRR(AluExt::ALU_OR, Reg::RCX, Reg::R9);
+}
+
+/**
+ * Full adder flags: a in rax, b in rsi, unmasked sum in r8, masked
+ * result in rdx. Builds z|n|c|ovf into rcx.
+ */
+void
+emitArithFlags(Emitter &e, unsigned w, uint64_t maskW, bool sub)
+{
+    emitZN(e, w);
+    // c = bit w of the unmasked sum (for sub: carry = not-borrow,
+    // already encoded by the a + ~b + 1 formulation).
+    e.movRR(Reg::R9, Reg::R8);
+    e.shiftRI(ShiftExt::SH_SHR, Reg::R9, uint8_t(w));
+    e.aluRI(AluExt::ALU_AND, Reg::R9, 1);
+    e.shiftRI(ShiftExt::SH_SHL, Reg::R9, 2);
+    e.aluRR(AluExt::ALU_OR, Reg::RCX, Reg::R9);
+    // ovf: add = (~(a^b) & (a^r)) >> (w-1), sub = ((a^b) & (a^r)).
+    e.movRR(Reg::R9, Reg::RAX);
+    e.aluRR(AluExt::ALU_XOR, Reg::R9, Reg::RSI);
+    if (!sub)
+        e.aluRI(AluExt::ALU_XOR, Reg::R9, int32_t(maskW));
+    e.movRR(Reg::R10, Reg::RAX);
+    e.aluRR(AluExt::ALU_XOR, Reg::R10, Reg::RDX);
+    e.aluRR(AluExt::ALU_AND, Reg::R9, Reg::R10);
+    e.shiftRI(ShiftExt::SH_SHR, Reg::R9, uint8_t(w - 1));
+    e.aluRI(AluExt::ALU_AND, Reg::R9, 1);
+    e.shiftRI(ShiftExt::SH_SHL, Reg::R9, 4);
+    e.aluRR(AluExt::ALU_OR, Reg::RCX, Reg::R9);
+}
+
+/**
+ * Reduce the count in rsi modulo @p mod (w+1 for shifts, w for
+ * rotates) into rcx, preserving a in rax. Uses the 32-bit divider:
+ * both operands are < 2^31 here.
+ */
+void
+emitCountMod(Emitter &e, uint32_t mod)
+{
+    e.movRR(Reg::R11, Reg::RAX);
+    e.movRR(Reg::RAX, Reg::RSI);
+    e.xorR32(Reg::RDX, Reg::RDX);
+    e.movRI32(Reg::RCX, mod);
+    e.divR32(Reg::RCX);
+    e.movRR(Reg::RCX, Reg::RDX);
+    e.movRR(Reg::RAX, Reg::R11);
+}
+
+/**
+ * Lower one microoperation. Operand a is loaded into rax, b into
+ * rsi, the masked result lands in rdx, and new packed flags replace
+ * r13 when the op sets them. @p slot >= 0 stores the result into the
+ * phase-buffer stack slot instead of the register file.
+ *
+ * @p fwd is the forwarding latch: the machine register whose
+ * committed value is still live in rdx (-1 = none). Operand loads
+ * that hit it become register moves instead of store-to-load round
+ * trips through the register file; the op updates it on exit.
+ */
+void
+emitOp(Emitter &e, const DecodedOp &op, const MachineDescription &mach,
+       unsigned w, int slot, int *fwd)
+{
+    const uint64_t maskW = bitMask(w);
+    const bool imm_count = op.useImm || !op.hasSrcB;
+    const uint64_t count_src = op.useImm ? op.imm : 0;
+
+    // a -> rax, truncated to the data width like aluEval does.
+    // Committed results are <= maskW, so a forwarded rdx needs no
+    // further truncation.
+    if (op.hasSrcA) {
+        if (*fwd == int(op.srcA)) {
+            e.movRR(Reg::RAX, Reg::RDX);
+        } else {
+            e.loadRM(Reg::RAX, Reg::R12, int32_t(8 * op.srcA));
+            if (mach.regMask(op.srcA) > maskW)
+                e.aluRI(AluExt::ALU_AND, Reg::RAX, int32_t(maskW));
+        }
+    } else {
+        e.xorR32(Reg::RAX, Reg::RAX);
+    }
+    // b -> rsi (Inc/Dec hardwire b = 1; Ldi consumes imm directly).
+    const bool unary = op.kind == UKind::Inc || op.kind == UKind::Dec;
+    if (unary) {
+        e.movRI32(Reg::RSI, 1);
+    } else if (op.useImm) {
+        e.movRI(Reg::RSI, op.imm);
+    } else if (op.hasSrcB) {
+        if (*fwd == int(op.srcB)) {
+            e.movRR(Reg::RSI, Reg::RDX);
+        } else {
+            e.loadRM(Reg::RSI, Reg::R12, int32_t(8 * op.srcB));
+            if (mach.regMask(op.srcB) > maskW)
+                e.aluRI(AluExt::ALU_AND, Reg::RSI, int32_t(maskW));
+        }
+    } else {
+        e.xorR32(Reg::RSI, Reg::RSI);
+    }
+
+    bool wrote = op.kind != UKind::Cmp;
+    bool rdx_intact = false;    // rdx untouched (16-bit Cmp only)
+    switch (op.kind) {
+      case UKind::Add:
+      case UKind::Inc:
+      case UKind::Sub:
+      case UKind::Dec:
+      case UKind::Cmp: {
+        const bool sub = op.kind == UKind::Sub ||
+                         op.kind == UKind::Dec ||
+                         op.kind == UKind::Cmp;
+        if (w == 16) {
+            // Native-width arithmetic: the host's 16-bit add/sub/cmp
+            // produces every flag aluEval derives by hand (for sub,
+            // c = not-borrow = !CF). setcc replaces the shift-and-
+            // mask cascade of emitArithFlags.
+            if (op.setsFlags) {
+                e.xorR32(Reg::RCX, Reg::RCX);
+                e.xorR32(Reg::R9, Reg::R9);
+                e.xorR32(Reg::R10, Reg::R10);
+                e.xorR32(Reg::R11, Reg::R11);
+            }
+            if (op.kind == UKind::Cmp) {
+                e.aluRR16(AluExt::ALU_CMP, Reg::RAX, Reg::RSI);
+                rdx_intact = true;
+            } else {
+                e.movzxR16(Reg::RDX, Reg::RAX);
+                e.aluRR16(sub ? AluExt::ALU_SUB : AluExt::ALU_ADD,
+                          Reg::RDX, Reg::RSI);
+            }
+            if (op.setsFlags) {
+                e.setccR(CC::E, Reg::RCX);                  // z
+                e.setccR(CC::S, Reg::R9);                   // n
+                e.setccR(sub ? CC::AE : CC::B, Reg::R10);   // c
+                e.setccR(CC::O, Reg::R11);                  // ovf
+                e.shiftRI(ShiftExt::SH_SHL, Reg::R9, 1);
+                e.shiftRI(ShiftExt::SH_SHL, Reg::R10, 2);
+                e.shiftRI(ShiftExt::SH_SHL, Reg::R11, 4);
+                e.aluRR(AluExt::ALU_OR, Reg::RCX, Reg::R9);
+                e.aluRR(AluExt::ALU_OR, Reg::RCX, Reg::R10);
+                e.aluRR(AluExt::ALU_OR, Reg::RCX, Reg::R11);
+                e.movRR(Reg::R13, Reg::RCX);
+            }
+            break;
+        }
+        if (sub) {
+            // full = a + (~b & maskW) + 1
+            e.movRR(Reg::RDX, Reg::RSI);
+            e.aluRI(AluExt::ALU_XOR, Reg::RDX, int32_t(maskW));
+            e.aluRR(AluExt::ALU_ADD, Reg::RDX, Reg::RAX);
+            e.aluRI(AluExt::ALU_ADD, Reg::RDX, 1);
+        } else {
+            e.movRR(Reg::RDX, Reg::RAX);
+            e.aluRR(AluExt::ALU_ADD, Reg::RDX, Reg::RSI);
+        }
+        if (op.setsFlags)
+            e.movRR(Reg::R8, Reg::RDX);     // unmasked, for c
+        e.aluRI(AluExt::ALU_AND, Reg::RDX, int32_t(maskW));
+        if (op.setsFlags) {
+            emitArithFlags(e, w, maskW, sub);
+            e.movRR(Reg::R13, Reg::RCX);
+        }
+        break;
+      }
+      case UKind::And:
+      case UKind::Or:
+      case UKind::Xor: {
+        const AluExt x = op.kind == UKind::And   ? AluExt::ALU_AND
+                         : op.kind == UKind::Or  ? AluExt::ALU_OR
+                                                 : AluExt::ALU_XOR;
+        e.movRR(Reg::RDX, Reg::RAX);
+        e.aluRR(x, Reg::RDX, Reg::RSI);
+        if (op.setsFlags) {
+            emitZN(e, w);
+            e.movRR(Reg::R13, Reg::RCX);
+        }
+        break;
+      }
+      case UKind::Neg:
+      case UKind::Not:
+        e.movRR(Reg::RDX, Reg::RAX);
+        if (op.kind == UKind::Neg)
+            e.negR(Reg::RDX);
+        else
+            e.notR(Reg::RDX);
+        e.aluRI(AluExt::ALU_AND, Reg::RDX, int32_t(maskW));
+        if (op.setsFlags) {
+            emitZN(e, w);
+            e.movRR(Reg::R13, Reg::RCX);
+        }
+        break;
+      case UKind::Mov:
+        e.movRR(Reg::RDX, Reg::RAX);
+        if (op.setsFlags) {
+            emitZN(e, w);
+            e.movRR(Reg::R13, Reg::RCX);
+        }
+        break;
+      case UKind::Ldi:
+        e.movRI(Reg::RDX, op.imm);
+        if (op.setsFlags) {
+            // aluEval leaves every flag false for Ldi, and a
+            // flag-setting op replaces the whole latch.
+            e.xorR32(Reg::RCX, Reg::RCX);
+            e.movRR(Reg::R13, Reg::RCX);
+        }
+        break;
+      case UKind::Shl: {
+        if (imm_count) {
+            const uint8_t n = uint8_t(count_src % (w + 1));
+            e.movRR(Reg::RDX, Reg::RAX);
+            e.shiftRI(ShiftExt::SH_SHL, Reg::RDX, n);
+        } else {
+            emitCountMod(e, w + 1);
+            e.movRR(Reg::RDX, Reg::RAX);
+            e.shiftRC(ShiftExt::SH_SHL, Reg::RDX);
+        }
+        if (op.setsFlags)
+            e.movRR(Reg::R8, Reg::RDX);     // unmasked, for uf
+        e.aluRI(AluExt::ALU_AND, Reg::RDX, int32_t(maskW));
+        if (op.setsFlags) {
+            // uf = bit w of the unmasked shift (0 when n == 0).
+            e.movRR(Reg::R10, Reg::R8);
+            e.shiftRI(ShiftExt::SH_SHR, Reg::R10, uint8_t(w));
+            e.aluRI(AluExt::ALU_AND, Reg::R10, 1);
+            e.shiftRI(ShiftExt::SH_SHL, Reg::R10, 3);
+            emitZN(e, w);
+            e.aluRR(AluExt::ALU_OR, Reg::RCX, Reg::R10);
+            e.movRR(Reg::R13, Reg::RCX);
+        }
+        break;
+      }
+      case UKind::Shr:
+      case UKind::Sar: {
+        // uf = ((a << 1) >> n) & 1 == (a >> (n-1)) & 1, and 0 for
+        // n == 0. Computed while the count is still live in cl.
+        const bool arith = op.kind == UKind::Sar;
+        uint8_t n = 0;
+        if (imm_count) {
+            n = uint8_t(count_src % (w + 1));
+        } else {
+            emitCountMod(e, w + 1);
+        }
+        e.movRR(Reg::RDX, Reg::RAX);
+        if (arith) {
+            e.shiftRI(ShiftExt::SH_SHL, Reg::RDX, uint8_t(64 - w));
+            e.shiftRI(ShiftExt::SH_SAR, Reg::RDX, uint8_t(64 - w));
+        }
+        if (imm_count)
+            e.shiftRI(arith ? ShiftExt::SH_SAR : ShiftExt::SH_SHR,
+                      Reg::RDX, n);
+        else
+            e.shiftRC(arith ? ShiftExt::SH_SAR : ShiftExt::SH_SHR,
+                      Reg::RDX);
+        if (arith)
+            e.aluRI(AluExt::ALU_AND, Reg::RDX, int32_t(maskW));
+        if (op.setsFlags) {
+            e.movRR(Reg::R10, Reg::RAX);
+            e.shiftRI(ShiftExt::SH_SHL, Reg::R10, 1);
+            if (imm_count)
+                e.shiftRI(ShiftExt::SH_SHR, Reg::R10, n);
+            else
+                e.shiftRC(ShiftExt::SH_SHR, Reg::R10);
+            e.aluRI(AluExt::ALU_AND, Reg::R10, 1);
+            e.shiftRI(ShiftExt::SH_SHL, Reg::R10, 3);
+            emitZN(e, w);
+            e.aluRR(AluExt::ALU_OR, Reg::RCX, Reg::R10);
+            e.movRR(Reg::R13, Reg::RCX);
+        }
+        break;
+      }
+      case UKind::Rol:
+      case UKind::Ror: {
+        if (imm_count) {
+            unsigned m = unsigned(count_src) % w;
+            if (op.kind == UKind::Ror)
+                m = (w - m) % w;
+            e.movRR(Reg::RDX, Reg::RAX);
+            if (m) {
+                e.shiftRI(ShiftExt::SH_SHL, Reg::RDX, uint8_t(m));
+                e.movRR(Reg::R9, Reg::RAX);
+                e.shiftRI(ShiftExt::SH_SHR, Reg::R9,
+                          uint8_t(w - m));
+                e.aluRR(AluExt::ALU_OR, Reg::RDX, Reg::R9);
+                e.aluRI(AluExt::ALU_AND, Reg::RDX, int32_t(maskW));
+            }
+        } else {
+            emitCountMod(e, w);     // rcx = b % w
+            if (op.kind == UKind::Ror) {
+                // m = (w - n) % w, branchlessly.
+                e.movRI32(Reg::R9, w);
+                e.aluRR(AluExt::ALU_SUB, Reg::R9, Reg::RCX);
+                e.xorR32(Reg::R10, Reg::R10);
+                e.testRR(Reg::RCX, Reg::RCX);
+                e.cmovRR(CC::E, Reg::R9, Reg::R10);
+                e.movRR(Reg::RCX, Reg::R9);
+            }
+            // value = ((a << m) | (a >> (w - m))) & maskW; at m == 0
+            // the right shift is by w, which clears its half on a
+            // 64-bit host, leaving a unchanged.
+            e.movRR(Reg::RDX, Reg::RAX);
+            e.shiftRC(ShiftExt::SH_SHL, Reg::RDX);
+            e.movRI32(Reg::R9, w);
+            e.aluRR(AluExt::ALU_SUB, Reg::R9, Reg::RCX);
+            e.movRR(Reg::R10, Reg::RAX);
+            e.movRR(Reg::RCX, Reg::R9);
+            e.shiftRC(ShiftExt::SH_SHR, Reg::R10);
+            e.aluRR(AluExt::ALU_OR, Reg::RDX, Reg::R10);
+            e.aluRI(AluExt::ALU_AND, Reg::RDX, int32_t(maskW));
+        }
+        if (op.setsFlags) {
+            emitZN(e, w);
+            e.movRR(Reg::R13, Reg::RCX);
+        }
+        break;
+      }
+      default:
+        wrote = false;  // unreachable: wordEligible() filtered kinds
+        break;
+    }
+
+    if (!wrote) {
+        if (!rdx_intact)
+            *fwd = -1;
+        return;
+    }
+    if (op.dstMask < bitMask(w))
+        e.aluRI(AluExt::ALU_AND, Reg::RDX, int32_t(op.dstMask));
+    if (slot >= 0) {
+        e.storeMR(Reg::RSP, int32_t(8 * slot), Reg::RDX);
+        *fwd = -1;      // not committed to the register file yet
+    } else {
+        e.storeMR(Reg::R12, int32_t(8 * op.dst), Reg::RDX);
+        *fwd = int(op.dst);
+    }
+}
+
+} // namespace
+
+bool
+jitBuildRegion(const DecodedStore &ds, const MachineDescription &mach,
+               uint32_t head, std::vector<uint8_t> *code,
+               uint32_t *wordCount)
+{
+    const unsigned w = mach.dataWidth();
+    if (w < 1 || w > 31)
+        return false;
+    if (!wordEligible(ds.peek(head)))
+        return false;
+
+    // Region discovery: BFS over eligible successors, capped.
+    std::set<uint32_t> in_region;
+    std::vector<uint32_t> queue{head};
+    while (!queue.empty() && in_region.size() < kMaxRegionWords) {
+        uint32_t a = queue.back();
+        queue.pop_back();
+        if (in_region.count(a))
+            continue;
+        const DecodedWord *dw = ds.peek(a);
+        if (!wordEligible(dw))
+            continue;   // becomes an off-region exit
+        in_region.insert(a);
+        switch (dw->seq) {
+          case SeqKind::Next:
+            queue.push_back(a + 1);
+            break;
+          case SeqKind::Jump:
+            queue.push_back(dw->target);
+            break;
+          case SeqKind::CondJump:
+            queue.push_back(dw->target);
+            if (dw->cond != Cond::Always)
+                queue.push_back(a + 1);
+            break;
+          default:
+            break;    // Halt: no successors
+        }
+    }
+
+    // Emit words in address order so Next edges fall through.
+    std::vector<uint32_t> order(in_region.begin(), in_region.end());
+    std::sort(order.begin(), order.end());
+
+    // Join points: every explicit jump target (plus the head, which
+    // the prologue jumps to). The rdx forwarding latch must drop at
+    // these labels -- a second predecessor may arrive with different
+    // rdx contents. Next/CondJump fall-through edges always reach the
+    // next emitted word directly, so they keep the latch.
+    std::set<uint32_t> join{head};
+    for (uint32_t a : order) {
+        const DecodedWord *dw = ds.peek(a);
+        if (dw->seq == SeqKind::Jump || dw->seq == SeqKind::CondJump)
+            join.insert(dw->target);
+    }
+
+    Emitter e;
+    std::map<uint32_t, int> word_label;
+    for (uint32_t a : order)
+        word_label[a] = e.newLabel();
+    const int epilogue = e.newLabel();
+    std::map<std::pair<uint32_t, uint32_t>, int> exit_label;
+    auto exitTo = [&](uint32_t upc, JitExit reason) {
+        auto key = std::make_pair(upc, uint32_t(reason));
+        auto it = exit_label.find(key);
+        if (it == exit_label.end())
+            it = exit_label.emplace(key, e.newLabel()).first;
+        return it->second;
+    };
+
+    // Prologue: save callee-saved registers, carve the phase-write
+    // frame, load the enter state (rdi).
+    e.pushR(Reg::RBX);
+    e.pushR(Reg::R12);
+    e.pushR(Reg::R13);
+    e.pushR(Reg::R14);
+    e.pushR(Reg::R15);
+    e.aluRI(AluExt::ALU_SUB, Reg::RSP, kFrameBytes);
+    e.movRR(Reg::RBX, Reg::RDI);
+    e.loadRM(Reg::R12, Reg::RBX, 0);            // regs base
+    e.loadRM(Reg::R13, Reg::RBX, kOffFlags);
+    e.loadRM(Reg::R15, Reg::RBX, kOffBudget);
+    e.jmp(word_label[head]);
+
+    int fwd = -1;
+    for (size_t wi = 0; wi < order.size(); ++wi) {
+        const uint32_t addr = order[wi];
+        const DecodedWord &dw = *ds.peek(addr);
+        const uint32_t next_emitted =
+            wi + 1 < order.size() ? order[wi + 1] : ~0u;
+        e.bind(word_label[addr]);
+        if (join.count(addr))
+            fwd = -1;
+
+        // Budget guard: debit the word up front and deopt on
+        // underflow (the Budget stub repays the unit), so the
+        // interpreter resumes exactly here with the budget intact.
+        e.aluRI8(AluExt::ALU_SUB, Reg::R15, 1);
+        e.jcc(CC::B, exitTo(addr, JitExit::Budget));
+        if (dw.restart)
+            e.storeMI32(Reg::RBX, kOffRestart, addr);
+
+        // Ops, phase-grouped exactly like execWordFast.
+        const size_t n = dw.ops.size();
+        size_t i = 0;
+        while (i < n) {
+            size_t j = i + 1;
+            while (j < n && dw.ops[j].phase == dw.ops[i].phase)
+                ++j;
+            if (j == i + 1) {
+                emitOp(e, dw.ops[i], mach, w, -1, &fwd);
+            } else {
+                int slot = 0;
+                std::vector<std::pair<int, RegId>> commits;
+                for (size_t k = i; k < j; ++k) {
+                    const DecodedOp &op = dw.ops[k];
+                    if (op.kind == UKind::Cmp) {
+                        emitOp(e, op, mach, w, -1, &fwd);
+                    } else {
+                        emitOp(e, op, mach, w, slot, &fwd);
+                        commits.emplace_back(slot, op.dst);
+                        ++slot;
+                    }
+                }
+                for (const auto &[s, dst] : commits) {
+                    e.loadRM(Reg::R9, Reg::RSP, int32_t(8 * s));
+                    e.storeMR(Reg::R12, int32_t(8 * dst), Reg::R9);
+                }
+                fwd = -1;   // commits made any live rdx value stale
+            }
+            i = j;
+        }
+
+        // Sequencing. Conditions read the flags this word produced
+        // (r13 is already updated).
+        auto flowTo = [&](uint32_t t) {
+            if (in_region.count(t)) {
+                if (t != next_emitted)
+                    e.jmp(word_label[t]);
+            } else {
+                e.jmp(exitTo(t, JitExit::OffRegion));
+            }
+        };
+        switch (dw.seq) {
+          case SeqKind::Next:
+            flowTo(addr + 1);
+            break;
+          case SeqKind::Jump:
+            flowTo(dw.target);
+            break;
+          case SeqKind::CondJump: {
+            if (dw.cond == Cond::Always) {
+                flowTo(dw.target);
+                break;
+            }
+            unsigned bit = 0;
+            bool want_set = false;
+            condFlagBit(dw.cond, &bit, &want_set);
+            e.testRI(Reg::R13, int32_t(1u << bit));
+            const CC cc = want_set ? CC::NE : CC::E;
+            if (in_region.count(dw.target))
+                e.jcc(cc, word_label[dw.target]);
+            else
+                e.jcc(cc, exitTo(dw.target, JitExit::OffRegion));
+            flowTo(addr + 1);
+            break;
+          }
+          case SeqKind::Halt:
+            // The halt word itself executed (and was budgeted);
+            // the interpreter sees upc = addr, halted = true.
+            e.jmp(exitTo(addr, JitExit::Halt));
+            break;
+          default:
+            return false;   // unreachable: wordEligible() filtered
+        }
+    }
+
+    // Exit stubs: record resume point + reason, fall to epilogue.
+    // Budget stubs repay the unit their guard debited before the
+    // underflow branch fired.
+    for (const auto &[key, label] : exit_label) {
+        e.bind(label);
+        if (key.second == uint32_t(JitExit::Budget))
+            e.aluRI8(AluExt::ALU_ADD, Reg::R15, 1);
+        e.storeMI32(Reg::RBX, kOffExitUpc, key.first);
+        e.storeMI32(Reg::RBX, kOffExitReason, key.second);
+        e.jmp(epilogue);
+    }
+
+    e.bind(epilogue);
+    e.storeMR(Reg::RBX, kOffFlags, Reg::R13);
+    e.storeMR(Reg::RBX, kOffBudget, Reg::R15);
+    e.aluRI(AluExt::ALU_ADD, Reg::RSP, kFrameBytes);
+    e.popR(Reg::R15);
+    e.popR(Reg::R14);
+    e.popR(Reg::R13);
+    e.popR(Reg::R12);
+    e.popR(Reg::RBX);
+    e.ret();
+
+    if (!e.link())
+        return false;
+    *code = e.bytes();
+    *wordCount = uint32_t(in_region.size());
+    return true;
+}
+
+} // namespace uhll

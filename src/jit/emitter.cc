@@ -1,0 +1,317 @@
+#include "jit/emitter.hh"
+
+namespace uhll {
+namespace jit {
+
+void
+Emitter::imm32(uint32_t v)
+{
+    byte(uint8_t(v));
+    byte(uint8_t(v >> 8));
+    byte(uint8_t(v >> 16));
+    byte(uint8_t(v >> 24));
+}
+
+void
+Emitter::imm64(uint64_t v)
+{
+    imm32(uint32_t(v));
+    imm32(uint32_t(v >> 32));
+}
+
+void
+Emitter::rex(bool w, uint8_t reg, uint8_t rm, bool force)
+{
+    uint8_t r = 0x40;
+    if (w)
+        r |= 0x08;
+    if (reg >= 8)
+        r |= 0x04;
+    if (rm >= 8)
+        r |= 0x01;
+    if (r != 0x40 || force)
+        byte(r);
+}
+
+void
+Emitter::modrmReg(uint8_t reg, uint8_t rm)
+{
+    byte(uint8_t(0xC0 | ((reg & 7) << 3) | (rm & 7)));
+}
+
+void
+Emitter::modrmMem(uint8_t reg, Reg base, int32_t disp)
+{
+    byte(uint8_t(0x80 | ((reg & 7) << 3) | (base & 7)));
+    if ((base & 7) == 4)
+        byte(0x24);     // SIB: no index, base = rsp/r12
+    imm32(uint32_t(disp));
+}
+
+void
+Emitter::pushR(Reg r)
+{
+    if (r >= 8)
+        byte(0x41);
+    byte(uint8_t(0x50 | (r & 7)));
+}
+
+void
+Emitter::popR(Reg r)
+{
+    if (r >= 8)
+        byte(0x41);
+    byte(uint8_t(0x58 | (r & 7)));
+}
+
+void
+Emitter::ret()
+{
+    byte(0xC3);
+}
+
+void
+Emitter::movRR(Reg dst, Reg src)
+{
+    rex(true, src, dst);
+    byte(0x89);
+    modrmReg(src, dst);
+}
+
+void
+Emitter::movRI(Reg dst, uint64_t imm)
+{
+    if (imm <= 0xFFFFFFFFull) {
+        movRI32(dst, uint32_t(imm));
+        return;
+    }
+    rex(true, 0, dst);
+    byte(uint8_t(0xB8 | (dst & 7)));
+    imm64(imm);
+}
+
+void
+Emitter::loadRM(Reg dst, Reg base, int32_t disp)
+{
+    rex(true, dst, base);
+    byte(0x8B);
+    modrmMem(dst, base, disp);
+}
+
+void
+Emitter::storeMR(Reg base, int32_t disp, Reg src)
+{
+    rex(true, src, base);
+    byte(0x89);
+    modrmMem(src, base, disp);
+}
+
+void
+Emitter::storeMI32(Reg base, int32_t disp, uint32_t imm)
+{
+    rex(false, 0, base);
+    byte(0xC7);
+    modrmMem(0, base, disp);
+    imm32(imm);
+}
+
+void
+Emitter::aluRR(AluExt op, Reg dst, Reg src)
+{
+    // 01/09/21/29/31/39: "alu r/m64, r64" opcode = ext*8 + 1.
+    rex(true, src, dst);
+    byte(uint8_t(op * 8 + 1));
+    modrmReg(src, dst);
+}
+
+void
+Emitter::aluRI(AluExt op, Reg dst, int32_t imm)
+{
+    rex(true, 0, dst);
+    byte(0x81);
+    modrmReg(op, dst);
+    imm32(uint32_t(imm));
+}
+
+void
+Emitter::aluRI8(AluExt op, Reg dst, int8_t imm)
+{
+    rex(true, 0, dst);
+    byte(0x83);
+    modrmReg(op, dst);
+    byte(uint8_t(imm));
+}
+
+void
+Emitter::aluRR16(AluExt op, Reg dst, Reg src)
+{
+    byte(0x66);     // operand-size override, before any REX
+    rex(false, src, dst);
+    byte(uint8_t(op * 8 + 1));
+    modrmReg(src, dst);
+}
+
+void
+Emitter::movzxR16(Reg dst, Reg src)
+{
+    rex(false, dst, src);
+    byte(0x0F);
+    byte(0xB7);
+    modrmReg(dst, src);
+}
+
+void
+Emitter::shiftRI(ShiftExt op, Reg r, uint8_t count)
+{
+    if (count == 0)
+        return;
+    rex(true, 0, r);
+    byte(0xC1);
+    modrmReg(op, r);
+    byte(count);
+}
+
+void
+Emitter::shiftRC(ShiftExt op, Reg r)
+{
+    rex(true, 0, r);
+    byte(0xD3);
+    modrmReg(op, r);
+}
+
+void
+Emitter::testRR(Reg a, Reg b)
+{
+    rex(true, b, a);
+    byte(0x85);
+    modrmReg(b, a);
+}
+
+void
+Emitter::testRI(Reg r, int32_t imm)
+{
+    rex(true, 0, r);
+    byte(0xF7);
+    modrmReg(0, r);
+    imm32(uint32_t(imm));
+}
+
+void
+Emitter::negR(Reg r)
+{
+    rex(true, 0, r);
+    byte(0xF7);
+    modrmReg(3, r);
+}
+
+void
+Emitter::notR(Reg r)
+{
+    rex(true, 0, r);
+    byte(0xF7);
+    modrmReg(2, r);
+}
+
+void
+Emitter::decR(Reg r)
+{
+    rex(true, 0, r);
+    byte(0xFF);
+    modrmReg(1, r);
+}
+
+void
+Emitter::xorR32(Reg dst, Reg src)
+{
+    rex(false, src, dst);
+    byte(0x31);
+    modrmReg(src, dst);
+}
+
+void
+Emitter::movRI32(Reg dst, uint32_t imm)
+{
+    rex(false, 0, dst);
+    byte(uint8_t(0xB8 | (dst & 7)));
+    imm32(imm);
+}
+
+void
+Emitter::divR32(Reg src)
+{
+    rex(false, 0, src);
+    byte(0xF7);
+    modrmReg(6, src);
+}
+
+void
+Emitter::cmovRR(CC cc, Reg dst, Reg src)
+{
+    rex(true, dst, src);
+    byte(0x0F);
+    byte(uint8_t(0x40 | uint8_t(cc)));
+    modrmReg(dst, src);
+}
+
+void
+Emitter::setccR(CC cc, Reg r)
+{
+    // RAX..RBX encode without REX; R8..R15 need REX.B. RSP..RDI would
+    // alias ah..bh without a REX -- the lowering never uses them.
+    if (r >= 8)
+        byte(0x41);
+    byte(0x0F);
+    byte(uint8_t(0x90 | uint8_t(cc)));
+    modrmReg(0, r);
+}
+
+int
+Emitter::newLabel()
+{
+    labels_.push_back(-1);
+    return int(labels_.size()) - 1;
+}
+
+void
+Emitter::bind(int label)
+{
+    labels_[size_t(label)] = int64_t(buf_.size());
+}
+
+void
+Emitter::jmp(int label)
+{
+    byte(0xE9);
+    fixups_.emplace_back(buf_.size(), label);
+    imm32(0);
+}
+
+void
+Emitter::jcc(CC cc, int label)
+{
+    byte(0x0F);
+    byte(uint8_t(0x80 | uint8_t(cc)));
+    fixups_.emplace_back(buf_.size(), label);
+    imm32(0);
+}
+
+bool
+Emitter::link()
+{
+    for (auto &[pos, label] : fixups_) {
+        int64_t target = labels_[size_t(label)];
+        if (target < 0)
+            return false;
+        int64_t rel = target - int64_t(pos) - 4;
+        uint32_t v = uint32_t(int32_t(rel));
+        buf_[pos + 0] = uint8_t(v);
+        buf_[pos + 1] = uint8_t(v >> 8);
+        buf_[pos + 2] = uint8_t(v >> 16);
+        buf_[pos + 3] = uint8_t(v >> 24);
+    }
+    fixups_.clear();
+    return true;
+}
+
+} // namespace jit
+} // namespace uhll

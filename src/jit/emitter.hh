@@ -1,0 +1,130 @@
+/**
+ * @file
+ * A minimal x86-64 machine-code emitter for the JIT tier.
+ *
+ * Covers exactly the instruction subset the superblock lowering needs:
+ * 64-bit mov/alu/shift/test/neg/not, 32-bit mov/xor/div/cmov, byte
+ * setcc, push/pop/ret, and rel32 jumps with label fixups. Encodings
+ * are deliberately boring -- memory operands always use mod=10
+ * (disp32), immediates are imm32 -- so every instruction has one
+ * shape and the emitter stays auditable against the SDM tables.
+ */
+
+#ifndef UHLL_JIT_EMITTER_HH
+#define UHLL_JIT_EMITTER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace uhll {
+namespace jit {
+
+/** Host register numbers (modrm encoding order). */
+enum Reg : uint8_t {
+    RAX = 0, RCX = 1, RDX = 2, RBX = 3,
+    RSP = 4, RBP = 5, RSI = 6, RDI = 7,
+    R8  = 8, R9  = 9, R10 = 10, R11 = 11,
+    R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+};
+
+/** Condition codes (tttn field of jcc/setcc). */
+enum class CC : uint8_t {
+    O = 0, NO, B, AE, E, NE, BE, A,
+    S, NS, P, NP, L, GE, LE, G,
+};
+
+/** /ext selectors for the 81 (alu imm) group. */
+enum AluExt : uint8_t {
+    ALU_ADD = 0, ALU_OR = 1, ALU_AND = 4,
+    ALU_SUB = 5, ALU_XOR = 6, ALU_CMP = 7,
+};
+
+/** /ext selectors for the C1/D3 shift group. */
+enum ShiftExt : uint8_t { SH_SHL = 4, SH_SHR = 5, SH_SAR = 7 };
+
+class Emitter
+{
+  public:
+    // ---- stack / control ----
+    void pushR(Reg r);
+    void popR(Reg r);
+    void ret();
+
+    // ---- 64-bit moves ----
+    void movRR(Reg dst, Reg src);
+    /** mov dst, imm -- zero-extending B8+rd for 32-bit values,
+     *  movabs for wider ones. */
+    void movRI(Reg dst, uint64_t imm);
+    /** mov dst, qword [base + disp] */
+    void loadRM(Reg dst, Reg base, int32_t disp);
+    /** mov qword [base + disp], src */
+    void storeMR(Reg base, int32_t disp, Reg src);
+    /** mov dword [base + disp], imm32 */
+    void storeMI32(Reg base, int32_t disp, uint32_t imm);
+
+    // ---- 64-bit alu ----
+    void aluRR(AluExt op, Reg dst, Reg src);
+    void aluRI(AluExt op, Reg dst, int32_t imm);
+    /** 83 /ext sign-extended imm8 form (short encodings for the
+     *  budget debit/repay). */
+    void aluRI8(AluExt op, Reg dst, int8_t imm);
+    void shiftRI(ShiftExt op, Reg r, uint8_t count);
+    void shiftRC(ShiftExt op, Reg r);       //!< count in CL
+    void testRR(Reg a, Reg b);
+    void testRI(Reg r, int32_t imm);
+    void negR(Reg r);
+    void notR(Reg r);
+    void decR(Reg r);
+
+    // ---- 16-bit helpers (native-width flag extraction) ----
+    /** 66-prefixed "alu r/m16, r16": writes the low word of dst only
+     *  and sets host flags per the 16-bit result. */
+    void aluRR16(AluExt op, Reg dst, Reg src);
+    /** movzx dst32, src16 -- zero-extends to 64. */
+    void movzxR16(Reg dst, Reg src);
+
+    // ---- 32-bit helpers ----
+    void xorR32(Reg dst, Reg src);          //!< zero-extends to 64
+    void movRI32(Reg dst, uint32_t imm);    //!< zero-extends to 64
+    /** unsigned edx:eax / src32; quotient eax, remainder edx. */
+    void divR32(Reg src);
+    void cmovRR(CC cc, Reg dst, Reg src);   //!< 64-bit cmovcc
+
+    // ---- flags ----
+    /** setcc on the low byte of r (r must be RAX/RCX/RDX/RBX or
+     *  R8..R15 -- no REX-less spl/bpl/sil/dil aliases needed). */
+    void setccR(CC cc, Reg r);
+
+    // ---- labels ----
+    int newLabel();
+    void bind(int label);
+    void jmp(int label);
+    void jcc(CC cc, int label);
+
+    /** Resolve all fixups; false if a referenced label is unbound. */
+    bool link();
+
+    const std::vector<uint8_t> &bytes() const { return buf_; }
+    size_t size() const { return buf_.size(); }
+
+  private:
+    void byte(uint8_t b) { buf_.push_back(b); }
+    void imm32(uint32_t v);
+    void imm64(uint64_t v);
+    /** REX prefix; emitted only when a bit (or @p force) demands it. */
+    void rex(bool w, uint8_t reg, uint8_t rm, bool force = false);
+    void modrmReg(uint8_t reg, uint8_t rm);
+    /** mod=10 disp32 memory operand (SIB when base is RSP/R12). */
+    void modrmMem(uint8_t reg, Reg base, int32_t disp);
+
+    std::vector<uint8_t> buf_;
+    std::vector<int64_t> labels_;               // offset or -1
+    std::vector<std::pair<size_t, int>> fixups_; // rel32 pos, label
+};
+
+} // namespace jit
+} // namespace uhll
+
+#endif // UHLL_JIT_EMITTER_HH

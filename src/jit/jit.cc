@@ -1,0 +1,191 @@
+#include "jit/jit.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "jit/codebuf.hh"
+#include "machine/decoded_store.hh"
+#include "machine/machine_desc.hh"
+
+namespace uhll {
+
+static_assert(offsetof(JitEnterState, regs) == 0);
+static_assert(offsetof(JitEnterState, flags) == 8);
+static_assert(offsetof(JitEnterState, budget) == 16);
+static_assert(offsetof(JitEnterState, exitUpc) == 24);
+static_assert(offsetof(JitEnterState, exitReason) == 28);
+static_assert(offsetof(JitEnterState, restartUpc) == 32);
+
+const CompiledRegion JitTier::failed_;
+const CompiledRegion JitRegionCache::failed_;
+
+namespace {
+
+/**
+ * Build + finalize the region at @p addr, charging compile time and
+ * outcome to @p counters. Returns null on ineligible head or any
+ * allocation/emission failure.
+ */
+std::unique_ptr<CompiledRegion>
+compileRegion(uint32_t addr, const DecodedStore &ds,
+              const MachineDescription &mach, JitCounters &counters,
+              std::unique_ptr<ExecMemory> *mem_out)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<uint8_t> code;
+    uint32_t words = 0;
+    bool ok = jitBuildRegion(ds, mach, addr, &code, &words);
+    std::unique_ptr<ExecMemory> mem;
+    if (ok) {
+        mem = ExecMemory::allocate(code.size());
+        if (mem) {
+            std::memcpy(mem->base(), code.data(), code.size());
+            ok = mem->finalize();
+        } else {
+            ok = false;
+        }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    counters.compileMicros += uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count());
+    if (!ok) {
+        ++counters.compileFailed;
+        return nullptr;
+    }
+    auto region = std::make_unique<CompiledRegion>();
+    region->fn = reinterpret_cast<JitFn>(mem->base());
+    region->head = addr;
+    region->wordCount = words;
+    ++counters.regionsCompiled;
+    counters.codeBytes += mem->size();
+    *mem_out = std::move(mem);
+    return region;
+}
+
+} // namespace
+
+// ----------------------------------------------------------------
+// JitRegionCache
+// ----------------------------------------------------------------
+
+JitRegionCache::JitRegionCache(const MachineDescription &mach)
+    : mach_(mach)
+{}
+
+JitRegionCache::~JitRegionCache() = default;
+
+const CompiledRegion *
+JitRegionCache::obtain(uint64_t version, uint32_t addr,
+                       const DecodedStore &ds, JitCounters &counters)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (version != version_ || byAddr_.size() != ds.size()) {
+        version_ = version;
+        regions_.clear();
+        code_.clear();
+        byAddr_.assign(ds.size(), nullptr);
+    }
+    if (addr >= byAddr_.size())
+        return nullptr;
+    if (const CompiledRegion *r = byAddr_[addr])
+        return r == &failed_ ? nullptr : r;
+    std::unique_ptr<ExecMemory> mem;
+    auto region = compileRegion(addr, ds, mach_, counters, &mem);
+    if (!region) {
+        byAddr_[addr] = &failed_;
+        return nullptr;
+    }
+    byAddr_[addr] = region.get();
+    code_.push_back(std::move(mem));
+    regions_.push_back(std::move(region));
+    return byAddr_[addr];
+}
+
+// ----------------------------------------------------------------
+// JitTier
+// ----------------------------------------------------------------
+
+JitTier::JitTier(const MachineDescription &mach, uint32_t threshold,
+                 JitRegionCache *shared)
+    : mach_(mach), threshold_(threshold ? threshold : 1),
+      shared_(shared)
+{}
+
+JitTier::~JitTier() = default;
+
+bool
+JitTier::available()
+{
+#if defined(__x86_64__) || defined(_M_X64)
+    static const bool avail = [] {
+        if (const char *e = std::getenv("UHLL_NO_JIT"))
+            if (*e && std::strcmp(e, "0") != 0)
+                return false;
+        // Probe a full allocate / finalize / execute round trip so
+        // noexec mounts or restrictive sanitizer runtimes turn the
+        // tier off up front instead of faulting mid-run.
+        auto mem = ExecMemory::allocate(16);
+        if (!mem)
+            return false;
+        mem->base()[0] = 0xC3;  // ret
+        if (!mem->finalize())
+            return false;
+        JitEnterState st{};
+        jitInvoke(reinterpret_cast<JitFn>(mem->base()), &st);
+        return true;
+    }();
+    return avail;
+#else
+    return false;
+#endif
+}
+
+void
+JitTier::sync(uint64_t storeVersion, size_t numWords)
+{
+    if (storeVersion == version_ && numWords == byAddr_.size())
+        return;
+    version_ = storeVersion;
+    regions_.clear();
+    code_.clear();
+    byAddr_.assign(numWords, nullptr);
+    counts_.assign(numWords, 0);
+}
+
+const CompiledRegion *
+JitTier::request(uint32_t addr, const DecodedStore &ds)
+{
+    if (addr >= byAddr_.size())
+        return nullptr;
+    const CompiledRegion *r = byAddr_[addr];
+    if (r)
+        return r == &failed_ ? nullptr : r;
+    if (++counts_[addr] < threshold_)
+        return nullptr;
+    return obtainAt(addr, ds);
+}
+
+const CompiledRegion *
+JitTier::obtainAt(uint32_t addr, const DecodedStore &ds)
+{
+    if (shared_) {
+        const CompiledRegion *r =
+            shared_->obtain(version_, addr, ds, counters_);
+        byAddr_[addr] = r ? r : &failed_;
+        return r;
+    }
+    std::unique_ptr<ExecMemory> mem;
+    auto region = compileRegion(addr, ds, mach_, counters_, &mem);
+    if (!region) {
+        byAddr_[addr] = &failed_;
+        return nullptr;
+    }
+    byAddr_[addr] = region.get();
+    code_.push_back(std::move(mem));
+    regions_.push_back(std::move(region));
+    return byAddr_[addr];
+}
+
+} // namespace uhll

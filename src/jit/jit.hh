@@ -1,0 +1,232 @@
+/**
+ * @file
+ * JitTier: the simulator's native execution tier.
+ *
+ * A per-DecodedStore profile counts how often each microaddress is
+ * reached through normal dispatch; once an address crosses the
+ * hotness threshold, a superblock builder walks the already-decoded
+ * control words reachable from it (straight-line flow plus both arms
+ * of plain conditional branches) and lowers the region to x86-64 via
+ * the in-process emitter. Native execution is bit-identical to the
+ * interpreter's fast path by construction: regions admit only
+ * fast-path-eligible pure-ALU words, every word retires in exactly
+ * one cycle, and every exit -- budget exhausted (slice boundary or
+ * supervision poll due), control leaving the region, or a halt word
+ * -- spills the full architectural state (register file, flags,
+ * restart point, next upc) back to the simulator before the
+ * interpreter resumes.
+ *
+ * Hosts that are not x86-64, cannot map W^X pages, or set
+ * UHLL_NO_JIT=1 report available() == false and the simulator never
+ * constructs a tier.
+ */
+
+#ifndef UHLL_JIT_JIT_HH
+#define UHLL_JIT_JIT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "machine/types.hh"
+
+namespace uhll {
+
+class DecodedStore;
+class ExecMemory;
+class MachineDescription;
+
+/** Why a native region handed control back to the interpreter. */
+enum class JitExit : uint32_t {
+    Budget = 0,     //!< word/cycle budget exhausted at a word boundary
+    OffRegion = 1,  //!< control flowed to a word outside the region
+    Halt = 2,       //!< a halt word executed
+};
+
+/**
+ * The spill area shared between the simulator and native code. Field
+ * offsets are fixed (the emitter hard-codes them); keep in sync with
+ * the static_asserts in jit.cc.
+ */
+struct JitEnterState {
+    uint64_t *regs;         //!< +0  register file base
+    uint64_t flags;         //!< +8  packed z|n<<1|c<<2|uf<<3|ovf<<4
+    uint64_t budget;        //!< +16 words left; counts down
+    uint32_t exitUpc;       //!< +24 where the interpreter resumes
+    uint32_t exitReason;    //!< +28 JitExit
+    uint32_t restartUpc;    //!< +32 last restart-point word entered
+    uint32_t pad_ = 0;
+};
+
+using JitFn = void (*)(JitEnterState *);
+
+inline uint64_t
+packJitFlags(const Flags &f)
+{
+    return uint64_t(f.z) | uint64_t(f.n) << 1 | uint64_t(f.c) << 2 |
+           uint64_t(f.uf) << 3 | uint64_t(f.ovf) << 4;
+}
+
+inline Flags
+unpackJitFlags(uint64_t v)
+{
+    Flags f;
+    f.z = v & 1;
+    f.n = (v >> 1) & 1;
+    f.c = (v >> 2) & 1;
+    f.uf = (v >> 3) & 1;
+    f.ovf = (v >> 4) & 1;
+    return f;
+}
+
+/** Tier counters, surfaced as jit.* stats on the simulator. */
+struct JitCounters {
+    uint64_t regionsCompiled = 0;
+    uint64_t compileFailed = 0; //!< ineligible head or emit failure
+    uint64_t entries = 0;       //!< native region entries
+    uint64_t nativeWords = 0;   //!< words retired natively
+    uint64_t deoptBudget = 0;
+    uint64_t deoptOffRegion = 0;
+    uint64_t deoptHalt = 0;
+    uint64_t compileMicros = 0; //!< wall-clock spent compiling
+    uint64_t codeBytes = 0;     //!< finalized native code bytes
+};
+
+/** One compiled superblock, entered at its head microaddress. */
+struct CompiledRegion {
+    JitFn fn = nullptr;
+    uint32_t head = 0;
+    uint32_t wordCount = 0;     //!< words included in the region
+};
+
+/**
+ * A shared, thread-safe compiled-region cache -- the native-code
+ * analogue of the shared DecodedStore. One instance hangs off each
+ * Artefact (keyed, like the artefact itself, by machine + language +
+ * options + source), so N concurrent simulators of one program
+ * compile every hot region once instead of once per simulator.
+ *
+ * obtain() is called only on a profile-threshold crossing (rare), so
+ * a plain mutex is fine; the returned region pointers are stable for
+ * the cache's lifetime and the executable pages are immutable after
+ * finalize(), making cross-thread execution safe.
+ */
+class JitRegionCache
+{
+  public:
+    explicit JitRegionCache(const MachineDescription &mach);
+    ~JitRegionCache();
+    JitRegionCache(const JitRegionCache &) = delete;
+    JitRegionCache &operator=(const JitRegionCache &) = delete;
+
+    /**
+     * The compiled region at @p addr, compiling on first request.
+     * Returns nullptr when the head is ineligible or emission
+     * failed. @p counters (the requesting simulator's) is bumped
+     * only when this call did the actual compile.
+     */
+    const CompiledRegion *obtain(uint64_t version, uint32_t addr,
+                                 const DecodedStore &ds,
+                                 JitCounters &counters);
+
+  private:
+    const MachineDescription &mach_;
+    std::mutex mu_;
+    uint64_t version_ = ~0ULL;
+    //! per-address: null (not yet requested), &failed_, or region
+    std::vector<const CompiledRegion *> byAddr_;
+    std::vector<std::unique_ptr<CompiledRegion>> regions_;
+    std::vector<std::unique_ptr<ExecMemory>> code_;
+
+    static const CompiledRegion failed_;
+};
+
+class JitTier
+{
+  public:
+    /**
+     * @param mach the machine the store decodes against
+     * @param threshold region-entry count that triggers compilation
+     *        (>= 1; 1 compiles on first execution)
+     * @param shared optional shared region cache (SimConfig::jitCache
+     *        -> Artefact::jitCache); null compiles privately
+     */
+    JitTier(const MachineDescription &mach, uint32_t threshold,
+            JitRegionCache *shared = nullptr);
+    ~JitTier();
+
+    /**
+     * Whether this host can run native regions at all: x86-64, W^X
+     * pages mappable and executable (probed once with a real call),
+     * and UHLL_NO_JIT not set in the environment.
+     */
+    static bool available();
+
+    /**
+     * Re-sync the profile and region cache against the store; called
+     * at every run() start. A version change (patched words) drops
+     * every compiled region and all counts.
+     */
+    void sync(uint64_t storeVersion, size_t numWords);
+
+    /**
+     * Hot-path query from the dispatch loop: bump the profile count
+     * for @p addr and return its compiled region if one exists (or
+     * just crossed the threshold and compiled successfully).
+     */
+    const CompiledRegion *request(uint32_t addr,
+                                  const DecodedStore &ds);
+
+    JitCounters &counters() { return counters_; }
+    const JitCounters &counters() const { return counters_; }
+    uint32_t threshold() const { return threshold_; }
+
+  private:
+    const CompiledRegion *obtainAt(uint32_t addr,
+                                   const DecodedStore &ds);
+
+    const MachineDescription &mach_;
+    uint32_t threshold_;
+    JitRegionCache *shared_;
+    uint64_t version_ = ~0ULL;
+    //! per-address memo: null (cold), &failed_ (do not retry), or
+    //! the region -- consulted lock-free on the hot path
+    std::vector<const CompiledRegion *> byAddr_;
+    std::vector<uint32_t> counts_;
+    //! privately compiled regions (no shared cache)
+    std::vector<std::unique_ptr<CompiledRegion>> regions_;
+    std::vector<std::unique_ptr<ExecMemory>> code_;
+    JitCounters counters_;
+
+    static const CompiledRegion failed_;
+};
+
+/**
+ * Call into finalized region code. Isolated (and excluded from
+ * clang's -fsanitize=function indirect-call check, which would
+ * reject the signature-less JIT prologue) so sanitizer builds can
+ * run the native tier.
+ */
+#if defined(__clang__)
+__attribute__((no_sanitize("function")))
+#endif
+inline void
+jitInvoke(JitFn fn, JitEnterState *st)
+{
+    fn(st);
+}
+
+/**
+ * Superblock builder + x86-64 lowering (compile.cc). Appends the
+ * finished machine code to @p code and reports the number of words
+ * included; false when the head is ineligible.
+ */
+bool jitBuildRegion(const DecodedStore &ds,
+                    const MachineDescription &mach, uint32_t head,
+                    std::vector<uint8_t> *code, uint32_t *wordCount);
+
+} // namespace uhll
+
+#endif // UHLL_JIT_JIT_HH

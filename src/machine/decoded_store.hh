@@ -97,6 +97,23 @@ class DecodedStore
     }
 
     /**
+     * Non-decoding fetch: the decoded word at @p addr if that slot is
+     * already ready, else null. The JIT region builder walks the store
+     * through this so that words the interpreter never executed stay
+     * undecoded (and malformed ones keep failing exactly when the
+     * interpreter would first touch them).
+     */
+    const DecodedWord *peek(uint32_t addr) const
+    {
+        if (addr < slots_.size() && slots_[addr].ready)
+            return &slots_[addr].dw;
+        return nullptr;
+    }
+
+    /** Number of word slots (the store's current size). */
+    size_t size() const { return slots_.size(); }
+
+    /**
      * Eagerly decode every word so the cache can be shared read-only
      * between concurrently running simulators (SimConfig::decoded).
      * After this, wordAt() serves any in-range fetch without

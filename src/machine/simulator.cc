@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fault/fault.hh"
+#include "jit/jit.hh"
 #include "machine/alu.hh"
 #include "obs/json.hh"
 #include "obs/profile.hh"
@@ -89,8 +90,18 @@ MicroSimulator::MicroSimulator(const ControlStore &store,
     if (mem.width() != mach_.dataWidth())
         fatal("simulator: memory width %u != machine data width %u",
               mem.width(), mach_.dataWidth());
+    // The native tier needs imm32-encodable width masks; every
+    // in-tree machine is 16-bit, the gate is belt and braces.
+    if (cfg_.jit && dataWidth_ >= 1 && dataWidth_ <= 31 &&
+        JitTier::available()) {
+        jit_ = std::make_unique<JitTier>(
+            mach_, cfg_.jitThreshold ? cfg_.jitThreshold : 64,
+            cfg_.jitCache);
+    }
     registerStats();
 }
+
+MicroSimulator::~MicroSimulator() = default;
 
 void
 MicroSimulator::registerStats()
@@ -188,6 +199,47 @@ MicroSimulator::registerStats()
                                  : 0.0;
         },
         "memory-read retries per architectural read");
+
+    // jit.* counters live here, not in SimResult: they are host-side
+    // tiering facts (cache state persists across runs, so they are
+    // cumulative per simulator), and keeping them out of SimResult is
+    // what makes jit-on and jit-off runs byte-identical at the
+    // counter level.
+    if (jit_) {
+        JitCounters &jc = jit_->counters();
+        stats_.bindScalar("jit.regionsCompiled", &jc.regionsCompiled,
+                          "native superblocks compiled");
+        stats_.bindScalar("jit.compileFailed", &jc.compileFailed,
+                          "region compiles rejected or failed");
+        stats_.bindScalar("jit.entries", &jc.entries,
+                          "native region entries");
+        stats_.bindScalar("jit.nativeWords", &jc.nativeWords,
+                          "words retired in native code");
+        stats_.bindScalar("jit.deoptBudget", &jc.deoptBudget,
+                          "deopts: word/cycle/poll budget reached");
+        stats_.bindScalar("jit.deoptOffRegion", &jc.deoptOffRegion,
+                          "deopts: control left the region");
+        stats_.bindScalar("jit.deoptHalt", &jc.deoptHalt,
+                          "deopts: halt word executed natively");
+        stats_.bindScalar("jit.compileMicros", &jc.compileMicros,
+                          "wall-clock microseconds spent compiling");
+        stats_.bindScalar("jit.codeBytes", &jc.codeBytes,
+                          "finalized native code bytes");
+        // Tier diagnostics are host-side measurements: compile times
+        // are wall clock, and entry/deopt/word counts depend on where
+        // slice boundaries land (a checkpoint hop splits a region
+        // entry in two). Volatile marking keeps them out of
+        // deterministic dumps -- batch byte-identity reports and
+        // checkpoint-resume comparisons -- while value() and
+        // timings-on dumps still see them.
+        for (const char *n :
+             {"jit.regionsCompiled", "jit.compileFailed",
+              "jit.entries", "jit.nativeWords", "jit.deoptBudget",
+              "jit.deoptOffRegion", "jit.deoptHalt",
+              "jit.compileMicros", "jit.codeBytes"}) {
+            stats_.markVolatile(n);
+        }
+    }
 }
 
 void
@@ -849,6 +901,18 @@ MicroSimulator::begin(uint32_t entry)
         refetchLimit_ = plan.refetchLimit;
     }
 
+    // The native tier stands down for the whole run whenever any
+    // per-word hook could observe or perturb execution (those runs
+    // must see every word interpreted); interrupts and pending
+    // writes gate dynamically at each region entry instead.
+    jitActive_ = jit_ && !cfg_.forceSlowPath && !trace_ && !prof_ &&
+                 !inj_ && !cfg_.onWord;
+    if (jit_) {
+        jit_->sync(store_.version(), sharedDecoded_
+                                         ? sharedDecoded_->size()
+                                         : decoded_.size());
+    }
+
     // One reservation up front; every per-word buffer is reused, so
     // the interpreter loop itself never allocates.
     const size_t max_ops = sharedDecoded_
@@ -882,6 +946,66 @@ MicroSimulator::pollSupervision()
                    strfmt("wall-clock deadline passed at cycle %llu",
                           (unsigned long long)res_.cycles));
     }
+}
+
+bool
+MicroSimulator::tryJitEnter(uint64_t cycle_bound, uint64_t stop_words,
+                            bool supervised)
+{
+    const DecodedStore &ds =
+        sharedDecoded_ ? *sharedDecoded_ : decoded_;
+    const CompiledRegion *region = jit_->request(upc_, ds);
+    if (!region)
+        return false;
+
+    // Budget = whole words the region may retire before any slice
+    // boundary, cycle bound or supervision poll would have stopped
+    // the interpreter. One native word costs exactly one cycle, so
+    // words and cycles share one counter. The supervision countdown
+    // for the current word was already consumed by the loop header,
+    // hence the +1.
+    uint64_t budget = stop_words - res_.wordsExecuted;
+    budget = std::min(budget, cycle_bound - res_.cycles);
+    if (supervised)
+        budget = std::min<uint64_t>(budget, pollCountdown_ + 1);
+    if (budget == 0)
+        return false;
+
+    JitEnterState st;
+    st.regs = regs_.data();
+    st.flags = packJitFlags(flags_);
+    st.budget = budget;
+    st.exitUpc = upc_;
+    st.exitReason = uint32_t(JitExit::Budget);
+    st.restartUpc = restartPoint_;
+    jitInvoke(region->fn, &st);
+
+    const uint64_t executed = budget - st.budget;
+    JitCounters &jc = jit_->counters();
+    ++jc.entries;
+    jc.nativeWords += executed;
+    switch (JitExit(st.exitReason)) {
+      case JitExit::Budget: ++jc.deoptBudget; break;
+      case JitExit::OffRegion: ++jc.deoptOffRegion; break;
+      case JitExit::Halt: ++jc.deoptHalt; break;
+    }
+    if (executed == 0)
+        return false;
+
+    // Spill: native words retire exactly like interpreter fast-path
+    // words, and the exit left the machine at a word boundary.
+    res_.cycles += executed;
+    res_.wordsExecuted += executed;
+    res_.fastPathWords += executed;
+    lastRetire_ = res_.cycles;
+    flags_ = unpackJitFlags(st.flags);
+    restartPoint_ = st.restartUpc;
+    upc_ = st.exitUpc;
+    if (JitExit(st.exitReason) == JitExit::Halt)
+        res_.halted = true;
+    if (supervised)
+        pollCountdown_ -= uint32_t(executed - 1);
+    return true;
 }
 
 void
@@ -1003,6 +1127,9 @@ MicroSimulator::runUntil(uint64_t stop_cycle, uint64_t stop_words)
         const uint32_t addr = upc_;
         const uint64_t c0 = obs ? res_.cycles : 0;
         uint32_t next = upc_ + 1;
+        if (jitActive_ && pending_.empty() && !intPeriod_ &&
+            tryJitEnter(cycle_bound, stop_words, supervised))
+            continue;
         if (dw.fastEligible && !force_slow && pending_.empty() &&
             !intPeriod_) {
             execWordFast(dw, upc_, next);

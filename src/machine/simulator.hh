@@ -31,6 +31,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "fault/fault.hh"
@@ -46,6 +47,8 @@ namespace uhll {
 class TraceBuffer;
 class CycleProfiler;
 class FaultInjector;
+class JitTier;
+class JitRegionCache;
 
 /** Knobs for a simulation run. */
 struct SimConfig {
@@ -61,6 +64,24 @@ struct SimConfig {
     //! it is fast-path eligible; architectural results must be
     //! bit-identical either way (the differential tests assert it)
     bool forceSlowPath = false;
+    /** @name JIT tier (see src/jit/) */
+    /// @{
+    //! lower hot decoded-word regions to native x86-64 when the host
+    //! supports it (JitTier::available(); UHLL_NO_JIT=1 disables).
+    //! Bit-identical to the interpreter by construction, and the
+    //! tier stands down automatically whenever tracing, profiling,
+    //! fault injection or an onWord hook could observe per-word
+    //! execution.
+    bool jit = true;
+    //! region-entry count that triggers compilation; 0 = default
+    //! (64), 1 = compile on first execution (the forced-threshold
+    //! differential smoke)
+    uint32_t jitThreshold = 0;
+    //! shared compiled-region cache (Artefact::jitCache) -- the
+    //! native-code analogue of SimConfig::decoded; null compiles
+    //! privately per simulator
+    JitRegionCache *jitCache = nullptr;
+    /// @}
     //! called before each word executes (assertion checkers, traces)
     std::function<void(uint32_t addr)> onWord;
     /**
@@ -247,6 +268,7 @@ class MicroSimulator
   public:
     MicroSimulator(const ControlStore &store, MainMemory &mem,
                    SimConfig cfg = SimConfig{});
+    ~MicroSimulator();
 
     /** @name Architectural state access (tests & harnesses) */
     /// @{
@@ -422,6 +444,16 @@ class MicroSimulator
     void execWordFast(const DecodedWord &dw, uint32_t addr,
                       uint32_t &next);
 
+    /**
+     * Try to execute natively from the current uPC: profiles the
+     * address, enters its compiled region when one exists and the
+     * remaining word/cycle/poll budget allows, and folds the spilled
+     * exit state back in. True when at least one word retired
+     * natively (the dispatch loop then continues at the exit uPC).
+     */
+    bool tryJitEnter(uint64_t cycle_bound, uint64_t stop_words,
+                     bool supervised);
+
     /** Shared sequencing switch; @p mw_val is the multiway value. */
     void seqAdvance(const DecodedWord &dw, uint32_t addr,
                     uint64_t mw_val, uint32_t &next);
@@ -455,6 +487,14 @@ class MicroSimulator
     //! iterations until the next cancel/deadline poll (supervised
     //! runs only; steady_clock reads are too slow for every word)
     uint32_t pollCountdown_ = 0;
+
+    /** @name JIT tier (see src/jit/) */
+    /// @{
+    //! null when cfg_.jit is off or the host cannot run native code
+    std::unique_ptr<JitTier> jit_;
+    //! resolved per run: jit_ present and no per-word hook active
+    bool jitActive_ = false;
+    /// @}
 
     //! decoded-word cache (rebuilt when the store's version changes)
     DecodedStore decoded_;

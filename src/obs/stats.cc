@@ -73,6 +73,18 @@ StatsRegistry::has(const std::string &name) const
 }
 
 void
+StatsRegistry::markVolatile(const std::string &name)
+{
+    volatileNames_.insert(name);
+}
+
+bool
+StatsRegistry::isVolatile(const std::string &name) const
+{
+    return volatileNames_.count(name) != 0;
+}
+
+void
 StatsRegistry::reset()
 {
     for (auto &[n, s] : scalars_) {
@@ -124,15 +136,23 @@ StatsRegistry::dumpText() const
 }
 
 std::string
-StatsRegistry::toJson(bool pretty) const
+StatsRegistry::toJson(bool pretty, bool include_volatile) const
 {
     // Merge the three sorted maps into one sorted (name, raw-json)
     // list, then nest on the '.' separators.
+    auto keep = [&](const std::string &name) {
+        return include_volatile || !volatileNames_.count(name);
+    };
     std::vector<std::pair<std::string, std::string>> leaves;
-    for (const auto &[name, s] : scalars_)
+    for (const auto &[name, s] : scalars_) {
+        if (!keep(name))
+            continue;
         leaves.emplace_back(
             name, strfmt("%llu", (unsigned long long)s.get()));
+    }
     for (const auto &[name, h] : histograms_) {
+        if (!keep(name))
+            continue;
         JsonWriter w(false);
         w.beginObject();
         w.value("samples", h.samples());
@@ -149,6 +169,8 @@ StatsRegistry::toJson(bool pretty) const
         leaves.emplace_back(name, w.str());
     }
     for (const auto &[name, f] : formulas_) {
+        if (!keep(name))
+            continue;
         double v = f.fn ? f.fn() : 0.0;
         leaves.emplace_back(name, std::isfinite(v)
                                       ? strfmt("%.6g", v)

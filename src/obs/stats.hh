@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -152,11 +153,26 @@ class StatsRegistry
     std::string dumpText() const;
 
     /**
+     * Mark @p name as volatile: a host-side measurement (wall-clock
+     * durations, backoff sums, JIT compile times and tier counters)
+     * rather than a deterministic function of the simulated
+     * execution. Deterministic dumps drop marked stats so batch
+     * byte-identity and checkpoint-resume comparisons cannot regress
+     * on them; the name need not be registered yet.
+     */
+    void markVolatile(const std::string &name);
+
+    /** Whether @p name was marked volatile. */
+    bool isVolatile(const std::string &name) const;
+
+    /**
      * JSON dump. Dotted names nest ("sim.cycles" becomes
      * {"sim": {"cycles": ...}}); histograms become objects with
-     * samples/sum/min/max/mean/buckets.
+     * samples/sum/min/max/mean/buckets. With @p include_volatile
+     * false, stats marked via markVolatile() are omitted entirely.
      */
-    std::string toJson(bool pretty = true) const;
+    std::string toJson(bool pretty = true,
+                       bool include_volatile = true) const;
 
   private:
     struct ScalarStat {
@@ -175,6 +191,7 @@ class StatsRegistry
     std::map<std::string, ScalarStat> scalars_;
     std::map<std::string, Histogram> histograms_;
     std::map<std::string, FormulaStat> formulas_;
+    std::set<std::string> volatileNames_;
 };
 
 } // namespace uhll

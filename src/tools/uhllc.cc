@@ -21,6 +21,14 @@
  *   --verify            (sstar) run the bounded assertion verifier
  *   --stats             print compilation statistics
  *
+ * Execution tier (single-file --run and batch; see README "JIT
+ * tier"):
+ *   --jit / --no-jit    force the native execution tier on/off
+ *                       (default on where available; naming both is
+ *                       a contradiction, exit 2)
+ *   --jit-threshold N   region-entry hotness threshold (1 = compile
+ *                       on first execution; forced-tier testing)
+ *
  * Batch mode (see src/driver/batch.hh for the manifest format):
  *   --batch FILE        run the jobs in the JSON manifest
  *   -jN | --jobs N      worker threads (default: all hardware)
@@ -81,6 +89,7 @@
 
 #include "driver/batch.hh"
 #include "driver/toolchain.hh"
+#include "jit/jit.hh"
 #include "obs/json.hh"
 #include "obs/profile.hh"
 #include "obs/trace.hh"
@@ -113,6 +122,7 @@ usage()
         "             [--compactor NAME] [--allocator NAME]\n"
         "             [--no-compact] [--polls] [--trap-safe]\n"
         "             [--verify] [--stats]\n"
+        "             [--jit | --no-jit] [--jit-threshold N]\n"
         "             [--stats-json FILE] [--trace FILE]\n"
         "             [--trace-limit N] [--profile]\n"
         "             [--inject FILE|-] [--seed N]\n"
@@ -120,6 +130,7 @@ usage()
         "             [--quiet] [--verbose]\n"
         "       uhllc --batch MANIFEST [-jN] [--report FILE]\n"
         "             [--no-timings] [--resume REPORT]\n"
+        "             [--jit | --no-jit] [--jit-threshold N]\n"
         "             [--deadline S] [--retries N]\n"
         "             [--checkpoint-every N] [--dmr]\n"
         "             [--dmr-interval N] [--dmr-seed-b N]\n"
@@ -162,13 +173,22 @@ listMode()
     for (const std::string &n : machineNames())
         std::printf("  %-8s %s\n", n.c_str(),
                     machineDescribe(n).c_str());
+    std::printf("execution tiers:\n");
+    std::printf("  interp   decode-cached interpreter (always)\n");
+    std::printf("  jit      native x86-64 superblocks: %s\n",
+                JitTier::available()
+                    ? "available (--no-jit or UHLL_NO_JIT=1 "
+                      "disables)"
+                    : "unavailable on this host (interpreter "
+                      "fallback)");
     return 0;
 }
 
 int
 batchMode(const std::string &manifest_path, unsigned threads,
           std::string report_path, bool timings,
-          const SupervisePolicy &cli, const std::string &resume_path)
+          const SupervisePolicy &cli, const std::string &resume_path,
+          int jit_flag, uint32_t jit_threshold)
 {
     Toolchain tc;
     BatchSpec spec;
@@ -179,6 +199,18 @@ batchMode(const std::string &manifest_path, unsigned threads,
         // failure: exit 2, like a bad command line.
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
+    }
+
+    // CLI tier flags override every job's manifest options; forcing
+    // the tier off also clears manifest thresholds so the override
+    // cannot manufacture a per-job contradiction.
+    for (Job &j : spec.jobs) {
+        if (jit_flag != -1)
+            j.options.jit = jit_flag == 1;
+        if (jit_flag == 0)
+            j.options.jitThreshold = 0;
+        if (jit_threshold)
+            j.options.jitThreshold = jit_threshold;
     }
 
     // The manifest's "supervise" object is the base; command-line
@@ -282,6 +314,10 @@ main(int argc, char **argv)
     size_t trace_limit = 4096;
     bool profile = false;
 
+    int jit_flag = -1;  // -1 unset, 0 --no-jit, 1 --jit
+    bool jit_contradiction = false;
+    uint32_t jit_threshold = 0;
+
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         // A value option missing its value names itself in the
@@ -325,6 +361,22 @@ main(int argc, char **argv)
         else if (a == "--polls")
             job.options.insertInterruptPolls = true;
         else if (a == "--trap-safe") job.options.trapSafety = true;
+        else if (a == "--jit") {
+            if (jit_flag == 0)
+                jit_contradiction = true;
+            jit_flag = 1;
+        }
+        else if (a == "--no-jit") {
+            if (jit_flag == 1)
+                jit_contradiction = true;
+            jit_flag = 0;
+        }
+        else if (valueOpt("--jit-threshold", &val)) {
+            jit_threshold = static_cast<uint32_t>(
+                std::strtoul(val.c_str(), nullptr, 0));
+            if (!jit_threshold)
+                usage();
+        }
         else if (a == "--list") list = true;
         else if (valueOpt("--batch", &batch_manifest)) {}
         else if (valueOpt("--report", &report_path)) {}
@@ -437,6 +489,28 @@ main(int argc, char **argv)
         }
     }
 
+    // Named-flag contradiction diagnostics, before any work -- even
+    // --list (the same shape validate() uses for --no-compact
+    // --compactor).
+    if (jit_contradiction) {
+        std::fprintf(stderr,
+                     "error: contradictory options: --jit and "
+                     "--no-jit were both named\n");
+        return 2;
+    }
+    if (jit_flag == 0 && jit_threshold) {
+        std::fprintf(stderr,
+                     "error: contradictory options: --no-jit "
+                     "disables the native tier but --jit-threshold "
+                     "%u was named\n",
+                     jit_threshold);
+        return 2;
+    }
+    if (jit_flag != -1)
+        job.options.jit = jit_flag == 1;
+    if (jit_threshold)
+        job.options.jitThreshold = jit_threshold;
+
     if (list)
         return listMode();
 
@@ -444,7 +518,7 @@ main(int argc, char **argv)
         if (!batch_manifest.empty()) {
             return batchMode(batch_manifest, batch_threads,
                              report_path, batch_timings, cli_pol,
-                             resume_path);
+                             resume_path, jit_flag, jit_threshold);
         }
 
         if (job.lang.empty() || job.machine.empty() || file.empty())

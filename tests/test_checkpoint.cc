@@ -4,7 +4,9 @@
  * captured, serialized and restored into a *fresh* simulator (built
  * by a fresh Toolchain) must finish bit-identical to the
  * uninterrupted run -- architectural state, every SimResult counter,
- * and the stats registry dump. Under an active fault plan the
+ * and the deterministic stats registry dump (volatile host-side
+ * stats -- JIT compile times and tier counters -- are excluded: a
+ * cut splits native region entries, so they legitimately differ). Under an active fault plan the
  * restored run must inject exactly the remaining faults (the
  * stream-cursor serialization), so the injection counters match too.
  *
@@ -102,7 +104,8 @@ finalState(const Env &e)
     Final f;
     f.digest = e.sim->archDigest();
     f.resJson = e.sim->result().toJson(false);
-    f.statsJson = e.sim->stats().toJson(false);
+    f.statsJson =
+        e.sim->stats().toJson(false, /*include_volatile=*/false);
     f.mem = e.mem->words();
     return f;
 }

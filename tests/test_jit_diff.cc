@@ -1,0 +1,439 @@
+/**
+ * @file
+ * Differential tests for the JIT execution tier: every covered
+ * scenario runs once with the native tier forced hot (threshold 1)
+ * and once with it disabled, and the two runs must be bit-identical
+ * in every SimResult counter and in final register and memory state
+ * -- the tier is a pure speedup, never an observable one. Coverage
+ * spans the E1 workload suite (compiled and hand microcode) on all
+ * three machines, the recoverable chaos mix (where the tier stands
+ * down transparently), a checkpoint cut through a hot region, the
+ * forced-threshold deopt paths, the shared region cache, the
+ * volatile-stats scrub, and contradictory pipeline options.
+ *
+ * On hosts where JitTier::available() is false everything still
+ * runs; the assertions that native code actually executed are gated.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "codegen/compiler.hh"
+#include "driver/frontend.hh"
+#include "driver/toolchain.hh"
+#include "fault/fault.hh"
+#include "jit/jit.hh"
+#include "machine/checkpoint.hh"
+#include "machine/machines/machines.hh"
+#include "machine/memory.hh"
+#include "machine/simulator.hh"
+#include "masm/masm.hh"
+#include "workloads/workloads.hh"
+
+namespace uhll {
+namespace {
+
+/** Everything observable after a run. */
+struct Snapshot {
+    SimResult res;
+    std::vector<uint64_t> regs;
+    std::vector<uint64_t> mem;
+    uint64_t jitEntries = 0;
+    uint64_t jitNativeWords = 0;
+    uint64_t jitDeoptOffRegion = 0;
+    uint64_t jitDeoptHalt = 0;
+};
+
+Snapshot
+snapshot(const MicroSimulator &sim, const MachineDescription &m,
+         const MainMemory &mem, SimResult res)
+{
+    Snapshot s;
+    s.res = res;
+    for (RegId r = 0; r < m.numRegisters(); ++r)
+        s.regs.push_back(sim.getReg(r));
+    for (uint32_t a = 0; a < mem.sizeWords(); ++a)
+        s.mem.push_back(mem.peek(a));
+    if (sim.stats().has("jit.entries")) {
+        s.jitEntries = sim.stats().value("jit.entries");
+        s.jitNativeWords = sim.stats().value("jit.nativeWords");
+        s.jitDeoptOffRegion =
+            sim.stats().value("jit.deoptOffRegion");
+        s.jitDeoptHalt = sim.stats().value("jit.deoptHalt");
+    }
+    return s;
+}
+
+/** A scenario builds fresh state and runs it once per invocation. */
+using Scenario = std::function<Snapshot(bool jit)>;
+
+/**
+ * The core contract: the jit and no-jit runs agree on the entire
+ * SimResult -- including the dispatch-path split, since native words
+ * retire as fast-path words at one cycle each -- and on all
+ * architectural state.
+ */
+void
+expectIdentical(const Scenario &sc, bool expect_native = true)
+{
+    Snapshot jit = sc(true);
+    Snapshot interp = sc(false);
+
+    EXPECT_EQ(jit.res.cycles, interp.res.cycles);
+    EXPECT_EQ(jit.res.wordsExecuted, interp.res.wordsExecuted);
+    EXPECT_EQ(jit.res.fastPathWords, interp.res.fastPathWords);
+    EXPECT_EQ(jit.res.slowPathWords, interp.res.slowPathWords);
+    EXPECT_EQ(jit.res.pageFaults, interp.res.pageFaults);
+    EXPECT_EQ(jit.res.interruptsServiced,
+              interp.res.interruptsServiced);
+    EXPECT_EQ(jit.res.interruptLatencyTotal,
+              interp.res.interruptLatencyTotal);
+    EXPECT_EQ(jit.res.memReads, interp.res.memReads);
+    EXPECT_EQ(jit.res.memWrites, interp.res.memWrites);
+    EXPECT_EQ(jit.res.halted, interp.res.halted);
+    EXPECT_EQ(jit.regs, interp.regs);
+    EXPECT_EQ(jit.mem, interp.mem);
+
+    EXPECT_EQ(interp.jitEntries, 0u)
+        << "the disabled tier must never enter native code";
+    if (expect_native && JitTier::available())
+        EXPECT_GT(jit.jitNativeWords, 0u)
+            << "scenario never reached native code";
+}
+
+MachineDescription
+build(const std::string &mn)
+{
+    return mn == "HM-1" ? buildHm1()
+           : mn == "VM-2" ? buildVm2()
+                          : buildVs3();
+}
+
+TEST(JitDiff, CompiledWorkloadSuite)
+{
+    for (const char *mn : {"HM-1", "VM-2", "VS-3"}) {
+        for (const Workload &w : workloadSuite()) {
+            SCOPED_TRACE(std::string(mn) + "/" + w.name);
+            expectIdentical([&](bool jit) {
+                MachineDescription m = build(mn);
+                MirProgram prog = translateToMir("yalll", w.yalll, m);
+                Compiler comp(m);
+                CompiledProgram cp = comp.compile(prog, {});
+                MainMemory mem(0x10000, 16);
+                w.setup(mem);
+                SimConfig cfg;
+                cfg.jit = jit;
+                cfg.jitThreshold = 1;
+                MicroSimulator sim(cp.store, mem, cfg);
+                for (auto &[n, v] : w.inputs)
+                    setVar(prog, cp, sim, mem, n, v);
+                SimResult res = sim.run("main");
+                EXPECT_TRUE(res.halted);
+                std::string why;
+                EXPECT_TRUE(w.check(mem, &why)) << why;
+                return snapshot(sim, m, mem, res);
+            });
+        }
+    }
+}
+
+TEST(JitDiff, HandMicrocodeWorkloads)
+{
+    for (const char *mn : {"HM-1", "VM-2"}) {
+        for (const Workload &w : workloadSuite()) {
+            SCOPED_TRACE(std::string(mn) + "/" + w.name);
+            expectIdentical([&](bool jit) {
+                MachineDescription m = build(mn);
+                MicroAssembler as(m);
+                ControlStore cs = as.assemble(
+                    m.name() == "HM-1" ? w.masmHm1 : w.masmVm2);
+                MainMemory mem(0x10000, 16);
+                w.setup(mem);
+                SimConfig cfg;
+                cfg.jit = jit;
+                cfg.jitThreshold = 1;
+                MicroSimulator sim(cs, mem, cfg);
+                for (auto &[n, v] : w.inputs)
+                    sim.setReg(n, v);
+                SimResult res = sim.run("main");
+                EXPECT_TRUE(res.halted);
+                return snapshot(sim, m, mem, res);
+            });
+        }
+    }
+}
+
+TEST(JitDiff, ChaosMixStandsDown)
+{
+    // Under an active fault plan the tier must stand down (injection
+    // hooks fire per interpreted word), and the jit-configured run
+    // must match the interpreter in *every* counter, injection
+    // schedule included.
+    for (const char *mn : {"HM-1", "VM-2", "VS-3"}) {
+        for (const Workload &w : workloadSuite()) {
+            SCOPED_TRACE(std::string(mn) + "/" + w.name);
+            expectIdentical(
+                [&](bool jit) {
+                    MachineDescription m = build(mn);
+                    MirProgram prog =
+                        translateToMir("yalll", w.yalll, m);
+                    Compiler comp(m);
+                    CompiledProgram cp = comp.compile(prog, {});
+                    MainMemory mem(0x10000, 16);
+                    w.setup(mem);
+                    FaultPlan plan = FaultPlan::recoverable(7);
+                    FaultInjector inj(plan);
+                    SimConfig cfg;
+                    cfg.jit = jit;
+                    cfg.jitThreshold = 1;
+                    cfg.injector = &inj;
+                    MicroSimulator sim(cp.store, mem, cfg);
+                    for (auto &[n, v] : w.inputs)
+                        setVar(prog, cp, sim, mem, n, v);
+                    SimResult res = sim.run("main");
+                    EXPECT_TRUE(res.halted);
+                    EXPECT_GT(res.faultsInjected, 0u);
+                    EXPECT_EQ(sim.stats().has("jit.entries")
+                                  ? sim.stats().value("jit.entries")
+                                  : 0,
+                              0u)
+                        << "tier ran under fault injection";
+                    return snapshot(sim, m, mem, res);
+                },
+                /*expect_native=*/false);
+        }
+    }
+}
+
+/** The supervisor-lane environment, with the jit knobs wired the way
+ *  driver/supervisor.cc wires them (shared Artefact::jitCache). */
+struct Env {
+    std::shared_ptr<const Artefact> art;
+    std::unique_ptr<MainMemory> mem;
+    std::unique_ptr<MicroSimulator> sim;
+    std::vector<uint64_t> baseline;
+
+    Env(const Toolchain &tc, const Job &job)
+        : art(tc.compile(job)),
+          mem(std::make_unique<MainMemory>(
+              0x10000, art->machine->dataWidth()))
+    {
+        if (job.setupMemory)
+            job.setupMemory(*mem);
+        SimConfig cfg;
+        cfg.decoded = art->decoded.get();
+        cfg.jit = job.options.jit;
+        cfg.jitThreshold = job.options.jitThreshold;
+        cfg.jitCache = art->jitCache.get();
+        sim = std::make_unique<MicroSimulator>(art->store(), *mem,
+                                               cfg);
+        for (const auto &[n, v] : job.sets)
+            art->setVariable(*sim, *mem, n, v);
+        baseline = mem->words();
+    }
+
+    std::string
+    entry(const Job &job) const
+    {
+        return job.entry.empty() ? art->defaultEntry() : job.entry;
+    }
+};
+
+TEST(JitDiff, CheckpointHopThroughJitRegion)
+{
+    // A checkpoint cut taken mid-run with the tier hot, resumed into
+    // a fresh simulator (fresh Toolchain, cold profile), must finish
+    // identical to both the uninterrupted jit run and the pure
+    // interpreter: deterministic dumps exclude the volatile jit.*
+    // counters, so the cut splitting a region entry is invisible.
+    Toolchain tc;
+    for (const char *mn : {"hm1", "vm2", "vs3"}) {
+        SCOPED_TRACE(mn);
+        Job job = workloadJob(workloadSuite()[2], mn, false);
+        job.options.jitThreshold = 1;
+
+        Job interp_job = job;
+        interp_job.options.jit = false;
+        interp_job.options.jitThreshold = 0;
+        Env interp(tc, interp_job);
+        interp.sim->begin(interp.entry(interp_job));
+        interp.sim->runUntilCycle(~0ULL);
+        ASSERT_TRUE(interp.sim->finished());
+
+        Env ref(tc, job);
+        ref.sim->begin(ref.entry(job));
+        ref.sim->runUntilCycle(~0ULL);
+        ASSERT_TRUE(ref.sim->finished());
+        ASSERT_EQ(ref.sim->archDigest(), interp.sim->archDigest());
+        ASSERT_EQ(ref.sim->result().toJson(false),
+                  interp.sim->result().toJson(false));
+        const std::string want_stats = ref.sim->stats().toJson(
+            false, /*include_volatile=*/false);
+        EXPECT_EQ(want_stats,
+                  interp.sim->stats().toJson(false, false));
+        if (JitTier::available())
+            EXPECT_GT(ref.sim->stats().value("jit.nativeWords"), 0u);
+
+        const uint64_t total = ref.sim->result().cycles;
+        ASSERT_GT(total, 8u);
+        Env first(tc, job);
+        first.sim->begin(first.entry(job));
+        first.sim->runUntilCycle(total / 2);
+        ASSERT_FALSE(first.sim->finished());
+        const std::string bytes =
+            Checkpoint::capture(*first.sim, first.baseline)
+                .serialize();
+
+        Toolchain tc2;
+        Env resumed(tc2, job);
+        Checkpoint::deserialize(bytes).apply(*resumed.sim,
+                                             resumed.baseline);
+        resumed.sim->runUntilCycle(~0ULL);
+        ASSERT_TRUE(resumed.sim->finished());
+        EXPECT_EQ(resumed.sim->archDigest(),
+                  interp.sim->archDigest());
+        EXPECT_EQ(resumed.sim->result().toJson(false),
+                  interp.sim->result().toJson(false));
+        EXPECT_EQ(resumed.sim->stats().toJson(false, false),
+                  want_stats);
+    }
+}
+
+TEST(JitDiff, ForcedThresholdDeoptSmoke)
+{
+    // A loop whose body mixes three ALU words with one memory word:
+    // with threshold 1 the ALU stretch compiles immediately, every
+    // iteration deopts off-region at the memwr, and the final halt
+    // deopts with reason Halt. Proves both deopt paths fire and that
+    // the counters account for the native words.
+    MachineDescription m = buildHm1();
+    MainMemory mem(0x1000, 16);
+    MicroAssembler as(m);
+    ControlStore cs = as.assemble(
+        ".entry main\n"
+        "[ ldi r1, #0 ]\n"
+        "[ ldi r3, #0x200 ]\n"
+        "loop:\n"
+        "[ addi r1, r1, #1 ]\n"
+        "[ memwr r3, r1 ]\n"
+        "[ cmpi r1, #100 ]\n"
+        "[ ] if nz jump loop\n"
+        "[ ] halt\n");
+    SimConfig cfg;
+    cfg.jitThreshold = 1;
+    MicroSimulator sim(cs, mem, cfg);
+    SimResult res = sim.run("main");
+    ASSERT_TRUE(res.halted);
+    EXPECT_EQ(sim.getReg(1), 100u);
+    EXPECT_EQ(mem.peek(0x200), 100u);
+    if (!JitTier::available())
+        GTEST_SKIP() << "no native tier on this host";
+    const StatsRegistry &st = sim.stats();
+    EXPECT_GT(st.value("jit.regionsCompiled"), 0u);
+    EXPECT_GT(st.value("jit.entries"), 0u);
+    EXPECT_GT(st.value("jit.nativeWords"), 0u);
+    EXPECT_GT(st.value("jit.deoptOffRegion"), 0u);
+    EXPECT_EQ(st.value("jit.deoptHalt"), 1u);
+    // The memwr head gets hot too; its compile attempt fails once
+    // (ineligible) and the failure is memoized, never retried.
+    EXPECT_EQ(st.value("jit.compileFailed"), 1u);
+    // Native words retire as fast-path words; the memwr stays slow.
+    EXPECT_GE(res.fastPathWords, st.value("jit.nativeWords"));
+    EXPECT_GE(res.slowPathWords, 100u);
+}
+
+TEST(JitDiff, SharedRegionCacheCompilesOnce)
+{
+    // Two simulators over one Artefact share its JitRegionCache: the
+    // second gets memoized native code without compiling anything
+    // (its regionsCompiled counter stays zero) and must still be
+    // bit-identical.
+    if (!JitTier::available())
+        GTEST_SKIP() << "no native tier on this host";
+    Toolchain tc;
+    Job job = workloadJob(workloadSuite()[0], "hm1", false);
+    job.options.jitThreshold = 1;
+    ASSERT_NE(tc.compile(job)->jitCache, nullptr);
+
+    Env a(tc, job);
+    a.sim->begin(a.entry(job));
+    a.sim->runUntilCycle(~0ULL);
+    ASSERT_TRUE(a.sim->finished());
+    EXPECT_GT(a.sim->stats().value("jit.regionsCompiled"), 0u);
+
+    Env b(tc, job);
+    b.sim->begin(b.entry(job));
+    b.sim->runUntilCycle(~0ULL);
+    ASSERT_TRUE(b.sim->finished());
+    EXPECT_EQ(b.sim->stats().value("jit.regionsCompiled"), 0u);
+    EXPECT_GT(b.sim->stats().value("jit.nativeWords"), 0u);
+    EXPECT_EQ(a.sim->archDigest(), b.sim->archDigest());
+}
+
+TEST(JitDiff, VolatileStatsScrubbedFromDeterministicDumps)
+{
+    // markVolatile is the scrub mechanism behind both
+    // StatsRegistry::toJson(include_volatile=false) and
+    // JobResult::toJson(timings=false): wall-clock scalars and jit
+    // tier counters must vanish from deterministic output.
+    StatsRegistry st;
+    uint64_t steady = 3, wall = 99;
+    st.bindScalar("sim.words", &steady, "deterministic");
+    st.bindScalar("jit.compileMicros", &wall, "host wall clock");
+    st.markVolatile("jit.compileMicros");
+    EXPECT_TRUE(st.isVolatile("jit.compileMicros"));
+    EXPECT_FALSE(st.isVolatile("sim.words"));
+    // Dotted names nest in the JSON, so match on the leaf key.
+    const std::string full = st.toJson(false);
+    const std::string clean =
+        st.toJson(false, /*include_volatile=*/false);
+    EXPECT_NE(full.find("compileMicros"), std::string::npos);
+    EXPECT_EQ(clean.find("compileMicros"), std::string::npos);
+    EXPECT_NE(clean.find("words"), std::string::npos);
+
+    // End to end: a captured-stats job emits the clean dump when
+    // timings are off, so batch byte-identity cannot regress on
+    // host-side measurements.
+    Toolchain tc;
+    Job job = workloadJob(workloadSuite()[0], "hm1", false);
+    job.options.jitThreshold = 1;
+    job.captureStats = true;
+    JobResult r = tc.run(job);
+    ASSERT_TRUE(r.ok);
+    const std::string timed = r.toJson(false, /*timings=*/true);
+    const std::string det = r.toJson(false, /*timings=*/false);
+    EXPECT_EQ(det.find("compileMicros"), std::string::npos);
+    EXPECT_EQ(det.find("backoffMs"), std::string::npos);
+    if (JitTier::available())
+        EXPECT_NE(timed.find("compileMicros"), std::string::npos);
+}
+
+TEST(JitDiff, ContradictoryOptionsRejected)
+{
+    PipelineOptions ok;
+    EXPECT_EQ(ok.validate(), "");
+
+    PipelineOptions off;
+    off.jit = false;
+    EXPECT_EQ(off.validate(), "");
+
+    PipelineOptions contradictory;
+    contradictory.jit = false;
+    contradictory.jitThreshold = 9;
+    const std::string why = contradictory.validate();
+    EXPECT_NE(why.find("jit-threshold"), std::string::npos) << why;
+
+    // The jit knobs key the artefact cache: flipping them must
+    // produce distinct keys (a no-jit artefact has no region cache).
+    PipelineOptions jit_on, jit_off;
+    jit_off.jit = false;
+    EXPECT_NE(jit_on.cacheKey(), jit_off.cacheKey());
+}
+
+} // namespace
+} // namespace uhll
