@@ -25,6 +25,7 @@
 #include "bench_util.hh"
 #include "fault/fault.hh"
 #include "obs/json.hh"
+#include "obs/stats.hh"
 
 using namespace uhll;
 using namespace uhll::bench;
@@ -241,6 +242,32 @@ printTableAndJson()
         w.value("fast_path_words", fast.agg.fastPathWords);
         w.value("slow_path_words", fast.agg.slowPathWords);
         w.value("pending_high_water", fast.agg.pendingHighWater);
+        // The overlapped-write queue depth distribution from one
+        // representative run of the hand checksum kernel -- the one
+        // suite member issuing .ov overlapped commits (HM-1 only):
+        // the registry's own sim.pendingDepth histogram read through
+        // bucket-interpolated percentiles.
+        if (std::string(mn) == "HM-1") {
+            const Workload &hw = workloadSuite()[2];
+            auto hart =
+                toolchain().compile(workloadJob(hw, "hm1", true));
+            MainMemory mem(0x10000, 16);
+            hw.setup(mem);
+            SimConfig pcfg;
+            pcfg.decoded = hart->decoded.get();
+            MicroSimulator sim(hart->store(), mem, pcfg);
+            for (auto &[n, v] : hw.inputs)
+                hart->setVariable(sim, mem, n, v);
+            sim.run("main");
+            Histogram &pd =
+                sim.stats().histogram("sim.pendingDepth", 1, 8);
+            w.beginObject("pending_depth");
+            w.value("samples", pd.samples());
+            w.value("p50", pd.percentile(50));
+            w.value("p95", pd.percentile(95));
+            w.value("p99", pd.percentile(99));
+            w.endObject();
+        }
         w.value("halted", fast.allHalted && slow.allHalted);
         // The full simulator counter set, summed over the suite
         // (SimResult::toJson, same shape as uhllc --stats-json).

@@ -93,6 +93,42 @@ EOF
     echo "jit differential smoke: OK"
 )
 
+# Telemetry smoke: the batch matrix with span tracing, metrics export
+# and the flight recorder armed. The trace and both metrics files must
+# validate (via the uhllc JSON referee), the deterministic metrics
+# must be byte-identical across -j values, a clean batch must leave
+# the post-mortem directory empty -- and a forced failure must write
+# a validating artifact.
+(
+    cd build
+    rm -rf tel_pm tel_pm_fail
+    ./src/uhllc --batch ../tests/data/batch_matrix.json -j1 \
+        --no-timings --report tel_j1.json --otrace tel_j1_trace.json \
+        --metrics-out tel_j1_metrics.jsonl --metrics-every 5000 \
+        --postmortem-dir tel_pm >/dev/null
+    ./src/uhllc --batch ../tests/data/batch_matrix.json -j8 \
+        --no-timings --report tel_j8.json --otrace tel_j8_trace.json \
+        --metrics-out tel_j8_metrics.jsonl --metrics-every 5000 \
+        --postmortem-dir tel_pm >/dev/null
+    ./src/uhllc --validate-json tel_j8_trace.json
+    ./src/uhllc --validate-jsonl tel_j8_metrics.jsonl
+    grep -q '^# TYPE uhll_sim_cycles gauge$' tel_j8_metrics.jsonl.prom
+    cmp tel_j1_metrics.jsonl tel_j8_metrics.jsonl
+    cmp tel_j1_metrics.jsonl.prom tel_j8_metrics.jsonl.prom
+    cmp tel_j1.json tel_j8.json
+    grep -q '"uhll driver"' tel_j8_trace.json
+    grep -q 'uhll_span_stats' tel_j8_trace.json
+    if [[ -d tel_pm ]] && ls tel_pm/* >/dev/null 2>&1; then
+        echo "clean batch wrote post-mortems"; exit 1
+    fi
+    (cd ../tests/data && ../../build/src/uhllc --batch \
+        failing_smoke.json --no-timings \
+        --postmortem-dir ../../build/tel_pm_fail >/dev/null) || true
+    ./src/uhllc --validate-json tel_pm_fail/doomed.postmortem.json
+    grep -q '"reason": "sim_error"' tel_pm_fail/doomed.postmortem.json
+    echo "telemetry smoke: OK"
+)
+
 # Kill-and-resume smoke: SIGKILL a batch mid-run (active fault plans,
 # periodic checkpoints), resume it, and demand the merged report be
 # byte-identical to an uninterrupted run -- completed jobs spliced
@@ -143,13 +179,13 @@ if [[ "${UHLL_NO_SANITIZE:-0}" != 1 ]]; then
     # across worker threads; ThreadSanitizer (incompatible with ASan,
     # hence its own tree) watches the batch determinism stress tests,
     # the supervision/checkpoint layer (journal writes race-prone by
-    # construction), the JIT differential suite and the CLI smokes
-    # for data races.
+    # construction), the JIT differential suite, the span tracer's
+    # multi-lane recording and the CLI smokes for data races.
     cmake -B build-tsan -S . -DUHLL_SANITIZE=thread
     cmake --build build-tsan -j"$(nproc)"
     (cd build-tsan &&
         ctest --output-on-failure \
-            -R 'Batch|Toolchain|Supervisor|Checkpoint|JitDiff|uhllc_batch|uhllc_supervised')
+            -R 'Batch|Toolchain|Supervisor|Checkpoint|JitDiff|SpanTracer|Metrics|FlightRecorder|uhllc_batch|uhllc_supervised')
 fi
 
 echo "verify: OK"

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.hh"
 #include "support/bits.hh"
 #include "support/logging.hh"
 
@@ -486,10 +487,17 @@ Compiler::compile(const MirProgram &orig,
     const Compactor &compactor =
         opts.compactor ? *opts.compactor : default_compactor;
 
-    cp.assignment = alloc.allocate(prog, mach, opts.allocOpts);
+    {
+        SpanScope span(SpanCat::Allocate,
+                       "allocate " + std::string(alloc.name()));
+        cp.assignment = alloc.allocate(prog, mach, opts.allocOpts);
+    }
     cp.stats.spilledVRegs = cp.assignment.numSpilled();
 
     Lowerer lw(mach, prog, cp.assignment, cp.stats);
+    SpanScope lowerSpan(SpanCat::Compact,
+                        "lower+compact " +
+                            std::string(compactor.name()));
 
     struct BlockPatch { uint32_t word; uint32_t block; };
     struct FuncPatch { uint32_t word; uint32_t func; };

@@ -11,6 +11,7 @@
 
 #include "machine/checkpoint.hh"
 #include "obs/json.hh"
+#include "obs/telemetry.hh"
 #include "support/logging.hh"
 
 namespace uhll {
@@ -182,6 +183,7 @@ BatchRunner::run(const std::vector<Job> &jobs) const
     auto runOne = [&](size_t i) {
         SuperviseContext ctx;
         ctx.policy = policy_;
+        ctx.postmortemDir = postmortemDir_;
         std::optional<Checkpoint> ck;
         if (!journal_.empty()) {
             const std::string ckpath =
@@ -224,7 +226,11 @@ BatchRunner::run(const std::vector<Job> &jobs) const
     report.threads = threads;
 
     auto t0 = std::chrono::steady_clock::now();
+    SpanScope batchSpan(SpanCat::Batch,
+                        strfmt("batch %zu jobs -j%u", jobs.size(),
+                               threads));
     if (threads == 1) {
+        SpanTracer::instance().setLaneName("worker-0");
         for (size_t i = 0; i < jobs.size(); ++i) {
             if (!reuse[i])
                 runOne(i);
@@ -235,7 +241,9 @@ BatchRunner::run(const std::vector<Job> &jobs) const
         // the queue. Results land at their job's index; nothing else
         // is shared mutably (the Toolchain handles its own locking).
         std::atomic<size_t> next{0};
-        auto worker = [&]() {
+        auto worker = [&](unsigned lane) {
+            SpanTracer::instance().setLaneName(
+                strfmt("worker-%u", lane));
             for (;;) {
                 const size_t i =
                     next.fetch_add(1, std::memory_order_relaxed);
@@ -248,7 +256,7 @@ BatchRunner::run(const std::vector<Job> &jobs) const
         std::vector<std::thread> pool;
         pool.reserve(threads);
         for (unsigned t = 0; t < threads; ++t)
-            pool.emplace_back(worker);
+            pool.emplace_back(worker, t);
         for (std::thread &t : pool)
             t.join();
     }
@@ -444,6 +452,25 @@ parseSupervisePolicy(const JsonValue *s)
     return pol;
 }
 
+TelemetryOptions
+parseTelemetryOptions(const JsonValue *t, const std::string &base_dir)
+{
+    TelemetryOptions opts;
+    if (!t)
+        return opts;
+    if (!t->isObject())
+        fatal("manifest: 'telemetry' must be an object");
+    if (const JsonValue *v = t->get("otrace"))
+        opts.otrace = joinPath(base_dir, v->asString());
+    if (const JsonValue *v = t->get("metrics_out"))
+        opts.metricsOut = joinPath(base_dir, v->asString());
+    if (const JsonValue *v = t->get("metrics_every_cycles"))
+        opts.metricsEveryCycles = v->asU64();
+    if (const JsonValue *v = t->get("postmortem_dir"))
+        opts.postmortemDir = joinPath(base_dir, v->asString());
+    return opts;
+}
+
 BatchSpec
 loadBatchSpec(const std::string &path)
 {
@@ -453,8 +480,11 @@ loadBatchSpec(const std::string &path)
     const JsonValue root = JsonValue::parse(readTextFile(path));
     BatchSpec spec;
     spec.jobs = parseManifest(root, dir);
-    if (root.isObject())
+    if (root.isObject()) {
         spec.policy = parseSupervisePolicy(root.get("supervise"));
+        spec.telemetry =
+            parseTelemetryOptions(root.get("telemetry"), dir);
+    }
     return spec;
 }
 

@@ -52,8 +52,18 @@
  *         "retries": 2, "backoff_base_ms": 5, "backoff_max_ms": 250,
  *         "deadline_seconds": 0, "checkpoint_every_cycles": 100000,
  *         "dmr": false, "dmr_interval_words": 4096, "dmr_seed_b": 0
+ *       },
+ *       "telemetry": {                      // see obs/telemetry.hh
+ *         "otrace":      "batch_trace.json",  // merged Chrome trace
+ *         "metrics_out": "metrics.jsonl",     // + .prom sibling
+ *         "metrics_every_cycles": 50000,      // 0 = final-only
+ *         "postmortem_dir": "postmortems"     // flight recorder
  *       }
  *     }
+ *
+ * Telemetry paths are resolved relative to the manifest, like "file";
+ * uhllc's --otrace/--metrics-out/--metrics-every/--postmortem-dir
+ * override them.
  *
  * Journal & resume: setJournal(path) makes the runner append one
  * JSON line per completed job to `path` (flushed immediately) and
@@ -126,6 +136,12 @@ class BatchRunner
      * Requires setJournal().
      */
     void setResume(bool on) { resume_ = on; }
+    /** Write failed-job post-mortem artifacts into @p dir (see
+     *  obs/telemetry.hh flight recorder). "" = off. */
+    void setPostmortemDir(const std::string &dir)
+    {
+        postmortemDir_ = dir;
+    }
 
     BatchReport run(const std::vector<Job> &jobs) const;
 
@@ -135,6 +151,7 @@ class BatchRunner
     SupervisePolicy policy_;
     std::string journal_;
     bool resume_ = false;
+    std::string postmortemDir_;
 };
 
 /** @name Manifest loading */
@@ -158,10 +175,25 @@ std::vector<Job> loadManifest(const std::string &path);
  */
 SupervisePolicy parseSupervisePolicy(const JsonValue *s);
 
-/** Everything a manifest specifies: the jobs plus the policy. */
+/** Batch-wide telemetry sinks (a manifest's "telemetry" object; the
+ *  CLI flags override). All paths manifest-relative. */
+struct TelemetryOptions {
+    std::string otrace;      //!< merged Chrome trace output ("" = off)
+    std::string metricsOut;  //!< metrics JSONL path (+ .prom sibling)
+    uint64_t metricsEveryCycles = 0;  //!< 0 = final sample only
+    std::string postmortemDir;        //!< flight recorder ("" = off)
+};
+
+/** The manifest's "telemetry" object (defaults when @p t is null);
+ *  paths resolved relative to @p base_dir. fatal() on a non-object. */
+TelemetryOptions parseTelemetryOptions(const JsonValue *t,
+                                       const std::string &base_dir);
+
+/** Everything a manifest specifies: the jobs plus the policies. */
 struct BatchSpec {
     std::vector<Job> jobs;
     SupervisePolicy policy;
+    TelemetryOptions telemetry;
 };
 
 /** Read the manifest at @p path including its supervise policy. */

@@ -4,11 +4,13 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <thread>
 
 #include "driver/toolchain.hh"
 #include "fault/fault.hh"
 #include "obs/json.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace.hh"
 #include "support/logging.hh"
 
@@ -75,6 +77,48 @@ note(TraceBuffer *t, const MicroSimulator &sim, SuperviseAction a,
                   sim.result().cycles, 0, static_cast<uint32_t>(a),
                   b);
     }
+    // Mirror every supervisor action onto the span timeline as an
+    // instant, using the microtrace's own payload renderer so both
+    // views read identically.
+    if (SpanTracer::instance().enabled()) {
+        TraceRecord rec;
+        rec.cat = TraceCat::Supervise;
+        rec.a = static_cast<uint32_t>(a);
+        rec.b = b;
+        SpanTracer::instance().instant(SpanCat::Supervise,
+                                       traceRecordText(rec));
+    }
+}
+
+std::string
+simErrorJson(const SimError &e)
+{
+    JsonWriter w(false);
+    w.beginObject();
+    w.value("kind", simErrorKindName(e.kind));
+    w.value("message", e.message);
+    w.value("cycle", e.cycle);
+    w.value("upc", static_cast<uint64_t>(e.upc));
+    w.value("restart_point", static_cast<uint64_t>(e.restartPoint));
+    w.endObject();
+    return w.str();
+}
+
+std::string
+finalRegistersJson(const MicroSimulator &sim)
+{
+    const SimSnapshot s = sim.snapshot();
+    JsonWriter w(false);
+    w.beginObject();
+    w.value("upc", static_cast<uint64_t>(s.upc));
+    w.beginObject("regs");
+    for (size_t i = 0; i < s.regs.size(); ++i) {
+        w.value(sim.machine().reg(static_cast<RegId>(i)).name,
+                s.regs[i]);
+    }
+    w.endObject();
+    w.endObject();
+    return w.str();
 }
 
 /** Cancel/deadline verdicts end the job; they are never divergence. */
@@ -353,7 +397,35 @@ superviseSimulation(const Job &job, const SuperviseContext &ctx,
     const bool dmr = pol.dmr || job.dmr;
     const auto trun = std::chrono::steady_clock::now();
 
-    Lane a(job, art, job.faultSeed, true, ctx.cancel, deadline);
+    // A failed job's post-mortem wants the tail of a microtrace even
+    // when the caller attached none: give such jobs a small private
+    // ring. Determinism is preserved -- any trace stands the JIT tier
+    // down, but native words fold into the same fast-path counters,
+    // so the deterministic report bytes are unchanged.
+    std::optional<TraceBuffer> pmTrace;
+    Job patched;
+    const Job *jp = &job;
+    if (!ctx.postmortemDir.empty() && !job.trace) {
+        pmTrace.emplace(512);
+        patched = job;
+        patched.trace = &*pmTrace;
+        jp = &patched;
+    }
+    SpanScope simSpan(SpanCat::Sim, "sim " + r.name);
+
+    auto sampleMetrics = [&](MicroSimulator &s) {
+        if (!job.captureMetrics)
+            return;
+        MetricsSample ms;
+        ms.seq = static_cast<uint64_t>(r.metrics.size());
+        ms.cycles = s.result().cycles;
+        ms.label = r.name;
+        ms.statsFull = s.stats().toJson(false, true);
+        ms.statsClean = s.stats().toJson(false, false);
+        r.metrics.push_back(std::move(ms));
+    };
+
+    Lane a(*jp, art, job.faultSeed, true, ctx.cancel, deadline);
     MicroSimulator &sim = *a.sim;
 
     bool diverged = false;
@@ -365,14 +437,16 @@ superviseSimulation(const Job &job, const SuperviseContext &ctx,
         uint64_t seed_b = job.dmrSeedB ? job.dmrSeedB : pol.dmrSeedB;
         if (!seed_b)
             seed_b = job.faultSeed;
-        Lane b(job, art, seed_b, false, nullptr,
+        Lane b(*jp, art, seed_b, false, nullptr,
                std::chrono::steady_clock::time_point{});
         if (ctx.resumeFrom) {
             warn("job '%s': checkpoints resume a single lane only; "
                  "dmr job restarts from cycle 0",
                  r.name.c_str());
         }
-        diverged = !runDmr(job, ctx, r, a, b, entry);
+        // DMR jobs get the final-only metrics sample (the lockstep
+        // loop owns the slicing); documented limitation.
+        diverged = !runDmr(*jp, ctx, r, a, b, entry);
     } else {
         sim.begin(entry);
         Checkpoint last = captureLane(a);
@@ -384,7 +458,7 @@ superviseSimulation(const Job &job, const SuperviseContext &ctx,
                 ctx.resumeFrom->apply(sim, a.baseline);
                 last = *ctx.resumeFrom;
                 r.resumedFromCycle = sim.result().cycles;
-                note(job.trace, sim, SuperviseAction::Restore,
+                note(jp->trace, sim, SuperviseAction::Restore,
                      ckpt_ord);
             } else {
                 warn("job '%s': ignoring incompatible checkpoint "
@@ -393,24 +467,46 @@ superviseSimulation(const Job &job, const SuperviseContext &ctx,
             }
         }
 
+        // Both periodic duties run off the same sliced loop: the
+        // next stop is the nearer of the checkpoint and metrics
+        // targets, both keyed to *simulated* cycles so the series is
+        // a pure function of the job.
+        const uint64_t metrics_every =
+            job.captureMetrics ? job.metricsEveryCycles : 0;
+        uint64_t next_metrics =
+            metrics_every ? sim.result().cycles + metrics_every : 0;
+        uint64_t next_ckpt =
+            pol.checkpointEveryCycles
+                ? sim.result().cycles + pol.checkpointEveryCycles
+                : 0;
         uint32_t attempt = 0;
         for (;;) {
             while (!sim.finished()) {
-                if (!pol.checkpointEveryCycles) {
-                    sim.runUntilCycle(~0ULL);
-                    break;
-                }
-                sim.runUntilCycle(sim.result().cycles +
-                                  pol.checkpointEveryCycles);
+                uint64_t stop = ~0ULL;
+                if (next_ckpt)
+                    stop = std::min(stop, next_ckpt);
+                if (metrics_every)
+                    stop = std::min(stop, next_metrics);
+                sim.runUntilCycle(stop);
                 if (sim.finished())
                     break;
-                last = captureLane(a);
-                ++ckpt_ord;
-                ++r.checkpoints;
-                note(job.trace, sim, SuperviseAction::Checkpoint,
-                     ckpt_ord);
-                if (!ctx.checkpointFile.empty())
-                    last.writeFile(ctx.checkpointFile);
+                const uint64_t now = sim.result().cycles;
+                if (metrics_every && now >= next_metrics) {
+                    sampleMetrics(sim);
+                    next_metrics = now + metrics_every;
+                }
+                if (next_ckpt && now >= next_ckpt) {
+                    last = captureLane(a);
+                    ++ckpt_ord;
+                    ++r.checkpoints;
+                    note(jp->trace, sim, SuperviseAction::Checkpoint,
+                         ckpt_ord);
+                    if (!ctx.checkpointFile.empty())
+                        last.writeFile(ctx.checkpointFile);
+                    next_ckpt = now + pol.checkpointEveryCycles;
+                }
+                if (stop == ~0ULL)
+                    break;
             }
             const SimResult &res = sim.result();
             if (res.ok() || !simErrorRecoverable(res.error.kind) ||
@@ -421,11 +517,16 @@ superviseSimulation(const Job &job, const SuperviseContext &ctx,
             ++r.retries;
             const uint32_t delay = backoffMs(pol, r.name, attempt);
             r.backoffMsTotal += delay;
-            note(job.trace, sim, SuperviseAction::Backoff, delay);
+            note(jp->trace, sim, SuperviseAction::Backoff, delay);
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(delay));
             rollbackEnvironmental(a, last);
-            note(job.trace, sim, SuperviseAction::Retry, attempt);
+            if (metrics_every)
+                next_metrics = sim.result().cycles + metrics_every;
+            if (pol.checkpointEveryCycles)
+                next_ckpt = sim.result().cycles +
+                            pol.checkpointEveryCycles;
+            note(jp->trace, sim, SuperviseAction::Retry, attempt);
         }
     }
 
@@ -467,6 +568,9 @@ superviseSimulation(const Job &job, const SuperviseContext &ctx,
         r.statsJsonClean =
             sim.stats().toJson(true, /*include_volatile=*/false);
     }
+    // Metrics jobs always get a final sample; it sees the sup.*
+    // counters registered above when stats capture is on too.
+    sampleMetrics(sim);
 
     bool failed = false;
     if (diverged) {
@@ -493,6 +597,29 @@ superviseSimulation(const Job &job, const SuperviseContext &ctx,
             failed = true;
             r.diagnostics.push_back("check: " + why);
         }
+    }
+
+    // Flight recorder: bundle everything a post-mortem reader needs
+    // -- job spec, structured error, divergence report, final stats,
+    // registers, the microtrace tail and this thread's recent spans
+    // -- into one atomically-written artifact next to the journal.
+    if (failed && !ctx.postmortemDir.empty()) {
+        PostmortemReport p;
+        p.reason = diverged        ? "dmr_divergence"
+                   : !r.sim.ok()   ? "sim_error"
+                                   : "job_failed";
+        p.jobJson = jobSpecJson(job);
+        p.diagnostics = r.diagnostics;
+        if (!r.sim.ok())
+            p.errorJson = simErrorJson(r.sim.error);
+        p.divergenceJson = r.divergenceJson;
+        p.statsJson = sim.stats().toJson(false);
+        p.registersJson = finalRegistersJson(sim);
+        if (jp->trace)
+            p.microtraceJson = microtraceJson(*jp->trace, 256);
+        p.spansJson = spanEventsJson(
+            SpanTracer::instance().recentOnThread(64));
+        writePostmortem(ctx.postmortemDir, r.name, p);
     }
 
     // The job reached a verdict: its on-disk checkpoint is obsolete

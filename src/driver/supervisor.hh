@@ -89,6 +89,10 @@ struct SuperviseContext {
     //! resume from this checkpoint instead of cycle 0 (identity is
     //! checked; an incompatible checkpoint falls back to a fresh run)
     const Checkpoint *resumeFrom = nullptr;
+    //! when non-empty, any failed job (structured SimError, check
+    //! mismatch, DMR divergence) writes a post-mortem JSON artifact
+    //! into this directory (see obs/telemetry.hh flight recorder)
+    std::string postmortemDir;
 };
 
 /**

@@ -340,13 +340,48 @@ Toolchain::machine(const std::string &name) const
     return m;
 }
 
+std::string
+jobSpecJson(const Job &job)
+{
+    JsonWriter w(false);
+    w.beginObject();
+    w.value("name", job.name);
+    w.value("lang", job.lang);
+    w.value("machine", job.machine);
+    if (!job.entry.empty())
+        w.value("entry", job.entry);
+    w.value("options", job.options.cacheKey());
+    w.value("run", job.run);
+    if (!job.faultPlan.empty()) {
+        w.value("fault_plan", job.faultPlan);
+        w.value("fault_seed", job.faultSeed);
+    }
+    if (job.deadlineSeconds > 0)
+        w.value("deadline_seconds", job.deadlineSeconds);
+    if (job.dmr) {
+        w.value("dmr", true);
+        w.value("dmr_seed_b", job.dmrSeedB);
+    }
+    if (!job.ecc)
+        w.value("ecc", false);
+    if (job.maxCycles)
+        w.value("max_cycles", job.maxCycles);
+    w.endObject();
+    return w.str();
+}
+
 std::shared_ptr<Artefact>
 Toolchain::compileUncached(const Job &job,
                            const MachineDescription &mach) const
 {
+    const std::string label =
+        job.name.empty() ? job.lang + ":" + canonMachine(job.machine)
+                         : job.name;
     const Frontend &fe = FrontendRegistry::get(job.lang);
-    Translation tr =
-        fe.translate(job.source, mach, job.options.frontend);
+    Translation tr = [&] {
+        SpanScope span(SpanCat::Translate, "translate " + label);
+        return fe.translate(job.source, mach, job.options.frontend);
+    }();
 
     auto art = std::make_shared<Artefact>();
     if (tr.isMir()) {
@@ -386,14 +421,20 @@ Toolchain::compileUncached(const Job &job,
 
         art->mir = std::move(tr.mir);
         Compiler comp(mach);
-        art->compiled = comp.compile(*art->mir, copts);
+        {
+            SpanScope span(SpanCat::Compile, "compile " + label);
+            art->compiled = comp.compile(*art->mir, copts);
+        }
     } else {
         art->direct = std::move(tr.direct);
     }
     // Pre-decode every word so concurrent simulators can share the
     // cache read-only (SimConfig::decoded).
     art->decoded = std::make_unique<DecodedStore>(art->store(), mach);
-    art->decoded->decodeAll();
+    {
+        SpanScope span(SpanCat::Decode, "decode " + label);
+        art->decoded->decodeAll();
+    }
     // And the native-code analogue: one shared compiled-region cache
     // per artefact (SimConfig::jitCache), so N simulators of one
     // program compile every hot region once.
@@ -457,6 +498,7 @@ Toolchain::run(const Job &job, const SuperviseContext &ctx) const
                  : job.name;
     r.lang = job.lang;
     r.machine = canonMachine(job.machine);
+    SpanScope jobSpan(SpanCat::Job, "job " + r.name);
 
     const std::string verr = job.options.validate();
     if (!verr.empty()) {
@@ -469,6 +511,15 @@ Toolchain::run(const Job &job, const SuperviseContext &ctx) const
         r.artefact = compile(job);
     } catch (const FatalError &e) {
         r.diagnostics.push_back(std::string("compile: ") + e.what());
+        if (!ctx.postmortemDir.empty()) {
+            PostmortemReport p;
+            p.reason = "compile_failed";
+            p.jobJson = jobSpecJson(job);
+            p.diagnostics = r.diagnostics;
+            p.spansJson = spanEventsJson(
+                SpanTracer::instance().recentOnThread(64));
+            writePostmortem(ctx.postmortemDir, r.name, p);
+        }
         return r;
     }
     r.compileSeconds = secondsSince(t0);

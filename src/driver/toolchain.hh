@@ -35,6 +35,7 @@
 #include "jit/jit.hh"
 #include "machine/memory.hh"
 #include "machine/simulator.hh"
+#include "obs/telemetry.hh"
 #include "workloads/workloads.hh"
 
 namespace uhll {
@@ -127,6 +128,17 @@ struct Job {
     CycleProfiler *profiler = nullptr;  //!< caller-owned sink
     /// @}
 
+    /** @name Metrics sampling (see obs/telemetry.hh) */
+    /// @{
+    //! capture stats snapshots into JobResult::metrics (at least the
+    //! final one)
+    bool captureMetrics = false;
+    //! also sample every N *simulated* cycles (0 = final-only);
+    //! samples are keyed to cycles, not wall time, so the series is
+    //! deterministic
+    uint64_t metricsEveryCycles = 0;
+    /// @}
+
     /** @name Programmatic hooks (not expressible in a manifest) */
     /// @{
     //! prepare input memory before the run (workload setup)
@@ -211,6 +223,10 @@ struct JobResult {
     //! byte-identity cannot regress on host-side measurements
     std::string statsJsonClean;
 
+    //! stats time series (Job::captureMetrics), ordered by seq; each
+    //! sample carries both the full and the volatile-scrubbed dump
+    std::vector<MetricsSample> metrics;
+
     /** @name Supervision outcome (see src/driver/supervisor.hh) */
     /// @{
     uint32_t retries = 0;       //!< recoverable-error re-executions
@@ -242,6 +258,10 @@ struct JobResult {
      */
     std::string toJson(bool pretty = true, bool timings = true) const;
 };
+
+/** @p job's spec as a compact JSON object (the flight recorder's
+ *  "job" fragment; hooks and source text are not serialized). */
+std::string jobSpecJson(const Job &job);
 
 /** @name Machine registry */
 /// @{

@@ -7,6 +7,8 @@
 #include "jit/codebuf.hh"
 #include "machine/decoded_store.hh"
 #include "machine/machine_desc.hh"
+#include "obs/telemetry.hh"
+#include "support/logging.hh"
 
 namespace uhll {
 
@@ -32,6 +34,8 @@ compileRegion(uint32_t addr, const DecodedStore &ds,
               const MachineDescription &mach, JitCounters &counters,
               std::unique_ptr<ExecMemory> *mem_out)
 {
+    SpanScope span(SpanCat::Jit,
+                   strfmt("jit compile 0x%04x", addr));
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<uint8_t> code;
     uint32_t words = 0;

@@ -152,6 +152,14 @@ MicroSimulator::registerStats()
     pendingDepth_ = &stats_.histogram(
         "sim.pendingDepth", 1, 8,
         "overlapped-write queue depth at enqueue");
+    if (cfg_.trace) {
+        // Ring truncation must be visible in stats dumps, not only in
+        // the text export. A pure function of the traced events, so
+        // it stays in deterministic (timings-off) dumps.
+        traceDropped_ = &stats_.scalar(
+            "trace.dropped",
+            "microtrace records the ring dropped (truncation)");
+    }
     stats_.formula(
         "sim.fastPathFraction",
         [this] {
@@ -1187,6 +1195,8 @@ MicroSimulator::runUntil(uint64_t stop_cycle, uint64_t stop_words)
         res_.faultSeed = inj_->seed();
         mem_.attachFaults(nullptr);
     }
+    if (traceDropped_)
+        *traceDropped_ = trace_ ? trace_->dropped() : 0;
 }
 
 const SimResult &

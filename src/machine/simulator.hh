@@ -518,6 +518,8 @@ class MicroSimulator
     /// @{
     StatsRegistry stats_;
     Histogram *pendingDepth_ = nullptr; //!< owned by stats_
+    //! trace.dropped scalar (owned by stats_); null when untraced
+    uint64_t *traceDropped_ = nullptr;
     //! cached cfg_.trace / cfg_.profiler; null = disabled, and the
     //! hot loop pays one predictable branch to find out
     TraceBuffer *trace_ = nullptr;

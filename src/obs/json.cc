@@ -10,27 +10,80 @@
 
 namespace uhll {
 
+namespace {
+
+/**
+ * Length of the valid UTF-8 sequence starting at s[i], or 0 if the
+ * bytes there are not well-formed UTF-8 (overlong forms, surrogates
+ * and out-of-range code points included).
+ */
+size_t
+utf8SequenceLength(const std::string &s, size_t i)
+{
+    const unsigned char c0 = s[i];
+    if (c0 < 0x80)
+        return 1;
+    size_t len;
+    uint32_t cp, min;
+    if ((c0 & 0xe0) == 0xc0) {
+        len = 2, cp = c0 & 0x1f, min = 0x80;
+    } else if ((c0 & 0xf0) == 0xe0) {
+        len = 3, cp = c0 & 0x0f, min = 0x800;
+    } else if ((c0 & 0xf8) == 0xf0) {
+        len = 4, cp = c0 & 0x07, min = 0x10000;
+    } else {
+        return 0;
+    }
+    if (i + len > s.size())
+        return 0;
+    for (size_t k = 1; k < len; ++k) {
+        const unsigned char c = s[i + k];
+        if ((c & 0xc0) != 0x80)
+            return 0;
+        cp = (cp << 6) | (c & 0x3f);
+    }
+    if (cp < min || cp > 0x10ffff ||
+        (cp >= 0xd800 && cp <= 0xdfff)) {
+        return 0;
+    }
+    return len;
+}
+
+} // namespace
+
 std::string
 JsonWriter::quote(const std::string &s)
 {
     std::string out;
     out.reserve(s.size() + 2);
     out += '"';
-    for (unsigned char c : s) {
+    for (size_t i = 0; i < s.size();) {
+        const unsigned char c = s[i];
         switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (c < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += static_cast<char>(c);
-            }
+          case '"': out += "\\\""; ++i; continue;
+          case '\\': out += "\\\\"; ++i; continue;
+          case '\n': out += "\\n"; ++i; continue;
+          case '\r': out += "\\r"; ++i; continue;
+          case '\t': out += "\\t"; ++i; continue;
+        }
+        if (c >= 0x20 && c < 0x7f) {
+            out += static_cast<char>(c);
+            ++i;
+            continue;
+        }
+        // Control bytes, DEL and malformed UTF-8 (machine-derived
+        // labels can carry arbitrary bytes) are \u-escaped per byte
+        // so the document always satisfies strict RFC 8259 parsers;
+        // well-formed multi-byte sequences pass through untouched.
+        const size_t len = c >= 0x80 ? utf8SequenceLength(s, i) : 0;
+        if (len) {
+            out.append(s, i, len);
+            i += len;
+        } else {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+            ++i;
         }
     }
     out += '"';

@@ -113,9 +113,10 @@ StatsRegistry::dumpText() const
         line(name,
              strfmt("n=%llu avg=%.2f", (unsigned long long)h.samples(),
                     h.mean()),
-             strfmt("min=%llu max=%llu",
+             strfmt("min=%llu max=%llu p50=%.1f p95=%.1f p99=%.1f",
                     (unsigned long long)h.min(),
-                    (unsigned long long)h.max()));
+                    (unsigned long long)h.max(), h.percentile(50),
+                    h.percentile(95), h.percentile(99)));
         const auto &b = h.buckets();
         for (size_t i = 0; i < b.size(); ++i) {
             if (!b[i])
@@ -160,6 +161,9 @@ StatsRegistry::toJson(bool pretty, bool include_volatile) const
         w.value("min", h.min());
         w.value("max", h.max());
         w.value("mean", h.mean());
+        w.value("p50", h.percentile(50));
+        w.value("p95", h.percentile(95));
+        w.value("p99", h.percentile(99));
         w.value("bucket_width", h.bucketWidth());
         w.beginArray("buckets");
         for (uint64_t b : h.buckets())

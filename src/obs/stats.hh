@@ -25,6 +25,7 @@
 #ifndef UHLL_OBS_STATS_HH
 #define UHLL_OBS_STATS_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -66,6 +67,49 @@ class Histogram
     uint64_t bucketWidth() const { return bucketWidth_; }
     /** Bucket counts; the last entry is the overflow bucket. */
     const std::vector<uint64_t> &buckets() const { return buckets_; }
+
+    /**
+     * The @p p-th percentile (0..100) by linear interpolation within
+     * the containing bucket, clamped to the observed [min, max] (the
+     * overflow bucket interpolates toward max). 0 with no samples.
+     */
+    double
+    percentile(double p) const
+    {
+        if (!samples_)
+            return 0.0;
+        if (p < 0)
+            p = 0;
+        if (p > 100)
+            p = 100;
+        const double target = p / 100.0 * double(samples_);
+        uint64_t cum = 0;
+        for (size_t i = 0; i < buckets_.size(); ++i) {
+            const uint64_t n = buckets_[i];
+            if (!n)
+                continue;
+            if (double(cum + n) >= target) {
+                const double lo = double(i) * double(bucketWidth_);
+                const bool overflow = i + 1 == buckets_.size();
+                const double hi =
+                    overflow ? std::max(lo + double(bucketWidth_),
+                                        double(max_))
+                             : lo + double(bucketWidth_);
+                const double frac =
+                    target <= double(cum)
+                        ? 0.0
+                        : (target - double(cum)) / double(n);
+                double v = lo + frac * (hi - lo);
+                if (v < double(min()))
+                    v = double(min());
+                if (v > double(max_))
+                    v = double(max_);
+                return v;
+            }
+            cum += n;
+        }
+        return double(max_);
+    }
 
     void
     reset()

@@ -1,0 +1,608 @@
+#include "obs/telemetry.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include <sys/stat.h>
+
+#include "obs/json.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+const char *
+spanCatName(SpanCat c)
+{
+    switch (c) {
+      case SpanCat::Batch: return "batch";
+      case SpanCat::Job: return "job";
+      case SpanCat::Translate: return "translate";
+      case SpanCat::Compile: return "compile";
+      case SpanCat::Allocate: return "allocate";
+      case SpanCat::Compact: return "compact";
+      case SpanCat::Decode: return "decode";
+      case SpanCat::Sim: return "sim";
+      case SpanCat::Supervise: return "supervise";
+      case SpanCat::Jit: return "jit";
+    }
+    return "?";
+}
+
+// ----------------------------------------------------------------
+// SpanTracer
+// ----------------------------------------------------------------
+
+SpanTracer &
+SpanTracer::instance()
+{
+    static SpanTracer tracer;
+    return tracer;
+}
+
+void
+SpanTracer::enable(size_t per_lane_capacity)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    lanes_.clear();
+    laneCapacity_ = per_lane_capacity ? per_lane_capacity : 1;
+    epoch_ = std::chrono::steady_clock::now();
+    // Bumping the generation invalidates every thread's cached lane
+    // pointer, so stale lanes from a previous enable() are never
+    // written again.
+    generation_.fetch_add(1, std::memory_order_release);
+    enabled_.store(true, std::memory_order_release);
+}
+
+void
+SpanTracer::disable()
+{
+    enabled_.store(false, std::memory_order_release);
+}
+
+uint64_t
+SpanTracer::nowUs() const
+{
+    if (!enabled())
+        return 0;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+SpanTracer::Lane *
+SpanTracer::laneForThisThread() const
+{
+    // One registry lock per (thread, enable() call); every record
+    // after that is a plain vector append on thread-private storage.
+    thread_local uint64_t cached_gen = ~0ULL;
+    thread_local Lane *cached = nullptr;
+    const uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (cached_gen != gen) {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto lane = std::make_unique<Lane>();
+        lane->capacity = laneCapacity_;
+        lane->name = strfmt("lane-%zu", lanes_.size());
+        cached = lane.get();
+        lanes_.push_back(std::move(lane));
+        cached_gen = gen;
+    }
+    return cached;
+}
+
+void
+SpanTracer::setLaneName(const std::string &name)
+{
+    if (!enabled())
+        return;
+    Lane *lane = laneForThisThread();
+    std::lock_guard<std::mutex> lock(mu_);
+    lane->name = name;
+}
+
+void
+SpanTracer::complete(SpanCat cat, std::string name, uint64_t ts_us,
+                     uint64_t dur_us)
+{
+    if (!enabled())
+        return;
+    Lane *lane = laneForThisThread();
+    if (lane->events.size() >= lane->capacity) {
+        ++lane->dropped;
+        return;
+    }
+    SpanEvent e;
+    e.tsUs = ts_us;
+    e.durUs = dur_us;
+    e.cat = cat;
+    e.name = std::move(name);
+    lane->events.push_back(std::move(e));
+}
+
+void
+SpanTracer::instant(SpanCat cat, std::string name)
+{
+    if (!enabled())
+        return;
+    Lane *lane = laneForThisThread();
+    if (lane->events.size() >= lane->capacity) {
+        ++lane->dropped;
+        return;
+    }
+    SpanEvent e;
+    e.tsUs = nowUs();
+    e.cat = cat;
+    e.instant = true;
+    e.name = std::move(name);
+    lane->events.push_back(std::move(e));
+}
+
+SpanTracer::Collected
+SpanTracer::collect() const
+{
+    Collected out;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < lanes_.size(); ++i) {
+        out.laneNames.push_back(lanes_[i]->name);
+        out.dropped += lanes_[i]->dropped;
+        for (const SpanEvent &e : lanes_[i]->events) {
+            SpanEvent copy = e;
+            copy.lane = static_cast<uint32_t>(i);
+            out.events.push_back(std::move(copy));
+        }
+    }
+    // A total order, so two collects over the same buffers are
+    // byte-identical: time, then lane, then longest-first (parents
+    // sort before the children they contain), then name.
+    std::sort(out.events.begin(), out.events.end(),
+              [](const SpanEvent &a, const SpanEvent &b) {
+                  if (a.tsUs != b.tsUs)
+                      return a.tsUs < b.tsUs;
+                  if (a.lane != b.lane)
+                      return a.lane < b.lane;
+                  if (a.durUs != b.durUs)
+                      return a.durUs > b.durUs;
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+std::vector<SpanEvent>
+SpanTracer::recentOnThread(size_t n) const
+{
+    std::vector<SpanEvent> out;
+    if (!enabled())
+        return out;
+    const Lane *lane = laneForThisThread();
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t total = lane->events.size();
+    const size_t start = total > n ? total - n : 0;
+    out.assign(lane->events.begin() + start, lane->events.end());
+    return out;
+}
+
+namespace {
+
+void
+writeSpanEvent(JsonWriter &w, const SpanEvent &e)
+{
+    w.beginObject();
+    w.value("name", e.name);
+    if (e.instant) {
+        w.value("ph", "i");
+        w.value("s", "t");
+    } else {
+        w.value("ph", "X");
+        w.value("dur", e.durUs);
+    }
+    w.value("cat", spanCatName(e.cat));
+    w.value("ts", e.tsUs);
+    w.value("pid", uint64_t(0));
+    w.value("tid", uint64_t(e.lane));
+    w.endObject();
+}
+
+void
+writeThreadName(JsonWriter &w, uint64_t pid, uint64_t tid,
+                const std::string &name)
+{
+    w.beginObject();
+    w.value("name", "thread_name");
+    w.value("ph", "M");
+    w.value("pid", pid);
+    w.value("tid", tid);
+    w.beginObject("args").value("name", name).endObject();
+    w.endObject();
+}
+
+void
+writeProcessName(JsonWriter &w, uint64_t pid, const std::string &name)
+{
+    w.beginObject();
+    w.value("name", "process_name");
+    w.value("ph", "M");
+    w.value("pid", pid);
+    w.value("tid", uint64_t(0));
+    w.beginObject("args").value("name", name).endObject();
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+SpanTracer::chromeJson(
+    const TraceBuffer *micro,
+    const std::function<std::string(uint32_t)> &describe) const
+{
+    const Collected c = collect();
+
+    JsonWriter w(false);
+    w.beginObject();
+    w.value("displayTimeUnit", "ms");
+    w.beginArray("traceEvents");
+    writeProcessName(w, 0, "uhll driver");
+    for (size_t i = 0; i < c.laneNames.size(); ++i)
+        writeThreadName(w, 0, i, c.laneNames[i]);
+    for (const SpanEvent &e : c.events)
+        writeSpanEvent(w, e);
+    if (micro) {
+        writeProcessName(w, 1, "uhll microsimulator");
+        micro->chromeEvents(w, 1, describe);
+    }
+    w.endArray();
+    if (c.dropped)
+        w.value("uhll_dropped_spans", c.dropped);
+    if (micro && micro->dropped())
+        w.value("uhll_dropped_records", micro->dropped());
+
+    // Per-category span-duration histograms: the Histogram percentile
+    // readout over wall-clock microseconds (diagnostic only -- never
+    // part of a deterministic dump).
+    std::map<std::string, Histogram> durs;
+    for (const SpanEvent &e : c.events) {
+        if (e.instant)
+            continue;
+        auto it = durs.find(spanCatName(e.cat));
+        if (it == durs.end()) {
+            it = durs.emplace(spanCatName(e.cat), Histogram(100, 64))
+                     .first;
+        }
+        it->second.sample(e.durUs);
+    }
+    if (!durs.empty()) {
+        w.beginObject("uhll_span_stats");
+        for (const auto &[cat, h] : durs) {
+            w.beginObject(cat);
+            w.value("samples", h.samples());
+            w.value("sum_us", h.sum());
+            w.value("min_us", h.min());
+            w.value("max_us", h.max());
+            w.value("mean_us", h.mean());
+            w.value("p50_us", h.percentile(50));
+            w.value("p95_us", h.percentile(95));
+            w.value("p99_us", h.percentile(99));
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endObject();
+    return w.str();
+}
+
+// ----------------------------------------------------------------
+// Metrics exporters
+// ----------------------------------------------------------------
+
+std::string
+metricsToJsonl(const std::vector<MetricsSample> &samples,
+               bool include_volatile)
+{
+    std::string out;
+    for (const MetricsSample &s : samples) {
+        JsonWriter w(false);
+        w.beginObject();
+        w.value("job", s.label);
+        w.value("seq", s.seq);
+        w.value("cycles", s.cycles);
+        w.raw("stats",
+              include_volatile ? s.statsFull : s.statsClean);
+        w.endObject();
+        out += w.str();
+        out += '\n';
+    }
+    return out;
+}
+
+namespace {
+
+std::string
+promName(const std::string &dotted)
+{
+    std::string out = "uhll_";
+    for (char c : dotted) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' ||
+                        c == ':';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+std::string
+promLabel(const std::string &v)
+{
+    std::string out;
+    for (char c : v) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+std::string
+promNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "NaN";
+    if (v == std::floor(v) && std::fabs(v) < 1e15)
+        return strfmt("%.0f", v);
+    return strfmt("%.6g", v);
+}
+
+struct PromFamily {
+    std::string type;                //!< "gauge" or "histogram"
+    std::vector<std::string> lines;  //!< full exposition lines
+};
+
+bool
+looksLikeHistogram(const JsonValue &v)
+{
+    return v.isObject() && v.get("buckets") && v.get("bucket_width") &&
+           v.get("samples") && v.get("sum");
+}
+
+void
+flattenStats(const JsonValue &v, const std::string &prefix,
+             const std::string &label,
+             std::map<std::string, PromFamily> &fams)
+{
+    if (looksLikeHistogram(v)) {
+        PromFamily &f = fams[promName(prefix)];
+        f.type = "histogram";
+        const std::string name = promName(prefix);
+        const JsonValue &buckets = *v.get("buckets");
+        const uint64_t width = v.get("bucket_width")->asU64(1);
+        uint64_t cum = 0;
+        for (size_t i = 0; i < buckets.items.size(); ++i) {
+            cum += buckets.items[i].asU64();
+            const std::string le =
+                i + 1 == buckets.items.size()
+                    ? std::string("+Inf")
+                    : strfmt("%llu",
+                             (unsigned long long)((i + 1) * width));
+            f.lines.push_back(strfmt(
+                "%s_bucket{job=\"%s\",le=\"%s\"} %llu", name.c_str(),
+                label.c_str(), le.c_str(), (unsigned long long)cum));
+        }
+        f.lines.push_back(strfmt(
+            "%s_sum{job=\"%s\"} %llu", name.c_str(), label.c_str(),
+            (unsigned long long)v.get("sum")->asU64()));
+        f.lines.push_back(strfmt(
+            "%s_count{job=\"%s\"} %llu", name.c_str(), label.c_str(),
+            (unsigned long long)v.get("samples")->asU64()));
+        return;
+    }
+    if (v.isObject()) {
+        for (const auto &[k, child] : v.fields) {
+            const std::string next =
+                prefix.empty() ? k : prefix + "_" + k;
+            flattenStats(child, next, label, fams);
+        }
+        return;
+    }
+    double num;
+    if (v.kind == JsonValue::Kind::Number)
+        num = v.number;
+    else if (v.kind == JsonValue::Kind::Bool)
+        num = v.boolean ? 1 : 0;
+    else
+        return;  // strings/null have no exposition
+    PromFamily &f = fams[promName(prefix)];
+    f.type = "gauge";
+    f.lines.push_back(strfmt("%s{job=\"%s\"} %s",
+                             promName(prefix).c_str(), label.c_str(),
+                             promNumber(num).c_str()));
+}
+
+} // namespace
+
+std::string
+metricsToPrometheus(const std::vector<MetricsSample> &samples,
+                    bool include_volatile)
+{
+    // Last sample per label, preserving first-appearance order so
+    // jobs expose in batch order.
+    std::vector<const MetricsSample *> finals;
+    for (const MetricsSample &s : samples) {
+        bool found = false;
+        for (auto &f : finals) {
+            if (f->label == s.label) {
+                f = &s;
+                found = true;
+            }
+        }
+        if (!found)
+            finals.push_back(&s);
+    }
+
+    std::map<std::string, PromFamily> fams;
+    for (const MetricsSample *s : finals) {
+        const std::string &raw =
+            include_volatile ? s->statsFull : s->statsClean;
+        if (raw.empty())
+            continue;
+        flattenStats(JsonValue::parse(raw), "",
+                     promLabel(s->label), fams);
+    }
+
+    std::string out;
+    for (const auto &[name, fam] : fams) {
+        out += strfmt("# TYPE %s %s\n", name.c_str(),
+                      fam.type.c_str());
+        for (const std::string &line : fam.lines) {
+            out += line;
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+// ----------------------------------------------------------------
+// Flight recorder
+// ----------------------------------------------------------------
+
+std::string
+renderPostmortem(const PostmortemReport &p)
+{
+    JsonWriter w(true);
+    w.beginObject();
+    w.value("kind", "uhll_postmortem");
+    w.value("version", uint64_t(1));
+    w.value("reason", p.reason);
+    if (!p.jobJson.empty())
+        w.raw("job", p.jobJson);
+    if (!p.diagnostics.empty()) {
+        w.beginArray("diagnostics");
+        for (const std::string &d : p.diagnostics)
+            w.value("", d);
+        w.endArray();
+    }
+    if (!p.errorJson.empty())
+        w.raw("error", p.errorJson);
+    if (!p.divergenceJson.empty())
+        w.raw("divergence", p.divergenceJson);
+    if (!p.registersJson.empty())
+        w.raw("registers", p.registersJson);
+    if (!p.statsJson.empty())
+        w.raw("stats", p.statsJson);
+    if (!p.microtraceJson.empty())
+        w.raw("microtrace", p.microtraceJson);
+    if (!p.spansJson.empty())
+        w.raw("spans", p.spansJson);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+microtraceJson(const TraceBuffer &t, size_t last_n,
+               const std::function<std::string(uint32_t)> &describe)
+{
+    JsonWriter w(false);
+    w.beginArray();
+    const size_t total = t.size();
+    const size_t start = total > last_n ? total - last_n : 0;
+    for (size_t i = start; i < total; ++i) {
+        const TraceRecord &r = t.at(i);
+        w.beginObject();
+        w.value("cycle", r.cycle);
+        w.value("upc", uint64_t(r.upc));
+        w.value("cat", traceCatName(r.cat));
+        w.value("severity",
+                r.sev == TraceSev::Warning ? "warning" : "info");
+        w.value("text", traceRecordText(r));
+        if (describe) {
+            const std::string d = describe(r.upc);
+            if (!d.empty())
+                w.value("at", d);
+        }
+        w.endObject();
+    }
+    w.endArray();
+    return w.str();
+}
+
+std::string
+spanEventsJson(const std::vector<SpanEvent> &events)
+{
+    JsonWriter w(false);
+    w.beginArray();
+    for (const SpanEvent &e : events) {
+        w.beginObject();
+        w.value("ts_us", e.tsUs);
+        if (!e.instant)
+            w.value("dur_us", e.durUs);
+        w.value("cat", spanCatName(e.cat));
+        w.value("name", e.name);
+        w.endObject();
+    }
+    w.endArray();
+    return w.str();
+}
+
+bool
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream f(tmp, std::ios::trunc | std::ios::binary);
+        if (!f) {
+            warn("telemetry: cannot write '%s'", tmp.c_str());
+            return false;
+        }
+        f << content;
+        f.flush();
+        if (!f.good()) {
+            warn("telemetry: short write to '%s'", tmp.c_str());
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("telemetry: cannot rename '%s' to '%s'", tmp.c_str(),
+             path.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::string
+postmortemPath(const std::string &dir, const std::string &job_name)
+{
+    std::string base;
+    for (char c : job_name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' ||
+                        c == '-' || c == '_';
+        base += ok ? c : '_';
+    }
+    if (base.empty())
+        base = "job";
+    return dir + "/" + base + ".postmortem.json";
+}
+
+std::string
+writePostmortem(const std::string &dir, const std::string &job_name,
+                const PostmortemReport &p)
+{
+    ::mkdir(dir.c_str(), 0777);  // EEXIST is the common case
+    const std::string path = postmortemPath(dir, job_name);
+    if (!writeFileAtomic(path, renderPostmortem(p) + "\n"))
+        return "";
+    return path;
+}
+
+} // namespace uhll

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * End-to-end telemetry: span tracing, metrics time series and the
+ * post-mortem flight recorder.
+ *
+ * Three facilities, all driver-stack-wide (the microtrace ring in
+ * obs/trace.hh stays the per-simulator view):
+ *
+ *  - *span tracer* (SpanTracer / SpanScope): begin/end spans with
+ *    nesting over the pipeline stages (translate -> compile ->
+ *    allocate -> compact -> decode), batch jobs, supervised
+ *    simulations and JIT region compiles. Recording is lock-free:
+ *    each thread appends to its own lane buffer, and the lane
+ *    registry is only locked on first use per thread. A disabled
+ *    tracer costs one relaxed atomic load per call site, so the
+ *    hot simulator loop is never touched (spans are coarse-grained
+ *    by design). chromeJson() merges every lane -- plus, optionally,
+ *    a microtrace ring -- into one Chrome trace_event document:
+ *    spans render as nested slices on per-worker tracks (pid 0),
+ *    the microtrace as its own process (pid 1, 1 microcycle = 1 us).
+ *
+ *  - *metrics sampler* (MetricsSample + exporters): periodic
+ *    StatsRegistry snapshots keyed to *simulated* cycles, captured
+ *    by the supervisor between execution slices. Both the full and
+ *    the volatile-scrubbed dump are rendered at capture time, so
+ *    exports honour the markVolatile() discipline: the timings-off
+ *    JSONL/Prometheus output is a pure function of the job and
+ *    byte-identical between -j1 and -j8 batch runs.
+ *
+ *  - *flight recorder* (renderPostmortem/writePostmortem): on a
+ *    structured SimError, failed job or DMR divergence, the last-N
+ *    microtrace records, the recording thread's recent spans, the
+ *    final stats dump, the register snapshot and the job spec are
+ *    bundled into one post-mortem JSON artifact, written atomically
+ *    (tmp + rename) next to the batch journal.
+ */
+
+#ifndef UHLL_OBS_TELEMETRY_HH
+#define UHLL_OBS_TELEMETRY_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace uhll {
+
+class TraceBuffer;
+
+/** Span categories: one per instrumented layer. */
+enum class SpanCat : uint8_t {
+    Batch,      //!< a whole BatchRunner::run
+    Job,        //!< one Toolchain::run (compile + simulate)
+    Translate,  //!< frontend parse + translate
+    Compile,    //!< Compiler::compile (MIR programs)
+    Allocate,   //!< register allocation
+    Compact,    //!< lowering + microcode compaction
+    Decode,     //!< DecodedStore::decodeAll
+    Sim,        //!< the supervised simulation
+    Supervise,  //!< supervisor actions (instants)
+    Jit,        //!< native region compiles
+};
+constexpr size_t kNumSpanCats = 10;
+
+const char *spanCatName(SpanCat c);
+
+/** One completed span or instant on a lane. */
+struct SpanEvent {
+    uint64_t tsUs = 0;    //!< start, microseconds since enable()
+    uint64_t durUs = 0;   //!< 0 for instants
+    uint32_t lane = 0;    //!< per-thread lane ordinal
+    SpanCat cat = SpanCat::Job;
+    bool instant = false;
+    std::string name;
+};
+
+/**
+ * The process-wide span tracer. All methods are thread-safe;
+ * recording is wait-free after a lane's first event. Off by
+ * default -- every record site is gated on enabled(), so programs
+ * that never call enable() pay one relaxed load per site.
+ */
+class SpanTracer
+{
+  public:
+    static SpanTracer &instance();
+
+    /**
+     * Reset and start recording. @p per_lane_capacity bounds each
+     * lane's buffer; further events bump dropped() instead of
+     * growing without limit.
+     */
+    void enable(size_t per_lane_capacity = 1 << 16);
+    void disable();
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Name the calling thread's lane ("worker-3"); shows up as the
+     *  Chrome thread_name. No-op while disabled. */
+    void setLaneName(const std::string &name);
+
+    /** Record a completed span on the calling thread's lane. */
+    void complete(SpanCat cat, std::string name, uint64_t ts_us,
+                  uint64_t dur_us);
+
+    /** Record an instant event on the calling thread's lane. */
+    void instant(SpanCat cat, std::string name);
+
+    /** Microseconds since enable() (0 while disabled). */
+    uint64_t nowUs() const;
+
+    /** Everything collect() returns. */
+    struct Collected {
+        //!< merged events, sorted by (tsUs, lane, -durUs, name)
+        std::vector<SpanEvent> events;
+        std::vector<std::string> laneNames;  //!< by lane ordinal
+        uint64_t dropped = 0;                //!< summed over lanes
+    };
+
+    /**
+     * Merge every lane's buffer. Only call at quiescence (after
+     * worker threads joined, or from the sole recording thread);
+     * recording into a lane while it is being collected is a race
+     * by contract.
+     */
+    Collected collect() const;
+
+    /** The last @p n events recorded on the *calling* thread's
+     *  lane, oldest first (the flight recorder's span context). */
+    std::vector<SpanEvent> recentOnThread(size_t n) const;
+
+    /**
+     * The merged Chrome trace_event document: spans as nested "X"
+     * slices on per-lane tracks under pid 0, plus @p micro's
+     * records (when given) under pid 1 with 1 microcycle = 1 us,
+     * plus per-category span-duration histograms (p50/p95/p99)
+     * under "uhll_span_stats".
+     */
+    std::string chromeJson(
+        const TraceBuffer *micro = nullptr,
+        const std::function<std::string(uint32_t)> &describe =
+            nullptr) const;
+
+  private:
+    SpanTracer() = default;
+
+    struct Lane {
+        std::vector<SpanEvent> events;  //!< appended by owner thread
+        std::string name;
+        uint64_t dropped = 0;
+        size_t capacity = 0;
+    };
+
+    Lane *laneForThisThread() const;
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<uint64_t> generation_{0};
+    std::chrono::steady_clock::time_point epoch_{};
+    size_t laneCapacity_ = 1 << 16;
+    mutable std::mutex mu_;  //!< guards lanes_ registration + names
+    mutable std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+/** RAII span: captures the start on construction, records on
+ *  destruction. Zero cost (no clock read) while the tracer is off. */
+class SpanScope
+{
+  public:
+    SpanScope(SpanCat cat, std::string name)
+        : cat_(cat)
+    {
+        SpanTracer &t = SpanTracer::instance();
+        if (t.enabled()) {
+            armed_ = true;
+            name_ = std::move(name);
+            t0_ = t.nowUs();
+        }
+    }
+
+    ~SpanScope()
+    {
+        if (!armed_)
+            return;
+        SpanTracer &t = SpanTracer::instance();
+        const uint64_t t1 = t.nowUs();
+        t.complete(cat_, std::move(name_), t0_,
+                   t1 > t0_ ? t1 - t0_ : 0);
+    }
+
+    SpanScope(const SpanScope &) = delete;
+    SpanScope &operator=(const SpanScope &) = delete;
+
+  private:
+    SpanCat cat_;
+    bool armed_ = false;
+    uint64_t t0_ = 0;
+    std::string name_;
+};
+
+// ----------------------------------------------------------------
+// Metrics time series
+// ----------------------------------------------------------------
+
+/**
+ * One StatsRegistry snapshot. Both dump forms are rendered at
+ * capture time so exporters can pick the volatile-scrubbed one
+ * without re-dumping a registry that has moved on.
+ */
+struct MetricsSample {
+    uint64_t seq = 0;        //!< per-job sample ordinal
+    uint64_t cycles = 0;     //!< simulated cycles at capture
+    std::string label;       //!< job/report name
+    std::string statsFull;   //!< compact toJson(false, true)
+    std::string statsClean;  //!< compact toJson(false, false)
+};
+
+/**
+ * JSONL export: one {"job","seq","cycles","stats"} object per line,
+ * in the order given (callers order by job index, then seq). With
+ * @p include_volatile false the scrubbed dumps are embedded -- the
+ * deterministic form.
+ */
+std::string metricsToJsonl(const std::vector<MetricsSample> &samples,
+                           bool include_volatile);
+
+/**
+ * Prometheus text exposition of the *last* sample per label: dotted
+ * stat names flatten to uhll_-prefixed underscore names with a
+ * {job="..."} label, histogram-shaped stats become the cumulative
+ * _bucket{le=...}/_sum/_count form, everything else a gauge.
+ */
+std::string
+metricsToPrometheus(const std::vector<MetricsSample> &samples,
+                    bool include_volatile);
+
+// ----------------------------------------------------------------
+// Flight recorder
+// ----------------------------------------------------------------
+
+/** Pre-rendered pieces of one post-mortem artifact. Raw fields are
+ *  JSON fragments ("" = omitted); the renderer only assembles. */
+struct PostmortemReport {
+    //! "sim_error" | "job_failed" | "dmr_divergence" |
+    //! "compile_failed"
+    std::string reason;
+    std::string jobJson;         //!< job spec object
+    std::string errorJson;       //!< structured SimError object
+    std::string divergenceJson;  //!< DMR divergence object
+    std::string statsJson;       //!< final stats dump object
+    std::string registersJson;   //!< register snapshot object
+    std::string microtraceJson;  //!< last-N trace records (array)
+    std::string spansJson;       //!< recent span events (array)
+    std::vector<std::string> diagnostics;
+};
+
+/** The artifact document (always a valid, self-contained object). */
+std::string renderPostmortem(const PostmortemReport &p);
+
+/** The last @p last_n retained records of @p t as a JSON array. */
+std::string
+microtraceJson(const TraceBuffer &t, size_t last_n,
+               const std::function<std::string(uint32_t)> &describe =
+                   nullptr);
+
+/** @p events as a JSON array (the "spans" fragment). */
+std::string spanEventsJson(const std::vector<SpanEvent> &events);
+
+/**
+ * Write @p content to @p path atomically: a sibling tmp file,
+ * flushed, then rename()d over the target, so readers never see a
+ * torn artifact. Returns false (and warns) on I/O failure.
+ */
+bool writeFileAtomic(const std::string &path,
+                     const std::string &content);
+
+/**
+ * `<dir>/<sanitized job name>.postmortem.json`; any character that
+ * does not belong in a filename becomes '_'.
+ */
+std::string postmortemPath(const std::string &dir,
+                           const std::string &job_name);
+
+/** renderPostmortem + mkdir(dir) + writeFileAtomic, returning the
+ *  path written ("" on failure). */
+std::string writePostmortem(const std::string &dir,
+                            const std::string &job_name,
+                            const PostmortemReport &p);
+
+} // namespace uhll
+
+#endif // UHLL_OBS_TELEMETRY_HH

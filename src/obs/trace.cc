@@ -118,6 +118,12 @@ payload(const TraceRecord &r)
 } // namespace
 
 std::string
+traceRecordText(const TraceRecord &r)
+{
+    return payload(r);
+}
+
+std::string
 TraceBuffer::dumpText(
     const std::function<std::string(uint32_t)> &describe) const
 {
@@ -144,23 +150,11 @@ TraceBuffer::dumpText(
     return out;
 }
 
-std::string
-TraceBuffer::toChromeJson(
+void
+TraceBuffer::chromeEvents(
+    JsonWriter &w, uint64_t pid,
     const std::function<std::string(uint32_t)> &describe) const
 {
-    JsonWriter w(false);
-    w.beginObject();
-    w.value("displayTimeUnit", "ms");
-    w.beginArray("traceEvents");
-    // Process metadata so the track has a readable name.
-    w.beginObject();
-    w.value("name", "process_name");
-    w.value("ph", "M");
-    w.value("pid", uint64_t(0));
-    w.value("tid", uint64_t(0));
-    w.beginObject("args").value("name", "uhll microsimulator")
-        .endObject();
-    w.endObject();
     for (size_t i = 0; i < size(); ++i) {
         const TraceRecord &r = at(i);
         std::string name = strfmt("upc 0x%04x", r.upc);
@@ -183,7 +177,7 @@ TraceBuffer::toChromeJson(
         }
         w.value("cat", traceCatName(r.cat));
         w.value("ts", r.cycle);
-        w.value("pid", uint64_t(0));
+        w.value("pid", pid);
         w.value("tid", uint64_t(0));
         w.beginObject("args");
         w.value("upc", uint64_t(r.upc));
@@ -193,6 +187,26 @@ TraceBuffer::toChromeJson(
         w.endObject();
         w.endObject();
     }
+}
+
+std::string
+TraceBuffer::toChromeJson(
+    const std::function<std::string(uint32_t)> &describe) const
+{
+    JsonWriter w(false);
+    w.beginObject();
+    w.value("displayTimeUnit", "ms");
+    w.beginArray("traceEvents");
+    // Process metadata so the track has a readable name.
+    w.beginObject();
+    w.value("name", "process_name");
+    w.value("ph", "M");
+    w.value("pid", uint64_t(0));
+    w.value("tid", uint64_t(0));
+    w.beginObject("args").value("name", "uhll microsimulator")
+        .endObject();
+    w.endObject();
+    chromeEvents(w, 0, describe);
     w.endArray();
     if (dropped())
         w.value("uhll_dropped_records", dropped());

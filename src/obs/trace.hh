@@ -26,6 +26,8 @@
 
 namespace uhll {
 
+class JsonWriter;
+
 /** Event category; each has a bit in the filter mask. */
 enum class TraceCat : uint8_t {
     Word,       //!< a microword executed (a = cycles taken, b = fast)
@@ -87,6 +89,10 @@ struct TraceRecord {
     TraceSev sev = TraceSev::Info;
 };
 
+/** One record's category-specific payload as human-readable text
+ *  ("3 cycles (fast)", "checkpoint #2"); the flight recorder's view. */
+std::string traceRecordText(const TraceRecord &r);
+
 /** The fixed-capacity event ring. */
 class TraceBuffer
 {
@@ -144,6 +150,16 @@ class TraceBuffer
      * ("i") events; 1 microcycle = 1 us of trace time.
      */
     std::string toChromeJson(
+        const std::function<std::string(uint32_t)> &describe = {}) const;
+
+    /**
+     * Emit this ring's records as Chrome trace_event objects into an
+     * already-open "traceEvents" array of @p w, on process @p pid.
+     * Shared by toChromeJson() and the merged span/microtrace export
+     * (SpanTracer::chromeJson) so both render identically.
+     */
+    void chromeEvents(
+        JsonWriter &w, uint64_t pid,
         const std::function<std::string(uint32_t)> &describe = {}) const;
 
   private:

@@ -68,6 +68,25 @@
  *                       cycle attribution tables after the run
  *   --quiet / --verbose set the log level (default from UHLL_LOG)
  *
+ * Telemetry (see README "Telemetry"; all four work in single-file
+ * and batch mode, and override the manifest's "telemetry" object):
+ *   --otrace FILE       span-trace the whole pipeline (translate,
+ *                       compile, decode, sim, JIT, supervisor) and
+ *                       write one merged Chrome trace_event JSON; in
+ *                       single-file mode a --trace microtrace is
+ *                       merged in as its own process
+ *   --metrics-out FILE  write periodic StatsRegistry samples as
+ *                       JSONL to FILE and a Prometheus text
+ *                       exposition to FILE.prom; with --no-timings
+ *                       the output is deterministic (byte-identical
+ *                       across -j values)
+ *   --metrics-every N   sample every N simulated cycles (default:
+ *                       one final sample per job)
+ *   --postmortem-dir D  write a post-mortem JSON artifact into D for
+ *                       every failed job (flight recorder)
+ *   --validate-json FILE   exit 0 iff FILE parses as one JSON value
+ *   --validate-jsonl FILE  exit 0 iff every line of FILE parses
+ *
  * Fault injection (see src/fault/ and README "Fault injection"):
  *   --inject FILE       run under the fault plan in FILE ("-" for
  *                       the built-in recoverable chaos mix)
@@ -92,6 +111,7 @@
 #include "jit/jit.hh"
 #include "obs/json.hh"
 #include "obs/profile.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace.hh"
 #include "support/logging.hh"
 
@@ -127,6 +147,8 @@ usage()
         "             [--trace-limit N] [--profile]\n"
         "             [--inject FILE|-] [--seed N]\n"
         "             [--max-restarts K]\n"
+        "             [--otrace FILE] [--metrics-out FILE]\n"
+        "             [--metrics-every N] [--postmortem-dir DIR]\n"
         "             [--quiet] [--verbose]\n"
         "       uhllc --batch MANIFEST [-jN] [--report FILE]\n"
         "             [--no-timings] [--resume REPORT]\n"
@@ -134,6 +156,9 @@ usage()
         "             [--deadline S] [--retries N]\n"
         "             [--checkpoint-every N] [--dmr]\n"
         "             [--dmr-interval N] [--dmr-seed-b N]\n"
+        "             [--otrace FILE] [--metrics-out FILE]\n"
+        "             [--metrics-every N] [--postmortem-dir DIR]\n"
+        "       uhllc --validate-json FILE | --validate-jsonl FILE\n"
         "       uhllc --list\n",
         joined(FrontendRegistry::names()).c_str(),
         joined(machineNames()).c_str());
@@ -158,6 +183,49 @@ writeFile(const std::string &path, const std::string &content)
     if (!f)
         fatal("cannot write '%s'", path.c_str());
     f << content;
+}
+
+/**
+ * JSON(L) referee for the verify harness: exit 0 iff @p path holds
+ * one valid JSON value (or, with @p jsonl, one per non-empty line).
+ */
+int
+validateMode(const std::string &path, bool jsonl)
+{
+    const std::string text = readFile(path);
+    std::string err;
+    if (!jsonl) {
+        if (jsonValid(text, &err))
+            return 0;
+        std::fprintf(stderr, "%s: invalid JSON: %s\n", path.c_str(),
+                     err.c_str());
+        return 1;
+    }
+    std::istringstream ss(text);
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(ss, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        if (!jsonValid(line, &err)) {
+            std::fprintf(stderr, "%s:%zu: invalid JSON: %s\n",
+                         path.c_str(), lineno, err.c_str());
+            return 1;
+        }
+    }
+    return 0;
+}
+
+/** JSONL + Prometheus sibling for one ordered sample list. */
+void
+writeMetrics(const std::string &path,
+             const std::vector<MetricsSample> &samples, bool timings)
+{
+    writeFile(path, metricsToJsonl(samples, timings));
+    writeFile(path + ".prom", metricsToPrometheus(samples, timings));
+    inform("wrote %zu metrics sample(s) to %s (+ .prom)",
+           samples.size(), path.c_str());
 }
 
 int
@@ -188,7 +256,8 @@ int
 batchMode(const std::string &manifest_path, unsigned threads,
           std::string report_path, bool timings,
           const SupervisePolicy &cli, const std::string &resume_path,
-          int jit_flag, uint32_t jit_threshold)
+          int jit_flag, uint32_t jit_threshold,
+          const TelemetryOptions &cli_tel)
 {
     Toolchain tc;
     BatchSpec spec;
@@ -201,6 +270,18 @@ batchMode(const std::string &manifest_path, unsigned threads,
         return 2;
     }
 
+    // The manifest's "telemetry" object is the base; the CLI flags
+    // override what they name (CLI paths are cwd-relative).
+    TelemetryOptions tel = spec.telemetry;
+    if (!cli_tel.otrace.empty())
+        tel.otrace = cli_tel.otrace;
+    if (!cli_tel.metricsOut.empty())
+        tel.metricsOut = cli_tel.metricsOut;
+    if (cli_tel.metricsEveryCycles)
+        tel.metricsEveryCycles = cli_tel.metricsEveryCycles;
+    if (!cli_tel.postmortemDir.empty())
+        tel.postmortemDir = cli_tel.postmortemDir;
+
     // CLI tier flags override every job's manifest options; forcing
     // the tier off also clears manifest thresholds so the override
     // cannot manufacture a per-job contradiction.
@@ -211,7 +292,14 @@ batchMode(const std::string &manifest_path, unsigned threads,
             j.options.jitThreshold = 0;
         if (jit_threshold)
             j.options.jitThreshold = jit_threshold;
+        if (!tel.metricsOut.empty()) {
+            j.captureMetrics = true;
+            j.metricsEveryCycles = tel.metricsEveryCycles;
+        }
     }
+
+    if (!tel.otrace.empty())
+        SpanTracer::instance().enable();
 
     // The manifest's "supervise" object is the base; command-line
     // flags override whatever they explicitly set.
@@ -242,6 +330,7 @@ batchMode(const std::string &manifest_path, unsigned threads,
     if (!report_path.empty())
         runner.setJournal(report_path + ".journal");
     runner.setResume(resume);
+    runner.setPostmortemDir(tel.postmortemDir);
     BatchReport report = runner.run(spec.jobs);
 
     const std::string json = report.toJson(true, timings) + "\n";
@@ -249,6 +338,23 @@ batchMode(const std::string &manifest_path, unsigned threads,
         std::fputs(json.c_str(), stdout);
     else
         writeFile(report_path, json);
+
+    // Telemetry sinks. The workers have joined inside run(), so
+    // collecting the span lanes here is race-free.
+    if (!tel.otrace.empty()) {
+        writeFile(tel.otrace, SpanTracer::instance().chromeJson());
+        inform("wrote span trace to %s", tel.otrace.c_str());
+    }
+    if (!tel.metricsOut.empty()) {
+        // Job-index order, then per-job sample order: independent
+        // of which worker ran what. (Resume-spliced results carry
+        // no samples; their jobs were not re-run.)
+        std::vector<MetricsSample> samples;
+        for (const JobResult &r : report.results)
+            samples.insert(samples.end(), r.metrics.begin(),
+                           r.metrics.end());
+        writeMetrics(tel.metricsOut, samples, timings);
+    }
 
     for (const JobResult &r : report.results) {
         if (r.ok)
@@ -313,6 +419,9 @@ main(int argc, char **argv)
     std::string trace_path, stats_json_path;
     size_t trace_limit = 4096;
     bool profile = false;
+
+    TelemetryOptions tel;  // CLI telemetry flags (both modes)
+    std::string validate_json, validate_jsonl;
 
     int jit_flag = -1;  // -1 unset, 0 --no-jit, 1 --jit
     bool jit_contradiction = false;
@@ -448,6 +557,17 @@ main(int argc, char **argv)
                 usage();
         }
         else if (a == "--profile") profile = true;
+        else if (valueOpt("--otrace", &tel.otrace)) {}
+        else if (valueOpt("--metrics-out", &tel.metricsOut)) {}
+        else if (valueOpt("--metrics-every", &val)) {
+            tel.metricsEveryCycles =
+                std::strtoull(val.c_str(), nullptr, 0);
+            if (!tel.metricsEveryCycles)
+                usage();
+        }
+        else if (valueOpt("--postmortem-dir", &tel.postmortemDir)) {}
+        else if (valueOpt("--validate-json", &validate_json)) {}
+        else if (valueOpt("--validate-jsonl", &validate_jsonl)) {}
         else if (valueOpt("--inject", &job.faultPlan)) {
             if (job.faultPlan != "-")
                 job.faultPlan = readFile(job.faultPlan);
@@ -515,10 +635,16 @@ main(int argc, char **argv)
         return listMode();
 
     try {
+        if (!validate_json.empty())
+            return validateMode(validate_json, false);
+        if (!validate_jsonl.empty())
+            return validateMode(validate_jsonl, true);
+
         if (!batch_manifest.empty()) {
             return batchMode(batch_manifest, batch_threads,
                              report_path, batch_timings, cli_pol,
-                             resume_path, jit_flag, jit_threshold);
+                             resume_path, jit_flag, jit_threshold,
+                             tel);
         }
 
         if (job.lang.empty() || job.machine.empty() || file.empty())
@@ -551,6 +677,14 @@ main(int argc, char **argv)
             job.profiler = prof.get();
         }
         job.captureStats = !stats_json_path.empty() || profile;
+        if (!tel.metricsOut.empty()) {
+            job.captureMetrics = true;
+            job.metricsEveryCycles = tel.metricsEveryCycles;
+        }
+        if (!tel.otrace.empty()) {
+            SpanTracer::instance().enable();
+            SpanTracer::instance().setLaneName("main");
+        }
 
         Toolchain tc;
         if (!job.run && !job.verify) {
@@ -576,11 +710,18 @@ main(int argc, char **argv)
                         (unsigned long long)art->store().sizeBits());
                 }
             }
+            if (!tel.otrace.empty()) {
+                writeFile(tel.otrace,
+                          SpanTracer::instance().chromeJson());
+                inform("wrote span trace to %s",
+                       tel.otrace.c_str());
+            }
             return 0;
         }
 
         SuperviseContext sctx;
         sctx.policy = cli_pol;
+        sctx.postmortemDir = tel.postmortemDir;
         JobResult r = tc.run(job, sctx);
         if (!r.artefact) {
             for (const std::string &d : r.diagnostics)
@@ -668,6 +809,15 @@ main(int argc, char **argv)
                    trace->size(), trace_path.c_str(),
                    (unsigned long long)trace->dropped());
         }
+        if (!tel.otrace.empty()) {
+            // Merged document: pipeline spans (pid 0) plus, when a
+            // microtrace was recorded, its ring (pid 1).
+            writeFile(tel.otrace, SpanTracer::instance().chromeJson(
+                                      trace.get(), describe));
+            inform("wrote span trace to %s", tel.otrace.c_str());
+        }
+        if (!tel.metricsOut.empty())
+            writeMetrics(tel.metricsOut, r.metrics, batch_timings);
         if (!stats_json_path.empty()) {
             JsonWriter w;
             w.beginObject();

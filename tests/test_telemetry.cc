@@ -1,0 +1,484 @@
+/**
+ * @file
+ * Telemetry tests: span recording merges thread lanes
+ * deterministically and renders valid nested Chrome traces; the
+ * metrics sampler honours the volatile-scalar scrub and is
+ * byte-identical across runs; the Prometheus exposition matches the
+ * documented text format exactly; the flight recorder produces a
+ * valid post-mortem artifact for an injected failure and for a DMR
+ * divergence; and JsonWriter escaping survives masm-derived labels
+ * containing control bytes, DEL and invalid UTF-8.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "driver/supervisor.hh"
+#include "driver/toolchain.hh"
+#include "obs/json.hh"
+#include "obs/stats.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream f(path);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return std::ifstream(path).good();
+}
+
+/** RAII: the tracer is process-wide state; leave it off for the
+ *  other tests in this binary. */
+struct TracerGuard {
+    explicit TracerGuard(size_t cap = 1 << 16)
+    {
+        SpanTracer::instance().enable(cap);
+    }
+    ~TracerGuard() { SpanTracer::instance().disable(); }
+};
+
+// ----------------------------------------------------------------
+// Span tracer
+// ----------------------------------------------------------------
+
+TEST(SpanTracer, DisabledRecordingIsDropped)
+{
+    SpanTracer &t = SpanTracer::instance();
+    ASSERT_FALSE(t.enabled());
+    t.instant(SpanCat::Supervise, "ignored");
+    { SpanScope s(SpanCat::Job, "ignored too"); }
+    EXPECT_TRUE(t.collect().events.empty());
+    EXPECT_EQ(t.nowUs(), 0u);
+}
+
+TEST(SpanTracer, MergesThreadLanesDeterministically)
+{
+    TracerGuard guard;
+    SpanTracer &t = SpanTracer::instance();
+    t.setLaneName("main");
+
+    // Three worker threads, each with fixed timestamps: the merged
+    // order is a pure function of the recorded events.
+    std::vector<std::thread> pool;
+    for (int w = 0; w < 3; ++w) {
+        pool.emplace_back([&t, w] {
+            t.setLaneName(strfmt("worker-%d", w));
+            t.complete(SpanCat::Job, strfmt("job-%d", w), 10, 5);
+            t.complete(SpanCat::Sim, strfmt("sim-%d", w), 11, 3);
+            t.instant(SpanCat::Supervise, strfmt("note-%d", w));
+        });
+    }
+    for (std::thread &th : pool)
+        th.join();
+    t.complete(SpanCat::Batch, "batch", 0, 100);
+
+    const SpanTracer::Collected c = t.collect();
+    ASSERT_EQ(c.events.size(), 10u);
+    EXPECT_EQ(c.dropped, 0u);
+    ASSERT_EQ(c.laneNames.size(), 4u);
+    // The main lane registered first (lane 0); worker lane ordinals
+    // depend on scheduling, but every name must be present.
+    EXPECT_EQ(c.laneNames[0], "main");
+    for (int w = 0; w < 3; ++w)
+        EXPECT_NE(std::find(c.laneNames.begin(), c.laneNames.end(),
+                            strfmt("worker-%d", w)),
+                  c.laneNames.end());
+
+    // Sorted by (ts, lane, longer-first, name): the batch span
+    // leads, and the invariant holds pairwise.
+    EXPECT_EQ(c.events[0].name, "batch");
+    for (size_t i = 1; i < c.events.size(); ++i) {
+        const SpanEvent &a = c.events[i - 1], &b = c.events[i];
+        EXPECT_TRUE(a.tsUs < b.tsUs ||
+                    (a.tsUs == b.tsUs &&
+                     (a.lane < b.lane ||
+                      (a.lane == b.lane && a.durUs >= b.durUs))));
+    }
+    // collect() is repeatable: same merged view both times.
+    const SpanTracer::Collected c2 = t.collect();
+    ASSERT_EQ(c2.events.size(), c.events.size());
+    for (size_t i = 0; i < c.events.size(); ++i)
+        EXPECT_EQ(c2.events[i].name, c.events[i].name);
+}
+
+TEST(SpanTracer, LaneCapacityBoundsMemoryAndCountsDrops)
+{
+    TracerGuard guard(4);
+    SpanTracer &t = SpanTracer::instance();
+    for (int i = 0; i < 7; ++i)
+        t.instant(SpanCat::Supervise, strfmt("i%d", i));
+    const SpanTracer::Collected c = t.collect();
+    EXPECT_EQ(c.events.size(), 4u);
+    EXPECT_EQ(c.dropped, 3u);
+    // The drop counter also lands in the Chrome document.
+    EXPECT_NE(t.chromeJson().find("uhll_dropped_spans"),
+              std::string::npos);
+}
+
+TEST(SpanTracer, RecentOnThreadReturnsOwnLaneTail)
+{
+    TracerGuard guard;
+    SpanTracer &t = SpanTracer::instance();
+    for (int i = 0; i < 5; ++i)
+        t.instant(SpanCat::Supervise, strfmt("e%d", i));
+    std::thread([&t] {
+        t.instant(SpanCat::Supervise, "other-lane");
+    }).join();
+    const std::vector<SpanEvent> tail = t.recentOnThread(3);
+    ASSERT_EQ(tail.size(), 3u);
+    EXPECT_EQ(tail[0].name, "e2");
+    EXPECT_EQ(tail[2].name, "e4");
+}
+
+TEST(SpanTracer, PipelineSpansNestInsideTheJobSpan)
+{
+    TracerGuard guard;
+    Toolchain tc;
+    Job job = workloadJob(workloadSuite()[0], "hm1", false);
+    JobResult r = tc.run(job, SuperviseContext{});
+    ASSERT_TRUE(r.ok);
+
+    const SpanTracer::Collected c = SpanTracer::instance().collect();
+    auto find = [&](SpanCat cat) -> const SpanEvent * {
+        for (const SpanEvent &e : c.events)
+            if (e.cat == cat && !e.instant)
+                return &e;
+        return nullptr;
+    };
+    const SpanEvent *jobSpan = find(SpanCat::Job);
+    ASSERT_NE(jobSpan, nullptr);
+    for (SpanCat inner : {SpanCat::Translate, SpanCat::Compile,
+                          SpanCat::Allocate, SpanCat::Compact,
+                          SpanCat::Decode, SpanCat::Sim}) {
+        const SpanEvent *e = find(inner);
+        ASSERT_NE(e, nullptr) << spanCatName(inner);
+        // Proper nesting: each stage lies within the job span.
+        EXPECT_GE(e->tsUs, jobSpan->tsUs) << spanCatName(inner);
+        EXPECT_LE(e->tsUs + e->durUs, jobSpan->tsUs + jobSpan->durUs)
+            << spanCatName(inner);
+    }
+
+    const std::string doc = SpanTracer::instance().chromeJson();
+    std::string err;
+    EXPECT_TRUE(jsonValid(doc, &err)) << err;
+    EXPECT_NE(doc.find("\"uhll driver\""), std::string::npos);
+    EXPECT_NE(doc.find("uhll_span_stats"), std::string::npos);
+    EXPECT_NE(doc.find("\"p95_us\""), std::string::npos);
+}
+
+TEST(SpanTracer, ChromeJsonMergesTheMicrotraceAsItsOwnProcess)
+{
+    TracerGuard guard;
+    SpanTracer &t = SpanTracer::instance();
+    t.complete(SpanCat::Sim, "sim", 0, 50);
+
+    TraceBuffer trace(64);
+    Toolchain tc;
+    Job job = workloadJob(workloadSuite()[0], "hm1", false);
+    job.trace = &trace;
+    JobResult r = tc.run(job, SuperviseContext{});
+    ASSERT_TRUE(r.ok);
+    ASSERT_GT(trace.size(), 0u);
+
+    const std::string doc = t.chromeJson(&trace);
+    std::string err;
+    EXPECT_TRUE(jsonValid(doc, &err)) << err;
+    EXPECT_NE(doc.find("\"uhll microsimulator\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"pid\":1"), std::string::npos);
+    EXPECT_NE(doc.find("uhll_dropped_records"), std::string::npos);
+}
+
+// ----------------------------------------------------------------
+// Metrics sampler + exporters
+// ----------------------------------------------------------------
+
+/** A short checksum job sampled every 50 simulated cycles. */
+JobResult
+sampledRun(Toolchain &tc)
+{
+    Job job = workloadJob(workloadSuite()[2], "hm1", false);
+    job.captureMetrics = true;
+    job.metricsEveryCycles = 50;
+    return tc.run(job, SuperviseContext{});
+}
+
+TEST(Metrics, SamplesAreKeyedToCyclesAndDeterministic)
+{
+    Toolchain tc;
+    JobResult a = sampledRun(tc);
+    JobResult b = sampledRun(tc);
+    ASSERT_TRUE(a.ok);
+    ASSERT_GT(a.metrics.size(), 2u);
+
+    for (size_t i = 0; i < a.metrics.size(); ++i) {
+        EXPECT_EQ(a.metrics[i].seq, i);
+        if (i)
+            EXPECT_GE(a.metrics[i].cycles,
+                      a.metrics[i - 1].cycles);
+    }
+    EXPECT_EQ(a.metrics.back().cycles, a.sim.cycles);
+
+    // The scrubbed export is a pure function of the job: two runs
+    // produce byte-identical JSONL, every line of which parses.
+    const std::string ja = metricsToJsonl(a.metrics, false);
+    EXPECT_EQ(ja, metricsToJsonl(b.metrics, false));
+    std::istringstream ss(ja);
+    std::string line, err;
+    size_t lines = 0;
+    while (std::getline(ss, line)) {
+        ++lines;
+        EXPECT_TRUE(jsonValid(line, &err)) << err;
+    }
+    EXPECT_EQ(lines, a.metrics.size());
+
+    // The volatile scrub holds inside every sample: no jit.* or
+    // sup.* families in the clean dump.
+    for (const MetricsSample &s : a.metrics) {
+        EXPECT_EQ(s.statsClean.find("\"jit\""), std::string::npos);
+        EXPECT_EQ(s.statsClean.find("\"sup\""), std::string::npos);
+    }
+    EXPECT_EQ(metricsToPrometheus(a.metrics, false),
+              metricsToPrometheus(b.metrics, false));
+}
+
+TEST(Metrics, PrometheusExpositionMatchesTheTextFormat)
+{
+    StatsRegistry reg;
+    reg.scalar("sim.cycles", "cycles") = 125;
+    Histogram &h = reg.histogram("q.depth", 2, 4, "queue depth");
+    h.sample(1);
+    h.sample(1);
+    h.sample(3);
+    h.sample(10);  // overflow bucket
+
+    MetricsSample s;
+    s.label = "j\"1";  // exercises label escaping
+    s.statsFull = reg.toJson(false, true);
+    s.statsClean = reg.toJson(false, false);
+
+    const std::string text = metricsToPrometheus({s}, false);
+    const std::string expected =
+        "# TYPE uhll_q_depth histogram\n"
+        "uhll_q_depth_bucket{job=\"j\\\"1\",le=\"2\"} 2\n"
+        "uhll_q_depth_bucket{job=\"j\\\"1\",le=\"4\"} 3\n"
+        "uhll_q_depth_bucket{job=\"j\\\"1\",le=\"6\"} 3\n"
+        "uhll_q_depth_bucket{job=\"j\\\"1\",le=\"8\"} 3\n"
+        "uhll_q_depth_bucket{job=\"j\\\"1\",le=\"+Inf\"} 4\n"
+        "uhll_q_depth_sum{job=\"j\\\"1\"} 15\n"
+        "uhll_q_depth_count{job=\"j\\\"1\"} 4\n"
+        "# TYPE uhll_sim_cycles gauge\n"
+        "uhll_sim_cycles{job=\"j\\\"1\"} 125\n";
+    EXPECT_EQ(text, expected);
+}
+
+TEST(Metrics, PrometheusKeepsTheLastSamplePerLabel)
+{
+    StatsRegistry reg;
+    uint64_t &c = reg.scalar("n", "");
+    c = 1;
+    MetricsSample first;
+    first.label = "job";
+    first.statsClean = reg.toJson(false, false);
+    c = 7;
+    MetricsSample last;
+    last.label = "job";
+    last.seq = 1;
+    last.statsClean = reg.toJson(false, false);
+
+    const std::string text =
+        metricsToPrometheus({first, last}, false);
+    EXPECT_NE(text.find("uhll_n{job=\"job\"} 7\n"),
+              std::string::npos);
+    EXPECT_EQ(text.find("uhll_n{job=\"job\"} 1\n"),
+              std::string::npos);
+}
+
+// ----------------------------------------------------------------
+// Histogram percentiles (satellite: bucket interpolation)
+// ----------------------------------------------------------------
+
+TEST(HistogramPercentile, InterpolatesWithinBuckets)
+{
+    Histogram h(10, 10);
+    EXPECT_EQ(h.percentile(50), 0.0);  // empty
+    for (uint64_t v = 0; v < 100; ++v)
+        h.sample(v);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 99.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+    // Out-of-range p clamps instead of reading out of bounds.
+    EXPECT_DOUBLE_EQ(h.percentile(150), h.percentile(100));
+}
+
+TEST(HistogramPercentile, OverflowBucketStaysWithinObservedRange)
+{
+    Histogram h(10, 2);
+    h.sample(5);
+    h.sample(25);  // overflow bucket
+    for (double p : {50.0, 95.0, 99.0, 100.0}) {
+        EXPECT_GE(h.percentile(p), 5.0) << p;
+        EXPECT_LE(h.percentile(p), 25.0) << p;
+    }
+    // The JSON dump carries the percentile keys.
+    StatsRegistry reg;
+    reg.histogram("lat", 10, 2, "").sample(5);
+    const std::string dump = reg.toJson(false, true);
+    EXPECT_NE(dump.find("\"p50\""), std::string::npos);
+    EXPECT_NE(dump.find("\"p99\""), std::string::npos);
+}
+
+// ----------------------------------------------------------------
+// Flight recorder
+// ----------------------------------------------------------------
+
+TEST(FlightRecorder, InjectedFailureWritesAValidPostmortem)
+{
+    Toolchain tc;
+    Job job = workloadJob(workloadSuite()[2], "hm1", false);
+    job.name = "pm-livelock";
+    job.faultPlan = "seed 1\n"
+                    "mem2 rate 1\n"
+                    "retry-limit 1\n"
+                    "livelock 3\n";
+
+    SuperviseContext ctx;
+    ctx.postmortemDir = "pm_test_dir";
+    JobResult r = tc.run(job, ctx);
+    EXPECT_FALSE(r.ok);
+
+    const std::string path =
+        postmortemPath("pm_test_dir", "pm-livelock");
+    ASSERT_TRUE(fileExists(path));
+    const std::string doc = slurp(path);
+    std::string err;
+    ASSERT_TRUE(jsonValid(doc, &err)) << err;
+    EXPECT_NE(doc.find("\"uhll_postmortem\""), std::string::npos);
+    EXPECT_NE(doc.find("\"sim_error\""), std::string::npos);
+    EXPECT_NE(doc.find("\"restart-livelock\""), std::string::npos);
+    // Even without a caller-provided ring, a private microtrace was
+    // attached for the artifact's last-N records...
+    EXPECT_NE(doc.find("\"microtrace\""), std::string::npos);
+    // ...and the register snapshot plus job spec ride along.
+    EXPECT_NE(doc.find("\"registers\""), std::string::npos);
+    EXPECT_NE(doc.find("\"fault_plan\""), std::string::npos);
+    // No torn tmp file left behind by the atomic write.
+    EXPECT_FALSE(fileExists(path + ".tmp"));
+    std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, DmrDivergenceWritesAValidPostmortem)
+{
+    Toolchain tc;
+    Job job = workloadJob(workloadSuite()[2], "hm1", false);
+    job.name = "pm-dmr";
+    job.faultPlan = "seed 1\nmem1 rate 1/32\n";
+    job.faultSeed = 3;
+    job.dmrSeedB = 1234;
+    job.ecc = false;
+    job.dmr = true;
+
+    SuperviseContext ctx;
+    ctx.policy.dmrIntervalWords = 64;
+    ctx.postmortemDir = "pm_test_dir";
+    JobResult r = tc.run(job, ctx);
+    EXPECT_FALSE(r.ok);
+    ASSERT_FALSE(r.divergenceJson.empty());
+
+    const std::string path = postmortemPath("pm_test_dir", "pm-dmr");
+    ASSERT_TRUE(fileExists(path));
+    const std::string doc = slurp(path);
+    std::string err;
+    ASSERT_TRUE(jsonValid(doc, &err)) << err;
+    EXPECT_NE(doc.find("\"dmr_divergence\""), std::string::npos);
+    EXPECT_NE(doc.find("\"first_diff_cycle\""), std::string::npos);
+    EXPECT_NE(doc.find("\"digest_a\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, SuccessfulJobWritesNothing)
+{
+    Toolchain tc;
+    Job job = workloadJob(workloadSuite()[0], "hm1", false);
+    job.name = "pm-ok";
+    SuperviseContext ctx;
+    ctx.postmortemDir = "pm_test_dir";
+    JobResult r = tc.run(job, ctx);
+    ASSERT_TRUE(r.ok);
+    EXPECT_FALSE(
+        fileExists(postmortemPath("pm_test_dir", "pm-ok")));
+}
+
+TEST(FlightRecorder, PathSanitizesHostileJobNames)
+{
+    EXPECT_EQ(postmortemPath("d", "a/b c!"),
+              "d/a_b_c_.postmortem.json");
+    EXPECT_EQ(postmortemPath("d", ""), "d/job.postmortem.json");
+    EXPECT_EQ(postmortemPath("d", "ok-1.2_x"),
+              "d/ok-1.2_x.postmortem.json");
+}
+
+TEST(FlightRecorder, WriteFileAtomicLeavesNoTmpSibling)
+{
+    const std::string path = "atomic_write.tmp.json";
+    ASSERT_TRUE(writeFileAtomic(path, "{\"ok\":true}\n"));
+    EXPECT_EQ(slurp(path), "{\"ok\":true}\n");
+    EXPECT_FALSE(fileExists(path + ".tmp"));
+    std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------------
+// Escaping (satellite: masm-derived labels in Chrome traces)
+// ----------------------------------------------------------------
+
+TEST(JsonEscaping, ControlDelAndInvalidUtf8AreEscaped)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.value("k", std::string("a\x01 \x7f \xff b \xc3\xa9 \xc3"));
+    w.endObject();
+    const std::string doc = w.str();
+    std::string err;
+    EXPECT_TRUE(jsonValid(doc, &err)) << err << "\n" << doc;
+    EXPECT_NE(doc.find("\\u0001"), std::string::npos);
+    EXPECT_NE(doc.find("\\u007f"), std::string::npos);
+    EXPECT_NE(doc.find("\\u00ff"), std::string::npos);
+    // Valid UTF-8 passes through; the orphan continuation start at
+    // the end is escaped byte-wise.
+    EXPECT_NE(doc.find("\xc3\xa9"), std::string::npos);
+    EXPECT_NE(doc.find("\\u00c3"), std::string::npos);
+}
+
+TEST(JsonEscaping, HostileSpanNamesStillRenderValidTraces)
+{
+    TracerGuard guard;
+    SpanTracer &t = SpanTracer::instance();
+    t.setLaneName("lane\x01\xff");
+    t.complete(SpanCat::Jit, "label\twith\x1b bytes \xfe", 0, 1);
+    t.instant(SpanCat::Supervise, std::string("nul\0byte", 8));
+    const std::string doc = t.chromeJson();
+    std::string err;
+    EXPECT_TRUE(jsonValid(doc, &err)) << err;
+    EXPECT_NE(doc.find("\\u00fe"), std::string::npos);
+    EXPECT_NE(doc.find("\\u0000"), std::string::npos);
+}
+
+} // namespace
+} // namespace uhll
