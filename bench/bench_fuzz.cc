@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Fuzz farm throughput benchmark: the fixed-seed acceptance
+ * campaign -- 500 generated jobs over every (frontend, machine)
+ * cell -- measured end to end (generate, compile, golden-interpret,
+ * supervised run, diff). jobs/sec is the budget number: it bounds
+ * how much divergence hunting a CI minute buys.
+ *
+ * Output: a table on stdout plus BENCH_fuzz.json (path overridable
+ * via the UHLL_BENCH_JSON environment variable), then the
+ * registered google-benchmark timers. The campaign is expected
+ * divergence-free; any finding lands in the JSON so a regression is
+ * machine-detectable, and the process exits non-zero (the smoke
+ * CTest catches it).
+ */
+
+#include <cstdlib>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "fuzz/campaign.hh"
+#include "obs/json.hh"
+
+using namespace uhll;
+using namespace uhll::bench;
+
+namespace {
+
+constexpr uint64_t kSeed = 1;
+constexpr uint64_t kJobs = 500;
+
+FuzzReport
+runAcceptanceCampaign()
+{
+    FuzzOptions o;
+    o.seed = kSeed;
+    o.jobs = kJobs;
+    o.minimize = false;     // measuring the hunt, not the shrink
+    return runFuzzCampaign(toolchain(), o);
+}
+
+bool
+printTableAndJson()
+{
+    const char *json_path = std::getenv("UHLL_BENCH_JSON");
+    if (!json_path)
+        json_path = "BENCH_fuzz.json";
+
+    FuzzReport rep = runAcceptanceCampaign();
+
+    std::printf("Fuzz farm, seed %llu: %llu jobs over %llu "
+                "programs (5 frontends x 3 machines)\n",
+                (unsigned long long)kSeed,
+                (unsigned long long)rep.jobsRun,
+                (unsigned long long)rep.programs);
+    std::printf("%12s %14s %12s %16s\n", "jobs/sec", "programs/sec",
+                "divergences", "golden failures");
+    std::printf("%12.1f %14.1f %12zu %16llu\n", rep.jobsPerSec,
+                rep.programsPerSec, rep.divergences.size(),
+                (unsigned long long)rep.goldenFailures);
+
+    JsonWriter w;
+    w.beginObject();
+    w.value("bench", "fuzz");
+    w.value("seed", kSeed);
+    w.value("jobs", rep.jobsRun);
+    w.value("programs", rep.programs);
+    w.value("jobs_per_sec", rep.jobsPerSec);
+    w.value("programs_per_sec", rep.programsPerSec);
+    w.value("divergences",
+            (uint64_t)rep.divergences.size());
+    w.value("golden_failures", rep.goldenFailures);
+    const bool clean = rep.clean() && rep.goldenFailures == 0;
+    w.value("clean", clean);
+    w.raw("report", rep.toJson(false, true));
+    w.endObject();
+    std::string json = w.str() + "\n";
+    if (FILE *f = std::fopen(json_path, "w")) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        std::printf("\nwrote %s\n\n", json_path);
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", json_path);
+    }
+    if (!clean)
+        std::fprintf(stderr,
+                     "fuzz bench: campaign NOT clean -- %zu "
+                     "divergence(s), %llu golden failure(s)\n",
+                     rep.divergences.size(),
+                     (unsigned long long)rep.goldenFailures);
+    return clean;
+}
+
+void
+BM_FuzzCampaign(benchmark::State &state)
+{
+    // A smaller slice per iteration keeps the registered timer
+    // usable under --benchmark_min_time smoke settings.
+    uint64_t jobs = 0;
+    for (auto _ : state) {
+        FuzzOptions o;
+        o.seed = kSeed;
+        o.jobs = 100;
+        o.minimize = false;
+        FuzzReport rep = runFuzzCampaign(toolchain(), o);
+        jobs += rep.jobsRun;
+    }
+    state.counters["jobs/s"] = benchmark::Counter(
+        double(jobs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FuzzCampaign)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool clean = printTableAndJson();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return clean ? 0 : 1;
+}

@@ -129,6 +129,32 @@ EOF
     echo "telemetry smoke: OK"
 )
 
+# Fuzz farm smoke: a fixed-seed differential campaign must come back
+# divergence-free, be byte-identical across -j values AND across two
+# separate processes (--no-timings strips the wall-clock fields), and
+# the committed regression corpus must replay green -- that last bit
+# also runs as the CorpusReplay ctest, but here it goes through the
+# real CLI.
+(
+    cd build
+    ./src/uhllc --fuzz --fuzz-seed 7 --fuzz-jobs 60 -j1 \
+        --no-timings --report fuzz_j1.json >/dev/null
+    ./src/uhllc --fuzz --fuzz-seed 7 --fuzz-jobs 60 -j8 \
+        --no-timings --report fuzz_j8.json >/dev/null
+    ./src/uhllc --fuzz --fuzz-seed 7 --fuzz-jobs 60 -j8 \
+        --no-timings --report fuzz_j8b.json >/dev/null
+    cmp fuzz_j1.json fuzz_j8.json
+    cmp fuzz_j8.json fuzz_j8b.json
+    python3 - <<'EOF'
+import json
+rep = json.load(open("fuzz_j1.json"))["fuzz"]
+assert rep["jobs_run"] == 60, rep
+assert rep["golden_failures"] == 0, rep
+assert not rep.get("findings"), rep
+print("fuzz determinism smoke: OK")
+EOF
+)
+
 # Kill-and-resume smoke: SIGKILL a batch mid-run (active fault plans,
 # periodic checkpoints), resume it, and demand the merged report be
 # byte-identical to an uninterrupted run -- completed jobs spliced
@@ -163,6 +189,10 @@ EOF
 if [[ "$run_bench" == 1 ]]; then
     (cd build && UHLL_BENCH_JSON=BENCH_sim.json \
         ./bench/bench_sim_throughput --benchmark_min_time=0.1)
+    # Fuzz farm gate: the fixed-seed 500-job acceptance campaign must
+    # stay divergence-free; refreshes build/BENCH_fuzz.json.
+    (cd build && UHLL_BENCH_JSON=BENCH_fuzz.json \
+        ./bench/bench_fuzz --benchmark_min_time=0.1)
 fi
 
 # Sanitizer leg: the whole test suite again under ASan+UBSan (the
@@ -180,12 +210,13 @@ if [[ "${UHLL_NO_SANITIZE:-0}" != 1 ]]; then
     # hence its own tree) watches the batch determinism stress tests,
     # the supervision/checkpoint layer (journal writes race-prone by
     # construction), the JIT differential suite, the span tracer's
-    # multi-lane recording and the CLI smokes for data races.
+    # multi-lane recording, the fuzz campaign's parallel waves and
+    # corpus replay, and the CLI smokes for data races.
     cmake -B build-tsan -S . -DUHLL_SANITIZE=thread
     cmake --build build-tsan -j"$(nproc)"
     (cd build-tsan &&
         ctest --output-on-failure \
-            -R 'Batch|Toolchain|Supervisor|Checkpoint|JitDiff|SpanTracer|Metrics|FlightRecorder|uhllc_batch|uhllc_supervised')
+            -R 'Batch|Toolchain|Supervisor|Checkpoint|JitDiff|SpanTracer|Metrics|FlightRecorder|Fuzz|Corpus|uhllc_batch|uhllc_supervised')
 fi
 
 echo "verify: OK"

@@ -407,6 +407,12 @@ parseManifest(const JsonValue &root, const std::string &base_dir)
 {
     if (!root.isObject())
         fatal("manifest: top level must be an object");
+    if (root.has("fuzz")) {
+        if (root.has("jobs"))
+            fatal("manifest: 'fuzz' and 'jobs' are mutually "
+                  "exclusive");
+        return {};
+    }
     const JsonValue &jobs = root.require("jobs");
     if (!jobs.isArray())
         fatal("manifest: 'jobs' must be an array");
@@ -484,6 +490,12 @@ loadBatchSpec(const std::string &path)
         spec.policy = parseSupervisePolicy(root.get("supervise"));
         spec.telemetry =
             parseTelemetryOptions(root.get("telemetry"), dir);
+        if (const JsonValue *f = root.get("fuzz")) {
+            spec.fuzz = parseFuzzOptions(*f);
+            if (!spec.fuzz->corpusDir.empty())
+                spec.fuzz->corpusDir =
+                    joinPath(dir, spec.fuzz->corpusDir);
+        }
     }
     return spec;
 }

@@ -58,6 +58,15 @@
  *         "metrics_out": "metrics.jsonl",     // + .prom sibling
  *         "metrics_every_cycles": 50000,      // 0 = final-only
  *         "postmortem_dir": "postmortems"     // flight recorder
+ *       },
+ *       "fuzz": {            // differential fuzz campaign instead of
+ *                            // "jobs" (mutually exclusive with it;
+ *                            // see fuzz/campaign.hh)
+ *         "seed": 1, "jobs": 500, "duration_seconds": 0,
+ *         "configs_per_program": 3, "size_budget": 20,
+ *         "langs": ["yalll", "masm"], "machines": ["hm1"],
+ *         "corpus_dir": "corpus",   // manifest-relative
+ *         "minimize": true, "max_minimize": 8
  *       }
  *     }
  *
@@ -78,11 +87,13 @@
 #ifndef UHLL_DRIVER_BATCH_HH
 #define UHLL_DRIVER_BATCH_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "driver/supervisor.hh"
 #include "driver/toolchain.hh"
+#include "fuzz/campaign.hh"
 
 namespace uhll {
 
@@ -194,6 +205,9 @@ struct BatchSpec {
     std::vector<Job> jobs;
     SupervisePolicy policy;
     TelemetryOptions telemetry;
+    //! a "fuzz" object turns the manifest into a fuzz campaign (see
+    //! fuzz/campaign.hh); mutually exclusive with "jobs"
+    std::optional<FuzzOptions> fuzz;
 };
 
 /** Read the manifest at @p path including its supervise policy. */

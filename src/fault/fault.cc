@@ -98,8 +98,18 @@ parseRate(const std::string &s, int line)
     double p;
     size_t slash = s.find('/');
     if (slash != std::string::npos) {
-        double num = std::strtod(s.substr(0, slash).c_str(), nullptr);
-        double den = std::strtod(s.substr(slash + 1).c_str(), nullptr);
+        // Both sides must parse completely: "abc/12" used to yield
+        // num = 0 and a silent rate of zero.
+        const std::string ns = s.substr(0, slash);
+        const std::string ds = s.substr(slash + 1);
+        char *end = nullptr;
+        double num = std::strtod(ns.c_str(), &end);
+        if (end == ns.c_str() || *end != '\0')
+            fatal("fault plan line %d: bad rate '%s'", line, s.c_str());
+        end = nullptr;
+        double den = std::strtod(ds.c_str(), &end);
+        if (end == ds.c_str() || *end != '\0')
+            fatal("fault plan line %d: bad rate '%s'", line, s.c_str());
         if (den <= 0)
             fatal("fault plan line %d: bad rate '%s'", line, s.c_str());
         p = num / den;
@@ -138,6 +148,16 @@ FaultPlan::parse(const std::string &text)
     FaultPlan plan;
     size_t pos = 0;
     int lineno = 0;
+    // First-occurrence lines, so a duplicate directive is rejected
+    // with both locations instead of silently last-winning.
+    int seenScalar[5] = {0, 0, 0, 0, 0};
+    std::vector<int> seenKind(kNumFaultKinds, 0);
+    auto once = [&lineno](int &seen, const char *what) {
+        if (seen)
+            fatal("fault plan line %d: duplicate '%s' directive "
+                  "(first on line %d)", lineno, what, seen);
+        seen = lineno;
+    };
     while (pos <= text.size()) {
         size_t eol = text.find('\n', pos);
         if (eol == std::string::npos)
@@ -152,29 +172,36 @@ FaultPlan::parse(const std::string &text)
 
         FaultKind kind;
         if (tok[0] == "seed") {
+            once(seenScalar[0], "seed");
             if (tok.size() != 2)
                 fatal("fault plan line %d: 'seed N'", lineno);
             plan.seed = parseU64(tok[1], lineno);
         } else if (tok[0] == "retry-limit") {
+            once(seenScalar[1], "retry-limit");
             if (tok.size() != 2)
                 fatal("fault plan line %d: 'retry-limit N'", lineno);
             plan.retryLimit =
                 static_cast<uint32_t>(parseU64(tok[1], lineno));
         } else if (tok[0] == "refetch-limit") {
+            once(seenScalar[2], "refetch-limit");
             if (tok.size() != 2)
                 fatal("fault plan line %d: 'refetch-limit N'", lineno);
             plan.refetchLimit =
                 static_cast<uint32_t>(parseU64(tok[1], lineno));
         } else if (tok[0] == "watchdog") {
+            once(seenScalar[3], "watchdog");
             if (tok.size() != 2)
                 fatal("fault plan line %d: 'watchdog N'", lineno);
             plan.watchdogCycles = parseU64(tok[1], lineno);
         } else if (tok[0] == "livelock") {
+            once(seenScalar[4], "livelock");
             if (tok.size() != 2)
                 fatal("fault plan line %d: 'livelock N'", lineno);
             plan.livelockLimit =
                 static_cast<uint32_t>(parseU64(tok[1], lineno));
         } else if (kindFromName(tok[0], kind)) {
+            once(seenKind[static_cast<size_t>(kind)],
+                 tok[0].c_str());
             FaultRule r;
             r.kind = kind;
             bool have_rate = false;

@@ -1,0 +1,326 @@
+#include "fuzz/campaign.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "driver/batch.hh"
+#include "driver/toolchain.hh"
+#include "fuzz/corpus.hh"
+#include "obs/json.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+namespace {
+
+//! programs per BatchRunner wave: enough to keep a pool busy,
+//! small enough that a duration cap reacts within a few seconds
+constexpr uint64_t kWavePrograms = 16;
+
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+uint64_t
+fnvString(uint64_t h, const std::string &s)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    h ^= 0x1f;      // field separator
+    h *= 0x100000001b3ull;
+    return h;
+}
+
+std::string
+hex64(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** One generated program with its configs and wave job indices. */
+struct PlannedProgram {
+    GeneratedProgram prog;
+    std::vector<ConfigSample> configs;  //!< [0] = reference
+    size_t firstJob = 0;                //!< index into the wave's jobs
+};
+
+void
+writeObservation(JsonWriter &w, const std::string &key,
+                 const FuzzObservation &o)
+{
+    w.raw(key, o.toJson());
+}
+
+} // namespace
+
+std::string
+FuzzReport::toJson(bool pretty, bool timings) const
+{
+    JsonWriter w(pretty);
+    w.beginObject();
+    w.beginObject("fuzz");
+    w.value("seed", hex64(seed));
+    w.value("jobs_planned", jobsPlanned);
+    w.value("jobs_run", jobsRun);
+    w.value("programs", programs);
+    w.value("golden_failures", goldenFailures);
+    w.value("gen_digest", hex64(genDigest));
+    w.value("divergences",
+            static_cast<uint64_t>(divergences.size()));
+    if (timings) {
+        w.value("wall_seconds", wallSeconds);
+        w.value("jobs_per_sec", jobsPerSec);
+        w.value("programs_per_sec", programsPerSec);
+    }
+    w.endObject();
+    w.beginArray("findings");
+    for (const FuzzDivergence &d : divergences) {
+        w.beginObject();
+        w.value("job", d.jobName);
+        w.value("lang", d.lang);
+        w.value("machine", d.machine);
+        w.value("program_seed", hex64(d.programSeed));
+        w.value("config", d.configSummary);
+        writeObservation(w, "expected", d.expected);
+        writeObservation(w, "observed", d.observed);
+        w.value("minimized", d.minimized);
+        if (d.minimized) {
+            w.value("repro_lines",
+                    static_cast<uint64_t>(d.reproLines));
+            w.value("minimized_source", d.minimizedSource);
+            w.value("minimized_config", d.minimizedConfig);
+        }
+        if (!d.corpusPath.empty())
+            w.value("corpus_path", d.corpusPath);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+FuzzOptions
+parseFuzzOptions(const JsonValue &v)
+{
+    if (!v.isObject())
+        fatal("fuzz manifest: \"fuzz\" must be an object");
+    FuzzOptions o;
+    for (const auto &[key, val] : v.fields) {
+        if (key == "seed") {
+            o.seed = val.asU64(o.seed);
+        } else if (key == "jobs") {
+            o.jobs = val.asU64(o.jobs);
+        } else if (key == "duration_seconds") {
+            o.durationSeconds = val.asNumber(o.durationSeconds);
+        } else if (key == "threads") {
+            o.threads = static_cast<unsigned>(val.asU64(o.threads));
+        } else if (key == "configs_per_program") {
+            o.configsPerProgram =
+                static_cast<unsigned>(val.asU64(o.configsPerProgram));
+        } else if (key == "size_budget") {
+            o.sizeBudget =
+                static_cast<unsigned>(val.asU64(o.sizeBudget));
+        } else if (key == "langs") {
+            for (const JsonValue &l : val.items)
+                o.langs.push_back(l.asString());
+        } else if (key == "machines") {
+            for (const JsonValue &m : val.items)
+                o.machines.push_back(m.asString());
+        } else if (key == "corpus_dir") {
+            o.corpusDir = val.asString();
+        } else if (key == "minimize") {
+            o.minimize = val.asBool(o.minimize);
+        } else if (key == "max_minimize") {
+            o.maxMinimize =
+                static_cast<unsigned>(val.asU64(o.maxMinimize));
+        } else {
+            fatal("fuzz manifest: unknown key \"%s\"", key.c_str());
+        }
+    }
+    return o;
+}
+
+FuzzReport
+runFuzzCampaign(const Toolchain &tc, const FuzzOptions &opts)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
+
+    std::vector<std::string> langs = opts.langs;
+    if (langs.empty())
+        langs = fuzzGeneratorLangs();
+    std::vector<std::string> machines = opts.machines;
+    if (machines.empty())
+        machines = machineNames();
+    if (langs.empty() || machines.empty())
+        fatal("fuzz: empty language or machine list");
+
+    const unsigned perProg = 1 + opts.configsPerProgram;
+    const uint64_t programsTotal =
+        (opts.jobs + perProg - 1) / perProg;
+
+    FuzzReport rep;
+    rep.seed = opts.seed;
+    rep.jobsPlanned = programsTotal * perProg;
+    rep.genDigest = 0xcbf29ce484222325ull;
+
+    BatchRunner runner(tc, opts.threads ? opts.threads : 0);
+    SupervisePolicy policy;     // per-job deadlines come from fuzzJob
+    runner.setPolicy(policy);
+
+    uint64_t nextProgram = 0;
+    while (nextProgram < programsTotal) {
+        if (opts.durationSeconds > 0) {
+            const double elapsed =
+                std::chrono::duration<double>(Clock::now() - t0)
+                    .count();
+            if (elapsed >= opts.durationSeconds)
+                break;
+        }
+
+        // ---- generate one wave -------------------------------------
+        std::vector<PlannedProgram> wave;
+        std::vector<Job> jobs;
+        const uint64_t waveEnd =
+            std::min(programsTotal, nextProgram + kWavePrograms);
+        for (uint64_t i = nextProgram; i < waveEnd; ++i) {
+            PlannedProgram pp;
+            const std::string &lang =
+                langs[static_cast<size_t>(i % langs.size())];
+            const std::string &mach = machines[static_cast<size_t>(
+                (i / langs.size()) % machines.size())];
+            const uint64_t progSeed =
+                splitmix64(opts.seed ^ splitmix64(i + 1));
+            pp.prog = generateProgram(lang, mach, progSeed,
+                                      opts.sizeBudget);
+            pp.configs.push_back(referenceConfig());
+            FuzzRng crng(splitmix64(progSeed ^ 0xc0ffee));
+            for (unsigned k = 0; k < opts.configsPerProgram; ++k)
+                pp.configs.push_back(sampleConfig(crng));
+            pp.firstJob = jobs.size();
+
+            rep.genDigest = fnvString(rep.genDigest, pp.prog.source);
+            for (const auto &[n, val] : pp.prog.sets)
+                rep.genDigest = fnvString(
+                    rep.genDigest, n + "=" + hex64(val));
+            for (size_t k = 0; k < pp.configs.size(); ++k) {
+                Job j = fuzzJob(pp.prog, pp.configs[k]);
+                j.name += (k == 0) ? ":ref"
+                                   : ":c" + std::to_string(k);
+                jobs.push_back(std::move(j));
+                rep.genDigest = fnvString(
+                    rep.genDigest, pp.configs[k].summary());
+            }
+            wave.push_back(std::move(pp));
+        }
+        nextProgram = waveEnd;
+
+        // Each job captures its final-memory digest into its own
+        // slot; the vector is sized up front so the worker threads'
+        // writes never move it.
+        std::vector<uint64_t> digests(jobs.size(), 0);
+        for (size_t j = 0; j < jobs.size(); ++j) {
+            const auto [base, count] =
+                fuzzScratchRange(jobs[j].machine);
+            uint64_t *slot = &digests[j];
+            jobs[j].onFinish = [slot, base = base, count = count](
+                                   const MicroSimulator &,
+                                   const MainMemory &mem) {
+                *slot = fuzzMemDigest(mem.words(), base, count);
+            };
+        }
+
+        // ---- run it ------------------------------------------------
+        BatchReport br = runner.run(jobs);
+        rep.jobsRun += jobs.size();
+        rep.programs += wave.size();
+
+        // ---- diff every configuration against golden ---------------
+        for (const PlannedProgram &pp : wave) {
+            const bool mir = fuzzLangIsMir(pp.prog.lang);
+            std::vector<FuzzObservation> obs;
+            for (size_t k = 0; k < pp.configs.size(); ++k) {
+                const size_t j = pp.firstJob + k;
+                obs.push_back(
+                    fuzzObserve(br.results[j], digests[j]));
+            }
+            FuzzObservation golden;
+            size_t firstCompared;
+            if (mir) {
+                golden = fuzzMirGolden(pp.prog);
+                firstCompared = 0;  // the reference run is under test
+                if (!golden.ok)
+                    ++rep.goldenFailures;   // still diffed: an ok
+                                            // config run diverges
+            } else {
+                golden = obs[0];    // reference run IS the golden
+                firstCompared = 1;
+                if (!golden.ok) {
+                    ++rep.goldenFailures;
+                    continue;
+                }
+            }
+            for (size_t k = firstCompared; k < pp.configs.size();
+                 ++k) {
+                if (!fuzzDiverges(golden, obs[k]))
+                    continue;
+                FuzzDivergence d;
+                d.jobName = jobs[pp.firstJob + k].name;
+                d.lang = pp.prog.lang;
+                d.machine = pp.prog.machine;
+                d.programSeed = pp.prog.seed;
+                d.configSummary = pp.configs[k].summary();
+                d.expected = golden;
+                d.observed = obs[k];
+                if (opts.minimize &&
+                    static_cast<unsigned>(
+                        rep.divergences.size()) < opts.maxMinimize) {
+                    MinimizedRepro mr = fuzzMinimize(
+                        tc, pp.prog, pp.configs[k]);
+                    d.minimized = mr.oneMinimal;
+                    d.minimizedSource = mr.program.source;
+                    d.minimizedConfig = mr.config.summary();
+                    d.reproLines = 0;
+                    for (char c : mr.program.source)
+                        d.reproLines += (c == '\n');
+                    if (!opts.corpusDir.empty()) {
+                        const std::string stem =
+                            "fuzz-" + d.lang + "-" + d.machine +
+                            "-s" + hex64(d.programSeed) + "-" +
+                            std::to_string(rep.divergences.size());
+                        CorpusEntry e = corpusFromRepro(
+                            stem,
+                            "found by campaign seed " +
+                                hex64(opts.seed),
+                            mr);
+                        d.corpusPath = writeCorpusEntry(
+                            opts.corpusDir, e);
+                    }
+                }
+                rep.divergences.push_back(std::move(d));
+            }
+        }
+    }
+
+    rep.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    if (rep.wallSeconds > 0) {
+        rep.jobsPerSec =
+            static_cast<double>(rep.jobsRun) / rep.wallSeconds;
+        rep.programsPerSec =
+            static_cast<double>(rep.programs) / rep.wallSeconds;
+    }
+    return rep;
+}
+
+} // namespace uhll

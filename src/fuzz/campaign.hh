@@ -1,0 +1,114 @@
+/**
+ * @file
+ * FuzzCampaign: the differential fuzz farm's driver loop.
+ *
+ * A campaign turns one seed into a stream of generated programs
+ * (round-robin over every requested language x machine cell), pairs
+ * each with its reference configuration plus a handful of sampled
+ * configurations, fans the jobs out through the existing BatchRunner
+ * under supervision (per-job deadlines catch livelocks, sampled DMR
+ * catches nondeterminism), and diffs every configuration's
+ * observation against the program's golden semantics -- the MIR
+ * reference interpreter for MIR frontends, the reference
+ * configuration for direct ones.
+ *
+ * Divergences are minimized on the spot (fuzz/minimize.hh) and, when
+ * a corpus directory is given, written as self-contained repro files
+ * (fuzz/corpus.hh) ready to commit under tests/corpus/.
+ *
+ * Determinism: with a fixed seed and job count (no duration cap),
+ * the generated stream, the divergence list and the whole
+ * toJson(timings=false) report are byte-identical across thread
+ * counts and across processes. A duration cap trades that for a
+ * wall-clock bound (it cuts the wave loop wherever time ran out).
+ */
+
+#ifndef UHLL_FUZZ_CAMPAIGN_HH
+#define UHLL_FUZZ_CAMPAIGN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/minimize.hh"
+
+namespace uhll {
+
+class Toolchain;
+struct JsonValue;
+
+/** Campaign knobs (uhllc --fuzz flags / the manifest "fuzz" object). */
+struct FuzzOptions {
+    uint64_t seed = 1;
+    //! total supervised jobs to run (reference + sampled configs);
+    //! the program count follows from configsPerProgram
+    uint64_t jobs = 500;
+    //! wall-clock cap in seconds (0 = none); checked between waves
+    double durationSeconds = 0;
+    unsigned threads = 0;           //!< BatchRunner pool (0 = hw)
+    //! sampled configurations per program, on top of the reference
+    unsigned configsPerProgram = 3;
+    unsigned sizeBudget = 20;       //!< generator statement budget
+    //! cells to draw from; empty = all registered / all bundled
+    std::vector<std::string> langs;
+    std::vector<std::string> machines;
+    //! when non-empty, minimized repros are written here
+    std::string corpusDir;
+    bool minimize = true;           //!< auto-minimize divergences
+    unsigned maxMinimize = 8;       //!< minimization budget per campaign
+};
+
+/** One confirmed divergence, with its minimized form when
+ *  minimization ran. */
+struct FuzzDivergence {
+    std::string jobName;
+    std::string lang;
+    std::string machine;
+    uint64_t programSeed = 0;
+    std::string configSummary;
+    FuzzObservation expected;
+    FuzzObservation observed;
+    bool minimized = false;
+    //! line count of the minimized source ("repro size")
+    unsigned reproLines = 0;
+    std::string corpusPath;         //!< "" = not written
+    std::string minimizedSource;
+    std::string minimizedConfig;
+};
+
+/** The campaign's aggregate outcome. */
+struct FuzzReport {
+    uint64_t seed = 0;
+    uint64_t jobsPlanned = 0;
+    uint64_t jobsRun = 0;
+    uint64_t programs = 0;
+    //! programs whose golden observation failed (skipped for direct
+    //! languages; for MIR languages a golden failure IS a divergence
+    //! of the reference job and lands in `divergences` instead)
+    uint64_t goldenFailures = 0;
+    std::vector<FuzzDivergence> divergences;
+    //! FNV over every generated source, sets list and config summary:
+    //! the determinism tests compare it across -j values / processes
+    uint64_t genDigest = 0;
+    double wallSeconds = 0;
+    double jobsPerSec = 0;
+    double programsPerSec = 0;
+
+    bool clean() const { return divergences.empty(); }
+
+    /** JSON report; @p timings false omits every wall-clock-derived
+     *  field so the remainder is byte-identical across runs. */
+    std::string toJson(bool pretty = true, bool timings = true) const;
+};
+
+/** Run one campaign. */
+FuzzReport runFuzzCampaign(const Toolchain &tc,
+                           const FuzzOptions &opts);
+
+/** Parse a manifest's "fuzz" object into options (defaults for
+ *  absent keys; fatal() on unknown keys or a non-object). */
+FuzzOptions parseFuzzOptions(const JsonValue &v);
+
+} // namespace uhll
+
+#endif // UHLL_FUZZ_CAMPAIGN_HH

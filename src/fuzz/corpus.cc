@@ -1,0 +1,231 @@
+#include "fuzz/corpus.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <dirent.h>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+
+#include "driver/toolchain.hh"
+#include "obs/json.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+namespace {
+
+// 64-bit values round-trip through the JSON reader's double only up
+// to 2^53; digests and seeds use the full width, so they are written
+// as hex strings (asU64 parses "0x..." exactly).
+std::string
+hex64(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+void
+writeObservation(JsonWriter &w, const std::string &key,
+                 const FuzzObservation &o)
+{
+    w.beginObject(key);
+    w.value("ok", o.ok);
+    w.value("halted", o.halted);
+    w.beginObject("vars");
+    for (const auto &[name, value] : o.vars)
+        w.value(name, hex64(value));
+    w.endObject();
+    w.value("mem_digest", hex64(o.memDigest));
+    if (!o.diag.empty())
+        w.value("diag", o.diag);
+    w.endObject();
+}
+
+FuzzObservation
+parseObservation(const JsonValue &v)
+{
+    FuzzObservation o;
+    o.ok = v.require("ok").asBool();
+    o.halted = v.require("halted").asBool();
+    for (const auto &[name, val] : v.require("vars").fields)
+        o.vars.emplace_back(name, val.asU64());
+    o.memDigest = v.require("mem_digest").asU64();
+    if (const JsonValue *d = v.get("diag"))
+        o.diag = d->asString();
+    return o;
+}
+
+} // namespace
+
+std::string
+CorpusEntry::toJson() const
+{
+    JsonWriter w(/*pretty=*/true);
+    w.beginObject();
+    w.value("name", name);
+    if (!note.empty())
+        w.value("note", note);
+    w.value("lang", program.lang);
+    w.value("machine", program.machine);
+    w.value("seed", hex64(program.seed));
+    w.value("entry", program.entry);
+    w.value("source", program.source);
+    w.beginObject("sets");
+    for (const auto &[n, val] : program.sets)
+        w.value(n, hex64(val));
+    w.endObject();
+    w.beginObject("config");
+    w.value("compactor", config.options.compactor);
+    w.value("allocator", config.options.allocator);
+    w.value("compact", config.options.compact);
+    w.value("optimize", config.options.optimize);
+    w.value("jit", config.options.jit);
+    w.value("jit_threshold",
+            static_cast<uint64_t>(config.options.jitThreshold));
+    w.value("fault_plan", config.faultPlan);
+    w.value("fault_seed", hex64(config.faultSeed));
+    w.value("force_slow", config.forceSlowPath);
+    w.value("dmr", config.dmr);
+    w.value("ecc", config.ecc);
+    w.endObject();
+    writeObservation(w, "expected", expected);
+    writeObservation(w, "observed_at_capture", observedAtCapture);
+    w.endObject();
+    return w.str();
+}
+
+CorpusEntry
+parseCorpusEntry(const std::string &json)
+{
+    const JsonValue root = JsonValue::parse(json);
+    CorpusEntry e;
+    e.name = root.require("name").asString();
+    if (const JsonValue *n = root.get("note"))
+        e.note = n->asString();
+    e.program.lang = root.require("lang").asString();
+    e.program.machine = root.require("machine").asString();
+    e.program.seed = root.require("seed").asU64();
+    e.program.entry = root.require("entry").asString();
+    e.program.source = root.require("source").asString();
+    for (const auto &[name, val] : root.require("sets").fields)
+        e.program.sets.emplace_back(name, val.asU64());
+    const JsonValue &c = root.require("config");
+    e.config.options.compactor = c.require("compactor").asString();
+    e.config.options.allocator = c.require("allocator").asString();
+    e.config.options.compact = c.require("compact").asBool();
+    e.config.options.optimize = c.require("optimize").asBool();
+    e.config.options.jit = c.require("jit").asBool();
+    e.config.options.jitThreshold =
+        static_cast<uint32_t>(c.require("jit_threshold").asU64());
+    e.config.faultPlan = c.require("fault_plan").asString();
+    e.config.faultSeed = c.require("fault_seed").asU64();
+    e.config.forceSlowPath = c.require("force_slow").asBool();
+    e.config.dmr = c.require("dmr").asBool();
+    e.config.ecc = c.require("ecc").asBool();
+    e.expected = parseObservation(root.require("expected"));
+    e.observedAtCapture =
+        parseObservation(root.require("observed_at_capture"));
+    return e;
+}
+
+std::optional<CorpusEntry>
+loadCorpusEntry(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        return std::nullopt;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    try {
+        return parseCorpusEntry(ss.str());
+    } catch (const FatalError &) {
+        return std::nullopt;
+    }
+}
+
+std::string
+writeCorpusEntry(const std::string &dir, const CorpusEntry &e)
+{
+    ::mkdir(dir.c_str(), 0755);     // fresh campaign corpus dirs
+    const std::string path = dir + "/" + e.name + ".json";
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream f(tmp, std::ios::trunc | std::ios::binary);
+        if (!f)
+            return "";
+        f << e.toJson() << "\n";
+        if (!f.good())
+            return "";
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return "";
+    }
+    return path;
+}
+
+CorpusEntry
+corpusFromRepro(const std::string &name, const std::string &note,
+                const MinimizedRepro &r)
+{
+    CorpusEntry e;
+    e.name = name;
+    e.note = note;
+    e.program = r.program;
+    e.config = r.config;
+    e.expected = r.expected;
+    e.observedAtCapture = r.observed;
+    return e;
+}
+
+bool
+replayCorpusEntry(const Toolchain &tc, const CorpusEntry &e,
+                  std::string *why)
+{
+    FuzzObservation golden = fuzzGolden(tc, e.program);
+    if (!golden.ok) {
+        if (why)
+            *why = "golden no longer runs: " + golden.diag;
+        return false;
+    }
+    if (fuzzDiverges(e.expected, golden)) {
+        // The reference semantics moved since capture -- that is a
+        // finding of its own, not a pass.
+        if (why)
+            *why = "golden drifted from the recorded expectation: "
+                   "recorded " + e.expected.toJson() + " vs now " +
+                   golden.toJson();
+        return false;
+    }
+    FuzzObservation obs = fuzzRunConfig(tc, e.program, e.config);
+    if (fuzzDiverges(golden, obs)) {
+        if (why)
+            *why = "still diverges: expected " + golden.toJson() +
+                   " got " + obs.toJson();
+        return false;
+    }
+    return true;
+}
+
+std::vector<std::string>
+listCorpusFiles(const std::string &dir)
+{
+    std::vector<std::string> out;
+    DIR *d = opendir(dir.c_str());
+    if (!d)
+        return out;
+    while (const dirent *ent = readdir(d)) {
+        const std::string name = ent->d_name;
+        if (name.size() > 5 &&
+            name.compare(name.size() - 5, 5, ".json") == 0)
+            out.push_back(dir + "/" + name);
+    }
+    closedir(d);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace uhll

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The committed regression corpus: every divergence the fuzz farm
+ * ever found, minimized and frozen as a self-contained JSON repro
+ * under tests/corpus/. test_corpus.cc replays each entry as an
+ * ordinary CTest case forever after, so a fixed bug stays fixed.
+ *
+ * An entry carries everything needed to re-run without the
+ * generator: source text, language, machine, input sets, the full
+ * configuration, and the expected (golden) observation. Replay
+ * recomputes golden semantics from the entry and re-runs the
+ * configuration through the Toolchain facade -- the same oracle the
+ * campaign used, so a repro cannot drift from the farm.
+ */
+
+#ifndef UHLL_FUZZ_CORPUS_HH
+#define UHLL_FUZZ_CORPUS_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/minimize.hh"
+
+namespace uhll {
+
+class Toolchain;
+
+/** One corpus file, in memory. */
+struct CorpusEntry {
+    std::string name;       //!< file stem / report label
+    std::string note;       //!< human context ("found by seed N ...")
+    GeneratedProgram program;
+    ConfigSample config;
+    FuzzObservation expected;
+    FuzzObservation observedAtCapture;
+
+    std::string toJson() const;
+};
+
+/** Parse one corpus JSON document. Throws FatalError with the
+ *  offending key on malformed input. */
+CorpusEntry parseCorpusEntry(const std::string &json);
+
+/** Load @p path. Returns nullopt (never throws) on unreadable or
+ *  malformed files -- the replay test reports them as failures. */
+std::optional<CorpusEntry> loadCorpusEntry(const std::string &path);
+
+/** Write @p e to @p dir/<name>.json (atomically via rename).
+ *  Returns the path written, or "" on I/O failure. */
+std::string writeCorpusEntry(const std::string &dir,
+                             const CorpusEntry &e);
+
+/** Build an entry from a minimized repro. */
+CorpusEntry corpusFromRepro(const std::string &name,
+                            const std::string &note,
+                            const MinimizedRepro &r);
+
+/**
+ * Re-run @p e: recompute golden, run the recorded configuration,
+ * and compare. @p why (optional) receives a human-readable
+ * explanation on failure.
+ * @return true when the run matches the golden observation (the
+ *         bug stays fixed).
+ */
+bool replayCorpusEntry(const Toolchain &tc, const CorpusEntry &e,
+                       std::string *why = nullptr);
+
+/** All *.json files under @p dir, sorted by name. */
+std::vector<std::string> listCorpusFiles(const std::string &dir);
+
+} // namespace uhll
+
+#endif // UHLL_FUZZ_CORPUS_HH

@@ -1,0 +1,1074 @@
+#include "fuzz/generator.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace uhll {
+
+// ----------------------------------------------------------------
+// PRNG: splitmix64 to spread the seed, xorshift64* to draw -- the
+// same construction the fault injector uses, so one seed word fully
+// determines a campaign.
+// ----------------------------------------------------------------
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+FuzzRng::FuzzRng(uint64_t seed) : s(splitmix64(seed))
+{
+    if (!s)
+        s = 0x9e3779b97f4a7c15ull;
+}
+
+uint64_t
+FuzzRng::next()
+{
+    s ^= s >> 12;
+    s ^= s << 25;
+    s ^= s >> 27;
+    return s * 0x2545f4914f6cdd1dull;
+}
+
+uint64_t
+FuzzRng::below(uint64_t n)
+{
+    return n ? next() % n : 0;
+}
+
+uint64_t
+FuzzRng::range(uint64_t lo, uint64_t hi)
+{
+    return lo + below(hi - lo + 1);
+}
+
+bool
+FuzzRng::chance(unsigned pct)
+{
+    return below(100) < pct;
+}
+
+// ----------------------------------------------------------------
+// Program generation. A shared driver decides the statement
+// sequence (constants, one-operator expressions, moves, shifts,
+// windowed loads/stores, counted loops, guarded statements); a
+// per-language emitter renders each decision as grammar-guaranteed
+// well-formed text, drawing operands under its machine's
+// constraints from the same deterministic stream.
+// ----------------------------------------------------------------
+
+namespace {
+
+/** Statement-level emitter interface. Variable operands are indices
+ *  into vars(); @p avoid is the active loop counter (never written
+ *  inside its loop, so every loop provably terminates). */
+class Emitter
+{
+  public:
+    virtual ~Emitter() = default;
+
+    virtual const std::vector<std::string> &vars() const = 0;
+
+    virtual void stConst(FuzzRng &r, int avoid) = 0;
+    virtual void stBin(FuzzRng &r, int avoid) = 0;
+    virtual void stMov(FuzzRng &r, int avoid) = 0;
+    virtual void stShift(FuzzRng &r, int avoid) = 0;
+    virtual void stStore(FuzzRng &r, int avoid) = 0;
+    virtual void stLoad(FuzzRng &r, int avoid) = 0;
+    /** Emit a whole guarded construct (condition + one simple
+     *  statement). */
+    virtual void stCond(FuzzRng &r, int avoid) = 0;
+    /** Open a counted loop; returns the counter's index. */
+    virtual int loopBegin(FuzzRng &r) = 0;
+    virtual void loopEnd() = 0;
+
+    virtual void prologue(uint64_t seed) = 0;
+    virtual void epilogue() = 0;
+
+    std::string
+    text() const
+    {
+        std::string out;
+        for (const std::string &l : lines_) {
+            out += l;
+            out += '\n';
+        }
+        return out;
+    }
+
+    /** True when statement emission referenced variable @p i --
+     *  prologue declarations don't count, so this mirrors what the
+     *  register allocator will consider live enough to allocate. */
+    bool
+    varUsed(size_t i) const
+    {
+        return i < used_.size() && used_[i];
+    }
+
+  protected:
+    void add(std::string l) { lines_.push_back(std::move(l)); }
+
+    /** Operand name for index @p i; every statement operand funnels
+     *  through here, which is what makes varUsed() trustworthy. */
+    const std::string &
+    v(int i)
+    {
+        if (used_.size() < vars().size())
+            used_.resize(vars().size(), false);
+        used_[static_cast<size_t>(i)] = true;
+        return vars()[static_cast<size_t>(i)];
+    }
+
+    /** A random window address (word-addressed, every machine). */
+    static uint32_t
+    windowAddr(FuzzRng &r)
+    {
+        return kFuzzMemBase +
+               static_cast<uint32_t>(r.below(kFuzzMemWords));
+    }
+
+    /** Pick an index from @p from, never @p avoid. */
+    static int
+    pickFrom(FuzzRng &r, const std::vector<int> &from, int avoid)
+    {
+        std::vector<int> c;
+        for (int i : from) {
+            if (i != avoid)
+                c.push_back(i);
+        }
+        if (c.empty())
+            return from.at(0);
+        return c[static_cast<size_t>(r.below(c.size()))];
+    }
+
+    std::vector<std::string> lines_;
+    std::vector<bool> used_;
+    int label_ = 0;
+};
+
+std::vector<int>
+iota(int n)
+{
+    std::vector<int> v(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        v[static_cast<size_t>(i)] = i;
+    return v;
+}
+
+const char *const kOpsYalll[] = {"add", "sub", "and", "or", "xor"};
+const char *const kOpsSimpl[] = {"+", "-", "&", "|", "xor"};
+
+// ---------------- YALLL ----------------
+
+class YalllEmitter final : public Emitter
+{
+  public:
+    const std::vector<std::string> &
+    vars() const override
+    {
+        static const std::vector<std::string> v = {"a", "b", "c",
+                                                   "d", "e"};
+        return v;
+    }
+
+    void
+    prologue(uint64_t seed) override
+    {
+        add("; fuzz-generated yalll program, seed " +
+            std::to_string(seed));
+        // Two variables bound to registers that exist and are not
+        // compiler scratch on any bundled machine, three symbolic:
+        // both allocator paths get exercised.
+        add("reg a = r1");
+        add("reg b = r4");
+        add("reg c");
+        add("reg d");
+        add("reg e");
+        add("reg p");
+        add("proc main");
+    }
+
+    void epilogue() override { add("    exit"); }
+
+    void
+    stConst(FuzzRng &r, int avoid) override
+    {
+        add("    put " + v(dst(r, avoid)) + ", " +
+            std::to_string(r.below(0x10000)));
+    }
+
+    void
+    stBin(FuzzRng &r, int avoid) override
+    {
+        std::string op = kOpsYalll[r.below(5)];
+        std::string d = v(dst(r, avoid));
+        std::string a = v(any(r));
+        if ((op == "add" || op == "sub") && r.chance(30)) {
+            add("    " + op + " " + d + ", " + a + ", " +
+                std::to_string(r.range(1, 255)));
+        } else {
+            add("    " + op + " " + d + ", " + a + ", " + v(any(r)));
+        }
+    }
+
+    void
+    stMov(FuzzRng &r, int avoid) override
+    {
+        add("    move " + v(dst(r, avoid)) + ", " + v(any(r)));
+    }
+
+    void
+    stShift(FuzzRng &r, int avoid) override
+    {
+        static const char *const sh[] = {"shl", "shr", "rol"};
+        add("    " + std::string(sh[r.below(3)]) + " " +
+            v(dst(r, avoid)) + ", " + v(any(r)) + ", " +
+            std::to_string(r.range(1, 3)));
+    }
+
+    void
+    stStore(FuzzRng &r, int avoid) override
+    {
+        add("    put p, " + std::to_string(windowAddr(r)));
+        add("    stor " + v(any(r)) + ", p");
+        (void)avoid;
+    }
+
+    void
+    stLoad(FuzzRng &r, int avoid) override
+    {
+        add("    put p, " + std::to_string(windowAddr(r)));
+        add("    load " + v(dst(r, avoid)) + ", p");
+    }
+
+    void
+    stCond(FuzzRng &r, int avoid) override
+    {
+        int lab = label_++;
+        std::string s = "s" + std::to_string(lab);
+        add("    jump " + s + " if " + v(any(r)) + " < " + v(any(r)));
+        stBin(r, avoid);
+        add(s + ":");
+    }
+
+    int
+    loopBegin(FuzzRng &r) override
+    {
+        int c = any(r);
+        int lab = label_++;
+        loops_.push_back({c, lab});
+        add("    put " + v(c) + ", " +
+            std::to_string(r.range(2, 7)));
+        add("l" + std::to_string(lab) + ":");
+        add("    jump e" + std::to_string(lab) + " if " + v(c) +
+            " = 0");
+        return c;
+    }
+
+    void
+    loopEnd() override
+    {
+        auto [c, lab] = loops_.back();
+        loops_.pop_back();
+        add("    sub " + v(c) + ", " + v(c) + ", 1");
+        add("    jump l" + std::to_string(lab));
+        add("e" + std::to_string(lab) + ":");
+    }
+
+  private:
+    int any(FuzzRng &r) { return int(r.below(5)); }
+    int dst(FuzzRng &r, int avoid)
+    {
+        return pickFrom(r, iota(5), avoid);
+    }
+
+    std::vector<std::pair<int, int>> loops_;
+};
+
+// ---------------- SIMPL ----------------
+
+class SimplEmitter final : public Emitter
+{
+  public:
+    const std::vector<std::string> &
+    vars() const override
+    {
+        // Registers that exist and are not compiler scratch on
+        // every bundled machine (SIMPL variables ARE registers).
+        static const std::vector<std::string> v = {"r0", "r1", "r2",
+                                                   "r4", "r5"};
+        return v;
+    }
+
+    void
+    prologue(uint64_t seed) override
+    {
+        add("program main;");
+        add("const fuzzseed = " + std::to_string(seed) + ";");
+        add("begin");
+    }
+
+    void epilogue() override { add("end"); }
+
+    void
+    stConst(FuzzRng &r, int avoid) override
+    {
+        add("    " + std::to_string(r.below(0x10000)) + " -> " +
+            v(dst(r, avoid)) + ";");
+    }
+
+    void
+    stBin(FuzzRng &r, int avoid) override
+    {
+        std::string b = r.chance(30)
+                            ? std::to_string(r.range(1, 255))
+                            : v(any(r));
+        add("    " + v(any(r)) + " " + kOpsSimpl[r.below(5)] + " " +
+            b + " -> " + v(dst(r, avoid)) + ";");
+    }
+
+    void
+    stMov(FuzzRng &r, int avoid) override
+    {
+        add("    " + v(any(r)) + " -> " + v(dst(r, avoid)) + ";");
+    }
+
+    void
+    stShift(FuzzRng &r, int avoid) override
+    {
+        // ^ n: positive = left shift, negative = right; ^^ circular.
+        int n = int(r.range(1, 3));
+        if (r.chance(50))
+            n = -n;
+        std::string op = r.chance(25) ? "^^" : "^";
+        add("    " + v(any(r)) + " " + op + " " + std::to_string(n) +
+            " -> " + v(dst(r, avoid)) + ";");
+    }
+
+    void
+    stStore(FuzzRng &r, int avoid) override
+    {
+        int a = dst(r, avoid);
+        add("    " + std::to_string(windowAddr(r)) + " -> " + v(a) +
+            ";");
+        add("    write " + v(a) + ", " + v(any(r)) + ";");
+    }
+
+    void
+    stLoad(FuzzRng &r, int avoid) override
+    {
+        int a = dst(r, avoid);
+        add("    " + std::to_string(windowAddr(r)) + " -> " + v(a) +
+            ";");
+        add("    read " + v(pickFrom(r, iota(5), avoid)) + ", " +
+            v(a) + ";");
+    }
+
+    void
+    stCond(FuzzRng &r, int avoid) override
+    {
+        add("    if " + v(any(r)) + " < " + v(any(r)) + " then " +
+            v(any(r)) + " + 1 -> " + v(dst(r, avoid)) + ";");
+    }
+
+    int
+    loopBegin(FuzzRng &r) override
+    {
+        int c = any(r);
+        counters_.push_back(c);
+        add("    " + std::to_string(r.range(2, 7)) + " -> " + v(c) +
+            ";");
+        add("    while " + v(c) + " != 0 do");
+        add("    begin");
+        return c;
+    }
+
+    void
+    loopEnd() override
+    {
+        int c = counters_.back();
+        counters_.pop_back();
+        add("        " + v(c) + " - 1 -> " + v(c) + ";");
+        add("    end;");
+    }
+
+  private:
+    int any(FuzzRng &r) { return int(r.below(5)); }
+    int dst(FuzzRng &r, int avoid)
+    {
+        return pickFrom(r, iota(5), avoid);
+    }
+
+    std::vector<int> counters_;
+};
+
+// ---------------- EMPL ----------------
+
+class EmplEmitter final : public Emitter
+{
+  public:
+    const std::vector<std::string> &
+    vars() const override
+    {
+        static const std::vector<std::string> v = {"a", "b", "c",
+                                                   "d", "e"};
+        return v;
+    }
+
+    void
+    prologue(uint64_t seed) override
+    {
+        add("/* fuzz-generated empl program, seed " +
+            std::to_string(seed) + " */");
+        for (const std::string &n : vars())
+            add("declare " + n + " fixed;");
+        add("main: procedure;");
+    }
+
+    void
+    epilogue() override
+    {
+        add("    return;");
+        add("end;");
+    }
+
+    void
+    stConst(FuzzRng &r, int avoid) override
+    {
+        add("    " + v(dst(r, avoid)) + " = " +
+            std::to_string(r.below(0x10000)) + ";");
+    }
+
+    void
+    stBin(FuzzRng &r, int avoid) override
+    {
+        static const char *const ops[] = {"+", "-", "&", "|", "xor"};
+        std::string b = r.chance(30)
+                            ? std::to_string(r.range(1, 255))
+                            : v(any(r));
+        add("    " + v(dst(r, avoid)) + " = " + v(any(r)) + " " +
+            ops[r.below(5)] + " " + b + ";");
+    }
+
+    void
+    stMov(FuzzRng &r, int avoid) override
+    {
+        add("    " + v(dst(r, avoid)) + " = " + v(any(r)) + ";");
+    }
+
+    void
+    stShift(FuzzRng &r, int avoid) override
+    {
+        static const char *const sh[] = {"shl", "shr", "rol"};
+        add("    " + v(dst(r, avoid)) + " = " + v(any(r)) + " " +
+            sh[r.below(3)] + " " + std::to_string(r.range(1, 3)) +
+            ";");
+    }
+
+    void
+    stStore(FuzzRng &r, int avoid) override
+    {
+        add("    mem(" + std::to_string(windowAddr(r)) + ") = " +
+            v(any(r)) + ";");
+        (void)avoid;
+    }
+
+    void
+    stLoad(FuzzRng &r, int avoid) override
+    {
+        add("    " + v(dst(r, avoid)) + " = mem(" +
+            std::to_string(windowAddr(r)) + ");");
+    }
+
+    void
+    stCond(FuzzRng &r, int avoid) override
+    {
+        add("    if " + v(any(r)) + " < " + v(any(r)) + " then " +
+            v(dst(r, avoid)) + " = " + v(any(r)) + " + 1;");
+    }
+
+    int
+    loopBegin(FuzzRng &r) override
+    {
+        int c = any(r);
+        counters_.push_back(c);
+        add("    " + v(c) + " = " + std::to_string(r.range(2, 7)) +
+            ";");
+        add("    while " + v(c) + " != 0 do;");
+        return c;
+    }
+
+    void
+    loopEnd() override
+    {
+        int c = counters_.back();
+        counters_.pop_back();
+        add("        " + v(c) + " = " + v(c) + " - 1;");
+        add("    end;");
+    }
+
+  private:
+    int any(FuzzRng &r) { return int(r.below(5)); }
+    int dst(FuzzRng &r, int avoid)
+    {
+        return pickFrom(r, iota(5), avoid);
+    }
+
+    std::vector<int> counters_;
+};
+
+// ---------------- S* ----------------
+
+/**
+ * S* statements must each map onto a single microoperation of the
+ * target machine, so operand choice is machine-aware: on VM-2 the
+ * ALU reads bank A (r0-r2 here) on the left and bank B (r4, r5) on
+ * the right, the shifter works inside bank A, and compares take an
+ * A-bank left operand. HM-1 and VS-3 have uniform register files.
+ */
+class SstarEmitter final : public Emitter
+{
+  public:
+    SstarEmitter(bool banked, bool bit_imm)
+        : banked_(banked), bitImm_(bit_imm)
+    {}
+
+    const std::vector<std::string> &
+    vars() const override
+    {
+        static const std::vector<std::string> v = {"a", "b", "c",
+                                                   "d", "e"};
+        return v;
+    }
+
+    void
+    prologue(uint64_t seed) override
+    {
+        add("# fuzz-generated s* program, seed " +
+            std::to_string(seed) + " #");
+        add("program fuzz;");
+        add("var a : seq [15..0] bit bind r0;");
+        add("var b : seq [15..0] bit bind r1;");
+        add("var c : seq [15..0] bit bind r2;");
+        add("var d : seq [15..0] bit bind r4;");
+        add("var e : seq [15..0] bit bind r5;");
+        add("begin");
+    }
+
+    void epilogue() override { add("end"); }
+
+    void
+    stConst(FuzzRng &r, int avoid) override
+    {
+        add("    " + v(dst(r, avoid)) + " := " +
+            std::to_string(r.below(256)) + ";");
+    }
+
+    void
+    stBin(FuzzRng &r, int avoid) override
+    {
+        static const char *const ops[] = {"+", "-", "&", "|", "xor"};
+        const std::string d = v(dst(r, avoid));
+        const std::string a = v(left(r));
+        const unsigned op = static_cast<unsigned>(r.below(5));
+        // The immediate chance is drawn unconditionally to keep the
+        // stream aligned across machines; S(VS-3) encodes no
+        // bitwise-immediate microoperation, so there the draw falls
+        // back to a register operand.
+        const bool imm = r.chance(35) && (op < 2 || bitImm_);
+        const std::string b = imm
+                                  ? std::to_string(r.range(1, 255))
+                                  : v(right(r));
+        add("    " + d + " := " + a + " " + ops[op] + " " + b + ";");
+    }
+
+    void
+    stMov(FuzzRng &r, int avoid) override
+    {
+        add("    " + v(dst(r, avoid)) + " := " + v(any(r)) + ";");
+    }
+
+    void
+    stShift(FuzzRng &r, int avoid) override
+    {
+        // VM-2's shifter reads and writes bank A only.
+        int d = banked_ ? pickFrom(r, {0, 1, 2}, avoid)
+                        : dst(r, avoid);
+        int s = banked_ ? int(r.below(3)) : any(r);
+        add("    " + v(d) + " := " + v(s) +
+            (r.chance(50) ? " shl " : " shr ") +
+            std::to_string(r.range(1, 3)) + ";");
+    }
+
+    // S* programs here stay in registers: memory binding is a
+    // declaration-level feature the other four frontends cover.
+    void stStore(FuzzRng &r, int avoid) override { stBin(r, avoid); }
+    void stLoad(FuzzRng &r, int avoid) override { stMov(r, avoid); }
+
+    void
+    stCond(FuzzRng &r, int avoid) override
+    {
+        std::string a = v(left(r));
+        std::string b = r.chance(50)
+                            ? std::to_string(r.below(256))
+                            : v(right(r));
+        add("    if " + a + " < " + b + " then");
+        stMov(r, avoid);
+        add("    fi;");
+    }
+
+    int
+    loopBegin(FuzzRng &r) override
+    {
+        // Counter in bank A ('b' = r1): compare and decrement both
+        // need an A-bank left operand on VM-2.
+        int c = 1;
+        add("    " + v(c) + " := " + std::to_string(r.range(2, 7)) +
+            ";");
+        add("    repeat");
+        return c;
+    }
+
+    void
+    loopEnd() override
+    {
+        add("        b := b - 1;");
+        add("    until b = 0;");
+    }
+
+  private:
+    int any(FuzzRng &r) { return int(r.below(5)); }
+    int left(FuzzRng &r)
+    {
+        return banked_ ? int(r.below(3)) : any(r);
+    }
+    int right(FuzzRng &r)
+    {
+        return banked_ ? int(3 + r.below(2)) : any(r);
+    }
+    int dst(FuzzRng &r, int avoid)
+    {
+        return pickFrom(r, iota(5), avoid);
+    }
+
+    bool banked_;
+    bool bitImm_;   //!< machine encodes and/or/xor with an immediate
+};
+
+// ---------------- masm ----------------
+
+/** Hand microassembly, one operation per word (always composable),
+ *  with a per-machine template table. */
+class MasmEmitter final : public Emitter
+{
+  public:
+    enum class M { Hm1, Vm2, Vs3 };
+
+    explicit MasmEmitter(M m) : m_(m) {}
+
+    const std::vector<std::string> &
+    vars() const override
+    {
+        static const std::vector<std::string> gpr = {
+            "r0", "r1", "r2", "r3", "r4", "r5"};
+        static const std::vector<std::string> banked = {
+            "r0", "r1", "r2", "r4", "r5", "r6"};
+        return m_ == M::Vm2 ? banked : gpr;
+    }
+
+    void
+    prologue(uint64_t seed) override
+    {
+        add("; fuzz-generated masm program, seed " +
+            std::to_string(seed));
+        add(".entry main");
+        add("main:");
+    }
+
+    void epilogue() override { add("    [ ] halt"); }
+
+    void
+    stConst(FuzzRng &r, int avoid) override
+    {
+        add("    [ ldi " + v(dst(r, avoid)) + ", #" +
+            std::to_string(r.below(immMax() + 1)) + " ]");
+    }
+
+    void
+    stBin(FuzzRng &r, int avoid) override
+    {
+        static const char *const ops[] = {"add", "sub", "and", "or",
+                                          "xor"};
+        std::string op = ops[r.below(5)];
+        std::string d = v(dst(r, avoid));
+        if ((op == "add" || op == "sub") && r.chance(30)) {
+            add("    [ " + op + "i " + d + ", " + v(left(r)) + ", #" +
+                std::to_string(r.range(1, 200)) + " ]");
+        } else {
+            add("    [ " + op + " " + d + ", " + v(left(r)) + ", " +
+                v(right(r)) + " ]");
+        }
+    }
+
+    void
+    stMov(FuzzRng &r, int avoid) override
+    {
+        add("    [ " + std::string(m_ == M::Hm1 ? "mova" : "mov") +
+            " " + v(dst(r, avoid)) + ", " + v(any(r)) + " ]");
+    }
+
+    void
+    stShift(FuzzRng &r, int avoid) override
+    {
+        // VM-2's shifter is bank-A only.
+        int d = m_ == M::Vm2 ? pickFrom(r, {0, 1, 2}, avoid)
+                             : dst(r, avoid);
+        int s = m_ == M::Vm2 ? int(r.below(3)) : any(r);
+        add("    [ " + std::string(r.chance(50) ? "shl" : "shr") +
+            " " + v(d) + ", " + v(s) + ", #" +
+            std::to_string(r.range(1, 3)) + " ]");
+    }
+
+    void
+    stStore(FuzzRng &r, int avoid) override
+    {
+        uint32_t addr = windowAddr(r);
+        int t = addrReg(r, avoid);
+        int val = any(r);
+        loadAddr(t, addr);
+        if (m_ == M::Vm2) {
+            add("    [ mov mbr, " + v(val) + " ]");
+            add("    [ mov mar, " + v(t) + " ]");
+            add("    [ memwr mar, mbr ]");
+        } else {
+            add("    [ memwr " + v(t) + ", " + v(val) + " ]");
+        }
+    }
+
+    void
+    stLoad(FuzzRng &r, int avoid) override
+    {
+        uint32_t addr = windowAddr(r);
+        int t = addrReg(r, avoid);
+        int d = pickFrom(r, iota(int(vars().size())), avoid);
+        loadAddr(t, addr);
+        if (m_ == M::Vm2) {
+            add("    [ mov mar, " + v(t) + " ]");
+            add("    [ memrd mbr, mar ]");
+            add("    [ mov " + v(d) + ", mbr ]");
+        } else {
+            add("    [ memrd " + v(d) + ", " + v(t) + " ]");
+        }
+    }
+
+    void
+    stCond(FuzzRng &r, int avoid) override
+    {
+        int lab = label_++;
+        std::string s = "s" + std::to_string(lab);
+        if (r.chance(50)) {
+            add("    [ cmpi " + v(left(r)) + ", #" +
+                std::to_string(r.below(std::min<uint64_t>(
+                    immMax() + 1, 256))) +
+                " ] if " + (r.chance(50) ? "z" : "nz") + " jump " +
+                s);
+        } else {
+            add("    [ cmp " + v(left(r)) + ", " + v(right(r)) +
+                " ] if " + (r.chance(50) ? "c" : "nc") + " jump " +
+                s);
+        }
+        stBin(r, avoid);
+        add(s + ":");
+    }
+
+    int
+    loopBegin(FuzzRng &r) override
+    {
+        // Do-while countdown: decrement and exit test share a word,
+        // so the branch always reads that word's own flags.
+        int c = m_ == M::Vm2 ? int(r.below(3))
+                             : int(r.below(vars().size()));
+        int lab = label_++;
+        loops_.push_back({c, lab});
+        add("    [ ldi " + v(c) + ", #" +
+            std::to_string(r.range(2, 7)) + " ]");
+        add("l" + std::to_string(lab) + ":");
+        return c;
+    }
+
+    void
+    loopEnd() override
+    {
+        auto [c, lab] = loops_.back();
+        loops_.pop_back();
+        add("    [ subi " + v(c) + ", " + v(c) +
+            ", #1 ] if nz jump l" + std::to_string(lab));
+    }
+
+  private:
+    int any(FuzzRng &r) { return int(r.below(vars().size())); }
+    int dst(FuzzRng &r, int avoid)
+    {
+        return pickFrom(r, iota(int(vars().size())), avoid);
+    }
+    //! ALU left operand: bank A on VM-2, anything elsewhere
+    int left(FuzzRng &r)
+    {
+        return m_ == M::Vm2 ? int(r.below(3)) : any(r);
+    }
+    //! ALU right operand: bank B on VM-2, anything elsewhere
+    int right(FuzzRng &r)
+    {
+        return m_ == M::Vm2 ? int(3 + r.below(3)) : any(r);
+    }
+    //! address staging register: must accept shl on VM-2 (bank A)
+    int addrReg(FuzzRng &r, int avoid)
+    {
+        return m_ == M::Vm2 ? pickFrom(r, {0, 1, 2}, avoid)
+                            : pickFrom(r, iota(6), avoid);
+    }
+    uint64_t immMax() const { return m_ == M::Hm1 ? 0xffff : 255; }
+
+    /** Materialize a window address in @p t. HM-1 loads it in one
+     *  16-bit immediate; VM-2 (8-bit) and VS-3 (9-bit) build it as
+     *  (addr>>3) shl 3 + low. */
+    void
+    loadAddr(int t, uint32_t addr)
+    {
+        if (m_ == M::Hm1) {
+            add("    [ ldi " + v(t) + ", #" + std::to_string(addr) +
+                " ]");
+            return;
+        }
+        add("    [ ldi " + v(t) + ", #" + std::to_string(addr >> 3) +
+            " ]");
+        add("    [ shl " + v(t) + ", " + v(t) + ", #3 ]");
+        if (addr & 7) {
+            add("    [ addi " + v(t) + ", " + v(t) + ", #" +
+                std::to_string(addr & 7) + " ]");
+        }
+    }
+
+    M m_;
+    std::vector<std::pair<int, int>> loops_;
+};
+
+std::unique_ptr<Emitter>
+makeEmitter(const std::string &lang, const std::string &machine)
+{
+    if (lang == "yalll")
+        return std::make_unique<YalllEmitter>();
+    if (lang == "simpl")
+        return std::make_unique<SimplEmitter>();
+    if (lang == "empl")
+        return std::make_unique<EmplEmitter>();
+    if (lang == "sstar")
+        return std::make_unique<SstarEmitter>(machine == "vm2",
+                                              machine != "vs3");
+    if (lang == "masm") {
+        if (machine == "hm1")
+            return std::make_unique<MasmEmitter>(MasmEmitter::M::Hm1);
+        if (machine == "vm2")
+            return std::make_unique<MasmEmitter>(MasmEmitter::M::Vm2);
+        if (machine == "vs3")
+            return std::make_unique<MasmEmitter>(MasmEmitter::M::Vs3);
+        fatal("fuzz: unknown machine '%s'", machine.c_str());
+    }
+    fatal("fuzz: no generator for language '%s'", lang.c_str());
+}
+
+} // namespace
+
+std::vector<std::string>
+fuzzGeneratorLangs()
+{
+    return {"empl", "masm", "simpl", "sstar", "yalll"};
+}
+
+GeneratedProgram
+generateProgram(const std::string &lang, const std::string &machine,
+                uint64_t seed, unsigned budget)
+{
+    if (budget < 4)
+        budget = 4;
+    // Mix the language and machine into the stream so every cell of
+    // the (frontend x machine) matrix explores different programs
+    // from one campaign seed.
+    uint64_t h = seed;
+    for (char ch : lang + "/" + machine)
+        h = splitmix64(h ^ uint64_t(uint8_t(ch)));
+    FuzzRng rng(h);
+
+    std::unique_ptr<Emitter> em = makeEmitter(lang, machine);
+    em->prologue(seed);
+
+    unsigned n = budget / 2 + unsigned(rng.below(budget));
+    bool inLoop = false;
+    unsigned loopsUsed = 0;
+    unsigned bodyLeft = 0;
+    int counter = -1;
+
+    for (unsigned i = 0; i < n; ++i) {
+        if (inLoop && bodyLeft == 0) {
+            em->loopEnd();
+            inLoop = false;
+            counter = -1;
+        }
+        unsigned w = unsigned(rng.below(100));
+        if (w < 12) {
+            em->stConst(rng, counter);
+        } else if (w < 42) {
+            em->stBin(rng, counter);
+        } else if (w < 52) {
+            em->stMov(rng, counter);
+        } else if (w < 62) {
+            em->stShift(rng, counter);
+        } else if (w < 72) {
+            em->stStore(rng, counter);
+        } else if (w < 82) {
+            em->stLoad(rng, counter);
+        } else if (w < 90) {
+            em->stCond(rng, counter);
+        } else if (!inLoop && loopsUsed < 2) {
+            counter = em->loopBegin(rng);
+            inLoop = true;
+            ++loopsUsed;
+            bodyLeft = 1 + unsigned(rng.below(3));
+            continue;
+        } else {
+            em->stBin(rng, counter);
+        }
+        if (inLoop)
+            --bodyLeft;
+    }
+    if (inLoop)
+        em->loopEnd();
+    em->epilogue();
+
+    GeneratedProgram p;
+    p.lang = lang;
+    p.machine = machine;
+    p.seed = seed;
+    p.source = em->text();
+    // Initial values only for variables the body references: the
+    // pipeline never allocates an unused variable, so setting one
+    // would fail the job against a golden run that happily accepts
+    // it. The draw itself is unconditional to keep the value stream
+    // aligned with the statement stream.
+    const std::vector<std::string> &names = em->vars();
+    for (size_t i = 0; i < names.size(); ++i) {
+        const uint64_t val = rng.below(0x10000);
+        if (em->varUsed(i))
+            p.sets.emplace_back(names[i], val);
+    }
+    return p;
+}
+
+// ----------------------------------------------------------------
+// Configuration sampling.
+// ----------------------------------------------------------------
+
+ConfigSample
+referenceConfig()
+{
+    ConfigSample c;
+    c.options.jit = false;
+    c.forceSlowPath = true;
+    return c;
+}
+
+ConfigSample
+sampleConfig(FuzzRng &rng)
+{
+    static const char *const compactors[] = {
+        "", "linear", "critical_path", "dasgupta_tartar", "tokoro",
+        "optimal"};
+    static const char *const allocators[] = {"", "graph_coloring",
+                                             "linear_scan"};
+
+    ConfigSample c;
+    c.options.compact = rng.chance(85);
+    if (c.options.compact)
+        c.options.compactor = compactors[rng.below(6)];
+    c.options.allocator = allocators[rng.below(3)];
+    c.options.optimize = rng.chance(70);
+    c.forceSlowPath = rng.chance(30);
+    c.options.jit = rng.chance(50) && !c.forceSlowPath;
+    if (c.options.jit && rng.chance(50))
+        c.options.jitThreshold = 1;     // force the tier hot
+
+    if (rng.chance(35)) {
+        // A random architecturally-transparent fault mix: ECC
+        // corrects the single-bit flips, refetch absorbs parity,
+        // jitter only stretches time.
+        std::string plan;
+        if (rng.chance(20)) {
+            plan = "-";     // the built-in recoverable chaos mix
+        } else {
+            if (rng.chance(70))
+                plan += "mem1 rate 1/" +
+                        std::to_string(rng.range(32, 256)) + "\n";
+            if (rng.chance(50))
+                plan += "parity rate 1/" +
+                        std::to_string(rng.range(64, 256)) + "\n";
+            if (rng.chance(40))
+                plan += "spurint rate 1/" +
+                        std::to_string(rng.range(64, 256)) + "\n";
+            if (rng.chance(50))
+                plan += "jitter rate 1/" +
+                        std::to_string(rng.range(32, 128)) +
+                        " max " + std::to_string(rng.range(1, 4)) +
+                        "\n";
+        }
+        if (!plan.empty()) {
+            c.faultPlan = plan;
+            c.faultSeed = rng.next() | 1;
+        }
+    }
+    // ECC off only without injection: silent flips are a
+    // deliberate-divergence knob, not semantics-preserving.
+    c.ecc = c.faultPlan.empty() ? !rng.chance(15) : true;
+    c.dmr = rng.chance(15);
+    return c;
+}
+
+std::string
+ConfigSample::summary() const
+{
+    std::string s;
+    s += "compactor=" +
+         (options.compactor.empty() ? "(default)" : options.compactor);
+    s += " allocator=" +
+         (options.allocator.empty() ? "(default)" : options.allocator);
+    s += options.compact ? " compact" : " no-compact";
+    s += options.optimize ? " optimize" : " no-optimize";
+    s += forceSlowPath ? " slow" : " fast";
+    s += options.jit ? (options.jitThreshold == 1 ? " jit-hot"
+                                                  : " jit")
+                     : " no-jit";
+    if (!faultPlan.empty()) {
+        std::string fp = faultPlan;
+        for (char &ch : fp) {
+            if (ch == '\n')
+                ch = ',';
+        }
+        s += " faults[" + fp + "]seed=" + std::to_string(faultSeed);
+    }
+    if (dmr)
+        s += " dmr";
+    if (!ecc)
+        s += " no-ecc";
+    return s;
+}
+
+} // namespace uhll

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Seeded, deterministic random-program and configuration generators
+ * for the differential fuzz farm (see campaign.hh).
+ *
+ * One generator per registered frontend (YALLL, SIMPL, EMPL, S*,
+ * masm). Each emits only constructs the grammar guarantees
+ * well-formed on the target machine -- every loop is a counted
+ * countdown with a small bound, every memory access stays inside a
+ * fixed low window no machine claims for compiler scratch, and
+ * operand/bank constraints (VM-2's split ALU banks, VS-3's 9-bit
+ * immediates) are respected by construction. The point is that a
+ * generated program can only fail by a toolchain bug, never by its
+ * own malformedness.
+ *
+ * Determinism contract: generateProgram() and sampleConfig() are
+ * pure functions of their arguments. The same (lang, machine, seed,
+ * budget) yields byte-identical program text and the same input
+ * values on every call, in every thread, in every process -- the
+ * property test_fuzz.cc and the verify.sh two-process cmp hold them
+ * to.
+ */
+
+#ifndef UHLL_FUZZ_GENERATOR_HH
+#define UHLL_FUZZ_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "driver/toolchain.hh"
+
+namespace uhll {
+
+/**
+ * The fuzzer's PRNG: splitmix64 seeding into xorshift64*, the same
+ * generator family the fault injector uses. Value semantics; copy
+ * freely to fork deterministic substreams.
+ */
+struct FuzzRng {
+    uint64_t s;
+
+    explicit FuzzRng(uint64_t seed);
+
+    uint64_t next();
+    /** Uniform in [0, n); n = 0 yields 0. */
+    uint64_t below(uint64_t n);
+    /** Uniform in [lo, hi] inclusive. */
+    uint64_t range(uint64_t lo, uint64_t hi);
+    /** True with probability pct/100. */
+    bool chance(unsigned pct);
+    /** One element of @p v (v must be non-empty). */
+    template <typename T>
+    const T &pick(const std::vector<T> &v)
+    {
+        return v[static_cast<size_t>(below(v.size()))];
+    }
+};
+
+/** One generated program plus the inputs it is run with. */
+struct GeneratedProgram {
+    std::string lang;
+    std::string machine;
+    uint64_t seed = 0;
+    std::string source;
+    std::string entry = "main";
+    //! (variable, value): applied via Job::sets before every run and
+    //! read back afterwards -- the observable register/variable state
+    //! the differential oracle compares
+    std::vector<std::pair<std::string, uint64_t>> sets;
+};
+
+/** Word-addressed window generated programs confine stores to: low
+ *  enough for every machine, above every machine's scratch RAM. */
+constexpr uint32_t kFuzzMemBase = 0x400;
+constexpr uint32_t kFuzzMemWords = 0x40;
+
+/**
+ * Generate one well-formed random program in @p lang for
+ * @p machine. @p budget bounds the statement count (and with the
+ * fixed loop bounds, the dynamic cycle count). fatal() on an
+ * unknown language or machine name.
+ */
+GeneratedProgram generateProgram(const std::string &lang,
+                                 const std::string &machine,
+                                 uint64_t seed, unsigned budget = 20);
+
+/** Languages a generator exists for, sorted (campaign default). */
+std::vector<std::string> fuzzGeneratorLangs();
+
+/**
+ * One sampled pipeline/execution configuration: the knobs the farm
+ * varies, drawn from the same names PipelineOptions and Job expose.
+ */
+struct ConfigSample {
+    PipelineOptions options;
+    std::string faultPlan;      //!< FaultPlan text, "-" = chaos mix,
+                                //!< "" = none
+    uint64_t faultSeed = 0;
+    bool forceSlowPath = false;
+    bool dmr = false;
+    bool ecc = true;
+
+    /** Canonical one-line encoding (config label, gen digest). */
+    std::string summary() const;
+};
+
+/** The fixed reference configuration every divergence is judged
+ *  against: default compile pipeline, forced-slow interpreter, no
+ *  JIT, no faults, ECC on, no DMR. */
+ConfigSample referenceConfig();
+
+/**
+ * Draw one random configuration. Contradictory combinations are
+ * avoided by construction (a named compactor only with compaction
+ * on, ECC off only without fault injection -- silent corruption is
+ * a deliberate-divergence knob, not a semantics-preserving one).
+ */
+ConfigSample sampleConfig(FuzzRng &rng);
+
+} // namespace uhll
+
+#endif // UHLL_FUZZ_GENERATOR_HH

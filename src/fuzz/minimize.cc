@@ -1,0 +1,290 @@
+#include "fuzz/minimize.hh"
+
+#include <functional>
+
+#include "driver/toolchain.hh"
+
+namespace uhll {
+
+namespace {
+
+std::vector<std::string>
+splitLines(const std::string &s)
+{
+    std::vector<std::string> lines;
+    std::string cur;
+    for (char c : s) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        lines.push_back(cur);
+    return lines;
+}
+
+std::string
+joinLines(const std::vector<std::string> &lines)
+{
+    std::string out;
+    for (const auto &l : lines) {
+        out += l;
+        out += '\n';
+    }
+    return out;
+}
+
+/** Shared probe state: rebuilds a candidate program from a line
+ *  subset, re-derives golden semantics for it, and answers "does it
+ *  still diverge under this config?". */
+struct Prober {
+    const Toolchain &tc;
+    const GeneratedProgram &orig;
+    unsigned budget;
+    unsigned spent = 0;
+    //! the original divergence's signature; once set, a candidate
+    //! only counts when it diverges the SAME way (classic ddmin
+    //! hygiene -- keeps shrinking from wandering onto another bug)
+    FuzzDivergenceKind wantKind = FuzzDivergenceKind::None;
+
+    GeneratedProgram
+    rebuild(const std::vector<std::string> &lines) const
+    {
+        GeneratedProgram p = orig;
+        p.source = joinLines(lines);
+        p.sets = fuzzFilterSets(orig.sets, p.source);
+        return p;
+    }
+
+    bool
+    exhausted() const
+    {
+        return spent >= budget;
+    }
+
+    /** One candidate evaluation. Fills @p want / @p got on a
+     *  diverging candidate so callers can keep the observations of
+     *  the final survivor without a re-run. */
+    bool
+    diverges(const GeneratedProgram &p, const ConfigSample &c,
+             FuzzObservation *want = nullptr,
+             FuzzObservation *got = nullptr)
+    {
+        ++spent;
+        FuzzObservation golden = fuzzGolden(tc, p);
+        if (!golden.ok)
+            return false;   // candidate broke the program: reject
+        FuzzObservation obs = fuzzRunConfig(tc, p, c);
+        const FuzzDivergenceKind kind =
+            fuzzDivergenceKind(golden, obs);
+        if (kind == FuzzDivergenceKind::None)
+            return false;
+        if (wantKind != FuzzDivergenceKind::None && kind != wantKind)
+            return false;   // diverges, but not the bug we're shrinking
+        if (want)
+            *want = golden;
+        if (got)
+            *got = obs;
+        return true;
+    }
+};
+
+/**
+ * Greedy ddmin over lines: repeatedly try deleting contiguous chunks,
+ * halving the chunk size down to 1; restart from the top after any
+ * successful deletion. Terminates 1-minimal (no single line can be
+ * removed) unless the probe budget runs dry first.
+ */
+bool
+ddminLines(Prober &pr, const ConfigSample &c,
+           std::vector<std::string> &lines, FuzzObservation *want,
+           FuzzObservation *got)
+{
+    bool shrunk = true;
+    while (shrunk) {
+        shrunk = false;
+        for (size_t chunk = lines.size() / 2; chunk >= 1;
+             chunk = chunk / 2) {
+            for (size_t at = 0; at + chunk <= lines.size();) {
+                if (pr.exhausted())
+                    return false;
+                std::vector<std::string> cand;
+                cand.reserve(lines.size() - chunk);
+                cand.insert(cand.end(), lines.begin(),
+                            lines.begin() +
+                                static_cast<long>(at));
+                cand.insert(cand.end(),
+                            lines.begin() +
+                                static_cast<long>(at + chunk),
+                            lines.end());
+                if (pr.diverges(pr.rebuild(cand), c, want, got)) {
+                    lines = std::move(cand);
+                    shrunk = true;
+                    // stay at `at`: the next chunk slid into place
+                } else {
+                    at += chunk;
+                }
+            }
+            if (chunk == 1)
+                break;
+        }
+    }
+    return true;
+}
+
+/** One knob-reset action toward the reference configuration. */
+struct Knob {
+    const char *name;
+    std::function<bool(ConfigSample &)> reset;  //!< false: already there
+};
+
+std::vector<Knob>
+configKnobs()
+{
+    const ConfigSample ref = referenceConfig();
+    return {
+        {"faults",
+         [](ConfigSample &c) {
+             if (c.faultPlan.empty() && c.faultSeed == 0)
+                 return false;
+             c.faultPlan.clear();
+             c.faultSeed = 0;
+             return true;
+         }},
+        {"dmr",
+         [](ConfigSample &c) {
+             if (!c.dmr)
+                 return false;
+             c.dmr = false;
+             return true;
+         }},
+        {"ecc",
+         [](ConfigSample &c) {
+             if (c.ecc)
+                 return false;
+             c.ecc = true;
+             return true;
+         }},
+        // jit off resets the threshold too: a bare threshold without
+        // the tier is the combination validate() rejects
+        {"jit",
+         [ref](ConfigSample &c) {
+             if (c.options.jit == ref.options.jit &&
+                 c.options.jitThreshold == 0)
+                 return false;
+             c.options.jit = ref.options.jit;
+             c.options.jitThreshold = 0;
+             return true;
+         }},
+        {"force_slow",
+         [ref](ConfigSample &c) {
+             if (c.forceSlowPath == ref.forceSlowPath)
+                 return false;
+             c.forceSlowPath = ref.forceSlowPath;
+             return true;
+         }},
+        {"compactor",
+         [](ConfigSample &c) {
+             if (c.options.compactor.empty())
+                 return false;
+             c.options.compactor.clear();
+             return true;
+         }},
+        {"allocator",
+         [](ConfigSample &c) {
+             if (c.options.allocator.empty())
+                 return false;
+             c.options.allocator.clear();
+             return true;
+         }},
+        {"optimize",
+         [ref](ConfigSample &c) {
+             if (c.options.optimize == ref.options.optimize)
+                 return false;
+             c.options.optimize = ref.options.optimize;
+             return true;
+         }},
+        // last: turning compaction off usually kills a compactor
+        // divergence, so it only survives when something else is the
+        // culprit -- but compactor="" must already have been retried
+        {"compact",
+         [ref](ConfigSample &c) {
+             if (c.options.compact == ref.options.compact)
+                 return false;
+             c.options.compact = ref.options.compact;
+             if (ref.options.compact == false)
+                 c.options.compactor.clear();
+             return true;
+         }},
+    };
+}
+
+/** Reset config knobs toward reference, keeping each reset that
+ *  still diverges; loops to fixpoint (resets can unlock others). */
+bool
+reduceConfig(Prober &pr, const GeneratedProgram &p, ConfigSample &c,
+             FuzzObservation *want, FuzzObservation *got)
+{
+    const std::vector<Knob> knobs = configKnobs();
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const Knob &k : knobs) {
+            ConfigSample cand = c;
+            if (!k.reset(cand))
+                continue;
+            if (pr.exhausted())
+                return false;
+            if (pr.diverges(p, cand, want, got)) {
+                c = cand;
+                changed = true;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+MinimizedRepro
+fuzzMinimize(const Toolchain &tc, const GeneratedProgram &p,
+             const ConfigSample &c, unsigned max_probes)
+{
+    Prober pr{tc, p, max_probes};
+    MinimizedRepro out;
+    out.program = p;
+    out.config = c;
+
+    std::vector<std::string> lines = splitLines(p.source);
+    FuzzObservation want, got;
+
+    // Confirm the divergence reproduces at all before spending the
+    // budget (flaky inputs -- e.g. an unseeded fault plan -- bail out
+    // with the original as the "minimized" form).
+    if (!pr.diverges(p, c, &want, &got)) {
+        out.expected = want;
+        out.observed = got;
+        out.probes = pr.spent;
+        return out;
+    }
+    pr.wantKind = fuzzDivergenceKind(want, got);
+
+    bool lines_done = ddminLines(pr, c, lines, &want, &got);
+    out.program = pr.rebuild(lines);
+
+    ConfigSample mini = c;
+    bool config_done =
+        reduceConfig(pr, out.program, mini, &want, &got);
+    out.config = mini;
+
+    out.expected = want;
+    out.observed = got;
+    out.probes = pr.spent;
+    out.oneMinimal = lines_done && config_done;
+    return out;
+}
+
+} // namespace uhll

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Automatic test-case minimization for fuzz-farm divergences.
+ *
+ * Delta debugging (ddmin) at line granularity over the generated
+ * program -- the generators emit one statement per line, so lines
+ * are the AST nodes -- followed by knob-by-knob reduction of the
+ * diverging configuration toward the reference configuration. Every
+ * candidate is re-run through the Toolchain facade and kept only if
+ * it still (a) produces a usable golden observation and (b)
+ * diverges. The result is 1-minimal: removing any single remaining
+ * line, or resetting any single remaining knob, makes the
+ * divergence disappear.
+ */
+
+#ifndef UHLL_FUZZ_MINIMIZE_HH
+#define UHLL_FUZZ_MINIMIZE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/generator.hh"
+#include "fuzz/oracle.hh"
+
+namespace uhll {
+
+class Toolchain;
+
+/** A minimized divergence: the smallest (program, config) pair
+ *  still showing it, plus both observations on that pair. */
+struct MinimizedRepro {
+    GeneratedProgram program;
+    ConfigSample config;
+    FuzzObservation expected;   //!< golden on the minimized program
+    FuzzObservation observed;   //!< config run on the minimized program
+    unsigned probes = 0;        //!< candidate evaluations spent
+    bool oneMinimal = false;    //!< probe budget did not truncate ddmin
+};
+
+/**
+ * Shrink (@p p, @p c), known to diverge under @p tc, to a 1-minimal
+ * repro. @p max_probes bounds the total candidate evaluations
+ * (compile+run each); when it runs out the best-so-far is returned
+ * with oneMinimal=false.
+ */
+MinimizedRepro fuzzMinimize(const Toolchain &tc,
+                            const GeneratedProgram &p,
+                            const ConfigSample &c,
+                            unsigned max_probes = 400);
+
+} // namespace uhll
+
+#endif // UHLL_FUZZ_MINIMIZE_HH

@@ -1,0 +1,282 @@
+#include "fuzz/oracle.hh"
+
+#include <cctype>
+
+#include "driver/frontend.hh"
+#include "driver/toolchain.hh"
+#include "machine/machines/machines.hh"
+#include "mir/interp.hh"
+#include "obs/json.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+namespace {
+
+//! main-memory size every fuzz run uses, golden and candidate alike
+constexpr uint32_t kFuzzMemSize = 0x10000;
+//! interpreter step budget; generated loops are counted and small,
+//! so anything that trips this is a generator bug, not a timeout
+constexpr uint64_t kGoldenMaxSteps = 5'000'000;
+//! campaign default for Job::maxCycles
+constexpr uint64_t kFuzzMaxCycles = 2'000'000;
+//! per-job wall-clock budget the supervisor enforces
+constexpr double kFuzzDeadlineSeconds = 10.0;
+
+} // namespace
+
+std::string
+FuzzObservation::toJson() const
+{
+    JsonWriter w(/*pretty=*/false);
+    w.beginObject();
+    w.value("ok", ok);
+    w.value("halted", halted);
+    w.beginObject("vars");
+    for (const auto &[name, value] : vars)
+        w.value(name, value);
+    w.endObject();
+    w.value("mem_digest", memDigest);
+    if (!ok && !diag.empty())
+        w.value("diag", diag);
+    w.endObject();
+    return w.str();
+}
+
+FuzzDivergenceKind
+fuzzDivergenceKind(const FuzzObservation &want,
+                   const FuzzObservation &got)
+{
+    if (want.ok != got.ok)
+        return FuzzDivergenceKind::Ok;
+    if (!want.ok)
+        return FuzzDivergenceKind::None;    // both failed: nothing
+                                            // architectural to compare
+    if (want.halted != got.halted)
+        return FuzzDivergenceKind::Halt;
+    if (want.vars != got.vars || want.memDigest != got.memDigest)
+        return FuzzDivergenceKind::State;
+    return FuzzDivergenceKind::None;
+}
+
+bool
+fuzzDiverges(const FuzzObservation &want, const FuzzObservation &got)
+{
+    return fuzzDivergenceKind(want, got) != FuzzDivergenceKind::None;
+}
+
+std::pair<uint32_t, uint32_t>
+fuzzScratchRange(const std::string &machine)
+{
+    // The scratch ranges are properties of the bundled machine
+    // descriptions; build each once and remember just the range.
+    struct Ranges {
+        std::pair<uint32_t, uint32_t> hm1, vm2, vs3;
+        Ranges()
+        {
+            const MachineDescription h = buildHm1();
+            const MachineDescription v2 = buildVm2();
+            const MachineDescription v3 = buildVs3();
+            hm1 = {h.scratchBase(), h.scratchWords()};
+            vm2 = {v2.scratchBase(), v2.scratchWords()};
+            vs3 = {v3.scratchBase(), v3.scratchWords()};
+        }
+    };
+    static const Ranges r;
+    std::string c;
+    for (char ch : machine)
+        if (ch != '-')
+            c += static_cast<char>(std::tolower(
+                static_cast<unsigned char>(ch)));
+    if (c == "hm1")
+        return r.hm1;
+    if (c == "vm2")
+        return r.vm2;
+    if (c == "vs3")
+        return r.vs3;
+    fatal("fuzz: unknown machine '%s'", machine.c_str());
+}
+
+uint64_t
+fuzzMemDigest(const std::vector<uint64_t> &words, uint32_t base,
+              uint32_t count)
+{
+    uint64_t h = 0xcbf29ce484222325ull;     // FNV-1a offset basis
+    for (size_t i = 0; i < words.size(); ++i) {
+        uint64_t w = words[i];
+        if (i >= base && i < static_cast<size_t>(base) + count)
+            w = 0;
+        for (int b = 0; b < 8; ++b) {
+            h ^= (w >> (8 * b)) & 0xff;
+            h *= 0x100000001b3ull;          // FNV prime
+        }
+    }
+    return h;
+}
+
+bool
+fuzzLangIsMir(const std::string &lang)
+{
+    return FrontendRegistry::get(lang).producesMir();
+}
+
+namespace {
+
+/** The interpreter's private MachineDescription for @p machine --
+ *  the golden path never touches a Toolchain. */
+const MachineDescription &
+goldenMachine(const std::string &machine)
+{
+    static const MachineDescription hm1 = buildHm1();
+    static const MachineDescription vm2 = buildVm2();
+    static const MachineDescription vs3 = buildVs3();
+    std::string c;
+    for (char ch : machine)
+        if (ch != '-')
+            c += static_cast<char>(std::tolower(
+                static_cast<unsigned char>(ch)));
+    if (c == "hm1")
+        return hm1;
+    if (c == "vm2")
+        return vm2;
+    if (c == "vs3")
+        return vs3;
+    fatal("fuzz: unknown machine '%s'", machine.c_str());
+}
+
+} // namespace
+
+FuzzObservation
+fuzzMirGolden(const GeneratedProgram &p)
+{
+    FuzzObservation o;
+    try {
+        const MachineDescription &mach = goldenMachine(p.machine);
+        MirProgram prog =
+            translateToMir(p.lang, p.source, mach);
+        MainMemory mem(kFuzzMemSize, mach.dataWidth());
+        MirInterpreter interp(prog, mem, mach.dataWidth());
+        for (const auto &[name, value] : p.sets)
+            interp.setVReg(name, value);
+        uint32_t func = 0;
+        const std::string entry =
+            p.entry.empty() ? "main" : p.entry;
+        for (uint32_t f = 0;
+             f < static_cast<uint32_t>(prog.numFunctions()); ++f)
+            if (prog.func(f).name == entry)
+                func = f;
+        MirRunResult rr = interp.run(func, kGoldenMaxSteps);
+        o.halted = rr.halted;
+        for (const auto &[name, value] : p.sets) {
+            (void)value;
+            o.vars.emplace_back(name, interp.getVReg(name));
+        }
+        const auto [base, count] = fuzzScratchRange(p.machine);
+        o.memDigest = fuzzMemDigest(mem.words(), base, count);
+        o.ok = rr.halted;
+        if (!rr.halted)
+            o.diag = "mir interp: step budget exceeded";
+    } catch (const FatalError &e) {
+        o = FuzzObservation{};
+        o.diag = std::string("mir golden: ") + e.what();
+    }
+    return o;
+}
+
+Job
+fuzzJob(const GeneratedProgram &p, const ConfigSample &c,
+        uint64_t max_cycles)
+{
+    Job job;
+    job.name = "fuzz:" + p.lang + ":" + p.machine + ":s" +
+               std::to_string(p.seed);
+    job.lang = p.lang;
+    job.machine = p.machine;
+    job.source = p.source;
+    job.entry = p.entry;
+    job.sets = p.sets;
+    job.options = c.options;
+    job.faultPlan = c.faultPlan;
+    job.faultSeed = c.faultSeed;
+    job.forceSlowPath = c.forceSlowPath;
+    job.dmr = c.dmr;
+    job.ecc = c.ecc;
+    job.maxCycles = max_cycles ? max_cycles : kFuzzMaxCycles;
+    job.deadlineSeconds = kFuzzDeadlineSeconds;
+    return job;
+}
+
+FuzzObservation
+fuzzObserve(const JobResult &r, uint64_t mem_digest)
+{
+    FuzzObservation o;
+    o.halted = r.ran && r.sim.halted;
+    o.vars = r.vars;
+    o.ok = r.ok && o.halted;
+    if (!r.diagnostics.empty())
+        o.diag = r.diagnostics.front();
+    else if (!o.halted)
+        o.diag = "did not halt within the cycle budget";
+    // The digest of a failed or truncated run is noise: never
+    // compare it (mirrors fuzzDiverges' ok-gating, and keeps
+    // partial digests out of repro JSON).
+    o.memDigest = o.ok ? mem_digest : 0;
+    return o;
+}
+
+FuzzObservation
+fuzzRunConfig(const Toolchain &tc, const GeneratedProgram &p,
+              const ConfigSample &c, uint64_t max_cycles)
+{
+    Job job = fuzzJob(p, c, max_cycles);
+    uint64_t digest = 0;
+    const auto [base, count] = fuzzScratchRange(p.machine);
+    job.onFinish = [&digest, base = base, count = count](
+                       const MicroSimulator &,
+                       const MainMemory &mem) {
+        digest = fuzzMemDigest(mem.words(), base, count);
+    };
+    // Sequence the run before the digest read: as one call
+    // expression the argument loads could be ordered either way.
+    JobResult r = tc.run(job);
+    return fuzzObserve(r, digest);
+}
+
+FuzzObservation
+fuzzGolden(const Toolchain &tc, const GeneratedProgram &p)
+{
+    if (fuzzLangIsMir(p.lang))
+        return fuzzMirGolden(p);
+    return fuzzRunConfig(tc, p, referenceConfig());
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+fuzzFilterSets(
+    const std::vector<std::pair<std::string, uint64_t>> &sets,
+    const std::string &source)
+{
+    auto isWord = [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) ||
+               c == '_';
+    };
+    std::vector<std::pair<std::string, uint64_t>> kept;
+    for (const auto &entry : sets) {
+        const std::string &name = entry.first;
+        bool found = false;
+        for (size_t at = source.find(name);
+             at != std::string::npos && !found;
+             at = source.find(name, at + 1)) {
+            const bool left_ok =
+                at == 0 || !isWord(source[at - 1]);
+            const size_t end = at + name.size();
+            const bool right_ok =
+                end >= source.size() || !isWord(source[end]);
+            found = left_ok && right_ok;
+        }
+        if (found)
+            kept.push_back(entry);
+    }
+    return kept;
+}
+
+} // namespace uhll

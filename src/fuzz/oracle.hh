@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The differential oracle of the fuzz farm: what one run of a
+ * generated program looks like to the comparator, how the golden
+ * observation is produced, and when two observations count as a
+ * divergence.
+ *
+ * Golden semantics are the MIR reference interpreter for the
+ * MIR-producing frontends (YALLL, SIMPL, EMPL): a program's meaning
+ * is fixed before compaction, allocation, fast-path selection or
+ * the JIT ever see it. The direct frontends (S*, masm) have no MIR;
+ * their golden observation is the fixed reference configuration
+ * (default pipeline, forced-slow interpreter, no faults) run
+ * through the same Toolchain facade.
+ *
+ * An observation deliberately excludes anything timing- or
+ * resource-shaped (cycle counts, fault tallies, jitter): the
+ * configurations under test are allowed to take different paths,
+ * never to produce different architectural results.
+ */
+
+#ifndef UHLL_FUZZ_ORACLE_HH
+#define UHLL_FUZZ_ORACLE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "driver/supervisor.hh"
+#include "fuzz/generator.hh"
+
+namespace uhll {
+
+class Toolchain;
+
+/** The architecturally-visible outcome of one run. */
+struct FuzzObservation {
+    //! compile succeeded and the simulation ended at Halt
+    bool ok = false;
+    bool halted = false;
+    //! final values of the program's observable variables, in
+    //! GeneratedProgram::sets order
+    std::vector<std::pair<std::string, uint64_t>> vars;
+    //! FNV-1a over final main memory, compiler scratch RAM masked
+    uint64_t memDigest = 0;
+    //! first diagnostic when !ok (never compared)
+    std::string diag;
+
+    std::string toJson() const;
+};
+
+/** How @p got differs from @p want -- the first mismatch in
+ *  severity order. The minimizer pins this signature so shrinking
+ *  cannot slip from the original bug onto an unrelated one (e.g.
+ *  from a wrong-result divergence onto a candidate that merely
+ *  fails to compile differently than golden). */
+enum class FuzzDivergenceKind {
+    None,   //!< architecturally identical (or both failed)
+    Ok,     //!< one side failed, the other succeeded
+    Halt,   //!< both ok but different halted state
+    State,  //!< variable values or memory digest differ
+};
+
+FuzzDivergenceKind fuzzDivergenceKind(const FuzzObservation &want,
+                                      const FuzzObservation &got);
+
+/** True when @p got differs architecturally from @p want: ok,
+ *  halted state, any variable, or the memory digest. */
+bool fuzzDiverges(const FuzzObservation &want,
+                  const FuzzObservation &got);
+
+/** @p machine's compiler scratch RAM as (base, words) -- the only
+ *  main-memory range the comparator masks. */
+std::pair<uint32_t, uint32_t> fuzzScratchRange(
+    const std::string &machine);
+
+/** FNV-1a over @p words with [base, base+count) masked. */
+uint64_t fuzzMemDigest(const std::vector<uint64_t> &words,
+                       uint32_t base, uint32_t count);
+
+/** True when @p lang compiles through MIR (interpreter golden). */
+bool fuzzLangIsMir(const std::string &lang);
+
+/**
+ * Golden observation of @p p on the MIR reference interpreter.
+ * Returns ok=false (with diagnostics) when the program does not
+ * translate or exhausts the step budget -- callers skip such
+ * programs rather than judge configurations against them.
+ */
+FuzzObservation fuzzMirGolden(const GeneratedProgram &p);
+
+/**
+ * Run @p p under configuration @p c through the Toolchain facade
+ * (single supervised job: deadline, optional DMR) and observe the
+ * result. @p max_cycles bounds runaway candidates during
+ * minimization; 0 = the campaign default.
+ */
+FuzzObservation fuzzRunConfig(const Toolchain &tc,
+                              const GeneratedProgram &p,
+                              const ConfigSample &c,
+                              uint64_t max_cycles = 0);
+
+/** The golden observation for @p p: MIR interpreter for MIR
+ *  frontends, reference-configuration run for direct ones. */
+FuzzObservation fuzzGolden(const Toolchain &tc,
+                           const GeneratedProgram &p);
+
+/** Drop sets entries whose variable name no longer occurs as a
+ *  whole token in @p source (minimization candidates). */
+std::vector<std::pair<std::string, uint64_t>> fuzzFilterSets(
+    const std::vector<std::pair<std::string, uint64_t>> &sets,
+    const std::string &source);
+
+/** Condense a JobResult (plus the memory digest its onFinish hook
+ *  captured) into an observation; the digest of a failed or
+ *  truncated run is zeroed, never compared. */
+FuzzObservation fuzzObserve(const JobResult &r, uint64_t mem_digest);
+
+/** Build the supervised Job for (@p p, @p c) -- the one entry point
+ *  campaign, minimizer and corpus replay all funnel through, so a
+ *  repro re-runs exactly what the campaign ran. */
+Job fuzzJob(const GeneratedProgram &p, const ConfigSample &c,
+            uint64_t max_cycles = 0);
+
+} // namespace uhll
+
+#endif // UHLL_FUZZ_ORACLE_HH

@@ -342,7 +342,18 @@ Checkpoint::deserialize(const std::string &bytes)
     c.memWords = in.u32();
     c.memWidth = in.u32();
     c.pageWords = in.u32();
+    // Every count below is validated against the bytes actually
+    // remaining BEFORE it sizes an allocation or is trusted as a
+    // loop bound: a corrupt (fuzzed) file whose checksum happens to
+    // hold must degrade to a FatalError -- which readFile() turns
+    // into nullopt -- never into a multi-gigabyte resize or an
+    // out-of-range memory write at apply() time.
     uint32_t nPages = in.u32();
+    in.need((size_t(nPages) + 7) / 8);
+    if (c.pageWords != 0 &&
+        uint64_t(nPages) * c.pageWords < c.memWords)
+        fatal("checkpoint: %u pages of %u words cannot cover %u "
+              "memory words", nPages, c.pageWords, c.memWords);
     c.presentPages.resize(nPages);
     for (uint32_t i = 0; i < nPages; i += 8) {
         uint8_t byte = in.u8();
@@ -350,10 +361,17 @@ Checkpoint::deserialize(const std::string &bytes)
             c.presentPages[i + b] = (byte >> b) & 1;
     }
     uint32_t nDelta = in.u32();
+    in.need(size_t(nDelta) * 12);   // u32 addr + u64 value each
+    if (nDelta > c.memWords)
+        fatal("checkpoint: %u delta entries for a %u-word memory",
+              nDelta, c.memWords);
     c.memDelta.reserve(nDelta);
     for (uint32_t i = 0; i < nDelta; ++i) {
         uint32_t addr = in.u32();
         uint64_t value = in.u64();
+        if (addr >= c.memWords)
+            fatal("checkpoint: delta address 0x%x outside the "
+                  "%u-word memory", addr, c.memWords);
         c.memDelta.emplace_back(addr, value);
     }
 
@@ -361,14 +379,20 @@ Checkpoint::deserialize(const std::string &bytes)
     s.entry = in.u32();
     s.upc = in.u32();
     s.restartPoint = in.u32();
-    s.regs.resize(in.u32());
+    uint32_t nRegs = in.u32();
+    in.need(size_t(nRegs) * 8);
+    s.regs.resize(nRegs);
     for (uint64_t &v : s.regs)
         v = in.u64();
     s.flags = unpackFlags(in.u8());
-    s.microStack.resize(in.u32());
+    uint32_t nStack = in.u32();
+    in.need(size_t(nStack) * 4);
+    s.microStack.resize(nStack);
     for (uint32_t &v : s.microStack)
         v = in.u32();
-    s.pending.resize(in.u32());
+    uint32_t nPending = in.u32();
+    in.need(size_t(nPending) * 25);     // 8+1+4+4+8 bytes each
+    s.pending.resize(nPending);
     for (SimSnapshot::Pending &q : s.pending) {
         q.commitCycle = in.u64();
         q.isMem = in.u8();
@@ -384,7 +408,9 @@ Checkpoint::deserialize(const std::string &bytes)
     s.consecFaults = in.u32();
     s.lastFaultRestart = in.u32();
     s.res = getResult(in);
-    s.pendingDepth.buckets.resize(in.u32());
+    uint32_t nBuckets = in.u32();
+    in.need(size_t(nBuckets) * 8);
+    s.pendingDepth.buckets.resize(nBuckets);
     for (uint64_t &v : s.pendingDepth.buckets)
         v = in.u64();
     s.pendingDepth.samples = in.u64();
@@ -396,7 +422,9 @@ Checkpoint::deserialize(const std::string &bytes)
     if (s.haveInjector) {
         for (size_t k = 0; k < kNumFaultKinds; ++k)
             s.faults.state[k] = in.u64();
-        s.faults.fired.resize(in.u32());
+        uint32_t nFired = in.u32();
+        in.need(size_t(nFired) * 8);
+        s.faults.fired.resize(nFired);
         for (uint64_t &v : s.faults.fired)
             v = in.u64();
         FaultCounters &fc = s.faults.counters;

@@ -1,6 +1,7 @@
 #include "schedule/compact.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 
 #include "support/logging.hh"
@@ -181,12 +182,38 @@ CriticalPathCompactor::compact(const MachineDescription &mach,
                        /*chaining=*/false);
 }
 
+namespace {
+std::atomic<bool> g_sabotage{false};
+} // namespace
+
+void
+setCompactorSabotage(bool on)
+{
+    g_sabotage.store(on, std::memory_order_relaxed);
+}
+
+bool
+compactorSabotage()
+{
+    return g_sabotage.load(std::memory_order_relaxed);
+}
+
 CompactionResult
 TokoroCompactor::compact(const MachineDescription &mach,
                          std::span<const BoundOp> ops) const
 {
-    return listCompact(mach, ops, /*phase_aware=*/true,
-                       /*chaining=*/true);
+    CompactionResult res = listCompact(mach, ops,
+                                       /*phase_aware=*/true,
+                                       /*chaining=*/true);
+    if (compactorSabotage()) {
+        for (auto &word : res.words) {
+            if (word.size() >= 2) {
+                word.pop_back();
+                break;
+            }
+        }
+    }
+    return res;
 }
 
 CompactionResult

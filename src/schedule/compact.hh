@@ -126,6 +126,21 @@ class OptimalCompactor : public Compactor
 };
 
 /**
+ * @name Test-only sabotage hook
+ * When armed, TokoroCompactor silently drops the last operation of
+ * the first multi-op word it schedules -- the classic "compactor
+ * loses an op" bug class (lower.cc emits exactly the indices the
+ * compaction names, so the op vanishes without a diagnostic). It
+ * exists solely so the fuzz farm's divergence hunt and minimizer can
+ * be demonstrated against a known-planted bug (test_fuzz.cc,
+ * EXPERIMENTS.md); nothing in the product ever arms it.
+ */
+/// @{
+void setCompactorSabotage(bool on);
+bool compactorSabotage();
+/// @}
+
+/**
  * Check that @p result is a legal compaction of @p ops: a
  * permutation-free partition respecting dependences and the
  * machine's conflict model. Returns false and fills @p why on

@@ -55,6 +55,23 @@
  *   --no-ecc            disable memory ECC (injected bit flips
  *                       corrupt silently)
  *
+ * Fuzz mode (differential fuzz farm, see src/fuzz/campaign.hh; a
+ * manifest's "fuzz" object is the batch-mode spelling; -jN,
+ * --report and --no-timings apply):
+ *   --fuzz              run a seeded differential fuzz campaign
+ *   --fuzz-seed N       campaign seed (default 1)
+ *   --fuzz-jobs N       total supervised jobs to run (default 500)
+ *   --fuzz-duration S   wall-clock cap in seconds (trades the
+ *                       report's cross-run determinism for a bound)
+ *   --fuzz-configs N    sampled configurations per program (plus
+ *                       the reference; default 3)
+ *   --fuzz-budget N     generator statement budget (default 20)
+ *   --fuzz-langs CSV    languages to draw from (default: all)
+ *   --fuzz-machines CSV machines to draw from (default: all)
+ *   --fuzz-corpus DIR   write minimized repros into DIR
+ *   --fuzz-min-rate R   fail (exit 1) under R jobs/sec
+ *   --fuzz-no-minimize  record divergences without minimizing
+ *
  * Discovery:
  *   --list              print the registered languages and machines
  *
@@ -158,6 +175,12 @@ usage()
         "             [--dmr-interval N] [--dmr-seed-b N]\n"
         "             [--otrace FILE] [--metrics-out FILE]\n"
         "             [--metrics-every N] [--postmortem-dir DIR]\n"
+        "       uhllc --fuzz [--fuzz-seed N] [--fuzz-jobs N]\n"
+        "             [--fuzz-duration S] [--fuzz-configs N]\n"
+        "             [--fuzz-budget N] [--fuzz-langs L1,L2]\n"
+        "             [--fuzz-machines M1,M2] [--fuzz-corpus DIR]\n"
+        "             [--fuzz-min-rate R] [--fuzz-no-minimize]\n"
+        "             [-jN] [--report FILE] [--no-timings]\n"
         "       uhllc --validate-json FILE | --validate-jsonl FILE\n"
         "       uhllc --list\n",
         joined(FrontendRegistry::names()).c_str(),
@@ -252,6 +275,48 @@ listMode()
     return 0;
 }
 
+/**
+ * Run a differential fuzz campaign (see fuzz/campaign.hh) and
+ * report it. Exit 0 on a clean campaign; 1 on any divergence or a
+ * missed jobs/sec budget.
+ */
+int
+fuzzMode(const FuzzOptions &opts, const std::string &report_path,
+         bool timings, double min_rate)
+{
+    Toolchain tc;
+    FuzzReport rep = runFuzzCampaign(tc, opts);
+    const std::string json = rep.toJson(true, timings) + "\n";
+    if (report_path.empty())
+        std::fputs(json.c_str(), stdout);
+    else
+        writeFile(report_path, json);
+    for (const FuzzDivergence &d : rep.divergences) {
+        std::fprintf(stderr, "DIVERGENCE %s [%s]\n",
+                     d.jobName.c_str(), d.configSummary.c_str());
+        if (!d.corpusPath.empty())
+            std::fprintf(stderr, "  repro: %s\n",
+                         d.corpusPath.c_str());
+    }
+    std::fprintf(stderr,
+                 "fuzz: %llu job(s) over %llu program(s), "
+                 "%zu divergence(s), %llu golden failure(s), "
+                 "%.1f jobs/s, %.3fs wall\n",
+                 (unsigned long long)rep.jobsRun,
+                 (unsigned long long)rep.programs,
+                 rep.divergences.size(),
+                 (unsigned long long)rep.goldenFailures,
+                 rep.jobsPerSec, rep.wallSeconds);
+    if (min_rate > 0 && rep.jobsPerSec < min_rate) {
+        std::fprintf(stderr,
+                     "fuzz: throughput %.1f jobs/s is below the "
+                     "%.1f jobs/s budget\n",
+                     rep.jobsPerSec, min_rate);
+        return 1;
+    }
+    return rep.clean() ? 0 : 1;
+}
+
 int
 batchMode(const std::string &manifest_path, unsigned threads,
           std::string report_path, bool timings,
@@ -268,6 +333,15 @@ batchMode(const std::string &manifest_path, unsigned threads,
         // failure: exit 2, like a bad command line.
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
+    }
+
+    // A "fuzz" manifest runs a campaign instead of a job list; -j,
+    // --report and --no-timings apply as usual.
+    if (spec.fuzz) {
+        FuzzOptions fo = *spec.fuzz;
+        if (threads)
+            fo.threads = threads;
+        return fuzzMode(fo, report_path, timings, 0);
     }
 
     // The manifest's "telemetry" object is the base; the CLI flags
@@ -416,6 +490,10 @@ main(int argc, char **argv)
     bool batch_timings = true;
     SupervisePolicy cli_pol;
 
+    bool fuzz_mode = false;
+    FuzzOptions fuzz_opts;
+    double fuzz_min_rate = 0;
+
     std::string trace_path, stats_json_path;
     size_t trace_limit = 4096;
     bool profile = false;
@@ -487,6 +565,61 @@ main(int argc, char **argv)
                 usage();
         }
         else if (a == "--list") list = true;
+        else if (a == "--fuzz") fuzz_mode = true;
+        else if (valueOpt("--fuzz-seed", &val)) {
+            fuzz_opts.seed = std::strtoull(val.c_str(), nullptr, 0);
+        }
+        else if (valueOpt("--fuzz-jobs", &val)) {
+            fuzz_opts.jobs = std::strtoull(val.c_str(), nullptr, 0);
+            if (!fuzz_opts.jobs)
+                usage();
+        }
+        else if (valueOpt("--fuzz-duration", &val)) {
+            fuzz_opts.durationSeconds =
+                std::strtod(val.c_str(), nullptr);
+            if (fuzz_opts.durationSeconds <= 0)
+                usage();
+        }
+        else if (valueOpt("--fuzz-configs", &val)) {
+            fuzz_opts.configsPerProgram = static_cast<unsigned>(
+                std::strtoul(val.c_str(), nullptr, 0));
+        }
+        else if (valueOpt("--fuzz-budget", &val)) {
+            fuzz_opts.sizeBudget = static_cast<unsigned>(
+                std::strtoul(val.c_str(), nullptr, 0));
+            if (!fuzz_opts.sizeBudget)
+                usage();
+        }
+        else if (valueOpt("--fuzz-langs", &val)) {
+            for (size_t s = 0; s <= val.size();) {
+                size_t e = val.find(',', s);
+                if (e == std::string::npos)
+                    e = val.size();
+                if (e > s)
+                    fuzz_opts.langs.push_back(
+                        val.substr(s, e - s));
+                s = e + 1;
+            }
+        }
+        else if (valueOpt("--fuzz-machines", &val)) {
+            for (size_t s = 0; s <= val.size();) {
+                size_t e = val.find(',', s);
+                if (e == std::string::npos)
+                    e = val.size();
+                if (e > s)
+                    fuzz_opts.machines.push_back(
+                        val.substr(s, e - s));
+                s = e + 1;
+            }
+        }
+        else if (valueOpt("--fuzz-corpus", &fuzz_opts.corpusDir)) {}
+        else if (valueOpt("--fuzz-min-rate", &val)) {
+            fuzz_min_rate = std::strtod(val.c_str(), nullptr);
+            if (fuzz_min_rate <= 0)
+                usage();
+        }
+        else if (a == "--fuzz-no-minimize")
+            fuzz_opts.minimize = false;
         else if (valueOpt("--batch", &batch_manifest)) {}
         else if (valueOpt("--report", &report_path)) {}
         else if (a == "--no-timings") batch_timings = false;
@@ -639,6 +772,12 @@ main(int argc, char **argv)
             return validateMode(validate_json, false);
         if (!validate_jsonl.empty())
             return validateMode(validate_jsonl, true);
+
+        if (fuzz_mode) {
+            fuzz_opts.threads = batch_threads;
+            return fuzzMode(fuzz_opts, report_path, batch_timings,
+                            fuzz_min_rate);
+        }
 
         if (!batch_manifest.empty()) {
             return batchMode(batch_manifest, batch_threads,

@@ -290,6 +290,42 @@ TEST(Checkpoint, ReadFileDegradesToFreshRun)
     std::remove(path.c_str());
 }
 
+// A blob can carry a perfectly valid checksum and still describe
+// nonsense -- delta entries pointing past the target memory, or more
+// deltas than the memory has words. Those must be rejected during
+// deserialization (and degrade readFile to nullopt), never be left
+// for apply() to poke out of bounds.
+TEST(Checkpoint, OutOfRangeDeltasAreRejectedDespiteValidChecksum)
+{
+    Toolchain tc;
+    Job job = checksumJob("hm1", true);
+    Env e(tc, job);
+    e.sim->begin(e.entry(job));
+    e.sim->runUntilCycle(64);
+    ASSERT_FALSE(e.sim->finished());
+    const Checkpoint good =
+        Checkpoint::capture(*e.sim, e.baseline);
+
+    Checkpoint oob = good;
+    oob.memDelta.emplace_back(oob.memWords + 100, 0xdeadull);
+    EXPECT_THROW(Checkpoint::deserialize(oob.serialize()),
+                 FatalError);
+
+    Checkpoint tooMany = good;
+    tooMany.memWords = 4;       // 4-word memory...
+    tooMany.memDelta.assign(8, {0, 1ull});      // ...8 deltas
+    EXPECT_THROW(Checkpoint::deserialize(tooMany.serialize()),
+                 FatalError);
+
+    const std::string path = "ckpt_oob_delta.tmp";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << oob.serialize();
+    }
+    EXPECT_FALSE(Checkpoint::readFile(path).has_value());
+    std::remove(path.c_str());
+}
+
 TEST(Checkpoint, IncompatibleTargetsAreRejected)
 {
     Toolchain tc;

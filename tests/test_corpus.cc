@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Replays every committed fuzz repro under tests/corpus/ against
+ * the current toolchain. Each entry was once a real divergence the
+ * farm found and minimized; replay proves the bug it captured stays
+ * fixed. UHLL_CORPUS_DIR is injected by tests/CMakeLists.txt.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/toolchain.hh"
+#include "fuzz/corpus.hh"
+
+using namespace uhll;
+
+#ifndef UHLL_CORPUS_DIR
+#error "tests/CMakeLists.txt must define UHLL_CORPUS_DIR"
+#endif
+
+TEST(CorpusReplay, EveryCommittedReproStaysFixed)
+{
+    const std::vector<std::string> files =
+        listCorpusFiles(UHLL_CORPUS_DIR);
+    ASSERT_FALSE(files.empty())
+        << "no corpus entries under " << UHLL_CORPUS_DIR;
+
+    Toolchain tc;
+    for (const std::string &f : files) {
+        SCOPED_TRACE(f);
+        std::optional<CorpusEntry> e = loadCorpusEntry(f);
+        ASSERT_TRUE(e.has_value()) << "unparseable corpus file";
+        EXPECT_FALSE(e->name.empty());
+        std::string why;
+        EXPECT_TRUE(replayCorpusEntry(tc, *e, &why)) << why;
+    }
+}
+
+TEST(CorpusReplay, EntriesAreOneMinimalSized)
+{
+    // Committed repros are supposed to be tiny -- the whole point
+    // of auto-minimization. Hold them to the documented bound.
+    for (const std::string &f : listCorpusFiles(UHLL_CORPUS_DIR)) {
+        SCOPED_TRACE(f);
+        std::optional<CorpusEntry> e = loadCorpusEntry(f);
+        ASSERT_TRUE(e.has_value());
+        size_t lines = 0;
+        for (char c : e->program.source)
+            lines += (c == '\n');
+        EXPECT_LE(lines, 10u);
+    }
+}

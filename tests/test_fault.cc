@@ -85,6 +85,38 @@ TEST(FaultPlan, RejectsMalformedSpecs)
     EXPECT_THROW(FaultPlan::parse("seed\n"), FatalError);
     EXPECT_THROW(FaultPlan::parse("jitter rate 0.5 max 0\n"),
                  FatalError);
+    // Half-numeric fractions used to strtod to 0 and silently
+    // disable the rule.
+    EXPECT_THROW(FaultPlan::parse("mem1 rate abc/12\n"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("mem1 rate 1/12xyz\n"),
+                 FatalError);
+}
+
+TEST(FaultPlan, RejectsDuplicateDirectives)
+{
+    // Last-wins was silent data loss: the second entry replaced the
+    // first without a word. Both locations now land in the message.
+    try {
+        FaultPlan::parse("mem1 rate 1/64\nparity rate 1/32\n"
+                         "mem1 rate 1/8\n");
+        FAIL() << "duplicate mem1 accepted";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("line 1"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_THROW(FaultPlan::parse("seed 1\nseed 2\n"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("watchdog 10\nwatchdog 20\n"),
+                 FatalError);
+    EXPECT_THROW(
+        FaultPlan::parse("retry-limit 1\nretry-limit 2\n"),
+        FatalError);
+    // Distinct kinds on their own lines stay legal.
+    EXPECT_NO_THROW(FaultPlan::parse(
+        "mem1 rate 1/64\nmem2 rate 1/64\nparity rate 1/64\n"));
 }
 
 // ---------------------------------------------------------------

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Fuzz farm tests: the generator determinism contract (same seed ->
+ * byte-identical program and configuration sample, across thread
+ * counts and runs), the campaign manifest surface, and the
+ * end-to-end promise -- a deliberately planted compactor bug is
+ * found, auto-minimized to a tiny repro, and the written corpus
+ * entry replays green once the bug is gone.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "driver/batch.hh"
+#include "fault/fault.hh"
+#include "fuzz/campaign.hh"
+#include "fuzz/corpus.hh"
+#include "fuzz/minimize.hh"
+#include "fuzz/oracle.hh"
+#include "machine/machines/machines.hh"
+#include "obs/json.hh"
+#include "schedule/compact.hh"
+#include "support/logging.hh"
+
+using namespace uhll;
+
+namespace {
+
+/** Arms the test-only compactor bug for one scope. Every Toolchain
+ *  used under the guard must be fresh: the artefact cache does not
+ *  key on the hook, so artefacts compiled sabotaged must never leak
+ *  into healthy runs (and vice versa). */
+struct SabotageGuard {
+    SabotageGuard() { setCompactorSabotage(true); }
+    ~SabotageGuard() { setCompactorSabotage(false); }
+};
+
+std::vector<std::string>
+allMachines()
+{
+    return machineNames();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Generator determinism.
+// ---------------------------------------------------------------
+
+TEST(FuzzGenerator, SameSeedByteIdenticalEverywhere)
+{
+    for (const std::string &lang : fuzzGeneratorLangs()) {
+        for (const std::string &mach : allMachines()) {
+            for (uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+                GeneratedProgram a =
+                    generateProgram(lang, mach, seed);
+                GeneratedProgram b =
+                    generateProgram(lang, mach, seed);
+                EXPECT_EQ(a.source, b.source)
+                    << lang << ":" << mach << " seed " << seed;
+                EXPECT_EQ(a.sets, b.sets)
+                    << lang << ":" << mach << " seed " << seed;
+            }
+        }
+    }
+}
+
+TEST(FuzzGenerator, DifferentSeedsDiffer)
+{
+    GeneratedProgram a = generateProgram("yalll", "hm1", 1);
+    GeneratedProgram b = generateProgram("yalll", "hm1", 2);
+    EXPECT_NE(a.source, b.source);
+}
+
+TEST(FuzzGenerator, MachineIsPartOfTheStream)
+{
+    // The same seed on two machines must not depend on producing
+    // the same statement sequence: operand constraints differ.
+    GeneratedProgram a = generateProgram("sstar", "hm1", 7);
+    GeneratedProgram b = generateProgram("sstar", "vm2", 7);
+    EXPECT_NE(a.source, b.source);
+}
+
+TEST(FuzzGenerator, SetsOnlyNameReferencedVariables)
+{
+    // Every sets entry must survive the pipeline's allocator: a
+    // variable the body never references would fail setVar while
+    // the MIR golden accepts it (a false divergence).
+    for (const std::string &lang : fuzzGeneratorLangs()) {
+        for (uint64_t seed = 1; seed <= 30; ++seed) {
+            GeneratedProgram p = generateProgram(lang, "hm1", seed);
+            std::vector<std::pair<std::string, uint64_t>> kept =
+                fuzzFilterSets(p.sets, p.source);
+            EXPECT_EQ(kept, p.sets) << lang << " seed " << seed;
+        }
+    }
+}
+
+TEST(FuzzGenerator, ConfigSampleDeterministicAndValid)
+{
+    FuzzRng ra(99), rb(99);
+    for (int i = 0; i < 200; ++i) {
+        ConfigSample a = sampleConfig(ra);
+        ConfigSample b = sampleConfig(rb);
+        EXPECT_EQ(a.summary(), b.summary()) << "draw " << i;
+        // Contradiction-free by construction: validate() accepts
+        // every sample (the campaign would otherwise burn jobs on
+        // option errors instead of divergence hunting).
+        EXPECT_EQ(a.options.validate(), "") << a.summary();
+        if (!a.faultPlan.empty() && a.faultPlan != "-")
+            EXPECT_NO_THROW(FaultPlan::parse(a.faultPlan))
+                << a.faultPlan;
+    }
+}
+
+TEST(FuzzGenerator, FilterSetsMatchesWholeTokensOnly)
+{
+    std::vector<std::pair<std::string, uint64_t>> sets = {
+        {"a", 1}, {"ab", 2}, {"r5", 3}};
+    std::vector<std::pair<std::string, uint64_t>> kept =
+        fuzzFilterSets(sets, "put ab, 3\n");
+    ASSERT_EQ(kept.size(), 1u);
+    EXPECT_EQ(kept[0].first, "ab");     // "a" inside "ab" is no use
+}
+
+// ---------------------------------------------------------------
+// Oracle / divergence classification.
+// ---------------------------------------------------------------
+
+TEST(FuzzOracle, DivergenceKinds)
+{
+    FuzzObservation ok;
+    ok.ok = ok.halted = true;
+    ok.memDigest = 5;
+
+    FuzzObservation failed;
+    EXPECT_EQ(fuzzDivergenceKind(ok, failed),
+              FuzzDivergenceKind::Ok);
+    EXPECT_EQ(fuzzDivergenceKind(failed, failed),
+              FuzzDivergenceKind::None);
+
+    FuzzObservation otherDigest = ok;
+    otherDigest.memDigest = 6;
+    EXPECT_EQ(fuzzDivergenceKind(ok, otherDigest),
+              FuzzDivergenceKind::State);
+
+    FuzzObservation otherVars = ok;
+    otherVars.vars = {{"a", 1}};
+    EXPECT_EQ(fuzzDivergenceKind(ok, otherVars),
+              FuzzDivergenceKind::State);
+
+    EXPECT_FALSE(fuzzDiverges(ok, ok));
+    EXPECT_TRUE(fuzzDiverges(ok, otherDigest));
+}
+
+TEST(FuzzOracle, GeneratedProgramsPassGoldenOnEveryCell)
+{
+    // A handful of seeds per (lang, machine) cell: golden must
+    // accept every generated program -- a failure here is a
+    // generator/grammar drift, the campaign would silently skip it.
+    Toolchain tc;
+    for (const std::string &lang : fuzzGeneratorLangs()) {
+        for (const std::string &mach : allMachines()) {
+            for (uint64_t seed : {3ull, 1009ull}) {
+                GeneratedProgram p =
+                    generateProgram(lang, mach, seed);
+                FuzzObservation g = fuzzGolden(tc, p);
+                EXPECT_TRUE(g.ok) << lang << ":" << mach << " seed "
+                                  << seed << ": " << g.diag;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Campaign determinism and manifest surface.
+// ---------------------------------------------------------------
+
+TEST(FuzzCampaign, ReportIdenticalAcrossThreadCounts)
+{
+    FuzzOptions o;
+    o.seed = 17;
+    o.jobs = 48;
+    o.minimize = false;
+    Toolchain tc;
+    o.threads = 1;
+    FuzzReport a = runFuzzCampaign(tc, o);
+    o.threads = 8;
+    FuzzReport b = runFuzzCampaign(tc, o);
+    EXPECT_EQ(a.genDigest, b.genDigest);
+    EXPECT_EQ(a.toJson(true, false), b.toJson(true, false));
+    EXPECT_TRUE(a.clean()) << a.toJson(true, false);
+    EXPECT_EQ(a.jobsRun, 48u);
+}
+
+TEST(FuzzCampaign, ManifestFuzzObjectParses)
+{
+    JsonValue v = JsonValue::parse(R"({
+        "seed": 7, "jobs": 100, "configs_per_program": 2,
+        "size_budget": 10, "langs": ["yalll"],
+        "machines": ["hm1", "vm2"], "corpus_dir": "c",
+        "minimize": false, "max_minimize": 3,
+        "duration_seconds": 1.5, "threads": 2
+    })");
+    FuzzOptions o = parseFuzzOptions(v);
+    EXPECT_EQ(o.seed, 7u);
+    EXPECT_EQ(o.jobs, 100u);
+    EXPECT_EQ(o.configsPerProgram, 2u);
+    EXPECT_EQ(o.sizeBudget, 10u);
+    ASSERT_EQ(o.langs.size(), 1u);
+    EXPECT_EQ(o.langs[0], "yalll");
+    ASSERT_EQ(o.machines.size(), 2u);
+    EXPECT_EQ(o.corpusDir, "c");
+    EXPECT_FALSE(o.minimize);
+    EXPECT_EQ(o.maxMinimize, 3u);
+    EXPECT_DOUBLE_EQ(o.durationSeconds, 1.5);
+    EXPECT_EQ(o.threads, 2u);
+}
+
+TEST(FuzzCampaign, ManifestRejectsUnknownKeyAndJobsMix)
+{
+    EXPECT_THROW(
+        parseFuzzOptions(JsonValue::parse(R"({"sedd": 1})")),
+        FatalError);
+    // "fuzz" and "jobs" in one manifest contradict each other.
+    JsonValue root = JsonValue::parse(
+        R"({"fuzz": {"seed": 1}, "jobs": []})");
+    EXPECT_THROW(parseManifest(root, "."), FatalError);
+}
+
+// ---------------------------------------------------------------
+// The end-to-end promise: a planted bug is found, minimized and
+// frozen; the frozen repro replays green on a healthy build.
+// ---------------------------------------------------------------
+
+TEST(FuzzPlantedBug, FoundMinimizedAndReplaysGreenAfterFix)
+{
+    const std::string dir =
+        ::testing::TempDir() + "fuzz_planted_corpus";
+    FuzzOptions o;
+    o.seed = 1;
+    o.jobs = 60;
+    o.langs = {"simpl", "yalll"};
+    o.machines = {"hm1"};
+    o.corpusDir = dir;
+    o.maxMinimize = 2;
+
+    FuzzReport rep;
+    {
+        SabotageGuard bug;
+        Toolchain sabotaged;
+        rep = runFuzzCampaign(sabotaged, o);
+    }
+
+    ASSERT_FALSE(rep.divergences.empty())
+        << "the planted compactor bug went unnoticed";
+    const FuzzDivergence &d = rep.divergences.front();
+    EXPECT_TRUE(d.minimized) << d.minimizedSource;
+    EXPECT_LE(d.reproLines, 10u) << d.minimizedSource;
+    ASSERT_FALSE(d.corpusPath.empty());
+
+    // The bug is "fixed" (hook disarmed): every written repro must
+    // replay green through a fresh Toolchain.
+    Toolchain healthy;
+    std::vector<std::string> files = listCorpusFiles(dir);
+    ASSERT_FALSE(files.empty());
+    for (const std::string &f : files) {
+        std::optional<CorpusEntry> e = loadCorpusEntry(f);
+        ASSERT_TRUE(e.has_value()) << f;
+        std::string why;
+        EXPECT_TRUE(replayCorpusEntry(healthy, *e, &why))
+            << f << ": " << why;
+        std::remove(f.c_str());
+    }
+}
+
+TEST(FuzzPlantedBug, MinimizerPinsTheDivergenceSignature)
+{
+    // Minimizing a state divergence must never "succeed" by
+    // producing a program that merely fails outright (an Ok-kind
+    // mismatch): the repro's observation kind matches the original.
+    FuzzOptions o;
+    o.seed = 1;
+    o.jobs = 30;
+    o.langs = {"simpl"};
+    o.machines = {"hm1"};
+    o.maxMinimize = 1;
+
+    FuzzReport rep;
+    {
+        SabotageGuard bug;
+        Toolchain sabotaged;
+        rep = runFuzzCampaign(sabotaged, o);
+    }
+    ASSERT_FALSE(rep.divergences.empty());
+    for (const FuzzDivergence &d : rep.divergences) {
+        if (!d.minimized)
+            continue;
+        EXPECT_EQ(fuzzDivergenceKind(d.expected, d.observed),
+                  FuzzDivergenceKind::State)
+            << d.jobName;
+    }
+}
+
+// ---------------------------------------------------------------
+// Corpus file format.
+// ---------------------------------------------------------------
+
+TEST(FuzzCorpusFormat, RoundTripsThroughJson)
+{
+    CorpusEntry e;
+    e.name = "roundtrip";
+    e.note = "format test";
+    e.program.lang = "yalll";
+    e.program.machine = "hm1";
+    e.program.seed = 0xdeadbeefcafef00dull;     // needs full 64 bits
+    e.program.source = "proc main\n    exit\n";
+    e.program.sets = {{"a", 0xffffffffffffffffull}};
+    e.config = referenceConfig();
+    e.config.faultSeed = 0x123456789abcdef0ull;
+    e.expected.ok = e.expected.halted = true;
+    e.expected.vars = {{"a", 7}};
+    e.expected.memDigest = 0x8000000000000001ull;
+    e.observedAtCapture = e.expected;
+    e.observedAtCapture.memDigest = 2;
+
+    CorpusEntry back = parseCorpusEntry(e.toJson());
+    EXPECT_EQ(back.name, e.name);
+    EXPECT_EQ(back.program.seed, e.program.seed);
+    EXPECT_EQ(back.program.source, e.program.source);
+    EXPECT_EQ(back.program.sets, e.program.sets);
+    EXPECT_EQ(back.config.faultSeed, e.config.faultSeed);
+    EXPECT_EQ(back.expected.memDigest, e.expected.memDigest);
+    EXPECT_EQ(back.observedAtCapture.memDigest,
+              e.observedAtCapture.memDigest);
+    EXPECT_EQ(back.toJson(), e.toJson());
+}
+
+TEST(FuzzCorpusFormat, MalformedFilesLoadAsNullopt)
+{
+    EXPECT_THROW(parseCorpusEntry("{\"name\": 3}"), FatalError);
+    EXPECT_FALSE(
+        loadCorpusEntry("/nonexistent/corpus.json").has_value());
+}
