@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Service throughput benchmark: an in-process uhlld serving a
+ * repeated-manifest workload from concurrent clients, end to end
+ * over the AF_UNIX wire (frame, parse, admit, run, respond).
+ *
+ * The workload is deliberately cache-friendly -- every client
+ * submits the same small manifest -- because that is the daemon's
+ * reason to exist: the second tenant's compile is the first
+ * tenant's artefact. The acceptance gate is a shared-cache hit rate
+ * above 0.9 on this workload; requests/sec is the throughput
+ * number.
+ *
+ * Output: a table on stdout plus BENCH_service.json (path
+ * overridable via UHLL_BENCH_JSON), then the registered
+ * google-benchmark timers. Exits non-zero when the hit-rate gate
+ * fails (the smoke CTest catches it).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <benchmark/benchmark.h>
+
+#include "obs/json.hh"
+#include "service/client.hh"
+#include "service/protocol.hh"
+#include "service/server.hh"
+#include "support/logging.hh"
+
+using namespace uhll;
+
+namespace {
+
+const char *kManifest =
+    "{\"jobs\": [{\"name\": \"add\", \"lang\": \"yalll\", "
+    "\"machine\": \"hm1\", \"sets\": {\"b\": 0}, \"source\": "
+    "\"reg a\\nreg b\\nproc main\\n    put a, 21\\n"
+    "    add b, a, a\\n    exit\\n\"}]}";
+
+constexpr unsigned kClients = 4;
+constexpr unsigned kRequestsPerClient = 25;
+
+std::string
+socketPath()
+{
+    return strfmt("/tmp/uhll-bench-svc-%d.sock", int(getpid()));
+}
+
+std::string
+batchBody()
+{
+    JsonWriter w(false);
+    w.beginObject();
+    w.raw("manifest", kManifest);
+    w.value("timings", false);
+    w.endObject();
+    return w.str();
+}
+
+struct ServiceRun {
+    double wallSeconds = 0;
+    double requestsPerSec = 0;
+    double cacheHitRate = 0;
+    uint64_t requests = 0;
+    uint64_t failures = 0;
+};
+
+ServiceRun
+runWorkload(ServiceDaemon &daemon)
+{
+    ServiceRun out;
+    const std::string sock = daemon.config().socketPath;
+    const std::string body = batchBody();
+
+    std::atomic<uint64_t> failures{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (unsigned c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            ServiceClient cl;
+            std::string err;
+            if (!cl.connectTo(sock, &err)) {
+                failures += kRequestsPerClient;
+                return;
+            }
+            const std::string tenant = strfmt("bench%u", c);
+            for (unsigned i = 0; i < kRequestsPerClient; ++i) {
+                ServiceResponse resp;
+                if (!cl.request("batch", tenant, strfmt("%u", i),
+                                body, &resp, &err) ||
+                    !resp.ok)
+                    ++failures;
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    out.wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    out.requests = uint64_t(kClients) * kRequestsPerClient;
+    out.failures = failures.load();
+    out.requestsPerSec =
+        out.wallSeconds > 0 ? double(out.requests) / out.wallSeconds
+                            : 0;
+
+    // The daemon's own registry knows the shared-cache hit rate.
+    ServiceClient cl;
+    std::string err;
+    ServiceResponse resp;
+    if (cl.connectTo(sock, &err) &&
+        cl.request("stats", "bench", "final", "", &resp, &err) &&
+        resp.ok) {
+        const JsonValue stats = JsonValue::parse(resp.follow);
+        if (const JsonValue *tc = stats.get("toolchain")) {
+            if (const JsonValue *hr = tc->get("cacheHitRate"))
+                out.cacheHitRate = hr->asNumber();
+        }
+    }
+    return out;
+}
+
+bool
+printTableAndJson()
+{
+    const char *json_path = std::getenv("UHLL_BENCH_JSON");
+    if (!json_path)
+        json_path = "BENCH_service.json";
+
+    ServiceConfig cfg;
+    cfg.socketPath = socketPath();
+    cfg.workers = 2;
+    cfg.maxActive = kClients;
+    cfg.tenantQuota = kClients;
+    ServiceDaemon daemon(cfg);
+    std::string err;
+    if (!daemon.start(&err)) {
+        std::fprintf(stderr, "bench_service: %s\n", err.c_str());
+        return false;
+    }
+    const ServiceRun run = runWorkload(daemon);
+    daemon.stop();
+    ::unlink(cfg.socketPath.c_str());
+
+    std::printf("Service: %u clients x %u batch requests, one "
+                "shared manifest\n",
+                kClients, kRequestsPerClient);
+    std::printf("%12s %14s %14s %10s\n", "requests", "requests/sec",
+                "cache hits", "failures");
+    std::printf("%12llu %14.1f %13.1f%% %10llu\n",
+                (unsigned long long)run.requests,
+                run.requestsPerSec, run.cacheHitRate * 100,
+                (unsigned long long)run.failures);
+
+    const bool clean =
+        run.failures == 0 && run.cacheHitRate > 0.9;
+    JsonWriter w;
+    w.beginObject();
+    w.value("bench", "service");
+    w.value("clients", uint64_t(kClients));
+    w.value("requests", run.requests);
+    w.value("failures", run.failures);
+    w.value("wall_seconds", run.wallSeconds);
+    w.value("requests_per_sec", run.requestsPerSec);
+    w.value("cache_hit_rate", run.cacheHitRate);
+    w.value("clean", clean);
+    w.endObject();
+    const std::string json = w.str() + "\n";
+    if (FILE *f = std::fopen(json_path, "w")) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        std::printf("\nwrote %s\n\n", json_path);
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", json_path);
+    }
+    if (!clean)
+        std::fprintf(stderr,
+                     "service bench: NOT clean -- %llu failure(s), "
+                     "hit rate %.3f (gate: > 0.9)\n",
+                     (unsigned long long)run.failures,
+                     run.cacheHitRate);
+    return clean;
+}
+
+void
+BM_ServiceBatchRoundtrip(benchmark::State &state)
+{
+    ServiceConfig cfg;
+    cfg.socketPath = socketPath() + ".bm";
+    cfg.workers = 2;
+    ServiceDaemon daemon(cfg);
+    std::string err;
+    if (!daemon.start(&err)) {
+        state.SkipWithError(err.c_str());
+        return;
+    }
+    ServiceClient cl;
+    if (!cl.connectTo(cfg.socketPath, &err)) {
+        state.SkipWithError(err.c_str());
+        daemon.stop();
+        return;
+    }
+    const std::string body = batchBody();
+    uint64_t n = 0;
+    for (auto _ : state) {
+        ServiceResponse resp;
+        if (!cl.request("batch", "bm", "x", body, &resp, &err) ||
+            !resp.ok) {
+            state.SkipWithError("batch request failed");
+            break;
+        }
+        ++n;
+    }
+    cl.close();
+    daemon.stop();
+    ::unlink(cfg.socketPath.c_str());
+    state.counters["requests/s"] = benchmark::Counter(
+        double(n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServiceBatchRoundtrip)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool clean = printTableAndJson();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return clean ? 0 : 1;
+}

@@ -186,6 +186,67 @@ EOF
     echo "kill-and-resume smoke: OK"
 )
 
+# Service smoke: uhlld must serve a batch byte-identically to a
+# local run -- including three concurrent clients -- export its
+# metrics as Prometheus text, and survive a SIGKILL mid-batch: a
+# restarted daemon serving the same journal dir resumes the
+# resubmitted batch_id from the journal and still matches the
+# uninterrupted local report byte for byte.
+(
+    cd build
+    sock=uhlld_smoke.sock
+    rm -rf uhlld_journals "$sock" svc_local.json svc_remote*.json \
+        svc_kill.json svc_kill_local.json
+    ./src/uhllc --batch ../tests/data/batch_matrix.json -j8 \
+        --no-timings --report svc_local.json >/dev/null
+    ./src/uhlld --socket "$sock" --journal-dir uhlld_journals -j8 \
+        --quiet 2>/dev/null & dpid=$!
+    for _ in $(seq 1 50); do
+        ./src/uhllc --connect "$sock" --ping >/dev/null 2>&1 && break
+        sleep 0.1
+    done
+    cpids=()
+    for i in 1 2 3; do
+        ./src/uhllc --connect "$sock" --tenant "t$i" \
+            --batch ../tests/data/batch_matrix.json \
+            --no-timings --report "svc_remote$i.json" \
+            >/dev/null 2>&1 & cpids+=($!)
+    done
+    for p in "${cpids[@]}"; do wait "$p"; done
+    for i in 1 2 3; do cmp svc_local.json "svc_remote$i.json"; done
+    ./src/uhllc --connect "$sock" --scrape-metrics \
+        | grep -q '^# TYPE uhll_service_requests gauge$'
+    ./src/uhllc --connect "$sock" --scrape-metrics \
+        | grep -q 'uhll_toolchain_cacheHitRate'
+
+    # SIGKILL the daemon mid-batch, restart it on the same journal
+    # dir, resubmit the same batch_id.
+    ./src/uhllc --connect "$sock" --tenant kill --batch-id killcase \
+        --batch ../tests/data/resume_smoke.json --no-timings \
+        --report svc_kill.json >/dev/null 2>&1 & cpid=$!
+    sleep 1
+    kill -9 "$dpid" 2>/dev/null || true
+    wait "$dpid" 2>/dev/null || true
+    wait "$cpid" 2>/dev/null || true
+    [[ -s uhlld_journals/killcase.journal ]] ||
+        echo "warning: daemon died before journaling anything"
+    ./src/uhlld --socket "$sock" --journal-dir uhlld_journals -j8 \
+        --quiet 2>/dev/null & dpid=$!
+    for _ in $(seq 1 50); do
+        ./src/uhllc --connect "$sock" --ping >/dev/null 2>&1 && break
+        sleep 0.1
+    done
+    ./src/uhllc --connect "$sock" --tenant kill --batch-id killcase \
+        --batch ../tests/data/resume_smoke.json --no-timings \
+        --report svc_kill.json >/dev/null
+    ./src/uhllc --batch ../tests/data/resume_smoke.json -j8 \
+        --no-timings --report svc_kill_local.json >/dev/null
+    cmp svc_kill_local.json svc_kill.json
+    ./src/uhllc --connect "$sock" --shutdown >/dev/null
+    wait "$dpid" 2>/dev/null || true
+    echo "service smoke: OK"
+)
+
 if [[ "$run_bench" == 1 ]]; then
     (cd build && UHLL_BENCH_JSON=BENCH_sim.json \
         ./bench/bench_sim_throughput --benchmark_min_time=0.1)
@@ -193,6 +254,11 @@ if [[ "$run_bench" == 1 ]]; then
     # stay divergence-free; refreshes build/BENCH_fuzz.json.
     (cd build && UHLL_BENCH_JSON=BENCH_fuzz.json \
         ./bench/bench_fuzz --benchmark_min_time=0.1)
+    # Service gate: concurrent clients against an in-process uhlld;
+    # fails if any request fails or the shared-cache hit rate is not
+    # > 0.9. Refreshes build/BENCH_service.json.
+    (cd build && UHLL_BENCH_JSON=BENCH_service.json \
+        ./bench/bench_service --benchmark_min_time=0.1)
 fi
 
 # Sanitizer leg: the whole test suite again under ASan+UBSan (the
@@ -211,12 +277,14 @@ if [[ "${UHLL_NO_SANITIZE:-0}" != 1 ]]; then
     # the supervision/checkpoint layer (journal writes race-prone by
     # construction), the JIT differential suite, the span tracer's
     # multi-lane recording, the fuzz campaign's parallel waves and
-    # corpus replay, and the CLI smokes for data races.
+    # corpus replay, the service daemon's admission control and
+    # per-connection threads (the Service tests), and the CLI
+    # smokes for data races.
     cmake -B build-tsan -S . -DUHLL_SANITIZE=thread
     cmake --build build-tsan -j"$(nproc)"
     (cd build-tsan &&
         ctest --output-on-failure \
-            -R 'Batch|Toolchain|Supervisor|Checkpoint|JitDiff|SpanTracer|Metrics|FlightRecorder|Fuzz|Corpus|uhllc_batch|uhllc_supervised')
+            -R 'Batch|Toolchain|Supervisor|Checkpoint|JitDiff|SpanTracer|Metrics|FlightRecorder|Fuzz|Corpus|Service|uhllc_batch|uhllc_supervised')
 fi
 
 echo "verify: OK"

@@ -9,8 +9,10 @@
 #include <sstream>
 #include <thread>
 
+#include "driver/options.hh"
 #include "machine/checkpoint.hh"
 #include "obs/json.hh"
+#include "obs/schema.hh"
 #include "obs/telemetry.hh"
 #include "support/logging.hh"
 
@@ -57,6 +59,7 @@ BatchReport::toJson(bool pretty, bool timings) const
 {
     JsonWriter w(pretty);
     w.beginObject();
+    writeSchemaField(w);
     w.beginObject("batch");
     w.value("jobs", static_cast<uint64_t>(results.size()));
     w.value("ok", static_cast<uint64_t>(okCount()));
@@ -275,40 +278,6 @@ BatchRunner::run(const std::vector<Job> &jobs) const
 
 namespace {
 
-PipelineOptions
-parseOptions(const JsonValue *o)
-{
-    PipelineOptions opts;
-    if (!o)
-        return opts;
-    opts.compactor = o->get("compactor")
-                         ? o->get("compactor")->asString()
-                         : "";
-    opts.allocator = o->get("allocator")
-                         ? o->get("allocator")->asString()
-                         : "";
-    if (const JsonValue *v = o->get("compact"))
-        opts.compact = v->asBool(true);
-    if (const JsonValue *v = o->get("polls"))
-        opts.insertInterruptPolls = v->asBool();
-    if (const JsonValue *v = o->get("trap_safe"))
-        opts.trapSafety = v->asBool();
-    if (const JsonValue *v = o->get("stack_ops"))
-        opts.recognizeStackOps = v->asBool();
-    if (const JsonValue *v = o->get("optimize"))
-        opts.optimize = v->asBool(true);
-    if (const JsonValue *v = o->get("jit"))
-        opts.jit = v->asBool(true);
-    if (const JsonValue *v = o->get("jit_threshold"))
-        opts.jitThreshold = static_cast<uint32_t>(v->asU64());
-    if (const JsonValue *v = o->get("empl_microops"))
-        opts.frontend.emplUseMicroOps = v->asBool(true);
-    if (const JsonValue *v = o->get("empl_data_base"))
-        opts.frontend.emplDataBase =
-            static_cast<uint32_t>(v->asU64(0x2000));
-    return opts;
-}
-
 Job
 parseJob(const JsonValue &j, const std::string &base_dir, size_t idx)
 {
@@ -344,7 +313,7 @@ parseJob(const JsonValue &j, const std::string &base_dir, size_t idx)
         const bool hand =
             j.get("hand") && j.get("hand")->asBool(false);
         job = workloadJob(*w, machine, hand,
-                          parseOptions(j.get("options")));
+                          parsePipelineOptions(j.get("options")));
     } else {
         job.machine = machine;
         job.lang = j.require("lang").asString();
@@ -353,7 +322,7 @@ parseJob(const JsonValue &j, const std::string &base_dir, size_t idx)
                                base_dir,
                                j.require("file").asString()))
                          : j.require("source").asString();
-        job.options = parseOptions(j.get("options"));
+        job.options = parsePipelineOptions(j.get("options"));
     }
 
     if (const JsonValue *v = j.get("name"))

@@ -1,0 +1,452 @@
+#include "driver/options.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/json.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+// ----------------------------------------------------------------
+// ArgScanner
+// ----------------------------------------------------------------
+
+bool
+ArgScanner::next()
+{
+    if (i_ + 1 >= argc_)
+        return false;
+    arg_ = argv_[++i_];
+    return true;
+}
+
+bool
+ArgScanner::value(const char *name, std::string *out)
+{
+    if (arg_ == name) {
+        if (i_ + 1 >= argc_) {
+            std::fprintf(stderr, "option '%s' requires a value\n",
+                         name);
+            std::exit(2);
+        }
+        *out = argv_[++i_];
+        return true;
+    }
+    const std::string prefix = std::string(name) + "=";
+    if (arg_.rfind(prefix, 0) == 0) {
+        *out = arg_.substr(prefix.size());
+        return true;
+    }
+    return false;
+}
+
+bool
+ArgScanner::valueU64(const char *name, uint64_t *out, bool nonzero)
+{
+    std::string v;
+    if (!value(name, &v))
+        return false;
+    char *end = nullptr;
+    *out = std::strtoull(v.c_str(), &end, 0);
+    if ((end && *end) || (nonzero && *out == 0)) {
+        std::fprintf(stderr,
+                     "option '%s' expects a %s integer, got '%s'\n",
+                     name, nonzero ? "positive" : "valid", v.c_str());
+        std::exit(2);
+    }
+    return true;
+}
+
+bool
+ArgScanner::valueU32(const char *name, uint32_t *out, bool nonzero)
+{
+    uint64_t v = 0;
+    if (!valueU64(name, &v, nonzero))
+        return false;
+    *out = static_cast<uint32_t>(v);
+    return true;
+}
+
+bool
+ArgScanner::valueDouble(const char *name, double *out, bool positive)
+{
+    std::string v;
+    if (!value(name, &v))
+        return false;
+    char *end = nullptr;
+    *out = std::strtod(v.c_str(), &end);
+    if ((end && *end) || (positive && *out <= 0)) {
+        std::fprintf(stderr,
+                     "option '%s' expects a %s number, got '%s'\n",
+                     name, positive ? "positive" : "valid",
+                     v.c_str());
+        std::exit(2);
+    }
+    return true;
+}
+
+// ----------------------------------------------------------------
+// The pipeline options table
+// ----------------------------------------------------------------
+
+const std::vector<OptionSpec> &
+pipelineOptionSpecs()
+{
+    static const std::vector<OptionSpec> specs = {
+        {"--compactor", "compactor", "name",
+         "microcode compactor (default tokoro)"},
+        {"--allocator", "allocator", "name",
+         "register allocator (default graph_coloring)"},
+        {"--no-compact", "compact", "bool",
+         "one microoperation per word"},
+        {"--polls", "polls", "bool",
+         "insert interrupt polls on loop back edges"},
+        {"--trap-safe", "trap_safe", "bool",
+         "apply the microtrap safety transformation"},
+        {"", "stack_ops", "bool",
+         "recognize stack-idiom sequences (manifest only)"},
+        {"", "optimize", "bool",
+         "run the MIR optimizer (manifest only)"},
+        {"--jit", "jit", "bool",
+         "native execution tier on/off (--no-jit)"},
+        {"--jit-threshold", "jit_threshold", "u64",
+         "region-entry hotness threshold (1 = always compile)"},
+        {"", "empl_microops", "bool",
+         "EMPL: lower builtins to microops (manifest only)"},
+        {"", "empl_data_base", "u64",
+         "EMPL: static data base address (manifest only)"},
+    };
+    return specs;
+}
+
+// ----------------------------------------------------------------
+// PipelineOverrides
+// ----------------------------------------------------------------
+
+bool
+PipelineOverrides::parse(ArgScanner &sc)
+{
+    if (sc.value("--compactor", &compactor))
+        return true;
+    if (sc.value("--allocator", &allocator))
+        return true;
+    if (sc.is("--no-compact")) {
+        compact = 0;
+        return true;
+    }
+    if (sc.is("--polls")) {
+        polls = 1;
+        return true;
+    }
+    if (sc.is("--trap-safe")) {
+        trapSafe = 1;
+        return true;
+    }
+    if (sc.is("--jit")) {
+        if (jit == 0)
+            jitContradiction = true;
+        jit = 1;
+        return true;
+    }
+    if (sc.is("--no-jit")) {
+        if (jit == 1)
+            jitContradiction = true;
+        jit = 0;
+        return true;
+    }
+    uint64_t jt = 0;
+    if (sc.valueU64("--jit-threshold", &jt)) {
+        jitThreshold = static_cast<uint32_t>(jt);
+        return true;
+    }
+    return false;
+}
+
+std::string
+PipelineOverrides::validate() const
+{
+    if (jitContradiction) {
+        return "contradictory options: --jit and --no-jit were both "
+               "named";
+    }
+    if (jit == 0 && jitThreshold) {
+        return strfmt("contradictory options: --no-jit disables the "
+                      "native tier but --jit-threshold %u was named",
+                      jitThreshold);
+    }
+    return "";
+}
+
+bool
+PipelineOverrides::any() const
+{
+    return !compactor.empty() || !allocator.empty() || compact != -1
+           || polls != -1 || trapSafe != -1 || jit != -1
+           || jitThreshold != 0;
+}
+
+void
+PipelineOverrides::apply(PipelineOptions *opts) const
+{
+    if (!compactor.empty())
+        opts->compactor = compactor;
+    if (!allocator.empty())
+        opts->allocator = allocator;
+    if (compact != -1)
+        opts->compact = compact == 1;
+    if (polls != -1)
+        opts->insertInterruptPolls = polls == 1;
+    if (trapSafe != -1)
+        opts->trapSafety = trapSafe == 1;
+    if (jit != -1)
+        opts->jit = jit == 1;
+    if (jit == 0)
+        opts->jitThreshold = 0;
+    if (jitThreshold)
+        opts->jitThreshold = jitThreshold;
+}
+
+void
+PipelineOverrides::applyToJobs(std::vector<Job> *jobs) const
+{
+    if (!any())
+        return;
+    for (Job &j : *jobs)
+        apply(&j.options);
+}
+
+std::string
+PipelineOverrides::toJson() const
+{
+    JsonWriter w(false);
+    w.beginObject();
+    if (!compactor.empty())
+        w.value("compactor", compactor);
+    if (!allocator.empty())
+        w.value("allocator", allocator);
+    if (compact != -1)
+        w.value("compact", compact == 1);
+    if (polls != -1)
+        w.value("polls", polls == 1);
+    if (trapSafe != -1)
+        w.value("trap_safe", trapSafe == 1);
+    if (jit != -1)
+        w.value("jit", jit == 1);
+    if (jitThreshold)
+        w.value("jit_threshold",
+                static_cast<uint64_t>(jitThreshold));
+    w.endObject();
+    return w.str();
+}
+
+PipelineOverrides
+PipelineOverrides::fromJson(const JsonValue &v)
+{
+    PipelineOverrides po;
+    if (!v.isObject())
+        return po;
+    if (const JsonValue *f = v.get("compactor"))
+        po.compactor = f->asString();
+    if (const JsonValue *f = v.get("allocator"))
+        po.allocator = f->asString();
+    if (const JsonValue *f = v.get("compact"))
+        po.compact = f->asBool(true) ? 1 : 0;
+    if (const JsonValue *f = v.get("polls"))
+        po.polls = f->asBool() ? 1 : 0;
+    if (const JsonValue *f = v.get("trap_safe"))
+        po.trapSafe = f->asBool() ? 1 : 0;
+    if (const JsonValue *f = v.get("jit"))
+        po.jit = f->asBool(true) ? 1 : 0;
+    if (const JsonValue *f = v.get("jit_threshold"))
+        po.jitThreshold = static_cast<uint32_t>(f->asU64());
+    return po;
+}
+
+// ----------------------------------------------------------------
+// SuperviseOverrides
+// ----------------------------------------------------------------
+
+bool
+SuperviseOverrides::parse(ArgScanner &sc)
+{
+    if (sc.valueDouble("--deadline", &cli.deadlineSeconds))
+        return true;
+    if (sc.valueU32("--retries", &cli.maxRetries))
+        return true;
+    if (sc.valueU64("--checkpoint-every",
+                    &cli.checkpointEveryCycles))
+        return true;
+    if (sc.is("--dmr")) {
+        cli.dmr = true;
+        return true;
+    }
+    if (sc.valueU64("--dmr-interval", &cli.dmrIntervalWords))
+        return true;
+    if (sc.valueU64("--dmr-seed-b", &cli.dmrSeedB))
+        return true;
+    if (sc.is("--no-ecc")) {
+        noEcc = true;
+        return true;
+    }
+    return false;
+}
+
+SupervisePolicy
+SuperviseOverrides::mergedWith(const SupervisePolicy &base) const
+{
+    SupervisePolicy pol = base;
+    const SupervisePolicy dflt;
+    if (cli.maxRetries)
+        pol.maxRetries = cli.maxRetries;
+    if (cli.backoffBaseMs != dflt.backoffBaseMs)
+        pol.backoffBaseMs = cli.backoffBaseMs;
+    if (cli.backoffMaxMs != dflt.backoffMaxMs)
+        pol.backoffMaxMs = cli.backoffMaxMs;
+    if (cli.deadlineSeconds > 0)
+        pol.deadlineSeconds = cli.deadlineSeconds;
+    if (cli.checkpointEveryCycles)
+        pol.checkpointEveryCycles = cli.checkpointEveryCycles;
+    if (cli.dmr)
+        pol.dmr = true;
+    if (cli.dmrIntervalWords != dflt.dmrIntervalWords)
+        pol.dmrIntervalWords = cli.dmrIntervalWords;
+    if (cli.dmrSeedB)
+        pol.dmrSeedB = cli.dmrSeedB;
+    return pol;
+}
+
+void
+SuperviseOverrides::applyToJob(Job *job) const
+{
+    if (cli.deadlineSeconds > 0)
+        job->deadlineSeconds = cli.deadlineSeconds;
+    if (cli.dmr)
+        job->dmr = true;
+    if (cli.dmrSeedB)
+        job->dmrSeedB = cli.dmrSeedB;
+    if (noEcc)
+        job->ecc = false;
+}
+
+std::string
+SuperviseOverrides::toJson() const
+{
+    const SupervisePolicy dflt;
+    JsonWriter w(false);
+    w.beginObject();
+    if (cli.maxRetries)
+        w.value("retries", static_cast<uint64_t>(cli.maxRetries));
+    if (cli.backoffBaseMs != dflt.backoffBaseMs)
+        w.value("backoff_base_ms",
+                static_cast<uint64_t>(cli.backoffBaseMs));
+    if (cli.backoffMaxMs != dflt.backoffMaxMs)
+        w.value("backoff_max_ms",
+                static_cast<uint64_t>(cli.backoffMaxMs));
+    if (cli.deadlineSeconds > 0)
+        w.value("deadline_seconds", cli.deadlineSeconds);
+    if (cli.checkpointEveryCycles)
+        w.value("checkpoint_every_cycles",
+                cli.checkpointEveryCycles);
+    if (cli.dmr)
+        w.value("dmr", true);
+    if (cli.dmrIntervalWords != dflt.dmrIntervalWords)
+        w.value("dmr_interval_words", cli.dmrIntervalWords);
+    if (cli.dmrSeedB)
+        w.value("dmr_seed_b", cli.dmrSeedB);
+    w.endObject();
+    return w.str();
+}
+
+SuperviseOverrides
+SuperviseOverrides::fromJson(const JsonValue &v)
+{
+    SuperviseOverrides so;
+    so.cli = parseSupervisePolicy(&v);
+    return so;
+}
+
+// ----------------------------------------------------------------
+// TelemetryOverrides
+// ----------------------------------------------------------------
+
+bool
+TelemetryOverrides::parse(ArgScanner &sc)
+{
+    if (sc.value("--otrace", &cli.otrace))
+        return true;
+    if (sc.value("--metrics-out", &cli.metricsOut))
+        return true;
+    if (sc.valueU64("--metrics-every", &cli.metricsEveryCycles))
+        return true;
+    if (sc.value("--postmortem-dir", &cli.postmortemDir))
+        return true;
+    return false;
+}
+
+TelemetryOptions
+TelemetryOverrides::mergedWith(const TelemetryOptions &base) const
+{
+    TelemetryOptions tel = base;
+    if (!cli.otrace.empty())
+        tel.otrace = cli.otrace;
+    if (!cli.metricsOut.empty())
+        tel.metricsOut = cli.metricsOut;
+    if (cli.metricsEveryCycles)
+        tel.metricsEveryCycles = cli.metricsEveryCycles;
+    if (!cli.postmortemDir.empty())
+        tel.postmortemDir = cli.postmortemDir;
+    return tel;
+}
+
+// ----------------------------------------------------------------
+// Manifest "options" object
+// ----------------------------------------------------------------
+
+PipelineOptions
+parsePipelineOptions(const JsonValue *o)
+{
+    PipelineOptions opts;
+    if (!o)
+        return opts;
+    if (!o->isObject())
+        fatal("manifest: 'options' must be an object");
+    for (const auto &[key, v] : o->fields) {
+        if (key == "compactor")
+            opts.compactor = v.asString();
+        else if (key == "allocator")
+            opts.allocator = v.asString();
+        else if (key == "compact")
+            opts.compact = v.asBool(true);
+        else if (key == "polls")
+            opts.insertInterruptPolls = v.asBool();
+        else if (key == "trap_safe")
+            opts.trapSafety = v.asBool();
+        else if (key == "stack_ops")
+            opts.recognizeStackOps = v.asBool();
+        else if (key == "optimize")
+            opts.optimize = v.asBool(true);
+        else if (key == "jit")
+            opts.jit = v.asBool(true);
+        else if (key == "jit_threshold")
+            opts.jitThreshold = static_cast<uint32_t>(v.asU64());
+        else if (key == "empl_microops")
+            opts.frontend.emplUseMicroOps = v.asBool(true);
+        else if (key == "empl_data_base")
+            opts.frontend.emplDataBase =
+                static_cast<uint32_t>(v.asU64(0x2000));
+        else {
+            std::string known;
+            for (const OptionSpec &s : pipelineOptionSpecs()) {
+                if (s.manifestKey[0])
+                    known += (known.empty() ? "" : "|")
+                             + std::string(s.manifestKey);
+            }
+            fatal("manifest: unknown option '%s' (known: %s)",
+                  key.c_str(), known.c_str());
+        }
+    }
+    return opts;
+}
+
+} // namespace uhll

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * One options table for the whole driver stack.
+ *
+ * Before this module, three places each knew the option spellings:
+ * uhllc's flag loop, the manifest loader's "options"/"supervise"/
+ * "telemetry" parsers, and the CLI-overrides-manifest merge inside
+ * uhllc's batch mode. uhlld (the daemon) would have been a fourth.
+ * Here the names, defaults, merge rules and contradiction
+ * diagnostics live once:
+ *
+ *  - ArgScanner: the shared CLI cursor ("--opt VALUE" and
+ *    "--opt=VALUE" spellings, value diagnostics that name the flag,
+ *    exit 2 on malformed values -- the contract uhllc always had);
+ *  - PipelineOverrides / SuperviseOverrides / TelemetryOverrides:
+ *    tri-state records of what a command line explicitly named, with
+ *    parse() consuming flags, validate() producing the contradiction
+ *    diagnostics, and the merge/apply helpers both uhllc and uhlld
+ *    call so CLI-beats-manifest semantics cannot drift between them;
+ *  - parsePipelineOptions(): the manifest "options" object, with
+ *    unknown keys rejected against the same table;
+ *  - pipelineOptionSpecs(): the table itself (flag spelling,
+ *    manifest key, help), which uhlld --help renders.
+ */
+
+#ifndef UHLL_DRIVER_OPTIONS_HH
+#define UHLL_DRIVER_OPTIONS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/batch.hh"
+#include "driver/supervisor.hh"
+#include "driver/toolchain.hh"
+
+namespace uhll {
+
+struct JsonValue;
+
+/**
+ * The shared CLI cursor. Value options accept both "--opt VALUE" and
+ * "--opt=VALUE"; a missing or malformed value prints a diagnostic
+ * naming the flag and exits 2 (a usage error, per uhllc's exit-code
+ * contract).
+ */
+class ArgScanner
+{
+  public:
+    ArgScanner(int argc, char **argv) : argc_(argc), argv_(argv) {}
+
+    /** Advance to the next argument; false at the end. */
+    bool next();
+
+    /** The current argument. */
+    const std::string &arg() const { return arg_; }
+
+    /** True when the current argument is exactly @p name. */
+    bool is(const char *name) const { return arg_ == name; }
+
+    /** Match a value option; fills @p out on a match. */
+    bool value(const char *name, std::string *out);
+
+    /** value() parsed as u64; 0 exits 2 when @p nonzero. */
+    bool valueU64(const char *name, uint64_t *out,
+                  bool nonzero = true);
+    bool valueU32(const char *name, uint32_t *out,
+                  bool nonzero = true);
+
+    /** value() parsed as double; <= 0 exits 2 when @p positive. */
+    bool valueDouble(const char *name, double *out,
+                     bool positive = true);
+
+  private:
+    int argc_;
+    char **argv_;
+    int i_ = 0;
+    std::string arg_;
+};
+
+/** One pipeline-option spelling (the table uhlld --help renders and
+ *  the manifest parser validates keys against). */
+struct OptionSpec {
+    const char *cliFlag;      //!< "--compactor" ("" = manifest-only)
+    const char *manifestKey;  //!< "compactor" ("" = CLI-only)
+    const char *kind;         //!< "name" | "bool" | "u64"
+    const char *help;
+};
+
+/** The pipeline options table, in display order. */
+const std::vector<OptionSpec> &pipelineOptionSpecs();
+
+/**
+ * What a command line explicitly named of the pipeline knobs --
+ * tri-state, so merging onto a manifest can tell "unset" from "set
+ * to the default value".
+ */
+struct PipelineOverrides {
+    std::string compactor;  //!< "" = not named
+    std::string allocator;  //!< "" = not named
+    int compact = -1;       //!< -1 unset / 0 --no-compact
+    int polls = -1;
+    int trapSafe = -1;
+    int jit = -1;           //!< -1 unset / 0 --no-jit / 1 --jit
+    uint32_t jitThreshold = 0;
+    //! both --jit and --no-jit were named (diagnosed by validate())
+    bool jitContradiction = false;
+
+    /** Consume one pipeline flag at @p sc; false when @p sc's
+     *  current argument is not a pipeline flag. */
+    bool parse(ArgScanner &sc);
+
+    /** Contradiction diagnostics for the *named* flags ("" = fine):
+     *  --jit with --no-jit, --no-jit with --jit-threshold. Unknown
+     *  names and no-compact-vs-compactor surface later through
+     *  PipelineOptions::validate(). */
+    std::string validate() const;
+
+    /** True when any pipeline flag was named. */
+    bool any() const;
+
+    /** Overlay the named fields onto @p opts. Forcing the tier off
+     *  also clears an inherited threshold, so an override cannot
+     *  manufacture a per-job contradiction. */
+    void apply(PipelineOptions *opts) const;
+
+    /** apply() over every job: the batch/daemon merge. */
+    void applyToJobs(std::vector<Job> *jobs) const;
+
+    /** Only the named fields, as a JSON object ("{}" when none):
+     *  the wire form `uhllc --connect` sends so uhlld replays the
+     *  same CLI-beats-manifest merge server-side. */
+    std::string toJson() const;
+
+    /** Rebuild from toJson() output (absent keys stay unset). */
+    static PipelineOverrides fromJson(const JsonValue &v);
+};
+
+/** The supervision flags a command line named (defaults mark
+ *  "unset", the same convention the manifest merge always used). */
+struct SuperviseOverrides {
+    SupervisePolicy cli;
+    bool noEcc = false;
+
+    bool parse(ArgScanner &sc);
+
+    /** Manifest policy @p base with the named flags overlaid. */
+    SupervisePolicy mergedWith(const SupervisePolicy &base) const;
+
+    /** Single-file mode: mirror the per-job fields onto @p job. */
+    void applyToJob(Job *job) const;
+
+    /** The named flags as a manifest-style "supervise" object ("{}"
+     *  when none): the wire form for `uhllc --connect`. */
+    std::string toJson() const;
+
+    /** Rebuild from toJson() output / a manifest "supervise"
+     *  object. */
+    static SuperviseOverrides fromJson(const JsonValue &v);
+};
+
+/** The telemetry sink flags a command line named. */
+struct TelemetryOverrides {
+    TelemetryOptions cli;
+
+    bool parse(ArgScanner &sc);
+
+    /** Manifest telemetry @p base with the named sinks overlaid
+     *  (CLI paths stay cwd-relative, as they always were). */
+    TelemetryOptions mergedWith(const TelemetryOptions &base) const;
+};
+
+/**
+ * A manifest's "options" object (null = all defaults). Unknown keys
+ * are rejected against pipelineOptionSpecs() with a fatal() naming
+ * the key -- a misspelled option is a configuration error, not a
+ * silent default.
+ */
+PipelineOptions parsePipelineOptions(const JsonValue *o);
+
+} // namespace uhll
+
+#endif // UHLL_DRIVER_OPTIONS_HH

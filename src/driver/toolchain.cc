@@ -1,8 +1,10 @@
 #include "driver/toolchain.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <chrono>
+#include <iterator>
 
 #include "driver/supervisor.hh"
 #include "fault/fault.hh"
@@ -10,6 +12,8 @@
 #include "machine/machines/machines.hh"
 #include "obs/json.hh"
 #include "obs/profile.hh"
+#include "obs/schema.hh"
+#include "obs/stats.hh"
 #include "obs/trace.hh"
 #include "support/logging.hh"
 #include "verify/verifier.hh"
@@ -127,6 +131,19 @@ PipelineOptions::cacheKey() const
 // Artefact
 // ----------------------------------------------------------------
 
+uint64_t
+Artefact::approxBytes() const
+{
+    uint64_t b = sizeof(Artefact);
+    if (compiled || direct)
+        b += store().sizeBits() / 8 + store().size() * 16;
+    if (decoded)
+        b += decoded->size() * sizeof(DecodedWord);
+    if (mir)
+        b += 4096;  // parse tree, flat estimate
+    return b;
+}
+
 const ControlStore &
 Artefact::store() const
 {
@@ -198,6 +215,7 @@ JobResult::toJson(bool pretty, bool timings) const
         return prerendered;
     JsonWriter w(pretty);
     w.beginObject();
+    writeSchemaField(w);
     w.value("name", name);
     w.value("lang", lang);
     w.value("machine", machine);
@@ -315,7 +333,122 @@ struct Toolchain::CacheEntry {
     bool done = false;
     std::shared_ptr<const Artefact> art;
     std::string error;  //!< nonempty: the compile failed
+
+    /** @name LRU accounting, guarded by Toolchain::mu_ */
+    /// @{
+    //! finished and charged -- safe to evict without taking `m`
+    std::atomic<bool> ready{false};
+    uint64_t bytes = 0;
+    std::list<std::string>::iterator lruIt;
+    /// @}
 };
+
+void
+Toolchain::setCacheCapBytes(uint64_t cap)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    cacheCapBytes_ = cap;
+    evictLocked(nullptr);
+}
+
+Toolchain::CacheStats
+Toolchain::cacheStats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    CacheStats s;
+    s.hits = cacheHits_;
+    s.misses = cacheMisses_;
+    s.evictions = cacheEvictions_;
+    s.bytes = cacheBytes_;
+    s.entries = artefacts_.size();
+    return s;
+}
+
+void
+Toolchain::bindCacheStats(StatsRegistry &reg) const
+{
+    const Toolchain *tc = this;
+    reg.formula(
+        "toolchain.cacheHits",
+        [tc] { return double(tc->cacheStats().hits); },
+        "artefact-cache lookups served from cache");
+    reg.formula(
+        "toolchain.cacheMisses",
+        [tc] { return double(tc->cacheStats().misses); },
+        "artefact-cache lookups that compiled");
+    reg.formula(
+        "toolchain.cacheEvictions",
+        [tc] { return double(tc->cacheStats().evictions); },
+        "artefacts dropped by the LRU byte cap");
+    reg.formula(
+        "toolchain.cacheBytes",
+        [tc] { return double(tc->cacheStats().bytes); },
+        "approx resident artefact-cache bytes");
+    reg.formula(
+        "toolchain.cacheEntries",
+        [tc] { return double(tc->cacheStats().entries); },
+        "cached (machine, lang, options, source) artefacts");
+    reg.formula(
+        "toolchain.cacheHitRate",
+        [tc] {
+            const CacheStats s = tc->cacheStats();
+            const uint64_t total = s.hits + s.misses;
+            return total ? double(s.hits) / double(total) : 0.0;
+        },
+        "cacheHits / (cacheHits + cacheMisses)");
+}
+
+void
+Toolchain::evictLocked(const CacheEntry *keep) const
+{
+    if (!cacheCapBytes_ || lru_.empty())
+        return;
+    // Walk from the cold end. Entries still compiling (ready not yet
+    // set) and @p keep (the entry that triggered this sweep) are
+    // skipped; everything else past the cap is dropped. Simulations
+    // holding the artefact's shared_ptr keep it alive regardless --
+    // eviction only forgets the map entry.
+    auto pos = std::prev(lru_.end());
+    for (;;) {
+        if (cacheBytes_ <= cacheCapBytes_)
+            return;
+        const bool at_begin = pos == lru_.begin();
+        auto vit = artefacts_.find(*pos);
+        const bool evictable =
+            vit != artefacts_.end() && vit->second.get() != keep
+            && vit->second->ready.load(std::memory_order_acquire);
+        if (evictable) {
+            cacheBytes_ -= vit->second->bytes;
+            ++cacheEvictions_;
+            auto dead = pos;
+            if (!at_begin)
+                --pos;
+            lru_.erase(dead);
+            artefacts_.erase(vit);
+        } else if (!at_begin) {
+            --pos;
+        }
+        if (at_begin)
+            return;
+    }
+}
+
+void
+Toolchain::accountAndEvict(const std::string &key,
+                           const std::shared_ptr<CacheEntry> &entry,
+                           uint64_t bytes) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = artefacts_.find(key);
+    // Evicted (and possibly re-inserted as a fresh entry) while we
+    // compiled: nothing to account, our caller still has the result.
+    if (it == artefacts_.end() || it->second != entry)
+        return;
+    entry->bytes = bytes;
+    entry->ready.store(true, std::memory_order_release);
+    cacheBytes_ += bytes;
+    evictLocked(entry.get());
+}
 
 std::shared_ptr<const MachineDescription>
 Toolchain::machine(const std::string &name) const
@@ -460,8 +593,15 @@ Toolchain::compile(const Job &job) const
     {
         std::lock_guard<std::mutex> lock(mu_);
         auto &slot = artefacts_[key];
-        if (!slot)
+        if (!slot) {
             slot = std::make_shared<CacheEntry>();
+            lru_.push_front(key);
+            slot->lruIt = lru_.begin();
+            ++cacheMisses_;
+        } else {
+            lru_.splice(lru_.begin(), lru_, slot->lruIt);
+            ++cacheHits_;
+        }
         entry = slot;
     }
 
@@ -477,6 +617,12 @@ Toolchain::compile(const Job &job) const
             entry->error = e.what();
         }
         entry->done = true;
+        // Now that the size is known, charge it against the byte cap
+        // (failed compiles cache their diagnostic, cheaply).
+        accountAndEvict(key, entry,
+                        key.size()
+                            + (entry->art ? entry->art->approxBytes()
+                                          : entry->error.size()));
     }
     if (!entry->error.empty())
         fatal("%s", entry->error.c_str());

@@ -23,6 +23,7 @@
 #define UHLL_DRIVER_TOOLCHAIN_HH
 
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -180,6 +181,10 @@ class Artefact
     Artefact(const Artefact &) = delete;
     Artefact &operator=(const Artefact &) = delete;
 
+    /** Rough resident size (store + decoded words + MIR), the unit
+     *  the Toolchain's LRU byte cap accounts in. */
+    uint64_t approxBytes() const;
+
     const ControlStore &store() const;
     bool isMir() const { return compiled.has_value(); }
     const CompileStats &stats() const;
@@ -285,6 +290,37 @@ class Toolchain
     Toolchain &operator=(const Toolchain &) = delete;
 
     /**
+     * Artefact-cache counters (see setCacheCapBytes). `bytes` and
+     * `entries` describe what the cache currently retains; an
+     * evicted artefact that a running simulation still holds by
+     * shared_ptr stays alive but is no longer counted.
+     */
+    struct CacheStats {
+        uint64_t hits = 0;        //!< compile() served from cache
+        uint64_t misses = 0;      //!< compile() had to build
+        uint64_t evictions = 0;   //!< entries dropped by the cap
+        uint64_t bytes = 0;       //!< approx resident cache bytes
+        uint64_t entries = 0;     //!< cached (machine,lang,opts,src)
+    };
+
+    /**
+     * Bound the artefact cache to roughly @p cap bytes (default
+     * 256 MiB; 0 = unbounded). Least-recently-used entries are
+     * dropped past the cap -- the map entry only; simulations
+     * holding the shared_ptr keep their artefact alive. The
+     * most-recently compiled entry is never evicted, so a single
+     * oversized program still caches.
+     */
+    void setCacheCapBytes(uint64_t cap);
+
+    /** Current cache counters (consistent snapshot). */
+    CacheStats cacheStats() const;
+
+    /** Register toolchain.cache* formulas into @p reg (the daemon's
+     *  metrics registry; values read live from this instance). */
+    void bindCacheStats(class StatsRegistry &reg) const;
+
+    /**
      * The shared immutable MachineDescription for @p name
      * ("hm1"/"HM-1"/...), built on first use. fatal() on unknown
      * names.
@@ -329,12 +365,29 @@ class Toolchain
     compileUncached(const Job &job,
                     const MachineDescription &mach) const;
 
+    /** Charge @p entry's finished size and evict past the cap.
+     *  Caller must NOT hold mu_. */
+    void accountAndEvict(const std::string &key,
+                         const std::shared_ptr<CacheEntry> &entry,
+                         uint64_t bytes) const;
+
+    /** Drop cold entries until under the cap (mu_ held; @p keep and
+     *  still-compiling entries are never dropped). */
+    void evictLocked(const CacheEntry *keep) const;
+
     mutable std::mutex mu_;
     mutable std::map<std::string,
                      std::shared_ptr<const MachineDescription>>
         machines_;
     mutable std::map<std::string, std::shared_ptr<CacheEntry>>
         artefacts_;
+    //! LRU order over artefacts_ keys, most recent at the front
+    mutable std::list<std::string> lru_;
+    mutable uint64_t cacheCapBytes_ = 256ull << 20;
+    mutable uint64_t cacheBytes_ = 0;
+    mutable uint64_t cacheHits_ = 0;
+    mutable uint64_t cacheMisses_ = 0;
+    mutable uint64_t cacheEvictions_ = 0;
 };
 
 /** @name Workload job builders (bench, tests, manifests) */

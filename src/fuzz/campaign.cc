@@ -7,6 +7,7 @@
 #include "driver/toolchain.hh"
 #include "fuzz/corpus.hh"
 #include "obs/json.hh"
+#include "obs/schema.hh"
 #include "support/logging.hh"
 
 namespace uhll {
@@ -68,6 +69,7 @@ FuzzReport::toJson(bool pretty, bool timings) const
 {
     JsonWriter w(pretty);
     w.beginObject();
+    writeSchemaField(w);
     w.beginObject("fuzz");
     w.value("seed", hex64(seed));
     w.value("jobs_planned", jobsPlanned);

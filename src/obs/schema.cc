@@ -1,0 +1,75 @@
+#include "obs/schema.hh"
+
+#include <cctype>
+
+#include "obs/json.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+unsigned
+schemaMajor(const std::string &tag)
+{
+    // "uhll/v<major>[.<minor>]"
+    static const char kPrefix[] = "uhll/v";
+    if (tag.rfind(kPrefix, 0) != 0)
+        return 0;
+    size_t i = sizeof(kPrefix) - 1;
+    if (i >= tag.size()
+        || !std::isdigit(static_cast<unsigned char>(tag[i])))
+        return 0;
+    unsigned major = 0;
+    while (i < tag.size()
+           && std::isdigit(static_cast<unsigned char>(tag[i]))) {
+        major = major * 10 + static_cast<unsigned>(tag[i] - '0');
+        ++i;
+    }
+    if (i == tag.size())
+        return major;
+    // Only a ".<digits>" minor suffix is allowed past the major.
+    if (tag[i] != '.' || i + 1 == tag.size())
+        return 0;
+    for (++i; i < tag.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(tag[i])))
+            return 0;
+    }
+    return major;
+}
+
+std::string
+checkSchemaTag(const std::string &tag)
+{
+    const unsigned major = schemaMajor(tag);
+    if (major == 0) {
+        return strfmt("not an uhll schema tag: '%s' (expected "
+                      "\"uhll/v<major>\", e.g. \"%s\")",
+                      tag.c_str(), kSchemaTag);
+    }
+    if (major != kSchemaMajor) {
+        return strfmt("unsupported schema '%s' (this build speaks "
+                      "%s)",
+                      tag.c_str(), kSchemaTag);
+    }
+    return "";
+}
+
+void
+writeSchemaField(JsonWriter &w)
+{
+    w.value("schema", kSchemaTag);
+}
+
+std::string
+checkDocumentSchema(const JsonValue &root)
+{
+    if (!root.isObject())
+        return "";
+    const JsonValue *tag = root.get("schema");
+    if (!tag)
+        return "";
+    if (!tag->isString())
+        return "'schema' field is not a string";
+    return checkSchemaTag(tag->str);
+}
+
+} // namespace uhll

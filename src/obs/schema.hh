@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The versioned report/wire schema tag.
+ *
+ * Every top-level JSON document the toolkit emits -- a JobResult, a
+ * BatchReport, a fuzz campaign report, and every uhlld protocol
+ * envelope -- carries `"schema": "uhll/v1"` as its first field, so
+ * the wire protocol and the on-disk artifacts share one version
+ * marker. Consumers accept any minor revision of a major they know
+ * ("uhll/v1.1" parses as major 1) and must reject unknown majors:
+ * that is the compatibility contract, and `uhllc --validate-json`
+ * enforces it as the referee.
+ */
+
+#ifndef UHLL_OBS_SCHEMA_HH
+#define UHLL_OBS_SCHEMA_HH
+
+#include <string>
+
+namespace uhll {
+
+class JsonWriter;
+struct JsonValue;
+
+/** The schema tag current builds emit. */
+inline constexpr const char *kSchemaTag = "uhll/v1";
+
+/** The major version current builds understand. */
+inline constexpr unsigned kSchemaMajor = 1;
+
+/**
+ * The major version of @p tag ("uhll/v1" and "uhll/v1.3" both give
+ * 1), or 0 when @p tag is not an uhll schema tag at all.
+ */
+unsigned schemaMajor(const std::string &tag);
+
+/**
+ * "" when @p tag names a major this build accepts, else a
+ * diagnostic ("unsupported schema 'uhll/v9' (this build speaks
+ * uhll/v1)").
+ */
+std::string checkSchemaTag(const std::string &tag);
+
+/** Emit the leading `"schema": "uhll/v1"` field into an open
+ *  object. Call first so the tag is the document's first field. */
+void writeSchemaField(JsonWriter &w);
+
+/**
+ * Validate the envelope of a parsed document: a top-level object
+ * with a "schema" field must carry an accepted major. Returns "" for
+ * acceptance -- including documents with no "schema" field at all
+ * (plain JSON predating the envelope) -- and a diagnostic otherwise.
+ */
+std::string checkDocumentSchema(const JsonValue &root);
+
+} // namespace uhll
+
+#endif // UHLL_OBS_SCHEMA_HH

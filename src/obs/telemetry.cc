@@ -29,6 +29,7 @@ spanCatName(SpanCat c)
       case SpanCat::Sim: return "sim";
       case SpanCat::Supervise: return "supervise";
       case SpanCat::Jit: return "jit";
+      case SpanCat::Service: return "service";
     }
     return "?";
 }

@@ -63,8 +63,9 @@ enum class SpanCat : uint8_t {
     Sim,        //!< the supervised simulation
     Supervise,  //!< supervisor actions (instants)
     Jit,        //!< native region compiles
+    Service,    //!< one uhlld request (accept to response)
 };
-constexpr size_t kNumSpanCats = 10;
+constexpr size_t kNumSpanCats = 11;
 
 const char *spanCatName(SpanCat c);
 

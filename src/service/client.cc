@@ -1,0 +1,109 @@
+#include "service/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/protocol.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+ServiceClient::~ServiceClient()
+{
+    close();
+}
+
+void
+ServiceClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+ServiceClient::connectTo(const std::string &path, std::string *err)
+{
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+        *err = strfmt("socket path '%s' exceeds %zu bytes",
+                      path.c_str(), sizeof addr.sun_path - 1);
+        return false;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        *err = strfmt("socket: %s", std::strerror(errno));
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        *err = strfmt("connect '%s': %s", path.c_str(),
+                      std::strerror(errno));
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+ServiceClient::roundtrip(const std::string &payload,
+                         ServiceResponse *resp, std::string *err)
+{
+    *resp = ServiceResponse{};
+    if (fd_ < 0) {
+        *err = "not connected";
+        return false;
+    }
+    if (!writeFrame(fd_, payload, err))
+        return false;
+    std::string respPayload;
+    const FrameRead r = readFrame(fd_, &respPayload, err);
+    if (r != FrameRead::Ok) {
+        if (err->empty())
+            *err = "daemon closed the connection";
+        return false;
+    }
+    try {
+        resp->envelope = JsonValue::parse(respPayload);
+    } catch (const FatalError &e) {
+        *err = strfmt("bad response envelope: %s", e.what());
+        return false;
+    }
+    if (const JsonValue *v = resp->envelope.get("ok"))
+        resp->ok = v->asBool();
+    if (const JsonValue *v = resp->envelope.get("error"))
+        resp->error = v->asString();
+    if (const JsonValue *v = resp->envelope.get("code"))
+        resp->code = v->asString();
+    const JsonValue *follow = resp->envelope.get("follow");
+    if (follow && follow->asBool()) {
+        const FrameRead fr = readFrame(fd_, &resp->follow, err);
+        if (fr != FrameRead::Ok) {
+            if (err->empty())
+                *err = "daemon closed before the follow frame";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+ServiceClient::request(const std::string &op,
+                       const std::string &tenant,
+                       const std::string &id,
+                       const std::string &body_raw,
+                       ServiceResponse *resp, std::string *err)
+{
+    return roundtrip(requestEnvelope(op, tenant, id, body_raw), resp,
+                     err);
+}
+
+} // namespace uhll

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * ServiceClient: the uhlld client side (uhllc --connect, tests,
+ * bench).
+ *
+ * One client holds one connection and runs one framed roundtrip at
+ * a time: send a request envelope, read the response envelope, read
+ * the follow frame when the response announces one. The follow
+ * frame's bytes are handed back verbatim -- callers write them
+ * straight to disk, preserving the daemon's byte-identical report
+ * guarantee.
+ */
+
+#ifndef UHLL_SERVICE_CLIENT_HH
+#define UHLL_SERVICE_CLIENT_HH
+
+#include <string>
+
+#include "obs/json.hh"
+
+namespace uhll {
+
+/** One parsed response (the envelope fields clients branch on). */
+struct ServiceResponse {
+    bool ok = false;          //!< envelope "ok"
+    std::string error;        //!< "" when ok
+    std::string code;         //!< machine-readable failure class
+    std::string follow;       //!< follow frame bytes ("" when none)
+    JsonValue envelope;       //!< the full parsed envelope
+    const JsonValue *body() const { return envelope.get("body"); }
+};
+
+class ServiceClient
+{
+  public:
+    ServiceClient() = default;
+    ~ServiceClient();
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+
+    /** Connect to the AF_UNIX socket at @p path. */
+    bool connectTo(const std::string &path, std::string *err);
+
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+    /**
+     * One request/response roundtrip. False only on transport
+     * problems (connect lost, malformed response envelope) -- a
+     * structured daemon error still returns true with resp->ok
+     * false.
+     */
+    bool roundtrip(const std::string &payload, ServiceResponse *resp,
+                   std::string *err);
+
+    /** requestEnvelope() + roundtrip(). */
+    bool request(const std::string &op, const std::string &tenant,
+                 const std::string &id, const std::string &body_raw,
+                 ServiceResponse *resp, std::string *err);
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace uhll
+
+#endif // UHLL_SERVICE_CLIENT_HH

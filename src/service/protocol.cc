@@ -1,0 +1,184 @@
+#include "service/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include "obs/json.hh"
+#include "obs/schema.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+namespace {
+
+/** recv() exactly @p n bytes; 1 ok, 0 clean eof at a byte boundary
+ *  start, -1 error. Partial reads after the first byte report as
+ *  eof-with-progress via @p got. */
+int
+recvAll(int fd, char *buf, size_t n, size_t *got)
+{
+    *got = 0;
+    while (*got < n) {
+        const ssize_t r = ::recv(fd, buf + *got, n - *got, 0);
+        if (r == 0)
+            return 0;
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        *got += static_cast<size_t>(r);
+    }
+    return 1;
+}
+
+} // namespace
+
+FrameRead
+readFrame(int fd, std::string *payload, std::string *err)
+{
+    err->clear();
+    payload->clear();
+
+    // Header: read byte-at-a-time up to '\n'. Headers are tens of
+    // bytes; one recv() per byte costs nothing next to a compile.
+    std::string header;
+    for (;;) {
+        char c;
+        size_t got = 0;
+        const int r = recvAll(fd, &c, 1, &got);
+        if (r == 0) {
+            if (header.empty())
+                return FrameRead::Eof;
+            *err = "stream ended mid-header";
+            return FrameRead::Truncated;
+        }
+        if (r < 0) {
+            *err = strfmt("recv: %s", std::strerror(errno));
+            return FrameRead::Error;
+        }
+        if (c == '\n')
+            break;
+        header.push_back(c);
+        // A header with no newline in sight is not this protocol.
+        if (header.size() > 64) {
+            *err = "frame header overlong (not an uhll-frame peer?)";
+            return FrameRead::Malformed;
+        }
+    }
+
+    const std::string magic = kFrameMagic;
+    if (header.size() <= magic.size() + 1 ||
+        header.compare(0, magic.size(), magic) != 0 ||
+        header[magic.size()] != ' ') {
+        *err = strfmt("bad frame header '%s'", header.c_str());
+        return FrameRead::Malformed;
+    }
+    const std::string lenStr = header.substr(magic.size() + 1);
+    uint64_t n = 0;
+    for (char c : lenStr) {
+        if (c < '0' || c > '9') {
+            *err = strfmt("bad frame length '%s'", lenStr.c_str());
+            return FrameRead::Malformed;
+        }
+        n = n * 10 + static_cast<uint64_t>(c - '0');
+        if (n > kMaxFramePayload)
+            break;
+    }
+    if (n > kMaxFramePayload) {
+        *err = strfmt("frame payload %s exceeds the %llu-byte cap",
+                      lenStr.c_str(),
+                      (unsigned long long)kMaxFramePayload);
+        return FrameRead::TooBig;
+    }
+
+    payload->resize(static_cast<size_t>(n));
+    if (n) {
+        size_t got = 0;
+        const int r = recvAll(fd, payload->data(),
+                              static_cast<size_t>(n), &got);
+        if (r == 0) {
+            *err = strfmt("stream ended %zu bytes into a %llu-byte "
+                          "payload",
+                          got, (unsigned long long)n);
+            return FrameRead::Truncated;
+        }
+        if (r < 0) {
+            *err = strfmt("recv: %s", std::strerror(errno));
+            return FrameRead::Error;
+        }
+    }
+    return FrameRead::Ok;
+}
+
+bool
+writeFrame(int fd, const std::string &payload, std::string *err)
+{
+    err->clear();
+    std::string msg = strfmt("%s %zu\n", kFrameMagic,
+                             payload.size());
+    msg += payload;
+    size_t off = 0;
+    while (off < msg.size()) {
+        // MSG_NOSIGNAL: a vanished peer is a return value, not a
+        // SIGPIPE -- the daemon must outlive its clients.
+        const ssize_t w = ::send(fd, msg.data() + off,
+                                 msg.size() - off, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            *err = strfmt("send: %s", std::strerror(errno));
+            return false;
+        }
+        off += static_cast<size_t>(w);
+    }
+    return true;
+}
+
+std::string
+requestEnvelope(const std::string &op, const std::string &tenant,
+                const std::string &id, const std::string &body_raw)
+{
+    JsonWriter w(false);
+    w.beginObject();
+    writeSchemaField(w);
+    w.value("op", op);
+    if (!tenant.empty())
+        w.value("tenant", tenant);
+    if (!id.empty())
+        w.value("id", id);
+    if (!body_raw.empty())
+        w.raw("body", body_raw);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+responseEnvelope(const std::string &op, const std::string &id,
+                 bool ok, const std::string &error,
+                 const std::string &code,
+                 const std::string &body_raw, bool follow)
+{
+    JsonWriter w(false);
+    w.beginObject();
+    writeSchemaField(w);
+    w.value("op", op);
+    if (!id.empty())
+        w.value("id", id);
+    w.value("ok", ok);
+    if (!error.empty())
+        w.value("error", error);
+    if (!code.empty())
+        w.value("code", code);
+    if (!body_raw.empty())
+        w.raw("body", body_raw);
+    if (follow)
+        w.value("follow", true);
+    w.endObject();
+    return w.str();
+}
+
+} // namespace uhll

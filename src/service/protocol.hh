@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The uhlld wire protocol: length-prefixed frames over a local
+ * stream socket, carrying uhll/v1 JSON envelopes.
+ *
+ * Framing. Every message is one frame:
+ *
+ *     uhll-frame/1 <payload-bytes>\n
+ *     <payload-bytes bytes of payload>
+ *
+ * The header is ASCII so a truncated or corrupted stream fails with
+ * a diagnostic instead of a misread length; payloads are capped at
+ * kMaxFramePayload so a hostile header cannot make the daemon
+ * allocate without bound. Either side closing cleanly between
+ * frames reads as Eof, never as an error.
+ *
+ * Envelopes. A request payload is one JSON object:
+ *
+ *     {"schema": "uhll/v1", "op": "batch", "tenant": "alice",
+ *      "id": "req-1", "body": { ... }}
+ *
+ * `op` is one of ping | job | batch | metrics | stats | shutdown.
+ * The response echoes `op` and `id`:
+ *
+ *     {"schema": "uhll/v1", "op": "batch", "id": "req-1",
+ *      "ok": true, "error": "", "code": "", "follow": true,
+ *      "body": { ... }}
+ *
+ * With `"follow": true` one more frame follows immediately, carrying
+ * an opaque document (a BatchReport, a JobResult, a Prometheus
+ * exposition). The follow frame is the *exact* bytes the local
+ * renderer produced -- clients write it verbatim, which is how a
+ * report fetched through the daemon stays byte-identical to a local
+ * `uhllc --batch` run.
+ *
+ * Error codes: "bad-request" (malformed envelope or manifest),
+ * "unsupported-schema" (unknown major), "quota" (per-tenant cap),
+ * "busy" (admission queue full), "shutting-down".
+ */
+
+#ifndef UHLL_SERVICE_PROTOCOL_HH
+#define UHLL_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace uhll {
+
+/** The frame header magic (version 1 of the framing itself). */
+inline constexpr const char *kFrameMagic = "uhll-frame/1";
+
+/** Hard cap on one frame's payload (a manifest or a report). */
+inline constexpr uint64_t kMaxFramePayload = 64ull << 20;
+
+/** Outcome of readFrame(). */
+enum class FrameRead {
+    Ok,         //!< *payload holds one complete payload
+    Eof,        //!< clean close before any header byte
+    Truncated,  //!< stream ended mid-header or mid-payload
+    Malformed,  //!< header is not "uhll-frame/1 <n>\n"
+    TooBig,     //!< declared payload exceeds kMaxFramePayload
+    Error,      //!< recv() failed (*err has strerror)
+};
+
+/**
+ * Read one frame from @p fd (blocking). On anything but Ok, *err
+ * carries a one-line diagnostic ("" for clean Eof).
+ */
+FrameRead readFrame(int fd, std::string *payload, std::string *err);
+
+/**
+ * Write one frame to @p fd. Short writes are retried; a peer that
+ * vanished (EPIPE, reset) returns false with *err set -- never a
+ * signal, so a client disconnecting mid-batch cannot kill the
+ * daemon.
+ */
+bool writeFrame(int fd, const std::string &payload, std::string *err);
+
+/** Render a request envelope; @p body_raw must be a JSON value. */
+std::string requestEnvelope(const std::string &op,
+                            const std::string &tenant,
+                            const std::string &id,
+                            const std::string &body_raw);
+
+/**
+ * Render a response envelope. @p body_raw "" emits no body; @p code
+ * classifies failures for clients that branch without string
+ * matching.
+ */
+std::string responseEnvelope(const std::string &op,
+                             const std::string &id, bool ok,
+                             const std::string &error,
+                             const std::string &code,
+                             const std::string &body_raw,
+                             bool follow);
+
+} // namespace uhll
+
+#endif // UHLL_SERVICE_PROTOCOL_HH

@@ -1,0 +1,669 @@
+#include "service/server.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <functional>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "driver/batch.hh"
+#include "driver/options.hh"
+#include "obs/json.hh"
+#include "obs/schema.hh"
+#include "obs/telemetry.hh"
+#include "service/protocol.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+std::string
+sanitizeBatchId(const std::string &id)
+{
+    std::string out;
+    for (char c : id) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' ||
+                        c == '_' || c == '-';
+        out.push_back(ok ? c : '_');
+    }
+    // An id of dots could escape the journal directory as a path.
+    bool meaningful = false;
+    for (char c : out)
+        meaningful |= c != '.';
+    return meaningful ? out : "";
+}
+
+namespace {
+
+/** Stat-name-safe tenant label (dots would split the group). */
+std::string
+statLabel(const std::string &tenant)
+{
+    std::string out;
+    for (char c : tenant) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' ||
+                        c == '-';
+        out.push_back(ok ? c : '_');
+    }
+    return out.empty() ? "anon" : out;
+}
+
+/** Releases one admission slot on every exit path. */
+class AdmissionTicket
+{
+  public:
+    AdmissionTicket(ServiceDaemon *, std::function<void()> release)
+        : release_(std::move(release))
+    {}
+    ~AdmissionTicket()
+    {
+        if (release_)
+            release_();
+    }
+    AdmissionTicket(const AdmissionTicket &) = delete;
+    AdmissionTicket &operator=(const AdmissionTicket &) = delete;
+
+  private:
+    std::function<void()> release_;
+};
+
+} // namespace
+
+// ----------------------------------------------------------------
+// Construction / lifecycle
+// ----------------------------------------------------------------
+
+ServiceDaemon::ServiceDaemon(ServiceConfig cfg) : cfg_(std::move(cfg))
+{
+    tc_.setCacheCapBytes(cfg_.cacheCapBytes);
+    tc_.bindCacheStats(reg_);
+
+    reg_.formula("service.requests",
+                 [this] { return double(requests_.load()); },
+                 "envelopes handled");
+    reg_.formula("service.batches",
+                 [this] { return double(batches_.load()); },
+                 "batch/job requests run");
+    reg_.formula("service.jobs",
+                 [this] { return double(jobsRun_.load()); },
+                 "jobs run on behalf of clients");
+    reg_.formula("service.rejected",
+                 [this] { return double(rejected_.load()); },
+                 "requests refused by admission control");
+    reg_.formula("service.protocolErrors",
+                 [this] { return double(protocolErrors_.load()); },
+                 "malformed frames/envelopes survived");
+    reg_.formula("service.connections",
+                 [this] { return double(connections_.load()); },
+                 "connections accepted");
+    reg_.formula("service.queueDepth",
+                 [this] { return double(waiting_.load()); },
+                 "admitted requests waiting for a run slot");
+    reg_.formula("service.active",
+                 [this] { return double(running_.load()); },
+                 "requests running right now");
+    reg_.formula("service.uptimeSeconds",
+                 [this] {
+                     return std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                started_)
+                         .count();
+                 },
+                 "seconds since start()");
+    reg_.formula("service.requestsPerSec",
+                 [this] {
+                     const double up =
+                         std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() -
+                             started_)
+                             .count();
+                     return up > 0 ? double(requests_.load()) / up
+                                   : 0.0;
+                 },
+                 "request throughput since start()");
+    reg_.markVolatile("service.uptimeSeconds");
+    reg_.markVolatile("service.requestsPerSec");
+    started_ = std::chrono::steady_clock::now();
+}
+
+ServiceDaemon::~ServiceDaemon()
+{
+    stop();
+}
+
+bool
+ServiceDaemon::start(std::string *err)
+{
+    if (cfg_.socketPath.empty()) {
+        *err = "no socket path configured";
+        return false;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (cfg_.socketPath.size() >= sizeof addr.sun_path) {
+        *err = strfmt("socket path '%s' exceeds %zu bytes",
+                      cfg_.socketPath.c_str(),
+                      sizeof addr.sun_path - 1);
+        return false;
+    }
+    std::memcpy(addr.sun_path, cfg_.socketPath.c_str(),
+                cfg_.socketPath.size() + 1);
+
+    if (!cfg_.journalDir.empty()) {
+        if (::mkdir(cfg_.journalDir.c_str(), 0777) != 0 &&
+            errno != EEXIST) {
+            *err = strfmt("mkdir '%s': %s", cfg_.journalDir.c_str(),
+                          std::strerror(errno));
+            return false;
+        }
+    }
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        *err = strfmt("socket: %s", std::strerror(errno));
+        return false;
+    }
+    ::unlink(cfg_.socketPath.c_str());  // stale path from a crash
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        *err = strfmt("bind '%s': %s", cfg_.socketPath.c_str(),
+                      std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    if (::listen(listenFd_, 64) != 0) {
+        *err = strfmt("listen: %s", std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    started_ = std::chrono::steady_clock::now();
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+ServiceDaemon::wait()
+{
+    std::unique_lock<std::mutex> lk(stopMu_);
+    stopCv_.wait(lk, [this] { return stopping_.load(); });
+}
+
+void
+ServiceDaemon::stop()
+{
+    stopping_.store(true);
+    {
+        std::lock_guard<std::mutex> lk(stopMu_);
+        stopCv_.notify_all();
+    }
+    admissionCv_.notify_all();
+    // stopping_ alone cannot gate the cleanup: a `shutdown` request
+    // sets it long before anyone calls stop(). stopDone_ makes the
+    // teardown itself run exactly once.
+    if (stopDone_.exchange(true))
+        return;
+    // Retire the fd atomically first: the accept thread reads it
+    // concurrently and must see -1 or the live value, never a torn
+    // close.
+    const int lfd = listenFd_.exchange(-1);
+    if (lfd >= 0) {
+        ::shutdown(lfd, SHUT_RDWR);
+        ::close(lfd);
+    }
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    std::vector<int> fds;
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lk(connMu_);
+        fds = connFds_;
+        threads.swap(connThreads_);
+    }
+    for (int fd : fds)
+        ::shutdown(fd, SHUT_RDWR);  // unblock their recv()s
+    for (std::thread &t : threads) {
+        if (t.joinable())
+            t.join();
+    }
+    {
+        std::lock_guard<std::mutex> lk(connMu_);
+        for (int fd : connFds_)
+            ::close(fd);
+        connFds_.clear();
+    }
+    if (!cfg_.socketPath.empty())
+        ::unlink(cfg_.socketPath.c_str());
+}
+
+void
+ServiceDaemon::acceptLoop()
+{
+    for (;;) {
+        const int lfd = listenFd_.load();
+        if (lfd < 0)
+            return;  // stop() already retired the socket
+        const int fd = ::accept(lfd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return;  // listen fd closed: shutting down
+        }
+        if (stopping_.load()) {
+            ::close(fd);
+            return;
+        }
+        ++connections_;
+        std::lock_guard<std::mutex> lk(connMu_);
+        connFds_.push_back(fd);
+        connThreads_.emplace_back(
+            [this, fd] { serveConnection(fd); });
+    }
+}
+
+// ----------------------------------------------------------------
+// Admission control
+// ----------------------------------------------------------------
+
+ServiceDaemon::Tenant &
+ServiceDaemon::tenantSlot(const std::string &tenant)
+{
+    // Caller holds admissionMu_. Slots are never erased, so the
+    // formulas registered here can capture the Tenant for good.
+    auto it = tenants_.find(tenant);
+    if (it != tenants_.end())
+        return *it->second;
+    auto slot = std::make_unique<Tenant>();
+    Tenant *t = slot.get();
+    tenants_.emplace(tenant, std::move(slot));
+    const std::string label = statLabel(tenant);
+    std::lock_guard<std::mutex> lk(regMu_);
+    reg_.formula("service.tenant." + label + ".requests",
+                 [t] { return double(t->requests.load()); },
+                 "requests admitted for this tenant");
+    reg_.formula("service.tenant." + label + ".rejected",
+                 [t] { return double(t->rejected.load()); },
+                 "requests refused for this tenant");
+    return *t;
+}
+
+bool
+ServiceDaemon::admit(const std::string &tenant, std::string *err,
+                     std::string *code)
+{
+    std::unique_lock<std::mutex> lk(admissionMu_);
+    Tenant &t = tenantSlot(tenant);
+    for (;;) {
+        if (stopping_.load()) {
+            *err = "daemon is shutting down";
+            *code = "shutting-down";
+            break;
+        }
+        if (cfg_.tenantQuota == 0) {
+            // A zero quota can never be satisfied: refuse now
+            // rather than park the request forever.
+            *err = strfmt("tenant '%s' has a zero request quota",
+                          tenant.c_str());
+            *code = "quota";
+            break;
+        }
+        if (t.running < cfg_.tenantQuota &&
+            running_ < cfg_.maxActive) {
+            ++running_;
+            ++t.running;
+            ++t.requests;
+            return true;
+        }
+        // Over quota or over maxActive: wait in the bounded queue
+        // for a slot to free up.
+        if (waiting_ >= cfg_.maxQueue) {
+            *err = strfmt("admission queue full (%u running, %u "
+                          "waiting)",
+                          running_.load(), waiting_.load());
+            *code = "busy";
+            break;
+        }
+        ++waiting_;
+        admissionCv_.wait(lk, [this, &t] {
+            return (t.running < cfg_.tenantQuota &&
+                    running_ < cfg_.maxActive) ||
+                   stopping_.load();
+        });
+        --waiting_;
+    }
+    ++t.rejected;
+    ++rejected_;
+    return false;
+}
+
+void
+ServiceDaemon::release(const std::string &tenant)
+{
+    std::lock_guard<std::mutex> lk(admissionMu_);
+    auto it = tenants_.find(tenant);
+    if (it != tenants_.end() && it->second->running)
+        --it->second->running;
+    if (running_)
+        --running_;
+    admissionCv_.notify_all();
+}
+
+// ----------------------------------------------------------------
+// Request handling
+// ----------------------------------------------------------------
+
+void
+ServiceDaemon::serveConnection(int fd)
+{
+    SpanTracer::instance().setLaneName(
+        strfmt("uhlld-conn-%d", fd));
+    for (;;) {
+        std::string payload, err;
+        const FrameRead r = readFrame(fd, &payload, &err);
+        if (r == FrameRead::Ok) {
+            handleRequest(fd, payload);
+            continue;
+        }
+        if (r == FrameRead::Eof)
+            break;
+        // Anything else: the framing is broken, so answer once
+        // (best effort) and drop the connection -- there is no way
+        // to resync mid-stream.
+        ++protocolErrors_;
+        if (r == FrameRead::Malformed || r == FrameRead::TooBig) {
+            std::string werr;
+            writeFrame(fd,
+                       responseEnvelope("", "", false, err,
+                                        r == FrameRead::TooBig
+                                            ? "too-big"
+                                            : "bad-request",
+                                        "", false),
+                       &werr);
+        }
+        break;
+    }
+    ::shutdown(fd, SHUT_RDWR);
+}
+
+void
+ServiceDaemon::sendError(int fd, const std::string &op,
+                         const std::string &id,
+                         const std::string &error,
+                         const std::string &code)
+{
+    std::string werr;
+    if (!writeFrame(fd,
+                    responseEnvelope(op, id, false, error, code, "",
+                                     false),
+                    &werr))
+        warn("uhlld: client vanished mid-error: %s", werr.c_str());
+}
+
+void
+ServiceDaemon::handleRequest(int fd, const std::string &payload)
+{
+    ++requests_;
+    std::string op, id, tenant;
+    const JsonValue *body = nullptr;
+    JsonValue root;
+    try {
+        root = JsonValue::parse(payload);
+    } catch (const FatalError &e) {
+        ++protocolErrors_;
+        sendError(fd, "", "", strfmt("bad envelope: %s", e.what()),
+                  "bad-request");
+        return;
+    }
+    if (!root.isObject()) {
+        ++protocolErrors_;
+        sendError(fd, "", "", "envelope is not a JSON object",
+                  "bad-request");
+        return;
+    }
+    if (const JsonValue *v = root.get("op"))
+        op = v->asString();
+    if (const JsonValue *v = root.get("id"))
+        id = v->asString();
+    if (const JsonValue *v = root.get("tenant"))
+        tenant = v->asString();
+    if (tenant.empty())
+        tenant = "anon";
+    body = root.get("body");
+
+    const JsonValue *schema = root.get("schema");
+    if (!schema) {
+        ++protocolErrors_;
+        sendError(fd, op, id, "envelope has no 'schema' field",
+                  "bad-request");
+        return;
+    }
+    const std::string serr = checkSchemaTag(schema->asString());
+    if (!serr.empty()) {
+        ++protocolErrors_;
+        sendError(fd, op, id, serr, "unsupported-schema");
+        return;
+    }
+
+    SpanScope span(SpanCat::Service,
+                   strfmt("%s tenant=%s", op.c_str(),
+                          tenant.c_str()));
+
+    if (op == "ping") {
+        JsonWriter w(false);
+        w.beginObject();
+        w.value("server", "uhlld");
+        w.value("schema", kSchemaTag);
+        w.endObject();
+        std::string werr;
+        writeFrame(fd,
+                   responseEnvelope(op, id, true, "", "", w.str(),
+                                    false),
+                   &werr);
+        return;
+    }
+    if (op == "metrics" || op == "stats") {
+        std::string follow;
+        {
+            std::lock_guard<std::mutex> lk(regMu_);
+            follow = op == "metrics" ? prometheusText()
+                                     : reg_.toJson(true) + "\n";
+        }
+        std::string werr;
+        if (writeFrame(fd,
+                       responseEnvelope(op, id, true, "", "", "",
+                                        true),
+                       &werr))
+            writeFrame(fd, follow, &werr);
+        return;
+    }
+    if (op == "shutdown") {
+        // Flag first, respond second: a client that has read the
+        // response must already observe stopped().
+        stopping_.store(true);
+        {
+            std::lock_guard<std::mutex> lk(stopMu_);
+            stopCv_.notify_all();
+        }
+        admissionCv_.notify_all();
+        std::string werr;
+        writeFrame(fd,
+                   responseEnvelope(op, id, true, "", "", "", false),
+                   &werr);
+        return;
+    }
+    if (op == "job" || op == "batch") {
+        handleBatch(fd, op, id, tenant, body);
+        return;
+    }
+    sendError(fd, op, id, strfmt("unknown op '%s'", op.c_str()),
+              "bad-request");
+}
+
+void
+ServiceDaemon::handleBatch(int fd, const std::string &op,
+                           const std::string &id,
+                           const std::string &tenant,
+                           const JsonValue *body)
+{
+    if (!body || !body->isObject()) {
+        sendError(fd, op, id, "request has no body object",
+                  "bad-request");
+        return;
+    }
+    const JsonValue *manifest = body->get("manifest");
+    if (!manifest || !manifest->isObject()) {
+        sendError(fd, op, id, "body has no 'manifest' object",
+                  "bad-request");
+        return;
+    }
+    if (manifest->has("fuzz")) {
+        sendError(fd, op, id,
+                  "fuzz campaigns are not served; run them with "
+                  "uhllc --batch locally",
+                  "bad-request");
+        return;
+    }
+    const std::string dir =
+        body->get("manifest_dir")
+            ? body->get("manifest_dir")->asString()
+            : "";
+    const bool timings = body->get("timings")
+                             ? body->get("timings")->asBool(true)
+                             : true;
+
+    // Everything the request configures parses before admission, so
+    // a malformed request never occupies a run slot.
+    std::vector<Job> jobs;
+    SupervisePolicy policy;
+    PipelineOverrides po;
+    try {
+        jobs = parseManifest(*manifest, dir);
+        // Merge order mirrors local uhllc: the daemon's own policy
+        // is the base, the manifest's "supervise" object overrides
+        // what it names, and the request's "supervise" object (the
+        // client's command line) wins last.
+        SuperviseOverrides mo;
+        mo.cli = parseSupervisePolicy(manifest->get("supervise"));
+        policy = mo.mergedWith(cfg_.policy);
+        if (const JsonValue *s = body->get("supervise"))
+            policy =
+                SuperviseOverrides::fromJson(*s).mergedWith(policy);
+        if (const JsonValue *p = body->get("pipeline"))
+            po = PipelineOverrides::fromJson(*p);
+    } catch (const FatalError &e) {
+        sendError(fd, op, id, e.what(), "bad-request");
+        return;
+    }
+    const std::string verr = po.validate();
+    if (!verr.empty()) {
+        sendError(fd, op, id, verr, "bad-request");
+        return;
+    }
+    po.applyToJobs(&jobs);
+    if (op == "job" && jobs.size() != 1) {
+        sendError(fd, op, id,
+                  strfmt("op 'job' takes a single-job manifest, got "
+                         "%zu jobs",
+                         jobs.size()),
+                  "bad-request");
+        return;
+    }
+    if (jobs.empty()) {
+        sendError(fd, op, id, "manifest has no jobs", "bad-request");
+        return;
+    }
+
+    std::string journal;
+    if (const JsonValue *b = body->get("batch_id")) {
+        const std::string sane = sanitizeBatchId(b->asString());
+        if (sane.empty()) {
+            sendError(fd, op, id, "unusable batch_id",
+                      "bad-request");
+            return;
+        }
+        if (!cfg_.journalDir.empty())
+            journal = cfg_.journalDir + "/" + sane + ".journal";
+    }
+
+    std::string aerr, acode;
+    if (!admit(tenant, &aerr, &acode)) {
+        sendError(fd, op, id, aerr, acode);
+        return;
+    }
+    AdmissionTicket ticket(this, [this, tenant] { release(tenant); });
+
+    unsigned threads = cfg_.workers;
+    if (const JsonValue *t = body->get("threads"))
+        threads = static_cast<unsigned>(t->asU64(threads));
+
+    BatchRunner runner(tc_, threads);
+    runner.setPolicy(policy);
+    if (!journal.empty()) {
+        runner.setJournal(journal);
+        // Resume is always on: a fresh batch_id reads an empty
+        // journal (a fresh run), a resubmitted one splices every
+        // ok result byte-identically -- which is how a client
+        // survives a daemon SIGKILL mid-batch.
+        runner.setResume(true);
+    }
+    ++batches_;
+    jobsRun_ += jobs.size();
+    BatchReport report = runner.run(jobs);
+
+    int exit = 0;
+    if (!report.allOk()) {
+        exit = 1;
+        for (const JobResult &r : report.results) {
+            if (r.ran && !r.sim.ok()) {
+                exit = 3;
+                break;
+            }
+        }
+    }
+
+    JsonWriter w(false);
+    w.beginObject();
+    w.value("jobs", static_cast<uint64_t>(report.results.size()));
+    w.value("ok", static_cast<uint64_t>(report.okCount()));
+    w.value("failed", static_cast<uint64_t>(report.results.size() -
+                                            report.okCount()));
+    w.value("exit", static_cast<uint64_t>(exit));
+    w.endObject();
+
+    const std::string follow =
+        op == "job" ? report.results[0].toJson(true, timings) + "\n"
+                    : report.toJson(true, timings) + "\n";
+    std::string werr;
+    if (!writeFrame(fd,
+                    responseEnvelope(op, id, true, "", "", w.str(),
+                                     true),
+                    &werr) ||
+        !writeFrame(fd, follow, &werr)) {
+        // The client hung up mid-batch. The work is done and (when
+        // journaled) safely on disk for a resubmit; just log it.
+        warn("uhlld: client vanished before its report: %s",
+             werr.c_str());
+    }
+}
+
+std::string
+ServiceDaemon::prometheusText()
+{
+    // Caller holds regMu_. One synthetic sample labelled "uhlld":
+    // the shared exporter does the flattening.
+    MetricsSample s;
+    s.seq = metricsSeq_++;
+    s.label = "uhlld";
+    s.statsFull = reg_.toJson(false, true);
+    s.statsClean = reg_.toJson(false, false);
+    return metricsToPrometheus({s}, true);
+}
+
+} // namespace uhll

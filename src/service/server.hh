@@ -1,0 +1,178 @@
+/**
+ * @file
+ * uhlld: the multi-tenant compile-and-simulate daemon.
+ *
+ * One ServiceDaemon owns one Toolchain, so every client session
+ * shares the same immutable MachineDescriptions and the same
+ * artefact cache -- a manifest two tenants both submit compiles
+ * once, and its pre-decoded DecodedStore and JIT region cache are
+ * reused read-only across their simulations. The cache is the
+ * Toolchain's byte-capped LRU (Toolchain::setCacheCapBytes), so a
+ * long-lived daemon stays under a fixed artefact budget.
+ *
+ * Request handling. The accept thread hands each connection to its
+ * own handler thread; a connection carries a sequence of framed
+ * uhll/v1 envelopes (service/protocol.hh) handled one at a time.
+ * Batch and job requests pass admission control first:
+ *
+ *  - per-tenant quota: at most `tenantQuota` concurrently running
+ *    requests per tenant; excess requests wait for a slot. A quota
+ *    of zero can never be satisfied and refuses immediately
+ *    ("quota" error).
+ *  - bounded queue: at most `maxActive` requests run at once;
+ *    excess admitted requests wait, but no more than `maxQueue` may
+ *    wait ("busy" error beyond that).
+ *
+ * Admitted batches run on the existing supervised BatchRunner --
+ * worker pool, deadlines, retries, DMR, journal/resume all
+ * unchanged. When the daemon has a journal directory, a request's
+ * `batch_id` names its journal file; resubmitting the same id after
+ * a daemon crash resumes from the journal and returns the same
+ * byte-identical report a local `--resume` run would.
+ *
+ * Every request runs under a SpanCat::Service span, and the daemon
+ * keeps a StatsRegistry (service.* counters, toolchain.cache*) that
+ * the `metrics` op exports as a Prometheus text exposition and the
+ * `stats` op as JSON.
+ */
+
+#ifndef UHLL_SERVICE_SERVER_HH
+#define UHLL_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/supervisor.hh"
+#include "driver/toolchain.hh"
+#include "obs/stats.hh"
+
+namespace uhll {
+
+/** Everything `uhlld` configures (see tools/uhlld.cc for flags). */
+struct ServiceConfig {
+    std::string socketPath;       //!< AF_UNIX listening path
+    unsigned workers = 0;         //!< BatchRunner pool (0 = all hw)
+    uint64_t cacheCapBytes = 256ull << 20;  //!< artefact cache cap
+    unsigned maxActive = 4;       //!< concurrent running requests
+    unsigned maxQueue = 16;       //!< admitted requests may wait
+    unsigned tenantQuota = 2;     //!< running requests per tenant
+    std::string journalDir;       //!< "" = no journals (no resume)
+    SupervisePolicy policy;       //!< daemon-wide supervision base
+};
+
+/**
+ * The daemon. start() binds and listens; stop() (or a `shutdown`
+ * request) closes every connection and joins every thread. One
+ * instance per socket path.
+ */
+class ServiceDaemon
+{
+  public:
+    explicit ServiceDaemon(ServiceConfig cfg);
+    ~ServiceDaemon();
+
+    ServiceDaemon(const ServiceDaemon &) = delete;
+    ServiceDaemon &operator=(const ServiceDaemon &) = delete;
+
+    /** Bind + listen + start the accept thread. False with *err on
+     *  a bind/listen failure (stale socket files are unlinked). */
+    bool start(std::string *err);
+
+    /** Block until stop() or a `shutdown` request. */
+    void wait();
+
+    /** Shut down: stop accepting, unblock every connection, join. */
+    void stop();
+
+    /** True once a `shutdown` request or stop() was seen. */
+    bool stopped() const { return stopping_.load(); }
+
+    const ServiceConfig &config() const { return cfg_; }
+
+    /** The daemon registry (service.* + toolchain.cache*). */
+    const StatsRegistry &stats() const { return reg_; }
+
+  private:
+    struct Tenant {
+        std::atomic<uint64_t> requests{0};  //!< admitted, lifetime
+        std::atomic<uint64_t> rejected{0};
+        unsigned running = 0;  //!< guarded by admissionMu_
+    };
+
+    void acceptLoop();
+    void serveConnection(int fd);
+    /** One request payload -> one response (+ optional follow). */
+    void handleRequest(int fd, const std::string &payload);
+    void handleBatch(int fd, const std::string &op,
+                     const std::string &id,
+                     const std::string &tenant,
+                     const struct JsonValue *body);
+    void sendError(int fd, const std::string &op,
+                   const std::string &id, const std::string &error,
+                   const std::string &code);
+
+    /** Admission: false with a diagnostic + code when rejected. */
+    bool admit(const std::string &tenant, std::string *err,
+               std::string *code);
+    void release(const std::string &tenant);
+    Tenant &tenantSlot(const std::string &tenant);
+
+    std::string prometheusText();
+
+    ServiceConfig cfg_;
+    Toolchain tc_;
+    StatsRegistry reg_;
+    mutable std::mutex regMu_;  //!< guards reg_ structure + dumps
+
+    // Admission state. running_/waiting_ only change under
+    // admissionMu_ (the condvar predicate needs that), but they are
+    // atomics so registry formulas can read them lock-free -- a
+    // dump holds regMu_, and tenantSlot() takes regMu_ while
+    // holding admissionMu_, so a formula must never lock
+    // admissionMu_ (lock order is admissionMu_ -> regMu_ only).
+    std::mutex admissionMu_;
+    std::condition_variable admissionCv_;
+    std::atomic<unsigned> running_{0};
+    std::atomic<unsigned> waiting_{0};
+    std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+
+    // Service counters (atomics: bumped from connection threads,
+    // read lock-free by registry formulas during dumps).
+    std::atomic<uint64_t> requests_{0};
+    std::atomic<uint64_t> batches_{0};
+    std::atomic<uint64_t> jobsRun_{0};
+    std::atomic<uint64_t> rejected_{0};
+    std::atomic<uint64_t> protocolErrors_{0};
+    std::atomic<uint64_t> connections_{0};
+    std::atomic<uint64_t> metricsSeq_{0};
+    std::chrono::steady_clock::time_point started_{};
+
+    // Lifecycle. listenFd_ is atomic because stop() retires it
+    // while the accept thread is still reading it.
+    std::atomic<int> listenFd_{-1};
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> stopDone_{false};
+    std::thread acceptThread_;
+    std::mutex connMu_;
+    std::vector<int> connFds_;
+    std::vector<std::thread> connThreads_;
+    std::mutex stopMu_;
+    std::condition_variable stopCv_;
+};
+
+/** `sanitized` batch_id -> journal file stem: [A-Za-z0-9._-] pass,
+ *  everything else becomes '_'; "" and dot-only ids are rejected
+ *  upstream. Exposed for tests. */
+std::string sanitizeBatchId(const std::string &id);
+
+} // namespace uhll
+
+#endif // UHLL_SERVICE_SERVER_HH

@@ -4,6 +4,7 @@
  *
  *   uhllc --lang yalll --machine hm1 prog.yll --listing --run
  *   uhllc --batch manifest.json -j8 --report report.json
+ *   uhllc --connect /tmp/uhll.sock --batch manifest.json
  *   uhllc --list
  *
  * Single-file mode options:
@@ -29,6 +30,10 @@
  *   --jit-threshold N   region-entry hotness threshold (1 = compile
  *                       on first execution; forced-tier testing)
  *
+ * The pipeline flags above, their manifest spellings, and the
+ * CLI-overrides-manifest merge all come from one table in
+ * src/driver/options.hh, shared with uhlld.
+ *
  * Batch mode (see src/driver/batch.hh for the manifest format):
  *   --batch FILE        run the jobs in the JSON manifest
  *   -jN | --jobs N      worker threads (default: all hardware)
@@ -42,9 +47,27 @@
  *                       from their last checkpoint; completed
  *                       results are reused byte-identically
  *
+ * Service mode (see README "Service"; uhlld serves the same
+ * Toolchain over an AF_UNIX socket, sharing one artefact cache
+ * across tenants):
+ *   --connect SOCK      submit to the uhlld at SOCK instead of
+ *                       compiling locally; with --batch the daemon
+ *                       runs the manifest and the returned report is
+ *                       byte-identical (with --no-timings) to a
+ *                       local run
+ *   --tenant NAME       tenant label for quotas and per-tenant
+ *                       stats (default: $USER)
+ *   --batch-id ID       names the daemon-side journal, so
+ *                       resubmitting the same ID after a daemon
+ *                       crash resumes instead of re-running
+ *   --ping              health-check the daemon and exit
+ *   --scrape-metrics    fetch the daemon's Prometheus exposition
+ *                       (to --report FILE or stdout)
+ *   --shutdown          ask the daemon to shut down
+ *
  * Supervision (see src/driver/supervisor.hh; batch flags override
- * the manifest's "supervise" object, and all but --no-ecc also
- * apply to single-file --run):
+ * the manifest's "supervise" object -- locally and over --connect
+ * alike -- and all but --no-ecc also apply to single-file --run):
  *   --deadline S        per-job wall-clock budget in seconds
  *   --retries N         retry recoverable sim errors up to N times
  *                       (exponential backoff with jitter)
@@ -102,7 +125,10 @@
  *   --postmortem-dir D  write a post-mortem JSON artifact into D for
  *                       every failed job (flight recorder)
  *   --validate-json FILE   exit 0 iff FILE parses as one JSON value
- *   --validate-jsonl FILE  exit 0 iff every line of FILE parses
+ *                          whose "schema" tag (when present) names a
+ *                          major this build accepts (uhll/v1)
+ *   --validate-jsonl FILE  exit 0 iff every line of FILE passes the
+ *                          same check
  *
  * Fault injection (see src/fault/ and README "Fault injection"):
  *   --inject FILE       run under the fault plan in FILE ("-" for
@@ -112,10 +138,13 @@
  *                       faulting restarts of one restart point
  *
  * Exit codes: 0 success, 1 compile/verify/job failure, 2 usage or
- * configuration error (bad manifest, bad option combination),
- * 3 structured simulation error (in batch mode: any job's).
+ * configuration error (bad manifest, bad option combination,
+ * rejected request), 3 structured simulation error (in batch mode:
+ * any job's), 4 service transport failure (no daemon, daemon
+ * refused admission, connection lost).
  */
 
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -124,12 +153,15 @@
 #include <sstream>
 
 #include "driver/batch.hh"
+#include "driver/options.hh"
 #include "driver/toolchain.hh"
 #include "jit/jit.hh"
 #include "obs/json.hh"
 #include "obs/profile.hh"
+#include "obs/schema.hh"
 #include "obs/telemetry.hh"
 #include "obs/trace.hh"
+#include "service/client.hh"
 #include "support/logging.hh"
 
 using namespace uhll;
@@ -175,6 +207,10 @@ usage()
         "             [--dmr-interval N] [--dmr-seed-b N]\n"
         "             [--otrace FILE] [--metrics-out FILE]\n"
         "             [--metrics-every N] [--postmortem-dir DIR]\n"
+        "       uhllc --connect SOCK [--tenant NAME]\n"
+        "             [--batch MANIFEST [--batch-id ID] [-jN]\n"
+        "              [--report FILE] [--no-timings]]\n"
+        "             [--ping | --scrape-metrics | --shutdown]\n"
         "       uhllc --fuzz [--fuzz-seed N] [--fuzz-jobs N]\n"
         "             [--fuzz-duration S] [--fuzz-configs N]\n"
         "             [--fuzz-budget N] [--fuzz-langs L1,L2]\n"
@@ -208,9 +244,21 @@ writeFile(const std::string &path, const std::string &content)
     f << content;
 }
 
+/** One document's checks: valid JSON, acceptable schema major. */
+bool
+validateDocument(const std::string &text, std::string *err)
+{
+    if (!jsonValid(text, err))
+        return false;
+    const JsonValue v = JsonValue::parse(text);
+    *err = checkDocumentSchema(v);
+    return err->empty();
+}
+
 /**
  * JSON(L) referee for the verify harness: exit 0 iff @p path holds
- * one valid JSON value (or, with @p jsonl, one per non-empty line).
+ * one valid JSON value (or, with @p jsonl, one per non-empty line),
+ * each carrying an accepted "schema" tag when it carries one at all.
  */
 int
 validateMode(const std::string &path, bool jsonl)
@@ -218,10 +266,9 @@ validateMode(const std::string &path, bool jsonl)
     const std::string text = readFile(path);
     std::string err;
     if (!jsonl) {
-        if (jsonValid(text, &err))
+        if (validateDocument(text, &err))
             return 0;
-        std::fprintf(stderr, "%s: invalid JSON: %s\n", path.c_str(),
-                     err.c_str());
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
         return 1;
     }
     std::istringstream ss(text);
@@ -231,9 +278,9 @@ validateMode(const std::string &path, bool jsonl)
         ++lineno;
         if (line.empty())
             continue;
-        if (!jsonValid(line, &err)) {
-            std::fprintf(stderr, "%s:%zu: invalid JSON: %s\n",
-                         path.c_str(), lineno, err.c_str());
+        if (!validateDocument(line, &err)) {
+            std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(),
+                         lineno, err.c_str());
             return 1;
         }
     }
@@ -320,9 +367,9 @@ fuzzMode(const FuzzOptions &opts, const std::string &report_path,
 int
 batchMode(const std::string &manifest_path, unsigned threads,
           std::string report_path, bool timings,
-          const SupervisePolicy &cli, const std::string &resume_path,
-          int jit_flag, uint32_t jit_threshold,
-          const TelemetryOptions &cli_tel)
+          const SuperviseOverrides &so,
+          const std::string &resume_path,
+          const PipelineOverrides &po, const TelemetryOverrides &to)
 {
     Toolchain tc;
     BatchSpec spec;
@@ -346,27 +393,13 @@ batchMode(const std::string &manifest_path, unsigned threads,
 
     // The manifest's "telemetry" object is the base; the CLI flags
     // override what they name (CLI paths are cwd-relative).
-    TelemetryOptions tel = spec.telemetry;
-    if (!cli_tel.otrace.empty())
-        tel.otrace = cli_tel.otrace;
-    if (!cli_tel.metricsOut.empty())
-        tel.metricsOut = cli_tel.metricsOut;
-    if (cli_tel.metricsEveryCycles)
-        tel.metricsEveryCycles = cli_tel.metricsEveryCycles;
-    if (!cli_tel.postmortemDir.empty())
-        tel.postmortemDir = cli_tel.postmortemDir;
+    TelemetryOptions tel = to.mergedWith(spec.telemetry);
 
-    // CLI tier flags override every job's manifest options; forcing
-    // the tier off also clears manifest thresholds so the override
-    // cannot manufacture a per-job contradiction.
-    for (Job &j : spec.jobs) {
-        if (jit_flag != -1)
-            j.options.jit = jit_flag == 1;
-        if (jit_flag == 0)
-            j.options.jitThreshold = 0;
-        if (jit_threshold)
-            j.options.jitThreshold = jit_threshold;
-        if (!tel.metricsOut.empty()) {
+    // CLI pipeline flags override every job's manifest options --
+    // the shared merge uhlld applies server-side too.
+    po.applyToJobs(&spec.jobs);
+    if (!tel.metricsOut.empty()) {
+        for (Job &j : spec.jobs) {
             j.captureMetrics = true;
             j.metricsEveryCycles = tel.metricsEveryCycles;
         }
@@ -377,23 +410,7 @@ batchMode(const std::string &manifest_path, unsigned threads,
 
     // The manifest's "supervise" object is the base; command-line
     // flags override whatever they explicitly set.
-    SupervisePolicy pol = spec.policy;
-    if (cli.maxRetries)
-        pol.maxRetries = cli.maxRetries;
-    if (cli.backoffBaseMs != SupervisePolicy{}.backoffBaseMs)
-        pol.backoffBaseMs = cli.backoffBaseMs;
-    if (cli.backoffMaxMs != SupervisePolicy{}.backoffMaxMs)
-        pol.backoffMaxMs = cli.backoffMaxMs;
-    if (cli.deadlineSeconds > 0)
-        pol.deadlineSeconds = cli.deadlineSeconds;
-    if (cli.checkpointEveryCycles)
-        pol.checkpointEveryCycles = cli.checkpointEveryCycles;
-    if (cli.dmr)
-        pol.dmr = true;
-    if (cli.dmrIntervalWords != SupervisePolicy{}.dmrIntervalWords)
-        pol.dmrIntervalWords = cli.dmrIntervalWords;
-    if (cli.dmrSeedB)
-        pol.dmrSeedB = cli.dmrSeedB;
+    SupervisePolicy pol = so.mergedWith(spec.policy);
 
     const bool resume = !resume_path.empty();
     if (resume && report_path.empty())
@@ -453,6 +470,142 @@ batchMode(const std::string &manifest_path, unsigned threads,
     return 1;
 }
 
+/**
+ * Client mode: submit to a running uhlld over its socket instead of
+ * compiling locally. The daemon's follow frame is written verbatim,
+ * so a --no-timings report fetched here is byte-identical to a
+ * local batch run's.
+ */
+int
+clientMode(const std::string &sock, std::string tenant,
+           const std::string &batch_id,
+           const std::string &manifest_path,
+           const std::string &report_path, bool timings,
+           unsigned threads, const PipelineOverrides &po,
+           const SuperviseOverrides &so, bool ping, bool metrics,
+           bool shutdown)
+{
+    if (tenant.empty()) {
+        const char *u = std::getenv("USER");
+        tenant = u && *u ? u : "anon";
+    }
+    ServiceClient cl;
+    std::string err;
+    if (!cl.connectTo(sock, &err)) {
+        std::fprintf(stderr, "uhllc: %s\n", err.c_str());
+        return 4;
+    }
+    ServiceResponse resp;
+    auto transport = [&](const char *what) -> int {
+        std::fprintf(stderr, "uhllc: %s: %s\n", what, err.c_str());
+        return 4;
+    };
+    auto refused = [&]() -> int {
+        std::fprintf(stderr, "uhllc: daemon refused: %s%s%s\n",
+                     resp.error.c_str(),
+                     resp.code.empty() ? "" : " ",
+                     resp.code.empty()
+                         ? ""
+                         : ("[" + resp.code + "]").c_str());
+        // A rejected request is a configuration error; a daemon
+        // that cannot take it right now is a transport condition.
+        return resp.code == "bad-request" ||
+                       resp.code == "unsupported-schema"
+                   ? 2
+                   : 4;
+    };
+
+    if (ping) {
+        if (!cl.request("ping", tenant, "cli", "", &resp, &err))
+            return transport("ping");
+        if (!resp.ok)
+            return refused();
+        std::printf("uhlld at %s: ok\n", sock.c_str());
+        return 0;
+    }
+    if (metrics) {
+        if (!cl.request("metrics", tenant, "cli", "", &resp, &err))
+            return transport("metrics");
+        if (!resp.ok)
+            return refused();
+        if (report_path.empty())
+            std::fputs(resp.follow.c_str(), stdout);
+        else
+            writeFile(report_path, resp.follow);
+        return 0;
+    }
+    if (shutdown) {
+        if (!cl.request("shutdown", tenant, "cli", "", &resp, &err))
+            return transport("shutdown");
+        return resp.ok ? 0 : refused();
+    }
+
+    if (manifest_path.empty()) {
+        std::fprintf(stderr,
+                     "uhllc: --connect needs --batch, --ping, "
+                     "--scrape-metrics or --shutdown\n");
+        return 2;
+    }
+    const std::string text = readFile(manifest_path);
+    std::string jerr;
+    if (!jsonValid(text, &jerr)) {
+        std::fprintf(stderr, "%s: invalid JSON: %s\n",
+                     manifest_path.c_str(), jerr.c_str());
+        return 2;
+    }
+
+    // The daemon shares this filesystem (AF_UNIX), so an absolute
+    // manifest directory lets it resolve the manifest's "file"
+    // references exactly like a local run would.
+    std::string dir = ".";
+    const size_t slash = manifest_path.rfind('/');
+    if (slash != std::string::npos)
+        dir = manifest_path.substr(0, slash);
+    char abs[PATH_MAX];
+    if (::realpath(dir.c_str(), abs))
+        dir = abs;
+
+    JsonWriter w(false);
+    w.beginObject();
+    w.raw("manifest", text);
+    w.value("manifest_dir", dir);
+    w.value("timings", timings);
+    if (!batch_id.empty())
+        w.value("batch_id", batch_id);
+    if (threads)
+        w.value("threads", static_cast<uint64_t>(threads));
+    if (po.any())
+        w.raw("pipeline", po.toJson());
+    const std::string soj = so.toJson();
+    if (soj != "{}")
+        w.raw("supervise", soj);
+    w.endObject();
+
+    if (!cl.request("batch", tenant, "cli", w.str(), &resp, &err))
+        return transport("batch");
+    if (!resp.ok)
+        return refused();
+
+    if (report_path.empty())
+        std::fputs(resp.follow.c_str(), stdout);
+    else
+        writeFile(report_path, resp.follow);
+
+    uint64_t jobs = 0, okc = 0;
+    int exit_code = 0;
+    if (const JsonValue *b = resp.body()) {
+        if (const JsonValue *v = b->get("jobs"))
+            jobs = v->asU64();
+        if (const JsonValue *v = b->get("ok"))
+            okc = v->asU64();
+        if (const JsonValue *v = b->get("exit"))
+            exit_code = static_cast<int>(v->asU64());
+    }
+    std::fprintf(stderr, "batch via uhlld: %llu/%llu jobs ok\n",
+                 (unsigned long long)okc, (unsigned long long)jobs);
+    return exit_code;
+}
+
 /** Print the structured SimError diagnostic uhllc always printed. */
 void
 printSimError(const SimResult &res)
@@ -482,115 +635,63 @@ main(int argc, char **argv)
     Job job;
     std::string file;
     bool listing = false, stats = false, list = false;
-    bool compactor_given = false;
     job.run = false;
 
     std::string batch_manifest, report_path, resume_path;
     unsigned batch_threads = 0;
     bool batch_timings = true;
-    SupervisePolicy cli_pol;
+
+    // The shared tri-state override records (driver/options.hh):
+    // everything the command line explicitly names, merged onto the
+    // manifest with the same code uhlld uses.
+    PipelineOverrides po;
+    SuperviseOverrides so;
+    TelemetryOverrides to;
 
     bool fuzz_mode = false;
     FuzzOptions fuzz_opts;
     double fuzz_min_rate = 0;
 
     std::string trace_path, stats_json_path;
-    size_t trace_limit = 4096;
+    uint64_t trace_limit = 4096;
     bool profile = false;
 
-    TelemetryOptions tel;  // CLI telemetry flags (both modes)
     std::string validate_json, validate_jsonl;
 
-    int jit_flag = -1;  // -1 unset, 0 --no-jit, 1 --jit
-    bool jit_contradiction = false;
-    uint32_t jit_threshold = 0;
+    std::string connect_path, tenant, batch_id;
+    bool svc_ping = false, svc_metrics = false,
+         svc_shutdown = false;
 
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        // A value option missing its value names itself in the
-        // diagnostic instead of dumping the whole usage text.
-        auto next = [&](const std::string &flag) -> std::string {
-            if (++i >= argc) {
-                std::fprintf(stderr,
-                             "option '%s' requires a value\n",
-                             flag.c_str());
-                std::exit(2);
-            }
-            return argv[i];
-        };
-        // Value options accept both "--opt VALUE" and "--opt=VALUE".
-        auto valueOpt = [&](const char *name,
-                            std::string *out) -> bool {
-            if (a == name) {
-                *out = next(name);
-                return true;
-            }
-            std::string prefix = std::string(name) + "=";
-            if (a.rfind(prefix, 0) == 0) {
-                *out = a.substr(prefix.size());
-                return true;
-            }
-            return false;
-        };
+    ArgScanner sc(argc, argv);
+    while (sc.next()) {
         std::string val;
-        if (valueOpt("--lang", &job.lang)) {}
-        else if (valueOpt("--machine", &job.machine)) {}
-        else if (valueOpt("--entry", &job.entry)) {}
-        else if (valueOpt("--compactor", &job.options.compactor)) {
-            compactor_given = true;
+        uint64_t n = 0;
+        if (sc.value("--lang", &job.lang)) {}
+        else if (sc.value("--machine", &job.machine)) {}
+        else if (sc.value("--entry", &job.entry)) {}
+        else if (po.parse(sc)) {}
+        else if (so.parse(sc)) {}
+        else if (to.parse(sc)) {}
+        else if (sc.is("--listing")) listing = true;
+        else if (sc.is("--run")) job.run = true;
+        else if (sc.is("--stats")) stats = true;
+        else if (sc.is("--verify")) job.verify = true;
+        else if (sc.is("--list")) list = true;
+        else if (sc.is("--fuzz")) fuzz_mode = true;
+        else if (sc.valueU64("--fuzz-seed", &fuzz_opts.seed,
+                             /*nonzero=*/false)) {}
+        else if (sc.valueU64("--fuzz-jobs", &fuzz_opts.jobs)) {}
+        else if (sc.valueDouble("--fuzz-duration",
+                                &fuzz_opts.durationSeconds)) {}
+        else if (sc.valueU64("--fuzz-configs", &n,
+                             /*nonzero=*/false)) {
+            fuzz_opts.configsPerProgram =
+                static_cast<unsigned>(n);
         }
-        else if (valueOpt("--allocator", &job.options.allocator)) {}
-        else if (a == "--listing") listing = true;
-        else if (a == "--run") job.run = true;
-        else if (a == "--stats") stats = true;
-        else if (a == "--verify") job.verify = true;
-        else if (a == "--no-compact") job.options.compact = false;
-        else if (a == "--polls")
-            job.options.insertInterruptPolls = true;
-        else if (a == "--trap-safe") job.options.trapSafety = true;
-        else if (a == "--jit") {
-            if (jit_flag == 0)
-                jit_contradiction = true;
-            jit_flag = 1;
+        else if (sc.valueU64("--fuzz-budget", &n)) {
+            fuzz_opts.sizeBudget = static_cast<unsigned>(n);
         }
-        else if (a == "--no-jit") {
-            if (jit_flag == 1)
-                jit_contradiction = true;
-            jit_flag = 0;
-        }
-        else if (valueOpt("--jit-threshold", &val)) {
-            jit_threshold = static_cast<uint32_t>(
-                std::strtoul(val.c_str(), nullptr, 0));
-            if (!jit_threshold)
-                usage();
-        }
-        else if (a == "--list") list = true;
-        else if (a == "--fuzz") fuzz_mode = true;
-        else if (valueOpt("--fuzz-seed", &val)) {
-            fuzz_opts.seed = std::strtoull(val.c_str(), nullptr, 0);
-        }
-        else if (valueOpt("--fuzz-jobs", &val)) {
-            fuzz_opts.jobs = std::strtoull(val.c_str(), nullptr, 0);
-            if (!fuzz_opts.jobs)
-                usage();
-        }
-        else if (valueOpt("--fuzz-duration", &val)) {
-            fuzz_opts.durationSeconds =
-                std::strtod(val.c_str(), nullptr);
-            if (fuzz_opts.durationSeconds <= 0)
-                usage();
-        }
-        else if (valueOpt("--fuzz-configs", &val)) {
-            fuzz_opts.configsPerProgram = static_cast<unsigned>(
-                std::strtoul(val.c_str(), nullptr, 0));
-        }
-        else if (valueOpt("--fuzz-budget", &val)) {
-            fuzz_opts.sizeBudget = static_cast<unsigned>(
-                std::strtoul(val.c_str(), nullptr, 0));
-            if (!fuzz_opts.sizeBudget)
-                usage();
-        }
-        else if (valueOpt("--fuzz-langs", &val)) {
+        else if (sc.value("--fuzz-langs", &val)) {
             for (size_t s = 0; s <= val.size();) {
                 size_t e = val.find(',', s);
                 if (e == std::string::npos)
@@ -601,7 +702,7 @@ main(int argc, char **argv)
                 s = e + 1;
             }
         }
-        else if (valueOpt("--fuzz-machines", &val)) {
+        else if (sc.value("--fuzz-machines", &val)) {
             for (size_t s = 0; s <= val.size();) {
                 size_t e = val.find(',', s);
                 if (e == std::string::npos)
@@ -612,131 +713,72 @@ main(int argc, char **argv)
                 s = e + 1;
             }
         }
-        else if (valueOpt("--fuzz-corpus", &fuzz_opts.corpusDir)) {}
-        else if (valueOpt("--fuzz-min-rate", &val)) {
-            fuzz_min_rate = std::strtod(val.c_str(), nullptr);
-            if (fuzz_min_rate <= 0)
-                usage();
-        }
-        else if (a == "--fuzz-no-minimize")
+        else if (sc.value("--fuzz-corpus", &fuzz_opts.corpusDir)) {}
+        else if (sc.valueDouble("--fuzz-min-rate",
+                                &fuzz_min_rate)) {}
+        else if (sc.is("--fuzz-no-minimize"))
             fuzz_opts.minimize = false;
-        else if (valueOpt("--batch", &batch_manifest)) {}
-        else if (valueOpt("--report", &report_path)) {}
-        else if (a == "--no-timings") batch_timings = false;
-        else if (valueOpt("--resume", &resume_path)) {}
-        else if (valueOpt("--deadline", &val)) {
-            cli_pol.deadlineSeconds =
-                std::strtod(val.c_str(), nullptr);
-            job.deadlineSeconds = cli_pol.deadlineSeconds;
-            if (cli_pol.deadlineSeconds <= 0)
-                usage();
+        else if (sc.value("--batch", &batch_manifest)) {}
+        else if (sc.value("--report", &report_path)) {}
+        else if (sc.is("--no-timings")) batch_timings = false;
+        else if (sc.value("--resume", &resume_path)) {}
+        else if (sc.value("--connect", &connect_path)) {}
+        else if (sc.value("--tenant", &tenant)) {}
+        else if (sc.value("--batch-id", &batch_id)) {}
+        else if (sc.is("--ping")) svc_ping = true;
+        else if (sc.is("--scrape-metrics")) svc_metrics = true;
+        else if (sc.is("--shutdown")) svc_shutdown = true;
+        else if (sc.valueU64("--jobs", &n)) {
+            batch_threads = static_cast<unsigned>(n);
         }
-        else if (valueOpt("--retries", &val)) {
-            cli_pol.maxRetries = static_cast<uint32_t>(
-                std::strtoul(val.c_str(), nullptr, 0));
-            if (!cli_pol.maxRetries)
-                usage();
-        }
-        else if (valueOpt("--checkpoint-every", &val)) {
-            cli_pol.checkpointEveryCycles =
-                std::strtoull(val.c_str(), nullptr, 0);
-            if (!cli_pol.checkpointEveryCycles)
-                usage();
-        }
-        else if (a == "--dmr") {
-            cli_pol.dmr = true;
-            job.dmr = true;
-        }
-        else if (valueOpt("--dmr-interval", &val)) {
-            cli_pol.dmrIntervalWords =
-                std::strtoull(val.c_str(), nullptr, 0);
-            if (!cli_pol.dmrIntervalWords)
-                usage();
-        }
-        else if (valueOpt("--dmr-seed-b", &val)) {
-            cli_pol.dmrSeedB =
-                std::strtoull(val.c_str(), nullptr, 0);
-            job.dmrSeedB = cli_pol.dmrSeedB;
-            if (!cli_pol.dmrSeedB)
-                usage();
-        }
-        else if (a == "--no-ecc") job.ecc = false;
-        else if (valueOpt("--jobs", &val)
-                 || (a.rfind("-j", 0) == 0 && a.size() > 2
-                     && (val = a.substr(2), true))) {
-            batch_threads = static_cast<unsigned>(
-                std::strtoul(val.c_str(), nullptr, 0));
+        else if (sc.arg().rfind("-j", 0) == 0 &&
+                 sc.arg().size() > 2) {
+            batch_threads = static_cast<unsigned>(std::strtoul(
+                sc.arg().c_str() + 2, nullptr, 0));
             if (!batch_threads) {
                 std::fprintf(stderr, "bad thread count '%s'\n",
-                             val.c_str());
+                             sc.arg().c_str() + 2);
                 return 2;
             }
         }
-        else if (a == "-j") {
-            val = next("-j");
-            batch_threads = static_cast<unsigned>(
-                std::strtoul(val.c_str(), nullptr, 0));
-            if (!batch_threads) {
-                std::fprintf(stderr, "bad thread count '%s'\n",
-                             val.c_str());
-                return 2;
-            }
+        else if (sc.valueU64("-j", &n)) {
+            batch_threads = static_cast<unsigned>(n);
         }
-        else if (valueOpt("--stats-json", &stats_json_path)) {}
-        else if (valueOpt("--trace", &trace_path)) {}
-        else if (valueOpt("--trace-limit", &val)) {
-            trace_limit = std::strtoull(val.c_str(), nullptr, 0);
-            if (!trace_limit)
-                usage();
-        }
-        else if (a == "--profile") profile = true;
-        else if (valueOpt("--otrace", &tel.otrace)) {}
-        else if (valueOpt("--metrics-out", &tel.metricsOut)) {}
-        else if (valueOpt("--metrics-every", &val)) {
-            tel.metricsEveryCycles =
-                std::strtoull(val.c_str(), nullptr, 0);
-            if (!tel.metricsEveryCycles)
-                usage();
-        }
-        else if (valueOpt("--postmortem-dir", &tel.postmortemDir)) {}
-        else if (valueOpt("--validate-json", &validate_json)) {}
-        else if (valueOpt("--validate-jsonl", &validate_jsonl)) {}
-        else if (valueOpt("--inject", &job.faultPlan)) {
+        else if (sc.value("--stats-json", &stats_json_path)) {}
+        else if (sc.value("--trace", &trace_path)) {}
+        else if (sc.valueU64("--trace-limit", &trace_limit)) {}
+        else if (sc.is("--profile")) profile = true;
+        else if (sc.value("--validate-json", &validate_json)) {}
+        else if (sc.value("--validate-jsonl", &validate_jsonl)) {}
+        else if (sc.value("--inject", &job.faultPlan)) {
             if (job.faultPlan != "-")
                 job.faultPlan = readFile(job.faultPlan);
         }
-        else if (valueOpt("--seed", &val)) {
-            job.faultSeed = std::strtoull(val.c_str(), nullptr, 0);
-            if (!job.faultSeed)
-                usage();
+        else if (sc.valueU64("--seed", &job.faultSeed)) {}
+        else if (sc.valueU64("--max-restarts", &n)) {
+            job.maxRestarts = static_cast<uint32_t>(n);
         }
-        else if (valueOpt("--max-restarts", &val)) {
-            job.maxRestarts = static_cast<uint32_t>(
-                std::strtoull(val.c_str(), nullptr, 0));
-            if (!job.maxRestarts)
-                usage();
-        }
-        else if (a == "--quiet") setLogLevel(LogLevel::Quiet);
-        else if (a == "--verbose") setLogLevel(LogLevel::Verbose);
-        else if (a == "--set") {
-            std::string kv = next("--set");
-            auto eq = kv.find('=');
+        else if (sc.is("--quiet")) setLogLevel(LogLevel::Quiet);
+        else if (sc.is("--verbose")) setLogLevel(LogLevel::Verbose);
+        else if (sc.value("--set", &val)) {
+            auto eq = val.find('=');
             if (eq == std::string::npos) {
                 std::fprintf(stderr,
                              "--set expects VAR=VALUE, got '%s'\n",
-                             kv.c_str());
+                             val.c_str());
                 return 2;
             }
-            job.sets.emplace_back(kv.substr(0, eq),
-                                  std::strtoull(kv.c_str() + eq + 1,
-                                                nullptr, 0));
-        } else if (a == "--help" || a == "-h") {
+            job.sets.emplace_back(
+                val.substr(0, eq),
+                std::strtoull(val.c_str() + eq + 1, nullptr, 0));
+        } else if (sc.is("--help") || sc.is("-h")) {
             usage();
-        } else if (!a.empty() && a[0] == '-') {
-            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+        } else if (!sc.arg().empty() && sc.arg()[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         sc.arg().c_str());
             usage();
         } else if (file.empty()) {
-            file = a;
+            file = sc.arg();
         } else {
             usage();
         }
@@ -745,24 +787,11 @@ main(int argc, char **argv)
     // Named-flag contradiction diagnostics, before any work -- even
     // --list (the same shape validate() uses for --no-compact
     // --compactor).
-    if (jit_contradiction) {
-        std::fprintf(stderr,
-                     "error: contradictory options: --jit and "
-                     "--no-jit were both named\n");
+    const std::string overr = po.validate();
+    if (!overr.empty()) {
+        std::fprintf(stderr, "error: %s\n", overr.c_str());
         return 2;
     }
-    if (jit_flag == 0 && jit_threshold) {
-        std::fprintf(stderr,
-                     "error: contradictory options: --no-jit "
-                     "disables the native tier but --jit-threshold "
-                     "%u was named\n",
-                     jit_threshold);
-        return 2;
-    }
-    if (jit_flag != -1)
-        job.options.jit = jit_flag == 1;
-    if (jit_threshold)
-        job.options.jitThreshold = jit_threshold;
 
     if (list)
         return listMode();
@@ -773,6 +802,13 @@ main(int argc, char **argv)
         if (!validate_jsonl.empty())
             return validateMode(validate_jsonl, true);
 
+        if (!connect_path.empty()) {
+            return clientMode(connect_path, tenant, batch_id,
+                              batch_manifest, report_path,
+                              batch_timings, batch_threads, po, so,
+                              svc_ping, svc_metrics, svc_shutdown);
+        }
+
         if (fuzz_mode) {
             fuzz_opts.threads = batch_threads;
             return fuzzMode(fuzz_opts, report_path, batch_timings,
@@ -781,9 +817,8 @@ main(int argc, char **argv)
 
         if (!batch_manifest.empty()) {
             return batchMode(batch_manifest, batch_threads,
-                             report_path, batch_timings, cli_pol,
-                             resume_path, jit_flag, jit_threshold,
-                             tel);
+                             report_path, batch_timings, so,
+                             resume_path, po, to);
         }
 
         if (job.lang.empty() || job.machine.empty() || file.empty())
@@ -791,12 +826,13 @@ main(int argc, char **argv)
         job.source = readFile(file);
         job.name = file;
 
-        // Reject contradictory/unknown option combinations before
-        // doing any work. (A named compactor that the default would
-        // shadow, e.g. --no-compact --compactor tokoro, is an error
-        // even though tokoro is the default name.)
-        if (!compactor_given)
-            job.options.compactor.clear();
+        // Overlay the named pipeline/supervision flags, then reject
+        // contradictory/unknown combinations before doing any work.
+        // (A named compactor that the default would shadow, e.g.
+        // --no-compact --compactor tokoro, is an error even though
+        // tokoro is the default name.)
+        po.apply(&job.options);
+        so.applyToJob(&job);
         const std::string verr = job.options.validate();
         if (!verr.empty()) {
             std::fprintf(stderr, "error: %s\n", verr.c_str());
@@ -808,13 +844,15 @@ main(int argc, char **argv)
         std::unique_ptr<TraceBuffer> trace;
         std::unique_ptr<CycleProfiler> prof;
         if (!trace_path.empty()) {
-            trace = std::make_unique<TraceBuffer>(trace_limit);
+            trace = std::make_unique<TraceBuffer>(
+                static_cast<size_t>(trace_limit));
             job.trace = trace.get();
         }
         if (profile) {
             prof = std::make_unique<CycleProfiler>();
             job.profiler = prof.get();
         }
+        const TelemetryOptions tel = to.cli;
         job.captureStats = !stats_json_path.empty() || profile;
         if (!tel.metricsOut.empty()) {
             job.captureMetrics = true;
@@ -859,7 +897,7 @@ main(int argc, char **argv)
         }
 
         SuperviseContext sctx;
-        sctx.policy = cli_pol;
+        sctx.policy = so.cli;
         sctx.postmortemDir = tel.postmortemDir;
         JobResult r = tc.run(job, sctx);
         if (!r.artefact) {
@@ -914,23 +952,23 @@ main(int argc, char **argv)
                 (unsigned long long)res.spuriousInterrupts,
                 (unsigned long long)res.jitterCycles);
         }
-        for (const auto &[n, v] : r.vars)
-            std::printf("%s = %llu\n", n.c_str(),
+        for (const auto &[n2, v] : r.vars)
+            std::printf("%s = %llu\n", n2.c_str(),
                         (unsigned long long)v);
 
         // Renderers over the control store's line table.
         auto describe = [&store](uint32_t addr) -> std::string {
-            const SourceNote *n = store.note(addr);
-            if (!n)
+            const SourceNote *note = store.note(addr);
+            if (!note)
                 return "";
-            if (n->line >= 0)
-                return strfmt("line %d: %s", n->line,
-                              n->what.c_str());
-            return n->what;
+            if (note->line >= 0)
+                return strfmt("line %d: %s", note->line,
+                              note->what.c_str());
+            return note->what;
         };
         auto lineOf = [&store](uint32_t addr) -> int32_t {
-            const SourceNote *n = store.note(addr);
-            return n ? n->line : -1;
+            const SourceNote *note = store.note(addr);
+            return note ? note->line : -1;
         };
 
         if (profile) {

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * uhlld: the multi-tenant compile-and-simulate daemon.
+ *
+ *   uhlld --socket /tmp/uhll.sock [-jN] [--journal-dir DIR]
+ *
+ * Serves the uhll::Toolchain over a local AF_UNIX socket: clients
+ * (`uhllc --connect`) submit the existing batch-manifest schema in
+ * uhll/v1 envelopes and get BatchReport/JobResult JSON back,
+ * byte-identical (without timings) to a local run. One daemon
+ * shares one artefact cache -- compiled microcode, pre-decoded
+ * stores and JIT regions -- across every tenant.
+ *
+ * Options:
+ *   --socket PATH       AF_UNIX listening path (required)
+ *   -jN | --jobs N      worker threads per batch (default: all hw)
+ *   --cache-cap-mb N    artefact cache budget (default 256)
+ *   --max-active N      concurrent running requests (default 4)
+ *   --queue N           admitted requests that may wait (default 16)
+ *   --tenant-quota N    running requests per tenant (default 2)
+ *   --journal-dir DIR   per-batch_id journals (enables resume)
+ *   --otrace FILE       write a merged span trace at shutdown
+ *   --deadline S / --retries N / --checkpoint-every N / --dmr /
+ *   --dmr-interval N / --dmr-seed-b N
+ *                       daemon-wide supervision base (manifests and
+ *                       client flags override, see driver/options)
+ *   --describe-options  print the shared pipeline-option table
+ *   --quiet / --verbose log level
+ *
+ * Lifecycle: runs until SIGINT/SIGTERM or a client `shutdown` op,
+ * then drains connections and prints the final stats registry to
+ * stderr. Exit 0 on a clean shutdown, 2 on a usage/configuration
+ * error, 4 when the socket cannot be served.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+
+#include "driver/options.hh"
+#include "obs/telemetry.hh"
+#include "service/server.hh"
+#include "support/logging.hh"
+
+using namespace uhll;
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void
+onSignal(int sig)
+{
+    g_signal = sig;
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: uhlld --socket PATH [-jN] [--cache-cap-mb N]\n"
+        "             [--max-active N] [--queue N]\n"
+        "             [--tenant-quota N] [--journal-dir DIR]\n"
+        "             [--otrace FILE]\n"
+        "             [--deadline S] [--retries N]\n"
+        "             [--checkpoint-every N] [--dmr]\n"
+        "             [--dmr-interval N] [--dmr-seed-b N]\n"
+        "             [--describe-options] [--quiet] [--verbose]\n");
+    std::exit(2);
+}
+
+int
+describeOptions()
+{
+    std::printf("pipeline options (CLI flag / manifest key):\n");
+    for (const OptionSpec &s : pipelineOptionSpecs()) {
+        std::printf("  %-16s %-14s %-4s %s\n",
+                    s.cliFlag[0] ? s.cliFlag : "-",
+                    s.manifestKey[0] ? s.manifestKey : "-", s.kind,
+                    s.help);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServiceConfig cfg;
+    SuperviseOverrides so;
+    std::string otrace;
+    bool describe = false;
+
+    ArgScanner sc(argc, argv);
+    while (sc.next()) {
+        std::string val;
+        uint64_t n = 0;
+        if (sc.value("--socket", &cfg.socketPath)) {}
+        else if (sc.value("--journal-dir", &cfg.journalDir)) {}
+        else if (sc.value("--otrace", &otrace)) {}
+        else if (sc.valueU64("--cache-cap-mb", &n)) {
+            cfg.cacheCapBytes = n << 20;
+        }
+        else if (sc.valueU64("--max-active", &n)) {
+            cfg.maxActive = static_cast<unsigned>(n);
+        }
+        else if (sc.valueU64("--queue", &n, /*nonzero=*/false)) {
+            cfg.maxQueue = static_cast<unsigned>(n);
+        }
+        else if (sc.valueU64("--tenant-quota", &n)) {
+            cfg.tenantQuota = static_cast<unsigned>(n);
+        }
+        else if (sc.valueU64("--jobs", &n)) {
+            cfg.workers = static_cast<unsigned>(n);
+        }
+        else if (sc.arg().rfind("-j", 0) == 0 &&
+                 sc.arg().size() > 2) {
+            cfg.workers = static_cast<unsigned>(
+                std::strtoul(sc.arg().c_str() + 2, nullptr, 0));
+            if (!cfg.workers)
+                usage();
+        }
+        else if (so.parse(sc)) {}
+        else if (sc.is("--describe-options")) describe = true;
+        else if (sc.is("--quiet")) setLogLevel(LogLevel::Quiet);
+        else if (sc.is("--verbose")) setLogLevel(LogLevel::Verbose);
+        else if (sc.is("--help") || sc.is("-h")) usage();
+        else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         sc.arg().c_str());
+            usage();
+        }
+    }
+    if (describe)
+        return describeOptions();
+    if (cfg.socketPath.empty()) {
+        std::fprintf(stderr, "uhlld: --socket is required\n");
+        usage();
+    }
+    cfg.policy = so.mergedWith(SupervisePolicy{});
+
+    if (!otrace.empty())
+        SpanTracer::instance().enable();
+    SpanTracer::instance().setLaneName("uhlld-main");
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    ServiceDaemon daemon(cfg);
+    std::string err;
+    if (!daemon.start(&err)) {
+        std::fprintf(stderr, "uhlld: %s\n", err.c_str());
+        return 4;
+    }
+    inform("uhlld: listening on %s (%u max active, quota %u/tenant, "
+           "cache cap %llu MiB%s)",
+           cfg.socketPath.c_str(), cfg.maxActive, cfg.tenantQuota,
+           (unsigned long long)(cfg.cacheCapBytes >> 20),
+           cfg.journalDir.empty() ? "" : ", journaled");
+
+    // wait() blocks on the daemon's own shutdown op; a signal can
+    // only set a flag, so poll it alongside.
+    while (!daemon.stopped() && !g_signal) {
+        struct timespec ts = {0, 100 * 1000 * 1000};
+        nanosleep(&ts, nullptr);
+    }
+    daemon.stop();
+
+    if (!otrace.empty()) {
+        std::ofstream f(otrace);
+        if (f)
+            f << SpanTracer::instance().chromeJson();
+        inform("uhlld: wrote span trace to %s", otrace.c_str());
+    }
+    std::fprintf(stderr, "%s", daemon.stats().dumpText().c_str());
+    return 0;
+}

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "driver/toolchain.hh"
 #include "machine/machines/machines.hh"
 #include "obs/json.hh"
@@ -277,6 +280,79 @@ TEST(WorkloadJobs, HandBaselineOnlyOnHorizontalMachines)
     EXPECT_EQ(hm.lang, "masm");
     EXPECT_EQ(hm.machine, "hm1");
     EXPECT_THROW(workloadJob(w, "vs3", true), FatalError);
+}
+
+// Distinct tiny programs: each compiles to its own cache entry.
+Job
+numberedJob(int i)
+{
+    Job job = addJob();
+    job.source = strfmt("reg a\nreg b\nproc main\n    put a, %d\n"
+                        "    add b, a, a\n    exit\n",
+                        i % 1000);
+    job.name = strfmt("cap-%d", i);
+    return job;
+}
+
+// Regression test for the unbounded-artefact-map bug: a byte-capped
+// cache must stay under its budget while distinct programs stream
+// through, count its evictions, and keep shared_ptr-held artefacts
+// usable after their map entry is gone.
+TEST(Toolchain, CappedCacheStaysUnderBudgetAndCountsEvictions)
+{
+    Toolchain tc;
+    std::shared_ptr<const Artefact> first = tc.compile(addJob());
+    const uint64_t one = tc.cacheStats().bytes;
+    ASSERT_GT(one, 0u);
+    const uint64_t cap = 3 * one;
+    tc.setCacheCapBytes(cap);
+
+    std::vector<std::shared_ptr<const Artefact>> held;
+    for (int i = 0; i < 24; ++i)
+        held.push_back(tc.compile(numberedJob(i)));
+
+    const Toolchain::CacheStats st = tc.cacheStats();
+    EXPECT_GT(st.evictions, 0u);
+    // The budget holds even though callers still pin every artefact
+    // (the cap bounds the *map*, not outstanding shared_ptrs).
+    EXPECT_LE(st.bytes, cap);
+    EXPECT_LT(st.entries, 24u);
+    for (const auto &a : held)
+        EXPECT_GT(a->store().size(), 0u);
+    // The evicted first entry recompiles as a miss, not a crash.
+    EXPECT_GT(tc.compile(addJob())->store().size(), 0u);
+    EXPECT_GT(first->store().size(), 0u);
+}
+
+// Concurrent sims keep their (evicted) artefacts alive while other
+// threads churn the capped cache.
+TEST(Toolchain, ConcurrentSimsSurviveCacheChurn)
+{
+    Toolchain tc;
+    std::shared_ptr<const Artefact> pinned = tc.compile(addJob());
+    const uint64_t cap = tc.cacheStats().bytes;  // ~one entry
+    tc.setCacheCapBytes(cap);
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&tc, &failures, t] {
+            for (int i = 0; i < 8; ++i) {
+                JobResult r = tc.run(numberedJob(t * 100 + i));
+                if (!r.ok || !r.sim.halted)
+                    ++failures;
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+    EXPECT_EQ(failures.load(), 0);
+    const Toolchain::CacheStats st = tc.cacheStats();
+    EXPECT_GT(st.evictions, 0u);
+    // The newest entry is never evicted, so allow one entry of
+    // slack over the (one-entry-sized) cap.
+    EXPECT_LE(st.bytes, 2 * cap);
+    EXPECT_GT(pinned->store().size(), 0u);
 }
 
 TEST(WorkloadJobs, MatrixCoversSuiteTimesMachinesPlusHand)

@@ -1,0 +1,473 @@
+/**
+ * @file
+ * Service layer tests: wire framing, envelope validation, admission
+ * control, byte-identical reports through the daemon, and
+ * crash-robustness -- a malformed, oversized or vanishing client
+ * must never take uhlld down. These run under the ASan and TSan
+ * ctest legs too (the 'Service' group in scripts/verify.sh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "driver/batch.hh"
+#include "obs/json.hh"
+#include "obs/schema.hh"
+#include "service/client.hh"
+#include "service/protocol.hh"
+#include "service/server.hh"
+#include "support/logging.hh"
+
+using namespace uhll;
+
+namespace {
+
+/** Unique per-process path (ctest runs each TEST in its own
+ *  process, so getpid() disambiguates parallel shards). */
+std::string
+tmpPath(const char *tag)
+{
+    return strfmt("/tmp/uhll-svc-%d-%s", int(getpid()), tag);
+}
+
+const char *kManifest =
+    "{\"jobs\": [{\"name\": \"add\", \"lang\": \"yalll\", "
+    "\"machine\": \"hm1\", \"sets\": {\"b\": 0}, \"source\": "
+    "\"reg a\\nreg b\\nproc main\\n    put a, 21\\n"
+    "    add b, a, a\\n    exit\\n\"}]}";
+
+/** A started daemon + the cleanup every test needs. */
+struct TestDaemon {
+    explicit TestDaemon(ServiceConfig cfg) : daemon(std::move(cfg))
+    {
+        std::string err;
+        ok = daemon.start(&err);
+        EXPECT_TRUE(ok) << err;
+    }
+    ~TestDaemon()
+    {
+        daemon.stop();
+        ::unlink(daemon.config().socketPath.c_str());
+    }
+    ServiceDaemon daemon;
+    bool ok = false;
+};
+
+ServiceConfig
+baseConfig(const char *tag)
+{
+    ServiceConfig cfg;
+    cfg.socketPath = tmpPath(tag) + ".sock";
+    cfg.workers = 2;
+    return cfg;
+}
+
+/** Batch request body wrapping kManifest (no timings). */
+std::string
+batchBody(const std::string &batch_id = "")
+{
+    JsonWriter w(false);
+    w.beginObject();
+    w.raw("manifest", kManifest);
+    w.value("timings", false);
+    if (!batch_id.empty())
+        w.value("batch_id", batch_id);
+    w.endObject();
+    return w.str();
+}
+
+/** Raw connected AF_UNIX fd for malformed-bytes tests. */
+int
+rawConnect(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    EXPECT_LT(path.size(), sizeof addr.sun_path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof addr),
+              0);
+    return fd;
+}
+
+// ----------------------------------------------------------------
+// Framing
+// ----------------------------------------------------------------
+
+TEST(ServiceProtocol, FrameRoundtrip)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    std::string err;
+    const std::string payload = "{\"x\": 1}";
+    EXPECT_TRUE(writeFrame(sv[0], payload, &err)) << err;
+    std::string got;
+    EXPECT_EQ(readFrame(sv[1], &got, &err), FrameRead::Ok) << err;
+    EXPECT_EQ(got, payload);
+    // An empty payload frames too.
+    EXPECT_TRUE(writeFrame(sv[0], "", &err));
+    EXPECT_EQ(readFrame(sv[1], &got, &err), FrameRead::Ok);
+    EXPECT_EQ(got, "");
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+TEST(ServiceProtocol, CleanEofIsEof)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    ::close(sv[0]);
+    std::string got, err;
+    EXPECT_EQ(readFrame(sv[1], &got, &err), FrameRead::Eof);
+    ::close(sv[1]);
+}
+
+TEST(ServiceProtocol, TruncatedPayloadIsTruncated)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    const std::string partial = "uhll-frame/1 100\nonly this";
+    ASSERT_EQ(::send(sv[0], partial.data(), partial.size(), 0),
+              ssize_t(partial.size()));
+    ::close(sv[0]);
+    std::string got, err;
+    EXPECT_EQ(readFrame(sv[1], &got, &err), FrameRead::Truncated);
+    EXPECT_NE(err.find("100-byte payload"), std::string::npos)
+        << err;
+    ::close(sv[1]);
+}
+
+TEST(ServiceProtocol, OversizedLengthRejectedWithoutAllocating)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    const std::string hdr = "uhll-frame/1 99999999999999\n";
+    ASSERT_EQ(::send(sv[0], hdr.data(), hdr.size(), 0),
+              ssize_t(hdr.size()));
+    std::string got, err;
+    EXPECT_EQ(readFrame(sv[1], &got, &err), FrameRead::TooBig);
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+TEST(ServiceProtocol, BadMagicIsMalformed)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    const std::string hdr = "GET / HTTP/1.1\r\n";
+    ASSERT_EQ(::send(sv[0], hdr.data(), hdr.size(), 0),
+              ssize_t(hdr.size()));
+    std::string got, err;
+    EXPECT_EQ(readFrame(sv[1], &got, &err), FrameRead::Malformed);
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+TEST(ServiceProtocol, SanitizeBatchId)
+{
+    EXPECT_EQ(sanitizeBatchId("run-1.2_b"), "run-1.2_b");
+    EXPECT_EQ(sanitizeBatchId("../etc/passwd"), ".._etc_passwd");
+    EXPECT_EQ(sanitizeBatchId("a b/c"), "a_b_c");
+    EXPECT_EQ(sanitizeBatchId(".."), "");
+    EXPECT_EQ(sanitizeBatchId(""), "");
+}
+
+// ----------------------------------------------------------------
+// Envelope validation
+// ----------------------------------------------------------------
+
+TEST(ServiceDaemonTest, PingAndUnknownOp)
+{
+    TestDaemon td(baseConfig("ping"));
+    ServiceClient cl;
+    std::string err;
+    ASSERT_TRUE(cl.connectTo(td.daemon.config().socketPath, &err))
+        << err;
+    ServiceResponse resp;
+    ASSERT_TRUE(cl.request("ping", "t0", "1", "", &resp, &err))
+        << err;
+    EXPECT_TRUE(resp.ok);
+    ASSERT_TRUE(cl.request("frobnicate", "t0", "2", "", &resp,
+                           &err));
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.code, "bad-request");
+}
+
+TEST(ServiceDaemonTest, RejectsUnknownSchemaMajor)
+{
+    TestDaemon td(baseConfig("schema"));
+    ServiceClient cl;
+    std::string err;
+    ASSERT_TRUE(cl.connectTo(td.daemon.config().socketPath, &err));
+    ServiceResponse resp;
+    ASSERT_TRUE(cl.roundtrip(
+        "{\"schema\": \"uhll/v99\", \"op\": \"ping\"}", &resp,
+        &err));
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.code, "unsupported-schema");
+    // A missing schema field is just as dead.
+    ASSERT_TRUE(cl.roundtrip("{\"op\": \"ping\"}", &resp, &err));
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.code, "bad-request");
+    // And the daemon is still alive afterwards.
+    ASSERT_TRUE(cl.request("ping", "t0", "3", "", &resp, &err));
+    EXPECT_TRUE(resp.ok);
+}
+
+TEST(ServiceDaemonTest, BadJsonAndBadFramesSurvive)
+{
+    TestDaemon td(baseConfig("robust"));
+    const std::string sock = td.daemon.config().socketPath;
+    ServiceClient cl;
+    std::string err;
+
+    // Valid frame, garbage JSON: structured error, connection keeps
+    // working.
+    ASSERT_TRUE(cl.connectTo(sock, &err));
+    ServiceResponse resp;
+    ASSERT_TRUE(cl.roundtrip("this is not json {", &resp, &err));
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.code, "bad-request");
+    ASSERT_TRUE(cl.roundtrip("[1, 2, 3]", &resp, &err));
+    EXPECT_FALSE(resp.ok);
+
+    // Garbage framing: one best-effort error, then the daemon drops
+    // the connection (no resync possible) -- and stays up.
+    int fd = rawConnect(sock);
+    const char *junk = "not a frame at all\n";
+    ASSERT_EQ(::send(fd, junk, std::strlen(junk), 0),
+              ssize_t(std::strlen(junk)));
+    std::string payload;
+    (void)readFrame(fd, &payload, &err);  // error envelope or EOF
+    ::close(fd);
+
+    // Oversized announced length: "too-big", then drop.
+    fd = rawConnect(sock);
+    const char *big = "uhll-frame/1 99999999999\n";
+    ASSERT_EQ(::send(fd, big, std::strlen(big), 0),
+              ssize_t(std::strlen(big)));
+    payload.clear();
+    if (readFrame(fd, &payload, &err) == FrameRead::Ok)
+        EXPECT_NE(payload.find("too-big"), std::string::npos);
+    ::close(fd);
+
+    // Truncated frame (header promises more than is sent): daemon
+    // notices the EOF and moves on.
+    fd = rawConnect(sock);
+    const char *trunc = "uhll-frame/1 50\nshort";
+    ASSERT_EQ(::send(fd, trunc, std::strlen(trunc), 0),
+              ssize_t(std::strlen(trunc)));
+    ::close(fd);
+
+    // After all of that, a fresh client still gets served.
+    ServiceClient cl2;
+    ASSERT_TRUE(cl2.connectTo(sock, &err)) << err;
+    ASSERT_TRUE(cl2.request("ping", "t0", "9", "", &resp, &err))
+        << err;
+    EXPECT_TRUE(resp.ok);
+}
+
+// ----------------------------------------------------------------
+// Batch semantics
+// ----------------------------------------------------------------
+
+TEST(ServiceDaemonTest, BatchReportIsByteIdenticalToLocalRun)
+{
+    // Local reference: the same manifest through BatchRunner.
+    std::vector<Job> jobs =
+        parseManifest(JsonValue::parse(kManifest), "");
+    Toolchain tc;
+    const std::string local =
+        BatchRunner(tc, 2).run(jobs).toJson(true, false) + "\n";
+
+    TestDaemon td(baseConfig("batch"));
+    ServiceClient cl;
+    std::string err;
+    ASSERT_TRUE(cl.connectTo(td.daemon.config().socketPath, &err));
+    ServiceResponse resp;
+    ASSERT_TRUE(
+        cl.request("batch", "t0", "1", batchBody(), &resp, &err))
+        << err;
+    ASSERT_TRUE(resp.ok) << resp.error;
+    EXPECT_EQ(resp.follow, local);
+    const JsonValue *body = resp.body();
+    ASSERT_NE(body, nullptr);
+    EXPECT_EQ(body->require("exit").asU64(), 0u);
+    EXPECT_EQ(body->require("ok").asU64(), 1u);
+}
+
+TEST(ServiceDaemonTest, JobOpReturnsSingleJobResult)
+{
+    TestDaemon td(baseConfig("job"));
+    ServiceClient cl;
+    std::string err;
+    ASSERT_TRUE(cl.connectTo(td.daemon.config().socketPath, &err));
+    ServiceResponse resp;
+    ASSERT_TRUE(
+        cl.request("job", "t0", "1", batchBody(), &resp, &err));
+    ASSERT_TRUE(resp.ok) << resp.error;
+    const JsonValue r = JsonValue::parse(resp.follow);
+    EXPECT_EQ(r.require("schema").asString(), kSchemaTag);
+    EXPECT_EQ(r.require("name").asString(), "add");
+    EXPECT_TRUE(r.require("ok").asBool());
+}
+
+TEST(ServiceDaemonTest, TenantQuotaZeroRejectsDeterministically)
+{
+    ServiceConfig cfg = baseConfig("quota");
+    cfg.tenantQuota = 0;
+    TestDaemon td(cfg);
+    ServiceClient cl;
+    std::string err;
+    ASSERT_TRUE(cl.connectTo(td.daemon.config().socketPath, &err));
+    ServiceResponse resp;
+    ASSERT_TRUE(
+        cl.request("batch", "greedy", "1", batchBody(), &resp,
+                   &err));
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.code, "quota");
+    // Admission happens after parsing: a ping still works.
+    ASSERT_TRUE(cl.request("ping", "greedy", "2", "", &resp, &err));
+    EXPECT_TRUE(resp.ok);
+}
+
+TEST(ServiceDaemonTest, ClientDisconnectMidBatchDoesNotCrash)
+{
+    TestDaemon td(baseConfig("vanish"));
+    const std::string sock = td.daemon.config().socketPath;
+    {
+        // Send a full batch request, then hang up without reading
+        // the response.
+        int fd = rawConnect(sock);
+        std::string err;
+        ASSERT_TRUE(writeFrame(
+            fd, requestEnvelope("batch", "ghost", "1", batchBody()),
+            &err));
+        ::close(fd);
+    }
+    // The daemon finishes (or abandons) the work and keeps serving.
+    ServiceClient cl;
+    std::string err;
+    ServiceResponse resp;
+    ASSERT_TRUE(cl.connectTo(sock, &err));
+    for (int i = 0; i < 50; ++i) {
+        ASSERT_TRUE(cl.request("ping", "t0", "p", "", &resp, &err))
+            << err;
+        ASSERT_TRUE(resp.ok);
+    }
+}
+
+TEST(ServiceDaemonTest, ConcurrentClientsAllGetIdenticalReports)
+{
+    TestDaemon td(baseConfig("conc"));
+    const std::string sock = td.daemon.config().socketPath;
+
+    std::vector<std::string> reports(8);
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (size_t i = 0; i < reports.size(); ++i) {
+        threads.emplace_back([&, i] {
+            ServiceClient cl;
+            std::string err;
+            ServiceResponse resp;
+            if (!cl.connectTo(sock, &err) ||
+                !cl.request("batch", strfmt("tenant%zu", i % 3),
+                            "1", batchBody(), &resp, &err) ||
+                !resp.ok) {
+                ++failures;
+                return;
+            }
+            reports[i] = resp.follow;
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+    for (const std::string &r : reports)
+        EXPECT_EQ(r, reports[0]);
+}
+
+TEST(ServiceDaemonTest, MetricsExportAndShutdownOp)
+{
+    ServiceConfig cfg = baseConfig("metrics");
+    TestDaemon td(cfg);
+    ServiceClient cl;
+    std::string err;
+    ASSERT_TRUE(cl.connectTo(cfg.socketPath, &err));
+    ServiceResponse resp;
+    ASSERT_TRUE(
+        cl.request("batch", "t0", "1", batchBody(), &resp, &err));
+    ASSERT_TRUE(resp.ok);
+
+    ASSERT_TRUE(cl.request("metrics", "t0", "2", "", &resp, &err));
+    ASSERT_TRUE(resp.ok);
+    EXPECT_NE(resp.follow.find("uhll_service_requests"),
+              std::string::npos);
+    EXPECT_NE(resp.follow.find("uhll_service_jobs"),
+              std::string::npos);
+    EXPECT_NE(resp.follow.find("uhll_toolchain_cacheBytes"),
+              std::string::npos);
+    EXPECT_NE(resp.follow.find("uhll_service_tenant_t0_requests"),
+              std::string::npos);
+
+    ASSERT_TRUE(cl.request("stats", "t0", "3", "", &resp, &err));
+    ASSERT_TRUE(resp.ok);
+    std::string jerr;
+    EXPECT_TRUE(jsonValid(resp.follow, &jerr)) << jerr;
+
+    ASSERT_TRUE(cl.request("shutdown", "t0", "4", "", &resp, &err));
+    EXPECT_TRUE(resp.ok);
+    EXPECT_TRUE(td.daemon.stopped());
+    td.daemon.stop();  // joins cleanly after a shutdown op
+}
+
+TEST(ServiceDaemonTest, JournaledBatchResumesAcrossDaemons)
+{
+    ServiceConfig cfg = baseConfig("resume");
+    cfg.journalDir = tmpPath("resume-journals");
+    std::string first, second;
+    {
+        TestDaemon td(cfg);
+        ServiceClient cl;
+        std::string err;
+        ASSERT_TRUE(cl.connectTo(cfg.socketPath, &err));
+        ServiceResponse resp;
+        ASSERT_TRUE(cl.request("batch", "t0", "1",
+                               batchBody("case-7"), &resp, &err));
+        ASSERT_TRUE(resp.ok) << resp.error;
+        first = resp.follow;
+        // The journal exists and records the finished job.
+        std::ifstream j(cfg.journalDir + "/case-7.journal");
+        ASSERT_TRUE(j.good());
+    }
+    {
+        // A new daemon (think: restarted after a crash) serving the
+        // same journal dir resumes the batch_id and returns the
+        // byte-identical report without re-running.
+        TestDaemon td(cfg);
+        ServiceClient cl;
+        std::string err;
+        ASSERT_TRUE(cl.connectTo(cfg.socketPath, &err));
+        ServiceResponse resp;
+        ASSERT_TRUE(cl.request("batch", "t0", "2",
+                               batchBody("case-7"), &resp, &err));
+        ASSERT_TRUE(resp.ok) << resp.error;
+        second = resp.follow;
+    }
+    EXPECT_EQ(first, second);
+}
+
+} // namespace
