@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Worker-pool overhead benchmark: the same repeated workload matrix
+ * through the in-thread BatchRunner and through the process-isolated
+ * WorkerPool (fork/exec'd uhllc --worker children, one frame
+ * roundtrip per job).
+ *
+ * Isolation is not free -- every job pays a request/response frame,
+ * a JSON render on the worker and a parse on the parent -- but it
+ * must stay in the same league or nobody will turn it on. The
+ * acceptance gate: process-mode jobs/sec within 2x of thread mode
+ * on a cache-warm mix of the suite matrix (sub-millisecond jobs,
+ * dominated by the dispatch frame) and sustained-simulation jobs
+ * (the milliseconds-per-job regime real campaigns run in).
+ *
+ * Output: a table on stdout plus BENCH_pool.json (path overridable
+ * via UHLL_BENCH_JSON), then the registered google-benchmark timers.
+ * Exits non-zero when the gate fails (the smoke CTest catches it).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "driver/batch.hh"
+#include "driver/toolchain.hh"
+#include "obs/json.hh"
+#include "proc/pool.hh"
+#include "support/logging.hh"
+#include "workloads/workloads.hh"
+
+using namespace uhll;
+
+namespace {
+
+constexpr unsigned kRepeats = 10;  //!< matrix repetitions per run
+
+/** A sustained-simulation job: a counted accumulate loop on the
+ *  interpreter path (force_slow, the same knob fault campaigns and
+ *  trace runs use -- the JIT would otherwise collapse the loop to
+ *  native speed), sized to tens of thousands of microcycles, i.e.
+ *  milliseconds of simulated work. The suite kernels finish in
+ *  ~0.1 ms, which on a small host measures nothing but the per-job
+ *  dispatch frame; real batches (fault campaigns, DMR, fuzz repros)
+ *  run for milliseconds per job, and that is the regime the
+ *  isolation budget is for. */
+Job
+sustainedJob(const std::string &machine)
+{
+    Job j;
+    j.name = "sustained-" + machine;
+    j.lang = "yalll";
+    j.machine = machine;
+    j.maxCycles = 100000000;
+    j.forceSlowPath = true;
+    j.source = "reg a\n"
+               "reg s\n"
+               "proc main\n"
+               "    put a, 25000\n"
+               "    put s, 0\n"
+               "loop:\n"
+               "    add s, s, a\n"
+               "    sub a, a, 1\n"
+               "    jump loop if a != 0\n"
+               "    exit\n";
+    return j;
+}
+
+/** The repeated job list: the small cross-machine workload matrix
+ *  (per-job dispatch overhead) blended with sustained-simulation
+ *  jobs (the steady-state regime), duplicated so both modes measure
+ *  cache-warm throughput. */
+std::vector<Job>
+jobList()
+{
+    const std::vector<Workload> &suite = workloadSuite();
+    std::vector<Job> jobs;
+    for (unsigned r = 0; r < kRepeats; ++r) {
+        jobs.push_back(workloadJob(suite[0], "hm1", false));
+        jobs.push_back(workloadJob(suite[1], "vm2", false));
+        jobs.push_back(workloadJob(suite[2], "vs3", false));
+        jobs.push_back(workloadJob(suite[0], "hm1", true));
+        jobs.push_back(sustainedJob("hm1"));
+        jobs.push_back(sustainedJob("vm2"));
+    }
+    return jobs;
+}
+
+struct PoolRun {
+    double threadJobsPerSec = 0;
+    double processJobsPerSec = 0;
+    double slowdown = 0;       //!< thread rate / process rate
+    uint64_t jobs = 0;
+    uint64_t failures = 0;
+    bool identical = false;    //!< process report == thread report
+};
+
+PoolRun
+runComparison()
+{
+    PoolRun out;
+    const std::vector<Job> jobs = jobList();
+    out.jobs = jobs.size();
+
+    Toolchain tc;
+    BatchRunner runner(tc, 2);
+
+    // Warm the in-process artefact cache so both modes measure
+    // steady state, not first-compile cost.
+    runner.run(jobs);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const BatchReport threadReport = runner.run(jobs);
+    const double threadSec = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() -
+                                 t0)
+                                 .count();
+
+    WorkerPoolConfig cfg;
+    cfg.workers = 2;
+    cfg.exePath = UHLL_WORKER_EXE;
+    WorkerPool pool(cfg);
+    BatchRunner procRunner(tc, 2);
+    procRunner.setWorkerPool(&pool);
+
+    // Same warm-up courtesy for the workers' own caches.
+    procRunner.run(jobs);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    const BatchReport procReport = procRunner.run(jobs);
+    const double procSec = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() -
+                               t1)
+                               .count();
+    pool.shutdown();
+
+    out.failures = (jobs.size() - threadReport.okCount()) +
+                   (jobs.size() - procReport.okCount());
+    out.identical = threadReport.toJson(true, false) ==
+                    procReport.toJson(true, false);
+    out.threadJobsPerSec =
+        threadSec > 0 ? double(jobs.size()) / threadSec : 0;
+    out.processJobsPerSec =
+        procSec > 0 ? double(jobs.size()) / procSec : 0;
+    out.slowdown = out.processJobsPerSec > 0
+                       ? out.threadJobsPerSec / out.processJobsPerSec
+                       : 1e9;
+    return out;
+}
+
+bool
+printTableAndJson()
+{
+    const char *json_path = std::getenv("UHLL_BENCH_JSON");
+    if (!json_path)
+        json_path = "BENCH_pool.json";
+
+    const PoolRun run = runComparison();
+
+    std::printf("Worker pool: %llu jobs, 2 threads vs 2 worker "
+                "processes (cache-warm)\n",
+                (unsigned long long)run.jobs);
+    std::printf("%16s %16s %10s %10s\n", "thread jobs/s",
+                "process jobs/s", "slowdown", "identical");
+    std::printf("%16.1f %16.1f %9.2fx %10s\n", run.threadJobsPerSec,
+                run.processJobsPerSec, run.slowdown,
+                run.identical ? "yes" : "NO");
+
+    const bool clean =
+        run.failures == 0 && run.identical && run.slowdown < 2.0;
+    JsonWriter w;
+    w.beginObject();
+    w.value("bench", "pool");
+    w.value("jobs", run.jobs);
+    w.value("failures", run.failures);
+    w.value("thread_jobs_per_sec", run.threadJobsPerSec);
+    w.value("process_jobs_per_sec", run.processJobsPerSec);
+    w.value("slowdown", run.slowdown);
+    w.value("byte_identical", run.identical);
+    w.value("clean", clean);
+    w.endObject();
+    const std::string json = w.str() + "\n";
+    if (FILE *f = std::fopen(json_path, "w")) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        std::printf("\nwrote %s\n\n", json_path);
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", json_path);
+    }
+    if (!clean)
+        std::fprintf(stderr,
+                     "pool bench: NOT clean -- %llu failure(s), "
+                     "identical=%d, slowdown %.2fx (gate: < 2x)\n",
+                     (unsigned long long)run.failures,
+                     int(run.identical), run.slowdown);
+    return clean;
+}
+
+void
+BM_PoolJobRoundtrip(benchmark::State &state)
+{
+    WorkerPoolConfig cfg;
+    cfg.workers = 1;
+    cfg.exePath = UHLL_WORKER_EXE;
+    WorkerPool pool(cfg);
+    const Job job = workloadJob(workloadSuite()[0], "hm1", false);
+    uint64_t n = 0;
+    for (auto _ : state) {
+        const JobResult r = pool.runJob(job, SuperviseContext{});
+        if (!r.ok) {
+            state.SkipWithError("pool job failed");
+            break;
+        }
+        ++n;
+    }
+    pool.shutdown();
+    state.counters["jobs/s"] = benchmark::Counter(
+        double(n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PoolJobRoundtrip)->Unit(benchmark::kMillisecond);
+
+void
+BM_InThreadJobBaseline(benchmark::State &state)
+{
+    Toolchain tc;
+    const Job job = workloadJob(workloadSuite()[0], "hm1", false);
+    uint64_t n = 0;
+    for (auto _ : state) {
+        const JobResult r = tc.run(job);
+        if (!r.ok) {
+            state.SkipWithError("job failed");
+            break;
+        }
+        ++n;
+    }
+    state.counters["jobs/s"] = benchmark::Counter(
+        double(n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InThreadJobBaseline)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool clean = printTableAndJson();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return clean ? 0 : 1;
+}

@@ -247,6 +247,46 @@ EOF
     echo "service smoke: OK"
 )
 
+# Crash-isolation smoke: the same batch through in-thread and
+# process-isolated execution must be byte-identical; then chaos mode
+# SIGKILLs a sandboxed worker mid-batch (kill-once, marker file keeps
+# it to one death) and the batch must STILL complete byte-identically
+# -- the daemon respawns the worker, retries the job, and keeps
+# serving. The daemon itself must never die.
+(
+    cd build
+    sock=uhlld_chaos.sock
+    rm -rf chaos_markers "$sock" pool_thread.json pool_proc.json \
+        pool_chaos.json
+    mkdir chaos_markers
+    ./src/uhllc --batch ../tests/data/batch_matrix.json -j4 \
+        --no-timings --report pool_thread.json >/dev/null
+    ./src/uhllc --batch ../tests/data/batch_matrix.json -j4 \
+        --isolation process \
+        --no-timings --report pool_proc.json >/dev/null
+    cmp pool_thread.json pool_proc.json
+
+    UHLL_WORKER_CHAOS=kill-once UHLL_WORKER_CHAOS_DIR=chaos_markers \
+        ./src/uhlld --socket "$sock" --workers 2 -j4 \
+        --quiet 2>/dev/null & dpid=$!
+    for _ in $(seq 1 50); do
+        ./src/uhllc --connect "$sock" --ping >/dev/null 2>&1 && break
+        sleep 0.1
+    done
+    ./src/uhllc --connect "$sock" \
+        --batch ../tests/data/batch_matrix.json \
+        --no-timings --report pool_chaos.json >/dev/null
+    cmp pool_thread.json pool_chaos.json
+    [[ -e chaos_markers/chaos.kill.fired ]] ||
+        echo "warning: chaos worker was never killed"
+    kill -0 "$dpid" 2>/dev/null ||
+        { echo "daemon died under worker chaos"; exit 1; }
+    ./src/uhllc --connect "$sock" --ping >/dev/null
+    ./src/uhllc --connect "$sock" --shutdown >/dev/null
+    wait "$dpid" 2>/dev/null || true
+    echo "crash isolation smoke: OK"
+)
+
 if [[ "$run_bench" == 1 ]]; then
     (cd build && UHLL_BENCH_JSON=BENCH_sim.json \
         ./bench/bench_sim_throughput --benchmark_min_time=0.1)
@@ -259,6 +299,12 @@ if [[ "$run_bench" == 1 ]]; then
     # > 0.9. Refreshes build/BENCH_service.json.
     (cd build && UHLL_BENCH_JSON=BENCH_service.json \
         ./bench/bench_service --benchmark_min_time=0.1)
+    # Pool gate: in-thread vs process-isolated execution of the same
+    # warm job mix; fails if the reports diverge or process mode
+    # falls below half the thread-mode jobs/sec. Refreshes
+    # build/BENCH_pool.json.
+    (cd build && UHLL_BENCH_JSON=BENCH_pool.json \
+        ./bench/bench_pool --benchmark_min_time=0.1)
 fi
 
 # Sanitizer leg: the whole test suite again under ASan+UBSan (the
@@ -278,13 +324,14 @@ if [[ "${UHLL_NO_SANITIZE:-0}" != 1 ]]; then
     # construction), the JIT differential suite, the span tracer's
     # multi-lane recording, the fuzz campaign's parallel waves and
     # corpus replay, the service daemon's admission control and
-    # per-connection threads (the Service tests), and the CLI
-    # smokes for data races.
+    # per-connection threads (the Service tests), the worker pool's
+    # dispatch threads, reaper and heartbeat monitor (the Proc and
+    # WorkerPool tests), and the CLI smokes for data races.
     cmake -B build-tsan -S . -DUHLL_SANITIZE=thread
     cmake --build build-tsan -j"$(nproc)"
     (cd build-tsan &&
         ctest --output-on-failure \
-            -R 'Batch|Toolchain|Supervisor|Checkpoint|JitDiff|SpanTracer|Metrics|FlightRecorder|Fuzz|Corpus|Service|uhllc_batch|uhllc_supervised')
+            -R 'Batch|Toolchain|Supervisor|Checkpoint|JitDiff|SpanTracer|Metrics|FlightRecorder|Fuzz|Corpus|Service|Proc|WorkerPool|uhllc_batch|uhllc_supervised')
 fi
 
 echo "verify: OK"

@@ -9,11 +9,16 @@
 #include <sstream>
 #include <thread>
 
+#include <unistd.h>
+
 #include "driver/options.hh"
 #include "machine/checkpoint.hh"
 #include "obs/json.hh"
 #include "obs/schema.hh"
 #include "obs/telemetry.hh"
+#include "proc/pool.hh"
+#include "proc/wire.hh"
+#include "support/fsio.hh"
 #include "support/logging.hh"
 
 namespace uhll {
@@ -171,16 +176,20 @@ BatchRunner::run(const std::vector<Job> &jobs) const
         --to_run;
     }
 
-    std::ofstream jf;
+    // The journal is the crash-recovery record: every line is
+    // fsync()ed (DurableAppender), so a host power-cut -- not just
+    // a killed process -- loses at most the in-flight job.
+    DurableAppender jf;
     std::mutex jmu;
     if (!journal_.empty()) {
-        jf.open(journal_, resume_ ? std::ios::app : std::ios::trunc);
-        if (!jf)
-            fatal("cannot write journal '%s'", journal_.c_str());
+        std::string jerr;
+        if (!jf.open(journal_, resume_, &jerr))
+            fatal("cannot write journal '%s': %s", journal_.c_str(),
+                  jerr.c_str());
         // A killed writer may have left a torn, unterminated final
         // line; a fresh newline fences our appends off from it.
         if (resume_)
-            jf << "\n";
+            jf.append("\n");
     }
 
     auto runOne = [&](size_t i) {
@@ -188,19 +197,34 @@ BatchRunner::run(const std::vector<Job> &jobs) const
         ctx.policy = policy_;
         ctx.postmortemDir = postmortemDir_;
         std::optional<Checkpoint> ck;
+        std::string ckpath;
         if (!journal_.empty()) {
-            const std::string ckpath =
-                journal_ + ".ckpt." + std::to_string(i);
+            ckpath = journal_ + ".ckpt." + std::to_string(i);
             if (policy_.checkpointEveryCycles)
                 ctx.checkpointFile = ckpath;
-            if (resume_) {
+        }
+
+        std::string why;
+        if (pool_ && jobWireSerializable(jobs[i], &why)) {
+            // process isolation: the worker reads the checkpoint
+            // file itself (both for --resume and for its own crash
+            // retries), so ctx.resumeFrom stays null here
+            report.results[i] =
+                pool_->runJob(jobs[i], ctx, resume_);
+        } else {
+            if (pool_) {
+                warn("batch: job '%s' cannot run out-of-process "
+                     "(%s); running in-thread",
+                     jobs[i].name.c_str(), why.c_str());
+            }
+            if (resume_ && !ckpath.empty()) {
                 ck = Checkpoint::readFile(ckpath);
                 if (ck)
                     ctx.resumeFrom = &*ck;
             }
+            report.results[i] = tc_->run(jobs[i], ctx);
         }
-        report.results[i] = tc_->run(jobs[i], ctx);
-        if (jf.is_open()) {
+        if (jf.isOpen()) {
             const JobResult &r = report.results[i];
             JsonWriter w(false);
             w.beginObject();
@@ -211,8 +235,7 @@ BatchRunner::run(const std::vector<Job> &jobs) const
             w.value("json", r.toJson(true, false));
             w.endObject();
             std::lock_guard<std::mutex> lock(jmu);
-            jf << w.str() << "\n";
-            jf.flush();
+            jf.appendLine(w.str());
         }
     };
 

@@ -98,6 +98,7 @@
 namespace uhll {
 
 struct JsonValue;
+class WorkerPool;
 
 /** The aggregate outcome of one batch. */
 struct BatchReport {
@@ -153,6 +154,17 @@ class BatchRunner
     {
         postmortemDir_ = dir;
     }
+    /**
+     * Execute jobs on @p pool's worker *processes* instead of
+     * in-thread (see proc/pool.hh): the batch's worker threads
+     * become dispatchers, so a crashing or runaway job takes down
+     * a disposable child, not this process. Jobs that cannot cross
+     * the process boundary (jobWireSerializable) degrade to the
+     * in-thread path with a warning. The pool is caller-owned and
+     * must outlive run(). nullptr restores in-thread execution.
+     * Journaling, resume and report bytes are identical either way.
+     */
+    void setWorkerPool(WorkerPool *pool) { pool_ = pool; }
 
     BatchReport run(const std::vector<Job> &jobs) const;
 
@@ -163,6 +175,7 @@ class BatchRunner
     std::string journal_;
     bool resume_ = false;
     std::string postmortemDir_;
+    WorkerPool *pool_ = nullptr;
 };
 
 /** @name Manifest loading */

@@ -211,6 +211,8 @@ Artefact::readVariable(const MicroSimulator &sim,
 std::string
 JobResult::toJson(bool pretty, bool timings) const
 {
+    if (timings && !prerenderedTimed.empty())
+        return prerenderedTimed;
     if (!prerendered.empty())
         return prerendered;
     JsonWriter w(pretty);
@@ -732,6 +734,8 @@ workloadJob(const Workload &w, const std::string &machine_name,
     job.sets = w.inputs;
     job.setupMemory = w.setup;
     job.checkMemory = w.check;
+    job.workload = w.name;
+    job.hand = hand;
     if (hand) {
         if (c == "hm1")
             job.source = w.masmHm1;

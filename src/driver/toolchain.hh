@@ -96,6 +96,16 @@ struct Job {
     bool run = true;        //!< simulate after compiling
     bool verify = false;    //!< run the bounded verifier (sstar only)
 
+    /** @name Wire identity (see src/proc/wire.hh) */
+    /// @{
+    //! non-empty when this job was built by workloadJob(): names the
+    //! suite kernel, so an out-of-process worker can rebuild the
+    //! setup/check hooks from (workload, hand) instead of shipping
+    //! unserializable std::functions
+    std::string workload;
+    bool hand = false;      //!< workload: masm baseline variant
+    /// @}
+
     /** @name Fault injection (see src/fault/) */
     /// @{
     //! FaultPlan spec text; "-" = the built-in recoverable mix,
@@ -249,6 +259,10 @@ struct JobResult {
     //! --resume splices journaled results into the merged report
     //! byte-identically
     std::string prerendered;
+    //! the timings=true render, when a worker process shipped both
+    //! forms (see src/proc/wire.hh); toJson(_, true) prefers it and
+    //! falls back to prerendered
+    std::string prerenderedTimed;
 
     double compileSeconds = 0;  //!< wall time in compile (0 on cache hit)
     double runSeconds = 0;      //!< wall time in the simulator

@@ -9,6 +9,7 @@
 
 #include "driver/toolchain.hh"
 #include "obs/json.hh"
+#include "support/fsio.hh"
 #include "support/logging.hh"
 
 namespace uhll {
@@ -151,17 +152,9 @@ writeCorpusEntry(const std::string &dir, const CorpusEntry &e)
 {
     ::mkdir(dir.c_str(), 0755);     // fresh campaign corpus dirs
     const std::string path = dir + "/" + e.name + ".json";
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream f(tmp, std::ios::trunc | std::ios::binary);
-        if (!f)
-            return "";
-        f << e.toJson() << "\n";
-        if (!f.good())
-            return "";
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
+    std::string err;
+    if (!atomicWriteDurable(path, e.toJson() + "\n", &err)) {
+        warn("corpus: %s", err.c_str());
         return "";
     }
     return path;

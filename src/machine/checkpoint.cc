@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "support/fsio.hh"
 #include "support/logging.hh"
 
 namespace uhll {
@@ -447,21 +448,11 @@ Checkpoint::deserialize(const std::string &bytes)
 void
 Checkpoint::writeFile(const std::string &path) const
 {
-    std::string bytes = serialize();
-    std::string tmp = path + ".tmp";
-    FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f)
-        fatal("checkpoint: cannot write '%s'", tmp.c_str());
-    size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f);
-    if (std::fclose(f) != 0 || n != bytes.size()) {
-        std::remove(tmp.c_str());
-        fatal("checkpoint: short write to '%s'", tmp.c_str());
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        fatal("checkpoint: cannot rename '%s' into place",
-              tmp.c_str());
-    }
+    // Durable as well as atomic: a checkpoint that --resume can see
+    // must survive power loss, not just a killed process.
+    std::string err;
+    if (!atomicWriteDurable(path, serialize(), &err))
+        fatal("checkpoint: %s", err.c_str());
 }
 
 std::optional<Checkpoint>

@@ -24,6 +24,7 @@ simErrorKindName(SimErrorKind k)
         return "parity-unrecoverable";
       case SimErrorKind::Cancelled: return "cancelled";
       case SimErrorKind::DeadlineExceeded: return "deadline-exceeded";
+      case SimErrorKind::WorkerCrashed: return "worker-crashed";
     }
     return "?";
 }

@@ -141,6 +141,10 @@ enum class SimErrorKind : uint8_t {
     ParityUnrecoverable,    //!< control-store re-fetch limit exceeded
     Cancelled,              //!< cooperative cancellation token read true
     DeadlineExceeded,       //!< wall-clock deadline passed mid-run
+    //! the out-of-process worker running the job died (signal, OOM
+    //! kill, rlimit) and the pool's own retry budget is exhausted
+    //! (see src/proc/pool.hh) -- never produced by the simulator
+    WorkerCrashed,
 };
 
 const char *simErrorKindName(SimErrorKind k);

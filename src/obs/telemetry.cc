@@ -11,6 +11,7 @@
 #include "obs/json.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
+#include "support/fsio.hh"
 #include "support/logging.hh"
 
 namespace uhll {
@@ -555,25 +556,9 @@ spanEventsJson(const std::vector<SpanEvent> &events)
 bool
 writeFileAtomic(const std::string &path, const std::string &content)
 {
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream f(tmp, std::ios::trunc | std::ios::binary);
-        if (!f) {
-            warn("telemetry: cannot write '%s'", tmp.c_str());
-            return false;
-        }
-        f << content;
-        f.flush();
-        if (!f.good()) {
-            warn("telemetry: short write to '%s'", tmp.c_str());
-            std::remove(tmp.c_str());
-            return false;
-        }
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        warn("telemetry: cannot rename '%s' to '%s'", tmp.c_str(),
-             path.c_str());
-        std::remove(tmp.c_str());
+    std::string err;
+    if (!atomicWriteDurable(path, content, &err)) {
+        warn("telemetry: %s", err.c_str());
         return false;
     }
     return true;

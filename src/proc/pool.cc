@@ -1,0 +1,569 @@
+#include "proc/pool.hh"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "obs/json.hh"
+#include "obs/stats.hh"
+#include "obs/telemetry.hh"
+#include "proc/wire.hh"
+#include "service/protocol.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+namespace {
+
+/** Deterministic per-(job, attempt) jitter, mirroring the
+ *  supervisor's backoff discipline (FNV-1a, 0..15 ms). */
+uint32_t
+respawnJitterMs(const std::string &name, uint32_t attempt)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (char c : name) {
+        h ^= uint8_t(c);
+        h *= 1099511628211ull;
+    }
+    h ^= attempt;
+    h *= 1099511628211ull;
+    return uint32_t(h & 15);
+}
+
+uint32_t
+respawnBackoffMs(const WorkerPoolConfig &cfg, const std::string &name,
+                 uint32_t attempt)
+{
+    const uint32_t shift = attempt > 0 ? attempt - 1 : 0;
+    uint64_t base = uint64_t(cfg.respawnBackoffBaseMs)
+                    << (shift < 20 ? shift : 20);
+    if (base > cfg.respawnBackoffMaxMs)
+        base = cfg.respawnBackoffMaxMs;
+    return uint32_t(base) + respawnJitterMs(name, attempt);
+}
+
+std::string
+describeWait(int status)
+{
+    if (WIFSIGNALED(status)) {
+        const int sig = WTERMSIG(status);
+        return strfmt("killed by signal %d (%s)", sig,
+                      strsignal(sig));
+    }
+    if (WIFEXITED(status))
+        return strfmt("exited with status %d", WEXITSTATUS(status));
+    return strfmt("wait status 0x%x", status);
+}
+
+} // namespace
+
+IsolationMode
+parseIsolationMode(const std::string &s)
+{
+    if (s == "thread")
+        return IsolationMode::Thread;
+    if (s == "process")
+        return IsolationMode::Process;
+    fatal("unknown isolation mode '%s' (thread|process)", s.c_str());
+}
+
+std::string
+WorkerPool::resolveExe() const
+{
+    if (!cfg_.exePath.empty())
+        return cfg_.exePath;
+    if (const char *env = std::getenv("UHLL_WORKER_EXE"))
+        if (*env)
+            return env;
+    return "/proc/self/exe";
+}
+
+bool
+WorkerPool::available(const WorkerPoolConfig &cfg)
+{
+    std::string exe = cfg.exePath;
+    if (exe.empty()) {
+        if (const char *env = std::getenv("UHLL_WORKER_EXE"))
+            exe = env;
+    }
+    if (exe.empty())
+        exe = "/proc/self/exe";
+    return ::access(exe.c_str(), X_OK) == 0;
+}
+
+WorkerPool::WorkerPool(const WorkerPoolConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.workers == 0)
+        cfg_.workers = 1;
+    // the pool writes to worker sockets; a worker dying mid-write
+    // must surface as EPIPE, not kill the parent
+    signal(SIGPIPE, SIG_IGN);
+}
+
+WorkerPool::~WorkerPool() { shutdown(); }
+
+WorkerPool::Worker
+WorkerPool::spawn()
+{
+    int sv[2];
+    if (socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0)
+        fatal("pool: socketpair: %s", strerror(errno));
+
+    const std::string exe = resolveExe();
+    // argv is fully built before fork(): only async-signal-safe
+    // calls may happen between fork and exec
+    std::vector<std::string> args = {
+        exe,
+        "--worker",
+        "--worker-fd",
+        std::to_string(sv[1]),
+        "--worker-heartbeat-ms",
+        std::to_string(cfg_.heartbeatMs),
+    };
+    if (cfg_.memLimitMb) {
+        args.push_back("--worker-mem-mb");
+        args.push_back(std::to_string(cfg_.memLimitMb));
+    }
+    if (cfg_.cpuLimitSeconds) {
+        args.push_back("--worker-cpu-s");
+        args.push_back(std::to_string(cfg_.cpuLimitSeconds));
+    }
+    if (!cfg_.chaosSpec.empty()) {
+        args.push_back("--worker-chaos");
+        args.push_back(cfg_.chaosSpec);
+    }
+    if (!cfg_.chaosDir.empty()) {
+        args.push_back("--worker-chaos-dir");
+        args.push_back(cfg_.chaosDir);
+    }
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = fork();
+    if (pid < 0) {
+        close(sv[0]);
+        close(sv[1]);
+        fatal("pool: fork: %s", strerror(errno));
+    }
+    if (pid == 0) {
+        // child: keep its socketpair end across exec, drop ours
+        fcntl(sv[1], F_SETFD, 0);
+        close(sv[0]);
+        execv(exe.c_str(), argv.data());
+        _exit(127);
+    }
+    close(sv[1]);
+    spawns_.fetch_add(1, std::memory_order_relaxed);
+    if (SpanTracer::instance().enabled())
+        SpanTracer::instance().instant(
+            SpanCat::Supervise,
+            strfmt("pool.spawn pid=%d", int(pid)));
+    return Worker{pid, sv[0]};
+}
+
+WorkerPool::Worker
+WorkerPool::lease()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        if (down_)
+            fatal("pool: runJob after shutdown");
+        if (!idle_.empty()) {
+            Worker w = idle_.back();
+            idle_.pop_back();
+            return w;
+        }
+        if (alive_ < cfg_.workers) {
+            ++alive_;
+            lk.unlock();
+            try {
+                return spawn();
+            } catch (...) {
+                lk.lock();
+                --alive_;
+                cv_.notify_all();
+                throw;
+            }
+        }
+        cv_.wait(lk, [&] {
+            return down_ || !idle_.empty() || alive_ < cfg_.workers;
+        });
+    }
+}
+
+void
+WorkerPool::release(Worker w)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (down_) {
+        close(w.fd);
+        kill(w.pid, SIGKILL);
+        waitpid(w.pid, nullptr, 0);
+        --alive_;
+        return;
+    }
+    idle_.push_back(w);
+    cv_.notify_all();
+}
+
+void
+WorkerPool::destroy(Worker w, bool kill_first, bool hang)
+{
+    if (kill_first)
+        kill(w.pid, SIGKILL);
+    close(w.fd);
+    int status = 0;
+    // bounded reap: a worker that ignores SIGKILL does not exist,
+    // but never let a kernel hiccup wedge the pool
+    for (int i = 0; i < 500; ++i) {
+        const pid_t got = waitpid(w.pid, &status, WNOHANG);
+        if (got == w.pid || (got < 0 && errno == ECHILD))
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    crashes_.fetch_add(1, std::memory_order_relaxed);
+    if (hang)
+        hangs_.fetch_add(1, std::memory_order_relaxed);
+    if (SpanTracer::instance().enabled())
+        SpanTracer::instance().instant(
+            SpanCat::Supervise,
+            strfmt("pool.reap pid=%d %s", int(w.pid),
+                   describeWait(status).c_str()));
+    std::lock_guard<std::mutex> lk(mu_);
+    --alive_;
+    cv_.notify_all();
+}
+
+JobResult
+WorkerPool::runJob(const Job &job, const SuperviseContext &ctx,
+                   bool resume)
+{
+    SpanScope span(SpanCat::Service,
+                   strfmt("pool.job:%s", job.name.c_str()));
+    uint32_t crashAttempts = 0;
+    uint32_t dispatchFailures = 0;
+    std::string lastDeath = "never dispatched";
+
+    for (;;) {
+        if (ctx.cancel &&
+            ctx.cancel->load(std::memory_order_relaxed)) {
+            JobResult r;
+            r.name = job.name;
+            r.lang = job.lang;
+            r.machine = job.machine;
+            r.ran = true;
+            r.sim.error.kind = SimErrorKind::Cancelled;
+            r.sim.error.message = "cancelled before dispatch";
+            r.diagnostics.push_back("cancelled");
+            return r;
+        }
+
+        Worker w = lease();
+
+        // crash retries resume from the dead worker's last
+        // auto-checkpoint when the job has a checkpoint file
+        bool resumeNow = resume;
+        if (crashAttempts > 0 && !ctx.checkpointFile.empty() &&
+            ::access(ctx.checkpointFile.c_str(), F_OK) == 0)
+            resumeNow = true;
+
+        WireJobRequest req;
+        req.job = job;
+        req.policy = ctx.policy;
+        req.checkpointFile = ctx.checkpointFile;
+        req.postmortemDir = ctx.postmortemDir;
+        req.resume = resumeNow;
+        const std::string id = strfmt(
+            "pj-%llu", (unsigned long long)seq_.fetch_add(1) + 1);
+        const std::string frame =
+            requestEnvelope("job", "pool", id, wireRequestJson(req));
+
+        std::string err;
+        if (!writeFrame(w.fd, frame, &err)) {
+            // an idle worker that died while parked: not this
+            // job's fault, so it does not consume the crash
+            // budget -- but bound it against a truly broken exe
+            destroy(w, true, false);
+            if (++dispatchFailures > cfg_.workers + 8) {
+                lastDeath = strfmt("dispatch: %s", err.c_str());
+                break;
+            }
+            continue;
+        }
+        dispatched_.fetch_add(1, std::memory_order_relaxed);
+
+        // poll-loop read: heartbeats refresh the liveness clock,
+        // silence past the hang timeout is a hung worker
+        const auto hangBudget = std::chrono::duration<double>(
+            cfg_.hangTimeoutSeconds > 0 ? cfg_.hangTimeoutSeconds
+                                        : 1e9);
+        auto lastBeat = std::chrono::steady_clock::now();
+        bool dead = false, hung = false;
+
+        for (;;) {
+            pollfd pfd{w.fd, POLLIN, 0};
+            const int pr = poll(&pfd, 1, 250);
+            if (pr < 0 && errno != EINTR) {
+                lastDeath = strfmt("poll: %s", strerror(errno));
+                dead = true;
+                break;
+            }
+            if (ctx.cancel &&
+                ctx.cancel->load(std::memory_order_relaxed)) {
+                destroy(w, true, false);
+                JobResult r;
+                r.name = job.name;
+                r.lang = job.lang;
+                r.machine = job.machine;
+                r.ran = true;
+                r.sim.error.kind = SimErrorKind::Cancelled;
+                r.sim.error.message = "cancelled mid-dispatch";
+                r.diagnostics.push_back("cancelled");
+                return r;
+            }
+            if (pr <= 0 || !(pfd.revents & (POLLIN | POLLHUP))) {
+                if (std::chrono::steady_clock::now() - lastBeat >
+                    hangBudget) {
+                    lastDeath = strfmt(
+                        "no heartbeat for %.1fs (hung)",
+                        cfg_.hangTimeoutSeconds);
+                    dead = hung = true;
+                    break;
+                }
+                continue;
+            }
+
+            std::string payload;
+            const FrameRead fr = readFrame(w.fd, &payload, &err);
+            if (fr != FrameRead::Ok) {
+                lastDeath = fr == FrameRead::Eof
+                                ? "connection closed mid-job"
+                                : strfmt("read: %s", err.c_str());
+                dead = true;
+                break;
+            }
+            lastBeat = std::chrono::steady_clock::now();
+
+            JsonValue env;
+            try {
+                env = JsonValue::parse(payload);
+            } catch (const FatalError &e) {
+                lastDeath = strfmt("bad frame: %s", e.what());
+                dead = true;
+                break;
+            }
+            const std::string op =
+                env.get("op") ? env.get("op")->asString() : "";
+            if (op == "hb")
+                continue;
+            if (op != "job") {
+                lastDeath = strfmt("unexpected op '%s'", op.c_str());
+                dead = true;
+                break;
+            }
+            if (!env.get("ok") || !env.get("ok")->asBool()) {
+                // the worker rejected the request (not a crash):
+                // surface as a failed job, keep the worker
+                const std::string msg =
+                    env.get("error") ? env.get("error")->asString()
+                                     : "worker rejected job";
+                release(w);
+                JobResult r;
+                r.name = job.name;
+                r.lang = job.lang;
+                r.machine = job.machine;
+                r.diagnostics.push_back(
+                    strfmt("worker: %s", msg.c_str()));
+                return r;
+            }
+            try {
+                const JsonValue &body = env.require("body");
+                JobResult r =
+                    wireResultFromJson(body.require("result"));
+                if (const JsonValue *h = body.get("cache_hits"))
+                    cacheHits_.fetch_add(
+                        h->asU64(), std::memory_order_relaxed);
+                if (const JsonValue *m = body.get("cache_misses"))
+                    cacheMisses_.fetch_add(
+                        m->asU64(), std::memory_order_relaxed);
+                completed_.fetch_add(1, std::memory_order_relaxed);
+                release(w);
+                return r;
+            } catch (const FatalError &e) {
+                lastDeath = strfmt("bad result: %s", e.what());
+                dead = true;
+                break;
+            }
+        }
+
+        if (!dead)
+            continue;  // unreachable; defensive
+        destroy(w, true, hung);
+        ++crashAttempts;
+        if (crashAttempts > cfg_.maxCrashRetries)
+            break;
+        const uint32_t delay =
+            respawnBackoffMs(cfg_, job.name, crashAttempts);
+        respawns_.fetch_add(1, std::memory_order_relaxed);
+        if (SpanTracer::instance().enabled())
+            SpanTracer::instance().instant(
+                SpanCat::Supervise,
+                strfmt("pool.retry:%s attempt=%u backoff=%ums",
+                       job.name.c_str(), crashAttempts, delay));
+        warn("pool: worker died running '%s' (%s); retry %u/%u "
+             "after %u ms",
+             job.name.c_str(), lastDeath.c_str(), crashAttempts,
+             cfg_.maxCrashRetries, delay);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delay));
+    }
+
+    // crash budget exhausted: structured failure + post-mortem;
+    // the pool itself stays healthy for sibling jobs
+    crashFailures_.fetch_add(1, std::memory_order_relaxed);
+    JobResult r;
+    r.name = job.name;
+    r.lang = job.lang;
+    r.machine = job.machine;
+    r.ran = true;
+    r.retries = crashAttempts > 0 ? crashAttempts - 1 : 0;
+    r.sim.error.kind = SimErrorKind::WorkerCrashed;
+    r.sim.error.message =
+        strfmt("worker process died %u time%s running this job; "
+               "last death: %s",
+               crashAttempts, crashAttempts == 1 ? "" : "s",
+               lastDeath.c_str());
+    r.diagnostics.push_back(
+        strfmt("worker crashed: %s", lastDeath.c_str()));
+
+    if (!ctx.postmortemDir.empty()) {
+        PostmortemReport p;
+        p.reason = "worker_crashed";
+        p.jobJson = jobSpecJson(job);
+        JsonWriter w(false);
+        w.beginObject();
+        w.value("kind", simErrorKindName(r.sim.error.kind));
+        w.value("message", r.sim.error.message);
+        w.value("attempts", (uint64_t)crashAttempts);
+        w.endObject();
+        p.errorJson = w.str();
+        p.diagnostics = r.diagnostics;
+        writePostmortem(ctx.postmortemDir, job.name, p);
+    }
+    return r;
+}
+
+void
+WorkerPool::shutdown()
+{
+    std::vector<Worker> workers;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (down_)
+            return;
+        down_ = true;
+        workers.swap(idle_);
+        cv_.notify_all();
+    }
+    // close first: workers exit 0 on clean EOF
+    for (Worker &w : workers)
+        close(w.fd);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(2);
+    for (Worker &w : workers) {
+        for (;;) {
+            int status = 0;
+            const pid_t got = waitpid(w.pid, &status, WNOHANG);
+            if (got == w.pid || (got < 0 && errno == ECHILD))
+                break;
+            if (std::chrono::steady_clock::now() > deadline) {
+                kill(w.pid, SIGKILL);
+                waitpid(w.pid, &status, 0);
+                break;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+        std::lock_guard<std::mutex> lk(mu_);
+        --alive_;
+    }
+}
+
+WorkerPoolStats
+WorkerPool::stats() const
+{
+    WorkerPoolStats s;
+    s.spawns = spawns_.load(std::memory_order_relaxed);
+    s.respawns = respawns_.load(std::memory_order_relaxed);
+    s.crashes = crashes_.load(std::memory_order_relaxed);
+    s.hangs = hangs_.load(std::memory_order_relaxed);
+    s.dispatched = dispatched_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.crashFailures =
+        crashFailures_.load(std::memory_order_relaxed);
+    s.cacheHits = cacheHits_.load(std::memory_order_relaxed);
+    s.cacheMisses = cacheMisses_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(mu_);
+    s.workersAlive = alive_;
+    return s;
+}
+
+void
+WorkerPool::bindStats(StatsRegistry &reg) const
+{
+    const WorkerPool *p = this;
+    reg.formula(
+        "proc.spawns",
+        [p] { return double(p->stats().spawns); },
+        "worker processes forked");
+    reg.formula(
+        "proc.respawns",
+        [p] { return double(p->stats().respawns); },
+        "respawns after a worker death");
+    reg.formula(
+        "proc.crashes",
+        [p] { return double(p->stats().crashes); },
+        "worker deaths observed (signals, EOF, hangs)");
+    reg.formula(
+        "proc.hangs",
+        [p] { return double(p->stats().hangs); },
+        "workers SIGKILLed for heartbeat silence");
+    reg.formula(
+        "proc.dispatched",
+        [p] { return double(p->stats().dispatched); },
+        "job dispatches to workers (incl. retries)");
+    reg.formula(
+        "proc.completed",
+        [p] { return double(p->stats().completed); },
+        "jobs that returned a worker result");
+    reg.formula(
+        "proc.crashFailures",
+        [p] { return double(p->stats().crashFailures); },
+        "jobs failed with WorkerCrashed (budget exhausted)");
+    reg.formula(
+        "proc.cacheHits",
+        [p] { return double(p->stats().cacheHits); },
+        "summed worker artefact-cache hits");
+    reg.formula(
+        "proc.cacheMisses",
+        [p] { return double(p->stats().cacheMisses); },
+        "summed worker artefact-cache misses");
+    reg.formula(
+        "proc.workersAlive",
+        [p] { return double(p->stats().workersAlive); },
+        "live worker processes");
+}
+
+} // namespace uhll

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * WorkerPool: the parent half of the out-of-process execution tier.
+ *
+ * The in-thread batch path (driver/batch.hh) shares one address
+ * space across jobs, so one runaway job -- a heap-corrupting
+ * frontend bug, an OOM, a stuck native region -- takes the whole
+ * batch (or the whole daemon) with it. The pool moves job execution
+ * into disposable child processes: fork + exec of the host binary in
+ * worker mode (proc/worker.hh), one socketpair per worker carrying
+ * the same uhll-frame/1 + uhll/v1 envelopes the daemon already
+ * speaks, per-worker setrlimit caps, and heartbeat-based hang
+ * detection.
+ *
+ * The contract is that *every* way a worker can die becomes a
+ * structured, bounded outcome:
+ *
+ *  - signal death (SIGSEGV, SIGKILL, rlimit SIGXCPU, OOM abort) is
+ *    reaped via waitpid and retried against a respawned worker --
+ *    with exponential backoff plus deterministic jitter, mirroring
+ *    the supervisor's retry discipline -- up to maxCrashRetries
+ *    times; jobs with a checkpoint file resume from the crashed
+ *    worker's last auto-checkpoint instead of cycle 0;
+ *  - a hung worker (no heartbeat for hangTimeoutSeconds) is
+ *    SIGKILLed and treated as a crash;
+ *  - a job whose crash budget is exhausted returns a JobResult
+ *    carrying SimError{WorkerCrashed} plus a flight-recorder
+ *    post-mortem (reason "worker_crashed"), and the *pool* stays up
+ *    -- sibling workers and subsequent jobs are untouched.
+ *
+ * Results carry the worker-rendered report JSON verbatim
+ * (JobResult::prerendered/prerenderedTimed), so a batch sharded
+ * over the pool -- even one that lost workers mid-flight -- merges
+ * into a report byte-identical to an in-thread run. That is the
+ * chaos suite's headline invariant.
+ *
+ * WorkerCrashed is deliberately *not* simErrorRecoverable(): the
+ * supervisor must not spend its own retry budget on it -- the pool
+ * already did.
+ */
+
+#ifndef UHLL_PROC_POOL_HH
+#define UHLL_PROC_POOL_HH
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "driver/supervisor.hh"
+#include "driver/toolchain.hh"
+
+namespace uhll {
+
+class StatsRegistry;
+
+/** Where batch jobs execute (uhllc/uhlld --isolation). */
+enum class IsolationMode {
+    Thread,   //!< in-process worker threads (the classic path)
+    Process,  //!< sandboxed worker processes via WorkerPool
+};
+
+/** Pool knobs (uhlld --workers / --worker-mem-mb / --worker-cpu-s
+ *  and the chaos test hooks). */
+struct WorkerPoolConfig {
+    uint32_t workers = 2;       //!< max live worker processes
+    //! worker executable; "" resolves $UHLL_WORKER_EXE then
+    //! /proc/self/exe (the self-exec default)
+    std::string exePath;
+    uint64_t memLimitMb = 0;    //!< per-worker RLIMIT_AS (0 = off)
+    uint32_t cpuLimitSeconds = 0;   //!< per-worker RLIMIT_CPU
+    double hangTimeoutSeconds = 30; //!< heartbeat silence -> SIGKILL
+    uint32_t heartbeatMs = 250;
+    //! respawn-and-retry budget per job for worker deaths
+    uint32_t maxCrashRetries = 2;
+    //! backoff before respawn attempt n: min(base << (n-1), max)
+    //! plus deterministic jitter (supervisor discipline)
+    uint32_t respawnBackoffBaseMs = 5;
+    uint32_t respawnBackoffMaxMs = 250;
+    std::string chaosSpec;      //!< forwarded --worker-chaos (tests)
+    std::string chaosDir;       //!< forwarded --worker-chaos-dir
+};
+
+/** Monotonic pool counters (stats() snapshot / proc.* formulas). */
+struct WorkerPoolStats {
+    uint64_t spawns = 0;        //!< worker processes forked
+    uint64_t respawns = 0;      //!< spawns replacing a dead worker
+    uint64_t crashes = 0;       //!< signal/EOF deaths observed
+    uint64_t hangs = 0;         //!< heartbeat timeouts -> SIGKILL
+    uint64_t dispatched = 0;    //!< job dispatches (incl. retries)
+    uint64_t completed = 0;     //!< jobs that returned a result
+    //! jobs that exhausted the crash budget (WorkerCrashed results)
+    uint64_t crashFailures = 0;
+    uint64_t cacheHits = 0;     //!< summed worker artefact-cache hits
+    uint64_t cacheMisses = 0;
+    uint32_t workersAlive = 0;
+};
+
+/**
+ * A fixed-size pool of worker processes, spawned on demand. All
+ * methods are thread-safe; runJob() is the blocking, many-callers
+ * entry the BatchRunner's worker threads and the daemon's
+ * connection threads share.
+ */
+class WorkerPool
+{
+  public:
+    explicit WorkerPool(const WorkerPoolConfig &cfg);
+    ~WorkerPool();
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** True when worker processes can be spawned here: fork is
+     *  usable and the worker executable resolves. */
+    static bool available(const WorkerPoolConfig &cfg = {});
+
+    /**
+     * Run @p job on a pooled worker (blocking; leases a worker,
+     * waiting for one when all are busy). @p ctx supplies the
+     * policy, checkpoint file and post-mortem dir; ctx.resumeFrom
+     * is ignored -- pass @p resume instead and the *worker* reads
+     * ctx.checkpointFile, which is how a crash retry picks up the
+     * dead worker's last checkpoint. Worker death is retried per
+     * the config; an exhausted budget yields a JobResult with
+     * SimError{WorkerCrashed}, never a throw.
+     */
+    JobResult runJob(const Job &job, const SuperviseContext &ctx,
+                     bool resume = false);
+
+    /** Stop every worker: close their sockets (clean EOF exit),
+     *  reap with a grace period, SIGKILL stragglers. Idempotent;
+     *  the destructor calls it. */
+    void shutdown();
+
+    WorkerPoolStats stats() const;
+
+    /** Register proc.* formulas reading this pool into @p reg (the
+     *  daemon's metrics registry). */
+    void bindStats(StatsRegistry &reg) const;
+
+  private:
+    struct Worker {
+        pid_t pid = -1;
+        int fd = -1;
+    };
+
+    /** Fork + exec one worker (throws FatalError on failure). */
+    Worker spawn();
+
+    /** Blocking lease; spawns when under the cap. */
+    Worker lease();
+
+    /** Return a healthy worker to the idle set. */
+    void release(Worker w);
+
+    /** Kill (optionally), reap and account a dead worker. */
+    void destroy(Worker w, bool kill_first, bool hang);
+
+    std::string resolveExe() const;
+
+    WorkerPoolConfig cfg_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<Worker> idle_;
+    uint32_t alive_ = 0;        //!< leased + idle
+    bool down_ = false;
+    std::atomic<uint64_t> seq_{0};
+
+    //! counters (atomics: read by formulas while jobs run)
+    std::atomic<uint64_t> spawns_{0}, respawns_{0}, crashes_{0},
+        hangs_{0}, dispatched_{0}, completed_{0}, crashFailures_{0},
+        cacheHits_{0}, cacheMisses_{0};
+};
+
+/** Parse an --isolation value ("thread" | "process"); fatal() on
+ *  anything else. */
+IsolationMode parseIsolationMode(const std::string &s);
+
+} // namespace uhll
+
+#endif // UHLL_PROC_POOL_HH

@@ -1,0 +1,387 @@
+#include "proc/wire.hh"
+
+#include <cstdlib>
+
+#include "driver/batch.hh"
+#include "driver/options.hh"
+#include "obs/json.hh"
+#include "support/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace uhll {
+
+namespace {
+
+// u64s that may exceed 2^53 cross as hex strings; asU64 parses
+// either form via strtoull(str, nullptr, 0).
+void
+hexU64(JsonWriter &w, const std::string &key, uint64_t v)
+{
+    w.value(key, strfmt("0x%llx", (unsigned long long)v));
+}
+
+void
+namedU64Array(JsonWriter &w, const std::string &key,
+              const std::vector<std::pair<std::string, uint64_t>> &xs)
+{
+    w.beginArray(key);
+    for (const auto &[n, v] : xs) {
+        w.beginObject();
+        w.value("n", n);
+        hexU64(w, "v", v);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+namedU64ArrayFrom(const JsonValue *a)
+{
+    std::vector<std::pair<std::string, uint64_t>> out;
+    if (!a || !a->isArray())
+        return out;
+    for (const JsonValue &e : a->items) {
+        out.emplace_back(e.require("n").asString(),
+                         e.require("v").asU64());
+    }
+    return out;
+}
+
+} // namespace
+
+SimErrorKind
+simErrorKindFromName(const std::string &name)
+{
+    static const SimErrorKind kAll[] = {
+        SimErrorKind::None,          SimErrorKind::WatchdogStall,
+        SimErrorKind::RestartLivelock,
+        SimErrorKind::ParityUnrecoverable,
+        SimErrorKind::Cancelled,     SimErrorKind::DeadlineExceeded,
+        SimErrorKind::WorkerCrashed,
+    };
+    for (SimErrorKind k : kAll) {
+        if (name == simErrorKindName(k))
+            return k;
+    }
+    return SimErrorKind::None;
+}
+
+bool
+jobWireSerializable(const Job &job, std::string *why)
+{
+    if (job.trace || job.profiler) {
+        if (why)
+            *why = "caller-owned trace/profiler sink";
+        return false;
+    }
+    if ((job.setupMemory || job.checkMemory || job.onFinish) &&
+        job.workload.empty()) {
+        if (why)
+            *why = "programmatic hooks without a workload name";
+        return false;
+    }
+    return true;
+}
+
+std::string
+wireRequestJson(const WireJobRequest &req)
+{
+    const Job &j = req.job;
+    JsonWriter w(false);
+    w.beginObject();
+
+    w.beginObject("job");
+    w.value("name", j.name);
+    if (j.workload.empty()) {
+        w.value("lang", j.lang);
+        w.value("source", j.source);
+    } else {
+        // the worker rebuilds source + hooks via workloadJob()
+        w.value("workload", j.workload);
+        w.value("hand", j.hand);
+    }
+    w.value("machine", j.machine);
+    w.value("entry", j.entry);
+    namedU64Array(w, "sets", j.sets);
+
+    // manifest spellings: the worker reads this back through
+    // parsePipelineOptions()
+    w.beginObject("options");
+    w.value("compactor", j.options.compactor);
+    w.value("allocator", j.options.allocator);
+    w.value("compact", j.options.compact);
+    w.value("polls", j.options.insertInterruptPolls);
+    w.value("trap_safe", j.options.trapSafety);
+    w.value("stack_ops", j.options.recognizeStackOps);
+    w.value("optimize", j.options.optimize);
+    w.value("jit", j.options.jit);
+    w.value("jit_threshold", (uint64_t)j.options.jitThreshold);
+    w.value("empl_microops", j.options.frontend.emplUseMicroOps);
+    w.value("empl_data_base",
+            (uint64_t)j.options.frontend.emplDataBase);
+    w.endObject();
+
+    w.value("run", j.run);
+    w.value("verify", j.verify);
+    // the plan *text* (or "-"): manifest file references were
+    // resolved by the parent
+    w.value("fault_plan", j.faultPlan);
+    hexU64(w, "fault_seed", j.faultSeed);
+    w.value("max_restarts", (uint64_t)j.maxRestarts);
+    w.value("deadline_seconds", j.deadlineSeconds);
+    w.value("dmr", j.dmr);
+    hexU64(w, "dmr_seed_b", j.dmrSeedB);
+    w.value("ecc", j.ecc);
+    hexU64(w, "max_cycles", j.maxCycles);
+    w.value("force_slow", j.forceSlowPath);
+    w.value("capture_stats", j.captureStats);
+    w.value("capture_metrics", j.captureMetrics);
+    hexU64(w, "metrics_every_cycles", j.metricsEveryCycles);
+    w.endObject();
+
+    // parseSupervisePolicy() spellings
+    w.beginObject("policy");
+    w.value("retries", (uint64_t)req.policy.maxRetries);
+    w.value("backoff_base_ms", (uint64_t)req.policy.backoffBaseMs);
+    w.value("backoff_max_ms", (uint64_t)req.policy.backoffMaxMs);
+    w.value("deadline_seconds", req.policy.deadlineSeconds);
+    hexU64(w, "checkpoint_every_cycles",
+           req.policy.checkpointEveryCycles);
+    w.value("dmr", req.policy.dmr);
+    hexU64(w, "dmr_interval_words", req.policy.dmrIntervalWords);
+    hexU64(w, "dmr_seed_b", req.policy.dmrSeedB);
+    w.endObject();
+
+    w.value("checkpoint_file", req.checkpointFile);
+    w.value("postmortem_dir", req.postmortemDir);
+    w.value("resume", req.resume);
+    w.endObject();
+    return w.str();
+}
+
+WireJobRequest
+wireRequestFromJson(const JsonValue &v)
+{
+    WireJobRequest req;
+    const JsonValue &jv = v.require("job");
+    Job job;
+
+    const std::string wname =
+        jv.get("workload") ? jv.get("workload")->asString() : "";
+    const PipelineOptions opts =
+        parsePipelineOptions(jv.get("options"));
+    if (!wname.empty()) {
+        const Workload *w = nullptr;
+        for (const Workload &cand : workloadSuite()) {
+            if (cand.name == wname)
+                w = &cand;
+        }
+        if (!w)
+            fatal("worker: unknown workload '%s'", wname.c_str());
+        const bool hand =
+            jv.get("hand") && jv.get("hand")->asBool(false);
+        job = workloadJob(*w, jv.require("machine").asString(), hand,
+                          opts);
+    } else {
+        job.lang = jv.require("lang").asString();
+        job.machine = jv.require("machine").asString();
+        job.source = jv.require("source").asString();
+        job.options = opts;
+    }
+
+    job.name = jv.require("name").asString();
+    // for workload jobs the parent's entry came from workloadJob()
+    // too, so a plain overwrite is exact either way
+    job.entry = jv.require("entry").asString();
+    // exactly what the parent's job carried (for workload jobs this
+    // is workloadJob()'s inputs plus any manifest overrides)
+    job.sets = namedU64ArrayFrom(jv.get("sets"));
+    job.run = jv.require("run").asBool(true);
+    job.verify = jv.require("verify").asBool();
+    job.faultPlan = jv.require("fault_plan").asString();
+    job.faultSeed = jv.require("fault_seed").asU64();
+    job.maxRestarts =
+        static_cast<uint32_t>(jv.require("max_restarts").asU64());
+    job.deadlineSeconds = jv.require("deadline_seconds").asNumber();
+    job.dmr = jv.require("dmr").asBool();
+    job.dmrSeedB = jv.require("dmr_seed_b").asU64();
+    job.ecc = jv.require("ecc").asBool(true);
+    job.maxCycles = jv.require("max_cycles").asU64();
+    job.forceSlowPath = jv.require("force_slow").asBool();
+    job.captureStats = jv.require("capture_stats").asBool();
+    job.captureMetrics = jv.require("capture_metrics").asBool();
+    job.metricsEveryCycles =
+        jv.require("metrics_every_cycles").asU64();
+
+    req.job = std::move(job);
+    req.policy = parseSupervisePolicy(v.get("policy"));
+    req.checkpointFile = v.require("checkpoint_file").asString();
+    req.postmortemDir = v.require("postmortem_dir").asString();
+    req.resume = v.require("resume").asBool();
+    return req;
+}
+
+std::string
+wireResultJson(const JobResult &r)
+{
+    JsonWriter w(false);
+    w.beginObject();
+    w.value("name", r.name);
+    w.value("lang", r.lang);
+    w.value("machine", r.machine);
+    w.value("ok", r.ok);
+    w.value("ran", r.ran);
+    w.beginArray("diagnostics");
+    for (const std::string &d : r.diagnostics)
+        w.value("", d);
+    w.endArray();
+    namedU64Array(w, "vars", r.vars);
+    w.value("verified", r.verified);
+    w.value("verify_ok", r.verifyOk);
+    w.value("verify_report", r.verifyReport);
+    w.value("stats_json", r.statsJson);
+    w.value("stats_json_clean", r.statsJsonClean);
+    w.value("divergence_json", r.divergenceJson);
+
+    w.beginArray("metrics");
+    for (const MetricsSample &m : r.metrics) {
+        w.beginObject();
+        hexU64(w, "seq", m.seq);
+        hexU64(w, "cycles", m.cycles);
+        w.value("label", m.label);
+        w.value("stats_full", m.statsFull);
+        w.value("stats_clean", m.statsClean);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.value("retries", (uint64_t)r.retries);
+    w.value("checkpoints", (uint64_t)r.checkpoints);
+    w.value("rollbacks", (uint64_t)r.rollbacks);
+    hexU64(w, "backoff_ms_total", r.backoffMsTotal);
+    hexU64(w, "resumed_from_cycle", r.resumedFromCycle);
+    w.value("compile_seconds", r.compileSeconds);
+    w.value("run_seconds", r.runSeconds);
+
+    const SimResult &s = r.sim;
+    w.beginObject("sim");
+    hexU64(w, "cycles", s.cycles);
+    hexU64(w, "words_executed", s.wordsExecuted);
+    hexU64(w, "page_faults", s.pageFaults);
+    hexU64(w, "interrupts_serviced", s.interruptsServiced);
+    hexU64(w, "interrupt_latency_total", s.interruptLatencyTotal);
+    hexU64(w, "mem_reads", s.memReads);
+    hexU64(w, "mem_writes", s.memWrites);
+    w.value("halted", s.halted);
+    hexU64(w, "fast_path_words", s.fastPathWords);
+    hexU64(w, "slow_path_words", s.slowPathWords);
+    hexU64(w, "pending_high_water", s.pendingHighWater);
+    hexU64(w, "faults_injected", s.faultsInjected);
+    hexU64(w, "ecc_corrected", s.eccCorrected);
+    hexU64(w, "ecc_double_bit", s.eccDoubleBit);
+    hexU64(w, "parity_refetches", s.parityRefetches);
+    hexU64(w, "mem_retries", s.memRetries);
+    hexU64(w, "spurious_interrupts", s.spuriousInterrupts);
+    hexU64(w, "jitter_cycles", s.jitterCycles);
+    hexU64(w, "watchdog_trips", s.watchdogTrips);
+    hexU64(w, "fault_seed", s.faultSeed);
+    w.beginObject("error");
+    w.value("kind", simErrorKindName(s.error.kind));
+    w.value("message", s.error.message);
+    hexU64(w, "cycle", s.error.cycle);
+    w.value("upc", (uint64_t)s.error.upc);
+    w.value("restart_point", (uint64_t)s.error.restartPoint);
+    namedU64Array(w, "regs", s.error.regs);
+    w.endObject();
+    w.endObject();
+
+    // the verbatim renders the parent will hand back from toJson();
+    // transported as escaped strings -- never re-rendered -- so the
+    // merged report is byte-identical to an in-thread run
+    w.value("json_timed", r.toJson(true, true));
+    w.value("json_clean", r.toJson(true, false));
+    w.endObject();
+    return w.str();
+}
+
+JobResult
+wireResultFromJson(const JsonValue &v)
+{
+    JobResult r;
+    r.name = v.require("name").asString();
+    r.lang = v.require("lang").asString();
+    r.machine = v.require("machine").asString();
+    r.ok = v.require("ok").asBool();
+    r.ran = v.require("ran").asBool();
+    if (const JsonValue *d = v.get("diagnostics")) {
+        for (const JsonValue &e : d->items)
+            r.diagnostics.push_back(e.asString());
+    }
+    r.vars = namedU64ArrayFrom(v.get("vars"));
+    r.verified = v.require("verified").asBool();
+    r.verifyOk = v.require("verify_ok").asBool();
+    r.verifyReport = v.require("verify_report").asString();
+    r.statsJson = v.require("stats_json").asString();
+    r.statsJsonClean = v.require("stats_json_clean").asString();
+    r.divergenceJson = v.require("divergence_json").asString();
+
+    if (const JsonValue *ms = v.get("metrics")) {
+        for (const JsonValue &e : ms->items) {
+            MetricsSample m;
+            m.seq = e.require("seq").asU64();
+            m.cycles = e.require("cycles").asU64();
+            m.label = e.require("label").asString();
+            m.statsFull = e.require("stats_full").asString();
+            m.statsClean = e.require("stats_clean").asString();
+            r.metrics.push_back(std::move(m));
+        }
+    }
+
+    r.retries = static_cast<uint32_t>(v.require("retries").asU64());
+    r.checkpoints =
+        static_cast<uint32_t>(v.require("checkpoints").asU64());
+    r.rollbacks =
+        static_cast<uint32_t>(v.require("rollbacks").asU64());
+    r.backoffMsTotal = v.require("backoff_ms_total").asU64();
+    r.resumedFromCycle = v.require("resumed_from_cycle").asU64();
+    r.compileSeconds = v.require("compile_seconds").asNumber();
+    r.runSeconds = v.require("run_seconds").asNumber();
+
+    const JsonValue &sv = v.require("sim");
+    SimResult &s = r.sim;
+    s.cycles = sv.require("cycles").asU64();
+    s.wordsExecuted = sv.require("words_executed").asU64();
+    s.pageFaults = sv.require("page_faults").asU64();
+    s.interruptsServiced = sv.require("interrupts_serviced").asU64();
+    s.interruptLatencyTotal =
+        sv.require("interrupt_latency_total").asU64();
+    s.memReads = sv.require("mem_reads").asU64();
+    s.memWrites = sv.require("mem_writes").asU64();
+    s.halted = sv.require("halted").asBool();
+    s.fastPathWords = sv.require("fast_path_words").asU64();
+    s.slowPathWords = sv.require("slow_path_words").asU64();
+    s.pendingHighWater = sv.require("pending_high_water").asU64();
+    s.faultsInjected = sv.require("faults_injected").asU64();
+    s.eccCorrected = sv.require("ecc_corrected").asU64();
+    s.eccDoubleBit = sv.require("ecc_double_bit").asU64();
+    s.parityRefetches = sv.require("parity_refetches").asU64();
+    s.memRetries = sv.require("mem_retries").asU64();
+    s.spuriousInterrupts = sv.require("spurious_interrupts").asU64();
+    s.jitterCycles = sv.require("jitter_cycles").asU64();
+    s.watchdogTrips = sv.require("watchdog_trips").asU64();
+    s.faultSeed = sv.require("fault_seed").asU64();
+    const JsonValue &ev = sv.require("error");
+    s.error.kind = simErrorKindFromName(ev.require("kind").asString());
+    s.error.message = ev.require("message").asString();
+    s.error.cycle = ev.require("cycle").asU64();
+    s.error.upc = static_cast<uint32_t>(ev.require("upc").asU64());
+    s.error.restartPoint =
+        static_cast<uint32_t>(ev.require("restart_point").asU64());
+    s.error.regs = namedU64ArrayFrom(ev.get("regs"));
+
+    r.prerenderedTimed = v.require("json_timed").asString();
+    r.prerendered = v.require("json_clean").asString();
+    return r;
+}
+
+} // namespace uhll

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Wire forms for out-of-process job execution (see proc/pool.hh).
+ *
+ * A WorkerPool ships one Job per request to a sandboxed worker
+ * process and gets one JobResult back, both as uhll/v1 JSON bodies
+ * inside the existing uhll-frame/1 framing. Everything a manifest
+ * can express crosses the wire; the two things it cannot are
+ * handled explicitly:
+ *
+ *  - *programmatic hooks* (Job::setupMemory/checkMemory/onFinish):
+ *    jobs built by workloadJob() carry (Job::workload, Job::hand),
+ *    so the worker rebuilds the exact hooks by calling
+ *    workloadJob() itself. A job with hooks but no workload name is
+ *    not wire-serializable (jobWireSerializable says so) and the
+ *    BatchRunner degrades it to the in-thread path.
+ *  - *result byte-identity*: the worker renders the JobResult
+ *    JSON itself -- both the timings and the --no-timings form --
+ *    and ships the exact bytes. The parent materializes them into
+ *    JobResult::prerendered/prerenderedTimed, so a report assembled
+ *    from worker results is byte-identical to an in-thread run and
+ *    journal splicing keeps working across worker death + retry.
+ *
+ * u64 values that may exceed 2^53 (seeds, cycle counts, set values)
+ * travel as "0x..." strings; JsonValue::asU64 accepts both.
+ */
+
+#ifndef UHLL_PROC_WIRE_HH
+#define UHLL_PROC_WIRE_HH
+
+#include <string>
+
+#include "driver/supervisor.hh"
+#include "driver/toolchain.hh"
+
+namespace uhll {
+
+struct JsonValue;
+
+/** One job dispatch: the job plus the supervision plumbing the
+ *  worker needs to run it exactly like the in-thread path would. */
+struct WireJobRequest {
+    Job job;
+    SupervisePolicy policy;
+    //! worker-side auto-checkpoint file ("" = none); a crashed
+    //! worker leaves it behind and the retry resumes from it
+    std::string checkpointFile;
+    std::string postmortemDir;
+    //! read checkpointFile before running (crash retry / --resume)
+    bool resume = false;
+};
+
+/**
+ * True when @p job can cross the process boundary: no caller-owned
+ * trace/profiler sinks, and no programmatic hooks unless they came
+ * from a named workload. *why (optional) gets the reason.
+ */
+bool jobWireSerializable(const Job &job, std::string *why = nullptr);
+
+/** @name Request wire form */
+/// @{
+std::string wireRequestJson(const WireJobRequest &req);
+
+/** Rebuild a request; fatal() on a structurally bad document. */
+WireJobRequest wireRequestFromJson(const JsonValue &v);
+/// @}
+
+/** @name Result wire form */
+/// @{
+/**
+ * Serialize @p r: the scalar fields the driver stack branches on
+ * (ok/ran/sim error/supervision counters/vars/metrics) plus the two
+ * verbatim JSON renders.
+ */
+std::string wireResultJson(const JobResult &r);
+
+/** Materialize a worker's result. The renders land in
+ *  prerendered/prerenderedTimed; artefact stays null. */
+JobResult wireResultFromJson(const JsonValue &v);
+/// @}
+
+/** Parse a simErrorKindName() spelling back (None on no match). */
+SimErrorKind simErrorKindFromName(const std::string &name);
+
+} // namespace uhll
+
+#endif // UHLL_PROC_WIRE_HH

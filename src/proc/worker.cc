@@ -1,0 +1,287 @@
+#include "proc/worker.hh"
+
+#include <sys/resource.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "driver/supervisor.hh"
+#include "driver/toolchain.hh"
+#include "machine/checkpoint.hh"
+#include "obs/json.hh"
+#include "proc/wire.hh"
+#include "service/protocol.hh"
+#include "support/logging.hh"
+
+namespace uhll {
+
+namespace {
+
+void
+applyRlimits(const WorkerProcessConfig &cfg)
+{
+    // never litter core files, whatever kills us
+    rlimit core{0, 0};
+    setrlimit(RLIMIT_CORE, &core);
+    if (cfg.memLimitMb) {
+        const rlim_t bytes = rlim_t(cfg.memLimitMb) << 20;
+        rlimit as{bytes, bytes};
+        if (setrlimit(RLIMIT_AS, &as) != 0)
+            warn("worker: setrlimit(RLIMIT_AS): %s",
+                 strerror(errno));
+    }
+    if (cfg.cpuLimitSeconds) {
+        rlimit cpu{cfg.cpuLimitSeconds, cfg.cpuLimitSeconds};
+        if (setrlimit(RLIMIT_CPU, &cpu) != 0)
+            warn("worker: setrlimit(RLIMIT_CPU): %s",
+                 strerror(errno));
+    }
+}
+
+/** The -once chaos modes fire exactly once per marker directory:
+ *  the respawned worker finds the marker and runs clean. */
+bool
+chaosArmed(const std::string &spec, const std::string &dir,
+           std::string *mode)
+{
+    if (spec.empty())
+        return false;
+    const size_t dash = spec.rfind("-once");
+    const bool once =
+        dash != std::string::npos && dash + 5 == spec.size();
+    *mode = once ? spec.substr(0, dash) : spec;
+    if (!once)
+        return true;
+    if (dir.empty())
+        return true;
+    const std::string marker = dir + "/chaos." + *mode + ".fired";
+    struct stat st;
+    if (::stat(marker.c_str(), &st) == 0)
+        return false;
+    // create the marker *before* dying so the retry runs clean
+    FILE *f = fopen(marker.c_str(), "w");
+    if (f)
+        fclose(f);
+    return true;
+}
+
+[[noreturn]] void
+chaosOom()
+{
+    // allocate-and-touch until the rlimit bites (bad_alloc) or a
+    // 1 GiB cap (keeps sanitizer builds, where RLIMIT_AS cannot be
+    // used, from actually exhausting the host) -- then abort, so
+    // the parent sees a signal death either way
+    std::vector<char *> chunks;
+    try {
+        for (size_t total = 0; total < (1ull << 30);
+             total += (16u << 20)) {
+            char *p = new char[16u << 20];
+            for (size_t i = 0; i < (16u << 20); i += 4096)
+                p[i] = char(i);
+            chunks.push_back(p);
+        }
+    } catch (const std::bad_alloc &) {
+    }
+    std::abort();
+}
+
+void
+maybeChaos(const WorkerProcessConfig &cfg)
+{
+    std::string mode;
+    if (!chaosArmed(cfg.chaosSpec, cfg.chaosDir, &mode))
+        return;
+    if (mode == "abort")
+        std::abort();
+    if (mode == "kill")
+        kill(getpid(), SIGKILL);
+    if (mode == "oom")
+        chaosOom();
+    if (mode == "hang") {
+        // stops the heartbeat thread too: the parent's hang
+        // detector fires and SIGKILLs us
+        raise(SIGSTOP);
+        return;
+    }
+    warn("worker: unknown chaos mode '%s' ignored", mode.c_str());
+}
+
+/** Serializes frame writes: heartbeats and job replies share fd. */
+struct FrameSender {
+    int fd;
+    std::mutex mu;
+
+    bool
+    send(const std::string &payload, std::string *err)
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        return writeFrame(fd, payload, err);
+    }
+};
+
+} // namespace
+
+bool
+isWorkerInvocation(int argc, char **argv)
+{
+    return argc >= 2 && std::strcmp(argv[1], "--worker") == 0;
+}
+
+int
+runWorkerFromArgv(int argc, char **argv)
+{
+    WorkerProcessConfig cfg;
+    for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto val = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("worker: %s needs a value", a.c_str());
+            return argv[++i];
+        };
+        if (a == "--worker-fd")
+            cfg.fd = std::atoi(val().c_str());
+        else if (a == "--worker-mem-mb")
+            cfg.memLimitMb = std::strtoull(val().c_str(), nullptr, 0);
+        else if (a == "--worker-cpu-s")
+            cfg.cpuLimitSeconds =
+                uint32_t(std::strtoul(val().c_str(), nullptr, 0));
+        else if (a == "--worker-heartbeat-ms")
+            cfg.heartbeatMs =
+                uint32_t(std::strtoul(val().c_str(), nullptr, 0));
+        else if (a == "--worker-chaos")
+            cfg.chaosSpec = val();
+        else if (a == "--worker-chaos-dir")
+            cfg.chaosDir = val();
+        else
+            fatal("worker: unknown flag %s", a.c_str());
+    }
+    if (cfg.fd < 0)
+        fatal("worker: --worker-fd is required");
+    return workerMain(cfg);
+}
+
+int
+workerMain(const WorkerProcessConfig &cfg)
+{
+    applyRlimits(cfg);
+    // a parent that dies mid-write must not kill us with SIGPIPE;
+    // the write error is the diagnostic
+    signal(SIGPIPE, SIG_IGN);
+
+    FrameSender out{cfg.fd, {}};
+    Toolchain tc;
+
+    std::atomic<bool> stop{false};
+    std::mutex hbMu;
+    std::condition_variable hbCv;
+    std::thread heartbeat([&] {
+        const std::string hb = requestEnvelope("hb", "worker", "", "{}");
+        std::unique_lock<std::mutex> lk(hbMu);
+        while (!stop.load()) {
+            if (hbCv.wait_for(
+                    lk, std::chrono::milliseconds(cfg.heartbeatMs),
+                    [&] { return stop.load(); }))
+                break;
+            std::string err;
+            out.send(hb, &err);  // a dead parent surfaces on recv
+        }
+    });
+
+    int rc = 0;
+    for (;;) {
+        std::string payload, err;
+        const FrameRead fr = readFrame(cfg.fd, &payload, &err);
+        if (fr == FrameRead::Eof)
+            break;  // clean shutdown: parent closed its end
+        if (fr != FrameRead::Ok) {
+            warn("worker: read: %s", err.c_str());
+            rc = 1;
+            break;
+        }
+
+        JsonValue env;
+        try {
+            env = JsonValue::parse(payload);
+        } catch (const FatalError &e) {
+            warn("worker: bad envelope: %s", e.what());
+            rc = 1;
+            break;
+        }
+        const std::string op =
+            env.get("op") ? env.get("op")->asString() : "";
+        const std::string id =
+            env.get("id") ? env.get("id")->asString() : "";
+        if (op != "job") {
+            std::string werr;
+            out.send(responseEnvelope(op, id, false,
+                                      "unsupported op in worker",
+                                      "bad-request", "", false),
+                     &werr);
+            continue;
+        }
+
+        maybeChaos(cfg);
+
+        std::string body;
+        try {
+            WireJobRequest req =
+                wireRequestFromJson(env.require("body"));
+            SuperviseContext ctx;
+            ctx.policy = req.policy;
+            ctx.checkpointFile = req.checkpointFile;
+            ctx.postmortemDir = req.postmortemDir;
+            std::optional<Checkpoint> ck;
+            if (req.resume && !req.checkpointFile.empty()) {
+                ck = Checkpoint::readFile(req.checkpointFile);
+                if (ck)
+                    ctx.resumeFrom = &*ck;
+            }
+            const Toolchain::CacheStats c0 = tc.cacheStats();
+            JobResult r = tc.run(req.job, ctx);
+            const Toolchain::CacheStats c1 = tc.cacheStats();
+            JsonWriter w(false);
+            w.beginObject();
+            w.raw("result", wireResultJson(r));
+            w.value("cache_hits", c1.hits - c0.hits);
+            w.value("cache_misses", c1.misses - c0.misses);
+            w.endObject();
+            body = w.str();
+        } catch (const FatalError &e) {
+            std::string werr;
+            out.send(responseEnvelope("job", id, false, e.what(),
+                                      "bad-request", "", false),
+                     &werr);
+            continue;
+        }
+        std::string werr;
+        if (!out.send(responseEnvelope("job", id, true, "", "", body,
+                                       false),
+                      &werr)) {
+            warn("worker: reply: %s", werr.c_str());
+            rc = 1;
+            break;
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(hbMu);
+        stop.store(true);
+    }
+    hbCv.notify_all();
+    heartbeat.join();
+    return rc;
+}
+
+} // namespace uhll

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The worker half of the out-of-process execution tier.
+ *
+ * A WorkerPool (proc/pool.hh) spawns sandboxed copies of the host
+ * binary re-executed in *worker mode*: `uhllc --worker --worker-fd N
+ * ...`. Both uhllc and uhlld check isWorkerInvocation() first thing
+ * in main() and divert into runWorkerFromArgv(), so one binary is
+ * both the driver and the sandbox -- no separate helper executable
+ * to install or locate.
+ *
+ * A worker is a tiny job server over one inherited socketpair end:
+ * it reads uhll-frame/1 frames carrying uhll/v1 "job" envelopes
+ * (proc/wire.hh bodies), runs each through its own Toolchain --
+ * persistent across jobs, so the artefact cache still amortizes
+ * compilation within a worker -- and replies with the wire result.
+ * A heartbeat thread emits "hb" envelopes every heartbeatMs so the
+ * parent can distinguish "long simulation" from "hung process".
+ * Clean EOF on the socket is the shutdown signal.
+ *
+ * Sandboxing is setrlimit-based and applies to the whole worker:
+ * RLIMIT_CORE is always 0 (a crashing worker must not litter core
+ * files), RLIMIT_AS / RLIMIT_CPU when configured. Resource-limit
+ * death is just another signal exit the parent converts into a
+ * structured SimError{WorkerCrashed}.
+ *
+ * Chaos hooks (tests only): --worker-chaos plants a deterministic
+ * failure -- abort | kill | oom | hang, each with a "-once" variant
+ * that fires on the first job then leaves a marker file in
+ * --worker-chaos-dir so the respawned worker runs clean. That is
+ * what makes the chaos suite's byte-identity invariant testable:
+ * kill a worker mid-batch, let the pool retry, diff the report.
+ */
+
+#ifndef UHLL_PROC_WORKER_HH
+#define UHLL_PROC_WORKER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace uhll {
+
+/** Everything a worker process learns from its argv. */
+struct WorkerProcessConfig {
+    int fd = -1;                //!< the inherited socketpair end
+    uint64_t memLimitMb = 0;    //!< RLIMIT_AS in MiB (0 = unlimited)
+    uint32_t cpuLimitSeconds = 0;   //!< RLIMIT_CPU (0 = unlimited)
+    uint32_t heartbeatMs = 250;
+    std::string chaosSpec;      //!< "" | abort[-once] | kill[-once]
+                                //!< | oom[-once] | hang[-once]
+    std::string chaosDir;       //!< marker dir for the -once modes
+};
+
+/** True when @p argv is a worker-mode re-execution (argv[1] is
+ *  "--worker"). Check before any normal flag parsing. */
+bool isWorkerInvocation(int argc, char **argv);
+
+/** Parse the --worker-* flags and run workerMain(). Only call when
+ *  isWorkerInvocation(); exits the process on malformed argv. */
+int runWorkerFromArgv(int argc, char **argv);
+
+/** The worker job-server loop. Returns the process exit code:
+ *  0 on clean EOF shutdown, nonzero on a transport error. */
+int workerMain(const WorkerProcessConfig &cfg);
+
+} // namespace uhll
+
+#endif // UHLL_PROC_WORKER_HH

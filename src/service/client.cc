@@ -1,8 +1,11 @@
 #include "service/client.hh"
 
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -43,13 +46,61 @@ ServiceClient::connectTo(const std::string &path, std::string *err)
         *err = strfmt("socket: %s", std::strerror(errno));
         return false;
     }
-    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof addr) != 0) {
+
+    if (ioTimeout_ <= 0) {
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof addr) != 0) {
+            *err = strfmt("connect '%s': %s", path.c_str(),
+                          std::strerror(errno));
+            close();
+            return false;
+        }
+        return true;
+    }
+
+    // Timed connect: non-blocking connect + poll, then restore
+    // blocking mode and let SO_RCVTIMEO/SO_SNDTIMEO bound frames.
+    const int flags = fcntl(fd_, F_GETFL, 0);
+    fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof addr);
+    if (rc != 0 && errno == EINPROGRESS) {
+        pollfd pfd{fd_, POLLOUT, 0};
+        const int pr =
+            ::poll(&pfd, 1, int(ioTimeout_ * 1000));
+        if (pr == 0) {
+            *err = strfmt("connect '%s': timed out after %.1fs",
+                          path.c_str(), ioTimeout_);
+            close();
+            return false;
+        }
+        int soerr = 0;
+        socklen_t len = sizeof soerr;
+        if (pr < 0 ||
+            getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len) !=
+                0 ||
+            soerr != 0) {
+            *err = strfmt("connect '%s': %s", path.c_str(),
+                          std::strerror(soerr ? soerr : errno));
+            close();
+            return false;
+        }
+        rc = 0;
+    }
+    if (rc != 0) {
         *err = strfmt("connect '%s': %s", path.c_str(),
                       std::strerror(errno));
         close();
         return false;
     }
+    fcntl(fd_, F_SETFL, flags);
+
+    timeval tv{};
+    tv.tv_sec = time_t(ioTimeout_);
+    tv.tv_usec = suseconds_t((ioTimeout_ - std::floor(ioTimeout_)) *
+                             1e6);
+    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
     return true;
 }
 

@@ -38,6 +38,15 @@ class ServiceClient
     ServiceClient(const ServiceClient &) = delete;
     ServiceClient &operator=(const ServiceClient &) = delete;
 
+    /**
+     * Bound every subsequent connect/send/recv by @p seconds
+     * (uhllc --io-timeout). A wedged daemon then fails the
+     * roundtrip with a "timed out" diagnostic instead of blocking
+     * forever. 0 (the default) keeps fully blocking I/O. Set
+     * before connectTo().
+     */
+    void setIoTimeout(double seconds) { ioTimeout_ = seconds; }
+
     /** Connect to the AF_UNIX socket at @p path. */
     bool connectTo(const std::string &path, std::string *err);
 
@@ -60,6 +69,7 @@ class ServiceClient
 
   private:
     int fd_ = -1;
+    double ioTimeout_ = 0;  //!< seconds; 0 = blocking
 };
 
 } // namespace uhll

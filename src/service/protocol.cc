@@ -14,6 +14,17 @@ namespace uhll {
 
 namespace {
 
+/** One diagnostic per failed socket call; a SO_RCVTIMEO/SO_SNDTIMEO
+ *  expiry (EAGAIN on a timed socket) reads as "timed out", not the
+ *  misleading "resource temporarily unavailable". */
+std::string
+sockErr(const char *what)
+{
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return strfmt("%s: timed out", what);
+    return strfmt("%s: %s", what, std::strerror(errno));
+}
+
 /** recv() exactly @p n bytes; 1 ok, 0 clean eof at a byte boundary
  *  start, -1 error. Partial reads after the first byte report as
  *  eof-with-progress via @p got. */
@@ -57,7 +68,7 @@ readFrame(int fd, std::string *payload, std::string *err)
             return FrameRead::Truncated;
         }
         if (r < 0) {
-            *err = strfmt("recv: %s", std::strerror(errno));
+            *err = sockErr("recv");
             return FrameRead::Error;
         }
         if (c == '\n')
@@ -107,7 +118,7 @@ readFrame(int fd, std::string *payload, std::string *err)
             return FrameRead::Truncated;
         }
         if (r < 0) {
-            *err = strfmt("recv: %s", std::strerror(errno));
+            *err = sockErr("recv");
             return FrameRead::Error;
         }
     }
@@ -130,7 +141,7 @@ writeFrame(int fd, const std::string &payload, std::string *err)
         if (w < 0) {
             if (errno == EINTR)
                 continue;
-            *err = strfmt("send: %s", std::strerror(errno));
+            *err = sockErr("send");
             return false;
         }
         off += static_cast<size_t>(w);

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <functional>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/un.h>
@@ -52,6 +53,27 @@ statLabel(const std::string &tenant)
         out.push_back(ok ? c : '_');
     }
     return out.empty() ? "anon" : out;
+}
+
+/** True when the peer of @p fd has hung up (or the fd went bad).
+ *  A zero-timeout poll + MSG_PEEK never consumes request bytes, so
+ *  a client that pipelined its next request still reads as alive. */
+bool
+peerGone(int fd)
+{
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 0);
+    if (pr < 0)
+        return false;  // transient; keep waiting
+    if (pfd.revents & (POLLERR | POLLHUP | POLLNVAL))
+        return true;
+    if (pfd.revents & POLLIN) {
+        char c;
+        const ssize_t r =
+            ::recv(fd, &c, 1, MSG_PEEK | MSG_DONTWAIT);
+        return r == 0;  // orderly shutdown, nothing buffered
+    }
+    return false;
 }
 
 /** Releases one admission slot on every exit path. */
@@ -130,6 +152,16 @@ ServiceDaemon::ServiceDaemon(ServiceConfig cfg) : cfg_(std::move(cfg))
     reg_.markVolatile("service.uptimeSeconds");
     reg_.markVolatile("service.requestsPerSec");
     started_ = std::chrono::steady_clock::now();
+
+    if (cfg_.isolation == IsolationMode::Process) {
+        if (WorkerPool::available(cfg_.pool)) {
+            pool_ = std::make_unique<WorkerPool>(cfg_.pool);
+            pool_->bindStats(reg_);
+        } else {
+            warn("uhlld: no worker executable found; --workers "
+                 "degraded to in-thread execution");
+        }
+    }
 }
 
 ServiceDaemon::~ServiceDaemon()
@@ -239,6 +271,10 @@ ServiceDaemon::stop()
             ::close(fd);
         connFds_.clear();
     }
+    // Workers go down last: every connection thread has joined, so
+    // no job is in flight and each child exits 0 on a clean EOF.
+    if (pool_)
+        pool_->shutdown();
     if (!cfg_.socketPath.empty())
         ::unlink(cfg_.socketPath.c_str());
 }
@@ -295,8 +331,8 @@ ServiceDaemon::tenantSlot(const std::string &tenant)
 }
 
 bool
-ServiceDaemon::admit(const std::string &tenant, std::string *err,
-                     std::string *code)
+ServiceDaemon::admit(int fd, const std::string &tenant,
+                     std::string *err, std::string *code)
 {
     std::unique_lock<std::mutex> lk(admissionMu_);
     Tenant &t = tenantSlot(tenant);
@@ -331,12 +367,28 @@ ServiceDaemon::admit(const std::string &tenant, std::string *err,
             break;
         }
         ++waiting_;
-        admissionCv_.wait(lk, [this, &t] {
-            return (t.running < cfg_.tenantQuota &&
-                    running_ < cfg_.maxActive) ||
-                   stopping_.load();
-        });
+        // Timed waits so a queued client that hangs up frees its
+        // slot in ~50ms instead of occupying the queue until a run
+        // slot happens to open (which, behind a long batch, could
+        // be minutes of a dead client displacing live ones).
+        bool gone = false;
+        while (!admissionCv_.wait_for(
+            lk, std::chrono::milliseconds(50), [this, &t] {
+                return (t.running < cfg_.tenantQuota &&
+                        running_ < cfg_.maxActive) ||
+                       stopping_.load();
+            })) {
+            if (peerGone(fd)) {
+                gone = true;
+                break;
+            }
+        }
         --waiting_;
+        if (gone) {
+            *err = "client disconnected while queued";
+            *code = "disconnected";
+            break;
+        }
     }
     ++t.rejected;
     ++rejected_;
@@ -593,8 +645,11 @@ ServiceDaemon::handleBatch(int fd, const std::string &op,
     }
 
     std::string aerr, acode;
-    if (!admit(tenant, &aerr, &acode)) {
-        sendError(fd, op, id, aerr, acode);
+    if (!admit(fd, tenant, &aerr, &acode)) {
+        // A disconnected client cannot read an error; anyone else
+        // gets the structured refusal.
+        if (acode != "disconnected")
+            sendError(fd, op, id, aerr, acode);
         return;
     }
     AdmissionTicket ticket(this, [this, tenant] { release(tenant); });
@@ -605,6 +660,8 @@ ServiceDaemon::handleBatch(int fd, const std::string &op,
 
     BatchRunner runner(tc_, threads);
     runner.setPolicy(policy);
+    if (pool_)
+        runner.setWorkerPool(pool_.get());
     if (!journal.empty()) {
         runner.setJournal(journal);
         // Resume is always on: a fresh batch_id reads an empty

@@ -21,11 +21,17 @@
  *    ("quota" error).
  *  - bounded queue: at most `maxActive` requests run at once;
  *    excess admitted requests wait, but no more than `maxQueue` may
- *    wait ("busy" error beyond that).
+ *    wait ("busy" error beyond that). A queued client that hangs up
+ *    is noticed (the wait polls its connection) and dequeued, so a
+ *    dead client never displaces a live one.
  *
  * Admitted batches run on the existing supervised BatchRunner --
  * worker pool, deadlines, retries, DMR, journal/resume all
- * unchanged. When the daemon has a journal directory, a request's
+ * unchanged. With `--workers N` (isolation = Process) the daemon
+ * also owns a WorkerPool of sandboxed child processes and every
+ * serializable job executes out-of-process: a job that segfaults,
+ * blows its rlimit, or hangs kills a disposable child -- the daemon
+ * and its other tenants never notice beyond a retried job. When the daemon has a journal directory, a request's
  * `batch_id` names its journal file; resubmitting the same id after
  * a daemon crash resumes from the journal and returns the same
  * byte-identical report a local `--resume` run would.
@@ -53,6 +59,7 @@
 #include "driver/supervisor.hh"
 #include "driver/toolchain.hh"
 #include "obs/stats.hh"
+#include "proc/pool.hh"
 
 namespace uhll {
 
@@ -66,6 +73,12 @@ struct ServiceConfig {
     unsigned tenantQuota = 2;     //!< running requests per tenant
     std::string journalDir;       //!< "" = no journals (no resume)
     SupervisePolicy policy;       //!< daemon-wide supervision base
+    /** Process isolation: when Process, tenant jobs run in a shared
+     *  WorkerPool of sandboxed child processes (uhlld --workers),
+     *  so a crashing job kills a disposable child, never the
+     *  daemon. Thread keeps the historical in-process path. */
+    IsolationMode isolation = IsolationMode::Thread;
+    WorkerPoolConfig pool;        //!< pool shape when Process
 };
 
 /**
@@ -119,8 +132,12 @@ class ServiceDaemon
                    const std::string &id, const std::string &error,
                    const std::string &code);
 
-    /** Admission: false with a diagnostic + code when rejected. */
-    bool admit(const std::string &tenant, std::string *err,
+    /** Admission: false with a diagnostic + code when rejected.
+     *  @p fd is the request's connection: a queued request polls it
+     *  while waiting so a client that hangs up is dequeued (code
+     *  "disconnected") instead of holding a queue slot and then
+     *  running a batch nobody will read. */
+    bool admit(int fd, const std::string &tenant, std::string *err,
                std::string *code);
     void release(const std::string &tenant);
     Tenant &tenantSlot(const std::string &tenant);
@@ -130,6 +147,10 @@ class ServiceDaemon
     ServiceConfig cfg_;
     Toolchain tc_;
     StatsRegistry reg_;
+    /** Non-null iff cfg_.isolation == Process and a worker
+     *  executable was found; shared by every batch (the pool is the
+     *  daemon-wide crash-containment boundary). */
+    std::unique_ptr<WorkerPool> pool_;
     mutable std::mutex regMu_;  //!< guards reg_ structure + dumps
 
     // Admission state. running_/waiting_ only change under

@@ -1,0 +1,164 @@
+#include "support/fsio.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "support/logging.hh"
+
+namespace uhll {
+
+namespace {
+
+std::string
+parentDir(const std::string &path)
+{
+    const size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+/** write() all of @p content to @p fd, riding out EINTR. */
+bool
+writeAll(int fd, const char *data, size_t n)
+{
+    size_t off = 0;
+    while (off < n) {
+        const ssize_t w = ::write(fd, data + off, n - off);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(w);
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+fsyncParentDir(const std::string &path, std::string *err)
+{
+    const std::string dir = parentDir(path);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY |
+                                            O_CLOEXEC);
+    if (dfd < 0) {
+        *err = strfmt("open dir '%s': %s", dir.c_str(),
+                      std::strerror(errno));
+        return false;
+    }
+    const int rc = ::fsync(dfd);
+    const int saved = errno;
+    ::close(dfd);
+    if (rc != 0) {
+        *err = strfmt("fsync dir '%s': %s", dir.c_str(),
+                      std::strerror(saved));
+        return false;
+    }
+    return true;
+}
+
+bool
+atomicWriteDurable(const std::string &path,
+                   const std::string &content, std::string *err)
+{
+    err->clear();
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                          0644);
+    if (fd < 0) {
+        *err = strfmt("cannot write '%s': %s", tmp.c_str(),
+                      std::strerror(errno));
+        return false;
+    }
+    bool ok = writeAll(fd, content.data(), content.size());
+    if (ok && ::fsync(fd) != 0)
+        ok = false;
+    const int saved = errno;
+    if (::close(fd) != 0)
+        ok = false;
+    if (!ok) {
+        *err = strfmt("short write to '%s': %s", tmp.c_str(),
+                      std::strerror(saved));
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        *err = strfmt("cannot rename '%s' to '%s': %s", tmp.c_str(),
+                      path.c_str(), std::strerror(errno));
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    // The rename is only durable once the directory entry is on
+    // disk; a failure here is worth knowing about but the file
+    // itself is already complete and visible.
+    std::string derr;
+    if (!fsyncParentDir(path, &derr))
+        warn("fsio: %s", derr.c_str());
+    return true;
+}
+
+// ----------------------------------------------------------------
+// DurableAppender
+// ----------------------------------------------------------------
+
+DurableAppender::~DurableAppender()
+{
+    close();
+}
+
+void
+DurableAppender::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+DurableAppender::open(const std::string &path, bool append,
+                      std::string *err)
+{
+    close();
+    const int flags = O_WRONLY | O_CREAT | O_CLOEXEC |
+                      (append ? O_APPEND : O_TRUNC);
+    fd_ = ::open(path.c_str(), flags, 0644);
+    if (fd_ < 0) {
+        *err = strfmt("cannot write '%s': %s", path.c_str(),
+                      std::strerror(errno));
+        return false;
+    }
+    std::string derr;
+    if (!fsyncParentDir(path, &derr))
+        warn("fsio: %s", derr.c_str());
+    return true;
+}
+
+bool
+DurableAppender::append(const std::string &text)
+{
+    if (fd_ < 0)
+        return false;
+    if (!writeAll(fd_, text.data(), text.size()))
+        return false;
+    return ::fsync(fd_) == 0;
+}
+
+bool
+DurableAppender::appendLine(const std::string &line)
+{
+    return append(line + "\n");
+}
+
+} // namespace uhll

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Durable file writes: the one atomic tmp+rename implementation
+ * every artifact writer shares.
+ *
+ * Before this module, four call sites (telemetry's writeFileAtomic,
+ * checkpoint files, fuzz corpus entries, batch journals) each did
+ * tmp+rename -- none of them fsync'd. rename() alone guarantees the
+ * *name* flips atomically, but after a power loss the new name can
+ * point at a zero-length or partially-written inode unless the file
+ * contents were flushed first, and the rename itself can vanish
+ * unless the parent directory is flushed too. atomicWriteDurable
+ * does the full sequence: write tmp, fsync(tmp), rename, fsync(dir).
+ *
+ * Append-style writers (the batch journal) cannot use tmp+rename;
+ * DurableAppender gives them the same contract per line: write,
+ * then fsync, so a journal line that loadJournal() can read is a
+ * journal line that survives power loss. (A torn final line is
+ * still possible -- the journal reader has always tolerated that.)
+ */
+
+#ifndef UHLL_SUPPORT_FSIO_HH
+#define UHLL_SUPPORT_FSIO_HH
+
+#include <string>
+
+namespace uhll {
+
+/**
+ * Write @p content to @p path atomically *and* durably: tmp file,
+ * fsync(file), rename into place, fsync(parent directory). False
+ * with a one-line diagnostic in *err on any failure (the tmp file
+ * is removed; @p path is never left half-written).
+ */
+bool atomicWriteDurable(const std::string &path,
+                        const std::string &content, std::string *err);
+
+/** fsync the directory containing @p path (durability of a rename
+ *  or create within it). False with *err on failure. */
+bool fsyncParentDir(const std::string &path, std::string *err);
+
+/**
+ * An append-only file writer with per-append durability (the batch
+ * journal). open() creates or truncates/appends and fsyncs the
+ * parent directory so the file's existence is durable; appendLine()
+ * writes one newline-terminated record and fsyncs it down.
+ */
+class DurableAppender
+{
+  public:
+    DurableAppender() = default;
+    ~DurableAppender();
+    DurableAppender(const DurableAppender &) = delete;
+    DurableAppender &operator=(const DurableAppender &) = delete;
+
+    /** Open @p path (append or truncate). False with *err set. */
+    bool open(const std::string &path, bool append, std::string *err);
+
+    bool isOpen() const { return fd_ >= 0; }
+
+    /** Write @p line plus '\n', then fsync. False on a write error
+     *  (the appender stays open; callers may retry or ignore). */
+    bool appendLine(const std::string &line);
+
+    /** Write @p text verbatim (no newline added), then fsync. */
+    bool append(const std::string &text);
+
+    void close();
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace uhll
+
+#endif // UHLL_SUPPORT_FSIO_HH

@@ -47,6 +47,17 @@
  *                       from their last checkpoint; completed
  *                       results are reused byte-identically
  *
+ * Process isolation (batch mode; see README "Crash isolation"):
+ *   --isolation MODE    thread (default) runs jobs on in-process
+ *                       worker threads; process runs each job in a
+ *                       sandboxed worker process (crashes, OOMs and
+ *                       hangs become structured per-job errors, the
+ *                       report stays byte-identical)
+ *   --worker-mem-mb M   per-worker RLIMIT_AS cap in MiB
+ *   --worker-cpu-s S    per-worker RLIMIT_CPU cap in seconds
+ *   --hang-timeout S    SIGKILL a worker silent for S seconds
+ *                       (default 30)
+ *
  * Service mode (see README "Service"; uhlld serves the same
  * Toolchain over an AF_UNIX socket, sharing one artefact cache
  * across tenants):
@@ -55,6 +66,10 @@
  *                       runs the manifest and the returned report is
  *                       byte-identical (with --no-timings) to a
  *                       local run
+ *   --io-timeout S      bound every connect/send/recv on the daemon
+ *                       socket by S seconds; a wedged daemon then
+ *                       exits 4 with a "timed out" diagnostic
+ *                       instead of hanging (default: blocking)
  *   --tenant NAME       tenant label for quotas and per-tenant
  *                       stats (default: $USER)
  *   --batch-id ID       names the daemon-side journal, so
@@ -151,6 +166,7 @@
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "driver/batch.hh"
 #include "driver/options.hh"
@@ -161,6 +177,8 @@
 #include "obs/schema.hh"
 #include "obs/telemetry.hh"
 #include "obs/trace.hh"
+#include "proc/pool.hh"
+#include "proc/worker.hh"
 #include "service/client.hh"
 #include "support/logging.hh"
 
@@ -201,6 +219,9 @@ usage()
         "             [--quiet] [--verbose]\n"
         "       uhllc --batch MANIFEST [-jN] [--report FILE]\n"
         "             [--no-timings] [--resume REPORT]\n"
+        "             [--isolation thread|process]\n"
+        "             [--worker-mem-mb M] [--worker-cpu-s S]\n"
+        "             [--hang-timeout S]\n"
         "             [--jit | --no-jit] [--jit-threshold N]\n"
         "             [--deadline S] [--retries N]\n"
         "             [--checkpoint-every N] [--dmr]\n"
@@ -208,6 +229,7 @@ usage()
         "             [--otrace FILE] [--metrics-out FILE]\n"
         "             [--metrics-every N] [--postmortem-dir DIR]\n"
         "       uhllc --connect SOCK [--tenant NAME]\n"
+        "             [--io-timeout S]\n"
         "             [--batch MANIFEST [--batch-id ID] [-jN]\n"
         "              [--report FILE] [--no-timings]]\n"
         "             [--ping | --scrape-metrics | --shutdown]\n"
@@ -369,7 +391,8 @@ batchMode(const std::string &manifest_path, unsigned threads,
           std::string report_path, bool timings,
           const SuperviseOverrides &so,
           const std::string &resume_path,
-          const PipelineOverrides &po, const TelemetryOverrides &to)
+          const PipelineOverrides &po, const TelemetryOverrides &to,
+          IsolationMode isolation, const WorkerPoolConfig &poolCfg)
 {
     Toolchain tc;
     BatchSpec spec;
@@ -422,7 +445,31 @@ batchMode(const std::string &manifest_path, unsigned threads,
         runner.setJournal(report_path + ".journal");
     runner.setResume(resume);
     runner.setPostmortemDir(tel.postmortemDir);
+
+    // --isolation process: execute jobs in sandboxed worker
+    // processes (proc/pool.hh); fall back to threads -- with a
+    // warning, never an error -- where workers cannot be spawned.
+    std::unique_ptr<WorkerPool> pool;
+    if (isolation == IsolationMode::Process) {
+        WorkerPoolConfig pc = poolCfg;
+        if (pc.workers == 0) {
+            pc.workers = threads ? threads
+                                 : std::thread::hardware_concurrency();
+            if (pc.workers == 0)
+                pc.workers = 1;
+        }
+        if (WorkerPool::available(pc)) {
+            pool = std::make_unique<WorkerPool>(pc);
+            runner.setWorkerPool(pool.get());
+        } else {
+            warn("batch: worker processes unavailable (no worker "
+                 "executable); running in-thread");
+        }
+    }
+
     BatchReport report = runner.run(spec.jobs);
+    if (pool)
+        pool->shutdown();
 
     const std::string json = report.toJson(true, timings) + "\n";
     if (report_path.empty())
@@ -483,13 +530,16 @@ clientMode(const std::string &sock, std::string tenant,
            const std::string &report_path, bool timings,
            unsigned threads, const PipelineOverrides &po,
            const SuperviseOverrides &so, bool ping, bool metrics,
-           bool shutdown)
+           bool shutdown, double io_timeout)
 {
     if (tenant.empty()) {
         const char *u = std::getenv("USER");
         tenant = u && *u ? u : "anon";
     }
     ServiceClient cl;
+    // --io-timeout: a wedged daemon becomes a clean exit 4 instead
+    // of an indefinite hang; 0 (the default) stays fully blocking
+    cl.setIoTimeout(io_timeout);
     std::string err;
     if (!cl.connectTo(sock, &err)) {
         std::fprintf(stderr, "uhllc: %s\n", err.c_str());
@@ -632,6 +682,18 @@ printSimError(const SimResult &res)
 int
 main(int argc, char **argv)
 {
+    // Worker-mode re-execution (spawned by a WorkerPool): divert
+    // before any flag parsing -- a worker is a job server, not a
+    // CLI invocation.
+    if (isWorkerInvocation(argc, argv)) {
+        try {
+            return runWorkerFromArgv(argc, argv);
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "worker: %s\n", e.what());
+            return 2;
+        }
+    }
+
     Job job;
     std::string file;
     bool listing = false, stats = false, list = false;
@@ -661,6 +723,15 @@ main(int argc, char **argv)
     std::string connect_path, tenant, batch_id;
     bool svc_ping = false, svc_metrics = false,
          svc_shutdown = false;
+    double io_timeout = 0;
+
+    IsolationMode isolation = IsolationMode::Thread;
+    WorkerPoolConfig pool_cfg;
+    pool_cfg.workers = 0;  // 0 = follow the batch thread count
+    if (const char *chaos = std::getenv("UHLL_WORKER_CHAOS"))
+        pool_cfg.chaosSpec = chaos;
+    if (const char *cdir = std::getenv("UHLL_WORKER_CHAOS_DIR"))
+        pool_cfg.chaosDir = cdir;
 
     ArgScanner sc(argc, argv);
     while (sc.next()) {
@@ -723,6 +794,27 @@ main(int argc, char **argv)
         else if (sc.is("--no-timings")) batch_timings = false;
         else if (sc.value("--resume", &resume_path)) {}
         else if (sc.value("--connect", &connect_path)) {}
+        else if (sc.valueDouble("--io-timeout", &io_timeout)) {}
+        else if (sc.value("--isolation", &val)) {
+            if (val == "thread") {
+                isolation = IsolationMode::Thread;
+            } else if (val == "process") {
+                isolation = IsolationMode::Process;
+            } else {
+                std::fprintf(stderr,
+                             "bad --isolation '%s' "
+                             "(thread|process)\n",
+                             val.c_str());
+                return 2;
+            }
+        }
+        else if (sc.valueU64("--worker-mem-mb",
+                             &pool_cfg.memLimitMb)) {}
+        else if (sc.valueU64("--worker-cpu-s", &n)) {
+            pool_cfg.cpuLimitSeconds = static_cast<uint32_t>(n);
+        }
+        else if (sc.valueDouble("--hang-timeout",
+                                &pool_cfg.hangTimeoutSeconds)) {}
         else if (sc.value("--tenant", &tenant)) {}
         else if (sc.value("--batch-id", &batch_id)) {}
         else if (sc.is("--ping")) svc_ping = true;
@@ -806,7 +898,8 @@ main(int argc, char **argv)
             return clientMode(connect_path, tenant, batch_id,
                               batch_manifest, report_path,
                               batch_timings, batch_threads, po, so,
-                              svc_ping, svc_metrics, svc_shutdown);
+                              svc_ping, svc_metrics, svc_shutdown,
+                              io_timeout);
         }
 
         if (fuzz_mode) {
@@ -818,7 +911,8 @@ main(int argc, char **argv)
         if (!batch_manifest.empty()) {
             return batchMode(batch_manifest, batch_threads,
                              report_path, batch_timings, so,
-                             resume_path, po, to);
+                             resume_path, po, to, isolation,
+                             pool_cfg);
         }
 
         if (job.lang.empty() || job.machine.empty() || file.empty())

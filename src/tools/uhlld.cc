@@ -20,6 +20,18 @@
  *   --tenant-quota N    running requests per tenant (default 2)
  *   --journal-dir DIR   per-batch_id journals (enables resume)
  *   --otrace FILE       write a merged span trace at shutdown
+ *
+ * Crash isolation (README "Crash isolation"): with --workers the
+ * daemon shards tenant jobs across a pool of sandboxed worker
+ * *processes* -- a job that segfaults, OOMs or hangs kills a
+ * disposable child that is reaped, respawned, and retried; the
+ * daemon itself never dies for a tenant's job.
+ *   --workers N         run jobs in N worker processes (implies
+ *                       --isolation process)
+ *   --isolation MODE    thread (classic, default) | process
+ *   --worker-mem-mb M   per-worker RLIMIT_AS cap in MiB
+ *   --worker-cpu-s S    per-worker RLIMIT_CPU cap in seconds
+ *   --hang-timeout S    SIGKILL a worker silent for S seconds
  *   --deadline S / --retries N / --checkpoint-every N / --dmr /
  *   --dmr-interval N / --dmr-seed-b N
  *                       daemon-wide supervision base (manifests and
@@ -38,9 +50,11 @@
 #include <cstdlib>
 #include <ctime>
 #include <fstream>
+#include <thread>
 
 #include "driver/options.hh"
 #include "obs/telemetry.hh"
+#include "proc/worker.hh"
 #include "service/server.hh"
 #include "support/logging.hh"
 
@@ -65,6 +79,9 @@ usage()
         "             [--max-active N] [--queue N]\n"
         "             [--tenant-quota N] [--journal-dir DIR]\n"
         "             [--otrace FILE]\n"
+        "             [--workers N] [--isolation thread|process]\n"
+        "             [--worker-mem-mb M] [--worker-cpu-s S]\n"
+        "             [--hang-timeout S]\n"
         "             [--deadline S] [--retries N]\n"
         "             [--checkpoint-every N] [--dmr]\n"
         "             [--dmr-interval N] [--dmr-seed-b N]\n"
@@ -90,10 +107,29 @@ describeOptions()
 int
 main(int argc, char **argv)
 {
+    // Worker mode: this very binary, re-exec'd by a WorkerPool.
+    // Dispatch before any daemon setup -- a worker is not a daemon.
+    if (isWorkerInvocation(argc, argv)) {
+        try {
+            return runWorkerFromArgv(argc, argv);
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "uhlld worker: %s\n", e.what());
+            return 2;
+        }
+    }
+
     ServiceConfig cfg;
     SuperviseOverrides so;
     std::string otrace;
     bool describe = false;
+    bool isolationGiven = false;
+    bool workersGiven = false;
+    // Chaos test hooks ride in via the environment so test drivers
+    // need not thread them through every flag path.
+    if (const char *chaos = std::getenv("UHLL_WORKER_CHAOS"))
+        cfg.pool.chaosSpec = chaos;
+    if (const char *cdir = std::getenv("UHLL_WORKER_CHAOS_DIR"))
+        cfg.pool.chaosDir = cdir;
 
     ArgScanner sc(argc, argv);
     while (sc.next()) {
@@ -124,6 +160,31 @@ main(int argc, char **argv)
             if (!cfg.workers)
                 usage();
         }
+        else if (sc.valueU64("--workers", &n)) {
+            cfg.pool.workers = static_cast<uint32_t>(n);
+            workersGiven = true;
+        }
+        else if (sc.value("--isolation", &val)) {
+            if (val == "thread")
+                cfg.isolation = IsolationMode::Thread;
+            else if (val == "process")
+                cfg.isolation = IsolationMode::Process;
+            else {
+                std::fprintf(stderr,
+                             "bad --isolation '%s' "
+                             "(thread|process)\n",
+                             val.c_str());
+                return 2;
+            }
+            isolationGiven = true;
+        }
+        else if (sc.valueU64("--worker-mem-mb",
+                             &cfg.pool.memLimitMb)) {}
+        else if (sc.valueU64("--worker-cpu-s", &n)) {
+            cfg.pool.cpuLimitSeconds = static_cast<uint32_t>(n);
+        }
+        else if (sc.valueDouble("--hang-timeout",
+                                &cfg.pool.hangTimeoutSeconds)) {}
         else if (so.parse(sc)) {}
         else if (sc.is("--describe-options")) describe = true;
         else if (sc.is("--quiet")) setLogLevel(LogLevel::Quiet);
@@ -143,6 +204,17 @@ main(int argc, char **argv)
     }
     cfg.policy = so.mergedWith(SupervisePolicy{});
 
+    // --workers alone is enough to opt into process isolation; an
+    // explicit --isolation always wins.
+    if (workersGiven && !isolationGiven)
+        cfg.isolation = IsolationMode::Process;
+    if (cfg.isolation == IsolationMode::Process && !workersGiven) {
+        const unsigned hw = cfg.workers
+                                ? cfg.workers
+                                : std::thread::hardware_concurrency();
+        cfg.pool.workers = hw ? hw : 1;
+    }
+
     if (!otrace.empty())
         SpanTracer::instance().enable();
     SpanTracer::instance().setLaneName("uhlld-main");
@@ -158,10 +230,14 @@ main(int argc, char **argv)
         return 4;
     }
     inform("uhlld: listening on %s (%u max active, quota %u/tenant, "
-           "cache cap %llu MiB%s)",
+           "cache cap %llu MiB%s%s)",
            cfg.socketPath.c_str(), cfg.maxActive, cfg.tenantQuota,
            (unsigned long long)(cfg.cacheCapBytes >> 20),
-           cfg.journalDir.empty() ? "" : ", journaled");
+           cfg.journalDir.empty() ? "" : ", journaled",
+           cfg.isolation == IsolationMode::Process
+               ? strfmt(", %u process workers", cfg.pool.workers)
+                     .c_str()
+               : "");
 
     // wait() blocks on the daemon's own shutdown op; a signal can
     // only set a flag, so poll it alongside.

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Out-of-process execution tests (proc/): the wire forms round-trip,
+ * a pooled worker produces a result byte-identical to the in-thread
+ * path, and the chaos contract holds -- a worker SIGKILLed, aborted
+ * or OOMed mid-job is reaped, respawned and retried into the exact
+ * same report, while an exhausted crash budget becomes a structured
+ * SimError{WorkerCrashed} with a post-mortem, never a hung or dead
+ * parent. These run under the ASan and TSan ctest legs too (the
+ * 'Proc' group in scripts/verify.sh).
+ *
+ * The worker executable is the real uhllc (UHLL_WORKER_EXE, a
+ * compile definition pointing at the built tool): the test binary
+ * itself has a gtest main and cannot serve --worker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "driver/batch.hh"
+#include "driver/supervisor.hh"
+#include "driver/toolchain.hh"
+#include "machine/simulator.hh"
+#include "obs/json.hh"
+#include "proc/pool.hh"
+#include "proc/wire.hh"
+#include "support/logging.hh"
+#include "workloads/workloads.hh"
+
+// RLIMIT_AS tests cannot run under ASan/TSan: the sanitizer's shadow
+// reservations blow any realistic address-space cap before the
+// worker's main() is even reached, so the "respawned worker runs
+// clean" half of the invariant is unsatisfiable. The crash/hang
+// chaos tests (no rlimit) still run under both.
+#if defined(__has_feature)
+#  if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#    define UHLL_TEST_UNDER_SANITIZER 1
+#  endif
+#endif
+#if !defined(UHLL_TEST_UNDER_SANITIZER) && \
+    (defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__))
+#  define UHLL_TEST_UNDER_SANITIZER 1
+#endif
+
+namespace uhll {
+namespace {
+
+std::string
+tmpPath(const char *tag)
+{
+    return strfmt("/tmp/uhll-proc-%d-%s", int(getpid()), tag);
+}
+
+/** Pool config pointing at the real worker binary. */
+WorkerPoolConfig
+poolConfig(uint32_t workers = 2)
+{
+    WorkerPoolConfig cfg;
+    cfg.workers = workers;
+    cfg.exePath = UHLL_WORKER_EXE;
+    return cfg;
+}
+
+/** A small mixed job list: compiled + hand workloads across
+ *  machines, all wire-serializable. */
+std::vector<Job>
+smallMatrix()
+{
+    const std::vector<Workload> &suite = workloadSuite();
+    std::vector<Job> jobs;
+    jobs.push_back(workloadJob(suite[0], "hm1", false));
+    jobs.push_back(workloadJob(suite[0], "hm1", true));
+    jobs.push_back(workloadJob(suite[1], "vm2", false));
+    jobs.push_back(workloadJob(suite[2], "vs3", false));
+    return jobs;
+}
+
+std::string
+inThreadReport(const std::vector<Job> &jobs)
+{
+    Toolchain tc;
+    return BatchRunner(tc, 2).run(jobs).toJson(true, false);
+}
+
+// ----------------------------------------------------------------
+// Wire forms
+// ----------------------------------------------------------------
+
+TEST(ProcWire, RequestRoundtripPreservesJobAndPolicy)
+{
+    WireJobRequest req;
+    req.job = workloadJob(workloadSuite()[1], "vm2", false);
+    req.job.faultSeed = 0xdeadbeefcafe0123ull;  // > 2^53: hex path
+    req.job.maxCycles = 1ull << 60;
+    req.job.sets.push_back({"r3", 0xffffffffffffffffull});
+    req.policy.maxRetries = 3;
+    req.policy.checkpointEveryCycles = 5000;
+    req.policy.dmr = true;
+    req.checkpointFile = "/tmp/x.ckpt";
+    req.postmortemDir = "/tmp/pm";
+    req.resume = true;
+
+    const WireJobRequest back =
+        wireRequestFromJson(JsonValue::parse(wireRequestJson(req)));
+    EXPECT_EQ(back.job.name, req.job.name);
+    EXPECT_EQ(back.job.workload, req.job.workload);
+    EXPECT_EQ(back.job.machine, req.job.machine);
+    EXPECT_EQ(back.job.faultSeed, req.job.faultSeed);
+    EXPECT_EQ(back.job.maxCycles, req.job.maxCycles);
+    EXPECT_EQ(back.job.sets, req.job.sets);
+    // The worker must get the rebuilt hooks -- that is the whole
+    // point of shipping the workload name instead of the functions.
+    EXPECT_TRUE(back.job.checkMemory != nullptr);
+    EXPECT_EQ(back.policy.maxRetries, 3u);
+    EXPECT_EQ(back.policy.checkpointEveryCycles, 5000u);
+    EXPECT_TRUE(back.policy.dmr);
+    EXPECT_EQ(back.checkpointFile, req.checkpointFile);
+    EXPECT_EQ(back.postmortemDir, req.postmortemDir);
+    EXPECT_TRUE(back.resume);
+}
+
+TEST(ProcWire, ResultRoundtripCarriesVerbatimRenders)
+{
+    Toolchain tc;
+    const Job job = workloadJob(workloadSuite()[0], "hm1", false);
+    const JobResult r = tc.run(job);
+    ASSERT_TRUE(r.ok);
+
+    const JobResult back =
+        wireResultFromJson(JsonValue::parse(wireResultJson(r)));
+    EXPECT_EQ(back.ok, r.ok);
+    EXPECT_EQ(back.ran, r.ran);
+    EXPECT_EQ(back.vars, r.vars);
+    EXPECT_EQ(back.sim.cycles, r.sim.cycles);
+    // Byte-identity: the re-render of the deserialized result must
+    // be the exact bytes of the original render, both forms.
+    EXPECT_EQ(back.toJson(true, false), r.toJson(true, false));
+    EXPECT_EQ(back.toJson(true, true), r.toJson(true, true));
+}
+
+TEST(ProcWire, HooksWithoutWorkloadNameAreNotSerializable)
+{
+    Job job = workloadJob(workloadSuite()[0], "hm1", false);
+    std::string why;
+    EXPECT_TRUE(jobWireSerializable(job, &why)) << why;
+    job.workload.clear();  // hooks survive, provenance lost
+    EXPECT_FALSE(jobWireSerializable(job, &why));
+    EXPECT_FALSE(why.empty());
+}
+
+TEST(ProcWire, SimErrorKindNamesRoundtrip)
+{
+    for (SimErrorKind k :
+         {SimErrorKind::None, SimErrorKind::WatchdogStall,
+          SimErrorKind::RestartLivelock,
+          SimErrorKind::ParityUnrecoverable, SimErrorKind::Cancelled,
+          SimErrorKind::DeadlineExceeded,
+          SimErrorKind::WorkerCrashed})
+        EXPECT_EQ(simErrorKindFromName(simErrorKindName(k)), k);
+    EXPECT_EQ(simErrorKindFromName("no-such-kind"),
+              SimErrorKind::None);
+}
+
+// ----------------------------------------------------------------
+// Pool basics
+// ----------------------------------------------------------------
+
+TEST(WorkerPoolTest, AvailableWithRealWorkerBinary)
+{
+    EXPECT_TRUE(WorkerPool::available(poolConfig()));
+    WorkerPoolConfig bad;
+    bad.exePath = "/no/such/binary";
+    EXPECT_FALSE(WorkerPool::available(bad));
+}
+
+TEST(WorkerPoolTest, SingleJobMatchesInThreadBytes)
+{
+    const Job job = workloadJob(workloadSuite()[0], "hm1", false);
+    Toolchain tc;
+    const JobResult local = tc.run(job);
+
+    WorkerPool pool(poolConfig(1));
+    const JobResult remote = pool.runJob(job, SuperviseContext{});
+    pool.shutdown();
+
+    EXPECT_TRUE(remote.ok);
+    EXPECT_EQ(remote.toJson(true, false), local.toJson(true, false));
+    const WorkerPoolStats st = pool.stats();
+    EXPECT_EQ(st.completed, 1u);
+    EXPECT_EQ(st.crashes, 0u);
+}
+
+TEST(WorkerPoolTest, BatchThroughPoolIsByteIdentical)
+{
+    const std::vector<Job> jobs = smallMatrix();
+    const std::string local = inThreadReport(jobs);
+
+    Toolchain tc;
+    WorkerPool pool(poolConfig(2));
+    BatchRunner runner(tc, 2);
+    runner.setWorkerPool(&pool);
+    const std::string remote =
+        runner.run(jobs).toJson(true, false);
+    pool.shutdown();
+    EXPECT_EQ(remote, local);
+}
+
+// ----------------------------------------------------------------
+// Chaos: every way a worker dies converges or fails structurally
+// ----------------------------------------------------------------
+
+/** Run the small matrix through a pool armed with @p chaos; returns
+ *  the no-timings report. */
+std::string
+chaosReport(const std::string &chaos, const std::string &chaos_dir,
+            uint64_t mem_limit_mb = 0)
+{
+    WorkerPoolConfig cfg = poolConfig(2);
+    cfg.chaosSpec = chaos;
+    cfg.chaosDir = chaos_dir;
+    cfg.memLimitMb = mem_limit_mb;
+    Toolchain tc;
+    WorkerPool pool(cfg);
+    BatchRunner runner(tc, 2);
+    runner.setWorkerPool(&pool);
+    const std::string report =
+        runner.run(smallMatrix()).toJson(true, false);
+    pool.shutdown();
+    return report;
+}
+
+TEST(WorkerPoolChaos, SigkillMidJobRetriesToIdenticalReport)
+{
+    const std::string dir = tmpPath("kill");
+    ::mkdir(dir.c_str(), 0777);
+    EXPECT_EQ(chaosReport("kill-once", dir),
+              inThreadReport(smallMatrix()));
+}
+
+TEST(WorkerPoolChaos, AbortMidJobRetriesToIdenticalReport)
+{
+    const std::string dir = tmpPath("abort");
+    ::mkdir(dir.c_str(), 0777);
+    EXPECT_EQ(chaosReport("abort-once", dir),
+              inThreadReport(smallMatrix()));
+}
+
+TEST(WorkerPoolChaos, OomUnderRlimitRetriesToIdenticalReport)
+{
+#ifdef UHLL_TEST_UNDER_SANITIZER
+    GTEST_SKIP() << "RLIMIT_AS incompatible with sanitizer shadow "
+                    "mappings in the worker";
+#endif
+    const std::string dir = tmpPath("oom");
+    ::mkdir(dir.c_str(), 0777);
+    // 512 MiB RLIMIT_AS: the chaos allocator hits it long before
+    // its own 1 GiB cap, dies, and the respawned worker runs clean.
+    EXPECT_EQ(chaosReport("oom-once", dir, 512),
+              inThreadReport(smallMatrix()));
+}
+
+TEST(WorkerPoolChaos, ExhaustedCrashBudgetIsStructuredError)
+{
+    const std::string pmdir = tmpPath("pm");
+    ::mkdir(pmdir.c_str(), 0777);
+
+    WorkerPoolConfig cfg = poolConfig(1);
+    cfg.chaosSpec = "abort";  // every dispatch dies
+    cfg.maxCrashRetries = 1;
+    WorkerPool pool(cfg);
+
+    const Job job = workloadJob(workloadSuite()[0], "hm1", false);
+    SuperviseContext ctx;
+    ctx.postmortemDir = pmdir;
+    const JobResult r = pool.runJob(job, ctx);
+    pool.shutdown();
+
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(r.ran);
+    EXPECT_EQ(r.sim.error.kind, SimErrorKind::WorkerCrashed);
+    EXPECT_EQ(r.retries, 1u);
+    // WorkerCrashed must not leak into the supervisor's own retry
+    // loop: the pool already spent its budget.
+    EXPECT_FALSE(simErrorRecoverable(SimErrorKind::WorkerCrashed));
+
+    const WorkerPoolStats st = pool.stats();
+    EXPECT_EQ(st.crashFailures, 1u);
+    EXPECT_GE(st.crashes, 2u);  // first attempt + retry
+
+    // The flight recorder got a post-mortem (job names are
+    // path-sanitized: '/' -> '_').
+    std::string base = job.name;
+    for (char &c : base)
+        if (c == '/')
+            c = '_';
+    const std::string pm = pmdir + "/" + base + ".postmortem.json";
+    struct stat sb;
+    EXPECT_EQ(::stat(pm.c_str(), &sb), 0) << pm;
+}
+
+TEST(WorkerPoolChaos, SiblingJobsSurviveOneCrashingJob)
+{
+    // One worker dies once; with a zero retry budget that job fails
+    // structurally while every sibling still completes ok.
+    const std::string dir = tmpPath("sib");
+    ::mkdir(dir.c_str(), 0777);
+
+    WorkerPoolConfig cfg = poolConfig(2);
+    cfg.chaosSpec = "abort-once";
+    cfg.chaosDir = dir;
+    cfg.maxCrashRetries = 0;
+    Toolchain tc;
+    WorkerPool pool(cfg);
+    BatchRunner runner(tc, 2);
+    runner.setWorkerPool(&pool);
+    const std::vector<Job> jobs = smallMatrix();
+    const BatchReport report = runner.run(jobs);
+    pool.shutdown();
+
+    ASSERT_EQ(report.results.size(), jobs.size());
+    size_t crashed = 0;
+    for (const JobResult &r : report.results) {
+        if (!r.ok) {
+            ++crashed;
+            EXPECT_EQ(r.sim.error.kind,
+                      SimErrorKind::WorkerCrashed);
+        }
+    }
+    EXPECT_EQ(crashed, 1u);
+    EXPECT_EQ(report.okCount(), jobs.size() - 1);
+}
+
+TEST(WorkerPoolChaos, HungWorkerIsKilledAndRetried)
+{
+    const std::string dir = tmpPath("hang");
+    ::mkdir(dir.c_str(), 0777);
+
+    WorkerPoolConfig cfg = poolConfig(1);
+    cfg.chaosSpec = "hang-once";
+    cfg.chaosDir = dir;
+    cfg.hangTimeoutSeconds = 1.0;  // keep the test fast
+    WorkerPool pool(cfg);
+
+    const Job job = workloadJob(workloadSuite()[0], "hm1", false);
+    const JobResult r = pool.runJob(job, SuperviseContext{});
+    pool.shutdown();
+
+    EXPECT_TRUE(r.ok)
+        << (r.diagnostics.empty() ? "" : r.diagnostics[0]);
+    const WorkerPoolStats st = pool.stats();
+    EXPECT_EQ(st.hangs, 1u);
+    EXPECT_GE(st.respawns, 1u);
+}
+
+} // namespace
+} // namespace uhll

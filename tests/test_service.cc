@@ -18,6 +18,7 @@
 #include <vector>
 
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -28,6 +29,18 @@
 #include "service/protocol.hh"
 #include "service/server.hh"
 #include "support/logging.hh"
+
+// See test_proc.cc: RLIMIT_AS on a sanitizer-instrumented worker
+// dies in the runtime's shadow reservations before main().
+#if defined(__has_feature)
+#  if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#    define UHLL_TEST_UNDER_SANITIZER 1
+#  endif
+#endif
+#if !defined(UHLL_TEST_UNDER_SANITIZER) && \
+    (defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__))
+#  define UHLL_TEST_UNDER_SANITIZER 1
+#endif
 
 using namespace uhll;
 
@@ -432,6 +445,227 @@ TEST(ServiceDaemonTest, MetricsExportAndShutdownOp)
     EXPECT_TRUE(resp.ok);
     EXPECT_TRUE(td.daemon.stopped());
     td.daemon.stop();  // joins cleanly after a shutdown op
+}
+
+// ----------------------------------------------------------------
+// Process-isolated workers behind the daemon
+// ----------------------------------------------------------------
+
+/** baseConfig + a worker-process pool (the real uhllc binary). */
+ServiceConfig
+poolConfig(const char *tag, uint32_t workers)
+{
+    ServiceConfig cfg = baseConfig(tag);
+    cfg.isolation = IsolationMode::Process;
+    cfg.pool.workers = workers;
+    cfg.pool.exePath = UHLL_WORKER_EXE;
+    return cfg;
+}
+
+TEST(ServiceDaemonPool, EightTenantsOverFourWorkersByteIdentical)
+{
+    // Local reference: the same manifest through BatchRunner.
+    std::vector<Job> jobs =
+        parseManifest(JsonValue::parse(kManifest), "");
+    Toolchain tc;
+    const std::string local =
+        BatchRunner(tc, 2).run(jobs).toJson(true, false) + "\n";
+
+    TestDaemon td(poolConfig("pool8", 4));
+    const std::string sock = td.daemon.config().socketPath;
+    std::vector<std::string> reports(8);
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < reports.size(); ++i) {
+        threads.emplace_back([&, i] {
+            ServiceClient cl;
+            std::string err;
+            ServiceResponse resp;
+            if (!cl.connectTo(sock, &err) ||
+                !cl.request("batch", strfmt("tenant%zu", i), "1",
+                            batchBody(), &resp, &err) ||
+                !resp.ok) {
+                ++failures;
+                return;
+            }
+            reports[i] = resp.follow;
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+    for (const std::string &r : reports)
+        EXPECT_EQ(r, local);
+}
+
+TEST(ServiceDaemonPool, WorkerSigkillMidBatchStillByteIdentical)
+{
+    std::vector<Job> jobs =
+        parseManifest(JsonValue::parse(kManifest), "");
+    Toolchain tc;
+    const std::string local =
+        BatchRunner(tc, 2).run(jobs).toJson(true, false) + "\n";
+
+    ServiceConfig cfg = poolConfig("poolkill", 2);
+    cfg.pool.chaosSpec = "kill-once";
+    cfg.pool.chaosDir = tmpPath("poolkill-chaos");
+    ::mkdir(cfg.pool.chaosDir.c_str(), 0777);
+    TestDaemon td(cfg);
+
+    ServiceClient cl;
+    std::string err;
+    ASSERT_TRUE(cl.connectTo(cfg.socketPath, &err));
+    ServiceResponse resp;
+    ASSERT_TRUE(
+        cl.request("batch", "t0", "1", batchBody(), &resp, &err))
+        << err;
+    ASSERT_TRUE(resp.ok) << resp.error;
+    EXPECT_EQ(resp.follow, local);
+    // The daemon survived its worker's violent death.
+    ASSERT_TRUE(cl.request("ping", "t0", "2", "", &resp, &err));
+    EXPECT_TRUE(resp.ok);
+}
+
+TEST(ServiceDaemonPool, RlimitOomIsStructuredErrorDaemonSurvives)
+{
+#ifdef UHLL_TEST_UNDER_SANITIZER
+    GTEST_SKIP() << "RLIMIT_AS incompatible with sanitizer shadow "
+                    "mappings in the worker";
+#endif
+    ServiceConfig cfg = poolConfig("pooloom", 2);
+    cfg.pool.chaosSpec = "oom";  // every dispatch allocates to death
+    cfg.pool.memLimitMb = 512;
+    cfg.pool.maxCrashRetries = 0;
+    TestDaemon td(cfg);
+
+    ServiceClient cl;
+    std::string err;
+    ASSERT_TRUE(cl.connectTo(cfg.socketPath, &err));
+    ServiceResponse resp;
+    ASSERT_TRUE(
+        cl.request("batch", "t0", "1", batchBody(), &resp, &err))
+        << err;
+    ASSERT_TRUE(resp.ok) << resp.error;  // transport ok...
+    const JsonValue *body = resp.body();
+    ASSERT_NE(body, nullptr);
+    // ...but the job failed with the structured worker-crash error
+    // (exit 3 contract, same as a local sim error).
+    EXPECT_EQ(body->require("exit").asU64(), 3u);
+    EXPECT_NE(resp.follow.find("worker-crashed"),
+              std::string::npos);
+    // Daemon and pool both outlive the OOM.
+    ASSERT_TRUE(cl.request("ping", "t0", "2", "", &resp, &err));
+    EXPECT_TRUE(resp.ok);
+}
+
+TEST(ServiceDaemonPool, MetricsExposeProcCounters)
+{
+    TestDaemon td(poolConfig("poolmet", 2));
+    ServiceClient cl;
+    std::string err;
+    ASSERT_TRUE(
+        cl.connectTo(td.daemon.config().socketPath, &err));
+    ServiceResponse resp;
+    ASSERT_TRUE(
+        cl.request("batch", "t0", "1", batchBody(), &resp, &err));
+    ASSERT_TRUE(resp.ok) << resp.error;
+    ASSERT_TRUE(cl.request("metrics", "t0", "2", "", &resp, &err));
+    ASSERT_TRUE(resp.ok);
+    EXPECT_NE(resp.follow.find("uhll_proc_spawns"),
+              std::string::npos);
+    EXPECT_NE(resp.follow.find("uhll_proc_completed"),
+              std::string::npos);
+}
+
+// ----------------------------------------------------------------
+// Queue-wait disconnect
+// ----------------------------------------------------------------
+
+TEST(ServiceDaemonTest, QueuedClientDisconnectReleasesSlot)
+{
+    // maxActive 1 + a deadline-bounded spin job holding the only
+    // run slot: a second client queues behind it, hangs up, and
+    // must be dequeued without ever running -- the deterministic
+    // witness is the service.batches counter (holder + live client
+    // = 2; the old behavior would have run the ghost's batch too).
+    const char *spin_manifest =
+        "{\"jobs\": [{\"name\": \"spin\", \"lang\": \"yalll\", "
+        "\"machine\": \"hm1\", \"max_cycles\": 100000000000, "
+        "\"source\": \"reg a\\nproc main\\n    put a, 1\\n"
+        "again:\\n    jump again\\n\"}], "
+        "\"supervise\": {\"deadline_seconds\": 1.0}}";
+    JsonWriter w(false);
+    w.beginObject();
+    w.raw("manifest", spin_manifest);
+    w.value("timings", false);
+    w.endObject();
+    const std::string spin_body = w.str();
+
+    ServiceConfig cfg = baseConfig("quit-queue");
+    cfg.maxActive = 1;
+    cfg.maxQueue = 2;
+    cfg.tenantQuota = 1;
+    TestDaemon td(cfg);
+    const std::string sock = cfg.socketPath;
+
+    std::thread holder([&] {
+        ServiceClient cl;
+        std::string err;
+        ServiceResponse resp;
+        if (cl.connectTo(sock, &err))
+            cl.request("batch", "holder", "1", spin_body, &resp,
+                       &err);
+    });
+
+    // Wait until the holder actually occupies the run slot.
+    ServiceClient watch;
+    std::string err;
+    ServiceResponse resp;
+    ASSERT_TRUE(watch.connectTo(sock, &err));
+    bool active = false;
+    for (int i = 0; i < 400 && !active; ++i) {
+        ASSERT_TRUE(
+            watch.request("stats", "w", "s", "", &resp, &err));
+        const JsonValue stats = JsonValue::parse(resp.follow);
+        if (const JsonValue *svc = stats.get("service"))
+            if (const JsonValue *a = svc->get("active"))
+                active = a->asU64() == 1;
+        if (!active)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+    }
+    ASSERT_TRUE(active);
+
+    // Queue a request behind the holder (same tenant, quota 1),
+    // then vanish without reading anything.
+    {
+        int fd = rawConnect(sock);
+        ASSERT_TRUE(writeFrame(
+            fd,
+            requestEnvelope("batch", "holder", "ghost",
+                            batchBody()),
+            &err));
+        ::close(fd);
+    }
+    // Give the 50ms disconnect poll time to notice and dequeue.
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    holder.join();
+
+    // A live client is admitted promptly afterwards...
+    ServiceClient cl;
+    ASSERT_TRUE(cl.connectTo(sock, &err));
+    ASSERT_TRUE(
+        cl.request("batch", "holder", "3", batchBody(), &resp,
+                   &err))
+        << err;
+    EXPECT_TRUE(resp.ok) << resp.error;
+
+    // ...and the ghost's batch never ran: exactly two batches did
+    // (the holder's and the live client's).
+    ASSERT_TRUE(watch.request("stats", "w", "f", "", &resp, &err));
+    const JsonValue stats = JsonValue::parse(resp.follow);
+    ASSERT_TRUE(stats.get("service") != nullptr);
+    EXPECT_EQ(stats.get("service")->require("batches").asU64(), 2u);
 }
 
 TEST(ServiceDaemonTest, JournaledBatchResumesAcrossDaemons)

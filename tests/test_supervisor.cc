@@ -22,6 +22,7 @@
 #include "driver/toolchain.hh"
 #include "obs/json.hh"
 #include "obs/trace.hh"
+#include "proc/pool.hh"
 #include "support/logging.hh"
 
 namespace uhll {
@@ -469,6 +470,41 @@ TEST(Supervisor, BatchAppliesThePolicyToEveryJob)
     ASSERT_EQ(rep.results.size(), 1u);
     EXPECT_FALSE(rep.results[0].ok);
     EXPECT_EQ(rep.results[0].retries, 1u);
+}
+
+TEST(Supervisor, PoolRunsTheSameRetryDisciplineAsInThread)
+{
+    // The supervisor lives inside the worker process: a recoverable
+    // fault storm retried out-of-process must produce the exact
+    // result bytes -- same retry count, same structured error --
+    // the in-thread supervisor produces.
+    SupervisePolicy pol;
+    pol.maxRetries = 2;
+    pol.backoffBaseMs = 1;
+    pol.backoffMaxMs = 4;
+
+    Toolchain tc;
+    std::vector<Job> jobs = {livelockJob()};
+    BatchRunner local(tc, 1);
+    local.setPolicy(pol);
+    const std::string ref = local.run(jobs).toJson(true, false);
+
+    WorkerPoolConfig pcfg;
+    pcfg.workers = 1;
+    pcfg.exePath = UHLL_WORKER_EXE;
+    WorkerPool pool(pcfg);
+    BatchRunner remote(tc, 1);
+    remote.setPolicy(pol);
+    remote.setWorkerPool(&pool);
+    BatchReport rep = remote.run(jobs);
+    pool.shutdown();
+
+    ASSERT_EQ(rep.results.size(), 1u);
+    EXPECT_FALSE(rep.results[0].ok);
+    EXPECT_EQ(rep.results[0].retries, 2u);
+    EXPECT_EQ(rep.results[0].sim.error.kind,
+              SimErrorKind::RestartLivelock);
+    EXPECT_EQ(rep.toJson(true, false), ref);
 }
 
 } // namespace
